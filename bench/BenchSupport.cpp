@@ -1,0 +1,169 @@
+//===- bench/BenchSupport.cpp - Shared benchmark utilities -----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+// The artifact's experiment-customization flags (Appendix E).
+static cl::opt<bool>
+    DisableSPMDization("openmp-opt-disable-spmdization",
+                       "Disable the SPMDzation optimization", false);
+static cl::opt<bool>
+    DisableDeglobalization("openmp-opt-disable-deglobalization",
+                           "Disable HeapToStack/HeapToShared", false);
+static cl::opt<bool> DisableStateMachineRewrite(
+    "openmp-opt-disable-state-machine-rewrite",
+    "Disable the custom state machine rewrite", false);
+static cl::opt<bool>
+    DisableFolding("openmp-opt-disable-folding",
+                   "Disable OpenMP runtime call folding", false);
+
+static void applyArtifactFlags(PipelineOptions &P) {
+  if (DisableSPMDization)
+    P.OptConfig.DisableSPMDization = true;
+  if (DisableDeglobalization)
+    P.OptConfig.DisableDeglobalization = true;
+  if (DisableStateMachineRewrite)
+    P.OptConfig.DisableStateMachineRewrite = true;
+  if (DisableFolding)
+    P.OptConfig.DisableFolding = true;
+}
+
+namespace ompgpu {
+namespace bench {
+
+ConfigSpec configLLVM12() { return {"LLVM 12", makeLLVM12Pipeline(), false}; }
+
+ConfigSpec configDevNoOpt() {
+  return {"No OpenMP Optimization", makeDevNoOptPipeline(), false};
+}
+
+ConfigSpec configH2S() {
+  ConfigSpec S{"heap-2-stack",
+               makeDevPipeline(true, false, false, false, false), false};
+  applyArtifactFlags(S.Pipeline);
+  return S;
+}
+
+ConfigSpec configH2S2() {
+  ConfigSpec S{"heap-2-stack&shared (=h2s2)",
+               makeDevPipeline(true, true, false, false, false), false};
+  applyArtifactFlags(S.Pipeline);
+  return S;
+}
+
+ConfigSpec configH2S2RTC() {
+  ConfigSpec S{"h2s2 + RTCspec",
+               makeDevPipeline(true, true, true, false, false), false};
+  applyArtifactFlags(S.Pipeline);
+  return S;
+}
+
+ConfigSpec configH2S2RTCCSM() {
+  ConfigSpec S{"h2s2 + RTCspec + CSM",
+               makeDevPipeline(true, true, true, true, false), false};
+  applyArtifactFlags(S.Pipeline);
+  return S;
+}
+
+ConfigSpec configDevFull() {
+  ConfigSpec S{"h2s2 + RTCspec + SPMDzation (LLVM Dev 0)",
+               makeDevPipeline(true, true, true, true, true), false};
+  applyArtifactFlags(S.Pipeline);
+  return S;
+}
+
+ConfigSpec configCUDA() { return {"CUDA (Clang Dev)", makeCUDAPipeline(),
+                                  true}; }
+
+WorkloadRunResult
+measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
+        const ConfigSpec &Spec, unsigned SampleBlocks) {
+  std::unique_ptr<Workload> W = Factory(ProblemSize::Large);
+  HarnessOptions HO;
+  HO.MaxSimulatedBlocks = SampleBlocks;
+  HO.UseCUDAKernel = Spec.UseCUDA;
+  return runWorkload(*W, Spec.Pipeline, HO);
+}
+
+void printRelativeSeries(const std::string &Title,
+                         const std::vector<WorkloadRunResult> &Results) {
+  outs() << '\n' << Title << '\n';
+  outs() << std::string(Title.size(), '-') << '\n';
+  outs() << formatBuf("  %-44s %12s %12s\n", "configuration", "kernel ms",
+                      "vs LLVM 12");
+  double Base = 0.0;
+  for (const WorkloadRunResult &R : Results) {
+    if (Base == 0.0 && R.Stats.ok() && !R.Stats.OutOfMemory)
+      Base = R.Stats.Milliseconds;
+    if (!R.Stats.ok()) {
+      outs() << formatBuf("  %-44s %12s %12s\n", R.ConfigName.c_str(),
+                          "error", "-");
+      continue;
+    }
+    if (R.Stats.OutOfMemory) {
+      outs() << formatBuf("  %-44s %12s %12s\n", R.ConfigName.c_str(),
+                          "OoM", "OoM");
+      continue;
+    }
+    double Rel = Base > 0 ? Base / R.Stats.Milliseconds : 0.0;
+    outs() << formatBuf("  %-44s %12.3f %11.2fx\n", R.ConfigName.c_str(),
+                        R.Stats.Milliseconds, Rel);
+  }
+  outs().flush();
+}
+
+void registerConfigBenchmarks(
+    const std::string &BenchName,
+    const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
+    const std::vector<ConfigSpec> &Configs, unsigned SampleBlocks) {
+  for (const ConfigSpec &Spec : Configs) {
+    std::string Name = BenchName + "/" + Spec.Label;
+    benchmark::RegisterBenchmark(
+        Name.c_str(),
+        [Factory, Spec, SampleBlocks](benchmark::State &State) {
+          WorkloadRunResult R;
+          for (auto _ : State) {
+            (void)_;
+            R = measure(Factory, Spec, SampleBlocks);
+          }
+          State.counters["sim_kernel_ms"] = R.Stats.Milliseconds;
+          State.counters["regs_per_thread"] = R.Stats.RegsPerThread;
+          State.counters["smem_bytes"] =
+              (double)(R.Stats.StaticSharedBytes +
+                       R.Stats.DynamicSharedBytes);
+          State.counters["oom"] = R.Stats.OutOfMemory ? 1 : 0;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+int runBenchmarkMain(int Argc, char **Argv,
+                     const std::function<void()> &PrintPaperTable) {
+  std::vector<std::string> Rest = cl::parseCommandLine(Argc, Argv);
+  std::vector<char *> RestArgv;
+  for (std::string &S : Rest)
+    RestArgv.push_back(S.data());
+  int RestArgc = (int)RestArgv.size();
+
+  PrintPaperTable();
+
+  benchmark::Initialize(&RestArgc, RestArgv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+} // namespace bench
+} // namespace ompgpu

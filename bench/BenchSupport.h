@@ -1,0 +1,73 @@
+//===- bench/BenchSupport.h - Shared benchmark utilities --------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared infrastructure of the bench/ binaries: the compiler
+/// configurations evaluated in Sec. V, a measurement helper, and
+/// paper-style table printing. Every bench binary regenerates one table or
+/// figure of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_BENCH_BENCHSUPPORT_H
+#define OMPGPU_BENCH_BENCHSUPPORT_H
+
+#include "workloads/Harness.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+namespace bench {
+
+/// One measured configuration of Fig. 11.
+struct ConfigSpec {
+  std::string Label;
+  PipelineOptions Pipeline;
+  bool UseCUDA = false;
+};
+
+/// The evaluation's configuration ladder, honoring the artifact's
+/// -openmp-opt-disable-* flags parsed from the command line.
+ConfigSpec configLLVM12();
+ConfigSpec configDevNoOpt();
+ConfigSpec configH2S();
+ConfigSpec configH2S2();
+ConfigSpec configH2S2RTC();
+ConfigSpec configH2S2RTCCSM();
+ConfigSpec configDevFull(); ///< h2s2 + RTC + SPMDzation (LLVM Dev 0)
+ConfigSpec configCUDA();
+
+/// Runs \p Factory's workload under \p Spec with sampled blocks (timing
+/// runs; outputs unchecked).
+WorkloadRunResult
+measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
+        const ConfigSpec &Spec, unsigned SampleBlocks = 4);
+
+/// Prints a Fig. 11-style relative-performance series: one row per
+/// configuration with kernel ms and speedup over the first (baseline) row.
+/// OOM rows print "OoM" like the paper.
+void printRelativeSeries(const std::string &Title,
+                         const std::vector<WorkloadRunResult> &Results);
+
+/// Registers one google-benchmark case per configuration; each iteration
+/// recompiles and relaunches the workload and reports the simulated kernel
+/// time, registers, and shared memory as counters.
+void registerConfigBenchmarks(
+    const std::string &BenchName,
+    const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
+    const std::vector<ConfigSpec> &Configs, unsigned SampleBlocks = 4);
+
+/// Prints the paper-style table, then runs the registered benchmarks.
+int runBenchmarkMain(int Argc, char **Argv,
+                     const std::function<void()> &PrintPaperTable);
+
+} // namespace bench
+} // namespace ompgpu
+
+#endif // OMPGPU_BENCH_BENCHSUPPORT_H

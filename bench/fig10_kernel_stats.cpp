@@ -1,0 +1,76 @@
+//===- bench/fig10_kernel_stats.cpp - Fig. 10: kernel statistics -----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 10: cumulative kernel time, shared-memory usage, and
+/// register count per benchmark and compiler build. Paper shape: the CUDA
+/// builds use few registers (26-32) and almost no shared memory; the
+/// OpenMP builds carry the parallel-region machinery (140-255 registers,
+/// KBs of shared memory); deglobalization moves variables from runtime
+/// shared-memory allocations into registers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "support/raw_ostream.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+namespace {
+
+void printRow(const WorkloadRunResult &R) {
+  if (!R.Stats.ok()) {
+    outs() << formatBuf("    %-26s %12s\n", R.ConfigName.c_str(), "error");
+    return;
+  }
+  double SMemKB =
+      (double)(R.Stats.StaticSharedBytes + R.Stats.DynamicSharedBytes) /
+      1024.0;
+  outs() << formatBuf("    %-26s %9.3f ms %8.3f KB %6u regs%s\n",
+                      R.ConfigName.c_str(), R.Stats.Milliseconds, SMemKB,
+                      R.Stats.RegsPerThread,
+                      R.Stats.OutOfMemory ? "   [OoM]" : "");
+}
+
+void printTable() {
+  outs() << "\nFig. 10: kernel time, shared memory, and registers\n";
+  outs() << "---------------------------------------------------\n";
+  struct Case {
+    const char *Name;
+    std::unique_ptr<Workload> (*Factory)(ProblemSize);
+    bool HasCUDA;
+  } Cases[] = {{"RSBench:  rsbench -s large -m event", createRSBench, true},
+               {"XSBench:  XSBench -m event", createXSBench, true},
+               {"SU3Bench: bench_f32_openmp.exe", createSU3Bench, true},
+               {"miniQMC:  check_spo_batched", createMiniQMC, false}};
+  for (const Case &C : Cases) {
+    outs() << "  " << C.Name << '\n';
+    if (C.HasCUDA)
+      printRow(measure(C.Factory, configCUDA()));
+    printRow(measure(C.Factory, configLLVM12()));
+    printRow(measure(C.Factory, configDevFull()));
+    outs() << '\n';
+  }
+  outs().flush();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<ConfigSpec> Configs = {configCUDA(), configLLVM12(),
+                                     configDevFull()};
+  registerConfigBenchmarks("fig10/XSBench", createXSBench, Configs);
+  registerConfigBenchmarks("fig10/RSBench", createRSBench, Configs);
+  registerConfigBenchmarks("fig10/SU3Bench", createSU3Bench, Configs);
+  registerConfigBenchmarks(
+      "fig10/miniQMC", createMiniQMC,
+      {configLLVM12(), configDevFull()});
+  return runBenchmarkMain(Argc, Argv, printTable);
+}

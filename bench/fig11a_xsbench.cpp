@@ -1,0 +1,34 @@
+//===- bench/fig11a_xsbench.cpp - Fig. 11a: XSBench relative perf ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 11a: XSBench kernel performance relative to LLVM 12.
+/// Paper shape: simplified codegen alone is ~1.2x, heap-to-stack brings
+/// the Dev branch to ~2.1x, within ~98% of the CUDA watermark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static std::vector<ConfigSpec> configs() {
+  return {configLLVM12(), configDevNoOpt(), configH2S(), configH2S2RTC(),
+          configCUDA()};
+}
+
+int main(int Argc, char **Argv) {
+  registerConfigBenchmarks("fig11a/XSBench", createXSBench, configs());
+  return runBenchmarkMain(Argc, Argv, [] {
+    std::vector<WorkloadRunResult> Results;
+    for (const ConfigSpec &Spec : configs())
+      Results.push_back(measure(createXSBench, Spec));
+    printRelativeSeries(
+        "Fig. 11a: XSBench (event-based) relative to LLVM 12", Results);
+  });
+}

@@ -1,0 +1,36 @@
+//===- bench/fig11b_rsbench.cpp - Fig. 11b: RSBench relative perf ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 11b: RSBench kernel performance relative to LLVM 12.
+/// Paper shape: the no-optimization configuration runs out of memory
+/// (globalization heap demand); heap-to-stack recovers a ~13x speedup,
+/// reaching ~97-98% of the CUDA watermark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static std::vector<ConfigSpec> configs() {
+  return {configLLVM12(), configDevNoOpt(), configH2S(), configH2S2RTC(),
+          configCUDA()};
+}
+
+int main(int Argc, char **Argv) {
+  registerConfigBenchmarks("fig11b/RSBench", createRSBench, configs());
+  return runBenchmarkMain(Argc, Argv, [] {
+    std::vector<WorkloadRunResult> Results;
+    for (const ConfigSpec &Spec : configs())
+      Results.push_back(measure(createRSBench, Spec));
+    printRelativeSeries(
+        "Fig. 11b: RSBench (-s large -m event) relative to LLVM 12",
+        Results);
+  });
+}

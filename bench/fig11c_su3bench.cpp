@@ -1,0 +1,36 @@
+//===- bench/fig11c_su3bench.cpp - Fig. 11c: SU3Bench relative perf --------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 11c: SU3Bench (version 0, CPU-style) relative to
+/// LLVM 12. Paper shape: simplified codegen alone regresses (~0.57x), the
+/// custom state machine recovers it, SPMDzation reaches ~10.8x, and the
+/// CUDA watermark is ~33x.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static std::vector<ConfigSpec> configs() {
+  return {configLLVM12(), configDevNoOpt(), configH2S2RTCCSM(),
+          configDevFull(), configCUDA()};
+}
+
+int main(int Argc, char **Argv) {
+  registerConfigBenchmarks("fig11c/SU3Bench", createSU3Bench, configs());
+  return runBenchmarkMain(Argc, Argv, [] {
+    std::vector<WorkloadRunResult> Results;
+    for (const ConfigSpec &Spec : configs())
+      Results.push_back(measure(createSU3Bench, Spec));
+    printRelativeSeries(
+        "Fig. 11c: SU3Bench (bench_f32_openmp v0) relative to LLVM 12",
+        Results);
+  });
+}

@@ -1,0 +1,37 @@
+//===- bench/fig11d_miniqmc.cpp - Fig. 11d: miniQMC relative perf ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 11d: miniQMC (check_spo_batched) relative to LLVM 12.
+/// Paper shape: simplified codegen alone collapses to ~0.07x (eighteen
+/// per-scope runtime allocations vs. one aggregated push), HeapToShared
+/// restores parity (~1x), the custom state machine reaches ~1.6x, and
+/// SPMDzation ~2.26x. No CUDA watermark (OpenMP-only proxy).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static std::vector<ConfigSpec> configs() {
+  return {configLLVM12(), configDevNoOpt(),      configH2S(),
+          configH2S2(),   configH2S2RTCCSM(),    configDevFull()};
+}
+
+int main(int Argc, char **Argv) {
+  registerConfigBenchmarks("fig11d/miniQMC", createMiniQMC, configs());
+  return runBenchmarkMain(Argc, Argv, [] {
+    std::vector<WorkloadRunResult> Results;
+    for (const ConfigSpec &Spec : configs())
+      Results.push_back(measure(createMiniQMC, Spec));
+    printRelativeSeries(
+        "Fig. 11d: miniQMC (check_spo_batched) relative to LLVM 12",
+        Results);
+  });
+}

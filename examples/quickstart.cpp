@@ -1,0 +1,95 @@
+//===- examples/quickstart.cpp - Build, optimize, and run a kernel ---------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: build an OpenMP `target teams distribute parallel for`
+/// kernel (a saxpy) against the codegen API, run it through the paper's
+/// optimization pipeline, launch it on the simulated V100, and check the
+/// result. This is the minimal end-to-end tour of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "gpusim/Device.h"
+#include "ir/AsmWriter.h"
+#include "rtl/DeviceRTL.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+
+int main() {
+  // 1. A module and the OpenMP front-end (the paper's simplified scheme).
+  IRContext Ctx;
+  Module M(Ctx, "quickstart");
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, /*CudaMode=*/false});
+
+  // 2. The kernel:  #pragma omp target teams distribute parallel for
+  //                 for (i = 0; i < n; ++i) y[i] = a * x[i] + y[i];
+  Type *F64 = Ctx.getDoubleTy();
+  TargetRegionBuilder TRB(
+      CG, "saxpy",
+      {Ctx.getDoubleTy(), Ctx.getPtrTy(), Ctx.getPtrTy(), Ctx.getInt32Ty()},
+      ExecMode::SPMD, /*NumTeams=*/8, /*NumThreads=*/64);
+  Argument *A = TRB.getParam(0);
+  Argument *X = TRB.getParam(1);
+  Argument *Y = TRB.getParam(2);
+  Argument *N = TRB.getParam(3);
+  std::vector<TargetRegionBuilder::Capture> Caps = {
+      {A, false, "a"}, {X, false, "x"}, {Y, false, "y"}};
+  TRB.emitDistributeParallelFor(
+      N, Caps,
+      [&](IRBuilder &B, Value *I,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        Value *Xi = B.createLoad(F64, B.createGEP(F64, Map.at(X), {I}));
+        Value *Yp = B.createGEP(F64, Map.at(Y), {I});
+        Value *Yi = B.createLoad(F64, Yp);
+        B.createStore(B.createFAdd(B.createFMul(Map.at(A), Xi), Yi), Yp);
+      });
+  Function *Kernel = TRB.finalize();
+
+  // 3. Optimize with the full "LLVM Dev" pipeline and show the remarks.
+  PipelineOptions P = makeDevPipeline();
+  CompileResult CR = optimizeDeviceModule(M, P);
+  outs() << "=== optimization remarks ===\n";
+  CR.Remarks.print(outs());
+  outs() << "\n=== optimized module ===\n";
+  printModule(M, outs());
+
+  // 4. Launch on the simulated GPU.
+  const int Len = 1000;
+  GPUDevice Dev;
+  std::vector<double> HostX(Len), HostY(Len);
+  for (int I = 0; I < Len; ++I) {
+    HostX[I] = I;
+    HostY[I] = 2 * I;
+  }
+  uint64_t DevX = Dev.allocateArray(HostX);
+  uint64_t DevY = Dev.allocateArray(HostY);
+
+  LaunchConfig LC;
+  LC.GridDim = 8;
+  LC.BlockDim = 64;
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  double AVal = 3.0;
+  uint64_t ABits;
+  std::memcpy(&ABits, &AVal, sizeof(double));
+  KernelStats S =
+      Dev.launchKernel(M, Kernel, LC, {ABits, DevX, DevY, Len}, RTL);
+
+  // 5. Verify and report.
+  std::vector<double> Out = Dev.downloadArray<double>(DevY, Len);
+  int Errors = 0;
+  for (int I = 0; I < Len; ++I)
+    if (Out[I] != 3.0 * I + 2 * I)
+      ++Errors;
+  outs() << "\n=== launch ===\n";
+  outs() << "kernel time: " << S.Milliseconds << " ms ("
+         << S.Cycles << " cycles), regs/thread: " << S.RegsPerThread
+         << ", errors: " << Errors << "\n";
+  return Errors == 0 && S.ok() ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+//===- analysis/CFG.cpp - CFG traversal helpers ----------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ompgpu;
+
+static void postOrderVisit(BasicBlock *BB, std::set<BasicBlock *> &Visited,
+                           std::vector<BasicBlock *> &Order) {
+  if (!Visited.insert(BB).second)
+    return;
+  for (BasicBlock *Succ : BB->successors())
+    postOrderVisit(Succ, Visited, Order);
+  Order.push_back(BB);
+}
+
+std::vector<BasicBlock *> ompgpu::postOrder(const Function &F) {
+  std::vector<BasicBlock *> Order;
+  if (F.isDeclaration())
+    return Order;
+  std::set<BasicBlock *> Visited;
+  postOrderVisit(F.getEntryBlock(), Visited, Order);
+  return Order;
+}
+
+std::vector<BasicBlock *> ompgpu::reversePostOrder(const Function &F) {
+  std::vector<BasicBlock *> Order = postOrder(F);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}
+
+bool ompgpu::isReachableFrom(const BasicBlock *From, const BasicBlock *To) {
+  std::set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> Worklist = {From};
+  while (!Worklist.empty()) {
+    const BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (BB == To)
+      return true;
+    if (!Visited.insert(BB).second)
+      continue;
+    for (const BasicBlock *Succ :
+         const_cast<BasicBlock *>(BB)->successors())
+      Worklist.push_back(Succ);
+  }
+  return false;
+}

@@ -1,0 +1,36 @@
+//===- analysis/CFG.h - CFG traversal helpers -------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graph traversal orders used by the dataflow analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_CFG_H
+#define OMPGPU_ANALYSIS_CFG_H
+
+#include <vector>
+
+namespace ompgpu {
+
+class BasicBlock;
+class Function;
+
+/// Returns the blocks of \p F in reverse post-order from the entry.
+/// Unreachable blocks are excluded.
+std::vector<BasicBlock *> reversePostOrder(const Function &F);
+
+/// Returns the blocks of \p F in post-order from the entry.
+std::vector<BasicBlock *> postOrder(const Function &F);
+
+/// Returns true if \p To is reachable from \p From along CFG edges
+/// (inclusive: a block reaches itself).
+bool isReachableFrom(const BasicBlock *From, const BasicBlock *To);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_CFG_H

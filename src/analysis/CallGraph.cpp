@@ -1,0 +1,132 @@
+//===- analysis/CallGraph.cpp - Module call graph with SCCs ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "ir/Module.h"
+#include "support/STLExtras.h"
+
+#include <algorithm>
+
+using namespace ompgpu;
+
+CallGraph::CallGraph(const Module &M) {
+  std::vector<Function *> Funcs = M.functions();
+  for (Function *F : Funcs) {
+    Callees[F]; // ensure node exists
+    CallSitesOf[F];
+    if (F->hasAddressTaken())
+      AddressTaken.insert(F);
+  }
+
+  for (Function *F : Funcs) {
+    for (BasicBlock *BB : *F) {
+      for (Instruction *I : *BB) {
+        auto *CI = dyn_cast<CallInst>(I);
+        if (!CI)
+          continue;
+        Function *Callee = CI->getCalledFunction();
+        if (!Callee)
+          continue;
+        if (!is_contained(Callees[F], Callee))
+          Callees[F].push_back(Callee);
+        CallSitesOf[Callee].push_back(CI);
+      }
+    }
+  }
+
+  // Tarjan's SCC algorithm (iterative to avoid deep recursion).
+  std::map<const Function *, int> Index, LowLink;
+  std::map<const Function *, bool> OnStack;
+  std::vector<Function *> Stack;
+  int NextIndex = 0;
+
+  struct Frame {
+    Function *F;
+    size_t NextChild;
+  };
+
+  for (Function *Root : Funcs) {
+    if (Index.count(Root))
+      continue;
+    std::vector<Frame> CallStack{{Root, 0}};
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!CallStack.empty()) {
+      Frame &Top = CallStack.back();
+      const std::vector<Function *> &Children = Callees[Top.F];
+      if (Top.NextChild < Children.size()) {
+        Function *Child = Children[Top.NextChild++];
+        if (!Index.count(Child)) {
+          Index[Child] = LowLink[Child] = NextIndex++;
+          Stack.push_back(Child);
+          OnStack[Child] = true;
+          CallStack.push_back({Child, 0});
+        } else if (OnStack[Child]) {
+          LowLink[Top.F] = std::min(LowLink[Top.F], Index[Child]);
+        }
+        continue;
+      }
+      // All children processed.
+      if (LowLink[Top.F] == Index[Top.F]) {
+        std::vector<Function *> SCC;
+        while (true) {
+          Function *V = Stack.back();
+          Stack.pop_back();
+          OnStack[V] = false;
+          SCC.push_back(V);
+          if (V == Top.F)
+            break;
+        }
+        SCCsBottomUp.push_back(std::move(SCC));
+      }
+      Function *Done = Top.F;
+      CallStack.pop_back();
+      if (!CallStack.empty())
+        LowLink[CallStack.back().F] =
+            std::min(LowLink[CallStack.back().F], LowLink[Done]);
+    }
+  }
+}
+
+const std::vector<Function *> &CallGraph::callees(const Function *F) const {
+  static const std::vector<Function *> Empty;
+  auto It = Callees.find(F);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+const std::vector<CallInst *> &
+CallGraph::callSitesOf(const Function *F) const {
+  static const std::vector<CallInst *> Empty;
+  auto It = CallSitesOf.find(F);
+  return It == CallSitesOf.end() ? Empty : It->second;
+}
+
+std::set<Function *> CallGraph::reachableFrom(Function *Root) const {
+  std::set<Function *> Reached;
+  std::vector<Function *> Worklist{Root};
+  while (!Worklist.empty()) {
+    Function *F = Worklist.back();
+    Worklist.pop_back();
+    if (!Reached.insert(F).second)
+      continue;
+    for (Function *Callee : callees(F))
+      Worklist.push_back(Callee);
+    // Indirect calls may reach any address-taken function.
+    bool HasIndirect = false;
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (auto *CI = dyn_cast<CallInst>(I))
+          if (CI->isIndirectCall())
+            HasIndirect = true;
+    if (HasIndirect)
+      for (const Function *AT : AddressTaken)
+        Worklist.push_back(const_cast<Function *>(AT));
+  }
+  return Reached;
+}

@@ -1,0 +1,69 @@
+//===- analysis/CallGraph.h - Module call graph with SCCs -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module call graph: direct call edges, address-taken functions, and
+/// Tarjan SCCs in bottom-up order. The paper's pass runs "early on the
+/// entire module and again late on each strongly connected component of
+/// the call graph"; the SCC order here drives that late run and the
+/// bottom-up attribute inference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_CALLGRAPH_H
+#define OMPGPU_ANALYSIS_CALLGRAPH_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ompgpu {
+
+class CallInst;
+class Function;
+class Module;
+
+/// Call graph over one module.
+class CallGraph {
+  std::map<const Function *, std::vector<Function *>> Callees;
+  std::map<const Function *, std::vector<CallInst *>> CallSitesOf;
+  std::set<const Function *> AddressTaken;
+  std::vector<std::vector<Function *>> SCCsBottomUp;
+
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Direct callees of \p F (deduplicated).
+  const std::vector<Function *> &callees(const Function *F) const;
+
+  /// All direct call sites that invoke \p F.
+  const std::vector<CallInst *> &callSitesOf(const Function *F) const;
+
+  /// True if \p F has its address taken (may be called indirectly).
+  bool isAddressTaken(const Function *F) const {
+    return AddressTaken.count(F);
+  }
+
+  /// Functions whose address is taken anywhere in the module.
+  const std::set<const Function *> &addressTakenFunctions() const {
+    return AddressTaken;
+  }
+
+  /// Strongly connected components in bottom-up (callees first) order.
+  const std::vector<std::vector<Function *>> &sccsBottomUp() const {
+    return SCCsBottomUp;
+  }
+
+  /// Returns every function transitively reachable from \p Root through
+  /// direct calls (including \p Root). Indirect calls add all
+  /// address-taken functions with a compatible signature.
+  std::set<Function *> reachableFrom(Function *Root) const;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_CALLGRAPH_H

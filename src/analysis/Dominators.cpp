@@ -1,0 +1,169 @@
+//===- analysis/Dominators.cpp - (Post)dominator trees ---------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+
+#include <set>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Direction-abstracted CFG so one implementation serves both trees.
+struct Graph {
+  bool Reversed;
+
+  std::vector<BasicBlock *> succs(const BasicBlock *BB) const {
+    auto *B = const_cast<BasicBlock *>(BB);
+    return Reversed ? B->predecessors() : B->successors();
+  }
+  std::vector<BasicBlock *> preds(const BasicBlock *BB) const {
+    auto *B = const_cast<BasicBlock *>(BB);
+    return Reversed ? B->successors() : B->predecessors();
+  }
+};
+
+void postOrderFrom(BasicBlock *BB, const Graph &G,
+                   std::set<const BasicBlock *> &Visited,
+                   std::vector<const BasicBlock *> &Order) {
+  if (!Visited.insert(BB).second)
+    return;
+  for (BasicBlock *S : G.succs(BB))
+    postOrderFrom(S, G, Visited, Order);
+  Order.push_back(BB);
+}
+
+} // namespace
+
+// Implementation notes: blocks are mapped to dense indices in reverse
+// post-order starting at 1; index 0 is a virtual super-root that joins
+// multiple roots (the post-dominator tree of a function with several exits,
+// or with none reachable). The Cooper-Harvey-Kennedy "intersect" walk then
+// needs no special cases.
+DominatorTree::DominatorTree(const Function &F, bool PostDominators)
+    : Post(PostDominators) {
+  if (F.isDeclaration())
+    return;
+
+  Graph G{PostDominators};
+
+  std::vector<BasicBlock *> Roots;
+  if (!PostDominators) {
+    Roots.push_back(F.getEntryBlock());
+  } else {
+    for (BasicBlock *BB : F)
+      if (BB->successors().empty())
+        Roots.push_back(BB);
+  }
+
+  std::set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> PO;
+  for (BasicBlock *R : Roots)
+    postOrderFrom(R, G, Visited, PO);
+
+  // Dense numbering: virtual root is 0, then RPO order.
+  std::vector<const BasicBlock *> ByIndex;
+  ByIndex.push_back(nullptr); // virtual root
+  for (auto It = PO.rbegin(); It != PO.rend(); ++It) {
+    Order[*It] = ByIndex.size();
+    ByIndex.push_back(*It);
+  }
+
+  // UNDEF marks nodes whose dominator has not been computed yet; CHK must
+  // ignore such predecessors rather than treating them as the root.
+  const unsigned Undef = ~0u;
+  std::vector<unsigned> Idom(ByIndex.size(), Undef);
+  Idom[0] = 0;
+  std::set<unsigned> RootIdx;
+  for (const BasicBlock *R : Roots)
+    if (Order.count(R))
+      RootIdx.insert(Order.at(R));
+
+  auto Intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (A > B)
+        A = Idom[A];
+      while (B > A)
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Idx = 1, E = ByIndex.size(); Idx != E; ++Idx) {
+      unsigned NewIdom;
+      bool HaveIdom = false;
+      if (RootIdx.count(Idx)) {
+        NewIdom = 0;
+        HaveIdom = true;
+      } else {
+        NewIdom = 0;
+        for (const BasicBlock *P : G.preds(ByIndex[Idx])) {
+          auto It = Order.find(P);
+          if (It == Order.end())
+            continue; // unreachable predecessor
+          unsigned PIdx = It->second;
+          if (Idom[PIdx] == Undef)
+            continue; // not processed yet
+          NewIdom = HaveIdom ? Intersect(NewIdom, PIdx) : PIdx;
+          HaveIdom = true;
+        }
+      }
+      if (HaveIdom && Idom[Idx] != NewIdom) {
+        Idom[Idx] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Publish pointer-based idoms: null for roots/virtual root.
+  for (unsigned Idx = 1, E = ByIndex.size(); Idx != E; ++Idx)
+    IDom[ByIndex[Idx]] = (Idom[Idx] == 0 || Idom[Idx] == Undef)
+                             ? nullptr
+                             : ByIndex[Idom[Idx]];
+}
+
+const BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  return It == IDom.end() ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  // Blocks outside the tree (unreachable in the traversal direction) are
+  // dominated by everything.
+  if (!Order.count(B))
+    return true;
+  if (!Order.count(A))
+    return false;
+  const BasicBlock *Cur = B;
+  while (true) {
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || !It->second)
+      return false;
+    Cur = It->second;
+    if (Cur == A)
+      return true;
+  }
+}
+
+bool DominatorTree::dominates(const Instruction *A,
+                              const Instruction *B) const {
+  const BasicBlock *ABB = A->getParent();
+  const BasicBlock *BBB = B->getParent();
+  if (ABB == BBB) {
+    size_t AIdx = ABB->indexOf(A);
+    size_t BIdx = ABB->indexOf(B);
+    return Post ? AIdx > BIdx : AIdx < BIdx;
+  }
+  return dominates(ABB, BBB);
+}

@@ -1,0 +1,63 @@
+//===- analysis/Dominators.h - (Post)dominator trees ------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees computed with the Cooper-Harvey-
+/// Kennedy iterative algorithm. HeapToStack uses post-dominance to prove
+/// that a deallocation is always reached; SPMDzation uses dominance for
+/// guard placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_DOMINATORS_H
+#define OMPGPU_ANALYSIS_DOMINATORS_H
+
+#include <map>
+#include <vector>
+
+namespace ompgpu {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+/// A dominator tree (or post-dominator tree when built reversed).
+class DominatorTree {
+  std::map<const BasicBlock *, const BasicBlock *> IDom;
+  std::map<const BasicBlock *, unsigned> Order;
+  bool Post;
+
+public:
+  /// Builds the (post)dominator tree for \p F.
+  explicit DominatorTree(const Function &F, bool PostDominators = false);
+
+  bool isPostDominatorTree() const { return Post; }
+
+  /// Returns the immediate dominator of \p BB, or null for the root or
+  /// unreachable blocks.
+  const BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  /// True if \p A dominates \p B (reflexive). Unreachable blocks are
+  /// dominated by everything, matching LLVM's convention.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True if instruction \p A dominates instruction \p B: same block and
+  /// earlier, or A's block dominates B's block.
+  bool dominates(const Instruction *A, const Instruction *B) const;
+};
+
+/// Convenience wrapper for post-dominator queries. For functions with
+/// multiple exit blocks a virtual exit is used as the root.
+class PostDominatorTree : public DominatorTree {
+public:
+  explicit PostDominatorTree(const Function &F)
+      : DominatorTree(F, /*PostDominators=*/true) {}
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_DOMINATORS_H

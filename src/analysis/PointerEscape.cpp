@@ -1,0 +1,156 @@
+//===- analysis/PointerEscape.cpp - Inter-procedural escape check ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointerEscape.h"
+#include "ir/Function.h"
+
+#include <set>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Depth-bounded walker over the uses of a pointer and derived pointers.
+class EscapeWalker {
+  const EscapeConfig &Config;
+  std::set<const Value *> Visited;
+  EscapeResult Result;
+
+public:
+  explicit EscapeWalker(const EscapeConfig &Config) : Config(Config) {}
+
+  EscapeResult run(const Value *Ptr) {
+    followUses(Ptr, 0);
+    return Result;
+  }
+
+private:
+  void escape(const Instruction *Site, std::string Reason) {
+    if (Result.Escapes)
+      return;
+    Result.Escapes = true;
+    Result.EscapeSite = Site;
+    Result.Reason = std::move(Reason);
+  }
+
+  void followUses(const Value *Ptr, unsigned Depth) {
+    if (Result.Escapes || !Visited.insert(Ptr).second)
+      return;
+    if (Depth > Config.MaxDepth) {
+      escape(nullptr, "analysis depth limit reached");
+      return;
+    }
+
+    for (const User *U : Ptr->users()) {
+      const auto *I = dyn_cast<Instruction>(U);
+      if (!I) {
+        escape(nullptr, "pointer used by a non-instruction");
+        return;
+      }
+      visitUse(Ptr, I, Depth);
+      if (Result.Escapes)
+        return;
+    }
+  }
+
+  void visitUse(const Value *Ptr, const Instruction *I, unsigned Depth) {
+    switch (I->getOpcode()) {
+    case ValueKind::Load:
+    case ValueKind::ICmp:
+      return; // reading through or comparing never exposes the pointer
+    case ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(I);
+      if (SI->getValueOperand() == Ptr)
+        escape(I, "pointer is stored to memory");
+      return; // storing *through* the pointer is fine
+    }
+    case ValueKind::AtomicRMW: {
+      const auto *AI = cast<AtomicRMWInst>(I);
+      if (AI->getValOperand() == Ptr)
+        escape(I, "pointer is exchanged atomically");
+      return;
+    }
+    case ValueKind::GEP:
+    case ValueKind::Select:
+    case ValueKind::Phi:
+      // Derived pointer: follow its uses too.
+      followUses(I, Depth);
+      return;
+    case ValueKind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      if (C->getCastOp() == CastOp::PtrToInt) {
+        escape(I, "pointer is converted to an integer");
+        return;
+      }
+      followUses(I, Depth);
+      return;
+    }
+    case ValueKind::Ret:
+      escape(I, "pointer is returned to the caller");
+      return;
+    case ValueKind::Call: {
+      const auto *CI = cast<CallInst>(I);
+      if (CI->getCalledOperand() == Ptr) {
+        escape(I, "pointer is used as a call target");
+        return;
+      }
+      for (unsigned A = 0, E = CI->arg_size(); A != E; ++A) {
+        if (CI->getArgOperand(A) != Ptr)
+          continue;
+        visitCallArg(*CI, A, Depth);
+        if (Result.Escapes)
+          return;
+      }
+      return;
+    }
+    default:
+      escape(I, std::string("pointer used by unhandled instruction '") +
+                    I->getOpcodeName() + "'");
+      return;
+    }
+  }
+
+  void visitCallArg(const CallInst &CI, unsigned ArgIdx, unsigned Depth) {
+    ArgCaptureKind Kind = ArgCaptureKind::Captures;
+    if (Config.ClassifyCallArg)
+      Kind = Config.ClassifyCallArg(CI, ArgIdx);
+    else if (const Function *Callee = CI.getCalledFunction())
+      Kind = Callee->isDeclaration() ? ArgCaptureKind::Captures
+                                     : ArgCaptureKind::InspectCallee;
+
+    switch (Kind) {
+    case ArgCaptureKind::NoCapture:
+      return;
+    case ArgCaptureKind::Captures:
+      escape(&CI, "pointer passed to '" +
+                      (CI.getCalledFunction()
+                           ? CI.getCalledFunction()->getName()
+                           : std::string("<indirect>")) +
+                      "' which may share it with other threads");
+      return;
+    case ArgCaptureKind::InspectCallee: {
+      const Function *Callee = CI.getCalledFunction();
+      if (!Callee || Callee->isDeclaration()) {
+        escape(&CI, "pointer passed to an unknown callee");
+        return;
+      }
+      const Argument *FormalArg = Callee->getArg(ArgIdx);
+      if (FormalArg->hasNoEscapeAttr())
+        return; // user-provided domain knowledge (Sec. IV-D)
+      followUses(FormalArg, Depth + 1);
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+EscapeResult ompgpu::analyzePointerEscape(const Value *Ptr,
+                                          const EscapeConfig &Config) {
+  return EscapeWalker(Config).run(Ptr);
+}

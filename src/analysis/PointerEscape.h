@@ -1,0 +1,63 @@
+//===- analysis/PointerEscape.h - Inter-procedural escape check -*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inter-procedural pointer escape analysis: follows all uses of a pointer
+/// (through GEPs, casts, phis, selects, and into callees) and reports
+/// whether it may become visible to another thread. This is the first of
+/// the two HeapToStack checks from Sec. IV-A: "follow all uses of the heap
+/// pointer inter-procedurally and report if any of the uses might expose
+/// the pointer to another thread".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_POINTERESCAPE_H
+#define OMPGPU_ANALYSIS_POINTERESCAPE_H
+
+#include <functional>
+#include <string>
+
+namespace ompgpu {
+
+class CallInst;
+class Instruction;
+class Value;
+
+/// How a call treats a pointer argument.
+enum class ArgCaptureKind : uint8_t {
+  NoCapture,     ///< The callee does not retain/expose the pointer.
+  Captures,      ///< The callee may expose the pointer (conservative).
+  InspectCallee, ///< Recurse into the callee's body.
+};
+
+/// Result of an escape query.
+struct EscapeResult {
+  bool Escapes = false;
+  /// The instruction that caused the escape (null if none).
+  const Instruction *EscapeSite = nullptr;
+  /// Human-readable reason, used in optimization remarks.
+  std::string Reason;
+};
+
+/// Configuration hooks for the escape walk.
+struct EscapeConfig {
+  /// Classifies pointer argument \p ArgIdx of \p CI. The default treats
+  /// declarations as capturing and definitions as inspectable.
+  std::function<ArgCaptureKind(const CallInst &, unsigned ArgIdx)>
+      ClassifyCallArg;
+  /// Recursion bound on callee inspection.
+  unsigned MaxDepth = 8;
+};
+
+/// Returns whether \p Ptr (or any pointer derived from it) may escape to
+/// another thread.
+EscapeResult analyzePointerEscape(const Value *Ptr,
+                                  const EscapeConfig &Config);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_POINTERESCAPE_H

@@ -1,0 +1,139 @@
+//===- analysis/RegisterPressure.cpp - SSA liveness & pressure -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegisterPressure.h"
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace ompgpu;
+
+/// True for values that occupy registers: instructions with results and
+/// arguments. Constants and globals are immediates/addresses.
+static bool isTrackedValue(const Value *V) {
+  if (isa<Argument>(V))
+    return true;
+  const auto *I = dyn_cast<Instruction>(V);
+  return I && !I->getType()->isVoidTy();
+}
+
+unsigned ompgpu::getValueRegisterUnits(const Value *V) {
+  uint64_t Bytes = V->getType()->getSizeInBytes();
+  return std::max<uint64_t>(1, (Bytes + 3) / 4);
+}
+
+Liveness::Liveness(const Function &F) {
+  if (F.isDeclaration())
+    return;
+
+  // Appel's per-use up-and-mark algorithm: for every use, walk backwards
+  // from the use block to the def block marking liveness.
+  auto MarkLiveUpFrom = [&](const Value *V, const BasicBlock *DefBB,
+                            const BasicBlock *UseBB) {
+    std::vector<const BasicBlock *> Worklist{UseBB};
+    while (!Worklist.empty()) {
+      const BasicBlock *BB = Worklist.back();
+      Worklist.pop_back();
+      if (BB == DefBB)
+        continue; // value defined here; not live-in
+      if (!LiveInMap[BB].insert(V).second)
+        continue; // already processed
+      for (const BasicBlock *Pred :
+           const_cast<BasicBlock *>(BB)->predecessors()) {
+        LiveOutMap[Pred].insert(V);
+        Worklist.push_back(Pred);
+      }
+    }
+  };
+
+  const BasicBlock *Entry = F.getEntryBlock();
+  for (const BasicBlock *BB : F) {
+    for (const Instruction *I : *BB) {
+      if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+        // A phi's use is live-out of the incoming edge's predecessor.
+        for (unsigned Idx = 0, E = Phi->getNumIncoming(); Idx != E; ++Idx) {
+          const Value *In = Phi->getIncomingValue(Idx);
+          if (!isTrackedValue(In))
+            continue;
+          const BasicBlock *DefBB =
+              isa<Argument>(In) ? Entry
+                                : cast<Instruction>(In)->getParent();
+          const BasicBlock *PredBB = Phi->getIncomingBlock(Idx);
+          LiveOutMap[PredBB].insert(In);
+          MarkLiveUpFrom(In, DefBB, PredBB);
+        }
+        continue;
+      }
+      for (unsigned OpIdx = 0, E = I->getNumOperands(); OpIdx != E;
+           ++OpIdx) {
+        const Value *Op = I->getOperand(OpIdx);
+        if (!isTrackedValue(Op))
+          continue;
+        const BasicBlock *DefBB =
+            isa<Argument>(Op) ? Entry : cast<Instruction>(Op)->getParent();
+        if (DefBB == BB)
+          continue; // local use; handled by the linear scan
+        MarkLiveUpFrom(Op, DefBB, BB);
+      }
+    }
+  }
+}
+
+const std::set<const Value *> &Liveness::liveIn(const BasicBlock *BB) const {
+  static const std::set<const Value *> Empty;
+  auto It = LiveInMap.find(BB);
+  return It == LiveInMap.end() ? Empty : It->second;
+}
+
+const std::set<const Value *> &
+Liveness::liveOut(const BasicBlock *BB) const {
+  static const std::set<const Value *> Empty;
+  auto It = LiveOutMap.find(BB);
+  return It == LiveOutMap.end() ? Empty : It->second;
+}
+
+unsigned ompgpu::computeMaxRegisterPressure(const Function &F) {
+  if (F.isDeclaration())
+    return 0;
+
+  Liveness LV(F);
+  unsigned MaxPressure = 0;
+
+  // Arguments are live at entry at minimum.
+  unsigned ArgUnits = 0;
+  for (const Argument *A : F.args())
+    ArgUnits += getValueRegisterUnits(A);
+  MaxPressure = ArgUnits;
+
+  for (const BasicBlock *BB : F) {
+    // Walk backwards from the live-out set.
+    std::set<const Value *> Live = LV.liveOut(BB);
+    auto SumUnits = [&]() {
+      unsigned Sum = 0;
+      for (const Value *V : Live)
+        Sum += getValueRegisterUnits(V);
+      return Sum;
+    };
+    unsigned Cur = SumUnits();
+    MaxPressure = std::max(MaxPressure, Cur);
+
+    std::vector<Instruction *> Insts = BB->getInstructions();
+    for (auto It = Insts.rbegin(), E = Insts.rend(); It != E; ++It) {
+      const Instruction *I = *It;
+      if (isTrackedValue(I))
+        Live.erase(I);
+      if (!isa<PhiInst>(I))
+        for (unsigned OpIdx = 0, OE = I->getNumOperands(); OpIdx != OE;
+             ++OpIdx)
+          if (isTrackedValue(I->getOperand(OpIdx)))
+            Live.insert(I->getOperand(OpIdx));
+      Cur = SumUnits();
+      MaxPressure = std::max(MaxPressure, Cur);
+    }
+  }
+  return MaxPressure;
+}

@@ -1,0 +1,51 @@
+//===- analysis/RegisterPressure.h - SSA liveness & pressure ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA liveness and maximum register pressure estimation. The simulator
+/// derives per-kernel register usage (Fig. 10 "# Regs") and occupancy from
+/// this, including the spurious-call-edge penalty for address-taken
+/// parallel regions that the custom state machine rewrite removes (the
+/// PR46450 effect described in Sec. IV-B2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_REGISTERPRESSURE_H
+#define OMPGPU_ANALYSIS_REGISTERPRESSURE_H
+
+#include <map>
+#include <set>
+
+namespace ompgpu {
+
+class BasicBlock;
+class Function;
+class Value;
+
+/// Block-level SSA liveness for one function.
+class Liveness {
+  std::map<const BasicBlock *, std::set<const Value *>> LiveInMap;
+  std::map<const BasicBlock *, std::set<const Value *>> LiveOutMap;
+
+public:
+  explicit Liveness(const Function &F);
+
+  const std::set<const Value *> &liveIn(const BasicBlock *BB) const;
+  const std::set<const Value *> &liveOut(const BasicBlock *BB) const;
+};
+
+/// Returns the register cost of one SSA value in 32-bit register units.
+unsigned getValueRegisterUnits(const Value *V);
+
+/// Returns the maximum register pressure of \p F in 32-bit units: the
+/// largest sum of simultaneously live SSA value sizes at any program point,
+/// plus the function's arguments at entry.
+unsigned computeMaxRegisterPressure(const Function &F);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_REGISTERPRESSURE_H

@@ -1,0 +1,224 @@
+//===- analysis/ThreadValueAnalysis.cpp - Uniformity & strides -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ThreadValueAnalysis.h"
+#include "analysis/CFG.h"
+#include "ir/Function.h"
+
+using namespace ompgpu;
+
+namespace {
+
+/// Join in the Unknown > Linear > Divergent lattice.
+ThreadShape join(ThreadShape A, ThreadShape B) {
+  if (A.K == ThreadShape::Unknown)
+    return B;
+  if (B.K == ThreadShape::Unknown)
+    return A;
+  if (A == B)
+    return A;
+  return ThreadShape::divergent();
+}
+
+} // namespace
+
+ThreadValueAnalysis::ThreadValueAnalysis(const Function &F,
+                                         const ThreadValueConfig &Config) {
+  if (F.isDeclaration())
+    return;
+
+  for (const Argument *A : F.args())
+    Shapes[A] = Config.ArgumentShape;
+
+  auto Get = [&](const Value *V) -> ThreadShape {
+    if (isa<Constant>(V))
+      return ThreadShape::uniform();
+    auto It = Shapes.find(V);
+    return It == Shapes.end() ? ThreadShape{} : It->second;
+  };
+
+  auto Transfer = [&](const Instruction *I) -> ThreadShape {
+    switch (I->getOpcode()) {
+    case ValueKind::Alloca:
+      // Each thread's stack slot is distinct but local memory is
+      // interleaved per-thread by the hardware; model as uniform so local
+      // accesses are charged as cheap.
+      return ThreadShape::uniform();
+    case ValueKind::BinOp: {
+      const auto *BO = cast<BinOpInst>(I);
+      ThreadShape L = Get(BO->getLHS());
+      ThreadShape R = Get(BO->getRHS());
+      if (!L.isLinear() || !R.isLinear())
+        return ThreadShape::divergent();
+      switch (BO->getBinaryOp()) {
+      case BinaryOp::Add:
+        return ThreadShape::linear(L.Stride + R.Stride);
+      case BinaryOp::Sub:
+        return ThreadShape::linear(L.Stride - R.Stride);
+      case BinaryOp::Mul: {
+        // Linear only when one side is uniform and constant-scaled.
+        if (L.Stride == 0) {
+          if (const auto *CI = dyn_cast<ConstantInt>(BO->getLHS()))
+            return ThreadShape::linear(CI->getValue() * R.Stride);
+          return R.Stride == 0 ? ThreadShape::uniform()
+                               : ThreadShape::divergent();
+        }
+        if (R.Stride == 0) {
+          if (const auto *CI = dyn_cast<ConstantInt>(BO->getRHS()))
+            return ThreadShape::linear(CI->getValue() * L.Stride);
+          return ThreadShape::divergent();
+        }
+        return ThreadShape::divergent();
+      }
+      case BinaryOp::Shl: {
+        if (R.Stride == 0)
+          if (const auto *CI = dyn_cast<ConstantInt>(BO->getRHS()))
+            return ThreadShape::linear(L.Stride
+                                       << (uint64_t)CI->getValue());
+        return L.Stride == 0 && R.Stride == 0 ? ThreadShape::uniform()
+                                              : ThreadShape::divergent();
+      }
+      default:
+        // Other operations preserve uniformity only.
+        return (L.Stride == 0 && R.Stride == 0) ? ThreadShape::uniform()
+                                                : ThreadShape::divergent();
+      }
+    }
+    case ValueKind::GEP: {
+      const auto *GEP = cast<GEPInst>(I);
+      ThreadShape Base = Get(GEP->getPointerOperand());
+      if (!Base.isLinear())
+        return ThreadShape::divergent();
+      int64_t ByteStride = Base.Stride;
+      Type *CurTy = GEP->getSourceElementType();
+      for (unsigned Idx = 0, E = GEP->getNumIndices(); Idx != E; ++Idx) {
+        ThreadShape S = Get(GEP->getIndex(Idx));
+        if (!S.isLinear())
+          return ThreadShape::divergent();
+        uint64_t Scale;
+        if (Idx == 0) {
+          Scale = CurTy->getSizeInBytes();
+        } else if (auto *AT = dyn_cast<ArrayType>(CurTy)) {
+          CurTy = AT->getElementType();
+          Scale = CurTy->getSizeInBytes();
+        } else if (isa<StructType>(CurTy)) {
+          // Struct field selection requires constant indices (uniform).
+          if (S.Stride != 0)
+            return ThreadShape::divergent();
+          const auto *CI = dyn_cast<ConstantInt>(GEP->getIndex(Idx));
+          if (!CI)
+            return ThreadShape::divergent();
+          CurTy = cast<StructType>(CurTy)->getElementType(CI->getValue());
+          Scale = 0;
+        } else {
+          return ThreadShape::divergent();
+        }
+        ByteStride += S.Stride * (int64_t)Scale;
+      }
+      return ThreadShape::linear(ByteStride);
+    }
+    case ValueKind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      ThreadShape S = Get(C->getSrc());
+      switch (C->getCastOp()) {
+      case CastOp::ZExt:
+      case CastOp::SExt:
+      case CastOp::Trunc:
+      case CastOp::PtrToInt:
+      case CastOp::IntToPtr:
+      case CastOp::AddrSpaceCast:
+        return S;
+      default:
+        return S.isUniform() ? ThreadShape::uniform()
+                             : ThreadShape::divergent();
+      }
+    }
+    case ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      ThreadShape C = Get(S->getCondition());
+      if (!C.isUniform())
+        return ThreadShape::divergent();
+      return join(Get(S->getTrueValue()), Get(S->getFalseValue()));
+    }
+    case ValueKind::Phi: {
+      const auto *P = cast<PhiInst>(I);
+      ThreadShape S;
+      for (unsigned Idx = 0, E = P->getNumIncoming(); Idx != E; ++Idx)
+        S = join(S, Get(P->getIncomingValue(Idx)));
+      return S;
+    }
+    case ValueKind::Call: {
+      const auto *CI = cast<CallInst>(I);
+      const Function *Callee = CI->getCalledFunction();
+      if (!Callee)
+        return ThreadShape::divergent();
+      if (Config.ThreadIdFunctions.count(Callee->getName()))
+        return ThreadShape::linear(1);
+      if (Config.UniformFunctions.count(Callee->getName()))
+        return ThreadShape::uniform();
+      if (auto It = Config.CallShapes.find(Callee->getName());
+          It != Config.CallShapes.end())
+        return It->second;
+      return ThreadShape::divergent();
+    }
+    case ValueKind::ICmp:
+    case ValueKind::FCmp: {
+      const auto *U = cast<User>(I);
+      bool AllUniform = Get(U->getOperand(0)).isUniform() &&
+                        Get(U->getOperand(1)).isUniform();
+      return AllUniform ? ThreadShape::uniform()
+                        : ThreadShape::divergent();
+    }
+    case ValueKind::Math: {
+      for (unsigned Idx = 0, E = I->getNumOperands(); Idx != E; ++Idx)
+        if (!Get(I->getOperand(Idx)).isUniform())
+          return ThreadShape::divergent();
+      return ThreadShape::uniform();
+    }
+    case ValueKind::Load: {
+      // All threads loading the same location observe the same value
+      // (absent data races), so a uniform address yields a uniform value.
+      const auto *LI = cast<LoadInst>(I);
+      return Get(LI->getPointerOperand()).isUniform()
+                 ? ThreadShape::uniform()
+                 : ThreadShape::divergent();
+    }
+    case ValueKind::AtomicRMW:
+    default:
+      return ThreadShape::divergent();
+    }
+  };
+
+  // Iterate to a fixed point (loops converge quickly: the lattice has
+  // height 2 per value).
+  std::vector<BasicBlock *> RPO = reversePostOrder(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : RPO) {
+      for (const Instruction *I : *BB) {
+        if (I->getType()->isVoidTy())
+          continue;
+        ThreadShape New = Transfer(I);
+        ThreadShape &Slot = Shapes[I];
+        // Monotone update: only move down the lattice.
+        ThreadShape Joined = join(Slot, New);
+        if (!(Joined == Slot)) {
+          Slot = Joined;
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+ThreadShape ThreadValueAnalysis::getShape(const Value *V) const {
+  if (isa<Constant>(V))
+    return ThreadShape::uniform();
+  auto It = Shapes.find(V);
+  return It == Shapes.end() ? ThreadShape::divergent() : It->second;
+}

@@ -1,0 +1,86 @@
+//===- analysis/ThreadValueAnalysis.h - Uniformity & strides ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies each SSA value by how it varies across the threads of a
+/// warp: uniform, affine in the thread id with a known byte stride, or
+/// divergent. The GPU simulator's memory cost model uses the pointer
+/// classification to charge coalesced vs. uncoalesced global accesses —
+/// this is what makes the LLVM 12 warp-coalesced globalization scheme and
+/// the paper's per-variable scheme measurably different (Fig. 11d).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_THREADVALUEANALYSIS_H
+#define OMPGPU_ANALYSIS_THREADVALUEANALYSIS_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace ompgpu {
+
+class Function;
+class Value;
+
+/// Lattice describing how a value varies across threads in a warp.
+struct ThreadShape {
+  enum Kind : uint8_t {
+    Unknown,   ///< Not yet computed (lattice top).
+    Linear,    ///< Value = Stride * thread_id + uniform_base.
+    Divergent, ///< Arbitrary per-thread variation (lattice bottom).
+  };
+  Kind K = Unknown;
+  /// Stride per thread id step, in value units (bytes for pointers).
+  /// Linear with Stride 0 means uniform.
+  int64_t Stride = 0;
+
+  static ThreadShape uniform() { return {Linear, 0}; }
+  static ThreadShape linear(int64_t S) { return {Linear, S}; }
+  static ThreadShape divergent() { return {Divergent, 0}; }
+
+  bool isUniform() const { return K == Linear && Stride == 0; }
+  bool isLinear() const { return K == Linear; }
+  bool isDivergent() const { return K == Divergent || K == Unknown; }
+
+  bool operator==(const ThreadShape &O) const {
+    return K == O.K && Stride == O.Stride;
+  }
+};
+
+/// Configuration: which calls produce thread ids / uniform values.
+struct ThreadValueConfig {
+  /// Calls to these functions yield the hardware thread id in the team
+  /// (shape Linear with stride 1).
+  std::set<std::string> ThreadIdFunctions;
+  /// Calls to these functions yield team-uniform values (team id, team
+  /// count, thread count, ...).
+  std::set<std::string> UniformFunctions;
+  /// Explicit result shapes for specific callees, e.g. the legacy
+  /// warp-coalesced data-sharing push returns lane-strided pointers.
+  std::map<std::string, ThreadShape> CallShapes;
+  /// Shape assumed for function arguments. Kernel arguments are uniform
+  /// (all threads observe the same kernel parameters); device function
+  /// arguments are unknown and therefore divergent by default.
+  ThreadShape ArgumentShape = ThreadShape::divergent();
+};
+
+/// Computes thread shapes for all values in \p F.
+class ThreadValueAnalysis {
+  std::map<const Value *, ThreadShape> Shapes;
+
+public:
+  ThreadValueAnalysis(const Function &F, const ThreadValueConfig &Config);
+
+  /// Returns the shape of \p V (constants are uniform even if unlisted).
+  ThreadShape getShape(const Value *V) const;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_THREADVALUEANALYSIS_H

@@ -1,0 +1,215 @@
+//===- core/CustomStateMachine.cpp - State machine specialization ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The custom state machine rewrite (Sec. IV-B2): a generic-mode kernel
+/// that could not be SPMDzed stops using the runtime's generic worker loop
+/// and instead embeds a specialized state machine in kernel IR. When all
+/// parallel regions reaching the kernel are statically known, the work
+/// function pointer is replaced by a unique identifier (the address of a
+/// dedicated ID global), the if-cascade calls the regions directly, and no
+/// function has its address taken anymore — removing both the indirect
+/// call and the spurious-call-edge register pressure (PR46450).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+#include "ir/IRBuilder.h"
+#include "support/STLExtras.h"
+
+using namespace ompgpu;
+
+namespace {
+
+/// Parallel sites and wrappers reaching one kernel.
+struct ReachingRegions {
+  std::vector<CallInst *> Sites;
+  std::vector<Function *> Wrappers;
+  bool AllKnown = true;
+};
+
+ReachingRegions collectReachingRegions(OpenMPOptContext &Ctx,
+                                       Function *Kernel) {
+  ReachingRegions R;
+  const OpenMPModuleInfo &Info = *Ctx.Info;
+  for (CallInst *Site : Info.parallelSites()) {
+    const std::set<Function *> &RK =
+        Info.reachingKernels(Site->getFunction());
+    if (!RK.count(Kernel))
+      continue;
+    R.Sites.push_back(Site);
+    Value *WorkFn = Site->getArgOperand(0);
+    if (auto *W = dyn_cast<Function>(WorkFn)) {
+      if (!is_contained(R.Wrappers, W))
+        R.Wrappers.push_back(W);
+    } else {
+      R.AllKnown = false;
+    }
+  }
+  // A reachable declaration (outside the runtime) may hide parallel
+  // regions from other translation units.
+  for (const Function *F :
+       Ctx.Info->getCallGraph().reachableFrom(Kernel)) {
+    if (F->isDeclaration() && !OpenMPModuleInfo::isOpenMPRuntimeFunction(F))
+      R.AllKnown = false;
+  }
+  return R;
+}
+
+} // namespace
+
+bool ompgpu::runCustomStateMachineRewrite(OpenMPOptContext &Ctx) {
+  if (Ctx.Config.DisableStateMachineRewrite)
+    return false;
+  Module &M = Ctx.M;
+  IRContext &IRCtx = M.getContext();
+  bool Changed = false;
+
+  std::map<Function *, GlobalVariable *> RegionIds;
+
+  for (const KernelTargetInfo &KI : Ctx.Info->kernels()) {
+    if (KI.Mode != ExecMode::Generic || !KI.UseGenericStateMachine ||
+        !KI.InitBranch)
+      continue;
+    Function *Kernel = KI.Kernel;
+
+    ReachingRegions Regions = collectReachingRegions(Ctx, Kernel);
+    if (Regions.Sites.empty()) {
+      // No parallelism: nothing for workers to do; drop the generic state
+      // machine entirely.
+      KI.InitCall->setArgOperand(1, IRCtx.getInt1(false));
+      Kernel->getKernelEnvironment().UseGenericStateMachine = false;
+      Ctx.Remarks.emit(RemarkId::OMP130, /*Missed=*/false,
+                       Kernel->getName(),
+                       "Removing unused state machine from generic-mode "
+                       "kernel.");
+      ++Ctx.Stats.CustomStateMachines;
+      Changed = true;
+      continue;
+    }
+
+    // The function-pointer elimination requires that every kernel a site
+    // reaches is rewritten with knowledge of the identifier; for
+    // simplicity (and matching the single-kernel translation units of the
+    // benchmarks) require this kernel to be the only reacher.
+    bool IdsUsable = Regions.AllKnown;
+    for (CallInst *Site : Regions.Sites) {
+      const std::set<Function *> &RK =
+          Ctx.Info->reachingKernels(Site->getFunction());
+      if (RK.size() != 1)
+        IdsUsable = false;
+    }
+
+    if (!Regions.AllKnown)
+      Ctx.Remarks.emit(
+          RemarkId::OMP132, /*Missed=*/true, Kernel->getName(),
+          "Generic-mode kernel is executed with a customized state "
+          "machine that requires a fallback: a parallel region may come "
+          "from an unknown translation unit.");
+
+    // Build the specialized state machine in kernel IR.
+    KI.InitCall->setArgOperand(1, IRCtx.getInt1(false));
+    Kernel->getKernelEnvironment().UseGenericStateMachine = false;
+
+    BasicBlock *ExitBB = KI.InitBranch->getSuccessor(1);
+    BasicBlock *SMBegin = Kernel->createBlock("worker_state_machine.begin");
+    KI.InitBranch->setSuccessor(1, SMBegin);
+
+    IRBuilder B(IRCtx);
+    B.setInsertPoint(SMBegin);
+    Value *WorkFnAddr = B.createAlloca(IRCtx.getPtrTy(), "worker.work_fn");
+
+    // Identifier globals and their casts (emitted up front, in the begin
+    // block, so the cascade compares registers).
+    std::vector<Value *> IdCasts;
+    if (IdsUsable) {
+      for (Function *W : Regions.Wrappers) {
+        GlobalVariable *&Id = RegionIds[W];
+        if (!Id) {
+          Id = M.createGlobal(IRCtx.getInt8Ty(), AddrSpace::Global,
+                              W->getName() + ".ID");
+          Id->setLinkage(Linkage::Internal);
+        }
+        IdCasts.push_back(
+            B.createAddrSpaceCast(Id, AddrSpace::Generic,
+                                  W->getName() + ".id"));
+      }
+      // Replace the communicated function pointer by the identifier.
+      for (CallInst *Site : Regions.Sites) {
+        auto *W = cast<Function>(Site->getArgOperand(0));
+        Site->setArgOperand(0, RegionIds[W]);
+      }
+    } else {
+      for (Function *W : Regions.Wrappers)
+        IdCasts.push_back(W);
+    }
+
+    BasicBlock *Await = Kernel->createBlock("worker_state_machine.await");
+    BasicBlock *ActiveCheck =
+        Kernel->createBlock("worker_state_machine.is_active");
+    BasicBlock *Done = Kernel->createBlock("worker_state_machine.done");
+    B.createBr(Await);
+
+    Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
+    Function *KernelPar = getOrCreateRTFn(M, RTFn::KernelParallel);
+    Function *GetArgs = getOrCreateRTFn(M, RTFn::KernelGetArgs);
+    Function *EndPar = getOrCreateRTFn(M, RTFn::KernelEndParallel);
+
+    B.setInsertPoint(Await);
+    B.createCall(Barrier, {});
+    Value *IsActive = B.createCall(KernelPar, {WorkFnAddr}, "is_active");
+    Value *WorkFn = B.createLoad(IRCtx.getPtrTy(), WorkFnAddr, "work_fn");
+    Value *NoWork = B.createICmpEQ(
+        WorkFn, IRCtx.getNullPtr(AddrSpace::Generic), "no_more_work");
+    B.createCondBr(NoWork, ExitBB, ActiveCheck);
+
+    B.setInsertPoint(ActiveCheck);
+    BasicBlock *Check = Kernel->createBlock("worker_state_machine.check");
+    B.createCondBr(IsActive, Check, Done);
+
+    B.setInsertPoint(Check);
+    for (unsigned I = 0, E = Regions.Wrappers.size(); I != E; ++I) {
+      Function *W = Regions.Wrappers[I];
+      Value *IsThis =
+          B.createICmpEQ(WorkFn, IdCasts[I], "is." + W->getName());
+      BasicBlock *Exec =
+          Kernel->createBlock("worker_state_machine.exec");
+      BasicBlock *Next =
+          Kernel->createBlock("worker_state_machine.check");
+      B.createCondBr(IsThis, Exec, Next);
+      B.setInsertPoint(Exec);
+      Value *Args = B.createCall(GetArgs, {}, "work_args");
+      B.createCall(W, {Args});
+      B.createBr(Done);
+      B.setInsertPoint(Next);
+    }
+    if (!Regions.AllKnown) {
+      Value *Args = B.createCall(GetArgs, {}, "work_args");
+      B.createIndirectCall(getParallelWrapperType(IRCtx), WorkFn, {Args});
+      B.createBr(Done);
+      ++Ctx.Stats.CustomStateMachinesWithFallback;
+    } else {
+      // All parallel regions are known; anything else is a logic error.
+      B.createUnreachable();
+    }
+
+    B.setInsertPoint(Done);
+    B.createCall(EndPar, {});
+    B.createCall(Barrier, {});
+    B.createBr(Await);
+
+    Ctx.Remarks.emit(RemarkId::OMP130, /*Missed=*/false, Kernel->getName(),
+                     "Rewriting generic-mode kernel with a customized "
+                     "state machine.");
+    ++Ctx.Stats.CustomStateMachines;
+    Changed = true;
+  }
+
+  if (Changed)
+    Ctx.refresh();
+  return Changed;
+}

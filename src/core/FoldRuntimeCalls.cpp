@@ -1,0 +1,158 @@
+//===- core/FoldRuntimeCalls.cpp - Runtime call specialization -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime-call folding (Sec. IV-C): replaces device runtime queries with
+/// constants when the answer is statically known through OpenMP-aware
+/// inter-procedural analysis — the kernel execution mode, the parallel
+/// level, and the launch parameters from constant num_teams/thread_limit
+/// clauses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+#include "ir/IRBuilder.h"
+
+#include <optional>
+
+using namespace ompgpu;
+
+namespace {
+
+/// All call sites of runtime function \p Fn outside the runtime bodies of
+/// functions that cannot be reached anyway.
+std::vector<CallInst *> collectCalls(Module &M, RTFn Fn) {
+  std::vector<CallInst *> Calls;
+  for (Function *F : M.functions())
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (auto *CI = dyn_cast<CallInst>(I))
+          if (isRTFn(CI->getCalledFunction(), Fn))
+            Calls.push_back(CI);
+  return Calls;
+}
+
+// Note: no remarks are emitted for runtime-call folds — "runtime calls
+// might not originate in user code" (Sec. V-B) — only statistics.
+void foldCall(OpenMPOptContext &Ctx, CallInst *CI, Constant *C,
+              const char *What, unsigned &Counter) {
+  (void)Ctx;
+  (void)What;
+  CI->replaceAllUsesWith(C);
+  CI->eraseFromParent();
+  ++Counter;
+}
+
+/// The common execution mode of all kernels reaching \p F, if unique.
+std::optional<ExecMode> commonReachingMode(const OpenMPModuleInfo &Info,
+                                           const Function *F) {
+  const std::set<Function *> &RK = Info.reachingKernels(F);
+  if (RK.empty())
+    return std::nullopt;
+  std::optional<ExecMode> Mode;
+  for (const Function *K : RK) {
+    const KernelTargetInfo *KI = Info.getKernelInfo(K);
+    if (!KI)
+      return std::nullopt;
+    if (Mode && *Mode != KI->Mode)
+      return std::nullopt;
+    Mode = KI->Mode;
+  }
+  return Mode;
+}
+
+} // namespace
+
+bool ompgpu::runFoldRuntimeCalls(OpenMPOptContext &Ctx) {
+  if (Ctx.Config.DisableFolding)
+    return false;
+  Module &M = Ctx.M;
+  IRContext &IRCtx = M.getContext();
+  const OpenMPModuleInfo &Info = *Ctx.Info;
+  bool Changed = false;
+
+  // Execution mode: __kmpc_is_spmd_exec_mode folds when every kernel
+  // reaching the containing function runs in the same mode.
+  for (CallInst *CI : collectCalls(M, RTFn::IsSPMDMode)) {
+    std::optional<ExecMode> Mode =
+        commonReachingMode(Info, CI->getFunction());
+    if (!Mode)
+      continue;
+    foldCall(Ctx, CI, IRCtx.getInt1(*Mode == ExecMode::SPMD),
+             "__kmpc_is_spmd_exec_mode", Ctx.Stats.FoldedExecMode);
+    Changed = true;
+  }
+
+  // Parallel level: without nested parallelism the level is 0 in
+  // sequential (team-scope) code and 1 inside parallel region wrappers.
+  if (!Info.mayHaveNestedParallelism()) {
+    for (CallInst *CI : collectCalls(M, RTFn::ParallelLevel)) {
+      Function *F = CI->getFunction();
+      std::optional<int> Level;
+      if (Info.parallelWrappers().count(F)) {
+        Level = 1;
+      } else if (F->isKernel()) {
+        const KernelTargetInfo *KI = Info.getKernelInfo(F);
+        if (KI && KI->Mode == ExecMode::SPMD)
+          Level = 0; // SPMD team scope: every thread is at level 0
+        else if (Info.isExecutedByInitialThreadOnly(*CI))
+          Level = 0; // generic sequential region
+      } else if (Info.isFunctionMainThreadOnly(F)) {
+        Level = 0;
+      }
+      if (!Level)
+        continue;
+      foldCall(Ctx, CI, IRCtx.getInt32(*Level), "__kmpc_parallel_level",
+               Ctx.Stats.FoldedParallelLevel);
+      Changed = true;
+    }
+  }
+
+  // Launch parameters: constant clauses fold the grid/block queries.
+  auto FoldLaunchParam = [&](RTFn Fn, auto GetValue, const char *Name) {
+    for (CallInst *CI : collectCalls(M, Fn)) {
+      const std::set<Function *> &RK =
+          Info.reachingKernels(CI->getFunction());
+      if (RK.empty())
+        continue;
+      std::optional<int> Val;
+      bool Consistent = true;
+      for (const Function *K : RK) {
+        int V = GetValue(K->getKernelEnvironment());
+        if (V <= 0 || (Val && *Val != V)) {
+          Consistent = false;
+          break;
+        }
+        Val = V;
+      }
+      if (!Consistent || !Val)
+        continue;
+      foldCall(Ctx, CI, IRCtx.getInt32(*Val), Name,
+               Ctx.Stats.FoldedLaunchParams);
+      Changed = true;
+    }
+  };
+  FoldLaunchParam(
+      RTFn::HardwareNumThreads,
+      [](const KernelEnvironment &E) { return E.MaxThreads; },
+      "__kmpc_get_hardware_num_threads_in_block");
+  FoldLaunchParam(
+      RTFn::GetNumTeams,
+      [](const KernelEnvironment &E) { return E.NumTeams; },
+      "omp_get_num_teams");
+
+  // The warp size is a property of the target.
+  for (CallInst *CI : collectCalls(M, RTFn::WarpSize)) {
+    foldCall(Ctx, CI, IRCtx.getInt32(Ctx.Config.WarpSize),
+             "__kmpc_get_warp_size", Ctx.Stats.FoldedLaunchParams);
+    Changed = true;
+  }
+
+  if (Changed)
+    Ctx.refresh();
+  return Changed;
+}

@@ -1,0 +1,87 @@
+//===- core/HeapToShared.cpp - Globalization to static shared memory -------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "If heap-to-stack is not able to modify the storage location of a
+/// variable, we employ a second inter-procedural transformation that aims
+/// to replace the runtime calls with statically allocated shared memory.
+/// [...] The transformation inter-procedurally determines if the runtime
+/// allocation is only executed by the main thread of the OpenMP team."
+/// (Sec. IV-A)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+#include "ir/IRBuilder.h"
+
+using namespace ompgpu;
+
+namespace ompgpu {
+// Shared with HeapToStack.cpp.
+std::vector<CallInst *> collectGlobalizationAllocs(Module &M);
+std::vector<CallInst *> findMatchingFrees(CallInst *Alloc);
+Type *inferAllocatedType(CallInst *Alloc, uint64_t Size, IRContext &Ctx);
+} // namespace ompgpu
+
+bool ompgpu::runHeapToShared(OpenMPOptContext &Ctx) {
+  Module &M = Ctx.M;
+  IRContext &IRCtx = M.getContext();
+  const OpenMPModuleInfo &Info = *Ctx.Info;
+  bool Changed = false;
+
+  for (CallInst *Alloc : collectGlobalizationAllocs(M)) {
+    Function *F = Alloc->getFunction();
+    const auto *SizeC = dyn_cast<ConstantInt>(Alloc->getArgOperand(0));
+    if (!SizeC) {
+      Ctx.Remarks.emit(RemarkId::OMP113, /*Missed=*/true, F->getName(),
+                       "could not replace globalized variable: the "
+                       "allocation size is not a compile-time constant");
+      continue;
+    }
+    uint64_t Size = SizeC->getZExtValue();
+
+    if (!Info.isExecutedByInitialThreadOnly(*Alloc)) {
+      // Creating a static allocation here would require scaling it by the
+      // maximal number of threads in a team (Fig. 6b); report instead.
+      Ctx.Remarks.emit(
+          RemarkId::OMP112, /*Missed=*/true, F->getName(),
+          "Found thread data sharing on the GPU. Expect degraded "
+          "performance due to data globalization.");
+      continue;
+    }
+
+    std::vector<CallInst *> Frees = findMatchingFrees(Alloc);
+
+    // Replace the runtime allocation with a static shared-memory global.
+    Type *ElemTy = inferAllocatedType(Alloc, Size, IRCtx);
+    GlobalVariable *G = M.createGlobal(
+        ElemTy, AddrSpace::Shared,
+        (Alloc->hasName() ? Alloc->getName() : std::string("globalized")) +
+            "_shared");
+    G->setLinkage(Linkage::Internal);
+
+    IRBuilder B(IRCtx);
+    B.setInsertPoint(Alloc);
+    Value *Generic =
+        B.createAddrSpaceCast(G, AddrSpace::Generic, "h2shared.cast");
+    for (CallInst *Free : Frees)
+      Free->eraseFromParent();
+    Alloc->replaceAllUsesWith(Generic);
+    Alloc->eraseFromParent();
+
+    Ctx.Remarks.emit(RemarkId::OMP111, /*Missed=*/false, F->getName(),
+                     "Replaced globalized variable with " +
+                         std::to_string(Size) + " bytes of shared memory.");
+    ++Ctx.Stats.HeapToShared;
+    Ctx.Stats.HeapToSharedBytes += Size;
+    Changed = true;
+  }
+
+  if (Changed)
+    Ctx.refresh();
+  return Changed;
+}

@@ -1,0 +1,175 @@
+//===- core/HeapToStack.cpp - Globalization to stack memory ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic inter-procedural heap-to-stack transformation (Sec. IV-A):
+/// determine whether memory returned by the globalization allocator can be
+/// replaced with an alloca. Two checks are performed: all uses of the
+/// pointer are followed inter-procedurally to prove it is not exposed to
+/// another thread, and the deallocation must always be reached (checked
+/// via post-dominance).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+#include "analysis/Dominators.h"
+#include "analysis/PointerEscape.h"
+#include "ir/IRBuilder.h"
+
+using namespace ompgpu;
+
+namespace ompgpu {
+
+/// Classification of pointer arguments shared with HeapToShared: the
+/// deallocation does not capture; passing into a parallel region or an
+/// unknown callee shares the pointer with other threads; defined device
+/// functions are inspected recursively.
+ArgCaptureKind classifyOpenMPCallArg(const CallInst &CI, unsigned ArgIdx) {
+  const Function *Callee = CI.getCalledFunction();
+  if (!Callee)
+    return ArgCaptureKind::Captures;
+  if (isRTFn(Callee, RTFn::FreeShared) || isRTFn(Callee, RTFn::PopStack))
+    return ArgCaptureKind::NoCapture;
+  if (OpenMPModuleInfo::isOpenMPRuntimeFunction(Callee))
+    return ArgCaptureKind::Captures; // __kmpc_parallel_51 and friends
+  if (Callee->isDeclaration())
+    return ArgCaptureKind::Captures;
+  (void)ArgIdx;
+  return ArgCaptureKind::InspectCallee;
+}
+
+/// Collects every __kmpc_alloc_shared call outside the runtime itself.
+std::vector<CallInst *> collectGlobalizationAllocs(Module &M) {
+  std::vector<CallInst *> Allocs;
+  for (Function *F : M.functions()) {
+    if (OpenMPModuleInfo::isOpenMPRuntimeFunction(F))
+      continue;
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (auto *CI = dyn_cast<CallInst>(I))
+          if (isRTFn(CI->getCalledFunction(), RTFn::AllocShared))
+            Allocs.push_back(CI);
+  }
+  return Allocs;
+}
+
+/// Finds the __kmpc_free_shared calls paired with \p Alloc (direct SSA
+/// uses in the same function).
+std::vector<CallInst *> findMatchingFrees(CallInst *Alloc) {
+  std::vector<CallInst *> Frees;
+  for (User *U : Alloc->users()) {
+    auto *CI = dyn_cast<CallInst>(U);
+    if (!CI)
+      continue;
+    if (isRTFn(CI->getCalledFunction(), RTFn::FreeShared) &&
+        CI->getArgOperand(0) == Alloc &&
+        CI->getFunction() == Alloc->getFunction())
+      Frees.push_back(CI);
+  }
+  return Frees;
+}
+
+/// Infers a scalar element type for a globalized variable so that Mem2Reg
+/// can later promote it; falls back to an i8 array of the right size.
+Type *inferAllocatedType(CallInst *Alloc, uint64_t Size, IRContext &Ctx) {
+  Type *Seen = nullptr;
+  for (const User *U : Alloc->users()) {
+    Type *AccessTy = nullptr;
+    if (const auto *LI = dyn_cast<LoadInst>(U)) {
+      if (LI->getPointerOperand() != Alloc)
+        continue;
+      AccessTy = LI->getType();
+    } else if (const auto *SI = dyn_cast<StoreInst>(U)) {
+      if (SI->getPointerOperand() != Alloc)
+        continue;
+      AccessTy = SI->getAccessType();
+    } else {
+      continue;
+    }
+    if (Seen && Seen != AccessTy)
+      return Ctx.getArrayTy(Ctx.getInt8Ty(), Size);
+    Seen = AccessTy;
+  }
+  if (Seen && Seen->getSizeInBytes() == Size)
+    return Seen;
+  return Ctx.getArrayTy(Ctx.getInt8Ty(), Size);
+}
+
+} // namespace ompgpu
+
+bool ompgpu::runHeapToStack(OpenMPOptContext &Ctx) {
+  Module &M = Ctx.M;
+  IRContext &IRCtx = M.getContext();
+  bool Changed = false;
+
+  EscapeConfig EC;
+  EC.ClassifyCallArg = classifyOpenMPCallArg;
+
+  // Post-dominator trees per function, built lazily.
+  std::map<const Function *, std::unique_ptr<PostDominatorTree>> PDTs;
+  auto GetPDT = [&](const Function *F) -> PostDominatorTree & {
+    auto &Slot = PDTs[F];
+    if (!Slot)
+      Slot = std::make_unique<PostDominatorTree>(*F);
+    return *Slot;
+  };
+
+  for (CallInst *Alloc : collectGlobalizationAllocs(M)) {
+    const auto *SizeC = dyn_cast<ConstantInt>(Alloc->getArgOperand(0));
+    if (!SizeC)
+      continue;
+    uint64_t Size = SizeC->getZExtValue();
+    Function *F = Alloc->getFunction();
+
+    // Check 1: the pointer must not be exposed to another thread.
+    EscapeResult ER = analyzePointerEscape(Alloc, EC);
+    if (ER.Escapes) {
+      // HeapToShared may still apply; it emits its own remarks.
+      continue;
+    }
+
+    // Check 2: the deallocation must always be reached.
+    std::vector<CallInst *> Frees = findMatchingFrees(Alloc);
+    bool FreeAlwaysReached = false;
+    for (CallInst *Free : Frees)
+      if (GetPDT(F).dominates(Free, Alloc))
+        FreeAlwaysReached = true;
+    if (!FreeAlwaysReached) {
+      Ctx.Remarks.emit(
+          RemarkId::OMP113, /*Missed=*/true, F->getName(),
+          "could not move globalized variable to the stack: the matching "
+          "deallocation is not always reached");
+      continue;
+    }
+
+    // Rewrite: alloca + addrspacecast, drop the runtime calls.
+    IRBuilder B(IRCtx);
+    B.setInsertPoint(Alloc);
+    Type *ElemTy = inferAllocatedType(Alloc, Size, IRCtx);
+    Value *Stack = B.createAlloca(
+        ElemTy, Alloc->hasName() ? Alloc->getName() + ".stack" : "h2s");
+    Value *Generic =
+        B.createAddrSpaceCast(Stack, AddrSpace::Generic, "h2s.cast");
+    for (CallInst *Free : Frees) {
+      // Keep the use-list consistent before erasing.
+      Free->eraseFromParent();
+    }
+    Alloc->replaceAllUsesWith(Generic);
+    Alloc->eraseFromParent();
+
+    Ctx.Remarks.emit(RemarkId::OMP110, /*Missed=*/false, F->getName(),
+                     "Moving globalized variable to the stack.");
+    ++Ctx.Stats.HeapToStack;
+    Changed = true;
+    // Invalidate the post-dominator cache for this function.
+    PDTs.erase(F);
+  }
+
+  if (Changed)
+    Ctx.refresh();
+  return Changed;
+}

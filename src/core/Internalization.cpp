@@ -1,0 +1,65 @@
+//===- core/Internalization.cpp - Aggressive internalization ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "To avoid precision loss of our analysis in the presence of externally
+/// visible functions we performed aggressive internalization. In essence,
+/// we duplicate functions with external linkage to create an internal only
+/// copy, used when invoked from a kernel within the translation unit, and
+/// an external only copy, which is used otherwise." (Sec. IV)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+#include "transforms/Cloning.h"
+
+using namespace ompgpu;
+
+bool ompgpu::runInternalization(OpenMPOptContext &Ctx) {
+  Module &M = Ctx.M;
+
+  // Phase 1: select candidates and create the internal copies.
+  std::map<Function *, Function *> Clones;
+  for (Function *F : M.functions()) {
+    if (F->isDeclaration() || F->isKernel())
+      continue;
+    if (OpenMPModuleInfo::isOpenMPRuntimeFunction(F))
+      continue;
+    // Some linkage kinds cannot be duplicated safely (the linker may merge
+    // or replace the definition).
+    if (F->getLinkage() == Linkage::LinkOnceODR) {
+      Ctx.Remarks.emit(RemarkId::OMP133, /*Missed=*/true, F->getName(),
+                       "could not internalize function '" + F->getName() +
+                           "' due to its linkage; inter-procedural "
+                           "analysis will be conservative");
+      continue;
+    }
+    if (!F->hasExternalLinkage())
+      continue;
+    Clones[F] = cloneFunction(*F, F->getName() + ".internalized");
+    ++Ctx.Stats.InternalizedFunctions;
+  }
+  if (Clones.empty())
+    return false;
+
+  // Phase 2: redirect every direct call (including calls inside the new
+  // clones) to the internal copies. The external originals remain for
+  // unknown outside callers; address-taken uses keep the original.
+  for (auto &[F, Clone] : Clones) {
+    for (User *U : std::vector<User *>(F->users().begin(),
+                                       F->users().end())) {
+      auto *CI = dyn_cast<CallInst>(U);
+      if (!CI || !CI->getParent())
+        continue;
+      if (CI->getCalledOperand() == F)
+        CI->setCalledOperand(Clone);
+    }
+  }
+
+  Ctx.refresh();
+  return true;
+}

@@ -1,0 +1,221 @@
+//===- core/OpenMPModuleInfo.cpp - OpenMP-aware module analysis ------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OpenMPModuleInfo.h"
+#include "analysis/CFG.h"
+#include "support/STLExtras.h"
+
+using namespace ompgpu;
+
+OpenMPModuleInfo::OpenMPModuleInfo(Module &M) : M(M), CG(M) {
+  analyzeKernels();
+  analyzeReachability();
+  analyzeMainOnly();
+}
+
+bool OpenMPModuleInfo::isOpenMPRuntimeFunction(const Function *F) {
+  const std::string &N = F->getName();
+  return N.rfind("__kmpc_", 0) == 0 || N.rfind("omp_", 0) == 0;
+}
+
+void OpenMPModuleInfo::analyzeKernels() {
+  for (Function *F : M.functions()) {
+    // Collect parallel region call sites module-wide.
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB) {
+        auto *CI = dyn_cast<CallInst>(I);
+        if (!CI || !isRTFn(CI->getCalledFunction(), RTFn::Parallel51))
+          continue;
+        // Skip the runtime's own body if it ever contained such a call.
+        if (isOpenMPRuntimeFunction(F))
+          continue;
+        ParallelSites.push_back(CI);
+        if (auto *W = dyn_cast<Function>(CI->getArgOperand(0)))
+          ParallelWrappers.insert(W);
+      }
+
+    if (!F->isKernel() || F->isDeclaration())
+      continue;
+
+    KernelTargetInfo KI;
+    KI.Kernel = F;
+
+    for (Instruction *I : *F->getEntryBlock()) {
+      auto *CI = dyn_cast<CallInst>(I);
+      if (CI && isRTFn(CI->getCalledFunction(), RTFn::TargetInit)) {
+        KI.InitCall = CI;
+        break;
+      }
+    }
+    if (!KI.InitCall)
+      continue; // not a recognizable target region
+
+    if (const auto *ModeC =
+            dyn_cast<ConstantInt>(KI.InitCall->getArgOperand(0)))
+      KI.Mode = (ModeC->getValue() & OMP_TGT_EXEC_MODE_SPMD)
+                    ? ExecMode::SPMD
+                    : ExecMode::Generic;
+    if (const auto *SMC =
+            dyn_cast<ConstantInt>(KI.InitCall->getArgOperand(1)))
+      KI.UseGenericStateMachine = !SMC->isZero();
+
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (auto *CI = dyn_cast<CallInst>(I))
+          if (isRTFn(CI->getCalledFunction(), RTFn::TargetDeinit))
+            KI.DeinitCalls.push_back(CI);
+
+    // Pattern: %c = icmp eq (%init, -1); br %c, %user, %worker_or_exit.
+    for (User *U : KI.InitCall->users()) {
+      auto *Cmp = dyn_cast<ICmpInst>(U);
+      if (!Cmp || Cmp->getPredicate() != ICmpPred::EQ)
+        continue;
+      const auto *CmpRHS = dyn_cast<ConstantInt>(Cmp->getRHS());
+      if (!CmpRHS || CmpRHS->getValue() != -1)
+        continue;
+      for (User *CU : Cmp->users()) {
+        auto *Br = dyn_cast<BrInst>(CU);
+        if (!Br || !Br->isConditional())
+          continue;
+        KI.InitBranch = Br;
+        KI.UserCodeBB = Br->getSuccessor(0);
+        BasicBlock *Other = Br->getSuccessor(1);
+        // A bare `ret` block is the exit; anything else is a front-end
+        // state machine (the LLVM 12 scheme).
+        bool IsExit = Other->size() == 1 && isa<RetInst>(Other->front());
+        KI.WorkerBB = IsExit ? nullptr : Other;
+        break;
+      }
+      if (KI.InitBranch)
+        break;
+    }
+
+    Kernels.push_back(KI);
+  }
+
+  // Nested parallelism: a parallel site inside (or reachable from) a
+  // parallel region wrapper.
+  std::set<Function *> FromWrappers;
+  for (Function *W : ParallelWrappers) {
+    std::set<Function *> R = CG.reachableFrom(W);
+    FromWrappers.insert(R.begin(), R.end());
+  }
+  for (CallInst *Site : ParallelSites)
+    if (FromWrappers.count(Site->getFunction()))
+      HasNestedParallelism = true;
+}
+
+void OpenMPModuleInfo::analyzeReachability() {
+  for (const KernelTargetInfo &KI : Kernels) {
+    std::set<Function *> R = CG.reachableFrom(KI.Kernel);
+    for (Function *F : R)
+      ReachingKernelsMap[F].insert(KI.Kernel);
+  }
+}
+
+void OpenMPModuleInfo::analyzeMainOnly() {
+  for (const KernelTargetInfo &KI : Kernels) {
+    if (KI.Mode != ExecMode::Generic || !KI.UserCodeBB)
+      continue;
+    std::set<const BasicBlock *> &MainOnly = MainOnlyBlocks[KI.Kernel];
+
+    // Blocks reachable from the user-code entry...
+    std::set<const BasicBlock *> FromUser;
+    std::vector<const BasicBlock *> Work{KI.UserCodeBB};
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!FromUser.insert(BB).second)
+        continue;
+      for (const BasicBlock *S : const_cast<BasicBlock *>(BB)->successors())
+        Work.push_back(S);
+    }
+    // ... minus anything workers can also reach (their state machine and
+    // the shared exit block) and the entry.
+    std::set<const BasicBlock *> FromWorker;
+    const BasicBlock *WorkerEntry =
+        KI.WorkerBB ? KI.WorkerBB : KI.InitBranch->getSuccessor(1);
+    Work.push_back(WorkerEntry);
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!FromWorker.insert(BB).second)
+        continue;
+      for (const BasicBlock *S : const_cast<BasicBlock *>(BB)->successors())
+        Work.push_back(S);
+    }
+    for (const BasicBlock *BB : FromUser)
+      if (!FromWorker.count(BB) && BB != KI.Kernel->getEntryBlock())
+        MainOnly.insert(BB);
+  }
+}
+
+const KernelTargetInfo *
+OpenMPModuleInfo::getKernelInfo(const Function *F) const {
+  for (const KernelTargetInfo &KI : Kernels)
+    if (KI.Kernel == F)
+      return &KI;
+  return nullptr;
+}
+
+const std::set<Function *> &
+OpenMPModuleInfo::reachingKernels(const Function *F) const {
+  static const std::set<Function *> Empty;
+  auto It = ReachingKernelsMap.find(F);
+  return It == ReachingKernelsMap.end() ? Empty : It->second;
+}
+
+const std::set<const BasicBlock *> &
+OpenMPModuleInfo::mainOnlyBlocks(const Function *Kernel) const {
+  static const std::set<const BasicBlock *> Empty;
+  auto It = MainOnlyBlocks.find(Kernel);
+  return It == MainOnlyBlocks.end() ? Empty : It->second;
+}
+
+bool OpenMPModuleInfo::hasUnknownCallers(const Function *F) const {
+  return F->hasExternalLinkage() && !F->isKernel();
+}
+
+bool OpenMPModuleInfo::isFunctionMainThreadOnly(const Function *F) const {
+  auto It = FunctionMainOnly.find(F);
+  if (It != FunctionMainOnly.end())
+    return It->second;
+  auto &Self = const_cast<OpenMPModuleInfo &>(*this);
+  // Conservative default breaks recursion cycles.
+  Self.FunctionMainOnly[F] = false;
+
+  if (F->isKernel() || F->isDeclaration() || isOpenMPRuntimeFunction(F))
+    return false;
+  if (hasUnknownCallers(F) || F->hasAddressTaken())
+    return false;
+  if (ParallelWrappers.count(const_cast<Function *>(F)))
+    return false;
+
+  const std::vector<CallInst *> &Sites = CG.callSitesOf(F);
+  if (Sites.empty())
+    return false;
+  for (const CallInst *CS : Sites)
+    if (!isExecutedByInitialThreadOnly(*CS))
+      return false;
+
+  Self.FunctionMainOnly[F] = true;
+  return true;
+}
+
+bool OpenMPModuleInfo::isExecutedByInitialThreadOnly(
+    const Instruction &I) const {
+  const Function *F = I.getFunction();
+  if (!F)
+    return false;
+  if (F->isKernel()) {
+    auto It = MainOnlyBlocks.find(F);
+    if (It == MainOnlyBlocks.end())
+      return false;
+    return It->second.count(I.getParent());
+  }
+  return isFunctionMainThreadOnly(F);
+}

@@ -1,0 +1,115 @@
+//===- core/OpenMPModuleInfo.h - OpenMP-aware module analysis ---*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OpenMP-aware inter-procedural analysis underlying all the
+/// optimizations (Sec. IV): it recovers OpenMP semantics from the runtime
+/// calls the front-end emitted — kernels and their execution modes,
+/// parallel regions, which kernels reach each function, and whether an
+/// instruction is executed only by the initial ("main") thread of a team
+/// (the AAExecutionDomain-style analysis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_CORE_OPENMPMODULEINFO_H
+#define OMPGPU_CORE_OPENMPMODULEINFO_H
+
+#include "analysis/CallGraph.h"
+#include "frontend/OMPRuntime.h"
+#include "ir/Module.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace ompgpu {
+
+/// Static description of one target kernel.
+struct KernelTargetInfo {
+  Function *Kernel = nullptr;
+  CallInst *InitCall = nullptr;
+  std::vector<CallInst *> DeinitCalls;
+  ExecMode Mode = ExecMode::Generic;
+  bool UseGenericStateMachine = false;
+  /// The branch splitting main thread from workers, and its targets.
+  BrInst *InitBranch = nullptr;
+  BasicBlock *UserCodeBB = nullptr;
+  BasicBlock *WorkerBB = nullptr; ///< null unless a state machine exists
+};
+
+/// OpenMP-aware view of one module.
+class OpenMPModuleInfo {
+public:
+  explicit OpenMPModuleInfo(Module &M);
+
+  Module &getModule() const { return M; }
+  const CallGraph &getCallGraph() const { return CG; }
+
+  const std::vector<KernelTargetInfo> &kernels() const { return Kernels; }
+  const KernelTargetInfo *getKernelInfo(const Function *F) const;
+
+  /// All __kmpc_parallel_51 call sites in the module.
+  const std::vector<CallInst *> &parallelSites() const {
+    return ParallelSites;
+  }
+
+  /// Parallel-region wrapper functions (first argument of parallel_51
+  /// sites when statically known).
+  const std::set<Function *> &parallelWrappers() const {
+    return ParallelWrappers;
+  }
+
+  /// Kernels whose execution may reach \p F (directly or through the
+  /// parallel-region machinery).
+  const std::set<Function *> &reachingKernels(const Function *F) const;
+
+  /// True if \p F may be called from outside the module's visible call
+  /// sites (externally visible and not a kernel entry).
+  bool hasUnknownCallers(const Function *F) const;
+
+  /// True if \p I is executed only by the initial (main) thread of each
+  /// team, for every kernel that reaches it. Loads, stores, and runtime
+  /// allocations proven main-thread-only are the targets of HeapToShared
+  /// and need guards under SPMDzation.
+  bool isExecutedByInitialThreadOnly(const Instruction &I) const;
+
+  /// True if \p F is only invoked from main-thread-only program points.
+  bool isFunctionMainThreadOnly(const Function *F) const;
+
+  /// The blocks of a generic-mode kernel executed only by the main thread
+  /// (empty for SPMD kernels / unrecognized patterns).
+  const std::set<const BasicBlock *> &
+  mainOnlyBlocks(const Function *Kernel) const;
+
+  /// True if \p F is (a clone of) a known device runtime function.
+  static bool isOpenMPRuntimeFunction(const Function *F);
+
+  /// True if the module contains nested parallelism (a parallel site
+  /// reachable from within a parallel region wrapper).
+  bool mayHaveNestedParallelism() const { return HasNestedParallelism; }
+
+private:
+  Module &M;
+  CallGraph CG;
+  std::vector<KernelTargetInfo> Kernels;
+  std::vector<CallInst *> ParallelSites;
+  std::set<Function *> ParallelWrappers;
+  std::map<const Function *, std::set<Function *>> ReachingKernelsMap;
+  /// Per kernel: blocks executed only by the main thread.
+  std::map<const Function *, std::set<const BasicBlock *>> MainOnlyBlocks;
+  std::map<const Function *, bool> FunctionMainOnly;
+  bool HasNestedParallelism = false;
+
+  void analyzeKernels();
+  void analyzeReachability();
+  void analyzeMainOnly();
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_CORE_OPENMPMODULEINFO_H

@@ -1,0 +1,47 @@
+//===- core/OpenMPOpt.cpp - OpenMP-aware optimization pass -----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OpenMPOpt.h"
+#include "core/Passes.h"
+#include "transforms/FunctionAttrs.h"
+
+using namespace ompgpu;
+
+bool ompgpu::runOpenMPOpt(Module &M, const OpenMPOptConfig &Config,
+                          OpenMPOptStats &Stats, RemarkCollector &Remarks) {
+  OpenMPOptContext Ctx(M, Config, Stats, Remarks);
+  bool Changed = false;
+
+  // Attribute inference feeds the side-effect reasoning of SPMDzation and
+  // the dead-code queries of the cleanup pipeline.
+  inferFunctionAttrs(M);
+  Ctx.refresh();
+
+  // The paper's order: internalize for full call-site visibility, undo
+  // globalization (stack first, then static shared memory), convert
+  // kernels to SPMD mode where possible, specialize the state machine of
+  // the rest, and finally fold the now-determined runtime queries.
+  if (!Config.DisableInternalization)
+    Changed |= runInternalization(Ctx);
+
+  if (!Config.DisableDeglobalization) {
+    Changed |= runHeapToStack(Ctx);
+    if (!Config.DisableHeapToShared)
+      Changed |= runHeapToShared(Ctx);
+  }
+
+  Changed |= runSPMDzation(Ctx);
+  Changed |= runCustomStateMachineRewrite(Ctx);
+
+  if (!Config.DisableFolding)
+    Changed |= runFoldRuntimeCalls(Ctx);
+
+  // Attributes may have become stronger (e.g. after deglobalization the
+  // allocation calls are gone); refresh them for downstream passes.
+  inferFunctionAttrs(M);
+  return Changed;
+}

@@ -1,0 +1,66 @@
+//===- core/Passes.h - Internal sub-pass interfaces -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header shared by the OpenMPOpt sub-passes. Each sub-pass
+/// receives the shared context with a fresh OpenMPModuleInfo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_CORE_PASSES_H
+#define OMPGPU_CORE_PASSES_H
+
+#include "core/OpenMPModuleInfo.h"
+#include "core/OpenMPOpt.h"
+
+#include <memory>
+
+namespace ompgpu {
+
+/// Shared state threaded through the sub-passes of one runOpenMPOpt call.
+struct OpenMPOptContext {
+  Module &M;
+  const OpenMPOptConfig &Config;
+  OpenMPOptStats &Stats;
+  RemarkCollector &Remarks;
+  std::unique_ptr<OpenMPModuleInfo> Info;
+
+  OpenMPOptContext(Module &M, const OpenMPOptConfig &Config,
+                   OpenMPOptStats &Stats, RemarkCollector &Remarks)
+      : M(M), Config(Config), Stats(Stats), Remarks(Remarks) {}
+
+  /// Recomputes the OpenMP module analysis after IR changes.
+  void refresh() { Info = std::make_unique<OpenMPModuleInfo>(M); }
+};
+
+/// Duplicates externally visible device functions into internal clones so
+/// the analyses see every call site (Sec. IV).
+bool runInternalization(OpenMPOptContext &Ctx);
+
+/// Rewrites __kmpc_alloc_shared calls into allocas when the pointer does
+/// not escape to other threads and the free is always reached (Sec. IV-A).
+bool runHeapToStack(OpenMPOptContext &Ctx);
+
+/// Replaces remaining main-thread-only __kmpc_alloc_shared calls with
+/// statically allocated shared memory (Sec. IV-A).
+bool runHeapToShared(OpenMPOptContext &Ctx);
+
+/// Converts generic-mode kernels to SPMD mode, guarding and grouping
+/// sequential side effects (Sec. IV-B3, Fig. 7).
+bool runSPMDzation(OpenMPOptContext &Ctx);
+
+/// Replaces the runtime's generic state machine with a specialized one in
+/// kernel IR that avoids function pointers (Sec. IV-B2).
+bool runCustomStateMachineRewrite(OpenMPOptContext &Ctx);
+
+/// Folds execution-mode, parallel-level, and launch-parameter runtime
+/// calls to constants (Sec. IV-C).
+bool runFoldRuntimeCalls(OpenMPOptContext &Ctx);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_CORE_PASSES_H

@@ -1,0 +1,19 @@
+//===- core/Remarks.cpp - Optimization remarks ------------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Remarks.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+
+void RemarkCollector::print(raw_ostream &OS) const {
+  for (const Remark &R : Remarks) {
+    OS << R.FunctionName << ": remark: " << R.Message << " [OMP"
+       << (unsigned)R.Id << "] [-Rpass"
+       << (R.Missed ? "-missed" : "") << "=openmp-opt]\n";
+  }
+}

@@ -1,0 +1,73 @@
+//===- core/Remarks.h - Optimization remarks (Sec. IV-D) --------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Optimization remarks with the upstream OMP1xx identifiers. "All
+/// optimizations described in this work come with optimization remarks
+/// that inform and guide the user" (Sec. IV-D); docs/remarks.md documents
+/// each identifier with actionable advice, mirroring
+/// https://openmp.llvm.org/remarks/OptimizationRemarks.html.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_CORE_REMARKS_H
+#define OMPGPU_CORE_REMARKS_H
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class raw_ostream;
+
+/// Remark identifiers, matching the upstream numbering.
+enum class RemarkId : unsigned {
+  OMP110 = 110, ///< Moving globalized variable to the stack.
+  OMP111 = 111, ///< Replaced globalized variable with shared memory.
+  OMP112 = 112, ///< Found thread data sharing on the GPU (missed).
+  OMP113 = 113, ///< Could not move globalized variable to the stack.
+  OMP120 = 120, ///< Transformed generic-mode kernel to SPMD-mode.
+  OMP121 = 121, ///< Side effects prevent SPMD-mode execution (missed).
+  OMP130 = 130, ///< Rewriting kernel with a customized state machine.
+  OMP131 = 131, ///< Customized state machine requires a fallback (missed).
+  OMP132 = 132, ///< Unknown parallel region prevents the rewrite (missed).
+  OMP133 = 133, ///< Internalization failed for a function (missed).
+  OMP150 = 150, ///< Parallel region used in unexpected ways.
+  OMP160 = 160, ///< Removed parallel region that is never executed.
+  OMP170 = 170, ///< OpenMP runtime call folded to a constant.
+};
+
+/// One emitted remark.
+struct Remark {
+  RemarkId Id;
+  bool Missed; ///< missed-optimization remark vs. performed-transformation
+  std::string FunctionName;
+  std::string Message;
+};
+
+/// Collects remarks during one pass run.
+class RemarkCollector {
+  std::vector<Remark> Remarks;
+
+public:
+  void emit(RemarkId Id, bool Missed, std::string FunctionName,
+            std::string Message) {
+    Remarks.push_back(
+        {Id, Missed, std::move(FunctionName), std::move(Message)});
+  }
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  size_t size() const { return Remarks.size(); }
+  void clear() { Remarks.clear(); }
+
+  /// Prints remarks in the clang -Rpass style used by the paper's Fig. 8.
+  void print(raw_ostream &OS) const;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_CORE_REMARKS_H

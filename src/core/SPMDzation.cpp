@@ -1,0 +1,290 @@
+//===- core/SPMDzation.cpp - Generic to SPMD mode conversion ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SPMDzation (Sec. IV-B3): converts a generic-mode kernel into SPMD mode.
+/// All sequentially executed code is analyzed inter-procedurally; side
+/// effects are guarded by the main thread, values escaping a guarded
+/// region are broadcast through shared memory, and side effects are
+/// grouped at the basic-block level prior to guard generation to minimize
+/// barriers (Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Passes.h"
+#include "ir/IRBuilder.h"
+#include "support/STLExtras.h"
+
+using namespace ompgpu;
+
+namespace {
+
+/// True if \p Ptr provably refers to thread-private (stack) memory.
+bool isThreadPrivatePointer(const Value *Ptr) {
+  while (true) {
+    if (isa<AllocaInst>(Ptr))
+      return true;
+    if (const auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = GEP->getPointerOperand();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(Ptr)) {
+      Ptr = C->getSrc();
+      continue;
+    }
+    return false;
+  }
+}
+
+/// Whether \p I can be hoisted above a pending group of guarded side
+/// effects (Fig. 7's reordering): side-effect free, not touching memory,
+/// and independent of the group's results.
+bool isMovableAcrossGuards(const Instruction *I,
+                           const std::vector<Instruction *> &Group) {
+  if (I->isTerminator() || isa<PhiInst>(I) || isa<AllocaInst>(I))
+    return false;
+  if (I->mayReadOrWriteMemory() || I->mayHaveSideEffects())
+    return false;
+  for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+    auto *OpInst = dyn_cast<Instruction>(I->getOperand(Op));
+    if (OpInst && is_contained(Group, const_cast<Instruction *>(OpInst)))
+      return false;
+  }
+  return true;
+}
+
+/// How SPMDzation treats one instruction in the sequential region.
+enum class SideEffectKind {
+  None,       ///< Executable by all threads as-is.
+  NeedsGuard, ///< Must execute on the main thread only.
+  Blocking,   ///< Prevents SPMDzation altogether.
+};
+
+SideEffectKind classify(const Instruction *I, std::string &BlockReason) {
+  if (const auto *SI = dyn_cast<StoreInst>(I))
+    return isThreadPrivatePointer(SI->getPointerOperand())
+               ? SideEffectKind::None
+               : SideEffectKind::NeedsGuard;
+  if (isa<AtomicRMWInst>(I))
+    return SideEffectKind::NeedsGuard;
+  const auto *CI = dyn_cast<CallInst>(I);
+  if (!CI)
+    return SideEffectKind::None;
+
+  const Function *Callee = CI->getCalledFunction();
+  if (!Callee) {
+    BlockReason = "indirect call in sequential region";
+    return SideEffectKind::Blocking;
+  }
+  if (OpenMPModuleInfo::isOpenMPRuntimeFunction(Callee)) {
+    // The data placement optimization is expected to have removed the
+    // globalization calls; remaining ones block the conversion.
+    if (isRTFn(Callee, RTFn::AllocShared) ||
+        isRTFn(Callee, RTFn::FreeShared) ||
+        isRTFn(Callee, RTFn::CoalescedPushStack) ||
+        isRTFn(Callee, RTFn::PopStack)) {
+      BlockReason = "globalization runtime call '" + Callee->getName() +
+                    "' in sequential region";
+      return SideEffectKind::Blocking;
+    }
+    // Parallel-region management and queries adapt to the mode switch.
+    return SideEffectKind::None;
+  }
+
+  // User-provided domain knowledge (Sec. IV-D).
+  if (Callee->hasAssumption("ext_spmd_amenable"))
+    return SideEffectKind::None;
+  if (Callee->hasFnAttr(FnAttr::ReadNone) ||
+      (Callee->hasFnAttr(FnAttr::ReadOnly) &&
+       Callee->hasFnAttr(FnAttr::NoSync)))
+    return SideEffectKind::None;
+  if (Callee->hasFnAttr(FnAttr::NoSync) && !Callee->isDeclaration())
+    return SideEffectKind::NeedsGuard; // whole call under the guard
+  BlockReason = "call to '" + Callee->getName() +
+                "' with potential side effects; add `#pragma omp assumes "
+                "ext_spmd_amenable` if it is safe for all threads";
+  return SideEffectKind::Blocking;
+}
+
+/// Emits the guard for one group of consecutive side effects and the
+/// broadcasts for values used outside of it.
+void emitGuard(OpenMPOptContext &Ctx, std::vector<Instruction *> &Group) {
+  Module &M = Ctx.M;
+  IRContext &IRCtx = M.getContext();
+  Instruction *First = Group.front();
+  Instruction *Last = Group.back();
+  BasicBlock *BB = First->getParent();
+
+  BasicBlock *GuardBB = BB->splitBefore(First, "region.guarded");
+  // Find the instruction following Last inside GuardBB.
+  size_t LastIdx = GuardBB->indexOf(Last);
+  Instruction *After = nullptr;
+  {
+    size_t Idx = 0;
+    for (Instruction *I : *GuardBB) {
+      if (Idx == LastIdx + 1) {
+        After = I;
+        break;
+      }
+      ++Idx;
+    }
+  }
+  assert(After && "guarded group must not contain the terminator");
+  BasicBlock *JoinBB = GuardBB->splitBefore(After, "region.barrier");
+
+  // Replace BB's fallthrough branch with the main-thread guard. A barrier
+  // precedes the guard so the main thread cannot overwrite state other
+  // threads are still reading — this is the "up to two barriers per
+  // guarded instruction" cost (Fig. 7b) that grouping amortizes.
+  Instruction *Fallthrough = BB->getTerminator();
+  assert(isa<BrInst>(Fallthrough) && !cast<BrInst>(Fallthrough)
+                                          ->isConditional());
+  Fallthrough->eraseFromParent();
+  IRBuilder B(IRCtx);
+  B.setInsertPoint(BB);
+  Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
+  Function *HwTid = getOrCreateRTFn(M, RTFn::HardwareThreadId);
+  B.createCall(Barrier, {});
+  Value *Tid = B.createCall(HwTid, {}, "tid");
+  Value *IsMain = B.createICmpEQ(Tid, IRCtx.getInt32(0), "is_main");
+  B.createCondBr(IsMain, GuardBB, JoinBB);
+
+  // All threads synchronize after the guarded region.
+  IRBuilder JB(IRCtx);
+  JB.setInsertPoint(JoinBB->front());
+  JB.createCall(Barrier, {});
+
+  // Broadcast values that escape the guarded region ([11]'s logic).
+  for (Instruction *I : Group) {
+    if (I->getType()->isVoidTy())
+      continue;
+    std::vector<User *> Outside;
+    for (User *U : I->users())
+      if (auto *UI = dyn_cast<Instruction>(U))
+        if (UI->getParent() != GuardBB)
+          Outside.push_back(U);
+    if (Outside.empty())
+      continue;
+    GlobalVariable *G = M.createGlobal(I->getType(), AddrSpace::Shared,
+                                       "broadcast");
+    G->setLinkage(Linkage::Internal);
+    IRBuilder GB(IRCtx);
+    GB.setInsertPoint(GuardBB->getTerminator());
+    Value *Cast = GB.createAddrSpaceCast(G, AddrSpace::Generic);
+    GB.createStore(I, Cast);
+    IRBuilder LB(IRCtx);
+    // Load after the barrier (the barrier is JoinBB's first instruction).
+    std::vector<Instruction *> JoinInsts = JoinBB->getInstructions();
+    LB.setInsertPoint(JoinInsts[1]);
+    Value *Cast2 = LB.createAddrSpaceCast(G, AddrSpace::Generic);
+    Value *L = LB.createLoad(I->getType(), Cast2, "broadcast.val");
+    for (User *U : Outside)
+      U->replaceUsesOfWith(I, L);
+  }
+
+  ++Ctx.Stats.GuardedRegions;
+}
+
+/// Attempts SPMDzation of one kernel; returns true if converted.
+bool trySPMDzeKernel(OpenMPOptContext &Ctx, const KernelTargetInfo &KI) {
+  const OpenMPModuleInfo &Info = *Ctx.Info;
+  Function *Kernel = KI.Kernel;
+  const std::set<const BasicBlock *> &MainOnly =
+      Info.mainOnlyBlocks(Kernel);
+  if (MainOnly.empty())
+    return false;
+
+  // Pass 1: classify all sequential instructions.
+  std::map<BasicBlock *, std::vector<Instruction *>> Guarded;
+  for (const BasicBlock *CBB : MainOnly) {
+    auto *BB = const_cast<BasicBlock *>(CBB);
+    for (Instruction *I : *BB) {
+      std::string Reason;
+      switch (classify(I, Reason)) {
+      case SideEffectKind::None:
+        break;
+      case SideEffectKind::NeedsGuard:
+        Guarded[BB].push_back(I);
+        break;
+      case SideEffectKind::Blocking:
+        Ctx.Remarks.emit(RemarkId::OMP121, /*Missed=*/true,
+                         Kernel->getName(),
+                         "Generic-mode kernel could not be transformed to "
+                         "SPMD-mode: " +
+                             Reason);
+        return false;
+      }
+    }
+  }
+
+  // Pass 2: group side effects per block (Fig. 7) by hoisting independent
+  // SPMD-amenable instructions above the pending group. Blocks are
+  // visited in function order for deterministic output.
+  std::vector<std::vector<Instruction *>> Groups;
+  for (BasicBlock *BB : Kernel->getBlocks()) {
+    auto GuardedIt = Guarded.find(BB);
+    if (GuardedIt == Guarded.end())
+      continue;
+    std::vector<Instruction *> &Insts = GuardedIt->second;
+    std::vector<Instruction *> Cur;
+    for (Instruction *I : BB->getInstructions()) {
+      if (is_contained(Insts, I)) {
+        Cur.push_back(I);
+        continue;
+      }
+      if (Cur.empty())
+        continue;
+      if (!Ctx.Config.DisableGuardGrouping &&
+          isMovableAcrossGuards(I, Cur)) {
+        I->moveBefore(Cur.front());
+        continue;
+      }
+      Groups.push_back(Cur);
+      Cur.clear();
+    }
+    if (!Cur.empty())
+      Groups.push_back(Cur);
+  }
+
+  // Pass 3: emit the guards.
+  for (std::vector<Instruction *> &Group : Groups)
+    emitGuard(Ctx, Group);
+
+  // Pass 4: flip the kernel to SPMD mode.
+  IRContext &IRCtx = Ctx.M.getContext();
+  KI.InitCall->setArgOperand(0, IRCtx.getInt32(OMP_TGT_EXEC_MODE_SPMD));
+  KI.InitCall->setArgOperand(1, IRCtx.getInt1(false));
+  for (CallInst *Deinit : KI.DeinitCalls)
+    Deinit->setArgOperand(0, IRCtx.getInt32(OMP_TGT_EXEC_MODE_SPMD));
+  Kernel->getKernelEnvironment().Mode = ExecMode::SPMD;
+  Kernel->getKernelEnvironment().UseGenericStateMachine = false;
+
+  Ctx.Remarks.emit(RemarkId::OMP120, /*Missed=*/false, Kernel->getName(),
+                   "Transformed generic-mode kernel to SPMD-mode.");
+  ++Ctx.Stats.SPMDzedKernels;
+  return true;
+}
+
+} // namespace
+
+bool ompgpu::runSPMDzation(OpenMPOptContext &Ctx) {
+  if (Ctx.Config.DisableSPMDization)
+    return false;
+  bool Changed = false;
+  // Copy: trySPMDzeKernel mutates the module (Info stays valid for the
+  // kernels we have not touched yet because we only read per-kernel data).
+  std::vector<KernelTargetInfo> Kernels = Ctx.Info->kernels();
+  for (const KernelTargetInfo &KI : Kernels) {
+    if (KI.Mode != ExecMode::Generic || !KI.UseGenericStateMachine ||
+        !KI.UserCodeBB)
+      continue;
+    Changed |= trySPMDzeKernel(Ctx, KI);
+  }
+  if (Changed)
+    Ctx.refresh();
+  return Changed;
+}

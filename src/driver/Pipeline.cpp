@@ -1,0 +1,103 @@
+//===- driver/Pipeline.cpp - Compilation pipeline presets ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "rtl/DeviceRTL.h"
+#include "transforms/Inliner.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/Simplify.h"
+#include "transforms/StoreToLoadForwarding.h"
+
+using namespace ompgpu;
+
+CompileResult ompgpu::optimizeDeviceModule(Module &M,
+                                           const PipelineOptions &Opts) {
+  CompileResult Result;
+
+  linkDeviceRTL(M);
+
+  if (verifyModule(M, &Result.VerifyError)) {
+    Result.VerifyFailed = true;
+    return Result;
+  }
+
+  if (Opts.RunOpenMPOpt)
+    runOpenMPOpt(M, Opts.OptConfig, Result.Stats, Result.Remarks);
+
+  if (Opts.RunCleanups) {
+    simplifyModule(M);
+    // The regular inliner flattens parallel regions once the OpenMP pass
+    // made the callees visible (direct calls / constant work functions).
+    inlineParallelRegions(M);
+    simplifyModule(M);
+    promoteModuleAllocas(M);
+    forwardStoresToLoads(M);
+    simplifyModule(M);
+  }
+
+  if (verifyModule(M, &Result.VerifyError))
+    Result.VerifyFailed = true;
+  return Result;
+}
+
+PipelineOptions ompgpu::makeLLVM12Pipeline() {
+  PipelineOptions P;
+  P.Name = "LLVM 12";
+  P.Scheme = CodeGenScheme::Legacy12;
+  P.Flavor = RuntimeFlavor::Legacy;
+  P.RunOpenMPOpt = false;
+  return P;
+}
+
+PipelineOptions ompgpu::makeDevNoOptPipeline() {
+  PipelineOptions P;
+  P.Name = "No OpenMP Optimization";
+  P.Scheme = CodeGenScheme::Simplified13;
+  P.Flavor = RuntimeFlavor::Modern;
+  P.RunOpenMPOpt = false;
+  return P;
+}
+
+PipelineOptions ompgpu::makeDevPipeline(bool HeapToStack, bool HeapToShared,
+                                        bool RuntimeCallFolding,
+                                        bool CustomStateMachine,
+                                        bool SPMDzation) {
+  PipelineOptions P;
+  P.Scheme = CodeGenScheme::Simplified13;
+  P.Flavor = RuntimeFlavor::Modern;
+  P.RunOpenMPOpt = true;
+  P.OptConfig.DisableDeglobalization = !HeapToStack;
+  P.OptConfig.DisableHeapToShared = !HeapToShared;
+  P.OptConfig.DisableFolding = !RuntimeCallFolding;
+  P.OptConfig.DisableStateMachineRewrite = !CustomStateMachine;
+  P.OptConfig.DisableSPMDization = !SPMDzation;
+
+  std::string Name;
+  if (HeapToStack && HeapToShared)
+    Name = "h2s2";
+  else if (HeapToStack)
+    Name = "heap-2-stack";
+  if (RuntimeCallFolding)
+    Name += Name.empty() ? "RTCspec" : " + RTCspec";
+  if (SPMDzation)
+    Name += Name.empty() ? "SPMDzation" : " + SPMDzation";
+  else if (CustomStateMachine)
+    Name += Name.empty() ? "CSM" : " + CSM";
+  P.Name = Name.empty() ? "LLVM Dev (no openmp-opt passes)" : Name;
+  return P;
+}
+
+PipelineOptions ompgpu::makeCUDAPipeline() {
+  PipelineOptions P;
+  P.Name = "CUDA";
+  P.Scheme = CodeGenScheme::Simplified13; // irrelevant: no OpenMP lowering
+  P.Flavor = RuntimeFlavor::Modern;
+  P.RunOpenMPOpt = false;
+  return P;
+}

@@ -1,0 +1,71 @@
+//===- driver/Pipeline.h - Compilation pipeline presets ---------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end device compilation pipelines corresponding to the compiler
+/// builds of the evaluation (Sec. V): the LLVM 12 baseline, the
+/// development branch with the OpenMP optimizations ("LLVM Dev"), the
+/// development branch with them disabled, and the per-optimization subsets
+/// of Fig. 11 (h2s, h2s2, +RTCspec, +CSM, +SPMDzation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_DRIVER_PIPELINE_H
+#define OMPGPU_DRIVER_PIPELINE_H
+
+#include "core/OpenMPOpt.h"
+#include "frontend/OMPCodeGen.h"
+#include "gpusim/MachineModel.h"
+
+namespace ompgpu {
+
+class Module;
+
+/// One device compilation configuration.
+struct PipelineOptions {
+  /// Name shown in benchmark tables, e.g. "LLVM 12" or "h2s2 + RTCspec".
+  std::string Name;
+  /// Front-end lowering scheme the workload must be generated with.
+  CodeGenScheme Scheme = CodeGenScheme::Simplified13;
+  /// Device runtime generation (cost profile).
+  RuntimeFlavor Flavor = RuntimeFlavor::Modern;
+  /// Whether the OpenMP-aware pass runs at all.
+  bool RunOpenMPOpt = true;
+  OpenMPOptConfig OptConfig;
+  /// Generic mid-end cleanups (mem2reg, simplification, DCE).
+  bool RunCleanups = true;
+};
+
+/// Outputs of optimizeDeviceModule.
+struct CompileResult {
+  OpenMPOptStats Stats;
+  RemarkCollector Remarks;
+  bool VerifyFailed = false;
+  std::string VerifyError;
+};
+
+/// Links the device runtime into \p M and runs the configured pipeline.
+CompileResult optimizeDeviceModule(Module &M, const PipelineOptions &Opts);
+
+/// \name Evaluation configurations (Fig. 10 / Fig. 11)
+/// @{
+PipelineOptions makeLLVM12Pipeline();
+/// "LLVM Dev" with -openmp-opt disabled ("No OpenMP Optimization").
+PipelineOptions makeDevNoOptPipeline();
+/// "LLVM Dev" with a subset of the optimizations enabled.
+PipelineOptions makeDevPipeline(bool HeapToStack = true,
+                                bool HeapToShared = true,
+                                bool RuntimeCallFolding = true,
+                                bool CustomStateMachine = true,
+                                bool SPMDzation = true);
+/// Plain CUDA-style compilation (no OpenMP runtime involved).
+PipelineOptions makeCUDAPipeline();
+/// @}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_DRIVER_PIPELINE_H

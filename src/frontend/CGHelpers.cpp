@@ -1,0 +1,116 @@
+//===- frontend/CGHelpers.cpp - Structured control-flow helpers ------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CGHelpers.h"
+
+using namespace ompgpu;
+
+void ompgpu::emitCountedLoop(
+    IRBuilder &B, Value *Lo, Value *Hi, Value *Step, const std::string &Name,
+    const std::function<void(IRBuilder &, Value *)> &Body) {
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *Preheader = B.getInsertBlock();
+  BasicBlock *Header = F->createBlock(Name + ".header");
+  BasicBlock *BodyBB = F->createBlock(Name + ".body");
+  BasicBlock *Exit = F->createBlock(Name + ".exit");
+
+  B.createBr(Header);
+
+  B.setInsertPoint(Header);
+  PhiInst *IV = B.createPhi(Lo->getType(), Name + ".iv");
+  IV->addIncoming(Lo, Preheader);
+  Value *Cond = B.createICmpSLT(IV, Hi, Name + ".cond");
+  B.createCondBr(Cond, BodyBB, Exit);
+
+  B.setInsertPoint(BodyBB);
+  Body(B, IV);
+  // The body may have moved the builder to a new block; latch from there.
+  Value *Next = B.createAdd(IV, Step, Name + ".next");
+  BasicBlock *Latch = B.getInsertBlock();
+  B.createBr(Header);
+  IV->addIncoming(Next, Latch);
+
+  B.setInsertPoint(Exit);
+}
+
+void ompgpu::emitWhileLoop(
+    IRBuilder &B, const std::string &Name,
+    const std::function<Value *(IRBuilder &)> &CondGen,
+    const std::function<void(IRBuilder &)> &BodyGen) {
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *Header = F->createBlock(Name + ".header");
+  BasicBlock *Body = F->createBlock(Name + ".body");
+  BasicBlock *Exit = F->createBlock(Name + ".exit");
+
+  B.createBr(Header);
+  B.setInsertPoint(Header);
+  Value *Cond = CondGen(B);
+  B.createCondBr(Cond, Body, Exit);
+
+  B.setInsertPoint(Body);
+  BodyGen(B);
+  B.createBr(Header);
+
+  B.setInsertPoint(Exit);
+}
+
+void ompgpu::emitIfThen(IRBuilder &B, Value *Cond, const std::string &Name,
+                        const std::function<void(IRBuilder &)> &Then) {
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *ThenBB = F->createBlock(Name + ".then");
+  BasicBlock *Join = F->createBlock(Name + ".join");
+  B.createCondBr(Cond, ThenBB, Join);
+  B.setInsertPoint(ThenBB);
+  Then(B);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+}
+
+void ompgpu::emitIfThenElse(IRBuilder &B, Value *Cond,
+                            const std::string &Name,
+                            const std::function<void(IRBuilder &)> &Then,
+                            const std::function<void(IRBuilder &)> &Else) {
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *ThenBB = F->createBlock(Name + ".then");
+  BasicBlock *ElseBB = F->createBlock(Name + ".else");
+  BasicBlock *Join = F->createBlock(Name + ".join");
+  B.createCondBr(Cond, ThenBB, ElseBB);
+  B.setInsertPoint(ThenBB);
+  Then(B);
+  B.createBr(Join);
+  B.setInsertPoint(ElseBB);
+  Else(B);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+}
+
+Value *ompgpu::emitSelectViaCFG(
+    IRBuilder &B, Value *Cond, Type *Ty, const std::string &Name,
+    const std::function<Value *(IRBuilder &)> &Then,
+    const std::function<Value *(IRBuilder &)> &Else) {
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *ThenBB = F->createBlock(Name + ".then");
+  BasicBlock *ElseBB = F->createBlock(Name + ".else");
+  BasicBlock *Join = F->createBlock(Name + ".join");
+  B.createCondBr(Cond, ThenBB, ElseBB);
+
+  B.setInsertPoint(ThenBB);
+  Value *TV = Then(B);
+  BasicBlock *ThenEnd = B.getInsertBlock();
+  B.createBr(Join);
+
+  B.setInsertPoint(ElseBB);
+  Value *EV = Else(B);
+  BasicBlock *ElseEnd = B.getInsertBlock();
+  B.createBr(Join);
+
+  B.setInsertPoint(Join);
+  PhiInst *Phi = B.createPhi(Ty, Name + ".phi");
+  Phi->addIncoming(TV, ThenEnd);
+  Phi->addIncoming(EV, ElseEnd);
+  return Phi;
+}

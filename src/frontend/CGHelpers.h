@@ -1,0 +1,56 @@
+//===- frontend/CGHelpers.h - Structured control-flow helpers ---*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small structured codegen helpers (loops, conditionals) shared by the
+/// OpenMP front-end and the workload kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FRONTEND_CGHELPERS_H
+#define OMPGPU_FRONTEND_CGHELPERS_H
+
+#include "ir/IRBuilder.h"
+
+#include <functional>
+#include <string>
+
+namespace ompgpu {
+
+/// Emits `for (i = Lo; i < Hi; i += Step) Body(i)`. The builder must be
+/// positioned in a block with no terminator; on return it is positioned in
+/// the loop exit block. All values are of the same integer type.
+void emitCountedLoop(IRBuilder &B, Value *Lo, Value *Hi, Value *Step,
+                     const std::string &Name,
+                     const std::function<void(IRBuilder &, Value *)> &Body);
+
+/// Emits `while (CondGen()) BodyGen()`. CondGen is emitted in a fresh
+/// header block and must return an i1; the builder ends up in the exit
+/// block.
+void emitWhileLoop(IRBuilder &B, const std::string &Name,
+                   const std::function<Value *(IRBuilder &)> &CondGen,
+                   const std::function<void(IRBuilder &)> &BodyGen);
+
+/// Emits `if (Cond) Then()`. The builder ends up in the join block.
+void emitIfThen(IRBuilder &B, Value *Cond, const std::string &Name,
+                const std::function<void(IRBuilder &)> &Then);
+
+/// Emits `if (Cond) Then() else Else()`. The builder ends up in the join
+/// block. Returns nothing; use phis via the callbacks if values are needed.
+void emitIfThenElse(IRBuilder &B, Value *Cond, const std::string &Name,
+                    const std::function<void(IRBuilder &)> &Then,
+                    const std::function<void(IRBuilder &)> &Else);
+
+/// Emits `Cond ? Then() : Else()` producing a value of \p Ty via a phi.
+Value *emitSelectViaCFG(IRBuilder &B, Value *Cond, Type *Ty,
+                        const std::string &Name,
+                        const std::function<Value *(IRBuilder &)> &Then,
+                        const std::function<Value *(IRBuilder &)> &Else);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FRONTEND_CGHELPERS_H

@@ -1,0 +1,571 @@
+//===- frontend/OMPCodeGen.cpp - OpenMP device code generation -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/OMPCodeGen.h"
+#include "support/ErrorHandling.h"
+
+using namespace ompgpu;
+
+OMPCodeGen::OMPCodeGen(Module &M, CodeGenOptions Opts) : M(M), Opts(Opts) {}
+
+Function *OMPCodeGen::getRTFn(RTFn Fn) const {
+  return getOrCreateRTFn(M, Fn);
+}
+
+std::string OMPCodeGen::nextOutlinedName(const std::string &KernelName) {
+  return KernelName + "__omp_outlined__" + std::to_string(OutlinedCounter++);
+}
+
+//===----------------------------------------------------------------------===//
+// Query lowerings (runtime-call folding targets, Sec. IV-C)
+//===----------------------------------------------------------------------===//
+
+Value *OMPCodeGen::emitThreadNum(IRBuilder &B) {
+  IRContext &Ctx = getContext();
+  Value *IsSPMD = B.createCall(getRTFn(RTFn::IsSPMDMode), {}, "em");
+  return emitSelectViaCFG(
+      B, IsSPMD, Ctx.getInt32Ty(), "omp_tid",
+      [&](IRBuilder &TB) -> Value * {
+        return TB.createCall(getRTFn(RTFn::HardwareThreadId), {}, "hw_tid");
+      },
+      [&](IRBuilder &EB) -> Value * {
+        Value *PL = EB.createCall(getRTFn(RTFn::ParallelLevel), {}, "pl");
+        Value *InPar = EB.createICmp(ICmpPred::SGT, PL, EB.getInt32(0),
+                                     "in_parallel");
+        return emitSelectViaCFG(
+            EB, InPar, Ctx.getInt32Ty(), "omp_tid.gen",
+            [&](IRBuilder &TB2) -> Value * {
+              return TB2.createCall(getRTFn(RTFn::HardwareThreadId), {},
+                                    "hw_tid");
+            },
+            [&](IRBuilder &EB2) -> Value * {
+              (void)EB2;
+              return Ctx.getInt32(0);
+            });
+      });
+}
+
+Value *OMPCodeGen::emitNumThreads(IRBuilder &B) {
+  IRContext &Ctx = getContext();
+  Value *IsSPMD = B.createCall(getRTFn(RTFn::IsSPMDMode), {}, "em");
+  return emitSelectViaCFG(
+      B, IsSPMD, Ctx.getInt32Ty(), "omp_nthreads",
+      [&](IRBuilder &TB) -> Value * {
+        return TB.createCall(getRTFn(RTFn::HardwareNumThreads), {},
+                             "hw_nthreads");
+      },
+      [&](IRBuilder &EB) -> Value * {
+        Value *PL = EB.createCall(getRTFn(RTFn::ParallelLevel), {}, "pl");
+        Value *InPar = EB.createICmp(ICmpPred::SGT, PL, EB.getInt32(0),
+                                     "in_parallel");
+        return emitSelectViaCFG(
+            EB, InPar, Ctx.getInt32Ty(), "omp_nthreads.gen",
+            [&](IRBuilder &TB2) -> Value * {
+              // Generic mode reserves the main thread's warp.
+              Value *HW = TB2.createCall(getRTFn(RTFn::HardwareNumThreads),
+                                         {}, "hw_nthreads");
+              Value *WS =
+                  TB2.createCall(getRTFn(RTFn::WarpSize), {}, "warpsize");
+              return TB2.createSub(HW, WS, "par_nthreads");
+            },
+            [&](IRBuilder &EB2) -> Value * {
+              (void)EB2;
+              return Ctx.getInt32(1);
+            });
+      });
+}
+
+Value *OMPCodeGen::emitTeamNum(IRBuilder &B) {
+  return B.createCall(getRTFn(RTFn::GetTeamNum), {}, "team");
+}
+
+Value *OMPCodeGen::emitNumTeams(IRBuilder &B) {
+  return B.createCall(getRTFn(RTFn::GetNumTeams), {}, "nteams");
+}
+
+void OMPCodeGen::emitBarrier(IRBuilder &B) {
+  Value *IsSPMD = B.createCall(getRTFn(RTFn::IsSPMDMode), {}, "em");
+  emitIfThenElse(
+      B, IsSPMD, "omp_barrier",
+      [&](IRBuilder &TB) {
+        TB.createCall(getRTFn(RTFn::BarrierSimpleSPMD), {});
+      },
+      [&](IRBuilder &EB) { EB.createCall(getRTFn(RTFn::Barrier), {}); });
+}
+
+//===----------------------------------------------------------------------===//
+// Device-function locals (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+Value *OMPCodeGen::emitDeviceFnLocal(
+    IRBuilder &B, Type *Ty, const std::string &Name, bool AddressTaken,
+    std::vector<std::function<void(IRBuilder &)>> &Cleanups) {
+  IRContext &Ctx = getContext();
+  if (!AddressTaken || Opts.CudaMode)
+    return B.createAlloca(Ty, Name);
+
+  uint64_t Size = Ty->getSizeInBytes();
+  if (Opts.Scheme == CodeGenScheme::Simplified13) {
+    // Fig. 4c: one runtime allocation per variable, no special cases.
+    Value *Ptr = B.createCall(getRTFn(RTFn::AllocShared),
+                              {Ctx.getInt64(Size)}, Name);
+    Function *Free = getRTFn(RTFn::FreeShared);
+    Cleanups.push_back([Ptr, Size, Free](IRBuilder &CB) {
+      CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+    });
+    return Ptr;
+  }
+
+  // Fig. 4b: runtime dispatch between stack memory (SPMD) and the
+  // warp-coalesced data sharing stack (generic).
+  Value *IsSPMD = B.createCall(getRTFn(RTFn::IsSPMDMode), {}, "em");
+  Value *Ptr = emitSelectViaCFG(
+      B, IsSPMD, Ctx.getPtrTy(), Name,
+      [&](IRBuilder &TB) -> Value * {
+        Value *A = TB.createAlloca(Ty, Name + ".stack");
+        return TB.createAddrSpaceCast(A, AddrSpace::Generic,
+                                      Name + ".cast");
+      },
+      [&](IRBuilder &EB) -> Value * {
+        return EB.createCall(getRTFn(RTFn::CoalescedPushStack),
+                             {EB.getInt64(Size), EB.getInt32(0)},
+                             Name + ".glob");
+      });
+  Function *IsSPMDFn = getRTFn(RTFn::IsSPMDMode);
+  Function *Pop = getRTFn(RTFn::PopStack);
+  Cleanups.push_back([Ptr, IsSPMDFn, Pop](IRBuilder &CB) {
+    Value *EM = CB.createCall(IsSPMDFn, {}, "em");
+    Value *NotSPMD = CB.createXor(EM, CB.getInt1(true), "not_em");
+    emitIfThen(CB, NotSPMD, "pop",
+               [&](IRBuilder &TB) { TB.createCall(Pop, {Ptr}); });
+  });
+  return Ptr;
+}
+
+void OMPCodeGen::emitCleanups(
+    IRBuilder &B, std::vector<std::function<void(IRBuilder &)>> &Cleanups) {
+  for (auto It = Cleanups.rbegin(), E = Cleanups.rend(); It != E; ++It)
+    (*It)(B);
+  Cleanups.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// TargetRegionBuilder
+//===----------------------------------------------------------------------===//
+
+TargetRegionBuilder::TargetRegionBuilder(OMPCodeGen &CG,
+                                         const std::string &Name,
+                                         const std::vector<Type *> &Params,
+                                         ExecMode SyntacticMode,
+                                         int NumTeams, int NumThreads)
+    : CG(CG), B(CG.getContext()), Mode(SyntacticMode) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = CG.getContext();
+
+  FunctionType *KTy = Ctx.getFunctionTy(Ctx.getVoidTy(), Params);
+  Kernel = M.createFunction(Name, KTy, Linkage::External);
+  Kernel->setKernel(true);
+  KernelEnvironment &Env = Kernel->getKernelEnvironment();
+  Env.Mode = SyntacticMode;
+  Env.MaxThreads = NumThreads;
+  Env.NumTeams = NumTeams;
+
+  bool UseGenericSM =
+      SyntacticMode == ExecMode::Generic &&
+      CG.getOptions().Scheme == CodeGenScheme::Simplified13;
+  Env.UseGenericStateMachine = UseGenericSM;
+
+  BasicBlock *Entry = Kernel->createBlock("entry");
+  BasicBlock *UserCode = Kernel->createBlock("user_code.entry");
+  ExitBB = Kernel->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  int32_t ModeFlag = SyntacticMode == ExecMode::SPMD
+                         ? OMP_TGT_EXEC_MODE_SPMD
+                         : OMP_TGT_EXEC_MODE_GENERIC;
+  Value *ExecTid = B.createCall(
+      CG.getRTFn(RTFn::TargetInit),
+      {Ctx.getInt32(ModeFlag), Ctx.getInt1(UseGenericSM)}, "exec_tid");
+  Value *IsMain =
+      B.createICmpEQ(ExecTid, Ctx.getInt32(-1), "thread.is_main");
+
+  if (SyntacticMode == ExecMode::Generic &&
+      CG.getOptions().Scheme == CodeGenScheme::Legacy12) {
+    // Legacy12 emits a front-end worker state machine (finalize()).
+    WorkerEntryBB = Kernel->createBlock("worker_state_machine.begin");
+    B.createCondBr(IsMain, UserCode, WorkerEntryBB);
+  } else {
+    B.createCondBr(IsMain, UserCode, ExitBB);
+  }
+
+  IRBuilder ExitB(Ctx);
+  ExitB.setInsertPoint(ExitBB);
+  ExitB.createRetVoid();
+
+  B.setInsertPoint(UserCode);
+}
+
+Value *TargetRegionBuilder::emitTeamScopeAlloc(Type *Ty,
+                                               const std::string &Name,
+                                               bool PotentiallyShared) {
+  IRContext &Ctx = getContext();
+  const CodeGenOptions &Opts = CG.getOptions();
+  if (!PotentiallyShared || Opts.CudaMode)
+    return B.createAlloca(Ty, Name);
+
+  uint64_t Size = Ty->getSizeInBytes();
+  if (Opts.Scheme == CodeGenScheme::Simplified13) {
+    Value *Ptr = B.createCall(CG.getRTFn(RTFn::AllocShared),
+                              {Ctx.getInt64(Size)}, Name);
+    Function *Free = CG.getRTFn(RTFn::FreeShared);
+    TeamCleanups.push_back([Ptr, Size, Free](IRBuilder &CB) {
+      CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+    });
+    return Ptr;
+  }
+
+  // Legacy12: SPMD regions used plain stack memory (the unsound special
+  // case removed by the paper); generic regions use the coalesced stack.
+  if (Mode == ExecMode::SPMD)
+    return B.createAlloca(Ty, Name);
+  Value *Ptr = B.createCall(
+      CG.getRTFn(RTFn::CoalescedPushStack),
+      {Ctx.getInt64(Size), Ctx.getInt32(0)}, Name);
+  Function *Pop = CG.getRTFn(RTFn::PopStack);
+  TeamCleanups.push_back(
+      [Ptr, Pop](IRBuilder &CB) { CB.createCall(Pop, {Ptr}); });
+  return Ptr;
+}
+
+Value *TargetRegionBuilder::emitLocalVariable(Type *Ty,
+                                              const std::string &Name,
+                                              bool AddressTaken) {
+  return emitTeamScopeAlloc(Ty, Name, AddressTaken);
+}
+
+std::vector<Value *> TargetRegionBuilder::emitLocalVariableGroup(
+    const std::vector<std::pair<Type *, std::string>> &Vars,
+    bool AddressTaken,
+    std::vector<std::function<void(IRBuilder &)>> *Cleanups) {
+  IRContext &Ctx = getContext();
+  const CodeGenOptions &Opts = CG.getOptions();
+  std::vector<std::function<void(IRBuilder &)>> &CleanupList =
+      Cleanups ? *Cleanups : TeamCleanups;
+  std::vector<Value *> Ptrs;
+
+  bool Aggregate = AddressTaken && !Opts.CudaMode &&
+                   Opts.Scheme == CodeGenScheme::Legacy12 &&
+                   Mode == ExecMode::Generic;
+  if (!Aggregate) {
+    for (const auto &[Ty, Name] : Vars) {
+      if (!AddressTaken || Opts.CudaMode ||
+          (Opts.Scheme == CodeGenScheme::Legacy12 &&
+           Mode == ExecMode::SPMD)) {
+        Ptrs.push_back(B.createAlloca(Ty, Name));
+        continue;
+      }
+      if (Opts.Scheme == CodeGenScheme::Simplified13) {
+        uint64_t Size = Ty->getSizeInBytes();
+        Value *Ptr = B.createCall(CG.getRTFn(RTFn::AllocShared),
+                                  {Ctx.getInt64(Size)}, Name);
+        Function *Free = CG.getRTFn(RTFn::FreeShared);
+        CleanupList.push_back([Ptr, Size, Free](IRBuilder &CB) {
+          CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+        });
+        Ptrs.push_back(Ptr);
+        continue;
+      }
+      // Legacy12 SPMD handled above; Legacy12 generic is the aggregate
+      // path; reaching here means an unexpected combination.
+      Ptrs.push_back(B.createAlloca(Ty, Name));
+    }
+    return Ptrs;
+  }
+
+  // Legacy12: one combined push, variables addressed as struct fields.
+  std::vector<Type *> FieldTypes;
+  for (const auto &[Ty, Name] : Vars)
+    FieldTypes.push_back(Ty);
+  StructType *Combined = Ctx.getStructTy(FieldTypes);
+  Value *Base = B.createCall(
+      CG.getRTFn(RTFn::CoalescedPushStack),
+      {Ctx.getInt64(Combined->getSizeInBytes()), Ctx.getInt32(0)},
+      "combined_globals");
+  for (unsigned I = 0, E = Vars.size(); I != E; ++I)
+    Ptrs.push_back(B.createGEP(Combined, Base,
+                               {Ctx.getInt64(0), Ctx.getInt64(I)},
+                               Vars[I].second));
+  Function *Pop = CG.getRTFn(RTFn::PopStack);
+  CleanupList.push_back(
+      [Base, Pop](IRBuilder &CB) { CB.createCall(Pop, {Base}); });
+  return Ptrs;
+}
+
+Value *TargetRegionBuilder::emitParallelLocalVariable(
+    IRBuilder &BodyB, Type *Ty, const std::string &Name,
+    bool AddressTaken) {
+  assert(ActiveParallelCleanups &&
+         "emitParallelLocalVariable outside a parallel body");
+  IRContext &Ctx = getContext();
+  const CodeGenOptions &Opts = CG.getOptions();
+  if (!AddressTaken || Opts.CudaMode)
+    return BodyB.createAlloca(Ty, Name);
+
+  uint64_t Size = Ty->getSizeInBytes();
+  if (Opts.Scheme == CodeGenScheme::Simplified13) {
+    Value *Ptr = BodyB.createCall(CG.getRTFn(RTFn::AllocShared),
+                                  {Ctx.getInt64(Size)}, Name);
+    Function *Free = CG.getRTFn(RTFn::FreeShared);
+    ActiveParallelCleanups->push_back([Ptr, Size, Free](IRBuilder &CB) {
+      CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+    });
+    return Ptr;
+  }
+
+  if (Mode == ExecMode::SPMD)
+    return BodyB.createAlloca(Ty, Name);
+  // Legacy12 in an active (generic) parallel region: warp-coalesced push.
+  Value *Ptr = BodyB.createCall(
+      CG.getRTFn(RTFn::CoalescedPushStack),
+      {Ctx.getInt64(Size), Ctx.getInt32(1)}, Name);
+  Function *Pop = CG.getRTFn(RTFn::PopStack);
+  ActiveParallelCleanups->push_back(
+      [Ptr, Pop](IRBuilder &CB) { CB.createCall(Pop, {Ptr}); });
+  return Ptr;
+}
+
+void TargetRegionBuilder::emitDistributeLoop(
+    Value *TripCount,
+    const std::function<void(IRBuilder &, Value *)> &Body) {
+  Value *Team = CG.emitTeamNum(B);
+  Value *NTeams = CG.emitNumTeams(B);
+  emitCountedLoop(B, Team, TripCount, NTeams, "distribute", Body);
+}
+
+void TargetRegionBuilder::emitParallelFor(Value *TripCount,
+                                          std::vector<Capture> Captures,
+                                          const LoopBodyFn &Body,
+                                          int NumThreadsClause,
+                                          const PrologueFn &Prologue) {
+  emitParallelCommon(TripCount, /*DistributeOverLeague=*/false,
+                     std::move(Captures), Body, nullptr, NumThreadsClause,
+                     Prologue);
+}
+
+void TargetRegionBuilder::emitDistributeParallelFor(
+    Value *TripCount, std::vector<Capture> Captures, const LoopBodyFn &Body,
+    int NumThreadsClause, const PrologueFn &Prologue) {
+  emitParallelCommon(TripCount, /*DistributeOverLeague=*/true,
+                     std::move(Captures), Body, nullptr, NumThreadsClause,
+                     Prologue);
+}
+
+void TargetRegionBuilder::emitParallel(std::vector<Capture> Captures,
+                                       const RegionBodyFn &Body,
+                                       int NumThreadsClause) {
+  emitParallelCommon(nullptr, /*DistributeOverLeague=*/false, std::move(
+                         Captures),
+                     nullptr, Body, NumThreadsClause);
+}
+
+void TargetRegionBuilder::emitParallelCommon(
+    Value *TripCount, bool DistributeOverLeague,
+    std::vector<Capture> Captures, const LoopBodyFn &LoopBody,
+    const RegionBodyFn &RegionBody, int NumThreadsClause,
+    const PrologueFn &Prologue) {
+  IRContext &Ctx = getContext();
+  Module &M = CG.getModule();
+  const CodeGenOptions &Opts = CG.getOptions();
+
+  if (TripCount)
+    Captures.insert(Captures.begin(),
+                    Capture{TripCount, /*ByRef=*/false, "trip_count"});
+
+  // Outlined wrapper: void(ptr CapturedArgs).
+  Function *Wrapper =
+      M.createFunction(CG.nextOutlinedName(Kernel->getName()) + "_wrapper",
+                       getParallelWrapperType(Ctx), Linkage::Internal);
+  Wrappers.push_back(Wrapper);
+
+  // Captured-variables frame type.
+  std::vector<Type *> FieldTypes;
+  for (const Capture &C : Captures)
+    FieldTypes.push_back(C.ByRef ? (Type *)Ctx.getPtrTy()
+                                 : C.Val->getType());
+  StructType *FrameTy = Ctx.getStructTy(FieldTypes);
+
+  // Call-site frame allocation. SPMD regions build a private frame on the
+  // stack; generic regions must share it with the workers.
+  Value *FramePtr = nullptr;
+  std::function<void(IRBuilder &)> FrameCleanup;
+  if (!Captures.empty()) {
+    if (Mode == ExecMode::SPMD || Opts.CudaMode) {
+      FramePtr = B.createAlloca(FrameTy, "captured_frame");
+    } else if (Opts.Scheme == CodeGenScheme::Simplified13) {
+      FramePtr = B.createCall(
+          CG.getRTFn(RTFn::AllocShared),
+          {Ctx.getInt64(FrameTy->getSizeInBytes())}, "captured_frame");
+      Function *Free = CG.getRTFn(RTFn::FreeShared);
+      uint64_t Size = FrameTy->getSizeInBytes();
+      FrameCleanup = [FramePtr, Size, Free](IRBuilder &CB) {
+        CB.createCall(Free, {FramePtr, CB.getInt64(Size)});
+      };
+    } else {
+      FramePtr = B.createCall(
+          CG.getRTFn(RTFn::CoalescedPushStack),
+          {Ctx.getInt64(FrameTy->getSizeInBytes()), Ctx.getInt32(0)},
+          "captured_frame");
+      Function *Pop = CG.getRTFn(RTFn::PopStack);
+      FrameCleanup = [FramePtr, Pop](IRBuilder &CB) {
+        CB.createCall(Pop, {FramePtr});
+      };
+    }
+    for (unsigned I = 0, E = Captures.size(); I != E; ++I) {
+      Value *FieldPtr = B.createGEP(
+          FrameTy, FramePtr, {Ctx.getInt64(0), Ctx.getInt64(I)},
+          "frame." + Captures[I].Name);
+      B.createStore(Captures[I].Val, FieldPtr);
+    }
+  }
+  Value *FrameArg =
+      FramePtr ? FramePtr : (Value *)Ctx.getNullPtr(AddrSpace::Generic);
+
+  // Nested-parallelism sequential fallback, guarded by the parallel level
+  // (removed by runtime-call folding when the level is known, Sec. IV-C).
+  Value *PL = B.createCall(CG.getRTFn(RTFn::ParallelLevel), {}, "pl");
+  Value *Nested =
+      B.createICmp(ICmpPred::SGT, PL, Ctx.getInt32(0), "nested_parallel");
+  emitIfThenElse(
+      B, Nested, "parallel",
+      [&](IRBuilder &TB) {
+        // Sequentialized nested parallel region.
+        TB.createCall(Wrapper, {FrameArg});
+      },
+      [&](IRBuilder &EB) {
+        EB.createCall(CG.getRTFn(RTFn::Parallel51),
+                      {Wrapper, FrameArg, Ctx.getInt32(NumThreadsClause)});
+      });
+
+  if (FrameCleanup)
+    FrameCleanup(B);
+
+  // Wrapper body.
+  IRBuilder WB(Ctx);
+  BasicBlock *WEntry = Wrapper->createBlock("entry");
+  WB.setInsertPoint(WEntry);
+  Argument *ArgsParam = Wrapper->getArg(0);
+  ArgsParam->setName("captured_args");
+
+  CaptureMap Map;
+  Value *WrapperTrip = nullptr;
+  for (unsigned I = 0, E = Captures.size(); I != E; ++I) {
+    Value *FieldPtr =
+        WB.createGEP(FrameTy, ArgsParam, {Ctx.getInt64(0), Ctx.getInt64(I)},
+                     "cap." + Captures[I].Name + ".addr");
+    Value *Loaded = WB.createLoad(FieldTypes[I], FieldPtr,
+                                  "cap." + Captures[I].Name);
+    Map[Captures[I].Val] = Loaded;
+    if (TripCount && I == 0)
+      WrapperTrip = Loaded;
+  }
+
+  std::vector<std::function<void(IRBuilder &)>> ParallelCleanups;
+  auto *SavedCleanups = ActiveParallelCleanups;
+  ActiveParallelCleanups = &ParallelCleanups;
+
+  if (Prologue)
+    Prologue(WB, Map);
+
+  if (LoopBody) {
+    Value *Tid = CG.emitThreadNum(WB);
+    Value *NThreads = CG.emitNumThreads(WB);
+    Value *Lo = Tid;
+    Value *Stride = NThreads;
+    if (DistributeOverLeague) {
+      Value *Team = CG.emitTeamNum(WB);
+      Value *NTeams = CG.emitNumTeams(WB);
+      Lo = WB.createAdd(WB.createMul(Team, NThreads, "team_base"), Tid,
+                        "league_tid");
+      Stride = WB.createMul(NTeams, NThreads, "league_size");
+    }
+    emitCountedLoop(WB, Lo, WrapperTrip, Stride, "parallel_for",
+                    [&](IRBuilder &LB, Value *Idx) { LoopBody(LB, Idx,
+                                                             Map); });
+  } else {
+    RegionBody(WB, Map);
+  }
+
+  OMPCodeGen::emitCleanups(WB, ParallelCleanups);
+  ActiveParallelCleanups = SavedCleanups;
+  WB.createRetVoid();
+}
+
+Function *TargetRegionBuilder::finalize() {
+  assert(!Finalized && "finalize() called twice");
+  Finalized = true;
+  IRContext &Ctx = getContext();
+
+  OMPCodeGen::emitCleanups(B, TeamCleanups);
+  int32_t ModeFlag = Mode == ExecMode::SPMD ? OMP_TGT_EXEC_MODE_SPMD
+                                            : OMP_TGT_EXEC_MODE_GENERIC;
+  B.createCall(CG.getRTFn(RTFn::TargetDeinit), {Ctx.getInt32(ModeFlag)});
+  B.createBr(ExitBB);
+
+  if (WorkerEntryBB) {
+    // Legacy12 front-end state machine with function-pointer if-cascade
+    // and indirect fallback (Sec. IV-B, [4]). Taking the wrappers'
+    // addresses here is what inflates register counts (PR46450).
+    IRBuilder WB(Ctx);
+    WB.setInsertPoint(WorkerEntryBB);
+    Value *WorkFnAddr = WB.createAlloca(Ctx.getPtrTy(), "work_fn.addr");
+
+    BasicBlock *Await = Kernel->createBlock("worker.await");
+    BasicBlock *ActiveCheck = Kernel->createBlock("worker.active_check");
+    BasicBlock *Done = Kernel->createBlock("worker.done");
+    WB.createBr(Await);
+
+    WB.setInsertPoint(Await);
+    WB.createCall(CG.getRTFn(RTFn::BarrierSimpleSPMD), {});
+    Value *IsActive = WB.createCall(CG.getRTFn(RTFn::KernelParallel),
+                                    {WorkFnAddr}, "is_active");
+    Value *WorkFn =
+        WB.createLoad(Ctx.getPtrTy(), WorkFnAddr, "work_fn");
+    Value *IsDone = WB.createICmpEQ(
+        WorkFn, Ctx.getNullPtr(AddrSpace::Generic), "no_more_work");
+    WB.createCondBr(IsDone, ExitBB, ActiveCheck);
+
+    WB.setInsertPoint(ActiveCheck);
+    BasicBlock *FirstCheck = Kernel->createBlock("worker.check");
+    WB.createCondBr(IsActive, FirstCheck, Done);
+
+    WB.setInsertPoint(FirstCheck);
+    for (Function *W : Wrappers) {
+      Value *IsThis = WB.createICmpEQ(WorkFn, W, "is." + W->getName());
+      BasicBlock *Exec = Kernel->createBlock("worker.exec");
+      BasicBlock *Next = Kernel->createBlock("worker.check");
+      WB.createCondBr(IsThis, Exec, Next);
+      WB.setInsertPoint(Exec);
+      Value *Args =
+          WB.createCall(CG.getRTFn(RTFn::KernelGetArgs), {}, "work_args");
+      WB.createCall(W, {Args});
+      WB.createBr(Done);
+      WB.setInsertPoint(Next);
+    }
+    // Indirect fallback: parallel regions from other translation units.
+    Value *Args =
+        WB.createCall(CG.getRTFn(RTFn::KernelGetArgs), {}, "work_args");
+    WB.createIndirectCall(getParallelWrapperType(Ctx), WorkFn, {Args});
+    WB.createBr(Done);
+
+    WB.setInsertPoint(Done);
+    WB.createCall(CG.getRTFn(RTFn::KernelEndParallel), {});
+    WB.createCall(CG.getRTFn(RTFn::BarrierSimpleSPMD), {});
+    WB.createBr(Await);
+  }
+
+  return Kernel;
+}

@@ -1,0 +1,144 @@
+//===- frontend/OMPRuntime.cpp - Device runtime declarations ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/OMPRuntime.h"
+#include "ir/IRContext.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+using namespace ompgpu;
+
+const char *ompgpu::getRTFnName(RTFn Fn) {
+  switch (Fn) {
+#define OMP_RTL(Enum, Name, ...)                                              \
+  case RTFn::Enum:                                                            \
+    return Name;
+#include "frontend/OMPRuntime.def"
+  case RTFn::NumFunctions:
+    break;
+  }
+  ompgpu_unreachable("invalid runtime function");
+}
+
+namespace {
+
+Type *getTypeByToken(IRContext &Ctx, const std::string &Token) {
+  if (Token == "Void")
+    return Ctx.getVoidTy();
+  if (Token == "Int1")
+    return Ctx.getInt1Ty();
+  if (Token == "Int32")
+    return Ctx.getInt32Ty();
+  if (Token == "Int64")
+    return Ctx.getInt64Ty();
+  if (Token == "Ptr")
+    return Ctx.getPtrTy();
+  ompgpu_unreachable("unknown type token in OMPRuntime.def");
+}
+
+} // namespace
+
+FunctionType *ompgpu::getRTFnType(RTFn Fn, IRContext &Ctx) {
+  switch (Fn) {
+#define OMP_RTL(Enum, Name, Ret, ...)                                         \
+  case RTFn::Enum: {                                                          \
+    std::vector<Type *> Params;                                               \
+    std::string All = #__VA_ARGS__;                                           \
+    std::string Cur;                                                          \
+    for (char C : All) {                                                      \
+      if (C == ',' || C == ' ') {                                             \
+        if (!Cur.empty())                                                     \
+          Params.push_back(getTypeByToken(Ctx, Cur));                         \
+        Cur.clear();                                                          \
+      } else {                                                                \
+        Cur += C;                                                             \
+      }                                                                       \
+    }                                                                         \
+    if (!Cur.empty())                                                         \
+      Params.push_back(getTypeByToken(Ctx, Cur));                             \
+    return Ctx.getFunctionTy(getTypeByToken(Ctx, #Ret), std::move(Params));   \
+  }
+#include "frontend/OMPRuntime.def"
+  case RTFn::NumFunctions:
+    break;
+  }
+  ompgpu_unreachable("invalid runtime function");
+}
+
+Function *ompgpu::getOrCreateRTFn(Module &M, RTFn Fn) {
+  IRContext &Ctx = M.getContext();
+  Function *F = M.getOrInsertFunction(getRTFnName(Fn), getRTFnType(Fn, Ctx));
+
+  // Canonical attributes: these encode the OpenMP semantics the analyses
+  // rely on (which runtime calls synchronize, allocate, or merely query).
+  switch (Fn) {
+  case RTFn::IsSPMDMode:
+  case RTFn::ParallelLevel:
+  case RTFn::IsGenericMainThread:
+  case RTFn::HardwareThreadId:
+  case RTFn::HardwareNumThreads:
+  case RTFn::WarpSize:
+  case RTFn::GetThreadNum:
+  case RTFn::GetNumThreads:
+  case RTFn::GetTeamNum:
+  case RTFn::GetNumTeams:
+    F->addFnAttr(FnAttr::ReadNone);
+    F->addFnAttr(FnAttr::NoSync);
+    F->addFnAttr(FnAttr::NoFree);
+    F->addFnAttr(FnAttr::WillReturn);
+    break;
+  case RTFn::AllocShared:
+  case RTFn::CoalescedPushStack:
+    F->addFnAttr(FnAttr::NoSync);
+    F->addFnAttr(FnAttr::NoFree);
+    F->addFnAttr(FnAttr::WillReturn);
+    break;
+  case RTFn::FreeShared:
+  case RTFn::PopStack:
+    F->addFnAttr(FnAttr::NoSync);
+    F->addFnAttr(FnAttr::WillReturn);
+    break;
+  case RTFn::Barrier:
+  case RTFn::BarrierSimpleSPMD:
+    F->addFnAttr(FnAttr::Convergent);
+    F->addFnAttr(FnAttr::NoFree);
+    F->addFnAttr(FnAttr::WillReturn);
+    break;
+  case RTFn::TargetInit:
+  case RTFn::TargetDeinit:
+  case RTFn::Parallel51:
+  case RTFn::KernelParallel:
+  case RTFn::KernelGetArgs:
+  case RTFn::KernelEndParallel:
+    F->addFnAttr(FnAttr::Convergent);
+    break;
+  case RTFn::NumFunctions:
+    ompgpu_unreachable("invalid runtime function");
+  }
+  return F;
+}
+
+bool ompgpu::isRTFn(const Function *F, RTFn Fn) {
+  // Runtime functions may have IR bodies (the linked device RTL), so the
+  // identification is by name, as the paper's pass identifies the
+  // "known LLVM/OpenMP runtime functions" emitted by the front-end.
+  return F && F->getName() == getRTFnName(Fn);
+}
+
+bool ompgpu::isAnyRTFn(const Function *F) {
+  if (!F)
+    return false;
+#define OMP_RTL(Enum, Name, ...)                                              \
+  if (F->getName() == Name)                                                   \
+    return true;
+#include "frontend/OMPRuntime.def"
+  return false;
+}
+
+FunctionType *ompgpu::getParallelWrapperType(IRContext &Ctx) {
+  return Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()});
+}

@@ -1,0 +1,63 @@
+//===- frontend/OMPRuntime.h - Device runtime declarations ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations and classification of OpenMP device runtime functions
+/// (see OMPRuntime.def). The front-end emits calls to these; the OpenMPOpt
+/// pass recognizes them by identity; the GPU simulator binds them to
+/// native implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FRONTEND_OMPRUNTIME_H
+#define OMPGPU_FRONTEND_OMPRUNTIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace ompgpu {
+
+class Function;
+class FunctionType;
+class IRContext;
+class Module;
+
+/// Execution mode flag values passed to __kmpc_target_init/deinit.
+enum OMPTgtExecMode : int32_t {
+  OMP_TGT_EXEC_MODE_GENERIC = 1,
+  OMP_TGT_EXEC_MODE_SPMD = 2,
+};
+
+/// Enumerates the known device runtime functions.
+enum class RTFn : uint8_t {
+#define OMP_RTL(Enum, ...) Enum,
+#include "frontend/OMPRuntime.def"
+  NumFunctions,
+};
+
+/// Returns the runtime function's linkage name.
+const char *getRTFnName(RTFn Fn);
+
+/// Returns the runtime function's type.
+FunctionType *getRTFnType(RTFn Fn, IRContext &Ctx);
+
+/// Declares (or finds) the runtime function in \p M with its canonical
+/// attributes applied.
+Function *getOrCreateRTFn(Module &M, RTFn Fn);
+
+/// Returns true if \p F is the declaration of \p Fn.
+bool isRTFn(const Function *F, RTFn Fn);
+
+/// Returns true if \p F is any known runtime function.
+bool isAnyRTFn(const Function *F);
+
+/// The wrapper function type for parallel regions: void(ptr CapturedArgs).
+FunctionType *getParallelWrapperType(IRContext &Ctx);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FRONTEND_OMPRUNTIME_H

@@ -1,0 +1,1324 @@
+//===- gpusim/Device.cpp - Simulated GPU device -----------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR interpreter behind GPUDevice::launchKernel. Each GPU thread is a
+/// resumable interpreter with its own cycle clock and local-memory arena;
+/// blocks execute one at a time (atomics are therefore trivially
+/// sequentially consistent); named barriers align the clocks of their
+/// participants, which is what makes state-machine idling, guarding
+/// barriers, and worker hand-offs show up in kernel time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/Device.h"
+#include "analysis/ThreadValueAnalysis.h"
+#include "gpusim/ResourceEstimator.h"
+#include "gpusim/SimThread.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+#include "support/STLExtras.h"
+#include "support/raw_ostream.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+using namespace ompgpu;
+
+RTLBlockStateBase::~RTLBlockStateBase() = default;
+SimThread::~SimThread() = default;
+
+GPUDevice::GPUDevice(MachineModel MM) : Machine(MM) {
+  GlobalArena.resize(1024);
+}
+
+GPUDevice::~GPUDevice() = default;
+
+uint64_t GPUDevice::allocate(uint64_t Bytes) {
+  GlobalBrk = (GlobalBrk + 15) & ~15ull; // 16-byte alignment
+  uint64_t Offset = GlobalBrk;
+  GlobalBrk += Bytes;
+  if (GlobalBrk > GlobalArena.size())
+    GlobalArena.resize(std::max<uint64_t>(GlobalBrk, GlobalArena.size() * 2),
+                       0);
+  return makeSimAddr(Seg::Global, Offset);
+}
+
+void GPUDevice::memcpyToDevice(uint64_t Addr, const void *Src,
+                               uint64_t Bytes) {
+  assert(getSimAddrSeg(Addr) == Seg::Global && "host copies target global");
+  uint64_t Off = getSimAddrOffset(Addr);
+  assert(Off + Bytes <= GlobalArena.size() && "device copy out of bounds");
+  std::memcpy(GlobalArena.data() + Off, Src, Bytes);
+}
+
+void GPUDevice::memcpyFromDevice(void *Dst, uint64_t Addr,
+                                 uint64_t Bytes) const {
+  assert(getSimAddrSeg(Addr) == Seg::Global && "host copies target global");
+  uint64_t Off = getSimAddrOffset(Addr);
+  assert(Off + Bytes <= GlobalArena.size() && "device copy out of bounds");
+  std::memcpy(Dst, GlobalArena.data() + Off, Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-launch static information
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Coalescing classification of a memory access to global memory.
+enum class GlobalAccessClass : uint8_t { Uniform, Coalesced, Uncoalesced };
+
+/// Per-function layout and static cost data, built once per launch.
+struct FunctionInfo {
+  std::map<const Value *, unsigned> Slot;
+  unsigned NumSlots = 0;
+  std::map<const Instruction *, GlobalAccessClass> GlobalClass;
+  /// Cached instruction vectors for O(1) indexed fetch.
+  std::map<const BasicBlock *, std::vector<const Instruction *>> BlockInsts;
+};
+
+uint64_t bitsOfDouble(double D) { return std::bit_cast<uint64_t>(D); }
+double doubleOfBits(uint64_t B) { return std::bit_cast<double>(B); }
+
+/// Normalizes an integer register value to its type's width
+/// (sign-extended representation).
+int64_t normalizeInt(const Type *Ty, int64_t V) {
+  switch (Ty->getKind()) {
+  case Type::Kind::Int1:
+    return V & 1;
+  case Type::Kind::Int8:
+    return (int8_t)V;
+  case Type::Kind::Int32:
+    return (int32_t)V;
+  default:
+    return V;
+  }
+}
+
+/// One call frame of a simulated thread.
+struct Frame {
+  const Function *F = nullptr;
+  const FunctionInfo *FI = nullptr;
+  std::vector<uint64_t> Regs;
+  const BasicBlock *CurBB = nullptr;
+  const BasicBlock *PrevBB = nullptr;
+  size_t InstIdx = 0;
+  /// The call in the *caller's* frame awaiting this frame's return value.
+  const CallInst *CallSite = nullptr;
+  uint64_t LocalWatermark = 0;
+};
+
+class Simulation;
+
+/// Thread status in the cooperative scheduler.
+enum class ThreadStatus : uint8_t { Runnable, AtBarrier, Finished, Trapped };
+
+/// A simulated GPU thread.
+class ThreadSim final : public SimThread {
+public:
+  Simulation *Sim = nullptr;
+  unsigned Tid = 0;
+  std::vector<Frame> Stack;
+  std::vector<uint8_t> LocalArena;
+  uint64_t LocalBrk = 0;
+  uint64_t Clock = 0;
+  double SpillDebt = 0.0;
+  ThreadStatus Status = ThreadStatus::Runnable;
+  unsigned WaitBarrierId = 0;
+  unsigned WaitBarrierCount = 0;
+
+  // SimThread interface (defined after Simulation).
+  unsigned getThreadId() const override { return Tid; }
+  unsigned getBlockDim() const override;
+  unsigned getBlockId() const override;
+  unsigned getGridDim() const override;
+  unsigned getWarpSize() const override;
+  uint64_t getDataSharingSlabBytes() const override;
+  RTLBlockStateBase &getRTLState() override;
+  bool readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) override;
+  bool writeMemory(uint64_t Addr, const void *Src, uint64_t Bytes) override;
+  uint64_t sharedStackAlloc(uint64_t Bytes) override;
+  void sharedStackFree(uint64_t Bytes) override;
+  uint64_t heapAlloc(uint64_t Bytes) override;
+  void heapFree(uint64_t Bytes) override;
+  void setSharedRegionCost(uint64_t Addr, uint64_t Bytes,
+                           unsigned CyclesPerAccess) override;
+  void clearSharedRegionCost(uint64_t Addr) override;
+};
+
+/// Whole-launch interpreter state: module layout plus the current block.
+class Simulation {
+public:
+  GPUDevice &Dev;
+  Module &M;
+  const LaunchConfig &Config;
+  const NativeRuntimeBinding &RTL;
+  const CostParams &Costs;
+  KernelStats &Stats;
+
+  // Module layout.
+  std::map<const GlobalVariable *, uint64_t> GlobalAddrs;
+  std::map<const GlobalVariable *, uint64_t> SharedOffsets;
+  uint64_t StaticSharedBytes = 0;
+  std::vector<const Function *> CodeTable;
+  std::map<const Function *, uint64_t> CodeAddrs;
+  std::map<const Function *, std::unique_ptr<FunctionInfo>> FnInfo;
+
+  // Current block.
+  unsigned BlockId = 0;
+  std::vector<std::unique_ptr<ThreadSim>> Threads;
+  std::vector<uint8_t> SharedArena;
+  uint64_t SharedStackBrk = 0;     ///< within the data-sharing slab
+  uint64_t SharedStackPeak = 0;
+  uint64_t BlockHeapCur = 0;
+  uint64_t BlockHeapPeak = 0;
+  /// Direct-mapped L2 tag array (offset/LineBytes tags; 0 = empty).
+  std::vector<uint64_t> CacheTags;
+  std::unique_ptr<RTLBlockStateBase> RTLState;
+  /// Shared-memory regions with overridden access cost (begin, end, cyc).
+  std::vector<std::tuple<uint64_t, uint64_t, unsigned>> SharedCostRegions;
+  std::string Trap;
+
+  /// Latency-hiding scale applied to memory and long-latency math costs
+  /// (>= 1; grows when few warps are resident per SM).
+  double LatencyScale = 1.0;
+  /// Per-instruction extra cost (fractional cycles): register spills plus
+  /// the legacy toolchain's code-generation overhead.
+  double PerInstExtra = 0.0;
+
+  Simulation(GPUDevice &Dev, Module &M, const LaunchConfig &Config,
+             const NativeRuntimeBinding &RTL, KernelStats &Stats)
+      : Dev(Dev), M(M), Config(Config), RTL(RTL),
+        Costs(Dev.getMachine().Costs), Stats(Stats) {
+    layoutModule();
+  }
+
+  unsigned scaled(unsigned Cycles) const {
+    return (unsigned)(Cycles * LatencyScale);
+  }
+
+  void layoutModule() {
+    for (GlobalVariable *G : M.globals()) {
+      if (G->getAddressSpace() == AddrSpace::Shared) {
+        uint64_t Align = std::max<uint64_t>(G->getValueType()->getAlignment(),
+                                            1);
+        StaticSharedBytes = (StaticSharedBytes + Align - 1) / Align * Align;
+        SharedOffsets[G] = StaticSharedBytes;
+        StaticSharedBytes += G->getAllocSizeInBytes();
+        continue;
+      }
+      uint64_t Addr = Dev.allocate(G->getAllocSizeInBytes());
+      GlobalAddrs[G] = Addr;
+      initializeGlobal(G, Addr);
+    }
+    for (const Function *F : M.functions()) {
+      CodeAddrs[F] = makeSimAddr(Seg::Code, CodeTable.size());
+      CodeTable.push_back(F);
+    }
+  }
+
+  void initializeGlobal(const GlobalVariable *G, uint64_t Addr) {
+    uint64_t Size = G->getAllocSizeInBytes();
+    std::vector<uint8_t> Zero(Size, 0);
+    Dev.memcpyToDevice(Addr, Zero.data(), Size);
+    if (const Constant *Init = G->getInitializer()) {
+      if (const auto *CI = dyn_cast<ConstantInt>(Init)) {
+        int64_t V = CI->getValue();
+        Dev.memcpyToDevice(Addr, &V, std::min<uint64_t>(Size, 8));
+      } else if (const auto *CF = dyn_cast<ConstantFP>(Init)) {
+        if (CF->getType()->getKind() == Type::Kind::Float) {
+          float F = (float)CF->getValue();
+          Dev.memcpyToDevice(Addr, &F, 4);
+        } else {
+          double D = CF->getValue();
+          Dev.memcpyToDevice(Addr, &D, 8);
+        }
+      }
+    }
+  }
+
+  const FunctionInfo &getFunctionInfo(const Function *F) {
+    auto &SlotPtr = FnInfo[F];
+    if (SlotPtr)
+      return *SlotPtr;
+    SlotPtr = std::make_unique<FunctionInfo>();
+    FunctionInfo &FI = *SlotPtr;
+    for (const Argument *A : F->args())
+      FI.Slot[A] = FI.NumSlots++;
+    for (const BasicBlock *BB : *F) {
+      std::vector<const Instruction *> &Insts = FI.BlockInsts[BB];
+      for (const Instruction *I : *BB) {
+        Insts.push_back(I);
+        if (!I->getType()->isVoidTy())
+          FI.Slot[I] = FI.NumSlots++;
+      }
+    }
+
+    // Static coalescing classification for global memory accesses.
+    ThreadValueConfig Cfg;
+    Cfg.ThreadIdFunctions = {"__kmpc_get_hardware_thread_id_in_block"};
+    Cfg.UniformFunctions = {"__kmpc_get_hardware_num_threads_in_block",
+                            "__kmpc_get_warp_size",
+                            "omp_get_team_num",
+                            "omp_get_num_teams",
+                            "omp_get_num_threads",
+                            "__kmpc_is_spmd_exec_mode",
+                            "__kmpc_parallel_level",
+                            "__kmpc_is_generic_main_thread"};
+    Cfg.CallShapes["__kmpc_data_sharing_coalesced_push_stack"] =
+        ThreadShape::linear(8);
+    bool UniformArgs = F->isKernel() ||
+                       F->getName().find("_wrapper") != std::string::npos ||
+                       F->getName().rfind("__kmpc", 0) == 0;
+    Cfg.ArgumentShape = UniformArgs ? ThreadShape::uniform()
+                                    : ThreadShape::divergent();
+    ThreadValueAnalysis TVA(*F, Cfg);
+
+    auto Classify = [&](const Value *Ptr) {
+      ThreadShape S = TVA.getShape(Ptr);
+      if (S.isUniform())
+        return GlobalAccessClass::Uniform;
+      if (S.isLinear() && S.Stride != 0 && std::abs(S.Stride) <= 16)
+        return GlobalAccessClass::Coalesced;
+      return GlobalAccessClass::Uncoalesced;
+    };
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB) {
+        if (const auto *LI = dyn_cast<LoadInst>(I))
+          FI.GlobalClass[I] = Classify(LI->getPointerOperand());
+        else if (const auto *SI = dyn_cast<StoreInst>(I))
+          FI.GlobalClass[I] = Classify(SI->getPointerOperand());
+      }
+    return FI;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Block execution
+  //===--------------------------------------------------------------------===//
+
+  /// Runs one block to completion; returns its cycle count.
+  uint64_t runBlock(Function *Kernel, unsigned TheBlockId,
+                    const std::vector<uint64_t> &Args) {
+    BlockId = TheBlockId;
+    CacheTags.assign(Dev.getMachine().CacheLines, 0);
+    SharedArena.assign(StaticSharedBytes +
+                           Dev.getMachine().DataSharingSlabBytes,
+                       0);
+    SharedStackBrk = 0;
+    BlockHeapCur = 0;
+    SharedCostRegions.clear();
+    RTLState = RTL.MakeBlockState ? RTL.MakeBlockState() : nullptr;
+
+    Threads.clear();
+    for (unsigned T = 0; T < Config.BlockDim; ++T) {
+      auto TS = std::make_unique<ThreadSim>();
+      TS->Sim = this;
+      TS->Tid = T;
+      pushFrame(*TS, Kernel, Args, nullptr);
+      Threads.push_back(std::move(TS));
+    }
+
+    while (true) {
+      bool RanAny = false;
+      for (auto &T : Threads) {
+        if (T->Status != ThreadStatus::Runnable)
+          continue;
+        RanAny = true;
+        runThread(*T);
+        if (!Trap.empty())
+          break;
+      }
+      if (!Trap.empty())
+        break;
+      bool Released = releaseBarriers();
+      bool AnyUnfinished = false;
+      for (auto &T : Threads)
+        if (T->Status == ThreadStatus::Runnable ||
+            T->Status == ThreadStatus::AtBarrier)
+          AnyUnfinished = true;
+      if (!AnyUnfinished)
+        break;
+      if (!RanAny && !Released) {
+        Trap = "barrier deadlock in block " + std::to_string(BlockId);
+        break;
+      }
+    }
+
+    BlockHeapPeak = std::max(BlockHeapPeak, BlockHeapCur);
+    uint64_t MaxClock = 0;
+    for (auto &T : Threads)
+      MaxClock = std::max(MaxClock, T->Clock);
+    return MaxClock;
+  }
+
+  bool releaseBarriers() {
+    // Group waiters by barrier id.
+    std::map<unsigned, std::vector<ThreadSim *>> Waiters;
+    for (auto &T : Threads)
+      if (T->Status == ThreadStatus::AtBarrier)
+        Waiters[T->WaitBarrierId].push_back(T.get());
+    bool Released = false;
+    for (auto &[Id, Group] : Waiters) {
+      unsigned Required = Group.front()->WaitBarrierCount;
+      if (Group.size() < Required)
+        continue;
+      uint64_t MaxClock = 0;
+      for (ThreadSim *T : Group)
+        MaxClock = std::max(MaxClock, T->Clock);
+      for (ThreadSim *T : Group) {
+        T->Clock = MaxClock + Costs.BarrierCycles;
+        T->Status = ThreadStatus::Runnable;
+        advancePastCall(*T);
+      }
+      ++Stats.Barriers;
+      Released = true;
+    }
+    return Released;
+  }
+
+  /// After a blocking native call completes, step past the call.
+  void advancePastCall(ThreadSim &T) {
+    Frame &F = T.Stack.back();
+    ++F.InstIdx;
+  }
+
+  void trapThread(ThreadSim &T, const std::string &Msg) {
+    T.Status = ThreadStatus::Trapped;
+    Trap = "thread " + std::to_string(T.Tid) + " of block " +
+           std::to_string(BlockId) + ": " + Msg;
+  }
+
+  void pushFrame(ThreadSim &T, const Function *F,
+                 const std::vector<uint64_t> &Args,
+                 const CallInst *CallSite) {
+    const FunctionInfo &FI = getFunctionInfo(F);
+    Frame Fr;
+    Fr.F = F;
+    Fr.FI = &FI;
+    Fr.Regs.assign(FI.NumSlots, 0);
+    Fr.CurBB = F->getEntryBlock();
+    Fr.PrevBB = nullptr;
+    Fr.InstIdx = 0;
+    Fr.CallSite = CallSite;
+    Fr.LocalWatermark = T.LocalBrk;
+    for (unsigned I = 0, E = F->arg_size(); I != E; ++I)
+      Fr.Regs[FI.Slot.at(F->getArg(I))] = Args[I];
+    T.Stack.push_back(std::move(Fr));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Value evaluation
+  //===--------------------------------------------------------------------===//
+
+  uint64_t evalValue(ThreadSim &T, const Frame &Fr, const Value *V) {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return (uint64_t)CI->getValue();
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      double D = CF->getValue();
+      if (CF->getType()->getKind() == Type::Kind::Float)
+        D = (float)D;
+      return bitsOfDouble(D);
+    }
+    if (isa<ConstantPointerNull>(V) || isa<UndefValue>(V))
+      return 0;
+    if (const auto *F = dyn_cast<Function>(V))
+      return CodeAddrs.at(F);
+    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+      if (auto It = SharedOffsets.find(G); It != SharedOffsets.end())
+        return makeSimAddr(Seg::Shared, It->second);
+      return GlobalAddrs.at(G);
+    }
+    auto It = Fr.FI->Slot.find(V);
+    if (It != Fr.FI->Slot.end())
+      return Fr.Regs[It->second];
+    (void)T;
+    ompgpu_unreachable("unhandled value kind in evaluation");
+  }
+
+  void writeResult(Frame &Fr, const Instruction *I, uint64_t V) {
+    if (I->getType()->isVoidTy())
+      return;
+    if (I->getType()->isIntegerTy())
+      V = (uint64_t)normalizeInt(I->getType(), (int64_t)V);
+    Fr.Regs[Fr.FI->Slot.at(I)] = V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------------===//
+
+  bool accessMemory(ThreadSim &T, uint64_t Addr, void *Data, uint64_t Bytes,
+                    bool IsWrite) {
+    switch (getSimAddrSeg(Addr)) {
+    case Seg::Global: {
+      uint64_t Off = getSimAddrOffset(Addr);
+      if (Off + Bytes > Dev.getGlobalBrk())
+        return false;
+      uint8_t *P = Dev.getGlobalArena().data() + Off;
+      IsWrite ? std::memcpy(P, Data, Bytes) : std::memcpy(Data, P, Bytes);
+      return true;
+    }
+    case Seg::Shared: {
+      uint64_t Off = getSimAddrOffset(Addr);
+      if (Off + Bytes > SharedArena.size())
+        return false;
+      uint8_t *P = SharedArena.data() + Off;
+      IsWrite ? std::memcpy(P, Data, Bytes) : std::memcpy(Data, P, Bytes);
+      return true;
+    }
+    case Seg::Local: {
+      unsigned Owner = getLocalSimAddrOwner(Addr);
+      if (Owner != T.Tid)
+        return false; // cross-thread access to a stack variable (Fig. 3)
+      uint64_t Off = getLocalSimAddrOffset(Addr);
+      if (Off + Bytes > T.LocalArena.size())
+        return false;
+      uint8_t *P = T.LocalArena.data() + Off;
+      IsWrite ? std::memcpy(P, Data, Bytes) : std::memcpy(Data, P, Bytes);
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+
+  unsigned memoryCycles(const Frame &Fr, const Instruction *I,
+                        uint64_t Addr) {
+    switch (getSimAddrSeg(Addr)) {
+    case Seg::Local:
+      return Costs.LocalMemCycles;
+    case Seg::Shared: {
+      uint64_t Off = getSimAddrOffset(Addr);
+      for (const auto &[Begin, End, Cyc] : SharedCostRegions)
+        if (Off >= Begin && Off < End)
+          return Cyc;
+      return Costs.SharedMemCycles;
+    }
+    case Seg::Global: {
+      // L2 cache model: repeated lines are cheap regardless of the
+      // coalescing class (read-only tables, the SU(3) B matrix, hot
+      // binary-search levels...).
+      const MachineModel &MM = Dev.getMachine();
+      uint64_t Line = getSimAddrOffset(Addr) / MM.CacheLineBytes + 1;
+      uint64_t &Tag = CacheTags[Line % MM.CacheLines];
+      if (Tag == Line)
+        return Costs.GlobalCachedCycles;
+      Tag = Line;
+      auto It = Fr.FI->GlobalClass.find(I);
+      GlobalAccessClass C = It == Fr.FI->GlobalClass.end()
+                                ? GlobalAccessClass::Uncoalesced
+                                : It->second;
+      switch (C) {
+      case GlobalAccessClass::Uniform:
+        return Costs.GlobalUniformCycles;
+      case GlobalAccessClass::Coalesced:
+        return Costs.GlobalCoalescedCycles;
+      case GlobalAccessClass::Uncoalesced:
+        return Costs.GlobalUncoalescedCycles;
+      }
+      ompgpu_unreachable("covered switch");
+    }
+    default:
+      return Costs.LocalMemCycles;
+    }
+  }
+
+  /// Loads a typed value from memory into register representation.
+  bool loadTyped(ThreadSim &T, uint64_t Addr, const Type *Ty,
+                 uint64_t &Out) {
+    switch (Ty->getKind()) {
+    case Type::Kind::Int1:
+    case Type::Kind::Int8: {
+      int8_t V = 0;
+      if (!accessMemory(T, Addr, &V, 1, false))
+        return false;
+      Out = (uint64_t)normalizeInt(Ty, V);
+      return true;
+    }
+    case Type::Kind::Int32: {
+      int32_t V = 0;
+      if (!accessMemory(T, Addr, &V, 4, false))
+        return false;
+      Out = (uint64_t)(int64_t)V;
+      return true;
+    }
+    case Type::Kind::Int64:
+    case Type::Kind::Pointer: {
+      uint64_t V = 0;
+      if (!accessMemory(T, Addr, &V, 8, false))
+        return false;
+      Out = V;
+      return true;
+    }
+    case Type::Kind::Float: {
+      float V = 0;
+      if (!accessMemory(T, Addr, &V, 4, false))
+        return false;
+      Out = bitsOfDouble((double)V);
+      return true;
+    }
+    case Type::Kind::Double: {
+      double V = 0;
+      if (!accessMemory(T, Addr, &V, 8, false))
+        return false;
+      Out = bitsOfDouble(V);
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+
+  bool storeTyped(ThreadSim &T, uint64_t Addr, const Type *Ty, uint64_t In) {
+    switch (Ty->getKind()) {
+    case Type::Kind::Int1:
+    case Type::Kind::Int8: {
+      int8_t V = (int8_t)In;
+      return accessMemory(T, Addr, &V, 1, true);
+    }
+    case Type::Kind::Int32: {
+      int32_t V = (int32_t)In;
+      return accessMemory(T, Addr, &V, 4, true);
+    }
+    case Type::Kind::Int64:
+    case Type::Kind::Pointer:
+      return accessMemory(T, Addr, &In, 8, true);
+    case Type::Kind::Float: {
+      float V = (float)doubleOfBits(In);
+      return accessMemory(T, Addr, &V, 4, true);
+    }
+    case Type::Kind::Double: {
+      double V = doubleOfBits(In);
+      return accessMemory(T, Addr, &V, 8, true);
+    }
+    default:
+      return false;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Thread execution
+  //===--------------------------------------------------------------------===//
+
+  void runThread(ThreadSim &T) {
+    while (T.Status == ThreadStatus::Runnable) {
+      Frame &Fr = T.Stack.back();
+      if (Fr.InstIdx >= Fr.CurBB->size()) {
+        trapThread(T, "fell off the end of block '" + Fr.CurBB->getName() +
+                          "'");
+        return;
+      }
+      const std::vector<const Instruction *> &Insts =
+          Fr.FI->BlockInsts.at(Fr.CurBB);
+      executeInstruction(T, Insts[Fr.InstIdx]);
+    }
+  }
+
+  void branchTo(ThreadSim &T, Frame &Fr, const BasicBlock *Dest) {
+    Fr.PrevBB = Fr.CurBB;
+    Fr.CurBB = Dest;
+    Fr.InstIdx = 0;
+    // Execute all phis as a parallel assignment.
+    std::vector<std::pair<const PhiInst *, uint64_t>> PhiVals;
+    for (const Instruction *I : *Dest) {
+      const auto *Phi = dyn_cast<PhiInst>(I);
+      if (!Phi)
+        break;
+      const Value *In = Phi->getIncomingValueForBlock(Fr.PrevBB);
+      if (!In) {
+        trapThread(T, "phi has no incoming value for predecessor");
+        return;
+      }
+      PhiVals.push_back({Phi, evalValue(T, Fr, In)});
+      ++Fr.InstIdx;
+    }
+    for (auto &[Phi, V] : PhiVals)
+      writeResult(Fr, Phi, V);
+  }
+
+  void returnFromFrame(ThreadSim &T, uint64_t RetVal, bool HasRet) {
+    Frame Done = std::move(T.Stack.back());
+    T.Stack.pop_back();
+    T.LocalBrk = Done.LocalWatermark;
+    if (T.Stack.empty()) {
+      T.Status = ThreadStatus::Finished;
+      return;
+    }
+    Frame &Caller = T.Stack.back();
+    if (HasRet && Done.CallSite)
+      writeResult(Caller, Done.CallSite, RetVal);
+    ++Caller.InstIdx;
+  }
+
+  void executeInstruction(ThreadSim &T, const Instruction *I) {
+    Frame &Fr = T.Stack.back();
+    ++Stats.DynamicInstructions;
+    if (PerInstExtra > 0) {
+      T.SpillDebt += PerInstExtra;
+      if (T.SpillDebt >= 1.0) {
+        uint64_t Whole = (uint64_t)T.SpillDebt;
+        T.Clock += Whole;
+        T.SpillDebt -= (double)Whole;
+      }
+    }
+
+    switch (I->getOpcode()) {
+    case ValueKind::Alloca: {
+      const auto *AI = cast<AllocaInst>(I);
+      uint64_t Size = std::max<uint64_t>(1, AI->getAllocSizeInBytes());
+      T.LocalBrk = (T.LocalBrk + 7) & ~7ull;
+      uint64_t Off = T.LocalBrk;
+      T.LocalBrk += Size;
+      if (T.LocalBrk > T.LocalArena.size())
+        T.LocalArena.resize(std::max<uint64_t>(T.LocalBrk,
+                                               T.LocalArena.size() * 2 + 64),
+                            0);
+      writeResult(Fr, I, makeLocalSimAddr(T.Tid, Off));
+      T.Clock += Costs.AllocaCycles;
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::Load: {
+      const auto *LI = cast<LoadInst>(I);
+      uint64_t Addr = evalValue(T, Fr, LI->getPointerOperand());
+      uint64_t V = 0;
+      if (!loadTyped(T, Addr, LI->getType(), V)) {
+        trapThread(T, "invalid load from address " + toString(Addr) +
+                          (getSimAddrSeg(Addr) == Seg::Local
+                               ? " (cross-thread stack access?)"
+                               : ""));
+        return;
+      }
+      writeResult(Fr, I, V);
+      T.Clock += scaled(memoryCycles(Fr, I, Addr));
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(I);
+      uint64_t Addr = evalValue(T, Fr, SI->getPointerOperand());
+      uint64_t V = evalValue(T, Fr, SI->getValueOperand());
+      if (!storeTyped(T, Addr, SI->getAccessType(), V)) {
+        trapThread(T, "invalid store to address " + toString(Addr) +
+                          (getSimAddrSeg(Addr) == Seg::Local
+                               ? " (cross-thread stack access?)"
+                               : ""));
+        return;
+      }
+      T.Clock += scaled(memoryCycles(Fr, I, Addr));
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::GEP: {
+      const auto *GEP = cast<GEPInst>(I);
+      uint64_t Addr = evalValue(T, Fr, GEP->getPointerOperand());
+      int64_t Offset = 0;
+      const Type *CurTy = GEP->getSourceElementType();
+      for (unsigned Idx = 0, E = GEP->getNumIndices(); Idx != E; ++Idx) {
+        int64_t IdxV = (int64_t)evalValue(T, Fr, GEP->getIndex(Idx));
+        if (Idx == 0) {
+          Offset += IdxV * (int64_t)CurTy->getSizeInBytes();
+        } else if (const auto *AT = dyn_cast<ArrayType>(CurTy)) {
+          CurTy = AT->getElementType();
+          Offset += IdxV * (int64_t)CurTy->getSizeInBytes();
+        } else if (const auto *ST = dyn_cast<StructType>(CurTy)) {
+          Offset += (int64_t)ST->getElementOffset((unsigned)IdxV);
+          CurTy = ST->getElementType((unsigned)IdxV);
+        } else {
+          trapThread(T, "malformed GEP index structure");
+          return;
+        }
+      }
+      writeResult(Fr, I, Addr + (uint64_t)Offset);
+      T.Clock += Costs.AluCycles;
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::AtomicRMW: {
+      const auto *AI = cast<AtomicRMWInst>(I);
+      uint64_t Addr = evalValue(T, Fr, AI->getPointerOperand());
+      uint64_t Operand = evalValue(T, Fr, AI->getValOperand());
+      const Type *Ty = AI->getAccessType();
+      uint64_t Old = 0;
+      if (!loadTyped(T, Addr, Ty, Old)) {
+        trapThread(T, "invalid atomic access");
+        return;
+      }
+      uint64_t New = Old;
+      switch (AI->getOperation()) {
+      case AtomicRMWOp::Xchg:
+        New = Operand;
+        break;
+      case AtomicRMWOp::Add:
+        New = Old + Operand;
+        break;
+      case AtomicRMWOp::FAdd:
+        New = bitsOfDouble(doubleOfBits(Old) + doubleOfBits(Operand));
+        break;
+      case AtomicRMWOp::Max:
+        New = (int64_t)Old > (int64_t)Operand ? Old : Operand;
+        break;
+      case AtomicRMWOp::Min:
+        New = (int64_t)Old < (int64_t)Operand ? Old : Operand;
+        break;
+      }
+      if (!storeTyped(T, Addr, Ty, New)) {
+        trapThread(T, "invalid atomic access");
+        return;
+      }
+      writeResult(Fr, I, Old);
+      T.Clock += scaled(Costs.AtomicCycles);
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::BinOp:
+      executeBinOp(T, Fr, cast<BinOpInst>(I));
+      return;
+    case ValueKind::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      int64_t L = (int64_t)evalValue(T, Fr, C->getLHS());
+      int64_t R = (int64_t)evalValue(T, Fr, C->getRHS());
+      uint64_t UL = (uint64_t)L, UR = (uint64_t)R;
+      bool Res = false;
+      switch (C->getPredicate()) {
+      case ICmpPred::EQ:
+        Res = L == R;
+        break;
+      case ICmpPred::NE:
+        Res = L != R;
+        break;
+      case ICmpPred::SLT:
+        Res = L < R;
+        break;
+      case ICmpPred::SLE:
+        Res = L <= R;
+        break;
+      case ICmpPred::SGT:
+        Res = L > R;
+        break;
+      case ICmpPred::SGE:
+        Res = L >= R;
+        break;
+      case ICmpPred::ULT:
+        Res = UL < UR;
+        break;
+      case ICmpPred::ULE:
+        Res = UL <= UR;
+        break;
+      case ICmpPred::UGT:
+        Res = UL > UR;
+        break;
+      case ICmpPred::UGE:
+        Res = UL >= UR;
+        break;
+      }
+      writeResult(Fr, I, Res);
+      T.Clock += Costs.AluCycles;
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::FCmp: {
+      const auto *C = cast<FCmpInst>(I);
+      double L = doubleOfBits(evalValue(T, Fr, C->getLHS()));
+      double R = doubleOfBits(evalValue(T, Fr, C->getRHS()));
+      bool Res = false;
+      switch (C->getPredicate()) {
+      case FCmpPred::OEQ:
+        Res = L == R;
+        break;
+      case FCmpPred::ONE:
+        Res = L != R;
+        break;
+      case FCmpPred::OLT:
+        Res = L < R;
+        break;
+      case FCmpPred::OLE:
+        Res = L <= R;
+        break;
+      case FCmpPred::OGT:
+        Res = L > R;
+        break;
+      case FCmpPred::OGE:
+        Res = L >= R;
+        break;
+      }
+      writeResult(Fr, I, Res);
+      T.Clock += Costs.AluCycles;
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::Cast:
+      executeCast(T, Fr, cast<CastInst>(I));
+      return;
+    case ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      uint64_t C = evalValue(T, Fr, S->getCondition());
+      writeResult(Fr, I, (C & 1) ? evalValue(T, Fr, S->getTrueValue())
+                                 : evalValue(T, Fr, S->getFalseValue()));
+      T.Clock += Costs.SelectCycles;
+      ++Fr.InstIdx;
+      return;
+    }
+    case ValueKind::Math:
+      executeMath(T, Fr, cast<MathInst>(I));
+      return;
+    case ValueKind::Phi:
+      // Phis are executed by branchTo; reaching one directly means the
+      // entry block starts with a phi, which the verifier rejects.
+      trapThread(T, "phi executed outside of a branch");
+      return;
+    case ValueKind::Call:
+      executeCall(T, Fr, cast<CallInst>(I));
+      return;
+    case ValueKind::Ret: {
+      const auto *R = cast<RetInst>(I);
+      uint64_t V = 0;
+      bool HasVal = false;
+      if (const Value *RV = R->getReturnValue()) {
+        V = evalValue(T, Fr, RV);
+        HasVal = true;
+      }
+      T.Clock += Costs.RetCycles;
+      returnFromFrame(T, V, HasVal);
+      return;
+    }
+    case ValueKind::Br: {
+      const auto *B = cast<BrInst>(I);
+      T.Clock += Costs.BranchCycles;
+      if (!B->isConditional()) {
+        branchTo(T, Fr, B->getSuccessor(0));
+        return;
+      }
+      uint64_t C = evalValue(T, Fr, B->getCondition());
+      branchTo(T, Fr, B->getSuccessor((C & 1) ? 0 : 1));
+      return;
+    }
+    case ValueKind::Unreachable:
+      trapThread(T, "unreachable executed");
+      return;
+    default:
+      trapThread(T, std::string("unhandled instruction '") +
+                        I->getOpcodeName() + "'");
+      return;
+    }
+  }
+
+  void executeBinOp(ThreadSim &T, Frame &Fr, const BinOpInst *BO) {
+    uint64_t LB = evalValue(T, Fr, BO->getLHS());
+    uint64_t RB = evalValue(T, Fr, BO->getRHS());
+    const Type *Ty = BO->getType();
+    unsigned Cycles = Ty->getSizeInBytes() > 4 ? Costs.Alu64Cycles
+                                               : Costs.AluCycles;
+    if (BO->isFloatOp()) {
+      double L = doubleOfBits(LB), R = doubleOfBits(RB);
+      double Res = 0;
+      switch (BO->getBinaryOp()) {
+      case BinaryOp::FAdd:
+        Res = L + R;
+        break;
+      case BinaryOp::FSub:
+        Res = L - R;
+        break;
+      case BinaryOp::FMul:
+        Res = L * R;
+        break;
+      case BinaryOp::FDiv:
+        Res = L / R;
+        Cycles = Costs.MathCycles;
+        break;
+      default:
+        ompgpu_unreachable("not a float op");
+      }
+      if (Ty->getKind() == Type::Kind::Float)
+        Res = (float)Res;
+      writeResult(Fr, BO, bitsOfDouble(Res));
+      T.Clock += Cycles;
+      ++Fr.InstIdx;
+      return;
+    }
+
+    int64_t L = (int64_t)LB, R = (int64_t)RB;
+    unsigned Width = Ty->getIntegerBitWidth();
+    uint64_t Mask = Width >= 64 ? ~0ull : ((1ull << Width) - 1);
+    int64_t Res = 0;
+    switch (BO->getBinaryOp()) {
+    case BinaryOp::Add:
+      Res = (int64_t)((uint64_t)L + (uint64_t)R);
+      break;
+    case BinaryOp::Sub:
+      Res = (int64_t)((uint64_t)L - (uint64_t)R);
+      break;
+    case BinaryOp::Mul:
+      Res = (int64_t)((uint64_t)L * (uint64_t)R);
+      break;
+    case BinaryOp::SDiv:
+      if (R == 0) {
+        trapThread(T, "integer division by zero");
+        return;
+      }
+      Res = L / R;
+      Cycles = Costs.MathCycles;
+      break;
+    case BinaryOp::UDiv:
+      if (R == 0) {
+        trapThread(T, "integer division by zero");
+        return;
+      }
+      Res = (int64_t)(((uint64_t)L & Mask) / ((uint64_t)R & Mask));
+      Cycles = Costs.MathCycles;
+      break;
+    case BinaryOp::SRem:
+      if (R == 0) {
+        trapThread(T, "integer remainder by zero");
+        return;
+      }
+      Res = L % R;
+      Cycles = Costs.MathCycles;
+      break;
+    case BinaryOp::URem:
+      if (R == 0) {
+        trapThread(T, "integer remainder by zero");
+        return;
+      }
+      Res = (int64_t)(((uint64_t)L & Mask) % ((uint64_t)R & Mask));
+      Cycles = Costs.MathCycles;
+      break;
+    case BinaryOp::And:
+      Res = L & R;
+      break;
+    case BinaryOp::Or:
+      Res = L | R;
+      break;
+    case BinaryOp::Xor:
+      Res = L ^ R;
+      break;
+    case BinaryOp::Shl:
+      Res = (int64_t)((uint64_t)L << (R & (Width - 1)));
+      break;
+    case BinaryOp::LShr:
+      Res = (int64_t)(((uint64_t)L & Mask) >> (R & (Width - 1)));
+      break;
+    case BinaryOp::AShr:
+      Res = L >> (R & (Width - 1));
+      break;
+    default:
+      ompgpu_unreachable("not an integer op");
+    }
+    writeResult(Fr, BO, (uint64_t)Res);
+    T.Clock += Cycles;
+    ++Fr.InstIdx;
+  }
+
+  void executeCast(ThreadSim &T, Frame &Fr, const CastInst *C) {
+    uint64_t In = evalValue(T, Fr, C->getSrc());
+    const Type *SrcTy = C->getSrc()->getType();
+    const Type *DstTy = C->getType();
+    uint64_t Out = 0;
+    switch (C->getCastOp()) {
+    case CastOp::Trunc:
+    case CastOp::SExt:
+      Out = (uint64_t)normalizeInt(DstTy, (int64_t)In);
+      break;
+    case CastOp::ZExt: {
+      unsigned SrcBits = SrcTy->getIntegerBitWidth();
+      uint64_t Mask = SrcBits >= 64 ? ~0ull : ((1ull << SrcBits) - 1);
+      Out = In & Mask;
+      break;
+    }
+    case CastOp::FPToSI:
+      Out = (uint64_t)normalizeInt(DstTy, (int64_t)doubleOfBits(In));
+      break;
+    case CastOp::SIToFP: {
+      double D = (double)(int64_t)In;
+      if (DstTy->getKind() == Type::Kind::Float)
+        D = (float)D;
+      Out = bitsOfDouble(D);
+      break;
+    }
+    case CastOp::UIToFP: {
+      unsigned SrcBits = SrcTy->getIntegerBitWidth();
+      uint64_t Mask = SrcBits >= 64 ? ~0ull : ((1ull << SrcBits) - 1);
+      double D = (double)(In & Mask);
+      if (DstTy->getKind() == Type::Kind::Float)
+        D = (float)D;
+      Out = bitsOfDouble(D);
+      break;
+    }
+    case CastOp::FPTrunc:
+      Out = bitsOfDouble((double)(float)doubleOfBits(In));
+      break;
+    case CastOp::FPExt:
+      Out = In;
+      break;
+    case CastOp::PtrToInt:
+    case CastOp::IntToPtr:
+    case CastOp::AddrSpaceCast:
+      Out = In;
+      break;
+    }
+    writeResult(Fr, C, Out);
+    T.Clock += Costs.AluCycles;
+    ++Fr.InstIdx;
+  }
+
+  void executeMath(ThreadSim &T, Frame &Fr, const MathInst *M) {
+    double A = doubleOfBits(evalValue(T, Fr, M->getOperand(0)));
+    double B = M->getNumOperands() > 1
+                   ? doubleOfBits(evalValue(T, Fr, M->getOperand(1)))
+                   : 0.0;
+    double Res = 0;
+    switch (M->getMathOp()) {
+    case MathOp::Sqrt:
+      Res = std::sqrt(A);
+      break;
+    case MathOp::Sin:
+      Res = std::sin(A);
+      break;
+    case MathOp::Cos:
+      Res = std::cos(A);
+      break;
+    case MathOp::Exp:
+      Res = std::exp(A);
+      break;
+    case MathOp::Log:
+      Res = std::log(A);
+      break;
+    case MathOp::Fabs:
+      Res = std::fabs(A);
+      break;
+    case MathOp::Floor:
+      Res = std::floor(A);
+      break;
+    case MathOp::Pow:
+      Res = std::pow(A, B);
+      break;
+    case MathOp::FMin:
+      Res = std::fmin(A, B);
+      break;
+    case MathOp::FMax:
+      Res = std::fmax(A, B);
+      break;
+    }
+    if (M->getType()->getKind() == Type::Kind::Float)
+      Res = (float)Res;
+    writeResult(Fr, M, bitsOfDouble(Res));
+    T.Clock += Costs.MathCycles;
+    ++Fr.InstIdx;
+  }
+
+  void executeCall(ThreadSim &T, Frame &Fr, const CallInst *CI) {
+    std::vector<uint64_t> Args;
+    Args.reserve(CI->arg_size());
+    for (unsigned A = 0, E = CI->arg_size(); A != E; ++A)
+      Args.push_back(evalValue(T, Fr, CI->getArgOperand(A)));
+
+    const Function *Callee = CI->getCalledFunction();
+    if (!Callee) {
+      // Indirect call through a code address.
+      uint64_t Target = evalValue(T, Fr, CI->getCalledOperand());
+      if (getSimAddrSeg(Target) != Seg::Code ||
+          getSimAddrOffset(Target) >= CodeTable.size()) {
+        trapThread(T, "indirect call to a non-function address");
+        return;
+      }
+      Callee = CodeTable[getSimAddrOffset(Target)];
+      ++Stats.IndirectCalls;
+      T.Clock += Costs.IndirectCallCycles;
+    }
+
+    if (!Callee->isDeclaration()) {
+      if (CI->getCalledFunction())
+        T.Clock += Costs.CallCycles;
+      pushFrame(T, Callee, Args, CI);
+      return;
+    }
+
+    // Native runtime call.
+    auto It = RTL.Handlers.find(Callee->getName());
+    if (It == RTL.Handlers.end()) {
+      trapThread(T, "call to unknown external function '" +
+                        Callee->getName() + "'");
+      return;
+    }
+    ++Stats.RuntimeCalls;
+    NativeResult R = It->second(T, Args);
+    T.Clock += R.ExtraCycles;
+    switch (R.K) {
+    case NativeResult::Kind::Value:
+      writeResult(Fr, CI, R.Ret);
+      ++Fr.InstIdx;
+      return;
+    case NativeResult::Kind::Block:
+      T.Status = ThreadStatus::AtBarrier;
+      T.WaitBarrierId = R.BarrierId;
+      T.WaitBarrierCount = R.BarrierCount;
+      return; // InstIdx advanced on release
+    case NativeResult::Kind::Trap:
+      trapThread(T, R.Msg);
+      return;
+    }
+  }
+};
+
+// ThreadSim virtuals (need Simulation definition).
+unsigned ThreadSim::getBlockDim() const { return Sim->Config.BlockDim; }
+unsigned ThreadSim::getBlockId() const { return Sim->BlockId; }
+unsigned ThreadSim::getGridDim() const { return Sim->Config.GridDim; }
+unsigned ThreadSim::getWarpSize() const {
+  return Sim->Dev.getMachine().WarpSize;
+}
+uint64_t ThreadSim::getDataSharingSlabBytes() const {
+  return Sim->Dev.getMachine().DataSharingSlabBytes;
+}
+RTLBlockStateBase &ThreadSim::getRTLState() { return *Sim->RTLState; }
+bool ThreadSim::readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) {
+  return Sim->accessMemory(*this, Addr, Dst, Bytes, /*IsWrite=*/false);
+}
+bool ThreadSim::writeMemory(uint64_t Addr, const void *Src,
+                            uint64_t Bytes) {
+  return Sim->accessMemory(*this, Addr, const_cast<void *>(Src), Bytes,
+                           /*IsWrite=*/true);
+}
+uint64_t ThreadSim::sharedStackAlloc(uint64_t Bytes) {
+  uint64_t Aligned = (Sim->SharedStackBrk + 7) & ~7ull;
+  if (Sim->StaticSharedBytes + Aligned + Bytes > Sim->SharedArena.size())
+    return 0;
+  Sim->SharedStackBrk = Aligned + Bytes;
+  Sim->SharedStackPeak = std::max(Sim->SharedStackPeak, Sim->SharedStackBrk);
+  return makeSimAddr(Seg::Shared, Sim->StaticSharedBytes + Aligned);
+}
+void ThreadSim::sharedStackFree(uint64_t Bytes) {
+  Sim->SharedStackBrk -= std::min(Sim->SharedStackBrk, Bytes);
+}
+uint64_t ThreadSim::heapAlloc(uint64_t Bytes) {
+  Sim->BlockHeapCur += Bytes;
+  Sim->BlockHeapPeak = std::max(Sim->BlockHeapPeak, Sim->BlockHeapCur);
+  Sim->Stats.HeapFallbackBytes += Bytes;
+  return Sim->Dev.heapAllocate(Bytes);
+}
+void ThreadSim::heapFree(uint64_t Bytes) {
+  Sim->BlockHeapCur -= std::min(Sim->BlockHeapCur, Bytes);
+}
+void ThreadSim::setSharedRegionCost(uint64_t Addr, uint64_t Bytes,
+                                    unsigned CyclesPerAccess) {
+  if (getSimAddrSeg(Addr) != Seg::Shared)
+    return;
+  uint64_t Off = getSimAddrOffset(Addr);
+  Sim->SharedCostRegions.push_back({Off, Off + Bytes, CyclesPerAccess});
+}
+void ThreadSim::clearSharedRegionCost(uint64_t Addr) {
+  if (getSimAddrSeg(Addr) != Seg::Shared)
+    return;
+  uint64_t Off = getSimAddrOffset(Addr);
+  erase_if(Sim->SharedCostRegions,
+           [Off](const std::tuple<uint64_t, uint64_t, unsigned> &R) {
+             return std::get<0>(R) == Off;
+           });
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Kernel launch
+//===----------------------------------------------------------------------===//
+
+KernelStats GPUDevice::launchKernel(Module &M, Function *Kernel,
+                                    const LaunchConfig &Config,
+                                    const std::vector<uint64_t> &Args,
+                                    const NativeRuntimeBinding &RTL) {
+  KernelStats Stats;
+  Stats.KernelName = Kernel->getName();
+  assert(Args.size() == Kernel->arg_size() && "kernel argument mismatch");
+
+  Simulation Sim(*this, M, Config, RTL, Stats);
+
+  // Resource estimation under the build's register budget; demand beyond
+  // the budget spills to local memory.
+  unsigned Budget = Config.Flavor == RuntimeFlavor::Legacy
+                        ? Machine.Costs.LegacyRegisterBudget
+                        : Machine.Costs.RegisterBudget;
+  KernelResources Res = estimateKernelResources(M, Kernel, Machine, Budget);
+  Stats.RegsPerThread = Res.RegsPerThread;
+  Stats.StaticSharedBytes = Res.StaticSharedBytes;
+  if (Res.RawRegDemand > Res.RegsPerThread) {
+    double SpillRatio =
+        (double)(Res.RawRegDemand - Res.RegsPerThread) / Res.RawRegDemand;
+    Sim.PerInstExtra += SpillRatio * Machine.Costs.SpillCostCycles;
+  }
+  if (Config.Flavor == RuntimeFlavor::Legacy)
+    Sim.PerInstExtra += Machine.Costs.LegacyPerInstOverheadCycles;
+
+  // Occupancy: the data-sharing slab is resident only if the module can
+  // call into the globalization runtime.
+  uint64_t SlabBytes = 0;
+  for (const Function *F : M.functions())
+    if (F->hasUses() && (F->getName() == "__kmpc_alloc_shared" ||
+                         F->getName() ==
+                             "__kmpc_data_sharing_coalesced_push_stack"))
+      SlabBytes = Machine.DataSharingSlabBytes;
+  unsigned BlocksPerSM = computeBlocksPerSM(Machine, Res, Config.BlockDim,
+                                            SlabBytes);
+  Stats.BlocksPerSM = BlocksPerSM;
+
+  // Latency hiding: too few resident warps per SM inflate memory costs.
+  // Warps-by-registers is computed smoothly (not block-quantized) so that
+  // small register count changes do not cause cliff effects.
+  double WarpsByThreads = (double)Machine.MaxThreadsPerSM / Machine.WarpSize;
+  double WarpsByRegs =
+      (double)Machine.RegistersPerSM /
+      ((double)std::max(1u, std::min(Res.RegsPerThread,
+                                     Machine.Costs.OccupancyRegCap)) *
+       Machine.WarpSize);
+  double ResidentWarps = std::min(WarpsByThreads, WarpsByRegs);
+  if (ResidentWarps < (double)Machine.Costs.LatencyHidingTargetWarps)
+    Sim.LatencyScale = Machine.Costs.LatencyHidingTargetWarps /
+                       std::max(1.0, ResidentWarps);
+  if (Config.Flavor == RuntimeFlavor::Legacy)
+    Sim.LatencyScale *= Machine.Costs.LegacyLatencyFactor;
+
+  // Select the blocks to simulate.
+  unsigned Grid = Config.GridDim;
+  unsigned NumSim = Config.MaxSimulatedBlocks == 0
+                        ? Grid
+                        : std::min(Grid, Config.MaxSimulatedBlocks);
+  std::vector<unsigned> BlockIds;
+  for (unsigned I = 0; I < NumSim; ++I)
+    BlockIds.push_back((unsigned)((uint64_t)I * Grid / NumSim));
+
+  uint64_t TotalCycles = 0;
+  uint64_t MaxHeapPeak = 0;
+  for (unsigned B : BlockIds) {
+    TotalCycles += Sim.runBlock(Kernel, B, Args);
+    MaxHeapPeak = std::max(MaxHeapPeak, Sim.BlockHeapPeak);
+    if (!Sim.Trap.empty()) {
+      Stats.Trap = Sim.Trap;
+      break;
+    }
+  }
+  Stats.SimulatedBlocks = NumSim;
+  Stats.DynamicSharedBytes = Sim.SharedStackPeak;
+
+  Stats.ConcurrentBlocks = std::min<uint64_t>(
+      (uint64_t)BlocksPerSM * Machine.NumSMs, std::max(1u, Grid));
+  Stats.Waves =
+      (Grid + Stats.ConcurrentBlocks - 1) / std::max(1u,
+                                                     Stats.ConcurrentBlocks);
+
+  double MeanBlockCycles = NumSim ? (double)TotalCycles / NumSim : 0.0;
+  Stats.Cycles = (uint64_t)(MeanBlockCycles * Stats.Waves);
+  Stats.Milliseconds = Stats.Cycles / (Machine.ClockGHz * 1e6);
+
+  // Out-of-memory model: globalization heap demand of all concurrently
+  // resident blocks vs. the device heap.
+  if (MaxHeapPeak * Stats.ConcurrentBlocks > Machine.DeviceHeapBytes)
+    Stats.OutOfMemory = true;
+
+  return Stats;
+}

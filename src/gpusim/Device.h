@@ -1,0 +1,153 @@
+//===- gpusim/Device.h - Simulated GPU device -------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated GPU: global memory management and kernel launches. A
+/// launch interprets the kernel IR with one logical thread per GPU thread,
+/// per-thread cycle clocks, named block barriers with clock alignment, and
+/// a static memory-coalescing cost model. Device runtime functions are
+/// bound through a NativeRuntimeBinding (implemented in src/rtl).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_DEVICE_H
+#define OMPGPU_GPUSIM_DEVICE_H
+
+#include "gpusim/KernelStats.h"
+#include "gpusim/MachineModel.h"
+#include "gpusim/SimAddress.h"
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class Function;
+class Module;
+class SimThread;
+
+/// Base class for runtime-private per-block state (defined by src/rtl).
+class RTLBlockStateBase {
+public:
+  virtual ~RTLBlockStateBase();
+};
+
+/// Outcome of a native runtime call.
+struct NativeResult {
+  enum class Kind : uint8_t { Value, Block, Trap } K = Kind::Value;
+  uint64_t Ret = 0;
+  unsigned BarrierId = 0;
+  unsigned BarrierCount = 0;
+  unsigned ExtraCycles = 0;
+  std::string Msg;
+
+  static NativeResult value(uint64_t V, unsigned Cycles = 0) {
+    NativeResult R;
+    R.Ret = V;
+    R.ExtraCycles = Cycles;
+    return R;
+  }
+  static NativeResult voidValue(unsigned Cycles = 0) {
+    return value(0, Cycles);
+  }
+  /// Block the calling thread on named barrier \p Id until \p Count
+  /// threads of the block arrive.
+  static NativeResult barrier(unsigned Id, unsigned Count,
+                              unsigned Cycles = 0) {
+    NativeResult R;
+    R.K = Kind::Block;
+    R.BarrierId = Id;
+    R.BarrierCount = Count;
+    R.ExtraCycles = Cycles;
+    return R;
+  }
+  static NativeResult trap(std::string Msg) {
+    NativeResult R;
+    R.K = Kind::Trap;
+    R.Msg = std::move(Msg);
+    return R;
+  }
+};
+
+/// Signature of a native runtime function implementation.
+using NativeHandler =
+    std::function<NativeResult(SimThread &, const std::vector<uint64_t> &)>;
+
+/// Everything the device needs to resolve runtime declarations.
+struct NativeRuntimeBinding {
+  std::map<std::string, NativeHandler> Handlers;
+  std::function<std::unique_ptr<RTLBlockStateBase>()> MakeBlockState;
+};
+
+/// Kernel launch configuration.
+struct LaunchConfig {
+  unsigned GridDim = 1;
+  unsigned BlockDim = 32;
+  RuntimeFlavor Flavor = RuntimeFlavor::Modern;
+  /// 0 simulates every block; otherwise only this many (evenly strided)
+  /// blocks run and the kernel time is extrapolated over all waves.
+  unsigned MaxSimulatedBlocks = 0;
+};
+
+/// A simulated GPU with persistent global memory across launches.
+class GPUDevice {
+public:
+  explicit GPUDevice(MachineModel MM = MachineModel());
+  ~GPUDevice();
+
+  const MachineModel &getMachine() const { return Machine; }
+  MachineModel &getMachine() { return Machine; }
+
+  /// \name Global memory management
+  /// @{
+  /// Allocates device global memory; returns its simulated address.
+  uint64_t allocate(uint64_t Bytes);
+  void memcpyToDevice(uint64_t Addr, const void *Src, uint64_t Bytes);
+  void memcpyFromDevice(void *Dst, uint64_t Addr, uint64_t Bytes) const;
+
+  template <typename T>
+  uint64_t allocateArray(const std::vector<T> &Host) {
+    uint64_t Addr = allocate(Host.size() * sizeof(T));
+    memcpyToDevice(Addr, Host.data(), Host.size() * sizeof(T));
+    return Addr;
+  }
+  template <typename T>
+  std::vector<T> downloadArray(uint64_t Addr, size_t Count) const {
+    std::vector<T> Host(Count);
+    memcpyFromDevice(Host.data(), Addr, Count * sizeof(T));
+    return Host;
+  }
+  /// @}
+
+  /// Launches \p Kernel from \p M. \p Args are the kernel parameters as
+  /// raw 64-bit values (pointers are simulated addresses).
+  KernelStats launchKernel(Module &M, Function *Kernel,
+                           const LaunchConfig &Config,
+                           const std::vector<uint64_t> &Args,
+                           const NativeRuntimeBinding &RTL);
+
+  /// \name Internal access for the interpreter and natives
+  /// @{
+  std::vector<uint8_t> &getGlobalArena() { return GlobalArena; }
+  uint64_t getGlobalBrk() const { return GlobalBrk; }
+  /// Bump-allocates device-heap memory (globalization fallback).
+  uint64_t heapAllocate(uint64_t Bytes) { return allocate(Bytes); }
+  /// @}
+
+private:
+  MachineModel Machine;
+  std::vector<uint8_t> GlobalArena;
+  uint64_t GlobalBrk = 64; // keep low addresses invalid
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_DEVICE_H

@@ -1,0 +1,63 @@
+//===- gpusim/KernelStats.h - Kernel launch statistics ----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measurements returned by a simulated kernel launch: the quantities the
+/// paper reports in Fig. 10 (kernel time, shared memory, registers) plus
+/// diagnostic counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_KERNELSTATS_H
+#define OMPGPU_GPUSIM_KERNELSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace ompgpu {
+
+/// Result of one simulated kernel launch.
+struct KernelStats {
+  std::string KernelName;
+
+  /// Simulated kernel time.
+  double Milliseconds = 0.0;
+  uint64_t Cycles = 0;
+
+  /// Resource usage (Fig. 10 columns).
+  unsigned RegsPerThread = 0;
+  uint64_t StaticSharedBytes = 0;  ///< module shared globals
+  uint64_t DynamicSharedBytes = 0; ///< peak data-sharing stack usage
+
+  /// Occupancy derivation.
+  unsigned BlocksPerSM = 0;
+  unsigned ConcurrentBlocks = 0;
+  unsigned Waves = 0;
+
+  /// Diagnostics.
+  uint64_t DynamicInstructions = 0;
+  uint64_t Barriers = 0;
+  uint64_t IndirectCalls = 0;
+  uint64_t RuntimeCalls = 0;
+  uint64_t HeapFallbackBytes = 0; ///< globalization spill to device heap
+  unsigned SimulatedBlocks = 0;
+
+  /// Out-of-memory: the globalization fallback heap demand across the
+  /// concurrently resident blocks exceeds the device heap (the RSBench
+  /// "OoM" bar in Fig. 11b).
+  bool OutOfMemory = false;
+
+  /// Non-empty if a thread trapped (invalid access, cross-thread local
+  /// dereference, unknown callee, ...).
+  std::string Trap;
+
+  bool ok() const { return Trap.empty(); }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_KERNELSTATS_H

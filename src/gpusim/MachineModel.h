@@ -1,0 +1,129 @@
+//===- gpusim/MachineModel.h - GPU machine & cost parameters ---*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the simulated GPU. Defaults approximate the NVIDIA V100
+/// (SXM2) the paper evaluates on: 80 SMs, 64 warps/SM, 96 KiB shared
+/// memory and a 64K register file per SM. Cost parameters are expressed in
+/// cycles; the evaluation relies on *relative* kernel times, so only the
+/// ratios matter (memory vs. ALU vs. barrier vs. runtime calls).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_MACHINEMODEL_H
+#define OMPGPU_GPUSIM_MACHINEMODEL_H
+
+#include <cstdint>
+
+namespace ompgpu {
+
+/// Instruction and runtime-call costs in cycles.
+struct CostParams {
+  // Scalar compute.
+  unsigned AluCycles = 1;
+  unsigned Alu64Cycles = 2;
+  unsigned MathCycles = 16;
+  unsigned BranchCycles = 2;
+  unsigned SelectCycles = 1;
+  unsigned AllocaCycles = 1;
+  unsigned CallCycles = 6;
+  /// Calls through function pointers: instruction fetch stalls, no
+  /// inlining-based register allocation, divergent-target serialization.
+  /// This is the generic state machine's per-region cost the custom state
+  /// machine rewrite eliminates (Sec. IV-B2).
+  unsigned IndirectCallCycles = 6000;
+  unsigned RetCycles = 2;
+
+  // Memory, by resolved address space and (for global) static coalescing
+  // classification.
+  unsigned LocalMemCycles = 6;
+  unsigned SharedMemCycles = 12;
+  unsigned GlobalUniformCycles = 32;
+  unsigned GlobalCoalescedCycles = 44;
+  unsigned GlobalUncoalescedCycles = 320;
+  /// Global accesses that hit the (modelled) L2 cache.
+  unsigned GlobalCachedCycles = 24;
+  unsigned AtomicCycles = 64;
+  unsigned BarrierCycles = 32;
+
+  // Device runtime calls (modern runtime).
+  unsigned RTQueryCycles = 8;
+  unsigned AllocSharedCycles = 250;
+  unsigned AllocSharedHeapFallbackCycles = 600;
+  unsigned FreeSharedCycles = 120;
+  unsigned CoalescedPushCycles = 48; ///< amortized per warp (SoA push)
+  unsigned PopStackCycles = 24;
+  unsigned SetWorkCycles = 16;
+  unsigned KernelParallelCycles = 12;
+  unsigned TargetInitCycles = 64;
+
+  // The LLVM 12 "full" runtime taxes (Sec. V-C discussion: the baseline's
+  // slowness is not only globalization).
+  unsigned LegacyRTQueryExtraCycles = 24;
+  unsigned LegacyTargetInitCycles = 4000;
+  unsigned LegacyParallelExtraCycles = 500;
+
+  // Latency hiding: memory and long-latency math costs scale up when too
+  // few warps are resident per SM to cover the pipelines (this is how
+  // register pressure and shared-memory footprints become kernel time).
+  unsigned LatencyHidingTargetWarps = 24;
+  /// Register count beyond which the allocator trades spills for
+  /// occupancy; caps the occupancy penalty of very register-hungry
+  /// kernels.
+  unsigned OccupancyRegCap = 200;
+  /// Additional latency factor of the LLVM 12 runtime/codegen.
+  double LegacyLatencyFactor = 1.35;
+  /// Cost of one generic-mode work-descriptor handoff observed by each
+  /// worker (the device runtime's state-machine protocol; cf. [1]).
+  unsigned GenericHandoffCycles = 9000;
+  /// Per-executed-instruction overhead of the LLVM 12 device code
+  /// generation ("generic LLVM advances" the paper credits part of the
+  /// improvement to).
+  double LegacyPerInstOverheadCycles = 1.2;
+  /// Registers consumed by the OpenMP runtime ABI/state machine in device
+  /// kernels (Fig. 10: OpenMP builds use 144-255 registers where the CUDA
+  /// versions use 26-32).
+  unsigned OpenMPABIRegisters = 40;
+  // Register budgets: estimated demand beyond the budget spills to local
+  // memory. The legacy toolchain reserves registers for its runtime ABI.
+  unsigned RegisterBudget = 255;
+  unsigned LegacyRegisterBudget = 160;
+  unsigned SpillCostCycles = 10;
+};
+
+/// Which device runtime generation the module was compiled against.
+enum class RuntimeFlavor : uint8_t {
+  Modern, ///< The paper's rewritten runtime (LLVM 13 / Dev).
+  Legacy, ///< The LLVM 12 runtime with full-runtime initialization.
+};
+
+/// Simulated GPU hardware description (defaults: V100-like).
+struct MachineModel {
+  unsigned NumSMs = 80;
+  unsigned WarpSize = 32;
+  unsigned MaxThreadsPerSM = 2048;
+  unsigned MaxBlocksPerSM = 32;
+  uint64_t RegistersPerSM = 65536;
+  unsigned MaxRegsPerThread = 255;
+  uint64_t SharedMemPerSMBytes = 96 * 1024;
+  /// Modelled L2 cache: direct-mapped, 128-byte lines (per-block slice).
+  unsigned CacheLines = 8192;
+  unsigned CacheLineBytes = 128;
+  uint64_t SharedMemPerBlockBytes = 48 * 1024;
+  /// Shared-memory slab backing __kmpc_alloc_shared before falling back
+  /// to the device heap.
+  uint64_t DataSharingSlabBytes = 16 * 1024;
+  /// Device heap backing the globalization fallback
+  /// (cf. LIBOMPTARGET_HEAP_SIZE in the paper's RSBench discussion).
+  uint64_t DeviceHeapBytes = 8ull * 1024 * 1024;
+  double ClockGHz = 1.38;
+  CostParams Costs;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_MACHINEMODEL_H

@@ -1,0 +1,87 @@
+//===- gpusim/ResourceEstimator.cpp - Registers & occupancy ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/ResourceEstimator.h"
+#include "analysis/CallGraph.h"
+#include "analysis/RegisterPressure.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+
+using namespace ompgpu;
+
+KernelResources ompgpu::estimateKernelResources(const Module &M,
+                                                const Function *Kernel,
+                                                const MachineModel &Machine,
+                                                unsigned RegisterBudget) {
+  KernelResources Res;
+  CallGraph CG(M);
+  std::set<Function *> Reachable =
+      CG.reachableFrom(const_cast<Function *>(Kernel));
+
+  // Base estimate: the deepest register demand among reachable functions,
+  // plus a small per-call frame overhead. GPU compilers effectively inline
+  // or allocate per-function register windows; the maximum is a reasonable
+  // proxy for relative comparisons.
+  unsigned MaxPressure = 0; // damped below: allocators split live ranges
+  bool HasIndirect = false;
+  bool CallsAddressTaken = false;
+  for (const Function *F : Reachable) {
+    if (F->isDeclaration())
+      continue;
+    MaxPressure = std::max(MaxPressure, computeMaxRegisterPressure(*F));
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB)
+        if (const auto *CI = dyn_cast<CallInst>(I)) {
+          if (CI->isIndirectCall())
+            HasIndirect = true;
+          // Taking a function's address (e.g. passing a parallel-region
+          // wrapper to __kmpc_parallel_51) creates spurious call edges in
+          // vendor toolchains: the callee set is unknown, so the register
+          // allocator must assume the worst case.
+          for (unsigned A = 0, E = CI->arg_size(); A != E; ++A)
+            if (isa<Function>(CI->getArgOperand(A)))
+              CallsAddressTaken = true;
+        }
+  }
+
+  if (MaxPressure > 64)
+    MaxPressure = 64 + (MaxPressure - 64) / 2;
+  unsigned Regs = 10 + MaxPressure; // fixed overhead: ABI/system registers
+  // OpenMP device images carry the runtime's state machine and ABI state.
+  if (const Function *Init = M.getFunction("__kmpc_target_init"))
+    if (Init->hasUses())
+      Regs += Machine.Costs.OpenMPABIRegisters;
+  if (HasIndirect || CallsAddressTaken) {
+    Res.SpuriousCallEdgePenalty = true;
+    Regs += 64;
+  }
+  Res.RawRegDemand = Regs;
+  unsigned Budget = RegisterBudget ? RegisterBudget
+                                   : Machine.MaxRegsPerThread;
+  Budget = std::min<unsigned>(Budget, Machine.MaxRegsPerThread);
+  Res.RegsPerThread = std::min<unsigned>(Regs, Budget);
+  Res.StaticSharedBytes = M.getStaticSharedMemoryBytes();
+  return Res;
+}
+
+unsigned ompgpu::computeBlocksPerSM(const MachineModel &Machine,
+                                    const KernelResources &Res,
+                                    unsigned BlockDim,
+                                    uint64_t DynamicSharedBytes) {
+  unsigned ByThreads = Machine.MaxThreadsPerSM / std::max(1u, BlockDim);
+  uint64_t RegsPerBlock =
+      (uint64_t)std::max(1u, Res.RegsPerThread) * BlockDim;
+  unsigned ByRegs = (unsigned)(Machine.RegistersPerSM / RegsPerBlock);
+  uint64_t SharedPerBlock = Res.StaticSharedBytes + DynamicSharedBytes;
+  unsigned ByShared =
+      (unsigned)(Machine.SharedMemPerSMBytes / std::max<uint64_t>(
+                                                   1, SharedPerBlock));
+  unsigned Blocks = std::min(
+      {Machine.MaxBlocksPerSM, ByThreads, ByRegs, ByShared});
+  return std::max(1u, Blocks);
+}

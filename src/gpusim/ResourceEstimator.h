@@ -1,0 +1,52 @@
+//===- gpusim/ResourceEstimator.h - Registers & occupancy ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimates per-kernel register usage from SSA liveness, including the
+/// spurious-call-edge penalty for address-taken functions reachable from
+/// the kernel (LLVM PR46450, Sec. IV-B2) — the effect the custom state
+/// machine rewrite removes. Also derives occupancy (resident blocks per
+/// SM) from registers and shared memory, which feeds kernel time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_RESOURCEESTIMATOR_H
+#define OMPGPU_GPUSIM_RESOURCEESTIMATOR_H
+
+#include "gpusim/MachineModel.h"
+
+namespace ompgpu {
+
+class Function;
+class Module;
+
+/// Register/shared-memory summary for a kernel.
+struct KernelResources {
+  unsigned RegsPerThread = 0;
+  /// Estimated demand before applying the register budget; the excess
+  /// spills to local memory.
+  unsigned RawRegDemand = 0;
+  uint64_t StaticSharedBytes = 0;
+  /// True if an indirect call (or address-taken function) inflated the
+  /// register estimate.
+  bool SpuriousCallEdgePenalty = false;
+};
+
+/// Estimates the resources of \p Kernel within \p M.
+KernelResources estimateKernelResources(const Module &M,
+                                        const Function *Kernel,
+                                        const MachineModel &Machine,
+                                        unsigned RegisterBudget = 0);
+
+/// Derives the number of concurrently resident blocks per SM.
+unsigned computeBlocksPerSM(const MachineModel &Machine,
+                            const KernelResources &Res, unsigned BlockDim,
+                            uint64_t DynamicSharedBytes);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_RESOURCEESTIMATOR_H

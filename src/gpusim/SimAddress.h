@@ -1,0 +1,63 @@
+//===- gpusim/SimAddress.h - Simulated address encoding ---------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated pointers are 64-bit values with a segment tag in the top
+/// byte. Local addresses are thread-private: a cross-thread access through
+/// a local address traps, which is exactly the GPU property (Fig. 2,
+/// bottom row) that forces the globalization machinery of Sec. IV-A.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_SIMADDRESS_H
+#define OMPGPU_GPUSIM_SIMADDRESS_H
+
+#include <cstdint>
+
+namespace ompgpu {
+
+/// Memory segment of a simulated address.
+enum class Seg : uint8_t {
+  Null = 0,   ///< Null / invalid.
+  Global = 1, ///< Device global memory.
+  Shared = 3, ///< Per-block shared memory.
+  Local = 5,  ///< Per-thread local memory (stack).
+  Code = 7,   ///< Function addresses.
+};
+
+constexpr uint64_t makeSimAddr(Seg S, uint64_t Offset) {
+  return (uint64_t(S) << 56) | (Offset & 0x00FFFFFFFFFFFFFFull);
+}
+
+constexpr Seg getSimAddrSeg(uint64_t Addr) {
+  return Seg(uint8_t(Addr >> 56));
+}
+
+constexpr uint64_t getSimAddrOffset(uint64_t Addr) {
+  return Addr & 0x00FFFFFFFFFFFFFFull;
+}
+
+/// Local (stack) addresses additionally encode the owning thread id in
+/// bits [40,56). A dereference by a different thread is a simulated fault
+/// — the behaviour the unsound LLVM 12 SPMD stack optimization runs into
+/// (Fig. 3).
+constexpr uint64_t makeLocalSimAddr(unsigned OwnerTid, uint64_t Offset) {
+  return (uint64_t(Seg::Local) << 56) | (uint64_t(OwnerTid & 0xFFFF) << 40) |
+         (Offset & 0xFFFFFFFFFFull);
+}
+
+constexpr unsigned getLocalSimAddrOwner(uint64_t Addr) {
+  return unsigned((Addr >> 40) & 0xFFFF);
+}
+
+constexpr uint64_t getLocalSimAddrOffset(uint64_t Addr) {
+  return Addr & 0xFFFFFFFFFFull;
+}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_SIMADDRESS_H

@@ -1,0 +1,74 @@
+//===- gpusim/SimThread.h - Native-call view of a GPU thread ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface native runtime handlers (src/rtl) use to inspect and
+/// mutate the simulated execution: thread/block geometry, memory access,
+/// and the per-block data-sharing stack / device-heap allocators that back
+/// the globalization runtime calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_SIMTHREAD_H
+#define OMPGPU_GPUSIM_SIMTHREAD_H
+
+#include <cstdint>
+#include <string>
+
+namespace ompgpu {
+
+class RTLBlockStateBase;
+
+/// Handle to the simulated thread currently executing a native call.
+class SimThread {
+public:
+  virtual ~SimThread();
+
+  /// \name Geometry
+  /// @{
+  virtual unsigned getThreadId() const = 0;
+  virtual unsigned getBlockDim() const = 0;
+  virtual unsigned getBlockId() const = 0;
+  virtual unsigned getGridDim() const = 0;
+  virtual unsigned getWarpSize() const = 0;
+  /// Size of the shared-memory slab backing __kmpc_alloc_shared.
+  virtual uint64_t getDataSharingSlabBytes() const = 0;
+  /// @}
+
+  /// Runtime-private per-block state (created by the binding's factory).
+  virtual RTLBlockStateBase &getRTLState() = 0;
+
+  /// \name Memory access (returns false on an invalid address)
+  /// @{
+  virtual bool readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) = 0;
+  virtual bool writeMemory(uint64_t Addr, const void *Src,
+                           uint64_t Bytes) = 0;
+  /// @}
+
+  /// \name Globalization backing storage
+  /// @{
+  /// Allocates from the block's shared-memory data-sharing slab; returns 0
+  /// when the slab is exhausted (callers fall back to heapAlloc).
+  virtual uint64_t sharedStackAlloc(uint64_t Bytes) = 0;
+  virtual void sharedStackFree(uint64_t Bytes) = 0;
+  /// Allocates from the device heap, tracking per-block demand for the
+  /// out-of-memory model.
+  virtual uint64_t heapAlloc(uint64_t Bytes) = 0;
+  virtual void heapFree(uint64_t Bytes) = 0;
+  /// Overrides the per-access cost of a shared-memory region; used to
+  /// model the bank behaviour of runtime allocations: the simplified
+  /// scheme's per-variable allocations are packed (conflicting), the
+  /// legacy warp-coalesced pushes are SoA (conflict-free).
+  virtual void setSharedRegionCost(uint64_t Addr, uint64_t Bytes,
+                                   unsigned CyclesPerAccess) = 0;
+  virtual void clearSharedRegionCost(uint64_t Addr) = 0;
+  /// @}
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_SIMTHREAD_H

@@ -1,0 +1,516 @@
+//===- ir/AsmWriter.cpp - Textual IR printing ------------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AsmWriter.h"
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+#include "support/raw_ostream.h"
+
+#include <map>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Assigns %N slot numbers to unnamed values within one function.
+class SlotTracker {
+  std::map<const Value *, unsigned> Slots;
+  unsigned Next = 0;
+
+public:
+  explicit SlotTracker(const Function &F) {
+    for (const Argument *A : F.args())
+      if (!A->hasName())
+        Slots[A] = Next++;
+    for (const BasicBlock *BB : F) {
+      if (!BB->hasName())
+        Slots[BB] = Next++;
+      for (const Instruction *I : *BB)
+        if (!I->getType()->isVoidTy() && !I->hasName())
+          Slots[I] = Next++;
+    }
+  }
+
+  std::string getLocalName(const Value *V) const {
+    if (V->hasName())
+      return "%" + V->getName();
+    auto It = Slots.find(V);
+    if (It == Slots.end())
+      return "%<badref>";
+    return "%" + std::to_string(It->second);
+  }
+};
+
+const char *getBinaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "add";
+  case BinaryOp::Sub:
+    return "sub";
+  case BinaryOp::Mul:
+    return "mul";
+  case BinaryOp::SDiv:
+    return "sdiv";
+  case BinaryOp::UDiv:
+    return "udiv";
+  case BinaryOp::SRem:
+    return "srem";
+  case BinaryOp::URem:
+    return "urem";
+  case BinaryOp::And:
+    return "and";
+  case BinaryOp::Or:
+    return "or";
+  case BinaryOp::Xor:
+    return "xor";
+  case BinaryOp::Shl:
+    return "shl";
+  case BinaryOp::LShr:
+    return "lshr";
+  case BinaryOp::AShr:
+    return "ashr";
+  case BinaryOp::FAdd:
+    return "fadd";
+  case BinaryOp::FSub:
+    return "fsub";
+  case BinaryOp::FMul:
+    return "fmul";
+  case BinaryOp::FDiv:
+    return "fdiv";
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+const char *getICmpPredName(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return "eq";
+  case ICmpPred::NE:
+    return "ne";
+  case ICmpPred::SLT:
+    return "slt";
+  case ICmpPred::SLE:
+    return "sle";
+  case ICmpPred::SGT:
+    return "sgt";
+  case ICmpPred::SGE:
+    return "sge";
+  case ICmpPred::ULT:
+    return "ult";
+  case ICmpPred::ULE:
+    return "ule";
+  case ICmpPred::UGT:
+    return "ugt";
+  case ICmpPred::UGE:
+    return "uge";
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+const char *getFCmpPredName(FCmpPred P) {
+  switch (P) {
+  case FCmpPred::OEQ:
+    return "oeq";
+  case FCmpPred::ONE:
+    return "one";
+  case FCmpPred::OLT:
+    return "olt";
+  case FCmpPred::OLE:
+    return "ole";
+  case FCmpPred::OGT:
+    return "ogt";
+  case FCmpPred::OGE:
+    return "oge";
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+const char *getCastOpName(CastOp Op) {
+  switch (Op) {
+  case CastOp::Trunc:
+    return "trunc";
+  case CastOp::ZExt:
+    return "zext";
+  case CastOp::SExt:
+    return "sext";
+  case CastOp::FPToSI:
+    return "fptosi";
+  case CastOp::SIToFP:
+    return "sitofp";
+  case CastOp::UIToFP:
+    return "uitofp";
+  case CastOp::FPTrunc:
+    return "fptrunc";
+  case CastOp::FPExt:
+    return "fpext";
+  case CastOp::PtrToInt:
+    return "ptrtoint";
+  case CastOp::IntToPtr:
+    return "inttoptr";
+  case CastOp::AddrSpaceCast:
+    return "addrspacecast";
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+const char *getMathOpName(MathOp Op) {
+  switch (Op) {
+  case MathOp::Sqrt:
+    return "sqrt";
+  case MathOp::Sin:
+    return "sin";
+  case MathOp::Cos:
+    return "cos";
+  case MathOp::Exp:
+    return "exp";
+  case MathOp::Log:
+    return "log";
+  case MathOp::Fabs:
+    return "fabs";
+  case MathOp::Floor:
+    return "floor";
+  case MathOp::Pow:
+    return "pow";
+  case MathOp::FMin:
+    return "fmin";
+  case MathOp::FMax:
+    return "fmax";
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+const char *getAtomicRMWOpName(AtomicRMWOp Op) {
+  switch (Op) {
+  case AtomicRMWOp::Xchg:
+    return "xchg";
+  case AtomicRMWOp::Add:
+    return "add";
+  case AtomicRMWOp::FAdd:
+    return "fadd";
+  case AtomicRMWOp::Max:
+    return "max";
+  case AtomicRMWOp::Min:
+    return "min";
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+/// Printer for one function with its slot tracker.
+class FunctionPrinter {
+  const Function &F;
+  SlotTracker Slots;
+  raw_ostream &OS;
+
+public:
+  FunctionPrinter(const Function &F, raw_ostream &OS)
+      : F(F), Slots(F), OS(OS) {}
+
+  void printOperand(const Value *V, bool WithType = true) {
+    if (WithType && !isa<BasicBlock>(V)) {
+      V->getType()->print(OS);
+      OS << ' ';
+    }
+    if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+      OS << CI->getValue();
+      return;
+    }
+    if (const auto *CF = dyn_cast<ConstantFP>(V)) {
+      OS << formatBuf("%g", CF->getValue());
+      return;
+    }
+    if (isa<ConstantPointerNull>(V)) {
+      OS << "null";
+      return;
+    }
+    if (isa<UndefValue>(V)) {
+      OS << "undef";
+      return;
+    }
+    if (isa<GlobalValue>(V)) {
+      OS << '@' << V->getName();
+      return;
+    }
+    if (const auto *BB = dyn_cast<BasicBlock>(V)) {
+      OS << "label %" << (BB->hasName() ? BB->getName()
+                                        : Slots.getLocalName(BB).substr(1));
+      return;
+    }
+    OS << Slots.getLocalName(V);
+  }
+
+  void printInstruction(const Instruction *I) {
+    OS << "  ";
+    if (!I->getType()->isVoidTy()) {
+      OS << Slots.getLocalName(I) << " = ";
+    }
+    switch (I->getOpcode()) {
+    case ValueKind::Alloca: {
+      const auto *AI = cast<AllocaInst>(I);
+      OS << "alloca ";
+      AI->getAllocatedType()->print(OS);
+      break;
+    }
+    case ValueKind::Load: {
+      const auto *LI = cast<LoadInst>(I);
+      OS << "load ";
+      LI->getType()->print(OS);
+      OS << ", ";
+      printOperand(LI->getPointerOperand());
+      break;
+    }
+    case ValueKind::Store: {
+      const auto *SI = cast<StoreInst>(I);
+      OS << "store ";
+      printOperand(SI->getValueOperand());
+      OS << ", ";
+      printOperand(SI->getPointerOperand());
+      break;
+    }
+    case ValueKind::GEP: {
+      const auto *GEP = cast<GEPInst>(I);
+      OS << "getelementptr ";
+      GEP->getSourceElementType()->print(OS);
+      OS << ", ";
+      printOperand(GEP->getPointerOperand());
+      for (unsigned Idx = 0, E = GEP->getNumIndices(); Idx != E; ++Idx) {
+        OS << ", ";
+        printOperand(GEP->getIndex(Idx));
+      }
+      break;
+    }
+    case ValueKind::AtomicRMW: {
+      const auto *AI = cast<AtomicRMWInst>(I);
+      OS << "atomicrmw " << getAtomicRMWOpName(AI->getOperation()) << ' ';
+      printOperand(AI->getPointerOperand());
+      OS << ", ";
+      printOperand(AI->getValOperand());
+      break;
+    }
+    case ValueKind::BinOp: {
+      const auto *BO = cast<BinOpInst>(I);
+      OS << getBinaryOpName(BO->getBinaryOp()) << ' ';
+      printOperand(BO->getLHS());
+      OS << ", ";
+      printOperand(BO->getRHS(), /*WithType=*/false);
+      break;
+    }
+    case ValueKind::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      OS << "icmp " << getICmpPredName(C->getPredicate()) << ' ';
+      printOperand(C->getLHS());
+      OS << ", ";
+      printOperand(C->getRHS(), /*WithType=*/false);
+      break;
+    }
+    case ValueKind::FCmp: {
+      const auto *C = cast<FCmpInst>(I);
+      OS << "fcmp " << getFCmpPredName(C->getPredicate()) << ' ';
+      printOperand(C->getLHS());
+      OS << ", ";
+      printOperand(C->getRHS(), /*WithType=*/false);
+      break;
+    }
+    case ValueKind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      OS << getCastOpName(C->getCastOp()) << ' ';
+      printOperand(C->getSrc());
+      OS << " to ";
+      C->getType()->print(OS);
+      break;
+    }
+    case ValueKind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      OS << "select ";
+      printOperand(S->getCondition());
+      OS << ", ";
+      printOperand(S->getTrueValue());
+      OS << ", ";
+      printOperand(S->getFalseValue());
+      break;
+    }
+    case ValueKind::Math: {
+      const auto *M = cast<MathInst>(I);
+      OS << "math." << getMathOpName(M->getMathOp()) << ' ';
+      for (unsigned Idx = 0, E = M->getNumOperands(); Idx != E; ++Idx) {
+        if (Idx)
+          OS << ", ";
+        printOperand(M->getOperand(Idx));
+      }
+      break;
+    }
+    case ValueKind::Phi: {
+      const auto *P = cast<PhiInst>(I);
+      OS << "phi ";
+      P->getType()->print(OS);
+      for (unsigned Idx = 0, E = P->getNumIncoming(); Idx != E; ++Idx) {
+        OS << (Idx ? ", [" : " [");
+        printOperand(P->getIncomingValue(Idx), /*WithType=*/false);
+        OS << ", ";
+        printOperand(P->getIncomingBlock(Idx), /*WithType=*/false);
+        OS << ']';
+      }
+      break;
+    }
+    case ValueKind::Call: {
+      const auto *CI = cast<CallInst>(I);
+      OS << "call ";
+      CI->getType()->print(OS);
+      OS << ' ';
+      printOperand(CI->getCalledOperand(), /*WithType=*/false);
+      OS << '(';
+      for (unsigned Idx = 0, E = CI->arg_size(); Idx != E; ++Idx) {
+        if (Idx)
+          OS << ", ";
+        printOperand(CI->getArgOperand(Idx));
+      }
+      OS << ')';
+      break;
+    }
+    case ValueKind::Ret: {
+      const auto *R = cast<RetInst>(I);
+      OS << "ret";
+      if (Value *V = R->getReturnValue()) {
+        OS << ' ';
+        printOperand(V);
+      } else {
+        OS << " void";
+      }
+      break;
+    }
+    case ValueKind::Br: {
+      const auto *B = cast<BrInst>(I);
+      OS << "br ";
+      if (B->isConditional()) {
+        printOperand(B->getCondition());
+        OS << ", ";
+        printOperand(B->getSuccessor(0), /*WithType=*/false);
+        OS << ", ";
+        printOperand(B->getSuccessor(1), /*WithType=*/false);
+      } else {
+        printOperand(B->getSuccessor(0), /*WithType=*/false);
+      }
+      break;
+    }
+    case ValueKind::Unreachable:
+      OS << "unreachable";
+      break;
+    default:
+      ompgpu_unreachable("unhandled instruction kind");
+    }
+    OS << '\n';
+  }
+
+  void print() {
+    OS << (F.isDeclaration() ? "declare " : "define ");
+    if (F.hasInternalLinkage())
+      OS << "internal ";
+    F.getReturnType()->print(OS);
+    OS << " @" << F.getName() << '(';
+    for (unsigned I = 0, E = F.arg_size(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      const Argument *A = F.getArg(I);
+      A->getType()->print(OS);
+      if (A->hasNoEscapeAttr())
+        OS << " noescape";
+      OS << ' ' << Slots.getLocalName(A);
+    }
+    OS << ')';
+    for (FnAttr Attr : F.attrs()) {
+      switch (Attr) {
+      case FnAttr::ReadNone:
+        OS << " readnone";
+        break;
+      case FnAttr::ReadOnly:
+        OS << " readonly";
+        break;
+      case FnAttr::NoSync:
+        OS << " nosync";
+        break;
+      case FnAttr::NoFree:
+        OS << " nofree";
+        break;
+      case FnAttr::WillReturn:
+        OS << " willreturn";
+        break;
+      case FnAttr::Convergent:
+        OS << " convergent";
+        break;
+      case FnAttr::NoInline:
+        OS << " noinline";
+        break;
+      }
+    }
+    for (const std::string &A : F.assumptions())
+      OS << " \"omp.assume=" << A << '"';
+    if (F.isKernel()) {
+      const KernelEnvironment &Env = F.getKernelEnvironment();
+      OS << " kernel("
+         << (Env.Mode == ExecMode::SPMD ? "spmd" : "generic") << ')';
+    }
+    if (F.isDeclaration()) {
+      OS << '\n';
+      return;
+    }
+    OS << " {\n";
+    bool FirstBlock = true;
+    for (const BasicBlock *BB : F) {
+      if (!FirstBlock)
+        OS << '\n';
+      FirstBlock = false;
+      OS << (BB->hasName() ? BB->getName()
+                           : Slots.getLocalName(BB).substr(1))
+         << ":\n";
+      for (const Instruction *I : *BB)
+        printInstruction(I);
+    }
+    OS << "}\n";
+  }
+};
+
+} // namespace
+
+void ompgpu::printFunction(const Function &F, raw_ostream &OS) {
+  FunctionPrinter(F, OS).print();
+}
+
+void ompgpu::printModule(const Module &M, raw_ostream &OS) {
+  OS << "; module '" << M.getName() << "'\n";
+  for (const GlobalVariable *G : M.globals()) {
+    OS << '@' << G->getName() << " = ";
+    if (G->hasInternalLinkage())
+      OS << "internal ";
+    OS << "global ";
+    G->getValueType()->print(OS);
+    if (G->getAddressSpace() != AddrSpace::Generic)
+      OS << ", addrspace(" << (unsigned)G->getAddressSpace() << ')';
+    OS << '\n';
+  }
+  if (!M.globals().empty())
+    OS << '\n';
+  bool First = true;
+  for (const Function *F : M.functions()) {
+    if (!First)
+      OS << '\n';
+    First = false;
+    printFunction(*F, OS);
+  }
+}
+
+std::string ompgpu::moduleToString(const Module &M) {
+  std::string S;
+  raw_string_ostream OS(S);
+  printModule(M, OS);
+  return S;
+}
+
+std::string ompgpu::functionToString(const Function &F) {
+  std::string S;
+  raw_string_ostream OS(S);
+  printFunction(F, OS);
+  return S;
+}

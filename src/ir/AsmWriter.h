@@ -1,0 +1,37 @@
+//===- ir/AsmWriter.h - Textual IR printing ---------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules and functions in an LLVM-like textual syntax, used by
+/// tests, examples, and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_ASMWRITER_H
+#define OMPGPU_IR_ASMWRITER_H
+
+#include <string>
+
+namespace ompgpu {
+
+class Function;
+class Module;
+class raw_ostream;
+
+/// Prints \p M in textual form.
+void printModule(const Module &M, raw_ostream &OS);
+/// Prints \p F in textual form.
+void printFunction(const Function &F, raw_ostream &OS);
+
+/// Returns the textual form of \p M.
+std::string moduleToString(const Module &M);
+/// Returns the textual form of \p F.
+std::string functionToString(const Function &F);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_ASMWRITER_H

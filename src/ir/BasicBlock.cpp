@@ -1,0 +1,149 @@
+//===- ir/BasicBlock.cpp - Basic block container ---------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRContext.h"
+#include "support/ErrorHandling.h"
+#include "support/STLExtras.h"
+
+#include <algorithm>
+
+using namespace ompgpu;
+
+BasicBlock::BasicBlock(IRContext &Ctx, std::string Name)
+    : Value(ValueKind::BasicBlock, Ctx.getVoidTy()) {
+  setName(std::move(Name));
+}
+
+BasicBlock::~BasicBlock() {
+  // Destroy instructions from the back so most defs die after their users;
+  // drop remaining operand references first to avoid ordering issues.
+  for (auto &I : Insts)
+    I->dropAllOperands();
+  while (!Insts.empty())
+    Insts.pop_back();
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<Instruction *> BasicBlock::getInstructions() const {
+  std::vector<Instruction *> Result;
+  Result.reserve(Insts.size());
+  for (const auto &I : Insts)
+    Result.push_back(I.get());
+  return Result;
+}
+
+Instruction *BasicBlock::push_back(Instruction *I) {
+  assert(!I->getParent() && "instruction already belongs to a block");
+  I->setParent(this);
+  Insts.emplace_back(I);
+  return I;
+}
+
+Instruction *BasicBlock::insertBefore(Instruction *I, Instruction *Before) {
+  assert(!I->getParent() && "instruction already belongs to a block");
+  size_t Idx = indexOf(Before);
+  I->setParent(this);
+  Insts.emplace(Insts.begin() + Idx, I);
+  return I;
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(Instruction *I) {
+  size_t Idx = indexOf(I);
+  std::unique_ptr<Instruction> Owned = std::move(Insts[Idx]);
+  Insts.erase(Insts.begin() + Idx);
+  Owned->setParent(nullptr);
+  return Owned;
+}
+
+BasicBlock *BasicBlock::splitBefore(Instruction *I,
+                                    const std::string &Name) {
+  assert(I->getParent() == this && "split point not in this block");
+  assert(getTerminator() && "splitting an unterminated block");
+  Function *F = getParent();
+  BasicBlock *Tail = F->createBlock(Name);
+
+  // Move I and everything after it (terminator included).
+  std::vector<Instruction *> ToMove;
+  bool Found = false;
+  for (Instruction *Cur : *this) {
+    if (Cur == I)
+      Found = true;
+    if (Found)
+      ToMove.push_back(Cur);
+  }
+  for (Instruction *Cur : ToMove) {
+    std::unique_ptr<Instruction> Owned = remove(Cur);
+    Tail->push_back(Owned.release());
+  }
+
+  // Successor phis referred to this block; they must now name the tail.
+  if (auto *Term = dyn_cast_or_null<BrInst>(Tail->getTerminator()))
+    for (unsigned S = 0, E = Term->getNumSuccessors(); S != E; ++S)
+      for (PhiInst *Phi : Term->getSuccessor(S)->phis())
+        for (unsigned Idx = 0, PE = Phi->getNumIncoming(); Idx != PE; ++Idx)
+          if (Phi->getIncomingBlock(Idx) == this)
+            Phi->setOperand(2 * Idx + 1, Tail);
+
+  IRContext &Ctx = F->getContext();
+  push_back(new BrInst(Ctx, Tail));
+  return Tail;
+}
+
+size_t BasicBlock::indexOf(const Instruction *I) const {
+  for (size_t Idx = 0, E = Insts.size(); Idx != E; ++Idx)
+    if (Insts[Idx].get() == I)
+      return Idx;
+  ompgpu_unreachable("instruction not found in block");
+}
+
+std::vector<PhiInst *> BasicBlock::phis() const {
+  std::vector<PhiInst *> Result;
+  for (const auto &I : Insts) {
+    auto *Phi = dyn_cast<PhiInst>(I.get());
+    if (!Phi)
+      break;
+    Result.push_back(Phi);
+  }
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Preds;
+  for (User *U : users()) {
+    auto *Br = dyn_cast<BrInst>(U);
+    if (!Br || !Br->getParent())
+      continue;
+    // A conditional branch may reference this block twice; deduplicate.
+    if (!is_contained(Preds, Br->getParent()))
+      Preds.push_back(Br->getParent());
+  }
+  return Preds;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  if (auto *Br = dyn_cast_or_null<BrInst>(getTerminator()))
+    for (unsigned I = 0, E = Br->getNumSuccessors(); I != E; ++I)
+      Succs.push_back(Br->getSuccessor(I));
+  return Succs;
+}
+
+bool BasicBlock::hasPredecessor(const BasicBlock *Pred) const {
+  for (User *U : users())
+    if (auto *Br = dyn_cast<BrInst>(U))
+      if (Br->getParent() == Pred)
+        return true;
+  return false;
+}

@@ -1,0 +1,108 @@
+//===- ir/BasicBlock.h - Basic block container -------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock owns an ordered list of instructions ending in a terminator.
+/// Blocks are Values (usable as branch/phi operands) so CFG rewrites go
+/// through the regular use-list machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_BASICBLOCK_H
+#define OMPGPU_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+
+#include <memory>
+#include <vector>
+
+namespace ompgpu {
+
+class Function;
+class IRContext;
+
+/// A maximal straight-line sequence of instructions with a terminator.
+class BasicBlock : public Value {
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+
+public:
+  BasicBlock(IRContext &Ctx, std::string Name);
+  ~BasicBlock() override;
+
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  /// \name Instruction list access
+  /// @{
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// Returns the terminator, or null if the block is not yet terminated.
+  Instruction *getTerminator() const;
+
+  /// Returns a snapshot vector of the instructions; safe to iterate while
+  /// mutating the block.
+  std::vector<Instruction *> getInstructions() const;
+
+  /// Lightweight iteration over raw instruction pointers.
+  class iterator {
+    const std::unique_ptr<Instruction> *It;
+
+  public:
+    explicit iterator(const std::unique_ptr<Instruction> *It) : It(It) {}
+    Instruction *operator*() const { return It->get(); }
+    iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return It != O.It; }
+    bool operator==(const iterator &O) const { return It == O.It; }
+  };
+  iterator begin() const { return iterator(Insts.data()); }
+  iterator end() const { return iterator(Insts.data() + Insts.size()); }
+  /// @}
+
+  /// \name Mutation
+  /// @{
+  /// Appends \p I to the end of the block, taking ownership.
+  Instruction *push_back(Instruction *I);
+  /// Inserts \p I immediately before \p Before (which must be in this
+  /// block), taking ownership.
+  Instruction *insertBefore(Instruction *I, Instruction *Before);
+  /// Detaches \p I (must be in this block) and returns ownership.
+  std::unique_ptr<Instruction> remove(Instruction *I);
+  /// Splits this block before \p I: all instructions from \p I onwards
+  /// (including the terminator) move to a new block named \p Name, this
+  /// block gets an unconditional branch to it, and phi nodes in the old
+  /// successors are retargeted. Returns the new block.
+  BasicBlock *splitBefore(Instruction *I, const std::string &Name);
+  /// Returns the index of \p I within this block; asserts if absent.
+  size_t indexOf(const Instruction *I) const;
+  /// @}
+
+  /// Returns the phi nodes leading this block.
+  std::vector<PhiInst *> phis() const;
+
+  /// Computes the predecessor blocks by scanning this block's users.
+  std::vector<BasicBlock *> predecessors() const;
+  /// Returns the successors of the terminator (empty if none).
+  std::vector<BasicBlock *> successors() const;
+  /// True if \p Pred is a predecessor of this block.
+  bool hasPredecessor(const BasicBlock *Pred) const;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::BasicBlock;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_BASICBLOCK_H

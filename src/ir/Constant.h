@@ -1,0 +1,151 @@
+//===- ir/Constant.h - Constants and global variables -----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant values (uniqued by IRContext) and global objects. The
+/// HeapToShared transformation materializes GlobalVariables in the Shared
+/// address space; linkage drives the internalization optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_CONSTANT_H
+#define OMPGPU_IR_CONSTANT_H
+
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+namespace ompgpu {
+
+class Module;
+
+/// Base class of all constants.
+class Constant : public Value {
+protected:
+  Constant(ValueKind Kind, Type *Ty) : Value(Kind, Ty) {}
+
+public:
+  static bool classof(const Value *V) {
+    ValueKind K = V->getValueKind();
+    return K >= ValueKind::ConstantInt && K <= ValueKind::Function;
+  }
+};
+
+/// An integer constant of a specific integer type.
+class ConstantInt : public Constant {
+  int64_t Val;
+
+  friend class IRContext;
+  ConstantInt(Type *Ty, int64_t Val) : Constant(ValueKind::ConstantInt, Ty),
+                                       Val(Val) {}
+
+public:
+  int64_t getValue() const { return Val; }
+  uint64_t getZExtValue() const { return static_cast<uint64_t>(Val); }
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantInt;
+  }
+};
+
+/// A floating point constant (float or double).
+class ConstantFP : public Constant {
+  double Val;
+
+  friend class IRContext;
+  ConstantFP(Type *Ty, double Val) : Constant(ValueKind::ConstantFP, Ty),
+                                     Val(Val) {}
+
+public:
+  double getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantFP;
+  }
+};
+
+/// The null pointer constant of a given address space.
+class ConstantPointerNull : public Constant {
+  friend class IRContext;
+  explicit ConstantPointerNull(PointerType *Ty)
+      : Constant(ValueKind::ConstantPointerNull, Ty) {}
+
+public:
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ConstantPointerNull;
+  }
+};
+
+/// An undefined value of a given type.
+class UndefValue : public Constant {
+  friend class IRContext;
+  explicit UndefValue(Type *Ty) : Constant(ValueKind::UndefValue, Ty) {}
+
+public:
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::UndefValue;
+  }
+};
+
+/// Symbol linkage. The paper's internalization duplicates External
+/// functions into Internal clones so the inter-procedural analyses see all
+/// call sites; LinkOnceODR models linkage kinds that cannot be duplicated.
+enum class Linkage : uint8_t {
+  External,    ///< Visible to (and callable from) other translation units.
+  Internal,    ///< Local to this module.
+  LinkOnceODR, ///< Mergeable duplicate; internalization must not clone it.
+};
+
+/// Common base of GlobalVariable and Function: a named module-level object.
+class GlobalValue : public Constant {
+  Module *Parent = nullptr;
+  Linkage TheLinkage = Linkage::External;
+
+protected:
+  GlobalValue(ValueKind Kind, Type *Ty) : Constant(Kind, Ty) {}
+
+public:
+  Module *getParent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  Linkage getLinkage() const { return TheLinkage; }
+  void setLinkage(Linkage L) { TheLinkage = L; }
+  bool hasInternalLinkage() const { return TheLinkage == Linkage::Internal; }
+  bool hasExternalLinkage() const { return TheLinkage == Linkage::External; }
+
+  static bool classof(const Value *V) {
+    ValueKind K = V->getValueKind();
+    return K == ValueKind::GlobalVariable || K == ValueKind::Function;
+  }
+};
+
+/// A module-level variable in some address space. Shared-memory globals
+/// created by HeapToShared live in AddrSpace::Shared and contribute to the
+/// kernel's static shared memory footprint (Fig. 10 "SMem" column).
+class GlobalVariable : public GlobalValue {
+  Type *ValueType;
+  AddrSpace AS;
+  Constant *Initializer; ///< May be null (zero-initialized).
+
+public:
+  GlobalVariable(IRContext &Ctx, Type *ValueType, AddrSpace AS,
+                 std::string Name, Constant *Initializer = nullptr);
+
+  Type *getValueType() const { return ValueType; }
+  AddrSpace getAddressSpace() const { return AS; }
+  Constant *getInitializer() const { return Initializer; }
+  uint64_t getAllocSizeInBytes() const { return ValueType->getSizeInBytes(); }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::GlobalVariable;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_CONSTANT_H

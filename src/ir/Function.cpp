@@ -1,0 +1,92 @@
+//===- ir/Function.cpp - Function, attributes, kernel metadata ------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+#include "ir/IRContext.h"
+#include "support/ErrorHandling.h"
+
+using namespace ompgpu;
+
+Function::Function(IRContext &Ctx, FunctionType *FTy, std::string Name)
+    : GlobalValue(ValueKind::Function, Ctx.getPtrTy(AddrSpace::Generic)),
+      Ctx(Ctx), FTy(FTy) {
+  setName(std::move(Name));
+  for (unsigned I = 0, E = FTy->getNumParams(); I != E; ++I)
+    Args.emplace_back(new Argument(FTy->getParamType(I), this, I));
+}
+
+Function::~Function() {
+  // Cross-block and cross-instruction references must be dropped before any
+  // instruction is destroyed, otherwise use-list asserts fire.
+  for (auto &BB : Blocks)
+    for (Instruction *I : *BB)
+      I->dropAllOperands();
+  Blocks.clear();
+}
+
+std::vector<Argument *> Function::args() const {
+  std::vector<Argument *> Result;
+  Result.reserve(Args.size());
+  for (const auto &A : Args)
+    Result.push_back(A.get());
+  return Result;
+}
+
+BasicBlock *Function::createBlock(std::string Name) {
+  // Uniquify block names within the function for readable printing.
+  std::string Unique = Name;
+  unsigned Suffix = 0;
+  auto NameTaken = [&](const std::string &N) {
+    for (const auto &BB : Blocks)
+      if (BB->getName() == N)
+        return true;
+    return false;
+  };
+  while (NameTaken(Unique))
+    Unique = Name + "." + std::to_string(++Suffix);
+
+  auto *BB = new BasicBlock(Ctx, std::move(Unique));
+  BB->setParent(this);
+  Blocks.emplace_back(BB);
+  return BB;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  assert(!BB->hasUses() && "erasing a block that still has uses");
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I) {
+    if (Blocks[I].get() != BB)
+      continue;
+    for (Instruction *Inst : *BB)
+      Inst->dropAllOperands();
+    Blocks.erase(Blocks.begin() + I);
+    return;
+  }
+  ompgpu_unreachable("block not found in function");
+}
+
+std::vector<BasicBlock *> Function::getBlocks() const {
+  std::vector<BasicBlock *> Result;
+  Result.reserve(Blocks.size());
+  for (const auto &BB : Blocks)
+    Result.push_back(BB.get());
+  return Result;
+}
+
+bool Function::hasAddressTaken() const {
+  for (User *U : users()) {
+    auto *CI = dyn_cast<CallInst>(U);
+    // Used by a store, GEP, phi, select, ... -> address taken.
+    if (!CI)
+      return true;
+    // A call may use this function both as the callee and as an argument;
+    // check every operand slot.
+    for (unsigned I = 0, E = CI->getNumOperands(); I != E; ++I)
+      if (CI->getOperand(I) == this && I != 0)
+        return true;
+  }
+  return false;
+}

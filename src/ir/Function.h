@@ -1,0 +1,158 @@
+//===- ir/Function.h - Function, attributes, kernel metadata ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function definitions and declarations, function attributes, OpenMP 5.1
+/// assumptions, and the per-kernel execution environment the OpenMPOpt pass
+/// reads and rewrites (execution mode, state machine selection, launch
+/// bounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_FUNCTION_H
+#define OMPGPU_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Constant.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class IRContext;
+class Module;
+
+/// Boolean function attributes, a subset of LLVM's.
+enum class FnAttr : uint8_t {
+  ReadNone,   ///< Accesses no memory (pure).
+  ReadOnly,   ///< Does not write memory.
+  NoSync,     ///< Performs no synchronization (no barriers/atomics).
+  NoFree,     ///< Does not free memory.
+  WillReturn, ///< Always returns (no infinite loops/aborts).
+  Convergent, ///< May not be moved across control flow (barriers).
+  NoInline,   ///< Must not be inlined.
+};
+
+/// OpenMP kernel execution modes (Sec. II / IV-B of the paper).
+enum class ExecMode : uint8_t {
+  Generic, ///< Main thread executes; workers wait in a state machine.
+  SPMD,    ///< All threads execute from kernel launch.
+};
+
+/// Per-kernel configuration, mirroring the device runtime's kernel
+/// environment. OpenMPOpt's SPMDzation flips Mode; the custom state machine
+/// rewrite clears UseGenericStateMachine; launch bounds feed runtime call
+/// folding (Sec. IV-C "Launch Parameters").
+struct KernelEnvironment {
+  ExecMode Mode = ExecMode::Generic;
+  bool UseGenericStateMachine = true;
+  bool MayUseNestedParallelism = true;
+  /// Threads per team from a thread_limit/num_threads clause; -1 unknown.
+  int MaxThreads = -1;
+  /// Teams in the league from a num_teams clause; -1 unknown.
+  int NumTeams = -1;
+};
+
+/// A function definition (with blocks) or declaration (without).
+class Function : public GlobalValue {
+  IRContext &Ctx;
+  FunctionType *FTy;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::set<FnAttr> Attrs;
+  /// OpenMP 5.1 assumptions attached via `#pragma omp assumes`, e.g.
+  /// "ext_spmd_amenable" (Sec. IV-D).
+  std::set<std::string> Assumptions;
+  bool IsKernel = false;
+  KernelEnvironment KernelEnv;
+
+public:
+  Function(IRContext &Ctx, FunctionType *FTy, std::string Name);
+  ~Function() override;
+
+  IRContext &getContext() const { return Ctx; }
+  FunctionType *getFunctionType() const { return FTy; }
+  Type *getReturnType() const { return FTy->getReturnType(); }
+
+  /// \name Arguments
+  /// @{
+  unsigned arg_size() const { return Args.size(); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+  std::vector<Argument *> args() const;
+  /// @}
+
+  /// \name Blocks
+  /// @{
+  bool isDeclaration() const { return Blocks.empty(); }
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "declaration has no entry block");
+    return Blocks.front().get();
+  }
+  /// Creates and appends a new block named \p Name.
+  BasicBlock *createBlock(std::string Name);
+  /// Detaches and deletes \p BB, which must have no remaining uses.
+  void eraseBlock(BasicBlock *BB);
+  /// Returns a snapshot of the block list, entry first.
+  std::vector<BasicBlock *> getBlocks() const;
+
+  class block_iterator {
+    const std::unique_ptr<BasicBlock> *It;
+
+  public:
+    explicit block_iterator(const std::unique_ptr<BasicBlock> *It) : It(It) {}
+    BasicBlock *operator*() const { return It->get(); }
+    block_iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const block_iterator &O) const { return It != O.It; }
+  };
+  block_iterator begin() const { return block_iterator(Blocks.data()); }
+  block_iterator end() const {
+    return block_iterator(Blocks.data() + Blocks.size());
+  }
+  /// @}
+
+  /// \name Attributes and assumptions
+  /// @{
+  bool hasFnAttr(FnAttr A) const { return Attrs.count(A); }
+  void addFnAttr(FnAttr A) { Attrs.insert(A); }
+  void removeFnAttr(FnAttr A) { Attrs.erase(A); }
+  const std::set<FnAttr> &attrs() const { return Attrs; }
+
+  bool hasAssumption(const std::string &A) const {
+    return Assumptions.count(A);
+  }
+  void addAssumption(std::string A) { Assumptions.insert(std::move(A)); }
+  const std::set<std::string> &assumptions() const { return Assumptions; }
+
+  /// True if the function's address is taken anywhere (i.e. it has a use
+  /// that is not the callee operand of a direct call).
+  bool hasAddressTaken() const;
+  /// @}
+
+  /// \name Kernel metadata
+  /// @{
+  bool isKernel() const { return IsKernel; }
+  void setKernel(bool V = true) { IsKernel = V; }
+  KernelEnvironment &getKernelEnvironment() { return KernelEnv; }
+  const KernelEnvironment &getKernelEnvironment() const { return KernelEnv; }
+  /// @}
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Function;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_FUNCTION_H

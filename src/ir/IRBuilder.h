@@ -1,0 +1,246 @@
+//===- ir/IRBuilder.h - Convenience IR construction -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder inserts newly created instructions at a configurable insertion
+/// point, in the style of llvm::IRBuilder. Both the OpenMP front-end and
+/// the optimization passes construct IR through this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_IRBUILDER_H
+#define OMPGPU_IR_IRBUILDER_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRContext.h"
+#include "ir/Instruction.h"
+
+namespace ompgpu {
+
+/// Creates instructions at an insertion point within a basic block.
+class IRBuilder {
+  IRContext &Ctx;
+  BasicBlock *BB = nullptr;
+  /// When non-null, new instructions are inserted before this instruction;
+  /// otherwise they are appended to the block.
+  Instruction *InsertBefore = nullptr;
+
+public:
+  explicit IRBuilder(IRContext &Ctx) : Ctx(Ctx) {}
+  explicit IRBuilder(BasicBlock *BB)
+      : Ctx(BB->getParent()->getContext()), BB(BB) {}
+
+  IRContext &getContext() const { return Ctx; }
+
+  /// \name Insertion point management
+  /// @{
+  void setInsertPoint(BasicBlock *TheBB) {
+    BB = TheBB;
+    InsertBefore = nullptr;
+  }
+  void setInsertPoint(Instruction *I) {
+    BB = I->getParent();
+    InsertBefore = I;
+  }
+  BasicBlock *getInsertBlock() const { return BB; }
+  /// @}
+
+  /// Inserts \p I at the current insertion point and returns it.
+  template <typename InstT> InstT *insert(InstT *I, std::string Name = "") {
+    assert(BB && "no insertion point set");
+    if (!Name.empty())
+      I->setName(std::move(Name));
+    if (InsertBefore)
+      BB->insertBefore(I, InsertBefore);
+    else
+      BB->push_back(I);
+    return I;
+  }
+
+  /// \name Constants
+  /// @{
+  ConstantInt *getInt1(bool V) { return Ctx.getInt1(V); }
+  ConstantInt *getInt32(int64_t V) { return Ctx.getInt32(V); }
+  ConstantInt *getInt64(int64_t V) { return Ctx.getInt64(V); }
+  ConstantFP *getFloat(double V) { return Ctx.getFloat(V); }
+  ConstantFP *getDouble(double V) { return Ctx.getDouble(V); }
+  Type *getInt32Ty() { return Ctx.getInt32Ty(); }
+  Type *getInt64Ty() { return Ctx.getInt64Ty(); }
+  Type *getFloatTy() { return Ctx.getFloatTy(); }
+  Type *getDoubleTy() { return Ctx.getDoubleTy(); }
+  Type *getVoidTy() { return Ctx.getVoidTy(); }
+  PointerType *getPtrTy(AddrSpace AS = AddrSpace::Generic) {
+    return Ctx.getPtrTy(AS);
+  }
+  /// @}
+
+  /// \name Memory
+  /// @{
+  AllocaInst *createAlloca(Type *Ty, std::string Name = "") {
+    return insert(new AllocaInst(Ctx, Ty), std::move(Name));
+  }
+  LoadInst *createLoad(Type *Ty, Value *Ptr, std::string Name = "") {
+    return insert(new LoadInst(Ty, Ptr), std::move(Name));
+  }
+  StoreInst *createStore(Value *Val, Value *Ptr) {
+    return insert(new StoreInst(Ctx, Val, Ptr));
+  }
+  GEPInst *createGEP(Type *ElemTy, Value *Ptr, std::vector<Value *> Idx,
+                     std::string Name = "") {
+    return insert(new GEPInst(Ctx, ElemTy, Ptr, std::move(Idx)),
+                  std::move(Name));
+  }
+  AtomicRMWInst *createAtomicRMW(AtomicRMWOp Op, Value *Ptr, Value *Val,
+                                 std::string Name = "") {
+    return insert(new AtomicRMWInst(Op, Ptr, Val), std::move(Name));
+  }
+  /// @}
+
+  /// \name Arithmetic
+  /// @{
+  BinOpInst *createBinOp(BinaryOp Op, Value *L, Value *R,
+                         std::string Name = "") {
+    return insert(new BinOpInst(Op, L, R), std::move(Name));
+  }
+  BinOpInst *createAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::Add, L, R, std::move(Name));
+  }
+  BinOpInst *createSub(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::Sub, L, R, std::move(Name));
+  }
+  BinOpInst *createMul(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::Mul, L, R, std::move(Name));
+  }
+  BinOpInst *createSDiv(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::SDiv, L, R, std::move(Name));
+  }
+  BinOpInst *createSRem(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::SRem, L, R, std::move(Name));
+  }
+  BinOpInst *createAnd(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::And, L, R, std::move(Name));
+  }
+  BinOpInst *createOr(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::Or, L, R, std::move(Name));
+  }
+  BinOpInst *createXor(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::Xor, L, R, std::move(Name));
+  }
+  BinOpInst *createShl(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::Shl, L, R, std::move(Name));
+  }
+  BinOpInst *createLShr(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::LShr, L, R, std::move(Name));
+  }
+  BinOpInst *createFAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::FAdd, L, R, std::move(Name));
+  }
+  BinOpInst *createFSub(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::FSub, L, R, std::move(Name));
+  }
+  BinOpInst *createFMul(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::FMul, L, R, std::move(Name));
+  }
+  BinOpInst *createFDiv(Value *L, Value *R, std::string Name = "") {
+    return createBinOp(BinaryOp::FDiv, L, R, std::move(Name));
+  }
+  /// @}
+
+  /// \name Comparisons and conversions
+  /// @{
+  ICmpInst *createICmp(ICmpPred P, Value *L, Value *R,
+                       std::string Name = "") {
+    return insert(new ICmpInst(Ctx, P, L, R), std::move(Name));
+  }
+  ICmpInst *createICmpEQ(Value *L, Value *R, std::string Name = "") {
+    return createICmp(ICmpPred::EQ, L, R, std::move(Name));
+  }
+  ICmpInst *createICmpNE(Value *L, Value *R, std::string Name = "") {
+    return createICmp(ICmpPred::NE, L, R, std::move(Name));
+  }
+  ICmpInst *createICmpSLT(Value *L, Value *R, std::string Name = "") {
+    return createICmp(ICmpPred::SLT, L, R, std::move(Name));
+  }
+  ICmpInst *createICmpSGE(Value *L, Value *R, std::string Name = "") {
+    return createICmp(ICmpPred::SGE, L, R, std::move(Name));
+  }
+  FCmpInst *createFCmp(FCmpPred P, Value *L, Value *R,
+                       std::string Name = "") {
+    return insert(new FCmpInst(Ctx, P, L, R), std::move(Name));
+  }
+  CastInst *createCast(CastOp Op, Value *Src, Type *DestTy,
+                       std::string Name = "") {
+    return insert(new CastInst(Op, Src, DestTy), std::move(Name));
+  }
+  CastInst *createZExt(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(CastOp::ZExt, Src, DestTy, std::move(Name));
+  }
+  CastInst *createSExt(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(CastOp::SExt, Src, DestTy, std::move(Name));
+  }
+  CastInst *createTrunc(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(CastOp::Trunc, Src, DestTy, std::move(Name));
+  }
+  CastInst *createSIToFP(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(CastOp::SIToFP, Src, DestTy, std::move(Name));
+  }
+  CastInst *createFPExt(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(CastOp::FPExt, Src, DestTy, std::move(Name));
+  }
+  CastInst *createFPTrunc(Value *Src, Type *DestTy, std::string Name = "") {
+    return createCast(CastOp::FPTrunc, Src, DestTy, std::move(Name));
+  }
+  CastInst *createAddrSpaceCast(Value *Src, AddrSpace AS,
+                                std::string Name = "") {
+    return createCast(CastOp::AddrSpaceCast, Src, Ctx.getPtrTy(AS),
+                      std::move(Name));
+  }
+  /// @}
+
+  /// \name Misc values
+  /// @{
+  SelectInst *createSelect(Value *C, Value *T, Value *F,
+                           std::string Name = "") {
+    return insert(new SelectInst(C, T, F), std::move(Name));
+  }
+  MathInst *createMath(MathOp Op, std::vector<Value *> Args,
+                       std::string Name = "") {
+    return insert(new MathInst(Op, std::move(Args)), std::move(Name));
+  }
+  PhiInst *createPhi(Type *Ty, std::string Name = "") {
+    return insert(new PhiInst(Ty), std::move(Name));
+  }
+  CallInst *createCall(Function *Callee, std::vector<Value *> Args,
+                       std::string Name = "") {
+    return insert(new CallInst(Callee, std::move(Args)), std::move(Name));
+  }
+  CallInst *createIndirectCall(FunctionType *FTy, Value *Callee,
+                               std::vector<Value *> Args,
+                               std::string Name = "") {
+    return insert(new CallInst(FTy, Callee, std::move(Args)),
+                  std::move(Name));
+  }
+  /// @}
+
+  /// \name Terminators
+  /// @{
+  RetInst *createRetVoid() { return insert(new RetInst(Ctx, nullptr)); }
+  RetInst *createRet(Value *V) { return insert(new RetInst(Ctx, V)); }
+  BrInst *createBr(BasicBlock *Dest) { return insert(new BrInst(Ctx, Dest)); }
+  BrInst *createCondBr(Value *Cond, BasicBlock *T, BasicBlock *F) {
+    return insert(new BrInst(Ctx, Cond, T, F));
+  }
+  UnreachableInst *createUnreachable() {
+    return insert(new UnreachableInst(Ctx));
+  }
+  /// @}
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_IRBUILDER_H

@@ -1,0 +1,119 @@
+//===- ir/IRContext.cpp - Type and constant uniquing context --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRContext.h"
+#include "ir/Constant.h"
+#include "support/ErrorHandling.h"
+
+using namespace ompgpu;
+
+IRContext::IRContext() = default;
+IRContext::~IRContext() = default;
+
+PointerType *IRContext::getPtrTy(AddrSpace AS) {
+  auto &Slot = PointerTypes[(unsigned)AS];
+  if (!Slot)
+    Slot.reset(new PointerType(AS));
+  return Slot.get();
+}
+
+ArrayType *IRContext::getArrayTy(Type *Element, uint64_t NumElements) {
+  for (auto &T : OwnedTypes)
+    if (auto *AT = dyn_cast<ArrayType>(T.get()))
+      if (AT->getElementType() == Element &&
+          AT->getNumElements() == NumElements)
+        return AT;
+  auto *AT = new ArrayType(Element, NumElements);
+  OwnedTypes.emplace_back(AT);
+  return AT;
+}
+
+StructType *IRContext::getStructTy(std::vector<Type *> Elements) {
+  for (auto &T : OwnedTypes)
+    if (auto *ST = dyn_cast<StructType>(T.get()))
+      if (ST->elements() == Elements)
+        return ST;
+  auto *ST = new StructType(std::move(Elements));
+  OwnedTypes.emplace_back(ST);
+  return ST;
+}
+
+FunctionType *IRContext::getFunctionTy(Type *Ret, std::vector<Type *> Params) {
+  for (auto &T : OwnedTypes)
+    if (auto *FT = dyn_cast<FunctionType>(T.get()))
+      if (FT->getReturnType() == Ret && FT->params() == Params)
+        return FT;
+  auto *FT = new FunctionType(Ret, std::move(Params));
+  OwnedTypes.emplace_back(FT);
+  return FT;
+}
+
+ConstantInt *IRContext::getConstantInt(Type *Ty, int64_t V) {
+  assert(Ty->isIntegerTy() && "integer constant requires an integer type");
+  // Normalize to the type's width so equal constants unique properly.
+  switch (Ty->getKind()) {
+  case Type::Kind::Int1:
+    V = V & 1;
+    break;
+  case Type::Kind::Int8:
+    V = static_cast<int8_t>(V);
+    break;
+  case Type::Kind::Int32:
+    V = static_cast<int32_t>(V);
+    break;
+  default:
+    break;
+  }
+  auto &Slot = IntConsts[{Ty, V}];
+  if (!Slot)
+    Slot.reset(new ConstantInt(Ty, V));
+  return Slot.get();
+}
+
+ConstantInt *IRContext::getInt1(bool V) {
+  return getConstantInt(getInt1Ty(), V);
+}
+ConstantInt *IRContext::getInt8(int64_t V) {
+  return getConstantInt(getInt8Ty(), V);
+}
+ConstantInt *IRContext::getInt32(int64_t V) {
+  return getConstantInt(getInt32Ty(), V);
+}
+ConstantInt *IRContext::getInt64(int64_t V) {
+  return getConstantInt(getInt64Ty(), V);
+}
+
+ConstantFP *IRContext::getConstantFP(Type *Ty, double V) {
+  assert(Ty->isFloatingPointTy() && "fp constant requires a float type");
+  if (Ty->getKind() == Type::Kind::Float)
+    V = static_cast<float>(V);
+  auto &Slot = FPConsts[{Ty, V}];
+  if (!Slot)
+    Slot.reset(new ConstantFP(Ty, V));
+  return Slot.get();
+}
+
+ConstantFP *IRContext::getFloat(double V) {
+  return getConstantFP(getFloatTy(), V);
+}
+ConstantFP *IRContext::getDouble(double V) {
+  return getConstantFP(getDoubleTy(), V);
+}
+
+ConstantPointerNull *IRContext::getNullPtr(AddrSpace AS) {
+  auto &Slot = NullPtrs[(unsigned)AS];
+  if (!Slot)
+    Slot.reset(new ConstantPointerNull(getPtrTy(AS)));
+  return Slot.get();
+}
+
+UndefValue *IRContext::getUndef(Type *Ty) {
+  auto &Slot = Undefs[Ty];
+  if (!Slot)
+    Slot.reset(new UndefValue(Ty));
+  return Slot.get();
+}

@@ -1,0 +1,92 @@
+//===- ir/IRContext.h - Type and constant uniquing context ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRContext owns and uniques all types and constants of one IR universe,
+/// playing the role of llvm::LLVMContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_IRCONTEXT_H
+#define OMPGPU_IR_IRCONTEXT_H
+
+#include "ir/Type.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ompgpu {
+
+class ConstantInt;
+class ConstantFP;
+class ConstantPointerNull;
+class UndefValue;
+
+/// Owns uniqued types and constants. Every Module is created against a
+/// context; IR entities from different contexts must not be mixed.
+class IRContext {
+public:
+  IRContext();
+  ~IRContext();
+  IRContext(const IRContext &) = delete;
+  IRContext &operator=(const IRContext &) = delete;
+
+  /// \name Primitive types
+  /// @{
+  Type *getVoidTy() { return &VoidTy; }
+  Type *getInt1Ty() { return &Int1Ty; }
+  Type *getInt8Ty() { return &Int8Ty; }
+  Type *getInt32Ty() { return &Int32Ty; }
+  Type *getInt64Ty() { return &Int64Ty; }
+  Type *getFloatTy() { return &FloatTy; }
+  Type *getDoubleTy() { return &DoubleTy; }
+  /// @}
+
+  /// Returns the uniqued pointer type for \p AS.
+  PointerType *getPtrTy(AddrSpace AS = AddrSpace::Generic);
+  /// Returns the uniqued array type.
+  ArrayType *getArrayTy(Type *Element, uint64_t NumElements);
+  /// Returns the uniqued literal struct type.
+  StructType *getStructTy(std::vector<Type *> Elements);
+  /// Returns the uniqued function type.
+  FunctionType *getFunctionTy(Type *Ret, std::vector<Type *> Params);
+
+  /// \name Constants
+  /// @{
+  ConstantInt *getInt1(bool V);
+  ConstantInt *getInt8(int64_t V);
+  ConstantInt *getInt32(int64_t V);
+  ConstantInt *getInt64(int64_t V);
+  ConstantInt *getConstantInt(Type *Ty, int64_t V);
+  ConstantFP *getConstantFP(Type *Ty, double V);
+  ConstantFP *getFloat(double V);
+  ConstantFP *getDouble(double V);
+  ConstantPointerNull *getNullPtr(AddrSpace AS = AddrSpace::Generic);
+  UndefValue *getUndef(Type *Ty);
+  /// @}
+
+private:
+  Type VoidTy{Type::Kind::Void};
+  Type Int1Ty{Type::Kind::Int1};
+  Type Int8Ty{Type::Kind::Int8};
+  Type Int32Ty{Type::Kind::Int32};
+  Type Int64Ty{Type::Kind::Int64};
+  Type FloatTy{Type::Kind::Float};
+  Type DoubleTy{Type::Kind::Double};
+
+  std::map<unsigned, std::unique_ptr<PointerType>> PointerTypes;
+  std::vector<std::unique_ptr<Type>> OwnedTypes;
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
+  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>> FPConsts;
+  std::map<unsigned, std::unique_ptr<ConstantPointerNull>> NullPtrs;
+  std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_IRCONTEXT_H

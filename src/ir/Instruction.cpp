@@ -1,0 +1,351 @@
+//===- ir/Instruction.cpp - Instruction class hierarchy -------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRContext.h"
+#include "support/ErrorHandling.h"
+
+using namespace ompgpu;
+
+const char *Instruction::getOpcodeName() const {
+  switch (getOpcode()) {
+  case ValueKind::Alloca:
+    return "alloca";
+  case ValueKind::Load:
+    return "load";
+  case ValueKind::Store:
+    return "store";
+  case ValueKind::GEP:
+    return "getelementptr";
+  case ValueKind::AtomicRMW:
+    return "atomicrmw";
+  case ValueKind::BinOp:
+    return "binop";
+  case ValueKind::ICmp:
+    return "icmp";
+  case ValueKind::FCmp:
+    return "fcmp";
+  case ValueKind::Cast:
+    return "cast";
+  case ValueKind::Select:
+    return "select";
+  case ValueKind::Math:
+    return "math";
+  case ValueKind::Phi:
+    return "phi";
+  case ValueKind::Call:
+    return "call";
+  case ValueKind::Ret:
+    return "ret";
+  case ValueKind::Br:
+    return "br";
+  case ValueKind::Unreachable:
+    return "unreachable";
+  default:
+    ompgpu_unreachable("not an instruction kind");
+  }
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+bool Instruction::mayWriteToMemory() const {
+  switch (getOpcode()) {
+  case ValueKind::Store:
+  case ValueKind::AtomicRMW:
+    return true;
+  case ValueKind::Call: {
+    const auto *CI = cast<CallInst>(this);
+    const Function *Callee = CI->getCalledFunction();
+    if (!Callee)
+      return true;
+    return !Callee->hasFnAttr(FnAttr::ReadNone) &&
+           !Callee->hasFnAttr(FnAttr::ReadOnly);
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::mayReadFromMemory() const {
+  switch (getOpcode()) {
+  case ValueKind::Load:
+  case ValueKind::AtomicRMW:
+    return true;
+  case ValueKind::Call: {
+    const auto *CI = cast<CallInst>(this);
+    const Function *Callee = CI->getCalledFunction();
+    if (!Callee)
+      return true;
+    return !Callee->hasFnAttr(FnAttr::ReadNone);
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::mayHaveSideEffects() const {
+  if (mayWriteToMemory())
+    return true;
+  if (const auto *CI = dyn_cast<CallInst>(this)) {
+    const Function *Callee = CI->getCalledFunction();
+    if (!Callee)
+      return true;
+    if (Callee->hasFnAttr(FnAttr::Convergent))
+      return true;
+  }
+  return false;
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction is not in a block");
+  assert(!hasUses() && "erasing an instruction that still has uses");
+  Parent->remove(this); // unique_ptr destroyed here
+}
+
+std::unique_ptr<Instruction> Instruction::removeFromParent() {
+  assert(Parent && "instruction is not in a block");
+  return Parent->remove(this);
+}
+
+void Instruction::moveBefore(Instruction *Other) {
+  assert(Other->getParent() && "destination is not in a block");
+  std::unique_ptr<Instruction> Self = removeFromParent();
+  Instruction *Raw = Self.release();
+  Other->getParent()->insertBefore(Raw, Other);
+}
+
+//===----------------------------------------------------------------------===//
+// Constructors and clone()
+//===----------------------------------------------------------------------===//
+
+AllocaInst::AllocaInst(IRContext &Ctx, Type *AllocatedType)
+    : Instruction(ValueKind::Alloca, Ctx.getPtrTy(AddrSpace::Local)),
+      AllocatedType(AllocatedType) {}
+
+Instruction *AllocaInst::clone() const { return new AllocaInst(*this); }
+
+LoadInst::LoadInst(Type *AccessTy, Value *Ptr)
+    : Instruction(ValueKind::Load, AccessTy) {
+  assert(Ptr->getType()->isPointerTy() && "load pointer operand must be ptr");
+  addOperand(Ptr);
+}
+
+Instruction *LoadInst::clone() const { return new LoadInst(*this); }
+
+StoreInst::StoreInst(IRContext &Ctx, Value *Val, Value *Ptr)
+    : Instruction(ValueKind::Store, Ctx.getVoidTy()) {
+  assert(Ptr->getType()->isPointerTy() && "store pointer operand must be ptr");
+  addOperand(Val);
+  addOperand(Ptr);
+}
+
+Instruction *StoreInst::clone() const { return new StoreInst(*this); }
+
+GEPInst::GEPInst(IRContext &Ctx, Type *SourceElementType, Value *Ptr,
+                 std::vector<Value *> Indices)
+    : Instruction(ValueKind::GEP,
+                  Ctx.getPtrTy(cast<PointerType>(Ptr->getType())
+                                   ->getAddressSpace())),
+      SourceElementType(SourceElementType) {
+  addOperand(Ptr);
+  for (Value *Idx : Indices) {
+    assert(Idx->getType()->isIntegerTy() && "GEP index must be integer");
+    addOperand(Idx);
+  }
+}
+
+bool GEPInst::accumulateConstantOffset(int64_t &Offset) const {
+  int64_t Acc = 0;
+  Type *CurTy = SourceElementType;
+  for (unsigned I = 0, E = getNumIndices(); I != E; ++I) {
+    const auto *CI = dyn_cast<ConstantInt>(getIndex(I));
+    if (!CI)
+      return false;
+    int64_t Idx = CI->getValue();
+    if (I == 0) {
+      Acc += Idx * (int64_t)CurTy->getSizeInBytes();
+      continue;
+    }
+    if (auto *AT = dyn_cast<ArrayType>(CurTy)) {
+      CurTy = AT->getElementType();
+      Acc += Idx * (int64_t)CurTy->getSizeInBytes();
+      continue;
+    }
+    if (auto *ST = dyn_cast<StructType>(CurTy)) {
+      Acc += (int64_t)ST->getElementOffset(Idx);
+      CurTy = ST->getElementType(Idx);
+      continue;
+    }
+    return false;
+  }
+  Offset = Acc;
+  return true;
+}
+
+Instruction *GEPInst::clone() const { return new GEPInst(*this); }
+
+AtomicRMWInst::AtomicRMWInst(AtomicRMWOp Op, Value *Ptr, Value *Val)
+    : Instruction(ValueKind::AtomicRMW, Val->getType()), Op(Op) {
+  assert(Ptr->getType()->isPointerTy() && "atomicrmw pointer must be ptr");
+  addOperand(Ptr);
+  addOperand(Val);
+}
+
+Instruction *AtomicRMWInst::clone() const {
+  return new AtomicRMWInst(*this);
+}
+
+BinOpInst::BinOpInst(BinaryOp Op, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::BinOp, LHS->getType()), Op(Op) {
+  assert(LHS->getType() == RHS->getType() &&
+         "binary operands must have matching types");
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+Instruction *BinOpInst::clone() const { return new BinOpInst(*this); }
+
+ICmpInst::ICmpInst(IRContext &Ctx, ICmpPred Pred, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::ICmp, Ctx.getInt1Ty()), Pred(Pred) {
+  assert(LHS->getType() == RHS->getType() &&
+         "icmp operands must have matching types");
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+Instruction *ICmpInst::clone() const { return new ICmpInst(*this); }
+
+FCmpInst::FCmpInst(IRContext &Ctx, FCmpPred Pred, Value *LHS, Value *RHS)
+    : Instruction(ValueKind::FCmp, Ctx.getInt1Ty()), Pred(Pred) {
+  assert(LHS->getType() == RHS->getType() &&
+         "fcmp operands must have matching types");
+  addOperand(LHS);
+  addOperand(RHS);
+}
+
+Instruction *FCmpInst::clone() const { return new FCmpInst(*this); }
+
+CastInst::CastInst(CastOp Op, Value *Src, Type *DestTy)
+    : Instruction(ValueKind::Cast, DestTy), Op(Op) {
+  addOperand(Src);
+}
+
+Instruction *CastInst::clone() const { return new CastInst(*this); }
+
+SelectInst::SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+    : Instruction(ValueKind::Select, TrueV->getType()) {
+  assert(Cond->getType()->isInt1Ty() && "select condition must be i1");
+  assert(TrueV->getType() == FalseV->getType() &&
+         "select arms must have matching types");
+  addOperand(Cond);
+  addOperand(TrueV);
+  addOperand(FalseV);
+}
+
+Instruction *SelectInst::clone() const { return new SelectInst(*this); }
+
+MathInst::MathInst(MathOp Op, std::vector<Value *> Args)
+    : Instruction(ValueKind::Math, Args.front()->getType()), Op(Op) {
+  for (Value *A : Args)
+    addOperand(A);
+}
+
+Instruction *MathInst::clone() const { return new MathInst(*this); }
+
+void PhiInst::addIncoming(Value *V, BasicBlock *BB) {
+  assert(V->getType() == getType() && "phi incoming type mismatch");
+  addOperand(V);
+  addOperand(BB);
+}
+
+BasicBlock *PhiInst::getIncomingBlock(unsigned I) const {
+  return cast<BasicBlock>(getOperand(2 * I + 1));
+}
+
+Value *PhiInst::getIncomingValueForBlock(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (getIncomingBlock(I) == BB)
+      return getIncomingValue(I);
+  return nullptr;
+}
+
+void PhiInst::removeIncomingBlock(const BasicBlock *BB) {
+  for (unsigned I = 0; I < getNumIncoming();) {
+    if (getIncomingBlock(I) == BB) {
+      removeOperand(2 * I + 1);
+      removeOperand(2 * I);
+      continue;
+    }
+    ++I;
+  }
+}
+
+Instruction *PhiInst::clone() const { return new PhiInst(*this); }
+
+CallInst::CallInst(FunctionType *FTy, Value *Callee,
+                   std::vector<Value *> Args)
+    : Instruction(ValueKind::Call, FTy->getReturnType()), FTy(FTy) {
+  assert(Args.size() == FTy->getNumParams() &&
+         "call argument count mismatch");
+  addOperand(Callee);
+  for (Value *A : Args)
+    addOperand(A);
+}
+
+CallInst::CallInst(Function *Callee, std::vector<Value *> Args)
+    : CallInst(Callee->getFunctionType(), Callee, std::move(Args)) {}
+
+Function *CallInst::getCalledFunction() const {
+  return dyn_cast<Function>(getCalledOperand());
+}
+
+Instruction *CallInst::clone() const { return new CallInst(*this); }
+
+RetInst::RetInst(IRContext &Ctx, Value *RetVal)
+    : Instruction(ValueKind::Ret, Ctx.getVoidTy()) {
+  if (RetVal)
+    addOperand(RetVal);
+}
+
+Instruction *RetInst::clone() const { return new RetInst(*this); }
+
+BrInst::BrInst(IRContext &Ctx, BasicBlock *Dest)
+    : Instruction(ValueKind::Br, Ctx.getVoidTy()) {
+  addOperand(Dest);
+}
+
+BrInst::BrInst(IRContext &Ctx, Value *Cond, BasicBlock *TrueBB,
+               BasicBlock *FalseBB)
+    : Instruction(ValueKind::Br, Ctx.getVoidTy()) {
+  assert(Cond->getType()->isInt1Ty() && "branch condition must be i1");
+  addOperand(Cond);
+  addOperand(TrueBB);
+  addOperand(FalseBB);
+}
+
+BasicBlock *BrInst::getSuccessor(unsigned I) const {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  return cast<BasicBlock>(getOperand(isConditional() ? I + 1 : 0));
+}
+
+void BrInst::setSuccessor(unsigned I, BasicBlock *BB) {
+  assert(I < getNumSuccessors() && "successor index out of range");
+  setOperand(isConditional() ? I + 1 : 0, BB);
+}
+
+Instruction *BrInst::clone() const { return new BrInst(*this); }
+
+UnreachableInst::UnreachableInst(IRContext &Ctx)
+    : Instruction(ValueKind::Unreachable, Ctx.getVoidTy()) {}
+
+Instruction *UnreachableInst::clone() const {
+  return new UnreachableInst(*this);
+}

@@ -1,0 +1,466 @@
+//===- ir/Instruction.h - Instruction class hierarchy -----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// All instruction classes of the ompgpu SSA IR. The set mirrors the subset
+/// of LLVM-IR the paper's optimizations operate on: memory instructions
+/// with explicit address spaces, calls (direct and indirect), control flow,
+/// phis, and scalar arithmetic, plus a Math instruction standing in for
+/// libdevice intrinsics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_INSTRUCTION_H
+#define OMPGPU_IR_INSTRUCTION_H
+
+#include "ir/Constant.h"
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+#include <memory>
+
+namespace ompgpu {
+
+class BasicBlock;
+class Function;
+
+/// Base class of all instructions. The opcode is the ValueKind.
+class Instruction : public User {
+  BasicBlock *Parent = nullptr;
+
+protected:
+  Instruction(ValueKind Kind, Type *Ty) : User(Kind, Ty) {}
+  /// Copies for clone(): the copy starts detached from any block.
+  Instruction(const Instruction &O) : User(O), Parent(nullptr) {}
+
+public:
+  ValueKind getOpcode() const { return getValueKind(); }
+  const char *getOpcodeName() const;
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+  /// Returns the function containing this instruction, or null if detached.
+  Function *getFunction() const;
+
+  bool isTerminator() const {
+    ValueKind K = getOpcode();
+    return K == ValueKind::Ret || K == ValueKind::Br ||
+           K == ValueKind::Unreachable;
+  }
+
+  /// Conservatively true if this instruction may write memory. For calls
+  /// the callee's attributes are consulted.
+  bool mayWriteToMemory() const;
+  /// Conservatively true if this instruction may read memory.
+  bool mayReadFromMemory() const;
+  /// True if the instruction reads or writes memory.
+  bool mayReadOrWriteMemory() const {
+    return mayReadFromMemory() || mayWriteToMemory();
+  }
+  /// Conservatively true if the instruction has effects beyond producing
+  /// its value (memory writes, control effects, unknown calls).
+  bool mayHaveSideEffects() const;
+
+  /// Unlinks this instruction from its parent block and deletes it. The
+  /// instruction must have no remaining uses.
+  void eraseFromParent();
+  /// Unlinks this instruction from its parent block without deleting it;
+  /// returns ownership to the caller.
+  std::unique_ptr<Instruction> removeFromParent();
+  /// Moves this instruction immediately before \p Other (possibly across
+  /// blocks). Used by the SPMDzation side-effect grouping (Fig. 7).
+  void moveBefore(Instruction *Other);
+
+  /// Creates a detached copy of this instruction referencing the same
+  /// operands. Used by the function cloner during internalization.
+  virtual Instruction *clone() const = 0;
+
+  static bool classof(const Value *V) {
+    ValueKind K = V->getValueKind();
+    return K > ValueKind::InstBegin && K < ValueKind::InstEnd;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Memory instructions
+//===----------------------------------------------------------------------===//
+
+/// Stack allocation in the thread-local address space. HeapToStack rewrites
+/// __kmpc_alloc_shared calls into these.
+class AllocaInst : public Instruction {
+  Type *AllocatedType;
+
+public:
+  AllocaInst(IRContext &Ctx, Type *AllocatedType);
+
+  Type *getAllocatedType() const { return AllocatedType; }
+  uint64_t getAllocSizeInBytes() const {
+    return AllocatedType->getSizeInBytes();
+  }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Alloca;
+  }
+};
+
+/// Typed load through a pointer operand.
+class LoadInst : public Instruction {
+public:
+  LoadInst(Type *AccessTy, Value *Ptr);
+
+  Value *getPointerOperand() const { return getOperand(0); }
+  Type *getAccessType() const { return getType(); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Load;
+  }
+};
+
+/// Typed store of a value through a pointer operand.
+class StoreInst : public Instruction {
+public:
+  StoreInst(IRContext &Ctx, Value *Val, Value *Ptr);
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointerOperand() const { return getOperand(1); }
+  Type *getAccessType() const { return getValueOperand()->getType(); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Store;
+  }
+};
+
+/// Address arithmetic with LLVM getelementptr semantics over a source
+/// element type: the first index scales by the element size; later indices
+/// step into arrays and (with constant indices) struct fields.
+class GEPInst : public Instruction {
+  Type *SourceElementType;
+
+public:
+  GEPInst(IRContext &Ctx, Type *SourceElementType, Value *Ptr,
+          std::vector<Value *> Indices);
+
+  Type *getSourceElementType() const { return SourceElementType; }
+  Value *getPointerOperand() const { return getOperand(0); }
+  unsigned getNumIndices() const { return getNumOperands() - 1; }
+  Value *getIndex(unsigned I) const { return getOperand(I + 1); }
+
+  /// Returns true and sets \p Offset if all indices are constants.
+  bool accumulateConstantOffset(int64_t &Offset) const;
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::GEP;
+  }
+};
+
+/// Atomic read-modify-write operations.
+enum class AtomicRMWOp : uint8_t { Xchg, Add, FAdd, Max, Min };
+
+/// Atomic read-modify-write on a pointer; yields the previous value.
+class AtomicRMWInst : public Instruction {
+  AtomicRMWOp Op;
+
+public:
+  AtomicRMWInst(AtomicRMWOp Op, Value *Ptr, Value *Val);
+
+  AtomicRMWOp getOperation() const { return Op; }
+  Value *getPointerOperand() const { return getOperand(0); }
+  Value *getValOperand() const { return getOperand(1); }
+  Type *getAccessType() const { return getType(); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::AtomicRMW;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Arithmetic, comparison, conversion
+//===----------------------------------------------------------------------===//
+
+/// Binary arithmetic/logical opcodes.
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+};
+
+/// A two-operand arithmetic or logical instruction.
+class BinOpInst : public Instruction {
+  BinaryOp Op;
+
+public:
+  BinOpInst(BinaryOp Op, Value *LHS, Value *RHS);
+
+  BinaryOp getBinaryOp() const { return Op; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatOp() const { return Op >= BinaryOp::FAdd; }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::BinOp;
+  }
+};
+
+/// Integer comparison predicates.
+enum class ICmpPred : uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT,
+                                UGE };
+/// Floating comparison predicates (ordered only).
+enum class FCmpPred : uint8_t { OEQ, ONE, OLT, OLE, OGT, OGE };
+
+/// Integer/pointer comparison yielding i1.
+class ICmpInst : public Instruction {
+  ICmpPred Pred;
+
+public:
+  ICmpInst(IRContext &Ctx, ICmpPred Pred, Value *LHS, Value *RHS);
+
+  ICmpPred getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::ICmp;
+  }
+};
+
+/// Floating-point comparison yielding i1.
+class FCmpInst : public Instruction {
+  FCmpPred Pred;
+
+public:
+  FCmpInst(IRContext &Ctx, FCmpPred Pred, Value *LHS, Value *RHS);
+
+  FCmpPred getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::FCmp;
+  }
+};
+
+/// Conversion opcodes.
+enum class CastOp : uint8_t {
+  Trunc,
+  ZExt,
+  SExt,
+  FPToSI,
+  SIToFP,
+  UIToFP,
+  FPTrunc,
+  FPExt,
+  PtrToInt,
+  IntToPtr,
+  AddrSpaceCast,
+};
+
+/// A type conversion instruction.
+class CastInst : public Instruction {
+  CastOp Op;
+
+public:
+  CastInst(CastOp Op, Value *Src, Type *DestTy);
+
+  CastOp getCastOp() const { return Op; }
+  Value *getSrc() const { return getOperand(0); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Cast;
+  }
+};
+
+/// Ternary select: cond ? tval : fval.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV);
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Select;
+  }
+};
+
+/// Math operations standing in for libdevice/libm intrinsics.
+enum class MathOp : uint8_t {
+  Sqrt,
+  Sin,
+  Cos,
+  Exp,
+  Log,
+  Fabs,
+  Floor,
+  Pow,
+  FMin,
+  FMax,
+};
+
+/// A (side-effect free) math intrinsic call.
+class MathInst : public Instruction {
+  MathOp Op;
+
+public:
+  MathInst(MathOp Op, std::vector<Value *> Args);
+
+  MathOp getMathOp() const { return Op; }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Math;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Control flow and calls
+//===----------------------------------------------------------------------===//
+
+/// SSA phi node. Incoming values and blocks are interleaved operands:
+/// [V0, BB0, V1, BB1, ...].
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(Type *Ty) : Instruction(ValueKind::Phi, Ty) {}
+
+  void addIncoming(Value *V, BasicBlock *BB);
+  unsigned getNumIncoming() const { return getNumOperands() / 2; }
+  Value *getIncomingValue(unsigned I) const { return getOperand(2 * I); }
+  BasicBlock *getIncomingBlock(unsigned I) const;
+  /// Returns the incoming value for \p BB, or null if absent.
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const;
+  void setIncomingValue(unsigned I, Value *V) { setOperand(2 * I, V); }
+  /// Removes the incoming entry for \p BB if present.
+  void removeIncomingBlock(const BasicBlock *BB);
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Phi;
+  }
+};
+
+/// Function call, direct or indirect. Operand 0 is the callee; the
+/// remaining operands are the arguments. The callee's FunctionType is
+/// stored explicitly so indirect calls are fully typed.
+class CallInst : public Instruction {
+  FunctionType *FTy;
+
+public:
+  CallInst(FunctionType *FTy, Value *Callee, std::vector<Value *> Args);
+  /// Direct-call convenience: takes the type from the callee.
+  CallInst(Function *Callee, std::vector<Value *> Args);
+
+  FunctionType *getCallFunctionType() const { return FTy; }
+  Value *getCalledOperand() const { return getOperand(0); }
+  /// Returns the statically known callee, or null for indirect calls.
+  Function *getCalledFunction() const;
+  bool isIndirectCall() const { return getCalledFunction() == nullptr; }
+
+  unsigned arg_size() const { return getNumOperands() - 1; }
+  Value *getArgOperand(unsigned I) const { return getOperand(I + 1); }
+  void setArgOperand(unsigned I, Value *V) { setOperand(I + 1, V); }
+  void setCalledOperand(Value *V) { setOperand(0, V); }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Call;
+  }
+};
+
+/// Function return with an optional value.
+class RetInst : public Instruction {
+public:
+  RetInst(IRContext &Ctx, Value *RetVal /*may be null*/);
+
+  Value *getReturnValue() const {
+    return getNumOperands() ? getOperand(0) : nullptr;
+  }
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Ret;
+  }
+};
+
+/// Conditional or unconditional branch. Successor blocks are operands so
+/// that block-level RAUW keeps the CFG consistent.
+class BrInst : public Instruction {
+public:
+  /// Unconditional branch.
+  BrInst(IRContext &Ctx, BasicBlock *Dest);
+  /// Conditional branch.
+  BrInst(IRContext &Ctx, Value *Cond, BasicBlock *TrueBB,
+         BasicBlock *FalseBB);
+
+  bool isConditional() const { return getNumOperands() == 3; }
+  Value *getCondition() const {
+    assert(isConditional() && "not a conditional branch");
+    return getOperand(0);
+  }
+  unsigned getNumSuccessors() const { return isConditional() ? 2 : 1; }
+  BasicBlock *getSuccessor(unsigned I) const;
+  void setSuccessor(unsigned I, BasicBlock *BB);
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Br;
+  }
+};
+
+/// Marks unreachable code.
+class UnreachableInst : public Instruction {
+public:
+  explicit UnreachableInst(IRContext &Ctx);
+
+  Instruction *clone() const override;
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Unreachable;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_INSTRUCTION_H

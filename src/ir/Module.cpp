@@ -1,0 +1,137 @@
+//===- ir/Module.cpp - Top-level IR container ------------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "ir/IRContext.h"
+#include "support/ErrorHandling.h"
+
+using namespace ompgpu;
+
+Module::Module(IRContext &Ctx, std::string Name)
+    : Ctx(Ctx), Name(std::move(Name)) {}
+
+Module::~Module() {
+  // Cross-function references (calls, address-taken uses, global accesses)
+  // must be dropped before any function or global is destroyed.
+  for (auto &F : Functions)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        I->dropAllOperands();
+  Functions.clear();
+  Globals.clear();
+}
+
+GlobalVariable::GlobalVariable(IRContext &Ctx, Type *ValueType, AddrSpace AS,
+                               std::string Name, Constant *Initializer)
+    : GlobalValue(ValueKind::GlobalVariable, Ctx.getPtrTy(AS)),
+      ValueType(ValueType), AS(AS), Initializer(Initializer) {
+  setName(std::move(Name));
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+Function *Module::getOrInsertFunction(const std::string &FnName,
+                                      FunctionType *FTy) {
+  if (Function *F = getFunction(FnName)) {
+    assert(F->getFunctionType() == FTy &&
+           "getOrInsertFunction type mismatch");
+    return F;
+  }
+  auto *F = new Function(Ctx, FTy, FnName);
+  F->setParent(this);
+  Functions.emplace_back(F);
+  return F;
+}
+
+Function *Module::createFunction(const std::string &FnName, FunctionType *FTy,
+                                 Linkage L) {
+  auto *F = new Function(Ctx, FTy, makeUniqueName(FnName));
+  F->setParent(this);
+  F->setLinkage(L);
+  Functions.emplace_back(F);
+  return F;
+}
+
+void Module::eraseFunction(Function *F) {
+  assert(!F->hasUses() && "erasing a function that still has uses");
+  for (size_t I = 0, E = Functions.size(); I != E; ++I) {
+    if (Functions[I].get() != F)
+      continue;
+    Functions.erase(Functions.begin() + I);
+    return;
+  }
+  ompgpu_unreachable("function not found in module");
+}
+
+std::vector<Function *> Module::functions() const {
+  std::vector<Function *> Result;
+  Result.reserve(Functions.size());
+  for (const auto &F : Functions)
+    Result.push_back(F.get());
+  return Result;
+}
+
+std::vector<Function *> Module::kernels() const {
+  std::vector<Function *> Result;
+  for (const auto &F : Functions)
+    if (F->isKernel())
+      Result.push_back(F.get());
+  return Result;
+}
+
+GlobalVariable *Module::getGlobal(const std::string &GName) const {
+  for (const auto &G : Globals)
+    if (G->getName() == GName)
+      return G.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(Type *ValueType, AddrSpace AS,
+                                     const std::string &GName,
+                                     Constant *Init) {
+  auto *G = new GlobalVariable(Ctx, ValueType, AS, makeUniqueName(GName),
+                               Init);
+  G->setParent(this);
+  Globals.emplace_back(G);
+  return G;
+}
+
+std::vector<GlobalVariable *> Module::globals() const {
+  std::vector<GlobalVariable *> Result;
+  Result.reserve(Globals.size());
+  for (const auto &G : Globals)
+    Result.push_back(G.get());
+  return Result;
+}
+
+uint64_t Module::getStaticSharedMemoryBytes() const {
+  uint64_t Bytes = 0;
+  for (const auto &G : Globals)
+    if (G->getAddressSpace() == AddrSpace::Shared)
+      Bytes += G->getAllocSizeInBytes();
+  return Bytes;
+}
+
+bool Module::isNameTaken(const std::string &N) const {
+  return getFunction(N) || getGlobal(N);
+}
+
+std::string Module::makeUniqueName(const std::string &Base) const {
+  if (!isNameTaken(Base))
+    return Base;
+  unsigned Suffix = 0;
+  std::string Candidate;
+  do {
+    Candidate = Base + "." + std::to_string(++Suffix);
+  } while (isNameTaken(Candidate));
+  return Candidate;
+}

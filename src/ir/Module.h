@@ -1,0 +1,83 @@
+//===- ir/Module.h - Top-level IR container ---------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions and global variables — one GPU translation unit.
+/// The OpenMPOpt pass runs over a Module; kernels are functions marked as
+/// such with a KernelEnvironment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_MODULE_H
+#define OMPGPU_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class IRContext;
+
+/// One translation unit of device code.
+class Module {
+  IRContext &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+
+public:
+  Module(IRContext &Ctx, std::string Name);
+  ~Module();
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  IRContext &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+
+  /// \name Functions
+  /// @{
+  /// Returns the function named \p Name, or null.
+  Function *getFunction(const std::string &Name) const;
+  /// Returns an existing function or creates a declaration with \p FTy.
+  Function *getOrInsertFunction(const std::string &Name, FunctionType *FTy);
+  /// Creates a new function; the name is made unique if taken.
+  Function *createFunction(const std::string &Name, FunctionType *FTy,
+                           Linkage L = Linkage::External);
+  /// Removes and deletes \p F, which must have no remaining uses.
+  void eraseFunction(Function *F);
+  /// Snapshot of all functions (definitions and declarations).
+  std::vector<Function *> functions() const;
+  /// All functions marked as kernels.
+  std::vector<Function *> kernels() const;
+  /// @}
+
+  /// \name Globals
+  /// @{
+  GlobalVariable *getGlobal(const std::string &Name) const;
+  /// Creates a module-level variable; the name is made unique if taken.
+  GlobalVariable *createGlobal(Type *ValueType, AddrSpace AS,
+                               const std::string &Name,
+                               Constant *Init = nullptr);
+  std::vector<GlobalVariable *> globals() const;
+  /// Total bytes of statically allocated shared memory (Fig. 10 SMem).
+  uint64_t getStaticSharedMemoryBytes() const;
+  /// @}
+
+  /// Returns a name not currently used by any function or global.
+  std::string makeUniqueName(const std::string &Base) const;
+
+private:
+  bool isNameTaken(const std::string &N) const;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_MODULE_H

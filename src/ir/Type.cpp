@@ -1,0 +1,167 @@
+//===- ir/Type.cpp - SSA IR type system -----------------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+#include "support/ErrorHandling.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+
+unsigned Type::getIntegerBitWidth() const {
+  switch (TheKind) {
+  case Kind::Int1:
+    return 1;
+  case Kind::Int8:
+    return 8;
+  case Kind::Int32:
+    return 32;
+  case Kind::Int64:
+    return 64;
+  default:
+    ompgpu_unreachable("not an integer type");
+  }
+}
+
+uint64_t Type::getSizeInBytes() const {
+  switch (TheKind) {
+  case Kind::Void:
+  case Kind::Function:
+    return 0;
+  case Kind::Int1:
+  case Kind::Int8:
+    return 1;
+  case Kind::Int32:
+  case Kind::Float:
+    return 4;
+  case Kind::Int64:
+  case Kind::Double:
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return AT->getElementType()->getSizeInBytes() * AT->getNumElements();
+  }
+  case Kind::Struct: {
+    const auto *ST = cast<StructType>(this);
+    if (ST->getNumElements() == 0)
+      return 0;
+    uint64_t End = ST->getElementOffset(ST->getNumElements() - 1) +
+                   ST->getElementType(ST->getNumElements() - 1)
+                       ->getSizeInBytes();
+    uint64_t Align = ST->getAlignment();
+    return (End + Align - 1) / Align * Align;
+  }
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+uint64_t Type::getAlignment() const {
+  switch (TheKind) {
+  case Kind::Void:
+  case Kind::Function:
+    return 1;
+  case Kind::Array:
+    return cast<ArrayType>(this)->getElementType()->getAlignment();
+  case Kind::Struct: {
+    uint64_t Align = 1;
+    for (Type *El : cast<StructType>(this)->elements())
+      if (El->getAlignment() > Align)
+        Align = El->getAlignment();
+    return Align;
+  }
+  default:
+    return getSizeInBytes();
+  }
+}
+
+uint64_t StructType::getElementOffset(unsigned Idx) const {
+  assert(Idx < Elements.size() && "field index out of range");
+  uint64_t Offset = 0;
+  for (unsigned I = 0; I <= Idx; ++I) {
+    uint64_t Align = Elements[I]->getAlignment();
+    Offset = (Offset + Align - 1) / Align * Align;
+    if (I == Idx)
+      return Offset;
+    Offset += Elements[I]->getSizeInBytes();
+  }
+  return Offset;
+}
+
+void Type::print(raw_ostream &OS) const {
+  switch (TheKind) {
+  case Kind::Void:
+    OS << "void";
+    return;
+  case Kind::Int1:
+    OS << "i1";
+    return;
+  case Kind::Int8:
+    OS << "i8";
+    return;
+  case Kind::Int32:
+    OS << "i32";
+    return;
+  case Kind::Int64:
+    OS << "i64";
+    return;
+  case Kind::Float:
+    OS << "float";
+    return;
+  case Kind::Double:
+    OS << "double";
+    return;
+  case Kind::Pointer: {
+    const auto *PT = cast<PointerType>(this);
+    OS << "ptr";
+    if (PT->getAddressSpace() != AddrSpace::Generic)
+      OS << " addrspace(" << (unsigned)PT->getAddressSpace() << ")";
+    return;
+  }
+  case Kind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    OS << "[" << AT->getNumElements() << " x ";
+    AT->getElementType()->print(OS);
+    OS << "]";
+    return;
+  }
+  case Kind::Struct: {
+    const auto *ST = cast<StructType>(this);
+    OS << "{";
+    bool First = true;
+    for (Type *El : ST->elements()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      El->print(OS);
+    }
+    OS << "}";
+    return;
+  }
+  case Kind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    FT->getReturnType()->print(OS);
+    OS << " (";
+    bool First = true;
+    for (Type *P : FT->params()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      P->print(OS);
+    }
+    OS << ")";
+    return;
+  }
+  }
+  ompgpu_unreachable("covered switch");
+}
+
+std::string Type::getAsString() const {
+  std::string S;
+  raw_string_ostream OS(S);
+  print(OS);
+  return S;
+}

@@ -1,0 +1,171 @@
+//===- ir/Type.h - SSA IR type system ---------------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the ompgpu SSA IR. Types are uniqued and owned by an
+/// IRContext. Pointers are opaque (as in modern LLVM) and carry only an
+/// address space; memory instructions carry their accessed element type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_TYPE_H
+#define OMPGPU_IR_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class IRContext;
+class raw_ostream;
+
+/// GPU address spaces, mirroring the NVPTX numbering the paper's
+/// implementation uses.
+enum class AddrSpace : unsigned {
+  Generic = 0, ///< Generic pointers; resolved dynamically by the simulator.
+  Global = 1,  ///< Device global memory, visible to all teams.
+  Shared = 3,  ///< Per-team shared memory (CUDA __shared__).
+  Local = 5,   ///< Per-thread local memory (stack).
+};
+
+/// Base class of all IR types. Uniqued per IRContext; compare by pointer.
+class Type {
+public:
+  enum class Kind : uint8_t {
+    Void,
+    Int1,
+    Int8,
+    Int32,
+    Int64,
+    Float,
+    Double,
+    Pointer,
+    Array,
+    Struct,
+    Function,
+  };
+
+private:
+  Kind TheKind;
+  friend class IRContext;
+
+protected:
+  explicit Type(Kind K) : TheKind(K) {}
+
+public:
+  Type(const Type &) = delete;
+  Type &operator=(const Type &) = delete;
+  virtual ~Type() = default;
+
+  Kind getKind() const { return TheKind; }
+
+  bool isVoidTy() const { return TheKind == Kind::Void; }
+  bool isInt1Ty() const { return TheKind == Kind::Int1; }
+  bool isIntegerTy() const {
+    return TheKind == Kind::Int1 || TheKind == Kind::Int8 ||
+           TheKind == Kind::Int32 || TheKind == Kind::Int64;
+  }
+  bool isFloatingPointTy() const {
+    return TheKind == Kind::Float || TheKind == Kind::Double;
+  }
+  bool isPointerTy() const { return TheKind == Kind::Pointer; }
+  bool isArrayTy() const { return TheKind == Kind::Array; }
+  bool isStructTy() const { return TheKind == Kind::Struct; }
+  bool isFunctionTy() const { return TheKind == Kind::Function; }
+  /// True for types a Value may have (i.e. first-class types).
+  bool isFirstClassTy() const {
+    return !isVoidTy() && !isFunctionTy();
+  }
+
+  /// Returns the integer bit width; only valid on integer types.
+  unsigned getIntegerBitWidth() const;
+
+  /// Returns the store size in bytes (0 for void/function types).
+  uint64_t getSizeInBytes() const;
+
+  /// Returns the ABI alignment in bytes.
+  uint64_t getAlignment() const;
+
+  /// Prints the type in LLVM-like syntax.
+  void print(raw_ostream &OS) const;
+  std::string getAsString() const;
+};
+
+/// An opaque pointer type qualified by an address space.
+class PointerType : public Type {
+  AddrSpace AS;
+
+  friend class IRContext;
+  explicit PointerType(AddrSpace AS) : Type(Kind::Pointer), AS(AS) {}
+
+public:
+  AddrSpace getAddressSpace() const { return AS; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Pointer; }
+};
+
+/// A statically sized array type.
+class ArrayType : public Type {
+  Type *ElementType;
+  uint64_t NumElements;
+
+  friend class IRContext;
+  ArrayType(Type *ElementType, uint64_t NumElements)
+      : Type(Kind::Array), ElementType(ElementType),
+        NumElements(NumElements) {}
+
+public:
+  Type *getElementType() const { return ElementType; }
+  uint64_t getNumElements() const { return NumElements; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Array; }
+};
+
+/// A literal struct type with naturally aligned, non-packed layout.
+class StructType : public Type {
+  std::vector<Type *> Elements;
+
+  friend class IRContext;
+  explicit StructType(std::vector<Type *> Elements)
+      : Type(Kind::Struct), Elements(std::move(Elements)) {}
+
+public:
+  const std::vector<Type *> &elements() const { return Elements; }
+  unsigned getNumElements() const { return Elements.size(); }
+  Type *getElementType(unsigned Idx) const { return Elements[Idx]; }
+
+  /// Returns the byte offset of field \p Idx under natural alignment.
+  uint64_t getElementOffset(unsigned Idx) const;
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Struct; }
+};
+
+/// A function type: return type plus parameter types (no varargs).
+class FunctionType : public Type {
+  Type *ReturnType;
+  std::vector<Type *> ParamTypes;
+
+  friend class IRContext;
+  FunctionType(Type *ReturnType, std::vector<Type *> ParamTypes)
+      : Type(Kind::Function), ReturnType(ReturnType),
+        ParamTypes(std::move(ParamTypes)) {}
+
+public:
+  Type *getReturnType() const { return ReturnType; }
+  const std::vector<Type *> &params() const { return ParamTypes; }
+  unsigned getNumParams() const { return ParamTypes.size(); }
+  Type *getParamType(unsigned Idx) const { return ParamTypes[Idx]; }
+
+  static bool classof(const Type *T) { return T->getKind() == Kind::Function; }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_TYPE_H

@@ -1,0 +1,87 @@
+//===- ir/Value.cpp - SSA value and user base classes ---------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Value.h"
+#include "ir/Constant.h"
+#include "ir/Instruction.h"
+#include "support/raw_ostream.h"
+
+#include <algorithm>
+
+using namespace ompgpu;
+
+Value::~Value() {
+  assert(Users.empty() && "deleting a value that still has uses");
+}
+
+void Value::removeUser(User *U) {
+  auto It = std::find(Users.begin(), Users.end(), U);
+  assert(It != Users.end() && "user not found in use list");
+  Users.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "RAUW with self");
+  // Copy: replaceUsesOfWith mutates our user list.
+  std::vector<User *> Snapshot = Users;
+  for (User *U : Snapshot)
+    U->replaceUsesOfWith(this, New);
+  assert(Users.empty() && "uses remained after RAUW");
+}
+
+void Value::printAsOperand(raw_ostream &OS) const {
+  if (const auto *CI = dyn_cast<ConstantInt>(this)) {
+    OS << CI->getValue();
+    return;
+  }
+  if (const auto *CF = dyn_cast<ConstantFP>(this)) {
+    OS << CF->getValue();
+    return;
+  }
+  if (isa<ConstantPointerNull>(this)) {
+    OS << "null";
+    return;
+  }
+  if (isa<UndefValue>(this)) {
+    OS << "undef";
+    return;
+  }
+  if (isa<GlobalValue>(this)) {
+    OS << '@' << getName();
+    return;
+  }
+  OS << '%' << (hasName() ? getName() : std::string("<anon>"));
+}
+
+void User::setOperand(unsigned Idx, Value *V) {
+  assert(Idx < getNumOperands() && "operand index out of range");
+  assert(V && "cannot set a null operand");
+  Value *Old = getOperand(Idx);
+  if (Old == V)
+    return;
+  Old->removeUser(this);
+  getOperandList()[Idx] = V;
+  V->addUser(this);
+}
+
+void User::removeOperand(unsigned Idx) {
+  assert(Idx < getNumOperands() && "operand index out of range");
+  getOperand(Idx)->removeUser(this);
+  getOperandList().erase(getOperandList().begin() + Idx);
+}
+
+void User::replaceUsesOfWith(Value *Old, Value *New) {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    if (getOperand(I) == Old)
+      setOperand(I, New);
+}
+
+void User::dropAllOperands() {
+  for (unsigned I = 0, E = getNumOperands(); I != E; ++I)
+    getOperand(I)->removeUser(this);
+  getOperandList().clear();
+}

@@ -1,0 +1,188 @@
+//===- ir/Value.h - SSA value and user base classes -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the base of everything that can be an operand: constants,
+/// arguments, instructions, globals, and basic blocks. User adds an operand
+/// list with automatic use-list maintenance, enabling
+/// replaceAllUsesWith-style rewrites which the inter-procedural
+/// optimizations rely on heavily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_VALUE_H
+#define OMPGPU_IR_VALUE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class Type;
+class User;
+class raw_ostream;
+
+/// Discriminator for the whole Value hierarchy. Instruction opcodes are
+/// part of this enum (as in LLVM), delimited by InstBegin/InstEnd.
+enum class ValueKind : uint8_t {
+  Argument,
+  BasicBlock,
+  // Constants.
+  ConstantInt,
+  ConstantFP,
+  ConstantPointerNull,
+  UndefValue,
+  GlobalVariable,
+  Function,
+  // Instructions.
+  InstBegin,
+  // Memory.
+  Alloca,
+  Load,
+  Store,
+  GEP,
+  AtomicRMW,
+  // Arithmetic and logic.
+  BinOp,
+  ICmp,
+  FCmp,
+  Cast,
+  Select,
+  Math,
+  // Control and misc.
+  Phi,
+  Call,
+  Ret,
+  Br,
+  Unreachable,
+  InstEnd,
+};
+
+/// Base class of all SSA values. Tracks the users that reference this value
+/// so rewrites can update them.
+class Value {
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+  /// Users referencing this value; contains one entry per operand use, so a
+  /// user appears once per operand that references this value.
+  std::vector<User *> Users;
+
+  friend class User;
+  void addUser(User *U) { Users.push_back(U); }
+  void removeUser(User *U);
+
+protected:
+  Value(ValueKind Kind, Type *Ty) : Kind(Kind), Ty(Ty) {}
+  /// Copying (used by Instruction::clone) duplicates kind and type but not
+  /// the name or use list.
+  Value(const Value &O) : Kind(O.Kind), Ty(O.Ty) {}
+
+public:
+  Value &operator=(const Value &) = delete;
+  virtual ~Value();
+
+  ValueKind getValueKind() const { return Kind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  bool hasName() const { return !Name.empty(); }
+
+  /// All users (one entry per referencing operand).
+  const std::vector<User *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+  unsigned getNumUses() const { return Users.size(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  /// Prints a short inline representation (for diagnostics).
+  void printAsOperand(raw_ostream &OS) const;
+
+  static bool classof(const Value *) { return true; }
+};
+
+/// A value that references other values through an operand list.
+class User : public Value {
+  std::vector<Value *> Operands;
+
+  std::vector<Value *> &getOperandList() { return Operands; }
+
+protected:
+  User(ValueKind Kind, Type *Ty) : Value(Kind, Ty) {}
+  /// Copying registers this user on every operand's use list.
+  User(const User &O) : Value(O) {
+    for (Value *V : O.Operands)
+      addOperand(V);
+  }
+
+  /// Appends an operand, updating \p V's use list.
+  void addOperand(Value *V) {
+    assert(V && "cannot add a null operand");
+    Operands.push_back(V);
+    V->addUser(this);
+  }
+
+public:
+  ~User() override { dropAllOperands(); }
+
+  unsigned getNumOperands() const { return Operands.size(); }
+  Value *getOperand(unsigned Idx) const {
+    assert(Idx < Operands.size() && "operand index out of range");
+    return Operands[Idx];
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces operand \p Idx, maintaining use lists on both values.
+  void setOperand(unsigned Idx, Value *V);
+
+  /// Removes operand \p Idx entirely (shifting later operands down).
+  void removeOperand(unsigned Idx);
+
+  /// Replaces every occurrence of \p Old in the operand list with \p New.
+  void replaceUsesOfWith(Value *Old, Value *New);
+
+  /// Removes all operands (used on destruction and when detaching).
+  void dropAllOperands();
+
+  static bool classof(const Value *V) {
+    ValueKind K = V->getValueKind();
+    return K != ValueKind::Argument && K != ValueKind::BasicBlock;
+  }
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+  class Function *Parent;
+  unsigned ArgNo;
+  bool NoEscape = false;
+
+public:
+  Argument(Type *Ty, class Function *Parent, unsigned ArgNo)
+      : Value(ValueKind::Argument, Ty), Parent(Parent), ArgNo(ArgNo) {}
+
+  class Function *getParent() const { return Parent; }
+  unsigned getArgNo() const { return ArgNo; }
+
+  /// The C/C++ __attribute__((noescape)) the paper suggests users add via
+  /// remarks feedback: the callee does not capture the pointer.
+  bool hasNoEscapeAttr() const { return NoEscape; }
+  void setNoEscapeAttr(bool V = true) { NoEscape = V; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == ValueKind::Argument;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_VALUE_H

@@ -1,0 +1,172 @@
+//===- ir/Verifier.cpp - IR structural validity checks ---------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "ir/Module.h"
+#include "support/STLExtras.h"
+#include "support/raw_ostream.h"
+
+#include <set>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Stateful verifier for one function.
+class Verifier {
+  const Function &F;
+  std::string Error;
+  bool Broken = false;
+
+  void check(bool Cond, const std::string &Msg) {
+    if (Broken || Cond)
+      return;
+    Broken = true;
+    Error = "in function '" + F.getName() + "': " + Msg;
+  }
+
+public:
+  explicit Verifier(const Function &F) : F(F) {}
+
+  const std::string &getError() const { return Error; }
+
+  bool verify() {
+    if (F.isDeclaration())
+      return false;
+
+    std::set<const BasicBlock *> FnBlocks;
+    for (const BasicBlock *BB : F)
+      FnBlocks.insert(BB);
+
+    for (const BasicBlock *BB : F) {
+      verifyBlock(*BB, FnBlocks);
+      if (Broken)
+        return true;
+    }
+
+    // The entry block must not have predecessors (no branch targets it).
+    check(F.getEntryBlock()->predecessors().empty(),
+          "entry block has predecessors");
+    return Broken;
+  }
+
+private:
+  void verifyBlock(const BasicBlock &BB,
+                   const std::set<const BasicBlock *> &FnBlocks) {
+    check(!BB.empty(), "block '" + BB.getName() + "' is empty");
+    if (Broken)
+      return;
+
+    const Instruction *Term = BB.getTerminator();
+    check(Term != nullptr,
+          "block '" + BB.getName() + "' lacks a terminator");
+    if (Broken)
+      return;
+
+    bool SeenNonPhi = false;
+    for (const Instruction *I : BB) {
+      check(I->getParent() == &BB, "instruction parent link broken");
+      check(!I->isTerminator() || I == Term,
+            "terminator in the middle of block '" + BB.getName() + "'");
+      if (isa<PhiInst>(I))
+        check(!SeenNonPhi,
+              "phi after non-phi instruction in block '" + BB.getName() +
+                  "'");
+      else
+        SeenNonPhi = true;
+      verifyInstruction(*I, FnBlocks);
+      if (Broken)
+        return;
+    }
+
+    // Phi incoming blocks must exactly cover the predecessors.
+    std::vector<BasicBlock *> Preds = BB.predecessors();
+    for (const PhiInst *Phi : BB.phis()) {
+      check(Phi->getNumIncoming() == Preds.size(),
+            "phi incoming count does not match predecessors in block '" +
+                BB.getName() + "'");
+      for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I)
+        check(is_contained(Preds, Phi->getIncomingBlock(I)),
+              "phi references non-predecessor block in block '" +
+                  BB.getName() + "'");
+    }
+  }
+
+  void verifyInstruction(const Instruction &I,
+                         const std::set<const BasicBlock *> &FnBlocks) {
+    for (unsigned OpIdx = 0, E = I.getNumOperands(); OpIdx != E; ++OpIdx) {
+      const Value *Op = I.getOperand(OpIdx);
+      // Operand use lists must reference this instruction.
+      check(is_contained(Op->users(), &I),
+            "use list does not contain user (operand " +
+                std::to_string(OpIdx) + " of " + I.getOpcodeName() + ")");
+      if (const auto *OpInst = dyn_cast<Instruction>(Op))
+        check(OpInst->getFunction() == &F,
+              "operand instruction belongs to another function");
+      if (const auto *OpBB = dyn_cast<BasicBlock>(Op))
+        check(FnBlocks.count(OpBB),
+              "operand block belongs to another function");
+      if (const auto *OpArg = dyn_cast<Argument>(Op))
+        check(OpArg->getParent() == &F,
+              "operand argument belongs to another function");
+    }
+
+    if (const auto *CI = dyn_cast<CallInst>(&I)) {
+      const FunctionType *FTy = CI->getCallFunctionType();
+      check(CI->arg_size() == FTy->getNumParams(),
+            "call argument count mismatch");
+      for (unsigned A = 0, E = CI->arg_size(); A != E && !Broken; ++A) {
+        Type *Expected = FTy->getParamType(A);
+        Type *Actual = CI->getArgOperand(A)->getType();
+        // Pointers are compatible across address spaces at call edges; the
+        // simulator resolves generic pointers dynamically.
+        bool BothPtr = Expected->isPointerTy() && Actual->isPointerTy();
+        check(Expected == Actual || BothPtr, "call argument type mismatch");
+      }
+      if (const Function *Callee = CI->getCalledFunction())
+        check(Callee->getFunctionType() == FTy,
+              "direct call function type mismatch");
+    }
+
+    if (const auto *SI = dyn_cast<StoreInst>(&I))
+      check(SI->getValueOperand()->getType()->isFirstClassTy(),
+            "store of a non-first-class value");
+
+    if (const auto *RI = dyn_cast<RetInst>(&I)) {
+      Type *RetTy = F.getReturnType();
+      if (RetTy->isVoidTy())
+        check(RI->getReturnValue() == nullptr,
+              "ret with value in void function");
+      else {
+        check(RI->getReturnValue() != nullptr,
+              "ret without value in non-void function");
+        if (!Broken && RI->getReturnValue()) {
+          Type *Actual = RI->getReturnValue()->getType();
+          bool BothPtr = RetTy->isPointerTy() && Actual->isPointerTy();
+          check(Actual == RetTy || BothPtr, "ret value type mismatch");
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+bool ompgpu::verifyFunction(const Function &F, std::string *ErrorMessage) {
+  Verifier V(F);
+  bool Broken = V.verify();
+  if (Broken && ErrorMessage)
+    *ErrorMessage = V.getError();
+  return Broken;
+}
+
+bool ompgpu::verifyModule(const Module &M, std::string *ErrorMessage) {
+  for (const Function *F : M.functions())
+    if (verifyFunction(*F, ErrorMessage))
+      return true;
+  return false;
+}

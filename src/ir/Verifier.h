@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR structural validity checks ------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural IR verification run after the front-end and after every
+/// transformation pass in the test pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_VERIFIER_H
+#define OMPGPU_IR_VERIFIER_H
+
+#include <string>
+
+namespace ompgpu {
+
+class Function;
+class Module;
+
+/// Checks structural validity of \p F. Returns true and fills
+/// \p ErrorMessage on the first violation found; returns false if valid.
+bool verifyFunction(const Function &F, std::string *ErrorMessage = nullptr);
+
+/// Checks every function in \p M. Returns true on the first violation.
+bool verifyModule(const Module &M, std::string *ErrorMessage = nullptr);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_VERIFIER_H

@@ -1,0 +1,510 @@
+//===- rtl/DeviceRTL.cpp - OpenMP device runtime for the simulator ---------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rtl/DeviceRTL.h"
+#include "frontend/OMPRuntime.h"
+#include "gpusim/SimThread.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Names of simulator-internal primitives used by the RTL IR bodies.
+constexpr const char *InitBlockStateFn = "__kmpc_init_block_state";
+constexpr const char *SetWorkFn = "__kmpc_set_work";
+constexpr const char *ClearWorkFn = "__kmpc_clear_work";
+constexpr const char *PushParallelLevelFn = "__kmpc_push_parallel_level";
+constexpr const char *PopParallelLevelFn = "__kmpc_pop_parallel_level";
+
+/// Per-block OpenMP runtime state.
+class OMPBlockState : public RTLBlockStateBase {
+public:
+  int32_t ExecMode = 0; ///< OMP_TGT_EXEC_MODE_* value of the running kernel
+  bool Initialized = false;
+
+  /// Current parallel region hand-off (generic mode).
+  uint64_t WorkFn = 0;
+  uint64_t WorkArgs = 0;
+  unsigned ActiveWorkers = 0;
+
+  /// Per-thread dynamic parallel level.
+  std::map<unsigned, int32_t> Levels;
+
+  /// Allocation records of the globalization runtime.
+  struct AllocRecord {
+    bool OnHeap;
+    uint64_t Bytes;
+  };
+  std::map<uint64_t, AllocRecord> Allocs;
+
+  /// Logical footprint model: the simulator runs threads cooperatively,
+  /// but on the GPU every thread's globalization allocations are live
+  /// concurrently. Per-thread peaks are summed to derive the block's true
+  /// demand, which drives the slab/heap placement cost and the
+  /// out-of-memory check (the RSBench case of Fig. 11b).
+  std::map<unsigned, uint64_t> ThreadAllocCur;
+  std::map<unsigned, uint64_t> ThreadAllocPeak;
+  uint64_t DemandSum = 0;
+  uint64_t HeapAccounted = 0;
+
+  /// Updates the demand model; returns true if the block's logical demand
+  /// now exceeds the shared-memory slab (heap-fallback pricing).
+  bool noteAlloc(SimThread &T, uint64_t Bytes) {
+    unsigned Tid = T.getThreadId();
+    uint64_t &Cur = ThreadAllocCur[Tid];
+    uint64_t &Peak = ThreadAllocPeak[Tid];
+    Cur += Bytes;
+    if (Cur > Peak) {
+      DemandSum += Cur - Peak;
+      Peak = Cur;
+    }
+    uint64_t Slab = T.getDataSharingSlabBytes();
+    if (DemandSum > Slab && DemandSum - Slab > HeapAccounted) {
+      // Pure accounting: surface the heap demand to the OOM model.
+      T.heapAlloc(DemandSum - Slab - HeapAccounted);
+      HeapAccounted = DemandSum - Slab;
+    }
+    return DemandSum > Slab;
+  }
+
+  void noteFree(SimThread &T, uint64_t Bytes) {
+    uint64_t &Cur = ThreadAllocCur[T.getThreadId()];
+    Cur -= std::min(Cur, Bytes);
+  }
+
+  int32_t levelOf(unsigned Tid) const {
+    auto It = Levels.find(Tid);
+    return It == Levels.end() ? 0 : It->second;
+  }
+};
+
+OMPBlockState &getState(SimThread &T) {
+  return static_cast<OMPBlockState &>(T.getRTLState());
+}
+
+bool isSPMD(SimThread &T) {
+  return getState(T).ExecMode == OMP_TGT_EXEC_MODE_SPMD;
+}
+
+/// The number of threads participating in a generic-mode parallel region:
+/// the main thread's warp is reserved (it waits in __kmpc_parallel_51).
+unsigned genericWorkerCount(SimThread &T) {
+  unsigned BlockDim = T.getBlockDim();
+  unsigned Warp = T.getWarpSize();
+  return BlockDim > Warp ? BlockDim - Warp : 1;
+}
+
+} // namespace
+
+NativeRuntimeBinding
+ompgpu::makeOpenMPRuntimeBinding(RuntimeFlavor Flavor,
+                                 const MachineModel &Machine) {
+  NativeRuntimeBinding B;
+  B.MakeBlockState = [] { return std::make_unique<OMPBlockState>(); };
+
+  const CostParams C = Machine.Costs;
+  const bool Legacy = Flavor == RuntimeFlavor::Legacy;
+  const unsigned Query =
+      C.RTQueryCycles + (Legacy ? C.LegacyRTQueryExtraCycles : 0);
+
+  auto &H = B.Handlers;
+
+  // --- Queries -----------------------------------------------------------
+  H["__kmpc_is_spmd_exec_mode"] = [Query](SimThread &T, auto &) {
+    return NativeResult::value(isSPMD(T), Query);
+  };
+  H["__kmpc_parallel_level"] = [Query](SimThread &T, auto &) {
+    return NativeResult::value(getState(T).levelOf(T.getThreadId()), Query);
+  };
+  H["__kmpc_is_generic_main_thread"] = [Query](SimThread &T, auto &) {
+    unsigned Main = isSPMD(T) ? 0 : T.getBlockDim() - 1;
+    return NativeResult::value(T.getThreadId() == Main, Query);
+  };
+  H["__kmpc_get_hardware_thread_id_in_block"] = [Query](SimThread &T,
+                                                        auto &) {
+    return NativeResult::value(T.getThreadId(), Query);
+  };
+  H["__kmpc_get_hardware_num_threads_in_block"] = [Query](SimThread &T,
+                                                          auto &) {
+    return NativeResult::value(T.getBlockDim(), Query);
+  };
+  H["__kmpc_get_warp_size"] = [Query](SimThread &T, auto &) {
+    return NativeResult::value(T.getWarpSize(), Query);
+  };
+  H["omp_get_thread_num"] = [Query](SimThread &T, auto &) {
+    OMPBlockState &S = getState(T);
+    int64_t V = 0;
+    if (isSPMD(T) || S.levelOf(T.getThreadId()) > 0)
+      V = T.getThreadId();
+    return NativeResult::value((uint64_t)V, Query);
+  };
+  H["omp_get_num_threads"] = [Query](SimThread &T, auto &) {
+    OMPBlockState &S = getState(T);
+    int64_t V = 1;
+    if (isSPMD(T))
+      V = T.getBlockDim();
+    else if (S.levelOf(T.getThreadId()) > 0)
+      V = S.ActiveWorkers;
+    return NativeResult::value((uint64_t)V, Query);
+  };
+  H["omp_get_team_num"] = [Query](SimThread &T, auto &) {
+    return NativeResult::value(T.getBlockId(), Query);
+  };
+  H["omp_get_num_teams"] = [Query](SimThread &T, auto &) {
+    return NativeResult::value(T.getGridDim(), Query);
+  };
+
+  // --- Synchronization ---------------------------------------------------
+  H["__kmpc_barrier_simple_spmd"] = [](SimThread &T, auto &) {
+    return NativeResult::barrier(/*Id=*/0, T.getBlockDim());
+  };
+  H["__kmpc_barrier"] = [](SimThread &T, auto &) {
+    OMPBlockState &S = getState(T);
+    if (isSPMD(T))
+      return NativeResult::barrier(0, T.getBlockDim());
+    unsigned Count = S.ActiveWorkers ? S.ActiveWorkers
+                                     : genericWorkerCount(T);
+    return NativeResult::barrier(1, Count);
+  };
+
+  // --- Globalization (Sec. IV-A) -----------------------------------------
+  H["__kmpc_alloc_shared"] = [C](SimThread &T, const auto &Args) {
+    OMPBlockState &S = getState(T);
+    uint64_t Bytes = Args[0];
+    bool OverSlab = S.noteAlloc(T, Bytes);
+    unsigned Cycles = OverSlab ? C.AllocSharedHeapFallbackCycles
+                               : C.AllocSharedCycles;
+    uint64_t Addr = T.sharedStackAlloc(Bytes);
+    if (Addr) {
+      S.Allocs[Addr] = {false, Bytes};
+      // Per-variable runtime allocations are packed per thread, not
+      // interleaved: accesses from a parallel region conflict on the
+      // shared-memory banks (the "missing coalescing" of Fig. 11d).
+      T.setSharedRegionCost(Addr, Bytes, C.SharedMemCycles * 4);
+      return NativeResult::value(Addr, Cycles);
+    }
+    Addr = T.heapAlloc(Bytes);
+    S.Allocs[Addr] = {true, Bytes};
+    return NativeResult::value(Addr, Cycles);
+  };
+  H["__kmpc_free_shared"] = [C](SimThread &T, const auto &Args) {
+    OMPBlockState &S = getState(T);
+    auto It = S.Allocs.find(Args[0]);
+    if (It == S.Allocs.end())
+      return NativeResult::trap("__kmpc_free_shared of unknown pointer");
+    S.noteFree(T, It->second.Bytes);
+    if (It->second.OnHeap) {
+      T.heapFree(It->second.Bytes);
+    } else {
+      T.clearSharedRegionCost(Args[0]);
+      T.sharedStackFree(It->second.Bytes);
+    }
+    S.Allocs.erase(It);
+    return NativeResult::voidValue(C.FreeSharedCycles);
+  };
+  H["__kmpc_data_sharing_coalesced_push_stack"] = [C](SimThread &T,
+                                                      const auto &Args) {
+    OMPBlockState &S = getState(T);
+    uint64_t Bytes = Args[0];
+    // The legacy runtime aggregates pushes warp-wide (SoA layout); the
+    // amortized cost is charged to lane 0 only.
+    unsigned Cycles = (T.getThreadId() % T.getWarpSize() == 0)
+                          ? C.CoalescedPushCycles
+                          : C.CoalescedPushCycles / 8;
+    S.noteAlloc(T, Bytes);
+    uint64_t Addr = T.sharedStackAlloc(Bytes);
+    if (Addr) {
+      S.Allocs[Addr] = {false, Bytes};
+      return NativeResult::value(Addr, Cycles);
+    }
+    Addr = T.heapAlloc(Bytes);
+    S.Allocs[Addr] = {true, Bytes};
+    return NativeResult::value(Addr, Cycles + C.AllocSharedCycles);
+  };
+  H["__kmpc_data_sharing_pop_stack"] = [C](SimThread &T, const auto &Args) {
+    OMPBlockState &S = getState(T);
+    auto It = S.Allocs.find(Args[0]);
+    if (It == S.Allocs.end())
+      return NativeResult::trap(
+          "__kmpc_data_sharing_pop_stack of unknown pointer");
+    S.noteFree(T, It->second.Bytes);
+    if (It->second.OnHeap)
+      T.heapFree(It->second.Bytes);
+    else
+      T.sharedStackFree(It->second.Bytes);
+    S.Allocs.erase(It);
+    return NativeResult::voidValue(C.PopStackCycles);
+  };
+
+  // --- Kernel/parallel-region management primitives ----------------------
+  H[InitBlockStateFn] = [C, Legacy](SimThread &T, const auto &Args) {
+    OMPBlockState &S = getState(T);
+    if (!S.Initialized) {
+      S.Initialized = true;
+      S.ExecMode = (int32_t)Args[0];
+    }
+    unsigned Cycles =
+        Legacy ? C.LegacyTargetInitCycles : C.TargetInitCycles;
+    return NativeResult::voidValue(Cycles);
+  };
+  H[SetWorkFn] = [C, Legacy](SimThread &T, const auto &Args) {
+    OMPBlockState &S = getState(T);
+    S.WorkFn = Args[0];
+    S.WorkArgs = Args[1];
+    int32_t Requested = (int32_t)Args[2];
+    unsigned MaxWorkers = genericWorkerCount(T);
+    S.ActiveWorkers = Requested > 0
+                          ? std::min<unsigned>(Requested, MaxWorkers)
+                          : MaxWorkers;
+    unsigned Cycles =
+        C.SetWorkCycles + (Legacy ? C.LegacyParallelExtraCycles : 0);
+    return NativeResult::voidValue(Cycles);
+  };
+  H[ClearWorkFn] = [C](SimThread &T, const auto &) {
+    getState(T).WorkFn = 0;
+    return NativeResult::voidValue(C.SetWorkCycles);
+  };
+  H["__kmpc_kernel_parallel"] = [C](SimThread &T, const auto &Args) {
+    OMPBlockState &S = getState(T);
+    uint64_t WorkFn = S.WorkFn;
+    if (!T.writeMemory(Args[0], &WorkFn, 8))
+      return NativeResult::trap("__kmpc_kernel_parallel: bad out-pointer");
+    bool Active = WorkFn != 0 && T.getThreadId() < S.ActiveWorkers;
+    if (Active)
+      S.Levels[T.getThreadId()] = 1;
+    // A real work-descriptor handoff costs far more than the bookkeeping:
+    // the protocol synchronizes and republishes runtime state per region.
+    unsigned Cycles = C.KernelParallelCycles +
+                      (WorkFn ? C.GenericHandoffCycles : 0);
+    return NativeResult::value(Active, Cycles);
+  };
+  H["__kmpc_kernel_get_args"] = [C](SimThread &T, const auto &) {
+    return NativeResult::value(getState(T).WorkArgs,
+                               C.KernelParallelCycles);
+  };
+  H["__kmpc_kernel_end_parallel"] = [C](SimThread &T, const auto &) {
+    getState(T).Levels[T.getThreadId()] = 0;
+    return NativeResult::voidValue(C.KernelParallelCycles);
+  };
+  H[PushParallelLevelFn] = [](SimThread &T, const auto &) {
+    OMPBlockState &S = getState(T);
+    ++S.Levels[T.getThreadId()];
+    return NativeResult::voidValue(1);
+  };
+  H[PopParallelLevelFn] = [](SimThread &T, const auto &) {
+    OMPBlockState &S = getState(T);
+    --S.Levels[T.getThreadId()];
+    return NativeResult::voidValue(1);
+  };
+
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// RTL IR bodies
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Function *getPrimitive(Module &M, const char *Name, FunctionType *FTy) {
+  return M.getOrInsertFunction(Name, FTy);
+}
+
+/// define i32 @__kmpc_target_init(i32 %mode, i1 %use_generic_sm)
+void buildTargetInit(Module &M) {
+  IRContext &Ctx = M.getContext();
+  Function *F = getOrCreateRTFn(M, RTFn::TargetInit);
+  if (!F->isDeclaration())
+    return;
+  F->removeFnAttr(FnAttr::Convergent); // body carries its own semantics
+
+  Argument *Mode = F->getArg(0);
+  Mode->setName("mode");
+  Argument *UseSM = F->getArg(1);
+  UseSM->setName("use_generic_state_machine");
+
+  Function *InitState = getPrimitive(
+      M, InitBlockStateFn,
+      Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+  Function *HwTid = getOrCreateRTFn(M, RTFn::HardwareThreadId);
+  Function *HwNum = getOrCreateRTFn(M, RTFn::HardwareNumThreads);
+  Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
+  Function *KernelPar = getOrCreateRTFn(M, RTFn::KernelParallel);
+  Function *GetArgs = getOrCreateRTFn(M, RTFn::KernelGetArgs);
+  Function *EndPar = getOrCreateRTFn(M, RTFn::KernelEndParallel);
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *SPMDBB = F->createBlock("spmd");
+  BasicBlock *Generic = F->createBlock("generic");
+  BasicBlock *RetMain = F->createBlock("ret_main");
+  BasicBlock *Worker = F->createBlock("worker");
+  BasicBlock *RetTid = F->createBlock("ret_tid");
+  BasicBlock *SMBegin = F->createBlock("sm.begin");
+  BasicBlock *Await = F->createBlock("sm.await");
+  BasicBlock *ActiveCheck = F->createBlock("sm.active_check");
+  BasicBlock *Exec = F->createBlock("sm.exec");
+  BasicBlock *Done = F->createBlock("sm.done");
+
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry);
+  B.createCall(InitState, {Mode});
+  Value *Tid = B.createCall(HwTid, {}, "tid");
+  Value *SPMDBit = B.createAnd(
+      Mode, Ctx.getInt32(OMP_TGT_EXEC_MODE_SPMD), "spmd_bit");
+  Value *IsSPMD = B.createICmpNE(SPMDBit, Ctx.getInt32(0), "is_spmd");
+  B.createCondBr(IsSPMD, SPMDBB, Generic);
+
+  B.setInsertPoint(SPMDBB);
+  B.createRet(Ctx.getInt32(-1));
+
+  B.setInsertPoint(Generic);
+  Value *NThreads = B.createCall(HwNum, {}, "nthreads");
+  Value *MainTid = B.createSub(NThreads, Ctx.getInt32(1), "main_tid");
+  Value *IsMain = B.createICmpEQ(Tid, MainTid, "is_main");
+  B.createCondBr(IsMain, RetMain, Worker);
+
+  B.setInsertPoint(RetMain);
+  B.createRet(Ctx.getInt32(-1));
+
+  B.setInsertPoint(Worker);
+  B.createCondBr(UseSM, SMBegin, RetTid);
+
+  B.setInsertPoint(RetTid);
+  B.createRet(Tid);
+
+  // The runtime's generic-mode state machine: the indirect call below is
+  // the cost the custom state machine rewrite (Sec. IV-B2) and SPMDzation
+  // (Sec. IV-B3) eliminate.
+  B.setInsertPoint(SMBegin);
+  Value *WorkFnAddr = B.createAlloca(Ctx.getPtrTy(), "work_fn.addr");
+  B.createBr(Await);
+
+  B.setInsertPoint(Await);
+  B.createCall(Barrier, {});
+  Value *IsActive = B.createCall(KernelPar, {WorkFnAddr}, "is_active");
+  Value *WorkFn = B.createLoad(Ctx.getPtrTy(), WorkFnAddr, "work_fn");
+  Value *NoWork = B.createICmpEQ(WorkFn, Ctx.getNullPtr(AddrSpace::Generic),
+                                 "no_more_work");
+  B.createCondBr(NoWork, RetTid, ActiveCheck);
+
+  B.setInsertPoint(ActiveCheck);
+  B.createCondBr(IsActive, Exec, Done);
+
+  B.setInsertPoint(Exec);
+  Value *Args = B.createCall(GetArgs, {}, "work_args");
+  B.createIndirectCall(getParallelWrapperType(Ctx), WorkFn, {Args});
+  B.createBr(Done);
+
+  B.setInsertPoint(Done);
+  B.createCall(EndPar, {});
+  B.createCall(Barrier, {});
+  B.createBr(Await);
+}
+
+/// define void @__kmpc_target_deinit(i32 %mode)
+void buildTargetDeinit(Module &M) {
+  IRContext &Ctx = M.getContext();
+  Function *F = getOrCreateRTFn(M, RTFn::TargetDeinit);
+  if (!F->isDeclaration())
+    return;
+  F->removeFnAttr(FnAttr::Convergent);
+
+  Argument *Mode = F->getArg(0);
+  Mode->setName("mode");
+  Function *SetWork = getPrimitive(
+      M, SetWorkFn,
+      Ctx.getFunctionTy(Ctx.getVoidTy(),
+                        {Ctx.getPtrTy(), Ctx.getPtrTy(), Ctx.getInt32Ty()}));
+  Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *SPMDBB = F->createBlock("spmd");
+  BasicBlock *Generic = F->createBlock("generic");
+
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry);
+  Value *SPMDBit = B.createAnd(
+      Mode, Ctx.getInt32(OMP_TGT_EXEC_MODE_SPMD), "spmd_bit");
+  Value *IsSPMD = B.createICmpNE(SPMDBit, Ctx.getInt32(0), "is_spmd");
+  B.createCondBr(IsSPMD, SPMDBB, Generic);
+
+  B.setInsertPoint(SPMDBB);
+  B.createRetVoid();
+
+  // Generic mode: only the main thread reaches the deinit; signal the
+  // workers to exit their state machine.
+  B.setInsertPoint(Generic);
+  Value *Null = Ctx.getNullPtr(AddrSpace::Generic);
+  B.createCall(SetWork, {Null, Null, Ctx.getInt32(0)});
+  B.createCall(Barrier, {});
+  B.createRetVoid();
+}
+
+/// define void @__kmpc_parallel_51(ptr %fn, ptr %args, i32 %num_threads)
+void buildParallel51(Module &M) {
+  IRContext &Ctx = M.getContext();
+  Function *F = getOrCreateRTFn(M, RTFn::Parallel51);
+  if (!F->isDeclaration())
+    return;
+  F->removeFnAttr(FnAttr::Convergent);
+
+  Argument *Fn = F->getArg(0);
+  Fn->setName("fn");
+  Argument *ArgsP = F->getArg(1);
+  ArgsP->setName("args");
+  Argument *NumThreads = F->getArg(2);
+  NumThreads->setName("num_threads");
+
+  Function *IsSPMDFn = getOrCreateRTFn(M, RTFn::IsSPMDMode);
+  Function *SetWork = getPrimitive(
+      M, SetWorkFn,
+      Ctx.getFunctionTy(Ctx.getVoidTy(),
+                        {Ctx.getPtrTy(), Ctx.getPtrTy(), Ctx.getInt32Ty()}));
+  Function *ClearWork = getPrimitive(
+      M, ClearWorkFn, Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  Function *PushLevel = getPrimitive(
+      M, PushParallelLevelFn, Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  Function *PopLevel = getPrimitive(
+      M, PopParallelLevelFn, Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *SPMDBB = F->createBlock("spmd");
+  BasicBlock *Generic = F->createBlock("generic");
+
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Entry);
+  Value *IsSPMD = B.createCall(IsSPMDFn, {}, "is_spmd");
+  B.createCondBr(IsSPMD, SPMDBB, Generic);
+
+  // SPMD: every thread executes the parallel region directly.
+  B.setInsertPoint(SPMDBB);
+  B.createCall(PushLevel, {});
+  B.createIndirectCall(getParallelWrapperType(Ctx), Fn, {ArgsP});
+  B.createCall(PopLevel, {});
+  B.createRetVoid();
+
+  // Generic: hand the region to the workers and wait for completion.
+  B.setInsertPoint(Generic);
+  B.createCall(SetWork, {Fn, ArgsP, NumThreads});
+  B.createCall(Barrier, {}); // release the workers
+  B.createCall(Barrier, {}); // join
+  B.createCall(ClearWork, {});
+  B.createRetVoid();
+}
+
+} // namespace
+
+void ompgpu::linkDeviceRTL(Module &M) {
+  buildTargetInit(M);
+  buildTargetDeinit(M);
+  buildParallel51(M);
+}

@@ -1,0 +1,41 @@
+//===- rtl/DeviceRTL.h - OpenMP device runtime for the simulator -*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OpenMP device runtime, playing the role of libomptarget's DeviceRTL:
+/// - IR definitions for __kmpc_target_init / __kmpc_target_deinit /
+///   __kmpc_parallel_51 are linked into each device module
+///   (linkDeviceRTL), including the generic-mode worker state machine with
+///   its indirect call — the overhead the paper's custom state machine
+///   rewrite and SPMDzation remove.
+/// - Low-level primitives (thread ids, barriers, the data-sharing stack
+///   behind __kmpc_alloc_shared, work-descriptor hand-off) are native
+///   handlers bound into the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_RTL_DEVICERTL_H
+#define OMPGPU_RTL_DEVICERTL_H
+
+#include "gpusim/Device.h"
+
+namespace ompgpu {
+
+class Module;
+
+/// Links IR definitions of the structured runtime entry points into \p M.
+/// Idempotent: functions that already have bodies are left alone.
+void linkDeviceRTL(Module &M);
+
+/// Returns the native runtime binding for simulated launches. \p Flavor
+/// selects the cost profile: Legacy models the LLVM 12 "full" runtime.
+NativeRuntimeBinding makeOpenMPRuntimeBinding(RuntimeFlavor Flavor,
+                                              const MachineModel &Machine);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_RTL_DEVICERTL_H

@@ -1,0 +1,107 @@
+//===- support/CommandLine.cpp - Minimal flag registry -------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+
+#include <cstdlib>
+
+using namespace ompgpu;
+using namespace ompgpu::cl;
+
+static std::vector<OptionBase *> &getRegistry() {
+  static std::vector<OptionBase *> Registry;
+  return Registry;
+}
+
+OptionBase::OptionBase(std::string Name, std::string Desc)
+    : Name(std::move(Name)), Desc(std::move(Desc)) {
+  getRegistry().push_back(this);
+}
+
+OptionBase::~OptionBase() = default;
+
+namespace ompgpu {
+namespace cl {
+
+template <> bool opt<bool>::parse(const std::string &Text) {
+  if (Text.empty() || Text == "true" || Text == "1") {
+    Value = true;
+    return true;
+  }
+  if (Text == "false" || Text == "0") {
+    Value = false;
+    return true;
+  }
+  return false;
+}
+
+template <> bool opt<int64_t>::parse(const std::string &Text) {
+  char *End = nullptr;
+  long long V = std::strtoll(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0')
+    return false;
+  Value = V;
+  return true;
+}
+
+template <> bool opt<std::string>::parse(const std::string &Text) {
+  Value = Text;
+  return true;
+}
+
+} // namespace cl
+} // namespace ompgpu
+
+/// Reports a malformed option value and exits.
+static void reportInvalidOptionValue(const std::string &Name,
+                                     const std::string &Value) {
+  errs() << "error: invalid value '" << Value << "' for option -" << Name
+         << '\n';
+  std::exit(1);
+}
+
+OptionBase *cl::findOption(const std::string &Name) {
+  for (OptionBase *O : getRegistry())
+    if (O->getName() == Name)
+      return O;
+  return nullptr;
+}
+
+std::vector<std::string> cl::parseCommandLine(int Argc,
+                                              const char *const *Argv) {
+  std::vector<std::string> Rest;
+  if (Argc > 0)
+    Rest.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.size() < 2 || Arg[0] != '-') {
+      Rest.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(Arg[1] == '-' ? 2 : 1);
+    if (Body == "help-ompgpu") {
+      outs() << "ompgpu options:\n";
+      for (OptionBase *O : getRegistry())
+        outs() << "  -" << O->getName() << "  " << O->getDesc() << '\n';
+      std::exit(0);
+    }
+    std::string Value;
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Value = Body.substr(Eq + 1);
+      Body = Body.substr(0, Eq);
+    }
+    OptionBase *O = findOption(Body);
+    if (!O) {
+      Rest.push_back(Arg);
+      continue;
+    }
+    if (!O->parse(Value))
+      reportInvalidOptionValue(Body, Value);
+  }
+  return Rest;
+}

@@ -1,0 +1,70 @@
+//===- support/CommandLine.h - Minimal flag registry ------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small llvm::cl-inspired flag facility so benchmarks and examples can
+/// accept the artifact's flags, e.g. -openmp-opt-disable-spmdization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_COMMANDLINE_H
+#define OMPGPU_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ompgpu {
+namespace cl {
+
+/// Base class of all registered options.
+class OptionBase {
+  std::string Name;
+  std::string Desc;
+
+public:
+  OptionBase(std::string Name, std::string Desc);
+  virtual ~OptionBase();
+
+  const std::string &getName() const { return Name; }
+  const std::string &getDesc() const { return Desc; }
+
+  /// Parses the textual \p Value; returns false on malformed input.
+  virtual bool parse(const std::string &Value) = 0;
+  /// True when the option is a flag that may appear without "=value".
+  virtual bool isBoolean() const { return false; }
+};
+
+/// A typed command line option with a default value.
+template <typename T> class opt : public OptionBase {
+  T Value;
+
+public:
+  opt(std::string Name, std::string Desc, T Default)
+      : OptionBase(std::move(Name), std::move(Desc)), Value(Default) {}
+
+  operator T() const { return Value; }
+  const T &getValue() const { return Value; }
+  void setValue(T V) { Value = std::move(V); }
+
+  bool parse(const std::string &Text) override;
+  bool isBoolean() const override { return std::is_same_v<T, bool>; }
+};
+
+/// Parses argv for registered "-name", "--name", "-name=value" options.
+/// Unrecognized arguments are returned for the caller (e.g. gbench) to
+/// consume. "-help-ompgpu" prints all registered options.
+std::vector<std::string> parseCommandLine(int Argc, const char *const *Argv);
+
+/// Resets nothing but gives tests access to set options programmatically.
+OptionBase *findOption(const std::string &Name);
+
+} // namespace cl
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_COMMANDLINE_H

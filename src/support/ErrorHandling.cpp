@@ -1,0 +1,32 @@
+//===- support/ErrorHandling.cpp - Fatal errors and unreachable ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+#include "support/raw_ostream.h"
+
+#include <cstdlib>
+
+using namespace ompgpu;
+
+void ompgpu::reportFatalError(std::string_view Msg) {
+  errs() << "fatal error: " << Msg << '\n';
+  errs().flush();
+  std::abort();
+}
+
+void ompgpu::unreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  errs() << "UNREACHABLE executed";
+  if (File)
+    errs() << " at " << File << ':' << Line;
+  errs() << "!";
+  if (Msg)
+    errs() << ' ' << Msg;
+  errs() << '\n';
+  errs().flush();
+  std::abort();
+}

@@ -1,0 +1,36 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable ---*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and the ompgpu_unreachable macro, mirroring
+/// llvm::report_fatal_error and llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_ERRORHANDLING_H
+#define OMPGPU_SUPPORT_ERRORHANDLING_H
+
+#include <string_view>
+
+namespace ompgpu {
+
+/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
+/// triggered by invalid input rather than internal logic errors.
+[[noreturn]] void reportFatalError(std::string_view Msg);
+
+/// Internal implementation of ompgpu_unreachable.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace ompgpu
+
+/// Marks a point in code that should never be reached. Prints the message,
+/// file and line, then aborts.
+#define ompgpu_unreachable(msg)                                               \
+  ::ompgpu::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // OMPGPU_SUPPORT_ERRORHANDLING_H

@@ -1,0 +1,70 @@
+//===- support/STLExtras.h - Small STL helpers ------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A handful of llvm/ADT/STLExtras.h-style conveniences used across the
+/// project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_STLEXTRAS_H
+#define OMPGPU_SUPPORT_STLEXTRAS_H
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace ompgpu {
+
+/// Range-based wrapper for std::find: true if \p Range contains \p Element.
+template <typename R, typename E> bool is_contained(R &&Range, const E &El) {
+  return std::find(std::begin(Range), std::end(Range), El) != std::end(Range);
+}
+
+/// Range-based any_of.
+template <typename R, typename Pred> bool any_of(R &&Range, Pred P) {
+  return std::any_of(std::begin(Range), std::end(Range), P);
+}
+
+/// Range-based all_of.
+template <typename R, typename Pred> bool all_of(R &&Range, Pred P) {
+  return std::all_of(std::begin(Range), std::end(Range), P);
+}
+
+/// Range-based none_of.
+template <typename R, typename Pred> bool none_of(R &&Range, Pred P) {
+  return std::none_of(std::begin(Range), std::end(Range), P);
+}
+
+/// Range-based count_if.
+template <typename R, typename Pred> auto count_if(R &&Range, Pred P) {
+  return std::count_if(std::begin(Range), std::end(Range), P);
+}
+
+/// Range-based find_if returning an iterator.
+template <typename R, typename Pred> auto find_if(R &&Range, Pred P) {
+  return std::find_if(std::begin(Range), std::end(Range), P);
+}
+
+/// Erases all elements matching the predicate from a vector-like container.
+template <typename C, typename Pred> void erase_if(C &Container, Pred P) {
+  Container.erase(
+      std::remove_if(Container.begin(), Container.end(), P),
+      Container.end());
+}
+
+/// Erases the first occurrence of \p El from a vector-like container.
+template <typename C, typename E>
+void erase_value(C &Container, const E &El) {
+  auto It = std::find(Container.begin(), Container.end(), El);
+  if (It != Container.end())
+    Container.erase(It);
+}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_STLEXTRAS_H

@@ -1,0 +1,34 @@
+//===- support/Statistic.cpp - Named statistic counters ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+
+Statistic::Statistic(std::string DebugType, std::string Name, std::string Desc)
+    : DebugType(std::move(DebugType)), Name(std::move(Name)),
+      Desc(std::move(Desc)) {
+  StatisticRegistry::get().add(this);
+}
+
+StatisticRegistry &StatisticRegistry::get() {
+  static StatisticRegistry Registry;
+  return Registry;
+}
+
+void StatisticRegistry::resetAll() {
+  for (Statistic *S : Stats)
+    S->reset();
+}
+
+void StatisticRegistry::print(raw_ostream &OS) const {
+  for (const Statistic *S : Stats)
+    if (S->getValue() != 0)
+      OS << S->getValue() << " " << S->getDebugType() << " - " << S->getDesc()
+         << '\n';
+}

@@ -1,0 +1,78 @@
+//===- support/Statistic.h - Named statistic counters -----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters in the spirit of llvm/ADT/Statistic.h, used by the
+/// optimization passes to report how often each transformation fired
+/// (this is the data behind the paper's Fig. 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_STATISTIC_H
+#define OMPGPU_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class raw_ostream;
+
+/// A named monotonically increasing counter registered in a global registry.
+class Statistic {
+  std::string DebugType;
+  std::string Name;
+  std::string Desc;
+  uint64_t Value = 0;
+
+public:
+  Statistic(std::string DebugType, std::string Name, std::string Desc);
+
+  const std::string &getDebugType() const { return DebugType; }
+  const std::string &getName() const { return Name; }
+  const std::string &getDesc() const { return Desc; }
+  uint64_t getValue() const { return Value; }
+
+  Statistic &operator++() {
+    ++Value;
+    return *this;
+  }
+  Statistic &operator+=(uint64_t V) {
+    Value += V;
+    return *this;
+  }
+  void reset() { Value = 0; }
+};
+
+/// Global registry over all Statistic instances.
+class StatisticRegistry {
+public:
+  static StatisticRegistry &get();
+
+  void add(Statistic *S) { Stats.push_back(S); }
+
+  /// Resets every registered counter to zero. Call between independent
+  /// compilations to get per-run numbers.
+  void resetAll();
+
+  /// Prints all non-zero counters in "value name - desc" form.
+  void print(raw_ostream &OS) const;
+
+  const std::vector<Statistic *> &stats() const { return Stats; }
+
+private:
+  std::vector<Statistic *> Stats;
+};
+
+} // namespace ompgpu
+
+/// Declares a file-local statistic counter, LLVM STATISTIC-style.
+#define OMPGPU_STATISTIC(VarName, Desc)                                       \
+  static ::ompgpu::Statistic VarName(DEBUG_TYPE, #VarName, Desc)
+
+#endif // OMPGPU_SUPPORT_STATISTIC_H

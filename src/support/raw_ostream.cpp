@@ -1,0 +1,91 @@
+//===- support/raw_ostream.cpp - Lightweight output streams --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/raw_ostream.h"
+
+#include <cinttypes>
+#include <cstdarg>
+
+using namespace ompgpu;
+
+raw_ostream::~raw_ostream() = default;
+
+raw_ostream &raw_ostream::operator<<(int64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(uint64_t N) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(double D) {
+  char Buf[40];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(const void *P) {
+  char Buf[24];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%p", P);
+  write(Buf, Len);
+  return *this;
+}
+
+raw_ostream &raw_ostream::indent(unsigned NumSpaces) {
+  static const char Spaces[] = "                                ";
+  while (NumSpaces > 0) {
+    unsigned Chunk = NumSpaces < 32 ? NumSpaces : 32;
+    write(Spaces, Chunk);
+    NumSpaces -= Chunk;
+  }
+  return *this;
+}
+
+raw_fd_ostream::raw_fd_ostream(const std::string &Path)
+    : FD(std::fopen(Path.c_str(), "w")), ShouldClose(true) {
+  if (!FD) {
+    FD = stderr;
+    ShouldClose = false;
+  }
+}
+
+raw_fd_ostream::~raw_fd_ostream() {
+  std::fflush(FD);
+  if (ShouldClose)
+    std::fclose(FD);
+}
+
+raw_ostream &ompgpu::outs() {
+  static raw_fd_ostream S(stdout);
+  return S;
+}
+
+raw_ostream &ompgpu::errs() {
+  static raw_fd_ostream S(stderr);
+  return S;
+}
+
+raw_ostream &ompgpu::nulls() {
+  static raw_null_ostream S;
+  return S;
+}
+
+std::string ompgpu::formatBuf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  char Buf[512];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  return std::string(Buf);
+}

@@ -1,0 +1,127 @@
+//===- support/raw_ostream.h - Lightweight output streams -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small raw_ostream in the spirit of llvm/Support/raw_ostream.h. The
+/// project forbids <iostream> in library code; all printing goes through
+/// these streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_RAW_OSTREAM_H
+#define OMPGPU_SUPPORT_RAW_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ompgpu {
+
+/// Abstract base class for a forward-only character output stream.
+class raw_ostream {
+public:
+  virtual ~raw_ostream();
+
+  raw_ostream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  raw_ostream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+  raw_ostream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  raw_ostream &operator<<(const std::string &Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+  raw_ostream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+  raw_ostream &operator<<(int32_t N) { return *this << (int64_t)N; }
+  raw_ostream &operator<<(uint32_t N) { return *this << (uint64_t)N; }
+  raw_ostream &operator<<(int64_t N);
+  raw_ostream &operator<<(uint64_t N);
+  raw_ostream &operator<<(double D);
+  raw_ostream &operator<<(const void *P);
+#ifdef __SIZEOF_INT128__
+  raw_ostream &operator<<(unsigned long long N) { return *this << (uint64_t)N; }
+  raw_ostream &operator<<(long long N) { return *this << (int64_t)N; }
+#endif
+
+  /// Emits \p NumSpaces spaces, useful for structured printing.
+  raw_ostream &indent(unsigned NumSpaces);
+
+  /// Writes raw bytes to the underlying sink.
+  virtual void write(const char *Ptr, size_t Size) = 0;
+
+  /// Flushes buffered output if the sink buffers.
+  virtual void flush() {}
+};
+
+/// Stream that appends to a caller-owned std::string.
+class raw_string_ostream : public raw_ostream {
+  std::string &Buffer;
+
+public:
+  explicit raw_string_ostream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Ptr, size_t Size) override {
+    Buffer.append(Ptr, Size);
+  }
+
+  /// Returns the accumulated contents.
+  const std::string &str() const { return Buffer; }
+};
+
+/// Stream writing to a C FILE handle (stdout/stderr or an opened file).
+class raw_fd_ostream : public raw_ostream {
+  std::FILE *FD;
+  bool ShouldClose;
+
+public:
+  explicit raw_fd_ostream(std::FILE *FD, bool ShouldClose = false)
+      : FD(FD), ShouldClose(ShouldClose) {}
+  /// Opens \p Path for writing; falls back to stderr on failure.
+  explicit raw_fd_ostream(const std::string &Path);
+  ~raw_fd_ostream() override;
+
+  void write(const char *Ptr, size_t Size) override {
+    std::fwrite(Ptr, 1, Size, FD);
+  }
+  void flush() override { std::fflush(FD); }
+};
+
+/// Stream that discards all output.
+class raw_null_ostream : public raw_ostream {
+public:
+  void write(const char *, size_t) override {}
+};
+
+/// Returns the standard output stream.
+raw_ostream &outs();
+/// Returns the standard error stream.
+raw_ostream &errs();
+/// Returns a stream that discards output.
+raw_ostream &nulls();
+
+/// Formats a value to a std::string via raw_ostream.
+template <typename T> std::string toString(const T &Val) {
+  std::string S;
+  raw_string_ostream OS(S);
+  OS << Val;
+  return S;
+}
+
+/// printf-style formatting into a std::string (for numeric tables).
+std::string formatBuf(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_RAW_OSTREAM_H

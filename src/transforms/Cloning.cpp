@@ -1,0 +1,59 @@
+//===- transforms/Cloning.cpp - Function cloning ---------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Cloning.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace ompgpu;
+
+Function *ompgpu::cloneFunction(Function &F, const std::string &NewName) {
+  assert(!F.isDeclaration() && "cannot clone a declaration");
+  Module &M = *F.getParent();
+  Function *NewF =
+      M.createFunction(NewName, F.getFunctionType(), Linkage::Internal);
+
+  for (FnAttr A : F.attrs())
+    NewF->addFnAttr(A);
+  for (const std::string &A : F.assumptions())
+    NewF->addAssumption(A);
+  NewF->setKernel(F.isKernel());
+  NewF->getKernelEnvironment() = F.getKernelEnvironment();
+
+  std::map<const Value *, Value *> VMap;
+  for (unsigned I = 0, E = F.arg_size(); I != E; ++I) {
+    Argument *OldArg = F.getArg(I);
+    Argument *NewArg = NewF->getArg(I);
+    NewArg->setName(OldArg->getName());
+    NewArg->setNoEscapeAttr(OldArg->hasNoEscapeAttr());
+    VMap[OldArg] = NewArg;
+  }
+
+  // First pass: create blocks and shallow instruction clones.
+  for (BasicBlock *BB : F) {
+    BasicBlock *NewBB = NewF->createBlock(BB->getName());
+    VMap[BB] = NewBB;
+    for (Instruction *I : *BB) {
+      Instruction *NewI = I->clone();
+      NewI->setName(I->getName());
+      NewBB->push_back(NewI);
+      VMap[I] = NewI;
+    }
+  }
+
+  // Second pass: remap operands that refer to cloned values.
+  for (BasicBlock *BB : *NewF)
+    for (Instruction *I : *BB)
+      for (unsigned OpIdx = 0, E = I->getNumOperands(); OpIdx != E; ++OpIdx) {
+        auto It = VMap.find(I->getOperand(OpIdx));
+        if (It != VMap.end())
+          I->setOperand(OpIdx, It->second);
+      }
+
+  return NewF;
+}

@@ -1,0 +1,33 @@
+//===- transforms/Cloning.h - Function cloning ------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep function cloning with value remapping, used by the aggressive
+/// internalization step of the paper's pass (Sec. IV): externally visible
+/// device functions are duplicated into internal copies so the
+/// inter-procedural analyses see every call site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_CLONING_H
+#define OMPGPU_TRANSFORMS_CLONING_H
+
+#include <string>
+
+namespace ompgpu {
+
+class Function;
+class Module;
+
+/// Clones the definition of \p F into a new function named \p NewName
+/// (made unique) in the same module. Attributes, assumptions, and argument
+/// attributes are copied; linkage of the clone is Internal.
+Function *cloneFunction(Function &F, const std::string &NewName);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_CLONING_H

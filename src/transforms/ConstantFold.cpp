@@ -1,0 +1,325 @@
+//===- transforms/ConstantFold.cpp - Instruction constant folding ----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/ConstantFold.h"
+#include "ir/IRContext.h"
+#include "ir/Instruction.h"
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Reads an integer constant respecting the type's width.
+bool getIntOperand(const Value *V, int64_t &Out) {
+  const auto *CI = dyn_cast<ConstantInt>(V);
+  if (!CI)
+    return false;
+  Out = CI->getValue();
+  return true;
+}
+
+bool getFPOperand(const Value *V, double &Out) {
+  const auto *CF = dyn_cast<ConstantFP>(V);
+  if (!CF)
+    return false;
+  Out = CF->getValue();
+  return true;
+}
+
+Constant *foldBinOp(const BinOpInst *BO, IRContext &Ctx) {
+  Type *Ty = BO->getType();
+  if (Ty->isIntegerTy()) {
+    int64_t L, R;
+    if (!getIntOperand(BO->getLHS(), L) || !getIntOperand(BO->getRHS(), R))
+      return nullptr;
+    int64_t Res;
+    switch (BO->getBinaryOp()) {
+    case BinaryOp::Add:
+      Res = (int64_t)((uint64_t)L + (uint64_t)R);
+      break;
+    case BinaryOp::Sub:
+      Res = (int64_t)((uint64_t)L - (uint64_t)R);
+      break;
+    case BinaryOp::Mul:
+      Res = (int64_t)((uint64_t)L * (uint64_t)R);
+      break;
+    case BinaryOp::SDiv:
+      if (R == 0)
+        return nullptr;
+      Res = L / R;
+      break;
+    case BinaryOp::UDiv:
+      if (R == 0)
+        return nullptr;
+      Res = (int64_t)((uint64_t)L / (uint64_t)R);
+      break;
+    case BinaryOp::SRem:
+      if (R == 0)
+        return nullptr;
+      Res = L % R;
+      break;
+    case BinaryOp::URem:
+      if (R == 0)
+        return nullptr;
+      Res = (int64_t)((uint64_t)L % (uint64_t)R);
+      break;
+    case BinaryOp::And:
+      Res = L & R;
+      break;
+    case BinaryOp::Or:
+      Res = L | R;
+      break;
+    case BinaryOp::Xor:
+      Res = L ^ R;
+      break;
+    case BinaryOp::Shl:
+      Res = (int64_t)((uint64_t)L << (R & 63));
+      break;
+    case BinaryOp::LShr:
+      Res = (int64_t)((uint64_t)L >> (R & 63));
+      break;
+    case BinaryOp::AShr:
+      Res = L >> (R & 63);
+      break;
+    default:
+      return nullptr;
+    }
+    return Ctx.getConstantInt(Ty, Res);
+  }
+
+  if (Ty->isFloatingPointTy()) {
+    double L, R;
+    if (!getFPOperand(BO->getLHS(), L) || !getFPOperand(BO->getRHS(), R))
+      return nullptr;
+    double Res;
+    switch (BO->getBinaryOp()) {
+    case BinaryOp::FAdd:
+      Res = L + R;
+      break;
+    case BinaryOp::FSub:
+      Res = L - R;
+      break;
+    case BinaryOp::FMul:
+      Res = L * R;
+      break;
+    case BinaryOp::FDiv:
+      Res = L / R;
+      break;
+    default:
+      return nullptr;
+    }
+    return Ctx.getConstantFP(Ty, Res);
+  }
+  return nullptr;
+}
+
+Constant *foldICmp(const ICmpInst *IC, IRContext &Ctx) {
+  int64_t L, R;
+  if (!getIntOperand(IC->getLHS(), L) || !getIntOperand(IC->getRHS(), R))
+    return nullptr;
+  bool Res = false;
+  auto UL = (uint64_t)L, UR = (uint64_t)R;
+  switch (IC->getPredicate()) {
+  case ICmpPred::EQ:
+    Res = L == R;
+    break;
+  case ICmpPred::NE:
+    Res = L != R;
+    break;
+  case ICmpPred::SLT:
+    Res = L < R;
+    break;
+  case ICmpPred::SLE:
+    Res = L <= R;
+    break;
+  case ICmpPred::SGT:
+    Res = L > R;
+    break;
+  case ICmpPred::SGE:
+    Res = L >= R;
+    break;
+  case ICmpPred::ULT:
+    Res = UL < UR;
+    break;
+  case ICmpPred::ULE:
+    Res = UL <= UR;
+    break;
+  case ICmpPred::UGT:
+    Res = UL > UR;
+    break;
+  case ICmpPred::UGE:
+    Res = UL >= UR;
+    break;
+  }
+  return Ctx.getInt1(Res);
+}
+
+Constant *foldFCmp(const FCmpInst *FC, IRContext &Ctx) {
+  double L, R;
+  if (!getFPOperand(FC->getLHS(), L) || !getFPOperand(FC->getRHS(), R))
+    return nullptr;
+  bool Res = false;
+  switch (FC->getPredicate()) {
+  case FCmpPred::OEQ:
+    Res = L == R;
+    break;
+  case FCmpPred::ONE:
+    Res = L != R;
+    break;
+  case FCmpPred::OLT:
+    Res = L < R;
+    break;
+  case FCmpPred::OLE:
+    Res = L <= R;
+    break;
+  case FCmpPred::OGT:
+    Res = L > R;
+    break;
+  case FCmpPred::OGE:
+    Res = L >= R;
+    break;
+  }
+  return Ctx.getInt1(Res);
+}
+
+Constant *foldCast(const CastInst *C, IRContext &Ctx) {
+  Type *DstTy = C->getType();
+  const Value *Src = C->getSrc();
+  switch (C->getCastOp()) {
+  case CastOp::Trunc:
+  case CastOp::ZExt: {
+    int64_t V;
+    if (!getIntOperand(Src, V))
+      return nullptr;
+    if (C->getCastOp() == CastOp::ZExt) {
+      unsigned SrcBits = Src->getType()->getIntegerBitWidth();
+      if (SrcBits < 64)
+        V &= (int64_t)((1ULL << SrcBits) - 1);
+    }
+    return Ctx.getConstantInt(DstTy, V);
+  }
+  case CastOp::SExt: {
+    int64_t V;
+    if (!getIntOperand(Src, V))
+      return nullptr;
+    return Ctx.getConstantInt(DstTy, V);
+  }
+  case CastOp::SIToFP: {
+    int64_t V;
+    if (!getIntOperand(Src, V))
+      return nullptr;
+    return Ctx.getConstantFP(DstTy, (double)V);
+  }
+  case CastOp::UIToFP: {
+    int64_t V;
+    if (!getIntOperand(Src, V))
+      return nullptr;
+    return Ctx.getConstantFP(DstTy, (double)(uint64_t)V);
+  }
+  case CastOp::FPToSI: {
+    double V;
+    if (!getFPOperand(Src, V))
+      return nullptr;
+    return Ctx.getConstantInt(DstTy, (int64_t)V);
+  }
+  case CastOp::FPTrunc:
+  case CastOp::FPExt: {
+    double V;
+    if (!getFPOperand(Src, V))
+      return nullptr;
+    return Ctx.getConstantFP(DstTy, V);
+  }
+  default:
+    return nullptr;
+  }
+}
+
+Constant *foldMath(const MathInst *M, IRContext &Ctx) {
+  double A = 0, B = 0;
+  if (!getFPOperand(M->getOperand(0), A))
+    return nullptr;
+  if (M->getNumOperands() > 1 && !getFPOperand(M->getOperand(1), B))
+    return nullptr;
+  double Res = 0;
+  switch (M->getMathOp()) {
+  case MathOp::Sqrt:
+    Res = std::sqrt(A);
+    break;
+  case MathOp::Sin:
+    Res = std::sin(A);
+    break;
+  case MathOp::Cos:
+    Res = std::cos(A);
+    break;
+  case MathOp::Exp:
+    Res = std::exp(A);
+    break;
+  case MathOp::Log:
+    Res = std::log(A);
+    break;
+  case MathOp::Fabs:
+    Res = std::fabs(A);
+    break;
+  case MathOp::Floor:
+    Res = std::floor(A);
+    break;
+  case MathOp::Pow:
+    Res = std::pow(A, B);
+    break;
+  case MathOp::FMin:
+    Res = std::fmin(A, B);
+    break;
+  case MathOp::FMax:
+    Res = std::fmax(A, B);
+    break;
+  }
+  return Ctx.getConstantFP(M->getType(), Res);
+}
+
+} // namespace
+
+Constant *ompgpu::constantFoldInstruction(const Instruction *I,
+                                          IRContext &Ctx) {
+  switch (I->getOpcode()) {
+  case ValueKind::BinOp:
+    return foldBinOp(cast<BinOpInst>(I), Ctx);
+  case ValueKind::ICmp:
+    return foldICmp(cast<ICmpInst>(I), Ctx);
+  case ValueKind::FCmp:
+    return foldFCmp(cast<FCmpInst>(I), Ctx);
+  case ValueKind::Cast:
+    return foldCast(cast<CastInst>(I), Ctx);
+  case ValueKind::Math:
+    return foldMath(cast<MathInst>(I), Ctx);
+  case ValueKind::Select: {
+    const auto *S = cast<SelectInst>(I);
+    const auto *C = dyn_cast<ConstantInt>(S->getCondition());
+    if (!C)
+      return nullptr;
+    Value *Arm = C->isZero() ? S->getFalseValue() : S->getTrueValue();
+    return dyn_cast<Constant>(Arm);
+  }
+  case ValueKind::Phi: {
+    // A phi whose incoming values are all the same constant folds to it.
+    const auto *P = cast<PhiInst>(I);
+    if (P->getNumIncoming() == 0)
+      return nullptr;
+    auto *First = dyn_cast<Constant>(P->getIncomingValue(0));
+    if (!First)
+      return nullptr;
+    for (unsigned Idx = 1, E = P->getNumIncoming(); Idx != E; ++Idx)
+      if (P->getIncomingValue(Idx) != First)
+        return nullptr;
+    return First;
+  }
+  default:
+    return nullptr;
+  }
+}

@@ -1,0 +1,30 @@
+//===- transforms/ConstantFold.h - Instruction constant folding -*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding of individual instructions. Runtime-call folding
+/// (Sec. IV-C) replaces calls with constants; this folder then propagates
+/// them through arithmetic, comparisons, and branches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_CONSTANTFOLD_H
+#define OMPGPU_TRANSFORMS_CONSTANTFOLD_H
+
+namespace ompgpu {
+
+class Constant;
+class IRContext;
+class Instruction;
+
+/// Attempts to fold \p I to a constant. Returns null if the instruction
+/// does not fold (non-constant operands or unsupported opcode).
+Constant *constantFoldInstruction(const Instruction *I, IRContext &Ctx);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_CONSTANTFOLD_H

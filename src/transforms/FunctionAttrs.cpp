@@ -1,0 +1,112 @@
+//===- transforms/FunctionAttrs.cpp - Attribute inference ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/FunctionAttrs.h"
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "ir/Module.h"
+
+using namespace ompgpu;
+
+namespace {
+
+/// Per-function summary computed during one SCC iteration.
+struct Effects {
+  bool Reads = false;
+  bool Writes = false;
+  bool Syncs = false;
+  bool MayNotReturn = false;
+};
+
+/// Scans a function body, consulting current attributes of callees. SCC
+/// members are handled by iterating to a fixed point (attributes only ever
+/// get removed from the optimistic assumption).
+Effects scanFunction(const Function &F) {
+  Effects E;
+  for (const BasicBlock *BB : F) {
+    for (const Instruction *I : *BB) {
+      switch (I->getOpcode()) {
+      case ValueKind::Load:
+        E.Reads = true;
+        break;
+      case ValueKind::Store:
+        E.Writes = true;
+        break;
+      case ValueKind::AtomicRMW:
+        E.Reads = E.Writes = E.Syncs = true;
+        break;
+      case ValueKind::Call: {
+        const auto *CI = cast<CallInst>(I);
+        const Function *Callee = CI->getCalledFunction();
+        if (!Callee) {
+          E.Reads = E.Writes = E.Syncs = E.MayNotReturn = true;
+          break;
+        }
+        if (!Callee->hasFnAttr(FnAttr::ReadNone)) {
+          E.Reads = true;
+          if (!Callee->hasFnAttr(FnAttr::ReadOnly))
+            E.Writes = true;
+        }
+        if (!Callee->hasFnAttr(FnAttr::NoSync))
+          E.Syncs = true;
+        if (!Callee->hasFnAttr(FnAttr::WillReturn))
+          E.MayNotReturn = true;
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  return E;
+}
+
+} // namespace
+
+bool ompgpu::inferFunctionAttrs(Module &M) {
+  CallGraph CG(M);
+  bool AnyAdded = false;
+
+  for (const std::vector<Function *> &SCC : CG.sccsBottomUp()) {
+    // Optimistically assume the strongest attributes within the SCC, then
+    // iterate until stable.
+    for (Function *F : SCC) {
+      if (F->isDeclaration())
+        continue;
+      F->addFnAttr(FnAttr::ReadNone);
+      F->addFnAttr(FnAttr::ReadOnly);
+      F->addFnAttr(FnAttr::NoSync);
+      F->addFnAttr(FnAttr::WillReturn);
+    }
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (Function *F : SCC) {
+        if (F->isDeclaration())
+          continue;
+        Effects E = scanFunction(*F);
+        auto Drop = [&](FnAttr A, bool Cond) {
+          if (Cond && F->hasFnAttr(A)) {
+            F->removeFnAttr(A);
+            Changed = true;
+          }
+        };
+        Drop(FnAttr::ReadNone, E.Reads || E.Writes);
+        Drop(FnAttr::ReadOnly, E.Writes);
+        Drop(FnAttr::NoSync, E.Syncs);
+        Drop(FnAttr::WillReturn, E.MayNotReturn);
+      }
+    }
+    for (Function *F : SCC)
+      if (!F->isDeclaration() &&
+          (F->hasFnAttr(FnAttr::ReadNone) || F->hasFnAttr(FnAttr::ReadOnly) ||
+           F->hasFnAttr(FnAttr::NoSync)))
+        AnyAdded = true;
+  }
+  return AnyAdded;
+}

@@ -1,0 +1,30 @@
+//===- transforms/FunctionAttrs.h - Attribute inference ---------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up inference of function attributes (readnone/readonly/nosync)
+/// over call graph SCCs. SPMDzation consults these attributes to decide
+/// which code is "SPMD amenable" (side-effect free or annotated, Fig. 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_FUNCTIONATTRS_H
+#define OMPGPU_TRANSFORMS_FUNCTIONATTRS_H
+
+namespace ompgpu {
+
+class Module;
+
+/// Infers ReadNone/ReadOnly/NoSync/WillReturn for definitions in \p M.
+/// Declarations keep whatever attributes they were given (the device
+/// runtime registry pre-attributes its functions). Returns true if any
+/// attribute was added.
+bool inferFunctionAttrs(Module &M);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_FUNCTIONATTRS_H

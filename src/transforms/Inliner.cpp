@@ -1,0 +1,157 @@
+//===- transforms/Inliner.cpp - Parallel-region inlining -------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Inliner.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "support/STLExtras.h"
+
+#include <map>
+
+using namespace ompgpu;
+
+bool ompgpu::inlineCallSite(CallInst *CI) {
+  Function *Callee = CI->getCalledFunction();
+  Function *Caller = CI->getFunction();
+  if (!Callee || Callee->isDeclaration() || !Caller || Callee == Caller)
+    return false;
+
+  IRContext &Ctx = Caller->getContext();
+  BasicBlock *CallBB = CI->getParent();
+
+  // Split so the call leads its own block; everything after it becomes the
+  // continuation.
+  BasicBlock *SplitBB = CallBB->splitBefore(CI, "inline.cont");
+  // CallBB now ends with `br SplitBB`; the call is SplitBB's first
+  // instruction.
+
+  // Clone the callee body.
+  std::map<const Value *, Value *> VMap;
+  for (unsigned I = 0, E = Callee->arg_size(); I != E; ++I)
+    VMap[Callee->getArg(I)] = CI->getArgOperand(I);
+
+  std::vector<BasicBlock *> NewBlocks;
+  for (BasicBlock *BB : *Callee) {
+    BasicBlock *NewBB =
+        Caller->createBlock(Callee->getName() + "." + BB->getName());
+    VMap[BB] = NewBB;
+    NewBlocks.push_back(NewBB);
+    for (Instruction *I : *BB) {
+      Instruction *NewI = I->clone();
+      NewI->setName(I->getName());
+      NewBB->push_back(NewI);
+      VMap[I] = NewI;
+    }
+  }
+  for (BasicBlock *BB : NewBlocks)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0, E = I->getNumOperands(); Op != E; ++Op) {
+        auto It = VMap.find(I->getOperand(Op));
+        if (It != VMap.end())
+          I->setOperand(Op, It->second);
+      }
+
+  // Rewrite the clone's returns into branches to the continuation and
+  // collect the return values.
+  BasicBlock *InlinedEntry = cast<BasicBlock>(VMap.at(
+      Callee->getEntryBlock()));
+  std::vector<std::pair<Value *, BasicBlock *>> RetVals;
+  for (BasicBlock *BB : NewBlocks) {
+    auto *Ret = dyn_cast_or_null<RetInst>(BB->getTerminator());
+    if (!Ret)
+      continue;
+    Value *RV = Ret->getReturnValue();
+    Ret->eraseFromParent();
+    IRBuilder B(Ctx);
+    B.setInsertPoint(BB);
+    B.createBr(SplitBB);
+    RetVals.push_back({RV, BB});
+  }
+
+  // Retarget the fallthrough into the inlined entry.
+  Instruction *Fallthrough = CallBB->getTerminator();
+  assert(isa<BrInst>(Fallthrough));
+  Fallthrough->eraseFromParent();
+  {
+    IRBuilder B(Ctx);
+    B.setInsertPoint(CallBB);
+    B.createBr(InlinedEntry);
+  }
+
+  // Hoist statically sized allocas of the inlined body into the caller's
+  // entry block so loops around the call site do not grow the stack
+  // (mirroring llvm::InlineFunction).
+  BasicBlock *Entry = Caller->getEntryBlock();
+  for (BasicBlock *BB : NewBlocks)
+    for (Instruction *I : BB->getInstructions())
+      if (isa<AllocaInst>(I) && BB != Entry)
+        I->moveBefore(Entry->front());
+
+  // Wire up the return value and drop the call.
+  if (!CI->getType()->isVoidTy()) {
+    Value *Result = nullptr;
+    if (RetVals.size() == 1) {
+      Result = RetVals.front().first;
+    } else if (!RetVals.empty()) {
+      auto *Phi = new PhiInst(CI->getType());
+      Phi->setName(Callee->getName() + ".retval");
+      SplitBB->insertBefore(Phi, SplitBB->front());
+      for (auto &[V, BB] : RetVals)
+        Phi->addIncoming(V, BB);
+      Result = Phi;
+    } else {
+      Result = Ctx.getUndef(CI->getType()); // no returns: unreachable path
+    }
+    CI->replaceAllUsesWith(Result);
+  }
+  CI->eraseFromParent();
+  return true;
+}
+
+namespace {
+
+/// Policy: flatten outlined parallel regions and the thin runtime entry
+/// points the optimizations devirtualized.
+bool shouldInline(const Function *Callee) {
+  if (!Callee || Callee->isDeclaration())
+    return false;
+  const std::string &N = Callee->getName();
+  if (N.find("_wrapper") != std::string::npos &&
+      Callee->hasInternalLinkage())
+    return true;
+  return N == "__kmpc_parallel_51" || N == "__kmpc_target_deinit";
+}
+
+} // namespace
+
+bool ompgpu::inlineParallelRegions(Module &M) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  unsigned Budget = 256; // safety bound against pathological growth
+  while (LocalChanged && Budget) {
+    LocalChanged = false;
+    for (Function *F : M.functions()) {
+      if (shouldInline(F))
+        continue; // don't inline into bodies that will disappear anyway
+      for (BasicBlock *BB : F->getBlocks()) {
+        for (Instruction *I : BB->getInstructions()) {
+          auto *CI = dyn_cast<CallInst>(I);
+          if (!CI || !shouldInline(CI->getCalledFunction()))
+            continue;
+          if (inlineCallSite(CI)) {
+            Changed = LocalChanged = true;
+            --Budget;
+            break; // block structure changed; rescan the function
+          }
+        }
+        if (LocalChanged)
+          break;
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,41 @@
+//===- transforms/Inliner.h - Parallel-region inlining ----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call-site inlining. The paper's pass deliberately performs no inlining
+/// itself ("the inliner heuristic ... should be in charge of inlining
+/// decisions"), but its transformations *enable* the regular inliner: once
+/// SPMDzation or the custom state machine make the parallel-region callee
+/// a compile-time constant, the standard pipeline inlines the region and
+/// the outlining overhead disappears. This is that inliner: it flattens
+/// direct calls to outlined parallel-region wrappers and to the linked
+/// device-runtime entry points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_INLINER_H
+#define OMPGPU_TRANSFORMS_INLINER_H
+
+namespace ompgpu {
+
+class CallInst;
+class Module;
+
+/// Inlines \p CI (a direct call to a defined function). Returns false and
+/// leaves the IR unchanged when the site is not inlinable (indirect,
+/// declaration-only callee, or recursion).
+bool inlineCallSite(CallInst *CI);
+
+/// Runs the parallel-region inlining policy over \p M: direct calls to
+/// internal `*_wrapper` outlined regions and to the small runtime entry
+/// points (__kmpc_parallel_51, __kmpc_target_deinit) are flattened until
+/// a fixed point. Returns true if anything was inlined.
+bool inlineParallelRegions(Module &M);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_INLINER_H

@@ -1,0 +1,214 @@
+//===- transforms/Mem2Reg.cpp - Alloca promotion to SSA --------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Mem2Reg.h"
+#include "support/raw_ostream.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "ir/IRContext.h"
+#include "ir/Module.h"
+#include "support/STLExtras.h"
+
+#include <map>
+#include <set>
+
+using namespace ompgpu;
+
+bool ompgpu::isAllocaPromotable(const AllocaInst *AI) {
+  Type *Ty = AI->getAllocatedType();
+  // Aggregates accessed via GEPs are not promoted by this simple pass.
+  if (Ty->isArrayTy() || Ty->isStructTy())
+    return false;
+  for (const User *U : AI->users()) {
+    if (const auto *LI = dyn_cast<LoadInst>(U)) {
+      if (LI->getType() != Ty)
+        return false;
+      continue;
+    }
+    if (const auto *SI = dyn_cast<StoreInst>(U)) {
+      if (SI->getValueOperand() == AI) // address escapes into memory
+        return false;
+      if (SI->getValueOperand()->getType() != Ty)
+        return false;
+      continue;
+    }
+    return false; // GEP, call, cast, ... -> not promotable
+  }
+  return true;
+}
+
+namespace {
+
+/// SSA construction for one function: dominance frontiers + renaming.
+class Promoter {
+  Function &F;
+  DominatorTree DT;
+  std::map<const BasicBlock *, std::vector<BasicBlock *>> DomChildren;
+  std::map<const BasicBlock *, std::set<BasicBlock *>> Frontier;
+
+public:
+  explicit Promoter(Function &F) : F(F), DT(F) {
+    for (BasicBlock *BB : F)
+      if (const BasicBlock *IDom = DT.getIDom(BB))
+        DomChildren[IDom].push_back(BB);
+    computeFrontiers();
+  }
+
+  bool run() {
+    // The renaming walk covers only blocks reachable from the entry; skip
+    // allocas with uses in unreachable code (callers run CFG cleanup
+    // first).
+    std::set<const BasicBlock *> Reachable;
+    for (BasicBlock *BB : reversePostOrder(F))
+      Reachable.insert(BB);
+    auto AllUsesReachable = [&](const AllocaInst *AI) {
+      if (!Reachable.count(AI->getParent()))
+        return false;
+      for (const User *U : AI->users())
+        if (!Reachable.count(cast<Instruction>(U)->getParent()))
+          return false;
+      return true;
+    };
+
+    std::vector<AllocaInst *> Promotable;
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        if (auto *AI = dyn_cast<AllocaInst>(I))
+          if (isAllocaPromotable(AI) && AllUsesReachable(AI))
+            Promotable.push_back(AI);
+    for (AllocaInst *AI : Promotable)
+      promote(AI);
+    return !Promotable.empty();
+  }
+
+private:
+  void computeFrontiers() {
+    for (BasicBlock *BB : F) {
+      std::vector<BasicBlock *> Preds = BB->predecessors();
+      if (Preds.size() < 2)
+        continue;
+      for (BasicBlock *P : Preds) {
+        const BasicBlock *Runner = P;
+        const BasicBlock *Stop = DT.getIDom(BB);
+        while (Runner && Runner != Stop) {
+          Frontier[Runner].insert(BB);
+          Runner = DT.getIDom(Runner);
+        }
+      }
+    }
+  }
+
+  void promote(AllocaInst *AI) {
+    IRContext &Ctx = F.getContext();
+    Type *Ty = AI->getAllocatedType();
+
+    // Blocks containing stores define the value.
+    std::set<BasicBlock *> DefBlocks;
+    for (User *U : AI->users())
+      if (auto *SI = dyn_cast<StoreInst>(U))
+        DefBlocks.insert(SI->getParent());
+
+    // Iterated dominance frontier -> phi placement.
+    std::set<BasicBlock *> PhiBlocks;
+    std::vector<BasicBlock *> Work(DefBlocks.begin(), DefBlocks.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      auto It = Frontier.find(BB);
+      if (It == Frontier.end())
+        continue;
+      for (BasicBlock *FB : It->second)
+        if (PhiBlocks.insert(FB).second)
+          Work.push_back(FB);
+    }
+
+    std::map<BasicBlock *, PhiInst *> Phis;
+    for (BasicBlock *BB : PhiBlocks) {
+      auto *Phi = new PhiInst(Ty);
+      Phi->setName(AI->getName().empty() ? "promoted"
+                                         : AI->getName() + ".ssa");
+      BB->insertBefore(Phi, BB->front());
+      Phis[BB] = Phi;
+    }
+
+    // Renaming DFS over the dominator tree.
+    std::vector<Value *> Stack;
+    renameDFS(F.getEntryBlock(), AI, Ctx.getUndef(Ty), Phis, Stack);
+
+    // Loads were rewritten during the walk; the remaining users are the
+    // stores, which are now dead.
+    std::vector<User *> Remaining = AI->users();
+    for (User *U : Remaining) {
+      auto *SI = dyn_cast<StoreInst>(U);
+      if (SI && SI->getParent())
+        SI->eraseFromParent();
+    }
+    if (AI->hasUses()) {
+      for (User *U : AI->users())
+        if (auto *UI = dyn_cast<Instruction>(U))
+          errs() << "mem2reg: remaining user " << UI->getOpcodeName()
+                 << " of %" << AI->getName() << " in block "
+                 << (UI->getParent() ? UI->getParent()->getName()
+                                     : std::string("<detached>"))
+                 << '\n';
+    }
+    assert(!AI->hasUses() && "alloca still used after promotion");
+    AI->eraseFromParent();
+  }
+
+  /// Depth-first rename walk. \p Stack holds the reaching definition.
+  void renameDFS(BasicBlock *BB, AllocaInst *AI, Value *Default,
+                 std::map<BasicBlock *, PhiInst *> &Phis,
+                 std::vector<Value *> &Stack) {
+    size_t SavedDepth = Stack.size();
+
+    if (auto It = Phis.find(BB); It != Phis.end())
+      Stack.push_back(It->second);
+
+    for (Instruction *I : BB->getInstructions()) {
+      if (auto *LI = dyn_cast<LoadInst>(I)) {
+        if (LI->getPointerOperand() == AI) {
+          Value *Reaching = Stack.empty() ? Default : Stack.back();
+          LI->replaceAllUsesWith(Reaching);
+          LI->eraseFromParent();
+        }
+        continue;
+      }
+      if (auto *SI = dyn_cast<StoreInst>(I)) {
+        if (SI->getPointerOperand() == AI && SI->getValueOperand() != AI)
+          Stack.push_back(SI->getValueOperand());
+        continue;
+      }
+    }
+
+    // Feed successor phis with the value reaching the end of this block.
+    Value *Out = Stack.empty() ? Default : Stack.back();
+    for (BasicBlock *Succ : BB->successors())
+      if (auto It = Phis.find(Succ); It != Phis.end())
+        It->second->addIncoming(Out, BB);
+
+    for (BasicBlock *Child : DomChildren[BB])
+      renameDFS(Child, AI, Default, Phis, Stack);
+
+    Stack.resize(SavedDepth);
+  }
+};
+
+} // namespace
+
+bool ompgpu::promoteAllocasToRegisters(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  return Promoter(F).run();
+}
+
+bool ompgpu::promoteModuleAllocas(Module &M) {
+  bool Changed = false;
+  for (Function *F : M.functions())
+    Changed |= promoteAllocasToRegisters(*F);
+  return Changed;
+}

@@ -1,0 +1,37 @@
+//===- transforms/Mem2Reg.h - Alloca promotion to SSA -----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Promotes non-escaping allocas to SSA registers using iterated dominance
+/// frontiers. HeapToStack (Sec. IV-A) rewrites globalization calls into
+/// allocas; this pass then turns them into registers, which is what makes
+/// the register counts and kernel times recover (Fig. 10, Fig. 11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_MEM2REG_H
+#define OMPGPU_TRANSFORMS_MEM2REG_H
+
+namespace ompgpu {
+
+class AllocaInst;
+class Function;
+class Module;
+
+/// True if every use of \p AI is a direct typed load or store (to the
+/// pointer operand), making it promotable.
+bool isAllocaPromotable(const AllocaInst *AI);
+
+/// Promotes all promotable allocas in \p F. Returns true if changed.
+bool promoteAllocasToRegisters(Function &F);
+
+/// Runs promotion over every definition in \p M.
+bool promoteModuleAllocas(Module &M);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_MEM2REG_H

@@ -1,0 +1,200 @@
+//===- transforms/Simplify.cpp - Constprop, DCE, CFG cleanup ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Simplify.h"
+#include "analysis/CFG.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "support/STLExtras.h"
+#include "transforms/ConstantFold.h"
+
+#include <set>
+
+using namespace ompgpu;
+
+bool ompgpu::foldConstants(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  IRContext &Ctx = F.getContext();
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (BasicBlock *BB : F) {
+      for (Instruction *I : BB->getInstructions()) {
+        if (I->getType()->isVoidTy())
+          continue;
+        Constant *C = constantFoldInstruction(I, Ctx);
+        if (!C)
+          continue;
+        I->replaceAllUsesWith(C);
+        I->eraseFromParent();
+        Changed = LocalChanged = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool ompgpu::removeDeadInstructions(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (BasicBlock *BB : F) {
+      std::vector<Instruction *> Insts = BB->getInstructions();
+      for (auto It = Insts.rbegin(), E = Insts.rend(); It != E; ++It) {
+        Instruction *I = *It;
+        if (I->isTerminator() || I->hasUses())
+          continue;
+        if (I->mayHaveSideEffects())
+          continue;
+        I->eraseFromParent();
+        Changed = LocalChanged = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+/// Deletes all blocks not reachable from the entry.
+static bool removeUnreachableBlocks(Function &F) {
+  std::set<BasicBlock *> Reachable;
+  for (BasicBlock *BB : reversePostOrder(F))
+    Reachable.insert(BB);
+
+  std::vector<BasicBlock *> Dead;
+  for (BasicBlock *BB : F)
+    if (!Reachable.count(BB))
+      Dead.push_back(BB);
+  if (Dead.empty())
+    return false;
+
+  // Remove phi entries in reachable successors, then drop all operand
+  // references held by dead instructions (including branch edges between
+  // dead blocks).
+  for (BasicBlock *BB : Dead)
+    for (BasicBlock *Succ : BB->successors())
+      if (Reachable.count(Succ))
+        for (PhiInst *Phi : Succ->phis())
+          Phi->removeIncomingBlock(BB);
+  for (BasicBlock *BB : Dead)
+    for (Instruction *I : *BB)
+      I->dropAllOperands();
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+  return true;
+}
+
+/// Rewrites conditional branches on constants into unconditional ones.
+static bool foldConstantBranches(Function &F) {
+  IRContext &Ctx = F.getContext();
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    auto *Br = dyn_cast_or_null<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    const auto *Cond = dyn_cast<ConstantInt>(Br->getCondition());
+    if (!Cond)
+      continue;
+    BasicBlock *Taken = Br->getSuccessor(Cond->isZero() ? 1 : 0);
+    BasicBlock *NotTaken = Br->getSuccessor(Cond->isZero() ? 0 : 1);
+    if (NotTaken != Taken)
+      for (PhiInst *Phi : NotTaken->phis())
+        Phi->removeIncomingBlock(BB);
+    Br->eraseFromParent();
+    IRBuilder B(Ctx);
+    B.setInsertPoint(BB);
+    B.createBr(Taken);
+    Changed = true;
+  }
+  return Changed;
+}
+
+/// Merges a block into its unique predecessor when control flow is trivial.
+static bool mergeBlocks(Function &F) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (BasicBlock *BB : F.getBlocks()) {
+      if (BB == F.getEntryBlock())
+        continue;
+      std::vector<BasicBlock *> Preds = BB->predecessors();
+      if (Preds.size() != 1)
+        continue;
+      BasicBlock *Pred = Preds[0];
+      if (Pred == BB)
+        continue;
+      auto *PredBr = dyn_cast_or_null<BrInst>(Pred->getTerminator());
+      if (!PredBr || PredBr->isConditional())
+        continue;
+      assert(PredBr->getSuccessor(0) == BB && "CFG inconsistency");
+
+      // Phi nodes in BB have exactly one incoming value now.
+      for (PhiInst *Phi : BB->phis()) {
+        assert(Phi->getNumIncoming() == 1 && "phi with single predecessor");
+        Value *In = Phi->getIncomingValue(0);
+        Phi->replaceAllUsesWith(In);
+        Phi->eraseFromParent();
+      }
+
+      // Successor phis referencing BB must be retargeted to Pred before
+      // BB disappears.
+      for (BasicBlock *Succ : BB->successors())
+        for (PhiInst *Phi : Succ->phis())
+          for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I)
+            if (Phi->getIncomingBlock(I) == BB)
+              Phi->setOperand(2 * I + 1, Pred);
+
+      PredBr->eraseFromParent();
+      for (Instruction *I : BB->getInstructions()) {
+        std::unique_ptr<Instruction> Owned = BB->remove(I);
+        Pred->push_back(Owned.release());
+      }
+      assert(!BB->hasUses() && "merged block still referenced");
+      F.eraseBlock(BB);
+      Changed = LocalChanged = true;
+      break; // block list changed; restart scan
+    }
+  }
+  return Changed;
+}
+
+bool ompgpu::simplifyCFG(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  bool Changed = false;
+  Changed |= foldConstantBranches(F);
+  Changed |= removeUnreachableBlocks(F);
+  Changed |= mergeBlocks(F);
+  return Changed;
+}
+
+bool ompgpu::simplifyFunction(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    LocalChanged |= foldConstants(F);
+    LocalChanged |= removeDeadInstructions(F);
+    LocalChanged |= simplifyCFG(F);
+    Changed |= LocalChanged;
+  }
+  return Changed;
+}
+
+bool ompgpu::simplifyModule(Module &M) {
+  bool Changed = false;
+  for (Function *F : M.functions())
+    Changed |= simplifyFunction(*F);
+  return Changed;
+}

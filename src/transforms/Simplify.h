@@ -1,0 +1,44 @@
+//===- transforms/Simplify.h - Constprop, DCE, CFG cleanup ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic scalar cleanup pipeline that follows the OpenMP-specific
+/// transformations: constant propagation, dead code elimination, and CFG
+/// simplification. After runtime-call folding (Sec. IV-C) these passes
+/// delete the dead generic-mode fallback paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_SIMPLIFY_H
+#define OMPGPU_TRANSFORMS_SIMPLIFY_H
+
+namespace ompgpu {
+
+class Function;
+class Module;
+
+/// Replaces constant-foldable instructions by constants. Returns true if
+/// anything changed.
+bool foldConstants(Function &F);
+
+/// Removes side-effect-free instructions without uses. Returns true if
+/// anything changed.
+bool removeDeadInstructions(Function &F);
+
+/// Folds constant conditional branches, deletes unreachable blocks, and
+/// merges trivial straight-line block chains. Returns true if changed.
+bool simplifyCFG(Function &F);
+
+/// Runs fold/DCE/CFG-simplify to a fixed point. Returns true if changed.
+bool simplifyFunction(Function &F);
+
+/// Runs simplifyFunction over every definition in \p M.
+bool simplifyModule(Module &M);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_SIMPLIFY_H

@@ -1,0 +1,52 @@
+//===- transforms/StoreToLoadForwarding.cpp - Local S2L fwd ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/StoreToLoadForwarding.h"
+#include "ir/Module.h"
+
+#include <map>
+
+using namespace ompgpu;
+
+bool ompgpu::forwardStoresToLoads(Function &F) {
+  if (F.isDeclaration())
+    return false;
+  bool Changed = false;
+  for (BasicBlock *BB : F) {
+    // Available values per (pointer, accessed type) pair.
+    std::map<std::pair<const Value *, const Type *>, Value *> Avail;
+    for (Instruction *I : BB->getInstructions()) {
+      if (auto *SI = dyn_cast<StoreInst>(I)) {
+        Avail.clear(); // conservative: a store may alias everything
+        Avail[{SI->getPointerOperand(), SI->getAccessType()}] =
+            SI->getValueOperand();
+        continue;
+      }
+      if (auto *LI = dyn_cast<LoadInst>(I)) {
+        auto It = Avail.find({LI->getPointerOperand(), LI->getType()});
+        if (It == Avail.end()) {
+          Avail[{LI->getPointerOperand(), LI->getType()}] = LI;
+          continue;
+        }
+        LI->replaceAllUsesWith(It->second);
+        LI->eraseFromParent();
+        Changed = true;
+        continue;
+      }
+      if (I->mayWriteToMemory() || I->mayHaveSideEffects())
+        Avail.clear();
+    }
+  }
+  return Changed;
+}
+
+bool ompgpu::forwardStoresToLoads(Module &M) {
+  bool Changed = false;
+  for (Function *F : M.functions())
+    Changed |= forwardStoresToLoads(*F);
+  return Changed;
+}

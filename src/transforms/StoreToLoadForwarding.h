@@ -1,0 +1,35 @@
+//===- transforms/StoreToLoadForwarding.h - Local S2L fwd -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local store-to-load forwarding. Sec. IV-A notes that replacing
+/// runtime globalization with static shared memory "allows further memory
+/// optimizations, e.g., store-to-load-forwarding, as the lifetime and exact
+/// location are known to the compiler" — this pass provides exactly that
+/// follow-up optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_TRANSFORMS_STORETOLOADFORWARDING_H
+#define OMPGPU_TRANSFORMS_STORETOLOADFORWARDING_H
+
+namespace ompgpu {
+
+class Function;
+class Module;
+
+/// Forwards stored values to later loads of the same pointer within a
+/// block when no intervening instruction may write or synchronize.
+/// Returns true if changed.
+bool forwardStoresToLoads(Function &F);
+
+/// Runs forwarding over every definition in \p M.
+bool forwardStoresToLoads(Module &M);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_TRANSFORMS_STORETOLOADFORWARDING_H

@@ -1,0 +1,61 @@
+//===- workloads/Harness.cpp - Build/optimize/launch harness ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+#include "ir/Module.h"
+#include "rtl/DeviceRTL.h"
+
+using namespace ompgpu;
+
+Workload::~Workload() = default;
+
+WorkloadRunResult ompgpu::runWorkload(Workload &W, const PipelineOptions &P,
+                                      const HarnessOptions &Opts) {
+  WorkloadRunResult R;
+  R.WorkloadName = W.getName();
+  R.ConfigName = P.Name;
+
+  IRContext Ctx;
+  Module M(Ctx, W.getName());
+
+  Function *Kernel = nullptr;
+  if (Opts.UseCUDAKernel) {
+    Kernel = W.buildCUDA(M);
+    if (!Kernel) {
+      R.Stats.Trap = "workload has no CUDA version";
+      return R;
+    }
+  } else {
+    OMPCodeGen CG(M, CodeGenOptions{P.Scheme, /*CudaMode=*/false});
+    Kernel = W.buildOpenMP(CG);
+  }
+
+  R.Compile = optimizeDeviceModule(M, P);
+  if (R.Compile.VerifyFailed) {
+    R.Stats.Trap = "IR verification failed: " + R.Compile.VerifyError;
+    return R;
+  }
+
+  GPUDevice Dev(Opts.Machine);
+  std::vector<uint64_t> Args = W.setupInputs(Dev);
+
+  LaunchConfig LC;
+  LC.GridDim = W.getGridDim();
+  LC.BlockDim = W.getBlockDim();
+  LC.Flavor = P.Flavor;
+  LC.MaxSimulatedBlocks = Opts.MaxSimulatedBlocks;
+
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  R.Stats = Dev.launchKernel(M, Kernel, LC, Args, RTL);
+
+  if (R.Stats.ok() && Opts.MaxSimulatedBlocks == 0) {
+    R.Checked = true;
+    R.Correct = W.checkOutputs(Dev);
+  }
+  return R;
+}

@@ -1,0 +1,49 @@
+//===- workloads/Harness.h - Build/optimize/launch harness ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives one workload through one compiler configuration: front-end
+/// codegen, device pipeline, simulated launch, and output verification —
+/// the measurement loop behind Fig. 9, Fig. 10 and Fig. 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_WORKLOADS_HARNESS_H
+#define OMPGPU_WORKLOADS_HARNESS_H
+
+#include "driver/Pipeline.h"
+#include "gpusim/KernelStats.h"
+#include "workloads/Workload.h"
+
+namespace ompgpu {
+
+/// Result of one workload x configuration measurement.
+struct WorkloadRunResult {
+  std::string WorkloadName;
+  std::string ConfigName;
+  KernelStats Stats;
+  CompileResult Compile;
+  bool Checked = false; ///< outputs verified (all blocks simulated)
+  bool Correct = false;
+};
+
+/// Options for one run.
+struct HarnessOptions {
+  /// 0 simulates every block (enables output checking).
+  unsigned MaxSimulatedBlocks = 0;
+  /// Use the CUDA-style kernel instead of the OpenMP one.
+  bool UseCUDAKernel = false;
+  MachineModel Machine;
+};
+
+/// Builds, optimizes, launches, and (optionally) checks \p W under \p P.
+WorkloadRunResult runWorkload(Workload &W, const PipelineOptions &P,
+                              const HarnessOptions &Opts = HarnessOptions());
+
+} // namespace ompgpu
+
+#endif // OMPGPU_WORKLOADS_HARNESS_H

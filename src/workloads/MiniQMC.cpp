@@ -1,0 +1,483 @@
+//===- workloads/MiniQMC.cpp - miniQMC proxy kernel ------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// miniQMC: the batched cubic B-spline single-particle-orbital (SPO)
+/// evaluation of QMCPACK (check_spo_batched). Each walker's basis
+/// polynomials are computed sequentially by the team's main thread into
+/// eighteen address-taken locals (value/gradient/laplacian bases and
+/// index/coordinate temporaries — Fig. 9: 3 stack + 18 shared
+/// opportunities), then a parallel region evaluates all orbitals. The
+/// LLVM 12 front-end aggregated the eighteen into one coalesced push;
+/// the paper's scheme emits eighteen __kmpc_alloc_shared calls, which is
+/// why "No OpenMP Optimization" collapses to ~0.07x until HeapToShared
+/// recovers it (Fig. 11d).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+#include "frontend/CGHelpers.h"
+
+#include <array>
+#include <cmath>
+
+using namespace ompgpu;
+
+namespace {
+
+constexpr int64_t LCGMul = 2806196910506780709LL;
+constexpr int64_t LCGAdd = 1LL;
+
+double hostRn(int64_t &Seed) {
+  // Unsigned arithmetic: the LCG multiply wraps (signed overflow is UB).
+  Seed = (int64_t)((uint64_t)Seed * (uint64_t)LCGMul + (uint64_t)LCGAdd);
+  return (double)((Seed >> 12) & 0xFFFFFFFFLL) / 4294967296.0;
+}
+
+struct QMCParams {
+  int NWalkers;
+  int NOrbitals;
+  int NX; ///< spline grid cells per dimension (knots = NX + 3)
+  unsigned GridDim;
+  unsigned BlockDim;
+};
+
+QMCParams getParams(ProblemSize Size) {
+  if (Size == ProblemSize::Small)
+    return {16, 32, 4, 4, 64};
+  return {256, 64, 8, 64, 128};
+}
+
+/// Cubic B-spline basis at fractional coordinate t (host version; the
+/// device emits the same expression tree for bit-identical results).
+void hostBasis(double T, double *A /*4*/, double *DA /*4*/,
+               double *D2A /*4*/) {
+  double T1 = 1.0 - T;
+  A[0] = (T1 * T1 * T1) / 6.0;
+  A[1] = (3.0 * T * T * T - 6.0 * T * T + 4.0) / 6.0;
+  A[2] = (-3.0 * T * T * T + 3.0 * T * T + 3.0 * T + 1.0) / 6.0;
+  A[3] = (T * T * T) / 6.0;
+  DA[0] = -(T1 * T1) / 2.0;
+  DA[1] = (3.0 * T * T - 4.0 * T) / 2.0;
+  DA[2] = (-3.0 * T * T + 2.0 * T + 1.0) / 2.0;
+  DA[3] = (T * T) / 2.0;
+  D2A[0] = T1;
+  D2A[1] = 3.0 * T - 2.0;
+  D2A[2] = -3.0 * T + 1.0;
+  D2A[3] = T;
+}
+
+class MiniQMCWorkload final : public Workload {
+  QMCParams P;
+  std::vector<double> Coefs; ///< [(NX+3)^3][NOrbitals]
+  uint64_t DevCoefs = 0, DevOut = 0;
+
+public:
+  explicit MiniQMCWorkload(ProblemSize Size) : P(getParams(Size)) {
+    int Knots = P.NX + 3;
+    Coefs.resize((size_t)Knots * Knots * Knots * P.NOrbitals);
+    int64_t Seed = 20377;
+    for (size_t I = 0; I < Coefs.size(); ++I)
+      Coefs[I] = hostRn(Seed) - 0.5;
+  }
+
+  std::string getName() const override { return "miniQMC"; }
+  unsigned getGridDim() const override { return P.GridDim; }
+  unsigned getBlockDim() const override { return P.BlockDim; }
+
+  /// Deterministic walker position in [0, 1)^3.
+  void walkerPos(int W, double &X, double &Y, double &Z) const {
+    int64_t Seed = (int64_t)W * 52837 + 11;
+    X = hostRn(Seed);
+    Y = hostRn(Seed);
+    Z = hostRn(Seed);
+  }
+
+  double hostEval(int W, int Orb) const {
+    double X, Y, Z;
+    walkerPos(W, X, Y, Z);
+    int Knots = P.NX + 3;
+    double TX = X * P.NX, TY = Y * P.NX, TZ = Z * P.NX;
+    int IX = (int)TX, IY = (int)TY, IZ = (int)TZ;
+    double A[4], DA[4], D2A[4], B[4], DB[4], D2B[4], C[4], DC[4], D2C[4];
+    hostBasis(TX - IX, A, DA, D2A);
+    hostBasis(TY - IY, B, DB, D2B);
+    hostBasis(TZ - IZ, C, DC, D2C);
+    double Val = 0, Grad = 0, Lapl = 0;
+    for (int I = 0; I < 4; ++I)
+      for (int J = 0; J < 4; ++J)
+        for (int K = 0; K < 4; ++K) {
+          size_t Idx =
+              ((((size_t)(IX + I) * Knots) + (IY + J)) * Knots +
+               (IZ + K)) *
+                  P.NOrbitals +
+              Orb;
+          double Cf = Coefs[Idx];
+          Val += A[I] * B[J] * C[K] * Cf;
+          Grad += DA[I] * B[J] * C[K] * Cf + A[I] * DB[J] * C[K] * Cf +
+                  A[I] * B[J] * DC[K] * Cf;
+          Lapl += D2A[I] * B[J] * C[K] * Cf + A[I] * D2B[J] * C[K] * Cf +
+                  A[I] * B[J] * D2C[K] * Cf;
+        }
+    return Val + 0.1 * Grad + 0.01 * Lapl;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Device code
+  //===------------------------------------------------------------------===//
+
+  /// void eval_orbital(ptr coefs, i32 orb, i32 ix, i32 iy, i32 iz,
+  ///                   ptr a, ptr b, ptr c, ptr da, ptr db, ptr dc,
+  ///                   ptr d2a, ptr d2b, ptr d2c,
+  ///                   ptr val, ptr grad, ptr lapl)
+  Function *buildEvalOrbital(Module &M) {
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+    std::vector<Type *> Params = {Ptr, I32, I32, I32, I32};
+    for (int I = 0; I < 12; ++I)
+      Params.push_back(Ptr);
+    Function *F = M.createFunction(
+        "eval_orbital", Ctx.getFunctionTy(Ctx.getVoidTy(), Params),
+        Linkage::External);
+    const char *Names[] = {"coefs", "orb", "ix", "iy", "iz",
+                           "a",     "b",   "c",  "da", "db",
+                           "dc",    "d2a", "d2b", "d2c",
+                           "val",   "grad", "lapl"};
+    for (unsigned I = 0; I < F->arg_size(); ++I) {
+      F->getArg(I)->setName(Names[I]);
+      if (I >= 5)
+        F->getArg(I)->setNoEscapeAttr();
+    }
+
+    IRBuilder B(Ctx);
+    B.setInsertPoint(F->createBlock("entry"));
+    Argument *CoefsA = F->getArg(0), *Orb = F->getArg(1),
+             *IX = F->getArg(2), *IY = F->getArg(3), *IZ = F->getArg(4);
+    Argument *AP = F->getArg(5), *BP = F->getArg(6), *CP = F->getArg(7);
+    Argument *DAP = F->getArg(8), *DBP = F->getArg(9),
+             *DCP = F->getArg(10);
+    Argument *D2AP = F->getArg(11), *D2BP = F->getArg(12),
+             *D2CP = F->getArg(13);
+    Argument *ValP = F->getArg(14), *GradP = F->getArg(15),
+             *LaplP = F->getArg(16);
+
+    B.createStore(B.getDouble(0.0), ValP);
+    B.createStore(B.getDouble(0.0), GradP);
+    B.createStore(B.getDouble(0.0), LaplP);
+
+    int Knots = P.NX + 3;
+    auto LoadAt = [&](IRBuilder &LB, Value *BasisP, Value *Idx,
+                      const char *Name) {
+      return LB.createLoad(F64, LB.createGEP(F64, BasisP, {Idx}, Name),
+                           Name);
+    };
+
+    emitCountedLoop(B, B.getInt32(0), B.getInt32(4), B.getInt32(1), "i",
+        [&](IRBuilder &BI, Value *I) {
+      Value *AI = LoadAt(BI, AP, I, "a.i");
+      Value *DAI = LoadAt(BI, DAP, I, "da.i");
+      Value *D2AI = LoadAt(BI, D2AP, I, "d2a.i");
+      Value *XI = BI.createAdd(IX, I, "xi");
+      emitCountedLoop(BI, BI.getInt32(0), BI.getInt32(4), BI.getInt32(1),
+          "j", [&](IRBuilder &BJ, Value *J) {
+        Value *BJV = LoadAt(BJ, BP, J, "b.j");
+        Value *DBJ = LoadAt(BJ, DBP, J, "db.j");
+        Value *D2BJ = LoadAt(BJ, D2BP, J, "d2b.j");
+        Value *YJ = BJ.createAdd(IY, J, "yj");
+        Value *RowXY = BJ.createAdd(
+            BJ.createMul(XI, BJ.getInt32(Knots), "x.k"), YJ, "xy");
+        emitCountedLoop(BJ, BJ.getInt32(0), BJ.getInt32(4),
+            BJ.getInt32(1), "k", [&](IRBuilder &BK, Value *K) {
+          Value *CK = LoadAt(BK, CP, K, "c.k");
+          Value *DCK = LoadAt(BK, DCP, K, "dc.k");
+          Value *D2CK = LoadAt(BK, D2CP, K, "d2c.k");
+          Value *ZK = BK.createAdd(IZ, K, "zk");
+          Value *Cell = BK.createAdd(
+              BK.createMul(RowXY, BK.getInt32(Knots), "xy.k"), ZK,
+              "cell");
+          Value *CoefIdx = BK.createAdd(
+              BK.createMul(Cell, BK.getInt32(P.NOrbitals), "cell.orb"),
+              Orb, "coef.idx");
+          Value *Cf = BK.createLoad(
+              F64, BK.createGEP(F64, CoefsA, {CoefIdx}, "coef.addr"),
+              "coef");
+
+          Value *ABC = BK.createFMul(BK.createFMul(AI, BJV, "ab"), CK,
+                                     "abc");
+          Value *Old = BK.createLoad(F64, ValP, "val.old");
+          BK.createStore(
+              BK.createFAdd(Old, BK.createFMul(ABC, Cf, "v"), "val.new"),
+              ValP);
+
+          Value *G1 = BK.createFMul(
+              BK.createFMul(DAI, BJV, "dab"), CK, "dabc");
+          Value *G2 = BK.createFMul(
+              BK.createFMul(AI, DBJ, "adb"), CK, "adbc");
+          Value *G3 = BK.createFMul(
+              BK.createFMul(AI, BJV, "ab2"), DCK, "abdc");
+          Value *GSum = BK.createFAdd(BK.createFAdd(G1, G2, "g12"), G3,
+                                      "g");
+          Value *GOld = BK.createLoad(F64, GradP, "g.old");
+          BK.createStore(
+              BK.createFAdd(GOld, BK.createFMul(GSum, Cf, "g.c"),
+                            "g.new"),
+              GradP);
+
+          Value *L1 = BK.createFMul(
+              BK.createFMul(D2AI, BJV, "l1a"), CK, "l1");
+          Value *L2 = BK.createFMul(
+              BK.createFMul(AI, D2BJ, "l2a"), CK, "l2");
+          Value *L3 = BK.createFMul(
+              BK.createFMul(AI, BJV, "l3a"), D2CK, "l3");
+          Value *LSum = BK.createFAdd(BK.createFAdd(L1, L2, "l12"), L3,
+                                      "l");
+          Value *LOld = BK.createLoad(F64, LaplP, "l.old");
+          BK.createStore(
+              BK.createFAdd(LOld, BK.createFMul(LSum, Cf, "l.c"),
+                            "l.new"),
+              LaplP);
+        });
+      });
+    });
+    B.createRetVoid();
+    return F;
+  }
+
+  /// Emits the sequential basis computation into the 18 team-scope
+  /// buffers; returns {ix, iy, iz} values.
+  std::array<Value *, 3> emitBasisPrep(IRBuilder &B, Value *Walker,
+                                       const std::vector<Value *> &Bufs) {
+    IRContext &Ctx = B.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty(),
+         *I64 = Ctx.getInt64Ty();
+
+    // Walker position via the LCG (three draws).
+    Value *W64 = B.createSExt(Walker, I64, "w.64");
+    Value *Seed = B.createAdd(
+        B.createMul(W64, B.getInt64(52837), "w.m"), B.getInt64(11),
+        "seed0");
+    auto Draw = [&](Value *SeedIn, Value *&SeedOut, const char *Name) {
+      Value *S2 = B.createAdd(
+          B.createMul(SeedIn, B.getInt64(LCGMul), "lcg.m"),
+          B.getInt64(LCGAdd), "lcg.a");
+      SeedOut = S2;
+      Value *Bits = B.createAnd(B.createLShr(S2, B.getInt64(12), "sh"),
+                                B.getInt64(0xFFFFFFFFLL), "bits");
+      return B.createFDiv(
+          B.createCast(CastOp::SIToFP, Bits, F64, "f"),
+          B.getDouble(4294967296.0), Name);
+    };
+    Value *S1 = nullptr, *S2 = nullptr, *S3 = nullptr;
+    Value *X = Draw(Seed, S1, "x");
+    Value *Y = Draw(S1, S2, "y");
+    Value *Z = Draw(S2, S3, "z");
+
+    std::array<Value *, 3> IVals;
+    Value *Coords[3] = {X, Y, Z};
+    for (int D = 0; D < 3; ++D) {
+      Value *T = B.createFMul(Coords[D], B.getDouble((double)P.NX), "t");
+      Value *IV = B.createCast(CastOp::FPToSI, T, I32, "iv");
+      IVals[D] = IV;
+      Value *Frac = B.createFSub(
+          T, B.createCast(CastOp::SIToFP, IV, F64, "iv.f"), "frac");
+
+      // Basis polynomials (identical expression tree to hostBasis).
+      Value *T1 = B.createFSub(B.getDouble(1.0), Frac, "t1");
+      Value *TT = B.createFMul(Frac, Frac, "tt");
+      Value *TTT = B.createFMul(TT, Frac, "ttt");
+      Value *T1T1 = B.createFMul(T1, T1, "t1t1");
+
+      Value *A0 = B.createFDiv(B.createFMul(T1T1, T1, "t1c"),
+                               B.getDouble(6.0), "a0");
+      Value *A1 = B.createFDiv(
+          B.createFAdd(
+              B.createFSub(B.createFMul(B.getDouble(3.0), TTT, "3t3"),
+                           B.createFMul(B.getDouble(6.0), TT, "6t2"),
+                           "d1"),
+              B.getDouble(4.0), "n1"),
+          B.getDouble(6.0), "a1");
+      Value *A2 = B.createFDiv(
+          B.createFAdd(
+              B.createFAdd(
+                  B.createFSub(
+                      B.createFMul(B.getDouble(-3.0), TTT, "m3t3"),
+                      B.createFMul(B.getDouble(-3.0), TT, "m3t2"), "s"),
+                  B.createFMul(B.getDouble(3.0), Frac, "3t"), "s2"),
+              B.getDouble(1.0), "n2"),
+          B.getDouble(6.0), "a2");
+      Value *A3 = B.createFDiv(TTT, B.getDouble(6.0), "a3");
+
+      Value *DA0 = B.createFDiv(
+          B.createFSub(B.getDouble(0.0), T1T1, "nt1t1"), B.getDouble(2.0),
+          "da0");
+      Value *DA1 = B.createFDiv(
+          B.createFSub(B.createFMul(B.getDouble(3.0), TT, "3tt"),
+                       B.createFMul(B.getDouble(4.0), Frac, "4t"), "d"),
+          B.getDouble(2.0), "da1");
+      Value *DA2 = B.createFDiv(
+          B.createFAdd(
+              B.createFAdd(
+                  B.createFMul(B.getDouble(-3.0), TT, "m3tt"),
+                  B.createFMul(B.getDouble(2.0), Frac, "2t"), "s"),
+              B.getDouble(1.0), "n"),
+          B.getDouble(2.0), "da2");
+      Value *DA3 = B.createFDiv(TT, B.getDouble(2.0), "da3");
+
+      Value *D2A0 = T1;
+      Value *D2A1 = B.createFSub(
+          B.createFMul(B.getDouble(3.0), Frac, "3t.b"), B.getDouble(2.0),
+          "d2a1");
+      Value *D2A2 = B.createFAdd(
+          B.createFMul(B.getDouble(-3.0), Frac, "m3t"), B.getDouble(1.0),
+          "d2a2");
+      Value *D2A3 = Frac;
+
+      // Bufs layout: [a, b, c, da, db, dc, d2a, d2b, d2c, ...temps].
+      Value *Vals[3][4] = {{A0, A1, A2, A3},
+                           {DA0, DA1, DA2, DA3},
+                           {D2A0, D2A1, D2A2, D2A3}};
+      for (int Kind = 0; Kind < 3; ++Kind) {
+        Value *Buf = Bufs[Kind * 3 + D];
+        for (int L = 0; L < 4; ++L)
+          B.createStore(Vals[Kind][L],
+                        B.createGEP(F64, Buf, {B.getInt32(L)}, "basis"));
+      }
+    }
+
+    // Temp buffers 9..17 model the proxy's coordinate/index scratch.
+    for (int TmpI = 9; TmpI < 18; ++TmpI)
+      B.createStore(X, B.createGEP(F64, Bufs[TmpI], {B.getInt32(0)},
+                                   "tmp"));
+    return IVals;
+  }
+
+  Function *buildOpenMP(OMPCodeGen &CG) override {
+    Module &M = CG.getModule();
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+    Function *Eval = buildEvalOrbital(M);
+
+    TargetRegionBuilder TRB(CG, "spo_batched_kernel",
+                            {Ptr /*coefs*/, Ptr /*out*/, I32 /*nwalkers*/},
+                            ExecMode::Generic, (int)P.GridDim,
+                            (int)P.BlockDim);
+    Argument *CoefsA = TRB.getParam(0);
+    Argument *OutA = TRB.getParam(1);
+    Argument *NW = TRB.getParam(2);
+    CoefsA->setName("coefs");
+    OutA->setName("out");
+    NW->setName("n_walkers");
+
+    TRB.emitDistributeLoop(NW, [&](IRBuilder &B, Value *Walker) {
+      // The eighteen address-taken locals of the walker scope.
+      std::vector<std::pair<Type *, std::string>> VarDefs;
+      const char *BasisNames[] = {"a",  "b",  "c",  "da", "db", "dc",
+                                  "d2a", "d2b", "d2c"};
+      for (const char *N : BasisNames)
+        VarDefs.push_back({Ctx.getArrayTy(F64, 4), N});
+      const char *TempNames[] = {"pos",  "frac", "gx",  "gy", "gz",
+                                 "l1",   "l2",   "l3",  "tmp"};
+      for (const char *N : TempNames)
+        VarDefs.push_back({Ctx.getArrayTy(F64, 1), N});
+
+      std::vector<std::function<void(IRBuilder &)>> ScopeCleanups;
+      std::vector<Value *> Bufs =
+          TRB.emitLocalVariableGroup(VarDefs, /*AddressTaken=*/true,
+                                     &ScopeCleanups);
+
+      std::array<Value *, 3> IVals = emitBasisPrep(B, Walker, Bufs);
+
+      std::vector<TargetRegionBuilder::Capture> Caps = {
+          {CoefsA, false, "coefs"}, {OutA, false, "out"},
+          {Walker, false, "walker"},
+          {IVals[0], false, "ix"},  {IVals[1], false, "iy"},
+          {IVals[2], false, "iz"}};
+      for (unsigned I = 0; I < 9; ++I)
+        Caps.push_back({Bufs[I], true, VarDefs[I].second});
+
+      Value *ValP = nullptr, *GradP = nullptr, *LaplP = nullptr;
+      TRB.emitParallelFor(
+          B.getInt32(P.NOrbitals), Caps,
+          [&](IRBuilder &LB, Value *Orb,
+              const TargetRegionBuilder::CaptureMap &Map) {
+            std::vector<Value *> Args = {Map.at(CoefsA), Orb,
+                                         Map.at(IVals[0]),
+                                         Map.at(IVals[1]),
+                                         Map.at(IVals[2])};
+            for (unsigned I = 0; I < 9; ++I)
+              Args.push_back(Map.at(Bufs[I]));
+            Args.push_back(ValP);
+            Args.push_back(GradP);
+            Args.push_back(LaplP);
+            LB.createCall(Eval, Args);
+
+            Type *F64L = LB.getDoubleTy();
+            Value *V = LB.createLoad(F64L, ValP, "val");
+            Value *G = LB.createLoad(F64L, GradP, "grad");
+            Value *L = LB.createLoad(F64L, LaplP, "lapl");
+            Value *R = LB.createFAdd(
+                V,
+                LB.createFAdd(
+                    LB.createFMul(LB.getDouble(0.1), G, "g.s"),
+                    LB.createFMul(LB.getDouble(0.01), L, "l.s"), "gl"),
+                "res");
+            Value *Pos = LB.createAdd(
+                LB.createMul(Map.at(Walker), LB.getInt32(P.NOrbitals),
+                             "w.base"),
+                Orb, "pos");
+            LB.createStore(R,
+                           LB.createGEP(F64L, Map.at(OutA), {Pos},
+                                        "out.i"));
+          },
+          /*NumThreadsClause=*/-1,
+          [&](IRBuilder &PB, const TargetRegionBuilder::CaptureMap &) {
+            // The three per-thread address-taken accumulators
+            // (Fig. 9: miniQMC heap-to-stack = 3).
+            ValP = TRB.emitParallelLocalVariable(PB, F64, "val", true);
+            GradP = TRB.emitParallelLocalVariable(PB, F64, "grad", true);
+            LaplP = TRB.emitParallelLocalVariable(PB, F64, "lapl", true);
+          });
+
+      OMPCodeGen::emitCleanups(B, ScopeCleanups);
+    });
+    return TRB.finalize();
+  }
+
+  Function *buildCUDA(Module &) override {
+    // The paper evaluates miniQMC as OpenMP-only (no CUDA watermark in
+    // Fig. 11d).
+    return nullptr;
+  }
+
+  std::vector<uint64_t> setupInputs(GPUDevice &Dev) override {
+    DevCoefs = Dev.allocateArray(Coefs);
+    DevOut = Dev.allocate((uint64_t)P.NWalkers * P.NOrbitals *
+                          sizeof(double));
+    return {DevCoefs, DevOut, (uint64_t)P.NWalkers};
+  }
+
+  bool checkOutputs(GPUDevice &Dev) override {
+    std::vector<double> Out = Dev.downloadArray<double>(
+        DevOut, (size_t)P.NWalkers * P.NOrbitals);
+    for (int W = 0; W < P.NWalkers; ++W)
+      for (int Orb = 0; Orb < P.NOrbitals; ++Orb) {
+        double Expect = hostEval(W, Orb);
+        if (std::fabs(Out[(size_t)W * P.NOrbitals + Orb] - Expect) >
+            1e-9 * std::max(1.0, std::fabs(Expect)))
+          return false;
+      }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> ompgpu::createMiniQMC(ProblemSize Size) {
+  return std::make_unique<MiniQMCWorkload>(Size);
+}

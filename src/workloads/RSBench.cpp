@@ -1,0 +1,500 @@
+//===- workloads/RSBench.cpp - RSBench proxy kernel ------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RSBench (Tramm et al.): the multipole (windowed resonance) neutron
+/// cross-section kernel — the compute-bound alternative to XSBench. Each
+/// lookup evaluates complex-arithmetic pole expansions plus trigonometric
+/// sigT factors. The event-based OpenMP kernel carries seven address-taken
+/// local buffers per event (Fig. 9: seven heap-to-stack opportunities);
+/// without deglobalization their per-thread runtime allocations overflow
+/// the device heap — the paper's RSBench "OoM" configuration (Fig. 11b).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+#include "frontend/CGHelpers.h"
+
+#include <cmath>
+
+using namespace ompgpu;
+
+namespace {
+
+constexpr int64_t LCGMul = 2806196910506780709LL;
+constexpr int64_t LCGAdd = 1LL;
+constexpr int NumL = 16;      ///< sigT factor orders
+constexpr int PolesPerWindow = 4;
+
+double hostRn(int64_t &Seed) {
+  // Unsigned arithmetic: the LCG multiply wraps (signed overflow is UB).
+  Seed = (int64_t)((uint64_t)Seed * (uint64_t)LCGMul + (uint64_t)LCGAdd);
+  return (double)((Seed >> 12) & 0xFFFFFFFFLL) / 4294967296.0;
+}
+
+struct RSParams {
+  int NNuclides;
+  int NWindows;
+  int NLookups;
+  int NucsPerMat;
+  unsigned GridDim;
+  unsigned BlockDim;
+};
+
+RSParams getParams(ProblemSize Size) {
+  if (Size == ProblemSize::Small)
+    return {8, 16, 512, 4, 8, 64};
+  return {32, 64, 16384, 8, 128, 128};
+}
+
+class RSBenchWorkload final : public Workload {
+  RSParams P;
+  /// Pole data: per (nuclide, window, pole): 6 doubles
+  /// (ea_re, ea_im, rt_re, rt_im, ra_re, ra_im).
+  std::vector<double> Poles;
+  /// Window curve fit: per (nuclide, window): 3 doubles (fitT, fitA, pad).
+  std::vector<double> Fits;
+  uint64_t DevPoles = 0, DevFits = 0, DevOut = 0;
+
+public:
+  explicit RSBenchWorkload(ProblemSize Size) : P(getParams(Size)) {
+    buildInputs();
+  }
+
+  std::string getName() const override { return "RSBench"; }
+  unsigned getGridDim() const override { return P.GridDim; }
+  unsigned getBlockDim() const override { return P.BlockDim; }
+
+  void buildInputs() {
+    size_t NP = (size_t)P.NNuclides * P.NWindows * PolesPerWindow * 6;
+    Poles.resize(NP);
+    int64_t Seed = 1234;
+    for (size_t I = 0; I < NP; ++I)
+      Poles[I] = 0.1 + hostRn(Seed);
+    Fits.resize((size_t)P.NNuclides * P.NWindows * 3);
+    for (size_t I = 0; I < Fits.size(); ++I)
+      Fits[I] = 0.05 + 0.2 * hostRn(Seed);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Host reference
+  //===------------------------------------------------------------------===//
+
+  void hostSigTFactors(double E, double *Factors /*2*NumL*/) const {
+    // twophi_l = 2 * (l + 1) * sqrt(E) * 0.3
+    double SqE = std::sqrt(E);
+    for (int L = 0; L < NumL; ++L) {
+      double TwoPhi = 2.0 * (L + 1) * SqE * 0.3;
+      Factors[2 * L] = std::cos(TwoPhi);
+      Factors[2 * L + 1] = -std::sin(TwoPhi);
+    }
+  }
+
+  double hostLookup(int I) const {
+    int64_t Seed = (int64_t)I * 9241 + 77;
+    double E = 0.01 + 0.98 * hostRn(Seed);
+    int MatBase = (int)(((uint64_t)Seed >> 9) % P.NNuclides);
+
+    double Factors[2 * NumL];
+    double SigT = 0.0, SigA = 0.0;
+    for (int J = 0; J < P.NucsPerMat; ++J) {
+      int Nuc = (MatBase + J * 5) % P.NNuclides;
+      hostSigTFactors(E, Factors);
+      int Window = (int)(E * P.NWindows);
+      if (Window >= P.NWindows)
+        Window = P.NWindows - 1;
+      size_t FitBase = ((size_t)Nuc * P.NWindows + Window) * 3;
+      double T = Fits[FitBase] * E;
+      double A = Fits[FitBase + 1] * E;
+      size_t PoleBase =
+          ((size_t)Nuc * P.NWindows + Window) * PolesPerWindow * 6;
+      for (int Pl = 0; Pl < PolesPerWindow; ++Pl) {
+        const double *Po = &Poles[PoleBase + (size_t)Pl * 6];
+        // psi = 1 / (ea - sqrt(E))  (complex)
+        double Re = Po[0] - std::sqrt(E);
+        double Im = Po[1];
+        double Den = Re * Re + Im * Im;
+        double PsiRe = Re / Den, PsiIm = -Im / Den;
+        // cdum = psi / E
+        double CRe = PsiRe / E, CIm = PsiIm / E;
+        int L = Pl % NumL;
+        double FRe = Factors[2 * L], FIm = Factors[2 * L + 1];
+        // sigT += Re(rt * cdum * factor)
+        double RtRe = Po[2], RtIm = Po[3];
+        double M1Re = RtRe * CRe - RtIm * CIm;
+        double M1Im = RtRe * CIm + RtIm * CRe;
+        T += M1Re * FRe - M1Im * FIm;
+        // sigA += Re(ra * cdum)
+        double RaRe = Po[4], RaIm = Po[5];
+        A += RaRe * CRe - RaIm * CIm;
+      }
+      SigT += T;
+      SigA += A;
+    }
+    return SigT + SigA;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Device code
+  //===------------------------------------------------------------------===//
+
+  struct DeviceFns {
+    Function *SigTFactors;
+    Function *CalcSigXS;
+  };
+
+  DeviceFns buildDeviceFunctions(Module &M) {
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+
+    // void calculate_sig_T(double E, ptr factors)
+    Function *SigT = M.createFunction(
+        "calculate_sig_T", Ctx.getFunctionTy(Ctx.getVoidTy(), {F64, Ptr}),
+        Linkage::External);
+    {
+      IRBuilder B(Ctx);
+      B.setInsertPoint(SigT->createBlock("entry"));
+      Argument *E = SigT->getArg(0), *Out = SigT->getArg(1);
+      E->setName("E");
+      Out->setName("factors");
+      Out->setNoEscapeAttr();
+      Value *SqE = B.createMath(MathOp::Sqrt, {E}, "sqrt.e");
+      emitCountedLoop(
+          B, B.getInt32(0), B.getInt32(NumL), B.getInt32(1), "sigT",
+          [&](IRBuilder &LB, Value *L) {
+            Value *L1 = LB.createAdd(L, LB.getInt32(1), "l1");
+            Value *L1F = LB.createSIToFP(L1, F64, "l1.f");
+            Value *TwoPhi = LB.createFMul(
+                LB.createFMul(LB.getDouble(2.0), L1F, "t1"),
+                LB.createFMul(SqE, LB.getDouble(0.3), "t2"), "twophi");
+            Value *C = LB.createMath(MathOp::Cos, {TwoPhi}, "cos");
+            Value *S = LB.createMath(MathOp::Sin, {TwoPhi}, "sin");
+            Value *NegS =
+                LB.createFSub(LB.getDouble(0.0), S, "neg.sin");
+            Value *Idx = LB.createMul(L, LB.getInt32(2), "idx");
+            LB.createStore(C, LB.createGEP(F64, Out, {Idx}, "f.re"));
+            Value *Idx1 = LB.createAdd(Idx, LB.getInt32(1), "idx1");
+            LB.createStore(NegS, LB.createGEP(F64, Out, {Idx1}, "f.im"));
+          });
+      B.createRetVoid();
+    }
+
+    // void calculate_sig_xs(double E, i32 nuc, ptr factors, ptr sig_out,
+    //                       ptr poles, ptr fits)
+    // sig_out: 2 doubles (sigT, sigA) accumulated into.
+    Function *Calc = M.createFunction(
+        "calculate_sig_xs",
+        Ctx.getFunctionTy(Ctx.getVoidTy(), {F64, I32, Ptr, Ptr, Ptr, Ptr}),
+        Linkage::External);
+    {
+      IRBuilder B(Ctx);
+      B.setInsertPoint(Calc->createBlock("entry"));
+      Argument *E = Calc->getArg(0), *Nuc = Calc->getArg(1),
+               *Factors = Calc->getArg(2), *SigOut = Calc->getArg(3),
+               *PolesP = Calc->getArg(4), *FitsP = Calc->getArg(5);
+      E->setName("E");
+      Nuc->setName("nuc");
+      Factors->setName("factors");
+      Factors->setNoEscapeAttr();
+      SigOut->setName("sig_out");
+      SigOut->setNoEscapeAttr();
+      PolesP->setName("poles");
+      FitsP->setName("fits");
+
+      Value *SqE = B.createMath(MathOp::Sqrt, {E}, "sqrt.e");
+      // window = min((int)(E * NWindows), NWindows - 1)
+      Value *WF = B.createFMul(E, B.getDouble((double)P.NWindows), "w.f");
+      Value *W = B.createCast(CastOp::FPToSI, WF, I32, "w");
+      Value *WMax = B.getInt32(P.NWindows - 1);
+      Value *Clamped = B.createSelect(
+          B.createICmp(ICmpPred::SGE, W, B.getInt32(P.NWindows), "w.over"),
+          WMax, W, "window");
+
+      Value *NucW = B.createAdd(
+          B.createMul(Nuc, B.getInt32(P.NWindows), "nuc.w"), Clamped,
+          "nw");
+      Value *FitBase = B.createMul(NucW, B.getInt32(3), "fit.base");
+      Value *FitT = B.createLoad(
+          F64, B.createGEP(F64, FitsP, {FitBase}, "fitT.addr"), "fitT");
+      Value *FitABase = B.createAdd(FitBase, B.getInt32(1), "fitA.idx");
+      Value *FitA = B.createLoad(
+          F64, B.createGEP(F64, FitsP, {FitABase}, "fitA.addr"), "fitA");
+
+      // Accumulators kept in promotable stack slots.
+      Value *TAcc = B.createAlloca(F64, "sigT.acc");
+      Value *AAcc = B.createAlloca(F64, "sigA.acc");
+      B.createStore(B.createFMul(FitT, E, "fitT.e"), TAcc);
+      B.createStore(B.createFMul(FitA, E, "fitA.e"), AAcc);
+
+      Value *PoleBase = B.createMul(
+          NucW, B.getInt32(PolesPerWindow * 6), "pole.base");
+      emitCountedLoop(
+          B, B.getInt32(0), B.getInt32(PolesPerWindow), B.getInt32(1),
+          "pole",
+          [&](IRBuilder &LB, Value *Pl) {
+            Value *Off = LB.createAdd(
+                PoleBase, LB.createMul(Pl, LB.getInt32(6), "pl6"),
+                "pole.off");
+            auto LoadPole = [&](int K, const char *Name) {
+              Value *Idx = LB.createAdd(Off, LB.getInt32(K), "idx");
+              return LB.createLoad(
+                  F64, LB.createGEP(F64, PolesP, {Idx}, "pole.addr"),
+                  Name);
+            };
+            Value *EaRe = LoadPole(0, "ea.re");
+            Value *EaIm = LoadPole(1, "ea.im");
+            Value *Re = LB.createFSub(EaRe, SqE, "re");
+            Value *Den = LB.createFAdd(
+                LB.createFMul(Re, Re, "re2"),
+                LB.createFMul(EaIm, EaIm, "im2"), "den");
+            Value *PsiRe = LB.createFDiv(Re, Den, "psi.re");
+            Value *PsiIm = LB.createFDiv(
+                LB.createFSub(LB.getDouble(0.0), EaIm, "neg.im"), Den,
+                "psi.im");
+            Value *CRe = LB.createFDiv(PsiRe, E, "c.re");
+            Value *CIm = LB.createFDiv(PsiIm, E, "c.im");
+
+            Value *L = LB.createSRem(Pl, LB.getInt32(NumL), "l");
+            Value *LIdx = LB.createMul(L, LB.getInt32(2), "l.idx");
+            Value *FRe = LB.createLoad(
+                F64, LB.createGEP(F64, Factors, {LIdx}, "f.re.addr"),
+                "f.re");
+            Value *LIdx1 = LB.createAdd(LIdx, LB.getInt32(1), "l.idx1");
+            Value *FIm = LB.createLoad(
+                F64, LB.createGEP(F64, Factors, {LIdx1}, "f.im.addr"),
+                "f.im");
+
+            Value *RtRe = LoadPole(2, "rt.re");
+            Value *RtIm = LoadPole(3, "rt.im");
+            Value *M1Re = LB.createFSub(
+                LB.createFMul(RtRe, CRe, "a"),
+                LB.createFMul(RtIm, CIm, "b"), "m1.re");
+            Value *M1Im = LB.createFAdd(
+                LB.createFMul(RtRe, CIm, "c"),
+                LB.createFMul(RtIm, CRe, "d"), "m1.im");
+            Value *TContrib = LB.createFSub(
+                LB.createFMul(M1Re, FRe, "e1"),
+                LB.createFMul(M1Im, FIm, "e2"), "t.contrib");
+            Value *TOld = LB.createLoad(F64, TAcc, "t.old");
+            LB.createStore(LB.createFAdd(TOld, TContrib, "t.new"), TAcc);
+
+            Value *RaRe = LoadPole(4, "ra.re");
+            Value *RaIm = LoadPole(5, "ra.im");
+            Value *AContrib = LB.createFSub(
+                LB.createFMul(RaRe, CRe, "f1"),
+                LB.createFMul(RaIm, CIm, "f2"), "a.contrib");
+            Value *AOld = LB.createLoad(F64, AAcc, "a.old");
+            LB.createStore(LB.createFAdd(AOld, AContrib, "a.new"), AAcc);
+          });
+
+      // sig_out[0] += sigT; sig_out[1] += sigA
+      Value *S0 = B.createGEP(F64, SigOut, {B.getInt32(0)}, "s0");
+      Value *S1 = B.createGEP(F64, SigOut, {B.getInt32(1)}, "s1");
+      B.createStore(B.createFAdd(B.createLoad(F64, S0, "s0.v"),
+                                 B.createLoad(F64, TAcc, "t.fin"),
+                                 "s0.new"),
+                    S0);
+      B.createStore(B.createFAdd(B.createLoad(F64, S1, "s1.v"),
+                                 B.createLoad(F64, AAcc, "a.fin"),
+                                 "s1.new"),
+                    S1);
+      B.createRetVoid();
+    }
+
+    return {SigT, Calc};
+  }
+
+  /// Per-event body shared by the OpenMP and CUDA kernels. The seven
+  /// scratch pointers model RSBench's per-event buffers.
+  void emitLookupBody(IRBuilder &B, Value *I, const DeviceFns &Fns,
+                      Value *SeedP, Value *FactorsP, Value *SigP,
+                      Value *Scratch[4], Value *PolesV, Value *FitsV,
+                      Value *OutV) {
+    IRContext &Ctx = B.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I64 = Ctx.getInt64Ty();
+
+    Value *I64V = B.createSExt(I, I64, "i.64");
+    Value *Seed0 = B.createAdd(
+        B.createMul(I64V, B.getInt64(9241), "i.mul"), B.getInt64(77),
+        "seed0");
+    B.createStore(Seed0, SeedP);
+    // E = 0.01 + 0.98 * rn(&seed) computed inline (LCG as in XSBench).
+    Value *S = B.createLoad(I64, SeedP, "s");
+    Value *S2 = B.createAdd(B.createMul(S, B.getInt64(LCGMul), "m"),
+                            B.getInt64(LCGAdd), "s2");
+    B.createStore(S2, SeedP);
+    Value *Bits = B.createAnd(B.createLShr(S2, B.getInt64(12), "sh"),
+                              B.getInt64(0xFFFFFFFFLL), "bits");
+    Value *R = B.createFDiv(B.createCast(CastOp::SIToFP, Bits, F64, "rf"),
+                            B.getDouble(4294967296.0), "r");
+    Value *E = B.createFAdd(B.getDouble(0.01),
+                            B.createFMul(B.getDouble(0.98), R, "r98"),
+                            "E");
+    Value *MatBase64 = B.createBinOp(
+        BinaryOp::URem, B.createLShr(S2, B.getInt64(9), "s.sh9"),
+        B.getInt64(P.NNuclides), "mat.64");
+    Value *MatBase = B.createTrunc(MatBase64, Ctx.getInt32Ty(), "mat");
+
+    // Touch the scratch buffers once per event (they model working
+    // storage RSBench keeps per lookup).
+    for (int K = 0; K < 4; ++K)
+      B.createStore(E, Scratch[K]);
+
+    // sig_out = {0, 0}
+    Value *S0 = B.createGEP(F64, SigP, {B.getInt32(0)}, "sig0");
+    Value *S1 = B.createGEP(F64, SigP, {B.getInt32(1)}, "sig1");
+    B.createStore(B.getDouble(0.0), S0);
+    B.createStore(B.getDouble(0.0), S1);
+
+    emitCountedLoop(
+        B, B.getInt32(0), B.getInt32(P.NucsPerMat), B.getInt32(1),
+        "nuc_loop",
+        [&](IRBuilder &LB, Value *J) {
+          Value *Nuc = LB.createSRem(
+              LB.createAdd(MatBase,
+                           LB.createMul(J, LB.getInt32(5), "j5"), "nj"),
+              LB.getInt32(P.NNuclides), "nuc");
+          LB.createCall(Fns.SigTFactors, {E, FactorsP});
+          LB.createCall(Fns.CalcSigXS,
+                        {E, Nuc, FactorsP, SigP, PolesV, FitsV});
+        });
+
+    Value *Sum = B.createFAdd(B.createLoad(F64, S0, "t"),
+                              B.createLoad(F64, S1, "a"), "sum");
+    B.createStore(Sum, B.createGEP(F64, OutV, {I}, "out.i"));
+  }
+
+  Function *buildOpenMP(OMPCodeGen &CG) override {
+    Module &M = CG.getModule();
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty(),
+         *I64 = Ctx.getInt64Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+    DeviceFns Fns = buildDeviceFunctions(M);
+
+    TargetRegionBuilder TRB(CG, "rs_lookup_kernel",
+                            {Ptr /*poles*/, Ptr /*fits*/, Ptr /*out*/,
+                             I32 /*n_lookups*/},
+                            ExecMode::SPMD, (int)P.GridDim,
+                            (int)P.BlockDim);
+    Argument *PolesA = TRB.getParam(0);
+    Argument *FitsA = TRB.getParam(1);
+    Argument *OutA = TRB.getParam(2);
+    Argument *NL = TRB.getParam(3);
+    PolesA->setName("poles");
+    FitsA->setName("fits");
+    OutA->setName("out");
+    NL->setName("n_lookups");
+
+    std::vector<TargetRegionBuilder::Capture> Caps = {
+        {PolesA, false, "poles"}, {FitsA, false, "fits"},
+        {OutA, false, "out"}};
+
+    // The seven address-taken per-event buffers (Fig. 9: RSBench h2s=7).
+    Value *SeedP = nullptr, *FactorsP = nullptr, *SigP = nullptr;
+    Value *Scratch[4] = {nullptr, nullptr, nullptr, nullptr};
+    TRB.emitDistributeParallelFor(
+        NL, Caps,
+        [&](IRBuilder &LB, Value *I,
+            const TargetRegionBuilder::CaptureMap &Map) {
+          emitLookupBody(LB, I, Fns, SeedP, FactorsP, SigP, Scratch,
+                         Map.at(PolesA), Map.at(FitsA), Map.at(OutA));
+        },
+        (int)P.BlockDim,
+        [&](IRBuilder &PB, const TargetRegionBuilder::CaptureMap &) {
+          FactorsP = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 2 * NumL), "sigTfactors", true);
+          SigP = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 2), "sig_out", true);
+          SeedP = TRB.emitParallelLocalVariable(PB, I64, "seed", true);
+          Scratch[0] = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 32), "pole_buf", true);
+          Scratch[1] = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 16), "window_buf", true);
+          Scratch[2] = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 16), "fit_buf", true);
+          Scratch[3] = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 8), "xs_vector", true);
+        });
+    return TRB.finalize();
+  }
+
+  Function *buildCUDA(Module &M) override {
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty(),
+         *I64 = Ctx.getInt64Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+    DeviceFns Fns = buildDeviceFunctions(M);
+
+    Function *K = M.createFunction(
+        "rs_lookup_kernel_cuda",
+        Ctx.getFunctionTy(Ctx.getVoidTy(), {Ptr, Ptr, Ptr, I32}),
+        Linkage::External);
+    K->setKernel(true);
+    K->getKernelEnvironment().Mode = ExecMode::SPMD;
+    K->getKernelEnvironment().MaxThreads = (int)P.BlockDim;
+    K->getKernelEnvironment().NumTeams = (int)P.GridDim;
+
+    IRBuilder B(Ctx);
+    B.setInsertPoint(K->createBlock("entry"));
+    Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId),
+                              {}, "tid");
+    Value *BDim = B.createCall(
+        getOrCreateRTFn(M, RTFn::HardwareNumThreads), {}, "bdim");
+    Value *Blk = B.createCall(getOrCreateRTFn(M, RTFn::GetTeamNum), {},
+                              "blk");
+    Value *GDim = B.createCall(getOrCreateRTFn(M, RTFn::GetNumTeams), {},
+                               "gdim");
+    Value *Gid = B.createAdd(B.createMul(Blk, BDim, "base"), Tid, "gid");
+    Value *Total = B.createMul(GDim, BDim, "total");
+
+    Value *FactorsP = B.createAlloca(Ctx.getArrayTy(F64, 2 * NumL),
+                                     "sigTfactors");
+    Value *SigP = B.createAlloca(Ctx.getArrayTy(F64, 2), "sig_out");
+    Value *SeedP = B.createAlloca(I64, "seed");
+    Value *Scratch[4] = {
+        B.createAlloca(Ctx.getArrayTy(F64, 32), "pole_buf"),
+        B.createAlloca(Ctx.getArrayTy(F64, 16), "window_buf"),
+        B.createAlloca(Ctx.getArrayTy(F64, 16), "fit_buf"),
+        B.createAlloca(Ctx.getArrayTy(F64, 8), "xs_vector")};
+
+    emitCountedLoop(
+        B, Gid, K->getArg(3), Total, "lookup",
+        [&](IRBuilder &LB, Value *I) {
+          emitLookupBody(LB, I, Fns, SeedP, FactorsP, SigP, Scratch,
+                         K->getArg(0), K->getArg(1), K->getArg(2));
+        });
+    B.createRetVoid();
+    return K;
+  }
+
+  std::vector<uint64_t> setupInputs(GPUDevice &Dev) override {
+    DevPoles = Dev.allocateArray(Poles);
+    DevFits = Dev.allocateArray(Fits);
+    DevOut = Dev.allocate((uint64_t)P.NLookups * sizeof(double));
+    return {DevPoles, DevFits, DevOut, (uint64_t)P.NLookups};
+  }
+
+  bool checkOutputs(GPUDevice &Dev) override {
+    std::vector<double> Out =
+        Dev.downloadArray<double>(DevOut, P.NLookups);
+    for (int I = 0; I < P.NLookups; ++I) {
+      double Expect = hostLookup(I);
+      if (std::fabs(Out[I] - Expect) >
+          1e-9 * std::max(1.0, std::fabs(Expect)))
+        return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> ompgpu::createRSBench(ProblemSize Size) {
+  return std::make_unique<RSBenchWorkload>(Size);
+}

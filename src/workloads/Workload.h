@@ -1,0 +1,72 @@
+//===- workloads/Workload.h - Proxy application interface ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface of the four ECP proxy-application kernels the paper
+/// evaluates (Sec. V-A): XSBench, RSBench, SU3Bench, and miniQMC. Each
+/// workload builds its main GPU kernel in the CPU-centric OpenMP style
+/// the original developers wrote (plus a CUDA-style comparator), sets up
+/// its inputs on the simulated device, and verifies the outputs against a
+/// host reference implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_WORKLOADS_WORKLOAD_H
+#define OMPGPU_WORKLOADS_WORKLOAD_H
+
+#include "frontend/OMPCodeGen.h"
+#include "gpusim/Device.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Problem size selection, mirroring the proxies' -s flag.
+enum class ProblemSize : uint8_t {
+  Small, ///< test-suite sizes (every block simulated, outputs checked)
+  Large, ///< benchmark sizes (sampled blocks, timing only)
+};
+
+/// One proxy application kernel.
+class Workload {
+public:
+  virtual ~Workload();
+
+  virtual std::string getName() const = 0;
+
+  /// Builds the OpenMP version of the main kernel (the proxy's original,
+  /// CPU-centric style) under the code-generation scheme in \p CG.
+  virtual Function *buildOpenMP(OMPCodeGen &CG) = 0;
+
+  /// Builds a CUDA-style version: a flat SPMD kernel without the OpenMP
+  /// runtime, serving as the evaluation's watermark. Returns null for
+  /// OpenMP-only workloads (miniQMC in the paper).
+  virtual Function *buildCUDA(Module &M) = 0;
+
+  /// Launch geometry of the main kernel.
+  virtual unsigned getGridDim() const = 0;
+  virtual unsigned getBlockDim() const = 0;
+
+  /// Allocates and uploads inputs; returns the kernel argument values.
+  virtual std::vector<uint64_t> setupInputs(GPUDevice &Dev) = 0;
+
+  /// Downloads outputs and verifies them against the host reference.
+  /// Only meaningful when every block was simulated.
+  virtual bool checkOutputs(GPUDevice &Dev) = 0;
+};
+
+/// Factory functions for the four proxies.
+std::unique_ptr<Workload> createXSBench(ProblemSize Size);
+std::unique_ptr<Workload> createRSBench(ProblemSize Size);
+std::unique_ptr<Workload> createSU3Bench(ProblemSize Size);
+std::unique_ptr<Workload> createMiniQMC(ProblemSize Size);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_WORKLOADS_WORKLOAD_H

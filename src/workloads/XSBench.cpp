@@ -1,0 +1,483 @@
+//===- workloads/XSBench.cpp - XSBench proxy kernel ------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XSBench (Tramm et al.): the continuous-energy macroscopic neutron
+/// cross-section lookup kernel of OpenMC, event-based mode. Memory bound:
+/// every lookup binary-searches per-nuclide energy grids and interpolates
+/// five cross sections. The OpenMP version is the proxy's CPU-centric
+/// `target teams distribute parallel for` with three address-taken locals
+/// per event (the macro/micro XS vectors and the RNG seed) — exactly the
+/// variables Fig. 9 reports as heap-to-stack opportunities.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+#include "frontend/CGHelpers.h"
+
+#include <cmath>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Deterministic 64-bit LCG shared (bit-exactly) by host and device.
+constexpr int64_t LCGMul = 2806196910506780709LL;
+constexpr int64_t LCGAdd = 1LL;
+
+double hostRn(int64_t &Seed) {
+  // Unsigned arithmetic: the LCG multiply wraps (signed overflow is UB).
+  Seed = (int64_t)((uint64_t)Seed * (uint64_t)LCGMul + (uint64_t)LCGAdd);
+  return (double)((Seed >> 12) & 0xFFFFFFFFLL) / 4294967296.0;
+}
+
+struct XSParams {
+  int NIsotopes;
+  int NGridpoints;
+  int NLookups;
+  int NumMats;
+  int MaxNucs;
+  unsigned GridDim;
+  unsigned BlockDim;
+};
+
+XSParams getParams(ProblemSize Size) {
+  if (Size == ProblemSize::Small)
+    return {16, 64, 1024, 4, 6, 8, 64};
+  return {64, 256, 32768, 4, 16, 128, 128};
+}
+
+class XSBenchWorkload final : public Workload {
+  XSParams P;
+  // Host copies of the inputs.
+  std::vector<double> Grid; ///< [iso][gridpoint][6]: energy + 5 xs values
+  std::vector<int32_t> MatNumNucs;
+  std::vector<int32_t> MatNucs;
+  std::vector<double> MatConcs;
+  // Device addresses (set by setupInputs).
+  uint64_t DevGrid = 0, DevMatNumNucs = 0, DevMatNucs = 0, DevMatConcs = 0,
+           DevOut = 0;
+
+public:
+  explicit XSBenchWorkload(ProblemSize Size) : P(getParams(Size)) {
+    buildInputs();
+  }
+
+  std::string getName() const override { return "XSBench"; }
+  unsigned getGridDim() const override { return P.GridDim; }
+  unsigned getBlockDim() const override { return P.BlockDim; }
+
+  void buildInputs() {
+    Grid.resize((size_t)P.NIsotopes * P.NGridpoints * 6);
+    int64_t Seed = 42;
+    for (int Iso = 0; Iso < P.NIsotopes; ++Iso)
+      for (int G = 0; G < P.NGridpoints; ++G) {
+        size_t Base = ((size_t)Iso * P.NGridpoints + G) * 6;
+        Grid[Base] = (double)(G + 1) / (P.NGridpoints + 1);
+        for (int K = 1; K < 6; ++K)
+          Grid[Base + K] = hostRn(Seed);
+      }
+    MatNumNucs.resize(P.NumMats);
+    MatNucs.resize((size_t)P.NumMats * P.MaxNucs);
+    MatConcs.resize((size_t)P.NumMats * P.MaxNucs);
+    for (int M = 0; M < P.NumMats; ++M) {
+      MatNumNucs[M] = 2 + (M * 5) % (P.MaxNucs - 1);
+      for (int J = 0; J < MatNumNucs[M]; ++J) {
+        MatNucs[M * P.MaxNucs + J] = (M * 7 + J * 3) % P.NIsotopes;
+        MatConcs[M * P.MaxNucs + J] = 0.1 + 0.03 * J + 0.05 * M;
+      }
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Host reference
+  //===------------------------------------------------------------------===//
+
+  void hostLookup(int I, double *MacroXS) const {
+    int64_t Seed = (int64_t)I * 4238811 + 1337;
+    double E = hostRn(Seed);
+    int Mat = (int)(((uint64_t)Seed >> 7) % P.NumMats);
+    for (int K = 0; K < 5; ++K)
+      MacroXS[K] = 0.0;
+    double MicroXS[5];
+    for (int J = 0; J < MatNumNucs[Mat]; ++J) {
+      int Nuc = MatNucs[Mat * P.MaxNucs + J];
+      double Conc = MatConcs[Mat * P.MaxNucs + J];
+      hostMicroXS(E, Nuc, MicroXS);
+      for (int K = 0; K < 5; ++K)
+        MacroXS[K] += MicroXS[K] * Conc;
+    }
+  }
+
+  void hostMicroXS(double E, int Nuc, double *MicroXS) const {
+    const double *G = Grid.data() + (size_t)Nuc * P.NGridpoints * 6;
+    int Lo = 0, Hi = P.NGridpoints - 1;
+    while (Hi - Lo > 1) {
+      int Mid = (Lo + Hi) / 2;
+      if (G[Mid * 6] > E)
+        Hi = Mid;
+      else
+        Lo = Mid;
+    }
+    double ELo = G[Lo * 6], EHi = G[Hi * 6];
+    double F = (E - ELo) / (EHi - ELo);
+    for (int K = 0; K < 5; ++K)
+      MicroXS[K] = G[Lo * 6 + 1 + K] + F * (G[Hi * 6 + 1 + K] -
+                                            G[Lo * 6 + 1 + K]);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Device functions (shared by the OpenMP and CUDA versions)
+  //===------------------------------------------------------------------===//
+
+  struct DeviceFns {
+    Function *Rn;
+    Function *MicroXS;
+    Function *MacroXS;
+  };
+
+  DeviceFns buildDeviceFunctions(Module &M) {
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty(),
+         *I64 = Ctx.getInt64Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+
+    // double rn(i64* seed): advance the LCG through the seed pointer.
+    Function *Rn = M.createFunction(
+        "rn", Ctx.getFunctionTy(F64, {Ptr}), Linkage::External);
+    {
+      IRBuilder B(Ctx);
+      B.setInsertPoint(Rn->createBlock("entry"));
+      Argument *SeedP = Rn->getArg(0);
+      SeedP->setName("seed");
+      Value *S = B.createLoad(I64, SeedP, "s");
+      Value *S2 = B.createAdd(
+          B.createMul(S, B.getInt64(LCGMul), "s.mul"),
+          B.getInt64(LCGAdd), "s.next");
+      B.createStore(S2, SeedP);
+      Value *Bits = B.createAnd(B.createLShr(S2, B.getInt64(12), "s.shr"),
+                                B.getInt64(0xFFFFFFFFLL), "s.bits");
+      Value *FV = B.createCast(CastOp::SIToFP, Bits, F64, "s.f");
+      B.createRet(B.createFDiv(FV, B.getDouble(4294967296.0), "rn"));
+    }
+
+    // void calculate_micro_xs(double E, i32 nuc, ptr micro,
+    //                         ptr grid, i32 n_gridpoints)
+    Function *Micro = M.createFunction(
+        "calculate_micro_xs",
+        Ctx.getFunctionTy(Ctx.getVoidTy(), {F64, I32, Ptr, Ptr, I32}),
+        Linkage::External);
+    {
+      IRBuilder B(Ctx);
+      B.setInsertPoint(Micro->createBlock("entry"));
+      Argument *E = Micro->getArg(0), *Nuc = Micro->getArg(1),
+               *Out = Micro->getArg(2), *GridP = Micro->getArg(3),
+               *NG = Micro->getArg(4);
+      E->setName("E");
+      Nuc->setName("nuc");
+      Out->setName("micro_xs");
+      Out->setNoEscapeAttr(); // the callee only writes through it
+      GridP->setName("grid");
+      NG->setName("n_gridpoints");
+
+      Value *Base = B.createMul(Nuc, NG, "grid.base");
+      Value *LoA = B.createAlloca(I32, "lo.addr");
+      Value *HiA = B.createAlloca(I32, "hi.addr");
+      B.createStore(B.getInt32(0), LoA);
+      B.createStore(B.createSub(NG, B.getInt32(1), "ng.m1"), HiA);
+
+      emitWhileLoop(
+          B, "bsearch",
+          [&](IRBuilder &CB) -> Value * {
+            Value *Lo = CB.createLoad(I32, LoA, "lo");
+            Value *Hi = CB.createLoad(I32, HiA, "hi");
+            return CB.createICmp(ICmpPred::SGT,
+                                 CB.createSub(Hi, Lo, "span"),
+                                 CB.getInt32(1), "continue");
+          },
+          [&](IRBuilder &LB) {
+            Value *Lo = LB.createLoad(I32, LoA, "lo");
+            Value *Hi = LB.createLoad(I32, HiA, "hi");
+            Value *Mid = LB.createSDiv(LB.createAdd(Lo, Hi, "sum"),
+                                       LB.getInt32(2), "mid");
+            Value *Row = LB.createAdd(Base, Mid, "row");
+            Value *Idx = LB.createMul(Row, LB.getInt32(6), "idx");
+            Value *EP = LB.createGEP(F64, GridP, {Idx}, "e.addr");
+            Value *EMid = LB.createLoad(F64, EP, "e.mid");
+            Value *IsAbove =
+                LB.createFCmp(FCmpPred::OGT, EMid, E, "above");
+            emitIfThenElse(
+                LB, IsAbove, "bisect",
+                [&](IRBuilder &TB) { TB.createStore(Mid, HiA); },
+                [&](IRBuilder &EB) { EB.createStore(Mid, LoA); });
+          });
+
+      Value *Lo = B.createLoad(I32, LoA, "lo.final");
+      Value *Hi = B.createLoad(I32, HiA, "hi.final");
+      auto RowIdx = [&](Value *Row, int K) {
+        Value *R = B.createAdd(Base, Row, "r");
+        Value *I6 = B.createMul(R, B.getInt32(6), "r6");
+        return B.createAdd(I6, B.getInt32(K), "r6k");
+      };
+      Value *ELo = B.createLoad(
+          F64, B.createGEP(F64, GridP, {RowIdx(Lo, 0)}, "elo.addr"),
+          "e.lo");
+      Value *EHi = B.createLoad(
+          F64, B.createGEP(F64, GridP, {RowIdx(Hi, 0)}, "ehi.addr"),
+          "e.hi");
+      Value *F = B.createFDiv(B.createFSub(E, ELo, "de"),
+                              B.createFSub(EHi, ELo, "span"), "f");
+      for (int K = 0; K < 5; ++K) {
+        Value *XLo = B.createLoad(
+            F64, B.createGEP(F64, GridP, {RowIdx(Lo, K + 1)}, "xlo.addr"),
+            "x.lo");
+        Value *XHi = B.createLoad(
+            F64, B.createGEP(F64, GridP, {RowIdx(Hi, K + 1)}, "xhi.addr"),
+            "x.hi");
+        Value *Interp = B.createFAdd(
+            XLo,
+            B.createFMul(F, B.createFSub(XHi, XLo, "dx"), "fdx"), "xs");
+        B.createStore(Interp,
+                      B.createGEP(F64, Out, {B.getInt32(K)}, "out.k"));
+      }
+      B.createRetVoid();
+    }
+
+    // void calculate_macro_xs(double E, i32 mat, ptr macro, ptr micro,
+    //     ptr grid, i32 n_gridpoints, ptr mat_num_nucs, ptr mat_nucs,
+    //     ptr mat_concs, i32 max_nucs)
+    Function *Macro = M.createFunction(
+        "calculate_macro_xs",
+        Ctx.getFunctionTy(Ctx.getVoidTy(),
+                          {F64, I32, Ptr, Ptr, Ptr, I32, Ptr, Ptr, Ptr,
+                           I32}),
+        Linkage::External);
+    {
+      IRBuilder B(Ctx);
+      B.setInsertPoint(Macro->createBlock("entry"));
+      Argument *E = Macro->getArg(0), *Mat = Macro->getArg(1),
+               *MacroP = Macro->getArg(2), *MicroP = Macro->getArg(3),
+               *GridP = Macro->getArg(4), *NG = Macro->getArg(5),
+               *NumNucsP = Macro->getArg(6), *NucsP = Macro->getArg(7),
+               *ConcsP = Macro->getArg(8), *MaxNucs = Macro->getArg(9);
+      E->setName("E");
+      Mat->setName("mat");
+      MacroP->setName("macro_xs");
+      MacroP->setNoEscapeAttr();
+      MicroP->setName("micro_xs");
+      MicroP->setNoEscapeAttr();
+      GridP->setName("grid");
+      NG->setName("n_gridpoints");
+      NumNucsP->setName("mat_num_nucs");
+      NucsP->setName("mat_nucs");
+      ConcsP->setName("mat_concs");
+      MaxNucs->setName("max_nucs");
+
+      for (int K = 0; K < 5; ++K)
+        B.createStore(B.getDouble(0.0),
+                      B.createGEP(F64, MacroP, {B.getInt32(K)}, "m.k"));
+
+      Value *NumNucs = B.createLoad(
+          I32, B.createGEP(I32, NumNucsP, {Mat}, "nn.addr"), "num_nucs");
+      Value *MatBase = B.createMul(Mat, MaxNucs, "mat.base");
+      emitCountedLoop(
+          B, B.getInt32(0), NumNucs, B.getInt32(1), "nuc_loop",
+          [&](IRBuilder &LB, Value *J) {
+            Value *Slot = LB.createAdd(MatBase, J, "slot");
+            Value *Nuc = LB.createLoad(
+                I32, LB.createGEP(I32, NucsP, {Slot}, "nuc.addr"), "nuc");
+            Value *Conc = LB.createLoad(
+                F64, LB.createGEP(F64, ConcsP, {Slot}, "conc.addr"),
+                "conc");
+            LB.createCall(Micro, {E, Nuc, MicroP, GridP, NG});
+            for (int K = 0; K < 5; ++K) {
+              Value *MK = LB.createGEP(F64, MacroP, {LB.getInt32(K)},
+                                       "m.k");
+              Value *MicK = LB.createLoad(
+                  F64,
+                  LB.createGEP(F64, MicroP, {LB.getInt32(K)}, "u.k"),
+                  "micro.k");
+              Value *Acc = LB.createLoad(F64, MK, "macro.k");
+              LB.createStore(
+                  LB.createFAdd(Acc,
+                                LB.createFMul(MicK, Conc, "scaled"),
+                                "acc"),
+                  MK);
+            }
+          });
+      B.createRetVoid();
+    }
+
+    return {Rn, Micro, Macro};
+  }
+
+  /// Emits one lookup: seed/energy/material selection, the macroscopic
+  /// lookup, and the verification store.
+  void emitLookupBody(IRBuilder &B, Value *I, const DeviceFns &Fns,
+                      Value *SeedP, Value *MacroP, Value *MicroP,
+                      Value *GridV, Value *NumNucsV, Value *NucsV,
+                      Value *ConcsV, Value *OutV) {
+    IRContext &Ctx = B.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I64 = Ctx.getInt64Ty();
+
+    Value *I64V = B.createSExt(I, I64, "i.64");
+    Value *Seed0 = B.createAdd(
+        B.createMul(I64V, B.getInt64(4238811), "i.mul"),
+        B.getInt64(1337), "seed0");
+    B.createStore(Seed0, SeedP);
+    Value *E = B.createCall(Fns.Rn, {SeedP}, "energy");
+    Value *SeedAfter = B.createLoad(I64, SeedP, "seed1");
+    Value *MatU = B.createBinOp(
+        BinaryOp::URem,
+        B.createLShr(SeedAfter, B.getInt64(7), "seed.shift"),
+        B.getInt64(P.NumMats), "mat.64");
+    Value *Mat = B.createTrunc(MatU, Ctx.getInt32Ty(), "mat");
+
+    B.createCall(Fns.MacroXS,
+                 {E, Mat, MacroP, MicroP, GridV, B.getInt32(P.NGridpoints),
+                  NumNucsV, NucsV, ConcsV, B.getInt32(P.MaxNucs)});
+
+    Value *Sum = B.getDouble(0.0);
+    for (int K = 0; K < 5; ++K)
+      Sum = B.createFAdd(
+          Sum,
+          B.createLoad(F64,
+                       B.createGEP(F64, MacroP, {B.getInt32(K)}, "m.k"),
+                       "macro.k"),
+          "sum");
+    B.createStore(Sum, B.createGEP(F64, OutV, {I}, "out.i"));
+  }
+
+  Function *buildOpenMP(OMPCodeGen &CG) override {
+    Module &M = CG.getModule();
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty(),
+         *I64 = Ctx.getInt64Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+    DeviceFns Fns = buildDeviceFunctions(M);
+
+    TargetRegionBuilder TRB(
+        CG, "xs_lookup_kernel",
+        {Ptr /*grid*/, Ptr /*num_nucs*/, Ptr /*nucs*/, Ptr /*concs*/,
+         Ptr /*out*/, I32 /*n_lookups*/},
+        ExecMode::SPMD, (int)P.GridDim, (int)P.BlockDim);
+    Argument *GridA = TRB.getParam(0);
+    Argument *NumNucsA = TRB.getParam(1);
+    Argument *NucsA = TRB.getParam(2);
+    Argument *ConcsA = TRB.getParam(3);
+    Argument *OutA = TRB.getParam(4);
+    Argument *NL = TRB.getParam(5);
+    GridA->setName("grid");
+    NumNucsA->setName("mat_num_nucs");
+    NucsA->setName("mat_nucs");
+    ConcsA->setName("mat_concs");
+    OutA->setName("out");
+    NL->setName("n_lookups");
+
+    std::vector<TargetRegionBuilder::Capture> Caps = {
+        {GridA, false, "grid"},       {NumNucsA, false, "num_nucs"},
+        {NucsA, false, "nucs"},       {ConcsA, false, "concs"},
+        {OutA, false, "out"}};
+
+    // The three address-taken event-local variables (Fig. 9: XSBench has
+    // three heap-to-stack opportunities).
+    Value *MacroP = nullptr, *MicroP = nullptr, *SeedP = nullptr;
+    TRB.emitDistributeParallelFor(
+        NL, Caps,
+        [&](IRBuilder &LB, Value *I,
+            const TargetRegionBuilder::CaptureMap &Map) {
+          emitLookupBody(LB, I, Fns, SeedP, MacroP, MicroP, Map.at(GridA),
+                         Map.at(NumNucsA), Map.at(NucsA), Map.at(ConcsA),
+                         Map.at(OutA));
+        },
+        /*NumThreadsClause=*/(int)P.BlockDim,
+        [&](IRBuilder &PB, const TargetRegionBuilder::CaptureMap &) {
+          MacroP = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 5), "macro_xs", true);
+          MicroP = TRB.emitParallelLocalVariable(
+              PB, Ctx.getArrayTy(F64, 5), "micro_xs", true);
+          SeedP = TRB.emitParallelLocalVariable(PB, I64, "seed", true);
+        });
+    return TRB.finalize();
+  }
+
+  Function *buildCUDA(Module &M) override {
+    IRContext &Ctx = M.getContext();
+    Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty(),
+         *I64 = Ctx.getInt64Ty();
+    PointerType *Ptr = Ctx.getPtrTy();
+    DeviceFns Fns = buildDeviceFunctions(M);
+
+    Function *K = M.createFunction(
+        "xs_lookup_kernel_cuda",
+        Ctx.getFunctionTy(Ctx.getVoidTy(),
+                          {Ptr, Ptr, Ptr, Ptr, Ptr, I32}),
+        Linkage::External);
+    K->setKernel(true);
+    K->getKernelEnvironment().Mode = ExecMode::SPMD;
+    K->getKernelEnvironment().MaxThreads = (int)P.BlockDim;
+    K->getKernelEnvironment().NumTeams = (int)P.GridDim;
+
+    IRBuilder B(Ctx);
+    B.setInsertPoint(K->createBlock("entry"));
+    Function *HwTid = getOrCreateRTFn(M, RTFn::HardwareThreadId);
+    Function *HwNum = getOrCreateRTFn(M, RTFn::HardwareNumThreads);
+    Function *TeamNum = getOrCreateRTFn(M, RTFn::GetTeamNum);
+    Function *NumTeams = getOrCreateRTFn(M, RTFn::GetNumTeams);
+
+    Value *Tid = B.createCall(HwTid, {}, "tid");
+    Value *BDim = B.createCall(HwNum, {}, "bdim");
+    Value *Blk = B.createCall(TeamNum, {}, "blk");
+    Value *GDim = B.createCall(NumTeams, {}, "gdim");
+    Value *Gid = B.createAdd(B.createMul(Blk, BDim, "base"), Tid, "gid");
+    Value *Total = B.createMul(GDim, BDim, "total");
+
+    Value *MacroP = B.createAlloca(Ctx.getArrayTy(F64, 5), "macro_xs");
+    Value *MicroP = B.createAlloca(Ctx.getArrayTy(F64, 5), "micro_xs");
+    Value *SeedP = B.createAlloca(I64, "seed");
+
+    emitCountedLoop(
+        B, Gid, K->getArg(5), Total, "lookup",
+        [&](IRBuilder &LB, Value *I) {
+          emitLookupBody(LB, I, Fns, SeedP, MacroP, MicroP, K->getArg(0),
+                         K->getArg(1), K->getArg(2), K->getArg(3),
+                         K->getArg(4));
+        });
+    B.createRetVoid();
+    return K;
+  }
+
+  std::vector<uint64_t> setupInputs(GPUDevice &Dev) override {
+    DevGrid = Dev.allocateArray(Grid);
+    DevMatNumNucs = Dev.allocateArray(MatNumNucs);
+    DevMatNucs = Dev.allocateArray(MatNucs);
+    DevMatConcs = Dev.allocateArray(MatConcs);
+    DevOut = Dev.allocate((uint64_t)P.NLookups * sizeof(double));
+    return {DevGrid, DevMatNumNucs, DevMatNucs, DevMatConcs, DevOut,
+            (uint64_t)P.NLookups};
+  }
+
+  bool checkOutputs(GPUDevice &Dev) override {
+    std::vector<double> Out =
+        Dev.downloadArray<double>(DevOut, P.NLookups);
+    for (int I = 0; I < P.NLookups; ++I) {
+      double Macro[5];
+      hostLookup(I, Macro);
+      double Expect = Macro[0] + Macro[1] + Macro[2] + Macro[3] + Macro[4];
+      if (std::fabs(Out[I] - Expect) >
+          1e-9 * std::max(1.0, std::fabs(Expect)))
+        return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Workload> ompgpu::createXSBench(ProblemSize Size) {
+  return std::make_unique<XSBenchWorkload>(Size);
+}

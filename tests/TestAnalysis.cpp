@@ -1,0 +1,421 @@
+//===- tests/TestAnalysis.cpp - Analysis library unit tests -----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/PointerEscape.h"
+#include "analysis/RegisterPressure.h"
+#include "analysis/ThreadValueAnalysis.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+
+  /// entry -> header -> {body -> header, exit}: a canonical loop.
+  struct Loop {
+    Function *F;
+    BasicBlock *Entry, *Header, *Body, *Exit;
+  };
+  Loop makeLoop() {
+    Function *F = M.createFunction(
+        "loop", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+    BasicBlock *E = F->createBlock("entry");
+    BasicBlock *H = F->createBlock("header");
+    BasicBlock *B = F->createBlock("body");
+    BasicBlock *X = F->createBlock("exit");
+    IRBuilder IB(Ctx);
+    IB.setInsertPoint(E);
+    IB.createBr(H);
+    IB.setInsertPoint(H);
+    PhiInst *IV = IB.createPhi(Ctx.getInt32Ty(), "iv");
+    IV->addIncoming(IB.getInt32(0), E);
+    Value *Cond = IB.createICmpSLT(IV, F->getArg(0), "cond");
+    IB.createCondBr(Cond, B, X);
+    IB.setInsertPoint(B);
+    Value *Next = IB.createAdd(IV, IB.getInt32(1), "next");
+    IV->addIncoming(Next, B);
+    IB.createBr(H);
+    IB.setInsertPoint(X);
+    IB.createRetVoid();
+    return {F, E, H, B, X};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// CFG traversal
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, ReversePostOrderStartsAtEntry) {
+  Loop L = makeLoop();
+  std::vector<BasicBlock *> RPO = reversePostOrder(*L.F);
+  ASSERT_EQ(4u, RPO.size());
+  EXPECT_EQ(L.Entry, RPO.front());
+  // The header must precede both the body and the exit.
+  auto Pos = [&](BasicBlock *BB) {
+    return std::find(RPO.begin(), RPO.end(), BB) - RPO.begin();
+  };
+  EXPECT_LT(Pos(L.Header), Pos(L.Body));
+  EXPECT_LT(Pos(L.Header), Pos(L.Exit));
+}
+
+TEST_F(AnalysisTest, Reachability) {
+  Loop L = makeLoop();
+  EXPECT_TRUE(isReachableFrom(L.Entry, L.Exit));
+  EXPECT_TRUE(isReachableFrom(L.Body, L.Exit));
+  EXPECT_FALSE(isReachableFrom(L.Exit, L.Entry));
+  EXPECT_TRUE(isReachableFrom(L.Body, L.Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Dominators
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, DominatorTreeOfLoop) {
+  Loop L = makeLoop();
+  DominatorTree DT(*L.F);
+  EXPECT_EQ(nullptr, DT.getIDom(L.Entry));
+  EXPECT_EQ(L.Entry, DT.getIDom(L.Header));
+  EXPECT_EQ(L.Header, DT.getIDom(L.Body));
+  EXPECT_EQ(L.Header, DT.getIDom(L.Exit));
+  EXPECT_TRUE(DT.dominates(L.Entry, L.Exit));
+  EXPECT_TRUE(DT.dominates(L.Header, L.Body));
+  EXPECT_FALSE(DT.dominates(L.Body, L.Exit));
+  EXPECT_TRUE(DT.dominates(L.Body, L.Body));
+}
+
+TEST_F(AnalysisTest, DiamondDominance) {
+  Function *F = M.createFunction(
+      "diamond", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt1Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *El = F->createBlock("e");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createCondBr(F->getArg(0), T, El);
+  B.setInsertPoint(T);
+  B.createBr(J);
+  B.setInsertPoint(El);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  B.createRetVoid();
+
+  DominatorTree DT(*F);
+  EXPECT_EQ(E, DT.getIDom(J));
+  EXPECT_FALSE(DT.dominates(T, J));
+
+  PostDominatorTree PDT(*F);
+  EXPECT_TRUE(PDT.dominates(J, E));
+  EXPECT_TRUE(PDT.dominates(J, T));
+  EXPECT_FALSE(PDT.dominates(T, E));
+}
+
+TEST_F(AnalysisTest, InstructionLevelDominance) {
+  Loop L = makeLoop();
+  DominatorTree DT(*L.F);
+  Instruction *First = L.Header->front();
+  Instruction *Term = L.Header->getTerminator();
+  EXPECT_TRUE(DT.dominates(First, Term));
+  EXPECT_FALSE(DT.dominates(Term, First));
+
+  PostDominatorTree PDT(*L.F);
+  EXPECT_TRUE(PDT.dominates(Term, First));
+}
+
+TEST_F(AnalysisTest, PostDominanceWithMultipleExits) {
+  Function *F = M.createFunction(
+      "twoexits", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt1Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B2 = F->createBlock("b");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createCondBr(F->getArg(0), A, B2);
+  B.setInsertPoint(A);
+  B.createRetVoid();
+  B.setInsertPoint(B2);
+  B.createRetVoid();
+
+  PostDominatorTree PDT(*F);
+  // Neither exit post-dominates the entry.
+  EXPECT_FALSE(PDT.dominates(A, E));
+  EXPECT_FALSE(PDT.dominates(B2, E));
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, CallGraphSCCOrder) {
+  FunctionType *VTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {});
+  Function *A = M.createFunction("a", VTy);
+  Function *B2 = M.createFunction("b", VTy);
+  Function *C = M.createFunction("c", VTy);
+  IRBuilder B(Ctx);
+  // a -> b -> c, c -> b (b,c form an SCC).
+  B.setInsertPoint(A->createBlock("entry"));
+  B.createCall(B2, {});
+  B.createRetVoid();
+  B.setInsertPoint(B2->createBlock("entry"));
+  B.createCall(C, {});
+  B.createRetVoid();
+  B.setInsertPoint(C->createBlock("entry"));
+  B.createCall(B2, {});
+  B.createRetVoid();
+
+  CallGraph CG(M);
+  // Bottom-up: the {b,c} SCC must come before {a}.
+  const auto &SCCs = CG.sccsBottomUp();
+  size_t BCIdx = SCCs.size(), AIdx = SCCs.size();
+  for (size_t I = 0; I < SCCs.size(); ++I) {
+    if (SCCs[I].size() == 2)
+      BCIdx = I;
+    if (SCCs[I].size() == 1 && SCCs[I][0] == A)
+      AIdx = I;
+  }
+  ASSERT_LT(BCIdx, SCCs.size());
+  ASSERT_LT(AIdx, SCCs.size());
+  EXPECT_LT(BCIdx, AIdx);
+
+  EXPECT_EQ(1u, CG.callees(A).size());
+  EXPECT_EQ(2u, CG.callSitesOf(B2).size()); // from a and c
+  std::set<Function *> R = CG.reachableFrom(A);
+  EXPECT_EQ(3u, R.size());
+}
+
+TEST_F(AnalysisTest, CallGraphAddressTakenReachability) {
+  FunctionType *VTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {});
+  Function *Target = M.createFunction("target", VTy);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Target->createBlock("entry"));
+  B.createRetVoid();
+
+  Function *Caller = M.createFunction(
+      "caller", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  B.setInsertPoint(Caller->createBlock("entry"));
+  B.createStore(Target, Caller->getArg(0)); // take address
+  B.createIndirectCall(VTy, B.createLoad(Ctx.getPtrTy(), Caller->getArg(0)),
+                       {});
+  B.createRetVoid();
+
+  CallGraph CG(M);
+  EXPECT_TRUE(CG.isAddressTaken(Target));
+  std::set<Function *> R = CG.reachableFrom(Caller);
+  EXPECT_TRUE(R.count(Target)); // via the indirect call
+}
+
+//===----------------------------------------------------------------------===//
+// Register pressure
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, PressureGrowsWithLiveValues) {
+  // Many simultaneously live values -> higher pressure than a chain.
+  auto MakeChain = [&](const std::string &Name, bool Simultaneous) {
+    Function *F = M.createFunction(
+        Name, Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+    IRBuilder B(Ctx);
+    B.setInsertPoint(F->createBlock("entry"));
+    Value *A = F->getArg(0);
+    if (Simultaneous) {
+      std::vector<Value *> Vals;
+      for (int I = 0; I < 16; ++I)
+        Vals.push_back(B.createAdd(A, B.getInt32(I)));
+      Value *Acc = Vals[0];
+      for (int I = 1; I < 16; ++I)
+        Acc = B.createAdd(Acc, Vals[I]);
+      B.createRet(Acc);
+    } else {
+      Value *Acc = A;
+      for (int I = 0; I < 16; ++I)
+        Acc = B.createAdd(Acc, B.getInt32(I));
+      B.createRet(Acc);
+    }
+    return F;
+  };
+  unsigned Wide = computeMaxRegisterPressure(*MakeChain("wide", true));
+  unsigned Narrow = computeMaxRegisterPressure(*MakeChain("narrow", false));
+  EXPECT_GT(Wide, Narrow);
+  EXPECT_GE(Wide, 16u);
+}
+
+TEST_F(AnalysisTest, LivenessAcrossLoop) {
+  Loop L = makeLoop();
+  Liveness LV(*L.F);
+  // The trip count argument is live into the header and the body.
+  const Argument *N = L.F->getArg(0);
+  EXPECT_TRUE(LV.liveIn(L.Header).count(N));
+  EXPECT_TRUE(LV.liveIn(L.Body).count(N));
+  EXPECT_FALSE(LV.liveIn(L.Exit).count(N));
+}
+
+TEST_F(AnalysisTest, ValueRegisterUnits) {
+  Function *F = M.createFunction(
+      "units", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                 {Ctx.getInt32Ty(), Ctx.getDoubleTy()}));
+  EXPECT_EQ(1u, getValueRegisterUnits(F->getArg(0)));
+  EXPECT_EQ(2u, getValueRegisterUnits(F->getArg(1)));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread value (uniformity/stride) analysis
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, ThreadShapesFromThreadId) {
+  FunctionType *TidTy = Ctx.getFunctionTy(Ctx.getInt32Ty(), {});
+  Function *Tid = M.getOrInsertFunction("get_tid", TidTy);
+  Function *F = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  F->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *T = B.createCall(Tid, {}, "tid");
+  Value *T4 = B.createMul(T, B.getInt32(4), "tid4");
+  Value *Sum = B.createAdd(T, T, "sum");
+  GEPInst *Gep = B.createGEP(Ctx.getDoubleTy(), F->getArg(0), {T}, "p");
+  Value *Ld = B.createLoad(Ctx.getDoubleTy(), Gep, "v");
+  B.createRetVoid();
+
+  ThreadValueConfig Cfg;
+  Cfg.ThreadIdFunctions = {"get_tid"};
+  Cfg.ArgumentShape = ThreadShape::uniform();
+  ThreadValueAnalysis TVA(*F, Cfg);
+
+  EXPECT_TRUE(TVA.getShape(T).isLinear());
+  EXPECT_EQ(1, TVA.getShape(T).Stride);
+  EXPECT_EQ(4, TVA.getShape(T4).Stride);
+  EXPECT_EQ(2, TVA.getShape(Sum).Stride);
+  // GEP over doubles with a tid index: byte stride 8 (coalesced).
+  EXPECT_EQ(8, TVA.getShape(Gep).Stride);
+  // Loads of non-uniform addresses are divergent.
+  EXPECT_TRUE(TVA.getShape(Ld).isDivergent());
+}
+
+TEST_F(AnalysisTest, UniformLoadsStayUniform) {
+  Function *F = M.createFunction(
+      "k2", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Ld = B.createLoad(Ctx.getInt32Ty(), F->getArg(0), "n");
+  Value *Dep = B.createAdd(Ld, B.getInt32(1), "n1");
+  B.createRetVoid();
+
+  ThreadValueConfig Cfg;
+  Cfg.ArgumentShape = ThreadShape::uniform();
+  ThreadValueAnalysis TVA(*F, Cfg);
+  EXPECT_TRUE(TVA.getShape(Ld).isUniform());
+  EXPECT_TRUE(TVA.getShape(Dep).isUniform());
+}
+
+TEST_F(AnalysisTest, LoopPhiOfUniformValuesIsUniform) {
+  Loop L = makeLoop();
+  ThreadValueConfig Cfg;
+  Cfg.ArgumentShape = ThreadShape::uniform();
+  ThreadValueAnalysis TVA(*L.F, Cfg);
+  EXPECT_TRUE(TVA.getShape(L.Header->front()).isUniform()); // the phi
+}
+
+//===----------------------------------------------------------------------===//
+// Pointer escape
+//===----------------------------------------------------------------------===//
+
+TEST_F(AnalysisTest, LocalUseDoesNotEscape) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getDoubleTy(), "x");
+  B.createStore(B.getDouble(1.0), A);
+  B.createLoad(Ctx.getDoubleTy(), A);
+  B.createRetVoid();
+
+  EscapeConfig EC;
+  EXPECT_FALSE(analyzePointerEscape(A, EC).Escapes);
+}
+
+TEST_F(AnalysisTest, StoredPointerEscapes) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getDoubleTy(), "x");
+  B.createStore(A, F->getArg(0)); // pointer written to memory
+  B.createRetVoid();
+
+  EscapeConfig EC;
+  EscapeResult R = analyzePointerEscape(A, EC);
+  EXPECT_TRUE(R.Escapes);
+  EXPECT_NE(std::string::npos, R.Reason.find("stored"));
+}
+
+TEST_F(AnalysisTest, EscapeFollowsIntoCalleeAndHonorsNoEscape) {
+  Function *Sink = M.createFunction(
+      "sink", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  IRBuilder SB(Ctx);
+  SB.setInsertPoint(Sink->createBlock("entry"));
+  SB.createStore(SB.getDouble(0.0), Sink->getArg(0)); // writes through only
+  SB.createRetVoid();
+
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getDoubleTy(), "x");
+  B.createCall(Sink, {A});
+  B.createRetVoid();
+
+  EscapeConfig EC;
+  EC.ClassifyCallArg = [](const CallInst &, unsigned) {
+    return ArgCaptureKind::InspectCallee;
+  };
+  EXPECT_FALSE(analyzePointerEscape(A, EC).Escapes);
+
+  // A callee that leaks the pointer makes it escape...
+  Function *Leak = M.createFunction(
+      "leak", Ctx.getFunctionTy(Ctx.getPtrTy(), {Ctx.getPtrTy()}));
+  IRBuilder LB(Ctx);
+  LB.setInsertPoint(Leak->createBlock("entry"));
+  LB.createRet(Leak->getArg(0));
+
+  Function *G = M.createFunction("g", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  B.setInsertPoint(G->createBlock("entry"));
+  Value *A2 = B.createAlloca(Ctx.getDoubleTy(), "y");
+  B.createCall(Leak, {A2});
+  B.createRetVoid();
+  EXPECT_TRUE(analyzePointerEscape(A2, EC).Escapes);
+
+  // ...unless the user asserts noescape (the OMP113 remark's advice).
+  Leak->getArg(0)->setNoEscapeAttr();
+  EXPECT_FALSE(analyzePointerEscape(A2, EC).Escapes);
+}
+
+TEST_F(AnalysisTest, EscapeThroughDerivedPointers) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getPtrTy(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getArrayTy(Ctx.getDoubleTy(), 4), "buf");
+  Value *G = B.createGEP(Ctx.getDoubleTy(), A, {B.getInt32(2)});
+  B.createRet(G); // derived pointer returned
+
+  EscapeConfig EC;
+  EscapeResult R = analyzePointerEscape(A, EC);
+  EXPECT_TRUE(R.Escapes);
+  EXPECT_NE(std::string::npos, R.Reason.find("returned"));
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===- tests/TestEndToEnd.cpp - Whole-stack integration tests --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests: front-end codegen -> device RTL link -> OpenMPOpt ->
+/// cleanups -> simulated launch -> result check, across the evaluation's
+/// compiler configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "gpusim/Device.h"
+#include "ir/AsmWriter.h"
+#include "rtl/DeviceRTL.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Builds a `target teams distribute parallel for` vector-add kernel:
+///   c[i] = a[i] + b[i] for i in [0, n)
+Function *buildVecAdd(OMPCodeGen &CG, int NumTeams, int NumThreads) {
+  IRContext &Ctx = CG.getContext();
+  Type *PtrTy = Ctx.getPtrTy();
+  Type *I32 = Ctx.getInt32Ty();
+  TargetRegionBuilder TRB(CG, "vecadd_kernel", {PtrTy, PtrTy, PtrTy, I32},
+                          ExecMode::SPMD, NumTeams, NumThreads);
+  Argument *A = TRB.getParam(0);
+  Argument *B = TRB.getParam(1);
+  Argument *C = TRB.getParam(2);
+  Argument *N = TRB.getParam(3);
+  A->setName("a");
+  B->setName("b");
+  C->setName("c");
+  N->setName("n");
+
+  std::vector<TargetRegionBuilder::Capture> Caps = {
+      {A, false, "a"}, {B, false, "b"}, {C, false, "c"}};
+  TRB.emitDistributeParallelFor(
+      N, Caps,
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        Type *F64 = LB.getDoubleTy();
+        Value *Ai = LB.createGEP(F64, Map.at(A), {Idx}, "a.i");
+        Value *Bi = LB.createGEP(F64, Map.at(B), {Idx}, "b.i");
+        Value *Ci = LB.createGEP(F64, Map.at(C), {Idx}, "c.i");
+        Value *Av = LB.createLoad(F64, Ai, "a.v");
+        Value *Bv = LB.createLoad(F64, Bi, "b.v");
+        LB.createStore(LB.createFAdd(Av, Bv, "sum"), Ci);
+      });
+  return TRB.finalize();
+}
+
+/// Runs vecadd under one pipeline configuration and checks the result.
+KernelStats runVecAdd(const PipelineOptions &P, unsigned Teams,
+                      unsigned Threads, int N) {
+  IRContext Ctx;
+  Module M(Ctx, "vecadd");
+  OMPCodeGen CG(M, {P.Scheme, false});
+  Function *Kernel = buildVecAdd(CG, Teams, Threads);
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+  EXPECT_FALSE(CR.VerifyFailed)
+      << CR.VerifyError << "\n"
+      << moduleToString(M);
+
+  GPUDevice Dev;
+  std::vector<double> HostA(N), HostB(N);
+  for (int I = 0; I < N; ++I) {
+    HostA[I] = I * 0.5;
+    HostB[I] = 100.0 - I;
+  }
+  uint64_t DevA = Dev.allocateArray(HostA);
+  uint64_t DevB = Dev.allocateArray(HostB);
+  uint64_t DevC = Dev.allocate(N * sizeof(double));
+
+  LaunchConfig LC;
+  LC.GridDim = Teams;
+  LC.BlockDim = Threads;
+  LC.Flavor = P.Flavor;
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  KernelStats Stats = Dev.launchKernel(
+      M, Kernel, LC, {DevA, DevB, DevC, (uint64_t)N}, RTL);
+  EXPECT_TRUE(Stats.ok()) << Stats.Trap << "\n" << moduleToString(M);
+
+  std::vector<double> HostC = Dev.downloadArray<double>(DevC, N);
+  for (int I = 0; I < N; ++I)
+    EXPECT_DOUBLE_EQ(HostA[I] + HostB[I], HostC[I]) << "at index " << I;
+  return Stats;
+}
+
+TEST(EndToEnd, VecAddDevPipeline) {
+  KernelStats S = runVecAdd(makeDevPipeline(), 4, 32, 1000);
+  EXPECT_GT(S.Cycles, 0u);
+}
+
+TEST(EndToEnd, VecAddDevNoOpt) {
+  runVecAdd(makeDevNoOptPipeline(), 4, 32, 1000);
+}
+
+TEST(EndToEnd, VecAddLLVM12) {
+  runVecAdd(makeLLVM12Pipeline(), 4, 32, 1000);
+}
+
+TEST(EndToEnd, VecAddSubsetConfigs) {
+  runVecAdd(makeDevPipeline(true, false, false, false, false), 2, 32, 256);
+  runVecAdd(makeDevPipeline(true, true, false, false, false), 2, 32, 256);
+  runVecAdd(makeDevPipeline(true, true, true, false, false), 2, 32, 256);
+  runVecAdd(makeDevPipeline(true, true, true, true, false), 2, 32, 256);
+}
+
+/// Generic-mode kernel: a teams-distribute loop whose body computes a
+/// per-team value sequentially and shares it with a parallel region
+/// (the paper's Fig. 1 pattern).
+TEST(EndToEnd, GenericTeamValuePattern) {
+  for (bool UseDev : {true, false}) {
+    PipelineOptions P = UseDev ? makeDevPipeline() : makeLLVM12Pipeline();
+    IRContext Ctx;
+    Module M(Ctx, "teamval");
+    OMPCodeGen CG(M, {P.Scheme, false});
+
+    Type *PtrTy = Ctx.getPtrTy();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *F64 = Ctx.getDoubleTy();
+    const int NBlocks = 8, NThreads = 64, InnerN = 32;
+
+    TargetRegionBuilder TRB(CG, "teamval_kernel", {PtrTy, I32},
+                            ExecMode::Generic, 4, NThreads);
+    Argument *Out = TRB.getParam(0);
+    Out->setName("out");
+    Argument *NB = TRB.getParam(1);
+    NB->setName("nblocks");
+
+    TRB.emitDistributeLoop(NB, [&](IRBuilder &B, Value *BlockId) {
+      // team_val = block_id * 2.0, computed by the main thread only.
+      Value *TeamVal =
+          TRB.emitLocalVariable(F64, "team_val", /*AddressTaken=*/true);
+      Value *BlockF = B.createSIToFP(BlockId, F64, "block.f");
+      Value *TV = B.createFMul(BlockF, B.getDouble(2.0), "tv");
+      B.createStore(TV, TeamVal);
+
+      std::vector<TargetRegionBuilder::Capture> Caps = {
+          {TeamVal, true, "team_val"}, {Out, false, "out"},
+          {BlockId, false, "block_id"}};
+      TRB.emitParallelFor(
+          B.getInt32(InnerN), Caps,
+          [&](IRBuilder &LB, Value *Idx,
+              const TargetRegionBuilder::CaptureMap &Map) {
+            // out[block*InnerN + i] = team_val + i
+            Value *TVv =
+                LB.createLoad(F64, Map.at(TeamVal), "team_val.v");
+            Value *IdxF = LB.createSIToFP(Idx, F64, "i.f");
+            Value *Sum = LB.createFAdd(TVv, IdxF, "val");
+            Value *Base = LB.createMul(Map.at(BlockId),
+                                       LB.getInt32(InnerN), "base");
+            Value *Pos = LB.createAdd(Base, Idx, "pos");
+            Value *Ptr = LB.createGEP(F64, Map.at(Out), {Pos}, "out.i");
+            LB.createStore(Sum, Ptr);
+          });
+    });
+    Function *Kernel = TRB.finalize();
+
+    CompileResult CR = optimizeDeviceModule(M, P);
+    ASSERT_FALSE(CR.VerifyFailed)
+        << CR.VerifyError << "\n"
+        << moduleToString(M);
+
+    GPUDevice Dev;
+    uint64_t DevOut = Dev.allocate(NBlocks * InnerN * sizeof(double));
+    LaunchConfig LC;
+    LC.GridDim = 4;
+    LC.BlockDim = NThreads;
+    LC.Flavor = P.Flavor;
+    NativeRuntimeBinding RTL =
+        makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+    KernelStats Stats = Dev.launchKernel(M, Kernel, LC,
+                                         {DevOut, (uint64_t)NBlocks}, RTL);
+    ASSERT_TRUE(Stats.ok()) << Stats.Trap << "\n" << moduleToString(M);
+
+    std::vector<double> Host =
+        Dev.downloadArray<double>(DevOut, NBlocks * InnerN);
+    for (int Blk = 0; Blk < NBlocks; ++Blk)
+      for (int I = 0; I < InnerN; ++I)
+        EXPECT_DOUBLE_EQ(Blk * 2.0 + I, Host[Blk * InnerN + I])
+            << "block " << Blk << " index " << I
+            << (UseDev ? " (Dev)" : " (LLVM 12)");
+  }
+}
+
+} // namespace

@@ -1,0 +1,347 @@
+//===- tests/TestFrontend.cpp - OpenMP codegen unit tests -------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the Clang-style front-end: the runtime function registry, the
+/// structure both lowering schemes emit (Fig. 4b vs. 4c), query
+/// lowerings, and the structured control-flow helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CGHelpers.h"
+#include "frontend/OMPCodeGen.h"
+#include "ir/AsmWriter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class FrontendTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "fe"};
+
+  unsigned countCalls(Function *F, RTFn Fn) {
+    unsigned N = 0;
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (auto *CI = dyn_cast<CallInst>(I))
+          if (isRTFn(CI->getCalledFunction(), Fn))
+            ++N;
+    return N;
+  }
+
+  unsigned countCallsInModule(RTFn Fn) {
+    unsigned N = 0;
+    for (Function *F : M.functions())
+      N += countCalls(F, Fn);
+    return N;
+  }
+
+  void expectValidModule() {
+    std::string Err;
+    EXPECT_FALSE(verifyModule(M, &Err)) << Err << moduleToString(M);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Runtime registry
+//===----------------------------------------------------------------------===//
+
+TEST_F(FrontendTest, RuntimeRegistryNamesAndTypes) {
+  EXPECT_STREQ("__kmpc_target_init", getRTFnName(RTFn::TargetInit));
+  EXPECT_STREQ("__kmpc_alloc_shared", getRTFnName(RTFn::AllocShared));
+  EXPECT_STREQ("omp_get_thread_num", getRTFnName(RTFn::GetThreadNum));
+
+  FunctionType *InitTy = getRTFnType(RTFn::TargetInit, Ctx);
+  EXPECT_EQ(Ctx.getInt32Ty(), InitTy->getReturnType());
+  ASSERT_EQ(2u, InitTy->getNumParams());
+  EXPECT_EQ(Ctx.getInt32Ty(), InitTy->getParamType(0));
+  EXPECT_EQ(Ctx.getInt1Ty(), InitTy->getParamType(1));
+
+  FunctionType *AllocTy = getRTFnType(RTFn::AllocShared, Ctx);
+  EXPECT_TRUE(AllocTy->getReturnType()->isPointerTy());
+  ASSERT_EQ(1u, AllocTy->getNumParams());
+  EXPECT_EQ(Ctx.getInt64Ty(), AllocTy->getParamType(0));
+}
+
+TEST_F(FrontendTest, RuntimeDeclarationsCarryCanonicalAttributes) {
+  Function *Tid = getOrCreateRTFn(M, RTFn::HardwareThreadId);
+  EXPECT_TRUE(Tid->hasFnAttr(FnAttr::ReadNone));
+  EXPECT_TRUE(Tid->hasFnAttr(FnAttr::NoSync));
+
+  Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
+  EXPECT_TRUE(Barrier->hasFnAttr(FnAttr::Convergent));
+  EXPECT_FALSE(Barrier->hasFnAttr(FnAttr::NoSync));
+
+  Function *Alloc = getOrCreateRTFn(M, RTFn::AllocShared);
+  EXPECT_FALSE(Alloc->hasFnAttr(FnAttr::ReadNone));
+  EXPECT_TRUE(Alloc->hasFnAttr(FnAttr::NoSync));
+}
+
+TEST_F(FrontendTest, RTFnIdentificationByName) {
+  Function *Init = getOrCreateRTFn(M, RTFn::TargetInit);
+  EXPECT_TRUE(isRTFn(Init, RTFn::TargetInit));
+  EXPECT_FALSE(isRTFn(Init, RTFn::TargetDeinit));
+  EXPECT_TRUE(isAnyRTFn(Init));
+  Function *User = M.createFunction(
+      "user_fn", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  EXPECT_FALSE(isAnyRTFn(User));
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel skeletons per scheme
+//===----------------------------------------------------------------------===//
+
+TEST_F(FrontendTest, SPMDKernelSkeleton) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::SPMD, 4, 64);
+  Function *K = TRB.finalize();
+  expectValidModule();
+
+  // target_init(SPMD, /*UseGenericStateMachine=*/false).
+  auto *Init = dyn_cast<CallInst>(K->getEntryBlock()->front());
+  ASSERT_NE(nullptr, Init);
+  EXPECT_TRUE(isRTFn(Init->getCalledFunction(), RTFn::TargetInit));
+  EXPECT_EQ(OMP_TGT_EXEC_MODE_SPMD,
+            cast<ConstantInt>(Init->getArgOperand(0))->getValue());
+  EXPECT_EQ(0, cast<ConstantInt>(Init->getArgOperand(1))->getValue());
+  EXPECT_EQ(1u, countCalls(K, RTFn::TargetDeinit));
+  EXPECT_TRUE(K->isKernel());
+  EXPECT_EQ(64, K->getKernelEnvironment().MaxThreads);
+  EXPECT_EQ(4, K->getKernelEnvironment().NumTeams);
+}
+
+TEST_F(FrontendTest, GenericKernelUsesRuntimeStateMachineInDevScheme) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 4, 64);
+  Function *K = TRB.finalize();
+  auto *Init = dyn_cast<CallInst>(K->getEntryBlock()->front());
+  ASSERT_NE(nullptr, Init);
+  // UseGenericStateMachine = true: the worker loop lives in the runtime.
+  EXPECT_EQ(1, cast<ConstantInt>(Init->getArgOperand(1))->getValue());
+  for (BasicBlock *BB : *K)
+    EXPECT_EQ(std::string::npos,
+              BB->getName().find("worker_state_machine"));
+}
+
+TEST_F(FrontendTest, Legacy12GenericKernelEmitsFrontEndStateMachine) {
+  OMPCodeGen CG(M, {CodeGenScheme::Legacy12, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 4, 64);
+  std::vector<TargetRegionBuilder::Capture> Caps;
+  TRB.emitParallelFor(TRB.getBuilder().getInt32(4), Caps,
+                      [&](IRBuilder &, Value *,
+                          const TargetRegionBuilder::CaptureMap &) {});
+  Function *K = TRB.finalize();
+  expectValidModule();
+
+  // The front-end state machine exists, with a function-pointer compare
+  // cascade and an indirect fallback (the [4] design).
+  bool FoundSM = false, FoundIndirect = false, FoundCompare = false;
+  for (BasicBlock *BB : *K) {
+    if (BB->getName().find("worker") != std::string::npos)
+      FoundSM = true;
+    for (Instruction *I : *BB) {
+      if (auto *CI = dyn_cast<CallInst>(I))
+        if (CI->isIndirectCall())
+          FoundIndirect = true;
+      if (auto *Cmp = dyn_cast<ICmpInst>(I))
+        if (isa<Function>(Cmp->getRHS()) || isa<Function>(Cmp->getLHS()))
+          FoundCompare = true;
+    }
+  }
+  EXPECT_TRUE(FoundSM);
+  EXPECT_TRUE(FoundIndirect);
+  EXPECT_TRUE(FoundCompare);
+}
+
+//===----------------------------------------------------------------------===//
+// Globalization decisions (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+TEST_F(FrontendTest, Simplified13GlobalizesPerVariable) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 2, 64);
+  TRB.emitLocalVariable(Ctx.getDoubleTy(), "a", /*AddressTaken=*/true);
+  TRB.emitLocalVariable(Ctx.getDoubleTy(), "b", /*AddressTaken=*/true);
+  TRB.emitLocalVariable(Ctx.getDoubleTy(), "c", /*AddressTaken=*/false);
+  Function *K = TRB.finalize();
+  expectValidModule();
+  EXPECT_EQ(2u, countCalls(K, RTFn::AllocShared));
+  EXPECT_EQ(2u, countCalls(K, RTFn::FreeShared));
+  unsigned Allocas = 0;
+  for (BasicBlock *BB : *K)
+    for (Instruction *I : *BB)
+      Allocas += isa<AllocaInst>(I);
+  EXPECT_EQ(1u, Allocas); // only the non-address-taken local
+}
+
+TEST_F(FrontendTest, Legacy12SPMDUsesStackForLocals) {
+  // The unsound LLVM 12 special case: SPMD-region locals on the stack.
+  OMPCodeGen CG(M, {CodeGenScheme::Legacy12, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::SPMD, 2, 64);
+  TRB.emitLocalVariable(Ctx.getDoubleTy(), "a", /*AddressTaken=*/true);
+  Function *K = TRB.finalize();
+  EXPECT_EQ(0u, countCalls(K, RTFn::AllocShared));
+  EXPECT_EQ(0u, countCalls(K, RTFn::CoalescedPushStack));
+}
+
+TEST_F(FrontendTest, Legacy12GenericUsesCoalescedPush) {
+  OMPCodeGen CG(M, {CodeGenScheme::Legacy12, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 2, 64);
+  TRB.emitLocalVariable(Ctx.getDoubleTy(), "a", /*AddressTaken=*/true);
+  Function *K = TRB.finalize();
+  EXPECT_EQ(1u, countCalls(K, RTFn::CoalescedPushStack));
+  EXPECT_EQ(1u, countCalls(K, RTFn::PopStack));
+}
+
+TEST_F(FrontendTest, Legacy12GroupAggregatesIntoOnePush) {
+  OMPCodeGen CG(M, {CodeGenScheme::Legacy12, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 2, 64);
+  std::vector<std::pair<Type *, std::string>> Vars;
+  for (int I = 0; I < 18; ++I)
+    Vars.push_back({Ctx.getDoubleTy(), "v" + std::to_string(I)});
+  std::vector<Value *> Ptrs = TRB.emitLocalVariableGroup(Vars, true);
+  Function *K = TRB.finalize();
+  EXPECT_EQ(18u, Ptrs.size());
+  EXPECT_EQ(1u, countCalls(K, RTFn::CoalescedPushStack)); // aggregated!
+}
+
+TEST_F(FrontendTest, Simplified13GroupEmitsOneAllocPerVariable) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 2, 64);
+  std::vector<std::pair<Type *, std::string>> Vars;
+  for (int I = 0; I < 18; ++I)
+    Vars.push_back({Ctx.getDoubleTy(), "v" + std::to_string(I)});
+  TRB.emitLocalVariableGroup(Vars, true);
+  Function *K = TRB.finalize();
+  EXPECT_EQ(18u, countCalls(K, RTFn::AllocShared)); // one per variable
+}
+
+TEST_F(FrontendTest, CudaModeNeverGlobalizes) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, /*CudaMode=*/true});
+  TargetRegionBuilder TRB(CG, "k", {}, ExecMode::Generic, 2, 64);
+  TRB.emitLocalVariable(Ctx.getDoubleTy(), "a", true);
+  Function *K = TRB.finalize();
+  EXPECT_EQ(0u, countCalls(K, RTFn::AllocShared));
+}
+
+TEST_F(FrontendTest, DeviceFnLocalLegacyEmitsRuntimeCheckedDispatch) {
+  // Fig. 4b: unknown execution context -> is_spmd dispatch between stack
+  // and coalesced push.
+  OMPCodeGen CG(M, {CodeGenScheme::Legacy12, false});
+  Function *F = M.createFunction(
+      "devfn", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  std::vector<std::function<void(IRBuilder &)>> Cleanups;
+  CG.emitDeviceFnLocal(B, Ctx.getDoubleTy(), "Lcl", true, Cleanups);
+  OMPCodeGen::emitCleanups(B, Cleanups);
+  B.createRetVoid();
+  expectValidModule();
+  EXPECT_GE(countCalls(F, RTFn::IsSPMDMode), 2u); // alloc + cleanup checks
+  EXPECT_EQ(1u, countCalls(F, RTFn::CoalescedPushStack));
+}
+
+//===----------------------------------------------------------------------===//
+// Query lowerings and parallel-region plumbing
+//===----------------------------------------------------------------------===//
+
+TEST_F(FrontendTest, ThreadNumLoweringEmitsFoldableChecks) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  Function *F = M.createFunction(
+      "q", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Tid = CG.emitThreadNum(B);
+  B.createRet(Tid);
+  expectValidModule();
+  EXPECT_EQ(1u, countCalls(F, RTFn::IsSPMDMode));
+  EXPECT_EQ(1u, countCalls(F, RTFn::ParallelLevel));
+  EXPECT_GE(countCalls(F, RTFn::HardwareThreadId), 2u);
+}
+
+TEST_F(FrontendTest, ParallelForCapturesTripCountAndValues) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "k", {Ctx.getPtrTy()}, ExecMode::Generic, 2,
+                          64);
+  Argument *P = TRB.getParam(0);
+  std::vector<TargetRegionBuilder::Capture> Caps = {{P, false, "p"}};
+  bool SawMappedPtr = false, SawIdx = false;
+  TRB.emitParallelFor(
+      TRB.getBuilder().getInt32(10), Caps,
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        SawMappedPtr = Map.count(P) && Map.at(P) != P;
+        SawIdx = Idx != nullptr;
+        LB.createStore(LB.getDouble(0.0),
+                       LB.createGEP(Ctx.getDoubleTy(), Map.at(P), {Idx}));
+      });
+  TRB.finalize();
+  expectValidModule();
+  EXPECT_TRUE(SawMappedPtr); // values are remapped inside the wrapper
+  EXPECT_TRUE(SawIdx);
+  EXPECT_EQ(1u, countCallsInModule(RTFn::Parallel51));
+  // The nested-parallelism fallback checks the parallel level.
+  EXPECT_GE(countCallsInModule(RTFn::ParallelLevel), 1u);
+}
+
+TEST_F(FrontendTest, BarrierLoweringDispatchesOnExecutionMode) {
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  Function *F = M.createFunction(
+      "b", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  CG.emitBarrier(B);
+  B.createRetVoid();
+  expectValidModule();
+  EXPECT_EQ(1u, countCalls(F, RTFn::IsSPMDMode));
+  EXPECT_EQ(1u, countCalls(F, RTFn::BarrierSimpleSPMD));
+  EXPECT_EQ(1u, countCalls(F, RTFn::Barrier));
+}
+
+//===----------------------------------------------------------------------===//
+// Structured control-flow helpers
+//===----------------------------------------------------------------------===//
+
+TEST_F(FrontendTest, CountedLoopStructure) {
+  Function *F = M.createFunction(
+      "loop", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Acc = B.createAlloca(Ctx.getInt32Ty());
+  B.createStore(B.getInt32(0), Acc);
+  emitCountedLoop(B, B.getInt32(0), F->getArg(0), B.getInt32(1), "l",
+                  [&](IRBuilder &LB, Value *I) {
+                    Value *V = LB.createLoad(Ctx.getInt32Ty(), Acc);
+                    LB.createStore(LB.createAdd(V, I), Acc);
+                  });
+  B.createRet(B.createLoad(Ctx.getInt32Ty(), Acc));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*F, &Err)) << Err;
+  EXPECT_EQ(4u, F->size()); // entry, header, body, exit
+}
+
+TEST_F(FrontendTest, WhileLoopAndSelectViaCFG) {
+  Function *F = M.createFunction(
+      "w", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt1Ty()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *V = emitSelectViaCFG(
+      B, F->getArg(0), Ctx.getInt32Ty(), "sel",
+      [&](IRBuilder &TB) -> Value * { return TB.getInt32(1); },
+      [&](IRBuilder &EB) -> Value * { return EB.getInt32(2); });
+  B.createRet(V);
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*F, &Err)) << Err;
+  EXPECT_TRUE(isa<PhiInst>(V));
+}
+
+} // namespace

@@ -1,0 +1,345 @@
+//===- tests/TestGPUSim.cpp - GPU simulator unit tests ----------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/OMPRuntime.h"
+#include "gpusim/Device.h"
+#include "gpusim/ResourceEstimator.h"
+#include "gpusim/SimAddress.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "rtl/DeviceRTL.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class GPUSimTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "sim"};
+  GPUDevice Dev;
+
+  KernelStats launch(Function *K, unsigned Grid, unsigned Block,
+                     std::vector<uint64_t> Args) {
+    LaunchConfig LC;
+    LC.GridDim = Grid;
+    LC.BlockDim = Block;
+    NativeRuntimeBinding RTL =
+        makeOpenMPRuntimeBinding(RuntimeFlavor::Modern, Dev.getMachine());
+    return Dev.launchKernel(M, K, LC, Args, RTL);
+  }
+
+  Function *makeKernel(const std::string &Name,
+                       std::vector<Type *> Params) {
+    Function *K = M.createFunction(
+        Name, Ctx.getFunctionTy(Ctx.getVoidTy(), Params));
+    K->setKernel(true);
+    return K;
+  }
+};
+
+TEST_F(GPUSimTest, AddressEncoding) {
+  uint64_t A = makeSimAddr(Seg::Global, 0x1234);
+  EXPECT_EQ(Seg::Global, getSimAddrSeg(A));
+  EXPECT_EQ(0x1234u, getSimAddrOffset(A));
+
+  uint64_t L = makeLocalSimAddr(17, 0x88);
+  EXPECT_EQ(Seg::Local, getSimAddrSeg(L));
+  EXPECT_EQ(17u, getLocalSimAddrOwner(L));
+  EXPECT_EQ(0x88u, getLocalSimAddrOffset(L));
+}
+
+TEST_F(GPUSimTest, HostDeviceMemcpyRoundTrip) {
+  std::vector<double> Host = {1.5, -2.5, 3.25};
+  uint64_t Addr = Dev.allocateArray(Host);
+  std::vector<double> Back = Dev.downloadArray<double>(Addr, 3);
+  EXPECT_EQ(Host, Back);
+}
+
+TEST_F(GPUSimTest, ThreadIdAndArithmetic) {
+  // out[tid] = tid * 3 + block * 1000
+  Function *K = makeKernel("k", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId), {});
+  Value *Blk = B.createCall(getOrCreateRTFn(M, RTFn::GetTeamNum), {});
+  Value *V = B.createAdd(B.createMul(Tid, B.getInt32(3)),
+                         B.createMul(Blk, B.getInt32(1000)));
+  Value *BDim =
+      B.createCall(getOrCreateRTFn(M, RTFn::HardwareNumThreads), {});
+  Value *Pos = B.createAdd(B.createMul(Blk, BDim), Tid);
+  B.createStore(V, B.createGEP(Ctx.getInt32Ty(), K->getArg(0), {Pos}));
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(2 * 8 * 4);
+  KernelStats S = launch(K, 2, 8, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  std::vector<int32_t> H = Dev.downloadArray<int32_t>(Out, 16);
+  for (int Blk2 = 0; Blk2 < 2; ++Blk2)
+    for (int T = 0; T < 8; ++T)
+      EXPECT_EQ(T * 3 + Blk2 * 1000, H[Blk2 * 8 + T]);
+  EXPECT_EQ(16u + /*per-thread overhead*/ 0u, 16u);
+  EXPECT_GT(S.DynamicInstructions, 0u);
+}
+
+TEST_F(GPUSimTest, FloatTypedMemoryAndPrecision) {
+  // f32 arithmetic must round to float precision in memory and registers.
+  Function *K = makeKernel("kf", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *X = B.createFAdd(B.getFloat(0.1), B.getFloat(0.2));
+  B.createStore(X, K->getArg(0));
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(4);
+  KernelStats S = launch(K, 1, 1, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  float HostF = 0;
+  Dev.memcpyFromDevice(&HostF, Out, 4);
+  EXPECT_EQ((float)0.1f + 0.2f, HostF);
+}
+
+TEST_F(GPUSimTest, CrossThreadLocalAccessTraps) {
+  // The Fig. 3 failure mode: a thread dereferencing another thread's
+  // stack variable. Thread 0 publishes &local to global memory; thread 1
+  // reads through it and must fault.
+  Function *K = makeKernel("bad", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  BasicBlock *E = K->createBlock("entry");
+  BasicBlock *Pub = K->createBlock("pub");
+  BasicBlock *Wait = K->createBlock("wait");
+  BasicBlock *Read = K->createBlock("read");
+  BasicBlock *X = K->createBlock("exit");
+  B.setInsertPoint(E);
+  Value *Lcl = B.createAlloca(Ctx.getInt32Ty(), "lcl");
+  B.createStore(B.getInt32(42), Lcl);
+  Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId), {});
+  Value *IsZero = B.createICmpEQ(Tid, B.getInt32(0));
+  B.createCondBr(IsZero, Pub, Wait);
+  B.setInsertPoint(Pub);
+  B.createStore(Lcl, K->getArg(0)); // publish &local
+  B.createBr(Wait);
+  B.setInsertPoint(Wait);
+  B.createCall(getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD), {});
+  Value *IsOne = B.createICmpEQ(Tid, B.getInt32(1));
+  B.createCondBr(IsOne, Read, X);
+  B.setInsertPoint(Read);
+  Value *P = B.createLoad(Ctx.getPtrTy(), K->getArg(0));
+  B.createLoad(Ctx.getInt32Ty(), P); // cross-thread stack access
+  B.createBr(X);
+  B.setInsertPoint(X);
+  B.createRetVoid();
+
+  uint64_t Slot = Dev.allocate(8);
+  KernelStats S = launch(K, 1, 4, {Slot});
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(std::string::npos, S.Trap.find("cross-thread"));
+}
+
+TEST_F(GPUSimTest, AtomicAccumulation) {
+  Function *K = makeKernel("at", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createAtomicRMW(AtomicRMWOp::Add, K->getArg(0), B.getInt64(1));
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(8);
+  uint64_t Zero = 0;
+  Dev.memcpyToDevice(Out, &Zero, 8);
+  KernelStats S = launch(K, 4, 32, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  int64_t Sum = 0;
+  Dev.memcpyFromDevice(&Sum, Out, 8);
+  EXPECT_EQ(128, Sum);
+}
+
+TEST_F(GPUSimTest, BarrierAlignsClocks) {
+  // Thread 0 performs extra expensive work before a barrier; afterwards
+  // every thread's progress (observable through the block time) reflects
+  // the max. A kernel with the barrier must not be faster than without.
+  auto Build = [&](const std::string &Name, bool WithBarrier) {
+    Function *K = makeKernel(Name, {Ctx.getPtrTy()});
+    IRBuilder B(Ctx);
+    BasicBlock *E = K->createBlock("entry");
+    BasicBlock *Slow = K->createBlock("slow");
+    BasicBlock *Join = K->createBlock("join");
+    B.setInsertPoint(E);
+    Value *Tid =
+        B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId), {});
+    B.createCondBr(B.createICmpEQ(Tid, B.getInt32(0)), Slow, Join);
+    B.setInsertPoint(Slow);
+    Value *Acc = B.getDouble(1.0);
+    for (int I = 0; I < 50; ++I)
+      Acc = B.createMath(MathOp::Sqrt, {Acc});
+    B.createStore(Acc, K->getArg(0));
+    B.createBr(Join);
+    B.setInsertPoint(Join);
+    if (WithBarrier)
+      B.createCall(getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD), {});
+    B.createRetVoid();
+    return K;
+  };
+  Function *K1 = Build("nob", false);
+  Function *K2 = Build("withb", true);
+  uint64_t Out = Dev.allocate(8);
+  KernelStats S1 = launch(K1, 1, 32, {Out});
+  KernelStats S2 = launch(K2, 1, 32, {Out});
+  ASSERT_TRUE(S1.ok() && S2.ok());
+  EXPECT_GE(S2.Cycles, S1.Cycles);
+}
+
+TEST_F(GPUSimTest, DeadlockDetected) {
+  // Only thread 0 reaches the barrier: the scheduler must report it.
+  Function *K = makeKernel("dead", {});
+  IRBuilder B(Ctx);
+  BasicBlock *E = K->createBlock("entry");
+  BasicBlock *W = K->createBlock("wait");
+  BasicBlock *X = K->createBlock("exit");
+  B.setInsertPoint(E);
+  Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId), {});
+  B.createCondBr(B.createICmpEQ(Tid, B.getInt32(0)), W, X);
+  B.setInsertPoint(W);
+  B.createCall(getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD), {});
+  B.createBr(X);
+  B.setInsertPoint(X);
+  B.createRetVoid();
+
+  KernelStats S = launch(K, 1, 4, {});
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(std::string::npos, S.Trap.find("deadlock"));
+}
+
+TEST_F(GPUSimTest, IndirectCallThroughTable) {
+  Function *Target = M.createFunction(
+      "target42", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  IRBuilder TB(Ctx);
+  TB.setInsertPoint(Target->createBlock("entry"));
+  TB.createRet(TB.getInt32(42));
+
+  Function *K = makeKernel("ind", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Slot = B.createAlloca(Ctx.getPtrTy());
+  B.createStore(Target, Slot);
+  Value *FP = B.createLoad(Ctx.getPtrTy(), Slot);
+  Value *R = B.createIndirectCall(
+      Ctx.getFunctionTy(Ctx.getInt32Ty(), {}), FP, {});
+  B.createStore(R, K->getArg(0));
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(4);
+  KernelStats S = launch(K, 1, 1, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  int32_t V = 0;
+  Dev.memcpyFromDevice(&V, Out, 4);
+  EXPECT_EQ(42, V);
+  EXPECT_EQ(1u, S.IndirectCalls);
+}
+
+TEST_F(GPUSimTest, SharedGlobalIsPerBlock) {
+  // Each block accumulates into its shared counter then writes it out;
+  // blocks must not interfere.
+  GlobalVariable *G =
+      M.createGlobal(Ctx.getInt32Ty(), AddrSpace::Shared, "counter");
+  Function *K = makeKernel("shared", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  BasicBlock *E = K->createBlock("entry");
+  BasicBlock *W = K->createBlock("writeback");
+  BasicBlock *X = K->createBlock("exit");
+  B.setInsertPoint(E);
+  Value *GP = B.createAddrSpaceCast(G, AddrSpace::Generic);
+  B.createAtomicRMW(AtomicRMWOp::Add, GP, B.getInt32(1));
+  B.createCall(getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD), {});
+  Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId), {});
+  B.createCondBr(B.createICmpEQ(Tid, B.getInt32(0)), W, X);
+  B.setInsertPoint(W);
+  Value *Blk = B.createCall(getOrCreateRTFn(M, RTFn::GetTeamNum), {});
+  Value *V = B.createLoad(Ctx.getInt32Ty(), GP);
+  B.createStore(V, B.createGEP(Ctx.getInt32Ty(), K->getArg(0), {Blk}));
+  B.createBr(X);
+  B.setInsertPoint(X);
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(3 * 4);
+  KernelStats S = launch(K, 3, 16, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  std::vector<int32_t> H = Dev.downloadArray<int32_t>(Out, 3);
+  EXPECT_EQ((std::vector<int32_t>{16, 16, 16}), H);
+  EXPECT_GE(S.StaticSharedBytes, 4u);
+}
+
+TEST_F(GPUSimTest, OutOfBoundsGlobalLoadTraps) {
+  Function *K = makeKernel("oob", {});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Bad = B.createCast(CastOp::IntToPtr,
+                            B.getInt64((int64_t)makeSimAddr(
+                                Seg::Global, 0xFFFFFFFF)),
+                            Ctx.getPtrTy());
+  B.createLoad(Ctx.getInt32Ty(), Bad);
+  B.createRetVoid();
+  KernelStats S = launch(K, 1, 1, {});
+  EXPECT_FALSE(S.ok());
+}
+
+TEST_F(GPUSimTest, SampledBlocksExtrapolateWaves) {
+  Function *K = makeKernel("waves", {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Blk = B.createCall(getOrCreateRTFn(M, RTFn::GetTeamNum), {});
+  B.createStore(Blk, B.createGEP(Ctx.getInt32Ty(), K->getArg(0), {Blk}));
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(4096 * 4);
+  LaunchConfig LC;
+  LC.GridDim = 4096;
+  LC.BlockDim = 128;
+  LC.MaxSimulatedBlocks = 4;
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(RuntimeFlavor::Modern, Dev.getMachine());
+  KernelStats S = Dev.launchKernel(M, K, LC, {Out}, RTL);
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  EXPECT_EQ(4u, S.SimulatedBlocks);
+  EXPECT_GT(S.Waves, 1u);
+  EXPECT_GT(S.ConcurrentBlocks, 0u);
+}
+
+TEST_F(GPUSimTest, RegisterEstimateReflectsABIOverhead) {
+  // A kernel in a module that uses the OpenMP runtime carries the ABI
+  // register overhead; a plain kernel does not.
+  Function *Plain = makeKernel("plain", {});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Plain->createBlock("entry"));
+  B.createRetVoid();
+  KernelResources R1 =
+      estimateKernelResources(M, Plain, Dev.getMachine());
+
+  // Reference target_init so the module counts as an OpenMP image.
+  Function *K2 = makeKernel("omp", {});
+  B.setInsertPoint(K2->createBlock("entry"));
+  B.createCall(getOrCreateRTFn(M, RTFn::TargetInit),
+               {B.getInt32(OMP_TGT_EXEC_MODE_SPMD), B.getInt1(false)});
+  B.createRetVoid();
+  linkDeviceRTL(M);
+  KernelResources R2 = estimateKernelResources(M, K2, Dev.getMachine());
+  EXPECT_GT(R2.RegsPerThread, R1.RegsPerThread);
+}
+
+TEST_F(GPUSimTest, OccupancyLimitedByRegisters) {
+  MachineModel MM;
+  KernelResources Low, High;
+  Low.RegsPerThread = 32;
+  High.RegsPerThread = 255;
+  unsigned BlocksLow = computeBlocksPerSM(MM, Low, 128, 0);
+  unsigned BlocksHigh = computeBlocksPerSM(MM, High, 128, 0);
+  EXPECT_GT(BlocksLow, BlocksHigh);
+  EXPECT_GE(BlocksHigh, 1u);
+}
+
+} // namespace

@@ -1,0 +1,413 @@
+//===- tests/TestIR.cpp - IR core unit tests --------------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AsmWriter.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class IRTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+
+  Function *makeFunction(const std::string &Name = "f",
+                         Type *Ret = nullptr,
+                         std::vector<Type *> Params = {}) {
+    return M.createFunction(
+        Name, Ctx.getFunctionTy(Ret ? Ret : Ctx.getVoidTy(), Params));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, PrimitiveTypeSizes) {
+  EXPECT_EQ(0u, Ctx.getVoidTy()->getSizeInBytes());
+  EXPECT_EQ(1u, Ctx.getInt1Ty()->getSizeInBytes());
+  EXPECT_EQ(1u, Ctx.getInt8Ty()->getSizeInBytes());
+  EXPECT_EQ(4u, Ctx.getInt32Ty()->getSizeInBytes());
+  EXPECT_EQ(8u, Ctx.getInt64Ty()->getSizeInBytes());
+  EXPECT_EQ(4u, Ctx.getFloatTy()->getSizeInBytes());
+  EXPECT_EQ(8u, Ctx.getDoubleTy()->getSizeInBytes());
+  EXPECT_EQ(8u, Ctx.getPtrTy()->getSizeInBytes());
+}
+
+TEST_F(IRTest, TypeUniquing) {
+  EXPECT_EQ(Ctx.getPtrTy(), Ctx.getPtrTy(AddrSpace::Generic));
+  EXPECT_NE(Ctx.getPtrTy(AddrSpace::Shared),
+            Ctx.getPtrTy(AddrSpace::Global));
+  EXPECT_EQ(Ctx.getArrayTy(Ctx.getDoubleTy(), 5),
+            Ctx.getArrayTy(Ctx.getDoubleTy(), 5));
+  EXPECT_NE(Ctx.getArrayTy(Ctx.getDoubleTy(), 5),
+            Ctx.getArrayTy(Ctx.getDoubleTy(), 6));
+  EXPECT_EQ(Ctx.getStructTy({Ctx.getInt32Ty(), Ctx.getDoubleTy()}),
+            Ctx.getStructTy({Ctx.getInt32Ty(), Ctx.getDoubleTy()}));
+  EXPECT_EQ(Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}),
+            Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+}
+
+TEST_F(IRTest, StructLayoutNaturalAlignment) {
+  // {i32, double, i8} -> offsets 0, 8, 16; size 24 (align 8).
+  StructType *ST = Ctx.getStructTy(
+      {Ctx.getInt32Ty(), Ctx.getDoubleTy(), Ctx.getInt8Ty()});
+  EXPECT_EQ(0u, ST->getElementOffset(0));
+  EXPECT_EQ(8u, ST->getElementOffset(1));
+  EXPECT_EQ(16u, ST->getElementOffset(2));
+  EXPECT_EQ(24u, ST->getSizeInBytes());
+  EXPECT_EQ(8u, ST->getAlignment());
+}
+
+TEST_F(IRTest, ArrayTypeSize) {
+  ArrayType *AT = Ctx.getArrayTy(Ctx.getDoubleTy(), 7);
+  EXPECT_EQ(56u, AT->getSizeInBytes());
+  EXPECT_EQ(8u, AT->getAlignment());
+  EXPECT_EQ("[7 x double]", AT->getAsString());
+}
+
+TEST_F(IRTest, TypePrinting) {
+  EXPECT_EQ("i32", Ctx.getInt32Ty()->getAsString());
+  EXPECT_EQ("ptr", Ctx.getPtrTy()->getAsString());
+  EXPECT_EQ("ptr addrspace(3)",
+            Ctx.getPtrTy(AddrSpace::Shared)->getAsString());
+  EXPECT_EQ("{i32, double}",
+            Ctx.getStructTy({Ctx.getInt32Ty(), Ctx.getDoubleTy()})
+                ->getAsString());
+}
+
+//===----------------------------------------------------------------------===//
+// Constants
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, ConstantUniquing) {
+  EXPECT_EQ(Ctx.getInt32(42), Ctx.getInt32(42));
+  EXPECT_NE(Ctx.getInt32(42), Ctx.getInt32(43));
+  EXPECT_NE(Ctx.getInt32(42), Ctx.getInt64(42));
+  EXPECT_EQ(Ctx.getDouble(1.5), Ctx.getDouble(1.5));
+  EXPECT_EQ(Ctx.getNullPtr(), Ctx.getNullPtr());
+}
+
+TEST_F(IRTest, ConstantIntNormalization) {
+  // i8 constants are stored sign-extended at their width.
+  EXPECT_EQ(Ctx.getInt8(0x180), Ctx.getInt8(-128));
+  EXPECT_EQ(-128, Ctx.getInt8(0x180)->getValue());
+  EXPECT_EQ(1, Ctx.getInt1(true)->getValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Use lists and RAUW
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, UseListsTrackOperands) {
+  Function *F = makeFunction("f", Ctx.getInt32Ty(),
+                             {Ctx.getInt32Ty(), Ctx.getInt32Ty()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A0 = F->getArg(0), *A1 = F->getArg(1);
+  Value *Add = B.createAdd(A0, A1);
+  Value *Mul = B.createMul(Add, A0);
+  B.createRet(Mul);
+
+  EXPECT_EQ(2u, A0->getNumUses()); // add + mul
+  EXPECT_EQ(1u, A1->getNumUses());
+  EXPECT_EQ(1u, Add->getNumUses());
+}
+
+TEST_F(IRTest, ReplaceAllUsesWith) {
+  Function *F = makeFunction("f", Ctx.getInt32Ty(), {Ctx.getInt32Ty()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *A0 = F->getArg(0);
+  Value *Add = B.createAdd(A0, B.getInt32(1));
+  Value *Mul = B.createMul(Add, Add);
+  B.createRet(Mul);
+
+  Add->replaceAllUsesWith(Ctx.getInt32(7));
+  EXPECT_EQ(0u, Add->getNumUses());
+  auto *MulI = cast<BinOpInst>(Mul);
+  EXPECT_EQ(Ctx.getInt32(7), MulI->getLHS());
+  EXPECT_EQ(Ctx.getInt32(7), MulI->getRHS());
+}
+
+TEST_F(IRTest, EraseFromParentMaintainsUseLists) {
+  Function *F = makeFunction();
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createAlloca(Ctx.getInt32Ty());
+  Instruction *L = B.createLoad(Ctx.getInt32Ty(), P);
+  B.createRetVoid();
+
+  EXPECT_EQ(1u, P->getNumUses());
+  L->eraseFromParent();
+  EXPECT_EQ(0u, P->getNumUses());
+}
+
+TEST_F(IRTest, MoveBeforeAcrossBlocks) {
+  Function *F = makeFunction();
+  BasicBlock *B1 = F->createBlock("b1");
+  BasicBlock *B2 = F->createBlock("b2");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(B1);
+  Instruction *A = B.createAlloca(Ctx.getInt32Ty(), "a");
+  B.createBr(B2);
+  B.setInsertPoint(B2);
+  Instruction *Ret = B.createRetVoid();
+
+  A->moveBefore(Ret);
+  EXPECT_EQ(B2, A->getParent());
+  EXPECT_EQ(A, B2->front());
+  EXPECT_EQ(2u, B2->size());
+}
+
+//===----------------------------------------------------------------------===//
+// CFG structure
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, PredecessorsAndSuccessors) {
+  Function *F = makeFunction("f", nullptr, {Ctx.getInt1Ty()});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("then");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createCondBr(F->getArg(0), T, J);
+  B.setInsertPoint(T);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  B.createRetVoid();
+
+  EXPECT_EQ(2u, E->successors().size());
+  EXPECT_EQ(0u, E->predecessors().size());
+  EXPECT_EQ(2u, J->predecessors().size());
+  EXPECT_TRUE(J->hasPredecessor(E));
+  EXPECT_TRUE(J->hasPredecessor(T));
+  EXPECT_FALSE(T->hasPredecessor(J));
+}
+
+TEST_F(IRTest, SplitBeforeMovesTailAndPatchesPhis) {
+  Function *F = makeFunction("f", nullptr, {Ctx.getInt1Ty()});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *L = F->createBlock("loop");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createBr(L);
+  B.setInsertPoint(L);
+  PhiInst *Phi = B.createPhi(Ctx.getInt32Ty(), "iv");
+  Phi->addIncoming(B.getInt32(0), E);
+  Value *Next = B.createAdd(Phi, B.getInt32(1), "next");
+  Instruction *Marker = cast<Instruction>(B.createAdd(Next, Next, "x"));
+  B.createCondBr(F->getArg(0), L, L); // artificial back edges
+  Phi->addIncoming(Next, L);
+
+  BasicBlock *Tail = L->splitBefore(Marker, "tail");
+  // The phi's incoming block for the back edge must now be the tail.
+  EXPECT_EQ(Tail, Phi->getIncomingBlock(1));
+  // The original block falls through to the tail.
+  auto *Br = cast<BrInst>(L->getTerminator());
+  EXPECT_FALSE(Br->isConditional());
+  EXPECT_EQ(Tail, Br->getSuccessor(0));
+  EXPECT_EQ(Marker, Tail->front());
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*F, &Err)) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, VerifierAcceptsWellFormedFunction) {
+  Function *F = makeFunction("ok", Ctx.getInt32Ty(), {Ctx.getInt32Ty()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createAdd(F->getArg(0), B.getInt32(1)));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*F, &Err)) << Err;
+}
+
+TEST_F(IRTest, VerifierRejectsMissingTerminator) {
+  Function *F = makeFunction("bad");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createAlloca(Ctx.getInt32Ty());
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err));
+  EXPECT_NE(std::string::npos, Err.find("terminator"));
+}
+
+TEST_F(IRTest, VerifierRejectsRetValueInVoidFunction) {
+  Function *F = makeFunction("bad");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.getInt32(1));
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err));
+}
+
+TEST_F(IRTest, VerifierRejectsPhiMismatch) {
+  Function *F = makeFunction("bad", nullptr, {Ctx.getInt1Ty()});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createCondBr(F->getArg(0), A, J);
+  B.setInsertPoint(A);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  PhiInst *Phi = B.createPhi(Ctx.getInt32Ty());
+  Phi->addIncoming(B.getInt32(1), A); // missing incoming for E
+  B.createRetVoid();
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err));
+  EXPECT_NE(std::string::npos, Err.find("phi"));
+}
+
+TEST_F(IRTest, VerifierRejectsCallArgCountMismatch) {
+  Function *Callee = makeFunction("callee", nullptr, {Ctx.getInt32Ty()});
+  IRBuilder CB(Ctx);
+  CB.setInsertPoint(Callee->createBlock("entry"));
+  CB.createRetVoid();
+
+  Function *F = makeFunction("caller");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  // Build a call with the wrong FunctionType on purpose.
+  FunctionType *WrongTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {});
+  B.createIndirectCall(WrongTy, Callee, {});
+  B.createRetVoid();
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// GEP offset computation
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, GEPAccumulateConstantOffset) {
+  Function *F = makeFunction("f", nullptr, {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  StructType *ST = Ctx.getStructTy({Ctx.getInt32Ty(), Ctx.getDoubleTy()});
+  GEPInst *G = B.createGEP(ST, F->getArg(0),
+                           {B.getInt64(2), B.getInt64(1)});
+  B.createRetVoid();
+  int64_t Off = 0;
+  ASSERT_TRUE(G->accumulateConstantOffset(Off));
+  EXPECT_EQ(2 * 16 + 8, Off); // two structs of 16, field 1 at +8
+}
+
+TEST_F(IRTest, GEPNonConstantOffsetReported) {
+  Function *F = makeFunction("f", nullptr,
+                             {Ctx.getPtrTy(), Ctx.getInt64Ty()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  GEPInst *G = B.createGEP(Ctx.getDoubleTy(), F->getArg(0),
+                           {F->getArg(1)});
+  B.createRetVoid();
+  int64_t Off = 0;
+  EXPECT_FALSE(G->accumulateConstantOffset(Off));
+}
+
+//===----------------------------------------------------------------------===//
+// Module-level structures
+//===----------------------------------------------------------------------===//
+
+TEST_F(IRTest, ModuleUniqueNames) {
+  Function *F1 = makeFunction("dup");
+  Function *F2 = makeFunction("dup");
+  EXPECT_NE(F1->getName(), F2->getName());
+  EXPECT_EQ(F1, M.getFunction("dup"));
+}
+
+TEST_F(IRTest, GetOrInsertFunctionReturnsExisting) {
+  FunctionType *FTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {});
+  Function *A = M.getOrInsertFunction("rt", FTy);
+  Function *B2 = M.getOrInsertFunction("rt", FTy);
+  EXPECT_EQ(A, B2);
+  EXPECT_TRUE(A->isDeclaration());
+}
+
+TEST_F(IRTest, SharedGlobalsAccumulateStaticSharedBytes) {
+  M.createGlobal(Ctx.getArrayTy(Ctx.getDoubleTy(), 4), AddrSpace::Shared,
+                 "a");
+  M.createGlobal(Ctx.getDoubleTy(), AddrSpace::Shared, "b");
+  M.createGlobal(Ctx.getDoubleTy(), AddrSpace::Global, "c");
+  EXPECT_EQ(40u, M.getStaticSharedMemoryBytes());
+}
+
+TEST_F(IRTest, FunctionAddressTaken) {
+  Function *Callee = makeFunction("callee");
+  IRBuilder CB(Ctx);
+  CB.setInsertPoint(Callee->createBlock("entry"));
+  CB.createRetVoid();
+
+  Function *F = makeFunction("caller", nullptr, {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createCall(Callee, {});
+  EXPECT_FALSE(Callee->hasAddressTaken());
+  B.createStore(Callee, F->getArg(0));
+  EXPECT_TRUE(Callee->hasAddressTaken());
+  B.createRetVoid();
+}
+
+TEST_F(IRTest, AsmWriterRoundTripContainsStructure) {
+  Function *F = makeFunction("pretty", Ctx.getInt32Ty(),
+                             {Ctx.getInt32Ty()});
+  F->getArg(0)->setName("x");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Y = B.createAdd(F->getArg(0), B.getInt32(2), "y");
+  B.createRet(Y);
+
+  std::string Text = functionToString(*F);
+  EXPECT_NE(std::string::npos, Text.find("define i32 @pretty(i32 %x)"));
+  EXPECT_NE(std::string::npos, Text.find("%y = add i32 %x, 2"));
+  EXPECT_NE(std::string::npos, Text.find("ret i32 %y"));
+}
+
+TEST_F(IRTest, KernelMetadataPrinted) {
+  Function *F = makeFunction("kern");
+  F->setKernel(true);
+  F->getKernelEnvironment().Mode = ExecMode::SPMD;
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRetVoid();
+  EXPECT_NE(std::string::npos,
+            functionToString(*F).find("kernel(spmd)"));
+}
+
+TEST_F(IRTest, PhiRemoveIncomingBlock) {
+  Function *F = makeFunction("f", nullptr, {Ctx.getInt1Ty()});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createCondBr(F->getArg(0), A, J);
+  B.setInsertPoint(A);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  PhiInst *Phi = B.createPhi(Ctx.getInt32Ty());
+  Phi->addIncoming(B.getInt32(1), A);
+  Phi->addIncoming(B.getInt32(2), E);
+  B.createRetVoid();
+
+  Phi->removeIncomingBlock(A);
+  EXPECT_EQ(1u, Phi->getNumIncoming());
+  EXPECT_EQ(E, Phi->getIncomingBlock(0));
+  EXPECT_EQ(nullptr, Phi->getIncomingValueForBlock(A));
+}
+
+} // namespace

@@ -1,0 +1,314 @@
+//===- tests/TestInterpreterProperties.cpp - Property sweeps ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property tests: every IR operation the proxies rely on
+/// must evaluate on the simulator exactly as the host's C++ semantics
+/// (two's-complement wraparound, IEEE doubles, float rounding, shift
+/// masking) — the bit-exact agreement the workload verification depends
+/// on. Also checks pipeline invariants: optimized modules always verify,
+/// and compilation is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "gpusim/Device.h"
+#include "ir/AsmWriter.h"
+#include "rtl/DeviceRTL.h"
+#include "workloads/Harness.h"
+
+#include <cmath>
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Runs a single-thread kernel computing Op(L, R) on i64 and returns it.
+int64_t evalIntOnDevice(BinaryOp Op, int64_t L, int64_t R) {
+  IRContext Ctx;
+  Module M(Ctx, "prop");
+  Function *K = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  // Route the operands through memory so constant folding cannot fire and
+  // the interpreter itself is exercised.
+  Value *Slot = B.createAlloca(Ctx.getInt64Ty());
+  B.createStore(B.getInt64(L), Slot);
+  Value *LV = B.createLoad(Ctx.getInt64Ty(), Slot);
+  Value *V = B.createBinOp(Op, LV, B.getInt64(R));
+  B.createStore(V, K->getArg(0));
+  B.createRetVoid();
+
+  GPUDevice Dev;
+  uint64_t Out = Dev.allocate(8);
+  LaunchConfig LC;
+  LC.GridDim = 1;
+  LC.BlockDim = 1;
+  KernelStats S = Dev.launchKernel(
+      M, K, LC, {Out},
+      makeOpenMPRuntimeBinding(RuntimeFlavor::Modern, Dev.getMachine()));
+  EXPECT_TRUE(S.ok()) << S.Trap;
+  int64_t Result = 0;
+  Dev.memcpyFromDevice(&Result, Out, 8);
+  return Result;
+}
+
+int64_t evalIntOnHost(BinaryOp Op, int64_t L, int64_t R) {
+  uint64_t UL = (uint64_t)L, UR = (uint64_t)R;
+  switch (Op) {
+  case BinaryOp::Add:
+    return (int64_t)(UL + UR);
+  case BinaryOp::Sub:
+    return (int64_t)(UL - UR);
+  case BinaryOp::Mul:
+    return (int64_t)(UL * UR);
+  case BinaryOp::SDiv:
+    return L / R;
+  case BinaryOp::SRem:
+    return L % R;
+  case BinaryOp::UDiv:
+    return (int64_t)(UL / UR);
+  case BinaryOp::URem:
+    return (int64_t)(UL % UR);
+  case BinaryOp::And:
+    return L & R;
+  case BinaryOp::Or:
+    return L | R;
+  case BinaryOp::Xor:
+    return L ^ R;
+  case BinaryOp::Shl:
+    return (int64_t)(UL << (R & 63));
+  case BinaryOp::LShr:
+    return (int64_t)(UL >> (R & 63));
+  case BinaryOp::AShr:
+    return L >> (R & 63);
+  default:
+    ADD_FAILURE() << "unhandled op";
+    return 0;
+  }
+}
+
+struct IntOpCase {
+  BinaryOp Op;
+  int64_t L, R;
+};
+
+class IntOpProperty : public ::testing::TestWithParam<IntOpCase> {};
+
+TEST_P(IntOpProperty, DeviceMatchesHost) {
+  IntOpCase C = GetParam();
+  EXPECT_EQ(evalIntOnHost(C.Op, C.L, C.R),
+            evalIntOnDevice(C.Op, C.L, C.R));
+}
+
+std::vector<IntOpCase> makeIntCases() {
+  // Sweep every operation over values that probe wraparound, sign edges,
+  // and shift masking (the LCG bug class caught during bring-up).
+  std::vector<IntOpCase> Cases;
+  const int64_t Values[] = {0,  1,  -1, 7,  -13, (int64_t)1 << 62,
+                            INT64_MAX, INT64_MIN + 1, 2806196910506780709LL};
+  const BinaryOp Ops[] = {BinaryOp::Add,  BinaryOp::Sub, BinaryOp::Mul,
+                          BinaryOp::And,  BinaryOp::Or,  BinaryOp::Xor,
+                          BinaryOp::Shl,  BinaryOp::LShr, BinaryOp::AShr};
+  for (BinaryOp Op : Ops)
+    for (int64_t L : Values)
+      Cases.push_back({Op, L, 13});
+  // Division separately (nonzero divisors only).
+  for (int64_t L : Values) {
+    Cases.push_back({BinaryOp::SDiv, L, 7});
+    Cases.push_back({BinaryOp::SRem, L, 7});
+    Cases.push_back({BinaryOp::UDiv, L, 7});
+    Cases.push_back({BinaryOp::URem, L, 7});
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntOpProperty,
+                         ::testing::ValuesIn(makeIntCases()));
+
+//===----------------------------------------------------------------------===//
+// Floating point and math
+//===----------------------------------------------------------------------===//
+
+double evalMathOnDevice(MathOp Op, double A, double B2) {
+  IRContext Ctx;
+  Module M(Ctx, "prop");
+  Function *K = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Slot = B.createAlloca(Ctx.getDoubleTy());
+  B.createStore(B.getDouble(A), Slot);
+  Value *AV = B.createLoad(Ctx.getDoubleTy(), Slot);
+  std::vector<Value *> Args = {AV};
+  if (Op == MathOp::Pow || Op == MathOp::FMin || Op == MathOp::FMax)
+    Args.push_back(B.getDouble(B2));
+  Value *V = B.createMath(Op, Args);
+  B.createStore(V, K->getArg(0));
+  B.createRetVoid();
+
+  GPUDevice Dev;
+  uint64_t Out = Dev.allocate(8);
+  LaunchConfig LC;
+  LC.GridDim = 1;
+  LC.BlockDim = 1;
+  KernelStats S = Dev.launchKernel(
+      M, K, LC, {Out},
+      makeOpenMPRuntimeBinding(RuntimeFlavor::Modern, Dev.getMachine()));
+  EXPECT_TRUE(S.ok()) << S.Trap;
+  double R = 0;
+  Dev.memcpyFromDevice(&R, Out, 8);
+  return R;
+}
+
+struct MathCase {
+  MathOp Op;
+  double A, B;
+  double (*Host)(double, double);
+};
+
+class MathProperty : public ::testing::TestWithParam<MathCase> {};
+
+TEST_P(MathProperty, DeviceMatchesLibm) {
+  MathCase C = GetParam();
+  EXPECT_DOUBLE_EQ(C.Host(C.A, C.B), evalMathOnDevice(C.Op, C.A, C.B));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MathProperty,
+    ::testing::Values(
+        MathCase{MathOp::Sqrt, 2.0, 0,
+                 [](double A, double) { return std::sqrt(A); }},
+        MathCase{MathOp::Sin, 1.25, 0,
+                 [](double A, double) { return std::sin(A); }},
+        MathCase{MathOp::Cos, -0.5, 0,
+                 [](double A, double) { return std::cos(A); }},
+        MathCase{MathOp::Exp, 0.75, 0,
+                 [](double A, double) { return std::exp(A); }},
+        MathCase{MathOp::Log, 9.0, 0,
+                 [](double A, double) { return std::log(A); }},
+        MathCase{MathOp::Fabs, -3.5, 0,
+                 [](double A, double) { return std::fabs(A); }},
+        MathCase{MathOp::Floor, 2.75, 0,
+                 [](double A, double) { return std::floor(A); }},
+        MathCase{MathOp::Pow, 2.0, 10.0,
+                 [](double A, double B) { return std::pow(A, B); }},
+        MathCase{MathOp::FMin, 2.0, -1.0,
+                 [](double A, double B) { return std::fmin(A, B); }},
+        MathCase{MathOp::FMax, 2.0, -1.0,
+                 [](double A, double B) { return std::fmax(A, B); }}));
+
+//===----------------------------------------------------------------------===//
+// Casts
+//===----------------------------------------------------------------------===//
+
+TEST(CastProperty, RoundTripsMatchHost) {
+  IRContext Ctx;
+  Module M(Ctx, "casts");
+  Function *K = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *Slot = B.createAlloca(Ctx.getInt64Ty());
+  B.createStore(B.getInt64(-123456789), Slot);
+  Value *V = B.createLoad(Ctx.getInt64Ty(), Slot);
+  // i64 -> i32 (trunc) -> f64 (sitofp) -> i64 (fptosi)
+  Value *T = B.createTrunc(V, Ctx.getInt32Ty());
+  Value *D = B.createSIToFP(T, Ctx.getDoubleTy());
+  Value *R = B.createCast(CastOp::FPToSI, D, Ctx.getInt64Ty());
+  B.createStore(R, K->getArg(0));
+  // f64 -> f32 (fptrunc) rounding
+  Value *F = B.createFPTrunc(B.getDouble(1.0 / 3.0), Ctx.getFloatTy());
+  Value *Out1 = B.createGEP(Ctx.getDoubleTy(), K->getArg(0),
+                            {B.getInt32(1)});
+  B.createStore(B.createFPExt(F, Ctx.getDoubleTy()), Out1);
+  B.createRetVoid();
+
+  GPUDevice Dev;
+  uint64_t Out = Dev.allocate(16);
+  LaunchConfig LC;
+  LC.GridDim = 1;
+  LC.BlockDim = 1;
+  KernelStats S = Dev.launchKernel(
+      M, K, LC, {Out},
+      makeOpenMPRuntimeBinding(RuntimeFlavor::Modern, Dev.getMachine()));
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  int64_t I = 0;
+  double D2 = 0;
+  Dev.memcpyFromDevice(&I, Out, 8);
+  Dev.memcpyFromDevice(&D2, Out + 8, 8);
+  EXPECT_EQ((int64_t)(double)(int32_t)-123456789, I);
+  EXPECT_EQ((double)(float)(1.0 / 3.0), D2);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline invariants
+//===----------------------------------------------------------------------===//
+
+struct PipelineCase {
+  const char *Name;
+  std::unique_ptr<Workload> (*Factory)(ProblemSize);
+};
+
+class PipelineInvariants : public ::testing::TestWithParam<PipelineCase> {
+};
+
+TEST_P(PipelineInvariants, OptimizedModulesAlwaysVerify) {
+  // Across the whole configuration matrix, the pipeline must leave the
+  // IR structurally valid (the harness verifies internally).
+  const PipelineCase &C = GetParam();
+  for (int H2S = 0; H2S <= 1; ++H2S)
+    for (int SPMD = 0; SPMD <= 1; ++SPMD) {
+      std::unique_ptr<Workload> W = C.Factory(ProblemSize::Small);
+      PipelineOptions P =
+          makeDevPipeline(H2S, H2S, true, true, SPMD);
+      HarnessOptions HO;
+      HO.MaxSimulatedBlocks = 1;
+      WorkloadRunResult R = runWorkload(*W, P, HO);
+      EXPECT_FALSE(R.Compile.VerifyFailed)
+          << C.Name << " h2s=" << H2S << " spmd=" << SPMD << ": "
+          << R.Compile.VerifyError;
+      EXPECT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+    }
+}
+
+TEST_P(PipelineInvariants, CompilationIsDeterministic) {
+  const PipelineCase &C = GetParam();
+  auto Run = [&] {
+    std::unique_ptr<Workload> W = C.Factory(ProblemSize::Small);
+    HarnessOptions HO;
+    HO.MaxSimulatedBlocks = 1;
+    return runWorkload(*W, makeDevPipeline(), HO);
+  };
+  WorkloadRunResult A = Run();
+  WorkloadRunResult B = Run();
+  EXPECT_EQ(A.Compile.Stats.HeapToStack, B.Compile.Stats.HeapToStack);
+  EXPECT_EQ(A.Compile.Stats.HeapToShared, B.Compile.Stats.HeapToShared);
+  EXPECT_EQ(A.Compile.Stats.SPMDzedKernels,
+            B.Compile.Stats.SPMDzedKernels);
+  EXPECT_EQ(A.Compile.Remarks.size(), B.Compile.Remarks.size());
+  EXPECT_EQ(A.Stats.Cycles, B.Stats.Cycles);
+  EXPECT_EQ(A.Stats.DynamicInstructions, B.Stats.DynamicInstructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Proxies, PipelineInvariants,
+    ::testing::Values(PipelineCase{"XSBench", createXSBench},
+                      PipelineCase{"RSBench", createRSBench},
+                      PipelineCase{"SU3Bench", createSU3Bench},
+                      PipelineCase{"miniQMC", createMiniQMC}),
+    [](const ::testing::TestParamInfo<PipelineCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+} // namespace

@@ -1,0 +1,533 @@
+//===- tests/TestOpenMPOpt.cpp - OpenMPOpt pass unit tests ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the paper's transformations: internalization,
+/// HeapToStack, HeapToShared, SPMDzation (guards, grouping, broadcast),
+/// the custom state machine rewrite, runtime-call folding, remarks, and
+/// assumption handling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/OpenMPModuleInfo.h"
+#include "core/OpenMPOpt.h"
+#include "frontend/OMPCodeGen.h"
+#include "ir/AsmWriter.h"
+#include "ir/Verifier.h"
+#include "rtl/DeviceRTL.h"
+#include "support/raw_ostream.h"
+#include "transforms/FunctionAttrs.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class OpenMPOptTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+  OpenMPOptStats Stats;
+  RemarkCollector Remarks;
+
+  /// A generic kernel computing one team value shared into a parallel
+  /// region (the Fig. 1 pattern), built with the Simplified13 scheme.
+  Function *buildFig1Kernel(bool TeamValAddressTaken = true) {
+    OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+    TargetRegionBuilder TRB(CG, "fig1_kernel",
+                            {Ctx.getPtrTy(), Ctx.getInt32Ty()},
+                            ExecMode::Generic, 4, 64);
+    Argument *Out = TRB.getParam(0);
+    Argument *N = TRB.getParam(1);
+    TRB.emitDistributeLoop(N, [&](IRBuilder &B, Value *BlockId) {
+      Value *TeamVal = TRB.emitLocalVariable(Ctx.getDoubleTy(), "team_val",
+                                             TeamValAddressTaken);
+      Value *TV = B.createSIToFP(BlockId, Ctx.getDoubleTy());
+      B.createStore(TV, TeamVal);
+      std::vector<TargetRegionBuilder::Capture> Caps = {
+          {TeamVal, true, "team_val"}, {Out, false, "out"}};
+      TRB.emitParallelFor(
+          B.getInt32(8), Caps,
+          [&](IRBuilder &LB, Value *Idx,
+              const TargetRegionBuilder::CaptureMap &Map) {
+            Value *V = LB.createLoad(Ctx.getDoubleTy(), Map.at(TeamVal));
+            Value *P = LB.createGEP(Ctx.getDoubleTy(), Map.at(Out), {Idx});
+            LB.createStore(V, P);
+          });
+    });
+    Function *K = TRB.finalize();
+    linkDeviceRTL(M);
+    return K;
+  }
+
+  /// An SPMD kernel whose event body owns an address-taken local handed
+  /// to a device helper (the XSBench pattern).
+  Function *buildSPMDKernelWithLocal(bool HelperNoEscape) {
+    Function *Helper = M.createFunction(
+        "helper", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+    if (HelperNoEscape)
+      Helper->getArg(0)->setNoEscapeAttr();
+    IRBuilder HB(Ctx);
+    HB.setInsertPoint(Helper->createBlock("entry"));
+    HB.createStore(HB.getDouble(1.0), Helper->getArg(0));
+    HB.createRetVoid();
+
+    OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+    TargetRegionBuilder TRB(CG, "spmd_kernel",
+                            {Ctx.getPtrTy(), Ctx.getInt32Ty()},
+                            ExecMode::SPMD, 4, 64);
+    Argument *Out = TRB.getParam(0);
+    Argument *N = TRB.getParam(1);
+    Value *Local = nullptr;
+    std::vector<TargetRegionBuilder::Capture> Caps = {{Out, false, "out"}};
+    TRB.emitDistributeParallelFor(
+        N, Caps,
+        [&](IRBuilder &LB, Value *Idx,
+            const TargetRegionBuilder::CaptureMap &Map) {
+          LB.createCall(M.getFunction("helper"), {Local});
+          Value *V = LB.createLoad(Ctx.getDoubleTy(), Local);
+          LB.createStore(V,
+                         LB.createGEP(Ctx.getDoubleTy(), Map.at(Out),
+                                      {Idx}));
+        },
+        64,
+        [&](IRBuilder &PB, const TargetRegionBuilder::CaptureMap &) {
+          Local = TRB.emitParallelLocalVariable(PB, Ctx.getDoubleTy(),
+                                                "xs", true);
+        });
+    Function *K = TRB.finalize();
+    linkDeviceRTL(M);
+    return K;
+  }
+
+  unsigned countCalls(const Module &Mod, const std::string &Name) {
+    unsigned N = 0;
+    for (Function *F : Mod.functions())
+      for (BasicBlock *BB : *F)
+        for (Instruction *I : *BB)
+          if (auto *CI = dyn_cast<CallInst>(I))
+            if (CI->getCalledFunction() &&
+                CI->getCalledFunction()->getName() == Name)
+              ++N;
+    return N;
+  }
+
+  bool hasRemark(RemarkId Id) {
+    for (const Remark &R : Remarks.remarks())
+      if (R.Id == Id)
+        return true;
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Module info analysis
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, RecognizesKernelAndParallelRegions) {
+  buildFig1Kernel();
+  OpenMPModuleInfo Info(M);
+  ASSERT_EQ(1u, Info.kernels().size());
+  const KernelTargetInfo &KI = Info.kernels()[0];
+  EXPECT_EQ(ExecMode::Generic, KI.Mode);
+  EXPECT_TRUE(KI.UseGenericStateMachine);
+  EXPECT_NE(nullptr, KI.InitCall);
+  EXPECT_NE(nullptr, KI.UserCodeBB);
+  EXPECT_EQ(nullptr, KI.WorkerBB); // runtime state machine, not front-end
+  EXPECT_EQ(1u, Info.parallelSites().size());
+  EXPECT_EQ(1u, Info.parallelWrappers().size());
+  EXPECT_FALSE(Info.mayHaveNestedParallelism());
+}
+
+TEST_F(OpenMPOptTest, MainOnlyBlocksExcludeWrapper) {
+  Function *K = buildFig1Kernel();
+  OpenMPModuleInfo Info(M);
+  // The allocation of team_val happens in the distribute body: main-only.
+  for (BasicBlock *BB : *K)
+    for (Instruction *I : *BB)
+      if (auto *CI = dyn_cast<CallInst>(I)) {
+        if (isRTFn(CI->getCalledFunction(), RTFn::AllocShared)) {
+          EXPECT_TRUE(Info.isExecutedByInitialThreadOnly(*CI));
+        }
+      }
+  // Code in the wrapper is not main-only.
+  Function *W = *Info.parallelWrappers().begin();
+  EXPECT_FALSE(Info.isFunctionMainThreadOnly(W));
+}
+
+//===----------------------------------------------------------------------===//
+// HeapToStack / HeapToShared
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, HeapToSharedForTeamValue) {
+  buildFig1Kernel();
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+
+  // team_val escapes into the parallel region -> HeapToShared, plus the
+  // captured frame.
+  EXPECT_EQ(0u, Stats.HeapToStack);
+  EXPECT_EQ(2u, Stats.HeapToShared);
+  EXPECT_EQ(0u, countCalls(M, "__kmpc_alloc_shared"));
+  EXPECT_TRUE(hasRemark(RemarkId::OMP111));
+  EXPECT_GE(M.getStaticSharedMemoryBytes(), 8u);
+  std::string Err;
+  EXPECT_FALSE(verifyModule(M, &Err)) << Err;
+}
+
+TEST_F(OpenMPOptTest, HeapToStackForPrivateLocal) {
+  buildSPMDKernelWithLocal(/*HelperNoEscape=*/false);
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+
+  // The helper only stores through the pointer; inter-procedural escape
+  // analysis proves it and the local moves to the stack.
+  EXPECT_EQ(1u, Stats.HeapToStack);
+  EXPECT_TRUE(hasRemark(RemarkId::OMP110));
+  EXPECT_EQ(0u, countCalls(M, "__kmpc_alloc_shared"));
+}
+
+TEST_F(OpenMPOptTest, DeglobalizationRespectsDisableFlag) {
+  buildFig1Kernel();
+  inferFunctionAttrs(M);
+  OpenMPOptConfig Cfg;
+  Cfg.DisableDeglobalization = true;
+  runOpenMPOpt(M, Cfg, Stats, Remarks);
+  EXPECT_EQ(0u, Stats.HeapToStack + Stats.HeapToShared);
+  EXPECT_GT(countCalls(M, "__kmpc_alloc_shared"), 0u);
+}
+
+TEST_F(OpenMPOptTest, EscapingPointerReportsThreadSharing) {
+  // A globalized variable allocated inside a parallel region (not by the
+  // main thread) whose pointer escapes into an unknown callee: both
+  // rewrites fail and the OMP112 remark is emitted (the Fig. 5c
+  // scenario).
+  Function *Unknown = M.getOrInsertFunction(
+      "unknown", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  buildFig1Kernel();
+  OpenMPModuleInfo Pre(M);
+  Function *W = *Pre.parallelWrappers().begin();
+  IRBuilder B(Ctx);
+  B.setInsertPoint(W->getEntryBlock()->front());
+  Value *P = B.createCall(getOrCreateRTFn(M, RTFn::AllocShared),
+                          {B.getInt64(8)}, "lcl");
+  B.createCall(Unknown, {P});
+
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  EXPECT_TRUE(hasRemark(RemarkId::OMP112));
+  // The injected allocation is still a runtime call.
+  EXPECT_GE(countCalls(M, "__kmpc_alloc_shared"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// SPMDzation
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, SPMDzationFlipsModeAndGuards) {
+  Function *K = buildFig1Kernel();
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+
+  EXPECT_EQ(1u, Stats.SPMDzedKernels);
+  EXPECT_GE(Stats.GuardedRegions, 1u);
+  EXPECT_EQ(ExecMode::SPMD, K->getKernelEnvironment().Mode);
+  EXPECT_TRUE(hasRemark(RemarkId::OMP120));
+
+  // The init call now carries the SPMD constant.
+  OpenMPModuleInfo Info(M);
+  const KernelTargetInfo *KI = Info.getKernelInfo(K);
+  ASSERT_NE(nullptr, KI);
+  EXPECT_EQ(ExecMode::SPMD, KI->Mode);
+  EXPECT_FALSE(KI->UseGenericStateMachine);
+
+  // Guard blocks exist.
+  bool FoundGuard = false;
+  for (BasicBlock *BB : *K)
+    if (BB->getName().find("region.guarded") != std::string::npos)
+      FoundGuard = true;
+  EXPECT_TRUE(FoundGuard);
+}
+
+TEST_F(OpenMPOptTest, SPMDzationBlockedByOpaqueSideEffects) {
+  // A call to an external function with side effects in the sequential
+  // region blocks the conversion (remark OMP121)...
+  Function *Ext = M.getOrInsertFunction(
+      "mystery", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "blocked_kernel", {Ctx.getInt32Ty()},
+                          ExecMode::Generic, 2, 64);
+  TRB.emitDistributeLoop(TRB.getParam(0), [&](IRBuilder &B, Value *) {
+    B.createCall(Ext, {});
+    std::vector<TargetRegionBuilder::Capture> Caps;
+    TRB.emitParallelFor(B.getInt32(4), Caps,
+                        [&](IRBuilder &, Value *,
+                            const TargetRegionBuilder::CaptureMap &) {});
+  });
+  Function *K = TRB.finalize();
+  linkDeviceRTL(M);
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  EXPECT_EQ(0u, Stats.SPMDzedKernels);
+  EXPECT_TRUE(hasRemark(RemarkId::OMP121));
+  EXPECT_EQ(ExecMode::Generic, K->getKernelEnvironment().Mode);
+  // ...and the kernel falls back to a custom state machine instead.
+  EXPECT_EQ(1u, Stats.CustomStateMachines);
+}
+
+TEST_F(OpenMPOptTest, AssumptionUnblocksSPMDzation) {
+  // Same as above but the callee carries `ext_spmd_amenable`.
+  Function *Ext = M.getOrInsertFunction(
+      "mystery", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  Ext->addAssumption("ext_spmd_amenable");
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "assumed_kernel", {Ctx.getInt32Ty()},
+                          ExecMode::Generic, 2, 64);
+  TRB.emitDistributeLoop(TRB.getParam(0), [&](IRBuilder &B, Value *) {
+    B.createCall(Ext, {});
+    std::vector<TargetRegionBuilder::Capture> Caps;
+    TRB.emitParallelFor(B.getInt32(4), Caps,
+                        [&](IRBuilder &, Value *,
+                            const TargetRegionBuilder::CaptureMap &) {});
+  });
+  Function *K = TRB.finalize();
+  linkDeviceRTL(M);
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  EXPECT_EQ(1u, Stats.SPMDzedKernels);
+  EXPECT_EQ(ExecMode::SPMD, K->getKernelEnvironment().Mode);
+}
+
+TEST_F(OpenMPOptTest, GuardGroupingReducesRegions) {
+  // Two independent global stores separated by SPMD-amenable arithmetic
+  // (the Fig. 7 example): grouping merges them into one guarded region.
+  auto Build = [&](Module &Mod, bool DisableGrouping) -> unsigned {
+    OMPCodeGen CG(Mod, {CodeGenScheme::Simplified13, false});
+    IRContext &C = Mod.getContext();
+    TargetRegionBuilder TRB(CG, "fig7_kernel", {C.getPtrTy()},
+                            ExecMode::Generic, 2, 64);
+    IRBuilder &B = TRB.getBuilder();
+    Argument *A = TRB.getParam(0);
+    // A[0] = 1.0; <arith>; A[1] = 2.0; then a parallel region.
+    B.createStore(B.getDouble(1.0),
+                  B.createGEP(C.getDoubleTy(), A, {B.getInt32(0)}));
+    Value *X = B.createFAdd(B.getDouble(3.0), B.getDouble(4.0), "x");
+    Value *Y = B.createFMul(X, X, "y");
+    (void)Y;
+    B.createStore(B.getDouble(2.0),
+                  B.createGEP(C.getDoubleTy(), A, {B.getInt32(1)}));
+    std::vector<TargetRegionBuilder::Capture> Caps = {{A, false, "a"}};
+    TRB.emitParallelFor(B.getInt32(8), Caps,
+                        [&](IRBuilder &, Value *,
+                            const TargetRegionBuilder::CaptureMap &) {});
+    TRB.finalize();
+    linkDeviceRTL(Mod);
+    inferFunctionAttrs(Mod);
+    OpenMPOptConfig Cfg;
+    Cfg.DisableGuardGrouping = DisableGrouping;
+    OpenMPOptStats S;
+    RemarkCollector R;
+    runOpenMPOpt(Mod, Cfg, S, R);
+    EXPECT_EQ(1u, S.SPMDzedKernels);
+    return S.GuardedRegions;
+  };
+
+  IRContext C1, C2;
+  Module M1(C1, "grouped"), M2(C2, "naive");
+  unsigned Grouped = Build(M1, false);
+  unsigned Naive = Build(M2, true);
+  EXPECT_LT(Grouped, Naive);
+  EXPECT_GE(Grouped, 1u); // the stores and frame setup share one region
+  EXPECT_GE(Naive, 3u);
+}
+
+TEST_F(OpenMPOptTest, BroadcastValueEscapingGuard) {
+  // A guarded call result used below the guard must be broadcast through
+  // shared memory.
+  Function *Compute = M.createFunction(
+      "compute", Ctx.getFunctionTy(Ctx.getDoubleTy(), {Ctx.getPtrTy()}));
+  IRBuilder CB(Ctx);
+  CB.setInsertPoint(Compute->createBlock("entry"));
+  CB.createStore(CB.getDouble(7.0), Compute->getArg(0)); // side effect
+  CB.createRet(CB.getDouble(7.0));
+
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "bcast_kernel", {Ctx.getPtrTy()},
+                          ExecMode::Generic, 2, 64);
+  IRBuilder &B = TRB.getBuilder();
+  Argument *Out = TRB.getParam(0);
+  Value *V = B.createCall(M.getFunction("compute"), {Out}, "team_v");
+  // V2 depends on the guarded call's result, so it cannot be hoisted
+  // above the guard and V must be broadcast out of the guarded region.
+  Value *V2 = B.createFMul(V, B.getDouble(2.0), "team_v2");
+  std::vector<TargetRegionBuilder::Capture> Caps = {{V2, false, "v2"},
+                                                    {Out, false, "out"}};
+  TRB.emitParallelFor(
+      B.getInt32(4), Caps,
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        LB.createStore(Map.at(V2),
+                       LB.createGEP(Ctx.getDoubleTy(), Map.at(Out),
+                                    {Idx}));
+      });
+  TRB.finalize();
+  linkDeviceRTL(M);
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  ASSERT_EQ(1u, Stats.SPMDzedKernels);
+  // A broadcast global was created.
+  bool FoundBroadcast = false;
+  for (GlobalVariable *G : M.globals())
+    if (G->getName().find("broadcast") != std::string::npos)
+      FoundBroadcast = true;
+  EXPECT_TRUE(FoundBroadcast);
+}
+
+//===----------------------------------------------------------------------===//
+// Custom state machine
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, CSMRewriteEliminatesFunctionPointers) {
+  // A *defined* side-effecting callee keeps all parallel regions known
+  // (no fallback needed); SPMDzation is disabled to force the rewrite.
+  GlobalVariable *G =
+      M.createGlobal(Ctx.getDoubleTy(), AddrSpace::Global, "sink");
+  Function *Ext = M.createFunction(
+      "mystery", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  {
+    IRBuilder EB(Ctx);
+    EB.setInsertPoint(Ext->createBlock("entry"));
+    Value *GP = EB.createAddrSpaceCast(G, AddrSpace::Generic);
+    EB.createStore(EB.getDouble(1.0), GP);
+    EB.createRetVoid();
+  }
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  TargetRegionBuilder TRB(CG, "csm_kernel", {Ctx.getInt32Ty()},
+                          ExecMode::Generic, 2, 64);
+  TRB.emitDistributeLoop(TRB.getParam(0), [&](IRBuilder &B, Value *) {
+    B.createCall(Ext, {});
+    std::vector<TargetRegionBuilder::Capture> Caps;
+    TRB.emitParallelFor(B.getInt32(4), Caps,
+                        [&](IRBuilder &, Value *,
+                            const TargetRegionBuilder::CaptureMap &) {});
+  });
+  Function *K = TRB.finalize();
+  linkDeviceRTL(M);
+  inferFunctionAttrs(M);
+
+  OpenMPOptConfig Cfg;
+  Cfg.DisableSPMDization = true;
+  runOpenMPOpt(M, Cfg, Stats, Remarks);
+  EXPECT_EQ(1u, Stats.CustomStateMachines);
+  EXPECT_TRUE(hasRemark(RemarkId::OMP130));
+  EXPECT_FALSE(K->getKernelEnvironment().UseGenericStateMachine);
+
+  // The parallel site now passes an ID global instead of the wrapper.
+  OpenMPModuleInfo Info(M);
+  ASSERT_EQ(1u, Info.parallelSites().size());
+  CallInst *Site = Info.parallelSites()[0];
+  EXPECT_FALSE(isa<Function>(Site->getArgOperand(0)));
+  EXPECT_TRUE(isa<GlobalVariable>(Site->getArgOperand(0)));
+
+  // The kernel contains the state machine blocks.
+  bool FoundSM = false;
+  for (BasicBlock *BB : *K)
+    if (BB->getName().find("worker_state_machine") != std::string::npos)
+      FoundSM = true;
+  EXPECT_TRUE(FoundSM);
+  std::string Err;
+  EXPECT_FALSE(verifyModule(M, &Err)) << Err;
+}
+
+TEST_F(OpenMPOptTest, CSMDisableFlagRespected) {
+  Function *Ext = M.getOrInsertFunction(
+      "mystery", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  (void)Ext;
+  buildFig1Kernel();
+  inferFunctionAttrs(M);
+  OpenMPOptConfig Cfg;
+  Cfg.DisableSPMDization = true;
+  Cfg.DisableStateMachineRewrite = true;
+  runOpenMPOpt(M, Cfg, Stats, Remarks);
+  EXPECT_EQ(0u, Stats.CustomStateMachines);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime call folding
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, FoldsExecModeParallelLevelAndLaunchParams) {
+  buildSPMDKernelWithLocal(false);
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+
+  EXPECT_GT(Stats.FoldedExecMode, 0u);
+  EXPECT_GT(Stats.FoldedParallelLevel, 0u);
+  EXPECT_GT(Stats.FoldedLaunchParams, 0u);
+  EXPECT_EQ(0u, countCalls(M, "__kmpc_is_spmd_exec_mode"));
+  EXPECT_EQ(0u, countCalls(M, "__kmpc_parallel_level"));
+}
+
+TEST_F(OpenMPOptTest, FoldingDisableFlagRespected) {
+  buildSPMDKernelWithLocal(false);
+  inferFunctionAttrs(M);
+  OpenMPOptConfig Cfg;
+  Cfg.DisableFolding = true;
+  runOpenMPOpt(M, Cfg, Stats, Remarks);
+  EXPECT_EQ(0u, Stats.FoldedExecMode + Stats.FoldedParallelLevel +
+                    Stats.FoldedLaunchParams);
+  EXPECT_GT(countCalls(M, "__kmpc_is_spmd_exec_mode"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Internalization
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, InternalizationClonesExternalFunctions) {
+  buildSPMDKernelWithLocal(false);
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  EXPECT_GE(Stats.InternalizedFunctions, 1u);
+  Function *Clone = M.getFunction("helper.internalized");
+  ASSERT_NE(nullptr, Clone);
+  EXPECT_TRUE(Clone->hasInternalLinkage());
+  // The kernel-side call goes to the clone; the external copy remains.
+  EXPECT_NE(nullptr, M.getFunction("helper"));
+}
+
+TEST_F(OpenMPOptTest, LinkOnceODRNotInternalized) {
+  Function *F = M.createFunction(
+      "odr", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  F->setLinkage(Linkage::LinkOnceODR);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRetVoid();
+  buildFig1Kernel();
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  EXPECT_EQ(nullptr, M.getFunction("odr.internalized"));
+  EXPECT_TRUE(hasRemark(RemarkId::OMP133));
+}
+
+//===----------------------------------------------------------------------===//
+// Remark rendering
+//===----------------------------------------------------------------------===//
+
+TEST_F(OpenMPOptTest, RemarkTextMatchesPaperFormat) {
+  buildFig1Kernel();
+  inferFunctionAttrs(M);
+  runOpenMPOpt(M, OpenMPOptConfig{}, Stats, Remarks);
+  std::string S;
+  raw_string_ostream OS(S);
+  Remarks.print(OS);
+  // Fig. 8 style: "...: remark: ... [OMP111] [-Rpass=openmp-opt]"
+  EXPECT_NE(std::string::npos, S.find("[OMP111] [-Rpass=openmp-opt]"));
+  EXPECT_NE(std::string::npos, S.find("remark: "));
+}
+
+} // namespace

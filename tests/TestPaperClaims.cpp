@@ -1,0 +1,188 @@
+//===- tests/TestPaperClaims.cpp - Evaluation claims as regressions ---------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the reproduced evaluation results (Sec. V) as regression tests:
+/// the Fig. 9 opportunity counts, the RSBench out-of-memory behaviour,
+/// and the Fig. 11 performance orderings. If a change to the cost model
+/// or the passes breaks a paper-level claim, these tests catch it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+WorkloadRunResult compileOnly(std::unique_ptr<Workload> (*Factory)(
+                                  ProblemSize),
+                              const PipelineOptions &P) {
+  std::unique_ptr<Workload> W = Factory(ProblemSize::Small);
+  HarnessOptions HO;
+  HO.MaxSimulatedBlocks = 1;
+  return runWorkload(*W, P, HO);
+}
+
+double measureMs(std::unique_ptr<Workload> (*Factory)(ProblemSize),
+                 const PipelineOptions &P, bool CUDA = false,
+                 bool *OOM = nullptr) {
+  std::unique_ptr<Workload> W = Factory(ProblemSize::Large);
+  HarnessOptions HO;
+  HO.MaxSimulatedBlocks = 2;
+  HO.UseCUDAKernel = CUDA;
+  WorkloadRunResult R = runWorkload(*W, P, HO);
+  EXPECT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+  if (OOM)
+    *OOM = R.Stats.OutOfMemory;
+  return R.Stats.Milliseconds;
+}
+
+//===----------------------------------------------------------------------===//
+// Fig. 9: optimization opportunity counts
+//===----------------------------------------------------------------------===//
+
+TEST(PaperClaims, Fig9_XSBenchHasThreeHeapToStackVariables) {
+  WorkloadRunResult R = compileOnly(createXSBench, makeDevPipeline());
+  EXPECT_EQ(3u, R.Compile.Stats.HeapToStack); // macro_xs, micro_xs, seed
+  EXPECT_EQ(0u, R.Compile.Stats.HeapToShared);
+  EXPECT_EQ(0u, R.Compile.Stats.SPMDzedKernels); // already SPMD
+  EXPECT_GT(R.Compile.Stats.FoldedExecMode, 0u);
+  EXPECT_GT(R.Compile.Stats.FoldedParallelLevel, 0u);
+}
+
+TEST(PaperClaims, Fig9_RSBenchHasSevenHeapToStackVariables) {
+  WorkloadRunResult R = compileOnly(createRSBench, makeDevPipeline());
+  EXPECT_EQ(7u, R.Compile.Stats.HeapToStack);
+  EXPECT_EQ(0u, R.Compile.Stats.HeapToShared);
+}
+
+TEST(PaperClaims, Fig9_GenericKernelsAreSPMDzed) {
+  WorkloadRunResult SU3 = compileOnly(createSU3Bench, makeDevPipeline());
+  EXPECT_EQ(1u, SU3.Compile.Stats.SPMDzedKernels);
+  EXPECT_EQ(0u, SU3.Compile.Stats.CustomStateMachines); // obsoleted
+
+  WorkloadRunResult QMC = compileOnly(createMiniQMC, makeDevPipeline());
+  EXPECT_EQ(1u, QMC.Compile.Stats.SPMDzedKernels);
+}
+
+TEST(PaperClaims, Fig9_MiniQMCDeglobalizesAllTwentyOneVariables) {
+  // 18 walker-scope buffers + 3 per-thread accumulators + the captured
+  // frames: everything leaves the globalization runtime.
+  WorkloadRunResult R = compileOnly(createMiniQMC, makeDevPipeline());
+  EXPECT_GE(R.Compile.Stats.HeapToStack +
+                R.Compile.Stats.HeapToShared,
+            21u);
+  EXPECT_GT(R.Compile.Stats.HeapToShared, 0u);
+}
+
+TEST(PaperClaims, Fig9_NoMissedOpportunitiesOnTheProxies) {
+  // "There were no missed optimization opportunities": no OMP112/OMP113
+  // missed-remarks on any proxy under the full pipeline.
+  for (auto *Factory : {createXSBench, createRSBench, createSU3Bench,
+                        createMiniQMC}) {
+    WorkloadRunResult R = compileOnly(Factory, makeDevPipeline());
+    for (const Remark &Rem : R.Compile.Remarks.remarks()) {
+      EXPECT_NE(RemarkId::OMP112, Rem.Id) << Rem.Message;
+      EXPECT_NE(RemarkId::OMP113, Rem.Id) << Rem.Message;
+      EXPECT_NE(RemarkId::OMP121, Rem.Id) << Rem.Message;
+    }
+  }
+}
+
+TEST(PaperClaims, Fig9_CSMFiresWhenSPMDzationDisabled) {
+  PipelineOptions P = makeDevPipeline(true, true, true, true,
+                                      /*SPMDzation=*/false);
+  WorkloadRunResult SU3 = compileOnly(createSU3Bench, P);
+  EXPECT_EQ(1u, SU3.Compile.Stats.CustomStateMachines);
+  EXPECT_EQ(0u, SU3.Compile.Stats.SPMDzedKernels);
+}
+
+//===----------------------------------------------------------------------===//
+// Fig. 10: resource usage shapes
+//===----------------------------------------------------------------------===//
+
+TEST(PaperClaims, Fig10_CUDAUsesFarFewerRegistersThanOpenMP) {
+  std::unique_ptr<Workload> W = createXSBench(ProblemSize::Small);
+  HarnessOptions CUDA;
+  CUDA.MaxSimulatedBlocks = 1;
+  CUDA.UseCUDAKernel = true;
+  WorkloadRunResult RC = runWorkload(*W, makeCUDAPipeline(), CUDA);
+
+  std::unique_ptr<Workload> W2 = createXSBench(ProblemSize::Small);
+  HarnessOptions OMP;
+  OMP.MaxSimulatedBlocks = 1;
+  WorkloadRunResult RO = runWorkload(*W2, makeLLVM12Pipeline(), OMP);
+
+  ASSERT_TRUE(RC.Stats.ok() && RO.Stats.ok());
+  EXPECT_LT(RC.Stats.RegsPerThread * 2, RO.Stats.RegsPerThread);
+}
+
+TEST(PaperClaims, Fig10_HeapToSharedShowsUpAsStaticSharedMemory) {
+  WorkloadRunResult R = compileOnly(createMiniQMC, makeDevPipeline());
+  ASSERT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+  EXPECT_GT(R.Stats.StaticSharedBytes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fig. 11: performance orderings
+//===----------------------------------------------------------------------===//
+
+TEST(PaperClaims, Fig11b_RSBenchNoOptRunsOutOfMemory) {
+  bool OOM = false;
+  measureMs(createRSBench, makeDevNoOptPipeline(), false, &OOM);
+  EXPECT_TRUE(OOM);
+
+  // ...and heap-to-stack resolves it, as in the paper.
+  OOM = true;
+  measureMs(createRSBench, makeDevPipeline(), false, &OOM);
+  EXPECT_FALSE(OOM);
+}
+
+TEST(PaperClaims, Fig11c_SPMDzationIsTheStepChangeForSU3) {
+  double L12 = measureMs(createSU3Bench, makeLLVM12Pipeline());
+  double CSM = measureMs(createSU3Bench,
+                         makeDevPipeline(true, true, true, true, false));
+  double SPMD = measureMs(createSU3Bench, makeDevPipeline());
+  double CUDA = measureMs(createSU3Bench, makeCUDAPipeline(), true);
+
+  // CSM is in the baseline's ballpark; SPMDzation is a multiple; CUDA is
+  // the watermark (paper: 1x / ~1x / 10.8x / ~33x).
+  EXPECT_GT(L12 / SPMD, 3.0);
+  EXPECT_LT(L12 / CSM, 2.0);
+  EXPECT_GT(L12 / CUDA, 15.0);
+  EXPECT_LT(SPMD, CSM);
+  EXPECT_LT(CUDA, SPMD);
+}
+
+TEST(PaperClaims, Fig11d_MiniQMCLadderOrdering) {
+  double L12 = measureMs(createMiniQMC, makeLLVM12Pipeline());
+  double NoOpt = measureMs(createMiniQMC, makeDevNoOptPipeline());
+  double H2S2 = measureMs(createMiniQMC,
+                          makeDevPipeline(true, true, false, false,
+                                          false));
+  double Dev = measureMs(createMiniQMC, makeDevPipeline());
+
+  EXPECT_GT(NoOpt, L12); // simplified globalization alone regresses
+  EXPECT_LT(H2S2, NoOpt); // HeapToShared recovers
+  EXPECT_LT(Dev, L12);    // the full pipeline wins
+  EXPECT_LE(Dev, H2S2);
+}
+
+TEST(PaperClaims, Fig11a_DevBeatsLLVM12AndCUDAIsTheWatermark) {
+  double L12 = measureMs(createXSBench, makeLLVM12Pipeline());
+  double Dev = measureMs(createXSBench, makeDevPipeline());
+  double CUDA = measureMs(createXSBench, makeCUDAPipeline(), true);
+  EXPECT_LT(Dev, L12);
+  EXPECT_LT(CUDA, Dev);
+  EXPECT_GT(L12 / CUDA, 1.5); // paper: 2.14x
+  EXPECT_LT(L12 / CUDA, 4.0);
+}
+
+} // namespace

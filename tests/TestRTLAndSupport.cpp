@@ -1,0 +1,251 @@
+//===- tests/TestRTLAndSupport.cpp - Runtime & support tests ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the device runtime semantics (executed on the simulator) and
+/// of the support library (casting, streams, flags, statistics).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/OMPRuntime.h"
+#include "gpusim/Device.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "rtl/DeviceRTL.h"
+#include "support/CommandLine.h"
+#include "support/Statistic.h"
+#include "support/raw_ostream.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Device runtime semantics
+//===----------------------------------------------------------------------===//
+
+class RTLTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "rtl"};
+  GPUDevice Dev;
+
+  KernelStats launch(Function *K, unsigned Grid, unsigned Block,
+                     std::vector<uint64_t> Args,
+                     RuntimeFlavor Flavor = RuntimeFlavor::Modern) {
+    LaunchConfig LC;
+    LC.GridDim = Grid;
+    LC.BlockDim = Block;
+    LC.Flavor = Flavor;
+    return Dev.launchKernel(M, K, LC, Args,
+                            makeOpenMPRuntimeBinding(Flavor,
+                                                     Dev.getMachine()));
+  }
+};
+
+TEST_F(RTLTest, LinkDeviceRTLIsIdempotent) {
+  linkDeviceRTL(M);
+  Function *Init = M.getFunction("__kmpc_target_init");
+  ASSERT_NE(nullptr, Init);
+  EXPECT_FALSE(Init->isDeclaration());
+  size_t Blocks = Init->size();
+  linkDeviceRTL(M);
+  EXPECT_EQ(Blocks, M.getFunction("__kmpc_target_init")->size());
+  EXPECT_FALSE(M.getFunction("__kmpc_parallel_51")->isDeclaration());
+  EXPECT_FALSE(M.getFunction("__kmpc_target_deinit")->isDeclaration());
+}
+
+TEST_F(RTLTest, OMPQueriesInSPMDMode) {
+  // In an SPMD kernel: omp_get_thread_num == hw tid, num_threads ==
+  // blockDim, team/num_teams from the launch.
+  linkDeviceRTL(M);
+  Function *K = M.createFunction(
+      "q", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createCall(M.getFunction("__kmpc_target_init"),
+               {B.getInt32(OMP_TGT_EXEC_MODE_SPMD), B.getInt1(false)});
+  Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::GetThreadNum), {});
+  Value *NT = B.createCall(getOrCreateRTFn(M, RTFn::GetNumThreads), {});
+  Value *Team = B.createCall(getOrCreateRTFn(M, RTFn::GetTeamNum), {});
+  Value *NTeams = B.createCall(getOrCreateRTFn(M, RTFn::GetNumTeams), {});
+  Value *HwTid =
+      B.createCall(getOrCreateRTFn(M, RTFn::HardwareThreadId), {});
+  Value *Sum = B.createAdd(
+      B.createAdd(B.createMul(NT, B.getInt32(1000000)),
+                  B.createMul(Team, B.getInt32(10000))),
+      B.createAdd(B.createMul(NTeams, B.getInt32(100)), Tid));
+  Value *BDim =
+      B.createCall(getOrCreateRTFn(M, RTFn::HardwareNumThreads), {});
+  Value *Pos = B.createAdd(B.createMul(Team, BDim), HwTid);
+  B.createStore(Sum, B.createGEP(Ctx.getInt32Ty(), K->getArg(0), {Pos}));
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(2 * 4 * 4);
+  KernelStats S = launch(K, 2, 4, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  std::vector<int32_t> H = Dev.downloadArray<int32_t>(Out, 8);
+  for (int Team2 = 0; Team2 < 2; ++Team2)
+    for (int T = 0; T < 4; ++T)
+      EXPECT_EQ(4 * 1000000 + Team2 * 10000 + 2 * 100 + T,
+                H[Team2 * 4 + T]);
+}
+
+TEST_F(RTLTest, GenericModeQueriesAtTeamScope) {
+  // At the sequential (team) scope of a generic kernel:
+  // omp_get_thread_num == 0 and omp_get_num_threads == 1.
+  linkDeviceRTL(M);
+  Function *K = M.createFunction(
+      "g", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  BasicBlock *E = K->createBlock("entry");
+  BasicBlock *User = K->createBlock("user");
+  BasicBlock *Exit = K->createBlock("exit");
+  B.setInsertPoint(E);
+  Value *R = B.createCall(M.getFunction("__kmpc_target_init"),
+                          {B.getInt32(OMP_TGT_EXEC_MODE_GENERIC),
+                           B.getInt1(true)});
+  Value *IsMain = B.createICmpEQ(R, B.getInt32(-1));
+  B.createCondBr(IsMain, User, Exit);
+  B.setInsertPoint(User);
+  Value *Tid = B.createCall(getOrCreateRTFn(M, RTFn::GetThreadNum), {});
+  Value *NT = B.createCall(getOrCreateRTFn(M, RTFn::GetNumThreads), {});
+  Value *PL = B.createCall(getOrCreateRTFn(M, RTFn::ParallelLevel), {});
+  B.createStore(Tid, B.createGEP(Ctx.getInt32Ty(), K->getArg(0),
+                                 {B.getInt32(0)}));
+  B.createStore(NT, B.createGEP(Ctx.getInt32Ty(), K->getArg(0),
+                                {B.getInt32(1)}));
+  B.createStore(PL, B.createGEP(Ctx.getInt32Ty(), K->getArg(0),
+                                {B.getInt32(2)}));
+  B.createCall(M.getFunction("__kmpc_target_deinit"),
+               {B.getInt32(OMP_TGT_EXEC_MODE_GENERIC)});
+  B.createBr(Exit);
+  B.setInsertPoint(Exit);
+  B.createRetVoid();
+
+  uint64_t Out = Dev.allocate(12);
+  KernelStats S = launch(K, 1, 64, {Out});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  std::vector<int32_t> H = Dev.downloadArray<int32_t>(Out, 3);
+  EXPECT_EQ(0, H[0]); // omp_get_thread_num at team scope
+  EXPECT_EQ(1, H[1]); // omp_get_num_threads outside parallel
+  EXPECT_EQ(0, H[2]); // parallel level 0
+}
+
+TEST_F(RTLTest, AllocSharedLogicalDemandDrivesHeapAccounting) {
+  // Many threads each allocating a buffer must register block-level heap
+  // demand once the slab is exceeded, even though the cooperative
+  // scheduler runs threads one after another.
+  linkDeviceRTL(M);
+  Function *K = M.createFunction("a", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createCall(M.getFunction("__kmpc_target_init"),
+               {B.getInt32(OMP_TGT_EXEC_MODE_SPMD), B.getInt1(false)});
+  // 1 KiB per thread, 64 threads = 64 KiB >> 16 KiB slab.
+  Value *P = B.createCall(getOrCreateRTFn(M, RTFn::AllocShared),
+                          {B.getInt64(1024)});
+  B.createStore(B.getDouble(1.0), P);
+  B.createCall(getOrCreateRTFn(M, RTFn::FreeShared),
+               {P, B.getInt64(1024)});
+  B.createRetVoid();
+
+  KernelStats S = launch(K, 1, 64, {});
+  ASSERT_TRUE(S.ok()) << S.Trap;
+  EXPECT_GT(S.HeapFallbackBytes, 0u);
+}
+
+TEST_F(RTLTest, LegacyFlavorIsSlower) {
+  linkDeviceRTL(M);
+  Function *K = M.createFunction("t", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  K->setKernel(true);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createCall(M.getFunction("__kmpc_target_init"),
+               {B.getInt32(OMP_TGT_EXEC_MODE_SPMD), B.getInt1(false)});
+  Value *Acc = B.getDouble(2.0);
+  for (int I = 0; I < 20; ++I)
+    Acc = B.createMath(MathOp::Sqrt, {Acc});
+  Value *Sink = B.createAlloca(Ctx.getDoubleTy());
+  B.createStore(Acc, Sink);
+  B.createRetVoid();
+
+  KernelStats Modern = launch(K, 1, 32, {}, RuntimeFlavor::Modern);
+  KernelStats Legacy = launch(K, 1, 32, {}, RuntimeFlavor::Legacy);
+  ASSERT_TRUE(Modern.ok() && Legacy.ok());
+  EXPECT_GT(Legacy.Cycles, Modern.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Support library
+//===----------------------------------------------------------------------===//
+
+TEST(SupportCasting, IsaCastDynCast) {
+  IRContext Ctx;
+  Value *CI = Ctx.getInt32(5);
+  EXPECT_TRUE(isa<ConstantInt>(CI));
+  EXPECT_TRUE(isa<Constant>(CI));
+  EXPECT_FALSE(isa<ConstantFP>(CI));
+  EXPECT_EQ(5, cast<ConstantInt>(CI)->getValue());
+  EXPECT_EQ(nullptr, dyn_cast<ConstantFP>(CI));
+  EXPECT_NE(nullptr, dyn_cast<Constant>(CI));
+  Value *Null = nullptr;
+  EXPECT_EQ(nullptr, dyn_cast_or_null<ConstantInt>(Null));
+  EXPECT_FALSE(isa_and_nonnull<ConstantInt>(Null));
+}
+
+TEST(SupportStream, FormatsValues) {
+  std::string S;
+  raw_string_ostream OS(S);
+  OS << "x=" << 42 << " y=" << -7 << " d=" << 2.5 << " b=" << true << '!';
+  EXPECT_EQ("x=42 y=-7 d=2.5 b=true!", S);
+  S.clear();
+  OS.indent(4) << "z";
+  EXPECT_EQ("    z", S);
+  EXPECT_EQ("123", toString(123));
+}
+
+TEST(SupportStream, FormatBuf) {
+  EXPECT_EQ("a= 1 b=2.50", formatBuf("a=%2d b=%.2f", 1, 2.5));
+}
+
+TEST(SupportCommandLine, ParsesRegisteredOptions) {
+  static cl::opt<bool> TestFlag("test-flag-xyz", "test", false);
+  static cl::opt<int64_t> TestNum("test-num-xyz", "test", 7);
+  const char *Argv[] = {"prog", "-test-flag-xyz", "--test-num-xyz=42",
+                        "positional"};
+  std::vector<std::string> Rest = cl::parseCommandLine(4, Argv);
+  EXPECT_TRUE((bool)TestFlag);
+  EXPECT_EQ(42, (int64_t)TestNum);
+  ASSERT_EQ(2u, Rest.size());
+  EXPECT_EQ("positional", Rest[1]);
+  EXPECT_NE(nullptr, cl::findOption("test-flag-xyz"));
+  EXPECT_EQ(nullptr, cl::findOption("no-such-option"));
+}
+
+TEST(SupportStatistic, CountsAndResets) {
+#define DEBUG_TYPE "test-stats"
+  OMPGPU_STATISTIC(TestCounter, "A test counter");
+#undef DEBUG_TYPE
+  uint64_t Before = TestCounter.getValue();
+  ++TestCounter;
+  TestCounter += 4;
+  EXPECT_EQ(Before + 5, TestCounter.getValue());
+  std::string S;
+  raw_string_ostream OS(S);
+  StatisticRegistry::get().print(OS);
+  EXPECT_NE(std::string::npos, S.find("test-stats"));
+}
+
+} // namespace

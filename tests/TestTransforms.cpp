@@ -1,0 +1,495 @@
+//===- tests/TestTransforms.cpp - Scalar transform unit tests ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "transforms/Cloning.h"
+#include "transforms/ConstantFold.h"
+#include "transforms/FunctionAttrs.h"
+#include "transforms/Inliner.h"
+#include "transforms/Mem2Reg.h"
+#include "transforms/Simplify.h"
+#include "transforms/StoreToLoadForwarding.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class TransformsTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "test"};
+
+  void expectValid(Function *F) {
+    std::string Err;
+    EXPECT_FALSE(verifyFunction(*F, &Err)) << Err;
+  }
+
+  size_t countInsts(Function *F) {
+    size_t N = 0;
+    for (BasicBlock *BB : *F)
+      N += BB->size();
+    return N;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+struct FoldCase {
+  BinaryOp Op;
+  int64_t L, R, Expect;
+};
+
+class BinFoldTest : public ::testing::TestWithParam<FoldCase> {};
+
+TEST_P(BinFoldTest, FoldsIntegerOps) {
+  IRContext Ctx;
+  Module M(Ctx, "fold");
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getInt64Ty(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  FoldCase C = GetParam();
+  Value *V = B.createBinOp(C.Op, B.getInt64(C.L), B.getInt64(C.R));
+  B.createRet(V);
+
+  Constant *Folded = constantFoldInstruction(cast<Instruction>(V), Ctx);
+  ASSERT_NE(nullptr, Folded);
+  EXPECT_EQ(C.Expect, cast<ConstantInt>(Folded)->getValue());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntegerOps, BinFoldTest,
+    ::testing::Values(FoldCase{BinaryOp::Add, 7, 5, 12},
+                      FoldCase{BinaryOp::Sub, 7, 5, 2},
+                      FoldCase{BinaryOp::Mul, -3, 5, -15},
+                      FoldCase{BinaryOp::SDiv, -15, 4, -3},
+                      FoldCase{BinaryOp::SRem, -15, 4, -3},
+                      FoldCase{BinaryOp::UDiv, 15, 4, 3},
+                      FoldCase{BinaryOp::And, 12, 10, 8},
+                      FoldCase{BinaryOp::Or, 12, 10, 14},
+                      FoldCase{BinaryOp::Xor, 12, 10, 6},
+                      FoldCase{BinaryOp::Shl, 3, 4, 48},
+                      FoldCase{BinaryOp::LShr, 48, 4, 3},
+                      FoldCase{BinaryOp::AShr, -16, 2, -4}));
+
+TEST_F(TransformsTest, DivisionByZeroDoesNotFold) {
+  Function *F = M.createFunction("f",
+                                 Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *V = B.createSDiv(B.getInt32(1), B.getInt32(0));
+  B.createRet(V);
+  EXPECT_EQ(nullptr, constantFoldInstruction(cast<Instruction>(V), Ctx));
+}
+
+TEST_F(TransformsTest, FoldsComparisonsAndSelects) {
+  Function *F = M.createFunction("f",
+                                 Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *C = B.createICmpSLT(B.getInt32(3), B.getInt32(4));
+  Value *S = B.createSelect(C, B.getInt32(10), B.getInt32(20));
+  B.createRet(S);
+
+  Constant *FC = constantFoldInstruction(cast<Instruction>(C), Ctx);
+  ASSERT_NE(nullptr, FC);
+  EXPECT_EQ(1, cast<ConstantInt>(FC)->getValue());
+  // Fold the condition first, then the select.
+  foldConstants(*F);
+  auto *Ret = cast<RetInst>(F->getEntryBlock()->getTerminator());
+  EXPECT_EQ(Ctx.getInt32(10), Ret->getReturnValue());
+}
+
+TEST_F(TransformsTest, FoldsMathAndCasts) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getDoubleTy(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *S = B.createMath(MathOp::Sqrt, {B.getDouble(16.0)});
+  B.createRet(S);
+  Constant *FS = constantFoldInstruction(cast<Instruction>(S), Ctx);
+  ASSERT_NE(nullptr, FS);
+  EXPECT_DOUBLE_EQ(4.0, cast<ConstantFP>(FS)->getValue());
+
+  Function *G = M.createFunction(
+      "g", Ctx.getFunctionTy(Ctx.getInt64Ty(), {}));
+  B.setInsertPoint(G->createBlock("entry"));
+  Value *Z = B.createZExt(Ctx.getConstantInt(Ctx.getInt8Ty(), -1),
+                          Ctx.getInt64Ty());
+  B.createRet(Z);
+  Constant *FZ = constantFoldInstruction(cast<Instruction>(Z), Ctx);
+  ASSERT_NE(nullptr, FZ);
+  EXPECT_EQ(255, cast<ConstantInt>(FZ)->getValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Simplification / DCE / CFG
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransformsTest, ConstantBranchFoldsAndBlocksMerge) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getInt32Ty(), {}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("then");
+  BasicBlock *El = F->createBlock("else");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createCondBr(B.getInt1(true), T, El);
+  B.setInsertPoint(T);
+  B.createRet(B.getInt32(1));
+  B.setInsertPoint(El);
+  B.createRet(B.getInt32(2));
+
+  EXPECT_TRUE(simplifyFunction(*F));
+  expectValid(F);
+  // Everything collapses into the entry returning 1.
+  EXPECT_EQ(1u, F->size());
+  auto *Ret = cast<RetInst>(F->getEntryBlock()->getTerminator());
+  EXPECT_EQ(Ctx.getInt32(1), Ret->getReturnValue());
+}
+
+TEST_F(TransformsTest, DeadInstructionsRemoved) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Dead = B.createAdd(B.getInt32(1), B.getInt32(2));
+  B.createMul(Dead, Dead); // dead chain
+  B.createRetVoid();
+
+  EXPECT_TRUE(removeDeadInstructions(*F));
+  EXPECT_EQ(1u, countInsts(F)); // just the ret
+}
+
+TEST_F(TransformsTest, SideEffectsNotRemoved) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createStore(B.getInt32(1), F->getArg(0));
+  B.createRetVoid();
+  EXPECT_FALSE(removeDeadInstructions(*F));
+  EXPECT_EQ(2u, countInsts(F));
+}
+
+TEST_F(TransformsTest, UnreachableLoopRemoved) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *Dead1 = F->createBlock("dead1");
+  BasicBlock *Dead2 = F->createBlock("dead2");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  B.createRetVoid();
+  B.setInsertPoint(Dead1);
+  B.createBr(Dead2);
+  B.setInsertPoint(Dead2);
+  B.createBr(Dead1); // unreachable cycle
+
+  EXPECT_TRUE(simplifyCFG(*F));
+  EXPECT_EQ(1u, F->size());
+  expectValid(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Mem2Reg
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransformsTest, PromotesScalarAcrossDiamond) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt1Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("then");
+  BasicBlock *El = F->createBlock("else");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  Value *A = B.createAlloca(Ctx.getInt32Ty(), "x");
+  B.createStore(B.getInt32(0), A);
+  B.createCondBr(F->getArg(0), T, El);
+  B.setInsertPoint(T);
+  B.createStore(B.getInt32(1), A);
+  B.createBr(J);
+  B.setInsertPoint(El);
+  B.createStore(B.getInt32(2), A);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  Value *L = B.createLoad(Ctx.getInt32Ty(), A);
+  B.createRet(L);
+
+  EXPECT_TRUE(promoteAllocasToRegisters(*F));
+  expectValid(F);
+  // No allocas, loads, or stores remain; a phi merges the values.
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB) {
+      EXPECT_FALSE(isa<AllocaInst>(I));
+      EXPECT_FALSE(isa<LoadInst>(I));
+      EXPECT_FALSE(isa<StoreInst>(I));
+    }
+  ASSERT_FALSE(J->phis().empty());
+  EXPECT_EQ(2u, J->phis()[0]->getNumIncoming());
+}
+
+TEST_F(TransformsTest, PromotesLoopCounter) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *X = F->createBlock("exit");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  Value *A = B.createAlloca(Ctx.getInt32Ty(), "i");
+  B.createStore(B.getInt32(0), A);
+  B.createBr(H);
+  B.setInsertPoint(H);
+  Value *I1 = B.createLoad(Ctx.getInt32Ty(), A, "i.v");
+  Value *C = B.createICmpSLT(I1, F->getArg(0));
+  B.createCondBr(C, Body, X);
+  B.setInsertPoint(Body);
+  Value *I2 = B.createLoad(Ctx.getInt32Ty(), A);
+  B.createStore(B.createAdd(I2, B.getInt32(1)), A);
+  B.createBr(H);
+  B.setInsertPoint(X);
+  B.createRet(B.createLoad(Ctx.getInt32Ty(), A));
+
+  EXPECT_TRUE(promoteAllocasToRegisters(*F));
+  expectValid(F);
+  ASSERT_FALSE(H->phis().empty());
+}
+
+TEST_F(TransformsTest, AddressTakenAllocaNotPromoted) {
+  Function *Callee = M.createFunction(
+      "callee", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                                                        {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  auto *A = B.createAlloca(Ctx.getInt32Ty(), "x");
+  B.createCall(Callee, {A});
+  B.createRetVoid();
+  EXPECT_FALSE(isAllocaPromotable(A));
+  EXPECT_FALSE(promoteAllocasToRegisters(*F));
+}
+
+//===----------------------------------------------------------------------===//
+// Store-to-load forwarding
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransformsTest, ForwardsStoreToLoad) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getPtrTy()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createStore(B.getInt32(42), F->getArg(0));
+  Value *L = B.createLoad(Ctx.getInt32Ty(), F->getArg(0));
+  B.createRet(L);
+
+  EXPECT_TRUE(forwardStoresToLoads(*F));
+  auto *Ret = cast<RetInst>(F->getEntryBlock()->getTerminator());
+  EXPECT_EQ(Ctx.getInt32(42), Ret->getReturnValue());
+}
+
+TEST_F(TransformsTest, ForwardingBlockedByInterveningWrite) {
+  Function *Ext = M.getOrInsertFunction(
+      "ext", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getPtrTy()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createStore(B.getInt32(42), F->getArg(0));
+  B.createCall(Ext, {}); // may write anything
+  Value *L = B.createLoad(Ctx.getInt32Ty(), F->getArg(0));
+  B.createRet(L);
+
+  EXPECT_FALSE(forwardStoresToLoads(*F));
+  EXPECT_TRUE(isa<LoadInst>(
+      cast<RetInst>(F->getEntryBlock()->getTerminator())
+          ->getReturnValue()));
+  (void)L;
+}
+
+//===----------------------------------------------------------------------===//
+// Function attribute inference
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransformsTest, InfersReadNoneBottomUp) {
+  Function *Leaf = M.createFunction(
+      "leaf", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Leaf->createBlock("entry"));
+  B.createRet(B.createAdd(Leaf->getArg(0), B.getInt32(1)));
+
+  Function *Mid = M.createFunction(
+      "mid", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+  B.setInsertPoint(Mid->createBlock("entry"));
+  B.createRet(B.createCall(Leaf, {Mid->getArg(0)}));
+
+  inferFunctionAttrs(M);
+  EXPECT_TRUE(Leaf->hasFnAttr(FnAttr::ReadNone));
+  EXPECT_TRUE(Mid->hasFnAttr(FnAttr::ReadNone));
+  EXPECT_TRUE(Mid->hasFnAttr(FnAttr::NoSync));
+}
+
+TEST_F(TransformsTest, StoreBlocksReadOnly) {
+  Function *F = M.createFunction(
+      "w", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createStore(B.getInt32(1), F->getArg(0));
+  B.createRetVoid();
+  inferFunctionAttrs(M);
+  EXPECT_FALSE(F->hasFnAttr(FnAttr::ReadNone));
+  EXPECT_FALSE(F->hasFnAttr(FnAttr::ReadOnly));
+  EXPECT_TRUE(F->hasFnAttr(FnAttr::NoSync));
+}
+
+TEST_F(TransformsTest, RecursiveSCCConverges) {
+  FunctionType *Ty = Ctx.getFunctionTy(Ctx.getInt32Ty(),
+                                       {Ctx.getInt32Ty()});
+  Function *A = M.createFunction("a", Ty);
+  Function *B2 = M.createFunction("b", Ty);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(A->createBlock("entry"));
+  B.createRet(B.createCall(B2, {A->getArg(0)}));
+  B.setInsertPoint(B2->createBlock("entry"));
+  B.createRet(B.createCall(A, {B2->getArg(0)}));
+  inferFunctionAttrs(M);
+  EXPECT_TRUE(A->hasFnAttr(FnAttr::ReadNone));
+  EXPECT_TRUE(B2->hasFnAttr(FnAttr::ReadNone));
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning and inlining
+//===----------------------------------------------------------------------===//
+
+TEST_F(TransformsTest, CloneFunctionIsIndependent) {
+  Function *F = M.createFunction(
+      "orig", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+  F->addAssumption("ext_spmd_amenable");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createRet(B.createAdd(F->getArg(0), B.getInt32(5)));
+
+  Function *C = cloneFunction(*F, "clone");
+  EXPECT_TRUE(C->hasInternalLinkage());
+  EXPECT_TRUE(C->hasAssumption("ext_spmd_amenable"));
+  expectValid(C);
+
+  // Clone instructions must not reference the original's values.
+  for (BasicBlock *BB : *C)
+    for (Instruction *I : *BB)
+      for (unsigned Op = 0; Op < I->getNumOperands(); ++Op) {
+        if (auto *OpArg = dyn_cast<Argument>(I->getOperand(Op))) {
+          EXPECT_EQ(C, OpArg->getParent());
+        }
+      }
+}
+
+TEST_F(TransformsTest, InlineFlattensCallAndReturnsValue) {
+  Function *Callee = M.createFunction(
+      "double_wrapper", Ctx.getFunctionTy(Ctx.getInt32Ty(),
+                                          {Ctx.getInt32Ty()}),
+      Linkage::Internal);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Callee->createBlock("entry"));
+  B.createRet(B.createMul(Callee->getArg(0), B.getInt32(2)));
+
+  Function *F = M.createFunction(
+      "caller", Ctx.getFunctionTy(Ctx.getInt32Ty(), {Ctx.getInt32Ty()}));
+  B.setInsertPoint(F->createBlock("entry"));
+  CallInst *CI = B.createCall(Callee, {F->getArg(0)});
+  B.createRet(CI);
+
+  EXPECT_TRUE(inlineCallSite(CI));
+  expectValid(F);
+  simplifyFunction(*F);
+  // No calls remain.
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      EXPECT_FALSE(isa<CallInst>(I));
+}
+
+TEST_F(TransformsTest, InlineHoistsAllocasToEntry) {
+  Function *Callee = M.createFunction(
+      "scratch_wrapper", Ctx.getFunctionTy(Ctx.getVoidTy(), {}),
+      Linkage::Internal);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Callee->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getDoubleTy(), "tmp");
+  B.createStore(B.getDouble(1.0), A);
+  B.createRetVoid();
+
+  // Call inside a loop: the inlined alloca must land in the entry block.
+  Function *F = M.createFunction(
+      "caller", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *H = F->createBlock("loop");
+  BasicBlock *X = F->createBlock("exit");
+  B.setInsertPoint(E);
+  B.createBr(H);
+  B.setInsertPoint(H);
+  PhiInst *IV = B.createPhi(Ctx.getInt32Ty(), "i");
+  IV->addIncoming(B.getInt32(0), E);
+  CallInst *CI = B.createCall(Callee, {});
+  Value *Next = B.createAdd(IV, B.getInt32(1));
+  IV->addIncoming(Next, H);
+  B.createCondBr(B.createICmpSLT(Next, F->getArg(0)), H, X);
+  B.setInsertPoint(X);
+  B.createRetVoid();
+
+  ASSERT_TRUE(inlineCallSite(CI));
+  expectValid(F);
+  bool AllocaInEntry = false;
+  for (Instruction *I : *F->getEntryBlock())
+    if (isa<AllocaInst>(I))
+      AllocaInEntry = true;
+  EXPECT_TRUE(AllocaInEntry);
+}
+
+TEST_F(TransformsTest, InlineParallelRegionsPolicy) {
+  // A `_wrapper` internal function is inlined; a plain helper is not.
+  Function *Wrapper = M.createFunction(
+      "k__omp_outlined__0_wrapper",
+      Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}),
+      Linkage::Internal);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Wrapper->createBlock("entry"));
+  B.createStore(B.getDouble(3.0), Wrapper->getArg(0));
+  B.createRetVoid();
+
+  Function *Helper = M.createFunction(
+      "helper", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  B.setInsertPoint(Helper->createBlock("entry"));
+  B.createStore(B.getDouble(4.0), Helper->getArg(0));
+  B.createRetVoid();
+
+  Function *F = M.createFunction(
+      "caller", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  B.setInsertPoint(F->createBlock("entry"));
+  B.createCall(Wrapper, {F->getArg(0)});
+  B.createCall(Helper, {F->getArg(0)});
+  B.createRetVoid();
+
+  EXPECT_TRUE(inlineParallelRegions(M));
+  unsigned Calls = 0;
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (auto *CI = dyn_cast<CallInst>(I)) {
+        ++Calls;
+        EXPECT_EQ(Helper, CI->getCalledFunction());
+      }
+  EXPECT_EQ(1u, Calls);
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/TestWorkloads.cpp - Proxy-app correctness tests ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs every proxy application under every evaluated compiler
+/// configuration (small problem sizes, all blocks simulated) and checks
+/// the outputs against the host references. This is the guarantee that
+/// the optimizations of Sec. IV preserve semantics on the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+using FactoryFn = std::unique_ptr<Workload> (*)(ProblemSize);
+
+struct WorkloadCase {
+  const char *Name;
+  FactoryFn Factory;
+  bool HasCUDA;
+};
+
+const WorkloadCase Cases[] = {
+    {"XSBench", createXSBench, true},
+    {"RSBench", createRSBench, true},
+    {"SU3Bench", createSU3Bench, true},
+    {"miniQMC", createMiniQMC, false},
+};
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<WorkloadCase> {};
+
+void expectCorrect(const WorkloadCase &C, const PipelineOptions &P,
+                   bool UseCUDA = false) {
+  std::unique_ptr<Workload> W = C.Factory(ProblemSize::Small);
+  HarnessOptions HO;
+  HO.UseCUDAKernel = UseCUDA;
+  WorkloadRunResult R = runWorkload(*W, P, HO);
+  ASSERT_TRUE(R.Stats.ok())
+      << C.Name << " / " << P.Name << ": " << R.Stats.Trap;
+  ASSERT_TRUE(R.Checked) << C.Name << " / " << P.Name;
+  EXPECT_TRUE(R.Correct) << C.Name << " / " << P.Name
+                         << " produced wrong results";
+  EXPECT_FALSE(R.Compile.VerifyFailed) << R.Compile.VerifyError;
+}
+
+TEST_P(WorkloadCorrectness, LLVM12) {
+  expectCorrect(GetParam(), makeLLVM12Pipeline());
+}
+
+TEST_P(WorkloadCorrectness, DevNoOpt) {
+  expectCorrect(GetParam(), makeDevNoOptPipeline());
+}
+
+TEST_P(WorkloadCorrectness, DevAllOpts) {
+  expectCorrect(GetParam(), makeDevPipeline());
+}
+
+TEST_P(WorkloadCorrectness, DevHeapToStackOnly) {
+  expectCorrect(GetParam(),
+                makeDevPipeline(true, false, false, false, false));
+}
+
+TEST_P(WorkloadCorrectness, DevH2S2) {
+  expectCorrect(GetParam(),
+                makeDevPipeline(true, true, false, false, false));
+}
+
+TEST_P(WorkloadCorrectness, DevH2S2RTC) {
+  expectCorrect(GetParam(),
+                makeDevPipeline(true, true, true, false, false));
+}
+
+TEST_P(WorkloadCorrectness, DevH2S2RTCCSM) {
+  expectCorrect(GetParam(),
+                makeDevPipeline(true, true, true, true, false));
+}
+
+TEST_P(WorkloadCorrectness, CUDA) {
+  const WorkloadCase &C = GetParam();
+  if (!C.HasCUDA)
+    GTEST_SKIP() << C.Name << " is OpenMP-only";
+  expectCorrect(C, makeCUDAPipeline(), /*UseCUDA=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Proxies, WorkloadCorrectness, ::testing::ValuesIn(Cases),
+    [](const ::testing::TestParamInfo<WorkloadCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+} // namespace
