@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_globalization.dir/ablation_globalization.cpp.o"
+  "CMakeFiles/ablation_globalization.dir/ablation_globalization.cpp.o.d"
+  "ablation_globalization"
+  "ablation_globalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_globalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guard_grouping.dir/ablation_guard_grouping.cpp.o"
+  "CMakeFiles/ablation_guard_grouping.dir/ablation_guard_grouping.cpp.o.d"
+  "ablation_guard_grouping"
+  "ablation_guard_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guard_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

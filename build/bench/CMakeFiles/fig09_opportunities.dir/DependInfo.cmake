@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_opportunities.cpp" "bench/CMakeFiles/fig09_opportunities.dir/fig09_opportunities.cpp.o" "gcc" "bench/CMakeFiles/fig09_opportunities.dir/fig09_opportunities.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ompgpu_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ompgpu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ompgpu_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ompgpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/ompgpu_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ompgpu_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ompgpu_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ompgpu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ompgpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ompgpu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_opportunities.dir/fig09_opportunities.cpp.o"
+  "CMakeFiles/fig09_opportunities.dir/fig09_opportunities.cpp.o.d"
+  "fig09_opportunities"
+  "fig09_opportunities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_opportunities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

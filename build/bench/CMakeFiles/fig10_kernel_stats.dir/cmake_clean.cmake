@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_kernel_stats.dir/fig10_kernel_stats.cpp.o"
+  "CMakeFiles/fig10_kernel_stats.dir/fig10_kernel_stats.cpp.o.d"
+  "fig10_kernel_stats"
+  "fig10_kernel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_kernel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

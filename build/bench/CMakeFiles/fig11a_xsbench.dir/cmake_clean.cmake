@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_xsbench.dir/fig11a_xsbench.cpp.o"
+  "CMakeFiles/fig11a_xsbench.dir/fig11a_xsbench.cpp.o.d"
+  "fig11a_xsbench"
+  "fig11a_xsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_xsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_rsbench.dir/fig11b_rsbench.cpp.o"
+  "CMakeFiles/fig11b_rsbench.dir/fig11b_rsbench.cpp.o.d"
+  "fig11b_rsbench"
+  "fig11b_rsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_rsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

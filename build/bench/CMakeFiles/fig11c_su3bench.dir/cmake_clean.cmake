@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_su3bench.dir/fig11c_su3bench.cpp.o"
+  "CMakeFiles/fig11c_su3bench.dir/fig11c_su3bench.cpp.o.d"
+  "fig11c_su3bench"
+  "fig11c_su3bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_su3bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

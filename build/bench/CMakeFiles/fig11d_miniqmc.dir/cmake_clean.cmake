@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11d_miniqmc.dir/fig11d_miniqmc.cpp.o"
+  "CMakeFiles/fig11d_miniqmc.dir/fig11d_miniqmc.cpp.o.d"
+  "fig11d_miniqmc"
+  "fig11d_miniqmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11d_miniqmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

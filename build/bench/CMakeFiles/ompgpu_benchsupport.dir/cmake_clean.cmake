@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_benchsupport.dir/BenchSupport.cpp.o"
+  "CMakeFiles/ompgpu_benchsupport.dir/BenchSupport.cpp.o.d"
+  "libompgpu_benchsupport.a"
+  "libompgpu_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assumptions.dir/assumptions.cpp.o"
+  "CMakeFiles/assumptions.dir/assumptions.cpp.o.d"
+  "assumptions"
+  "assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deglobalization.dir/deglobalization.cpp.o"
+  "CMakeFiles/deglobalization.dir/deglobalization.cpp.o.d"
+  "deglobalization"
+  "deglobalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deglobalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deglobalization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmdization.dir/spmdization.cpp.o"
+  "CMakeFiles/spmdization.dir/spmdization.cpp.o.d"
+  "spmdization"
+  "spmdization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmdization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

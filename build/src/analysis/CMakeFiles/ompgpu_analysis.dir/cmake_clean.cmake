@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/ompgpu_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/ompgpu_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/ompgpu_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/ompgpu_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/ompgpu_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ompgpu_analysis.dir/PointerEscape.cpp.o"
+  "CMakeFiles/ompgpu_analysis.dir/PointerEscape.cpp.o.d"
+  "CMakeFiles/ompgpu_analysis.dir/RegisterPressure.cpp.o"
+  "CMakeFiles/ompgpu_analysis.dir/RegisterPressure.cpp.o.d"
+  "CMakeFiles/ompgpu_analysis.dir/ThreadValueAnalysis.cpp.o"
+  "CMakeFiles/ompgpu_analysis.dir/ThreadValueAnalysis.cpp.o.d"
+  "libompgpu_analysis.a"
+  "libompgpu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

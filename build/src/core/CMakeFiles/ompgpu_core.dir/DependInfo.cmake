@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CustomStateMachine.cpp" "src/core/CMakeFiles/ompgpu_core.dir/CustomStateMachine.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/CustomStateMachine.cpp.o.d"
+  "/root/repo/src/core/FoldRuntimeCalls.cpp" "src/core/CMakeFiles/ompgpu_core.dir/FoldRuntimeCalls.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/FoldRuntimeCalls.cpp.o.d"
+  "/root/repo/src/core/HeapToShared.cpp" "src/core/CMakeFiles/ompgpu_core.dir/HeapToShared.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/HeapToShared.cpp.o.d"
+  "/root/repo/src/core/HeapToStack.cpp" "src/core/CMakeFiles/ompgpu_core.dir/HeapToStack.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/HeapToStack.cpp.o.d"
+  "/root/repo/src/core/Internalization.cpp" "src/core/CMakeFiles/ompgpu_core.dir/Internalization.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/Internalization.cpp.o.d"
+  "/root/repo/src/core/OpenMPModuleInfo.cpp" "src/core/CMakeFiles/ompgpu_core.dir/OpenMPModuleInfo.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/OpenMPModuleInfo.cpp.o.d"
+  "/root/repo/src/core/OpenMPOpt.cpp" "src/core/CMakeFiles/ompgpu_core.dir/OpenMPOpt.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/OpenMPOpt.cpp.o.d"
+  "/root/repo/src/core/Remarks.cpp" "src/core/CMakeFiles/ompgpu_core.dir/Remarks.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/Remarks.cpp.o.d"
+  "/root/repo/src/core/SPMDzation.cpp" "src/core/CMakeFiles/ompgpu_core.dir/SPMDzation.cpp.o" "gcc" "src/core/CMakeFiles/ompgpu_core.dir/SPMDzation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/ompgpu_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/ompgpu_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ompgpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ompgpu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

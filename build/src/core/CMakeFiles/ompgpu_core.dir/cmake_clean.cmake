@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_core.dir/CustomStateMachine.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/CustomStateMachine.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/FoldRuntimeCalls.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/FoldRuntimeCalls.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/HeapToShared.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/HeapToShared.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/HeapToStack.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/HeapToStack.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/Internalization.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/Internalization.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/OpenMPModuleInfo.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/OpenMPModuleInfo.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/OpenMPOpt.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/OpenMPOpt.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/Remarks.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/Remarks.cpp.o.d"
+  "CMakeFiles/ompgpu_core.dir/SPMDzation.cpp.o"
+  "CMakeFiles/ompgpu_core.dir/SPMDzation.cpp.o.d"
+  "libompgpu_core.a"
+  "libompgpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

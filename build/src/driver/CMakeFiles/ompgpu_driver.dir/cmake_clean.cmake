@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/ompgpu_driver.dir/Pipeline.cpp.o.d"
+  "libompgpu_driver.a"
+  "libompgpu_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libompgpu_driver.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_frontend.dir/CGHelpers.cpp.o"
+  "CMakeFiles/ompgpu_frontend.dir/CGHelpers.cpp.o.d"
+  "CMakeFiles/ompgpu_frontend.dir/OMPCodeGen.cpp.o"
+  "CMakeFiles/ompgpu_frontend.dir/OMPCodeGen.cpp.o.d"
+  "CMakeFiles/ompgpu_frontend.dir/OMPRuntime.cpp.o"
+  "CMakeFiles/ompgpu_frontend.dir/OMPRuntime.cpp.o.d"
+  "libompgpu_frontend.a"
+  "libompgpu_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

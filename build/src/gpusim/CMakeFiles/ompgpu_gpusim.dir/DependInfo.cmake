@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/Device.cpp" "src/gpusim/CMakeFiles/ompgpu_gpusim.dir/Device.cpp.o" "gcc" "src/gpusim/CMakeFiles/ompgpu_gpusim.dir/Device.cpp.o.d"
+  "/root/repo/src/gpusim/ResourceEstimator.cpp" "src/gpusim/CMakeFiles/ompgpu_gpusim.dir/ResourceEstimator.cpp.o" "gcc" "src/gpusim/CMakeFiles/ompgpu_gpusim.dir/ResourceEstimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ompgpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ompgpu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_gpusim.dir/Device.cpp.o"
+  "CMakeFiles/ompgpu_gpusim.dir/Device.cpp.o.d"
+  "CMakeFiles/ompgpu_gpusim.dir/ResourceEstimator.cpp.o"
+  "CMakeFiles/ompgpu_gpusim.dir/ResourceEstimator.cpp.o.d"
+  "libompgpu_gpusim.a"
+  "libompgpu_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

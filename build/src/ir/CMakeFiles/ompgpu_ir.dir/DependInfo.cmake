@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AsmWriter.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/AsmWriter.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/AsmWriter.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/BasicBlock.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/Function.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRContext.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/IRContext.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/IRContext.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/Instruction.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/Module.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/Module.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/Type.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/Type.cpp.o.d"
+  "/root/repo/src/ir/Value.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/Value.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/Value.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/ompgpu_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/ompgpu_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

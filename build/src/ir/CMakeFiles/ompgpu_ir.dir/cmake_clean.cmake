@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_ir.dir/AsmWriter.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/AsmWriter.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/Function.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/Function.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/IRContext.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/IRContext.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/Module.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/Type.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/Type.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/Value.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/Value.cpp.o.d"
+  "CMakeFiles/ompgpu_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ompgpu_ir.dir/Verifier.cpp.o.d"
+  "libompgpu_ir.a"
+  "libompgpu_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

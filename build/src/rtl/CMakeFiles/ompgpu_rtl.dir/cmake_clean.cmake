@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_rtl.dir/DeviceRTL.cpp.o"
+  "CMakeFiles/ompgpu_rtl.dir/DeviceRTL.cpp.o.d"
+  "libompgpu_rtl.a"
+  "libompgpu_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/ompgpu_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/ompgpu_support.dir/ErrorHandling.cpp.o"
+  "CMakeFiles/ompgpu_support.dir/ErrorHandling.cpp.o.d"
+  "CMakeFiles/ompgpu_support.dir/Statistic.cpp.o"
+  "CMakeFiles/ompgpu_support.dir/Statistic.cpp.o.d"
+  "CMakeFiles/ompgpu_support.dir/raw_ostream.cpp.o"
+  "CMakeFiles/ompgpu_support.dir/raw_ostream.cpp.o.d"
+  "libompgpu_support.a"
+  "libompgpu_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/Cloning.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Cloning.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Cloning.cpp.o.d"
+  "/root/repo/src/transforms/ConstantFold.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/ConstantFold.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/ConstantFold.cpp.o.d"
+  "/root/repo/src/transforms/FunctionAttrs.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/FunctionAttrs.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/FunctionAttrs.cpp.o.d"
+  "/root/repo/src/transforms/Inliner.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Inliner.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Inliner.cpp.o.d"
+  "/root/repo/src/transforms/Mem2Reg.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Mem2Reg.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Mem2Reg.cpp.o.d"
+  "/root/repo/src/transforms/Simplify.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Simplify.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/Simplify.cpp.o.d"
+  "/root/repo/src/transforms/StoreToLoadForwarding.cpp" "src/transforms/CMakeFiles/ompgpu_transforms.dir/StoreToLoadForwarding.cpp.o" "gcc" "src/transforms/CMakeFiles/ompgpu_transforms.dir/StoreToLoadForwarding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ompgpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ompgpu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_transforms.dir/Cloning.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/Cloning.cpp.o.d"
+  "CMakeFiles/ompgpu_transforms.dir/ConstantFold.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/ConstantFold.cpp.o.d"
+  "CMakeFiles/ompgpu_transforms.dir/FunctionAttrs.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/FunctionAttrs.cpp.o.d"
+  "CMakeFiles/ompgpu_transforms.dir/Inliner.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/Inliner.cpp.o.d"
+  "CMakeFiles/ompgpu_transforms.dir/Mem2Reg.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/Mem2Reg.cpp.o.d"
+  "CMakeFiles/ompgpu_transforms.dir/Simplify.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/Simplify.cpp.o.d"
+  "CMakeFiles/ompgpu_transforms.dir/StoreToLoadForwarding.cpp.o"
+  "CMakeFiles/ompgpu_transforms.dir/StoreToLoadForwarding.cpp.o.d"
+  "libompgpu_transforms.a"
+  "libompgpu_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Harness.cpp" "src/workloads/CMakeFiles/ompgpu_workloads.dir/Harness.cpp.o" "gcc" "src/workloads/CMakeFiles/ompgpu_workloads.dir/Harness.cpp.o.d"
+  "/root/repo/src/workloads/MiniQMC.cpp" "src/workloads/CMakeFiles/ompgpu_workloads.dir/MiniQMC.cpp.o" "gcc" "src/workloads/CMakeFiles/ompgpu_workloads.dir/MiniQMC.cpp.o.d"
+  "/root/repo/src/workloads/RSBench.cpp" "src/workloads/CMakeFiles/ompgpu_workloads.dir/RSBench.cpp.o" "gcc" "src/workloads/CMakeFiles/ompgpu_workloads.dir/RSBench.cpp.o.d"
+  "/root/repo/src/workloads/SU3Bench.cpp" "src/workloads/CMakeFiles/ompgpu_workloads.dir/SU3Bench.cpp.o" "gcc" "src/workloads/CMakeFiles/ompgpu_workloads.dir/SU3Bench.cpp.o.d"
+  "/root/repo/src/workloads/XSBench.cpp" "src/workloads/CMakeFiles/ompgpu_workloads.dir/XSBench.cpp.o" "gcc" "src/workloads/CMakeFiles/ompgpu_workloads.dir/XSBench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ompgpu_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ompgpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/ompgpu_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ompgpu_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ompgpu_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ompgpu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ompgpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ompgpu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_workloads.dir/Harness.cpp.o"
+  "CMakeFiles/ompgpu_workloads.dir/Harness.cpp.o.d"
+  "CMakeFiles/ompgpu_workloads.dir/MiniQMC.cpp.o"
+  "CMakeFiles/ompgpu_workloads.dir/MiniQMC.cpp.o.d"
+  "CMakeFiles/ompgpu_workloads.dir/RSBench.cpp.o"
+  "CMakeFiles/ompgpu_workloads.dir/RSBench.cpp.o.d"
+  "CMakeFiles/ompgpu_workloads.dir/SU3Bench.cpp.o"
+  "CMakeFiles/ompgpu_workloads.dir/SU3Bench.cpp.o.d"
+  "CMakeFiles/ompgpu_workloads.dir/XSBench.cpp.o"
+  "CMakeFiles/ompgpu_workloads.dir/XSBench.cpp.o.d"
+  "libompgpu_workloads.a"
+  "libompgpu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

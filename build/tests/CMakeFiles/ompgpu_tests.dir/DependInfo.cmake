@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TestAnalysis.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestAnalysis.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestAnalysis.cpp.o.d"
+  "/root/repo/tests/TestEndToEnd.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestEndToEnd.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestEndToEnd.cpp.o.d"
+  "/root/repo/tests/TestFrontend.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestFrontend.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestFrontend.cpp.o.d"
+  "/root/repo/tests/TestGPUSim.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestGPUSim.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestGPUSim.cpp.o.d"
+  "/root/repo/tests/TestIR.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestIR.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestIR.cpp.o.d"
+  "/root/repo/tests/TestInterpreterProperties.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestInterpreterProperties.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestInterpreterProperties.cpp.o.d"
+  "/root/repo/tests/TestOpenMPOpt.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestOpenMPOpt.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestOpenMPOpt.cpp.o.d"
+  "/root/repo/tests/TestPaperClaims.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestPaperClaims.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestPaperClaims.cpp.o.d"
+  "/root/repo/tests/TestRTLAndSupport.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestRTLAndSupport.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestRTLAndSupport.cpp.o.d"
+  "/root/repo/tests/TestTransforms.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestTransforms.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestTransforms.cpp.o.d"
+  "/root/repo/tests/TestWorkloads.cpp" "tests/CMakeFiles/ompgpu_tests.dir/TestWorkloads.cpp.o" "gcc" "tests/CMakeFiles/ompgpu_tests.dir/TestWorkloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ompgpu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ompgpu_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ompgpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ompgpu_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ompgpu_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ompgpu_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/ompgpu_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ompgpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ompgpu_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ompgpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

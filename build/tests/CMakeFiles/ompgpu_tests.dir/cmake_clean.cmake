@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompgpu_tests.dir/TestAnalysis.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestAnalysis.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestEndToEnd.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestEndToEnd.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestFrontend.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestFrontend.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestGPUSim.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestGPUSim.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestIR.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestIR.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestInterpreterProperties.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestInterpreterProperties.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestOpenMPOpt.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestOpenMPOpt.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestPaperClaims.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestPaperClaims.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestRTLAndSupport.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestRTLAndSupport.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestTransforms.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestTransforms.cpp.o.d"
+  "CMakeFiles/ompgpu_tests.dir/TestWorkloads.cpp.o"
+  "CMakeFiles/ompgpu_tests.dir/TestWorkloads.cpp.o.d"
+  "ompgpu_tests"
+  "ompgpu_tests.pdb"
+  "ompgpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompgpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
