@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
+#include "driver/CompileReport.h"
 #include "support/CommandLine.h"
 #include "support/raw_ostream.h"
 
@@ -27,6 +28,22 @@ static cl::opt<bool> DisableStateMachineRewrite(
 static cl::opt<bool>
     DisableFolding("openmp-opt-disable-folding",
                    "Disable OpenMP runtime call folding", false);
+
+// Observability flags shared by all bench binaries (docs/compile-report.md).
+static cl::opt<bool> TimePasses(
+    "time-passes",
+    "Print a per-pass wall-clock timing table after each measurement",
+    false);
+static cl::opt<std::string> CompileReportPath(
+    "compile-report",
+    "Write a JSON array with one compile-report per measured "
+    "configuration to the given path", std::string());
+
+/// Compile-reports of every measured configuration, in measurement order.
+static json::Value &collectedReports() {
+  static json::Value Reports = json::Value::makeArray();
+  return Reports;
+}
 
 static void applyArtifactFlags(PipelineOptions &P) {
   if (DisableSPMDization)
@@ -93,7 +110,41 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
   HarnessOptions HO;
   HO.MaxSimulatedBlocks = SampleBlocks;
   HO.UseCUDAKernel = Spec.UseCUDA;
-  return runWorkload(*W, Spec.Pipeline, HO);
+
+  bool WantReport = !CompileReportPath.getValue().empty();
+  PipelineOptions P = Spec.Pipeline;
+  if (TimePasses || WantReport) {
+    P.Instrument.TimePasses = true;
+    P.Instrument.TrackChanges = true;
+  }
+
+  WorkloadRunResult R = runWorkload(*W, P, HO);
+
+  if (TimePasses) {
+    outs() << "\n[" << R.WorkloadName << " / " << Spec.Label << "]\n";
+    PassInstrumentation::printTimingReport(outs(), R.Compile.Passes,
+                                           R.Compile.FirstCorruptPass,
+                                           R.Compile.VerifyError);
+  }
+  if (WantReport) {
+    json::Value Report = buildCompileReport(P, R.Compile, {R.Stats});
+    Report.set("workload", R.WorkloadName).set("config", Spec.Label);
+    collectedReports().push_back(std::move(Report));
+  }
+  return R;
+}
+
+void writeCollectedCompileReports() {
+  if (CompileReportPath.getValue().empty() || collectedReports().empty())
+    return;
+  std::string Error;
+  if (!writeCompileReportFile(CompileReportPath.getValue(),
+                              collectedReports(), &Error)) {
+    errs() << "compile-report: " << Error << '\n';
+    return;
+  }
+  outs() << "wrote " << collectedReports().size()
+         << " compile-report(s) to " << CompileReportPath.getValue() << '\n';
 }
 
 void printRelativeSeries(const std::string &Title,
@@ -162,6 +213,8 @@ int runBenchmarkMain(int Argc, char **Argv,
   benchmark::Initialize(&RestArgc, RestArgv.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  writeCollectedCompileReports();
   return 0;
 }
 

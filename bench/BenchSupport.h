@@ -44,10 +44,18 @@ ConfigSpec configDevFull(); ///< h2s2 + RTC + SPMDzation (LLVM Dev 0)
 ConfigSpec configCUDA();
 
 /// Runs \p Factory's workload under \p Spec with sampled blocks (timing
-/// runs; outputs unchecked).
+/// runs; outputs unchecked). When the shared -time-passes /
+/// -compile-report flags are set the compile runs instrumented: the
+/// timing table prints after the run, and the compile-report of every
+/// measured configuration is collected for writeCollectedCompileReports.
 WorkloadRunResult
 measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
         const ConfigSpec &Spec, unsigned SampleBlocks = 4);
+
+/// Writes the JSON array of compile-reports collected by measure() to the
+/// -compile-report=<path> destination. No-op when the flag is unset or
+/// nothing was measured; runBenchmarkMain calls this on exit.
+void writeCollectedCompileReports();
 
 /// Prints a Fig. 11-style relative-performance series: one row per
 /// configuration with kernel ms and speedup over the first (baseline) row.

@@ -8,11 +8,14 @@
 /// \file
 /// Quickstart: build an OpenMP `target teams distribute parallel for`
 /// kernel (a saxpy) against the codegen API, run it through the paper's
-/// optimization pipeline, launch it on the simulated V100, and check the
-/// result. This is the minimal end-to-end tour of the public API.
+/// optimization pipeline (instrumented: per-pass timing + change
+/// tracking), launch it on the simulated V100, check the result, and —
+/// given an argument — write the JSON compile-report there
+/// (docs/compile-report.md documents the schema; CI archives this file).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/CompileReport.h"
 #include "driver/Pipeline.h"
 #include "gpusim/Device.h"
 #include "ir/AsmWriter.h"
@@ -21,7 +24,7 @@
 
 using namespace ompgpu;
 
-int main() {
+int main(int argc, char **argv) {
   // 1. A module and the OpenMP front-end (the paper's simplified scheme).
   IRContext Ctx;
   Module M(Ctx, "quickstart");
@@ -51,11 +54,18 @@ int main() {
       });
   Function *Kernel = TRB.finalize();
 
-  // 3. Optimize with the full "LLVM Dev" pipeline and show the remarks.
+  // 3. Optimize with the full "LLVM Dev" pipeline, instrumented so every
+  //    pass is timed and change-detected, and show remarks + timings.
   PipelineOptions P = makeDevPipeline();
+  P.Instrument.TimePasses = true;
+  P.Instrument.TrackChanges = true;
   CompileResult CR = optimizeDeviceModule(M, P);
   outs() << "=== optimization remarks ===\n";
   CR.Remarks.print(outs());
+  outs() << "\n=== pass timings ===\n";
+  PassInstrumentation::printTimingReport(outs(), CR.Passes,
+                                         CR.FirstCorruptPass,
+                                         CR.VerifyError);
   outs() << "\n=== optimized module ===\n";
   printModule(M, outs());
 
@@ -91,5 +101,16 @@ int main() {
   outs() << "kernel time: " << S.Milliseconds << " ms ("
          << S.Cycles << " cycles), regs/thread: " << S.RegsPerThread
          << ", errors: " << Errors << "\n";
+
+  // 6. Archive everything as the machine-readable compile-report.
+  if (argc > 1) {
+    std::string Error;
+    json::Value Report = buildCompileReport(P, CR, {S});
+    if (!writeCompileReportFile(argv[1], Report, &Error)) {
+      errs() << "compile-report: " << Error << '\n';
+      return 1;
+    }
+    outs() << "wrote compile-report to " << argv[1] << '\n';
+  }
   return Errors == 0 && S.ok() ? 0 : 1;
 }

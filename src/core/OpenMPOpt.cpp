@@ -7,18 +7,35 @@
 
 #include "core/OpenMPOpt.h"
 #include "core/Passes.h"
+#include "support/PassInstrumentation.h"
 #include "transforms/FunctionAttrs.h"
 
 using namespace ompgpu;
 
 bool ompgpu::runOpenMPOpt(Module &M, const OpenMPOptConfig &Config,
-                          OpenMPOptStats &Stats, RemarkCollector &Remarks) {
-  OpenMPOptContext Ctx(M, Config, Stats, Remarks);
+                          OpenMPOptStats &Stats, RemarkCollector &Remarks,
+                          PassInstrumentation *PI) {
+  OpenMPOptContext Ctx(M, Config, Stats, Remarks, PI);
   bool Changed = false;
+
+  // Runs one sub-pass, nested under the instrumentation when present so
+  // each phase gets its own timing/change/verify record.
+  auto RunSub = [&](const char *Name, bool (*SubPass)(OpenMPOptContext &)) {
+    if (PI && PI->enabled())
+      return PI->runPass(Name, [&] { return SubPass(Ctx); });
+    return SubPass(Ctx);
+  };
 
   // Attribute inference feeds the side-effect reasoning of SPMDzation and
   // the dead-code queries of the cleanup pipeline.
-  inferFunctionAttrs(M);
+  auto RunAttrs = [&] {
+    if (PI && PI->enabled())
+      return PI->runPass(FunctionAttrsPassName,
+                         [&] { return inferFunctionAttrs(M); });
+    return inferFunctionAttrs(M);
+  };
+
+  RunAttrs();
   Ctx.refresh();
 
   // The paper's order: internalize for full call-site visibility, undo
@@ -26,22 +43,22 @@ bool ompgpu::runOpenMPOpt(Module &M, const OpenMPOptConfig &Config,
   // kernels to SPMD mode where possible, specialize the state machine of
   // the rest, and finally fold the now-determined runtime queries.
   if (!Config.DisableInternalization)
-    Changed |= runInternalization(Ctx);
+    Changed |= RunSub(passname::Internalize, runInternalization);
 
   if (!Config.DisableDeglobalization) {
-    Changed |= runHeapToStack(Ctx);
+    Changed |= RunSub(passname::HeapToStack, runHeapToStack);
     if (!Config.DisableHeapToShared)
-      Changed |= runHeapToShared(Ctx);
+      Changed |= RunSub(passname::HeapToShared, runHeapToShared);
   }
 
-  Changed |= runSPMDzation(Ctx);
-  Changed |= runCustomStateMachineRewrite(Ctx);
+  Changed |= RunSub(passname::SPMDzation, runSPMDzation);
+  Changed |= RunSub(passname::CustomStateMachine, runCustomStateMachineRewrite);
 
   if (!Config.DisableFolding)
-    Changed |= runFoldRuntimeCalls(Ctx);
+    Changed |= RunSub(passname::FoldRuntimeCalls, runFoldRuntimeCalls);
 
   // Attributes may have become stronger (e.g. after deglobalization the
   // allocation calls are gone); refresh them for downstream passes.
-  inferFunctionAttrs(M);
+  RunAttrs();
   return Changed;
 }

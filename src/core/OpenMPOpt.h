@@ -31,6 +31,10 @@
 namespace ompgpu {
 
 class Module;
+class PassInstrumentation;
+
+/// Stable pipeline name of runOpenMPOpt (pass instrumentation).
+inline constexpr const char OpenMPOptPassName[] = "openmp-opt";
 
 /// Pass configuration (artifact flags, Appendix E).
 struct OpenMPOptConfig {
@@ -65,9 +69,11 @@ struct OpenMPOptStats {
 
 /// Runs the OpenMP optimization pass over \p M. Remarks are appended to
 /// \p Remarks; statistics accumulate into \p Stats. Returns true if the
-/// module changed.
+/// module changed. When \p PI is non-null every sub-pass runs under it,
+/// giving per-sub-pass timing, change detection, and VerifyEach.
 bool runOpenMPOpt(Module &M, const OpenMPOptConfig &Config,
-                  OpenMPOptStats &Stats, RemarkCollector &Remarks);
+                  OpenMPOptStats &Stats, RemarkCollector &Remarks,
+                  PassInstrumentation *PI = nullptr);
 
 } // namespace ompgpu
 

@@ -21,6 +21,19 @@
 
 namespace ompgpu {
 
+class PassInstrumentation;
+
+/// Stable sub-pass names used by the pass instrumentation and timing
+/// reports; one per runOpenMPOpt phase, in pipeline order.
+namespace passname {
+inline constexpr const char Internalize[] = "internalize";
+inline constexpr const char HeapToStack[] = "heap-to-stack";
+inline constexpr const char HeapToShared[] = "heap-to-shared";
+inline constexpr const char SPMDzation[] = "spmdization";
+inline constexpr const char CustomStateMachine[] = "custom-state-machine";
+inline constexpr const char FoldRuntimeCalls[] = "fold-runtime-calls";
+} // namespace passname
+
 /// Shared state threaded through the sub-passes of one runOpenMPOpt call.
 struct OpenMPOptContext {
   Module &M;
@@ -28,10 +41,13 @@ struct OpenMPOptContext {
   OpenMPOptStats &Stats;
   RemarkCollector &Remarks;
   std::unique_ptr<OpenMPModuleInfo> Info;
+  /// Optional instrumentation the sub-passes run under (may be null).
+  PassInstrumentation *PI = nullptr;
 
   OpenMPOptContext(Module &M, const OpenMPOptConfig &Config,
-                   OpenMPOptStats &Stats, RemarkCollector &Remarks)
-      : M(M), Config(Config), Stats(Stats), Remarks(Remarks) {}
+                   OpenMPOptStats &Stats, RemarkCollector &Remarks,
+                   PassInstrumentation *PI = nullptr)
+      : M(M), Config(Config), Stats(Stats), Remarks(Remarks), PI(PI) {}
 
   /// Recomputes the OpenMP module analysis after IR changes.
   void refresh() { Info = std::make_unique<OpenMPModuleInfo>(M); }

@@ -41,6 +41,12 @@ enum class RemarkId : unsigned {
   OMP170 = 170, ///< OpenMP runtime call folded to a constant.
 };
 
+/// Returns the upstream identifier string of \p Id, e.g. "OMP110"
+/// (docs/remarks.md and the compile-report use these).
+inline std::string remarkName(RemarkId Id) {
+  return "OMP" + std::to_string((unsigned)Id);
+}
+
 /// One emitted remark.
 struct Remark {
   RemarkId Id;

@@ -1,0 +1,187 @@
+//===- driver/CompileReport.cpp - JSON compile-report ----------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileReport.h"
+#include "support/Statistic.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+
+static const char *schemeName(CodeGenScheme S) {
+  switch (S) {
+  case CodeGenScheme::Legacy12:
+    return "legacy12";
+  case CodeGenScheme::Simplified13:
+    return "simplified13";
+  }
+  return "unknown";
+}
+
+static const char *flavorName(RuntimeFlavor F) {
+  switch (F) {
+  case RuntimeFlavor::Modern:
+    return "modern";
+  case RuntimeFlavor::Legacy:
+    return "legacy";
+  }
+  return "unknown";
+}
+
+static json::Value pipelineSection(const PipelineOptions &Opts) {
+  json::Value Instr = json::Value::makeObject();
+  Instr.set("time_passes", Opts.Instrument.TimePasses)
+      .set("track_changes", Opts.Instrument.TrackChanges)
+      .set("verify_each", Opts.Instrument.VerifyEach);
+
+  json::Value Cfg = json::Value::makeObject();
+  Cfg.set("disable_internalization", Opts.OptConfig.DisableInternalization)
+      .set("disable_deglobalization", Opts.OptConfig.DisableDeglobalization)
+      .set("disable_heap_to_shared", Opts.OptConfig.DisableHeapToShared)
+      .set("disable_spmdization", Opts.OptConfig.DisableSPMDization)
+      .set("disable_state_machine_rewrite",
+           Opts.OptConfig.DisableStateMachineRewrite)
+      .set("disable_folding", Opts.OptConfig.DisableFolding);
+
+  json::Value P = json::Value::makeObject();
+  P.set("name", Opts.Name)
+      .set("scheme", schemeName(Opts.Scheme))
+      .set("runtime_flavor", flavorName(Opts.Flavor))
+      .set("run_openmp_opt", Opts.RunOpenMPOpt)
+      .set("run_cleanups", Opts.RunCleanups)
+      .set("openmp_opt_config", std::move(Cfg))
+      .set("instrumentation", std::move(Instr));
+  return P;
+}
+
+static json::Value passesSection(const CompileResult &Result) {
+  json::Value Executions = json::Value::makeArray();
+  for (const PassExecution &Rec : Result.Passes) {
+    json::Value E = json::Value::makeObject();
+    E.set("name", Rec.Name)
+        .set("depth", Rec.Depth)
+        .set("invocation", Rec.Invocation)
+        .set("wall_ms", Rec.WallMillis)
+        .set("changed", Rec.changed())
+        .set("reported_change", Rec.ReportedChange)
+        .set("ir_hash_tracked", Rec.HashTracked)
+        .set("verify_failed", Rec.VerifyFailed);
+    Executions.push_back(std::move(E));
+  }
+  json::Value P = json::Value::makeObject();
+  P.set("total_wall_ms", Result.TotalPassMillis)
+      .set("executions", std::move(Executions));
+  return P;
+}
+
+static json::Value openMPOptStatsSection(const OpenMPOptStats &S) {
+  json::Value O = json::Value::makeObject();
+  O.set("internalized_functions", S.InternalizedFunctions)
+      .set("heap_to_stack", S.HeapToStack)
+      .set("heap_to_shared", S.HeapToShared)
+      .set("heap_to_shared_bytes", S.HeapToSharedBytes)
+      .set("spmdzed_kernels", S.SPMDzedKernels)
+      .set("custom_state_machines", S.CustomStateMachines)
+      .set("custom_state_machines_with_fallback",
+           S.CustomStateMachinesWithFallback)
+      .set("guarded_regions", S.GuardedRegions)
+      .set("folded_exec_mode", S.FoldedExecMode)
+      .set("folded_parallel_level", S.FoldedParallelLevel)
+      .set("folded_launch_params", S.FoldedLaunchParams);
+  return O;
+}
+
+static json::Value remarksSection(const RemarkCollector &Remarks) {
+  json::Value A = json::Value::makeArray();
+  for (const Remark &R : Remarks.remarks()) {
+    json::Value E = json::Value::makeObject();
+    E.set("id", (unsigned)R.Id)
+        .set("name", remarkName(R.Id))
+        .set("missed", R.Missed)
+        .set("function", R.FunctionName)
+        .set("message", R.Message);
+    A.push_back(std::move(E));
+  }
+  return A;
+}
+
+static json::Value statisticsSection() {
+  json::Value A = json::Value::makeArray();
+  for (const Statistic *S : StatisticRegistry::get().stats()) {
+    if (S->getValue() == 0)
+      continue;
+    json::Value E = json::Value::makeObject();
+    E.set("debug_type", S->getDebugType())
+        .set("name", S->getName())
+        .set("value", S->getValue())
+        .set("description", S->getDesc());
+    A.push_back(std::move(E));
+  }
+  return A;
+}
+
+static json::Value kernelSection(const KernelStats &S) {
+  json::Value K = json::Value::makeObject();
+  K.set("kernel_name", S.KernelName)
+      .set("sim_ms", S.Milliseconds)
+      .set("regs_per_thread", S.RegsPerThread)
+      .set("static_shared_bytes", S.StaticSharedBytes)
+      .set("dynamic_shared_bytes", S.DynamicSharedBytes)
+      .set("blocks_per_sm", S.BlocksPerSM)
+      .set("concurrent_blocks", S.ConcurrentBlocks)
+      .set("waves", S.Waves)
+      .set("simulated_blocks", S.SimulatedBlocks)
+      .set("out_of_memory", S.OutOfMemory)
+      .set("trap", S.Trap);
+  S.forEachCounter([&K](const char *Name, uint64_t V) { K.set(Name, V); });
+  return K;
+}
+
+json::Value
+ompgpu::buildCompileReport(const PipelineOptions &Opts,
+                           const CompileResult &Result,
+                           const std::vector<KernelStats> &Kernels) {
+  json::Value Verify = json::Value::makeObject();
+  Verify.set("failed", Result.VerifyFailed)
+      .set("error", Result.VerifyError)
+      .set("first_corrupt_pass", Result.FirstCorruptPass);
+
+  json::Value KernelArray = json::Value::makeArray();
+  for (const KernelStats &S : Kernels)
+    KernelArray.push_back(kernelSection(S));
+
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", CompileReportSchemaVersion)
+      .set("generator", "ompgpu")
+      .set("pipeline", pipelineSection(Opts))
+      .set("verify", std::move(Verify))
+      .set("passes", passesSection(Result))
+      .set("openmp_opt_stats", openMPOptStatsSection(Result.Stats))
+      .set("remarks", remarksSection(Result.Remarks))
+      .set("statistics", statisticsSection())
+      .set("kernels", std::move(KernelArray));
+  return Doc;
+}
+
+void ompgpu::writeCompileReport(raw_ostream &OS, const json::Value &Report) {
+  Report.write(OS);
+  OS << '\n';
+  OS.flush();
+}
+
+bool ompgpu::writeCompileReportFile(const std::string &Path,
+                                    const json::Value &Report,
+                                    std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  raw_fd_ostream OS(F, /*ShouldClose=*/true);
+  writeCompileReport(OS, Report);
+  return true;
+}

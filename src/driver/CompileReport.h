@@ -1,0 +1,50 @@
+//===- driver/CompileReport.h - JSON compile-report -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes one device compilation into a schema-versioned JSON
+/// document: pipeline configuration, per-pass timings and change verdicts
+/// (PassInstrumentation), OpenMPOptStats, all remarks with their OMP1xx
+/// identifiers, the non-zero StatisticRegistry counters, and optional
+/// simulated kernel statistics. The schema is documented field-by-field in
+/// docs/compile-report.md; bench/ binaries and CI consume this artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_DRIVER_COMPILEREPORT_H
+#define OMPGPU_DRIVER_COMPILEREPORT_H
+
+#include "driver/Pipeline.h"
+#include "gpusim/KernelStats.h"
+#include "support/JSON.h"
+
+#include <vector>
+
+namespace ompgpu {
+
+/// Version of the compile-report JSON schema. Bump on any
+/// field rename/removal; additions are backwards compatible.
+inline constexpr unsigned CompileReportSchemaVersion = 1;
+
+/// Builds the report document for one compilation. \p Kernels optionally
+/// attaches simulated launches of the compiled module (Fig. 10 data).
+json::Value buildCompileReport(const PipelineOptions &Opts,
+                               const CompileResult &Result,
+                               const std::vector<KernelStats> &Kernels = {});
+
+/// Writes \p Report pretty-printed, with a trailing newline.
+void writeCompileReport(raw_ostream &OS, const json::Value &Report);
+
+/// Writes \p Report to \p Path. Returns false and fills \p Error when the
+/// file cannot be opened.
+bool writeCompileReportFile(const std::string &Path,
+                            const json::Value &Report,
+                            std::string *Error = nullptr);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_DRIVER_COMPILEREPORT_H

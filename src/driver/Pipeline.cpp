@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "ir/AsmWriter.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "rtl/DeviceRTL.h"
@@ -20,30 +21,56 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
                                            const PipelineOptions &Opts) {
   CompileResult Result;
 
-  linkDeviceRTL(M);
+  PassInstrumentation PI(
+      Opts.Instrument, [&M] { return hashModule(M); },
+      [&M](std::string *Error) { return verifyModule(M, Error); });
+
+  PI.runPass(LinkDeviceRTLPassName, [&M] {
+    linkDeviceRTL(M);
+    return true;
+  });
+
+  auto Finish = [&] {
+    Result.Passes = PI.executions();
+    Result.FirstCorruptPass = PI.firstCorruptPass();
+    Result.TotalPassMillis = PI.totalMillis();
+    // VerifyEach failures surface like the final verify: the pipeline
+    // reports the module corrupt and keeps the attributed pass name.
+    if (!Result.VerifyFailed && !PI.firstCorruptPass().empty()) {
+      Result.VerifyFailed = true;
+      Result.VerifyError = PI.verifyError();
+    }
+    return Result;
+  };
 
   if (verifyModule(M, &Result.VerifyError)) {
     Result.VerifyFailed = true;
-    return Result;
+    return Finish();
   }
 
   if (Opts.RunOpenMPOpt)
-    runOpenMPOpt(M, Opts.OptConfig, Result.Stats, Result.Remarks);
+    PI.runPass(OpenMPOptPassName, [&] {
+      return runOpenMPOpt(M, Opts.OptConfig, Result.Stats, Result.Remarks,
+                          &PI);
+    });
 
   if (Opts.RunCleanups) {
-    simplifyModule(M);
+    auto Cleanup = [&](const char *Name, bool (*Pass)(Module &)) {
+      PI.runPass(Name, [&M, Pass] { return Pass(M); });
+    };
+    Cleanup(SimplifyPassName, simplifyModule);
     // The regular inliner flattens parallel regions once the OpenMP pass
     // made the callees visible (direct calls / constant work functions).
-    inlineParallelRegions(M);
-    simplifyModule(M);
-    promoteModuleAllocas(M);
-    forwardStoresToLoads(M);
-    simplifyModule(M);
+    Cleanup(InlineParallelRegionsPassName, inlineParallelRegions);
+    Cleanup(SimplifyPassName, simplifyModule);
+    Cleanup(Mem2RegPassName, promoteModuleAllocas);
+    Cleanup(StoreToLoadForwardingPassName, forwardStoresToLoads);
+    Cleanup(SimplifyPassName, simplifyModule);
   }
 
   if (verifyModule(M, &Result.VerifyError))
     Result.VerifyFailed = true;
-  return Result;
+  return Finish();
 }
 
 PipelineOptions ompgpu::makeLLVM12Pipeline() {

@@ -20,6 +20,7 @@
 #include "core/OpenMPOpt.h"
 #include "frontend/OMPCodeGen.h"
 #include "gpusim/MachineModel.h"
+#include "support/PassInstrumentation.h"
 
 namespace ompgpu {
 
@@ -38,6 +39,9 @@ struct PipelineOptions {
   OpenMPOptConfig OptConfig;
   /// Generic mid-end cleanups (mem2reg, simplification, DCE).
   bool RunCleanups = true;
+  /// Observability: TimePasses / TrackChanges / VerifyEach. All off by
+  /// default; see docs/compile-report.md.
+  PassInstrumentationOptions Instrument;
 };
 
 /// Outputs of optimizeDeviceModule.
@@ -46,6 +50,14 @@ struct CompileResult {
   RemarkCollector Remarks;
   bool VerifyFailed = false;
   std::string VerifyError;
+  /// Per-pass instrumentation records in execution (pre-)order; populated
+  /// when any PipelineOptions::Instrument flag is set.
+  std::vector<PassExecution> Passes;
+  /// Name of the first pass after which VerifyEach found the module
+  /// corrupt ("" when clean or VerifyEach off).
+  std::string FirstCorruptPass;
+  /// Sum of top-level pass wall times (ms).
+  double TotalPassMillis = 0.0;
 };
 
 /// Links the device runtime into \p M and runs the configured pipeline.

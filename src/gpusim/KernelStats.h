@@ -56,6 +56,18 @@ struct KernelStats {
   std::string Trap;
 
   bool ok() const { return Trap.empty(); }
+
+  /// Enumerates the integer diagnostic counters under stable snake_case
+  /// names, so the compile-report serialization and the bench counter
+  /// tables cannot drift from this struct.
+  template <typename Fn> void forEachCounter(Fn &&F) const {
+    F("cycles", Cycles);
+    F("dynamic_instructions", DynamicInstructions);
+    F("barriers", Barriers);
+    F("indirect_calls", IndirectCalls);
+    F("runtime_calls", RuntimeCalls);
+    F("heap_fallback_bytes", HeapFallbackBytes);
+  }
 };
 
 } // namespace ompgpu

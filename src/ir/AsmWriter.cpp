@@ -514,3 +514,26 @@ std::string ompgpu::functionToString(const Function &F) {
   printFunction(F, OS);
   return S;
 }
+
+namespace {
+/// Stream that hashes written bytes instead of storing them, so module
+/// fingerprinting does not materialize the whole printout.
+class hashing_ostream : public raw_ostream {
+  uint64_t Hash = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+
+public:
+  void write(const char *Ptr, size_t Size) override {
+    for (size_t I = 0; I != Size; ++I) {
+      Hash ^= (unsigned char)Ptr[I];
+      Hash *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t hash() const { return Hash; }
+};
+} // namespace
+
+uint64_t ompgpu::hashModule(const Module &M) {
+  hashing_ostream OS;
+  printModule(M, OS);
+  return OS.hash();
+}

@@ -14,6 +14,7 @@
 #ifndef OMPGPU_IR_ASMWRITER_H
 #define OMPGPU_IR_ASMWRITER_H
 
+#include <cstdint>
 #include <string>
 
 namespace ompgpu {
@@ -31,6 +32,11 @@ void printFunction(const Function &F, raw_ostream &OS);
 std::string moduleToString(const Module &M);
 /// Returns the textual form of \p F.
 std::string functionToString(const Function &F);
+
+/// Fingerprints \p M for -print-changed style change detection: a stable
+/// FNV-1a hash of the textual form, so any observable IR difference
+/// (instructions, names, attributes, globals) changes the hash.
+uint64_t hashModule(const Module &M);
 
 } // namespace ompgpu
 

@@ -31,6 +31,9 @@ class Module;
 /// Idempotent: functions that already have bodies are left alone.
 void linkDeviceRTL(Module &M);
 
+/// Stable pipeline name of linkDeviceRTL (pass instrumentation).
+inline constexpr const char LinkDeviceRTLPassName[] = "link-device-rtl";
+
 /// Returns the native runtime binding for simulated launches. \p Flavor
 /// selects the cost profile: Legacy models the LLVM 12 "full" runtime.
 NativeRuntimeBinding makeOpenMPRuntimeBinding(RuntimeFlavor Flavor,

@@ -1,0 +1,41 @@
+//===- support/Hashing.h - Stable byte hashing ------------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a hashing over byte ranges. Used by the pass instrumentation to
+/// fingerprint IR before/after a pass (-print-changed style change
+/// detection): stable across runs, unlike std::hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_HASHING_H
+#define OMPGPU_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace ompgpu {
+
+/// 64-bit FNV-1a over \p Bytes.
+inline uint64_t hashBytes(std::string_view Bytes) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Mixes \p Value into an existing hash \p Seed.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+  return Seed;
+}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_HASHING_H

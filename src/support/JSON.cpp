@@ -1,0 +1,428 @@
+//===- support/JSON.cpp - Minimal JSON value, writer, parser ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+#include "support/raw_ostream.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace ompgpu;
+using namespace ompgpu::json;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+Value &Value::set(std::string Key, Value V) {
+  for (Member &M : Members)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return *this;
+    }
+  Members.emplace_back(std::move(Key), std::move(V));
+  return *this;
+}
+
+const Value *Value::find(std::string_view Key) const {
+  for (const Member &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+const Value &Value::at(std::string_view Key) const {
+  static const Value Null;
+  const Value *V = find(Key);
+  return V ? *V : Null;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void json::writeEscaped(raw_ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\b':
+      OS << "\\b";
+      break;
+    case '\f':
+      OS << "\\f";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if ((unsigned char)C < 0x20)
+        OS << formatBuf("\\u%04x", C);
+      else
+        OS << C;
+    }
+  }
+  OS << '"';
+}
+
+void Value::write(raw_ostream &OS, unsigned IndentLevel) const {
+  switch (K) {
+  case Kind::Null:
+    OS << "null";
+    return;
+  case Kind::Boolean:
+    OS << (Bool ? "true" : "false");
+    return;
+  case Kind::Integer:
+    OS << Int;
+    return;
+  case Kind::Double:
+    if (std::isfinite(Dbl))
+      OS << formatBuf("%.6g", Dbl);
+    else
+      OS << "null"; // JSON has no Inf/NaN
+    return;
+  case Kind::String:
+    writeEscaped(OS, Str);
+    return;
+  case Kind::Array: {
+    if (Elements.empty()) {
+      OS << "[]";
+      return;
+    }
+    OS << "[\n";
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      OS.indent(2 * (IndentLevel + 1));
+      Elements[I].write(OS, IndentLevel + 1);
+      OS << (I + 1 == Elements.size() ? "\n" : ",\n");
+    }
+    OS.indent(2 * IndentLevel);
+    OS << ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      OS << "{}";
+      return;
+    }
+    OS << "{\n";
+    for (size_t I = 0; I != Members.size(); ++I) {
+      OS.indent(2 * (IndentLevel + 1));
+      writeEscaped(OS, Members[I].first);
+      OS << ": ";
+      Members[I].second.write(OS, IndentLevel + 1);
+      OS << (I + 1 == Members.size() ? "\n" : ",\n");
+    }
+    OS.indent(2 * IndentLevel);
+    OS << '}';
+    return;
+  }
+  }
+}
+
+std::string Value::str() const {
+  std::string S;
+  raw_string_ostream OS(S);
+  write(OS);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  const std::string &error() const { return Error; }
+
+  bool parseDocument(Value &Out) {
+    skipWhitespace();
+    if (!parseValue(Out))
+      return false;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeKeyword(std::string_view KW) {
+    if (Text.substr(Pos, KW.size()) == KW) {
+      Pos += KW.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!consumeKeyword("null"))
+        return fail("invalid keyword");
+      Out = Value();
+      return true;
+    case 't':
+      if (!consumeKeyword("true"))
+        return fail("invalid keyword");
+      Out = Value(true);
+      return true;
+    case 'f':
+      if (!consumeKeyword("false"))
+        return fail("invalid keyword");
+      Out = Value(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected '\"'");
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos];
+      if ((unsigned char)C < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos; // backslash
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!parseHex4(Code))
+          return false;
+        // Surrogate pair for characters outside the BMP.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (!consume('\\') || !consume('u'))
+            return fail("unpaired UTF-16 surrogate");
+          unsigned Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid UTF-16 low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        appendUTF8(Out, Code);
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+    if (!consume('"'))
+      return fail("unterminated string");
+    return true;
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= (unsigned)(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= (unsigned)(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= (unsigned)(C - 'A' + 10);
+      else
+        return fail("invalid hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  static void appendUTF8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += (char)Code;
+    } else if (Code < 0x800) {
+      Out += (char)(0xC0 | (Code >> 6));
+      Out += (char)(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += (char)(0xE0 | (Code >> 12));
+      Out += (char)(0x80 | ((Code >> 6) & 0x3F));
+      Out += (char)(0x80 | (Code & 0x3F));
+    } else {
+      Out += (char)(0xF0 | (Code >> 18));
+      Out += (char)(0x80 | ((Code >> 12) & 0x3F));
+      Out += (char)(0x80 | ((Code >> 6) & 0x3F));
+      Out += (char)(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool IsDouble = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C >= '0' && C <= '9') {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' || C == '+' || C == '-') {
+        IsDouble = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos == Start || (Text[Start] == '-' && Pos == Start + 1))
+      return fail("invalid number");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    if (IsDouble) {
+      double D = std::strtod(Num.c_str(), &End);
+      if (End != Num.c_str() + Num.size())
+        return fail("invalid number");
+      Out = Value(D);
+    } else {
+      long long I = std::strtoll(Num.c_str(), &End, 10);
+      if (End != Num.c_str() + Num.size())
+        return fail("invalid number");
+      Out = Value((int64_t)I);
+    }
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    consume('[');
+    Out = Value::makeArray();
+    skipWhitespace();
+    if (consume(']'))
+      return true;
+    while (true) {
+      Value Element;
+      skipWhitespace();
+      if (!parseValue(Element))
+        return false;
+      Out.push_back(std::move(Element));
+      skipWhitespace();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    consume('{');
+    Out = Value::makeObject();
+    skipWhitespace();
+    if (consume('}'))
+      return true;
+    while (true) {
+      skipWhitespace();
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Value Member;
+      skipWhitespace();
+      if (!parseValue(Member))
+        return false;
+      Out.set(std::move(Key), std::move(Member));
+      skipWhitespace();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+};
+
+} // namespace
+
+bool json::parse(std::string_view Text, Value &Out, std::string *Error) {
+  Parser P(Text);
+  if (P.parseDocument(Out))
+    return true;
+  if (Error)
+    *Error = P.error();
+  return false;
+}

@@ -1,0 +1,130 @@
+//===- support/JSON.h - Minimal JSON value, writer, parser ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON facility in the spirit of llvm/Support/JSON.h: a value
+/// model, a deterministic pretty-printing writer, and a strict
+/// recursive-descent parser. Backs the schema-versioned compile-report
+/// (docs/compile-report.md) consumed by the bench tooling and CI.
+/// Object members preserve insertion order so emitted reports are stable
+/// and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_JSON_H
+#define OMPGPU_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ompgpu {
+
+class raw_ostream;
+
+namespace json {
+
+/// One JSON value of any kind. Arrays and objects own their children.
+class Value {
+public:
+  enum class Kind {
+    Null,
+    Boolean,
+    Integer, ///< written without a decimal point
+    Double,
+    String,
+    Array,
+    Object,
+  };
+
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool B) : K(Kind::Boolean), Bool(B) {}
+  Value(int64_t I) : K(Kind::Integer), Int(I) {}
+  Value(uint64_t I) : K(Kind::Integer), Int((int64_t)I) {}
+  Value(int I) : K(Kind::Integer), Int(I) {}
+  Value(unsigned I) : K(Kind::Integer), Int(I) {}
+  Value(double D) : K(Kind::Double), Dbl(D) {}
+  Value(std::string S) : K(Kind::String), Str(std::move(S)) {}
+  Value(const char *S) : K(Kind::String), Str(S) {}
+
+  static Value makeArray() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value makeObject() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Boolean; }
+  bool isNumber() const { return K == Kind::Integer || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Bool; }
+  int64_t asInt() const { return K == Kind::Double ? (int64_t)Dbl : Int; }
+  double asDouble() const { return K == Kind::Integer ? (double)Int : Dbl; }
+  const std::string &asString() const { return Str; }
+
+  /// \name Array accessors (valid only for Kind::Array)
+  /// @{
+  void push_back(Value V) { Elements.push_back(std::move(V)); }
+  size_t size() const {
+    return K == Kind::Array ? Elements.size() : Members.size();
+  }
+  bool empty() const { return size() == 0; }
+  const Value &operator[](size_t I) const { return Elements[I]; }
+  const std::vector<Value> &elements() const { return Elements; }
+  /// @}
+
+  /// \name Object accessors (valid only for Kind::Object)
+  /// @{
+  /// Appends or replaces member \p Key; returns *this for chaining.
+  Value &set(std::string Key, Value V);
+  /// Returns the member named \p Key, or null when absent.
+  const Value *find(std::string_view Key) const;
+  /// Member lookup that returns a shared Null value when absent, so field
+  /// checks can chain without null tests.
+  const Value &at(std::string_view Key) const;
+  const std::vector<Member> &members() const { return Members; }
+  /// @}
+
+  /// Pretty-prints with two-space indentation and ordered members.
+  void write(raw_ostream &OS, unsigned IndentLevel = 0) const;
+  std::string str() const;
+
+private:
+  Kind K = Kind::Null;
+  bool Bool = false;
+  int64_t Int = 0;
+  double Dbl = 0.0;
+  std::string Str;
+  std::vector<Value> Elements;
+  std::vector<Member> Members;
+};
+
+/// Writes \p S with JSON escaping (quotes included).
+void writeEscaped(raw_ostream &OS, std::string_view S);
+
+/// Parses \p Text into \p Out. Returns false and fills \p Error (with a
+/// byte offset) on malformed input; trailing garbage is an error.
+bool parse(std::string_view Text, Value &Out, std::string *Error = nullptr);
+
+} // namespace json
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_JSON_H

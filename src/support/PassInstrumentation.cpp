@@ -1,0 +1,133 @@
+//===- support/PassInstrumentation.cpp - Pass execution hooks --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PassInstrumentation.h"
+#include "support/raw_ostream.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ompgpu;
+
+bool PassInstrumentation::runPass(const std::string &Name,
+                                  const std::function<bool()> &Body) {
+  if (!enabled())
+    return Body();
+
+  // Reserve the record up front so entries stay in pre-order even when the
+  // body runs nested passes.
+  size_t Index = Executions.size();
+  {
+    PassExecution Rec;
+    Rec.Name = Name;
+    Rec.Depth = CurrentDepth;
+    Rec.Invocation = invocationCount(Name);
+    Executions.push_back(std::move(Rec));
+  }
+
+  uint64_t Before = 0;
+  bool Tracked = Opts.TrackChanges && Hash != nullptr;
+  if (Tracked)
+    Before = Hash();
+
+  PassTimer Timer;
+  Timer.start();
+  ++CurrentDepth;
+  bool Reported = Body();
+  --CurrentDepth;
+  Timer.stop();
+
+  PassExecution &Rec = Executions[Index];
+  Rec.WallMillis = Timer.millis();
+  Rec.ReportedChange = Reported;
+  Rec.HashTracked = Tracked;
+  if (Tracked)
+    Rec.IRChanged = Hash() != Before;
+
+  if (Opts.VerifyEach && Verify) {
+    std::string Error;
+    if (Verify(&Error)) {
+      Rec.VerifyFailed = true;
+      // A nested sub-pass is verified before its parent finishes, so the
+      // innermost corrupting pass wins the attribution.
+      if (FirstCorruptPass.empty()) {
+        FirstCorruptPass = Name;
+        VerifyError = Error;
+      }
+    }
+  }
+
+  return Rec.changed();
+}
+
+double PassInstrumentation::totalMillis() const {
+  double Total = 0.0;
+  for (const PassExecution &Rec : Executions)
+    if (Rec.Depth == 0)
+      Total += Rec.WallMillis;
+  return Total;
+}
+
+unsigned PassInstrumentation::invocationCount(const std::string &Name) const {
+  unsigned N = 0;
+  for (const PassExecution &Rec : Executions)
+    if (Rec.Name == Name)
+      ++N;
+  return N;
+}
+
+void PassInstrumentation::printTimingReport(raw_ostream &OS) const {
+  printTimingReport(OS, Executions, FirstCorruptPass, VerifyError);
+}
+
+void PassInstrumentation::printTimingReport(
+    raw_ostream &OS, const std::vector<PassExecution> &Executions,
+    const std::string &FirstCorruptPass, const std::string &VerifyError) {
+  // Aggregate per pass name, reporting inclusive wall time (nested
+  // sub-pass time is also inside the parent) — the table mirrors
+  // -time-passes' wall-time column.
+  struct Row {
+    double Millis = 0.0;
+    unsigned Runs = 0;
+    unsigned Changed = 0;
+  };
+  std::map<std::string, Row> Rows;
+  double Total = 0.0;
+  for (const PassExecution &Rec : Executions) {
+    Row &R = Rows[Rec.Name];
+    R.Millis += Rec.WallMillis;
+    ++R.Runs;
+    if (Rec.changed())
+      ++R.Changed;
+    if (Rec.Depth == 0)
+      Total += Rec.WallMillis;
+  }
+
+  std::vector<std::pair<std::string, Row>> Sorted(Rows.begin(), Rows.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    return A.second.Millis > B.second.Millis;
+  });
+
+  OS << formatBuf("===-- Pass execution timing report --===\n");
+  OS << formatBuf("  Total wall time: %.4f ms (%zu pass executions)\n",
+                  Total, Executions.size());
+  OS << formatBuf("  %10s  %5s  %8s  %s\n", "wall ms", "runs", "changed",
+                  "pass");
+  for (const auto &[Name, R] : Sorted)
+    OS << formatBuf("  %10.4f  %5u  %5u/%-2u  %s\n", R.Millis, R.Runs,
+                    R.Changed, R.Runs, Name.c_str());
+  if (!FirstCorruptPass.empty())
+    OS << "  VERIFY FAILED after pass '" << FirstCorruptPass
+       << "': " << VerifyError << '\n';
+}
+
+void PassInstrumentation::clear() {
+  Executions.clear();
+  FirstCorruptPass.clear();
+  VerifyError.clear();
+  CurrentDepth = 0;
+}

@@ -1,0 +1,140 @@
+//===- support/PassInstrumentation.h - Pass execution hooks -----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass-pipeline instrumentation modeled on LLVM's PassInstrumentation /
+/// -time-passes / -print-changed: every pass execution is wall-clock
+/// timed, change-detected via a cheap IR fingerprint, and optionally
+/// verified (VerifyEach), attributing the first corrupt pass by name.
+/// The layer is IR-agnostic — the driver supplies hash and verify
+/// callbacks — so support/ stays at the bottom of the dependency stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_PASSINSTRUMENTATION_H
+#define OMPGPU_SUPPORT_PASSINSTRUMENTATION_H
+
+#include "support/PassTimer.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class raw_ostream;
+
+/// What the instrumentation collects. All flags default to off: an
+/// un-instrumented pipeline pays a single branch per pass.
+struct PassInstrumentationOptions {
+  /// Record per-pass wall-clock time and invocation counts.
+  bool TimePasses = false;
+  /// Fingerprint the IR before/after each pass so "ran but changed
+  /// nothing" is visible even when the pass misreports its return value.
+  bool TrackChanges = false;
+  /// Run the verifier after every pass; the first failure names the
+  /// offending pass.
+  bool VerifyEach = false;
+
+  bool any() const { return TimePasses || TrackChanges || VerifyEach; }
+};
+
+/// One recorded pass execution, in pre-order (a nested sub-pass appears
+/// after its parent's entry, with Depth = parent + 1).
+struct PassExecution {
+  /// Stable pass name (the *PassName constants next to each pass).
+  std::string Name;
+  /// Nesting depth: 0 for pipeline-level passes, 1 for sub-passes run
+  /// inside another pass (e.g. openmp-opt's internalize).
+  unsigned Depth = 0;
+  /// 0-based invocation index of this Name (simplify runs three times).
+  unsigned Invocation = 0;
+  /// Wall-clock time including nested sub-passes.
+  double WallMillis = 0.0;
+  /// What the pass itself returned.
+  bool ReportedChange = false;
+  /// Whether IR fingerprints were taken for this execution.
+  bool HashTracked = false;
+  /// Fingerprint mismatch before/after (meaningful when HashTracked).
+  bool IRChanged = false;
+  /// VerifyEach found the module corrupt after this pass.
+  bool VerifyFailed = false;
+
+  /// Best available change verdict: the fingerprint when tracked, the
+  /// pass's own report otherwise.
+  bool changed() const { return HashTracked ? IRChanged : ReportedChange; }
+};
+
+/// Wraps pass executions, recording PassExecution entries according to the
+/// configured options. Nesting is tracked automatically: a runPass call
+/// made from within another runPass body records Depth + 1.
+class PassInstrumentation {
+public:
+  /// Fingerprints the current IR state (driver-supplied).
+  using HashFn = std::function<uint64_t()>;
+  /// Verifies the current IR state; returns true and fills the string on
+  /// corruption, mirroring ompgpu::verifyModule.
+  using VerifyFn = std::function<bool(std::string *)>;
+
+  PassInstrumentation() = default;
+  PassInstrumentation(PassInstrumentationOptions Opts, HashFn Hash = nullptr,
+                      VerifyFn Verify = nullptr)
+      : Opts(Opts), Hash(std::move(Hash)), Verify(std::move(Verify)) {}
+
+  /// True when any collection is configured; runPass short-circuits to a
+  /// plain call otherwise.
+  bool enabled() const { return Opts.any(); }
+
+  const PassInstrumentationOptions &options() const { return Opts; }
+
+  /// Runs \p Body under the configured instrumentation and returns its
+  /// changed-verdict (fingerprint-corrected when tracking is on).
+  bool runPass(const std::string &Name, const std::function<bool()> &Body);
+
+  /// All recorded executions, pre-order.
+  const std::vector<PassExecution> &executions() const { return Executions; }
+
+  /// Name of the first pass after which verification failed ("" if none).
+  const std::string &firstCorruptPass() const { return FirstCorruptPass; }
+  /// Verifier message of that first failure.
+  const std::string &verifyError() const { return VerifyError; }
+
+  /// Sum of top-level (Depth == 0) pass times; nested time is already
+  /// included in the parents.
+  double totalMillis() const;
+
+  /// How many times a pass of \p Name ran.
+  unsigned invocationCount(const std::string &Name) const;
+
+  /// Prints a -time-passes style table: total, per-pass time sorted
+  /// descending, invocation counts, and change verdicts.
+  void printTimingReport(raw_ostream &OS) const;
+
+  /// Same table over an externally stored record list (e.g. the pass
+  /// records a CompileResult carries after the pipeline returned).
+  static void printTimingReport(raw_ostream &OS,
+                                const std::vector<PassExecution> &Executions,
+                                const std::string &FirstCorruptPass = "",
+                                const std::string &VerifyError = "");
+
+  void clear();
+
+private:
+  PassInstrumentationOptions Opts;
+  HashFn Hash;
+  VerifyFn Verify;
+
+  std::vector<PassExecution> Executions;
+  std::string FirstCorruptPass;
+  std::string VerifyError;
+  unsigned CurrentDepth = 0;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_PASSINSTRUMENTATION_H

@@ -1,0 +1,67 @@
+//===- support/PassTimer.h - Wall-clock pass timing -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small wall-clock timer in the spirit of llvm/Support/Timer.h, used by
+/// the pass instrumentation to attribute compile time to individual passes
+/// (the -time-passes facility the paper's artifact relies on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_PASSTIMER_H
+#define OMPGPU_SUPPORT_PASSTIMER_H
+
+#include <chrono>
+
+namespace ompgpu {
+
+/// Accumulating wall-clock timer. start()/stop() may be called repeatedly;
+/// millis() reports the total across all completed segments plus the
+/// currently running one.
+class PassTimer {
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point Begin;
+  double AccumulatedMillis = 0.0;
+  bool Running = false;
+
+  static double elapsedMillis(Clock::time_point From) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - From)
+        .count();
+  }
+
+public:
+  void start() {
+    if (Running)
+      return;
+    Begin = Clock::now();
+    Running = true;
+  }
+
+  void stop() {
+    if (!Running)
+      return;
+    AccumulatedMillis += elapsedMillis(Begin);
+    Running = false;
+  }
+
+  bool isRunning() const { return Running; }
+
+  /// Total accumulated wall time in milliseconds.
+  double millis() const {
+    return AccumulatedMillis + (Running ? elapsedMillis(Begin) : 0.0);
+  }
+
+  void reset() {
+    AccumulatedMillis = 0.0;
+    Running = false;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_PASSTIMER_H

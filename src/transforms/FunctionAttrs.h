@@ -25,6 +25,9 @@ class Module;
 /// attribute was added.
 bool inferFunctionAttrs(Module &M);
 
+/// Stable pipeline name of inferFunctionAttrs (pass instrumentation).
+inline constexpr const char FunctionAttrsPassName[] = "function-attrs";
+
 } // namespace ompgpu
 
 #endif // OMPGPU_TRANSFORMS_FUNCTIONATTRS_H

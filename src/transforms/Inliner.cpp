@@ -9,10 +9,14 @@
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "support/STLExtras.h"
+#include "support/Statistic.h"
 
 #include <map>
 
 using namespace ompgpu;
+
+#define DEBUG_TYPE "inline"
+OMPGPU_STATISTIC(NumCallSitesInlined, "Parallel-region call sites inlined");
 
 bool ompgpu::inlineCallSite(CallInst *CI) {
   Function *Callee = CI->getCalledFunction();
@@ -143,6 +147,7 @@ bool ompgpu::inlineParallelRegions(Module &M) {
           if (!CI || !shouldInline(CI->getCalledFunction()))
             continue;
           if (inlineCallSite(CI)) {
+            ++NumCallSitesInlined;
             Changed = LocalChanged = true;
             --Budget;
             break; // block structure changed; rescan the function

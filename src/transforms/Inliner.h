@@ -36,6 +36,10 @@ bool inlineCallSite(CallInst *CI);
 /// a fixed point. Returns true if anything was inlined.
 bool inlineParallelRegions(Module &M);
 
+/// Stable pipeline name of inlineParallelRegions (pass instrumentation).
+inline constexpr const char InlineParallelRegionsPassName[] =
+    "inline-parallel-regions";
+
 } // namespace ompgpu
 
 #endif // OMPGPU_TRANSFORMS_INLINER_H

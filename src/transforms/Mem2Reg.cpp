@@ -12,11 +12,15 @@
 #include "ir/IRContext.h"
 #include "ir/Module.h"
 #include "support/STLExtras.h"
+#include "support/Statistic.h"
 
 #include <map>
 #include <set>
 
 using namespace ompgpu;
+
+#define DEBUG_TYPE "mem2reg"
+OMPGPU_STATISTIC(NumAllocasPromoted, "Allocas promoted to SSA registers");
 
 bool ompgpu::isAllocaPromotable(const AllocaInst *AI) {
   Type *Ty = AI->getAllocatedType();
@@ -80,8 +84,10 @@ public:
         if (auto *AI = dyn_cast<AllocaInst>(I))
           if (isAllocaPromotable(AI) && AllUsesReachable(AI))
             Promotable.push_back(AI);
-    for (AllocaInst *AI : Promotable)
+    for (AllocaInst *AI : Promotable) {
       promote(AI);
+      ++NumAllocasPromoted;
+    }
     return !Promotable.empty();
   }
 

@@ -32,6 +32,9 @@ bool promoteAllocasToRegisters(Function &F);
 /// Runs promotion over every definition in \p M.
 bool promoteModuleAllocas(Module &M);
 
+/// Stable pipeline name of promoteModuleAllocas (pass instrumentation).
+inline constexpr const char Mem2RegPassName[] = "mem2reg";
+
 } // namespace ompgpu
 
 #endif // OMPGPU_TRANSFORMS_MEM2REG_H

@@ -10,11 +10,16 @@
 #include "ir/IRBuilder.h"
 #include "ir/Module.h"
 #include "support/STLExtras.h"
+#include "support/Statistic.h"
 #include "transforms/ConstantFold.h"
 
 #include <set>
 
 using namespace ompgpu;
+
+#define DEBUG_TYPE "simplify"
+OMPGPU_STATISTIC(NumConstantsFolded, "Instructions folded to constants");
+OMPGPU_STATISTIC(NumDeadInstsRemoved, "Dead instructions removed");
 
 bool ompgpu::foldConstants(Function &F) {
   if (F.isDeclaration())
@@ -33,6 +38,7 @@ bool ompgpu::foldConstants(Function &F) {
           continue;
         I->replaceAllUsesWith(C);
         I->eraseFromParent();
+        ++NumConstantsFolded;
         Changed = LocalChanged = true;
       }
     }
@@ -56,6 +62,7 @@ bool ompgpu::removeDeadInstructions(Function &F) {
         if (I->mayHaveSideEffects())
           continue;
         I->eraseFromParent();
+        ++NumDeadInstsRemoved;
         Changed = LocalChanged = true;
       }
     }

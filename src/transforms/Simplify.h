@@ -39,6 +39,9 @@ bool simplifyFunction(Function &F);
 /// Runs simplifyFunction over every definition in \p M.
 bool simplifyModule(Module &M);
 
+/// Stable pipeline name of simplifyModule (pass instrumentation).
+inline constexpr const char SimplifyPassName[] = "simplify";
+
 } // namespace ompgpu
 
 #endif // OMPGPU_TRANSFORMS_SIMPLIFY_H

@@ -30,6 +30,10 @@ bool forwardStoresToLoads(Function &F);
 /// Runs forwarding over every definition in \p M.
 bool forwardStoresToLoads(Module &M);
 
+/// Stable pipeline name of forwardStoresToLoads (pass instrumentation).
+inline constexpr const char StoreToLoadForwardingPassName[] =
+    "store-to-load-forwarding";
+
 } // namespace ompgpu
 
 #endif // OMPGPU_TRANSFORMS_STORETOLOADFORWARDING_H
