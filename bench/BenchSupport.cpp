@@ -38,6 +38,15 @@ static cl::opt<std::string> CompileReportPath(
     "compile-report",
     "Write a JSON array with one compile-report per measured "
     "configuration to the given path", std::string());
+static cl::opt<bool> RecoverPasses(
+    "recover-passes",
+    "Roll back and quarantine passes that corrupt the module instead of "
+    "failing the compile (docs/compile-report.md, recovery section)",
+    false);
+static cl::opt<int64_t> OptBisectLimit(
+    "opt-bisect-limit",
+    "Run only the first N skippable pass executions (-1: no limit); "
+    "use to localize a miscompiling pass execution", -1);
 
 /// Compile-reports of every measured configuration, in measurement order.
 static json::Value &collectedReports() {
@@ -117,6 +126,10 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
     P.Instrument.TimePasses = true;
     P.Instrument.TrackChanges = true;
   }
+  if (RecoverPasses)
+    P.Instrument.Recover = true;
+  if (OptBisectLimit.getValue() >= 0)
+    P.Instrument.OptBisectLimit = OptBisectLimit.getValue();
 
   WorkloadRunResult R = runWorkload(*W, P, HO);
 
@@ -134,17 +147,17 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
   return R;
 }
 
-void writeCollectedCompileReports() {
+bool writeCollectedCompileReports() {
   if (CompileReportPath.getValue().empty() || collectedReports().empty())
-    return;
-  std::string Error;
-  if (!writeCompileReportFile(CompileReportPath.getValue(),
-                              collectedReports(), &Error)) {
-    errs() << "compile-report: " << Error << '\n';
-    return;
+    return true;
+  if (Error E = writeCompileReportFile(CompileReportPath.getValue(),
+                                       collectedReports())) {
+    errs() << "compile-report: " << E.message() << '\n';
+    return false;
   }
   outs() << "wrote " << collectedReports().size()
          << " compile-report(s) to " << CompileReportPath.getValue() << '\n';
+  return true;
 }
 
 void printRelativeSeries(const std::string &Title,
@@ -202,7 +215,16 @@ void registerConfigBenchmarks(
 
 int runBenchmarkMain(int Argc, char **Argv,
                      const std::function<void()> &PrintPaperTable) {
-  std::vector<std::string> Rest = cl::parseCommandLine(Argc, Argv);
+  // Malformed flag values are user input, not program bugs: report them
+  // and exit non-zero instead of aborting.
+  Expected<std::vector<std::string>> Parsed =
+      cl::parseCommandLineArgs(Argc, Argv);
+  if (!Parsed) {
+    errs() << "error: " << Parsed.message() << '\n'
+           << "run with -help-ompgpu for the list of options\n";
+    return 1;
+  }
+  std::vector<std::string> Rest = std::move(*Parsed);
   std::vector<char *> RestArgv;
   for (std::string &S : Rest)
     RestArgv.push_back(S.data());
@@ -214,8 +236,7 @@ int runBenchmarkMain(int Argc, char **Argv,
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  writeCollectedCompileReports();
-  return 0;
+  return writeCollectedCompileReports() ? 0 : 1;
 }
 
 } // namespace bench

@@ -53,9 +53,10 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
         const ConfigSpec &Spec, unsigned SampleBlocks = 4);
 
 /// Writes the JSON array of compile-reports collected by measure() to the
-/// -compile-report=<path> destination. No-op when the flag is unset or
-/// nothing was measured; runBenchmarkMain calls this on exit.
-void writeCollectedCompileReports();
+/// -compile-report=<path> destination. No-op (returning true) when the
+/// flag is unset or nothing was measured; runBenchmarkMain calls this on
+/// exit and turns a false return into a non-zero exit code.
+bool writeCollectedCompileReports();
 
 /// Prints a Fig. 11-style relative-performance series: one row per
 /// configuration with kernel ms and speedup over the first (baseline) row.

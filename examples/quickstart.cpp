@@ -104,10 +104,9 @@ int main(int argc, char **argv) {
 
   // 6. Archive everything as the machine-readable compile-report.
   if (argc > 1) {
-    std::string Error;
     json::Value Report = buildCompileReport(P, CR, {S});
-    if (!writeCompileReportFile(argv[1], Report, &Error)) {
-      errs() << "compile-report: " << Error << '\n';
+    if (Error E = writeCompileReportFile(argv[1], Report)) {
+      errs() << "compile-report: " << E.message() << '\n';
       return 1;
     }
     outs() << "wrote compile-report to " << argv[1] << '\n';

@@ -13,6 +13,22 @@ using namespace ompgpu;
 
 namespace {
 
+/// Stride arithmetic follows the IR's two's-complement wrapping; compute
+/// in unsigned so overflow (huge constants scaling a stride) is
+/// well-defined instead of UB.
+int64_t addWrap(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A + (uint64_t)B);
+}
+int64_t subWrap(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A - (uint64_t)B);
+}
+int64_t mulWrap(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A * (uint64_t)B);
+}
+int64_t shlWrap(int64_t A, uint64_t B) {
+  return B >= 64 ? 0 : (int64_t)((uint64_t)A << B);
+}
+
 /// Join in the Unknown > Linear > Divergent lattice.
 ThreadShape join(ThreadShape A, ThreadShape B) {
   if (A.K == ThreadShape::Unknown)
@@ -56,20 +72,20 @@ ThreadValueAnalysis::ThreadValueAnalysis(const Function &F,
         return ThreadShape::divergent();
       switch (BO->getBinaryOp()) {
       case BinaryOp::Add:
-        return ThreadShape::linear(L.Stride + R.Stride);
+        return ThreadShape::linear(addWrap(L.Stride, R.Stride));
       case BinaryOp::Sub:
-        return ThreadShape::linear(L.Stride - R.Stride);
+        return ThreadShape::linear(subWrap(L.Stride, R.Stride));
       case BinaryOp::Mul: {
         // Linear only when one side is uniform and constant-scaled.
         if (L.Stride == 0) {
           if (const auto *CI = dyn_cast<ConstantInt>(BO->getLHS()))
-            return ThreadShape::linear(CI->getValue() * R.Stride);
+            return ThreadShape::linear(mulWrap(CI->getValue(), R.Stride));
           return R.Stride == 0 ? ThreadShape::uniform()
                                : ThreadShape::divergent();
         }
         if (R.Stride == 0) {
           if (const auto *CI = dyn_cast<ConstantInt>(BO->getRHS()))
-            return ThreadShape::linear(CI->getValue() * L.Stride);
+            return ThreadShape::linear(mulWrap(CI->getValue(), L.Stride));
           return ThreadShape::divergent();
         }
         return ThreadShape::divergent();
@@ -77,8 +93,8 @@ ThreadValueAnalysis::ThreadValueAnalysis(const Function &F,
       case BinaryOp::Shl: {
         if (R.Stride == 0)
           if (const auto *CI = dyn_cast<ConstantInt>(BO->getRHS()))
-            return ThreadShape::linear(L.Stride
-                                       << (uint64_t)CI->getValue());
+            return ThreadShape::linear(shlWrap(L.Stride,
+                                               (uint64_t)CI->getValue()));
         return L.Stride == 0 && R.Stride == 0 ? ThreadShape::uniform()
                                               : ThreadShape::divergent();
       }

@@ -21,17 +21,27 @@ bool ompgpu::runOpenMPOpt(Module &M, const OpenMPOptConfig &Config,
   // Runs one sub-pass, nested under the instrumentation when present so
   // each phase gets its own timing/change/verify record.
   auto RunSub = [&](const char *Name, bool (*SubPass)(OpenMPOptContext &)) {
-    if (PI && PI->enabled())
-      return PI->runPass(Name, [&] { return SubPass(Ctx); });
+    if (PI && PI->enabled()) {
+      bool Changed = PI->runPass(Name, [&] { return SubPass(Ctx); });
+      // A rolled-back sub-pass replaced the module contents wholesale;
+      // the analysis results in Ctx point into freed IR until recomputed.
+      if (PI->lastPassRolledBack())
+        Ctx.refresh();
+      return Changed;
+    }
     return SubPass(Ctx);
   };
 
   // Attribute inference feeds the side-effect reasoning of SPMDzation and
   // the dead-code queries of the cleanup pipeline.
   auto RunAttrs = [&] {
-    if (PI && PI->enabled())
-      return PI->runPass(FunctionAttrsPassName,
-                         [&] { return inferFunctionAttrs(M); });
+    if (PI && PI->enabled()) {
+      bool Changed = PI->runPass(FunctionAttrsPassName,
+                                 [&] { return inferFunctionAttrs(M); });
+      if (PI->lastPassRolledBack())
+        Ctx.refresh();
+      return Changed;
+    }
     return inferFunctionAttrs(M);
   };
 

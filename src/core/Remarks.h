@@ -39,6 +39,8 @@ enum class RemarkId : unsigned {
   OMP150 = 150, ///< Parallel region used in unexpected ways.
   OMP160 = 160, ///< Removed parallel region that is never executed.
   OMP170 = 170, ///< OpenMP runtime call folded to a constant.
+  OMP180 = 180, ///< Pass rolled back and quarantined (recovery mode).
+  OMP181 = 181, ///< Opt-bisect localized the first bad pass execution.
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

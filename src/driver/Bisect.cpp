@@ -1,0 +1,90 @@
+//===- driver/Bisect.cpp - Automatic opt-bisect driver ---------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Bisect.h"
+#include "ir/IRContext.h"
+#include "ir/Module.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace ompgpu;
+
+BisectResult ompgpu::runOptBisect(const BisectModuleFactory &Factory,
+                                  PipelineOptions Opts,
+                                  const BisectOracle &Oracle) {
+  BisectResult R;
+
+  // Probes run fully verified and un-recovered: bisection wants the
+  // failure to surface in the probe verdict, not be rolled back.
+  Opts.Instrument.Recover = false;
+  Opts.Instrument.VerifyEach = true;
+
+  auto Probe = [&](int64_t Limit, CompileResult &Out) {
+    ++R.Probes;
+    IRContext Ctx;
+    std::unique_ptr<Module> M = Factory(Ctx);
+    Opts.Instrument.OptBisectLimit = Limit;
+    Out = optimizeDeviceModule(*M, Opts);
+    if (Out.VerifyFailed)
+      return false;
+    return !Oracle || Oracle(*M, Out);
+  };
+
+  CompileResult Full;
+  bool FullGood = Probe(-1, Full);
+  for (const PassExecution &E : Full.Passes)
+    R.TotalExecutions =
+        std::max(R.TotalExecutions, static_cast<unsigned>(E.BisectIndex));
+  if (FullGood) {
+    R.LastGood = std::move(Full);
+    return R;
+  }
+  R.FoundFailure = true;
+
+  // Establish the baseline: with every skippable execution disabled the
+  // pipeline is just the required lowering steps. If that is already bad,
+  // no optimization pass is to blame.
+  CompileResult Baseline;
+  if (!Probe(0, Baseline)) {
+    R.FirstBadExecution = 0;
+    return R;
+  }
+
+  // Invariant: limit Lo is good, limit Hi is bad (limit TotalExecutions
+  // is equivalent to no limit). Classic binary search on the boundary.
+  int64_t Lo = 0, Hi = R.TotalExecutions;
+  CompileResult LastGood = std::move(Baseline);
+  while (Hi - Lo > 1) {
+    int64_t Mid = Lo + (Hi - Lo) / 2;
+    CompileResult MidRes;
+    if (Probe(Mid, MidRes)) {
+      Lo = Mid;
+      LastGood = std::move(MidRes);
+    } else {
+      Hi = Mid;
+    }
+  }
+
+  R.FirstBadExecution = Hi;
+  for (const PassExecution &E : Full.Passes)
+    if (static_cast<int64_t>(E.BisectIndex) == Hi) {
+      R.PassName = E.Name;
+      R.Invocation = E.Invocation;
+      break;
+    }
+  R.LastGood = std::move(LastGood);
+  R.LastGood.Remarks.emit(
+      RemarkId::OMP181, /*Missed=*/true, "",
+      "opt-bisect: first bad pass execution is #" + std::to_string(Hi) +
+          " ('" + R.PassName + "', invocation " +
+          std::to_string(R.Invocation) + " of " +
+          std::to_string(R.TotalExecutions) +
+          " executions); last good -opt-bisect-limit=" +
+          std::to_string(Hi - 1));
+  return R;
+}

@@ -1,0 +1,78 @@
+//===- driver/Bisect.h - Automatic opt-bisect driver ------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic bisection over the pass pipeline, modeled on LLVM's
+/// -opt-bisect-limit workflow: recompile the same input under decreasing
+/// limits and binary-search to the first pass execution whose output fails
+/// verification — or, with an oracle, diverges behaviorally (e.g. a gpusim
+/// differential smoke run). Where recovery mode (PassInstrumentationOptions
+/// ::Recover) keeps a production compile alive, this driver is the offline
+/// tool that localizes which pass execution to blame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_DRIVER_BISECT_H
+#define OMPGPU_DRIVER_BISECT_H
+
+#include "driver/Pipeline.h"
+
+#include <functional>
+#include <memory>
+
+namespace ompgpu {
+
+class IRContext;
+class Module;
+
+/// Builds a fresh, identical input module for one probe compile. Called
+/// once per probe; the module must be deterministic across calls or the
+/// bisection is meaningless.
+using BisectModuleFactory =
+    std::function<std::unique_ptr<Module>(IRContext &)>;
+
+/// Judges one probe after compilation; returns true when the compiled
+/// module is good. Verification failures are already treated as bad before
+/// the oracle runs, so an oracle only needs to model behavioral checks
+/// (run the kernel, compare outputs).
+using BisectOracle = std::function<bool(Module &, const CompileResult &)>;
+
+/// Outcome of runOptBisect.
+struct BisectResult {
+  /// Whether any probe failed at all (the full compile is bad).
+  bool FoundFailure = false;
+  /// 1-based bisect index of the first bad pass execution; 0 when the
+  /// pipeline is bad even with every skippable execution disabled (the
+  /// failure is in the input or a required lowering step, not an
+  /// optimization); -1 when no failure was found.
+  int64_t FirstBadExecution = -1;
+  /// Pass name and invocation of that execution ("" when not attributable
+  /// to a skippable pass).
+  std::string PassName;
+  unsigned Invocation = 0;
+  /// Skippable executions the full pipeline runs (the search space).
+  unsigned TotalExecutions = 0;
+  /// Probe compiles performed.
+  unsigned Probes = 0;
+  /// Compile result of the last good probe (-opt-bisect-limit =
+  /// FirstBadExecution - 1), with an OMP181 remark appended naming the
+  /// boundary. When no failure was found this is the full compile.
+  CompileResult LastGood;
+};
+
+/// Binary-searches for the first bad pass execution. Probes always run
+/// with VerifyEach on and recovery off — bisection wants failures to
+/// surface, not be rolled back — and \p Opts' own OptBisectLimit is
+/// overridden per probe. Worst case this performs
+/// 2 + ceil(log2(TotalExecutions)) probe compiles.
+BisectResult runOptBisect(const BisectModuleFactory &Factory,
+                          PipelineOptions Opts,
+                          const BisectOracle &Oracle = nullptr);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_DRIVER_BISECT_H

@@ -35,7 +35,9 @@ static json::Value pipelineSection(const PipelineOptions &Opts) {
   json::Value Instr = json::Value::makeObject();
   Instr.set("time_passes", Opts.Instrument.TimePasses)
       .set("track_changes", Opts.Instrument.TrackChanges)
-      .set("verify_each", Opts.Instrument.VerifyEach);
+      .set("verify_each", Opts.Instrument.VerifyEach)
+      .set("recover", Opts.Instrument.Recover)
+      .set("opt_bisect_limit", Opts.Instrument.OptBisectLimit);
 
   json::Value Cfg = json::Value::makeObject();
   Cfg.set("disable_internalization", Opts.OptConfig.DisableInternalization)
@@ -64,17 +66,50 @@ static json::Value passesSection(const CompileResult &Result) {
     E.set("name", Rec.Name)
         .set("depth", Rec.Depth)
         .set("invocation", Rec.Invocation)
+        .set("bisect_index", Rec.BisectIndex)
         .set("wall_ms", Rec.WallMillis)
         .set("changed", Rec.changed())
         .set("reported_change", Rec.ReportedChange)
         .set("ir_hash_tracked", Rec.HashTracked)
-        .set("verify_failed", Rec.VerifyFailed);
+        .set("verify_failed", Rec.VerifyFailed)
+        .set("skipped", Rec.Skipped)
+        .set("skip_reason", Rec.SkipReason)
+        .set("rolled_back", Rec.RolledBack);
     Executions.push_back(std::move(E));
   }
   json::Value P = json::Value::makeObject();
   P.set("total_wall_ms", Result.TotalPassMillis)
       .set("executions", std::move(Executions));
   return P;
+}
+
+static json::Value recoverySection(const CompileResult &Result) {
+  json::Value Events = json::Value::makeArray();
+  for (const PassRecoveryEvent &Ev : Result.Recoveries) {
+    json::Value E = json::Value::makeObject();
+    E.set("pass", Ev.PassName)
+        .set("invocation", Ev.Invocation)
+        .set("kind", Ev.Kind)
+        .set("message", Ev.Message);
+    Events.push_back(std::move(E));
+  }
+
+  json::Value Quarantined = json::Value::makeArray();
+  for (const std::string &Name : Result.QuarantinedPasses)
+    Quarantined.push_back(json::Value(Name));
+
+  unsigned SkippedExecutions = 0;
+  for (const PassExecution &Rec : Result.Passes)
+    if (Rec.Skipped)
+      ++SkippedExecutions;
+
+  json::Value R = json::Value::makeObject();
+  R.set("enabled", Result.RecoveryEnabled)
+      .set("opt_bisect_limit", Result.OptBisectLimit)
+      .set("events", std::move(Events))
+      .set("quarantined_passes", std::move(Quarantined))
+      .set("skipped_executions", SkippedExecutions);
+  return R;
 }
 
 static json::Value openMPOptStatsSection(const OpenMPOptStats &S) {
@@ -159,6 +194,7 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("pipeline", pipelineSection(Opts))
       .set("verify", std::move(Verify))
       .set("passes", passesSection(Result))
+      .set("recovery", recoverySection(Result))
       .set("openmp_opt_stats", openMPOptStatsSection(Result.Stats))
       .set("remarks", remarksSection(Result.Remarks))
       .set("statistics", statisticsSection())
@@ -172,16 +208,21 @@ void ompgpu::writeCompileReport(raw_ostream &OS, const json::Value &Report) {
   OS.flush();
 }
 
-bool ompgpu::writeCompileReportFile(const std::string &Path,
-                                    const json::Value &Report,
-                                    std::string *Error) {
+Error ompgpu::writeCompileReportFile(const std::string &Path,
+                                     const json::Value &Report) {
   std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    if (Error)
-      *Error = "cannot open '" + Path + "' for writing";
-    return false;
+  if (!F)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  {
+    raw_fd_ostream OS(F, /*ShouldClose=*/false);
+    writeCompileReport(OS, Report);
   }
-  raw_fd_ostream OS(F, /*ShouldClose=*/true);
-  writeCompileReport(OS, Report);
-  return true;
+  // Flush happened in writeCompileReport; surface short writes (full disk,
+  // closed pipe) as an error instead of a silently truncated report.
+  bool WriteFailed = std::ferror(F) != 0;
+  if (std::fclose(F) != 0)
+    WriteFailed = true;
+  if (WriteFailed)
+    return Error::failure("error writing compile report to '" + Path + "'");
+  return Error::success();
 }

@@ -20,6 +20,7 @@
 
 #include "driver/Pipeline.h"
 #include "gpusim/KernelStats.h"
+#include "support/Error.h"
 #include "support/JSON.h"
 
 #include <vector>
@@ -28,7 +29,9 @@ namespace ompgpu {
 
 /// Version of the compile-report JSON schema. Bump on any
 /// field rename/removal; additions are backwards compatible.
-inline constexpr unsigned CompileReportSchemaVersion = 1;
+/// v2 added the `recovery` section and the per-execution
+/// bisect/skip/rollback fields (docs/compile-report.md).
+inline constexpr unsigned CompileReportSchemaVersion = 2;
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).
@@ -39,11 +42,10 @@ json::Value buildCompileReport(const PipelineOptions &Opts,
 /// Writes \p Report pretty-printed, with a trailing newline.
 void writeCompileReport(raw_ostream &OS, const json::Value &Report);
 
-/// Writes \p Report to \p Path. Returns false and fills \p Error when the
-/// file cannot be opened.
-bool writeCompileReportFile(const std::string &Path,
-                            const json::Value &Report,
-                            std::string *Error = nullptr);
+/// Writes \p Report to \p Path. Returns a failure Error (never aborts)
+/// when the file cannot be opened or a write fails.
+Error writeCompileReportFile(const std::string &Path,
+                             const json::Value &Report);
 
 } // namespace ompgpu
 

@@ -10,10 +10,13 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "rtl/DeviceRTL.h"
+#include "transforms/Cloning.h"
 #include "transforms/Inliner.h"
 #include "transforms/Mem2Reg.h"
 #include "transforms/Simplify.h"
 #include "transforms/StoreToLoadForwarding.h"
+
+#include <memory>
 
 using namespace ompgpu;
 
@@ -25,17 +28,56 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
       Opts.Instrument, [&M] { return hashModule(M); },
       [&M](std::string *Error) { return verifyModule(M, Error); });
 
-  PI.runPass(LinkDeviceRTLPassName, [&M] {
-    linkDeviceRTL(M);
-    return true;
-  });
+  // Recovery mode: the instrumentation snapshots the module before each
+  // pass (a stack, since sub-passes nest) and restores it when the pass
+  // fails, so the pipeline always terminates with the IR the last healthy
+  // pass produced.
+  std::vector<std::unique_ptr<Module>> Snapshots;
+  if (Opts.Instrument.Recover)
+    PI.setRecoveryCallbacks(
+        [&] { Snapshots.push_back(cloneModule(M)); },
+        [&](bool Restore) {
+          std::unique_ptr<Module> Snap = std::move(Snapshots.back());
+          Snapshots.pop_back();
+          if (Restore) {
+            M.clear();
+            M.takeContentsFrom(*Snap);
+          }
+        });
+
+  // Linking the device runtime is a lowering step, not an optimization:
+  // it is required, so neither quarantine nor -opt-bisect-limit skips it.
+  PI.runPass(
+      LinkDeviceRTLPassName,
+      [&M] {
+        linkDeviceRTL(M);
+        return true;
+      },
+      /*Required=*/true);
 
   auto Finish = [&] {
     Result.Passes = PI.executions();
     Result.FirstCorruptPass = PI.firstCorruptPass();
     Result.TotalPassMillis = PI.totalMillis();
+    Result.RecoveryEnabled = Opts.Instrument.Recover;
+    Result.OptBisectLimit = Opts.Instrument.OptBisectLimit;
+    Result.Recoveries = PI.recoveries();
+    Result.QuarantinedPasses = PI.quarantinedPasses();
+    for (const PassRecoveryEvent &Ev : Result.Recoveries) {
+      std::string Cause = Ev.Kind == "verify-fail" ? "corrupted the module"
+                          : Ev.Kind == "fatal-error"
+                              ? "tripped a fatal error"
+                              : "threw an exception";
+      Result.Remarks.emit(RemarkId::OMP180, /*Missed=*/true, "",
+                          "pass '" + Ev.PassName + "' (invocation " +
+                              std::to_string(Ev.Invocation) + ") " + Cause +
+                              " and was rolled back and quarantined: " +
+                              Ev.Message);
+    }
     // VerifyEach failures surface like the final verify: the pipeline
     // reports the module corrupt and keeps the attributed pass name.
+    // Under recovery the corruption was rolled back, so firstCorruptPass
+    // stays empty and the module stays reportable as clean.
     if (!Result.VerifyFailed && !PI.firstCorruptPass().empty()) {
       Result.VerifyFailed = true;
       Result.VerifyError = PI.verifyError();
@@ -53,6 +95,9 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
       return runOpenMPOpt(M, Opts.OptConfig, Result.Stats, Result.Remarks,
                           &PI);
     });
+
+  for (const PipelineOptions::ExtraPass &EP : Opts.ExtraPasses)
+    PI.runPass(EP.Name, [&EP, &M] { return EP.Run(M); });
 
   if (Opts.RunCleanups) {
     auto Cleanup = [&](const char *Name, bool (*Pass)(Module &)) {

@@ -28,6 +28,16 @@ class Module;
 
 /// One device compilation configuration.
 struct PipelineOptions {
+  /// A caller-injected module pass, run after openmp-opt and before the
+  /// cleanup passes. Used by tests and the bisection driver to splice
+  /// extra (possibly misbehaving) passes into any preset pipeline.
+  struct ExtraPass {
+    /// Stable name, recorded in the instrumentation like built-in passes.
+    std::string Name;
+    /// The pass body; returns whether it changed the module.
+    std::function<bool(Module &)> Run;
+  };
+
   /// Name shown in benchmark tables, e.g. "LLVM 12" or "h2s2 + RTCspec".
   std::string Name;
   /// Front-end lowering scheme the workload must be generated with.
@@ -39,9 +49,13 @@ struct PipelineOptions {
   OpenMPOptConfig OptConfig;
   /// Generic mid-end cleanups (mem2reg, simplification, DCE).
   bool RunCleanups = true;
-  /// Observability: TimePasses / TrackChanges / VerifyEach. All off by
-  /// default; see docs/compile-report.md.
+  /// Observability and robustness: TimePasses / TrackChanges / VerifyEach /
+  /// Recover / OptBisectLimit. All off by default; see
+  /// docs/compile-report.md.
   PassInstrumentationOptions Instrument;
+  /// Extra passes spliced into the pipeline (after openmp-opt, before
+  /// cleanups), in order.
+  std::vector<ExtraPass> ExtraPasses;
 };
 
 /// Outputs of optimizeDeviceModule.
@@ -58,6 +72,18 @@ struct CompileResult {
   std::string FirstCorruptPass;
   /// Sum of top-level pass wall times (ms).
   double TotalPassMillis = 0.0;
+  /// \name Recovery (see docs/compile-report.md, schema v2)
+  /// @{
+  /// Whether the pipeline ran with per-pass rollback enabled.
+  bool RecoveryEnabled = false;
+  /// The -opt-bisect-limit the pipeline ran under (-1 = no limit).
+  int64_t OptBisectLimit = -1;
+  /// Every rollback that happened, in pipeline order. Each event also
+  /// produced an OMP180 remark.
+  std::vector<PassRecoveryEvent> Recoveries;
+  /// Passes quarantined (skipped after their first failure), sorted.
+  std::vector<std::string> QuarantinedPasses;
+  /// @}
 };
 
 /// Links the device runtime into \p M and runs the configured pipeline.

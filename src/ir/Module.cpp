@@ -14,7 +14,9 @@ using namespace ompgpu;
 Module::Module(IRContext &Ctx, std::string Name)
     : Ctx(Ctx), Name(std::move(Name)) {}
 
-Module::~Module() {
+Module::~Module() { clear(); }
+
+void Module::clear() {
   // Cross-function references (calls, address-taken uses, global accesses)
   // must be dropped before any function or global is destroyed.
   for (auto &F : Functions)
@@ -23,6 +25,20 @@ Module::~Module() {
         I->dropAllOperands();
   Functions.clear();
   Globals.clear();
+}
+
+void Module::takeContentsFrom(Module &Src) {
+  assert(&Src.Ctx == &Ctx && "modules must share one IRContext");
+  for (auto &F : Src.Functions) {
+    F->setParent(this);
+    Functions.push_back(std::move(F));
+  }
+  for (auto &G : Src.Globals) {
+    G->setParent(this);
+    Globals.push_back(std::move(G));
+  }
+  Src.Functions.clear();
+  Src.Globals.clear();
 }
 
 GlobalVariable::GlobalVariable(IRContext &Ctx, Type *ValueType, AddrSpace AS,

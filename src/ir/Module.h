@@ -74,6 +74,20 @@ public:
   /// Returns a name not currently used by any function or global.
   std::string makeUniqueName(const std::string &Base) const;
 
+  /// \name Whole-module replacement (snapshot restore)
+  /// @{
+  /// Removes and deletes every function and global, dropping cross-function
+  /// references first. Leaves the module valid but empty. Any outside
+  /// pointer into the old contents dangles afterwards.
+  void clear();
+  /// Moves every function and global out of \p Src into this module,
+  /// reparenting them; \p Src is left empty. Both modules must share one
+  /// IRContext. Together with clear() and cloneModule this implements the
+  /// per-pass rollback of recoverable compilation: snapshot = cloneModule,
+  /// restore = clear() + takeContentsFrom(snapshot).
+  void takeContentsFrom(Module &Src);
+  /// @}
+
 private:
   bool isNameTaken(const std::string &N) const;
 };

@@ -9,6 +9,7 @@
 #include "support/raw_ostream.h"
 
 #include <cstdlib>
+#include <utility>
 
 using namespace ompgpu;
 using namespace ompgpu::cl;
@@ -57,14 +58,6 @@ template <> bool opt<std::string>::parse(const std::string &Text) {
 } // namespace cl
 } // namespace ompgpu
 
-/// Reports a malformed option value and exits.
-static void reportInvalidOptionValue(const std::string &Name,
-                                     const std::string &Value) {
-  errs() << "error: invalid value '" << Value << "' for option -" << Name
-         << '\n';
-  std::exit(1);
-}
-
 OptionBase *cl::findOption(const std::string &Name) {
   for (OptionBase *O : getRegistry())
     if (O->getName() == Name)
@@ -72,8 +65,8 @@ OptionBase *cl::findOption(const std::string &Name) {
   return nullptr;
 }
 
-std::vector<std::string> cl::parseCommandLine(int Argc,
-                                              const char *const *Argv) {
+Expected<std::vector<std::string>>
+cl::parseCommandLineArgs(int Argc, const char *const *Argv) {
   std::vector<std::string> Rest;
   if (Argc > 0)
     Rest.push_back(Argv[0]);
@@ -101,7 +94,18 @@ std::vector<std::string> cl::parseCommandLine(int Argc,
       continue;
     }
     if (!O->parse(Value))
-      reportInvalidOptionValue(Body, Value);
+      return Error::failure("invalid value '" + Value + "' for option -" +
+                            Body);
   }
   return Rest;
+}
+
+std::vector<std::string> cl::parseCommandLine(int Argc,
+                                              const char *const *Argv) {
+  Expected<std::vector<std::string>> Rest = parseCommandLineArgs(Argc, Argv);
+  if (!Rest) {
+    errs() << "error: " << Rest.message() << '\n';
+    std::exit(1);
+  }
+  return std::move(*Rest);
 }

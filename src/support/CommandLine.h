@@ -14,6 +14,8 @@
 #ifndef OMPGPU_SUPPORT_COMMANDLINE_H
 #define OMPGPU_SUPPORT_COMMANDLINE_H
 
+#include "support/Error.h"
+
 #include <cstdint>
 #include <string>
 #include <type_traits>
@@ -58,7 +60,14 @@ public:
 
 /// Parses argv for registered "-name", "--name", "-name=value" options.
 /// Unrecognized arguments are returned for the caller (e.g. gbench) to
-/// consume. "-help-ompgpu" prints all registered options.
+/// consume. "-help-ompgpu" prints all registered options. A malformed
+/// value for a registered option is a recoverable failure: the caller
+/// decides whether to print usage, exit, or ignore.
+Expected<std::vector<std::string>> parseCommandLineArgs(int Argc,
+                                                        const char *const *Argv);
+
+/// Legacy convenience wrapper over parseCommandLineArgs that prints the
+/// error and exits(1) on a malformed value.
 std::vector<std::string> parseCommandLine(int Argc, const char *const *Argv);
 
 /// Resets nothing but gives tests access to set options programmatically.

@@ -1,0 +1,101 @@
+//===- support/Error.h - Recoverable error handling -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable error propagation in the spirit of llvm::Error /
+/// llvm::Expected: failures caused by bad *input* (unreadable files,
+/// malformed flag values, broken JSON) are returned to the caller instead
+/// of aborting the process, so long-running drivers and bench binaries can
+/// report the message and keep going or exit cleanly. reportFatalError
+/// (support/ErrorHandling.h) remains for internal invariant violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_ERROR_H
+#define OMPGPU_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ompgpu {
+
+/// A success-or-message result. Converts to true when it carries an error,
+/// mirroring llvm::Error:
+///
+///   if (Error E = writeCompileReportFile(Path, Report)) {
+///     errs() << E.message() << '\n';
+///     return 1;
+///   }
+class Error {
+  std::string Msg; ///< Empty means success.
+
+public:
+  /// Default state is success.
+  Error() = default;
+
+  static Error success() { return Error(); }
+
+  /// Creates a failure carrying \p Message (must be non-empty).
+  static Error failure(std::string Message) {
+    assert(!Message.empty() && "failure needs a message");
+    Error E;
+    E.Msg = std::move(Message);
+    return E;
+  }
+
+  /// True when this is an error.
+  explicit operator bool() const { return !Msg.empty(); }
+
+  /// The failure message ("" on success).
+  const std::string &message() const { return Msg; }
+};
+
+/// A value-or-error result, mirroring llvm::Expected<T>:
+///
+///   Expected<std::vector<std::string>> Rest = cl::parseCommandLineArgs(...);
+///   if (!Rest) { errs() << Rest.message() << '\n'; return 1; }
+///   use(*Rest);
+template <typename T> class Expected {
+  std::optional<T> Val;
+  std::string Msg;
+
+public:
+  Expected(T V) : Val(std::move(V)) {}
+  Expected(Error E) : Msg(E.message()) {
+    assert(E && "constructing Expected from a success Error");
+  }
+
+  /// True when a value is present.
+  explicit operator bool() const { return Val.has_value(); }
+
+  T &get() {
+    assert(Val && "get() on an errorful Expected");
+    return *Val;
+  }
+  const T &get() const {
+    assert(Val && "get() on an errorful Expected");
+    return *Val;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// The failure message ("" when a value is present).
+  const std::string &message() const { return Msg; }
+
+  /// Extracts the failure as an Error (success() when a value is present).
+  Error takeError() const {
+    return Val ? Error::success() : Error::failure(Msg);
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_ERROR_H

@@ -12,7 +12,18 @@
 
 using namespace ompgpu;
 
+/// Depth of nested FatalErrorRecoveryScopes on this thread.
+static thread_local unsigned RecoveryScopeDepth = 0;
+
+FatalErrorRecoveryScope::FatalErrorRecoveryScope() { ++RecoveryScopeDepth; }
+
+FatalErrorRecoveryScope::~FatalErrorRecoveryScope() { --RecoveryScopeDepth; }
+
+bool FatalErrorRecoveryScope::active() { return RecoveryScopeDepth != 0; }
+
 void ompgpu::reportFatalError(std::string_view Msg) {
+  if (FatalErrorRecoveryScope::active())
+    throw RecoverableFatalError(std::string(Msg));
   errs() << "fatal error: " << Msg << '\n';
   errs().flush();
   std::abort();

@@ -14,13 +14,38 @@
 #ifndef OMPGPU_SUPPORT_ERRORHANDLING_H
 #define OMPGPU_SUPPORT_ERRORHANDLING_H
 
+#include <stdexcept>
 #include <string_view>
 
 namespace ompgpu {
 
-/// Prints \p Msg to stderr and aborts. Used for unrecoverable conditions
-/// triggered by invalid input rather than internal logic errors.
+/// Prints \p Msg to stderr and aborts — unless a FatalErrorRecoveryScope is
+/// active on this thread, in which case a RecoverableFatalError carrying
+/// the message is thrown instead so the enclosing recovery harness (the
+/// pass-rollback machinery of PassInstrumentation) can contain the damage.
 [[noreturn]] void reportFatalError(std::string_view Msg);
+
+/// Thrown by reportFatalError while a FatalErrorRecoveryScope is active.
+class RecoverableFatalError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII scope that turns reportFatalError on this thread from an abort into
+/// a RecoverableFatalError throw. Scopes nest; recovery stays active until
+/// the outermost scope is destroyed. Used by PassInstrumentation's recovery
+/// mode to survive a misbehaving pass tripping a fatal error mid-pipeline.
+class FatalErrorRecoveryScope {
+public:
+  FatalErrorRecoveryScope();
+  ~FatalErrorRecoveryScope();
+  FatalErrorRecoveryScope(const FatalErrorRecoveryScope &) = delete;
+  FatalErrorRecoveryScope &operator=(const FatalErrorRecoveryScope &) =
+      delete;
+
+  /// True while any scope is alive on this thread.
+  static bool active();
+};
 
 /// Internal implementation of ompgpu_unreachable.
 [[noreturn]] void unreachableInternal(const char *Msg, const char *File,

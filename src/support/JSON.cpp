@@ -8,6 +8,7 @@
 #include "support/JSON.h"
 #include "support/raw_ostream.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 
@@ -152,6 +153,10 @@ class Parser {
   std::string_view Text;
   size_t Pos = 0;
   std::string Error;
+  /// Current container nesting depth. Malicious input like ten thousand
+  /// '['s would otherwise recurse the parser off the stack.
+  unsigned Depth = 0;
+  static constexpr unsigned MaxDepth = 128;
 
 public:
   explicit Parser(std::string_view Text) : Text(Text) {}
@@ -336,6 +341,9 @@ private:
 
   bool parseNumber(Value &Out) {
     size_t Start = Pos;
+    // JSON forbids a leading '+' (strtod/strtoll would accept it).
+    if (Pos < Text.size() && Text[Pos] == '+')
+      return fail("invalid number");
     if (Pos < Text.size() && Text[Pos] == '-')
       ++Pos;
     bool IsDouble = false;
@@ -354,21 +362,41 @@ private:
       return fail("invalid number");
     std::string Num(Text.substr(Start, Pos - Start));
     char *End = nullptr;
-    if (IsDouble) {
-      double D = std::strtod(Num.c_str(), &End);
-      if (End != Num.c_str() + Num.size())
-        return fail("invalid number");
-      Out = Value(D);
-    } else {
+    if (!IsDouble) {
+      errno = 0;
       long long I = std::strtoll(Num.c_str(), &End, 10);
       if (End != Num.c_str() + Num.size())
         return fail("invalid number");
-      Out = Value((int64_t)I);
+      if (errno != ERANGE) {
+        Out = Value((int64_t)I);
+        return true;
+      }
+      // An integer literal outside int64 range degrades to a double (the
+      // usual lenient-parser behavior) rather than saturating silently or
+      // rejecting the document.
+      IsDouble = true;
     }
+    errno = 0;
+    double D = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return fail("invalid number");
+    // ERANGE overflow yields +-HUGE_VAL and underflow a denormal/zero;
+    // both are finite-state outcomes the value model handles (the writer
+    // emits non-finite doubles as null), so they are not errors.
+    Out = Value(D);
     return true;
   }
 
   bool parseArray(Value &Out) {
+    if (Depth >= MaxDepth)
+      return fail("nesting depth exceeds limit");
+    ++Depth;
+    bool OK = parseArrayBody(Out);
+    --Depth;
+    return OK;
+  }
+
+  bool parseArrayBody(Value &Out) {
     consume('[');
     Out = Value::makeArray();
     skipWhitespace();
@@ -389,6 +417,15 @@ private:
   }
 
   bool parseObject(Value &Out) {
+    if (Depth >= MaxDepth)
+      return fail("nesting depth exceeds limit");
+    ++Depth;
+    bool OK = parseObjectBody(Out);
+    --Depth;
+    return OK;
+  }
+
+  bool parseObjectBody(Value &Out) {
     consume('{');
     Out = Value::makeObject();
     skipWhitespace();

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/PassInstrumentation.h"
+#include "support/ErrorHandling.h"
 #include "support/raw_ostream.h"
 
 #include <algorithm>
@@ -14,7 +15,8 @@
 using namespace ompgpu;
 
 bool PassInstrumentation::runPass(const std::string &Name,
-                                  const std::function<bool()> &Body) {
+                                  const std::function<bool()> &Body,
+                                  bool Required) {
   if (!enabled())
     return Body();
 
@@ -28,16 +30,65 @@ bool PassInstrumentation::runPass(const std::string &Name,
     Rec.Invocation = invocationCount(Name);
     Executions.push_back(std::move(Rec));
   }
+  LastPassRolledBack = false;
+
+  // A quarantined pass already corrupted the module once this pipeline;
+  // every later invocation is skipped. Required passes are never
+  // quarantined so they need no check.
+  if (!Required && Quarantined.count(Name)) {
+    Executions[Index].Skipped = true;
+    Executions[Index].SkipReason = "quarantined";
+    return false;
+  }
+
+  // -opt-bisect-limit=N: only the first N skippable executions run.
+  // Required lowering steps do not consume an index, matching LLVM's
+  // OptBisect semantics.
+  if (!Required && Opts.OptBisectLimit >= 0 &&
+      BisectCounter >= static_cast<uint64_t>(Opts.OptBisectLimit)) {
+    Executions[Index].Skipped = true;
+    Executions[Index].SkipReason = "opt-bisect";
+    return false;
+  }
+  if (!Required)
+    Executions[Index].BisectIndex = ++BisectCounter;
 
   uint64_t Before = 0;
   bool Tracked = Opts.TrackChanges && Hash != nullptr;
   if (Tracked)
     Before = Hash();
 
+  // Recovery needs both a snapshot to roll back to and a verifier to
+  // decide whether to; without either the pass runs unprotected.
+  bool Protected =
+      Opts.Recover && PushSnapshot && PopSnapshot && Verify != nullptr;
+  if (Protected)
+    PushSnapshot();
+
+  bool Reported = false;
+  bool BodyFailed = false;
+  std::string FailKind, FailMsg;
   PassTimer Timer;
   Timer.start();
   ++CurrentDepth;
-  bool Reported = Body();
+  if (Protected) {
+    try {
+      // Turn reportFatalError from an abort into a catchable exception for
+      // the duration of the pass body.
+      FatalErrorRecoveryScope Scope;
+      Reported = Body();
+    } catch (const RecoverableFatalError &E) {
+      BodyFailed = true;
+      FailKind = "fatal-error";
+      FailMsg = E.what();
+    } catch (const std::exception &E) {
+      BodyFailed = true;
+      FailKind = "exception";
+      FailMsg = E.what();
+    }
+  } else {
+    Reported = Body();
+  }
   --CurrentDepth;
   Timer.stop();
 
@@ -45,10 +96,20 @@ bool PassInstrumentation::runPass(const std::string &Name,
   Rec.WallMillis = Timer.millis();
   Rec.ReportedChange = Reported;
   Rec.HashTracked = Tracked;
-  if (Tracked)
-    Rec.IRChanged = Hash() != Before;
 
-  if (Opts.VerifyEach && Verify) {
+  // Decide whether this execution survives: a thrown body never does; an
+  // execution that leaves the module corrupt doesn't either. Recovery
+  // verifies even when VerifyEach is off — rollback is pointless if
+  // corruption goes undetected.
+  if (Protected && !BodyFailed) {
+    std::string Error;
+    if (Verify(&Error)) {
+      BodyFailed = true;
+      FailKind = "verify-fail";
+      FailMsg = Error;
+      Rec.VerifyFailed = true;
+    }
+  } else if (Opts.VerifyEach && Verify && !BodyFailed) {
     std::string Error;
     if (Verify(&Error)) {
       Rec.VerifyFailed = true;
@@ -61,6 +122,32 @@ bool PassInstrumentation::runPass(const std::string &Name,
     }
   }
 
+  if (Protected) {
+    // Pop the snapshot either way: restore on failure, discard on success.
+    // Restoring also undoes whatever nested sub-passes committed, which is
+    // the correct containment for a parent that corrupted the module
+    // around healthy children.
+    PopSnapshot(BodyFailed);
+    if (BodyFailed) {
+      Rec.RolledBack = true;
+      Rec.VerifyFailed = FailKind == "verify-fail";
+      if (!Required)
+        Quarantined.insert(Name);
+      PassRecoveryEvent Ev;
+      Ev.PassName = Name;
+      Ev.Invocation = Rec.Invocation;
+      Ev.Kind = FailKind;
+      Ev.Message = FailMsg;
+      Recoveries.push_back(std::move(Ev));
+      LastPassRolledBack = true;
+      // The module is back to its pre-pass state; no fingerprint change,
+      // and firstCorruptPass() stays empty because no corruption survived.
+      return false;
+    }
+  }
+
+  if (Tracked)
+    Rec.IRChanged = Hash() != Before;
   return Rec.changed();
 }
 
@@ -94,13 +181,17 @@ void PassInstrumentation::printTimingReport(
     double Millis = 0.0;
     unsigned Runs = 0;
     unsigned Changed = 0;
+    unsigned Skipped = 0;
   };
   std::map<std::string, Row> Rows;
   double Total = 0.0;
   for (const PassExecution &Rec : Executions) {
     Row &R = Rows[Rec.Name];
     R.Millis += Rec.WallMillis;
-    ++R.Runs;
+    if (Rec.Skipped)
+      ++R.Skipped;
+    else
+      ++R.Runs;
     if (Rec.changed())
       ++R.Changed;
     if (Rec.Depth == 0)
@@ -117,9 +208,13 @@ void PassInstrumentation::printTimingReport(
                   Total, Executions.size());
   OS << formatBuf("  %10s  %5s  %8s  %s\n", "wall ms", "runs", "changed",
                   "pass");
-  for (const auto &[Name, R] : Sorted)
-    OS << formatBuf("  %10.4f  %5u  %5u/%-2u  %s\n", R.Millis, R.Runs,
+  for (const auto &[Name, R] : Sorted) {
+    OS << formatBuf("  %10.4f  %5u  %5u/%-2u  %s", R.Millis, R.Runs,
                     R.Changed, R.Runs, Name.c_str());
+    if (R.Skipped)
+      OS << formatBuf("  (%u skipped)", R.Skipped);
+    OS << '\n';
+  }
   if (!FirstCorruptPass.empty())
     OS << "  VERIFY FAILED after pass '" << FirstCorruptPass
        << "': " << VerifyError << '\n';
@@ -127,7 +222,11 @@ void PassInstrumentation::printTimingReport(
 
 void PassInstrumentation::clear() {
   Executions.clear();
+  Recoveries.clear();
+  Quarantined.clear();
   FirstCorruptPass.clear();
   VerifyError.clear();
   CurrentDepth = 0;
+  BisectCounter = 0;
+  LastPassRolledBack = false;
 }

@@ -7,11 +7,15 @@
 ///
 /// \file
 /// Pass-pipeline instrumentation modeled on LLVM's PassInstrumentation /
-/// -time-passes / -print-changed: every pass execution is wall-clock
-/// timed, change-detected via a cheap IR fingerprint, and optionally
-/// verified (VerifyEach), attributing the first corrupt pass by name.
-/// The layer is IR-agnostic — the driver supplies hash and verify
-/// callbacks — so support/ stays at the bottom of the dependency stack.
+/// -time-passes / -print-changed / -opt-bisect-limit: every pass execution
+/// is wall-clock timed, change-detected via a cheap IR fingerprint, and
+/// optionally verified (VerifyEach), attributing the first corrupt pass by
+/// name. Recovery mode makes the pipeline survive a misbehaving pass: the
+/// IR is snapshotted before each pass, and a pass that corrupts the module,
+/// trips reportFatalError, or throws is rolled back and quarantined for
+/// the remainder of the pipeline. The layer is IR-agnostic — the driver
+/// supplies hash, verify, and snapshot callbacks — so support/ stays at the
+/// bottom of the dependency stack.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,8 +45,23 @@ struct PassInstrumentationOptions {
   /// Run the verifier after every pass; the first failure names the
   /// offending pass.
   bool VerifyEach = false;
+  /// Recovery mode: snapshot the IR before each pass; a pass that fails
+  /// verification, trips reportFatalError, or throws is rolled back and
+  /// quarantined (skipped for the remainder of the pipeline). The pipeline
+  /// always terminates with the IR the last healthy pass produced.
+  /// Requires the snapshot callbacks; verification uses the verify
+  /// callback even when VerifyEach is off.
+  bool Recover = false;
+  /// -opt-bisect-limit=N: only the first N skippable pass executions run;
+  /// the rest are skipped and recorded as such. -1 means no limit. Used by
+  /// the automatic bisection driver (driver/Bisect.h) to localize the
+  /// first bad pass execution.
+  int64_t OptBisectLimit = -1;
 
-  bool any() const { return TimePasses || TrackChanges || VerifyEach; }
+  bool any() const {
+    return TimePasses || TrackChanges || VerifyEach || Recover ||
+           OptBisectLimit >= 0;
+  }
 };
 
 /// One recorded pass execution, in pre-order (a nested sub-pass appears
@@ -54,6 +74,10 @@ struct PassExecution {
   unsigned Depth = 0;
   /// 0-based invocation index of this Name (simplify runs three times).
   unsigned Invocation = 0;
+  /// 1-based index in the -opt-bisect-limit numbering: counts every
+  /// skippable execution that actually ran. 0 for required or skipped
+  /// executions.
+  unsigned BisectIndex = 0;
   /// Wall-clock time including nested sub-passes.
   double WallMillis = 0.0;
   /// What the pass itself returned.
@@ -64,10 +88,33 @@ struct PassExecution {
   bool IRChanged = false;
   /// VerifyEach found the module corrupt after this pass.
   bool VerifyFailed = false;
+  /// The execution never ran: the pass is quarantined or past the
+  /// opt-bisect limit. SkipReason says which.
+  bool Skipped = false;
+  /// "quarantined" or "opt-bisect" when Skipped.
+  std::string SkipReason;
+  /// Recovery mode undid this execution (snapshot restored, pass
+  /// quarantined); the matching PassRecoveryEvent carries the cause.
+  bool RolledBack = false;
 
   /// Best available change verdict: the fingerprint when tracked, the
-  /// pass's own report otherwise.
-  bool changed() const { return HashTracked ? IRChanged : ReportedChange; }
+  /// pass's own report otherwise. Skipped or rolled-back executions never
+  /// changed anything.
+  bool changed() const {
+    if (Skipped || RolledBack)
+      return false;
+    return HashTracked ? IRChanged : ReportedChange;
+  }
+};
+
+/// One recovery-mode rollback: which pass execution failed, how, and why.
+struct PassRecoveryEvent {
+  std::string PassName;
+  unsigned Invocation = 0;
+  /// "verify-fail", "fatal-error", or "exception".
+  std::string Kind;
+  /// Verifier or exception message.
+  std::string Message;
 };
 
 /// Wraps pass executions, recording PassExecution entries according to the
@@ -80,11 +127,23 @@ public:
   /// Verifies the current IR state; returns true and fills the string on
   /// corruption, mirroring ompgpu::verifyModule.
   using VerifyFn = std::function<bool(std::string *)>;
+  /// Pushes a snapshot of the current IR state onto the driver-held stack.
+  using SnapshotFn = std::function<void()>;
+  /// Pops the most recent snapshot; restores the IR from it when the
+  /// argument is true, discards it otherwise.
+  using RollbackFn = std::function<void(bool Restore)>;
 
   PassInstrumentation() = default;
   PassInstrumentation(PassInstrumentationOptions Opts, HashFn Hash = nullptr,
                       VerifyFn Verify = nullptr)
       : Opts(Opts), Hash(std::move(Hash)), Verify(std::move(Verify)) {}
+
+  /// Installs the snapshot stack recovery mode rolls back through. Without
+  /// both callbacks, Recover is inert (passes run unprotected).
+  void setRecoveryCallbacks(SnapshotFn Push, RollbackFn Pop) {
+    PushSnapshot = std::move(Push);
+    PopSnapshot = std::move(Pop);
+  }
 
   /// True when any collection is configured; runPass short-circuits to a
   /// plain call otherwise.
@@ -93,8 +152,12 @@ public:
   const PassInstrumentationOptions &options() const { return Opts; }
 
   /// Runs \p Body under the configured instrumentation and returns its
-  /// changed-verdict (fingerprint-corrected when tracking is on).
-  bool runPass(const std::string &Name, const std::function<bool()> &Body);
+  /// changed-verdict (fingerprint-corrected when tracking is on). A
+  /// \p Required pass always runs: it is never quarantined, never counted
+  /// against the opt-bisect limit (lowering steps like linking the device
+  /// runtime are not optimizations the pipeline can skip).
+  bool runPass(const std::string &Name, const std::function<bool()> &Body,
+               bool Required = false);
 
   /// All recorded executions, pre-order.
   const std::vector<PassExecution> &executions() const { return Executions; }
@@ -103,6 +166,28 @@ public:
   const std::string &firstCorruptPass() const { return FirstCorruptPass; }
   /// Verifier message of that first failure.
   const std::string &verifyError() const { return VerifyError; }
+
+  /// \name Recovery state
+  /// @{
+  /// Every rollback, in pipeline order.
+  const std::vector<PassRecoveryEvent> &recoveries() const {
+    return Recoveries;
+  }
+  /// Names of passes quarantined so far (sorted).
+  std::vector<std::string> quarantinedPasses() const {
+    return {Quarantined.begin(), Quarantined.end()};
+  }
+  bool isQuarantined(const std::string &Name) const {
+    return Quarantined.count(Name) != 0;
+  }
+  /// True when the most recent runPass ended in a rollback — callers
+  /// holding analysis results (pointers into the restored IR) must
+  /// recompute them before the next pass.
+  bool lastPassRolledBack() const { return LastPassRolledBack; }
+  /// Number of skippable executions that ran (the opt-bisect numbering's
+  /// upper bound; skipped executions are not counted).
+  unsigned bisectExecutions() const { return BisectCounter; }
+  /// @}
 
   /// Sum of top-level (Depth == 0) pass times; nested time is already
   /// included in the parents.
@@ -128,11 +213,17 @@ private:
   PassInstrumentationOptions Opts;
   HashFn Hash;
   VerifyFn Verify;
+  SnapshotFn PushSnapshot;
+  RollbackFn PopSnapshot;
 
   std::vector<PassExecution> Executions;
+  std::vector<PassRecoveryEvent> Recoveries;
+  std::set<std::string> Quarantined;
   std::string FirstCorruptPass;
   std::string VerifyError;
   unsigned CurrentDepth = 0;
+  unsigned BisectCounter = 0;
+  bool LastPassRolledBack = false;
 };
 
 } // namespace ompgpu

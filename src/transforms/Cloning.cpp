@@ -12,31 +12,33 @@
 
 using namespace ompgpu;
 
-Function *ompgpu::cloneFunction(Function &F, const std::string &NewName) {
-  assert(!F.isDeclaration() && "cannot clone a declaration");
-  Module &M = *F.getParent();
-  Function *NewF =
-      M.createFunction(NewName, F.getFunctionType(), Linkage::Internal);
+/// Copies attributes, assumptions, kernel metadata, and argument attributes
+/// from \p From to \p To, mapping each old argument in \p VMap.
+static void copyFunctionMetadata(const Function &From, Function &To,
+                                 std::map<const Value *, Value *> &VMap) {
+  for (FnAttr A : From.attrs())
+    To.addFnAttr(A);
+  for (const std::string &A : From.assumptions())
+    To.addAssumption(A);
+  To.setKernel(From.isKernel());
+  To.getKernelEnvironment() = From.getKernelEnvironment();
 
-  for (FnAttr A : F.attrs())
-    NewF->addFnAttr(A);
-  for (const std::string &A : F.assumptions())
-    NewF->addAssumption(A);
-  NewF->setKernel(F.isKernel());
-  NewF->getKernelEnvironment() = F.getKernelEnvironment();
-
-  std::map<const Value *, Value *> VMap;
-  for (unsigned I = 0, E = F.arg_size(); I != E; ++I) {
-    Argument *OldArg = F.getArg(I);
-    Argument *NewArg = NewF->getArg(I);
+  for (unsigned I = 0, E = From.arg_size(); I != E; ++I) {
+    Argument *OldArg = From.getArg(I);
+    Argument *NewArg = To.getArg(I);
     NewArg->setName(OldArg->getName());
     NewArg->setNoEscapeAttr(OldArg->hasNoEscapeAttr());
     VMap[OldArg] = NewArg;
   }
+}
 
-  // First pass: create blocks and shallow instruction clones.
-  for (BasicBlock *BB : F) {
-    BasicBlock *NewBB = NewF->createBlock(BB->getName());
+/// Creates blocks and shallow instruction clones of \p From's body in
+/// \p To, recording every block and instruction in \p VMap. Operands still
+/// reference the originals until remapOperands runs.
+static void cloneBodyInto(const Function &From, Function &To,
+                          std::map<const Value *, Value *> &VMap) {
+  for (BasicBlock *BB : From) {
+    BasicBlock *NewBB = To.createBlock(BB->getName());
     VMap[BB] = NewBB;
     for (Instruction *I : *BB) {
       Instruction *NewI = I->clone();
@@ -45,15 +47,63 @@ Function *ompgpu::cloneFunction(Function &F, const std::string &NewName) {
       VMap[I] = NewI;
     }
   }
+}
 
-  // Second pass: remap operands that refer to cloned values.
-  for (BasicBlock *BB : *NewF)
+/// Rewrites every operand of every instruction in \p F that \p VMap maps.
+static void remapOperands(Function &F,
+                          const std::map<const Value *, Value *> &VMap) {
+  for (BasicBlock *BB : F)
     for (Instruction *I : *BB)
       for (unsigned OpIdx = 0, E = I->getNumOperands(); OpIdx != E; ++OpIdx) {
         auto It = VMap.find(I->getOperand(OpIdx));
         if (It != VMap.end())
           I->setOperand(OpIdx, It->second);
       }
+}
 
+Function *ompgpu::cloneFunction(Function &F, const std::string &NewName) {
+  assert(!F.isDeclaration() && "cannot clone a declaration");
+  Module &M = *F.getParent();
+  Function *NewF =
+      M.createFunction(NewName, F.getFunctionType(), Linkage::Internal);
+
+  std::map<const Value *, Value *> VMap;
+  copyFunctionMetadata(F, *NewF, VMap);
+  cloneBodyInto(F, *NewF, VMap);
+  remapOperands(*NewF, VMap);
   return NewF;
+}
+
+std::unique_ptr<Module> ompgpu::cloneModule(const Module &M) {
+  auto New = std::make_unique<Module>(M.getContext(), M.getName());
+  std::map<const Value *, Value *> VMap;
+
+  // Globals first: initializers are context-owned constants shared between
+  // modules, so they carry over without remapping.
+  for (GlobalVariable *G : M.globals()) {
+    GlobalVariable *NewG = New->createGlobal(
+        G->getValueType(), G->getAddressSpace(), G->getName(),
+        G->getInitializer());
+    NewG->setLinkage(G->getLinkage());
+    VMap[G] = NewG;
+  }
+
+  // Function shells next (declarations included) so calls and address-taken
+  // uses in any body can remap to the new functions.
+  for (Function *F : M.functions()) {
+    Function *NewF =
+        New->createFunction(F->getName(), F->getFunctionType(),
+                            F->getLinkage());
+    copyFunctionMetadata(*F, *NewF, VMap);
+    VMap[F] = NewF;
+  }
+
+  // Bodies, then one remap pass over everything.
+  for (Function *F : M.functions())
+    if (!F->isDeclaration())
+      cloneBodyInto(*F, *cast<Function>(VMap[F]), VMap);
+  for (Function *F : New->functions())
+    remapOperands(*F, VMap);
+
+  return New;
 }

@@ -16,6 +16,7 @@
 #ifndef OMPGPU_TRANSFORMS_CLONING_H
 #define OMPGPU_TRANSFORMS_CLONING_H
 
+#include <memory>
 #include <string>
 
 namespace ompgpu {
@@ -27,6 +28,15 @@ class Module;
 /// (made unique) in the same module. Attributes, assumptions, and argument
 /// attributes are copied; linkage of the clone is Internal.
 Function *cloneFunction(Function &F, const std::string &NewName);
+
+/// Deep-clones \p M — every global, every function (declarations included)
+/// with attributes, assumptions, linkage, and kernel metadata, and every
+/// instruction with cross-function references remapped — into a fresh
+/// module in the same IRContext. This is the whole-module snapshot behind
+/// recoverable compilation: before each pass the driver clones the module,
+/// and a misbehaving pass is undone with Module::clear() +
+/// Module::takeContentsFrom(*Snapshot).
+std::unique_ptr<Module> cloneModule(const Module &M);
 
 } // namespace ompgpu
 

@@ -34,9 +34,18 @@ WorkloadRunResult ompgpu::runWorkload(Workload &W, const PipelineOptions &P,
     Kernel = W.buildOpenMP(CG);
   }
 
+  // The pipeline may replace the module contents wholesale (recovery-mode
+  // rollback restores a clone), so the kernel must be re-resolved by name
+  // rather than held across the compile.
+  std::string KernelName = Kernel->getName();
   R.Compile = optimizeDeviceModule(M, P);
   if (R.Compile.VerifyFailed) {
     R.Stats.Trap = "IR verification failed: " + R.Compile.VerifyError;
+    return R;
+  }
+  Kernel = M.getFunction(KernelName);
+  if (!Kernel) {
+    R.Stats.Trap = "kernel '" + KernelName + "' lost during optimization";
     return R;
   }
 
@@ -58,4 +67,43 @@ WorkloadRunResult ompgpu::runWorkload(Workload &W, const PipelineOptions &P,
     R.Correct = W.checkOutputs(Dev);
   }
   return R;
+}
+
+BisectResult ompgpu::bisectWorkload(Workload &W, const PipelineOptions &P,
+                                    const HarnessOptions &Opts) {
+  BisectModuleFactory Factory = [&](IRContext &Ctx) {
+    auto M = std::make_unique<Module>(Ctx, W.getName());
+    if (Opts.UseCUDAKernel) {
+      W.buildCUDA(*M);
+    } else {
+      OMPCodeGen CG(*M, CodeGenOptions{P.Scheme, /*CudaMode=*/false});
+      W.buildOpenMP(CG);
+    }
+    return M;
+  };
+
+  // Differential smoke run: simulate the whole grid and compare outputs
+  // against the workload's reference. A probe whose IR verifies but whose
+  // kernel traps or produces wrong answers is still a bad probe.
+  BisectOracle Oracle = [&](Module &M, const CompileResult &) {
+    std::vector<Function *> Kernels = M.kernels();
+    if (Kernels.empty())
+      return false;
+
+    GPUDevice Dev(Opts.Machine);
+    std::vector<uint64_t> Args = W.setupInputs(Dev);
+
+    LaunchConfig LC;
+    LC.GridDim = W.getGridDim();
+    LC.BlockDim = W.getBlockDim();
+    LC.Flavor = P.Flavor;
+    LC.MaxSimulatedBlocks = 0;
+
+    NativeRuntimeBinding RTL =
+        makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+    KernelStats Stats = Dev.launchKernel(M, Kernels.front(), LC, Args, RTL);
+    return Stats.ok() && W.checkOutputs(Dev);
+  };
+
+  return runOptBisect(Factory, P, Oracle);
 }

@@ -15,6 +15,7 @@
 #ifndef OMPGPU_WORKLOADS_HARNESS_H
 #define OMPGPU_WORKLOADS_HARNESS_H
 
+#include "driver/Bisect.h"
 #include "driver/Pipeline.h"
 #include "gpusim/KernelStats.h"
 #include "workloads/Workload.h"
@@ -43,6 +44,15 @@ struct HarnessOptions {
 /// Builds, optimizes, launches, and (optionally) checks \p W under \p P.
 WorkloadRunResult runWorkload(Workload &W, const PipelineOptions &P,
                               const HarnessOptions &Opts = HarnessOptions());
+
+/// Bisects the pipeline \p P over workload \p W: each probe rebuilds the
+/// workload from scratch, compiles it under a trial -opt-bisect-limit, and
+/// judges it with a gpusim differential smoke run (simulate the full grid,
+/// check outputs against the workload's reference). Localizes the first
+/// pass execution that breaks either the verifier or the workload's
+/// observable behavior.
+BisectResult bisectWorkload(Workload &W, const PipelineOptions &P,
+                            const HarnessOptions &Opts = HarnessOptions());
 
 } // namespace ompgpu
 

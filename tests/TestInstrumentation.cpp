@@ -316,6 +316,79 @@ TEST(JSON, ParserRejectsMalformedInput) {
   EXPECT_TRUE(json::parse(" { } ", V, &Error)) << Error;
 }
 
+TEST(JSON, ParserRejectsHostileInput) {
+  // Table-driven corpus of inputs that used to crash, hang, or silently
+  // mis-parse naive recursive-descent parsers.
+  struct Case {
+    const char *Name;
+    std::string Text;
+  };
+  std::string DeepArrays(100000, '[');
+  std::string DeepObjects;
+  for (int I = 0; I != 100000; ++I)
+    DeepObjects += "{\"k\":";
+  const Case Cases[] = {
+      {"empty input", ""},
+      {"whitespace only", "  \t\n "},
+      {"deep array nesting", DeepArrays},
+      {"deep object nesting", DeepObjects},
+      {"truncated string", "\"abc"},
+      {"truncated escape", "\"abc\\"},
+      {"bad escape character", "\"\\q\""},
+      {"truncated unicode escape", "\"\\u12\""},
+      {"bad unicode hex digit", "\"\\uZZZZ\""},
+      {"lone high surrogate", "\"\\ud800\""},
+      {"bad low surrogate", "\"\\ud800\\u0041\""},
+      {"control character in string", std::string("\"a\x01b\"")},
+      {"leading plus", "+5"},
+      {"minus only", "-"},
+      {"bare dot", "."},
+      {"double decimal point", "1.2.3"},
+      {"exponent without digits", "1e"},
+      {"unclosed object", "{\"a\":1"},
+      {"missing colon", "{\"a\" 1}"},
+      {"trailing comma in object", "{\"a\":1,}"},
+      {"trailing comma in array", "[1,]"},
+      {"non-string key", "{1:2}"},
+      {"trailing garbage", "{} x"},
+  };
+  for (const Case &C : Cases) {
+    json::Value V;
+    std::string Error;
+    EXPECT_FALSE(json::parse(C.Text, V, &Error)) << C.Name;
+    EXPECT_FALSE(Error.empty()) << C.Name;
+  }
+}
+
+TEST(JSON, ParserAcceptsModerateNestingAndHugeNumbers) {
+  json::Value V;
+  std::string Error;
+
+  // 100 levels is well within the depth limit; 200 is beyond it.
+  std::string Ok = std::string(100, '[') + std::string(100, ']');
+  EXPECT_TRUE(json::parse(Ok, V, &Error)) << Error;
+  std::string TooDeep = std::string(200, '[') + std::string(200, ']');
+  EXPECT_FALSE(json::parse(TooDeep, V, &Error));
+
+  // An integer literal outside int64 range degrades to a double instead of
+  // wrapping around or rejecting the document.
+  ASSERT_TRUE(json::parse("123456789012345678901234567890", V, &Error))
+      << Error;
+  EXPECT_TRUE(V.isNumber());
+  EXPECT_DOUBLE_EQ(V.asDouble(), 1.2345678901234568e29);
+  ASSERT_TRUE(json::parse("-123456789012345678901234567890", V, &Error))
+      << Error;
+  EXPECT_DOUBLE_EQ(V.asDouble(), -1.2345678901234568e29);
+
+  // A double overflow parses to +-infinity without crashing; the writer
+  // emits non-finite doubles as null, so the round trip stays valid JSON.
+  ASSERT_TRUE(json::parse("1e999999", V, &Error)) << Error;
+  EXPECT_TRUE(V.isNumber());
+  EXPECT_EQ(V.str(), "null");
+  ASSERT_TRUE(json::parse("-1e999999", V, &Error)) << Error;
+  EXPECT_EQ(V.str(), "null");
+}
+
 TEST(JSON, UnicodeEscapes) {
   json::Value V;
   std::string Error;

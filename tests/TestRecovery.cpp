@@ -1,0 +1,504 @@
+//===- tests/TestRecovery.cpp - Recoverable compilation tests --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of recoverable compilation: whole-module snapshots (cloneModule /
+/// Module::takeContentsFrom), per-pass rollback and quarantine with OMP180
+/// remarks, recoverable fatal errors, -opt-bisect-limit semantics, the
+/// automatic bisection driver (driver/Bisect.h), the compile-report
+/// recovery section (schema v2), and the Error/Expected plumbing of the
+/// no-abort error paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Bisect.h"
+#include "driver/CompileReport.h"
+#include "driver/Pipeline.h"
+#include "frontend/OMPCodeGen.h"
+#include "ir/AsmWriter.h"
+#include "ir/Verifier.h"
+#include "rtl/DeviceRTL.h"
+#include "support/CommandLine.h"
+#include "support/Error.h"
+#include "support/ErrorHandling.h"
+#include "support/raw_ostream.h"
+#include "transforms/Cloning.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Builds the quickstart-style SPMD saxpy kernel into \p M so every
+/// pipeline phase has something to chew on.
+static void buildSaxpy(Module &M, CodeGenScheme Scheme) {
+  IRContext &Ctx = M.getContext();
+  OMPCodeGen CG(M, {Scheme, /*CudaMode=*/false});
+  Type *F64 = Ctx.getDoubleTy();
+  TargetRegionBuilder TRB(CG, "saxpy",
+                          {F64, Ctx.getPtrTy(), Ctx.getInt32Ty()},
+                          ExecMode::SPMD, 4, 32);
+  Argument *A = TRB.getParam(0);
+  Argument *X = TRB.getParam(1);
+  Argument *N = TRB.getParam(2);
+  std::vector<TargetRegionBuilder::Capture> Caps = {{A, false, "a"},
+                                                    {X, false, "x"}};
+  TRB.emitDistributeParallelFor(
+      N, Caps,
+      [&](IRBuilder &B, Value *I,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        Value *P = B.createGEP(F64, Map.at(X), {I});
+        Value *V = B.createLoad(F64, P);
+        B.createStore(B.createFMul(Map.at(A), V), P);
+      });
+  TRB.finalize();
+}
+
+/// A deliberately IR-corrupting pass body: an empty basic block violates
+/// the verifier's "block lacks a terminator" rule.
+static bool corruptModule(Module &M) {
+  M.kernels().front()->createBlock("orphan");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-module snapshot: cloneModule + clear/takeContentsFrom
+//===----------------------------------------------------------------------===//
+
+TEST(CloneModule, CloneIsVerifierCleanAndHashIdentical) {
+  IRContext Ctx;
+  Module M(Ctx, "clone-src");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+  ASSERT_FALSE(verifyModule(M));
+
+  std::unique_ptr<Module> Clone = cloneModule(M);
+  std::string Err;
+  EXPECT_FALSE(verifyModule(*Clone, &Err)) << Err;
+  EXPECT_EQ(M.functions().size(), Clone->functions().size());
+  EXPECT_EQ(M.globals().size(), Clone->globals().size());
+  // Names, bodies, and attributes carry over, so the textual forms (and
+  // hence the fingerprints) must match exactly.
+  EXPECT_EQ(hashModule(M), hashModule(*Clone));
+
+  // Deep copy: corrupting the clone must not affect the original.
+  corruptModule(*Clone);
+  EXPECT_TRUE(verifyModule(*Clone));
+  EXPECT_FALSE(verifyModule(M));
+}
+
+TEST(CloneModule, SnapshotRestoreRoundTrip) {
+  IRContext Ctx;
+  Module M(Ctx, "restore");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+  uint64_t Before = hashModule(M);
+
+  std::unique_ptr<Module> Snapshot = cloneModule(M);
+  corruptModule(M);
+  ASSERT_TRUE(verifyModule(M));
+  ASSERT_NE(hashModule(M), Before);
+
+  M.clear();
+  EXPECT_TRUE(M.functions().empty());
+  EXPECT_TRUE(M.globals().empty());
+  M.takeContentsFrom(*Snapshot);
+  EXPECT_FALSE(verifyModule(M));
+  EXPECT_EQ(hashModule(M), Before);
+  // The snapshot gave up its contents.
+  EXPECT_TRUE(Snapshot->functions().empty());
+  // Reparenting happened: every function names M as its parent again.
+  for (Function *F : M.functions())
+    EXPECT_EQ(F->getParent(), &M);
+}
+
+//===----------------------------------------------------------------------===//
+// Recoverable fatal errors
+//===----------------------------------------------------------------------===//
+
+TEST(FatalErrorRecovery, ScopeTurnsAbortIntoException) {
+  EXPECT_FALSE(FatalErrorRecoveryScope::active());
+  {
+    FatalErrorRecoveryScope Scope;
+    EXPECT_TRUE(FatalErrorRecoveryScope::active());
+    EXPECT_THROW(reportFatalError("recoverable boom"),
+                 RecoverableFatalError);
+    try {
+      reportFatalError("with message");
+    } catch (const RecoverableFatalError &E) {
+      EXPECT_STREQ(E.what(), "with message");
+    }
+  }
+  EXPECT_FALSE(FatalErrorRecoveryScope::active());
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline rollback + quarantine + OMP180
+//===----------------------------------------------------------------------===//
+
+TEST(Recovery, CorruptingPassIsRolledBackAndQuarantined) {
+  IRContext Ctx;
+  Module M(Ctx, "recover");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+
+  PipelineOptions P = makeDevPipeline();
+  P.Instrument.Recover = true;
+  // The same misbehaving pass appears twice: the first invocation rolls
+  // back and quarantines it, the second must be skipped outright.
+  P.ExtraPasses.push_back({"corruptor", corruptModule});
+  P.ExtraPasses.push_back({"corruptor", corruptModule});
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+
+  // The pipeline terminates with verifier-clean IR despite the sabotage.
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  std::string Err;
+  EXPECT_FALSE(verifyModule(M, &Err)) << Err;
+  EXPECT_TRUE(CR.FirstCorruptPass.empty())
+      << "rolled-back corruption must not be attributed as surviving";
+
+  EXPECT_TRUE(CR.RecoveryEnabled);
+  ASSERT_EQ(CR.Recoveries.size(), 1u);
+  EXPECT_EQ(CR.Recoveries[0].PassName, "corruptor");
+  EXPECT_EQ(CR.Recoveries[0].Kind, "verify-fail");
+  EXPECT_FALSE(CR.Recoveries[0].Message.empty());
+  ASSERT_EQ(CR.QuarantinedPasses.size(), 1u);
+  EXPECT_EQ(CR.QuarantinedPasses[0], "corruptor");
+
+  // Execution records: first invocation rolled back, second skipped.
+  std::vector<const PassExecution *> Corruptor;
+  for (const PassExecution &E : CR.Passes)
+    if (E.Name == "corruptor")
+      Corruptor.push_back(&E);
+  ASSERT_EQ(Corruptor.size(), 2u);
+  EXPECT_TRUE(Corruptor[0]->RolledBack);
+  EXPECT_FALSE(Corruptor[0]->changed());
+  EXPECT_TRUE(Corruptor[1]->Skipped);
+  EXPECT_EQ(Corruptor[1]->SkipReason, "quarantined");
+
+  // One OMP180 remark per rollback, naming the pass.
+  unsigned OMP180Count = 0;
+  for (const Remark &R : CR.Remarks.remarks())
+    if (R.Id == RemarkId::OMP180) {
+      ++OMP180Count;
+      EXPECT_TRUE(R.Missed);
+      EXPECT_NE(R.Message.find("corruptor"), std::string::npos);
+    }
+  EXPECT_EQ(OMP180Count, 1u);
+}
+
+TEST(Recovery, RollbackRestoresExactPrePassIR) {
+  // Two identically built kernels: one compiled normally, one compiled
+  // with a corrupting extra pass under recovery. The final IR must match.
+  IRContext CtxA, CtxB;
+  // Same module name on purpose: the printed module header is part of the
+  // fingerprint, and only the IR itself should be compared.
+  Module A(CtxA, "m"), B(CtxB, "m");
+  buildSaxpy(A, CodeGenScheme::Simplified13);
+  buildSaxpy(B, CodeGenScheme::Simplified13);
+
+  PipelineOptions PA = makeDevPipeline();
+  PipelineOptions PB = makeDevPipeline();
+  PB.Instrument.Recover = true;
+  PB.ExtraPasses.push_back({"corruptor", corruptModule});
+
+  CompileResult RA = optimizeDeviceModule(A, PA);
+  CompileResult RB = optimizeDeviceModule(B, PB);
+  ASSERT_FALSE(RA.VerifyFailed);
+  ASSERT_FALSE(RB.VerifyFailed);
+  EXPECT_EQ(hashModule(A), hashModule(B))
+      << "a rolled-back pass must leave no trace in the final IR";
+}
+
+TEST(Recovery, FatalErrorInPassIsRecovered) {
+  IRContext Ctx;
+  Module M(Ctx, "fatal");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+
+  PipelineOptions P = makeDevPipeline();
+  P.Instrument.Recover = true;
+  P.ExtraPasses.push_back({"fatal-pass", [](Module &) -> bool {
+                             reportFatalError("synthetic pass failure");
+                             return true;
+                           }});
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  EXPECT_FALSE(verifyModule(M));
+  ASSERT_EQ(CR.Recoveries.size(), 1u);
+  EXPECT_EQ(CR.Recoveries[0].PassName, "fatal-pass");
+  EXPECT_EQ(CR.Recoveries[0].Kind, "fatal-error");
+  EXPECT_EQ(CR.Recoveries[0].Message, "synthetic pass failure");
+  ASSERT_EQ(CR.QuarantinedPasses.size(), 1u);
+  EXPECT_EQ(CR.QuarantinedPasses[0], "fatal-pass");
+}
+
+TEST(Recovery, ExceptionInPassIsRecovered) {
+  IRContext Ctx;
+  Module M(Ctx, "throwing");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+
+  PipelineOptions P = makeDevPipeline();
+  P.Instrument.Recover = true;
+  P.ExtraPasses.push_back({"throwing-pass", [](Module &M2) -> bool {
+                             corruptModule(M2); // damage, then die
+                             throw std::runtime_error("pass blew up");
+                           }});
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  EXPECT_FALSE(verifyModule(M));
+  ASSERT_EQ(CR.Recoveries.size(), 1u);
+  EXPECT_EQ(CR.Recoveries[0].Kind, "exception");
+  EXPECT_EQ(CR.Recoveries[0].Message, "pass blew up");
+}
+
+TEST(Recovery, EveryPipelinePresetSurvivesACorruptingPass) {
+  // The acceptance bar: injecting a corrupting pass into any evaluation
+  // preset still yields a verifier-clean module and a compile-report whose
+  // recovery section names the quarantined pass.
+  PipelineOptions Presets[] = {makeLLVM12Pipeline(), makeDevNoOptPipeline(),
+                               makeDevPipeline(), makeCUDAPipeline()};
+  for (PipelineOptions &P : Presets) {
+    SCOPED_TRACE(P.Name);
+    IRContext Ctx;
+    Module M(Ctx, "preset");
+    buildSaxpy(M, P.Scheme);
+
+    P.Instrument.Recover = true;
+    P.ExtraPasses.push_back({"corruptor", corruptModule});
+    CompileResult CR = optimizeDeviceModule(M, P);
+
+    EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+    EXPECT_FALSE(verifyModule(M));
+    ASSERT_EQ(CR.QuarantinedPasses.size(), 1u);
+    EXPECT_EQ(CR.QuarantinedPasses[0], "corruptor");
+
+    json::Value Report = buildCompileReport(P, CR);
+    json::Value Parsed;
+    std::string Error;
+    ASSERT_TRUE(json::parse(Report.str(), Parsed, &Error)) << Error;
+    EXPECT_EQ(Parsed.at("schema_version").asInt(),
+              (int64_t)CompileReportSchemaVersion);
+    const json::Value &Rec = Parsed.at("recovery");
+    EXPECT_TRUE(Rec.at("enabled").asBool());
+    ASSERT_EQ(Rec.at("events").size(), 1u);
+    EXPECT_EQ(Rec.at("events")[0].at("pass").asString(), "corruptor");
+    EXPECT_EQ(Rec.at("events")[0].at("kind").asString(), "verify-fail");
+    ASSERT_EQ(Rec.at("quarantined_passes").size(), 1u);
+    EXPECT_EQ(Rec.at("quarantined_passes")[0].asString(), "corruptor");
+  }
+}
+
+TEST(Recovery, HarnessRunsSabotagedPipelineEndToEnd) {
+  // End to end: a recovery-enabled compile with an injected corruptor must
+  // still produce a launchable, correct kernel (the harness re-resolves
+  // the kernel after the module contents were swapped by a rollback).
+  std::unique_ptr<Workload> W = createXSBench(ProblemSize::Small);
+  PipelineOptions P = makeDevPipeline();
+  P.Instrument.Recover = true;
+  P.ExtraPasses.push_back({"corruptor", corruptModule});
+
+  WorkloadRunResult R = runWorkload(*W, P);
+  EXPECT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+  EXPECT_TRUE(R.Checked);
+  EXPECT_TRUE(R.Correct);
+  ASSERT_EQ(R.Compile.QuarantinedPasses.size(), 1u);
+  EXPECT_EQ(R.Compile.QuarantinedPasses[0], "corruptor");
+}
+
+//===----------------------------------------------------------------------===//
+// -opt-bisect-limit
+//===----------------------------------------------------------------------===//
+
+TEST(OptBisect, LimitZeroSkipsEverySkippableExecution) {
+  IRContext Ctx;
+  Module M(Ctx, "bisect0");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+
+  PipelineOptions P = makeDevPipeline();
+  P.Instrument.OptBisectLimit = 0;
+  P.Instrument.VerifyEach = true;
+  CompileResult CR = optimizeDeviceModule(M, P);
+
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  ASSERT_FALSE(CR.Passes.empty());
+  for (const PassExecution &E : CR.Passes) {
+    if (E.Name == LinkDeviceRTLPassName) {
+      // Required lowering steps always run and consume no bisect index.
+      EXPECT_FALSE(E.Skipped);
+      EXPECT_EQ(E.BisectIndex, 0u);
+    } else {
+      EXPECT_TRUE(E.Skipped) << E.Name;
+      EXPECT_EQ(E.SkipReason, "opt-bisect") << E.Name;
+    }
+  }
+}
+
+TEST(OptBisect, IndicesAreContiguousAndDeterministic) {
+  auto Compile = [](CompileResult &Out) {
+    IRContext Ctx;
+    Module M(Ctx, "bisect-det");
+    buildSaxpy(M, CodeGenScheme::Simplified13);
+    PipelineOptions P = makeDevPipeline();
+    P.Instrument.TimePasses = true; // enable recording, no limit
+    Out = optimizeDeviceModule(M, P);
+  };
+  CompileResult A, B;
+  Compile(A);
+  Compile(B);
+
+  // 1-based, contiguous over the non-required executions, in pre-order.
+  unsigned Next = 1;
+  for (const PassExecution &E : A.Passes) {
+    if (E.Name == LinkDeviceRTLPassName) {
+      EXPECT_EQ(E.BisectIndex, 0u);
+      continue;
+    }
+    EXPECT_EQ(E.BisectIndex, Next++) << E.Name;
+  }
+  EXPECT_GT(Next, 1u);
+
+  // Identical inputs number identically — the property bisection rests on.
+  ASSERT_EQ(A.Passes.size(), B.Passes.size());
+  for (size_t I = 0; I != A.Passes.size(); ++I) {
+    EXPECT_EQ(A.Passes[I].Name, B.Passes[I].Name);
+    EXPECT_EQ(A.Passes[I].BisectIndex, B.Passes[I].BisectIndex);
+  }
+}
+
+TEST(OptBisect, DriverLocalizesInjectedBadPassAndLimitReproducesIt) {
+  PipelineOptions P = makeDevPipeline();
+  P.ExtraPasses.push_back({"corruptor", corruptModule});
+
+  BisectModuleFactory Factory = [](IRContext &Ctx) {
+    auto M = std::make_unique<Module>(Ctx, "bisect-probe");
+    buildSaxpy(*M, CodeGenScheme::Simplified13);
+    return M;
+  };
+
+  BisectResult BR = runOptBisect(Factory, P);
+  ASSERT_TRUE(BR.FoundFailure);
+  EXPECT_EQ(BR.PassName, "corruptor");
+  EXPECT_GT(BR.FirstBadExecution, 0);
+  EXPECT_GT(BR.TotalExecutions, 0u);
+  EXPECT_FALSE(BR.LastGood.VerifyFailed);
+
+  // The boundary carries an OMP181 remark naming the culprit.
+  bool SawOMP181 = false;
+  for (const Remark &R : BR.LastGood.Remarks.remarks())
+    if (R.Id == RemarkId::OMP181) {
+      SawOMP181 = true;
+      EXPECT_NE(R.Message.find("corruptor"), std::string::npos);
+    }
+  EXPECT_TRUE(SawOMP181);
+
+  // Manual reproduction: -opt-bisect-limit at the boundary re-triggers the
+  // failure; one below stays clean — same boundary as the automatic search.
+  auto ProbeAt = [&](int64_t Limit) {
+    IRContext Ctx;
+    std::unique_ptr<Module> M = Factory(Ctx);
+    PipelineOptions PP = P;
+    PP.Instrument.VerifyEach = true;
+    PP.Instrument.OptBisectLimit = Limit;
+    return optimizeDeviceModule(*M, PP);
+  };
+  CompileResult AtBoundary = ProbeAt(BR.FirstBadExecution);
+  EXPECT_TRUE(AtBoundary.VerifyFailed);
+  EXPECT_EQ(AtBoundary.FirstCorruptPass, "corruptor");
+  CompileResult BelowBoundary = ProbeAt(BR.FirstBadExecution - 1);
+  EXPECT_FALSE(BelowBoundary.VerifyFailed) << BelowBoundary.VerifyError;
+}
+
+TEST(OptBisect, CleanPipelineReportsNoFailure) {
+  PipelineOptions P = makeDevPipeline();
+  BisectModuleFactory Factory = [](IRContext &Ctx) {
+    auto M = std::make_unique<Module>(Ctx, "clean-probe");
+    buildSaxpy(*M, CodeGenScheme::Simplified13);
+    return M;
+  };
+  BisectResult BR = runOptBisect(Factory, P);
+  EXPECT_FALSE(BR.FoundFailure);
+  EXPECT_EQ(BR.FirstBadExecution, -1);
+  EXPECT_EQ(BR.Probes, 1u);
+  EXPECT_FALSE(BR.LastGood.VerifyFailed);
+}
+
+TEST(OptBisect, BisectWorkloadFindsInjectedBadPass) {
+  std::unique_ptr<Workload> W = createXSBench(ProblemSize::Small);
+  PipelineOptions P = makeDevPipeline();
+  P.ExtraPasses.push_back({"corruptor", corruptModule});
+
+  BisectResult BR = bisectWorkload(*W, P);
+  ASSERT_TRUE(BR.FoundFailure);
+  EXPECT_EQ(BR.PassName, "corruptor");
+
+  // And the clean pipeline passes the differential smoke oracle.
+  PipelineOptions Clean = makeDevPipeline();
+  BisectResult CleanBR = bisectWorkload(*W, Clean);
+  EXPECT_FALSE(CleanBR.FoundFailure);
+}
+
+//===----------------------------------------------------------------------===//
+// Error / Expected and the converted abort paths
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorHandling, ErrorAndExpectedBasics) {
+  Error OK = Error::success();
+  EXPECT_FALSE(OK);
+  EXPECT_TRUE(OK.message().empty());
+
+  Error Bad = Error::failure("it broke");
+  EXPECT_TRUE(Bad);
+  EXPECT_EQ(Bad.message(), "it broke");
+
+  Expected<int> Val(42);
+  ASSERT_TRUE(Val);
+  EXPECT_EQ(*Val, 42);
+  EXPECT_FALSE(Val.takeError());
+
+  Expected<int> Fail(Error::failure("no value"));
+  EXPECT_FALSE(Fail);
+  EXPECT_EQ(Fail.message(), "no value");
+  Error Taken = Fail.takeError();
+  EXPECT_TRUE(Taken);
+  EXPECT_EQ(Taken.message(), "no value");
+}
+
+TEST(ErrorHandling, ParseCommandLineArgsReportsBadValues) {
+  static cl::opt<int64_t> TestNum("recovery-test-num",
+                                  "test-only numeric option", 7);
+
+  const char *Good[] = {"prog", "-recovery-test-num=21", "positional"};
+  Expected<std::vector<std::string>> R =
+      cl::parseCommandLineArgs(3, Good);
+  ASSERT_TRUE(R) << R.message();
+  EXPECT_EQ(TestNum.getValue(), 21);
+  ASSERT_EQ(R->size(), 2u);
+  EXPECT_EQ((*R)[1], "positional");
+
+  const char *Bad[] = {"prog", "-recovery-test-num=banana"};
+  Expected<std::vector<std::string>> E = cl::parseCommandLineArgs(2, Bad);
+  ASSERT_FALSE(E);
+  EXPECT_NE(E.message().find("banana"), std::string::npos);
+  EXPECT_NE(E.message().find("recovery-test-num"), std::string::npos);
+  // The failed parse must not have clobbered the previous value.
+  EXPECT_EQ(TestNum.getValue(), 21);
+}
+
+TEST(ErrorHandling, CompileReportFileErrorsAreRecoverable) {
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("k", "v");
+  Error E = writeCompileReportFile(
+      "/nonexistent-dir-for-ompgpu-tests/report.json", Doc);
+  ASSERT_TRUE(E);
+  EXPECT_NE(E.message().find("cannot open"), std::string::npos);
+}
+
+} // namespace
