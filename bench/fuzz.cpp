@@ -1,0 +1,190 @@
+//===- bench/fuzz.cpp - Differential fuzzing driver ------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Campaign driver for the differential fuzzing subsystem (docs/fuzzing.md):
+/// samples seeded recipes, judges each one across every pipeline preset with
+/// the cross-preset oracle, and on a mismatch persists the recipe, reduces
+/// the failing module, and attributes the failure to a pass execution via
+/// opt-bisect. Exits nonzero when any case failed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reduce.h"
+#include "ir/AsmWriter.h"
+#include "ir/IRContext.h"
+#include "ir/Module.h"
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+
+static cl::opt<int64_t> Seed("fuzz-seed", "First seed of the campaign", 1);
+static cl::opt<int64_t> Runs("fuzz-runs", "Number of consecutive seeds", 200);
+static cl::opt<std::string>
+    CorpusDir("fuzz-corpus-dir",
+              "Directory for corpus.json plus failing recipes, modules, and "
+              "reduced cases (empty: no persistence)",
+              "");
+static cl::opt<std::string>
+    Replay("fuzz-replay",
+           "Replay one recipe JSON file instead of running a campaign", "");
+static cl::opt<int64_t>
+    PrintSeed("fuzz-print-module",
+              "Print the generated module for this seed and exit (0 = off)",
+              0);
+static cl::opt<std::string>
+    PrintScheme("fuzz-print-scheme",
+                "Scheme for -fuzz-print-module: simplified13 or legacy12",
+                "simplified13");
+static cl::opt<int64_t>
+    MaxProbes("fuzz-max-probes", "Reduction probe budget per failing case",
+              120);
+static cl::opt<bool> NoReduce("fuzz-no-reduce",
+                              "Skip reduction and attribution of failures",
+                              false);
+
+/// Emits the recipe's module under \p Scheme into a fresh context and
+/// returns its textual IR.
+static std::string generatedModuleText(const KernelRecipe &R,
+                                       CodeGenScheme Scheme) {
+  IRContext Ctx;
+  Module M(Ctx, "fuzz");
+  OMPCodeGen CG(M, CodeGenOptions{Scheme, /*CudaMode=*/false});
+  generateKernel(CG, R);
+  return moduleToString(M);
+}
+
+/// Reduces and bisects one failing case; writes artifacts when a corpus
+/// directory was given.
+static void reduceAndAttribute(const KernelRecipe &R,
+                               const std::string &PresetName) {
+  const std::vector<PipelineOptions> Presets = defaultFuzzPresets();
+  const PipelineOptions *P = nullptr;
+  for (const PipelineOptions &Candidate : Presets)
+    if (Candidate.Name == PresetName)
+      P = &Candidate;
+  if (!P) {
+    errs() << "  cannot reduce: unknown preset '" << PresetName << "'\n";
+    return;
+  }
+
+  IRContext Ctx;
+  Module M(Ctx, "fuzz");
+  OMPCodeGen CG(M, CodeGenOptions{P->Scheme, /*CudaMode=*/false});
+  generateKernel(CG, R);
+
+  ReducePredicate Pred = makeDifferentialPredicate(R, *P);
+  if (!Pred(M)) {
+    errs() << "  failure did not reproduce under the reduction predicate; "
+              "skipping reduction\n";
+    return;
+  }
+  ReduceOptions RO;
+  RO.MaxProbes = (unsigned)(int64_t)MaxProbes;
+  ReduceResult RR = reduceFailingModule(M, Pred, RO);
+  errs() << "  reduced " << RR.OriginalInstructions << " -> "
+         << RR.FinalInstructions << " instructions (" << RR.Probes
+         << " probes)\n";
+
+  BisectResult BR = attributeFailure(*RR.Reduced, R, *P);
+  if (BR.FoundFailure && BR.FirstBadExecution > 0)
+    errs() << "  attributed to pass execution #" << BR.FirstBadExecution
+           << " ('" << BR.PassName << "', invocation " << BR.Invocation
+           << ")\n";
+  else if (BR.FoundFailure)
+    errs() << "  not attributable to a skippable pass (input or required "
+              "lowering)\n";
+  else
+    errs() << "  bisection could not reproduce the failure\n";
+
+  if (!CorpusDir.getValue().empty()) {
+    std::string Base =
+        CorpusDir.getValue() + "/case-" + std::to_string(R.Seed);
+    if (Error E = writeTextFile(Base + ".ll", moduleToString(M)))
+      errs() << "  " << E.message() << "\n";
+    if (Error E =
+            writeTextFile(Base + ".reduced.ll", moduleToString(*RR.Reduced)))
+      errs() << "  " << E.message() << "\n";
+  }
+}
+
+/// Runs the oracle for one recipe; returns the corpus entry and prints and
+/// persists any failure.
+static CorpusEntry runCase(const KernelRecipe &R) {
+  CorpusEntry E;
+  E.Seed = R.Seed;
+  FuzzVerdict V = runFuzzOracle(R);
+  E.OK = V.OK;
+  if (V.OK)
+    return E;
+
+  E.FailingPreset = V.FailingPreset;
+  E.Reason = V.Reason;
+  errs() << "FAIL " << R.summary() << "\n  preset '" << V.FailingPreset
+         << "': " << V.Reason << "\n";
+  if (!CorpusDir.getValue().empty()) {
+    E.CaseFile = "case-" + std::to_string(R.Seed) + ".json";
+    if (Error Err = saveRecipe(CorpusDir.getValue() + "/" + E.CaseFile, R))
+      errs() << "  " << Err.message() << "\n";
+  }
+  if (!NoReduce)
+    reduceAndAttribute(R, V.FailingPreset);
+  return E;
+}
+
+int main(int argc, char **argv) {
+  cl::parseCommandLine(argc, argv);
+
+  if ((int64_t)PrintSeed != 0) {
+    CodeGenScheme Scheme = PrintScheme.getValue() == "legacy12"
+                               ? CodeGenScheme::Legacy12
+                               : CodeGenScheme::Simplified13;
+    KernelRecipe R = KernelRecipe::sample((uint64_t)(int64_t)PrintSeed);
+    outs() << "; recipe: " << R.summary() << "\n"
+           << generatedModuleText(R, Scheme);
+    return 0;
+  }
+
+  if (!CorpusDir.getValue().empty())
+    if (Error E = ensureDirectory(CorpusDir.getValue())) {
+      errs() << E.message() << "\n";
+      return 2;
+    }
+
+  if (!Replay.getValue().empty()) {
+    Expected<KernelRecipe> R = loadRecipe(Replay.getValue());
+    if (!R) {
+      errs() << R.message() << "\n";
+      return 2;
+    }
+    CorpusEntry E = runCase(*R);
+    outs() << (E.OK ? "OK " : "FAIL ") << R->summary() << "\n";
+    return E.OK ? 0 : 1;
+  }
+
+  std::vector<CorpusEntry> Entries;
+  unsigned Failures = 0;
+  uint64_t First = (uint64_t)(int64_t)Seed;
+  uint64_t N = (uint64_t)(int64_t)Runs;
+  for (uint64_t S = First; S < First + N; ++S) {
+    CorpusEntry E = runCase(KernelRecipe::sample(S));
+    if (!E.OK)
+      ++Failures;
+    Entries.push_back(std::move(E));
+  }
+
+  if (!CorpusDir.getValue().empty())
+    if (Error E = saveCorpus(CorpusDir.getValue() + "/corpus.json", Entries))
+      errs() << E.message() << "\n";
+
+  outs() << "fuzz: " << N << " cases from seed " << First << ", "
+         << Failures << " failure" << (Failures == 1 ? "" : "s") << "\n";
+  return Failures ? 1 : 0;
+}

@@ -41,6 +41,8 @@ enum class RemarkId : unsigned {
   OMP170 = 170, ///< OpenMP runtime call folded to a constant.
   OMP180 = 180, ///< Pass rolled back and quarantined (recovery mode).
   OMP181 = 181, ///< Opt-bisect localized the first bad pass execution.
+  OMP190 = 190, ///< Differential fuzzing found an oracle mismatch (missed).
+  OMP191 = 191, ///< Fuzz reducer shrank a failing module.
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

@@ -1,0 +1,122 @@
+//===- fuzz/Corpus.cpp - Fuzzing corpus persistence ------------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace ompgpu;
+
+Error ompgpu::writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool CloseOK = std::fclose(F) == 0;
+  if (Written != Text.size() || !CloseOK)
+    return Error::failure("short write to '" + Path + "'");
+  return Error::success();
+}
+
+Expected<std::string> ompgpu::readTextFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error::failure("cannot open '" + Path + "' for reading");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  bool ReadOK = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!ReadOK)
+    return Error::failure("read error on '" + Path + "'");
+  return Text;
+}
+
+Error ompgpu::ensureDirectory(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::create_directories(Path, EC);
+  if (EC)
+    return Error::failure("cannot create directory '" + Path +
+                          "': " + EC.message());
+  return Error::success();
+}
+
+Error ompgpu::saveRecipe(const std::string &Path, const KernelRecipe &R) {
+  return writeTextFile(Path, R.toJSON().str() + "\n");
+}
+
+Expected<KernelRecipe> ompgpu::loadRecipe(const std::string &Path) {
+  Expected<std::string> Text = readTextFile(Path);
+  if (!Text)
+    return Text.takeError();
+  json::Value V;
+  std::string Err;
+  if (!json::parse(*Text, V, &Err))
+    return Error::failure("malformed recipe '" + Path + "': " + Err);
+  return KernelRecipe::fromJSON(V);
+}
+
+json::Value ompgpu::corpusToJSON(const std::vector<CorpusEntry> &Entries) {
+  json::Value Cases = json::Value::makeArray();
+  for (const CorpusEntry &E : Entries) {
+    json::Value C = json::Value::makeObject();
+    C.set("seed", E.Seed);
+    C.set("ok", E.OK);
+    if (!E.OK) {
+      C.set("failing_preset", E.FailingPreset);
+      C.set("reason", E.Reason);
+      C.set("case_file", E.CaseFile);
+    }
+    Cases.push_back(std::move(C));
+  }
+  json::Value V = json::Value::makeObject();
+  V.set("schema_version", 1);
+  V.set("cases", std::move(Cases));
+  return V;
+}
+
+Expected<std::vector<CorpusEntry>>
+ompgpu::corpusFromJSON(const json::Value &V) {
+  if (!V.isObject() || !V.at("cases").isArray())
+    return Error::failure("corpus JSON: missing 'cases' array");
+  std::vector<CorpusEntry> Entries;
+  for (const json::Value &C : V.at("cases").elements()) {
+    if (!C.isObject())
+      return Error::failure("corpus JSON: case is not an object");
+    CorpusEntry E;
+    E.Seed = (uint64_t)C.at("seed").asInt();
+    E.OK = C.at("ok").asBool();
+    if (const json::Value *P = C.find("failing_preset"))
+      E.FailingPreset = P->asString();
+    if (const json::Value *R = C.find("reason"))
+      E.Reason = R->asString();
+    if (const json::Value *F = C.find("case_file"))
+      E.CaseFile = F->asString();
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+Error ompgpu::saveCorpus(const std::string &Path,
+                         const std::vector<CorpusEntry> &Entries) {
+  return writeTextFile(Path, corpusToJSON(Entries).str() + "\n");
+}
+
+Expected<std::vector<CorpusEntry>>
+ompgpu::loadCorpus(const std::string &Path) {
+  Expected<std::string> Text = readTextFile(Path);
+  if (!Text)
+    return Text.takeError();
+  json::Value V;
+  std::string Err;
+  if (!json::parse(*Text, V, &Err))
+    return Error::failure("malformed corpus '" + Path + "': " + Err);
+  return corpusFromJSON(V);
+}

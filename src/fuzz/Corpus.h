@@ -1,0 +1,62 @@
+//===- fuzz/Corpus.h - Fuzzing corpus persistence ---------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File persistence for the fuzzing subsystem: recipes as JSON (replayable
+/// byte-identically from the seed and knobs alone), and a corpus summary
+/// indexing every case a campaign ran with its verdict. The nightly CI job
+/// uploads the corpus directory as an artifact; docs/fuzzing.md documents
+/// the layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FUZZ_CORPUS_H
+#define OMPGPU_FUZZ_CORPUS_H
+
+#include "fuzz/KernelGenerator.h"
+
+namespace ompgpu {
+
+/// One campaign case in the corpus summary (corpus.json).
+struct CorpusEntry {
+  uint64_t Seed = 0;
+  bool OK = true;
+  std::string FailingPreset; ///< "" when OK.
+  std::string Reason;        ///< "" when OK.
+  std::string CaseFile;      ///< Recipe JSON filename, relative to the
+                             ///< corpus directory ("" when OK).
+};
+
+/// \name Plain text file IO
+/// raw_fd_ostream silently falls back to stderr when a path cannot be
+/// opened, which would corrupt a corpus without failing the run; these
+/// helpers report errors instead.
+/// @{
+Error writeTextFile(const std::string &Path, const std::string &Text);
+Expected<std::string> readTextFile(const std::string &Path);
+/// Creates \p Path (and parents) if absent.
+Error ensureDirectory(const std::string &Path);
+/// @}
+
+/// \name Recipe files
+/// @{
+Error saveRecipe(const std::string &Path, const KernelRecipe &R);
+Expected<KernelRecipe> loadRecipe(const std::string &Path);
+/// @}
+
+/// \name Corpus summary
+/// @{
+json::Value corpusToJSON(const std::vector<CorpusEntry> &Entries);
+Expected<std::vector<CorpusEntry>> corpusFromJSON(const json::Value &V);
+Error saveCorpus(const std::string &Path,
+                 const std::vector<CorpusEntry> &Entries);
+Expected<std::vector<CorpusEntry>> loadCorpus(const std::string &Path);
+/// @}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FUZZ_CORPUS_H

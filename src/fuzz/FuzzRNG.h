@@ -1,0 +1,55 @@
+//===- fuzz/FuzzRNG.h - Deterministic fuzzing RNG ---------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64 generator for the fuzzing subsystem. <random> engines and
+/// distributions are implementation-defined across standard libraries, so
+/// a corpus recorded on one toolchain would not replay byte-identically on
+/// another; this fixed algorithm keeps recipes portable (docs/fuzzing.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FUZZ_FUZZRNG_H
+#define OMPGPU_FUZZ_FUZZRNG_H
+
+#include <cstdint>
+
+namespace ompgpu {
+
+/// splitmix64: tiny, fast, and fully specified. Identical seeds produce
+/// identical streams on every platform.
+class FuzzRNG {
+  uint64_t State;
+
+public:
+  explicit FuzzRNG(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform-ish value in [0, N). The modulo bias is irrelevant at
+  /// fuzzing's N (< 2^32) and keeps the mapping trivially portable.
+  uint64_t next(uint64_t N) { return N ? next() % N : 0; }
+
+  /// Uniform-ish integer in [Lo, Hi] (inclusive).
+  int nextInt(int Lo, int Hi) {
+    return Lo + (int)next((uint64_t)(Hi - Lo + 1));
+  }
+
+  /// True with probability PercentTrue/100.
+  bool nextBool(unsigned PercentTrue = 50) {
+    return next(100) < PercentTrue;
+  }
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FUZZ_FUZZRNG_H

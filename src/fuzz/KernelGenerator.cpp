@@ -1,0 +1,520 @@
+//===- fuzz/KernelGenerator.cpp - Random OpenMP kernel generator -----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/KernelGenerator.h"
+#include "fuzz/FuzzRNG.h"
+#include "ir/IRContext.h"
+#include "support/Casting.h"
+
+#include <sstream>
+
+using namespace ompgpu;
+
+//===----------------------------------------------------------------------===//
+// Recipe sampling / serialization
+//===----------------------------------------------------------------------===//
+
+KernelRecipe KernelRecipe::sample(uint64_t Seed) {
+  // Scramble so consecutive seeds give unrelated recipes.
+  FuzzRNG Rng(Seed * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+
+  KernelRecipe R;
+  R.Seed = Seed;
+  R.SPMD = Rng.nextBool(60);
+  R.NumTeams = Rng.nextInt(1, 3);
+  // Generic kernels need workers: the runtime reserves one warp for the
+  // main thread, so a 32-thread generic block would have zero workers.
+  R.NumThreads = R.SPMD ? (Rng.nextBool() ? 32 : 64) : 64;
+
+  switch (Rng.next(3)) {
+  case 0:
+    R.RegionShape = Shape::Combined;
+    break;
+  case 1:
+    R.RegionShape = Shape::DistributeInner;
+    break;
+  default:
+    R.RegionShape = Shape::Flat;
+    break;
+  }
+  R.NumRegions = R.RegionShape == Shape::Flat ? Rng.nextInt(1, 2) : 1;
+  if (R.RegionShape == Shape::DistributeInner) {
+    R.NumChunks = Rng.nextBool() ? 2 : 4;
+    int ChunkSize = 4 * Rng.nextInt(1, 3); // 4, 8, or 12
+    R.TripCount = R.NumChunks * ChunkSize;
+  } else {
+    R.NumChunks = 1;
+    R.TripCount = 8 * Rng.nextInt(1, 4); // 8..32
+  }
+
+  R.EscapingTeamLocal = Rng.nextBool(40);
+  R.NonEscapingTeamLocal = Rng.nextBool(40);
+  R.WorkerLocal = Rng.nextBool(40);
+  R.GuardedSideEffect = Rng.nextBool(40);
+  R.NestedParallel = Rng.nextBool(25);
+  R.IndirectParallelCall = Rng.nextBool(25);
+  R.ExprOps = Rng.nextInt(1, 3);
+  R.ExprSeed = Rng.next();
+  return R;
+}
+
+static std::string shapeName(KernelRecipe::Shape S) {
+  switch (S) {
+  case KernelRecipe::Shape::Combined:
+    return "combined";
+  case KernelRecipe::Shape::DistributeInner:
+    return "distribute-inner";
+  case KernelRecipe::Shape::Flat:
+    return "flat";
+  }
+  return "combined";
+}
+
+json::Value KernelRecipe::toJSON() const {
+  json::Value V = json::Value::makeObject();
+  V.set("seed", Seed);
+  V.set("spmd", SPMD);
+  V.set("num_teams", NumTeams);
+  V.set("num_threads", NumThreads);
+  V.set("trip_count", TripCount);
+  V.set("shape", shapeName(RegionShape));
+  V.set("num_regions", NumRegions);
+  V.set("num_chunks", NumChunks);
+  V.set("escaping_team_local", EscapingTeamLocal);
+  V.set("non_escaping_team_local", NonEscapingTeamLocal);
+  V.set("worker_local", WorkerLocal);
+  V.set("guarded_side_effect", GuardedSideEffect);
+  V.set("nested_parallel", NestedParallel);
+  V.set("indirect_parallel_call", IndirectParallelCall);
+  V.set("expr_ops", ExprOps);
+  V.set("expr_seed", ExprSeed);
+  return V;
+}
+
+Expected<KernelRecipe> KernelRecipe::fromJSON(const json::Value &V) {
+  KernelRecipe R;
+  const json::Value *Seed = V.find("seed");
+  const json::Value *Shape = V.find("shape");
+  if (!Seed || !Shape)
+    return Error::failure("recipe JSON missing 'seed' or 'shape'");
+  R.Seed = (uint64_t)Seed->asInt();
+  R.SPMD = V.at("spmd").asBool();
+  R.NumTeams = (int)V.at("num_teams").asInt();
+  R.NumThreads = (int)V.at("num_threads").asInt();
+  R.TripCount = (int)V.at("trip_count").asInt();
+  const std::string &S = Shape->asString();
+  if (S == "combined")
+    R.RegionShape = Shape::Combined;
+  else if (S == "distribute-inner")
+    R.RegionShape = Shape::DistributeInner;
+  else if (S == "flat")
+    R.RegionShape = Shape::Flat;
+  else
+    return Error::failure("recipe JSON: unknown shape '" + S + "'");
+  R.NumRegions = (int)V.at("num_regions").asInt();
+  R.NumChunks = (int)V.at("num_chunks").asInt();
+  R.EscapingTeamLocal = V.at("escaping_team_local").asBool();
+  R.NonEscapingTeamLocal = V.at("non_escaping_team_local").asBool();
+  R.WorkerLocal = V.at("worker_local").asBool();
+  R.GuardedSideEffect = V.at("guarded_side_effect").asBool();
+  R.NestedParallel = V.at("nested_parallel").asBool();
+  R.IndirectParallelCall = V.at("indirect_parallel_call").asBool();
+  R.ExprOps = (int)V.at("expr_ops").asInt();
+  R.ExprSeed = (uint64_t)V.at("expr_seed").asInt();
+  if (R.TripCount <= 0 || R.NumTeams <= 0 || R.NumThreads <= 0 ||
+      R.NumRegions <= 0 || R.NumChunks <= 0 ||
+      R.TripCount % R.NumChunks != 0)
+    return Error::failure("recipe JSON: inconsistent sizes");
+  return R;
+}
+
+std::string KernelRecipe::summary() const {
+  std::ostringstream OS;
+  OS << "seed=" << Seed << (SPMD ? " spmd" : " generic") << " teams="
+     << NumTeams << "x" << NumThreads << " trip=" << TripCount << " shape="
+     << shapeName(RegionShape) << "/" << NumRegions;
+  std::string Tags;
+  auto Tag = [&](bool On, const char *Name) {
+    if (!On)
+      return;
+    Tags += Tags.empty() ? "" : ",";
+    Tags += Name;
+  };
+  Tag(EscapingTeamLocal, "esc");
+  Tag(NonEscapingTeamLocal, "priv");
+  Tag(WorkerLocal, "wl");
+  Tag(GuardedSideEffect, "guard");
+  Tag(NestedParallel, "nested");
+  Tag(IndirectParallelCall, "indirect");
+  if (!Tags.empty())
+    OS << " [" << Tags << "]";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Expression sampling (shared by IR emission and the host model)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// One arithmetic step: Acc = Acc <op> <operand>.
+struct ExprOp {
+  unsigned Kind;    ///< 0 fadd, 1 fsub, 2 fmul
+  unsigned Operand; ///< 0 constant, 1 x (= in[i]), 2 (double)n
+  double Const;
+};
+} // namespace
+
+static std::vector<ExprOp> sampleExprOps(uint64_t Seed, int Count) {
+  FuzzRNG Rng(Seed ^ 0x5deece66dULL);
+  std::vector<ExprOp> Ops(Count);
+  for (ExprOp &Op : Ops) {
+    Op.Kind = (unsigned)Rng.next(3);
+    Op.Operand = (unsigned)Rng.next(3);
+    // Small quarter-integer constants keep magnitudes bounded through
+    // multiply chains; exactness is irrelevant (host and device perform
+    // the identical IEEE op sequence) but small values read well in IR.
+    Op.Const = (double)Rng.nextInt(-8, 8) * 0.25;
+  }
+  return Ops;
+}
+
+std::vector<double> ompgpu::makeInputs(const KernelRecipe &R) {
+  FuzzRNG Rng(R.ExprSeed ^ 0x9e3779b9ULL);
+  std::vector<double> In((size_t)R.TripCount);
+  for (double &V : In)
+    V = (double)Rng.nextInt(-16, 16) * 0.25;
+  return In;
+}
+
+std::vector<double> ompgpu::expectedOutputs(const KernelRecipe &R,
+                                            const std::vector<double> &In) {
+  // This mirrors the emitted IR op-for-op; any edit here must be matched
+  // in generateKernel's body emission (and vice versa).
+  double N = (double)R.TripCount;
+  double TeamEscape = N * 0.25;
+  double TeamPriv = N * 0.5;
+  std::vector<double> Out((size_t)R.TripCount, 0.0);
+  for (int K = 0; K < R.NumRegions; ++K) {
+    std::vector<ExprOp> Ops = sampleExprOps(R.ExprSeed + (uint64_t)K,
+                                            R.ExprOps);
+    for (int I = 0; I < R.TripCount; ++I) {
+      double X = In[(size_t)I];
+      double Acc = X;
+      for (const ExprOp &Op : Ops) {
+        double Operand = Op.Operand == 0 ? Op.Const
+                         : Op.Operand == 1 ? X
+                                           : N;
+        Acc = Op.Kind == 0   ? Acc + Operand
+              : Op.Kind == 1 ? Acc - Operand
+                             : Acc * Operand;
+      }
+      if (R.EscapingTeamLocal)
+        Acc = Acc + TeamEscape;
+      if (R.NonEscapingTeamLocal)
+        Acc = Acc + TeamPriv;
+      if (R.WorkerLocal)
+        Acc = Acc + 1.5;
+      if (K > 0)
+        Acc = Out[(size_t)I] * 0.5 + Acc;
+      if (R.GuardedSideEffect)
+        Acc = X > 0.0 ? Acc + 1.0 : Acc - 1.0;
+      Out[(size_t)I] = Acc;
+      if (R.NestedParallel && K == 0)
+        Out[(size_t)I] = Out[(size_t)I] * 2.0 + X;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// IR emission
+//===----------------------------------------------------------------------===//
+
+/// Builds the hand-rolled wrapper of the nested parallel region:
+///   void fuzz_nested_wrapper(ptr frame)  // frame = {ptr out, i32 i, f64 x}
+///     out[i] = out[i] * 2.0 + x
+static Function *buildNestedWrapper(OMPCodeGen &CG, StructType *FrameTy) {
+  IRContext &Ctx = CG.getContext();
+  Module &M = CG.getModule();
+  Type *F64 = Ctx.getDoubleTy();
+  Function *W = M.createFunction(
+      "fuzz_nested_wrapper",
+      Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}),
+      Linkage::Internal);
+  Argument *Frame = W->getArg(0);
+  Frame->setName("captured_args");
+
+  IRBuilder B(Ctx);
+  B.setInsertPoint(W->createBlock("entry"));
+  Value *OutP = B.createLoad(
+      Ctx.getPtrTy(),
+      B.createGEP(FrameTy, Frame, {Ctx.getInt64(0), Ctx.getInt64(0)}),
+      "nested.out");
+  Value *I = B.createLoad(
+      Ctx.getInt32Ty(),
+      B.createGEP(FrameTy, Frame, {Ctx.getInt64(0), Ctx.getInt64(1)}),
+      "nested.i");
+  Value *X = B.createLoad(
+      F64, B.createGEP(FrameTy, Frame, {Ctx.getInt64(0), Ctx.getInt64(2)}),
+      "nested.x");
+  Value *EP = B.createGEP(F64, OutP, {I}, "nested.elem");
+  Value *Cur = B.createLoad(F64, EP, "nested.cur");
+  B.createStore(B.createFAdd(B.createFMul(Cur, Ctx.getDouble(2.0)), X), EP);
+  B.createRetVoid();
+  return W;
+}
+
+/// Rewrites every kernel-scope __kmpc_parallel_51 call site so its callee
+/// is a select between two wrapper functions instead of a direct function
+/// reference. The condition (n < 2^20) is always true at runtime — the
+/// original wrapper always runs, so semantics are untouched — but the
+/// region becomes statically unknown, exercising the optimizer's
+/// unknown-parallel-region paths (OMP132, state-machine fallbacks).
+static void makeParallelCallsIndirect(OMPCodeGen &CG, Function *Kernel,
+                                      Argument *N) {
+  IRContext &Ctx = CG.getContext();
+  Function *P51 = CG.getRTFn(RTFn::Parallel51);
+
+  std::vector<CallInst *> Sites;
+  std::vector<Function *> Wrappers;
+  for (BasicBlock *BB : Kernel->getBlocks())
+    for (Instruction *I : BB->getInstructions())
+      if (auto *C = dyn_cast<CallInst>(I))
+        if (C->getCalledFunction() == P51)
+          if (auto *W = dyn_cast<Function>(C->getArgOperand(0))) {
+            Sites.push_back(C);
+            Wrappers.push_back(W);
+          }
+
+  for (size_t I = 0, E = Sites.size(); I != E; ++I) {
+    CallInst *C = Sites[I];
+    Function *Orig = Wrappers[I];
+    Function *Other = Wrappers[(I + 1) % Wrappers.size()];
+    BasicBlock *BB = C->getParent();
+    Instruction *Cond =
+        new ICmpInst(Ctx, ICmpPred::SLT, N, Ctx.getInt32(1 << 20));
+    Cond->setName("indirect.cond");
+    BB->insertBefore(Cond, C);
+    Instruction *Callee = new SelectInst(Cond, Orig, Other);
+    Callee->setName("indirect.fn");
+    BB->insertBefore(Callee, C);
+    C->setArgOperand(0, Callee);
+  }
+}
+
+Function *ompgpu::generateKernel(OMPCodeGen &CG, const KernelRecipe &R) {
+  IRContext &Ctx = CG.getContext();
+  Type *F64 = Ctx.getDoubleTy();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, "fuzz_kernel", {Ptr, Ptr, I32},
+                          R.SPMD ? ExecMode::SPMD : ExecMode::Generic,
+                          R.NumTeams, R.NumThreads);
+  TRB.getKernel()->getKernelEnvironment().MayUseNestedParallelism =
+      R.NestedParallel;
+  Argument *In = TRB.getParam(0);
+  Argument *Out = TRB.getParam(1);
+  Argument *N = TRB.getParam(2);
+  In->setName("in");
+  Out->setName("out");
+  N->setName("n");
+  IRBuilder &B = TRB.getBuilder();
+
+  // Team-scope locals (main-thread allocations in generic mode).
+  Value *TeamEscapePtr = nullptr; // captured by reference below
+  Value *TeamPrivVal = nullptr;   // captured by value below
+  if (R.EscapingTeamLocal) {
+    TeamEscapePtr =
+        TRB.emitLocalVariable(F64, "team_escape", /*AddressTaken=*/true);
+    Value *NF = B.createCast(CastOp::SIToFP, N, F64, "n.fp");
+    B.createStore(B.createFMul(NF, Ctx.getDouble(0.25)), TeamEscapePtr);
+  }
+  if (R.NonEscapingTeamLocal) {
+    Value *L =
+        TRB.emitLocalVariable(F64, "team_priv", /*AddressTaken=*/false);
+    Value *NF = B.createCast(CastOp::SIToFP, N, F64, "n.fp");
+    B.createStore(B.createFMul(NF, Ctx.getDouble(0.5)), L);
+    TeamPrivVal = B.createLoad(F64, L, "team_priv.val");
+  }
+
+  // The nested parallel region's wrapper and frame type, shared by every
+  // call site (one per element of region 0).
+  StructType *NestedFrameTy = nullptr;
+  Function *NestedWrapper = nullptr;
+  if (R.NestedParallel) {
+    NestedFrameTy = Ctx.getStructTy({Ptr, I32, F64});
+    NestedWrapper = buildNestedWrapper(CG, NestedFrameTy);
+  }
+
+  // Captures shared by all regions.
+  std::vector<TargetRegionBuilder::Capture> BaseCaps = {
+      {In, false, "in"}, {Out, false, "out"}, {N, false, "n"}};
+  if (TeamEscapePtr)
+    BaseCaps.push_back({TeamEscapePtr, /*ByRef=*/true, "team_escape"});
+  if (TeamPrivVal)
+    BaseCaps.push_back({TeamPrivVal, false, "team_priv"});
+
+  // Per-wrapper state the prologue allocates and the body consumes.
+  Value *WorkerSlot = nullptr;
+  Value *NestedFrame = nullptr;
+  TargetRegionBuilder::PrologueFn Prologue =
+      [&](IRBuilder &PB, const TargetRegionBuilder::CaptureMap &) {
+        WorkerSlot = nullptr;
+        NestedFrame = nullptr;
+        if (R.WorkerLocal)
+          WorkerSlot = TRB.emitParallelLocalVariable(
+              PB, F64, "worker_local", /*AddressTaken=*/true);
+        if (R.NestedParallel)
+          // Hoisted out of the element loop: one frame per wrapper
+          // invocation, refilled per element. A thread only ever passes it
+          // to the (serialized) nested region it calls itself.
+          NestedFrame = PB.createAlloca(NestedFrameTy, "nested_frame");
+      };
+
+  // Emits out[ElemIdx] = f_K(in[ElemIdx], n) into a wrapper body. The op
+  // order mirrors expectedOutputs exactly.
+  auto emitElement = [&](IRBuilder &LB, Value *ElemIdx, int K,
+                         const TargetRegionBuilder::CaptureMap &Map) {
+    Value *InW = Map.at(In);
+    Value *OutW = Map.at(Out);
+    Value *NW = Map.at(N);
+    Value *X =
+        LB.createLoad(F64, LB.createGEP(F64, InW, {ElemIdx}, "in.addr"),
+                      "x");
+    Value *NF = LB.createCast(CastOp::SIToFP, NW, F64, "n.fp");
+
+    Value *Acc = X;
+    for (const ExprOp &Op :
+         sampleExprOps(R.ExprSeed + (uint64_t)K, R.ExprOps)) {
+      Value *Operand = Op.Operand == 0 ? (Value *)Ctx.getDouble(Op.Const)
+                       : Op.Operand == 1 ? X
+                                         : NF;
+      Acc = Op.Kind == 0   ? LB.createFAdd(Acc, Operand)
+            : Op.Kind == 1 ? LB.createFSub(Acc, Operand)
+                           : LB.createFMul(Acc, Operand);
+    }
+    if (TeamEscapePtr)
+      Acc = LB.createFAdd(
+          Acc, LB.createLoad(F64, Map.at(TeamEscapePtr), "team_escape.val"));
+    if (TeamPrivVal)
+      Acc = LB.createFAdd(Acc, Map.at(TeamPrivVal));
+    if (R.WorkerLocal) {
+      // Round-trip through the address-taken worker allocation, then a
+      // constant contribution so removal is observable.
+      LB.createStore(Acc, WorkerSlot);
+      Acc = LB.createLoad(F64, WorkerSlot, "worker_local.val");
+      Acc = LB.createFAdd(Acc, Ctx.getDouble(1.5));
+    }
+    if (K > 0) {
+      // Sequential regions accumulate. Safe in every mode: each element is
+      // owned by the same thread in every region (identical striding), so
+      // the read of the previous region's value is same-thread program
+      // order in SPMD and barrier-ordered in generic.
+      Value *Prev = LB.createLoad(
+          F64, LB.createGEP(F64, OutW, {ElemIdx}, "out.prev.addr"),
+          "out.prev");
+      Acc = LB.createFAdd(LB.createFMul(Prev, Ctx.getDouble(0.5)), Acc);
+    }
+    if (R.GuardedSideEffect) {
+      Value *Cond =
+          LB.createFCmp(FCmpPred::OGT, X, Ctx.getDouble(0.0), "x.positive");
+      Value *AccIn = Acc;
+      Acc = emitSelectViaCFG(
+          LB, Cond, F64, "guarded",
+          [&](IRBuilder &TB) {
+            return (Value *)TB.createFAdd(AccIn, Ctx.getDouble(1.0));
+          },
+          [&](IRBuilder &EB) {
+            return (Value *)EB.createFSub(AccIn, Ctx.getDouble(1.0));
+          });
+    }
+    Value *OutP = LB.createGEP(F64, OutW, {ElemIdx}, "out.addr");
+    LB.createStore(Acc, OutP);
+
+    if (R.NestedParallel && K == 0) {
+      // Hand-rolled nested parallel region, exactly as the front-end
+      // lowers one: fill the frame, then branch on __kmpc_parallel_level.
+      // Inside a wrapper the level is always > 0, so the sequential direct
+      // call runs; the __kmpc_parallel_51 arm is statically present (the
+      // optimizer must reason about it) but dynamically dead.
+      LB.createStore(OutW,
+                     LB.createGEP(NestedFrameTy, NestedFrame,
+                                  {Ctx.getInt64(0), Ctx.getInt64(0)},
+                                  "nested_frame.out"));
+      LB.createStore(ElemIdx,
+                     LB.createGEP(NestedFrameTy, NestedFrame,
+                                  {Ctx.getInt64(0), Ctx.getInt64(1)},
+                                  "nested_frame.i"));
+      LB.createStore(X,
+                     LB.createGEP(NestedFrameTy, NestedFrame,
+                                  {Ctx.getInt64(0), Ctx.getInt64(2)},
+                                  "nested_frame.x"));
+      Value *PL =
+          LB.createCall(CG.getRTFn(RTFn::ParallelLevel), {}, "pl");
+      Value *IsNested =
+          LB.createICmp(ICmpPred::SGT, PL, Ctx.getInt32(0), "in.parallel");
+      emitIfThenElse(
+          LB, IsNested, "fuzz_nested",
+          [&](IRBuilder &TB) { TB.createCall(NestedWrapper, {NestedFrame}); },
+          [&](IRBuilder &EB) {
+            EB.createCall(CG.getRTFn(RTFn::Parallel51),
+                          {NestedWrapper, NestedFrame, Ctx.getInt32(-1)});
+          });
+    }
+  };
+
+  Value *Trip = Ctx.getInt32(R.TripCount);
+  switch (R.RegionShape) {
+  case KernelRecipe::Shape::Combined:
+    TRB.emitDistributeParallelFor(
+        Trip, BaseCaps,
+        [&](IRBuilder &LB, Value *Idx,
+            const TargetRegionBuilder::CaptureMap &Map) {
+          emitElement(LB, Idx, 0, Map);
+        },
+        /*NumThreadsClause=*/-1, Prologue);
+    break;
+
+  case KernelRecipe::Shape::DistributeInner: {
+    int ChunkSize = R.TripCount / R.NumChunks;
+    TRB.emitDistributeLoop(
+        Ctx.getInt32(R.NumChunks), [&](IRBuilder &DB, Value *Chunk) {
+          std::vector<TargetRegionBuilder::Capture> Caps = BaseCaps;
+          Caps.push_back({Chunk, false, "chunk"});
+          TRB.emitParallelFor(
+              Ctx.getInt32(ChunkSize), Caps,
+              [&](IRBuilder &LB, Value *J,
+                  const TargetRegionBuilder::CaptureMap &Map) {
+                Value *Base = LB.createMul(
+                    Map.at(Chunk), Ctx.getInt32(ChunkSize), "chunk.base");
+                Value *ElemIdx = LB.createAdd(Base, J, "elem");
+                emitElement(LB, ElemIdx, 0, Map);
+              },
+              /*NumThreadsClause=*/-1, Prologue);
+          (void)DB;
+        });
+    break;
+  }
+
+  case KernelRecipe::Shape::Flat:
+    for (int K = 0; K < R.NumRegions; ++K)
+      TRB.emitParallelFor(
+          Trip, BaseCaps,
+          [&](IRBuilder &LB, Value *Idx,
+              const TargetRegionBuilder::CaptureMap &Map) {
+            emitElement(LB, Idx, K, Map);
+          },
+          /*NumThreadsClause=*/-1, Prologue);
+    break;
+  }
+
+  Function *Kernel = TRB.finalize();
+  if (R.IndirectParallelCall)
+    makeParallelCallsIndirect(CG, Kernel, N);
+  return Kernel;
+}

@@ -1,0 +1,102 @@
+//===- fuzz/KernelGenerator.h - Random OpenMP kernel generator --*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of well-formed OpenMP device kernels through
+/// the front-end helpers (OMPCodeGen/TargetRegionBuilder/CGHelpers),
+/// sampling the paper's hazard space: escaping vs. non-escaping locals,
+/// main-thread-only vs. worker allocations, nested parallel regions,
+/// indirect parallel-region calls, and guarded side-effects with values
+/// live-out of guards.
+///
+/// Every generated kernel has the fixed signature
+///   void fuzz_kernel(ptr in, ptr out, i32 n)
+/// and the invariant that out[i] depends only on (in, i, n) — thread and
+/// team identifiers steer *which* thread computes an element, never the
+/// element's value. That makes outputs comparable bit-for-bit across every
+/// pipeline preset, execution-mode rewrite (SPMDzation), and state-machine
+/// variant; a host-side model (expectedOutputs) provides the ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FUZZ_KERNELGENERATOR_H
+#define OMPGPU_FUZZ_KERNELGENERATOR_H
+
+#include "frontend/OMPCodeGen.h"
+#include "support/Error.h"
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Everything needed to regenerate one kernel byte-identically. Sampled
+/// from a seed, serialized as JSON into the corpus (docs/fuzzing.md
+/// documents the schema), and replayed by seed or by file.
+struct KernelRecipe {
+  /// Region structure of the kernel's compute loops.
+  enum class Shape : uint8_t {
+    Combined,        ///< `distribute parallel for` (league-strided).
+    DistributeInner, ///< `distribute` over chunks + inner `parallel for`.
+    Flat,            ///< NumRegions sequential `parallel for` regions.
+  };
+
+  uint64_t Seed = 0; ///< The seed this recipe was sampled from.
+  bool SPMD = true;  ///< SPMD vs. generic syntactic execution mode.
+  int NumTeams = 2;
+  int NumThreads = 32; ///< Generic mode requires 64 (workers = 64 - warp).
+  int TripCount = 16;  ///< Elements; buffers are this many doubles.
+  Shape RegionShape = Shape::Combined;
+  int NumRegions = 1; ///< Sequential regions (Flat shape only; else 1).
+  int NumChunks = 1;  ///< DistributeInner: TripCount must divide evenly.
+
+  /// \name Hazard knobs (Sec. IV of the paper; Bercea et al. patterns)
+  /// @{
+  bool EscapingTeamLocal = false;    ///< Team-scope local, address taken,
+                                     ///< captured by reference (globalized).
+  bool NonEscapingTeamLocal = false; ///< Team-scope local, never escapes.
+  bool WorkerLocal = false;          ///< Address-taken local allocated in
+                                     ///< the parallel wrapper (worker side).
+  bool GuardedSideEffect = false;    ///< Guarded compute with the value
+                                     ///< live-out of the guard (CFG phi).
+  bool NestedParallel = false;       ///< Hand-rolled nested parallel region
+                                     ///< behind a __kmpc_parallel_level guard.
+  bool IndirectParallelCall = false; ///< __kmpc_parallel_51 callee hidden
+                                     ///< behind a select (unknown region).
+  /// @}
+
+  int ExprOps = 2;       ///< Arithmetic ops per region expression.
+  uint64_t ExprSeed = 1; ///< Stream for expressions and input data.
+
+  /// Deterministically samples a recipe from \p Seed.
+  static KernelRecipe sample(uint64_t Seed);
+
+  json::Value toJSON() const;
+  static Expected<KernelRecipe> fromJSON(const json::Value &V);
+
+  /// Compact one-line description, e.g. "seed=7 spmd teams=2x32 trip=16
+  /// shape=flat/2 [esc,guard]".
+  std::string summary() const;
+};
+
+/// Emits the recipe's kernel into \p CG's module under its configured
+/// scheme. Returns the kernel function (named "fuzz_kernel").
+Function *generateKernel(OMPCodeGen &CG, const KernelRecipe &R);
+
+/// Deterministic input buffer (TripCount doubles) for the recipe.
+std::vector<double> makeInputs(const KernelRecipe &R);
+
+/// Host-side model of the generated kernel: the outputs any correct
+/// compilation must produce, bit-for-bit, given makeInputs(R).
+std::vector<double> expectedOutputs(const KernelRecipe &R,
+                                    const std::vector<double> &In);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FUZZ_KERNELGENERATOR_H

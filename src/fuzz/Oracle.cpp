@@ -1,0 +1,178 @@
+//===- fuzz/Oracle.cpp - Cross-preset differential oracle ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+#include "gpusim/Device.h"
+#include "ir/Module.h"
+#include "rtl/DeviceRTL.h"
+#include "transforms/Cloning.h"
+
+using namespace ompgpu;
+
+std::vector<PipelineOptions> ompgpu::defaultFuzzPresets() {
+  std::vector<PipelineOptions> Presets;
+  Presets.push_back(makeLLVM12Pipeline());
+  Presets.push_back(makeDevNoOptPipeline());
+  Presets.push_back(makeDevPipeline());
+  PipelineOptions NoSPMD = makeDevPipeline(true, true, true, true,
+                                           /*SPMDzation=*/false);
+  NoSPMD.Name = "Dev (no SPMDzation)";
+  Presets.push_back(NoSPMD);
+  PipelineOptions NoGlob = makeDevPipeline(/*HeapToStack=*/false,
+                                           /*HeapToShared=*/false);
+  NoGlob.Name = "Dev (no globalization opts)";
+  Presets.push_back(NoGlob);
+  return Presets;
+}
+
+FuzzRunOutcome ompgpu::runGeneratedKernel(Module &M,
+                                          const std::string &KernelName,
+                                          const KernelRecipe &R,
+                                          const PipelineOptions &P) {
+  FuzzRunOutcome O;
+  Function *Kernel = M.getFunction(KernelName);
+  if (!Kernel) {
+    O.Stats.Trap = "kernel '" + KernelName + "' not found";
+    return O;
+  }
+
+  GPUDevice Dev;
+  std::vector<double> In = makeInputs(R);
+  std::vector<double> Zero((size_t)R.TripCount, 0.0);
+  uint64_t DevIn = Dev.allocateArray(In);
+  uint64_t DevOut = Dev.allocateArray(Zero);
+
+  LaunchConfig LC;
+  LC.GridDim = (unsigned)R.NumTeams;
+  LC.BlockDim = (unsigned)R.NumThreads;
+  LC.Flavor = P.Flavor;
+  LC.MaxSimulatedBlocks = 0;
+
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  O.Stats = Dev.launchKernel(M, Kernel, LC,
+                             {DevIn, DevOut, (uint64_t)R.TripCount}, RTL);
+  if (O.Stats.ok())
+    O.Out = Dev.downloadArray<double>(DevOut, (size_t)R.TripCount);
+  return O;
+}
+
+PipelineOptions ompgpu::referenceFuzzPipeline(const PipelineOptions &P) {
+  PipelineOptions Ref = P;
+  Ref.Name = P.Name + " (reference)";
+  Ref.RunOpenMPOpt = false;
+  Ref.RunCleanups = false;
+  Ref.ExtraPasses.clear();
+  Ref.Instrument = PassInstrumentationOptions();
+  return Ref;
+}
+
+/// Runs one preset for one recipe: generate (per-preset scheme), clone for
+/// reference, compile both, run both, compare against host model and
+/// against the reference run.
+static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
+                                     const PipelineOptions &Preset,
+                                     const FuzzOracleOptions &O) {
+  FuzzPresetOutcome Res;
+  Res.Preset = Preset.Name;
+
+  IRContext Ctx;
+  Module M(Ctx, "fuzz");
+  OMPCodeGen CG(M, CodeGenOptions{Preset.Scheme, /*CudaMode=*/false});
+  Function *Kernel = generateKernel(CG, R);
+  std::string KernelName = Kernel->getName();
+
+  std::unique_ptr<Module> Ref = cloneModule(M);
+
+  PipelineOptions P = Preset;
+  P.Instrument.VerifyEach = O.VerifyEach;
+  for (const PipelineOptions::ExtraPass &E : O.ExtraPasses)
+    P.ExtraPasses.push_back(E);
+  CompileResult CR = optimizeDeviceModule(M, P);
+  Res.VerifyFailed = CR.VerifyFailed;
+  Res.VerifyError = CR.VerifyError;
+  Res.RecoveryEvents = (unsigned)CR.Recoveries.size();
+  if (Res.VerifyFailed) {
+    Res.Reason = "verifier: " + CR.VerifyError +
+                 (CR.FirstCorruptPass.empty()
+                      ? ""
+                      : " (after pass '" + CR.FirstCorruptPass + "')");
+    return Res;
+  }
+  if (Res.RecoveryEvents) {
+    // The oracle runs without recovery; events mean someone enabled it and
+    // a pass still misbehaved — that is a finding, not a pass.
+    Res.Reason = "pass recovery events during compile";
+    return Res;
+  }
+
+  // Reference compile: link-RTL only, same scheme and flavor.
+  CompileResult RefCR = optimizeDeviceModule(*Ref, referenceFuzzPipeline(Preset));
+  if (RefCR.VerifyFailed) {
+    Res.ReferenceBroken = true;
+    Res.Reason = "generator produced invalid IR: " + RefCR.VerifyError;
+    return Res;
+  }
+
+  FuzzRunOutcome Opt = runGeneratedKernel(M, KernelName, R, P);
+  FuzzRunOutcome RefRun = runGeneratedKernel(*Ref, KernelName, R, P);
+  Res.OptimizedTrap = Opt.Stats.Trap;
+  Res.ReferenceTrap = RefRun.Stats.Trap;
+  if (!RefRun.Stats.ok()) {
+    Res.ReferenceBroken = true;
+    Res.Reason = "reference run failed: " +
+                 (RefRun.Stats.Trap.empty() ? std::string("out of memory")
+                                            : RefRun.Stats.Trap);
+    return Res;
+  }
+  if (!Opt.Stats.ok()) {
+    Res.Reason = "optimized run failed: " +
+                 (Opt.Stats.Trap.empty() ? std::string("out of memory")
+                                         : Opt.Stats.Trap);
+    return Res;
+  }
+
+  std::vector<double> Host = expectedOutputs(R, makeInputs(R));
+  Res.HostCompare = compareOutputs(Host, Opt.Out, /*RelTol=*/0.0);
+  Res.RefCompare = compareOutputs(RefRun.Out, Opt.Out, /*RelTol=*/0.0);
+  if (!Res.HostCompare.Match) {
+    Res.Reason = "outputs diverge from host model: " +
+                 Res.HostCompare.message();
+    return Res;
+  }
+  if (!Res.RefCompare.Match) {
+    Res.Reason = "outputs diverge from unoptimized reference: " +
+                 Res.RefCompare.message();
+    return Res;
+  }
+
+  Res.OK = true;
+  return Res;
+}
+
+FuzzVerdict ompgpu::runFuzzOracle(const KernelRecipe &R,
+                                  const FuzzOracleOptions &O) {
+  FuzzVerdict V;
+  std::vector<PipelineOptions> Presets =
+      O.Presets.empty() ? defaultFuzzPresets() : O.Presets;
+  for (const PipelineOptions &P : Presets) {
+    FuzzPresetOutcome Res = judgePreset(R, P, O);
+    if (!Res.OK) {
+      if (V.OK) {
+        V.OK = false;
+        V.FailingPreset = Res.Preset;
+        V.Reason = Res.Reason;
+      }
+      V.Remarks.emit(RemarkId::OMP190, /*Missed=*/true, "fuzz_kernel",
+                     "differential oracle mismatch under preset '" +
+                         Res.Preset + "': " + Res.Reason + " (" +
+                         R.summary() + ")");
+    }
+    V.Presets.push_back(std::move(Res));
+  }
+  return V;
+}

@@ -1,0 +1,93 @@
+//===- fuzz/Oracle.h - Cross-preset differential oracle ---------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential testing oracle: regenerate one recipe's kernel under
+/// every pipeline preset (the front-end scheme differs per preset), compile
+/// it, and judge the result against two references — the host-side model
+/// (expectedOutputs) and a gpusim run of the same module with every
+/// optimization disabled. Verifier state, traps, recovery events, and
+/// bit-exact output divergence are all failures; each failing preset emits
+/// an OMP190 remark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FUZZ_ORACLE_H
+#define OMPGPU_FUZZ_ORACLE_H
+
+#include "driver/Pipeline.h"
+#include "fuzz/KernelGenerator.h"
+#include "gpusim/KernelStats.h"
+#include "support/OutputCompare.h"
+
+namespace ompgpu {
+
+/// One preset's judgment for one recipe.
+struct FuzzPresetOutcome {
+  std::string Preset;
+  bool OK = false;
+  std::string Reason; ///< Empty when OK; one line otherwise.
+
+  bool VerifyFailed = false;
+  std::string VerifyError;
+  bool ReferenceBroken = false; ///< The *unoptimized* run failed: the
+                                ///< generator (not a pass) is at fault.
+  std::string OptimizedTrap;
+  std::string ReferenceTrap;
+  OutputComparison HostCompare; ///< optimized vs. expectedOutputs
+  OutputComparison RefCompare;  ///< optimized vs. unoptimized module run
+  unsigned RecoveryEvents = 0;
+};
+
+/// The oracle's verdict over all presets.
+struct FuzzVerdict {
+  bool OK = true;
+  std::string FailingPreset; ///< First failing preset ("" when OK).
+  std::string Reason;
+  std::vector<FuzzPresetOutcome> Presets;
+  RemarkCollector Remarks; ///< OMP190 per failing preset.
+};
+
+struct FuzzOracleOptions {
+  /// Presets to test; empty means defaultFuzzPresets().
+  std::vector<PipelineOptions> Presets;
+  /// Verify the module after every pass so corruption is attributed early.
+  bool VerifyEach = true;
+  /// Extra passes spliced into every preset's pipeline — the sabotage
+  /// injection point used by tests (TestRecovery-style hooks).
+  std::vector<PipelineOptions::ExtraPass> ExtraPasses;
+};
+
+/// The preset matrix the fuzzer checks: the LLVM 12 baseline, the dev
+/// branch with optimizations off, the full dev pipeline, and the dev
+/// pipeline with SPMDzation / globalization subsets disabled.
+std::vector<PipelineOptions> defaultFuzzPresets();
+
+/// Strips \p P down to its reference form: same scheme and runtime flavor,
+/// but no openmp-opt, no cleanups, no injected passes — the compile only
+/// links the device runtime. Shared by the oracle, the reducer, and
+/// failure attribution.
+PipelineOptions referenceFuzzPipeline(const PipelineOptions &P);
+
+/// Launches the already-compiled \p KernelName of \p M on the recipe's
+/// deterministic inputs (grid = NumTeams x NumThreads, runtime flavor from
+/// \p P). Building block shared by the oracle, the reducer, and bisection.
+struct FuzzRunOutcome {
+  KernelStats Stats;
+  std::vector<double> Out;
+};
+FuzzRunOutcome runGeneratedKernel(Module &M, const std::string &KernelName,
+                                  const KernelRecipe &R,
+                                  const PipelineOptions &P);
+
+/// Runs the full differential oracle for one recipe.
+FuzzVerdict runFuzzOracle(const KernelRecipe &R,
+                          const FuzzOracleOptions &O = FuzzOracleOptions());
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FUZZ_ORACLE_H

@@ -1,0 +1,373 @@
+//===- fuzz/Reduce.cpp - Automatic failing-module reduction ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Reduce.h"
+#include "fuzz/Oracle.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+#include "transforms/Cloning.h"
+
+#include <algorithm>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Position of one instruction, stable across cloneModule: clones preserve
+/// function names, block order, and instruction order.
+struct InstAddr {
+  std::string Fn;
+  size_t Block;
+  size_t Inst;
+};
+
+} // namespace
+
+static size_t countInstructions(const Module &M) {
+  size_t N = 0;
+  for (Function *F : M.functions())
+    for (BasicBlock *BB : *F)
+      N += BB->size();
+  return N;
+}
+
+/// Calls whose removal can hang the simulator rather than fail it: without
+/// target_init/deinit the generic-mode state machine never releases its
+/// workers, and an unpaired barrier strands part of the block.
+static bool isProtectedCall(const Instruction *I) {
+  const auto *C = dyn_cast<CallInst>(I);
+  if (!C)
+    return false;
+  const Function *Callee = C->getCalledFunction();
+  if (!Callee)
+    return false;
+  const std::string &N = Callee->getName();
+  return N == "__kmpc_target_init" || N == "__kmpc_target_deinit" ||
+         N.rfind("__kmpc_barrier", 0) == 0;
+}
+
+static bool isDeletable(const Instruction *I) {
+  return !I->isTerminator() && !I->hasUses() && !isProtectedCall(I);
+}
+
+/// Collects every deletable instruction, within each block in descending
+/// index order so a contiguous chunk can be applied without invalidating
+/// the remaining addresses.
+static std::vector<InstAddr> collectDeletable(const Module &M) {
+  std::vector<InstAddr> Addrs;
+  for (Function *F : M.functions()) {
+    std::vector<BasicBlock *> Blocks = F->getBlocks();
+    for (size_t B = 0; B != Blocks.size(); ++B) {
+      std::vector<Instruction *> Insts = Blocks[B]->getInstructions();
+      for (size_t I = Insts.size(); I-- > 0;)
+        if (isDeletable(Insts[I]))
+          Addrs.push_back({F->getName(), B, I});
+    }
+  }
+  return Addrs;
+}
+
+/// Deletes the addressed instructions in \p M (a clone of the module the
+/// addresses were collected from). Returns false if any address no longer
+/// names a deletable instruction.
+static bool applyDeletions(Module &M, std::vector<InstAddr> Chunk) {
+  // Highest index first within each block keeps lower addresses valid.
+  std::sort(Chunk.begin(), Chunk.end(),
+            [](const InstAddr &A, const InstAddr &B) {
+              if (A.Fn != B.Fn)
+                return A.Fn < B.Fn;
+              if (A.Block != B.Block)
+                return A.Block < B.Block;
+              return A.Inst > B.Inst;
+            });
+  for (const InstAddr &A : Chunk) {
+    Function *F = M.getFunction(A.Fn);
+    if (!F)
+      return false;
+    std::vector<BasicBlock *> Blocks = F->getBlocks();
+    if (A.Block >= Blocks.size())
+      return false;
+    std::vector<Instruction *> Insts = Blocks[A.Block]->getInstructions();
+    if (A.Inst >= Insts.size() || !isDeletable(Insts[A.Inst]))
+      return false;
+    Insts[A.Inst]->eraseFromParent();
+  }
+  return true;
+}
+
+/// Erases blocks that became unreferenced (no branches or phis name them)
+/// and whose instructions have no users outside the block itself. Iterates
+/// to a fixpoint so chains of dropped blocks unravel.
+static unsigned eraseDeadBlocks(Function &F) {
+  unsigned Erased = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<BasicBlock *> Blocks = F.getBlocks();
+    for (size_t B = 1; B < Blocks.size(); ++B) { // never the entry block
+      BasicBlock *BB = Blocks[B];
+      if (BB->hasUses())
+        continue;
+      bool Escapes = false;
+      for (Instruction *I : *BB) {
+        for (User *U : I->users()) {
+          auto *UI = dyn_cast<Instruction>(U);
+          if (!UI || UI->getParent() != BB) {
+            Escapes = true;
+            break;
+          }
+        }
+        if (Escapes)
+          break;
+      }
+      if (Escapes)
+        continue;
+      F.eraseBlock(BB);
+      ++Erased;
+      Changed = true;
+      break; // Blocks snapshot is stale; rescan.
+    }
+  }
+  return Erased;
+}
+
+/// True when \p To is reachable from \p From along CFG successor edges.
+static bool reaches(BasicBlock *From, BasicBlock *To) {
+  std::vector<BasicBlock *> Worklist = {From};
+  std::vector<BasicBlock *> Seen;
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (BB == To)
+      return true;
+    if (std::find(Seen.begin(), Seen.end(), BB) != Seen.end())
+      continue;
+    Seen.push_back(BB);
+    for (BasicBlock *Succ : BB->successors())
+      Worklist.push_back(Succ);
+  }
+  return false;
+}
+
+/// Rewrites the conditional terminator of block \p BlockIdx in \p Fn to an
+/// unconditional branch to successor \p Arm, retargets phis, and sweeps
+/// newly dead blocks. Returns false if the address is not a conditional
+/// branch (e.g. a prior accepted mutation restructured the function).
+static bool simplifyBranch(Module &M, const std::string &Fn, size_t BlockIdx,
+                           unsigned Arm, unsigned &ErasedBlocks) {
+  Function *F = M.getFunction(Fn);
+  if (!F)
+    return false;
+  std::vector<BasicBlock *> Blocks = F->getBlocks();
+  if (BlockIdx >= Blocks.size())
+    return false;
+  BasicBlock *BB = Blocks[BlockIdx];
+  auto *Br = dyn_cast_or_null<BrInst>(BB->getTerminator());
+  if (!Br || !Br->isConditional())
+    return false;
+
+  BasicBlock *Keep = Br->getSuccessor(Arm);
+  // Never collapse onto a path that can loop back here: the branch being
+  // dropped may be the loop's only exit, and the simulator has no step
+  // budget — an infinite loop hangs the whole reduction. (Conservative:
+  // the surviving path might exit elsewhere, but the other arm is still
+  // tried.)
+  if (reaches(Keep, BB))
+    return false;
+  BasicBlock *Drop = Br->getSuccessor(1 - Arm);
+  IRContext &Ctx = F->getContext();
+  BB->insertBefore(new BrInst(Ctx, Keep), Br);
+  Br->eraseFromParent();
+  if (Drop != Keep)
+    for (PhiInst *Phi : Drop->phis())
+      Phi->removeIncomingBlock(BB);
+  ErasedBlocks += eraseDeadBlocks(*F);
+  return true;
+}
+
+ReduceResult ompgpu::reduceFailingModule(const Module &M,
+                                         const ReducePredicate &StillFailing,
+                                         const ReduceOptions &Opts) {
+  ReduceResult R;
+  R.OriginalInstructions = countInstructions(M);
+  std::unique_ptr<Module> Cur = cloneModule(M);
+
+  auto HaveBudget = [&] { return R.Probes < Opts.MaxProbes; };
+  // Accepts a candidate only when it is structurally valid AND still fails.
+  auto Try = [&](std::unique_ptr<Module> Cand) {
+    ++R.Probes;
+    if (verifyModule(*Cand))
+      return false;
+    if (!StillFailing(*Cand))
+      return false;
+    Cur = std::move(Cand);
+    return true;
+  };
+
+  // Phase A: unused non-kernel function definitions.
+  std::vector<std::string> Rejected;
+  bool Scan = true;
+  while (Scan && HaveBudget()) {
+    Scan = false;
+    for (Function *F : Cur->functions()) {
+      if (F->isKernel() || F->isDeclaration() || F->hasUses())
+        continue;
+      if (std::find(Rejected.begin(), Rejected.end(), F->getName()) !=
+          Rejected.end())
+        continue;
+      std::unique_ptr<Module> Cand = cloneModule(*Cur);
+      Function *CF = Cand->getFunction(F->getName());
+      size_t Removed = 0;
+      for (BasicBlock *BB : *CF)
+        Removed += BB->size();
+      Cand->eraseFunction(CF);
+      if (Try(std::move(Cand))) {
+        ++R.DeletedFunctions;
+        R.DeletedInstructions += (unsigned)Removed;
+      } else {
+        Rejected.push_back(F->getName());
+      }
+      Scan = true; // Cur (or Rejected) changed; re-snapshot and rescan.
+      break;
+    }
+  }
+
+  // Phase B: use-free instructions, in shrinking chunks. Deleting one
+  // instruction can make its operands use-free, so re-collect after every
+  // accepted chunk.
+  size_t Chunk = std::max<size_t>(1, collectDeletable(*Cur).size() / 2);
+  while (HaveBudget()) {
+    std::vector<InstAddr> Addrs = collectDeletable(*Cur);
+    if (Addrs.empty())
+      break;
+    Chunk = std::min(Chunk, Addrs.size());
+    bool Progress = false;
+    for (size_t Off = 0; Off < Addrs.size() && HaveBudget(); Off += Chunk) {
+      size_t End = std::min(Off + Chunk, Addrs.size());
+      std::vector<InstAddr> Slice(Addrs.begin() + (long)Off,
+                                  Addrs.begin() + (long)End);
+      std::unique_ptr<Module> Cand = cloneModule(*Cur);
+      if (!applyDeletions(*Cand, Slice))
+        continue;
+      if (Try(std::move(Cand))) {
+        R.DeletedInstructions += (unsigned)Slice.size();
+        Progress = true;
+        break; // Addresses are stale; re-collect.
+      }
+    }
+    if (!Progress) {
+      if (Chunk == 1)
+        break;
+      Chunk /= 2;
+    }
+  }
+
+  // Phase C: collapse conditional branches to one arm and sweep the blocks
+  // that die. The verifier rejects candidates whose phis this breaks.
+  bool Changed = true;
+  while (Changed && HaveBudget()) {
+    Changed = false;
+    std::vector<std::pair<std::string, size_t>> CondBrs;
+    for (Function *F : Cur->functions()) {
+      std::vector<BasicBlock *> Blocks = F->getBlocks();
+      for (size_t B = 0; B != Blocks.size(); ++B) {
+        auto *Br = dyn_cast_or_null<BrInst>(Blocks[B]->getTerminator());
+        if (Br && Br->isConditional())
+          CondBrs.push_back({F->getName(), B});
+      }
+    }
+    for (const auto &[Fn, B] : CondBrs) {
+      for (unsigned Arm = 0; Arm < 2 && HaveBudget(); ++Arm) {
+        std::unique_ptr<Module> Cand = cloneModule(*Cur);
+        unsigned Erased = 0;
+        if (!simplifyBranch(*Cand, Fn, B, Arm, Erased))
+          continue;
+        if (Try(std::move(Cand))) {
+          ++R.SimplifiedBranches;
+          R.DeletedBlocks += Erased;
+          Changed = true;
+          break;
+        }
+      }
+      if (Changed || !HaveBudget())
+        break; // Block indices are stale; re-enumerate.
+    }
+  }
+
+  R.FinalInstructions = countInstructions(*Cur);
+  if (R.FinalInstructions < R.OriginalInstructions)
+    R.Remarks.emit(RemarkId::OMP191, /*Missed=*/false, "fuzz_kernel",
+                   "reduced failing module from " +
+                       std::to_string(R.OriginalInstructions) + " to " +
+                       std::to_string(R.FinalInstructions) +
+                       " instructions (" + std::to_string(R.Probes) +
+                       " probes)");
+  R.Reduced = std::move(Cur);
+  return R;
+}
+
+ReducePredicate ompgpu::makeDifferentialPredicate(
+    const KernelRecipe &R, const PipelineOptions &P,
+    const std::vector<PipelineOptions::ExtraPass> &ExtraPasses) {
+  PipelineOptions Preset = P;
+  Preset.Instrument.VerifyEach = true;
+  Preset.Instrument.Recover = false;
+  for (const PipelineOptions::ExtraPass &E : ExtraPasses)
+    Preset.ExtraPasses.push_back(E);
+  return [R, Preset](const Module &Cand) {
+    std::unique_ptr<Module> Opt = cloneModule(Cand);
+    CompileResult CR = optimizeDeviceModule(*Opt, Preset);
+    if (CR.VerifyFailed)
+      return true; // The compile still corrupts this candidate.
+
+    // The candidate must be healthy in its reference form, or the mutation
+    // (not the compiler) broke it.
+    std::unique_ptr<Module> Ref = cloneModule(Cand);
+    PipelineOptions RefP = referenceFuzzPipeline(Preset);
+    CompileResult RefCR = optimizeDeviceModule(*Ref, RefP);
+    if (RefCR.VerifyFailed)
+      return false;
+    FuzzRunOutcome RefRun = runGeneratedKernel(*Ref, "fuzz_kernel", R, RefP);
+    if (!RefRun.Stats.ok())
+      return false;
+
+    FuzzRunOutcome OptRun = runGeneratedKernel(*Opt, "fuzz_kernel", R, Preset);
+    if (!OptRun.Stats.ok())
+      return true;
+    return !compareOutputs(RefRun.Out, OptRun.Out, /*RelTol=*/0.0).Match;
+  };
+}
+
+BisectResult ompgpu::attributeFailure(
+    const Module &Reduced, const KernelRecipe &R, const PipelineOptions &P,
+    const std::vector<PipelineOptions::ExtraPass> &ExtraPasses) {
+  // Ground truth once, from the reference compile of the reduced module.
+  std::unique_ptr<Module> Ref = cloneModule(Reduced);
+  PipelineOptions RefP = referenceFuzzPipeline(P);
+  optimizeDeviceModule(*Ref, RefP);
+  FuzzRunOutcome RefRun = runGeneratedKernel(*Ref, "fuzz_kernel", R, RefP);
+  bool RefOK = RefRun.Stats.ok();
+
+  PipelineOptions Opts = P;
+  for (const PipelineOptions::ExtraPass &E : ExtraPasses)
+    Opts.ExtraPasses.push_back(E);
+
+  // Probe modules live in the reduced module's IRContext (cloneModule
+  // clones into the source context); the per-probe context goes unused.
+  BisectModuleFactory Factory = [&Reduced](IRContext &) {
+    return cloneModule(Reduced);
+  };
+  BisectOracle Oracle = [&R, &RefRun, RefOK, &Opts](Module &M,
+                                                    const CompileResult &) {
+    FuzzRunOutcome Run = runGeneratedKernel(M, "fuzz_kernel", R, Opts);
+    if (!Run.Stats.ok())
+      return false;
+    return !RefOK || compareOutputs(RefRun.Out, Run.Out, /*RelTol=*/0.0).Match;
+  };
+  return runOptBisect(Factory, Opts, Oracle);
+}

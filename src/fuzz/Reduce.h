@@ -1,0 +1,85 @@
+//===- fuzz/Reduce.h - Automatic failing-module reduction -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging style reduction for modules the differential oracle
+/// flagged. Starting from the generated (unoptimized) module, the reducer
+/// repeatedly deletes unused functions, use-free instructions (in shrinking
+/// chunks), and conditional-branch arms, keeping a mutation only when the
+/// candidate still verifies clean *and* still reproduces the failure under
+/// the caller's predicate. The shrunk module is then handed to the
+/// opt-bisect driver to attribute the failure to one pass execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_FUZZ_REDUCE_H
+#define OMPGPU_FUZZ_REDUCE_H
+
+#include "driver/Bisect.h"
+#include "fuzz/KernelGenerator.h"
+
+#include <functional>
+#include <memory>
+
+namespace ompgpu {
+
+/// Judges a reduction candidate in its generated (unoptimized) form.
+/// Returns true when the candidate still reproduces the failure being
+/// chased. Candidates that fail IR verification never reach the predicate.
+using ReducePredicate = std::function<bool(const Module &)>;
+
+struct ReduceOptions {
+  /// Total predicate probes across all phases; each probe recompiles and
+  /// reruns the candidate, so this bounds reduction cost.
+  unsigned MaxProbes = 200;
+};
+
+/// Outcome of reduceFailingModule.
+struct ReduceResult {
+  /// The shrunk module, still failing under the predicate. Lives in the
+  /// input module's IRContext, which must outlive it.
+  std::unique_ptr<Module> Reduced;
+  unsigned Probes = 0;
+  unsigned DeletedFunctions = 0;
+  unsigned DeletedInstructions = 0;
+  unsigned SimplifiedBranches = 0;
+  unsigned DeletedBlocks = 0;
+  size_t OriginalInstructions = 0;
+  size_t FinalInstructions = 0;
+  /// OMP191 when the module shrank.
+  RemarkCollector Remarks;
+};
+
+/// Reduces \p M — which must currently satisfy \p StillFailing — to a
+/// smaller module that still does. Calls to __kmpc_target_init,
+/// __kmpc_target_deinit, and __kmpc_barrier* are never deleted: removing
+/// them can leave worker threads spinning in the state machine, hanging
+/// the simulator instead of failing cleanly.
+ReduceResult reduceFailingModule(const Module &M,
+                                 const ReducePredicate &StillFailing,
+                                 const ReduceOptions &Opts = ReduceOptions());
+
+/// The standard differential predicate for one recipe under one preset:
+/// a candidate still fails when its optimized compile breaks verification,
+/// its optimized run traps, or its outputs diverge bit-for-bit from a run
+/// of the same candidate compiled with the reference (link-only) pipeline.
+/// Candidates whose *reference* form is broken are rejected — the mutation,
+/// not the compiler, caused that failure.
+ReducePredicate makeDifferentialPredicate(
+    const KernelRecipe &R, const PipelineOptions &P,
+    const std::vector<PipelineOptions::ExtraPass> &ExtraPasses = {});
+
+/// Attributes the failure in \p Reduced to a single pass execution by
+/// opt-bisecting \p P's pipeline (plus \p ExtraPasses) over clones of the
+/// reduced module, with a gpusim differential run as the probe oracle.
+BisectResult attributeFailure(
+    const Module &Reduced, const KernelRecipe &R, const PipelineOptions &P,
+    const std::vector<PipelineOptions::ExtraPass> &ExtraPasses = {});
+
+} // namespace ompgpu
+
+#endif // OMPGPU_FUZZ_REDUCE_H

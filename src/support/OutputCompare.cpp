@@ -1,0 +1,74 @@
+//===- support/OutputCompare.cpp - Shared output comparator ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OutputCompare.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+using namespace ompgpu;
+
+std::string OutputComparison::message() const {
+  std::ostringstream OS;
+  if (SizeMismatch) {
+    OS << "buffer length mismatch: expected " << Count << " elements, got "
+       << Mismatches;
+    return OS.str();
+  }
+  if (Match) {
+    OS << "all " << Count << " elements match";
+    return OS.str();
+  }
+  OS << "mismatch at [" << FirstIndex << "]: expected " << Expected
+     << ", got " << Actual << " (" << Mismatches << " of " << Count
+     << " elements differ)";
+  return OS.str();
+}
+
+OutputComparison ompgpu::compareOutputs(const double *Expected,
+                                        const double *Actual, size_t N,
+                                        double RelTol) {
+  OutputComparison R;
+  R.Count = N;
+  for (size_t I = 0; I != N; ++I) {
+    bool Ok;
+    if (RelTol == 0.0) {
+      // Bit-exact: NaNs compare equal to themselves and +0 != -0, which is
+      // what a differential oracle wants.
+      Ok = std::memcmp(&Expected[I], &Actual[I], sizeof(double)) == 0;
+    } else {
+      Ok = std::fabs(Actual[I] - Expected[I]) <=
+           RelTol * std::max(1.0, std::fabs(Expected[I]));
+    }
+    if (!Ok) {
+      if (R.Match) {
+        R.Match = false;
+        R.FirstIndex = I;
+        R.Expected = Expected[I];
+        R.Actual = Actual[I];
+      }
+      ++R.Mismatches;
+    }
+  }
+  return R;
+}
+
+OutputComparison ompgpu::compareOutputs(const std::vector<double> &Expected,
+                                        const std::vector<double> &Actual,
+                                        double RelTol) {
+  if (Expected.size() != Actual.size()) {
+    OutputComparison R;
+    R.Match = false;
+    R.SizeMismatch = true;
+    R.Count = Expected.size();
+    R.Mismatches = Actual.size();
+    return R;
+  }
+  return compareOutputs(Expected.data(), Actual.data(), Expected.size(),
+                        RelTol);
+}

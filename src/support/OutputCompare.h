@@ -1,0 +1,60 @@
+//===- support/OutputCompare.h - Shared output comparator -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One element-wise buffer comparator shared by every place that judges a
+/// simulated kernel against a reference: the workloads' checkOutputs()
+/// implementations, the Harness/Bisect differential-smoke oracle, and the
+/// fuzzing subsystem's cross-preset oracle. Centralizing it means every
+/// caller reports mismatches the same way (first failing index, expected
+/// vs. actual, total count) instead of a bare bool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_OUTPUTCOMPARE_H
+#define OMPGPU_SUPPORT_OUTPUTCOMPARE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Result of comparing a computed buffer against its reference.
+struct OutputComparison {
+  bool Match = true;       ///< All elements within tolerance.
+  size_t Count = 0;        ///< Elements compared.
+  size_t Mismatches = 0;   ///< Elements outside tolerance.
+  size_t FirstIndex = 0;   ///< Index of the first mismatch (if any).
+  double Expected = 0.0;   ///< Reference value at FirstIndex.
+  double Actual = 0.0;     ///< Computed value at FirstIndex.
+  bool SizeMismatch = false; ///< The buffers had different lengths.
+
+  explicit operator bool() const { return Match; }
+
+  /// Human-readable one-line report, e.g.
+  /// "mismatch at [3]: expected 1.5, got 2.25 (4 of 100 elements differ)".
+  std::string message() const;
+};
+
+/// Compares \p Actual against \p Expected element-wise. With \p RelTol == 0
+/// the comparison is bit-exact (distinguishes NaN payloads and signed
+/// zeros); otherwise an element passes when
+///   |actual - expected| <= RelTol * max(1, |expected|)
+/// which is the tolerance idiom the figure-11 workloads always used.
+OutputComparison compareOutputs(const double *Expected, const double *Actual,
+                                size_t N, double RelTol = 0.0);
+
+/// Vector convenience overload; a length difference is reported as a
+/// mismatch rather than asserted.
+OutputComparison compareOutputs(const std::vector<double> &Expected,
+                                const std::vector<double> &Actual,
+                                double RelTol = 0.0);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_OUTPUTCOMPARE_H

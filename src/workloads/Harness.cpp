@@ -13,6 +13,31 @@ using namespace ompgpu;
 
 Workload::~Workload() = default;
 
+LaunchCheckResult ompgpu::launchAndCheckWorkload(Workload &W, Module &M,
+                                                 Function *Kernel,
+                                                 const PipelineOptions &P,
+                                                 const HarnessOptions &Opts) {
+  LaunchCheckResult R;
+  GPUDevice Dev(Opts.Machine);
+  std::vector<uint64_t> Args = W.setupInputs(Dev);
+
+  LaunchConfig LC;
+  LC.GridDim = W.getGridDim();
+  LC.BlockDim = W.getBlockDim();
+  LC.Flavor = P.Flavor;
+  LC.MaxSimulatedBlocks = Opts.MaxSimulatedBlocks;
+
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  R.Stats = Dev.launchKernel(M, Kernel, LC, Args, RTL);
+
+  if (R.Stats.ok() && Opts.MaxSimulatedBlocks == 0) {
+    R.Checked = true;
+    R.Correct = W.checkOutputs(Dev);
+  }
+  return R;
+}
+
 WorkloadRunResult ompgpu::runWorkload(Workload &W, const PipelineOptions &P,
                                       const HarnessOptions &Opts) {
   WorkloadRunResult R;
@@ -49,23 +74,10 @@ WorkloadRunResult ompgpu::runWorkload(Workload &W, const PipelineOptions &P,
     return R;
   }
 
-  GPUDevice Dev(Opts.Machine);
-  std::vector<uint64_t> Args = W.setupInputs(Dev);
-
-  LaunchConfig LC;
-  LC.GridDim = W.getGridDim();
-  LC.BlockDim = W.getBlockDim();
-  LC.Flavor = P.Flavor;
-  LC.MaxSimulatedBlocks = Opts.MaxSimulatedBlocks;
-
-  NativeRuntimeBinding RTL =
-      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
-  R.Stats = Dev.launchKernel(M, Kernel, LC, Args, RTL);
-
-  if (R.Stats.ok() && Opts.MaxSimulatedBlocks == 0) {
-    R.Checked = true;
-    R.Correct = W.checkOutputs(Dev);
-  }
+  LaunchCheckResult L = launchAndCheckWorkload(W, M, Kernel, P, Opts);
+  R.Stats = L.Stats;
+  R.Checked = L.Checked;
+  R.Correct = L.Correct;
   return R;
 }
 
@@ -90,19 +102,11 @@ BisectResult ompgpu::bisectWorkload(Workload &W, const PipelineOptions &P,
     if (Kernels.empty())
       return false;
 
-    GPUDevice Dev(Opts.Machine);
-    std::vector<uint64_t> Args = W.setupInputs(Dev);
-
-    LaunchConfig LC;
-    LC.GridDim = W.getGridDim();
-    LC.BlockDim = W.getBlockDim();
-    LC.Flavor = P.Flavor;
-    LC.MaxSimulatedBlocks = 0;
-
-    NativeRuntimeBinding RTL =
-        makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
-    KernelStats Stats = Dev.launchKernel(M, Kernels.front(), LC, Args, RTL);
-    return Stats.ok() && W.checkOutputs(Dev);
+    HarnessOptions SmokeOpts = Opts;
+    SmokeOpts.MaxSimulatedBlocks = 0; // whole grid, so outputs are checked
+    LaunchCheckResult L =
+        launchAndCheckWorkload(W, M, Kernels.front(), P, SmokeOpts);
+    return L.Stats.ok() && L.Checked && L.Correct;
   };
 
   return runOptBisect(Factory, P, Oracle);

@@ -41,6 +41,24 @@ struct HarnessOptions {
   MachineModel Machine;
 };
 
+/// Result of one simulated launch + reference check of a compiled kernel.
+struct LaunchCheckResult {
+  KernelStats Stats;
+  bool Checked = false; ///< outputs verified (all blocks simulated)
+  bool Correct = false;
+};
+
+/// Launches the already-compiled \p Kernel of \p M on a fresh device with
+/// \p W's inputs and grid, then verifies the outputs against the
+/// workload's reference when the whole grid was simulated. This is the
+/// shared tail of runWorkload and of the differential-smoke oracles
+/// (bisectWorkload, the fuzzing subsystem).
+LaunchCheckResult launchAndCheckWorkload(Workload &W, Module &M,
+                                         Function *Kernel,
+                                         const PipelineOptions &P,
+                                         const HarnessOptions &Opts =
+                                             HarnessOptions());
+
 /// Builds, optimizes, launches, and (optionally) checks \p W under \p P.
 WorkloadRunResult runWorkload(Workload &W, const PipelineOptions &P,
                               const HarnessOptions &Opts = HarnessOptions());

@@ -21,6 +21,7 @@
 
 #include "workloads/Workload.h"
 #include "frontend/CGHelpers.h"
+#include "support/OutputCompare.h"
 
 #include <array>
 #include <cmath>
@@ -465,14 +466,11 @@ public:
   bool checkOutputs(GPUDevice &Dev) override {
     std::vector<double> Out = Dev.downloadArray<double>(
         DevOut, (size_t)P.NWalkers * P.NOrbitals);
+    std::vector<double> Expected((size_t)P.NWalkers * P.NOrbitals);
     for (int W = 0; W < P.NWalkers; ++W)
-      for (int Orb = 0; Orb < P.NOrbitals; ++Orb) {
-        double Expect = hostEval(W, Orb);
-        if (std::fabs(Out[(size_t)W * P.NOrbitals + Orb] - Expect) >
-            1e-9 * std::max(1.0, std::fabs(Expect)))
-          return false;
-      }
-    return true;
+      for (int Orb = 0; Orb < P.NOrbitals; ++Orb)
+        Expected[(size_t)W * P.NOrbitals + Orb] = hostEval(W, Orb);
+    return compareOutputs(Expected, Out, /*RelTol=*/1e-9).Match;
   }
 };
 

@@ -18,6 +18,7 @@
 
 #include "workloads/Workload.h"
 #include "frontend/CGHelpers.h"
+#include "support/OutputCompare.h"
 
 #include <cmath>
 
@@ -483,13 +484,10 @@ public:
   bool checkOutputs(GPUDevice &Dev) override {
     std::vector<double> Out =
         Dev.downloadArray<double>(DevOut, P.NLookups);
-    for (int I = 0; I < P.NLookups; ++I) {
-      double Expect = hostLookup(I);
-      if (std::fabs(Out[I] - Expect) >
-          1e-9 * std::max(1.0, std::fabs(Expect)))
-        return false;
-    }
-    return true;
+    std::vector<double> Expected(P.NLookups);
+    for (int I = 0; I < P.NLookups; ++I)
+      Expected[I] = hostLookup(I);
+    return compareOutputs(Expected, Out, /*RelTol=*/1e-9).Match;
   }
 };
 

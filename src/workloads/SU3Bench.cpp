@@ -17,6 +17,7 @@
 
 #include "workloads/Workload.h"
 #include "frontend/CGHelpers.h"
+#include "support/OutputCompare.h"
 
 #include <cmath>
 
@@ -283,15 +284,10 @@ public:
   bool checkOutputs(GPUDevice &Dev) override {
     std::vector<double> C = Dev.downloadArray<double>(
         DevC, (size_t)P.NSites * LinksPerSite * 18);
-    for (int Site = 0; Site < P.NSites; ++Site) {
-      double Ref[LinksPerSite * 18];
-      hostSite(Site, Ref);
-      for (int I = 0; I < LinksPerSite * 18; ++I)
-        if (std::fabs(C[(size_t)Site * LinksPerSite * 18 + I] - Ref[I]) >
-            1e-9 * std::max(1.0, std::fabs(Ref[I])))
-          return false;
-    }
-    return true;
+    std::vector<double> Expected((size_t)P.NSites * LinksPerSite * 18);
+    for (int Site = 0; Site < P.NSites; ++Site)
+      hostSite(Site, &Expected[(size_t)Site * LinksPerSite * 18]);
+    return compareOutputs(Expected, C, /*RelTol=*/1e-9).Match;
   }
 };
 

@@ -18,6 +18,7 @@
 
 #include "workloads/Workload.h"
 #include "frontend/CGHelpers.h"
+#include "support/OutputCompare.h"
 
 #include <cmath>
 
@@ -464,15 +465,13 @@ public:
   bool checkOutputs(GPUDevice &Dev) override {
     std::vector<double> Out =
         Dev.downloadArray<double>(DevOut, P.NLookups);
+    std::vector<double> Expected(P.NLookups);
     for (int I = 0; I < P.NLookups; ++I) {
       double Macro[5];
       hostLookup(I, Macro);
-      double Expect = Macro[0] + Macro[1] + Macro[2] + Macro[3] + Macro[4];
-      if (std::fabs(Out[I] - Expect) >
-          1e-9 * std::max(1.0, std::fabs(Expect)))
-        return false;
+      Expected[I] = Macro[0] + Macro[1] + Macro[2] + Macro[3] + Macro[4];
     }
-    return true;
+    return compareOutputs(Expected, Out, /*RelTol=*/1e-9).Match;
   }
 };
 

@@ -1,0 +1,459 @@
+//===- tests/TestFuzz.cpp - Differential fuzzing subsystem tests -----------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the differential fuzzing subsystem (docs/fuzzing.md): seeded
+/// generator determinism, recipe JSON round-trips, golden-file checks of
+/// the generated IR, harness determinism, the cross-preset oracle on clean
+/// and sabotaged pipelines, automatic reduction of failing modules, and
+/// opt-bisect attribution of an injected miscompile. FuzzSlow.* holds the
+/// campaign-scale cases and is labeled fuzz-smoke/slow instead of tier1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/KernelGenerator.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Reduce.h"
+#include "ir/AsmWriter.h"
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "ir/IRContext.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Type.h"
+#include "ir/Verifier.h"
+#include "support/Casting.h"
+#include "transforms/Cloning.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Emits \p R's kernel into a fresh module under \p Scheme.
+struct GeneratedModule {
+  IRContext Ctx;
+  Module M{Ctx, "fuzz"};
+  explicit GeneratedModule(const KernelRecipe &R,
+                           CodeGenScheme Scheme = CodeGenScheme::Simplified13) {
+    OMPCodeGen CG(M, CodeGenOptions{Scheme, /*CudaMode=*/false});
+    generateKernel(CG, R);
+  }
+};
+
+/// A hand-built recipe with a known-rich kernel: SPMD combined loop with an
+/// escaping team local and a guarded live-out value.
+static KernelRecipe testRecipe() {
+  KernelRecipe R;
+  R.Seed = 12345;
+  R.SPMD = true;
+  R.NumTeams = 2;
+  R.NumThreads = 32;
+  R.TripCount = 16;
+  R.RegionShape = KernelRecipe::Shape::Combined;
+  R.NumRegions = 1;
+  R.NumChunks = 1;
+  R.EscapingTeamLocal = true;
+  R.GuardedSideEffect = true;
+  R.ExprOps = 2;
+  R.ExprSeed = 7;
+  return R;
+}
+
+/// The behavioral sabotage pass: deletes every floating-point store in the
+/// module. Passes the verifier (stores have no uses) but changes observable
+/// outputs — exactly the class of miscompile the differential oracle, the
+/// reducer, and bisection must catch.
+static bool dropDoubleStores(Module &M) {
+  bool Changed = false;
+  for (Function *F : M.functions())
+    for (BasicBlock *BB : F->getBlocks())
+      for (Instruction *I : BB->getInstructions()) {
+        auto *St = dyn_cast<StoreInst>(I);
+        if (St && St->getAccessType()->isFloatingPointTy()) {
+          St->eraseFromParent();
+          Changed = true;
+        }
+      }
+  return Changed;
+}
+
+/// The IR-corrupting sabotage pass (TestRecovery style): an empty block
+/// violates the "block lacks a terminator" verifier rule.
+static bool corruptKernel(Module &M) {
+  M.kernels().front()->createBlock("orphan");
+  return true;
+}
+
+static PipelineOptions::ExtraPass dropStoresPass() {
+  return {"drop-stores", dropDoubleStores};
+}
+
+//===----------------------------------------------------------------------===//
+// Generator determinism and recipe serialization
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzGenerator, ByteIdenticalAcrossContexts) {
+  for (uint64_t Seed : {1, 2, 5, 7, 9, 13}) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    for (CodeGenScheme Scheme :
+         {CodeGenScheme::Simplified13, CodeGenScheme::Legacy12}) {
+      GeneratedModule A(R, Scheme), B(R, Scheme);
+      EXPECT_EQ(moduleToString(A.M), moduleToString(B.M))
+          << "seed " << Seed << " is not deterministic";
+    }
+  }
+}
+
+TEST(FuzzGenerator, SampledModulesAreVerifierClean) {
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    for (CodeGenScheme Scheme :
+         {CodeGenScheme::Simplified13, CodeGenScheme::Legacy12}) {
+      GeneratedModule G(R, Scheme);
+      std::string Err;
+      EXPECT_FALSE(verifyModule(G.M, &Err))
+          << "seed " << Seed << ": " << Err;
+    }
+  }
+}
+
+TEST(FuzzGenerator, RecipeJSONRoundTrip) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    std::string Text = R.toJSON().str();
+    json::Value V;
+    std::string Err;
+    ASSERT_TRUE(json::parse(Text, V, &Err)) << Err;
+    Expected<KernelRecipe> Back = KernelRecipe::fromJSON(V);
+    ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+    EXPECT_EQ(Back->toJSON().str(), Text) << "seed " << Seed;
+    EXPECT_EQ(Back->summary(), R.summary());
+  }
+}
+
+TEST(FuzzGenerator, FromJSONRejectsInconsistentSizes) {
+  KernelRecipe R = testRecipe();
+  R.RegionShape = KernelRecipe::Shape::DistributeInner;
+  R.NumChunks = 3; // TripCount 16 does not divide into 3 chunks.
+  Expected<KernelRecipe> Back = KernelRecipe::fromJSON(R.toJSON());
+  EXPECT_FALSE(static_cast<bool>(Back));
+}
+
+TEST(FuzzGenerator, SampleCoversHazardSpace) {
+  bool SawSPMD = false, SawGeneric = false;
+  bool SawEsc = false, SawPriv = false, SawWL = false, SawGuard = false;
+  bool SawNested = false, SawIndirect = false;
+  bool Shapes[3] = {false, false, false};
+  for (uint64_t Seed = 1; Seed <= 300; ++Seed) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    (R.SPMD ? SawSPMD : SawGeneric) = true;
+    SawEsc |= R.EscapingTeamLocal;
+    SawPriv |= R.NonEscapingTeamLocal;
+    SawWL |= R.WorkerLocal;
+    SawGuard |= R.GuardedSideEffect;
+    SawNested |= R.NestedParallel;
+    SawIndirect |= R.IndirectParallelCall;
+    Shapes[(int)R.RegionShape] = true;
+  }
+  EXPECT_TRUE(SawSPMD && SawGeneric);
+  EXPECT_TRUE(SawEsc && SawPriv && SawWL && SawGuard);
+  EXPECT_TRUE(SawNested && SawIndirect);
+  EXPECT_TRUE(Shapes[0] && Shapes[1] && Shapes[2]);
+}
+
+TEST(FuzzGenerator, HostModelMatchesReferenceRun) {
+  for (uint64_t Seed : {1, 2, 7, 9, 23}) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    PipelineOptions P = referenceFuzzPipeline(makeDevPipeline());
+    GeneratedModule G(R, P.Scheme);
+    ASSERT_FALSE(optimizeDeviceModule(G.M, P).VerifyFailed);
+    FuzzRunOutcome Run = runGeneratedKernel(G.M, "fuzz_kernel", R, P);
+    ASSERT_TRUE(Run.Stats.ok()) << "seed " << Seed << ": " << Run.Stats.Trap;
+    std::vector<double> Host = expectedOutputs(R, makeInputs(R));
+    OutputComparison C = compareOutputs(Host, Run.Out, /*RelTol=*/0.0);
+    EXPECT_TRUE(C.Match) << "seed " << Seed << ": " << C.message();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Golden files: the generator's IR as written by the AsmWriter
+//===----------------------------------------------------------------------===//
+
+/// Reconstructs the text `bench/fuzz -fuzz-print-module=<seed>` emits; the
+/// golden files were produced with exactly that command (see
+/// docs/fuzzing.md for the regeneration recipe).
+static std::string printedModule(uint64_t Seed, CodeGenScheme Scheme) {
+  KernelRecipe R = KernelRecipe::sample(Seed);
+  GeneratedModule G(R, Scheme);
+  return "; recipe: " + R.summary() + "\n" + moduleToString(G.M);
+}
+
+TEST(FuzzGolden, GeneratedModulesMatchGoldenFiles) {
+  for (uint64_t Seed : {2, 5, 7, 9}) {
+    for (CodeGenScheme Scheme :
+         {CodeGenScheme::Simplified13, CodeGenScheme::Legacy12}) {
+      std::string Name =
+          "fuzz-seed" + std::to_string(Seed) +
+          (Scheme == CodeGenScheme::Legacy12 ? "-legacy12" : "-simplified13") +
+          ".ll";
+      Expected<std::string> Golden =
+          readTextFile(std::string(OMPGPU_TEST_GOLDEN_DIR) + "/" + Name);
+      ASSERT_TRUE(static_cast<bool>(Golden)) << Golden.message();
+      EXPECT_EQ(*Golden, printedModule(Seed, Scheme))
+          << Name << " is stale; regenerate with "
+          << "./build/bench/fuzz -fuzz-print-module=" << Seed
+          << " -fuzz-print-scheme="
+          << (Scheme == CodeGenScheme::Legacy12 ? "legacy12" : "simplified13")
+          << " > tests/golden/" << Name;
+    }
+  }
+}
+
+TEST(FuzzGolden, CloneRoundTripsThroughAsmWriter) {
+  for (uint64_t Seed : {2, 7}) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    GeneratedModule G(R);
+    std::unique_ptr<Module> Clone = cloneModule(G.M);
+    EXPECT_EQ(moduleToString(G.M), moduleToString(*Clone));
+    EXPECT_EQ(hashModule(G.M), hashModule(*Clone));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Harness determinism (same workload + config + seed => identical results)
+//===----------------------------------------------------------------------===//
+
+TEST(HarnessDeterminism, ByteIdenticalStatsAndPassSequences) {
+  auto RunOnce = [] {
+    std::unique_ptr<Workload> W = createXSBench(ProblemSize::Small);
+    PipelineOptions P = makeDevPipeline();
+    P.Instrument.TrackChanges = true; // populate the pass records
+    return runWorkload(*W, P);
+  };
+  WorkloadRunResult A = RunOnce();
+  WorkloadRunResult B = RunOnce();
+
+  ASSERT_TRUE(A.Stats.ok()) << A.Stats.Trap;
+  ASSERT_TRUE(A.Checked && A.Correct);
+
+  // KernelStats must agree exactly, counter for counter.
+  std::vector<std::pair<std::string, uint64_t>> CA, CB;
+  A.Stats.forEachCounter([&](const char *N, uint64_t V) { CA.push_back({N, V}); });
+  B.Stats.forEachCounter([&](const char *N, uint64_t V) { CB.push_back({N, V}); });
+  EXPECT_EQ(CA, CB);
+  EXPECT_EQ(A.Stats.Milliseconds, B.Stats.Milliseconds);
+  EXPECT_EQ(A.Stats.RegsPerThread, B.Stats.RegsPerThread);
+  EXPECT_EQ(A.Stats.StaticSharedBytes, B.Stats.StaticSharedBytes);
+  EXPECT_EQ(A.Stats.DynamicSharedBytes, B.Stats.DynamicSharedBytes);
+  EXPECT_EQ(A.Stats.SimulatedBlocks, B.Stats.SimulatedBlocks);
+  EXPECT_EQ(A.Correct, B.Correct);
+
+  // The compile-report pass sequence must replay identically (wall times
+  // excepted — they are the one nondeterministic field).
+  ASSERT_EQ(A.Compile.Passes.size(), B.Compile.Passes.size());
+  for (size_t I = 0; I != A.Compile.Passes.size(); ++I) {
+    const PassExecution &PA = A.Compile.Passes[I];
+    const PassExecution &PB = B.Compile.Passes[I];
+    EXPECT_EQ(PA.Name, PB.Name) << "pass " << I;
+    EXPECT_EQ(PA.Invocation, PB.Invocation) << "pass " << I;
+    EXPECT_EQ(PA.BisectIndex, PB.BisectIndex) << "pass " << I;
+    EXPECT_EQ(PA.ReportedChange, PB.ReportedChange) << "pass " << I;
+    EXPECT_EQ(PA.IRChanged, PB.IRChanged) << "pass " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-preset oracle
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzOracle, CleanPipelinePassesAllPresets) {
+  for (uint64_t Seed : {1, 2, 7, 9}) {
+    FuzzVerdict V = runFuzzOracle(KernelRecipe::sample(Seed));
+    EXPECT_TRUE(V.OK) << "seed " << Seed << ": preset '" << V.FailingPreset
+                      << "': " << V.Reason;
+    EXPECT_EQ(V.Presets.size(), defaultFuzzPresets().size());
+    EXPECT_TRUE(V.Remarks.remarks().empty());
+  }
+}
+
+TEST(FuzzOracle, VerifierCorruptionIsCaughtAndNamed) {
+  FuzzOracleOptions O;
+  O.ExtraPasses.push_back({"corrupt-kernel", corruptKernel});
+  FuzzVerdict V = runFuzzOracle(testRecipe(), O);
+  ASSERT_FALSE(V.OK);
+  EXPECT_NE(V.Reason.find("corrupt-kernel"), std::string::npos) << V.Reason;
+  // Every preset runs the injected pass, so every preset fails and emits
+  // an OMP190 remark.
+  ASSERT_EQ(V.Remarks.size(), V.Presets.size());
+  for (const Remark &R : V.Remarks.remarks()) {
+    EXPECT_EQ(R.Id, RemarkId::OMP190);
+    EXPECT_TRUE(R.Missed);
+  }
+  for (const FuzzPresetOutcome &P : V.Presets) {
+    EXPECT_FALSE(P.OK);
+    EXPECT_TRUE(P.VerifyFailed);
+    EXPECT_FALSE(P.ReferenceBroken)
+        << "the reference compile must not see the sabotage";
+  }
+}
+
+TEST(FuzzOracle, BehavioralMiscompileIsCaught) {
+  FuzzOracleOptions O;
+  O.ExtraPasses.push_back(dropStoresPass());
+  FuzzVerdict V = runFuzzOracle(testRecipe(), O);
+  ASSERT_FALSE(V.OK);
+  EXPECT_NE(V.Reason.find("diverge"), std::string::npos) << V.Reason;
+  for (const FuzzPresetOutcome &P : V.Presets) {
+    EXPECT_FALSE(P.OK) << P.Preset;
+    EXPECT_FALSE(P.VerifyFailed) << "dropping stores is verifier-clean";
+    EXPECT_FALSE(P.ReferenceBroken);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction and attribution
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzReduce, DifferentialPredicateSeparatesGoodFromSabotaged) {
+  KernelRecipe R = testRecipe();
+  PipelineOptions P = makeDevPipeline();
+  GeneratedModule G(R, P.Scheme);
+  EXPECT_FALSE(makeDifferentialPredicate(R, P)(G.M))
+      << "clean pipeline flagged as failing";
+  EXPECT_TRUE(makeDifferentialPredicate(R, P, {dropStoresPass()})(G.M))
+      << "sabotaged pipeline not flagged";
+}
+
+TEST(FuzzReduce, SabotagedCaseIsReducedAndAttributed) {
+  KernelRecipe R = testRecipe();
+  PipelineOptions P = makeDevPipeline();
+  GeneratedModule G(R, P.Scheme);
+  ReducePredicate Pred = makeDifferentialPredicate(R, P, {dropStoresPass()});
+  ASSERT_TRUE(Pred(G.M));
+
+  ReduceResult RR = reduceFailingModule(G.M, Pred);
+  ASSERT_NE(RR.Reduced, nullptr);
+  EXPECT_LT(RR.FinalInstructions, RR.OriginalInstructions);
+  EXPECT_FALSE(verifyModule(*RR.Reduced));
+  EXPECT_TRUE(Pred(*RR.Reduced)) << "reduced module no longer fails";
+  ASSERT_EQ(RR.Remarks.size(), 1u);
+  EXPECT_EQ(RR.Remarks.remarks().front().Id, RemarkId::OMP191);
+
+  // The kernel and its init/deinit skeleton must survive reduction.
+  Function *Kernel = RR.Reduced->getFunction("fuzz_kernel");
+  ASSERT_NE(Kernel, nullptr);
+  EXPECT_TRUE(Kernel->isKernel());
+
+  // Bisection over the reduced module pins the failure on the sabotage.
+  BisectResult BR = attributeFailure(*RR.Reduced, R, P, {dropStoresPass()});
+  ASSERT_TRUE(BR.FoundFailure);
+  EXPECT_GT(BR.FirstBadExecution, 0);
+  EXPECT_EQ(BR.PassName, "drop-stores");
+}
+
+TEST(FuzzReduce, ProtectedRuntimeCallsSurviveAggressiveReduction) {
+  KernelRecipe R = testRecipe();
+  GeneratedModule G(R);
+  // An always-failing predicate lets the reducer delete as much as it can;
+  // the target_init/deinit skeleton must still be standing afterwards.
+  ReduceResult RR =
+      reduceFailingModule(G.M, [](const Module &) { return true; });
+  ASSERT_NE(RR.Reduced, nullptr);
+  EXPECT_FALSE(verifyModule(*RR.Reduced));
+  EXPECT_LT(RR.FinalInstructions, RR.OriginalInstructions);
+
+  bool SawInit = false;
+  Function *Kernel = RR.Reduced->getFunction("fuzz_kernel");
+  ASSERT_NE(Kernel, nullptr);
+  for (BasicBlock *BB : Kernel->getBlocks())
+    for (Instruction *I : BB->getInstructions()) {
+      auto *C = dyn_cast<CallInst>(I);
+      if (C && C->getCalledFunction() &&
+          C->getCalledFunction()->getName() == "__kmpc_target_init")
+        SawInit = true;
+    }
+  EXPECT_TRUE(SawInit);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus persistence
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzCorpus, RecipeFileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "ompgpu-recipe.json";
+  KernelRecipe R = KernelRecipe::sample(77);
+  ASSERT_FALSE(saveRecipe(Path, R));
+  Expected<KernelRecipe> Back = loadRecipe(Path);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+  EXPECT_EQ(Back->toJSON().str(), R.toJSON().str());
+}
+
+TEST(FuzzCorpus, CorpusSummaryRoundTrip) {
+  std::string Dir = ::testing::TempDir() + "ompgpu-corpus";
+  ASSERT_FALSE(ensureDirectory(Dir));
+  std::vector<CorpusEntry> Entries(2);
+  Entries[0].Seed = 1;
+  Entries[1].Seed = 2;
+  Entries[1].OK = false;
+  Entries[1].FailingPreset = "LLVM Dev";
+  Entries[1].Reason = "outputs diverge";
+  Entries[1].CaseFile = "case-2.json";
+  ASSERT_FALSE(saveCorpus(Dir + "/corpus.json", Entries));
+  Expected<std::vector<CorpusEntry>> Back = loadCorpus(Dir + "/corpus.json");
+  ASSERT_TRUE(static_cast<bool>(Back)) << Back.message();
+  ASSERT_EQ(Back->size(), 2u);
+  EXPECT_TRUE((*Back)[0].OK);
+  EXPECT_FALSE((*Back)[1].OK);
+  EXPECT_EQ((*Back)[1].FailingPreset, "LLVM Dev");
+  EXPECT_EQ((*Back)[1].CaseFile, "case-2.json");
+}
+
+TEST(FuzzCorpus, ReadErrorsAreReportedNotFatal) {
+  Expected<std::string> Missing = readTextFile("/nonexistent/ompgpu.txt");
+  EXPECT_FALSE(static_cast<bool>(Missing));
+  EXPECT_NE(Missing.message().find("nonexistent"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign scale (labeled fuzz-smoke + slow, excluded from tier1)
+//===----------------------------------------------------------------------===//
+
+TEST(FuzzSlow, TwoHundredSeedsZeroMismatches) {
+  for (uint64_t Seed = 1; Seed <= 200; ++Seed) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    FuzzVerdict V = runFuzzOracle(R);
+    ASSERT_TRUE(V.OK) << R.summary() << ": preset '" << V.FailingPreset
+                      << "': " << V.Reason;
+  }
+}
+
+TEST(FuzzSlow, SabotageEndToEndAcrossSeeds) {
+  // The whole catch -> reduce -> attribute chain, over several distinct
+  // sampled recipes rather than the single hand-built one.
+  unsigned Attributed = 0;
+  for (uint64_t Seed : {2, 5, 9}) {
+    KernelRecipe R = KernelRecipe::sample(Seed);
+    PipelineOptions P = makeDevPipeline();
+    GeneratedModule G(R, P.Scheme);
+    ReducePredicate Pred = makeDifferentialPredicate(R, P, {dropStoresPass()});
+    if (!Pred(G.M))
+      continue; // sabotage happened to be benign for this recipe
+    ReduceResult RR = reduceFailingModule(G.M, Pred);
+    ASSERT_TRUE(Pred(*RR.Reduced)) << R.summary();
+    BisectResult BR = attributeFailure(*RR.Reduced, R, P, {dropStoresPass()});
+    ASSERT_TRUE(BR.FoundFailure) << R.summary();
+    if (BR.PassName == "drop-stores")
+      ++Attributed;
+  }
+  EXPECT_GE(Attributed, 2u);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/TestOutputCompare.cpp - Shared comparator tests ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the output comparator shared by the workloads'
+/// checkOutputs(), the Harness/Bisect differential-smoke oracle, and the
+/// fuzzing oracle: bit-exact and tolerance modes, mismatch reporting
+/// (first index, expected/actual, counts), and length mismatches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/OutputCompare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace ompgpu;
+
+TEST(OutputCompare, ExactMatch) {
+  std::vector<double> A = {1.0, -2.5, 0.0, 3.75};
+  OutputComparison R = compareOutputs(A, A);
+  EXPECT_TRUE(R.Match);
+  EXPECT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R.Count, 4u);
+  EXPECT_EQ(R.Mismatches, 0u);
+  EXPECT_EQ(R.message(), "all 4 elements match");
+}
+
+TEST(OutputCompare, EmptyBuffersMatch) {
+  OutputComparison R = compareOutputs(std::vector<double>{},
+                                      std::vector<double>{});
+  EXPECT_TRUE(R.Match);
+  EXPECT_EQ(R.Count, 0u);
+}
+
+TEST(OutputCompare, ReportsFirstMismatchAndCounts) {
+  std::vector<double> Expected = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> Actual = {1.0, 2.0, 3.5, 4.0, 5.25};
+  OutputComparison R = compareOutputs(Expected, Actual);
+  EXPECT_FALSE(R.Match);
+  EXPECT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.FirstIndex, 2u);
+  EXPECT_EQ(R.Expected, 3.0);
+  EXPECT_EQ(R.Actual, 3.5);
+  EXPECT_EQ(R.Mismatches, 2u);
+  EXPECT_EQ(R.Count, 5u);
+  EXPECT_EQ(R.message(),
+            "mismatch at [2]: expected 3, got 3.5 (2 of 5 elements differ)");
+}
+
+TEST(OutputCompare, LengthMismatchIsReportedNotAsserted) {
+  std::vector<double> Expected = {1.0, 2.0, 3.0};
+  std::vector<double> Actual = {1.0, 2.0};
+  OutputComparison R = compareOutputs(Expected, Actual);
+  EXPECT_FALSE(R.Match);
+  EXPECT_TRUE(R.SizeMismatch);
+  EXPECT_EQ(R.message(), "buffer length mismatch: expected 3 elements, got 2");
+}
+
+TEST(OutputCompare, BitExactDistinguishesSignedZero) {
+  std::vector<double> Expected = {0.0};
+  std::vector<double> Actual = {-0.0};
+  EXPECT_FALSE(compareOutputs(Expected, Actual, /*RelTol=*/0.0).Match);
+  // A tolerance treats them as equal (0 - (-0) == 0).
+  EXPECT_TRUE(compareOutputs(Expected, Actual, /*RelTol=*/1e-12).Match);
+}
+
+TEST(OutputCompare, BitExactTreatsIdenticalNaNsAsEqual) {
+  double NaN = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> Expected = {NaN, 1.0};
+  std::vector<double> Actual = {NaN, 1.0};
+  EXPECT_TRUE(compareOutputs(Expected, Actual, /*RelTol=*/0.0).Match);
+  // With a tolerance, NaN != NaN under fabs comparison.
+  EXPECT_FALSE(compareOutputs(Expected, Actual, /*RelTol=*/1e-9).Match);
+}
+
+TEST(OutputCompare, RelativeToleranceScalesWithMagnitude) {
+  // |a - e| <= RelTol * max(1, |e|): absolute near zero, relative above 1.
+  std::vector<double> Expected = {0.0, 1.0e6};
+  std::vector<double> Actual = {5.0e-10, 1.0e6 + 5.0e-4};
+  EXPECT_TRUE(compareOutputs(Expected, Actual, /*RelTol=*/1e-9).Match);
+
+  std::vector<double> TooFar = {5.0e-9, 1.0e6};
+  EXPECT_FALSE(compareOutputs(Expected, TooFar, /*RelTol=*/1e-9).Match);
+}
+
+TEST(OutputCompare, PointerOverloadMatchesVectorOverload) {
+  std::vector<double> Expected = {1.0, 2.0, 3.0};
+  std::vector<double> Actual = {1.0, 9.0, 3.0};
+  OutputComparison A = compareOutputs(Expected, Actual);
+  OutputComparison B =
+      compareOutputs(Expected.data(), Actual.data(), Expected.size());
+  EXPECT_EQ(A.Match, B.Match);
+  EXPECT_EQ(A.FirstIndex, B.FirstIndex);
+  EXPECT_EQ(A.Mismatches, B.Mismatches);
+  EXPECT_EQ(A.message(), B.message());
+}

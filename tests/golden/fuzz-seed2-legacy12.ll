@@ -1,0 +1,183 @@
+; recipe: seed=2 spmd teams=1x32 trip=32 shape=combined/1 [nested]
+; module 'fuzz'
+define void @fuzz_kernel(ptr %in, ptr %out, i32 %n) kernel(spmd) {
+entry:
+  %exec_tid = call i32 @__kmpc_target_init(i32 2, i1 0)
+  %thread.is_main = icmp eq i32 %exec_tid, -1
+  br i1 %thread.is_main, label %user_code.entry, label %exit
+
+user_code.entry:
+  %captured_frame = alloca {i32, ptr, ptr, i32}
+  %frame.trip_count = getelementptr {i32, ptr, ptr, i32}, ptr addrspace(5) %captured_frame, i64 0, i64 0
+  store i32 32, ptr addrspace(5) %frame.trip_count
+  %frame.in = getelementptr {i32, ptr, ptr, i32}, ptr addrspace(5) %captured_frame, i64 0, i64 1
+  store ptr %in, ptr addrspace(5) %frame.in
+  %frame.out = getelementptr {i32, ptr, ptr, i32}, ptr addrspace(5) %captured_frame, i64 0, i64 2
+  store ptr %out, ptr addrspace(5) %frame.out
+  %frame.n = getelementptr {i32, ptr, ptr, i32}, ptr addrspace(5) %captured_frame, i64 0, i64 3
+  store i32 %n, ptr addrspace(5) %frame.n
+  %pl = call i32 @__kmpc_parallel_level()
+  %nested_parallel = icmp sgt i32 %pl, 0
+  br i1 %nested_parallel, label %parallel.then, label %parallel.else
+
+exit:
+  ret void
+
+parallel.then:
+  call void @fuzz_kernel__omp_outlined__0_wrapper(ptr addrspace(5) %captured_frame)
+  br label %parallel.join
+
+parallel.else:
+  call void @__kmpc_parallel_51(ptr @fuzz_kernel__omp_outlined__0_wrapper, ptr addrspace(5) %captured_frame, i32 -1)
+  br label %parallel.join
+
+parallel.join:
+  call void @__kmpc_target_deinit(i32 2)
+  br label %exit
+}
+
+declare i32 @__kmpc_target_init(i32 %0, i1 %1) convergent
+
+define internal void @fuzz_nested_wrapper(ptr %captured_args) {
+entry:
+  %0 = getelementptr {ptr, i32, double}, ptr %captured_args, i64 0, i64 0
+  %nested.out = load ptr, ptr %0
+  %1 = getelementptr {ptr, i32, double}, ptr %captured_args, i64 0, i64 1
+  %nested.i = load i32, ptr %1
+  %2 = getelementptr {ptr, i32, double}, ptr %captured_args, i64 0, i64 2
+  %nested.x = load double, ptr %2
+  %nested.elem = getelementptr double, ptr %nested.out, i32 %nested.i
+  %nested.cur = load double, ptr %nested.elem
+  %3 = fmul double %nested.cur, 2
+  %4 = fadd double %3, %nested.x
+  store double %4, ptr %nested.elem
+  ret void
+}
+
+define internal void @fuzz_kernel__omp_outlined__0_wrapper(ptr %captured_args) {
+entry:
+  %cap.trip_count.addr = getelementptr {i32, ptr, ptr, i32}, ptr %captured_args, i64 0, i64 0
+  %cap.trip_count = load i32, ptr %cap.trip_count.addr
+  %cap.in.addr = getelementptr {i32, ptr, ptr, i32}, ptr %captured_args, i64 0, i64 1
+  %cap.in = load ptr, ptr %cap.in.addr
+  %cap.out.addr = getelementptr {i32, ptr, ptr, i32}, ptr %captured_args, i64 0, i64 2
+  %cap.out = load ptr, ptr %cap.out.addr
+  %cap.n.addr = getelementptr {i32, ptr, ptr, i32}, ptr %captured_args, i64 0, i64 3
+  %cap.n = load i32, ptr %cap.n.addr
+  %nested_frame = alloca {ptr, i32, double}
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_tid.then, label %omp_tid.else
+
+omp_tid.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.join
+
+omp_tid.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_tid.gen.then, label %omp_tid.gen.else
+
+omp_tid.join:
+  %omp_tid.phi = phi i32 [%hw_tid, label %omp_tid.then], [%omp_tid.gen.phi, label %omp_tid.gen.join]
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_nthreads.then, label %omp_nthreads.else
+
+omp_tid.gen.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.gen.join
+
+omp_tid.gen.else:
+  br label %omp_tid.gen.join
+
+omp_tid.gen.join:
+  %omp_tid.gen.phi = phi i32 [%hw_tid, label %omp_tid.gen.then], [0, label %omp_tid.gen.else]
+  br label %omp_tid.join
+
+omp_nthreads.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  br label %omp_nthreads.join
+
+omp_nthreads.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_nthreads.gen.then, label %omp_nthreads.gen.else
+
+omp_nthreads.join:
+  %omp_nthreads.phi = phi i32 [%hw_nthreads, label %omp_nthreads.then], [%omp_nthreads.gen.phi, label %omp_nthreads.gen.join]
+  %team = call i32 @omp_get_team_num()
+  %nteams = call i32 @omp_get_num_teams()
+  %team_base = mul i32 %team, %omp_nthreads.phi
+  %league_tid = add i32 %team_base, %omp_tid.phi
+  %league_size = mul i32 %nteams, %omp_nthreads.phi
+  br label %parallel_for.header
+
+omp_nthreads.gen.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  %warpsize = call i32 @__kmpc_get_warp_size()
+  %par_nthreads = sub i32 %hw_nthreads, %warpsize
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.else:
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.join:
+  %omp_nthreads.gen.phi = phi i32 [%par_nthreads, label %omp_nthreads.gen.then], [1, label %omp_nthreads.gen.else]
+  br label %omp_nthreads.join
+
+parallel_for.header:
+  %parallel_for.iv = phi i32 [%league_tid, label %omp_nthreads.join], [%parallel_for.next, label %fuzz_nested.join]
+  %parallel_for.cond = icmp slt i32 %parallel_for.iv, %cap.trip_count
+  br i1 %parallel_for.cond, label %parallel_for.body, label %parallel_for.exit
+
+parallel_for.body:
+  %in.addr = getelementptr double, ptr %cap.in, i32 %parallel_for.iv
+  %x = load double, ptr %in.addr
+  %n.fp = sitofp i32 %cap.n to double
+  %0 = fsub double %x, %x
+  %1 = fsub double %0, -1
+  %2 = fadd double %1, 2
+  %out.addr = getelementptr double, ptr %cap.out, i32 %parallel_for.iv
+  store double %2, ptr %out.addr
+  %nested_frame.out = getelementptr {ptr, i32, double}, ptr addrspace(5) %nested_frame, i64 0, i64 0
+  store ptr %cap.out, ptr addrspace(5) %nested_frame.out
+  %nested_frame.i = getelementptr {ptr, i32, double}, ptr addrspace(5) %nested_frame, i64 0, i64 1
+  store i32 %parallel_for.iv, ptr addrspace(5) %nested_frame.i
+  %nested_frame.x = getelementptr {ptr, i32, double}, ptr addrspace(5) %nested_frame, i64 0, i64 2
+  store double %x, ptr addrspace(5) %nested_frame.x
+  %pl = call i32 @__kmpc_parallel_level()
+  %in.parallel = icmp sgt i32 %pl, 0
+  br i1 %in.parallel, label %fuzz_nested.then, label %fuzz_nested.else
+
+parallel_for.exit:
+  ret void
+
+fuzz_nested.then:
+  call void @fuzz_nested_wrapper(ptr addrspace(5) %nested_frame)
+  br label %fuzz_nested.join
+
+fuzz_nested.else:
+  call void @__kmpc_parallel_51(ptr @fuzz_nested_wrapper, ptr addrspace(5) %nested_frame, i32 -1)
+  br label %fuzz_nested.join
+
+fuzz_nested.join:
+  %parallel_for.next = add i32 %parallel_for.iv, %league_size
+  br label %parallel_for.header
+}
+
+declare i32 @__kmpc_parallel_level() readnone nosync nofree willreturn
+
+declare void @__kmpc_parallel_51(ptr %0, ptr %1, i32 %2) convergent
+
+declare i1 @__kmpc_is_spmd_exec_mode() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_hardware_thread_id_in_block() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_hardware_num_threads_in_block() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_warp_size() readnone nosync nofree willreturn
+
+declare i32 @omp_get_team_num() readnone nosync nofree willreturn
+
+declare i32 @omp_get_num_teams() readnone nosync nofree willreturn
+
+declare void @__kmpc_target_deinit(i32 %0) convergent

@@ -1,0 +1,266 @@
+; recipe: seed=5 spmd teams=2x64 trip=24 shape=flat/2 [esc]
+; module 'fuzz'
+define void @fuzz_kernel(ptr %in, ptr %out, i32 %n) kernel(spmd) {
+entry:
+  %exec_tid = call i32 @__kmpc_target_init(i32 2, i1 0)
+  %thread.is_main = icmp eq i32 %exec_tid, -1
+  br i1 %thread.is_main, label %user_code.entry, label %exit
+
+user_code.entry:
+  %team_escape = call ptr @__kmpc_alloc_shared(i64 8)
+  %n.fp = sitofp i32 %n to double
+  %0 = fmul double %n.fp, 0.25
+  store double %0, ptr %team_escape
+  %captured_frame = alloca {i32, ptr, ptr, i32, ptr}
+  %frame.trip_count = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 0
+  store i32 24, ptr addrspace(5) %frame.trip_count
+  %frame.in = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 1
+  store ptr %in, ptr addrspace(5) %frame.in
+  %frame.out = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 2
+  store ptr %out, ptr addrspace(5) %frame.out
+  %frame.n = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 3
+  store i32 %n, ptr addrspace(5) %frame.n
+  %frame.team_escape = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 4
+  store ptr %team_escape, ptr addrspace(5) %frame.team_escape
+  %pl = call i32 @__kmpc_parallel_level()
+  %nested_parallel = icmp sgt i32 %pl, 0
+  br i1 %nested_parallel, label %parallel.then, label %parallel.else
+
+exit:
+  ret void
+
+parallel.then:
+  call void @fuzz_kernel__omp_outlined__0_wrapper(ptr addrspace(5) %captured_frame)
+  br label %parallel.join
+
+parallel.else:
+  call void @__kmpc_parallel_51(ptr @fuzz_kernel__omp_outlined__0_wrapper, ptr addrspace(5) %captured_frame, i32 -1)
+  br label %parallel.join
+
+parallel.join:
+  %captured_frame = alloca {i32, ptr, ptr, i32, ptr}
+  %frame.trip_count = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 0
+  store i32 24, ptr addrspace(5) %frame.trip_count
+  %frame.in = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 1
+  store ptr %in, ptr addrspace(5) %frame.in
+  %frame.out = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 2
+  store ptr %out, ptr addrspace(5) %frame.out
+  %frame.n = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 3
+  store i32 %n, ptr addrspace(5) %frame.n
+  %frame.team_escape = getelementptr {i32, ptr, ptr, i32, ptr}, ptr addrspace(5) %captured_frame, i64 0, i64 4
+  store ptr %team_escape, ptr addrspace(5) %frame.team_escape
+  %pl = call i32 @__kmpc_parallel_level()
+  %nested_parallel = icmp sgt i32 %pl, 0
+  br i1 %nested_parallel, label %parallel.then.1, label %parallel.else.1
+
+parallel.then.1:
+  call void @fuzz_kernel__omp_outlined__1_wrapper(ptr addrspace(5) %captured_frame)
+  br label %parallel.join.1
+
+parallel.else.1:
+  call void @__kmpc_parallel_51(ptr @fuzz_kernel__omp_outlined__1_wrapper, ptr addrspace(5) %captured_frame, i32 -1)
+  br label %parallel.join.1
+
+parallel.join.1:
+  call void @__kmpc_free_shared(ptr %team_escape, i64 8)
+  call void @__kmpc_target_deinit(i32 2)
+  br label %exit
+}
+
+declare i32 @__kmpc_target_init(i32 %0, i1 %1) convergent
+
+declare ptr @__kmpc_alloc_shared(i64 %0) nosync nofree willreturn
+
+declare void @__kmpc_free_shared(ptr %0, i64 %1) nosync willreturn
+
+define internal void @fuzz_kernel__omp_outlined__0_wrapper(ptr %captured_args) {
+entry:
+  %cap.trip_count.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 0
+  %cap.trip_count = load i32, ptr %cap.trip_count.addr
+  %cap.in.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 1
+  %cap.in = load ptr, ptr %cap.in.addr
+  %cap.out.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 2
+  %cap.out = load ptr, ptr %cap.out.addr
+  %cap.n.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 3
+  %cap.n = load i32, ptr %cap.n.addr
+  %cap.team_escape.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 4
+  %cap.team_escape = load ptr, ptr %cap.team_escape.addr
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_tid.then, label %omp_tid.else
+
+omp_tid.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.join
+
+omp_tid.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_tid.gen.then, label %omp_tid.gen.else
+
+omp_tid.join:
+  %omp_tid.phi = phi i32 [%hw_tid, label %omp_tid.then], [%omp_tid.gen.phi, label %omp_tid.gen.join]
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_nthreads.then, label %omp_nthreads.else
+
+omp_tid.gen.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.gen.join
+
+omp_tid.gen.else:
+  br label %omp_tid.gen.join
+
+omp_tid.gen.join:
+  %omp_tid.gen.phi = phi i32 [%hw_tid, label %omp_tid.gen.then], [0, label %omp_tid.gen.else]
+  br label %omp_tid.join
+
+omp_nthreads.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  br label %omp_nthreads.join
+
+omp_nthreads.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_nthreads.gen.then, label %omp_nthreads.gen.else
+
+omp_nthreads.join:
+  %omp_nthreads.phi = phi i32 [%hw_nthreads, label %omp_nthreads.then], [%omp_nthreads.gen.phi, label %omp_nthreads.gen.join]
+  br label %parallel_for.header
+
+omp_nthreads.gen.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  %warpsize = call i32 @__kmpc_get_warp_size()
+  %par_nthreads = sub i32 %hw_nthreads, %warpsize
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.else:
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.join:
+  %omp_nthreads.gen.phi = phi i32 [%par_nthreads, label %omp_nthreads.gen.then], [1, label %omp_nthreads.gen.else]
+  br label %omp_nthreads.join
+
+parallel_for.header:
+  %parallel_for.iv = phi i32 [%omp_tid.phi, label %omp_nthreads.join], [%parallel_for.next, label %parallel_for.body]
+  %parallel_for.cond = icmp slt i32 %parallel_for.iv, %cap.trip_count
+  br i1 %parallel_for.cond, label %parallel_for.body, label %parallel_for.exit
+
+parallel_for.body:
+  %in.addr = getelementptr double, ptr %cap.in, i32 %parallel_for.iv
+  %x = load double, ptr %in.addr
+  %n.fp = sitofp i32 %cap.n to double
+  %0 = fmul double %x, %n.fp
+  %team_escape.val = load double, ptr %cap.team_escape
+  %1 = fadd double %0, %team_escape.val
+  %out.addr = getelementptr double, ptr %cap.out, i32 %parallel_for.iv
+  store double %1, ptr %out.addr
+  %parallel_for.next = add i32 %parallel_for.iv, %omp_nthreads.phi
+  br label %parallel_for.header
+
+parallel_for.exit:
+  ret void
+}
+
+declare i32 @__kmpc_parallel_level() readnone nosync nofree willreturn
+
+declare void @__kmpc_parallel_51(ptr %0, ptr %1, i32 %2) convergent
+
+declare i1 @__kmpc_is_spmd_exec_mode() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_hardware_thread_id_in_block() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_hardware_num_threads_in_block() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_warp_size() readnone nosync nofree willreturn
+
+define internal void @fuzz_kernel__omp_outlined__1_wrapper(ptr %captured_args) {
+entry:
+  %cap.trip_count.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 0
+  %cap.trip_count = load i32, ptr %cap.trip_count.addr
+  %cap.in.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 1
+  %cap.in = load ptr, ptr %cap.in.addr
+  %cap.out.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 2
+  %cap.out = load ptr, ptr %cap.out.addr
+  %cap.n.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 3
+  %cap.n = load i32, ptr %cap.n.addr
+  %cap.team_escape.addr = getelementptr {i32, ptr, ptr, i32, ptr}, ptr %captured_args, i64 0, i64 4
+  %cap.team_escape = load ptr, ptr %cap.team_escape.addr
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_tid.then, label %omp_tid.else
+
+omp_tid.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.join
+
+omp_tid.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_tid.gen.then, label %omp_tid.gen.else
+
+omp_tid.join:
+  %omp_tid.phi = phi i32 [%hw_tid, label %omp_tid.then], [%omp_tid.gen.phi, label %omp_tid.gen.join]
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_nthreads.then, label %omp_nthreads.else
+
+omp_tid.gen.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.gen.join
+
+omp_tid.gen.else:
+  br label %omp_tid.gen.join
+
+omp_tid.gen.join:
+  %omp_tid.gen.phi = phi i32 [%hw_tid, label %omp_tid.gen.then], [0, label %omp_tid.gen.else]
+  br label %omp_tid.join
+
+omp_nthreads.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  br label %omp_nthreads.join
+
+omp_nthreads.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_nthreads.gen.then, label %omp_nthreads.gen.else
+
+omp_nthreads.join:
+  %omp_nthreads.phi = phi i32 [%hw_nthreads, label %omp_nthreads.then], [%omp_nthreads.gen.phi, label %omp_nthreads.gen.join]
+  br label %parallel_for.header
+
+omp_nthreads.gen.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  %warpsize = call i32 @__kmpc_get_warp_size()
+  %par_nthreads = sub i32 %hw_nthreads, %warpsize
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.else:
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.join:
+  %omp_nthreads.gen.phi = phi i32 [%par_nthreads, label %omp_nthreads.gen.then], [1, label %omp_nthreads.gen.else]
+  br label %omp_nthreads.join
+
+parallel_for.header:
+  %parallel_for.iv = phi i32 [%omp_tid.phi, label %omp_nthreads.join], [%parallel_for.next, label %parallel_for.body]
+  %parallel_for.cond = icmp slt i32 %parallel_for.iv, %cap.trip_count
+  br i1 %parallel_for.cond, label %parallel_for.body, label %parallel_for.exit
+
+parallel_for.body:
+  %in.addr = getelementptr double, ptr %cap.in, i32 %parallel_for.iv
+  %x = load double, ptr %in.addr
+  %n.fp = sitofp i32 %cap.n to double
+  %0 = fadd double %x, %n.fp
+  %team_escape.val = load double, ptr %cap.team_escape
+  %1 = fadd double %0, %team_escape.val
+  %out.prev.addr = getelementptr double, ptr %cap.out, i32 %parallel_for.iv
+  %out.prev = load double, ptr %out.prev.addr
+  %2 = fmul double %out.prev, 0.5
+  %3 = fadd double %2, %1
+  %out.addr = getelementptr double, ptr %cap.out, i32 %parallel_for.iv
+  store double %3, ptr %out.addr
+  %parallel_for.next = add i32 %parallel_for.iv, %omp_nthreads.phi
+  br label %parallel_for.header
+
+parallel_for.exit:
+  ret void
+}
+
+declare void @__kmpc_target_deinit(i32 %0) convergent

@@ -1,0 +1,179 @@
+; recipe: seed=7 generic teams=3x64 trip=48 shape=distribute-inner/1 [guard]
+; module 'fuzz'
+define void @fuzz_kernel(ptr %in, ptr %out, i32 %n) kernel(generic) {
+entry:
+  %exec_tid = call i32 @__kmpc_target_init(i32 1, i1 1)
+  %thread.is_main = icmp eq i32 %exec_tid, -1
+  br i1 %thread.is_main, label %user_code.entry, label %exit
+
+user_code.entry:
+  %team = call i32 @omp_get_team_num()
+  %nteams = call i32 @omp_get_num_teams()
+  br label %distribute.header
+
+exit:
+  ret void
+
+distribute.header:
+  %distribute.iv = phi i32 [%team, label %user_code.entry], [%distribute.next, label %parallel.join]
+  %distribute.cond = icmp slt i32 %distribute.iv, 4
+  br i1 %distribute.cond, label %distribute.body, label %distribute.exit
+
+distribute.body:
+  %captured_frame = call ptr @__kmpc_alloc_shared(i64 32)
+  %frame.trip_count = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_frame, i64 0, i64 0
+  store i32 12, ptr %frame.trip_count
+  %frame.in = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_frame, i64 0, i64 1
+  store ptr %in, ptr %frame.in
+  %frame.out = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_frame, i64 0, i64 2
+  store ptr %out, ptr %frame.out
+  %frame.n = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_frame, i64 0, i64 3
+  store i32 %n, ptr %frame.n
+  %frame.chunk = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_frame, i64 0, i64 4
+  store i32 %distribute.iv, ptr %frame.chunk
+  %pl = call i32 @__kmpc_parallel_level()
+  %nested_parallel = icmp sgt i32 %pl, 0
+  br i1 %nested_parallel, label %parallel.then, label %parallel.else
+
+distribute.exit:
+  call void @__kmpc_target_deinit(i32 1)
+  br label %exit
+
+parallel.then:
+  call void @fuzz_kernel__omp_outlined__0_wrapper(ptr %captured_frame)
+  br label %parallel.join
+
+parallel.else:
+  call void @__kmpc_parallel_51(ptr @fuzz_kernel__omp_outlined__0_wrapper, ptr %captured_frame, i32 -1)
+  br label %parallel.join
+
+parallel.join:
+  call void @__kmpc_free_shared(ptr %captured_frame, i64 32)
+  %distribute.next = add i32 %distribute.iv, %nteams
+  br label %distribute.header
+}
+
+declare i32 @__kmpc_target_init(i32 %0, i1 %1) convergent
+
+declare i32 @omp_get_team_num() readnone nosync nofree willreturn
+
+declare i32 @omp_get_num_teams() readnone nosync nofree willreturn
+
+define internal void @fuzz_kernel__omp_outlined__0_wrapper(ptr %captured_args) {
+entry:
+  %cap.trip_count.addr = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_args, i64 0, i64 0
+  %cap.trip_count = load i32, ptr %cap.trip_count.addr
+  %cap.in.addr = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_args, i64 0, i64 1
+  %cap.in = load ptr, ptr %cap.in.addr
+  %cap.out.addr = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_args, i64 0, i64 2
+  %cap.out = load ptr, ptr %cap.out.addr
+  %cap.n.addr = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_args, i64 0, i64 3
+  %cap.n = load i32, ptr %cap.n.addr
+  %cap.chunk.addr = getelementptr {i32, ptr, ptr, i32, i32}, ptr %captured_args, i64 0, i64 4
+  %cap.chunk = load i32, ptr %cap.chunk.addr
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_tid.then, label %omp_tid.else
+
+omp_tid.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.join
+
+omp_tid.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_tid.gen.then, label %omp_tid.gen.else
+
+omp_tid.join:
+  %omp_tid.phi = phi i32 [%hw_tid, label %omp_tid.then], [%omp_tid.gen.phi, label %omp_tid.gen.join]
+  %em = call i1 @__kmpc_is_spmd_exec_mode()
+  br i1 %em, label %omp_nthreads.then, label %omp_nthreads.else
+
+omp_tid.gen.then:
+  %hw_tid = call i32 @__kmpc_get_hardware_thread_id_in_block()
+  br label %omp_tid.gen.join
+
+omp_tid.gen.else:
+  br label %omp_tid.gen.join
+
+omp_tid.gen.join:
+  %omp_tid.gen.phi = phi i32 [%hw_tid, label %omp_tid.gen.then], [0, label %omp_tid.gen.else]
+  br label %omp_tid.join
+
+omp_nthreads.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  br label %omp_nthreads.join
+
+omp_nthreads.else:
+  %pl = call i32 @__kmpc_parallel_level()
+  %in_parallel = icmp sgt i32 %pl, 0
+  br i1 %in_parallel, label %omp_nthreads.gen.then, label %omp_nthreads.gen.else
+
+omp_nthreads.join:
+  %omp_nthreads.phi = phi i32 [%hw_nthreads, label %omp_nthreads.then], [%omp_nthreads.gen.phi, label %omp_nthreads.gen.join]
+  br label %parallel_for.header
+
+omp_nthreads.gen.then:
+  %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
+  %warpsize = call i32 @__kmpc_get_warp_size()
+  %par_nthreads = sub i32 %hw_nthreads, %warpsize
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.else:
+  br label %omp_nthreads.gen.join
+
+omp_nthreads.gen.join:
+  %omp_nthreads.gen.phi = phi i32 [%par_nthreads, label %omp_nthreads.gen.then], [1, label %omp_nthreads.gen.else]
+  br label %omp_nthreads.join
+
+parallel_for.header:
+  %parallel_for.iv = phi i32 [%omp_tid.phi, label %omp_nthreads.join], [%parallel_for.next, label %guarded.join]
+  %parallel_for.cond = icmp slt i32 %parallel_for.iv, %cap.trip_count
+  br i1 %parallel_for.cond, label %parallel_for.body, label %parallel_for.exit
+
+parallel_for.body:
+  %chunk.base = mul i32 %cap.chunk, 12
+  %elem = add i32 %chunk.base, %parallel_for.iv
+  %in.addr = getelementptr double, ptr %cap.in, i32 %elem
+  %x = load double, ptr %in.addr
+  %n.fp = sitofp i32 %cap.n to double
+  %0 = fadd double %x, 0.25
+  %1 = fmul double %0, %n.fp
+  %x.positive = fcmp ogt double %x, 0
+  br i1 %x.positive, label %guarded.then, label %guarded.else
+
+parallel_for.exit:
+  ret void
+
+guarded.then:
+  %2 = fadd double %1, 1
+  br label %guarded.join
+
+guarded.else:
+  %3 = fsub double %1, 1
+  br label %guarded.join
+
+guarded.join:
+  %guarded.phi = phi double [%2, label %guarded.then], [%3, label %guarded.else]
+  %out.addr = getelementptr double, ptr %cap.out, i32 %elem
+  store double %guarded.phi, ptr %out.addr
+  %parallel_for.next = add i32 %parallel_for.iv, %omp_nthreads.phi
+  br label %parallel_for.header
+}
+
+declare ptr @__kmpc_alloc_shared(i64 %0) nosync nofree willreturn
+
+declare void @__kmpc_free_shared(ptr %0, i64 %1) nosync willreturn
+
+declare i32 @__kmpc_parallel_level() readnone nosync nofree willreturn
+
+declare void @__kmpc_parallel_51(ptr %0, ptr %1, i32 %2) convergent
+
+declare i1 @__kmpc_is_spmd_exec_mode() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_hardware_thread_id_in_block() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_hardware_num_threads_in_block() readnone nosync nofree willreturn
+
+declare i32 @__kmpc_get_warp_size() readnone nosync nofree willreturn
+
+declare void @__kmpc_target_deinit(i32 %0) convergent
