@@ -1,0 +1,158 @@
+//===- bench/lint.cpp - Standalone device-IR lint driver -------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs OMPLint over the optimized device module of every proxy workload
+/// under every pipeline preset of the evaluation ladder, prints a summary,
+/// and optionally writes a JSON report. CI runs this to assert the
+/// compiler's output upholds the barrier/race invariants the paper's
+/// transforms depend on; any finding is a failure (exit 1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "analysis/OMPLint.h"
+#include "ir/IRContext.h"
+#include "ir/Module.h"
+#include "support/CommandLine.h"
+#include "support/JSON.h"
+#include "support/raw_ostream.h"
+#include "workloads/Harness.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static cl::opt<std::string>
+    ReportPath("lint-report",
+               "Write a JSON lint report (schema in docs/compile-report.md, "
+               "lint section) to the given path",
+               "");
+static cl::opt<std::string>
+    OnlyWorkload("lint-workload",
+                 "Lint only the named workload (XSBench, RSBench, SU3Bench, "
+                 "miniQMC)",
+                 "");
+static cl::opt<std::string>
+    OnlyConfig("lint-config",
+               "Lint only configurations whose label contains this substring",
+               "");
+
+namespace {
+
+struct NamedFactory {
+  const char *Name;
+  std::unique_ptr<Workload> (*Create)(ProblemSize);
+};
+
+json::Value findingToJSON(const LintFinding &F) {
+  json::Value J = json::Value::makeObject();
+  J.set("id", "OMP" + std::to_string(lintRemarkNumber(F.Kind)));
+  J.set("kind", lintKindName(F.Kind));
+  J.set("function", F.FunctionName);
+  J.set("instruction", F.Instruction);
+  if (!F.Object.empty())
+    J.set("object", F.Object);
+  J.set("message", F.Message);
+  json::Value Witness = json::Value::makeArray();
+  for (const std::string &Block : F.Witness)
+    Witness.push_back(Block);
+  J.set("witness", std::move(Witness));
+  return J;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  cl::parseCommandLine(argc, argv);
+
+  const NamedFactory Factories[] = {{"XSBench", createXSBench},
+                                    {"RSBench", createRSBench},
+                                    {"SU3Bench", createSU3Bench},
+                                    {"miniQMC", createMiniQMC}};
+  const ConfigSpec Configs[] = {configLLVM12(),     configDevNoOpt(),
+                                configH2S(),        configH2S2(),
+                                configH2S2RTC(),    configH2S2RTCCSM(),
+                                configDevFull(),    configCUDA()};
+
+  json::Value Report = json::Value::makeObject();
+  Report.set("schema_version", 1);
+  json::Value Results = json::Value::makeArray();
+
+  unsigned TotalFindings = 0, Compiled = 0, CompileFailures = 0;
+  for (const NamedFactory &Factory : Factories) {
+    if (!OnlyWorkload.getValue().empty() &&
+        OnlyWorkload.getValue() != Factory.Name)
+      continue;
+    for (const ConfigSpec &Spec : Configs) {
+      if (!OnlyConfig.getValue().empty() &&
+          Spec.Label.find(OnlyConfig.getValue()) == std::string::npos)
+        continue;
+
+      std::unique_ptr<Workload> W = Factory.Create(ProblemSize::Small);
+      IRContext Ctx;
+      Module M(Ctx, W->getName());
+      if (Spec.UseCUDA) {
+        if (!W->buildCUDA(M))
+          continue; // OpenMP-only workload (miniQMC).
+      } else {
+        OMPCodeGen CG(M, CodeGenOptions{Spec.Pipeline.Scheme,
+                                        /*CudaMode=*/false});
+        W->buildOpenMP(CG);
+      }
+
+      json::Value Entry = json::Value::makeObject();
+      Entry.set("workload", Factory.Name);
+      Entry.set("config", Spec.Label);
+
+      CompileResult CR = optimizeDeviceModule(M, Spec.Pipeline);
+      ++Compiled;
+      if (CR.VerifyFailed) {
+        ++CompileFailures;
+        Entry.set("compile_error", CR.VerifyError);
+        errs() << "lint: " << Factory.Name << " / " << Spec.Label
+               << ": compile failed: " << CR.VerifyError << "\n";
+        Results.push_back(std::move(Entry));
+        continue;
+      }
+
+      LintResult LR = runOMPLint(M);
+      json::Value Findings = json::Value::makeArray();
+      for (const LintFinding &F : LR.Findings)
+        Findings.push_back(findingToJSON(F));
+      Entry.set("findings", std::move(Findings));
+      Results.push_back(std::move(Entry));
+
+      outs() << "lint: " << Factory.Name << " / " << Spec.Label << ": ";
+      if (LR.clean()) {
+        outs() << "clean\n";
+      } else {
+        TotalFindings += LR.Findings.size();
+        outs() << LR.Findings.size() << " finding(s)\n";
+        for (const LintFinding &F : LR.Findings)
+          outs() << "  " << F.str() << "\n";
+      }
+    }
+  }
+
+  Report.set("results", std::move(Results));
+  Report.set("total_findings", TotalFindings);
+  Report.set("compile_failures", CompileFailures);
+
+  if (!ReportPath.getValue().empty()) {
+    raw_fd_ostream OS(ReportPath.getValue());
+    Report.write(OS);
+    OS << "\n";
+  }
+
+  if (Compiled == 0) {
+    errs() << "lint: no workload/config matched the filters\n";
+    return 2;
+  }
+  outs() << "lint: " << Compiled << " module(s), " << TotalFindings
+         << " finding(s), " << CompileFailures << " compile failure(s)\n";
+  return (TotalFindings || CompileFailures) ? 1 : 0;
+}

@@ -1,0 +1,308 @@
+//===- analysis/BarrierSync.cpp - Barrier & sync path facts ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BarrierSync.h"
+
+#include "analysis/Dominators.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constant.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+#include <cassert>
+#include <map>
+
+using namespace ompgpu;
+
+//===----------------------------------------------------------------------===//
+// Stable branch predicates
+//===----------------------------------------------------------------------===//
+
+/// Returns the direct callee name of \p V if it is a direct call.
+static const std::string *calleeName(const Value *V) {
+  const auto *CI = dyn_cast<CallInst>(V);
+  if (!CI)
+    return nullptr;
+  const Function *Callee = CI->getCalledFunction();
+  return Callee ? &Callee->getName() : nullptr;
+}
+
+static StablePredicate negate(StablePredicate P) {
+  if (P)
+    P.Negated = !P.Negated;
+  return P;
+}
+
+StablePredicate ompgpu::classifyStablePredicate(const Value *Cond) {
+  // Truthiness of a runtime query used directly as an i1.
+  if (const std::string *Name = calleeName(Cond)) {
+    if (*Name == "__kmpc_is_spmd_exec_mode")
+      return {StablePredicate::IsSPMD, false};
+    if (*Name == "__kmpc_is_generic_main_thread")
+      return {StablePredicate::IsGenericMain, false};
+    return {};
+  }
+
+  // `xor x, true` negation (emitted for the "else" arms of runtime-mode
+  // dispatch diamonds).
+  if (const auto *BO = dyn_cast<BinOpInst>(Cond)) {
+    if (BO->getBinaryOp() != BinaryOp::Xor)
+      return {};
+    const auto *CL = dyn_cast<ConstantInt>(BO->getLHS());
+    const auto *CR = dyn_cast<ConstantInt>(BO->getRHS());
+    if (CR && CR->getValue() == 1)
+      return negate(classifyStablePredicate(BO->getLHS()));
+    if (CL && CL->getValue() == 1)
+      return negate(classifyStablePredicate(BO->getRHS()));
+    return {};
+  }
+
+  const auto *Cmp = dyn_cast<ICmpInst>(Cond);
+  if (!Cmp || (Cmp->getPredicate() != ICmpPred::EQ &&
+               Cmp->getPredicate() != ICmpPred::NE))
+    return {};
+  bool IsEQ = Cmp->getPredicate() == ICmpPred::EQ;
+
+  const Value *Call = Cmp->getLHS();
+  const auto *C = dyn_cast<ConstantInt>(Cmp->getRHS());
+  if (!C) {
+    C = dyn_cast<ConstantInt>(Cmp->getLHS());
+    Call = Cmp->getRHS();
+  }
+  const std::string *Name = C ? calleeName(Call) : nullptr;
+  if (!Name)
+    return {};
+
+  // Canonical forms: tid == 0, init == -1, mode != 0.
+  if (*Name == "__kmpc_get_hardware_thread_id_in_block" &&
+      C->getValue() == 0)
+    return {StablePredicate::IsMainTid0, !IsEQ};
+  if (*Name == "__kmpc_target_init" && C->getValue() == -1)
+    return {StablePredicate::IsMainInit, !IsEQ};
+  if (*Name == "__kmpc_is_spmd_exec_mode" && C->getValue() == 0)
+    return {StablePredicate::IsSPMD, IsEQ};
+  if (*Name == "__kmpc_is_generic_main_thread" && C->getValue() == 0)
+    return {StablePredicate::IsGenericMain, IsEQ};
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier facts
+//===----------------------------------------------------------------------===//
+
+static bool isDirectBarrierName(const std::string &Name) {
+  return Name == "__kmpc_barrier" || Name == "__kmpc_barrier_simple_spmd";
+}
+
+/// Runtime entry points whose implementation synchronizes the team
+/// (fork/join protocol, kernel setup/teardown).
+static bool isSyncRuntimeName(const std::string &Name) {
+  return isDirectBarrierName(Name) || Name == "__kmpc_target_init" ||
+         Name == "__kmpc_target_deinit" || Name == "__kmpc_parallel_51" ||
+         Name == "__kmpc_kernel_parallel" ||
+         Name == "__kmpc_kernel_end_parallel";
+}
+
+BarrierInfo::BarrierInfo(const Module &M) {
+  // Seed with the synchronizing runtime entry points, then propagate
+  // "may execute a barrier" bottom-up to a fixpoint over direct calls.
+  // Indirect calls conservatively make the caller a may-barrier function.
+  std::vector<Function *> Fns = M.functions();
+  for (Function *F : Fns)
+    if (isSyncRuntimeName(F->getName()))
+      MayBarrier.insert(F);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Function *F : Fns) {
+      if (MayBarrier.count(F) || F->isDeclaration())
+        continue;
+      for (BasicBlock *BB : *F) {
+        for (Instruction *I : *BB) {
+          const auto *CI = dyn_cast<CallInst>(I);
+          if (!CI)
+            continue;
+          const Function *Callee = CI->getCalledFunction();
+          if (!Callee || MayBarrier.count(Callee)) {
+            MayBarrier.insert(F);
+            Changed = true;
+            break;
+          }
+        }
+        if (MayBarrier.count(F))
+          break;
+      }
+    }
+  }
+}
+
+bool BarrierInfo::isBarrierCall(const Instruction *I) {
+  const std::string *Name = calleeName(I);
+  return Name && isDirectBarrierName(*Name);
+}
+
+bool BarrierInfo::maySynchronize(const Instruction *I) const {
+  const auto *CI = dyn_cast<CallInst>(I);
+  if (!CI)
+    return false;
+  const Function *Callee = CI->getCalledFunction();
+  if (!Callee)
+    return true; // Indirect call: assume it may barrier.
+  return MayBarrier.count(Callee) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Predicate-consistent path search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 2 bits per stable-predicate kind: 0 unknown, 1 true, 2 false.
+using PredState = uint32_t;
+
+unsigned predOf(PredState S, StablePredicate::Kind K) {
+  return (S >> (2 * (unsigned)K)) & 3u;
+}
+
+PredState withPred(PredState S, StablePredicate::Kind K, bool V) {
+  unsigned Shift = 2 * (unsigned)K;
+  return (S & ~(3u << Shift)) | ((V ? 1u : 2u) << Shift);
+}
+
+struct PathSearch {
+  const SyncPathQuery &Q;
+  const BarrierInfo &BI;
+  std::set<std::pair<const BasicBlock *, PredState>> Visited;
+  std::vector<const BasicBlock *> Path;
+
+  PathSearch(const SyncPathQuery &Q, const BarrierInfo &BI) : Q(Q), BI(BI) {}
+
+  bool walk(const BasicBlock *BB, size_t StartIdx, PredState Preds) {
+    if (StartIdx == 0) {
+      if (Q.BlockedBlocks.count(BB))
+        return false;
+      auto Key = std::make_pair(BB, Preds);
+      if (!Visited.insert(Key).second)
+        return false;
+    }
+    Path.push_back(BB);
+    std::vector<Instruction *> Insts = BB->getInstructions();
+    for (size_t I = StartIdx, E = Insts.size(); I != E; ++I) {
+      Instruction *Inst = Insts[I];
+      if (Inst == Q.To)
+        return true;
+      if (Q.Blockers.count(Inst)) {
+        Path.pop_back();
+        return false;
+      }
+      if (Q.StopAtSync && BI.maySynchronize(Inst)) {
+        Path.pop_back();
+        return false;
+      }
+      if (isa<RetInst>(Inst) && !Q.To)
+        return true;
+      if (!Inst->isTerminator())
+        continue;
+
+      const auto *Br = dyn_cast<BrInst>(Inst);
+      if (!Br) { // ret (with a target pending) or unreachable: dead end.
+        Path.pop_back();
+        return false;
+      }
+      if (!Br->isConditional()) {
+        if (walk(Br->getSuccessor(0), 0, Preds))
+          return true;
+        Path.pop_back();
+        return false;
+      }
+
+      StablePredicate P = classifyStablePredicate(Br->getCondition());
+      if (P) {
+        // Predicate value implied by taking the true edge.
+        bool TrueEdgeVal = !P.Negated;
+        unsigned Cur = predOf(Preds, P.K);
+        if (Cur != 0) {
+          bool Val = Cur == 1;
+          unsigned Edge = (Val == TrueEdgeVal) ? 0 : 1;
+          if (walk(Br->getSuccessor(Edge), 0, Preds))
+            return true;
+          Path.pop_back();
+          return false;
+        }
+        if (walk(Br->getSuccessor(0), 0,
+                 withPred(Preds, P.K, TrueEdgeVal)))
+          return true;
+        if (walk(Br->getSuccessor(1), 0,
+                 withPred(Preds, P.K, !TrueEdgeVal)))
+          return true;
+        Path.pop_back();
+        return false;
+      }
+
+      if (walk(Br->getSuccessor(0), 0, Preds))
+        return true;
+      if (walk(Br->getSuccessor(1), 0, Preds))
+        return true;
+      Path.pop_back();
+      return false;
+    }
+    Path.pop_back();
+    return false; // Block without terminator (under construction).
+  }
+};
+
+} // namespace
+
+bool ompgpu::existsSyncFreePath(const SyncPathQuery &Q, const BarrierInfo &BI,
+                                const DominatorTree &DT,
+                                std::vector<std::string> *Witness) {
+  assert(Q.From && "path query needs an origin");
+  const BasicBlock *FromBB = Q.From->getParent();
+  const Function *F = FromBB->getParent();
+
+  // Pin every stable predicate already decided by a dominating branch of
+  // the origin: a thread that reached `From` inside a main-thread guard is
+  // the main thread for the rest of the walk.
+  PredState Preds = 0;
+  for (const BasicBlock *BB : *F) {
+    const auto *Br = dyn_cast_or_null<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    StablePredicate P = classifyStablePredicate(Br->getCondition());
+    if (!P)
+      continue;
+    const BasicBlock *S0 = Br->getSuccessor(0);
+    const BasicBlock *S1 = Br->getSuccessor(1);
+    if (S0 == S1)
+      continue;
+    bool Dom0 = DT.dominates(S0, FromBB);
+    bool Dom1 = DT.dominates(S1, FromBB);
+    if (Dom0 == Dom1)
+      continue;
+    bool TrueEdgeVal = !P.Negated;
+    Preds = withPred(Preds, P.K, Dom0 ? TrueEdgeVal : !TrueEdgeVal);
+  }
+
+  PathSearch Search(Q, BI);
+  std::vector<Instruction *> Insts = FromBB->getInstructions();
+  // Start right after the origin; a terminator origin re-processes itself
+  // so the walk forks into its successors.
+  size_t FromIdx = 0;
+  for (size_t I = 0, E = Insts.size(); I != E; ++I)
+    if (Insts[I] == Q.From) {
+      FromIdx = Q.From->isTerminator() ? I : I + 1;
+      break;
+    }
+  if (!Search.walk(FromBB, FromIdx, Preds))
+    return false;
+  if (Witness)
+    for (const BasicBlock *BB : Search.Path)
+      Witness->push_back(BB->getName().empty() ? "<block>" : BB->getName());
+  return true;
+}

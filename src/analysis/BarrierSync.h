@@ -1,0 +1,129 @@
+//===- analysis/BarrierSync.h - Barrier & sync path facts -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Barrier-synchronization facts for the device-IR lint (OMPLint): which
+/// calls execute a team-wide barrier (directly or transitively through the
+/// call graph), and a predicate-consistent CFG path search. The path search
+/// understands per-thread-stable branch predicates — `hw_tid == 0`
+/// main-thread guards, `__kmpc_is_spmd_exec_mode` dispatch, the
+/// `__kmpc_target_init == -1` kernel entry — so correlated branches (the
+/// Fig. 4b alloc/free diamonds, SPMDzation's repeated guards) do not
+/// produce infeasible witness paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_BARRIERSYNC_H
+#define OMPGPU_ANALYSIS_BARRIERSYNC_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class BasicBlock;
+class DominatorTree;
+class Function;
+class Instruction;
+class Module;
+class Value;
+
+//===----------------------------------------------------------------------===//
+// Stable branch predicates
+//===----------------------------------------------------------------------===//
+
+/// A branch condition that is constant for one thread over one kernel
+/// execution. Two branches on the same predicate kind always take the same
+/// edge within a thread, even when the condition is recomputed (the
+/// runtime queries are pure for the duration of the kernel).
+struct StablePredicate {
+  enum Kind : uint8_t {
+    None,          ///< Not a recognized stable predicate.
+    IsSPMD,        ///< __kmpc_is_spmd_exec_mode() != 0
+    IsMainTid0,    ///< __kmpc_get_hardware_thread_id_in_block() == 0
+    IsMainInit,    ///< __kmpc_target_init(...) == -1
+    IsGenericMain, ///< __kmpc_is_generic_main_thread(...) != 0
+  };
+  Kind K = None;
+  /// True when the recognized condition is the negation of the canonical
+  /// form (e.g. `icmp ne %tid, 0`).
+  bool Negated = false;
+
+  explicit operator bool() const { return K != None; }
+};
+
+/// Syntactically classifies \p Cond as a stable predicate, looking through
+/// `xor x, true` negations and both icmp operand orders.
+StablePredicate classifyStablePredicate(const Value *Cond);
+
+//===----------------------------------------------------------------------===//
+// Barrier facts
+//===----------------------------------------------------------------------===//
+
+/// Module-wide barrier knowledge.
+class BarrierInfo {
+  std::set<const Function *> MayBarrier;
+
+public:
+  explicit BarrierInfo(const Module &M);
+
+  /// True for a direct call to a team-wide barrier
+  /// (__kmpc_barrier / __kmpc_barrier_simple_spmd).
+  static bool isBarrierCall(const Instruction *I);
+
+  /// True if executing \p I may involve a team-wide synchronization:
+  /// direct barriers, runtime fork/join entry points (__kmpc_target_init,
+  /// __kmpc_parallel_51, ...), calls into functions that transitively
+  /// barrier, and — conservatively — indirect calls.
+  bool maySynchronize(const Instruction *I) const;
+
+  /// Functions that may execute a barrier somewhere in their body
+  /// (transitively over direct calls).
+  const std::set<const Function *> &mayBarrierFunctions() const {
+    return MayBarrier;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Predicate-consistent path search
+//===----------------------------------------------------------------------===//
+
+/// A query for an intra-function CFG path that starts right after \p From
+/// (or, when \p From is a terminator, at its successors).
+struct SyncPathQuery {
+  /// Path origin; the search begins at the next instruction.
+  const Instruction *From = nullptr;
+  /// Path target. Null means "any return instruction".
+  const Instruction *To = nullptr;
+  /// When set, any may-synchronize call kills the path (used to ask for a
+  /// barrier-free path between two memory accesses).
+  bool StopAtSync = false;
+  /// Instructions that kill the path (e.g. the free sites when proving a
+  /// deallocation can be bypassed, or an allocation site so a loop
+  /// back-edge that re-allocates does not extend the old object's paths).
+  std::set<const Instruction *> Blockers;
+  /// Blocks that kill the path on entry (e.g. a divergent branch's
+  /// reconvergence point when asking whether a barrier sits inside the
+  /// divergent region).
+  std::set<const BasicBlock *> BlockedBlocks;
+};
+
+/// Returns true if a predicate-consistent path matching \p Q exists.
+/// Branches whose condition classifies as a stable predicate are pinned to
+/// one edge once decided — either by a dominating branch of \p Q.From's
+/// block or by the first traversal — so a path cannot, say, enter one
+/// main-thread guard and skip the next. On success \p Witness (if given)
+/// receives the block labels of one such path.
+bool existsSyncFreePath(const SyncPathQuery &Q, const BarrierInfo &BI,
+                        const DominatorTree &DT,
+                        std::vector<std::string> *Witness = nullptr);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_BARRIERSYNC_H

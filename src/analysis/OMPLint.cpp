@@ -1,0 +1,894 @@
+//===- analysis/OMPLint.cpp - Device-IR race & barrier lint ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OMPLint.h"
+
+#include "analysis/BarrierSync.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+#include "analysis/PointerEscape.h"
+#include "analysis/ThreadValueAnalysis.h"
+#include "ir/BasicBlock.h"
+#include "ir/Constant.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+#include "ir/Type.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <queue>
+
+using namespace ompgpu;
+
+unsigned ompgpu::lintRemarkNumber(LintKind K) {
+  switch (K) {
+  case LintKind::BarrierDivergence:
+    return 200;
+  case LintKind::SharedRace:
+    return 201;
+  case LintKind::AllocFreePairing:
+    return 202;
+  case LintKind::UseAfterFree:
+    return 203;
+  case LintKind::GuardProtocol:
+    return 204;
+  }
+  return 0;
+}
+
+const char *ompgpu::lintKindName(LintKind K) {
+  switch (K) {
+  case LintKind::BarrierDivergence:
+    return "barrier-divergence";
+  case LintKind::SharedRace:
+    return "shared-race";
+  case LintKind::AllocFreePairing:
+    return "alloc-free-pairing";
+  case LintKind::UseAfterFree:
+    return "use-after-free";
+  case LintKind::GuardProtocol:
+    return "guard-protocol";
+  }
+  return "unknown";
+}
+
+std::string LintFinding::str() const {
+  return "OMP" + std::to_string(lintRemarkNumber(Kind)) + " in '" +
+         FunctionName + "': " + Message;
+}
+
+std::string LintResult::summary() const {
+  std::string S;
+  for (const LintFinding &F : Findings) {
+    if (!S.empty())
+      S += "; ";
+    S += F.str();
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Callee-inspection bound, aligned with EscapeConfig::MaxDepth.
+constexpr unsigned MaxWalkDepth = 8;
+
+bool isRuntimeName(const std::string &N) {
+  return N.rfind("__kmpc_", 0) == 0 || N.rfind("omp_", 0) == 0 ||
+         N.rfind("llvm.", 0) == 0;
+}
+
+const Function *directCallee(const Instruction *I) {
+  const auto *CI = dyn_cast<CallInst>(I);
+  return CI ? CI->getCalledFunction() : nullptr;
+}
+
+bool isCallTo(const Instruction *I, const char *Name) {
+  const Function *Callee = directCallee(I);
+  return Callee && Callee->getName() == Name;
+}
+
+bool isAllocCall(const Instruction *I) {
+  return isCallTo(I, "__kmpc_alloc_shared") ||
+         isCallTo(I, "__kmpc_data_sharing_coalesced_push_stack");
+}
+
+bool isFreeCall(const Instruction *I) {
+  return isCallTo(I, "__kmpc_free_shared") ||
+         isCallTo(I, "__kmpc_data_sharing_pop_stack");
+}
+
+std::string blockLabel(const BasicBlock *BB) {
+  return BB->getName().empty() ? "<block>" : BB->getName();
+}
+
+std::string describe(const Instruction *I) {
+  std::string S = I->getOpcodeName();
+  if (const Function *Callee = directCallee(I))
+    S += " '" + Callee->getName() + "'";
+  else if (!I->getName().empty())
+    S += " '" + I->getName() + "'";
+  return S + " in block '" + blockLabel(I->getParent()) + "'";
+}
+
+/// Strips GEPs and casts to the underlying pointer root.
+const Value *pointerRoot(const Value *Ptr) {
+  while (true) {
+    if (const auto *GEP = dyn_cast<GEPInst>(Ptr)) {
+      Ptr = GEP->getPointerOperand();
+      continue;
+    }
+    if (const auto *C = dyn_cast<CastInst>(Ptr)) {
+      Ptr = C->getSrc();
+      continue;
+    }
+    return Ptr;
+  }
+}
+
+/// Whether \p F's incoming arguments are assumed uniform (kernels get
+/// uniform launch parameters, wrappers get the shared captured frame,
+/// runtime entry points get runtime-managed state). For any other
+/// function the shape of an argument depends on the call site, so local
+/// verdicts about argument-rooted pointers are unreliable.
+bool argumentShapesUniform(const Function &F) {
+  const std::string &N = F.getName();
+  return F.isKernel() || N.find("_wrapper") != std::string::npos ||
+         N.rfind("__kmpc", 0) == 0;
+}
+
+/// The thread-value configuration the lint analyzes device IR under. It
+/// mirrors the GPU simulator's (gpusim/Device.cpp) so the lint's
+/// uniformity verdicts agree with the machine model the differential
+/// oracle executes on.
+ThreadValueConfig lintThreadConfig(const Function &F) {
+  ThreadValueConfig C;
+  C.ThreadIdFunctions = {"__kmpc_get_hardware_thread_id_in_block"};
+  C.UniformFunctions = {"__kmpc_get_hardware_num_threads_in_block",
+                        "__kmpc_get_warp_size",
+                        "omp_get_team_num",
+                        "omp_get_num_teams",
+                        "omp_get_num_threads",
+                        "__kmpc_is_spmd_exec_mode",
+                        "__kmpc_parallel_level",
+                        "__kmpc_is_generic_main_thread"};
+  C.CallShapes["__kmpc_data_sharing_coalesced_push_stack"] =
+      ThreadShape::linear(8);
+  // A team-shared allocation's address is the same for every thread that
+  // can see it (per-thread allocations never become shared objects, see
+  // collectSharedObjects).
+  C.CallShapes["__kmpc_alloc_shared"] = ThreadShape::uniform();
+  if (argumentShapesUniform(F))
+    C.ArgumentShape = ThreadShape::uniform();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-function structure recognition
+//===----------------------------------------------------------------------===//
+
+/// One recognized `hw_tid == 0` main-thread guard (SPMDzation's Fig. 7).
+struct GuardShape {
+  const BrInst *Br = nullptr;
+  const BasicBlock *PreBB = nullptr;   ///< Block ending in the guard branch.
+  const BasicBlock *GuardBB = nullptr; ///< Main-thread-only successor.
+  const BasicBlock *JoinBB = nullptr;  ///< Rejoin successor.
+  bool WellFormed = false;
+  std::string Problem; ///< Why the guard is malformed (when it is).
+};
+
+/// Everything the checkers need about one defined, non-runtime function.
+struct FunctionLint {
+  Function *F;
+  ThreadValueAnalysis TVA;
+  DominatorTree DT;
+  PostDominatorTree PDT;
+
+  /// The kernel-entry dispatch on `__kmpc_target_init(...) == -1`.
+  const BrInst *InitBr = nullptr;
+  /// Successor taken by the main thread (all threads in SPMD mode).
+  const BasicBlock *UserBB = nullptr;
+  /// Blocks only worker threads execute (the front-end state machine of
+  /// generic kernels); exempt from the divergence check — the runtime
+  /// protocol pairs their barriers with the main thread's fork/join.
+  std::set<const BasicBlock *> WorkerOnly;
+  bool IsKernel = false;
+  bool IsSPMDKernel = false;
+
+  std::vector<GuardShape> Guards;
+  /// Blocks dominated by a well-formed guard's main-thread successor.
+  std::set<const BasicBlock *> GuardedBlocks;
+
+  std::map<const BasicBlock *, std::set<const BasicBlock *>> ReachCache;
+
+  FunctionLint(Function *F)
+      : F(F), TVA(*F, lintThreadConfig(*F)), DT(*F), PDT(*F) {}
+
+  const std::set<const BasicBlock *> &reachableFrom(const BasicBlock *BB) {
+    auto It = ReachCache.find(BB);
+    if (It != ReachCache.end())
+      return It->second;
+    std::set<const BasicBlock *> &R = ReachCache[BB];
+    std::vector<const BasicBlock *> Work{BB};
+    while (!Work.empty()) {
+      const BasicBlock *Cur = Work.back();
+      Work.pop_back();
+      if (!R.insert(Cur).second)
+        continue;
+      for (const BasicBlock *S : Cur->successors())
+        Work.push_back(S);
+    }
+    return R;
+  }
+
+  /// True if only the team's main thread executes \p BB: the block is
+  /// dominated by the generic-mode user-code entry or by a guard's
+  /// main-thread successor.
+  bool isMainOnly(const BasicBlock *BB) {
+    if (IsKernel && !IsSPMDKernel && UserBB && DT.dominates(UserBB, BB) &&
+        !WorkerOnly.count(BB))
+      return true;
+    for (const GuardShape &G : Guards)
+      if (DT.dominates(G.GuardBB, BB) && BB != G.JoinBB)
+        return true;
+    return false;
+  }
+};
+
+/// Recognizes the kernel-entry dispatch and the worker-only region.
+void recognizeKernelShape(FunctionLint &FL) {
+  Function *F = FL.F;
+  FL.IsKernel = F->isKernel();
+  if (!FL.IsKernel)
+    return;
+  FL.IsSPMDKernel = F->getKernelEnvironment().Mode == ExecMode::SPMD;
+  for (BasicBlock *BB : *F) {
+    const auto *Br = dyn_cast_or_null<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    StablePredicate P = classifyStablePredicate(Br->getCondition());
+    if (P.K != StablePredicate::IsMainInit)
+      continue;
+    FL.InitBr = Br;
+    FL.UserBB = Br->getSuccessor(P.Negated ? 1 : 0);
+    const BasicBlock *WorkerBB = Br->getSuccessor(P.Negated ? 0 : 1);
+    if (!FL.IsSPMDKernel) {
+      const std::set<const BasicBlock *> &FromWorker =
+          FL.reachableFrom(WorkerBB);
+      const std::set<const BasicBlock *> &FromUser =
+          FL.reachableFrom(FL.UserBB);
+      for (const BasicBlock *WB : FromWorker)
+        if (!FromUser.count(WB))
+          FL.WorkerOnly.insert(WB);
+    }
+    break;
+  }
+}
+
+/// Recognizes and validates the `hw_tid == 0` guards against the Fig. 7
+/// protocol: a barrier immediately before the branch, a guarded block that
+/// falls through to the join, a join that starts with a barrier and
+/// post-dominates the guard, and no synchronization inside the guarded
+/// region.
+void recognizeGuards(FunctionLint &FL, const BarrierInfo &BI) {
+  for (BasicBlock *BB : *FL.F) {
+    const auto *Br = dyn_cast_or_null<BrInst>(BB->getTerminator());
+    if (!Br || !Br->isConditional())
+      continue;
+    StablePredicate P = classifyStablePredicate(Br->getCondition());
+    if (P.K != StablePredicate::IsMainTid0)
+      continue;
+    GuardShape G;
+    G.Br = Br;
+    G.PreBB = BB;
+    G.GuardBB = Br->getSuccessor(P.Negated ? 1 : 0);
+    G.JoinBB = Br->getSuccessor(P.Negated ? 0 : 1);
+
+    // A barrier must precede the branch with no side effect in between
+    // (the "pre" barrier of Fig. 7 that lets the main thread overwrite
+    // state other threads may still be reading).
+    bool SawPreBarrier = false;
+    std::vector<Instruction *> Insts = BB->getInstructions();
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      Instruction *I = *It;
+      if (I == Br->getCondition() || I->isTerminator())
+        continue;
+      if (BarrierInfo::isBarrierCall(I)) {
+        SawPreBarrier = true;
+        break;
+      }
+      if (isCallTo(I, "__kmpc_get_hardware_thread_id_in_block"))
+        continue;
+      if (isa<StoreInst>(I) || isa<AtomicRMWInst>(I) || isa<CallInst>(I))
+        break;
+    }
+    if (!SawPreBarrier)
+      G.Problem = "no team barrier immediately before the guard branch";
+    else if (const auto *GBr =
+                 dyn_cast_or_null<BrInst>(G.GuardBB->getTerminator());
+             !GBr || GBr->isConditional() ||
+             GBr->getSuccessor(0) != G.JoinBB)
+      G.Problem = "guarded region does not fall through to the join block";
+    else {
+      // The join must start with a barrier (phis excepted).
+      bool JoinBarrier = false;
+      for (Instruction *I : *G.JoinBB) {
+        if (isa<PhiInst>(I))
+          continue;
+        JoinBarrier = BarrierInfo::isBarrierCall(I);
+        break;
+      }
+      if (!JoinBarrier)
+        G.Problem = "join block does not begin with a team barrier";
+      else if (!FL.PDT.dominates(G.JoinBB, G.PreBB))
+        G.Problem = "join block does not post-dominate the guard";
+      else
+        for (Instruction *I : *G.GuardBB)
+          if (BI.maySynchronize(I)) {
+            G.Problem = "synchronization inside the main-thread-only "
+                        "guarded region";
+            break;
+          }
+    }
+    G.WellFormed = G.Problem.empty();
+    if (G.WellFormed)
+      for (const BasicBlock *DomBB : *FL.F)
+        if (FL.DT.dominates(G.GuardBB, DomBB) && DomBB != G.JoinBB)
+          FL.GuardedBlocks.insert(DomBB);
+    FL.Guards.push_back(G);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The lint context
+//===----------------------------------------------------------------------===//
+
+struct LintContext {
+  const Module &M;
+  const LintOptions &Opts;
+  BarrierInfo BI;
+  std::vector<Function *> Checked; ///< Defined, non-runtime functions.
+  std::map<const Function *, std::unique_ptr<FunctionLint>> FLs;
+  std::vector<LintFinding> Findings;
+  std::set<std::string> Reported; ///< Dedup key per finding.
+
+  LintContext(const Module &M, const LintOptions &Opts)
+      : M(M), Opts(Opts), BI(M) {
+    for (Function *F : M.functions()) {
+      if (F->isDeclaration() || isRuntimeName(F->getName()))
+        continue;
+      Checked.push_back(F);
+      auto FL = std::make_unique<FunctionLint>(F);
+      recognizeKernelShape(*FL);
+      recognizeGuards(*FL, BI);
+      FLs.emplace(F, std::move(FL));
+    }
+  }
+
+  FunctionLint *lintOf(const Function *F) {
+    auto It = FLs.find(F);
+    return It == FLs.end() ? nullptr : It->second.get();
+  }
+
+  void report(LintKind Kind, const Function *F, const Instruction *I,
+              std::string Object, std::string Message,
+              std::vector<std::string> Witness = {}) {
+    LintFinding Finding;
+    Finding.Kind = Kind;
+    Finding.FunctionName = F->getName();
+    Finding.Instruction = I ? describe(I) : "";
+    Finding.Object = std::move(Object);
+    Finding.Message = std::move(Message);
+    Finding.Witness = std::move(Witness);
+    std::string Key = Finding.str() + "|" + Finding.Instruction;
+    if (Reported.insert(Key).second)
+      Findings.push_back(std::move(Finding));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Pointer walking (objects, allocations)
+//===----------------------------------------------------------------------===//
+
+/// One SSA-visible access to a walked pointer.
+struct PtrAccess {
+  enum Kind : uint8_t { Load, Store, Atomic, Free } K;
+  Instruction *I;
+  Function *InF;
+  /// True when every call site on the chain from the walk's root to this
+  /// access sits in a main-thread-only block: the access inherits that
+  /// context even if its own function looks multi-threaded.
+  bool CtxMainOnly;
+};
+
+/// All SSA-visible facts about one pointer root.
+struct PtrWalk {
+  std::vector<PtrAccess> Accesses;
+  std::vector<PtrAccess> Frees;
+  bool Escaped = false;
+};
+
+/// Follows \p Root through GEPs, casts, selects, phis, and into direct
+/// callees (depth-bounded), recording loads, stores, atomics, and
+/// globalization frees. Storing the pointer itself, returning it, or
+/// passing it to an unknown callee marks the walk escaped. \p MainOnlyCtx
+/// carries the call-chain context: a call from a main-thread-only block
+/// makes everything in the callee main-thread-only too.
+void walkPointerUses(LintContext &Ctx, const Value *Root, bool MainOnlyCtx,
+                     unsigned Depth, std::set<const Value *> &Visited,
+                     PtrWalk &Out) {
+  if (!Visited.insert(Root).second)
+    return;
+  for (const User *U : Root->users()) {
+    auto *I = const_cast<Instruction *>(dyn_cast<Instruction>(U));
+    if (!I)
+      continue;
+    Function *InF = I->getParent()->getParent();
+    if (auto *GEP = dyn_cast<GEPInst>(I)) {
+      if (GEP->getPointerOperand() == Root)
+        walkPointerUses(Ctx, GEP, MainOnlyCtx, Depth, Visited, Out);
+      continue;
+    }
+    if (isa<CastInst>(I) || isa<PhiInst>(I)) {
+      walkPointerUses(Ctx, I, MainOnlyCtx, Depth, Visited, Out);
+      continue;
+    }
+    if (auto *Sel = dyn_cast<SelectInst>(I)) {
+      if (Sel->getTrueValue() == Root || Sel->getFalseValue() == Root)
+        walkPointerUses(Ctx, Sel, MainOnlyCtx, Depth, Visited, Out);
+      continue;
+    }
+    if (auto *LI = dyn_cast<LoadInst>(I)) {
+      if (LI->getPointerOperand() == Root)
+        Out.Accesses.push_back({PtrAccess::Load, I, InF, MainOnlyCtx});
+      continue;
+    }
+    if (auto *SI = dyn_cast<StoreInst>(I)) {
+      if (SI->getPointerOperand() == Root)
+        Out.Accesses.push_back({PtrAccess::Store, I, InF, MainOnlyCtx});
+      if (SI->getValueOperand() == Root)
+        Out.Escaped = true; // The pointer itself is written to memory.
+      continue;
+    }
+    if (auto *RMW = dyn_cast<AtomicRMWInst>(I)) {
+      if (RMW->getPointerOperand() == Root)
+        Out.Accesses.push_back({PtrAccess::Atomic, I, InF, MainOnlyCtx});
+      continue;
+    }
+    if (isa<RetInst>(I)) {
+      Out.Escaped = true;
+      continue;
+    }
+    if (auto *CI = dyn_cast<CallInst>(I)) {
+      Function *Callee = CI->getCalledFunction();
+      if (!Callee) {
+        Out.Escaped = true;
+        continue;
+      }
+      if (isFreeCall(CI)) {
+        if (CI->getArgOperand(0) == Root)
+          Out.Frees.push_back({PtrAccess::Free, I, InF, MainOnlyCtx});
+        continue;
+      }
+      if (Callee->isDeclaration() || isRuntimeName(Callee->getName())) {
+        Out.Escaped = true;
+        continue;
+      }
+      if (Depth >= MaxWalkDepth) {
+        Out.Escaped = true;
+        continue;
+      }
+      bool SiteMainOnly = MainOnlyCtx;
+      if (FunctionLint *CallerFL = Ctx.lintOf(InF))
+        SiteMainOnly |= CallerFL->isMainOnly(I->getParent());
+      for (unsigned A = 0, E = CI->arg_size(); A != E; ++A)
+        if (CI->getArgOperand(A) == Root && A < Callee->arg_size())
+          walkPointerUses(Ctx, Callee->getArg(A), SiteMainOnly, Depth + 1,
+                          Visited, Out);
+      continue;
+    }
+    // Comparisons, arithmetic on the address, ... don't propagate access.
+  }
+}
+
+PtrWalk walkPointer(LintContext &Ctx, const Value *Root) {
+  PtrWalk Out;
+  std::set<const Value *> Visited;
+  walkPointerUses(Ctx, Root, /*MainOnlyCtx=*/false, 0, Visited, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Check (a): barrier divergence
+//===----------------------------------------------------------------------===//
+
+void checkBarrierDivergence(LintContext &Ctx, FunctionLint &FL) {
+  Function *F = FL.F;
+
+  // Did any guard of this function validate?
+  std::map<const BrInst *, bool> GuardOK;
+  for (const GuardShape &G : FL.Guards)
+    GuardOK[G.Br] = G.WellFormed;
+
+  for (BasicBlock *SiteBB : *F) {
+    if (FL.WorkerOnly.count(SiteBB))
+      continue;
+    // The inliner names copied blocks '<callee>.<block>', so a block whose
+    // label carries a runtime prefix is the body of a runtime function
+    // (__kmpc_parallel_51, __kmpc_target_deinit, ...) spliced into user
+    // code. Runtime bodies are exempt from the lint — they implement the
+    // synchronization protocols, with their own level/active-worker checks
+    // guarding each barrier — and inlining must not revoke that exemption.
+    if (isRuntimeName(SiteBB->getName()))
+      continue;
+    for (Instruction *Site : *SiteBB) {
+      bool IsSite = BarrierInfo::isBarrierCall(Site);
+      if (!IsSite) {
+        // A call into a user function that may barrier diverges just the
+        // same when the call itself is under divergent control.
+        const Function *Callee = directCallee(Site);
+        IsSite = Callee && !Callee->isDeclaration() &&
+                 !isRuntimeName(Callee->getName()) &&
+                 Ctx.BI.mayBarrierFunctions().count(Callee);
+      }
+      if (!IsSite)
+        continue;
+
+      for (BasicBlock *BrBB : *F) {
+        const auto *Br = dyn_cast_or_null<BrInst>(BrBB->getTerminator());
+        if (!Br || !Br->isConditional() || FL.WorkerOnly.count(BrBB))
+          continue;
+        StablePredicate P = classifyStablePredicate(Br->getCondition());
+        if (P.K == StablePredicate::IsMainInit)
+          continue; // Runtime protocol: workers sync in the state machine.
+        if (P.K == StablePredicate::IsMainTid0) {
+          // Well-formed Fig. 7 guards are the sanctioned shape; malformed
+          // ones in kernels are reported by the guard-protocol check.
+          auto It = GuardOK.find(Br);
+          if ((It != GuardOK.end() && It->second) || FL.IsKernel)
+            continue;
+        }
+        if (!FL.TVA.getShape(Br->getCondition()).isDivergent())
+          continue;
+        if (FL.PDT.dominates(SiteBB, BrBB))
+          continue; // Every thread still reaches the barrier.
+        // The divergent region ends where the branch reconverges (its
+        // immediate post-dominator). A barrier at or beyond that point is
+        // executed by all threads; only a barrier strictly inside the
+        // region — reachable on a feasible path that does not pass the
+        // reconvergence point — diverges.
+        const BasicBlock *Reconv = FL.PDT.getIDom(BrBB);
+        if (Reconv == SiteBB)
+          continue;
+        SyncPathQuery Q;
+        Q.From = Br;
+        Q.To = Site;
+        if (Reconv)
+          Q.BlockedBlocks.insert(Reconv);
+        std::vector<std::string> Witness;
+        if (!existsSyncFreePath(Q, Ctx.BI, FL.DT, &Witness))
+          continue;
+        Ctx.report(LintKind::BarrierDivergence, F, Site, "",
+                   "team barrier (" + describe(Site) +
+                       ") sits inside the divergent region of the branch "
+                       "in block '" +
+                       blockLabel(BrBB) +
+                       "'; threads may diverge at the barrier",
+                   std::move(Witness));
+        break; // One divergence witness per barrier site.
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Check (b): shared-memory races
+//===----------------------------------------------------------------------===//
+
+/// A shared object the race check tracks.
+struct SharedObject {
+  const Value *Root;
+  std::string Name;
+  Function *AllocInF = nullptr; ///< Null for globals.
+};
+
+std::vector<SharedObject> collectSharedObjects(LintContext &Ctx) {
+  std::vector<SharedObject> Objects;
+  for (GlobalVariable *G : Ctx.M.globals())
+    if (G->getAddressSpace() == AddrSpace::Shared)
+      Objects.push_back({G, G->getName(), nullptr});
+  // Team-shared runtime allocations: only an allocation the main thread
+  // performs is one object shared by the team. A multi-threaded context
+  // calls the allocator once per thread — those are thread-private.
+  for (Function *F : Ctx.Checked) {
+    FunctionLint *FL = Ctx.lintOf(F);
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (isAllocCall(I) && FL->isMainOnly(BB))
+          Objects.push_back(
+              {I, I->getName().empty() ? "<alloc>" : I->getName(), F});
+  }
+  return Objects;
+}
+
+void checkSharedRaces(LintContext &Ctx) {
+  for (const SharedObject &Obj : collectSharedObjects(Ctx)) {
+    PtrWalk W = walkPointer(Ctx, Obj.Root);
+
+    for (const PtrAccess &A : W.Accesses) {
+      if (A.K != PtrAccess::Store)
+        continue;
+      FunctionLint *AFL = Ctx.lintOf(A.InF);
+      if (!AFL || A.CtxMainOnly || AFL->isMainOnly(A.I->getParent()) ||
+          AFL->WorkerOnly.count(A.I->getParent()))
+        continue;
+      auto *SI = cast<StoreInst>(A.I);
+      // An argument-rooted pointer's shape is decided by the call sites;
+      // judging it with this function's default argument shape would
+      // mistake per-thread slices for overlapping writes.
+      if (isa<Argument>(pointerRoot(SI->getPointerOperand())) &&
+          !argumentShapesUniform(*A.InF))
+        continue;
+      ThreadShape PtrShape = AFL->TVA.getShape(SI->getPointerOperand());
+      ThreadShape ValShape = AFL->TVA.getShape(SI->getValueOperand());
+      int64_t Size = (int64_t)SI->getAccessType()->getSizeInBytes();
+      if (PtrShape.isLinear() && PtrShape.Stride != 0 &&
+          std::llabs(PtrShape.Stride) >= Size)
+        continue; // Disjoint per-thread slots.
+      if (PtrShape.isUniform() && ValShape.isUniform())
+        continue; // Redundant identical writes.
+      std::string Why =
+          PtrShape.isUniform()
+              ? "all threads write divergent values to the same location"
+              : "threads write through overlapping divergent addresses";
+      Ctx.report(LintKind::SharedRace, A.InF, A.I, Obj.Name,
+                 "unsynchronized write to shared object '" + Obj.Name +
+                     "' (" + describe(A.I) + "): " + Why);
+    }
+
+    // Main-thread writes must be separated from the team's reads by a
+    // barrier (the broadcast protocol); a sync-free path is a race.
+    for (const PtrAccess &WAcc : W.Accesses) {
+      if (WAcc.K != PtrAccess::Store && WAcc.K != PtrAccess::Atomic)
+        continue;
+      FunctionLint *WFL = Ctx.lintOf(WAcc.InF);
+      if (!WFL || !WFL->isMainOnly(WAcc.I->getParent()))
+        continue;
+      for (const PtrAccess &RAcc : W.Accesses) {
+        if (RAcc.InF != WAcc.InF || RAcc.I == WAcc.I)
+          continue;
+        if (RAcc.CtxMainOnly || WFL->isMainOnly(RAcc.I->getParent()))
+          continue;
+        SyncPathQuery Q;
+        Q.From = WAcc.I;
+        Q.To = RAcc.I;
+        Q.StopAtSync = true;
+        std::vector<std::string> Witness;
+        if (!existsSyncFreePath(Q, Ctx.BI, WFL->DT, &Witness))
+          continue;
+        Ctx.report(LintKind::SharedRace, WAcc.InF, RAcc.I, Obj.Name,
+                   "main-thread write to shared object '" + Obj.Name +
+                       "' (" + describe(WAcc.I) +
+                       ") can be observed by other threads (" +
+                       describe(RAcc.I) +
+                       ") without an intervening team barrier",
+                   std::move(Witness));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Check (c): globalization pairing
+//===----------------------------------------------------------------------===//
+
+/// Constant argument \p Idx of the call, or -1.
+int64_t constArg(const Instruction *I, unsigned Idx) {
+  const auto *CI = cast<CallInst>(I);
+  if (Idx >= CI->arg_size())
+    return -1;
+  const auto *C = dyn_cast<ConstantInt>(CI->getArgOperand(Idx));
+  return C ? C->getValue() : -1;
+}
+
+void checkAllocFreePairing(LintContext &Ctx) {
+  EscapeConfig EC;
+  EC.ClassifyCallArg = [](const CallInst &CI, unsigned) {
+    const Function *Callee = CI.getCalledFunction();
+    if (Callee && (Callee->getName() == "__kmpc_free_shared" ||
+                   Callee->getName() == "__kmpc_data_sharing_pop_stack"))
+      return ArgCaptureKind::NoCapture;
+    if (Callee && !Callee->isDeclaration() &&
+        !isRuntimeName(Callee->getName()))
+      return ArgCaptureKind::InspectCallee;
+    return ArgCaptureKind::Captures;
+  };
+
+  for (Function *F : Ctx.Checked) {
+    FunctionLint *FL = Ctx.lintOf(F);
+    for (BasicBlock *BB : *F) {
+      for (Instruction *A : *BB) {
+        if (!isAllocCall(A))
+          continue;
+        bool IsAllocShared = isCallTo(A, "__kmpc_alloc_shared");
+        std::string Name = A->getName().empty() ? "<alloc>" : A->getName();
+        PtrWalk W = walkPointer(Ctx, A);
+        bool Escapes = analyzePointerEscape(A, EC).Escapes;
+
+        for (const PtrAccess &Free : W.Frees) {
+          bool FreeIsFreeShared = isCallTo(Free.I, "__kmpc_free_shared");
+          if (FreeIsFreeShared != IsAllocShared)
+            Ctx.report(
+                LintKind::AllocFreePairing, Free.InF, Free.I, Name,
+                "allocation '" + Name + "' from '" +
+                    directCallee(A)->getName() + "' is released with '" +
+                    directCallee(Free.I)->getName() +
+                    "'; alloc/free APIs must pair");
+          if (IsAllocShared && FreeIsFreeShared) {
+            int64_t AllocSize = constArg(A, 0);
+            int64_t FreeSize = constArg(Free.I, 1);
+            if (AllocSize >= 0 && FreeSize >= 0 && AllocSize != FreeSize)
+              Ctx.report(LintKind::AllocFreePairing, Free.InF, Free.I,
+                         Name,
+                         "'" + Name + "' allocates " +
+                             std::to_string(AllocSize) +
+                             " bytes but the matching free releases " +
+                             std::to_string(FreeSize) + " bytes");
+          }
+        }
+
+        // Use-after-free / double-free along a feasible path.
+        for (const PtrAccess &Free : W.Frees) {
+          if (Free.InF != F)
+            continue; // Path reasoning is intra-function.
+          for (const PtrAccess &Use : W.Accesses) {
+            if (Use.InF != F)
+              continue;
+            SyncPathQuery Q;
+            Q.From = Free.I;
+            Q.To = Use.I;
+            // A loop back-edge that re-executes the allocation starts a
+            // new object; block there so only uses of the freed one count.
+            Q.Blockers.insert(A);
+            std::vector<std::string> Witness;
+            if (!existsSyncFreePath(Q, Ctx.BI, FL->DT, &Witness))
+              continue;
+            Ctx.report(LintKind::UseAfterFree, F, Use.I, Name,
+                       "'" + Name + "' is accessed (" + describe(Use.I) +
+                           ") after being freed (" + describe(Free.I) +
+                           ")",
+                       std::move(Witness));
+          }
+          for (const PtrAccess &Other : W.Frees) {
+            if (Other.InF != F || Other.I == Free.I)
+              continue;
+            SyncPathQuery Q;
+            Q.From = Free.I;
+            Q.To = Other.I;
+            Q.Blockers.insert(A);
+            std::vector<std::string> Witness;
+            if (!existsSyncFreePath(Q, Ctx.BI, FL->DT, &Witness))
+              continue;
+            Ctx.report(LintKind::UseAfterFree, F, Other.I, Name,
+                       "'" + Name + "' is freed twice (" +
+                           describe(Free.I) + " then " +
+                           describe(Other.I) + ")",
+                       std::move(Witness));
+          }
+        }
+
+        if (Escapes)
+          continue; // The pointer may be freed through memory; don't
+                    // judge completeness.
+        if (W.Frees.empty()) {
+          // Only report when a return is actually reachable (a kernel
+          // always has one; defensive for synthetic IR).
+          SyncPathQuery Q;
+          Q.From = A;
+          if (existsSyncFreePath(Q, Ctx.BI, FL->DT))
+            Ctx.report(LintKind::AllocFreePairing, F, A, Name,
+                       "allocation '" + Name + "' (" + describe(A) +
+                           ") is never freed");
+          continue;
+        }
+        bool LocalFree = false;
+        SyncPathQuery Q;
+        Q.From = A;
+        Q.Blockers.insert(A); // Re-allocation starts a new object.
+        for (const PtrAccess &Free : W.Frees)
+          if (Free.InF == F) {
+            LocalFree = true;
+            Q.Blockers.insert(Free.I);
+          }
+        std::vector<std::string> Witness;
+        if (LocalFree && existsSyncFreePath(Q, Ctx.BI, FL->DT, &Witness))
+          Ctx.report(LintKind::AllocFreePairing, F, A, Name,
+                     "allocation '" + Name + "' (" + describe(A) +
+                         ") is not freed on every path to the function "
+                         "exit",
+                     std::move(Witness));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Check (d): SPMD guard protocol
+//===----------------------------------------------------------------------===//
+
+void checkGuardProtocol(LintContext &Ctx, FunctionLint &FL) {
+  if (!FL.IsKernel)
+    return;
+  for (const GuardShape &G : FL.Guards)
+    if (!G.WellFormed)
+      Ctx.report(LintKind::GuardProtocol, FL.F, G.Br, "",
+                 "main-thread guard in block '" + blockLabel(G.PreBB) +
+                     "' violates the Fig. 7 barrier protocol: " +
+                     G.Problem);
+
+  // In an SPMDzed kernel every uniform side effect belongs inside a
+  // guard: a uniform store outside one is executed (and raced on) by the
+  // whole team.
+  if (!FL.IsSPMDKernel || FL.Guards.empty())
+    return;
+  for (BasicBlock *BB : *FL.F) {
+    if (FL.GuardedBlocks.count(BB) || FL.WorkerOnly.count(BB))
+      continue;
+    bool MainOnly = FL.isMainOnly(BB);
+    if (MainOnly)
+      continue;
+    for (Instruction *I : *BB) {
+      auto *SI = dyn_cast<StoreInst>(I);
+      if (!SI)
+        continue;
+      const Value *Root = pointerRoot(SI->getPointerOperand());
+      if (isa<AllocaInst>(Root))
+        continue; // Thread-private.
+      if (const auto *RootInst = dyn_cast<Instruction>(Root))
+        if (isAllocCall(RootInst)) {
+          FunctionLint *RFL = Ctx.lintOf(RootInst->getParent()->getParent());
+          if (!RFL || !RFL->isMainOnly(RootInst->getParent()))
+            continue; // Per-thread allocation.
+        }
+      if (!FL.TVA.getShape(SI->getPointerOperand()).isUniform())
+        continue;
+      Ctx.report(LintKind::GuardProtocol, FL.F, SI, "",
+                 "uniform side effect (" + describe(SI) +
+                     ") outside a main-thread guard in an SPMD kernel; "
+                     "every thread performs this write");
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+LintResult ompgpu::runOMPLint(const Module &M, const LintOptions &Opts) {
+  LintContext Ctx(M, Opts);
+  for (Function *F : Ctx.Checked) {
+    FunctionLint *FL = Ctx.lintOf(F);
+    if (Opts.CheckBarrierDivergence)
+      checkBarrierDivergence(Ctx, *FL);
+    if (Opts.CheckGuardProtocol)
+      checkGuardProtocol(Ctx, *FL);
+  }
+  if (Opts.CheckSharedRaces)
+    checkSharedRaces(Ctx);
+  if (Opts.CheckAllocFreePairing)
+    checkAllocFreePairing(Ctx);
+  LintResult R;
+  R.Findings = std::move(Ctx.Findings);
+  return R;
+}

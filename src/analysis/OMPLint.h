@@ -1,0 +1,110 @@
+//===- analysis/OMPLint.h - Device-IR race & barrier lint -------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OMPLint: an inter-procedural static verifier for device modules. It
+/// checks the invariants the paper's transforms rely on but nothing else
+/// in the compiler enforces:
+///
+///  - **Barrier divergence** (OMP200): a team barrier reachable under a
+///    branch whose condition ThreadValueAnalysis classifies as divergent,
+///    unless the barrier post-dominates the branch (all threads still
+///    reach it) or the branch is part of a recognized runtime protocol
+///    (kernel init dispatch, well-formed SPMDzation guards, the generic
+///    worker state machine).
+///  - **Shared-memory data races** (OMP201): writes to shared
+///    address-space globals or main-thread `__kmpc_alloc_shared` results
+///    by divergent threads, or main-thread writes observable by the team
+///    without an intervening barrier.
+///  - **Globalization pairing** (OMP202/OMP203): alloc/free API or size
+///    mismatch, a free that is not reached on every feasible path, and
+///    use-after-free / double-free of a shared allocation.
+///  - **SPMD guard protocol** (OMP204): in SPMDzed kernels every guarded
+///    region must follow Fig. 7 (barrier before the `tid == 0` branch,
+///    join block that starts with a barrier and post-dominates the guard),
+///    and no uniform side effect may sit outside a guard.
+///
+/// The lint runs on the optimizer's *output* (post-openmp-opt pipeline
+/// stage, fuzz oracle, bench/lint driver), so it is written to be
+/// zero-false-positive on IR the front end and the passes legally produce;
+/// anything it reports is a broken invariant worth a rollback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_OMPLINT_H
+#define OMPGPU_ANALYSIS_OMPLINT_H
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class Module;
+
+/// Stable name of the pipeline's lint stage (pass instrumentation,
+/// compile-report).
+inline constexpr const char *OMPLintPassName = "omp-lint";
+
+/// The four checker categories.
+enum class LintKind : uint8_t {
+  BarrierDivergence, ///< OMP200
+  SharedRace,        ///< OMP201
+  AllocFreePairing,  ///< OMP202
+  UseAfterFree,      ///< OMP203
+  GuardProtocol,     ///< OMP204
+};
+
+/// Returns the remark number (200..204) for \p K.
+unsigned lintRemarkNumber(LintKind K);
+
+/// Returns the kind's stable identifier, e.g. "barrier-divergence"
+/// (used in the compile-report lint section and the JSON lint report).
+const char *lintKindName(LintKind K);
+
+/// One verified-invariant violation. Everything is carried as strings so a
+/// finding stays valid after the module is rolled back or mutated.
+struct LintFinding {
+  LintKind Kind;
+  std::string FunctionName;
+  /// Short description of the offending instruction, e.g.
+  /// "store to 'broadcast' in block 'entry'".
+  std::string Instruction;
+  /// The shared object or allocation involved, if any.
+  std::string Object;
+  std::string Message;
+  /// Block labels of one feasible path demonstrating the issue.
+  std::vector<std::string> Witness;
+
+  /// "OMP201 in 'kernel': <message>".
+  std::string str() const;
+};
+
+/// Per-check enable switches.
+struct LintOptions {
+  bool CheckBarrierDivergence = true;
+  bool CheckSharedRaces = true;
+  bool CheckAllocFreePairing = true;
+  bool CheckGuardProtocol = true;
+};
+
+/// A lint run over one module.
+struct LintResult {
+  std::vector<LintFinding> Findings;
+
+  bool clean() const { return Findings.empty(); }
+  /// One-line summary of all findings (empty when clean).
+  std::string summary() const;
+};
+
+/// Runs all enabled checkers over the device module \p M. Runtime
+/// functions (`__kmpc_*`, `omp_*`, `llvm.*`) are exempt: their bodies
+/// implement the synchronization protocols the lint verifies users of.
+LintResult runOMPLint(const Module &M, const LintOptions &Opts = {});
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_OMPLINT_H

@@ -43,6 +43,11 @@ enum class RemarkId : unsigned {
   OMP181 = 181, ///< Opt-bisect localized the first bad pass execution.
   OMP190 = 190, ///< Differential fuzzing found an oracle mismatch (missed).
   OMP191 = 191, ///< Fuzz reducer shrank a failing module.
+  OMP200 = 200, ///< Lint: barrier reachable under divergent control flow.
+  OMP201 = 201, ///< Lint: data race on shared memory.
+  OMP202 = 202, ///< Lint: globalization alloc/free pairing violation.
+  OMP203 = 203, ///< Lint: use-after-free / double-free of a shared alloc.
+  OMP204 = 204, ///< Lint: SPMD main-thread guard protocol violation.
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

@@ -36,6 +36,7 @@ static json::Value pipelineSection(const PipelineOptions &Opts) {
   Instr.set("time_passes", Opts.Instrument.TimePasses)
       .set("track_changes", Opts.Instrument.TrackChanges)
       .set("verify_each", Opts.Instrument.VerifyEach)
+      .set("lint_each", Opts.Instrument.LintEach)
       .set("recover", Opts.Instrument.Recover)
       .set("opt_bisect_limit", Opts.Instrument.OptBisectLimit);
 
@@ -54,6 +55,7 @@ static json::Value pipelineSection(const PipelineOptions &Opts) {
       .set("runtime_flavor", flavorName(Opts.Flavor))
       .set("run_openmp_opt", Opts.RunOpenMPOpt)
       .set("run_cleanups", Opts.RunCleanups)
+      .set("run_lint", Opts.RunLint)
       .set("openmp_opt_config", std::move(Cfg))
       .set("instrumentation", std::move(Instr));
   return P;
@@ -72,6 +74,7 @@ static json::Value passesSection(const CompileResult &Result) {
         .set("reported_change", Rec.ReportedChange)
         .set("ir_hash_tracked", Rec.HashTracked)
         .set("verify_failed", Rec.VerifyFailed)
+        .set("lint_failed", Rec.LintFailed)
         .set("skipped", Rec.Skipped)
         .set("skip_reason", Rec.SkipReason)
         .set("rolled_back", Rec.RolledBack);
@@ -110,6 +113,31 @@ static json::Value recoverySection(const CompileResult &Result) {
       .set("quarantined_passes", std::move(Quarantined))
       .set("skipped_executions", SkippedExecutions);
   return R;
+}
+
+static json::Value lintSection(const CompileResult &Result) {
+  json::Value Findings = json::Value::makeArray();
+  for (const LintFinding &F : Result.LintFindings) {
+    json::Value E = json::Value::makeObject();
+    E.set("id", "OMP" + std::to_string(lintRemarkNumber(F.Kind)))
+        .set("kind", lintKindName(F.Kind))
+        .set("function", F.FunctionName)
+        .set("instruction", F.Instruction)
+        .set("object", F.Object)
+        .set("message", F.Message);
+    json::Value Witness = json::Value::makeArray();
+    for (const std::string &Block : F.Witness)
+      Witness.push_back(json::Value(Block));
+    E.set("witness", std::move(Witness));
+    Findings.push_back(std::move(E));
+  }
+  json::Value L = json::Value::makeObject();
+  L.set("ran", Result.LintRan)
+      .set("finding_count", (unsigned)Result.LintFindings.size())
+      .set("findings", std::move(Findings))
+      .set("first_lint_fail_pass", Result.FirstLintFailPass)
+      .set("first_lint_error", Result.FirstLintError);
+  return L;
 }
 
 static json::Value openMPOptStatsSection(const OpenMPOptStats &S) {
@@ -195,6 +223,7 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("verify", std::move(Verify))
       .set("passes", passesSection(Result))
       .set("recovery", recoverySection(Result))
+      .set("lint", lintSection(Result))
       .set("openmp_opt_stats", openMPOptStatsSection(Result.Stats))
       .set("remarks", remarksSection(Result.Remarks))
       .set("statistics", statisticsSection())

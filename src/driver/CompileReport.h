@@ -30,8 +30,9 @@ namespace ompgpu {
 /// Version of the compile-report JSON schema. Bump on any
 /// field rename/removal; additions are backwards compatible.
 /// v2 added the `recovery` section and the per-execution
-/// bisect/skip/rollback fields (docs/compile-report.md).
-inline constexpr unsigned CompileReportSchemaVersion = 2;
+/// bisect/skip/rollback fields; v3 added the `lint` section
+/// and the per-execution lint_failed field (docs/compile-report.md).
+inline constexpr unsigned CompileReportSchemaVersion = 3;
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).

@@ -27,6 +27,15 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
   PassInstrumentation PI(
       Opts.Instrument, [&M] { return hashModule(M); },
       [&M](std::string *Error) { return verifyModule(M, Error); });
+  if (Opts.RunLint)
+    PI.setLintCallback([&M, &Opts](std::string *Error) {
+      LintResult R = runOMPLint(M, Opts.Lint);
+      if (R.clean())
+        return false;
+      if (Error)
+        *Error = R.summary();
+      return true;
+    });
 
   // Recovery mode: the instrumentation snapshots the module before each
   // pass (a stack, since sub-passes nest) and restores it when the pass
@@ -65,6 +74,8 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
     Result.QuarantinedPasses = PI.quarantinedPasses();
     for (const PassRecoveryEvent &Ev : Result.Recoveries) {
       std::string Cause = Ev.Kind == "verify-fail" ? "corrupted the module"
+                          : Ev.Kind == "lint-fail"
+                              ? "failed the device-IR lint"
                           : Ev.Kind == "fatal-error"
                               ? "tripped a fatal error"
                               : "threw an exception";
@@ -82,6 +93,8 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
       Result.VerifyFailed = true;
       Result.VerifyError = PI.verifyError();
     }
+    Result.FirstLintFailPass = PI.firstLintFailPass();
+    Result.FirstLintError = PI.lintError();
     return Result;
   };
 
@@ -113,8 +126,26 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
     Cleanup(SimplifyPassName, simplifyModule);
   }
 
-  if (verifyModule(M, &Result.VerifyError))
+  if (verifyModule(M, &Result.VerifyError)) {
     Result.VerifyFailed = true;
+  } else if (Opts.RunLint) {
+    // The lint stage is a required pipeline step (an analysis can't be
+    // quarantined or bisected away); its findings become OMP200-OMP204
+    // remarks and the compile-report's lint section.
+    PI.runPass(
+        OMPLintPassName,
+        [&] {
+          LintResult LR = runOMPLint(M, Opts.Lint);
+          Result.LintRan = true;
+          Result.LintFindings = LR.Findings;
+          for (const LintFinding &F : Result.LintFindings)
+            Result.Remarks.emit(
+                static_cast<RemarkId>(lintRemarkNumber(F.Kind)),
+                /*Missed=*/true, F.FunctionName, F.Message);
+          return false;
+        },
+        /*Required=*/true);
+  }
   return Finish();
 }
 

@@ -17,6 +17,7 @@
 #ifndef OMPGPU_DRIVER_PIPELINE_H
 #define OMPGPU_DRIVER_PIPELINE_H
 
+#include "analysis/OMPLint.h"
 #include "core/OpenMPOpt.h"
 #include "frontend/OMPCodeGen.h"
 #include "gpusim/MachineModel.h"
@@ -50,9 +51,19 @@ struct PipelineOptions {
   /// Generic mid-end cleanups (mem2reg, simplification, DCE).
   bool RunCleanups = true;
   /// Observability and robustness: TimePasses / TrackChanges / VerifyEach /
-  /// Recover / OptBisectLimit. All off by default; see
+  /// LintEach / Recover / OptBisectLimit. All off by default; see
   /// docs/compile-report.md.
   PassInstrumentationOptions Instrument;
+  /// Run OMPLint over the final optimized module; findings are recorded in
+  /// CompileResult::LintFindings and emitted as OMP200-OMP204 remarks.
+  /// On by default: the lint stage is analysis-only and every preset is
+  /// expected to produce lint-clean device IR. Combine with
+  /// Instrument.LintEach to lint after every pass, and with
+  /// Instrument.Recover to roll back and quarantine a pass whose output
+  /// lints dirty (like a verifier failure).
+  bool RunLint = true;
+  /// Per-checker switches for the lint runs.
+  LintOptions Lint;
   /// Extra passes spliced into the pipeline (after openmp-opt, before
   /// cleanups), in order.
   std::vector<ExtraPass> ExtraPasses;
@@ -83,6 +94,21 @@ struct CompileResult {
   std::vector<PassRecoveryEvent> Recoveries;
   /// Passes quarantined (skipped after their first failure), sorted.
   std::vector<std::string> QuarantinedPasses;
+  /// @}
+  /// \name Lint (see docs/compile-report.md, schema v3)
+  /// @{
+  /// Whether the final lint stage ran (RunLint set and the module
+  /// verified).
+  bool LintRan = false;
+  /// Findings of the final lint run over the optimized module; each also
+  /// produced an OMP200-OMP204 remark.
+  std::vector<LintFinding> LintFindings;
+  /// Name of the first pass after which LintEach reported findings (""
+  /// when clean, LintEach off, or the failure was rolled back under
+  /// recovery).
+  std::string FirstLintFailPass;
+  /// Findings summary of that first per-pass lint failure.
+  std::string FirstLintError;
   /// @}
 };
 

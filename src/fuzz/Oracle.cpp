@@ -90,6 +90,8 @@ static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
 
   PipelineOptions P = Preset;
   P.Instrument.VerifyEach = O.VerifyEach;
+  P.RunLint = O.Lint;
+  P.Lint = O.LintOpts;
   for (const PipelineOptions::ExtraPass &E : O.ExtraPasses)
     P.ExtraPasses.push_back(E);
   CompileResult CR = optimizeDeviceModule(M, P);
@@ -107,6 +109,17 @@ static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
     // The oracle runs without recovery; events mean someone enabled it and
     // a pass still misbehaved — that is a finding, not a pass.
     Res.Reason = "pass recovery events during compile";
+    return Res;
+  }
+  Res.LintFindings = CR.LintFindings;
+  if (!Res.LintFindings.empty()) {
+    // A racy module can still produce bit-identical outputs under the
+    // simulator's deterministic schedule, so the lint verdict overrides
+    // the (possibly clean) differential comparison.
+    Res.Reason = "lint: " + Res.LintFindings.front().str();
+    if (Res.LintFindings.size() > 1)
+      Res.Reason += " (+" + std::to_string(Res.LintFindings.size() - 1) +
+                    " more finding(s))";
     return Res;
   }
 

@@ -34,6 +34,11 @@ struct FuzzPresetOutcome {
 
   bool VerifyFailed = false;
   std::string VerifyError;
+  /// Findings of the per-preset OMPLint run over the optimized module
+  /// (empty when clean or linting disabled). Any finding fails the preset:
+  /// a race can produce bit-identical outputs on the simulator's
+  /// deterministic schedule, so the differential comparison alone misses it.
+  std::vector<LintFinding> LintFindings;
   bool ReferenceBroken = false; ///< The *unoptimized* run failed: the
                                 ///< generator (not a pass) is at fault.
   std::string OptimizedTrap;
@@ -57,6 +62,10 @@ struct FuzzOracleOptions {
   std::vector<PipelineOptions> Presets;
   /// Verify the module after every pass so corruption is attributed early.
   bool VerifyEach = true;
+  /// Run OMPLint on every preset's optimized module; findings fail the
+  /// preset even when both differential comparisons match.
+  bool Lint = true;
+  LintOptions LintOpts;
   /// Extra passes spliced into every preset's pipeline — the sabotage
   /// injection point used by tests (TestRecovery-style hooks).
   std::vector<PipelineOptions::ExtraPass> ExtraPasses;

@@ -122,6 +122,23 @@ bool PassInstrumentation::runPass(const std::string &Name,
     }
   }
 
+  // The lint runs after a clean verify only: structurally corrupt IR
+  // would drown it in noise and its verdict would be meaningless.
+  if (Opts.LintEach && Lint && !BodyFailed && !Rec.VerifyFailed) {
+    std::string Error;
+    if (Lint(&Error)) {
+      Rec.LintFailed = true;
+      if (Protected) {
+        BodyFailed = true;
+        FailKind = "lint-fail";
+        FailMsg = Error;
+      } else if (FirstLintFailPass.empty()) {
+        FirstLintFailPass = Name;
+        LintError = Error;
+      }
+    }
+  }
+
   if (Protected) {
     // Pop the snapshot either way: restore on failure, discard on success.
     // Restoring also undoes whatever nested sub-passes committed, which is
@@ -226,6 +243,8 @@ void PassInstrumentation::clear() {
   Quarantined.clear();
   FirstCorruptPass.clear();
   VerifyError.clear();
+  FirstLintFailPass.clear();
+  LintError.clear();
   CurrentDepth = 0;
   BisectCounter = 0;
   LastPassRolledBack = false;

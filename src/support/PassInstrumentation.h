@@ -45,6 +45,11 @@ struct PassInstrumentationOptions {
   /// Run the verifier after every pass; the first failure names the
   /// offending pass.
   bool VerifyEach = false;
+  /// Run the lint callback after every pass (after verification, on
+  /// structurally sound IR only); the first finding names the offending
+  /// pass. Under Recover a linting pass is rolled back and quarantined
+  /// exactly like one that failed verification.
+  bool LintEach = false;
   /// Recovery mode: snapshot the IR before each pass; a pass that fails
   /// verification, trips reportFatalError, or throws is rolled back and
   /// quarantined (skipped for the remainder of the pipeline). The pipeline
@@ -59,7 +64,7 @@ struct PassInstrumentationOptions {
   int64_t OptBisectLimit = -1;
 
   bool any() const {
-    return TimePasses || TrackChanges || VerifyEach || Recover ||
+    return TimePasses || TrackChanges || VerifyEach || LintEach || Recover ||
            OptBisectLimit >= 0;
   }
 };
@@ -88,6 +93,8 @@ struct PassExecution {
   bool IRChanged = false;
   /// VerifyEach found the module corrupt after this pass.
   bool VerifyFailed = false;
+  /// LintEach found lint violations after this pass.
+  bool LintFailed = false;
   /// The execution never ran: the pass is quarantined or past the
   /// opt-bisect limit. SkipReason says which.
   bool Skipped = false;
@@ -111,7 +118,7 @@ struct PassExecution {
 struct PassRecoveryEvent {
   std::string PassName;
   unsigned Invocation = 0;
-  /// "verify-fail", "fatal-error", or "exception".
+  /// "verify-fail", "lint-fail", "fatal-error", or "exception".
   std::string Kind;
   /// Verifier or exception message.
   std::string Message;
@@ -127,6 +134,10 @@ public:
   /// Verifies the current IR state; returns true and fills the string on
   /// corruption, mirroring ompgpu::verifyModule.
   using VerifyFn = std::function<bool(std::string *)>;
+  /// Lints the current IR state; returns true and fills the string with a
+  /// findings summary when the lint is not clean (same polarity as
+  /// VerifyFn). Driver-supplied, typically wrapping runOMPLint.
+  using LintFn = std::function<bool(std::string *)>;
   /// Pushes a snapshot of the current IR state onto the driver-held stack.
   using SnapshotFn = std::function<void()>;
   /// Pops the most recent snapshot; restores the IR from it when the
@@ -144,6 +155,10 @@ public:
     PushSnapshot = std::move(Push);
     PopSnapshot = std::move(Pop);
   }
+
+  /// Installs the lint callback LintEach runs; without it, LintEach is
+  /// inert.
+  void setLintCallback(LintFn L) { Lint = std::move(L); }
 
   /// True when any collection is configured; runPass short-circuits to a
   /// plain call otherwise.
@@ -166,6 +181,13 @@ public:
   const std::string &firstCorruptPass() const { return FirstCorruptPass; }
   /// Verifier message of that first failure.
   const std::string &verifyError() const { return VerifyError; }
+
+  /// Name of the first pass after which LintEach reported findings ("" if
+  /// none). Stays empty under recovery: the offending pass was rolled
+  /// back, so no lint violation survived into the final module.
+  const std::string &firstLintFailPass() const { return FirstLintFailPass; }
+  /// Findings summary of that first lint failure.
+  const std::string &lintError() const { return LintError; }
 
   /// \name Recovery state
   /// @{
@@ -213,6 +235,7 @@ private:
   PassInstrumentationOptions Opts;
   HashFn Hash;
   VerifyFn Verify;
+  LintFn Lint;
   SnapshotFn PushSnapshot;
   RollbackFn PopSnapshot;
 
@@ -221,6 +244,8 @@ private:
   std::set<std::string> Quarantined;
   std::string FirstCorruptPass;
   std::string VerifyError;
+  std::string FirstLintFailPass;
+  std::string LintError;
   unsigned CurrentDepth = 0;
   unsigned BisectCounter = 0;
   bool LastPassRolledBack = false;

@@ -328,6 +328,78 @@ TEST_F(AnalysisTest, LoopPhiOfUniformValuesIsUniform) {
   EXPECT_TRUE(TVA.getShape(L.Header->front()).isUniform()); // the phi
 }
 
+TEST_F(AnalysisTest, SelectOnDivergentConditionIsDivergent) {
+  FunctionType *TidTy = Ctx.getFunctionTy(Ctx.getInt32Ty(), {});
+  Function *Tid = M.getOrInsertFunction("get_tid", TidTy);
+  Function *F = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt32Ty()}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *T = B.createCall(Tid, {}, "tid");
+  Value *DivCond = B.createICmpSLT(T, B.getInt32(16), "low");
+  Value *UniCond = B.createICmpSLT(F->getArg(0), B.getInt32(16), "small");
+  // Data-dependent divergence: the arms are uniform but each thread picks
+  // its own, so the select must be divergent.
+  Value *DivSel =
+      B.createSelect(DivCond, B.getInt32(1), B.getInt32(2), "div_sel");
+  // A uniform condition joins the arm shapes instead.
+  Value *UniSel =
+      B.createSelect(UniCond, B.getInt32(1), B.getInt32(2), "uni_sel");
+  Value *T1 = B.createAdd(T, B.getInt32(1), "tid1");
+  Value *LinSel = B.createSelect(UniCond, T, T1, "lin_sel");
+  B.createRetVoid();
+
+  ThreadValueConfig Cfg;
+  Cfg.ThreadIdFunctions = {"get_tid"};
+  Cfg.ArgumentShape = ThreadShape::uniform();
+  ThreadValueAnalysis TVA(*F, Cfg);
+  EXPECT_TRUE(TVA.getShape(DivCond).isDivergent());
+  EXPECT_TRUE(TVA.getShape(DivSel).isDivergent());
+  EXPECT_TRUE(TVA.getShape(UniSel).isUniform());
+  EXPECT_TRUE(TVA.getShape(LinSel).isLinear());
+  EXPECT_EQ(1, TVA.getShape(LinSel).Stride);
+}
+
+TEST_F(AnalysisTest, PhiJoinsIncomingShapesUnderDivergentControl) {
+  FunctionType *TidTy = Ctx.getFunctionTy(Ctx.getInt32Ty(), {});
+  Function *Tid = M.getOrInsertFunction("get_tid", TidTy);
+  Function *F =
+      M.createFunction("k", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *El = F->createBlock("e");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx);
+  B.setInsertPoint(E);
+  Value *TidV = B.createCall(Tid, {}, "tid");
+  Value *Cond = B.createICmpSLT(TidV, B.getInt32(16), "low");
+  B.createCondBr(Cond, T, El);
+  B.setInsertPoint(T);
+  B.createBr(J);
+  B.setInsertPoint(El);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  // The phi transfer joins the *shapes* of the incoming values; it has no
+  // control-dependence term, so two uniform constants stay uniform even
+  // under a divergent branch. Data-dependent divergence is the select
+  // rule's job (above); the lint's CFG checkers handle control divergence
+  // via reconvergence reasoning instead of value shapes.
+  PhiInst *Consts = B.createPhi(Ctx.getInt32Ty(), "consts");
+  Consts->addIncoming(B.getInt32(1), T);
+  Consts->addIncoming(B.getInt32(2), El);
+  // Joining distinct shapes (linear tid vs. uniform) is divergent.
+  PhiInst *Mixed = B.createPhi(Ctx.getInt32Ty(), "mixed");
+  Mixed->addIncoming(TidV, T);
+  Mixed->addIncoming(B.getInt32(3), El);
+  B.createRetVoid();
+
+  ThreadValueConfig Cfg;
+  Cfg.ThreadIdFunctions = {"get_tid"};
+  ThreadValueAnalysis TVA(*F, Cfg);
+  EXPECT_TRUE(TVA.getShape(Consts).isUniform());
+  EXPECT_TRUE(TVA.getShape(Mixed).isDivergent());
+}
+
 //===----------------------------------------------------------------------===//
 // Pointer escape
 //===----------------------------------------------------------------------===//
@@ -401,6 +473,45 @@ TEST_F(AnalysisTest, EscapeFollowsIntoCalleeAndHonorsNoEscape) {
   // ...unless the user asserts noescape (the OMP113 remark's advice).
   Leak->getArg(0)->setNoEscapeAttr();
   EXPECT_FALSE(analyzePointerEscape(A2, EC).Escapes);
+}
+
+TEST_F(AnalysisTest, EscapeWalkMaxDepthBoundary) {
+  // A forwarding chain three callees deep; the innermost only writes
+  // through the pointer. The walk descends once per call, so the deepest
+  // visit runs at depth 3: MaxDepth >= 3 proves no escape, MaxDepth < 3
+  // hits the bound and must conservatively report an escape.
+  FunctionType *FTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()});
+  IRBuilder B(Ctx);
+  Function *Sink = M.createFunction("depth3", FTy);
+  B.setInsertPoint(Sink->createBlock("entry"));
+  B.createStore(B.getDouble(0.0), Sink->getArg(0));
+  B.createRetVoid();
+  Function *Next = Sink;
+  for (const char *Name : {"depth2", "depth1"}) {
+    Function *F = M.createFunction(Name, FTy);
+    B.setInsertPoint(F->createBlock("entry"));
+    B.createCall(Next, {F->getArg(0)});
+    B.createRetVoid();
+    Next = F;
+  }
+  Function *Root =
+      M.createFunction("root", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(Root->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getDoubleTy(), "x");
+  B.createCall(Next, {A});
+  B.createRetVoid();
+
+  EscapeConfig EC;
+  EC.ClassifyCallArg = [](const CallInst &, unsigned) {
+    return ArgCaptureKind::InspectCallee;
+  };
+  EXPECT_FALSE(analyzePointerEscape(A, EC).Escapes); // default MaxDepth=8
+  EC.MaxDepth = 3;
+  EXPECT_FALSE(analyzePointerEscape(A, EC).Escapes); // exactly at the bound
+  EC.MaxDepth = 2;
+  EscapeResult R = analyzePointerEscape(A, EC);
+  EXPECT_TRUE(R.Escapes);
+  EXPECT_NE(std::string::npos, R.Reason.find("depth limit"));
 }
 
 TEST_F(AnalysisTest, EscapeThroughDerivedPointers) {

@@ -96,6 +96,72 @@ static PipelineOptions::ExtraPass dropStoresPass() {
   return {"drop-stores", dropDoubleStores};
 }
 
+/// The race sabotage pass (OMPLint satellite): hoists a store out of a
+/// "region.guarded" main-thread guard into the guard's dispatch block,
+/// above the leading barrier. Every thread then performs the store, but the
+/// stored value is uniform, so outputs stay bit-identical under the
+/// simulator's deterministic schedule — the differential comparisons cannot
+/// see the bug. On real hardware it is a race, and it violates the Fig. 7
+/// guard protocol the linter enforces (OMP204).
+static bool hoistGuardedStore(Module &M) {
+  for (Function *F : M.functions())
+    for (BasicBlock *BB : F->getBlocks()) {
+      if (BB->getName().rfind("region.guarded", 0) != 0)
+        continue;
+      for (Instruction *I : BB->getInstructions()) {
+        auto *St = dyn_cast<StoreInst>(I);
+        if (!St)
+          continue;
+        // Hoisting is only dominance-safe when both operands are defined
+        // outside the guarded block (the broadcast stores are not).
+        auto DefinedHere = [&](Value *V) {
+          auto *DI = dyn_cast<Instruction>(V);
+          return DI && DI->getParent() == BB;
+        };
+        if (DefinedHere(St->getValueOperand()) ||
+            DefinedHere(St->getPointerOperand()))
+          continue;
+        // The dispatch block runs a barrier just before the thread-id
+        // check; re-inserting the store above that barrier keeps the guard
+        // itself well-formed, so only the escaped store is wrong.
+        for (BasicBlock *Pred : BB->predecessors()) {
+          Instruction *Barrier = nullptr;
+          for (Instruction *PI : *Pred) {
+            auto *C = dyn_cast<CallInst>(PI);
+            if (C && C->getCalledFunction() &&
+                C->getCalledFunction()->getName() ==
+                    "__kmpc_barrier_simple_spmd")
+              Barrier = C;
+          }
+          if (!Barrier)
+            continue;
+          Pred->insertBefore(BB->remove(St).release(), Barrier);
+          return true;
+        }
+      }
+    }
+  return false;
+}
+
+/// Generic-mode recipe whose escaping team local becomes an H2S shared
+/// global initialized inside an SPMDzation guard under the dev preset —
+/// the shape hoistGuardedStore sabotages.
+static KernelRecipe guardedRecipe() {
+  KernelRecipe R;
+  R.Seed = 4242;
+  R.SPMD = false;
+  R.NumTeams = 2;
+  R.NumThreads = 64;
+  R.TripCount = 16;
+  R.RegionShape = KernelRecipe::Shape::Combined;
+  R.NumRegions = 1;
+  R.NumChunks = 1;
+  R.EscapingTeamLocal = true;
+  R.ExprOps = 2;
+  R.ExprSeed = 7;
+  return R;
+}
+
 //===----------------------------------------------------------------------===//
 // Generator determinism and recipe serialization
 //===----------------------------------------------------------------------===//
@@ -315,6 +381,30 @@ TEST(FuzzOracle, BehavioralMiscompileIsCaught) {
     EXPECT_FALSE(P.OK) << P.Preset;
     EXPECT_FALSE(P.VerifyFailed) << "dropping stores is verifier-clean";
     EXPECT_FALSE(P.ReferenceBroken);
+  }
+}
+
+TEST(FuzzOracle, LintCatchesRaceTheDifferentialRunMisses) {
+  FuzzOracleOptions O;
+  O.ExtraPasses.push_back({"hoist-guarded-store", hoistGuardedStore});
+
+  // Without the lint the sabotage is invisible: the hoisted store writes a
+  // uniform value from every thread, so all presets still produce
+  // bit-identical outputs and both differential comparisons pass.
+  O.Lint = false;
+  FuzzVerdict Blind = runFuzzOracle(guardedRecipe(), O);
+  EXPECT_TRUE(Blind.OK) << "preset '" << Blind.FailingPreset
+                        << "': " << Blind.Reason;
+
+  O.Lint = true;
+  FuzzVerdict V = runFuzzOracle(guardedRecipe(), O);
+  ASSERT_FALSE(V.OK) << "lint missed the hoisted guarded store";
+  EXPECT_NE(V.Reason.find("lint:"), std::string::npos) << V.Reason;
+  EXPECT_NE(V.Reason.find("OMP204"), std::string::npos) << V.Reason;
+  for (const FuzzPresetOutcome &P : V.Presets) {
+    EXPECT_FALSE(P.VerifyFailed)
+        << P.Preset << ": the hoist must be verifier-clean";
+    EXPECT_FALSE(P.ReferenceBroken) << P.Preset;
   }
 }
 

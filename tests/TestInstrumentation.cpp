@@ -471,6 +471,61 @@ TEST_F(InstrumentedPipelineTest, CompileReportRoundTrips) {
   EXPECT_FALSE(K.at("out_of_memory").asBool());
 }
 
+TEST_F(InstrumentedPipelineTest, LintSectionRoundTrips) {
+  // Schema v3: the lint section plus the per-execution lint_failed and
+  // pipeline run_lint/lint_each flags (docs/compile-report.md).
+  PipelineOptions P = makeDevPipeline();
+  P.RunLint = true;
+  P.Instrument.LintEach = true;
+
+  CompileResult CR;
+  CR.LintRan = true;
+  LintFinding F;
+  F.Kind = LintKind::SharedRace;
+  F.FunctionName = "k";
+  F.Instruction = "store in block 'entry'";
+  F.Object = "g";
+  F.Message = "unsynchronized write to shared object 'g'";
+  F.Witness = {"entry", "then"};
+  CR.LintFindings.push_back(F);
+  CR.FirstLintFailPass = "leak-injector";
+  CR.FirstLintError = F.str();
+  PassExecution PE;
+  PE.Name = "leak-injector";
+  PE.LintFailed = true;
+  CR.Passes.push_back(PE);
+
+  json::Value Report = buildCompileReport(P, CR);
+  json::Value Parsed;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Report.str(), Parsed, &Error)) << Error;
+
+  EXPECT_GE(Parsed.at("schema_version").asInt(), 3);
+  EXPECT_TRUE(Parsed.at("pipeline").at("run_lint").asBool());
+  EXPECT_TRUE(
+      Parsed.at("pipeline").at("instrumentation").at("lint_each").asBool());
+
+  const json::Value &L = Parsed.at("lint");
+  EXPECT_TRUE(L.at("ran").asBool());
+  EXPECT_EQ(L.at("finding_count").asInt(), 1);
+  EXPECT_EQ(L.at("first_lint_fail_pass").asString(), "leak-injector");
+  EXPECT_EQ(L.at("first_lint_error").asString(), F.str());
+  ASSERT_EQ(L.at("findings").size(), 1u);
+  const json::Value &F0 = L.at("findings")[0];
+  EXPECT_EQ(F0.at("id").asString(), "OMP201");
+  EXPECT_EQ(F0.at("kind").asString(), "shared-race");
+  EXPECT_EQ(F0.at("function").asString(), "k");
+  EXPECT_EQ(F0.at("object").asString(), "g");
+  EXPECT_EQ(F0.at("instruction").asString(), "store in block 'entry'");
+  ASSERT_EQ(F0.at("witness").size(), 2u);
+  EXPECT_EQ(F0.at("witness")[0].asString(), "entry");
+  EXPECT_EQ(F0.at("witness")[1].asString(), "then");
+
+  const json::Value &Passes = Parsed.at("passes").at("executions");
+  ASSERT_EQ(Passes.size(), 1u);
+  EXPECT_TRUE(Passes[0].at("lint_failed").asBool());
+}
+
 TEST_F(InstrumentedPipelineTest, OpenMPOptStatsMatchReport) {
   buildKernel();
   PipelineOptions P = makeDevPipeline();

@@ -1,0 +1,388 @@
+//===- tests/TestLint.cpp - OMPLint checker unit tests ----------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Positive and negative cases for each OMPLint checker category, built on
+// hand-written device IR:
+//
+//   OMP200 barrier-divergence   - barrier under a divergent branch vs. a
+//                                 barrier at the reconvergence point
+//   OMP201 shared-race          - divergent write to a shared global vs.
+//                                 per-thread slices and uniform init
+//   OMP202 alloc-free pairing   - leak, API mismatch, size mismatch,
+//                                 not-freed-on-every-path vs. a matched pair
+//   OMP203 use-after-free       - access after free and double free
+//   OMP204 guard-protocol       - malformed Fig. 7 guard and a uniform side
+//                                 effect outside a guard vs. a well-formed one
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OMPLint.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class LintTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "lint"};
+  IRBuilder B{Ctx};
+
+  Function *declareRT(const char *Name, Type *Ret, std::vector<Type *> Ps) {
+    return M.getOrInsertFunction(Name, Ctx.getFunctionTy(Ret, std::move(Ps)));
+  }
+  Function *barrierFn() {
+    return declareRT("__kmpc_barrier_simple_spmd", Ctx.getVoidTy(), {});
+  }
+  Function *tidFn() {
+    return declareRT("__kmpc_get_hardware_thread_id_in_block",
+                     Ctx.getInt32Ty(), {});
+  }
+  Function *allocFn() {
+    return declareRT("__kmpc_alloc_shared", Ctx.getPtrTy(),
+                     {Ctx.getInt64Ty()});
+  }
+  Function *freeFn() {
+    return declareRT("__kmpc_free_shared", Ctx.getVoidTy(),
+                     {Ctx.getPtrTy(), Ctx.getInt64Ty()});
+  }
+  Function *popStackFn() {
+    return declareRT("__kmpc_data_sharing_pop_stack", Ctx.getVoidTy(),
+                     {Ctx.getPtrTy()});
+  }
+
+  Function *makeSPMDKernel(const std::string &Name) {
+    Function *K =
+        M.createFunction(Name, Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+    K->setKernel();
+    K->getKernelEnvironment().Mode = ExecMode::SPMD;
+    return K;
+  }
+
+  static std::vector<LintFinding> ofKind(const LintResult &R, LintKind K) {
+    std::vector<LintFinding> Out;
+    for (const LintFinding &F : R.Findings)
+      if (F.Kind == K)
+        Out.push_back(F);
+    return Out;
+  }
+
+  /// entry(tid, icmp slt tid 16, condbr) -> {then -> join, join(ret)} with
+  /// the barrier either inside the divergent 'then' arm or at the 'join'
+  /// reconvergence point.
+  void buildDivergentBarrier(bool BarrierAtJoin) {
+    Function *F =
+        M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+    BasicBlock *E = F->createBlock("entry");
+    BasicBlock *T = F->createBlock("then");
+    BasicBlock *J = F->createBlock("join");
+    B.setInsertPoint(E);
+    Value *Tid = B.createCall(tidFn(), {}, "tid");
+    Value *C = B.createICmpSLT(Tid, B.getInt32(16), "low");
+    B.createCondBr(C, T, J);
+    B.setInsertPoint(T);
+    if (!BarrierAtJoin)
+      B.createCall(barrierFn(), {});
+    B.createBr(J);
+    B.setInsertPoint(J);
+    if (BarrierAtJoin)
+      B.createCall(barrierFn(), {});
+    B.createRetVoid();
+  }
+
+  /// SPMD kernel with the Fig. 7 guard shape. \p JoinBarrier toggles the
+  /// join block's leading barrier (off = malformed guard); a non-null
+  /// \p OutsideStoreTo adds a uniform store after the join barrier, i.e.
+  /// outside the guarded region.
+  Function *buildGuardKernel(const std::string &Name, GlobalVariable *G,
+                             bool JoinBarrier,
+                             GlobalVariable *OutsideStoreTo = nullptr) {
+    Function *K = makeSPMDKernel(Name);
+    BasicBlock *E = K->createBlock("entry");
+    BasicBlock *GB = K->createBlock("region.guarded");
+    BasicBlock *J = K->createBlock("region.barrier");
+    B.setInsertPoint(E);
+    B.createCall(barrierFn(), {});
+    Value *Tid = B.createCall(tidFn(), {}, "tid");
+    Value *IsMain = B.createICmpEQ(Tid, B.getInt32(0), "is_main");
+    B.createCondBr(IsMain, GB, J);
+    B.setInsertPoint(GB);
+    B.createStore(B.getInt32(7), G);
+    B.createBr(J);
+    B.setInsertPoint(J);
+    if (JoinBarrier)
+      B.createCall(barrierFn(), {});
+    if (OutsideStoreTo)
+      B.createStore(B.getInt32(9), OutsideStoreTo);
+    B.createRetVoid();
+    return K;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// OMP200: barrier divergence
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, BarrierInsideDivergentBranchFlagged) {
+  buildDivergentBarrier(/*BarrierAtJoin=*/false);
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F = ofKind(R, LintKind::BarrierDivergence);
+  ASSERT_EQ(1u, F.size());
+  EXPECT_EQ("f", F[0].FunctionName);
+  EXPECT_NE(std::string::npos, F[0].Message.find("divergent region"));
+  EXPECT_FALSE(F[0].Witness.empty());
+  EXPECT_NE(std::string::npos, F[0].str().find("OMP200 in 'f'"));
+}
+
+TEST_F(LintTest, BarrierAtReconvergencePointClean) {
+  // Every thread reaches 'join' regardless of the divergent branch: the
+  // barrier post-dominates it.
+  buildDivergentBarrier(/*BarrierAtJoin=*/true);
+  LintResult R = runOMPLint(M);
+  EXPECT_TRUE(R.clean()) << R.summary();
+}
+
+TEST_F(LintTest, BarrierDivergenceCheckCanBeDisabled) {
+  buildDivergentBarrier(/*BarrierAtJoin=*/false);
+  LintOptions Opts;
+  Opts.CheckBarrierDivergence = false;
+  EXPECT_TRUE(runOMPLint(M, Opts).clean());
+  EXPECT_FALSE(runOMPLint(M).clean());
+}
+
+//===----------------------------------------------------------------------===//
+// OMP201: shared-memory races
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, DivergentWriteToSharedGlobalFlagged) {
+  GlobalVariable *G =
+      M.createGlobal(Ctx.getInt32Ty(), AddrSpace::Shared, "g");
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Tid = B.createCall(tidFn(), {}, "tid");
+  B.createStore(Tid, G); // every thread writes its own tid to one slot
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> Races = ofKind(R, LintKind::SharedRace);
+  ASSERT_EQ(1u, Races.size());
+  EXPECT_EQ("g", Races[0].Object);
+  EXPECT_NE(std::string::npos,
+            Races[0].Message.find("unsynchronized write to shared object"));
+}
+
+TEST_F(LintTest, PerThreadSlicesAndUniformInitClean) {
+  // A tid-strided slot per thread (disjoint writes) and a uniform value
+  // written by every thread to one slot (redundant but benign).
+  GlobalVariable *Buf = M.createGlobal(
+      Ctx.getArrayTy(Ctx.getInt32Ty(), 64), AddrSpace::Shared, "buf");
+  GlobalVariable *Flag =
+      M.createGlobal(Ctx.getInt32Ty(), AddrSpace::Shared, "flag");
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Tid = B.createCall(tidFn(), {}, "tid");
+  Value *Slot = B.createGEP(Ctx.getInt32Ty(), Buf, {Tid}, "slot");
+  B.createStore(Tid, Slot);         // stride 4 >= 4 bytes: disjoint
+  B.createStore(B.getInt32(1), Flag); // uniform value, uniform address
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  EXPECT_TRUE(R.clean()) << R.summary();
+}
+
+//===----------------------------------------------------------------------===//
+// OMP202: globalization alloc/free pairing
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, SharedAllocationNeverFreedFlagged) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createStore(B.getDouble(1.0), P);
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F202 = ofKind(R, LintKind::AllocFreePairing);
+  ASSERT_EQ(1u, F202.size());
+  EXPECT_EQ("frame", F202[0].Object);
+  EXPECT_NE(std::string::npos, F202[0].Message.find("is never freed"));
+}
+
+TEST_F(LintTest, AllocFreeAPIMismatchFlagged) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createCall(popStackFn(), {P}); // wrong deallocator for alloc_shared
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F202 = ofKind(R, LintKind::AllocFreePairing);
+  ASSERT_EQ(1u, F202.size());
+  EXPECT_NE(std::string::npos,
+            F202[0].Message.find("alloc/free APIs must pair"));
+}
+
+TEST_F(LintTest, AllocFreeSizeMismatchFlagged) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createCall(freeFn(), {P, B.getInt64(16)});
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F202 = ofKind(R, LintKind::AllocFreePairing);
+  ASSERT_EQ(1u, F202.size());
+  EXPECT_NE(std::string::npos, F202[0].Message.find("allocates 8 bytes"));
+  EXPECT_NE(std::string::npos, F202[0].Message.find("releases 16 bytes"));
+}
+
+TEST_F(LintTest, AllocNotFreedOnEveryPathFlagged) {
+  Function *F = M.createFunction(
+      "f", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getInt1Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *DoFree = F->createBlock("do_free");
+  BasicBlock *X = F->createBlock("exit");
+  B.setInsertPoint(E);
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createCondBr(F->getArg(0), DoFree, X); // the false edge leaks
+  B.setInsertPoint(DoFree);
+  B.createCall(freeFn(), {P, B.getInt64(8)});
+  B.createBr(X);
+  B.setInsertPoint(X);
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F202 = ofKind(R, LintKind::AllocFreePairing);
+  ASSERT_EQ(1u, F202.size());
+  EXPECT_NE(std::string::npos,
+            F202[0].Message.find("not freed on every path"));
+}
+
+TEST_F(LintTest, MatchedAllocFreeClean) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createStore(B.getDouble(1.0), P);
+  B.createCall(freeFn(), {P, B.getInt64(8)});
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  EXPECT_TRUE(R.clean()) << R.summary();
+}
+
+//===----------------------------------------------------------------------===//
+// OMP203: use-after-free / double free
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, UseAfterFreeFlagged) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createCall(freeFn(), {P, B.getInt64(8)});
+  B.createLoad(Ctx.getDoubleTy(), P, "stale");
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F203 = ofKind(R, LintKind::UseAfterFree);
+  ASSERT_EQ(1u, F203.size());
+  EXPECT_NE(std::string::npos,
+            F203[0].Message.find("after being freed"));
+}
+
+TEST_F(LintTest, DoubleFreeFlagged) {
+  Function *F = M.createFunction("f", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *P = B.createCall(allocFn(), {B.getInt64(8)}, "frame");
+  B.createCall(freeFn(), {P, B.getInt64(8)});
+  B.createCall(freeFn(), {P, B.getInt64(8)});
+  B.createRetVoid();
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F203 = ofKind(R, LintKind::UseAfterFree);
+  ASSERT_EQ(1u, F203.size());
+  EXPECT_NE(std::string::npos, F203[0].Message.find("freed twice"));
+}
+
+//===----------------------------------------------------------------------===//
+// OMP204: SPMD guard protocol
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, MalformedGuardMissingJoinBarrierFlagged) {
+  GlobalVariable *G =
+      M.createGlobal(Ctx.getInt32Ty(), AddrSpace::Shared, "state");
+  buildGuardKernel("k", G, /*JoinBarrier=*/false);
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F204 = ofKind(R, LintKind::GuardProtocol);
+  ASSERT_EQ(1u, F204.size());
+  EXPECT_NE(std::string::npos,
+            F204[0].Message.find("violates the Fig. 7 barrier protocol"));
+  EXPECT_NE(std::string::npos,
+            F204[0].Message.find(
+                "join block does not begin with a team barrier"));
+}
+
+TEST_F(LintTest, UniformStoreOutsideGuardFlagged) {
+  GlobalVariable *G =
+      M.createGlobal(Ctx.getInt32Ty(), AddrSpace::Shared, "state");
+  buildGuardKernel("k", G, /*JoinBarrier=*/true, /*OutsideStoreTo=*/G);
+
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F204 = ofKind(R, LintKind::GuardProtocol);
+  ASSERT_EQ(1u, F204.size());
+  EXPECT_NE(std::string::npos,
+            F204[0].Message.find("outside a main-thread guard"));
+}
+
+TEST_F(LintTest, WellFormedGuardClean) {
+  GlobalVariable *G =
+      M.createGlobal(Ctx.getInt32Ty(), AddrSpace::Shared, "state");
+  buildGuardKernel("k", G, /*JoinBarrier=*/true);
+
+  LintResult R = runOMPLint(M);
+  EXPECT_TRUE(R.clean()) << R.summary();
+}
+
+//===----------------------------------------------------------------------===//
+// Finding metadata
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, KindNamesAndRemarkNumbers) {
+  EXPECT_EQ(200u, lintRemarkNumber(LintKind::BarrierDivergence));
+  EXPECT_EQ(201u, lintRemarkNumber(LintKind::SharedRace));
+  EXPECT_EQ(202u, lintRemarkNumber(LintKind::AllocFreePairing));
+  EXPECT_EQ(203u, lintRemarkNumber(LintKind::UseAfterFree));
+  EXPECT_EQ(204u, lintRemarkNumber(LintKind::GuardProtocol));
+  EXPECT_STREQ("barrier-divergence",
+               lintKindName(LintKind::BarrierDivergence));
+  EXPECT_STREQ("shared-race", lintKindName(LintKind::SharedRace));
+  EXPECT_STREQ("alloc-free-pairing",
+               lintKindName(LintKind::AllocFreePairing));
+  EXPECT_STREQ("use-after-free", lintKindName(LintKind::UseAfterFree));
+  EXPECT_STREQ("guard-protocol", lintKindName(LintKind::GuardProtocol));
+}
+
+TEST_F(LintTest, SummaryJoinsFindings) {
+  LintResult R;
+  LintFinding A;
+  A.Kind = LintKind::SharedRace;
+  A.FunctionName = "k";
+  A.Message = "first";
+  LintFinding Bf;
+  Bf.Kind = LintKind::UseAfterFree;
+  Bf.FunctionName = "k";
+  Bf.Message = "second";
+  R.Findings = {A, Bf};
+  EXPECT_FALSE(R.clean());
+  EXPECT_EQ("OMP201 in 'k': first; OMP203 in 'k': second", R.summary());
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/OMPLint.h"
 #include "driver/Bisect.h"
 #include "driver/CompileReport.h"
 #include "driver/Pipeline.h"
@@ -66,6 +67,24 @@ static void buildSaxpy(Module &M, CodeGenScheme Scheme) {
 /// the verifier's "block lacks a terminator" rule.
 static bool corruptModule(Module &M) {
   M.kernels().front()->createBlock("orphan");
+  return true;
+}
+
+/// A structurally valid but lint-dirty pass body: a new function whose
+/// team-shared allocation is stored through but never freed (OMP202). The
+/// verifier accepts the module, so only LintEach can catch this pass.
+static bool injectLeakyFunction(Module &M) {
+  IRContext &Ctx = M.getContext();
+  Function *Alloc = M.getOrInsertFunction(
+      "__kmpc_alloc_shared",
+      Ctx.getFunctionTy(Ctx.getPtrTy(), {Ctx.getInt64Ty()}));
+  Function *F =
+      M.createFunction("leaky", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  IRBuilder B(Ctx);
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *Frame = B.createCall(Alloc, {Ctx.getInt64(8)}, "frame");
+  B.createStore(B.getDouble(1.0), Frame);
+  B.createRetVoid();
   return true;
 }
 
@@ -216,6 +235,81 @@ TEST(Recovery, RollbackRestoresExactPrePassIR) {
       << "a rolled-back pass must leave no trace in the final IR";
 }
 
+TEST(Recovery, LintingPassIsRolledBackAndQuarantined) {
+  IRContext Ctx;
+  Module M(Ctx, "lint-recover");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+
+  PipelineOptions P = makeDevPipeline();
+  P.RunLint = true;
+  P.Instrument.LintEach = true;
+  P.Instrument.Recover = true;
+  // Twice again: the first invocation rolls back on the lint finding and
+  // quarantines the pass, the second must be skipped.
+  P.ExtraPasses.push_back({"leak-injector", injectLeakyFunction});
+  P.ExtraPasses.push_back({"leak-injector", injectLeakyFunction});
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  // The rollback erased the leak: the injected function is gone and the
+  // final lint stage ran clean.
+  EXPECT_EQ(nullptr, M.getFunction("leaky"));
+  EXPECT_TRUE(CR.LintRan);
+  EXPECT_TRUE(CR.LintFindings.empty());
+  EXPECT_TRUE(CR.FirstLintFailPass.empty())
+      << "rolled-back lint violations must not be attributed as surviving";
+
+  ASSERT_EQ(CR.Recoveries.size(), 1u);
+  EXPECT_EQ(CR.Recoveries[0].PassName, "leak-injector");
+  EXPECT_EQ(CR.Recoveries[0].Kind, "lint-fail");
+  EXPECT_NE(CR.Recoveries[0].Message.find("OMP202"), std::string::npos);
+  ASSERT_EQ(CR.QuarantinedPasses.size(), 1u);
+  EXPECT_EQ(CR.QuarantinedPasses[0], "leak-injector");
+
+  std::vector<const PassExecution *> Injector;
+  for (const PassExecution &E : CR.Passes)
+    if (E.Name == "leak-injector")
+      Injector.push_back(&E);
+  ASSERT_EQ(Injector.size(), 2u);
+  EXPECT_TRUE(Injector[0]->LintFailed);
+  EXPECT_TRUE(Injector[0]->RolledBack);
+  EXPECT_TRUE(Injector[1]->Skipped);
+  EXPECT_EQ(Injector[1]->SkipReason, "quarantined");
+
+  unsigned OMP180Count = 0;
+  for (const Remark &R : CR.Remarks.remarks())
+    if (R.Id == RemarkId::OMP180) {
+      ++OMP180Count;
+      EXPECT_TRUE(R.Missed);
+      EXPECT_NE(R.Message.find("failed the device-IR lint"),
+                std::string::npos);
+    }
+  EXPECT_EQ(OMP180Count, 1u);
+}
+
+TEST(Recovery, LintEachAttributesFirstDirtyPassWithoutRecovery) {
+  IRContext Ctx;
+  Module M(Ctx, "lint-attr");
+  buildSaxpy(M, CodeGenScheme::Simplified13);
+
+  PipelineOptions P = makeDevPipeline();
+  P.RunLint = true;
+  P.Instrument.LintEach = true;
+  P.ExtraPasses.push_back({"leak-injector", injectLeakyFunction});
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  EXPECT_EQ(CR.FirstLintFailPass, "leak-injector");
+  EXPECT_NE(CR.FirstLintError.find("OMP202"), std::string::npos);
+  EXPECT_TRUE(CR.Recoveries.empty());
+  // Without recovery the leak survives into the final module, so the
+  // required omp-lint stage reports it too.
+  EXPECT_TRUE(CR.LintRan);
+  ASSERT_FALSE(CR.LintFindings.empty());
+  EXPECT_EQ(LintKind::AllocFreePairing, CR.LintFindings.front().Kind);
+}
+
 TEST(Recovery, FatalErrorInPassIsRecovered) {
   IRContext Ctx;
   Module M(Ctx, "fatal");
@@ -330,8 +424,9 @@ TEST(OptBisect, LimitZeroSkipsEverySkippableExecution) {
   EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
   ASSERT_FALSE(CR.Passes.empty());
   for (const PassExecution &E : CR.Passes) {
-    if (E.Name == LinkDeviceRTLPassName) {
-      // Required lowering steps always run and consume no bisect index.
+    if (E.Name == LinkDeviceRTLPassName || E.Name == OMPLintPassName) {
+      // Required stages (lowering, final lint) always run and consume no
+      // bisect index.
       EXPECT_FALSE(E.Skipped);
       EXPECT_EQ(E.BisectIndex, 0u);
     } else {
@@ -357,7 +452,7 @@ TEST(OptBisect, IndicesAreContiguousAndDeterministic) {
   // 1-based, contiguous over the non-required executions, in pre-order.
   unsigned Next = 1;
   for (const PassExecution &E : A.Passes) {
-    if (E.Name == LinkDeviceRTLPassName) {
+    if (E.Name == LinkDeviceRTLPassName || E.Name == OMPLintPassName) {
       EXPECT_EQ(E.BisectIndex, 0u);
       continue;
     }
