@@ -7,10 +7,13 @@
 
 #include "BenchSupport.h"
 #include "driver/CompileReport.h"
+#include "driver/Presets.h"
 #include "support/CommandLine.h"
 #include "support/raw_ostream.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cassert>
 
 using namespace ompgpu;
 using namespace ompgpu::bench;
@@ -47,11 +50,21 @@ static cl::opt<int64_t> OptBisectLimit(
     "opt-bisect-limit",
     "Run only the first N skippable pass executions (-1: no limit); "
     "use to localize a miscompiling pass execution", -1);
+static cl::opt<std::string> BenchSummaryPath(
+    "bench-summary",
+    "Write the schema-versioned JSON bench-summary (one row per measured "
+    "result) to the given path", std::string());
 
 /// Compile-reports of every measured configuration, in measurement order.
 static json::Value &collectedReports() {
   static json::Value Reports = json::Value::makeArray();
   return Reports;
+}
+
+/// Bench-summary rows recorded so far, in measurement order.
+static json::Value &summaryRows() {
+  static json::Value Rows = json::Value::makeArray();
+  return Rows;
 }
 
 static void applyArtifactFlags(PipelineOptions &P) {
@@ -65,52 +78,37 @@ static void applyArtifactFlags(PipelineOptions &P) {
     P.OptConfig.DisableFolding = true;
 }
 
+/// Pulls one configuration out of the canonical ladder (driver/Presets) by
+/// its position, applying the artifact's -openmp-opt-disable-* flags to
+/// configurations that run openmp-opt.
+static ConfigSpec ladderConfig(size_t Index) {
+  std::vector<PresetSpec> Ladder = evaluationPresetLadder();
+  assert(Index < Ladder.size() && "preset ladder index out of range");
+  PresetSpec &P = Ladder[Index];
+  ConfigSpec S{P.Label, std::move(P.Pipeline), P.UseCUDA};
+  if (S.Pipeline.RunOpenMPOpt)
+    applyArtifactFlags(S.Pipeline);
+  return S;
+}
+
 namespace ompgpu {
 namespace bench {
 
-ConfigSpec configLLVM12() { return {"LLVM 12", makeLLVM12Pipeline(), false}; }
+ConfigSpec configLLVM12() { return ladderConfig(0); }
+ConfigSpec configDevNoOpt() { return ladderConfig(1); }
+ConfigSpec configH2S() { return ladderConfig(2); }
+ConfigSpec configH2S2() { return ladderConfig(3); }
+ConfigSpec configH2S2RTC() { return ladderConfig(4); }
+ConfigSpec configH2S2RTCCSM() { return ladderConfig(5); }
+ConfigSpec configDevFull() { return ladderConfig(6); }
+ConfigSpec configCUDA() { return ladderConfig(7); }
 
-ConfigSpec configDevNoOpt() {
-  return {"No OpenMP Optimization", makeDevNoOptPipeline(), false};
+std::vector<ConfigSpec> evaluationConfigs() {
+  std::vector<ConfigSpec> Configs;
+  for (size_t I = 0, E = evaluationPresetLadder().size(); I != E; ++I)
+    Configs.push_back(ladderConfig(I));
+  return Configs;
 }
-
-ConfigSpec configH2S() {
-  ConfigSpec S{"heap-2-stack",
-               makeDevPipeline(true, false, false, false, false), false};
-  applyArtifactFlags(S.Pipeline);
-  return S;
-}
-
-ConfigSpec configH2S2() {
-  ConfigSpec S{"heap-2-stack&shared (=h2s2)",
-               makeDevPipeline(true, true, false, false, false), false};
-  applyArtifactFlags(S.Pipeline);
-  return S;
-}
-
-ConfigSpec configH2S2RTC() {
-  ConfigSpec S{"h2s2 + RTCspec",
-               makeDevPipeline(true, true, true, false, false), false};
-  applyArtifactFlags(S.Pipeline);
-  return S;
-}
-
-ConfigSpec configH2S2RTCCSM() {
-  ConfigSpec S{"h2s2 + RTCspec + CSM",
-               makeDevPipeline(true, true, true, true, false), false};
-  applyArtifactFlags(S.Pipeline);
-  return S;
-}
-
-ConfigSpec configDevFull() {
-  ConfigSpec S{"h2s2 + RTCspec + SPMDzation (LLVM Dev 0)",
-               makeDevPipeline(true, true, true, true, true), false};
-  applyArtifactFlags(S.Pipeline);
-  return S;
-}
-
-ConfigSpec configCUDA() { return {"CUDA (Clang Dev)", makeCUDAPipeline(),
-                                  true}; }
 
 WorkloadRunResult
 measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
@@ -144,7 +142,46 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
     Report.set("workload", R.WorkloadName).set("config", Spec.Label);
     collectedReports().push_back(std::move(Report));
   }
+  recordBenchSummaryRow(benchSummaryRow(R));
   return R;
+}
+
+json::Value benchSummaryRow(const WorkloadRunResult &R) {
+  json::Value Row = json::Value::makeObject();
+  Row.set("workload", R.WorkloadName)
+      .set("config", R.ConfigName)
+      .set("sim_kernel_ms", R.Stats.Milliseconds)
+      .set("sim_cycles", R.Stats.Cycles)
+      .set("regs_per_thread", R.Stats.RegsPerThread)
+      .set("static_shared_bytes", R.Stats.StaticSharedBytes)
+      .set("dynamic_shared_bytes", R.Stats.DynamicSharedBytes)
+      .set("blocks_per_sm", R.Stats.BlocksPerSM)
+      .set("out_of_memory", R.Stats.OutOfMemory)
+      .set("trap", R.Stats.Trap)
+      .set("checked", R.Checked)
+      .set("correct", R.Correct);
+  return Row;
+}
+
+void recordBenchSummaryRow(json::Value Row) {
+  summaryRows().push_back(std::move(Row));
+}
+
+bool writeBenchSummary(const std::string &Tool) {
+  if (BenchSummaryPath.getValue().empty() || summaryRows().empty())
+    return true;
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", BenchSummarySchemaVersion)
+      .set("generator", "ompgpu")
+      .set("tool", Tool)
+      .set("rows", summaryRows());
+  if (Error E = writeCompileReportFile(BenchSummaryPath.getValue(), Doc)) {
+    errs() << "bench-summary: " << E.message() << '\n';
+    return false;
+  }
+  outs() << "wrote bench-summary (" << summaryRows().size() << " row(s)) to "
+         << BenchSummaryPath.getValue() << '\n';
+  return true;
 }
 
 bool writeCollectedCompileReports() {
@@ -236,7 +273,13 @@ int runBenchmarkMain(int Argc, char **Argv,
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  return writeCollectedCompileReports() ? 0 : 1;
+  std::string Tool = Argc > 0 ? Argv[0] : "bench";
+  size_t Slash = Tool.find_last_of('/');
+  if (Slash != std::string::npos)
+    Tool = Tool.substr(Slash + 1);
+  bool OK = writeCollectedCompileReports();
+  OK &= writeBenchSummary(Tool);
+  return OK ? 0 : 1;
 }
 
 } // namespace bench

@@ -16,6 +16,7 @@
 #ifndef OMPGPU_BENCH_BENCHSUPPORT_H
 #define OMPGPU_BENCH_BENCHSUPPORT_H
 
+#include "support/JSON.h"
 #include "workloads/Harness.h"
 
 #include <functional>
@@ -25,6 +26,11 @@
 namespace ompgpu {
 namespace bench {
 
+/// Version of the shared bench-summary JSON schema emitted by every bench
+/// binary via -bench-summary=<path> (docs/compile-report.md). Bump on any
+/// field rename/removal; additions are backwards compatible.
+inline constexpr unsigned BenchSummarySchemaVersion = 1;
+
 /// One measured configuration of Fig. 11.
 struct ConfigSpec {
   std::string Label;
@@ -33,7 +39,8 @@ struct ConfigSpec {
 };
 
 /// The evaluation's configuration ladder, honoring the artifact's
-/// -openmp-opt-disable-* flags parsed from the command line.
+/// -openmp-opt-disable-* flags parsed from the command line. The
+/// underlying table is driver/Presets' evaluationPresetLadder().
 ConfigSpec configLLVM12();
 ConfigSpec configDevNoOpt();
 ConfigSpec configH2S();
@@ -42,6 +49,10 @@ ConfigSpec configH2S2RTC();
 ConfigSpec configH2S2RTCCSM();
 ConfigSpec configDevFull(); ///< h2s2 + RTC + SPMDzation (LLVM Dev 0)
 ConfigSpec configCUDA();
+
+/// All ladder configurations in evaluation order (bench/lint iterates the
+/// whole ladder).
+std::vector<ConfigSpec> evaluationConfigs();
 
 /// Runs \p Factory's workload under \p Spec with sampled blocks (timing
 /// runs; outputs unchecked). When the shared -time-passes /
@@ -57,6 +68,24 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
 /// flag is unset or nothing was measured; runBenchmarkMain calls this on
 /// exit and turns a false return into a non-zero exit code.
 bool writeCollectedCompileReports();
+
+/// \name Shared bench-summary artifact (-bench-summary=<path>)
+/// All bench binaries emit machine-readable results through one
+/// schema-versioned document: {schema_version, generator, tool, rows:[...]}.
+/// measure() records a standard row per measurement automatically; drivers
+/// with custom result shapes (fig09, ablations, bench/pgo) append their own
+/// rows. runBenchmarkMain writes the document on exit; standalone drivers
+/// call writeBenchSummary directly.
+/// @{
+/// Builds the standard row for one measured run (workload, config,
+/// simulated kernel time, resource usage, correctness verdicts).
+json::Value benchSummaryRow(const WorkloadRunResult &R);
+/// Appends \p Row to the summary under construction.
+void recordBenchSummaryRow(json::Value Row);
+/// Writes the summary to the -bench-summary destination. No-op (returning
+/// true) when the flag is unset or no rows were recorded.
+bool writeBenchSummary(const std::string &Tool);
+/// @}
 
 /// Prints a Fig. 11-style relative-performance series: one row per
 /// configuration with kernel ms and speedup over the first (baseline) row.

@@ -90,6 +90,16 @@ Measurement runOnce(bool WithAssumption) {
 void printTable() {
   Measurement Without = runOnce(false);
   Measurement With = runOnce(true);
+  auto Record = [](const char *Config, const Measurement &M) {
+    json::Value Row = json::Value::makeObject();
+    Row.set("workload", "assume_kernel")
+        .set("config", Config)
+        .set("spmdzed_kernels", M.SPMDzed)
+        .set("sim_kernel_ms", M.Ms);
+    recordBenchSummaryRow(std::move(Row));
+  };
+  Record("opaque external call", Without);
+  Record("with ext_spmd_amenable", With);
   outs() << "\nAblation: ext_spmd_amenable assumption (Sec. IV-D)\n";
   outs() << "---------------------------------------------------\n";
   outs() << formatBuf("  %-28s %10s %10s\n", "configuration", "SPMDzed",

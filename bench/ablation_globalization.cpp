@@ -85,10 +85,21 @@ void printTable() {
   outs() << formatBuf("  %6s %18s %22s %20s\n", "#vars",
                       "LLVM 12 (Fig. 4b)", "simplified, no opt (4c)",
                       "simplified + h2s2");
+  auto Record = [](int N, const char *Config, double Ms) {
+    json::Value Row = json::Value::makeObject();
+    Row.set("workload", "glob_kernel")
+        .set("config", Config)
+        .set("num_vars", (int64_t)N)
+        .set("sim_kernel_ms", Ms);
+    recordBenchSummaryRow(std::move(Row));
+  };
   for (int N : {1, 2, 6, 18}) {
     double L12 = runOnce(N, CodeGenScheme::Legacy12, false);
     double NoOpt = runOnce(N, CodeGenScheme::Simplified13, false);
     double Opt = runOnce(N, CodeGenScheme::Simplified13, true);
+    Record(N, "LLVM 12 (Fig. 4b)", L12);
+    Record(N, "simplified, no opt (4c)", NoOpt);
+    Record(N, "simplified + h2s2", Opt);
     outs() << formatBuf("  %6d %15.4f ms %19.4f ms %17.4f ms\n", N, L12,
                         NoOpt, Opt);
   }

@@ -75,9 +75,20 @@ void printTable() {
   outs() << formatBuf("  %13s %16s %12s %16s %12s %9s\n", "side effects",
                       "naive guards", "naive ms", "grouped guards",
                       "grouped ms", "speedup");
+  auto Record = [](int N, const char *Config, const Measurement &M) {
+    json::Value Row = json::Value::makeObject();
+    Row.set("workload", "guard_kernel")
+        .set("config", Config)
+        .set("side_effects", (int64_t)N)
+        .set("guards", M.Guards)
+        .set("sim_kernel_ms", M.Ms);
+    recordBenchSummaryRow(std::move(Row));
+  };
   for (int N : {1, 2, 4, 8, 16}) {
     Measurement Naive = runOnce(N, true);
     Measurement Grouped = runOnce(N, false);
+    Record(N, "naive", Naive);
+    Record(N, "grouped", Grouped);
     outs() << formatBuf("  %13d %16u %12.4f %16u %12.4f %8.2fx\n", N,
                         Naive.Guards, Naive.Ms, Grouped.Guards, Grouped.Ms,
                         Naive.Ms / Grouped.Ms);

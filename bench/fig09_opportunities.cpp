@@ -42,6 +42,13 @@ Row analyze(const std::string &Name,
   HarnessOptions HO;
   HO.MaxSimulatedBlocks = 1; // compile-focused: one block suffices
   WorkloadRunResult R = runWorkload(*W, Spec.Pipeline, HO);
+  json::Value SummaryRow = benchSummaryRow(R);
+  SummaryRow.set("heap_to_stack", R.Compile.Stats.HeapToStack)
+      .set("heap_to_shared", R.Compile.Stats.HeapToShared)
+      .set("spmdzed_kernels", R.Compile.Stats.SPMDzedKernels)
+      .set("custom_state_machines", R.Compile.Stats.CustomStateMachines)
+      .set("remarks", (uint64_t)R.Compile.Remarks.size());
+  recordBenchSummaryRow(std::move(SummaryRow));
   return {Name, R.Compile.Stats, R.Compile.Remarks.size()};
 }
 

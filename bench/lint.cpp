@@ -73,10 +73,7 @@ int main(int argc, char **argv) {
                                     {"RSBench", createRSBench},
                                     {"SU3Bench", createSU3Bench},
                                     {"miniQMC", createMiniQMC}};
-  const ConfigSpec Configs[] = {configLLVM12(),     configDevNoOpt(),
-                                configH2S(),        configH2S2(),
-                                configH2S2RTC(),    configH2S2RTCCSM(),
-                                configDevFull(),    configCUDA()};
+  const std::vector<ConfigSpec> Configs = evaluationConfigs();
 
   json::Value Report = json::Value::makeObject();
   Report.set("schema_version", 1);

@@ -1,0 +1,219 @@
+//===- bench/pgo.cpp - Profile-guided optimization A/B driver --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A/B-compares the device pipeline with and without profile-guided
+/// optimization (docs/pgo.md) over the Fig. 11 proxy workloads:
+///
+///   arm A   compile under a shared-memory budget, no profile; full-grid
+///           simulate, record cycles.
+///   gen     same compile, run in gpusim's profiling mode twice; assert
+///           both profiles serialize byte-identically (determinism) and
+///           survive a parse/re-serialize round trip.
+///   arm B   recompile with -profile-use feeding the collected profile
+///           into OpenMPOpt (OMP210-OMP212); full-grid simulate, record
+///           cycles.
+///
+/// One bench-summary row per workload carries both arms' cycles and the
+/// delta; CI consumes it via -bench-summary=<path> and can gate on
+/// -pgo-require-improvement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "profile/Profile.h"
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+#include "workloads/Harness.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static cl::opt<std::string>
+    OnlyWorkload("pgo-workload",
+                 "Run only the named workload (XSBench, RSBench, SU3Bench, "
+                 "miniQMC)",
+                 "");
+static cl::opt<int64_t> SharedLimit(
+    "pgo-shared-limit",
+    "Shared-memory budget in bytes for HeapToShared during both arms; a "
+    "binding budget is what makes profiled ranking observable (docs/pgo.md)",
+    160);
+static cl::opt<std::string>
+    ProfileDir("pgo-profile-dir",
+               "Also write each workload's collected profile as "
+               "<dir>/<workload>.profile.json", "");
+static cl::opt<bool> RequireImprovement(
+    "pgo-require-improvement",
+    "Exit non-zero unless at least one workload's PGO arm beats the "
+    "no-PGO arm in simulated cycles (the CI gate)",
+    false);
+
+namespace {
+
+struct NamedFactory {
+  const char *Name;
+  std::unique_ptr<Workload> (*Create)(ProblemSize);
+};
+
+struct ArmResult {
+  WorkloadRunResult Run;
+  bool ok() const {
+    return Run.Stats.ok() && Run.Checked && Run.Correct;
+  }
+};
+
+/// Compiles and full-grid-simulates one fresh instance of the workload.
+ArmResult runArm(const NamedFactory &Factory, const PipelineOptions &P,
+                 ProfileCollector *Collector) {
+  std::unique_ptr<Workload> W = Factory.Create(ProblemSize::Small);
+  HarnessOptions HO;
+  HO.MaxSimulatedBlocks = 0; // whole grid: outputs are checked
+  HO.Profile = Collector;
+  ArmResult R;
+  R.Run = runWorkload(*W, P, HO);
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  cl::parseCommandLine(argc, argv);
+
+  const NamedFactory Factories[] = {{"XSBench", createXSBench},
+                                    {"RSBench", createRSBench},
+                                    {"SU3Bench", createSU3Bench},
+                                    {"miniQMC", createMiniQMC}};
+
+  PipelineOptions Base = configDevFull().Pipeline;
+  Base.OptConfig.SharedMemoryLimit = (uint64_t)SharedLimit.getValue();
+
+  outs() << "\nPGO A/B: LLVM Dev 0 with a " << SharedLimit.getValue()
+         << "-byte shared-memory budget (docs/pgo.md)\n";
+  outs() << "---------------------------------------------------------\n";
+  outs() << formatBuf("  %-10s %14s %14s %10s %8s\n", "workload",
+                      "no-PGO cycles", "PGO cycles", "delta", "speedup");
+
+  unsigned Failures = 0, Improved = 0, Ran = 0;
+  for (const NamedFactory &Factory : Factories) {
+    if (!OnlyWorkload.getValue().empty() &&
+        OnlyWorkload.getValue() != Factory.Name)
+      continue;
+    ++Ran;
+
+    // Arm A: budgeted compile, no profile.
+    PipelineOptions NoPGO = Base;
+    NoPGO.Name += " (no PGO)";
+    ArmResult A = runArm(Factory, NoPGO, nullptr);
+    if (!A.ok()) {
+      errs() << "pgo: " << Factory.Name << ": no-PGO arm failed: "
+             << (A.Run.Stats.ok() ? "wrong outputs" : A.Run.Stats.Trap)
+             << "\n";
+      ++Failures;
+      continue;
+    }
+
+    // Profile generation: the same compile, simulated twice in profiling
+    // mode. Identical runs must produce byte-identical serializations.
+    PipelineOptions Gen = Base;
+    Gen.Name += " (profile-gen)";
+    Gen.Profile = PipelineOptions::ProfileMode::Gen;
+    ProfileCollector C1, C2;
+    ArmResult G1 = runArm(Factory, Gen, &C1);
+    ArmResult G2 = runArm(Factory, Gen, &C2);
+    if (!G1.ok() || !G2.ok()) {
+      errs() << "pgo: " << Factory.Name << ": profile-gen arm failed\n";
+      ++Failures;
+      continue;
+    }
+    ExecutionProfile Prof = C1.takeProfile();
+    std::string Text1 = serializeProfile(Prof);
+    std::string Text2 = serializeProfile(C2.profile());
+    bool Deterministic = Text1 == Text2;
+    if (!Deterministic) {
+      errs() << "pgo: " << Factory.Name
+             << ": profiles of two identical runs differ\n";
+      ++Failures;
+    }
+    if (Prof.empty()) {
+      errs() << "pgo: " << Factory.Name << ": collected profile is empty\n";
+      ++Failures;
+      continue;
+    }
+
+    // Round trip: parse the serialized profile and re-serialize.
+    Expected<ExecutionProfile> Reparsed = parseProfile(Text1);
+    bool RoundTrip = Reparsed && serializeProfile(*Reparsed) == Text1;
+    if (!RoundTrip) {
+      errs() << "pgo: " << Factory.Name << ": profile round trip failed"
+             << (Reparsed ? "" : ": " + Reparsed.message()) << "\n";
+      ++Failures;
+      continue;
+    }
+
+    if (!ProfileDir.getValue().empty()) {
+      std::string Path = ProfileDir.getValue() + "/" +
+                         std::string(Factory.Name) + ".profile.json";
+      if (Error E = writeProfileFile(Path, Prof))
+        errs() << "pgo: " << Path << ": " << E.message() << "\n";
+    }
+
+    // Arm B: recompile with the profile feeding OpenMPOpt.
+    PipelineOptions UsePGO = Base;
+    UsePGO.Name += " (PGO)";
+    UsePGO.Profile = PipelineOptions::ProfileMode::Use;
+    UsePGO.OptConfig.Profile = &Prof;
+    ArmResult B = runArm(Factory, UsePGO, nullptr);
+    if (!B.ok()) {
+      errs() << "pgo: " << Factory.Name << ": PGO arm failed: "
+             << (B.Run.Stats.ok() ? "wrong outputs" : B.Run.Stats.Trap)
+             << "\n";
+      ++Failures;
+      continue;
+    }
+
+    uint64_t CyclesA = A.Run.Stats.Cycles, CyclesB = B.Run.Stats.Cycles;
+    int64_t Delta = (int64_t)CyclesA - (int64_t)CyclesB;
+    if (Delta > 0)
+      ++Improved;
+    outs() << formatBuf("  %-10s %14llu %14llu %+10lld %7.3fx\n",
+                        Factory.Name, (unsigned long long)CyclesA,
+                        (unsigned long long)CyclesB, (long long)Delta,
+                        CyclesB ? (double)CyclesA / (double)CyclesB : 0.0);
+
+    json::Value Row = json::Value::makeObject();
+    Row.set("workload", Factory.Name)
+        .set("config", "pgo-ab")
+        .set("shared_memory_limit", (int64_t)SharedLimit.getValue())
+        .set("sim_cycles_no_pgo", CyclesA)
+        .set("sim_cycles_pgo", CyclesB)
+        .set("cycles_delta", Delta)
+        .set("speedup",
+             CyclesB ? (double)CyclesA / (double)CyclesB : 0.0)
+        .set("profile_deterministic", Deterministic)
+        .set("profile_round_trip", RoundTrip)
+        .set("correct", A.ok() && B.ok());
+    recordBenchSummaryRow(std::move(Row));
+  }
+
+  if (Ran == 0) {
+    errs() << "pgo: no workload matched -pgo-workload\n";
+    return 2;
+  }
+  outs() << "  " << Improved << " workload(s) improved under PGO, "
+         << Failures << " failure(s)\n";
+  outs().flush();
+
+  bool WroteSummary = writeBenchSummary("pgo");
+  if (Failures || !WroteSummary)
+    return 1;
+  if (RequireImprovement && Improved == 0) {
+    errs() << "pgo: -pgo-require-improvement set but no workload improved\n";
+    return 1;
+  }
+  return 0;
+}

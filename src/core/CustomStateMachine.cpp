@@ -19,7 +19,10 @@
 
 #include "core/Passes.h"
 #include "ir/IRBuilder.h"
+#include "profile/Profile.h"
 #include "support/STLExtras.h"
+
+#include <algorithm>
 
 using namespace ompgpu;
 
@@ -90,6 +93,34 @@ bool ompgpu::runCustomStateMachineRewrite(OpenMPOptContext &Ctx) {
       ++Ctx.Stats.CustomStateMachines;
       Changed = true;
       continue;
+    }
+
+    // PGO (docs/pgo.md): order the if-cascade by dispatch hotness so the
+    // hottest region is matched with the fewest compares. The dispatch
+    // counts are keyed by the "parallel:<wrapper>" anchors that -profile-
+    // gen attached to the __kmpc_parallel_51 callsites. The sort is
+    // stable, so unprofiled wrappers keep their deterministic discovery
+    // order.
+    if (Ctx.Config.Profile && !Regions.Wrappers.empty()) {
+      const ExecutionProfile &Prof = *Ctx.Config.Profile;
+      auto Heat = [&Prof](const Function *W) {
+        return Prof.dispatches("parallel:" + W->getName());
+      };
+      std::stable_sort(Regions.Wrappers.begin(), Regions.Wrappers.end(),
+                       [&Heat](const Function *A, const Function *B) {
+                         return Heat(A) > Heat(B);
+                       });
+      std::string Order;
+      for (Function *W : Regions.Wrappers) {
+        if (!Order.empty())
+          Order += ", ";
+        Order += W->getName() + " (" + std::to_string(Heat(W)) + ")";
+      }
+      Ctx.Remarks.emit(RemarkId::OMP210, /*Missed=*/false,
+                       Kernel->getName(),
+                       "Ordering state machine if-cascade by profiled "
+                       "dispatch counts: " + Order + ".");
+      ++Ctx.Stats.PGOReorderedCascades;
     }
 
     // The function-pointer elimination requires that every kernel a site

@@ -17,6 +17,9 @@
 
 #include "core/Passes.h"
 #include "ir/IRBuilder.h"
+#include "profile/Profile.h"
+
+#include <algorithm>
 
 using namespace ompgpu;
 
@@ -27,12 +30,27 @@ std::vector<CallInst *> findMatchingFrees(CallInst *Alloc);
 Type *inferAllocatedType(CallInst *Alloc, uint64_t Size, IRContext &Ctx);
 } // namespace ompgpu
 
+namespace {
+
+/// A globalization allocation eligible for shared-memory promotion.
+struct SharedCandidate {
+  CallInst *Alloc;
+  uint64_t Size;
+  uint64_t Touches; ///< Profiled accesses of this allocation (0 without PGO).
+};
+
+} // namespace
+
 bool ompgpu::runHeapToShared(OpenMPOptContext &Ctx) {
   Module &M = Ctx.M;
   IRContext &IRCtx = M.getContext();
   const OpenMPModuleInfo &Info = *Ctx.Info;
   bool Changed = false;
 
+  // Collect the eligible allocations first: under a finite shared-memory
+  // budget the conversion order matters, so eligibility and conversion
+  // are separate phases.
+  std::vector<SharedCandidate> Candidates;
   for (CallInst *Alloc : collectGlobalizationAllocs(M)) {
     Function *F = Alloc->getFunction();
     const auto *SizeC = dyn_cast<ConstantInt>(Alloc->getArgOperand(0));
@@ -54,6 +72,49 @@ bool ompgpu::runHeapToShared(OpenMPOptContext &Ctx) {
       continue;
     }
 
+    uint64_t Touches = 0;
+    if (Ctx.Config.Profile && Alloc->hasAnchor())
+      Touches = Ctx.Config.Profile->touches(Alloc->getAnchor());
+    Candidates.push_back({Alloc, Size, Touches});
+  }
+
+  // PGO (docs/pgo.md): rank by profiled touch frequency so that under a
+  // finite budget the most-accessed allocations win the fast memory. The
+  // sort is stable: unprofiled candidates keep discovery order.
+  const bool Ranked = Ctx.Config.Profile && !Candidates.empty();
+  if (Ranked)
+    std::stable_sort(Candidates.begin(), Candidates.end(),
+                     [](const SharedCandidate &A, const SharedCandidate &B) {
+                       return A.Touches > B.Touches;
+                     });
+
+  uint64_t BudgetUsed = 0;
+  for (const SharedCandidate &C : Candidates) {
+    CallInst *Alloc = C.Alloc;
+    Function *F = Alloc->getFunction();
+    uint64_t Size = C.Size;
+
+    if (BudgetUsed + Size > Ctx.Config.SharedMemoryLimit) {
+      Ctx.Remarks.emit(RemarkId::OMP211, /*Missed=*/true, F->getName(),
+                       "globalized variable stays on the heap: " +
+                           std::to_string(Size) +
+                           " bytes exceed the remaining shared-memory "
+                           "budget (" +
+                           std::to_string(Ctx.Config.SharedMemoryLimit -
+                                          BudgetUsed) +
+                           " of " +
+                           std::to_string(Ctx.Config.SharedMemoryLimit) +
+                           " bytes left" +
+                           (Ranked ? ", " + std::to_string(C.Touches) +
+                                         " profiled touches"
+                                   : std::string()) +
+                           ").");
+      if (Ranked)
+        ++Ctx.Stats.PGOExcludedAllocations;
+      continue;
+    }
+    BudgetUsed += Size;
+
     std::vector<CallInst *> Frees = findMatchingFrees(Alloc);
 
     // Replace the runtime allocation with a static shared-memory global.
@@ -63,6 +124,11 @@ bool ompgpu::runHeapToShared(OpenMPOptContext &Ctx) {
         (Alloc->hasName() ? Alloc->getName() : std::string("globalized")) +
             "_shared");
     G->setLinkage(Linkage::Internal);
+    // The shared global inherits the allocation's profile anchor, so a
+    // -profile-gen run over the transformed module still attributes
+    // touches to the same source variable.
+    if (Alloc->hasAnchor())
+      G->setAnchor(Alloc->getAnchor());
 
     IRBuilder B(IRCtx);
     B.setInsertPoint(Alloc);
@@ -76,6 +142,13 @@ bool ompgpu::runHeapToShared(OpenMPOptContext &Ctx) {
     Ctx.Remarks.emit(RemarkId::OMP111, /*Missed=*/false, F->getName(),
                      "Replaced globalized variable with " +
                          std::to_string(Size) + " bytes of shared memory.");
+    if (Ranked) {
+      Ctx.Remarks.emit(RemarkId::OMP211, /*Missed=*/false, F->getName(),
+                       "Promoted globalized variable by profiled rank: " +
+                           std::to_string(C.Touches) + " touches, " +
+                           std::to_string(Size) + " bytes.");
+      ++Ctx.Stats.PGORankedAllocations;
+    }
     ++Ctx.Stats.HeapToShared;
     Ctx.Stats.HeapToSharedBytes += Size;
     Changed = true;

@@ -30,6 +30,7 @@
 
 namespace ompgpu {
 
+class ExecutionProfile;
 class Module;
 class PassInstrumentation;
 
@@ -50,6 +51,17 @@ struct OpenMPOptConfig {
   bool DisableGuardGrouping = false;
   /// Hardware warp size used when folding __kmpc_get_warp_size.
   unsigned WarpSize = 32;
+  /// Execution profile from a -profile-gen run (docs/pgo.md). When set,
+  /// the custom state machine orders its if-cascade by dispatch hotness
+  /// (OMP210), HeapToShared ranks allocations by touch frequency against
+  /// SharedMemoryLimit (OMP211), and SPMDzation's guard grouping decision
+  /// uses dynamic barrier counts (OMP212). Null reproduces the static
+  /// heuristics exactly.
+  const ExecutionProfile *Profile = nullptr;
+  /// Shared-memory budget in bytes available to HeapToShared. The default
+  /// is unlimited, which matches the pre-PGO behaviour; bench/pgo lowers
+  /// it to make the ranking decision observable.
+  uint64_t SharedMemoryLimit = UINT64_MAX;
 };
 
 /// Counters reported in Fig. 9.
@@ -65,6 +77,13 @@ struct OpenMPOptStats {
   unsigned FoldedExecMode = 0;
   unsigned FoldedParallelLevel = 0;
   unsigned FoldedLaunchParams = 0;
+  /// \name PGO consumption counters (docs/pgo.md, compile-report "profile")
+  /// @{
+  unsigned PGOReorderedCascades = 0;   ///< OMP210 cascades ordered by heat
+  unsigned PGORankedAllocations = 0;   ///< OMP211 allocs admitted by rank
+  unsigned PGOExcludedAllocations = 0; ///< OMP211 allocs over the budget
+  unsigned PGOGuardDecisions = 0;      ///< OMP212 profile-driven groupings
+  /// @}
 };
 
 /// Runs the OpenMP optimization pass over \p M. Remarks are appended to

@@ -48,6 +48,9 @@ enum class RemarkId : unsigned {
   OMP202 = 202, ///< Lint: globalization alloc/free pairing violation.
   OMP203 = 203, ///< Lint: use-after-free / double-free of a shared alloc.
   OMP204 = 204, ///< Lint: SPMD main-thread guard protocol violation.
+  OMP210 = 210, ///< PGO: state-machine cascade reordered by dispatch counts.
+  OMP211 = 211, ///< PGO: shared-memory budget ranked by touch frequency.
+  OMP212 = 212, ///< PGO: guard grouping driven by dynamic barrier counts.
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

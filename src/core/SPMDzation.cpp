@@ -17,6 +17,7 @@
 
 #include "core/Passes.h"
 #include "ir/IRBuilder.h"
+#include "profile/Profile.h"
 #include "support/STLExtras.h"
 
 using namespace ompgpu;
@@ -111,8 +112,13 @@ SideEffectKind classify(const Instruction *I, std::string &BlockReason) {
 }
 
 /// Emits the guard for one group of consecutive side effects and the
-/// broadcasts for values used outside of it.
-void emitGuard(OpenMPOptContext &Ctx, std::vector<Instruction *> &Group) {
+/// broadcasts for values used outside of it. \p GuardAnchor is the stable
+/// "guard:<kernel>:<n>" profile anchor of this guard (docs/pgo.md): it is
+/// attached to the guard branch, and derived ":pre"/":post" anchors to the
+/// two barriers, so gpusim's profiling mode can attribute dynamic barrier
+/// executions and guard entries to this region.
+void emitGuard(OpenMPOptContext &Ctx, std::vector<Instruction *> &Group,
+               const std::string &GuardAnchor) {
   Module &M = Ctx.M;
   IRContext &IRCtx = M.getContext();
   Instruction *First = Group.front();
@@ -148,15 +154,15 @@ void emitGuard(OpenMPOptContext &Ctx, std::vector<Instruction *> &Group) {
   B.setInsertPoint(BB);
   Function *Barrier = getOrCreateRTFn(M, RTFn::BarrierSimpleSPMD);
   Function *HwTid = getOrCreateRTFn(M, RTFn::HardwareThreadId);
-  B.createCall(Barrier, {});
+  B.createCall(Barrier, {})->setAnchor(GuardAnchor + ":pre");
   Value *Tid = B.createCall(HwTid, {}, "tid");
   Value *IsMain = B.createICmpEQ(Tid, IRCtx.getInt32(0), "is_main");
-  B.createCondBr(IsMain, GuardBB, JoinBB);
+  B.createCondBr(IsMain, GuardBB, JoinBB)->setAnchor(GuardAnchor);
 
   // All threads synchronize after the guarded region.
   IRBuilder JB(IRCtx);
   JB.setInsertPoint(JoinBB->front());
-  JB.createCall(Barrier, {});
+  JB.createCall(Barrier, {})->setAnchor(GuardAnchor + ":post");
 
   // Broadcast values that escape the guarded region ([11]'s logic).
   for (Instruction *I : Group) {
@@ -221,6 +227,28 @@ bool trySPMDzeKernel(OpenMPOptContext &Ctx, const KernelTargetInfo &KI) {
     }
   }
 
+  // PGO (docs/pgo.md): the grouping transformation only pays off when the
+  // guards actually execute — its hoisting reorders SPMD-amenable code to
+  // amortize the two barriers per guard over fewer, larger groups. With a
+  // profile, keep grouping only for kernels whose guard barriers were
+  // observed executing; a kernel whose guarded path was dynamically dead
+  // keeps its original instruction order.
+  bool DoGroup = !Ctx.Config.DisableGuardGrouping;
+  if (DoGroup && Ctx.Config.Profile && !Guarded.empty()) {
+    uint64_t DynBarriers = ExecutionProfile::sumByPrefix(
+        Ctx.Config.Profile->Barriers, "guard:" + Kernel->getName() + ":");
+    DoGroup = DynBarriers > 0;
+    Ctx.Remarks.emit(RemarkId::OMP212, /*Missed=*/!DoGroup,
+                     Kernel->getName(),
+                     DoGroup
+                         ? "Grouping guarded side effects: profile shows " +
+                               std::to_string(DynBarriers) +
+                               " dynamic guard barrier executions."
+                         : "Not grouping guarded side effects: profile "
+                           "shows no dynamic guard barrier executions.");
+    ++Ctx.Stats.PGOGuardDecisions;
+  }
+
   // Pass 2: group side effects per block (Fig. 7) by hoisting independent
   // SPMD-amenable instructions above the pending group. Blocks are
   // visited in function order for deterministic output.
@@ -238,8 +266,7 @@ bool trySPMDzeKernel(OpenMPOptContext &Ctx, const KernelTargetInfo &KI) {
       }
       if (Cur.empty())
         continue;
-      if (!Ctx.Config.DisableGuardGrouping &&
-          isMovableAcrossGuards(I, Cur)) {
+      if (DoGroup && isMovableAcrossGuards(I, Cur)) {
         I->moveBefore(Cur.front());
         continue;
       }
@@ -250,9 +277,13 @@ bool trySPMDzeKernel(OpenMPOptContext &Ctx, const KernelTargetInfo &KI) {
       Groups.push_back(Cur);
   }
 
-  // Pass 3: emit the guards.
+  // Pass 3: emit the guards, numbering them in emission order so the
+  // anchors are stable across identical compiles.
+  unsigned GuardIdx = 0;
   for (std::vector<Instruction *> &Group : Groups)
-    emitGuard(Ctx, Group);
+    emitGuard(Ctx, Group,
+              "guard:" + Kernel->getName() + ":" +
+                  std::to_string(GuardIdx++));
 
   // Pass 4: flip the kernel to SPMD mode.
   IRContext &IRCtx = Ctx.M.getContext();

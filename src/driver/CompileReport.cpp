@@ -140,6 +140,30 @@ static json::Value lintSection(const CompileResult &Result) {
   return L;
 }
 
+static const char *profileModeName(PipelineOptions::ProfileMode M) {
+  switch (M) {
+  case PipelineOptions::ProfileMode::Off:
+    return "off";
+  case PipelineOptions::ProfileMode::Gen:
+    return "gen";
+  case PipelineOptions::ProfileMode::Use:
+    return "use";
+  }
+  return "unknown";
+}
+
+static json::Value profileSection(const CompileResult &Result) {
+  json::Value P = json::Value::makeObject();
+  P.set("mode", profileModeName(Result.ProfileMode))
+      .set("consumed", Result.ProfileConsumed)
+      .set("shared_memory_limit", Result.SharedMemoryLimit)
+      .set("reordered_cascades", Result.Stats.PGOReorderedCascades)
+      .set("ranked_allocations", Result.Stats.PGORankedAllocations)
+      .set("excluded_allocations", Result.Stats.PGOExcludedAllocations)
+      .set("guard_decisions", Result.Stats.PGOGuardDecisions);
+  return P;
+}
+
 static json::Value openMPOptStatsSection(const OpenMPOptStats &S) {
   json::Value O = json::Value::makeObject();
   O.set("internalized_functions", S.InternalizedFunctions)
@@ -153,7 +177,11 @@ static json::Value openMPOptStatsSection(const OpenMPOptStats &S) {
       .set("guarded_regions", S.GuardedRegions)
       .set("folded_exec_mode", S.FoldedExecMode)
       .set("folded_parallel_level", S.FoldedParallelLevel)
-      .set("folded_launch_params", S.FoldedLaunchParams);
+      .set("folded_launch_params", S.FoldedLaunchParams)
+      .set("pgo_reordered_cascades", S.PGOReorderedCascades)
+      .set("pgo_ranked_allocations", S.PGORankedAllocations)
+      .set("pgo_excluded_allocations", S.PGOExcludedAllocations)
+      .set("pgo_guard_decisions", S.PGOGuardDecisions);
   return O;
 }
 
@@ -224,6 +252,7 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("passes", passesSection(Result))
       .set("recovery", recoverySection(Result))
       .set("lint", lintSection(Result))
+      .set("profile", profileSection(Result))
       .set("openmp_opt_stats", openMPOptStatsSection(Result.Stats))
       .set("remarks", remarksSection(Result.Remarks))
       .set("statistics", statisticsSection())

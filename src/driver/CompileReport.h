@@ -31,8 +31,10 @@ namespace ompgpu {
 /// field rename/removal; additions are backwards compatible.
 /// v2 added the `recovery` section and the per-execution
 /// bisect/skip/rollback fields; v3 added the `lint` section
-/// and the per-execution lint_failed field (docs/compile-report.md).
-inline constexpr unsigned CompileReportSchemaVersion = 3;
+/// and the per-execution lint_failed field; v4 added the `profile`
+/// section and the PGO counters in `openmp_opt_stats`
+/// (docs/compile-report.md, docs/pgo.md).
+inline constexpr unsigned CompileReportSchemaVersion = 4;
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).

@@ -7,6 +7,7 @@
 
 #include "driver/Pipeline.h"
 #include "ir/AsmWriter.h"
+#include "profile/Profile.h"
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "rtl/DeviceRTL.h"
@@ -65,6 +66,11 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
       /*Required=*/true);
 
   auto Finish = [&] {
+    Result.ProfileMode = Opts.Profile;
+    Result.ProfileConsumed = Opts.OptConfig.Profile &&
+                             !Opts.OptConfig.Profile->empty() &&
+                             Opts.RunOpenMPOpt;
+    Result.SharedMemoryLimit = Opts.OptConfig.SharedMemoryLimit;
     Result.Passes = PI.executions();
     Result.FirstCorruptPass = PI.firstCorruptPass();
     Result.TotalPassMillis = PI.totalMillis();

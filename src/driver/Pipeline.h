@@ -39,6 +39,14 @@ struct PipelineOptions {
     std::function<bool(Module &)> Run;
   };
 
+  /// Profile-guided-optimization mode of one compile (docs/pgo.md).
+  enum class ProfileMode : uint8_t {
+    Off, ///< No PGO involvement.
+    Gen, ///< This compile feeds a profiling run (anchors are always
+         ///< attached; Gen only marks the intent for the compile report).
+    Use, ///< OptConfig.Profile holds the execution profile to consume.
+  };
+
   /// Name shown in benchmark tables, e.g. "LLVM 12" or "h2s2 + RTCspec".
   std::string Name;
   /// Front-end lowering scheme the workload must be generated with.
@@ -48,6 +56,11 @@ struct PipelineOptions {
   /// Whether the OpenMP-aware pass runs at all.
   bool RunOpenMPOpt = true;
   OpenMPOptConfig OptConfig;
+  /// PGO mode recorded in the compile report's "profile" section. Use
+  /// requires OptConfig.Profile to point at the execution profile; the
+  /// bench/pgo driver and the -profile-gen/-profile-use flags of the
+  /// benchmark drivers set this up.
+  ProfileMode Profile = ProfileMode::Off;
   /// Generic mid-end cleanups (mem2reg, simplification, DCE).
   bool RunCleanups = true;
   /// Observability and robustness: TimePasses / TrackChanges / VerifyEach /
@@ -109,6 +122,16 @@ struct CompileResult {
   std::string FirstLintFailPass;
   /// Findings summary of that first per-pass lint failure.
   std::string FirstLintError;
+  /// @}
+  /// \name Profile-guided optimization (schema v4, docs/pgo.md)
+  /// @{
+  /// The PGO mode the pipeline ran under.
+  PipelineOptions::ProfileMode ProfileMode =
+      PipelineOptions::ProfileMode::Off;
+  /// Whether openmp-opt actually consumed a non-empty execution profile.
+  bool ProfileConsumed = false;
+  /// The shared-memory budget HeapToShared ranked against.
+  uint64_t SharedMemoryLimit = UINT64_MAX;
   /// @}
 };
 

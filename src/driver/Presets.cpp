@@ -1,0 +1,46 @@
+//===- driver/Presets.cpp - Canonical pipeline preset tables ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Presets.h"
+
+using namespace ompgpu;
+
+std::vector<PresetSpec> ompgpu::evaluationPresetLadder() {
+  std::vector<PresetSpec> Ladder;
+  Ladder.push_back({"LLVM 12", makeLLVM12Pipeline(), false});
+  Ladder.push_back({"No OpenMP Optimization", makeDevNoOptPipeline(), false});
+  Ladder.push_back(
+      {"heap-2-stack", makeDevPipeline(true, false, false, false, false),
+       false});
+  Ladder.push_back({"heap-2-stack&shared (=h2s2)",
+                    makeDevPipeline(true, true, false, false, false), false});
+  Ladder.push_back(
+      {"h2s2 + RTCspec", makeDevPipeline(true, true, true, false, false),
+       false});
+  Ladder.push_back({"h2s2 + RTCspec + CSM",
+                    makeDevPipeline(true, true, true, true, false), false});
+  Ladder.push_back({"h2s2 + RTCspec + SPMDzation (LLVM Dev 0)",
+                    makeDevPipeline(true, true, true, true, true), false});
+  Ladder.push_back({"CUDA (Clang Dev)", makeCUDAPipeline(), true});
+  return Ladder;
+}
+
+std::vector<PipelineOptions> ompgpu::fuzzPresetMatrix() {
+  std::vector<PipelineOptions> Presets;
+  Presets.push_back(makeLLVM12Pipeline());
+  Presets.push_back(makeDevNoOptPipeline());
+  Presets.push_back(makeDevPipeline());
+  PipelineOptions NoSPMD = makeDevPipeline(true, true, true, true,
+                                           /*SPMDzation=*/false);
+  NoSPMD.Name = "Dev (no SPMDzation)";
+  Presets.push_back(NoSPMD);
+  PipelineOptions NoGlob = makeDevPipeline(/*HeapToStack=*/false,
+                                           /*HeapToShared=*/false);
+  NoGlob.Name = "Dev (no globalization opts)";
+  Presets.push_back(NoGlob);
+  return Presets;
+}

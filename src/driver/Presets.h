@@ -1,0 +1,47 @@
+//===- driver/Presets.h - Canonical pipeline preset tables ------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of the evaluation's configuration ladder (Fig. 11)
+/// and the differential-fuzzing preset matrix. bench/BenchSupport, bench/lint
+/// and the fuzz oracle all derive their configuration tables from here, so
+/// a new preset (or a label fix) lands everywhere at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_DRIVER_PRESETS_H
+#define OMPGPU_DRIVER_PRESETS_H
+
+#include "driver/Pipeline.h"
+
+#include <vector>
+
+namespace ompgpu {
+
+/// One labeled compiler configuration of the evaluation.
+struct PresetSpec {
+  /// Row label used by benchmark tables and reports ("LLVM 12", "h2s2 +
+  /// RTCspec", ...).
+  std::string Label;
+  PipelineOptions Pipeline;
+  /// Compile the workload's CUDA-style kernel instead of the OpenMP one.
+  bool UseCUDA = false;
+};
+
+/// The Fig. 10/11 configuration ladder in evaluation order: LLVM 12,
+/// No OpenMP Optimization, heap-2-stack, h2s2, + RTCspec, + CSM,
+/// + SPMDzation (LLVM Dev 0), CUDA.
+std::vector<PresetSpec> evaluationPresetLadder();
+
+/// The differential-fuzzing preset matrix (fuzz oracle and bench/fuzz):
+/// LLVM 12, Dev without openmp-opt, full Dev, Dev without SPMDzation, Dev
+/// without the globalization optimizations.
+std::vector<PipelineOptions> fuzzPresetMatrix();
+
+} // namespace ompgpu
+
+#endif // OMPGPU_DRIVER_PRESETS_H

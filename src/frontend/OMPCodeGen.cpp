@@ -20,6 +20,21 @@ std::string OMPCodeGen::nextOutlinedName(const std::string &KernelName) {
   return KernelName + "__omp_outlined__" + std::to_string(OutlinedCounter++);
 }
 
+void OMPCodeGen::attachAllocAnchor(CallInst *Alloc,
+                                   const std::string &VarName) {
+  std::string Anchor =
+      "alloc:" + Alloc->getFunction()->getName() + ":" + VarName;
+  unsigned &Count = UsedAllocAnchors[Anchor];
+  if (Count++)
+    Anchor += "." + std::to_string(Count - 1);
+  Alloc->setAnchor(std::move(Anchor));
+}
+
+std::string OMPCodeGen::nextBarrierAnchor(const std::string &FunctionName) {
+  return "barrier:" + FunctionName + ":" +
+         std::to_string(BarrierCounters[FunctionName]++);
+}
+
 //===----------------------------------------------------------------------===//
 // Query lowerings (runtime-call folding targets, Sec. IV-C)
 //===----------------------------------------------------------------------===//
@@ -88,13 +103,20 @@ Value *OMPCodeGen::emitNumTeams(IRBuilder &B) {
 }
 
 void OMPCodeGen::emitBarrier(IRBuilder &B) {
+  // Both arms of the runtime dispatch are one logical source barrier, so
+  // they share a single profile anchor (only one arm ever executes).
+  std::string Anchor =
+      nextBarrierAnchor(B.getInsertBlock()->getParent()->getName());
   Value *IsSPMD = B.createCall(getRTFn(RTFn::IsSPMDMode), {}, "em");
   emitIfThenElse(
       B, IsSPMD, "omp_barrier",
       [&](IRBuilder &TB) {
-        TB.createCall(getRTFn(RTFn::BarrierSimpleSPMD), {});
+        TB.createCall(getRTFn(RTFn::BarrierSimpleSPMD), {})
+            ->setAnchor(Anchor);
       },
-      [&](IRBuilder &EB) { EB.createCall(getRTFn(RTFn::Barrier), {}); });
+      [&](IRBuilder &EB) {
+        EB.createCall(getRTFn(RTFn::Barrier), {})->setAnchor(Anchor);
+      });
 }
 
 //===----------------------------------------------------------------------===//
@@ -111,11 +133,12 @@ Value *OMPCodeGen::emitDeviceFnLocal(
   uint64_t Size = Ty->getSizeInBytes();
   if (Opts.Scheme == CodeGenScheme::Simplified13) {
     // Fig. 4c: one runtime allocation per variable, no special cases.
-    Value *Ptr = B.createCall(getRTFn(RTFn::AllocShared),
-                              {Ctx.getInt64(Size)}, Name);
+    CallInst *Ptr = B.createCall(getRTFn(RTFn::AllocShared),
+                                 {Ctx.getInt64(Size)}, Name);
+    attachAllocAnchor(Ptr, Name);
     Function *Free = getRTFn(RTFn::FreeShared);
     Cleanups.push_back([Ptr, Size, Free](IRBuilder &CB) {
-      CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+      CB.createCall(Free, {(Value *)Ptr, CB.getInt64(Size)});
     });
     return Ptr;
   }
@@ -131,9 +154,11 @@ Value *OMPCodeGen::emitDeviceFnLocal(
                                       Name + ".cast");
       },
       [&](IRBuilder &EB) -> Value * {
-        return EB.createCall(getRTFn(RTFn::CoalescedPushStack),
-                             {EB.getInt64(Size), EB.getInt32(0)},
-                             Name + ".glob");
+        CallInst *Push = EB.createCall(getRTFn(RTFn::CoalescedPushStack),
+                                       {EB.getInt64(Size), EB.getInt32(0)},
+                                       Name + ".glob");
+        attachAllocAnchor(Push, Name);
+        return Push;
       });
   Function *IsSPMDFn = getRTFn(RTFn::IsSPMDMode);
   Function *Pop = getRTFn(RTFn::PopStack);
@@ -219,11 +244,12 @@ Value *TargetRegionBuilder::emitTeamScopeAlloc(Type *Ty,
 
   uint64_t Size = Ty->getSizeInBytes();
   if (Opts.Scheme == CodeGenScheme::Simplified13) {
-    Value *Ptr = B.createCall(CG.getRTFn(RTFn::AllocShared),
-                              {Ctx.getInt64(Size)}, Name);
+    CallInst *Ptr = B.createCall(CG.getRTFn(RTFn::AllocShared),
+                                 {Ctx.getInt64(Size)}, Name);
+    CG.attachAllocAnchor(Ptr, Name);
     Function *Free = CG.getRTFn(RTFn::FreeShared);
     TeamCleanups.push_back([Ptr, Size, Free](IRBuilder &CB) {
-      CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+      CB.createCall(Free, {(Value *)Ptr, CB.getInt64(Size)});
     });
     return Ptr;
   }
@@ -232,9 +258,10 @@ Value *TargetRegionBuilder::emitTeamScopeAlloc(Type *Ty,
   // case removed by the paper); generic regions use the coalesced stack.
   if (Mode == ExecMode::SPMD)
     return B.createAlloca(Ty, Name);
-  Value *Ptr = B.createCall(
+  CallInst *Ptr = B.createCall(
       CG.getRTFn(RTFn::CoalescedPushStack),
       {Ctx.getInt64(Size), Ctx.getInt32(0)}, Name);
+  CG.attachAllocAnchor(Ptr, Name);
   Function *Pop = CG.getRTFn(RTFn::PopStack);
   TeamCleanups.push_back(
       [Ptr, Pop](IRBuilder &CB) { CB.createCall(Pop, {Ptr}); });
@@ -270,11 +297,12 @@ std::vector<Value *> TargetRegionBuilder::emitLocalVariableGroup(
       }
       if (Opts.Scheme == CodeGenScheme::Simplified13) {
         uint64_t Size = Ty->getSizeInBytes();
-        Value *Ptr = B.createCall(CG.getRTFn(RTFn::AllocShared),
-                                  {Ctx.getInt64(Size)}, Name);
+        CallInst *Ptr = B.createCall(CG.getRTFn(RTFn::AllocShared),
+                                     {Ctx.getInt64(Size)}, Name);
+        CG.attachAllocAnchor(Ptr, Name);
         Function *Free = CG.getRTFn(RTFn::FreeShared);
         CleanupList.push_back([Ptr, Size, Free](IRBuilder &CB) {
-          CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+          CB.createCall(Free, {(Value *)Ptr, CB.getInt64(Size)});
         });
         Ptrs.push_back(Ptr);
         continue;
@@ -291,10 +319,11 @@ std::vector<Value *> TargetRegionBuilder::emitLocalVariableGroup(
   for (const auto &[Ty, Name] : Vars)
     FieldTypes.push_back(Ty);
   StructType *Combined = Ctx.getStructTy(FieldTypes);
-  Value *Base = B.createCall(
+  CallInst *Base = B.createCall(
       CG.getRTFn(RTFn::CoalescedPushStack),
       {Ctx.getInt64(Combined->getSizeInBytes()), Ctx.getInt32(0)},
       "combined_globals");
+  CG.attachAllocAnchor(Base, "combined_globals");
   for (unsigned I = 0, E = Vars.size(); I != E; ++I)
     Ptrs.push_back(B.createGEP(Combined, Base,
                                {Ctx.getInt64(0), Ctx.getInt64(I)},
@@ -317,11 +346,12 @@ Value *TargetRegionBuilder::emitParallelLocalVariable(
 
   uint64_t Size = Ty->getSizeInBytes();
   if (Opts.Scheme == CodeGenScheme::Simplified13) {
-    Value *Ptr = BodyB.createCall(CG.getRTFn(RTFn::AllocShared),
-                                  {Ctx.getInt64(Size)}, Name);
+    CallInst *Ptr = BodyB.createCall(CG.getRTFn(RTFn::AllocShared),
+                                     {Ctx.getInt64(Size)}, Name);
+    CG.attachAllocAnchor(Ptr, Name);
     Function *Free = CG.getRTFn(RTFn::FreeShared);
     ActiveParallelCleanups->push_back([Ptr, Size, Free](IRBuilder &CB) {
-      CB.createCall(Free, {Ptr, CB.getInt64(Size)});
+      CB.createCall(Free, {(Value *)Ptr, CB.getInt64(Size)});
     });
     return Ptr;
   }
@@ -329,9 +359,10 @@ Value *TargetRegionBuilder::emitParallelLocalVariable(
   if (Mode == ExecMode::SPMD)
     return BodyB.createAlloca(Ty, Name);
   // Legacy12 in an active (generic) parallel region: warp-coalesced push.
-  Value *Ptr = BodyB.createCall(
+  CallInst *Ptr = BodyB.createCall(
       CG.getRTFn(RTFn::CoalescedPushStack),
       {Ctx.getInt64(Size), Ctx.getInt32(1)}, Name);
+  CG.attachAllocAnchor(Ptr, Name);
   Function *Pop = CG.getRTFn(RTFn::PopStack);
   ActiveParallelCleanups->push_back(
       [Ptr, Pop](IRBuilder &CB) { CB.createCall(Pop, {Ptr}); });
@@ -406,19 +437,23 @@ void TargetRegionBuilder::emitParallelCommon(
     if (Mode == ExecMode::SPMD || Opts.CudaMode) {
       FramePtr = B.createAlloca(FrameTy, "captured_frame");
     } else if (Opts.Scheme == CodeGenScheme::Simplified13) {
-      FramePtr = B.createCall(
+      CallInst *Frame = B.createCall(
           CG.getRTFn(RTFn::AllocShared),
           {Ctx.getInt64(FrameTy->getSizeInBytes())}, "captured_frame");
+      CG.attachAllocAnchor(Frame, "captured_frame");
+      FramePtr = Frame;
       Function *Free = CG.getRTFn(RTFn::FreeShared);
       uint64_t Size = FrameTy->getSizeInBytes();
       FrameCleanup = [FramePtr, Size, Free](IRBuilder &CB) {
         CB.createCall(Free, {FramePtr, CB.getInt64(Size)});
       };
     } else {
-      FramePtr = B.createCall(
+      CallInst *Frame = B.createCall(
           CG.getRTFn(RTFn::CoalescedPushStack),
           {Ctx.getInt64(FrameTy->getSizeInBytes()), Ctx.getInt32(0)},
           "captured_frame");
+      CG.attachAllocAnchor(Frame, "captured_frame");
+      FramePtr = Frame;
       Function *Pop = CG.getRTFn(RTFn::PopStack);
       FrameCleanup = [FramePtr, Pop](IRBuilder &CB) {
         CB.createCall(Pop, {FramePtr});
@@ -447,7 +482,8 @@ void TargetRegionBuilder::emitParallelCommon(
       },
       [&](IRBuilder &EB) {
         EB.createCall(CG.getRTFn(RTFn::Parallel51),
-                      {Wrapper, FrameArg, Ctx.getInt32(NumThreadsClause)});
+                      {Wrapper, FrameArg, Ctx.getInt32(NumThreadsClause)})
+            ->setAnchor("parallel:" + Wrapper->getName());
       });
 
   if (FrameCleanup)
@@ -529,7 +565,8 @@ Function *TargetRegionBuilder::finalize() {
     WB.createBr(Await);
 
     WB.setInsertPoint(Await);
-    WB.createCall(CG.getRTFn(RTFn::BarrierSimpleSPMD), {});
+    WB.createCall(CG.getRTFn(RTFn::BarrierSimpleSPMD), {})
+        ->setAnchor(CG.nextBarrierAnchor(Kernel->getName()));
     Value *IsActive = WB.createCall(CG.getRTFn(RTFn::KernelParallel),
                                     {WorkFnAddr}, "is_active");
     Value *WorkFn =
@@ -563,7 +600,8 @@ Function *TargetRegionBuilder::finalize() {
 
     WB.setInsertPoint(Done);
     WB.createCall(CG.getRTFn(RTFn::KernelEndParallel), {});
-    WB.createCall(CG.getRTFn(RTFn::BarrierSimpleSPMD), {});
+    WB.createCall(CG.getRTFn(RTFn::BarrierSimpleSPMD), {})
+        ->setAnchor(CG.nextBarrierAnchor(Kernel->getName()));
     WB.createBr(Await);
   }
 

@@ -59,6 +59,12 @@ class OMPCodeGen {
   Module &M;
   CodeGenOptions Opts;
   unsigned OutlinedCounter = 0;
+  /// Uniquing state for the profile anchors attached at codegen time
+  /// (docs/pgo.md): "alloc:<function>:<var>" collision counters and the
+  /// per-function barrier numbering. Codegen is deterministic, so the
+  /// -profile-gen and -profile-use compiles assign identical anchors.
+  std::map<std::string, unsigned> UsedAllocAnchors;
+  std::map<std::string, unsigned> BarrierCounters;
 
 public:
   explicit OMPCodeGen(Module &M, CodeGenOptions Opts = CodeGenOptions());
@@ -72,6 +78,17 @@ public:
 
   /// Returns a fresh name for an outlined parallel region of \p Kernel.
   std::string nextOutlinedName(const std::string &KernelName);
+
+  /// \name Profile anchors (src/profile, docs/pgo.md)
+  /// @{
+  /// Attaches the unique "alloc:<function>:<var>" anchor to the inserted
+  /// globalization call \p Alloc (__kmpc_alloc_shared or a coalesced
+  /// data-sharing push).
+  void attachAllocAnchor(CallInst *Alloc, const std::string &VarName);
+  /// Returns the next "barrier:<function>:<n>" anchor of \p FunctionName.
+  /// Both arms of one logical source barrier share one anchor.
+  std::string nextBarrierAnchor(const std::string &FunctionName);
+  /// @}
 
   /// \name Query lowerings (Sec. IV-C fold targets)
   /// The emitted patterns branch on __kmpc_is_spmd_exec_mode and

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Oracle.h"
+#include "driver/Presets.h"
 #include "gpusim/Device.h"
 #include "ir/Module.h"
 #include "rtl/DeviceRTL.h"
@@ -14,19 +15,7 @@
 using namespace ompgpu;
 
 std::vector<PipelineOptions> ompgpu::defaultFuzzPresets() {
-  std::vector<PipelineOptions> Presets;
-  Presets.push_back(makeLLVM12Pipeline());
-  Presets.push_back(makeDevNoOptPipeline());
-  Presets.push_back(makeDevPipeline());
-  PipelineOptions NoSPMD = makeDevPipeline(true, true, true, true,
-                                           /*SPMDzation=*/false);
-  NoSPMD.Name = "Dev (no SPMDzation)";
-  Presets.push_back(NoSPMD);
-  PipelineOptions NoGlob = makeDevPipeline(/*HeapToStack=*/false,
-                                           /*HeapToShared=*/false);
-  NoGlob.Name = "Dev (no globalization opts)";
-  Presets.push_back(NoGlob);
-  return Presets;
+  return fuzzPresetMatrix();
 }
 
 FuzzRunOutcome ompgpu::runGeneratedKernel(Module &M,

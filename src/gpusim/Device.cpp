@@ -20,6 +20,7 @@
 #include "gpusim/ResourceEstimator.h"
 #include "gpusim/SimThread.h"
 #include "ir/Module.h"
+#include "profile/Profile.h"
 #include "support/ErrorHandling.h"
 #include "support/STLExtras.h"
 #include "support/raw_ostream.h"
@@ -28,6 +29,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <set>
 
 using namespace ompgpu;
 
@@ -186,6 +188,14 @@ public:
   std::vector<std::tuple<uint64_t, uint64_t, unsigned>> SharedCostRegions;
   std::string Trap;
 
+  /// Profiling mode (Config.Profile, docs/pgo.md): live address ranges of
+  /// anchored allocations, begin -> (end, anchor). Loads/stores/atomics
+  /// landing inside a range count as touches of its anchor. Static
+  /// anchored Shared-AS globals are registered once at layout and
+  /// re-seeded each block (runBlock resets the shared-memory state).
+  std::map<uint64_t, std::pair<uint64_t, std::string>> AnchoredRanges;
+  std::map<uint64_t, std::pair<uint64_t, std::string>> StaticAnchoredRanges;
+
   /// Latency-hiding scale applied to memory and long-latency math costs
   /// (>= 1; grows when few warps are resident per SM).
   double LatencyScale = 1.0;
@@ -204,6 +214,46 @@ public:
     return (unsigned)(Cycles * LatencyScale);
   }
 
+  //===--------------------------------------------------------------------===//
+  // Profiling-mode hooks (Config.Profile, docs/pgo.md)
+  //===--------------------------------------------------------------------===//
+
+  static bool anchorHasPrefix(const std::string &Anchor, const char *Prefix) {
+    return Anchor.rfind(Prefix, 0) == 0;
+  }
+
+  /// Registers the live range [Begin, Begin+Bytes) of an anchored
+  /// allocation. Stale overlapping ranges (freed memory reused by a later
+  /// allocation whose free was not observed) are dropped first.
+  void registerAnchoredRange(uint64_t Begin, uint64_t Bytes,
+                             const std::string &Anchor) {
+    if (!Bytes)
+      return;
+    uint64_t End = Begin + Bytes;
+    auto It = AnchoredRanges.lower_bound(Begin);
+    if (It != AnchoredRanges.begin()) {
+      auto Prev = std::prev(It);
+      if (Prev->second.first > Begin)
+        It = Prev;
+    }
+    while (It != AnchoredRanges.end() && It->first < End)
+      It = AnchoredRanges.erase(It);
+    AnchoredRanges[Begin] = {End, Anchor};
+  }
+
+  /// Counts a memory access against the anchored allocation containing
+  /// \p Addr, if any.
+  void noteProfileTouch(uint64_t Addr) {
+    if (AnchoredRanges.empty())
+      return;
+    auto It = AnchoredRanges.upper_bound(Addr);
+    if (It == AnchoredRanges.begin())
+      return;
+    --It;
+    if (Addr < It->second.first)
+      Config.Profile->noteTouch(It->second.second);
+  }
+
   void layoutModule() {
     for (GlobalVariable *G : M.globals()) {
       if (G->getAddressSpace() == AddrSpace::Shared) {
@@ -212,6 +262,11 @@ public:
         StaticSharedBytes = (StaticSharedBytes + Align - 1) / Align * Align;
         SharedOffsets[G] = StaticSharedBytes;
         StaticSharedBytes += G->getAllocSizeInBytes();
+        if (Config.Profile && G->hasAnchor()) {
+          uint64_t Begin = makeSimAddr(Seg::Shared, SharedOffsets[G]);
+          StaticAnchoredRanges[Begin] = {Begin + G->getAllocSizeInBytes(),
+                                         G->getAnchor()};
+        }
         continue;
       }
       uint64_t Addr = Dev.allocate(G->getAllocSizeInBytes());
@@ -315,6 +370,8 @@ public:
     BlockHeapCur = 0;
     SharedCostRegions.clear();
     RTLState = RTL.MakeBlockState ? RTL.MakeBlockState() : nullptr;
+    if (Config.Profile)
+      AnchoredRanges = StaticAnchoredRanges;
 
     Threads.clear();
     for (unsigned T = 0; T < Config.BlockDim; ++T) {
@@ -372,6 +429,19 @@ public:
       uint64_t MaxClock = 0;
       for (ThreadSim *T : Group)
         MaxClock = std::max(MaxClock, T->Clock);
+      if (Config.Profile) {
+        // Count one execution per anchored barrier callsite represented in
+        // this release (once per block arrival, not per thread).
+        std::set<std::string> Anchors;
+        for (ThreadSim *T : Group) {
+          const Frame &Fr = T->Stack.back();
+          const Instruction *I = Fr.FI->BlockInsts.at(Fr.CurBB)[Fr.InstIdx];
+          if (I->hasAnchor())
+            Anchors.insert(I->getAnchor());
+        }
+        for (const std::string &A : Anchors)
+          Config.Profile->noteBarrier(A);
+      }
       for (ThreadSim *T : Group) {
         T->Clock = MaxClock + Costs.BarrierCycles;
         T->Status = ThreadStatus::Runnable;
@@ -660,6 +730,13 @@ public:
   void executeInstruction(ThreadSim &T, const Instruction *I) {
     Frame &Fr = T.Stack.back();
     ++Stats.DynamicInstructions;
+    // Profiling: a "parallel:" anchor marks a __kmpc_parallel_51 dispatch.
+    // It starts on the callsite and, when the inliner flattens the call,
+    // moves to the branch into the inlined body — either way the anchored
+    // instruction executes exactly once per dispatch.
+    if (Config.Profile && I->hasAnchor() &&
+        anchorHasPrefix(I->getAnchor(), "parallel:"))
+      Config.Profile->noteDispatch(I->getAnchor());
     if (PerInstExtra > 0) {
       T.SpillDebt += PerInstExtra;
       if (T.SpillDebt >= 1.0) {
@@ -696,6 +773,8 @@ public:
                                : ""));
         return;
       }
+      if (Config.Profile)
+        noteProfileTouch(Addr);
       writeResult(Fr, I, V);
       T.Clock += scaled(memoryCycles(Fr, I, Addr));
       ++Fr.InstIdx;
@@ -712,6 +791,8 @@ public:
                                : ""));
         return;
       }
+      if (Config.Profile)
+        noteProfileTouch(Addr);
       T.Clock += scaled(memoryCycles(Fr, I, Addr));
       ++Fr.InstIdx;
       return;
@@ -773,6 +854,8 @@ public:
         trapThread(T, "invalid atomic access");
         return;
       }
+      if (Config.Profile)
+        noteProfileTouch(Addr);
       writeResult(Fr, I, Old);
       T.Clock += scaled(Costs.AtomicCycles);
       ++Fr.InstIdx;
@@ -897,6 +980,11 @@ public:
         return;
       }
       uint64_t C = evalValue(T, Fr, B->getCondition());
+      // Profiling: a "guard:" anchor marks an SPMDzation guard branch;
+      // count each thread that takes the guarded (true) successor.
+      if (Config.Profile && (C & 1) && B->hasAnchor() &&
+          anchorHasPrefix(B->getAnchor(), "guard:"))
+        Config.Profile->noteGuardEntry(B->getAnchor());
       branchTo(T, Fr, B->getSuccessor((C & 1) ? 0 : 1));
       return;
     }
@@ -1150,6 +1238,17 @@ public:
     ++Stats.RuntimeCalls;
     NativeResult R = It->second(T, Args);
     T.Clock += R.ExtraCycles;
+    if (Config.Profile && R.K == NativeResult::Kind::Value) {
+      // Track the live ranges of anchored globalization allocations so
+      // that loads/stores into them count as touches of their anchor.
+      if (CI->hasAnchor() && anchorHasPrefix(CI->getAnchor(), "alloc:") &&
+          !Args.empty() && R.Ret != 0)
+        registerAnchoredRange(R.Ret, Args[0], CI->getAnchor());
+      else if ((Callee->getName() == "__kmpc_free_shared" ||
+                Callee->getName() == "__kmpc_data_sharing_pop_stack") &&
+               !Args.empty())
+        AnchoredRanges.erase(Args[0]);
+    }
     switch (R.K) {
     case NativeResult::Kind::Value:
       writeResult(Fr, CI, R.Ret);
@@ -1304,6 +1403,8 @@ KernelStats GPUDevice::launchKernel(Module &M, Function *Kernel,
   }
   Stats.SimulatedBlocks = NumSim;
   Stats.DynamicSharedBytes = Sim.SharedStackPeak;
+  if (Config.Profile)
+    Config.Profile->noteKernel(Stats.KernelName, Sim.SharedStackPeak);
 
   Stats.ConcurrentBlocks = std::min<uint64_t>(
       (uint64_t)BlocksPerSM * Machine.NumSMs, std::max(1u, Grid));

@@ -32,6 +32,7 @@ namespace ompgpu {
 
 class Function;
 class Module;
+class ProfileCollector;
 class SimThread;
 
 /// Base class for runtime-private per-block state (defined by src/rtl).
@@ -95,6 +96,12 @@ struct LaunchConfig {
   /// 0 simulates every block; otherwise only this many (evenly strided)
   /// blocks run and the kernel time is extrapolated over all waves.
   unsigned MaxSimulatedBlocks = 0;
+  /// Profiling mode (docs/pgo.md): when set, the interpreter counts
+  /// per-anchor parallel-region dispatches, barrier executions, guard
+  /// entries, memory touches of anchored allocations, and the kernel's
+  /// shared-stack high-water mark into this collector. The simulation is
+  /// deterministic, so repeated identical runs produce identical profiles.
+  ProfileCollector *Profile = nullptr;
 };
 
 /// A simulated GPU with persistent global memory across launches.

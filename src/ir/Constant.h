@@ -131,6 +131,11 @@ class GlobalVariable : public GlobalValue {
   Type *ValueType;
   AddrSpace AS;
   Constant *Initializer; ///< May be null (zero-initialized).
+  /// Stable profile anchor (docs/pgo.md). HeapToShared transfers the anchor
+  /// of the __kmpc_alloc_shared call it replaces onto the shared-memory
+  /// global it creates, so `-profile-gen` runs of the optimized module can
+  /// still attribute memory touches to the original allocation site.
+  std::string Anchor;
 
 public:
   GlobalVariable(IRContext &Ctx, Type *ValueType, AddrSpace AS,
@@ -140,6 +145,10 @@ public:
   AddrSpace getAddressSpace() const { return AS; }
   Constant *getInitializer() const { return Initializer; }
   uint64_t getAllocSizeInBytes() const { return ValueType->getSizeInBytes(); }
+
+  const std::string &getAnchor() const { return Anchor; }
+  void setAnchor(std::string A) { Anchor = std::move(A); }
+  bool hasAnchor() const { return !Anchor.empty(); }
 
   static bool classof(const Value *V) {
     return V->getValueKind() == ValueKind::GlobalVariable;

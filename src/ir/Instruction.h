@@ -31,15 +31,31 @@ class Function;
 /// Base class of all instructions. The opcode is the ValueKind.
 class Instruction : public User {
   BasicBlock *Parent = nullptr;
+  /// Stable profile anchor (docs/pgo.md). Attached at codegen time to the
+  /// instructions the profiler counts (parallel dispatches, barriers,
+  /// globalization allocs, SPMDzation guards); survives cloning and
+  /// optimization so `-profile-gen` counters can be matched back to the
+  /// same sites on the `-profile-use` compile. Empty for everything else;
+  /// never printed by the AsmWriter (golden files stay stable).
+  std::string Anchor;
 
 protected:
   Instruction(ValueKind Kind, Type *Ty) : User(Kind, Ty) {}
-  /// Copies for clone(): the copy starts detached from any block.
-  Instruction(const Instruction &O) : User(O), Parent(nullptr) {}
+  /// Copies for clone(): the copy starts detached from any block but keeps
+  /// the profile anchor (a clone counts against the same profile site).
+  Instruction(const Instruction &O)
+      : User(O), Parent(nullptr), Anchor(O.Anchor) {}
 
 public:
   ValueKind getOpcode() const { return getValueKind(); }
   const char *getOpcodeName() const;
+
+  /// \name Profile anchors (src/profile, docs/pgo.md)
+  /// @{
+  const std::string &getAnchor() const { return Anchor; }
+  void setAnchor(std::string A) { Anchor = std::move(A); }
+  bool hasAnchor() const { return !Anchor.empty(); }
+  /// @}
 
   BasicBlock *getParent() const { return Parent; }
   void setParent(BasicBlock *BB) { Parent = BB; }

@@ -1,0 +1,218 @@
+//===- profile/Profile.cpp - Execution profiles (PGO) ----------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+#include "support/JSON.h"
+#include "support/raw_ostream.h"
+
+#include <cstdio>
+
+using namespace ompgpu;
+
+void ExecutionProfile::merge(const ExecutionProfile &Other) {
+  for (const auto &KV : Other.Dispatches)
+    Dispatches[KV.first] += KV.second;
+  for (const auto &KV : Other.Barriers)
+    Barriers[KV.first] += KV.second;
+  for (const auto &KV : Other.GuardEntries)
+    GuardEntries[KV.first] += KV.second;
+  for (const auto &KV : Other.Touches)
+    Touches[KV.first] += KV.second;
+  for (const auto &KV : Other.Kernels) {
+    KernelProfile &K = Kernels[KV.first];
+    K.Launches += KV.second.Launches;
+    if (KV.second.SharedStackHighWater > K.SharedStackHighWater)
+      K.SharedStackHighWater = KV.second.SharedStackHighWater;
+  }
+}
+
+static uint64_t lookup(const std::map<std::string, uint64_t> &M,
+                       const std::string &Key) {
+  auto It = M.find(Key);
+  return It == M.end() ? 0 : It->second;
+}
+
+uint64_t ExecutionProfile::dispatches(const std::string &Anchor) const {
+  return lookup(Dispatches, Anchor);
+}
+uint64_t ExecutionProfile::barriers(const std::string &Anchor) const {
+  return lookup(Barriers, Anchor);
+}
+uint64_t ExecutionProfile::guardEntries(const std::string &Anchor) const {
+  return lookup(GuardEntries, Anchor);
+}
+uint64_t ExecutionProfile::touches(const std::string &Anchor) const {
+  return lookup(Touches, Anchor);
+}
+
+uint64_t
+ExecutionProfile::sumByPrefix(const std::map<std::string, uint64_t> &Counts,
+                              const std::string &Prefix) {
+  uint64_t Sum = 0;
+  for (auto It = Counts.lower_bound(Prefix); It != Counts.end(); ++It) {
+    if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+      break;
+    Sum += It->second;
+  }
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+static json::Value countersToJSON(const std::map<std::string, uint64_t> &M) {
+  json::Value O = json::Value::makeObject();
+  for (const auto &KV : M)
+    O.set(KV.first, KV.second);
+  return O;
+}
+
+json::Value ompgpu::profileToJSON(const ExecutionProfile &P) {
+  json::Value Kernels = json::Value::makeObject();
+  for (const auto &KV : P.Kernels) {
+    json::Value K = json::Value::makeObject();
+    K.set("launches", KV.second.Launches)
+        .set("shared_stack_high_water", KV.second.SharedStackHighWater);
+    Kernels.set(KV.first, std::move(K));
+  }
+
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", ProfileSchemaVersion)
+      .set("generator", "ompgpu-gpusim")
+      .set("dispatches", countersToJSON(P.Dispatches))
+      .set("barriers", countersToJSON(P.Barriers))
+      .set("guard_entries", countersToJSON(P.GuardEntries))
+      .set("touches", countersToJSON(P.Touches))
+      .set("kernels", std::move(Kernels));
+  return Doc;
+}
+
+/// Reads one non-negative integer counter, rejecting the JSON shapes a
+/// hostile or truncated profile could carry.
+static Error readCount(const json::Value &V, const std::string &Where,
+                       uint64_t &Out) {
+  if (V.kind() != json::Value::Kind::Integer)
+    return Error::failure("profile: " + Where + " is not an integer");
+  if (V.asInt() < 0)
+    return Error::failure("profile: " + Where + " is negative");
+  Out = (uint64_t)V.asInt();
+  return Error::success();
+}
+
+static Error readCounters(const json::Value &Doc, const char *Section,
+                          std::map<std::string, uint64_t> &Out) {
+  const json::Value *S = Doc.find(Section);
+  if (!S)
+    return Error::failure("profile: missing section '" +
+                          std::string(Section) + "'");
+  if (!S->isObject())
+    return Error::failure("profile: section '" + std::string(Section) +
+                          "' is not an object");
+  for (const json::Value::Member &M : S->members()) {
+    uint64_t Count = 0;
+    if (Error E = readCount(M.second,
+                            std::string(Section) + "." + M.first, Count))
+      return E;
+    // Duplicate keys in the input collapse by summing, matching merge().
+    Out[M.first] += Count;
+  }
+  return Error::success();
+}
+
+Expected<ExecutionProfile> ompgpu::profileFromJSON(const json::Value &Doc) {
+  if (!Doc.isObject())
+    return Error::failure("profile: document is not an object");
+  const json::Value *Version = Doc.find("schema_version");
+  if (!Version || Version->kind() != json::Value::Kind::Integer)
+    return Error::failure("profile: missing integer schema_version");
+  if (Version->asInt() != (int64_t)ProfileSchemaVersion)
+    return Error::failure("profile: unsupported schema_version " +
+                          std::to_string(Version->asInt()) + " (expected " +
+                          std::to_string(ProfileSchemaVersion) + ")");
+
+  ExecutionProfile P;
+  if (Error E = readCounters(Doc, "dispatches", P.Dispatches))
+    return E;
+  if (Error E = readCounters(Doc, "barriers", P.Barriers))
+    return E;
+  if (Error E = readCounters(Doc, "guard_entries", P.GuardEntries))
+    return E;
+  if (Error E = readCounters(Doc, "touches", P.Touches))
+    return E;
+
+  const json::Value *Kernels = Doc.find("kernels");
+  if (!Kernels)
+    return Error::failure("profile: missing section 'kernels'");
+  if (!Kernels->isObject())
+    return Error::failure("profile: section 'kernels' is not an object");
+  for (const json::Value::Member &M : Kernels->members()) {
+    if (!M.second.isObject())
+      return Error::failure("profile: kernels." + M.first +
+                            " is not an object");
+    KernelProfile K;
+    uint64_t Launches = 0, HighWater = 0;
+    if (Error E = readCount(M.second.at("launches"),
+                            "kernels." + M.first + ".launches", Launches))
+      return E;
+    if (Error E = readCount(M.second.at("shared_stack_high_water"),
+                            "kernels." + M.first + ".shared_stack_high_water",
+                            HighWater))
+      return E;
+    K.Launches = Launches;
+    K.SharedStackHighWater = HighWater;
+    P.Kernels[M.first] = K;
+  }
+  return P;
+}
+
+Expected<ExecutionProfile> ompgpu::parseProfile(const std::string &Text) {
+  json::Value Doc;
+  std::string ParseError;
+  if (!json::parse(Text, Doc, &ParseError))
+    return Error::failure("profile: malformed JSON: " + ParseError);
+  return profileFromJSON(Doc);
+}
+
+std::string ompgpu::serializeProfile(const ExecutionProfile &P) {
+  return profileToJSON(P).str() + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// File I/O
+//===----------------------------------------------------------------------===//
+
+Error ompgpu::writeProfileFile(const std::string &Path,
+                               const ExecutionProfile &P) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  std::string Text = serializeProfile(P);
+  bool WriteFailed =
+      std::fwrite(Text.data(), 1, Text.size(), F) != Text.size();
+  if (std::fclose(F) != 0)
+    WriteFailed = true;
+  if (WriteFailed)
+    return Error::failure("error writing profile to '" + Path + "'");
+  return Error::success();
+}
+
+Expected<ExecutionProfile> ompgpu::readProfileFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error::failure("cannot open profile '" + Path + "'");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  bool ReadFailed = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadFailed)
+    return Error::failure("error reading profile '" + Path + "'");
+  return parseProfile(Text);
+}

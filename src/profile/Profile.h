@@ -1,0 +1,126 @@
+//===- profile/Profile.h - Execution profiles (PGO) -------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile-guided-optimization subsystem's data model (docs/pgo.md):
+/// deterministic execution counters collected by gpusim's profiling mode,
+/// keyed to stable IR anchors attached at codegen time, serialized as a
+/// schema-versioned JSON document with merge and round-trip support, and
+/// consumed by the core passes (CustomStateMachine cascade ordering,
+/// HeapToShared ranking, SPMDzation guard grouping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_PROFILE_PROFILE_H
+#define OMPGPU_PROFILE_PROFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ompgpu {
+
+namespace json {
+class Value;
+}
+
+/// Version of the execution-profile JSON schema. Bump on any field
+/// rename/removal; additions are backwards compatible.
+inline constexpr unsigned ProfileSchemaVersion = 1;
+
+/// Per-kernel launch statistics.
+struct KernelProfile {
+  uint64_t Launches = 0;
+  /// Maximum shared data-sharing stack depth (bytes) over all launches.
+  uint64_t SharedStackHighWater = 0;
+};
+
+/// One execution profile: counters keyed by the stable IR anchors of
+/// docs/pgo.md ("parallel:<wrapper>", "barrier:<function>:<n>",
+/// "guard:<kernel>:<n>", "alloc:<function>:<var>"). std::map keys keep
+/// every serialization deterministic.
+struct ExecutionProfile {
+  /// parallel:* -> number of __kmpc_parallel_51 dispatches of that region.
+  std::map<std::string, uint64_t> Dispatches;
+  /// barrier:* and guard:*:pre/post -> dynamic executions of that barrier
+  /// (counted once per block arrival, not per thread).
+  std::map<std::string, uint64_t> Barriers;
+  /// guard:* -> times the main thread entered that guarded region.
+  std::map<std::string, uint64_t> GuardEntries;
+  /// alloc:* -> loads/stores/atomics landing in that allocation's memory.
+  std::map<std::string, uint64_t> Touches;
+  /// kernel name -> launch statistics.
+  std::map<std::string, KernelProfile> Kernels;
+
+  bool empty() const {
+    return Dispatches.empty() && Barriers.empty() && GuardEntries.empty() &&
+           Touches.empty() && Kernels.empty();
+  }
+
+  /// Adds \p Other's counters into this profile (sums counts, maxes
+  /// high-water marks). Commutative and associative, so shards of a run
+  /// can merge in any order.
+  void merge(const ExecutionProfile &Other);
+
+  /// Convenience lookups returning 0 for unknown anchors.
+  uint64_t dispatches(const std::string &Anchor) const;
+  uint64_t barriers(const std::string &Anchor) const;
+  uint64_t guardEntries(const std::string &Anchor) const;
+  uint64_t touches(const std::string &Anchor) const;
+
+  /// Sums a counter map over every anchor that starts with \p Prefix.
+  /// SPMDzation uses this to aggregate a kernel's guard activity.
+  static uint64_t sumByPrefix(const std::map<std::string, uint64_t> &Counts,
+                              const std::string &Prefix);
+};
+
+/// The profiling sink gpusim feeds when LaunchConfig::Profile is set. One
+/// collector can accumulate over multiple launches; the underlying profile
+/// is plain counter arithmetic, so repeated identical runs produce
+/// byte-identical serializations.
+class ProfileCollector {
+  ExecutionProfile P;
+
+public:
+  void noteDispatch(const std::string &Anchor) { ++P.Dispatches[Anchor]; }
+  void noteBarrier(const std::string &Anchor) { ++P.Barriers[Anchor]; }
+  void noteGuardEntry(const std::string &Anchor) { ++P.GuardEntries[Anchor]; }
+  void noteTouch(const std::string &Anchor) { ++P.Touches[Anchor]; }
+  void noteKernel(const std::string &Kernel, uint64_t SharedStackPeak) {
+    KernelProfile &K = P.Kernels[Kernel];
+    ++K.Launches;
+    if (SharedStackPeak > K.SharedStackHighWater)
+      K.SharedStackHighWater = SharedStackPeak;
+  }
+
+  const ExecutionProfile &profile() const { return P; }
+  ExecutionProfile takeProfile() { return std::move(P); }
+};
+
+/// \name Serialization (schema v1, docs/pgo.md)
+/// @{
+/// Builds the deterministic JSON document for \p P.
+json::Value profileToJSON(const ExecutionProfile &P);
+/// Parses \p Doc, validating the schema version and counter types.
+Expected<ExecutionProfile> profileFromJSON(const json::Value &Doc);
+/// Parses profile JSON text (strict parse + schema validation).
+Expected<ExecutionProfile> parseProfile(const std::string &Text);
+/// Serializes \p P to pretty-printed JSON text with a trailing newline.
+std::string serializeProfile(const ExecutionProfile &P);
+/// @}
+
+/// \name File I/O
+/// @{
+Error writeProfileFile(const std::string &Path, const ExecutionProfile &P);
+Expected<ExecutionProfile> readProfileFile(const std::string &Path);
+/// @}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_PROFILE_PROFILE_H

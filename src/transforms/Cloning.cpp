@@ -85,6 +85,7 @@ std::unique_ptr<Module> ompgpu::cloneModule(const Module &M) {
         G->getValueType(), G->getAddressSpace(), G->getName(),
         G->getInitializer());
     NewG->setLinkage(G->getLinkage());
+    NewG->setAnchor(G->getAnchor());
     VMap[G] = NewG;
   }
 

@@ -83,7 +83,12 @@ bool ompgpu::inlineCallSite(CallInst *CI) {
   {
     IRBuilder B(Ctx);
     B.setInsertPoint(CallBB);
-    B.createBr(InlinedEntry);
+    Instruction *EntryBr = B.createBr(InlinedEntry);
+    // This branch runs exactly once per inlined invocation: it inherits
+    // the call's profiling anchor so dispatch counts survive flattening
+    // (docs/pgo.md).
+    if (CI->hasAnchor())
+      EntryBr->setAnchor(CI->getAnchor());
   }
 
   // Hoist statically sized allocas of the inlined body into the caller's

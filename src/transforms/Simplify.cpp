@@ -115,10 +115,13 @@ static bool foldConstantBranches(Function &F) {
     if (NotTaken != Taken)
       for (PhiInst *Phi : NotTaken->phis())
         Phi->removeIncomingBlock(BB);
+    std::string Anchor = Br->hasAnchor() ? Br->getAnchor() : std::string();
     Br->eraseFromParent();
     IRBuilder B(Ctx);
     B.setInsertPoint(BB);
-    B.createBr(Taken);
+    Instruction *NewBr = B.createBr(Taken);
+    if (!Anchor.empty())
+      NewBr->setAnchor(std::move(Anchor));
     Changed = true;
   }
   return Changed;
@@ -160,9 +163,16 @@ static bool mergeBlocks(Function &F) {
             if (Phi->getIncomingBlock(I) == BB)
               Phi->setOperand(2 * I + 1, Pred);
 
+      // The merged-in instructions execute exactly as often as the erased
+      // branch did, so its profiling anchor survives on the first one that
+      // has no anchor of its own (docs/pgo.md).
+      std::string Anchor =
+          PredBr->hasAnchor() ? PredBr->getAnchor() : std::string();
       PredBr->eraseFromParent();
       for (Instruction *I : BB->getInstructions()) {
         std::unique_ptr<Instruction> Owned = BB->remove(I);
+        if (!Anchor.empty() && !Owned->hasAnchor())
+          Owned->setAnchor(std::exchange(Anchor, std::string()));
         Pred->push_back(Owned.release());
       }
       assert(!BB->hasUses() && "merged block still referenced");

@@ -26,6 +26,7 @@ LaunchCheckResult ompgpu::launchAndCheckWorkload(Workload &W, Module &M,
   LC.BlockDim = W.getBlockDim();
   LC.Flavor = P.Flavor;
   LC.MaxSimulatedBlocks = Opts.MaxSimulatedBlocks;
+  LC.Profile = Opts.Profile;
 
   NativeRuntimeBinding RTL =
       makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());

@@ -22,6 +22,8 @@
 
 namespace ompgpu {
 
+class ProfileCollector;
+
 /// Result of one workload x configuration measurement.
 struct WorkloadRunResult {
   std::string WorkloadName;
@@ -39,6 +41,9 @@ struct HarnessOptions {
   /// Use the CUDA-style kernel instead of the OpenMP one.
   bool UseCUDAKernel = false;
   MachineModel Machine;
+  /// When set, the launch runs in gpusim's profiling mode and accumulates
+  /// execution counters into this collector (-profile-gen, docs/pgo.md).
+  ProfileCollector *Profile = nullptr;
 };
 
 /// Result of one simulated launch + reference check of a compiled kernel.

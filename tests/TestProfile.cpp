@@ -1,0 +1,389 @@
+//===- tests/TestProfile.cpp - PGO subsystem unit tests --------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the profile-guided-optimization subsystem (docs/pgo.md): the
+/// profile data model (merge, prefix sums), schema-v1 serialization
+/// (round trip, hostile inputs), gpusim's deterministic collection, and
+/// the three profile consumers in OpenMPOpt (OMP210 cascade ordering,
+/// OMP211 shared-memory ranking, OMP212 guard grouping) including the
+/// end-to-end A/B cycle improvement on miniQMC.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileReport.h"
+#include "driver/Pipeline.h"
+#include "frontend/OMPCodeGen.h"
+#include "gpusim/Device.h"
+#include "profile/Profile.h"
+#include "rtl/DeviceRTL.h"
+#include "support/JSON.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+bool hasRemark(const CompileResult &CR, RemarkId Id, bool Missed) {
+  for (const Remark &R : CR.Remarks.remarks())
+    if (R.Id == Id && R.Missed == Missed)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Data model
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileModel, AccessorsReturnZeroForUnknownAnchors) {
+  ExecutionProfile P;
+  EXPECT_TRUE(P.empty());
+  EXPECT_EQ(0u, P.dispatches("parallel:missing"));
+  EXPECT_EQ(0u, P.barriers("barrier:missing:0"));
+  EXPECT_EQ(0u, P.guardEntries("guard:missing:0"));
+  EXPECT_EQ(0u, P.touches("alloc:missing:v"));
+
+  P.Barriers["guard:k:0:pre"] = 3;
+  P.Barriers["guard:k:0:post"] = 3;
+  P.Barriers["guard:k:1:pre"] = 2;
+  P.Barriers["guard:kb:0:pre"] = 100; // different kernel, excluded
+  P.Barriers["barrier:k:0"] = 7;      // not a guard, excluded
+  EXPECT_EQ(8u, ExecutionProfile::sumByPrefix(P.Barriers, "guard:k:"));
+  EXPECT_EQ(0u, ExecutionProfile::sumByPrefix(P.Barriers, "guard:z:"));
+}
+
+TEST(ProfileModel, MergeCommutesSumsCountsAndMaxesHighWater) {
+  ExecutionProfile A;
+  A.Dispatches["parallel:w1"] = 5;
+  A.Touches["alloc:k:buf"] = 10;
+  A.Kernels["k"] = {2, 128};
+
+  ExecutionProfile B;
+  B.Dispatches["parallel:w1"] = 3;
+  B.Dispatches["parallel:w2"] = 1;
+  B.GuardEntries["guard:k:0"] = 4;
+  B.Kernels["k"] = {1, 256};
+  B.Kernels["k2"] = {1, 64};
+
+  ExecutionProfile AB = A;
+  AB.merge(B);
+  ExecutionProfile BA = B;
+  BA.merge(A);
+  EXPECT_EQ(serializeProfile(AB), serializeProfile(BA));
+
+  EXPECT_EQ(8u, AB.dispatches("parallel:w1"));
+  EXPECT_EQ(1u, AB.dispatches("parallel:w2"));
+  EXPECT_EQ(10u, AB.touches("alloc:k:buf"));
+  EXPECT_EQ(3u, AB.Kernels["k"].Launches);
+  EXPECT_EQ(256u, AB.Kernels["k"].SharedStackHighWater) << "maxed, not summed";
+  EXPECT_EQ(1u, AB.Kernels["k2"].Launches);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileSerialization, RoundTripIsByteIdentical) {
+  ExecutionProfile P;
+  P.Dispatches["parallel:__omp_outlined__0_wrapper"] = 42;
+  P.Barriers["barrier:kernel:0"] = 7;
+  P.Barriers["guard:kernel:0:pre"] = 7;
+  P.GuardEntries["guard:kernel:0"] = 7;
+  P.Touches["alloc:kernel:team_val"] = 1024;
+  P.Kernels["kernel"] = {3, 96};
+
+  std::string Text = serializeProfile(P);
+  EXPECT_EQ(Text, serializeProfile(P)) << "serialization is deterministic";
+
+  Expected<ExecutionProfile> R = parseProfile(Text);
+  ASSERT_TRUE((bool)R) << R.message();
+  EXPECT_EQ(Text, serializeProfile(*R));
+  EXPECT_EQ(42u, R->dispatches("parallel:__omp_outlined__0_wrapper"));
+  EXPECT_EQ(3u, R->Kernels["kernel"].Launches);
+  EXPECT_EQ(96u, R->Kernels["kernel"].SharedStackHighWater);
+}
+
+TEST(ProfileSerialization, EmptyProfileRoundTrips) {
+  ExecutionProfile P;
+  Expected<ExecutionProfile> R = parseProfile(serializeProfile(P));
+  ASSERT_TRUE((bool)R) << R.message();
+  EXPECT_TRUE(R->empty());
+  EXPECT_EQ(serializeProfile(P), serializeProfile(*R));
+}
+
+TEST(ProfileSerialization, RejectsHostileInput) {
+  // Shapes a truncated, corrupted, or adversarial profile file could
+  // carry; the JSON layer's own corpus lives in TestInstrumentation.
+  struct Case {
+    const char *Name;
+    std::string Text;
+  };
+  const Case Cases[] = {
+      {"empty input", ""},
+      {"malformed JSON", "{\"schema_version\":1,"},
+      {"deep nesting attack", std::string(100000, '[')},
+      {"not an object", "[1,2,3]"},
+      {"missing schema_version", "{}"},
+      {"string schema_version", "{\"schema_version\":\"1\"}"},
+      {"unsupported schema_version", "{\"schema_version\":999}"},
+      {"section is an array",
+       "{\"schema_version\":1,\"dispatches\":[]}"},
+      {"counter is a string",
+       "{\"schema_version\":1,\"dispatches\":{\"parallel:w\":\"5\"}}"},
+      {"counter is negative",
+       "{\"schema_version\":1,\"dispatches\":{\"parallel:w\":-1}}"},
+      {"counter is a double",
+       "{\"schema_version\":1,\"dispatches\":{\"parallel:w\":1.5}}"},
+      {"missing kernels section",
+       "{\"schema_version\":1,\"dispatches\":{},\"barriers\":{},"
+       "\"guard_entries\":{},\"touches\":{}}"},
+      {"kernel entry not an object",
+       "{\"schema_version\":1,\"dispatches\":{},\"barriers\":{},"
+       "\"guard_entries\":{},\"touches\":{},\"kernels\":{\"k\":5}}"},
+      {"kernel entry missing launches",
+       "{\"schema_version\":1,\"dispatches\":{},\"barriers\":{},"
+       "\"guard_entries\":{},\"touches\":{},\"kernels\":{\"k\":{}}}"},
+  };
+  for (const Case &C : Cases) {
+    Expected<ExecutionProfile> R = parseProfile(C.Text);
+    EXPECT_FALSE((bool)R) << C.Name;
+    EXPECT_FALSE(R.message().empty()) << C.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic collection in gpusim
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileCollection, RepeatedRunsAreByteIdentical) {
+  auto ProfiledRun = [](ProfileCollector &C) {
+    // miniQMC stays generic-mode, so dispatches, barriers, and touches
+    // all accumulate.
+    std::unique_ptr<Workload> W = createMiniQMC(ProblemSize::Small);
+    // A binding budget leaves residual globalization, keeping the kernel
+    // generic: the custom state machine dispatches the parallel regions.
+    PipelineOptions P = makeDevPipeline();
+    P.OptConfig.SharedMemoryLimit = 160;
+    HarnessOptions HO;
+    HO.Profile = &C;
+    WorkloadRunResult R = runWorkload(*W, P, HO);
+    ASSERT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+    ASSERT_TRUE(R.Checked && R.Correct);
+  };
+  ProfileCollector C1, C2;
+  ProfiledRun(C1);
+  ProfiledRun(C2);
+
+  std::string T1 = serializeProfile(C1.profile());
+  std::string T2 = serializeProfile(C2.profile());
+  EXPECT_EQ(T1, T2);
+
+  const ExecutionProfile &P = C1.profile();
+  EXPECT_FALSE(P.empty());
+  EXPECT_FALSE(P.Dispatches.empty()) << "parallel regions dispatched";
+  ASSERT_EQ(1u, P.Kernels.size());
+  EXPECT_GE(P.Kernels.begin()->second.Launches, 1u);
+}
+
+TEST(ProfileCollection, UnprofiledRunCollectsNothing) {
+  // HarnessOptions::Profile left null: gpusim's hooks must stay inert.
+  std::unique_ptr<Workload> W = createXSBench(ProblemSize::Small);
+  WorkloadRunResult R = runWorkload(*W, makeDevPipeline());
+  ASSERT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+  EXPECT_TRUE(R.Checked && R.Correct);
+}
+
+//===----------------------------------------------------------------------===//
+// Consumption: OMP211 ranking + OMP210 ordering, end-to-end A/B
+//===----------------------------------------------------------------------===//
+
+/// Compiles and full-grid-simulates one fresh miniQMC under a binding
+/// 160-byte shared-memory budget (5 of the 18 walker-scope buffers fit).
+WorkloadRunResult runBudgetedMiniQMC(const ExecutionProfile *Prof,
+                                     ProfileCollector *Collector) {
+  std::unique_ptr<Workload> W = createMiniQMC(ProblemSize::Small);
+  PipelineOptions P = makeDevPipeline();
+  P.OptConfig.SharedMemoryLimit = 160;
+  if (Prof) {
+    P.Profile = PipelineOptions::ProfileMode::Use;
+    P.OptConfig.Profile = Prof;
+  }
+  HarnessOptions HO;
+  HO.Profile = Collector;
+  return runWorkload(*W, P, HO);
+}
+
+TEST(ProfileConsumption, BudgetedMiniQMCImprovesWithProfile) {
+  // Arm A: discovery-order promotion under the budget.
+  WorkloadRunResult A = runBudgetedMiniQMC(nullptr, nullptr);
+  ASSERT_TRUE(A.Stats.ok()) << A.Stats.Trap;
+  ASSERT_TRUE(A.Checked && A.Correct);
+  EXPECT_TRUE(hasRemark(A.Compile, RemarkId::OMP211, /*Missed=*/true))
+      << "a binding budget must exclude some allocation";
+  EXPECT_EQ(0u, A.Compile.Stats.PGORankedAllocations)
+      << "no profile, no ranking";
+
+  // Profile generation on the same compile.
+  ProfileCollector C;
+  WorkloadRunResult G = runBudgetedMiniQMC(nullptr, &C);
+  ASSERT_TRUE(G.Stats.ok() && G.Checked && G.Correct);
+  ExecutionProfile Prof = C.takeProfile();
+  ASSERT_FALSE(Prof.empty());
+  EXPECT_GT(ExecutionProfile::sumByPrefix(Prof.Touches, "alloc:"), 0u)
+      << "globalized buffers must accumulate touch counts";
+
+  // Arm B: profiled ranking promotes the hottest buffers instead.
+  WorkloadRunResult B = runBudgetedMiniQMC(&Prof, nullptr);
+  ASSERT_TRUE(B.Stats.ok()) << B.Stats.Trap;
+  ASSERT_TRUE(B.Checked && B.Correct);
+  EXPECT_TRUE(hasRemark(B.Compile, RemarkId::OMP211, /*Missed=*/false));
+  EXPECT_GT(B.Compile.Stats.PGORankedAllocations, 0u);
+  EXPECT_GT(B.Compile.Stats.PGOExcludedAllocations, 0u);
+
+  // The residual globalization keeps the kernel generic, so the custom
+  // state machine survives and its cascade gets profile-ordered.
+  EXPECT_TRUE(hasRemark(B.Compile, RemarkId::OMP210, /*Missed=*/false));
+  EXPECT_GT(B.Compile.Stats.PGOReorderedCascades, 0u);
+
+  EXPECT_LT(B.Stats.Cycles, A.Stats.Cycles)
+      << "promoting by touch frequency must beat discovery order";
+}
+
+//===----------------------------------------------------------------------===//
+// Consumption: OMP212 guard grouping
+//===----------------------------------------------------------------------===//
+
+/// The Fig. 7 shape: four interleaved sequential side effects ahead of a
+/// parallel region, SPMDzable only with main-thread guards.
+Function *buildGuardKernel(Module &M) {
+  IRContext &Ctx = M.getContext();
+  OMPCodeGen CG(M, {CodeGenScheme::Simplified13, false});
+  Type *F64 = Ctx.getDoubleTy();
+  TargetRegionBuilder TRB(CG, "guard_kernel",
+                          {Ctx.getPtrTy(), Ctx.getInt32Ty()},
+                          ExecMode::Generic, 4, 64);
+  Argument *A = TRB.getParam(0);
+  TRB.emitDistributeLoop(TRB.getParam(1), [&](IRBuilder &B, Value *I) {
+    for (int K = 0; K < 4; ++K) {
+      Value *V = B.createFMul(B.createSIToFP(I, F64), B.getDouble(1.0 + K));
+      Value *Idx = B.createAdd(B.createMul(I, B.getInt32(4)), B.getInt32(K));
+      B.createStore(V, B.createGEP(F64, A, {Idx}));
+    }
+    std::vector<TargetRegionBuilder::Capture> Caps;
+    TRB.emitParallelFor(B.getInt32(8), Caps,
+                        [&](IRBuilder &, Value *,
+                            const TargetRegionBuilder::CaptureMap &) {});
+  });
+  return TRB.finalize();
+}
+
+struct GuardRun {
+  CompileResult Compile;
+  KernelStats Stats;
+};
+
+GuardRun runGuardKernel(const ExecutionProfile *Prof,
+                        ProfileCollector *Collector) {
+  IRContext Ctx;
+  Module M(Ctx, "guards");
+  Function *K = buildGuardKernel(M);
+
+  PipelineOptions P = makeDevPipeline();
+  if (Prof) {
+    P.Profile = PipelineOptions::ProfileMode::Use;
+    P.OptConfig.Profile = Prof;
+  }
+  GuardRun R;
+  R.Compile = optimizeDeviceModule(M, P);
+
+  GPUDevice Dev;
+  const int Iter = 16;
+  uint64_t DA = Dev.allocate((uint64_t)Iter * 4 * 8);
+  LaunchConfig LC;
+  LC.GridDim = 4;
+  LC.BlockDim = 64;
+  LC.Profile = Collector;
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  R.Stats = Dev.launchKernel(M, K, LC, {DA, (uint64_t)Iter}, RTL);
+  return R;
+}
+
+TEST(ProfileConsumption, GuardGroupingFollowsDynamicBarrierCounts) {
+  // Baseline compile groups by default and emits anchored guards.
+  ProfileCollector C;
+  GuardRun Gen = runGuardKernel(nullptr, &C);
+  ASSERT_TRUE(Gen.Stats.ok()) << Gen.Stats.Trap;
+  unsigned GroupedGuards = Gen.Compile.Stats.GuardedRegions;
+  ASSERT_GT(GroupedGuards, 0u);
+
+  ExecutionProfile Hot = C.takeProfile();
+  EXPECT_GT(
+      ExecutionProfile::sumByPrefix(Hot.Barriers, "guard:guard_kernel:"),
+      0u)
+      << "executed guards must count their pre/post barriers";
+
+  // A profile showing the guards actually run keeps grouping on
+  // (performed remark).
+  GuardRun UseHot = runGuardKernel(&Hot, nullptr);
+  ASSERT_TRUE(UseHot.Stats.ok()) << UseHot.Stats.Trap;
+  EXPECT_EQ(GroupedGuards, UseHot.Compile.Stats.GuardedRegions);
+  EXPECT_TRUE(hasRemark(UseHot.Compile, RemarkId::OMP212, /*Missed=*/false));
+  EXPECT_EQ(1u, UseHot.Compile.Stats.PGOGuardDecisions);
+
+  // A non-empty profile with zero dynamic guard barriers says grouping
+  // never pays off here: SPMDzation falls back to naive per-effect guards
+  // and reports the missed decision.
+  ExecutionProfile Cold;
+  Cold.Dispatches["parallel:elsewhere"] = 1;
+  GuardRun UseCold = runGuardKernel(&Cold, nullptr);
+  ASSERT_TRUE(UseCold.Stats.ok()) << UseCold.Stats.Trap;
+  EXPECT_GT(UseCold.Compile.Stats.GuardedRegions, GroupedGuards);
+  EXPECT_TRUE(hasRemark(UseCold.Compile, RemarkId::OMP212, /*Missed=*/true));
+}
+
+//===----------------------------------------------------------------------===//
+// Compile report (schema v4 profile section)
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileReport, CompileReportCarriesProfileSection) {
+  ExecutionProfile Prof;
+  Prof.Touches["alloc:spo_batched_kernel:c"] = 1;
+
+  std::unique_ptr<Workload> W = createMiniQMC(ProblemSize::Small);
+  PipelineOptions P = makeDevPipeline();
+  P.OptConfig.SharedMemoryLimit = 160;
+  P.Profile = PipelineOptions::ProfileMode::Use;
+  P.OptConfig.Profile = &Prof;
+  HarnessOptions HO;
+  HO.MaxSimulatedBlocks = 1;
+  WorkloadRunResult R = runWorkload(*W, P, HO);
+  ASSERT_TRUE(R.Stats.ok()) << R.Stats.Trap;
+
+  json::Value Report = buildCompileReport(P, R.Compile, {R.Stats});
+  EXPECT_EQ(CompileReportSchemaVersion,
+            (unsigned)Report.at("schema_version").asInt());
+  const json::Value &Sec = Report.at("profile");
+  ASSERT_TRUE(Sec.isObject());
+  EXPECT_EQ("use", Sec.at("mode").asString());
+  EXPECT_TRUE(Sec.at("consumed").asBool());
+  EXPECT_EQ(160, Sec.at("shared_memory_limit").asInt());
+  EXPECT_GT(Sec.at("ranked_allocations").asInt(), 0);
+
+  // Off mode reports -1 ("unlimited") for the budget and consumed=false.
+  WorkloadRunResult Off =
+      runWorkload(*createMiniQMC(ProblemSize::Small), makeDevPipeline(), HO);
+  json::Value OffReport =
+      buildCompileReport(makeDevPipeline(), Off.Compile, {Off.Stats});
+  EXPECT_EQ("off", OffReport.at("profile").at("mode").asString());
+  EXPECT_FALSE(OffReport.at("profile").at("consumed").asBool());
+  EXPECT_EQ(-1, OffReport.at("profile").at("shared_memory_limit").asInt());
+}
+
+} // namespace
