@@ -20,7 +20,9 @@
 #include "ir/AsmWriter.h"
 #include "ir/IRContext.h"
 #include "ir/Module.h"
+#include "service/CompileService.h"
 #include "support/CommandLine.h"
+#include "support/Hashing.h"
 #include "support/raw_ostream.h"
 
 using namespace ompgpu;
@@ -49,6 +51,29 @@ static cl::opt<int64_t>
 static cl::opt<bool> NoReduce("fuzz-no-reduce",
                               "Skip reduction and attribution of failures",
                               false);
+static cl::opt<int64_t>
+    Jobs("fuzz-jobs",
+         "Compile-service worker threads for the campaign (0 = hardware "
+         "concurrency, 1 = sequential)",
+         0);
+static cl::opt<std::string>
+    CacheDir("fuzz-cache-dir",
+             "On-disk compile-cache directory, shared across campaigns "
+             "(empty: in-memory cache only)",
+             "");
+static cl::opt<bool> NoCache("fuzz-no-cache",
+                             "Disable the compile cache entirely", false);
+static cl::opt<std::string> CompileBench(
+    "compile-bench",
+    "Instead of a campaign, measure the compile workload three ways — "
+    "sequential cold, batched cold, batched warm cache — and write the "
+    "wall-clock trajectory as BENCH_compile.json to this path",
+    "");
+static cl::opt<double> RequireSpeedup(
+    "compile-bench-require-speedup",
+    "With -compile-bench: exit non-zero unless batched-warm beats "
+    "sequential-cold by at least this factor (0 = no gate)",
+    0.0);
 
 /// Emits the recipe's module under \p Scheme into a fresh context and
 /// returns its textual IR.
@@ -139,6 +164,173 @@ static CorpusEntry runCase(const KernelRecipe &R) {
   return E;
 }
 
+/// One (recipe, preset) compile-service job: Emit regenerates the kernel
+/// (deterministic), Evaluate judges the compiled preset; the serialized
+/// judgment is cached with the compile, so a warm cache skips the compile,
+/// both simulations, and the comparison.
+static CompileRequest makeCaseRequest(const KernelRecipe &R,
+                                      const PipelineOptions &Preset) {
+  FuzzOracleOptions O; // Campaign defaults: VerifyEach + lint on.
+  CompileRequest Q;
+  Q.Id = "seed-" + std::to_string(R.Seed) + "/" + Preset.Name;
+  Q.Pipeline = effectiveFuzzPipeline(Preset, O);
+  // The recipe also controls inputs and launch geometry, which the kernel
+  // IR does not encode; fold its full identity into the cache key.
+  Q.Salt = hashBytes(R.toJSON().str());
+  Q.Emit = [R, Preset](Module &M) { return emitFuzzKernel(M, R, Preset); };
+  Q.Evaluate = [R, Preset](Module &M, const CompileResult &CR,
+                           const std::string &Kernel) {
+    return fuzzPresetOutcomeToJSON(
+        judgeCompiledPreset(R, Preset, M, Kernel, CR));
+  };
+  return Q;
+}
+
+static std::vector<CompileRequest>
+makeCampaignRequests(const std::vector<KernelRecipe> &Recipes,
+                     const std::vector<PipelineOptions> &Presets) {
+  std::vector<CompileRequest> Reqs;
+  Reqs.reserve(Recipes.size() * Presets.size());
+  for (const KernelRecipe &R : Recipes)
+    for (const PipelineOptions &P : Presets)
+      Reqs.push_back(makeCaseRequest(R, P));
+  return Reqs;
+}
+
+/// Folds one batch's outcomes (request order = Recipes x Presets) back
+/// into per-case corpus entries, with runFuzzOracle's first-failing-preset
+/// semantics.
+static std::vector<CorpusEntry>
+judgeCampaignOutcomes(const std::vector<KernelRecipe> &Recipes,
+                      const std::vector<PipelineOptions> &Presets,
+                      const std::vector<CompileOutcome> &Outcomes) {
+  std::vector<CorpusEntry> Entries;
+  Entries.reserve(Recipes.size());
+  for (size_t RI = 0; RI < Recipes.size(); ++RI) {
+    CorpusEntry E;
+    E.Seed = Recipes[RI].Seed;
+    for (size_t PI = 0; PI < Presets.size() && E.OK; ++PI) {
+      const CompileOutcome &O = Outcomes[RI * Presets.size() + PI];
+      if (!O.Error.empty()) {
+        E.OK = false;
+        E.FailingPreset = Presets[PI].Name;
+        E.Reason = "compile service: " + O.Error;
+        break;
+      }
+      Expected<FuzzPresetOutcome> P =
+          fuzzPresetOutcomeFromJSON(O.evaluation());
+      if (!P) {
+        E.OK = false;
+        E.FailingPreset = Presets[PI].Name;
+        E.Reason = "compile service: " + P.message();
+        break;
+      }
+      if (!P->OK) {
+        E.OK = false;
+        E.FailingPreset = P->Preset;
+        E.Reason = P->Reason;
+      }
+    }
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+static json::Value phaseRow(const char *Name, const BatchStats &B) {
+  json::Value V = B.toJSON();
+  V.set("name", Name);
+  return V;
+}
+
+static void printPhase(const char *Name, const BatchStats &B) {
+  outs() << "  " << Name << ": " << B.WallMillis << " ms wall ("
+         << B.JobMillis << " ms of jobs, " << B.Workers << " worker"
+         << (B.Workers == 1 ? "" : "s") << ", " << B.CacheHits
+         << " cache hit" << (B.CacheHits == 1 ? "" : "s") << ")\n";
+}
+
+/// -compile-bench: measure the same compile workload three ways and write
+/// the wall-clock trajectory (docs/compile-service.md). The three phases
+/// must produce bit-identical judgments; the speedup numbers are measured,
+/// not asserted.
+static int runCompileBench(const std::vector<KernelRecipe> &Recipes,
+                           const std::vector<PipelineOptions> &Presets) {
+  // Phase 1: sequential cold — one worker, cache off. The baseline every
+  // speedup is quoted against.
+  CompileService::Options S1;
+  S1.Workers = 1;
+  S1.Cache.Enabled = false;
+  CompileService Seq(S1);
+  std::vector<CompileOutcome> O1 =
+      Seq.compileBatch(makeCampaignRequests(Recipes, Presets));
+  BatchStats B1 = Seq.lastBatchStats();
+
+  // Phases 2 and 3 share one parallel service: batched cold fills the
+  // cache, batched warm replays the identical batch against it.
+  CompileService::Options S2;
+  S2.Workers = (unsigned)(int64_t)Jobs;
+  S2.Cache.Enabled = !NoCache;
+  S2.Cache.Dir = CacheDir.getValue();
+  CompileService Par(S2);
+  std::vector<CompileOutcome> O2 =
+      Par.compileBatch(makeCampaignRequests(Recipes, Presets));
+  BatchStats B2 = Par.lastBatchStats();
+  std::vector<CompileOutcome> O3 =
+      Par.compileBatch(makeCampaignRequests(Recipes, Presets));
+  BatchStats B3 = Par.lastBatchStats();
+
+  bool Identical = O1.size() == O2.size() && O1.size() == O3.size();
+  for (size_t I = 0; Identical && I < O1.size(); ++I)
+    Identical = O1[I].resultKey() == O2[I].resultKey() &&
+                O1[I].resultKey() == O3[I].resultKey();
+
+  double SpeedupCold = B2.WallMillis > 0 ? B1.WallMillis / B2.WallMillis : 0;
+  double SpeedupWarm = B3.WallMillis > 0 ? B1.WallMillis / B3.WallMillis : 0;
+
+  json::Value Phases = json::Value::makeArray();
+  Phases.push_back(phaseRow("sequential-cold", B1));
+  Phases.push_back(phaseRow("batched-cold", B2));
+  Phases.push_back(phaseRow("batched-warm", B3));
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", 1)
+      .set("generator", "ompgpu")
+      .set("tool", "fuzz-compile-bench")
+      .set("cases", (unsigned)Recipes.size())
+      .set("presets", (unsigned)Presets.size())
+      .set("jobs", (unsigned)(Recipes.size() * Presets.size()))
+      .set("workers", B2.Workers)
+      .set("phases", std::move(Phases))
+      .set("speedup_batched_cold", SpeedupCold)
+      .set("speedup_batched_warm", SpeedupWarm)
+      .set("bit_identical", Identical);
+  if (Error E = writeTextFile(CompileBench.getValue(), Doc.str() + "\n")) {
+    errs() << E.message() << "\n";
+    return 2;
+  }
+
+  outs() << "compile-bench: " << Recipes.size() << " cases x "
+         << Presets.size() << " presets (" << Recipes.size() * Presets.size()
+         << " jobs)\n";
+  printPhase("sequential-cold", B1);
+  printPhase("batched-cold", B2);
+  printPhase("batched-warm", B3);
+  outs() << "  speedup: batched-cold " << SpeedupCold << "x, batched-warm "
+         << SpeedupWarm << "x, results "
+         << (Identical ? "bit-identical" : "DIVERGED") << "\n";
+
+  if (!Identical) {
+    errs() << "compile-bench: batched/cached results diverge from the "
+              "sequential baseline\n";
+    return 1;
+  }
+  if ((double)RequireSpeedup > 0 && SpeedupWarm < (double)RequireSpeedup) {
+    errs() << "compile-bench: batched-warm speedup " << SpeedupWarm
+           << "x below required " << (double)RequireSpeedup << "x\n";
+    return 1;
+  }
+  return 0;
+}
+
 int main(int argc, char **argv) {
   cl::parseCommandLine(argc, argv);
 
@@ -169,22 +361,59 @@ int main(int argc, char **argv) {
     return E.OK ? 0 : 1;
   }
 
-  std::vector<CorpusEntry> Entries;
-  unsigned Failures = 0;
   uint64_t First = (uint64_t)(int64_t)Seed;
   uint64_t N = (uint64_t)(int64_t)Runs;
-  for (uint64_t S = First; S < First + N; ++S) {
-    CorpusEntry E = runCase(KernelRecipe::sample(S));
-    if (!E.OK)
-      ++Failures;
-    Entries.push_back(std::move(E));
+  std::vector<KernelRecipe> Recipes;
+  Recipes.reserve((size_t)N);
+  for (uint64_t S = First; S < First + N; ++S)
+    Recipes.push_back(KernelRecipe::sample(S));
+  const std::vector<PipelineOptions> Presets = defaultFuzzPresets();
+
+  if (!CompileBench.getValue().empty())
+    return runCompileBench(Recipes, Presets);
+
+  // The campaign compiles through the service: every (seed, preset) pair
+  // is one job, batched across workers and memoized in the compile cache.
+  CompileService::Options SO;
+  SO.Workers = (unsigned)(int64_t)Jobs;
+  SO.Cache.Enabled = !NoCache;
+  SO.Cache.Dir = CacheDir.getValue();
+  CompileService Svc(SO);
+  std::vector<CompileOutcome> Outcomes =
+      Svc.compileBatch(makeCampaignRequests(Recipes, Presets));
+  std::vector<CorpusEntry> Entries =
+      judgeCampaignOutcomes(Recipes, Presets, Outcomes);
+
+  // Failure triage (persist recipe, reduce, attribute) stays on the main
+  // thread, in seed order.
+  unsigned Failures = 0;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    CorpusEntry &E = Entries[I];
+    if (E.OK)
+      continue;
+    ++Failures;
+    const KernelRecipe &R = Recipes[I];
+    errs() << "FAIL " << R.summary() << "\n  preset '" << E.FailingPreset
+           << "': " << E.Reason << "\n";
+    if (!CorpusDir.getValue().empty()) {
+      E.CaseFile = "case-" + std::to_string(R.Seed) + ".json";
+      if (Error Err = saveRecipe(CorpusDir.getValue() + "/" + E.CaseFile, R))
+        errs() << "  " << Err.message() << "\n";
+    }
+    if (!NoReduce)
+      reduceAndAttribute(R, E.FailingPreset);
   }
 
   if (!CorpusDir.getValue().empty())
     if (Error E = saveCorpus(CorpusDir.getValue() + "/corpus.json", Entries))
       errs() << E.message() << "\n";
 
-  outs() << "fuzz: " << N << " cases from seed " << First << ", "
-         << Failures << " failure" << (Failures == 1 ? "" : "s") << "\n";
+  const BatchStats &BS = Svc.lastBatchStats();
+  outs() << "fuzz: " << N << " cases from seed " << First << ", " << Failures
+         << " failure" << (Failures == 1 ? "" : "s") << " (" << BS.Workers
+         << " worker" << (BS.Workers == 1 ? "" : "s") << ", "
+         << BS.CacheHits << " cache hit" << (BS.CacheHits == 1 ? "" : "s")
+         << ", " << BS.CacheMisses << " miss"
+         << (BS.CacheMisses == 1 ? "" : "es") << ")\n";
   return Failures ? 1 : 0;
 }

@@ -25,10 +25,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
+#include "ir/Module.h"
 #include "profile/Profile.h"
+#include "service/CompileService.h"
 #include "support/CommandLine.h"
 #include "support/raw_ostream.h"
 #include "workloads/Harness.h"
+
+#include <map>
+#include <memory>
 
 using namespace ompgpu;
 using namespace ompgpu::bench;
@@ -52,6 +57,16 @@ static cl::opt<bool> RequireImprovement(
     "Exit non-zero unless at least one workload's PGO arm beats the "
     "no-PGO arm in simulated cycles (the CI gate)",
     false);
+static cl::opt<int64_t>
+    Jobs("pgo-jobs",
+         "Compile-service worker threads (0 = hardware concurrency, 1 = "
+         "sequential)",
+         0);
+static cl::opt<std::string>
+    CacheDir("pgo-cache-dir",
+             "On-disk compile-cache directory shared across runs (empty: "
+             "in-memory cache only)",
+             "");
 
 namespace {
 
@@ -60,24 +75,96 @@ struct NamedFactory {
   std::unique_ptr<Workload> (*Create)(ProblemSize);
 };
 
-struct ArmResult {
-  WorkloadRunResult Run;
-  bool ok() const {
-    return Run.Stats.ok() && Run.Checked && Run.Correct;
-  }
+/// Scratch shared between one arm request's Emit and Evaluate callbacks
+/// (both run on the same service worker, in order).
+struct ArmState {
+  std::unique_ptr<Workload> W;
+  ProfileCollector Collector;
+  bool CollectProfile = false;
 };
 
-/// Compiles and full-grid-simulates one fresh instance of the workload.
-ArmResult runArm(const NamedFactory &Factory, const PipelineOptions &P,
-                 ProfileCollector *Collector) {
-  std::unique_ptr<Workload> W = Factory.Create(ProblemSize::Small);
-  HarnessOptions HO;
-  HO.MaxSimulatedBlocks = 0; // whole grid: outputs are checked
-  HO.Profile = Collector;
-  ArmResult R;
-  R.Run = runWorkload(*W, P, HO);
-  return R;
+/// One arm as a compile-service request: Emit builds the workload module,
+/// Evaluate full-grid-simulates it and (for the gen arms) serializes the
+/// collected execution profile into the cached evaluation — so a warm
+/// cache skips the compile *and* the simulation.
+CompileRequest makeArmRequest(const NamedFactory &Factory,
+                              const PipelineOptions &P, bool CollectProfile,
+                              uint64_t Salt) {
+  auto St = std::make_shared<ArmState>();
+  St->CollectProfile = CollectProfile;
+  CompileRequest Q;
+  Q.Id = std::string(Factory.Name) + "/" + P.Name;
+  Q.Pipeline = P;
+  Q.Salt = Salt;
+  Q.Emit = [St, Factory, P](Module &M) {
+    St->W = Factory.Create(ProblemSize::Small);
+    Function *K = emitWorkloadModule(*St->W, M, P);
+    return K ? std::string(K->getName()) : std::string();
+  };
+  Q.Evaluate = [St, P](Module &M, const CompileResult &CR,
+                       const std::string &Kernel) {
+    json::Value V = json::Value::makeObject();
+    if (CR.VerifyFailed) {
+      V.set("ok", false)
+          .set("trap", "IR verification failed: " + CR.VerifyError);
+      return V;
+    }
+    Function *K = M.getFunction(Kernel);
+    if (!K) {
+      V.set("ok", false)
+          .set("trap", "kernel '" + Kernel + "' lost during optimization");
+      return V;
+    }
+    HarnessOptions HO;
+    HO.MaxSimulatedBlocks = 0; // whole grid: outputs are checked
+    HO.Profile = St->CollectProfile ? &St->Collector : nullptr;
+    LaunchCheckResult L = launchAndCheckWorkload(*St->W, M, K, P, HO);
+    bool OK = L.Stats.ok() && L.Checked && L.Correct;
+    V.set("ok", OK)
+        .set("checked", L.Checked)
+        .set("correct", L.Correct)
+        .set("cycles", L.Stats.Cycles)
+        .set("trap", L.Stats.ok() ? std::string(L.Stats.Trap)
+                                  : (L.Stats.Trap.empty() ? "out of memory"
+                                                          : L.Stats.Trap));
+    if (St->CollectProfile)
+      V.set("profile", serializeProfile(St->Collector.profile()));
+    return V;
+  };
+  return Q;
 }
+
+/// One arm's outcome as the driver consumes it.
+struct ArmResult {
+  bool ServiceError = false;
+  std::string Message;
+  bool OK = false;
+  uint64_t Cycles = 0;
+  std::string ProfileText;
+
+  static ArmResult fromOutcome(const CompileOutcome &O) {
+    ArmResult R;
+    if (!O.Error.empty()) {
+      R.ServiceError = true;
+      R.Message = O.Error;
+      return R;
+    }
+    const json::Value &E = O.evaluation();
+    if (!E.isObject() || !E.find("ok")) {
+      R.ServiceError = true;
+      R.Message = "malformed evaluation payload";
+      return R;
+    }
+    R.OK = E.at("ok").asBool();
+    if (const json::Value *C = E.find("cycles"))
+      R.Cycles = (uint64_t)C->asInt();
+    if (const json::Value *T = E.find("trap"))
+      R.Message = T->asString();
+    if (const json::Value *P = E.find("profile"))
+      R.ProfileText = P->asString();
+    return R;
+  }
+};
 
 } // namespace
 
@@ -98,59 +185,85 @@ int main(int argc, char **argv) {
   outs() << formatBuf("  %-10s %14s %14s %10s %8s\n", "workload",
                       "no-PGO cycles", "PGO cycles", "delta", "speedup");
 
-  unsigned Failures = 0, Improved = 0, Ran = 0;
-  for (const NamedFactory &Factory : Factories) {
-    if (!OnlyWorkload.getValue().empty() &&
-        OnlyWorkload.getValue() != Factory.Name)
-      continue;
-    ++Ran;
+  // One compile service for both batches; the cache persists across them
+  // (and across processes when -pgo-cache-dir is set).
+  CompileService::Options SO;
+  SO.Workers = (unsigned)(int64_t)Jobs;
+  SO.Cache.Dir = CacheDir.getValue();
+  CompileService Svc(SO);
 
-    // Arm A: budgeted compile, no profile.
-    PipelineOptions NoPGO = Base;
-    NoPGO.Name += " (no PGO)";
-    ArmResult A = runArm(Factory, NoPGO, nullptr);
-    if (!A.ok()) {
-      errs() << "pgo: " << Factory.Name << ": no-PGO arm failed: "
-             << (A.Run.Stats.ok() ? "wrong outputs" : A.Run.Stats.Trap)
+  // Batch 1: per workload, arm A plus two profile-gen runs. The gen runs
+  // get distinct salts so they occupy distinct cache entries — otherwise a
+  // cache hit would trivially satisfy the profile-determinism check below.
+  std::vector<const NamedFactory *> Active;
+  for (const NamedFactory &Factory : Factories)
+    if (OnlyWorkload.getValue().empty() ||
+        OnlyWorkload.getValue() == Factory.Name)
+      Active.push_back(&Factory);
+
+  PipelineOptions NoPGO = Base;
+  NoPGO.Name += " (no PGO)";
+  PipelineOptions Gen = Base;
+  Gen.Name += " (profile-gen)";
+  Gen.Profile = PipelineOptions::ProfileMode::Gen;
+
+  std::vector<CompileRequest> Batch1;
+  for (const NamedFactory *Factory : Active) {
+    Batch1.push_back(makeArmRequest(*Factory, NoPGO, false, 0));
+    Batch1.push_back(makeArmRequest(*Factory, Gen, true, 1));
+    Batch1.push_back(makeArmRequest(*Factory, Gen, true, 2));
+  }
+  std::vector<CompileOutcome> Out1 = Svc.compileBatch(Batch1);
+
+  // Digest batch 1: profile determinism, parse/re-serialize round trip,
+  // profile persistence. Workloads that survive feed arm B; the profiles
+  // must outlive batch 2 (arm B's pipeline fingerprint hashes their
+  // content, and openmp-opt reads them during the compile).
+  struct WorkloadPlan {
+    const NamedFactory *Factory = nullptr;
+    uint64_t CyclesA = 0;
+    bool Deterministic = false;
+    bool RoundTrip = false;
+  };
+  std::map<std::string, ExecutionProfile> Profiles;
+  std::vector<WorkloadPlan> Plans;
+  unsigned Failures = 0, Improved = 0;
+  unsigned Ran = (unsigned)Active.size();
+  for (size_t I = 0; I < Active.size(); ++I) {
+    const NamedFactory &Factory = *Active[I];
+    ArmResult A = ArmResult::fromOutcome(Out1[3 * I]);
+    ArmResult G1 = ArmResult::fromOutcome(Out1[3 * I + 1]);
+    ArmResult G2 = ArmResult::fromOutcome(Out1[3 * I + 2]);
+    if (!A.OK) {
+      errs() << "pgo: " << Factory.Name
+             << ": no-PGO arm failed: " << (A.Message.empty() ? "wrong outputs"
+                                                              : A.Message)
              << "\n";
       ++Failures;
       continue;
     }
-
-    // Profile generation: the same compile, simulated twice in profiling
-    // mode. Identical runs must produce byte-identical serializations.
-    PipelineOptions Gen = Base;
-    Gen.Name += " (profile-gen)";
-    Gen.Profile = PipelineOptions::ProfileMode::Gen;
-    ProfileCollector C1, C2;
-    ArmResult G1 = runArm(Factory, Gen, &C1);
-    ArmResult G2 = runArm(Factory, Gen, &C2);
-    if (!G1.ok() || !G2.ok()) {
+    if (!G1.OK || !G2.OK) {
       errs() << "pgo: " << Factory.Name << ": profile-gen arm failed\n";
       ++Failures;
       continue;
     }
-    ExecutionProfile Prof = C1.takeProfile();
-    std::string Text1 = serializeProfile(Prof);
-    std::string Text2 = serializeProfile(C2.profile());
-    bool Deterministic = Text1 == Text2;
+    bool Deterministic = G1.ProfileText == G2.ProfileText;
     if (!Deterministic) {
       errs() << "pgo: " << Factory.Name
              << ": profiles of two identical runs differ\n";
       ++Failures;
     }
-    if (Prof.empty()) {
-      errs() << "pgo: " << Factory.Name << ": collected profile is empty\n";
+    Expected<ExecutionProfile> Parsed = parseProfile(G1.ProfileText);
+    if (!Parsed || Parsed->empty()) {
+      errs() << "pgo: " << Factory.Name << ": collected profile is "
+             << (Parsed ? "empty" : ("unparsable: " + Parsed.message()))
+             << "\n";
       ++Failures;
       continue;
     }
-
-    // Round trip: parse the serialized profile and re-serialize.
-    Expected<ExecutionProfile> Reparsed = parseProfile(Text1);
-    bool RoundTrip = Reparsed && serializeProfile(*Reparsed) == Text1;
+    bool RoundTrip = serializeProfile(*Parsed) == G1.ProfileText;
     if (!RoundTrip) {
-      errs() << "pgo: " << Factory.Name << ": profile round trip failed"
-             << (Reparsed ? "" : ": " + Reparsed.message()) << "\n";
+      errs() << "pgo: " << Factory.Name << ": profile round trip failed\n";
       ++Failures;
       continue;
     }
@@ -158,25 +271,44 @@ int main(int argc, char **argv) {
     if (!ProfileDir.getValue().empty()) {
       std::string Path = ProfileDir.getValue() + "/" +
                          std::string(Factory.Name) + ".profile.json";
-      if (Error E = writeProfileFile(Path, Prof))
+      if (Error E = writeProfileFile(Path, *Parsed))
         errs() << "pgo: " << Path << ": " << E.message() << "\n";
     }
 
-    // Arm B: recompile with the profile feeding OpenMPOpt.
+    Profiles.emplace(Factory.Name, std::move(*Parsed));
+    WorkloadPlan Plan;
+    Plan.Factory = &Factory;
+    Plan.CyclesA = A.Cycles;
+    Plan.Deterministic = Deterministic;
+    Plan.RoundTrip = RoundTrip;
+    Plans.push_back(Plan);
+  }
+
+  // Batch 2: arm B — recompile with each workload's profile feeding
+  // OpenMPOpt.
+  std::vector<CompileRequest> Batch2;
+  for (const WorkloadPlan &Plan : Plans) {
     PipelineOptions UsePGO = Base;
     UsePGO.Name += " (PGO)";
     UsePGO.Profile = PipelineOptions::ProfileMode::Use;
-    UsePGO.OptConfig.Profile = &Prof;
-    ArmResult B = runArm(Factory, UsePGO, nullptr);
-    if (!B.ok()) {
+    UsePGO.OptConfig.Profile = &Profiles.at(Plan.Factory->Name);
+    Batch2.push_back(makeArmRequest(*Plan.Factory, UsePGO, false, 0));
+  }
+  std::vector<CompileOutcome> Out2 = Svc.compileBatch(Batch2);
+
+  for (size_t I = 0; I < Plans.size(); ++I) {
+    const NamedFactory &Factory = *Plans[I].Factory;
+    bool Deterministic = Plans[I].Deterministic;
+    bool RoundTrip = Plans[I].RoundTrip;
+    ArmResult B = ArmResult::fromOutcome(Out2[I]);
+    if (!B.OK) {
       errs() << "pgo: " << Factory.Name << ": PGO arm failed: "
-             << (B.Run.Stats.ok() ? "wrong outputs" : B.Run.Stats.Trap)
-             << "\n";
+             << (B.Message.empty() ? "wrong outputs" : B.Message) << "\n";
       ++Failures;
       continue;
     }
 
-    uint64_t CyclesA = A.Run.Stats.Cycles, CyclesB = B.Run.Stats.Cycles;
+    uint64_t CyclesA = Plans[I].CyclesA, CyclesB = B.Cycles;
     int64_t Delta = (int64_t)CyclesA - (int64_t)CyclesB;
     if (Delta > 0)
       ++Improved;
@@ -196,7 +328,7 @@ int main(int argc, char **argv) {
              CyclesB ? (double)CyclesA / (double)CyclesB : 0.0)
         .set("profile_deterministic", Deterministic)
         .set("profile_round_trip", RoundTrip)
-        .set("correct", A.ok() && B.ok());
+        .set("correct", true);
     recordBenchSummaryRow(std::move(Row));
   }
 
@@ -206,7 +338,27 @@ int main(int argc, char **argv) {
   }
   outs() << "  " << Improved << " workload(s) improved under PGO, "
          << Failures << " failure(s)\n";
+
+  // Surface the compile-service counters next to the A/B rows
+  // (docs/compile-service.md): CI plots cache effectiveness over time.
+  CompileCacheStats CS = Svc.cache().stats();
+  outs() << "  compile service: " << (Batch1.size() + Batch2.size())
+         << " jobs, " << CS.Hits << " cache hit" << (CS.Hits == 1 ? "" : "s")
+         << ", " << CS.Misses << " miss" << (CS.Misses == 1 ? "" : "es")
+         << "\n";
   outs().flush();
+
+  json::Value SvcRow = json::Value::makeObject();
+  SvcRow.set("workload", "(all)")
+      .set("config", "compile-service")
+      .set("jobs", (unsigned)(Batch1.size() + Batch2.size()))
+      .set("workers", Svc.lastBatchStats().Workers)
+      .set("cache_hits", CS.Hits)
+      .set("cache_misses", CS.Misses)
+      .set("cache_stores", CS.Stores)
+      .set("cache_evictions", CS.Evictions)
+      .set("cache_corrupt_entries", CS.CorruptEntries);
+  recordBenchSummaryRow(std::move(SvcRow));
 
   bool WroteSummary = writeBenchSummary("pgo");
   if (Failures || !WroteSummary)

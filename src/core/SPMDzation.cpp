@@ -204,10 +204,15 @@ bool trySPMDzeKernel(OpenMPOptContext &Ctx, const KernelTargetInfo &KI) {
   if (MainOnly.empty())
     return false;
 
-  // Pass 1: classify all sequential instructions.
+  // Pass 1: classify all sequential instructions. Blocks are visited in
+  // function order, not in MainOnly's pointer order: the first blocking
+  // instruction names itself in the OMP121 remark, and that choice must
+  // not depend on heap layout (the compile service compares batched
+  // results bit-identically against sequential ones).
   std::map<BasicBlock *, std::vector<Instruction *>> Guarded;
-  for (const BasicBlock *CBB : MainOnly) {
-    auto *BB = const_cast<BasicBlock *>(CBB);
+  for (BasicBlock *BB : Kernel->getBlocks()) {
+    if (!MainOnly.count(BB))
+      continue;
     for (Instruction *I : *BB) {
       std::string Reason;
       switch (classify(I, Reason)) {

@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/CompileReport.h"
-#include "support/Statistic.h"
+#include "support/FileSystem.h"
 #include "support/raw_ostream.h"
 
 using namespace ompgpu;
@@ -199,19 +199,30 @@ static json::Value remarksSection(const RemarkCollector &Remarks) {
   return A;
 }
 
-static json::Value statisticsSection() {
+static json::Value statisticsSection(const CompileResult &Result) {
+  // Schema v5: per-compile deltas captured by the StatisticScope inside
+  // optimizeDeviceModule, not the process-global registry — the numbers
+  // stay exact when service workers compile concurrently.
   json::Value A = json::Value::makeArray();
-  for (const Statistic *S : StatisticRegistry::get().stats()) {
-    if (S->getValue() == 0)
+  for (const CapturedStatistic &S : Result.Statistics) {
+    if (S.Value == 0)
       continue;
     json::Value E = json::Value::makeObject();
-    E.set("debug_type", S->getDebugType())
-        .set("name", S->getName())
-        .set("value", S->getValue())
-        .set("description", S->getDesc());
+    E.set("debug_type", S.DebugType)
+        .set("name", S.Name)
+        .set("value", S.Value)
+        .set("description", S.Description);
     A.push_back(std::move(E));
   }
   return A;
+}
+
+static json::Value cacheSection(const json::Value *CacheInfo) {
+  if (CacheInfo)
+    return *CacheInfo;
+  json::Value C = json::Value::makeObject();
+  C.set("managed", false);
+  return C;
 }
 
 static json::Value kernelSection(const KernelStats &S) {
@@ -234,7 +245,8 @@ static json::Value kernelSection(const KernelStats &S) {
 json::Value
 ompgpu::buildCompileReport(const PipelineOptions &Opts,
                            const CompileResult &Result,
-                           const std::vector<KernelStats> &Kernels) {
+                           const std::vector<KernelStats> &Kernels,
+                           const json::Value *CacheInfo) {
   json::Value Verify = json::Value::makeObject();
   Verify.set("failed", Result.VerifyFailed)
       .set("error", Result.VerifyError)
@@ -255,7 +267,8 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("profile", profileSection(Result))
       .set("openmp_opt_stats", openMPOptStatsSection(Result.Stats))
       .set("remarks", remarksSection(Result.Remarks))
-      .set("statistics", statisticsSection())
+      .set("statistics", statisticsSection(Result))
+      .set("cache", cacheSection(CacheInfo))
       .set("kernels", std::move(KernelArray));
   return Doc;
 }
@@ -268,19 +281,8 @@ void ompgpu::writeCompileReport(raw_ostream &OS, const json::Value &Report) {
 
 Error ompgpu::writeCompileReportFile(const std::string &Path,
                                      const json::Value &Report) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return Error::failure("cannot open '" + Path + "' for writing");
-  {
-    raw_fd_ostream OS(F, /*ShouldClose=*/false);
-    writeCompileReport(OS, Report);
-  }
-  // Flush happened in writeCompileReport; surface short writes (full disk,
-  // closed pipe) as an error instead of a silently truncated report.
-  bool WriteFailed = std::ferror(F) != 0;
-  if (std::fclose(F) != 0)
-    WriteFailed = true;
-  if (WriteFailed)
-    return Error::failure("error writing compile report to '" + Path + "'");
-  return Error::success();
+  // Atomic write (temp + rename, support/FileSystem): an interrupted run
+  // leaves either the previous report or the complete new one, never a
+  // truncated JSON document that poisons the consumer.
+  return writeTextFile(Path, Report.str() + "\n");
 }

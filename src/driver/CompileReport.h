@@ -33,14 +33,21 @@ namespace ompgpu {
 /// bisect/skip/rollback fields; v3 added the `lint` section
 /// and the per-execution lint_failed field; v4 added the `profile`
 /// section and the PGO counters in `openmp_opt_stats`
-/// (docs/compile-report.md, docs/pgo.md).
-inline constexpr unsigned CompileReportSchemaVersion = 4;
+/// (docs/compile-report.md, docs/pgo.md); v5 added the `cache` section
+/// and switched `statistics` from the process-global registry to the
+/// per-compile deltas in CompileResult::Statistics
+/// (docs/compile-service.md).
+inline constexpr unsigned CompileReportSchemaVersion = 5;
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).
+/// \p CacheInfo, when non-null, is embedded verbatim as the `cache`
+/// section (the compile service passes key/hit/cacheable); otherwise the
+/// section is `{"managed": false}` — an uncached, direct compile.
 json::Value buildCompileReport(const PipelineOptions &Opts,
                                const CompileResult &Result,
-                               const std::vector<KernelStats> &Kernels = {});
+                               const std::vector<KernelStats> &Kernels = {},
+                               const json::Value *CacheInfo = nullptr);
 
 /// Writes \p Report pretty-printed, with a trailing newline.
 void writeCompileReport(raw_ostream &OS, const json::Value &Report);

@@ -11,6 +11,7 @@
 #include "ir/Module.h"
 #include "ir/Verifier.h"
 #include "rtl/DeviceRTL.h"
+#include "support/Statistic.h"
 #include "transforms/Cloning.h"
 #include "transforms/Inliner.h"
 #include "transforms/Mem2Reg.h"
@@ -24,6 +25,11 @@ using namespace ompgpu;
 CompileResult ompgpu::optimizeDeviceModule(Module &M,
                                            const PipelineOptions &Opts) {
   CompileResult Result;
+
+  // Attribute global Statistic increments to this compile: with concurrent
+  // compiles on a worker pool the registry totals interleave, but the
+  // thread-local scope sees exactly this pipeline's deltas.
+  StatisticScope StatScope;
 
   PassInstrumentation PI(
       Opts.Instrument, [&M] { return hashModule(M); },
@@ -101,6 +107,12 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
     }
     Result.FirstLintFailPass = PI.firstLintFailPass();
     Result.FirstLintError = PI.lintError();
+    for (const Statistic *S : StatisticRegistry::get().stats()) {
+      auto It = StatScope.deltas().find(S);
+      if (It != StatScope.deltas().end() && It->second != 0)
+        Result.Statistics.push_back(
+            {S->getDebugType(), S->getName(), S->getDesc(), It->second});
+    }
     return Result;
   };
 

@@ -82,6 +82,17 @@ struct PipelineOptions {
   std::vector<ExtraPass> ExtraPasses;
 };
 
+/// One global Statistic counter's delta attributed to a single compile
+/// (support/Statistic.h StatisticScope). Carried by value so the report
+/// stays meaningful when other compiles advance the global counters
+/// concurrently.
+struct CapturedStatistic {
+  std::string DebugType;
+  std::string Name;
+  std::string Description;
+  uint64_t Value = 0;
+};
+
 /// Outputs of optimizeDeviceModule.
 struct CompileResult {
   OpenMPOptStats Stats;
@@ -132,6 +143,14 @@ struct CompileResult {
   bool ProfileConsumed = false;
   /// The shared-memory budget HeapToShared ranked against.
   uint64_t SharedMemoryLimit = UINT64_MAX;
+  /// @}
+  /// \name Per-compile sinks (schema v5, docs/compile-service.md)
+  /// @{
+  /// Non-zero Statistic deltas this compile produced, in registration
+  /// order. Captured via a StatisticScope on the compiling thread, so the
+  /// numbers are exact even when other compiles run concurrently; the
+  /// compile-report's "statistics" section is built from this.
+  std::vector<CapturedStatistic> Statistics;
   /// @}
 };
 

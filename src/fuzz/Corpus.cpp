@@ -7,46 +7,7 @@
 
 #include "fuzz/Corpus.h"
 
-#include <cstdio>
-#include <filesystem>
-
 using namespace ompgpu;
-
-Error ompgpu::writeTextFile(const std::string &Path, const std::string &Text) {
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
-  if (!F)
-    return Error::failure("cannot open '" + Path + "' for writing");
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
-  bool CloseOK = std::fclose(F) == 0;
-  if (Written != Text.size() || !CloseOK)
-    return Error::failure("short write to '" + Path + "'");
-  return Error::success();
-}
-
-Expected<std::string> ompgpu::readTextFile(const std::string &Path) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return Error::failure("cannot open '" + Path + "' for reading");
-  std::string Text;
-  char Buf[4096];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Text.append(Buf, N);
-  bool ReadOK = std::ferror(F) == 0;
-  std::fclose(F);
-  if (!ReadOK)
-    return Error::failure("read error on '" + Path + "'");
-  return Text;
-}
-
-Error ompgpu::ensureDirectory(const std::string &Path) {
-  std::error_code EC;
-  std::filesystem::create_directories(Path, EC);
-  if (EC)
-    return Error::failure("cannot create directory '" + Path +
-                          "': " + EC.message());
-  return Error::success();
-}
 
 Error ompgpu::saveRecipe(const std::string &Path, const KernelRecipe &R) {
   return writeTextFile(Path, R.toJSON().str() + "\n");

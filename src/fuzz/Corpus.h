@@ -18,6 +18,7 @@
 #define OMPGPU_FUZZ_CORPUS_H
 
 #include "fuzz/KernelGenerator.h"
+#include "support/FileSystem.h"
 
 namespace ompgpu {
 
@@ -31,16 +32,10 @@ struct CorpusEntry {
                              ///< corpus directory ("" when OK).
 };
 
-/// \name Plain text file IO
-/// raw_fd_ostream silently falls back to stderr when a path cannot be
-/// opened, which would corrupt a corpus without failing the run; these
-/// helpers report errors instead.
-/// @{
-Error writeTextFile(const std::string &Path, const std::string &Text);
-Expected<std::string> readTextFile(const std::string &Path);
-/// Creates \p Path (and parents) if absent.
-Error ensureDirectory(const std::string &Path);
-/// @}
+// Plain-text file IO (writeTextFile / readTextFile / ensureDirectory)
+// moved to support/FileSystem.h so the compile cache shares it; writes are
+// now atomic (temp + rename), which is what keeps an interrupted nightly
+// run from leaving a truncated corpus.json behind.
 
 /// \name Recipe files
 /// @{

@@ -8,9 +8,9 @@
 #include "fuzz/Oracle.h"
 #include "driver/Presets.h"
 #include "gpusim/Device.h"
+#include "ir/IRContext.h"
 #include "ir/Module.h"
 #include "rtl/DeviceRTL.h"
-#include "transforms/Cloning.h"
 
 using namespace ompgpu;
 
@@ -60,30 +60,30 @@ PipelineOptions ompgpu::referenceFuzzPipeline(const PipelineOptions &P) {
   return Ref;
 }
 
-/// Runs one preset for one recipe: generate (per-preset scheme), clone for
-/// reference, compile both, run both, compare against host model and
-/// against the reference run.
-static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
-                                     const PipelineOptions &Preset,
-                                     const FuzzOracleOptions &O) {
-  FuzzPresetOutcome Res;
-  Res.Preset = Preset.Name;
-
-  IRContext Ctx;
-  Module M(Ctx, "fuzz");
+std::string ompgpu::emitFuzzKernel(Module &M, const KernelRecipe &R,
+                                   const PipelineOptions &Preset) {
   OMPCodeGen CG(M, CodeGenOptions{Preset.Scheme, /*CudaMode=*/false});
-  Function *Kernel = generateKernel(CG, R);
-  std::string KernelName = Kernel->getName();
+  return generateKernel(CG, R)->getName();
+}
 
-  std::unique_ptr<Module> Ref = cloneModule(M);
-
+PipelineOptions ompgpu::effectiveFuzzPipeline(const PipelineOptions &Preset,
+                                              const FuzzOracleOptions &O) {
   PipelineOptions P = Preset;
   P.Instrument.VerifyEach = O.VerifyEach;
   P.RunLint = O.Lint;
   P.Lint = O.LintOpts;
   for (const PipelineOptions::ExtraPass &E : O.ExtraPasses)
     P.ExtraPasses.push_back(E);
-  CompileResult CR = optimizeDeviceModule(M, P);
+  return P;
+}
+
+FuzzPresetOutcome ompgpu::judgeCompiledPreset(const KernelRecipe &R,
+                                              const PipelineOptions &Preset,
+                                              Module &M,
+                                              const std::string &KernelName,
+                                              const CompileResult &CR) {
+  FuzzPresetOutcome Res;
+  Res.Preset = Preset.Name;
   Res.VerifyFailed = CR.VerifyFailed;
   Res.VerifyError = CR.VerifyError;
   Res.RecoveryEvents = (unsigned)CR.Recoveries.size();
@@ -112,16 +112,21 @@ static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
     return Res;
   }
 
-  // Reference compile: link-RTL only, same scheme and flavor.
-  CompileResult RefCR = optimizeDeviceModule(*Ref, referenceFuzzPipeline(Preset));
+  // Reference: regenerate the recipe's kernel (deterministic, so this is
+  // the pre-compile module) and compile link-RTL only, same scheme and
+  // flavor.
+  IRContext RefCtx;
+  Module Ref(RefCtx, "fuzz-ref");
+  emitFuzzKernel(Ref, R, Preset);
+  CompileResult RefCR = optimizeDeviceModule(Ref, referenceFuzzPipeline(Preset));
   if (RefCR.VerifyFailed) {
     Res.ReferenceBroken = true;
     Res.Reason = "generator produced invalid IR: " + RefCR.VerifyError;
     return Res;
   }
 
-  FuzzRunOutcome Opt = runGeneratedKernel(M, KernelName, R, P);
-  FuzzRunOutcome RefRun = runGeneratedKernel(*Ref, KernelName, R, P);
+  FuzzRunOutcome Opt = runGeneratedKernel(M, KernelName, R, Preset);
+  FuzzRunOutcome RefRun = runGeneratedKernel(Ref, KernelName, R, Preset);
   Res.OptimizedTrap = Opt.Stats.Trap;
   Res.ReferenceTrap = RefRun.Stats.Trap;
   if (!RefRun.Stats.ok()) {
@@ -154,6 +159,60 @@ static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
 
   Res.OK = true;
   return Res;
+}
+
+json::Value ompgpu::fuzzPresetOutcomeToJSON(const FuzzPresetOutcome &P) {
+  json::Value LintMessages = json::Value::makeArray();
+  for (const LintFinding &F : P.LintFindings)
+    LintMessages.push_back(json::Value(F.str()));
+  json::Value V = json::Value::makeObject();
+  V.set("preset", P.Preset)
+      .set("ok", P.OK)
+      .set("reason", P.Reason)
+      .set("verify_failed", P.VerifyFailed)
+      .set("verify_error", P.VerifyError)
+      .set("reference_broken", P.ReferenceBroken)
+      .set("optimized_trap", P.OptimizedTrap)
+      .set("reference_trap", P.ReferenceTrap)
+      .set("recovery_events", P.RecoveryEvents)
+      .set("lint_findings", std::move(LintMessages));
+  return V;
+}
+
+Expected<FuzzPresetOutcome>
+ompgpu::fuzzPresetOutcomeFromJSON(const json::Value &V) {
+  if (!V.isObject() || !V.find("preset") || !V.find("ok"))
+    return Error::failure("preset outcome JSON: not an outcome object");
+  FuzzPresetOutcome P;
+  P.Preset = V.at("preset").asString();
+  P.OK = V.at("ok").asBool();
+  if (const json::Value *F = V.find("reason"))
+    P.Reason = F->asString();
+  if (const json::Value *F = V.find("verify_failed"))
+    P.VerifyFailed = F->asBool();
+  if (const json::Value *F = V.find("verify_error"))
+    P.VerifyError = F->asString();
+  if (const json::Value *F = V.find("reference_broken"))
+    P.ReferenceBroken = F->asBool();
+  if (const json::Value *F = V.find("optimized_trap"))
+    P.OptimizedTrap = F->asString();
+  if (const json::Value *F = V.find("reference_trap"))
+    P.ReferenceTrap = F->asString();
+  if (const json::Value *F = V.find("recovery_events"))
+    P.RecoveryEvents = (unsigned)F->asInt();
+  return P;
+}
+
+/// Runs one preset for one recipe end to end: generate (per-preset
+/// scheme), compile under the oracle's effective pipeline, judge.
+static FuzzPresetOutcome judgePreset(const KernelRecipe &R,
+                                     const PipelineOptions &Preset,
+                                     const FuzzOracleOptions &O) {
+  IRContext Ctx;
+  Module M(Ctx, "fuzz");
+  std::string KernelName = emitFuzzKernel(M, R, Preset);
+  CompileResult CR = optimizeDeviceModule(M, effectiveFuzzPipeline(Preset, O));
+  return judgeCompiledPreset(R, Preset, M, KernelName, CR);
 }
 
 FuzzVerdict ompgpu::runFuzzOracle(const KernelRecipe &R,

@@ -22,6 +22,8 @@
 #include "driver/Pipeline.h"
 #include "fuzz/KernelGenerator.h"
 #include "gpusim/KernelStats.h"
+#include "support/Error.h"
+#include "support/JSON.h"
 #include "support/OutputCompare.h"
 
 namespace ompgpu {
@@ -75,6 +77,46 @@ struct FuzzOracleOptions {
 /// branch with optimizations off, the full dev pipeline, and the dev
 /// pipeline with SPMDzation / globalization subsets disabled.
 std::vector<PipelineOptions> defaultFuzzPresets();
+
+/// \name Service-compatible building blocks
+/// The oracle decomposes into emit / compile / judge so the compile
+/// service (src/service) can run the compile step — and cache the
+/// judgment — per (recipe, preset) job: Emit = emitFuzzKernel, the
+/// pipeline = effectiveFuzzPipeline, Evaluate = judgeCompiledPreset
+/// serialized via fuzzPresetOutcomeToJSON. See docs/compile-service.md.
+/// @{
+
+/// Emits \p R's kernel into \p M under \p Preset's front-end scheme and
+/// returns the kernel name. Deterministic: the same recipe and scheme
+/// always produce byte-identical IR (which is what makes the compile
+/// cacheable by IR hash).
+std::string emitFuzzKernel(Module &M, const KernelRecipe &R,
+                           const PipelineOptions &Preset);
+
+/// The pipeline the oracle actually compiles \p Preset under: VerifyEach,
+/// lint switches, and injected extra passes applied from \p O.
+PipelineOptions effectiveFuzzPipeline(const PipelineOptions &Preset,
+                                      const FuzzOracleOptions &O);
+
+/// Judges one already-compiled preset: verifier/recovery/lint verdicts
+/// from \p CR, then the differential comparison of \p M's kernel against
+/// the host model and against a freshly regenerated unoptimized reference
+/// (the generator is deterministic, so regeneration equals the
+/// pre-compile clone the monolithic oracle used).
+FuzzPresetOutcome judgeCompiledPreset(const KernelRecipe &R,
+                                      const PipelineOptions &Preset,
+                                      Module &M,
+                                      const std::string &KernelName,
+                                      const CompileResult &CR);
+
+/// Serializes the judgment fields of \p P (preset, verdict, reason,
+/// verifier/trap/recovery details, lint messages). Lint findings
+/// round-trip as messages only; fromJSON leaves structured
+/// FuzzPresetOutcome::LintFindings empty (the Reason line already carries
+/// the lint summary the campaign reports).
+json::Value fuzzPresetOutcomeToJSON(const FuzzPresetOutcome &P);
+Expected<FuzzPresetOutcome> fuzzPresetOutcomeFromJSON(const json::Value &V);
+/// @}
 
 /// Strips \p P down to its reference form: same scheme and runtime flavor,
 /// but no openmp-opt, no cleanups, no injected passes — the compile only

@@ -15,6 +15,8 @@ IRContext::IRContext() = default;
 IRContext::~IRContext() = default;
 
 PointerType *IRContext::getPtrTy(AddrSpace AS) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
+
   auto &Slot = PointerTypes[(unsigned)AS];
   if (!Slot)
     Slot.reset(new PointerType(AS));
@@ -22,6 +24,8 @@ PointerType *IRContext::getPtrTy(AddrSpace AS) {
 }
 
 ArrayType *IRContext::getArrayTy(Type *Element, uint64_t NumElements) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
+
   for (auto &T : OwnedTypes)
     if (auto *AT = dyn_cast<ArrayType>(T.get()))
       if (AT->getElementType() == Element &&
@@ -33,6 +37,8 @@ ArrayType *IRContext::getArrayTy(Type *Element, uint64_t NumElements) {
 }
 
 StructType *IRContext::getStructTy(std::vector<Type *> Elements) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
+
   for (auto &T : OwnedTypes)
     if (auto *ST = dyn_cast<StructType>(T.get()))
       if (ST->elements() == Elements)
@@ -43,6 +49,8 @@ StructType *IRContext::getStructTy(std::vector<Type *> Elements) {
 }
 
 FunctionType *IRContext::getFunctionTy(Type *Ret, std::vector<Type *> Params) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
+
   for (auto &T : OwnedTypes)
     if (auto *FT = dyn_cast<FunctionType>(T.get()))
       if (FT->getReturnType() == Ret && FT->params() == Params)
@@ -53,6 +61,7 @@ FunctionType *IRContext::getFunctionTy(Type *Ret, std::vector<Type *> Params) {
 }
 
 ConstantInt *IRContext::getConstantInt(Type *Ty, int64_t V) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
   assert(Ty->isIntegerTy() && "integer constant requires an integer type");
   // Normalize to the type's width so equal constants unique properly.
   switch (Ty->getKind()) {
@@ -88,6 +97,7 @@ ConstantInt *IRContext::getInt64(int64_t V) {
 }
 
 ConstantFP *IRContext::getConstantFP(Type *Ty, double V) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
   assert(Ty->isFloatingPointTy() && "fp constant requires a float type");
   if (Ty->getKind() == Type::Kind::Float)
     V = static_cast<float>(V);
@@ -105,6 +115,8 @@ ConstantFP *IRContext::getDouble(double V) {
 }
 
 ConstantPointerNull *IRContext::getNullPtr(AddrSpace AS) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
+
   auto &Slot = NullPtrs[(unsigned)AS];
   if (!Slot)
     Slot.reset(new ConstantPointerNull(getPtrTy(AS)));
@@ -112,6 +124,8 @@ ConstantPointerNull *IRContext::getNullPtr(AddrSpace AS) {
 }
 
 UndefValue *IRContext::getUndef(Type *Ty) {
+  std::lock_guard<std::recursive_mutex> Lock(Mu);
+
   auto &Slot = Undefs[Ty];
   if (!Slot)
     Slot.reset(new UndefValue(Ty));

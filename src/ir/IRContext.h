@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace ompgpu {
@@ -29,6 +30,13 @@ class UndefValue;
 
 /// Owns uniqued types and constants. Every Module is created against a
 /// context; IR entities from different contexts must not be mixed.
+///
+/// Interning is thread-safe: every uniquing getter takes the context lock,
+/// so concurrent compiles (the compile service's worker pool) may share
+/// one context or intern into separate contexts without data races.
+/// Mutating the *modules* of one context from two threads is still the
+/// caller's problem — the service gives each in-flight compile its own
+/// context and module (docs/compile-service.md).
 class IRContext {
 public:
   IRContext();
@@ -71,6 +79,10 @@ public:
   /// @}
 
 private:
+  /// Guards every interning map below. Recursive because uniquing
+  /// constants re-enters type uniquing (getNullPtr -> getPtrTy).
+  mutable std::recursive_mutex Mu;
+
   Type VoidTy{Type::Kind::Void};
   Type Int1Ty{Type::Kind::Int1};
   Type Int8Ty{Type::Kind::Int8};

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "profile/Profile.h"
+#include "support/FileSystem.h"
 #include "support/JSON.h"
 #include "support/raw_ostream.h"
 
@@ -188,17 +189,9 @@ std::string ompgpu::serializeProfile(const ExecutionProfile &P) {
 
 Error ompgpu::writeProfileFile(const std::string &Path,
                                const ExecutionProfile &P) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return Error::failure("cannot open '" + Path + "' for writing");
-  std::string Text = serializeProfile(P);
-  bool WriteFailed =
-      std::fwrite(Text.data(), 1, Text.size(), F) != Text.size();
-  if (std::fclose(F) != 0)
-    WriteFailed = true;
-  if (WriteFailed)
-    return Error::failure("error writing profile to '" + Path + "'");
-  return Error::success();
+  // Atomic write (support/FileSystem): a killed nightly PGO job cannot
+  // leave a truncated profile for the next A/B run to choke on.
+  return writeTextFile(Path, serializeProfile(P));
 }
 
 Expected<ExecutionProfile> ompgpu::readProfileFile(const std::string &Path) {

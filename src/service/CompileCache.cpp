@@ -1,0 +1,218 @@
+//===- service/CompileCache.cpp - IR-hash-keyed compile cache --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileCache.h"
+
+#include "driver/CompileReport.h"
+#include "profile/Profile.h"
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace ompgpu;
+
+json::Value CompileCacheStats::toJSON() const {
+  json::Value V = json::Value::makeObject();
+  V.set("hits", Hits)
+      .set("misses", Misses)
+      .set("stores", Stores)
+      .set("evictions", Evictions)
+      .set("corrupt_entries", CorruptEntries);
+  return V;
+}
+
+CompileCache::CompileCache() : CompileCache(Options()) {}
+
+CompileCache::CompileCache(Options O) : Opts(std::move(O)) {}
+
+/// Folds one string field into the fingerprint, length-prefixed so
+/// adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+static uint64_t mixString(uint64_t H, const std::string &S) {
+  H = hashCombine(H, S.size());
+  return hashCombine(H, hashBytes(S));
+}
+
+uint64_t CompileCache::pipelineFingerprint(const PipelineOptions &P,
+                                           bool *Cacheable) {
+  if (Cacheable)
+    *Cacheable = P.ExtraPasses.empty();
+
+  uint64_t H = hashBytes("ompgpu-pipeline-fingerprint");
+  // The name is part of the key on purpose: it appears verbatim in the
+  // cached report payload, so two configs differing only by name must not
+  // share an entry (documented invalidation rule: renaming a preset cold-
+  // starts its cache).
+  H = mixString(H, P.Name);
+  H = hashCombine(H, (uint64_t)P.Scheme);
+  H = hashCombine(H, (uint64_t)P.Flavor);
+  H = hashCombine(H, P.RunOpenMPOpt);
+  H = hashCombine(H, P.RunCleanups);
+  H = hashCombine(H, P.RunLint);
+  H = hashCombine(H, (uint64_t)P.Profile);
+
+  const OpenMPOptConfig &C = P.OptConfig;
+  H = hashCombine(H, C.DisableDeglobalization);
+  H = hashCombine(H, C.DisableHeapToShared);
+  H = hashCombine(H, C.DisableSPMDization);
+  H = hashCombine(H, C.DisableStateMachineRewrite);
+  H = hashCombine(H, C.DisableFolding);
+  H = hashCombine(H, C.DisableInternalization);
+  H = hashCombine(H, C.DisableGuardGrouping);
+  H = hashCombine(H, C.WarpSize);
+  H = hashCombine(H, C.SharedMemoryLimit);
+  // An attached execution profile steers openmp-opt (OMP210-212), so the
+  // fingerprint covers its *content*, not its address: a -profile-use
+  // compile only hits the cache when fed a byte-identical profile.
+  H = hashCombine(H, C.Profile != nullptr);
+  if (C.Profile)
+    H = mixString(H, serializeProfile(*C.Profile));
+
+  const PassInstrumentationOptions &I = P.Instrument;
+  H = hashCombine(H, I.TimePasses);
+  H = hashCombine(H, I.TrackChanges);
+  H = hashCombine(H, I.VerifyEach);
+  H = hashCombine(H, I.LintEach);
+  H = hashCombine(H, I.Recover);
+  H = hashCombine(H, (uint64_t)I.OptBisectLimit);
+
+  const LintOptions &L = P.Lint;
+  H = hashCombine(H, L.CheckBarrierDivergence);
+  H = hashCombine(H, L.CheckSharedRaces);
+  H = hashCombine(H, L.CheckAllocFreePairing);
+  H = hashCombine(H, L.CheckGuardProtocol);
+  return H;
+}
+
+static std::string hex16(uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    S[(size_t)I] = Digits[V & 0xf];
+  return S;
+}
+
+std::string CompileCache::cacheKey(uint64_t InputIRHash, uint64_t PipelineFP,
+                                   uint64_t Salt) {
+  // Both schema versions are key material, so bumping either invalidates
+  // every existing entry (stale entries age out via eviction).
+  uint64_t Config = hashCombine(PipelineFP, Salt);
+  Config = hashCombine(Config, CompileReportSchemaVersion);
+  Config = hashCombine(Config, CompileCacheSchemaVersion);
+  return hex16(InputIRHash) + "-" + hex16(Config);
+}
+
+std::string CompileCache::entryPath(const std::string &Key) const {
+  return Opts.Dir + "/" + Key + ".json";
+}
+
+std::optional<json::Value> CompileCache::lookup(const std::string &Key) {
+  if (!Opts.Enabled)
+    return std::nullopt;
+  std::lock_guard<std::mutex> Lock(Mu);
+
+  auto It = Memory.find(Key);
+  if (It != Memory.end()) {
+    ++Counters.Hits;
+    return It->second;
+  }
+
+  if (!Opts.Dir.empty() && fileExists(entryPath(Key))) {
+    // Disk tier. Any defect — unreadable file, bad JSON, wrong entry
+    // schema, key mismatch, missing payload — deletes the entry and
+    // degrades to a miss; a corrupt cache must never abort a compile.
+    auto Corrupt = [&]() -> std::optional<json::Value> {
+      ++Counters.CorruptEntries;
+      ++Counters.Misses;
+      (void)removeFile(entryPath(Key));
+      return std::nullopt;
+    };
+    Expected<std::string> Text = readTextFile(entryPath(Key));
+    if (!Text)
+      return Corrupt();
+    json::Value Entry;
+    if (!json::parse(*Text, Entry) || !Entry.isObject())
+      return Corrupt();
+    const json::Value *Schema = Entry.find("cache_schema");
+    const json::Value *StoredKey = Entry.find("key");
+    const json::Value *Payload = Entry.find("payload");
+    if (!Schema || (uint64_t)Schema->asInt() != CompileCacheSchemaVersion ||
+        !StoredKey || StoredKey->asString() != Key || !Payload)
+      return Corrupt();
+    ++Counters.Hits;
+    Memory.emplace(Key, *Payload);
+    MemoryInsertionOrder.push_back(Key);
+    evictMemoryOverCap();
+    return *Payload;
+  }
+
+  ++Counters.Misses;
+  return std::nullopt;
+}
+
+void CompileCache::store(const std::string &Key, const json::Value &Payload) {
+  if (!Opts.Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Memory.find(Key) == Memory.end()) {
+    Memory.emplace(Key, Payload);
+    MemoryInsertionOrder.push_back(Key);
+    evictMemoryOverCap();
+  }
+  ++Counters.Stores;
+
+  if (Opts.Dir.empty())
+    return;
+  if (ensureDirectory(Opts.Dir)) // Failure: stay in-memory only.
+    return;
+  json::Value Entry = json::Value::makeObject();
+  Entry.set("cache_schema", CompileCacheSchemaVersion)
+      .set("report_schema", CompileReportSchemaVersion)
+      .set("key", Key)
+      .set("payload", Payload);
+  // Atomic (temp + rename): concurrent writers of the same key race
+  // benignly (same content), and an interrupted run leaves no torn file.
+  (void)writeTextFile(entryPath(Key), Entry.str() + "\n");
+  evictDiskOverCap();
+}
+
+void CompileCache::evictMemoryOverCap() {
+  size_t Scan = 0;
+  while (Memory.size() > Opts.MaxEntries &&
+         Scan < MemoryInsertionOrder.size()) {
+    const std::string &Oldest = MemoryInsertionOrder[Scan++];
+    if (Memory.erase(Oldest))
+      ++Counters.Evictions;
+  }
+  MemoryInsertionOrder.erase(MemoryInsertionOrder.begin(),
+                             MemoryInsertionOrder.begin() + (long)Scan);
+}
+
+void CompileCache::evictDiskOverCap() {
+  std::vector<std::string> Names = listDirectoryFiles(Opts.Dir);
+  if (Names.size() <= Opts.MaxEntries)
+    return;
+  // Oldest first by mtime (name as deterministic tie-break).
+  std::vector<std::pair<std::filesystem::file_time_type, std::string>> Aged;
+  for (const std::string &Name : Names) {
+    std::error_code EC;
+    auto T = std::filesystem::last_write_time(Opts.Dir + "/" + Name, EC);
+    if (!EC)
+      Aged.emplace_back(T, Name);
+  }
+  std::sort(Aged.begin(), Aged.end());
+  for (size_t I = 0; I + Opts.MaxEntries < Aged.size(); ++I) {
+    if (!removeFile(Opts.Dir + "/" + Aged[I].second))
+      ++Counters.Evictions;
+  }
+}
+
+CompileCacheStats CompileCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}

@@ -1,0 +1,123 @@
+//===- service/CompileCache.h - IR-hash-keyed compile cache -----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memoization of device compilations for the compile service
+/// (docs/compile-service.md). A cache key is derived from the input IR hash
+/// (ir/AsmWriter.h hashModule), a semantic fingerprint of the
+/// PipelineOptions, a caller-supplied salt, and the report/cache schema
+/// versions; the value is the opaque JSON payload the service produced for
+/// that compile (summary, evaluation, report). Entries live in memory and,
+/// when a directory is configured, as one JSON file per key on disk
+/// (written atomically via support/FileSystem, so an interrupted run never
+/// leaves a truncated entry). A corrupt entry is deleted and counted, then
+/// treated as a miss — the service recompiles, it never aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SERVICE_COMPILECACHE_H
+#define OMPGPU_SERVICE_COMPILECACHE_H
+
+#include "driver/Pipeline.h"
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Version of the on-disk cache-entry schema. Part of every cache key, so
+/// bumping it (or CompileReportSchemaVersion) invalidates all prior
+/// entries without needing a cache wipe.
+inline constexpr unsigned CompileCacheSchemaVersion = 1;
+
+/// Monotonic counters of one cache instance. Snapshot via
+/// CompileCache::stats(); the service reports per-batch deltas.
+struct CompileCacheStats {
+  uint64_t Hits = 0;           ///< lookup() returned a payload.
+  uint64_t Misses = 0;         ///< lookup() found nothing usable.
+  uint64_t Stores = 0;         ///< store() accepted a new payload.
+  uint64_t Evictions = 0;      ///< Entries dropped to respect MaxEntries.
+  uint64_t CorruptEntries = 0; ///< Unreadable disk entries deleted.
+
+  json::Value toJSON() const;
+};
+
+/// Thread-safe memoization table for compile payloads.
+class CompileCache {
+public:
+  struct Options {
+    /// Master switch; a disabled cache misses every lookup and drops
+    /// every store, so callers need no special-casing.
+    bool Enabled = true;
+    /// On-disk cache directory ("" = in-memory only). Created on first
+    /// store. Layout: one `<key>.json` per entry, see
+    /// docs/compile-service.md.
+    std::string Dir;
+    /// Entry cap, enforced independently for the memory tier and the
+    /// disk tier. Oldest entries (insertion order in memory, mtime on
+    /// disk) are evicted first.
+    size_t MaxEntries = 4096;
+  };
+
+  CompileCache();
+  explicit CompileCache(Options O);
+
+  bool enabled() const { return Opts.Enabled; }
+  const Options &options() const { return Opts; }
+
+  /// Hashes every compilation-relevant field of \p P — preset name,
+  /// scheme, runtime flavor, pass toggles, the full OpenMPOptConfig
+  /// (including the *content* of an attached execution profile),
+  /// instrumentation and lint switches. Sets \p *Cacheable to false when
+  /// \p P carries ExtraPasses: those are opaque callbacks whose behaviour
+  /// cannot be fingerprinted, so such compiles must never be served from
+  /// or stored to the cache.
+  static uint64_t pipelineFingerprint(const PipelineOptions &P,
+                                      bool *Cacheable = nullptr);
+
+  /// Derives the cache key string: IR hash x pipeline fingerprint x salt
+  /// x CompileReportSchemaVersion x CompileCacheSchemaVersion, rendered
+  /// as two 16-digit hex words. \p Salt lets callers fold non-IR inputs
+  /// (e.g. a launch configuration an Evaluate callback depends on) into
+  /// the key.
+  static std::string cacheKey(uint64_t InputIRHash, uint64_t PipelineFP,
+                              uint64_t Salt = 0);
+
+  /// Returns the payload stored under \p Key, consulting memory first and
+  /// then disk (a disk hit is promoted into memory). Counts a hit or a
+  /// miss; a corrupt disk entry is deleted, counted, and reported as a
+  /// miss.
+  std::optional<json::Value> lookup(const std::string &Key);
+
+  /// Stores \p Payload under \p Key in memory and (when configured) on
+  /// disk, evicting oldest entries beyond MaxEntries. Failures to write
+  /// the disk tier are swallowed: the cache is an accelerator, never a
+  /// correctness dependency.
+  void store(const std::string &Key, const json::Value &Payload);
+
+  CompileCacheStats stats() const;
+
+private:
+  std::string entryPath(const std::string &Key) const;
+  void evictMemoryOverCap(); // Caller holds Mu.
+  void evictDiskOverCap();   // Caller holds Mu.
+
+  Options Opts;
+  mutable std::mutex Mu;
+  std::map<std::string, json::Value> Memory;
+  std::vector<std::string> MemoryInsertionOrder;
+  CompileCacheStats Counters;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SERVICE_COMPILECACHE_H

@@ -1,0 +1,212 @@
+//===- service/CompileService.cpp - Batched kernel compilation -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+
+#include "driver/CompileReport.h"
+#include "ir/AsmWriter.h"
+#include "ir/IRContext.h"
+#include "ir/Module.h"
+#include "support/PassTimer.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+using namespace ompgpu;
+
+json::Value BatchStats::toJSON() const {
+  json::Value V = json::Value::makeObject();
+  V.set("jobs", Jobs)
+      .set("workers", Workers)
+      .set("cache_hits", CacheHits)
+      .set("cache_misses", CacheMisses)
+      .set("cache_evictions", CacheEvictions)
+      .set("cache_corrupt_entries", CacheCorruptEntries)
+      .set("failed", Failed)
+      .set("wall_ms", WallMillis)
+      .set("job_ms", JobMillis);
+  return V;
+}
+
+std::string CompileOutcome::resultKey() const {
+  // `report` is deliberately excluded: its pass wall times differ between
+  // runs, and on a cache hit it describes the storing compile.
+  return summary().str() + "\n" + evaluation().str();
+}
+
+CompileService::CompileService() : CompileService(Options()) {}
+
+CompileService::CompileService(Options O)
+    : Opts(O), Cache(std::move(O.Cache)) {}
+
+unsigned CompileService::workersFor(size_t Jobs) const {
+  unsigned W = Opts.Workers;
+  if (W == 0) {
+    W = std::thread::hardware_concurrency();
+    if (W == 0)
+      W = 1;
+  }
+  if ((size_t)W > Jobs)
+    W = (unsigned)(Jobs ? Jobs : 1);
+  return W ? W : 1;
+}
+
+/// The timing-free projection of one compile, used for determinism
+/// comparison (CompileOutcome::resultKey) and stable across cache
+/// hits. Everything here is a pure function of the input module and the
+/// pipeline options.
+static json::Value buildSummary(const CompileRequest &R,
+                                const std::string &Entry,
+                                uint64_t InputIRHash,
+                                uint64_t OptimizedIRHash,
+                                const json::Value &Report) {
+  json::Value S = json::Value::makeObject();
+  S.set("id", R.Id)
+      .set("entry_kernel", Entry)
+      .set("pipeline", R.Pipeline.Name)
+      .set("input_ir_hash", InputIRHash)
+      .set("optimized_ir_hash", OptimizedIRHash)
+      // These report sections carry no wall-clock fields; share them
+      // instead of re-serializing the underlying structs.
+      .set("verify", Report.at("verify"))
+      .set("lint", Report.at("lint"))
+      .set("profile", Report.at("profile"))
+      .set("openmp_opt_stats", Report.at("openmp_opt_stats"))
+      .set("remarks", Report.at("remarks"))
+      .set("statistics", Report.at("statistics"))
+      .set("quarantined_passes", Report.at("recovery").at("quarantined_passes"));
+  return S;
+}
+
+CompileOutcome CompileService::runOne(const CompileRequest &R) {
+  PassTimer Timer;
+  Timer.start();
+
+  CompileOutcome O;
+  O.Id = R.Id;
+
+  bool FingerprintCacheable = true;
+  uint64_t FP =
+      CompileCache::pipelineFingerprint(R.Pipeline, &FingerprintCacheable);
+
+  try {
+    // Worker-private context and module: type interning is additionally
+    // mutex-guarded, but nothing here is shared between jobs to begin
+    // with.
+    IRContext Ctx;
+    Module M(Ctx, R.Id.empty() ? "service-job" : R.Id);
+    std::string Entry = R.Emit ? R.Emit(M) : std::string();
+
+    O.InputIRHash = hashModule(M);
+    O.CacheKey = CompileCache::cacheKey(O.InputIRHash, FP, R.Salt);
+    O.Cacheable = FingerprintCacheable && Cache.enabled();
+
+    if (O.Cacheable) {
+      if (std::optional<json::Value> Hit = Cache.lookup(O.CacheKey)) {
+        O.CacheHit = true;
+        O.Payload = std::move(*Hit);
+        Timer.stop();
+        O.WallMillis = Timer.millis();
+        return O;
+      }
+    }
+
+    CompileResult CR = optimizeDeviceModule(M, R.Pipeline);
+
+    json::Value Evaluation; // null when the request has no Evaluate.
+    if (R.Evaluate)
+      Evaluation = R.Evaluate(M, CR, Entry);
+
+    json::Value CacheInfo = json::Value::makeObject();
+    CacheInfo.set("managed", true)
+        .set("cacheable", O.Cacheable)
+        .set("hit", false)
+        .set("key", O.CacheKey);
+    json::Value Report =
+        buildCompileReport(R.Pipeline, CR, /*Kernels=*/{}, &CacheInfo);
+
+    json::Value Summary =
+        buildSummary(R, Entry, O.InputIRHash, hashModule(M), Report);
+
+    O.Payload = json::Value::makeObject();
+    O.Payload.set("summary", std::move(Summary))
+        .set("evaluation", std::move(Evaluation))
+        .set("report", std::move(Report));
+
+    if (O.Cacheable)
+      Cache.store(O.CacheKey, O.Payload);
+  } catch (const std::exception &E) {
+    O.Error = E.what();
+  } catch (...) {
+    O.Error = "unknown exception";
+  }
+
+  if (!O.Error.empty()) {
+    // A failed job yields a minimal, well-formed payload; it is never
+    // cached (the failure may be environmental).
+    O.Cacheable = false;
+    json::Value Summary = json::Value::makeObject();
+    Summary.set("id", R.Id)
+        .set("pipeline", R.Pipeline.Name)
+        .set("error", O.Error);
+    O.Payload = json::Value::makeObject();
+    O.Payload.set("summary", std::move(Summary))
+        .set("evaluation", json::Value())
+        .set("report", json::Value());
+  }
+
+  Timer.stop();
+  O.WallMillis = Timer.millis();
+  return O;
+}
+
+std::vector<CompileOutcome>
+CompileService::compileBatch(const std::vector<CompileRequest> &Requests) {
+  PassTimer Batch;
+  Batch.start();
+  CompileCacheStats Before = Cache.stats();
+
+  std::vector<CompileOutcome> Out(Requests.size());
+  std::atomic<size_t> Next{0};
+  auto Work = [&] {
+    for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) <
+                   Requests.size();)
+      Out[I] = runOne(Requests[I]);
+  };
+
+  unsigned W = workersFor(Requests.size());
+  if (W <= 1 || Requests.size() <= 1) {
+    Work();
+    W = 1;
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(W);
+    for (unsigned I = 0; I < W; ++I)
+      Threads.emplace_back(Work);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  Batch.stop();
+  CompileCacheStats After = Cache.stats();
+
+  Last = BatchStats();
+  Last.Jobs = (unsigned)Requests.size();
+  Last.Workers = W;
+  Last.CacheHits = After.Hits - Before.Hits;
+  Last.CacheMisses = After.Misses - Before.Misses;
+  Last.CacheEvictions = After.Evictions - Before.Evictions;
+  Last.CacheCorruptEntries = After.CorruptEntries - Before.CorruptEntries;
+  Last.WallMillis = Batch.millis();
+  for (const CompileOutcome &O : Out) {
+    Last.JobMillis += O.WallMillis;
+    if (!O.Error.empty())
+      ++Last.Failed;
+  }
+  return Out;
+}

@@ -1,0 +1,147 @@
+//===- service/CompileService.h - Batched kernel compilation ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile service (docs/compile-service.md): accepts a batch of
+/// kernel-compile requests, shards it across a worker thread pool, and
+/// memoizes each result in the IR-hash-keyed CompileCache. Each request
+/// carries an Emit callback that builds the pre-optimization module inside
+/// a worker-private IRContext (type interning and the remark/statistic
+/// sinks are thread-safe / per-compile, see the thread-safety contract in
+/// the doc) and an optional Evaluate callback whose JSON result is cached
+/// alongside the compile — which is how fuzz verdicts and simulated PGO
+/// runs skip both the compile *and* the simulation on a warm cache.
+/// Results are returned in request order and are bit-identical to a
+/// sequential run of the same batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SERVICE_COMPILESERVICE_H
+#define OMPGPU_SERVICE_COMPILESERVICE_H
+
+#include "service/CompileCache.h"
+
+#include <functional>
+
+namespace ompgpu {
+
+class Module;
+
+/// One kernel-compile job submitted to the service.
+struct CompileRequest {
+  /// Caller-chosen identifier, echoed in the outcome and the payload
+  /// summary (e.g. "seed-42/LLVM Dev" or "rodinia-srad/arm-A").
+  std::string Id;
+  /// The pipeline to run. ExtraPasses make the request uncacheable (their
+  /// behaviour cannot be fingerprinted); everything else, including an
+  /// attached execution profile's content, is folded into the cache key.
+  PipelineOptions Pipeline;
+  /// Builds the pre-optimization module into the worker-provided \p M and
+  /// returns the entry kernel's name ("" when not applicable). Must be
+  /// deterministic: the module it emits is hashed to form the cache key.
+  std::function<std::string(Module &M)> Emit;
+  /// Optional post-compile evaluation, run on the worker against the
+  /// optimized module (e.g. simulate the kernel, judge a fuzz oracle).
+  /// Its JSON result is cached with the compile and must therefore be a
+  /// pure function of the optimized module and the request.
+  std::function<json::Value(Module &M, const CompileResult &CR,
+                            const std::string &EntryKernel)>
+      Evaluate;
+  /// Extra cache-key material for Evaluate inputs that are not visible in
+  /// the IR (launch geometry, oracle configuration, ...). Requests whose
+  /// evaluations differ must differ in salt, or they will share an entry.
+  uint64_t Salt = 0;
+};
+
+/// Result of one request. `Payload` is identical whether the job was
+/// compiled or served from cache — except `report`, whose wall-clock
+/// fields (and `cache` section) describe the compile that originally
+/// produced the entry. Determinism comparisons therefore use resultKey(),
+/// which covers `summary` and `evaluation` only.
+struct CompileOutcome {
+  std::string Id;
+  /// False when the request cannot be cached (ExtraPasses) or the
+  /// service's cache is disabled.
+  bool Cacheable = false;
+  bool CacheHit = false;
+  std::string CacheKey;
+  uint64_t InputIRHash = 0;
+  /// Worker-side wall time of this job (emit + lookup + compile +
+  /// evaluate + store).
+  double WallMillis = 0.0;
+  /// "" on success; the exception message when the job failed. A failed
+  /// job still yields a structured outcome (summary.error), never tears
+  /// down the batch.
+  std::string Error;
+  /// {"summary": ..., "evaluation": ..., "report": ...}.
+  json::Value Payload;
+
+  const json::Value &summary() const { return Payload.at("summary"); }
+  const json::Value &evaluation() const { return Payload.at("evaluation"); }
+  const json::Value &report() const { return Payload.at("report"); }
+  /// Deterministic serialization of everything timing-free — equal across
+  /// sequential/batched/cached runs of the same request.
+  std::string resultKey() const;
+};
+
+/// Aggregates of one compileBatch call.
+struct BatchStats {
+  unsigned Jobs = 0;
+  unsigned Workers = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t CacheCorruptEntries = 0;
+  unsigned Failed = 0;
+  /// Batch wall-clock time (what the caller waited).
+  double WallMillis = 0.0;
+  /// Sum of per-job wall times (what a sequential run would have cost).
+  double JobMillis = 0.0;
+
+  json::Value toJSON() const;
+};
+
+/// A worker pool plus a compile cache. One instance may serve many
+/// batches; the cache persists across them (and across processes, when a
+/// directory is configured).
+class CompileService {
+public:
+  struct Options {
+    /// Worker threads per batch. 0 = hardware concurrency, clamped to
+    /// the batch size; 1 degenerates to a sequential run on the calling
+    /// thread, which is what the determinism tests compare against.
+    unsigned Workers = 0;
+    CompileCache::Options Cache;
+  };
+
+  CompileService();
+  explicit CompileService(Options O);
+
+  /// Compiles every request, in request order from the caller's view.
+  /// Work is dealt to workers via an atomic index, so which thread runs
+  /// which job is nondeterministic — but each job is self-contained
+  /// (private IRContext, per-compile sinks), so the *results* are not.
+  std::vector<CompileOutcome> compileBatch(
+      const std::vector<CompileRequest> &Requests);
+
+  /// The worker count a batch of \p Jobs jobs would use.
+  unsigned workersFor(size_t Jobs) const;
+
+  CompileCache &cache() { return Cache; }
+  const BatchStats &lastBatchStats() const { return Last; }
+
+private:
+  CompileOutcome runOne(const CompileRequest &R);
+
+  Options Opts;
+  CompileCache Cache;
+  BatchStats Last;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SERVICE_COMPILESERVICE_H

@@ -50,6 +50,15 @@ template <> bool opt<int64_t>::parse(const std::string &Text) {
   return true;
 }
 
+template <> bool opt<double>::parse(const std::string &Text) {
+  char *End = nullptr;
+  double V = std::strtod(Text.c_str(), &End);
+  if (End == Text.c_str() || *End != '\0')
+    return false;
+  Value = V;
+  return true;
+}
+
 template <> bool opt<std::string>::parse(const std::string &Text) {
   Value = Text;
   return true;

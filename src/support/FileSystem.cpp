@@ -1,0 +1,108 @@
+//===- support/FileSystem.cpp - Atomic file I/O helpers -------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileSystem.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+using namespace ompgpu;
+
+/// A temp-file name unique across the processes and threads that may write
+/// next to each other (parallel service workers, concurrent CI jobs).
+static std::string tempSiblingPath(const std::string &Path) {
+  static std::atomic<uint64_t> Counter{0};
+  uint64_t N = Counter.fetch_add(1, std::memory_order_relaxed);
+  uintmax_t Pid =
+#if defined(_WIN32)
+      0;
+#else
+      (uintmax_t)::getpid();
+#endif
+  return Path + ".tmp." + std::to_string(Pid) + "." + std::to_string(N);
+}
+
+Error ompgpu::writeTextFile(const std::string &Path, const std::string &Text) {
+  const std::string Tmp = tempSiblingPath(Path);
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Error::failure("cannot open '" + Tmp + "' for writing");
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool CloseOK = std::fclose(F) == 0;
+  if (Written != Text.size() || !CloseOK) {
+    std::remove(Tmp.c_str());
+    return Error::failure("short write to '" + Tmp + "'");
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::remove(Tmp.c_str());
+    return Error::failure("cannot rename '" + Tmp + "' to '" + Path +
+                          "': " + EC.message());
+  }
+  return Error::success();
+}
+
+Expected<std::string> ompgpu::readTextFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Error::failure("cannot open '" + Path + "' for reading");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  bool ReadOK = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!ReadOK)
+    return Error::failure("read error on '" + Path + "'");
+  return Text;
+}
+
+Error ompgpu::ensureDirectory(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::create_directories(Path, EC);
+  if (EC)
+    return Error::failure("cannot create directory '" + Path +
+                          "': " + EC.message());
+  return Error::success();
+}
+
+Error ompgpu::removeFile(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::remove(Path, EC);
+  if (EC)
+    return Error::failure("cannot remove '" + Path + "': " + EC.message());
+  return Error::success();
+}
+
+bool ompgpu::fileExists(const std::string &Path) {
+  std::error_code EC;
+  return std::filesystem::is_regular_file(Path, EC);
+}
+
+std::vector<std::string> ompgpu::listDirectoryFiles(const std::string &Dir) {
+  std::vector<std::string> Names;
+  std::error_code EC;
+  std::filesystem::directory_iterator It(Dir, EC), End;
+  if (EC)
+    return Names;
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    std::error_code TypeEC;
+    if (It->is_regular_file(TypeEC) && !TypeEC)
+      Names.push_back(It->path().filename().string());
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}

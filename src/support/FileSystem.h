@@ -1,0 +1,52 @@
+//===- support/FileSystem.h - Atomic file I/O helpers -----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small file-system layer shared by every JSON-artifact writer (compile
+/// reports, fuzz corpus, execution profiles, compile-cache entries).
+/// writeTextFile is atomic: the bytes go to a unique sibling temp file
+/// which is renamed over the destination only after a verified full write,
+/// so an interrupted run (nightly job killed mid-write, full disk) can
+/// never leave a truncated artifact that poisons the next run — readers
+/// observe either the old file or the complete new one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SUPPORT_FILESYSTEM_H
+#define OMPGPU_SUPPORT_FILESYSTEM_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Atomically replaces \p Path with \p Text (write temp + rename). Returns
+/// a failure Error (never aborts) on open/write/rename problems; the
+/// destination is left untouched on failure.
+Error writeTextFile(const std::string &Path, const std::string &Text);
+
+/// Reads the whole file into a string.
+Expected<std::string> readTextFile(const std::string &Path);
+
+/// Creates \p Path (and parents) if needed.
+Error ensureDirectory(const std::string &Path);
+
+/// Removes \p Path if it exists; missing files are not an error.
+Error removeFile(const std::string &Path);
+
+/// True when \p Path names an existing regular file.
+bool fileExists(const std::string &Path);
+
+/// Names (not paths) of the regular files directly inside \p Dir, sorted.
+/// Missing or unreadable directories yield an empty list.
+std::vector<std::string> listDirectoryFiles(const std::string &Dir);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SUPPORT_FILESYSTEM_H

@@ -16,18 +16,33 @@ Statistic::Statistic(std::string DebugType, std::string Name, std::string Desc)
   StatisticRegistry::get().add(this);
 }
 
+void Statistic::add(uint64_t V) {
+  Value.fetch_add(V, std::memory_order_relaxed);
+  if (StatisticScope *S = StatisticScope::current())
+    S->Deltas[this] += V;
+}
+
+StatisticScope *&StatisticScope::current() {
+  static thread_local StatisticScope *Current = nullptr;
+  return Current;
+}
+
+StatisticScope::StatisticScope() : Enclosing(current()) { current() = this; }
+
+StatisticScope::~StatisticScope() { current() = Enclosing; }
+
 StatisticRegistry &StatisticRegistry::get() {
   static StatisticRegistry Registry;
   return Registry;
 }
 
 void StatisticRegistry::resetAll() {
-  for (Statistic *S : Stats)
+  for (Statistic *S : stats())
     S->reset();
 }
 
 void StatisticRegistry::print(raw_ostream &OS) const {
-  for (const Statistic *S : Stats)
+  for (const Statistic *S : stats())
     if (S->getValue() != 0)
       OS << S->getValue() << " " << S->getDebugType() << " - " << S->getDesc()
          << '\n';

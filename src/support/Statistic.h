@@ -10,25 +10,40 @@
 /// optimization passes to report how often each transformation fired
 /// (this is the data behind the paper's Fig. 9).
 ///
+/// The counters are process-global and safe to increment from concurrent
+/// compiles (the compile service runs pipelines on a worker pool): the
+/// value is a relaxed atomic, and registration is mutex-guarded. For
+/// per-compile attribution a thread may additionally open a
+/// StatisticScope; every increment made on that thread while the scope is
+/// innermost is recorded into the scope as a delta, so one compile's
+/// counters can be reported without tearing the global totals apart
+/// (docs/compile-service.md, "thread-safety contract").
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OMPGPU_SUPPORT_STATISTIC_H
 #define OMPGPU_SUPPORT_STATISTIC_H
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace ompgpu {
 
 class raw_ostream;
+class StatisticScope;
 
 /// A named monotonically increasing counter registered in a global registry.
 class Statistic {
   std::string DebugType;
   std::string Name;
   std::string Desc;
-  uint64_t Value = 0;
+  std::atomic<uint64_t> Value{0};
+
+  void add(uint64_t V);
 
 public:
   Statistic(std::string DebugType, std::string Name, std::string Desc);
@@ -36,17 +51,45 @@ public:
   const std::string &getDebugType() const { return DebugType; }
   const std::string &getName() const { return Name; }
   const std::string &getDesc() const { return Desc; }
-  uint64_t getValue() const { return Value; }
+  uint64_t getValue() const { return Value.load(std::memory_order_relaxed); }
 
   Statistic &operator++() {
-    ++Value;
+    add(1);
     return *this;
   }
   Statistic &operator+=(uint64_t V) {
-    Value += V;
+    add(V);
     return *this;
   }
-  void reset() { Value = 0; }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
+};
+
+/// RAII capture of every Statistic increment made on the current thread
+/// while this scope is the innermost one. optimizeDeviceModule opens a
+/// scope around each pipeline run, so a compile's counters are attributed
+/// to its own CompileResult even when other compiles increment the same
+/// global counters concurrently on other threads. Scopes nest: an inner
+/// scope shadows the outer one for its lifetime (increments land in the
+/// innermost scope only).
+class StatisticScope {
+public:
+  StatisticScope();
+  ~StatisticScope();
+  StatisticScope(const StatisticScope &) = delete;
+  StatisticScope &operator=(const StatisticScope &) = delete;
+
+  /// The deltas recorded while this scope was innermost, keyed by counter.
+  const std::map<const Statistic *, uint64_t> &deltas() const {
+    return Deltas;
+  }
+
+private:
+  friend class Statistic;
+  /// The innermost scope active on the current thread (null when none).
+  static StatisticScope *&current();
+
+  StatisticScope *Enclosing;
+  std::map<const Statistic *, uint64_t> Deltas;
 };
 
 /// Global registry over all Statistic instances.
@@ -54,7 +97,10 @@ class StatisticRegistry {
 public:
   static StatisticRegistry &get();
 
-  void add(Statistic *S) { Stats.push_back(S); }
+  void add(Statistic *S) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stats.push_back(S);
+  }
 
   /// Resets every registered counter to zero. Call between independent
   /// compilations to get per-run numbers.
@@ -63,9 +109,16 @@ public:
   /// Prints all non-zero counters in "value name - desc" form.
   void print(raw_ostream &OS) const;
 
-  const std::vector<Statistic *> &stats() const { return Stats; }
+  /// Snapshot of the registered counters, in registration order. Counters
+  /// are never unregistered, so the pointers stay valid for the process
+  /// lifetime.
+  std::vector<Statistic *> stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Stats;
+  }
 
 private:
+  mutable std::mutex Mu;
   std::vector<Statistic *> Stats;
 };
 

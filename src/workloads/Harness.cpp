@@ -13,6 +13,15 @@ using namespace ompgpu;
 
 Workload::~Workload() = default;
 
+Function *ompgpu::emitWorkloadModule(Workload &W, Module &M,
+                                     const PipelineOptions &P,
+                                     bool UseCUDAKernel) {
+  if (UseCUDAKernel)
+    return W.buildCUDA(M);
+  OMPCodeGen CG(M, CodeGenOptions{P.Scheme, /*CudaMode=*/false});
+  return W.buildOpenMP(CG);
+}
+
 LaunchCheckResult ompgpu::launchAndCheckWorkload(Workload &W, Module &M,
                                                  Function *Kernel,
                                                  const PipelineOptions &P,
@@ -48,16 +57,10 @@ WorkloadRunResult ompgpu::runWorkload(Workload &W, const PipelineOptions &P,
   IRContext Ctx;
   Module M(Ctx, W.getName());
 
-  Function *Kernel = nullptr;
-  if (Opts.UseCUDAKernel) {
-    Kernel = W.buildCUDA(M);
-    if (!Kernel) {
-      R.Stats.Trap = "workload has no CUDA version";
-      return R;
-    }
-  } else {
-    OMPCodeGen CG(M, CodeGenOptions{P.Scheme, /*CudaMode=*/false});
-    Kernel = W.buildOpenMP(CG);
+  Function *Kernel = emitWorkloadModule(W, M, P, Opts.UseCUDAKernel);
+  if (!Kernel) {
+    R.Stats.Trap = "workload has no CUDA version";
+    return R;
   }
 
   // The pipeline may replace the module contents wholesale (recovery-mode

@@ -53,6 +53,16 @@ struct LaunchCheckResult {
   bool Correct = false;
 };
 
+/// Emits \p W's kernel into \p M — CUDA-style when \p UseCUDAKernel,
+/// otherwise OpenMP lowering under \p P's front-end scheme — and returns
+/// it (null when the workload has no CUDA version). Deterministic for a
+/// given workload and scheme, which makes workload compiles cacheable by
+/// IR hash; shared by runWorkload and the compile-service wiring of the
+/// bench drivers (docs/compile-service.md).
+Function *emitWorkloadModule(Workload &W, Module &M,
+                             const PipelineOptions &P,
+                             bool UseCUDAKernel = false);
+
 /// Launches the already-compiled \p Kernel of \p M on a fresh device with
 /// \p W's inputs and grid, then verifies the outputs against the
 /// workload's reference when the whole grid was simulated. This is the

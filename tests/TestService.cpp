@@ -1,0 +1,381 @@
+//===- tests/TestService.cpp - Compile service & cache tests ---------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the compile service (src/service/): batched compilation is
+/// bit-identical to sequential, the cache hits on identical inputs and
+/// misses on any pipeline/salt change, per-compile remark and statistic
+/// sinks stay isolated under concurrency, corrupt disk entries fall back
+/// to recompilation, and the entry cap evicts oldest-first.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileService.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Builds a `target teams distribute parallel for` vector-add kernel with a
+/// caller-chosen name, so a batch can contain many distinguishable modules.
+Function *buildVecAdd(OMPCodeGen &CG, const std::string &Name, int NumTeams,
+                      int NumThreads) {
+  IRContext &Ctx = CG.getContext();
+  Type *PtrTy = Ctx.getPtrTy();
+  Type *I32 = Ctx.getInt32Ty();
+  TargetRegionBuilder TRB(CG, Name, {PtrTy, PtrTy, PtrTy, I32},
+                          ExecMode::SPMD, NumTeams, NumThreads);
+  Argument *A = TRB.getParam(0);
+  Argument *B = TRB.getParam(1);
+  Argument *C = TRB.getParam(2);
+  Argument *N = TRB.getParam(3);
+
+  std::vector<TargetRegionBuilder::Capture> Caps = {
+      {A, false, "a"}, {B, false, "b"}, {C, false, "c"}};
+  TRB.emitDistributeParallelFor(
+      N, Caps,
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        Type *F64 = LB.getDoubleTy();
+        Value *Ai = LB.createGEP(F64, Map.at(A), {Idx}, "a.i");
+        Value *Bi = LB.createGEP(F64, Map.at(B), {Idx}, "b.i");
+        Value *Ci = LB.createGEP(F64, Map.at(C), {Idx}, "c.i");
+        Value *Av = LB.createLoad(F64, Ai, "a.v");
+        Value *Bv = LB.createLoad(F64, Bi, "b.v");
+        LB.createStore(LB.createFAdd(Av, Bv, "sum"), Ci);
+      });
+  return TRB.finalize();
+}
+
+/// A request that emits a vecadd kernel named \p KernelName under the
+/// request's pipeline scheme. The Evaluate callback records the entry
+/// kernel and the remark count, exercising the cached-evaluation path.
+CompileRequest makeVecAddRequest(const std::string &Id,
+                                 const PipelineOptions &P,
+                                 const std::string &KernelName,
+                                 int NumThreads = 64, uint64_t Salt = 0) {
+  CompileRequest R;
+  R.Id = Id;
+  R.Pipeline = P;
+  R.Salt = Salt;
+  CodeGenScheme Scheme = P.Scheme;
+  R.Emit = [Scheme, KernelName, NumThreads](Module &M) {
+    OMPCodeGen CG(M, {Scheme, false});
+    return buildVecAdd(CG, KernelName, 4, NumThreads)->getName();
+  };
+  R.Evaluate = [](Module &, const CompileResult &CR,
+                  const std::string &EntryKernel) {
+    return json::Value::makeObject()
+        .set("kernel", EntryKernel)
+        .set("remark_count", (uint64_t)CR.Remarks.remarks().size())
+        .set("verify_failed", CR.VerifyFailed);
+  };
+  return R;
+}
+
+/// A memory-only cache-enabled service with \p Workers workers.
+CompileService makeService(unsigned Workers, bool CacheEnabled = true,
+                           std::string Dir = "", size_t MaxEntries = 4096) {
+  CompileService::Options O;
+  O.Workers = Workers;
+  O.Cache.Enabled = CacheEnabled;
+  O.Cache.Dir = std::move(Dir);
+  O.Cache.MaxEntries = MaxEntries;
+  return CompileService(std::move(O));
+}
+
+/// Fresh, empty per-test scratch directory under the gtest temp dir.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "ompgpu-svc-" + Name;
+  for (const std::string &F : listDirectoryFiles(Dir))
+    (void)removeFile(Dir + "/" + F);
+  EXPECT_FALSE(ensureDirectory(Dir));
+  return Dir;
+}
+
+TEST(CompileService, BatchedIsBitIdenticalToSequential) {
+  std::vector<CompileRequest> Reqs;
+  std::vector<PipelineOptions> Pipelines = {
+      makeLLVM12Pipeline(), makeDevNoOptPipeline(), makeDevPipeline()};
+  for (int I = 0; I < 9; ++I)
+    Reqs.push_back(makeVecAddRequest("job-" + std::to_string(I),
+                                     Pipelines[I % Pipelines.size()],
+                                     "bident" + std::to_string(I), 32 + I));
+
+  // Cache disabled on both sides: every job really compiles.
+  CompileService Seq = makeService(1, /*CacheEnabled=*/false);
+  CompileService Par = makeService(4, /*CacheEnabled=*/false);
+  std::vector<CompileOutcome> A = Seq.compileBatch(Reqs);
+  std::vector<CompileOutcome> B = Par.compileBatch(Reqs);
+
+  ASSERT_EQ(A.size(), Reqs.size());
+  ASSERT_EQ(B.size(), Reqs.size());
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    // Results come back in request order regardless of worker scheduling.
+    EXPECT_EQ(A[I].Id, Reqs[I].Id);
+    EXPECT_EQ(B[I].Id, Reqs[I].Id);
+    EXPECT_TRUE(A[I].Error.empty()) << A[I].Error;
+    EXPECT_TRUE(B[I].Error.empty()) << B[I].Error;
+    EXPECT_EQ(A[I].InputIRHash, B[I].InputIRHash);
+    EXPECT_EQ(A[I].resultKey(), B[I].resultKey()) << "job " << I;
+  }
+  EXPECT_EQ(Par.lastBatchStats().Jobs, Reqs.size());
+  EXPECT_EQ(Par.lastBatchStats().Failed, 0u);
+}
+
+TEST(CompileService, CacheHitsOnIdenticalRequest) {
+  CompileService Svc = makeService(1);
+  std::vector<CompileRequest> Reqs = {
+      makeVecAddRequest("hit", makeDevPipeline(), "cachehit")};
+
+  std::vector<CompileOutcome> Cold = Svc.compileBatch(Reqs);
+  ASSERT_EQ(Cold.size(), 1u);
+  EXPECT_TRUE(Cold[0].Cacheable);
+  EXPECT_FALSE(Cold[0].CacheHit);
+  EXPECT_FALSE(Cold[0].CacheKey.empty());
+
+  std::vector<CompileOutcome> Warm = Svc.compileBatch(Reqs);
+  ASSERT_EQ(Warm.size(), 1u);
+  EXPECT_TRUE(Warm[0].CacheHit);
+  EXPECT_EQ(Warm[0].CacheKey, Cold[0].CacheKey);
+  // The cached payload is the stored payload: summary and evaluation are
+  // bit-identical (the report keeps the storing compile's timings).
+  EXPECT_EQ(Warm[0].resultKey(), Cold[0].resultKey());
+
+  CompileCacheStats S = Svc.cache().stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Stores, 1u);
+}
+
+TEST(CompileService, CacheMissesOnPipelineOrSaltChange) {
+  CompileService Svc = makeService(1);
+  // All three share one Id: the request Id names the emitted module and is
+  // therefore part of the input IR hash, so keeping it constant isolates
+  // the pipeline-fingerprint and salt contributions to the key.
+  CompileRequest Dev = makeVecAddRequest("misskey", makeDevPipeline(), "misskey");
+  CompileRequest NoOpt =
+      makeVecAddRequest("misskey", makeDevNoOptPipeline(), "misskey");
+  CompileRequest Salted =
+      makeVecAddRequest("misskey", makeDevPipeline(), "misskey", 64,
+                        /*Salt=*/0xfeed);
+
+  std::vector<CompileOutcome> Out = Svc.compileBatch({Dev, NoOpt, Salted});
+  ASSERT_EQ(Out.size(), 3u);
+  // Dev and DevNoOpt share the front-end scheme, so the input IR is the
+  // same module — only the pipeline fingerprint separates the keys.
+  EXPECT_EQ(Out[0].InputIRHash, Out[1].InputIRHash);
+  EXPECT_NE(Out[0].CacheKey, Out[1].CacheKey);
+  // Same IR, same pipeline, different salt: still a distinct entry.
+  EXPECT_EQ(Out[0].InputIRHash, Out[2].InputIRHash);
+  EXPECT_NE(Out[0].CacheKey, Out[2].CacheKey);
+  for (const CompileOutcome &O : Out)
+    EXPECT_FALSE(O.CacheHit);
+  EXPECT_EQ(Svc.cache().stats().Misses, 3u);
+}
+
+TEST(CompileService, ExtraPassesAreUncacheable) {
+  PipelineOptions P = makeDevPipeline();
+  P.ExtraPasses.push_back({"test-noop", [](Module &) { return false; }});
+
+  CompileService Svc = makeService(1);
+  std::vector<CompileRequest> Reqs = {
+      makeVecAddRequest("extra", P, "uncacheable")};
+  std::vector<CompileOutcome> First = Svc.compileBatch(Reqs);
+  std::vector<CompileOutcome> Second = Svc.compileBatch(Reqs);
+  ASSERT_EQ(First.size(), 1u);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_FALSE(First[0].Cacheable);
+  // An uncacheable request is never served from cache, even on repeat.
+  EXPECT_FALSE(Second[0].CacheHit);
+  EXPECT_EQ(Svc.cache().stats().Stores, 0u);
+  EXPECT_EQ(Svc.cache().stats().Hits, 0u);
+}
+
+TEST(CompileService, ConcurrentSinksStayIsolated) {
+  // Eight concurrent compiles, each with a unique kernel token. If remark
+  // or statistic sinks leaked across workers, some outcome would mention
+  // another job's kernel or diverge from its own sequential result.
+  std::vector<CompileRequest> Reqs;
+  for (int I = 0; I < 8; ++I)
+    Reqs.push_back(makeVecAddRequest("iso-" + std::to_string(I),
+                                     makeDevPipeline(),
+                                     "isotok" + std::to_string(I)));
+
+  CompileService Seq = makeService(1, /*CacheEnabled=*/false);
+  CompileService Par = makeService(4, /*CacheEnabled=*/false);
+  std::vector<CompileOutcome> A = Seq.compileBatch(Reqs);
+  std::vector<CompileOutcome> B = Par.compileBatch(Reqs);
+  ASSERT_EQ(B.size(), Reqs.size());
+
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    const std::string Own = "isotok" + std::to_string(I);
+    const std::string &EntryKernel =
+        B[I].summary().at("entry_kernel").asString();
+    EXPECT_NE(EntryKernel.find(Own), std::string::npos) << EntryKernel;
+
+    // No remark attributed to this compile may mention any other job's
+    // kernel token.
+    const json::Value &Remarks = B[I].report().at("remarks");
+    ASSERT_TRUE(Remarks.isArray());
+    for (const json::Value &R : Remarks.elements()) {
+      std::string Blob = R.at("function").asString() + " " +
+                         R.at("message").asString();
+      for (size_t J = 0; J < Reqs.size(); ++J) {
+        if (J == I)
+          continue;
+        EXPECT_EQ(Blob.find("isotok" + std::to_string(J)), std::string::npos)
+            << "job " << I << " remark mentions job " << J << ": " << Blob;
+      }
+    }
+
+    // Per-compile statistics and remark text equal the sequential run's.
+    EXPECT_EQ(A[I].summary().at("statistics").str(),
+              B[I].summary().at("statistics").str());
+    EXPECT_EQ(A[I].resultKey(), B[I].resultKey());
+  }
+}
+
+TEST(CompileService, CorruptDiskEntryFallsBackToRecompile) {
+  std::string Dir = freshDir("corrupt");
+  std::vector<CompileRequest> Reqs = {
+      makeVecAddRequest("corrupt", makeDevPipeline(), "corruptentry")};
+
+  CompileService First = makeService(1, true, Dir);
+  std::vector<CompileOutcome> Cold = First.compileBatch(Reqs);
+  ASSERT_EQ(Cold.size(), 1u);
+  ASSERT_FALSE(Cold[0].CacheHit);
+  std::string EntryFile = Dir + "/" + Cold[0].CacheKey + ".json";
+  ASSERT_TRUE(fileExists(EntryFile));
+
+  // Truncated garbage where the entry used to be.
+  ASSERT_FALSE(writeTextFile(EntryFile, "{\"cache_schema\": 1, \"key\""));
+
+  // A fresh service (empty memory tier) must hit the corrupt file, delete
+  // it, count it, and recompile — never abort or serve garbage.
+  CompileService Second = makeService(1, true, Dir);
+  std::vector<CompileOutcome> Out = Second.compileBatch(Reqs);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+  EXPECT_FALSE(Out[0].CacheHit);
+  EXPECT_EQ(Out[0].resultKey(), Cold[0].resultKey());
+  EXPECT_EQ(Second.cache().stats().CorruptEntries, 1u);
+  // The recompile re-stored a valid entry.
+  ASSERT_TRUE(fileExists(EntryFile));
+
+  // Same story for well-formed JSON with the wrong schema version.
+  ASSERT_FALSE(writeTextFile(
+      EntryFile, "{\"cache_schema\": 999, \"key\": \"x\", \"payload\": {}}"));
+  CompileService Third = makeService(1, true, Dir);
+  std::vector<CompileOutcome> Again = Third.compileBatch(Reqs);
+  ASSERT_EQ(Again.size(), 1u);
+  EXPECT_FALSE(Again[0].CacheHit);
+  EXPECT_EQ(Third.cache().stats().CorruptEntries, 1u);
+  EXPECT_EQ(Again[0].resultKey(), Cold[0].resultKey());
+}
+
+TEST(CompileService, DiskCachePersistsAcrossServices) {
+  std::string Dir = freshDir("persist");
+  std::vector<CompileRequest> Reqs = {
+      makeVecAddRequest("persist", makeDevPipeline(), "persistentry")};
+
+  CompileService Writer = makeService(1, true, Dir);
+  std::vector<CompileOutcome> Cold = Writer.compileBatch(Reqs);
+  ASSERT_EQ(Cold.size(), 1u);
+  EXPECT_FALSE(Cold[0].CacheHit);
+
+  // A different service instance — simulating a later process — hits disk.
+  CompileService Reader = makeService(1, true, Dir);
+  std::vector<CompileOutcome> Warm = Reader.compileBatch(Reqs);
+  ASSERT_EQ(Warm.size(), 1u);
+  EXPECT_TRUE(Warm[0].CacheHit);
+  EXPECT_EQ(Warm[0].resultKey(), Cold[0].resultKey());
+  EXPECT_EQ(Reader.cache().stats().Hits, 1u);
+}
+
+TEST(CompileService, MemoryEvictionDropsOldestFirst) {
+  CompileService Svc = makeService(1, true, "", /*MaxEntries=*/2);
+  std::vector<CompileRequest> Reqs;
+  for (int I = 0; I < 3; ++I)
+    Reqs.push_back(makeVecAddRequest("evict-" + std::to_string(I),
+                                     makeDevPipeline(),
+                                     "evict" + std::to_string(I)));
+  Svc.compileBatch(Reqs);
+  EXPECT_GE(Svc.cache().stats().Evictions, 1u);
+
+  // The newest entry must still be resident; the oldest was evicted.
+  std::vector<CompileOutcome> Newest = Svc.compileBatch({Reqs[2]});
+  EXPECT_TRUE(Newest[0].CacheHit);
+  std::vector<CompileOutcome> Oldest = Svc.compileBatch({Reqs[0]});
+  EXPECT_FALSE(Oldest[0].CacheHit);
+}
+
+TEST(CompileService, DiskEvictionRespectsEntryCap) {
+  std::string Dir = freshDir("diskevict");
+  CompileService Svc = makeService(1, true, Dir, /*MaxEntries=*/2);
+  std::vector<CompileRequest> Reqs;
+  for (int I = 0; I < 4; ++I)
+    Reqs.push_back(makeVecAddRequest("dev-" + std::to_string(I),
+                                     makeDevPipeline(),
+                                     "diskevict" + std::to_string(I)));
+  Svc.compileBatch(Reqs);
+  EXPECT_LE(listDirectoryFiles(Dir).size(), 2u);
+}
+
+TEST(CompileService, FailedJobDoesNotTearDownBatch) {
+  CompileRequest Bad;
+  Bad.Id = "bad";
+  Bad.Pipeline = makeDevPipeline();
+  Bad.Emit = [](Module &) -> std::string {
+    throw std::runtime_error("synthetic emit failure");
+  };
+
+  std::vector<CompileRequest> Reqs = {
+      makeVecAddRequest("good-0", makeDevPipeline(), "survives0"), Bad,
+      makeVecAddRequest("good-1", makeDevPipeline(), "survives1")};
+
+  CompileService Svc = makeService(2);
+  std::vector<CompileOutcome> Out = Svc.compileBatch(Reqs);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+  EXPECT_NE(Out[1].Error.find("synthetic emit failure"), std::string::npos)
+      << Out[1].Error;
+  EXPECT_TRUE(Out[2].Error.empty()) << Out[2].Error;
+  EXPECT_EQ(Svc.lastBatchStats().Failed, 1u);
+
+  // A failed job is never cached: retrying compiles again, no bogus hit.
+  std::vector<CompileOutcome> Retry = Svc.compileBatch({Bad});
+  ASSERT_EQ(Retry.size(), 1u);
+  EXPECT_FALSE(Retry[0].CacheHit);
+  EXPECT_FALSE(Retry[0].Error.empty());
+}
+
+TEST(CompileService, ReportCarriesCacheSection) {
+  CompileService Svc = makeService(1);
+  std::vector<CompileOutcome> Out = Svc.compileBatch(
+      {makeVecAddRequest("report", makeDevPipeline(), "reportcache")});
+  ASSERT_EQ(Out.size(), 1u);
+  const json::Value &Cache = Out[0].report().at("cache");
+  ASSERT_TRUE(Cache.isObject());
+  EXPECT_TRUE(Cache.at("managed").asBool());
+  EXPECT_TRUE(Cache.at("cacheable").asBool());
+  EXPECT_EQ(Cache.at("key").asString(), Out[0].CacheKey);
+
+  // Outside the service, buildCompileReport marks the compile unmanaged.
+  CompileService NoCache = makeService(1, /*CacheEnabled=*/false);
+  std::vector<CompileOutcome> Bare = NoCache.compileBatch(
+      {makeVecAddRequest("bare", makeDevPipeline(), "reportnocache")});
+  ASSERT_EQ(Bare.size(), 1u);
+  EXPECT_FALSE(Bare[0].Cacheable);
+}
+
+} // namespace

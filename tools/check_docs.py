@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (CI `docs` job).
+
+Three checks, all offline and dependency-free:
+
+1. **Intra-repo links** — every relative markdown link in every tracked
+   `*.md` file must resolve to an existing file or directory. External
+   links (`http://`, `https://`, `mailto:`) and pure `#anchor` links are
+   skipped; a `path#anchor` link is checked for the path part only.
+
+2. **Remark codes** — every `OMPnnn` code mentioned anywhere in the docs
+   must be a `RemarkId` enumerator in `src/core/Remarks.h`. A doc that
+   cites a retired or mistyped code fails the job.
+
+3. **Report-schema fields** — every field documented in a
+   `docs/compile-report.md` table (rows of the form ``| `field` | ...``)
+   must appear as a string literal in `src/driver/CompileReport.cpp` or
+   `src/service/CompileService.cpp` (which fills the report's `cache`
+   section). Docs can lag behind the code (new undocumented fields are a
+   warning at most), but they can never describe fields the serializer
+   does not emit.
+
+Usage: `tools/check_docs.py [repo-root]` (defaults to the parent of the
+directory containing this script). Exits non-zero with one line per
+problem.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", "build", "build-san", "build-tsan", ".claude"}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+FENCE_RE = re.compile(r"^(```|~~~)")
+REMARK_RE = re.compile(r"\bOMP(\d{3})\b")
+REMARK_DEF_RE = re.compile(r"\bOMP(\d{3})\s*=\s*\d+")
+TABLE_FIELD_RE = re.compile(r"^\|\s*`\"?([a-z][a-z0-9_]*)\"?(?:\[\])?`")
+STRING_LIT_RE = re.compile(r'"([a-z][a-z0-9_]*)"')
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(root).parts):
+            continue
+        yield path
+
+
+def strip_code(text: str) -> str:
+    """Removes fenced blocks and inline code spans: links and remark
+    codes inside example output are illustrative, not normative."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(CODE_SPAN_RE.sub("``", line))
+    return "\n".join(out)
+
+
+def check_links(root: Path, errors: list):
+    for md in markdown_files(root):
+        text = strip_code(md.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            if target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}: broken link '{target}' "
+                    f"(no such file: {path_part})"
+                )
+
+
+def check_remark_codes(root: Path, errors: list):
+    remarks_h = root / "src" / "core" / "Remarks.h"
+    defined = set(REMARK_DEF_RE.findall(remarks_h.read_text(encoding="utf-8")))
+    if not defined:
+        errors.append(f"{remarks_h.relative_to(root)}: no RemarkId "
+                      "enumerators found — checker out of date?")
+        return
+    for md in markdown_files(root):
+        for lineno, line in enumerate(md.read_text(encoding="utf-8")
+                                      .splitlines(), 1):
+            for code in REMARK_RE.findall(line):
+                if code not in defined:
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: remark code "
+                        f"OMP{code} is not defined in src/core/Remarks.h"
+                    )
+
+
+def check_report_fields(root: Path, errors: list):
+    report_md = root / "docs" / "compile-report.md"
+    emitted = set()
+    for src in (root / "src" / "driver" / "CompileReport.cpp",
+                root / "src" / "service" / "CompileService.cpp"):
+        emitted |= set(STRING_LIT_RE.findall(src.read_text(encoding="utf-8")))
+    for lineno, line in enumerate(report_md.read_text(encoding="utf-8")
+                                  .splitlines(), 1):
+        m = TABLE_FIELD_RE.match(line.strip())
+        if not m:
+            continue
+        field = m.group(1)
+        if field not in emitted:
+            errors.append(
+                f"docs/compile-report.md:{lineno}: documented field "
+                f"'{field}' is not emitted by src/driver/CompileReport.cpp"
+            )
+
+
+def main(argv):
+    root = Path(argv[1]).resolve() if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    errors = []
+    check_links(root, errors)
+    check_remark_codes(root, errors)
+    check_report_fields(root, errors)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    n_md = len(list(markdown_files(root)))
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s) across {n_md} "
+              "markdown files", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({n_md} markdown files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
