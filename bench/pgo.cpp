@@ -27,6 +27,7 @@
 #include "BenchSupport.h"
 #include "ir/Module.h"
 #include "profile/Profile.h"
+#include "resilience/Resilience.h"
 #include "service/CompileService.h"
 #include "support/CommandLine.h"
 #include "support/raw_ostream.h"
@@ -166,10 +167,35 @@ struct ArmResult {
   }
 };
 
+/// Fail fast, naming every failed request: a batch entry that errored
+/// must abort the A/B comparison instead of silently skewing it.
+static bool anyRequestFailed(const char *Batch,
+                             const std::vector<CompileOutcome> &Out) {
+  bool Any = false;
+  for (const CompileOutcome &O : Out)
+    if (!O.Error.empty()) {
+      errs() << "pgo: request '" << O.Id << "' failed in " << Batch << ": "
+             << O.Error << "\n";
+      Any = true;
+    }
+  return Any;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   cl::parseCommandLine(argc, argv);
+
+  Expected<unsigned> Workers =
+      parseWorkerCountFlag("pgo-jobs", (int64_t)Jobs, Jobs.occurred());
+  if (!Workers) {
+    errs() << Workers.message() << "\n";
+    return 2;
+  }
+  if (Error E = validateCacheDirFlag("pgo-cache-dir", CacheDir.getValue())) {
+    errs() << E.message() << "\n";
+    return 2;
+  }
 
   const NamedFactory Factories[] = {{"XSBench", createXSBench},
                                     {"RSBench", createRSBench},
@@ -214,6 +240,9 @@ int main(int argc, char **argv) {
     Batch1.push_back(makeArmRequest(*Factory, Gen, true, 2));
   }
   std::vector<CompileOutcome> Out1 = Svc.compileBatch(Batch1);
+  BatchStats BS1 = Svc.lastBatchStats();
+  if (anyRequestFailed("batch 1 (no-PGO + profile-gen)", Out1))
+    return 1;
 
   // Digest batch 1: profile determinism, parse/re-serialize round trip,
   // profile persistence. Workloads that survive feed arm B; the profiles
@@ -295,6 +324,9 @@ int main(int argc, char **argv) {
     Batch2.push_back(makeArmRequest(*Plan.Factory, UsePGO, false, 0));
   }
   std::vector<CompileOutcome> Out2 = Svc.compileBatch(Batch2);
+  BatchStats BS2 = Svc.lastBatchStats();
+  if (anyRequestFailed("batch 2 (PGO)", Out2))
+    return 1;
 
   for (size_t I = 0; I < Plans.size(); ++I) {
     const NamedFactory &Factory = *Plans[I].Factory;
@@ -357,7 +389,13 @@ int main(int argc, char **argv) {
       .set("cache_misses", CS.Misses)
       .set("cache_stores", CS.Stores)
       .set("cache_evictions", CS.Evictions)
-      .set("cache_corrupt_entries", CS.CorruptEntries);
+      .set("cache_corrupt_entries", CS.CorruptEntries)
+      .set("cache_disk_errors", CS.DiskErrors)
+      .set("cache_disk_bypassed_ops", CS.DiskBypassedOps)
+      .set("retries", BS1.Retries + BS2.Retries)
+      .set("degraded", BS1.Degraded + BS2.Degraded)
+      .set("quarantined", BS1.Quarantined + BS2.Quarantined)
+      .set("faults_injected", BS1.FaultsInjected + BS2.FaultsInjected);
   recordBenchSummaryRow(std::move(SvcRow));
 
   bool WroteSummary = writeBenchSummary("pgo");

@@ -51,6 +51,13 @@ enum class RemarkId : unsigned {
   OMP210 = 210, ///< PGO: state-machine cascade reordered by dispatch counts.
   OMP211 = 211, ///< PGO: shared-memory budget ranked by touch frequency.
   OMP212 = 212, ///< PGO: guard grouping driven by dynamic barrier counts.
+  OMP220 = 220, ///< Resilience: watchdog converted a hung simulation into a
+                ///< recoverable timeout.
+  OMP221 = 221, ///< Resilience: request degraded down the preset ladder.
+  OMP222 = 222, ///< Resilience: compile-cache disk tier bypassed after an
+                ///< I/O error (auto re-enables).
+  OMP223 = 223, ///< Resilience: poison request quarantined after exhausting
+                ///< its attempt budget.
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

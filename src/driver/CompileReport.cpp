@@ -225,6 +225,16 @@ static json::Value cacheSection(const json::Value *CacheInfo) {
   return C;
 }
 
+/// Schema v6: every report carries a `resilience` section. A direct
+/// compile (and a cached payload) gets this inert default; the compile
+/// service overwrites it per run with the request's ResilienceSummary
+/// (docs/resilience.md), so cached entries stay run-independent.
+static json::Value resilienceSection() {
+  json::Value R = json::Value::makeObject();
+  R.set("managed", false);
+  return R;
+}
+
 static json::Value kernelSection(const KernelStats &S) {
   json::Value K = json::Value::makeObject();
   K.set("kernel_name", S.KernelName)
@@ -237,6 +247,8 @@ static json::Value kernelSection(const KernelStats &S) {
       .set("waves", S.Waves)
       .set("simulated_blocks", S.SimulatedBlocks)
       .set("out_of_memory", S.OutOfMemory)
+      .set("cycle_budget", S.CycleBudget)
+      .set("watchdog_timeout", S.WatchdogTimeout)
       .set("trap", S.Trap);
   S.forEachCounter([&K](const char *Name, uint64_t V) { K.set(Name, V); });
   return K;
@@ -269,6 +281,7 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("remarks", remarksSection(Result.Remarks))
       .set("statistics", statisticsSection(Result))
       .set("cache", cacheSection(CacheInfo))
+      .set("resilience", resilienceSection())
       .set("kernels", std::move(KernelArray));
   return Doc;
 }

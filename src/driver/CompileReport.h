@@ -36,8 +36,10 @@ namespace ompgpu {
 /// (docs/compile-report.md, docs/pgo.md); v5 added the `cache` section
 /// and switched `statistics` from the process-global registry to the
 /// per-compile deltas in CompileResult::Statistics
-/// (docs/compile-service.md).
-inline constexpr unsigned CompileReportSchemaVersion = 5;
+/// (docs/compile-service.md); v6 added the `resilience` section and the
+/// per-kernel `cycle_budget`/`watchdog_timeout` watchdog fields
+/// (docs/resilience.md).
+inline constexpr unsigned CompileReportSchemaVersion = 6;
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).

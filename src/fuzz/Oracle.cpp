@@ -10,7 +10,10 @@
 #include "gpusim/Device.h"
 #include "ir/IRContext.h"
 #include "ir/Module.h"
+#include "resilience/FaultInjector.h"
 #include "rtl/DeviceRTL.h"
+
+#include <stdexcept>
 
 using namespace ompgpu;
 
@@ -40,6 +43,9 @@ FuzzRunOutcome ompgpu::runGeneratedKernel(Module &M,
   LC.BlockDim = (unsigned)R.NumThreads;
   LC.Flavor = P.Flavor;
   LC.MaxSimulatedBlocks = 0;
+  // Watchdog: a hung or runaway simulation becomes a recoverable
+  // watchdog_timeout trap (OMP220) instead of hanging the campaign.
+  LC.CycleBudget = FuzzSimCycleBudget;
 
   NativeRuntimeBinding RTL =
       makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
@@ -84,6 +90,8 @@ FuzzPresetOutcome ompgpu::judgeCompiledPreset(const KernelRecipe &R,
                                               const CompileResult &CR) {
   FuzzPresetOutcome Res;
   Res.Preset = Preset.Name;
+  if (FaultInjector::instance().shouldFire(faultsite::OracleVerdict))
+    throw std::runtime_error("injected fault: oracle.verdict stage failure");
   Res.VerifyFailed = CR.VerifyFailed;
   Res.VerifyError = CR.VerifyError;
   Res.RecoveryEvents = (unsigned)CR.Recoveries.size();
@@ -129,6 +137,8 @@ FuzzPresetOutcome ompgpu::judgeCompiledPreset(const KernelRecipe &R,
   FuzzRunOutcome RefRun = runGeneratedKernel(Ref, KernelName, R, Preset);
   Res.OptimizedTrap = Opt.Stats.Trap;
   Res.ReferenceTrap = RefRun.Stats.Trap;
+  Res.WatchdogTimeout =
+      Opt.Stats.WatchdogTimeout || RefRun.Stats.WatchdogTimeout;
   if (!RefRun.Stats.ok()) {
     Res.ReferenceBroken = true;
     Res.Reason = "reference run failed: " +
@@ -176,6 +186,10 @@ json::Value ompgpu::fuzzPresetOutcomeToJSON(const FuzzPresetOutcome &P) {
       .set("reference_trap", P.ReferenceTrap)
       .set("recovery_events", P.RecoveryEvents)
       .set("lint_findings", std::move(LintMessages));
+  // Emitted only when set: pre-watchdog artifacts stay byte-identical, and
+  // so do injection-disabled chaos runs compared against plain runs.
+  if (P.WatchdogTimeout)
+    V.set("watchdog_timeout", true);
   return V;
 }
 
@@ -200,6 +214,8 @@ ompgpu::fuzzPresetOutcomeFromJSON(const json::Value &V) {
     P.ReferenceTrap = F->asString();
   if (const json::Value *F = V.find("recovery_events"))
     P.RecoveryEvents = (unsigned)F->asInt();
+  if (const json::Value *F = V.find("watchdog_timeout"))
+    P.WatchdogTimeout = F->asBool();
   return P;
 }
 

@@ -48,6 +48,11 @@ struct FuzzPresetOutcome {
   OutputComparison HostCompare; ///< optimized vs. expectedOutputs
   OutputComparison RefCompare;  ///< optimized vs. unoptimized module run
   unsigned RecoveryEvents = 0;
+  /// A simulated run hit the FuzzSimCycleBudget watchdog (OMP220): the
+  /// kernel hung or ran away and was converted into a recoverable timeout
+  /// trap instead of hanging the campaign. The compile service treats
+  /// this as transient and retries under its ResiliencePolicy.
+  bool WatchdogTimeout = false;
 };
 
 /// The oracle's verdict over all presets.
@@ -77,6 +82,14 @@ struct FuzzOracleOptions {
 /// branch with optimizations off, the full dev pipeline, and the dev
 /// pipeline with SPMDzation / globalization subsets disabled.
 std::vector<PipelineOptions> defaultFuzzPresets();
+
+/// Watchdog cycle budget armed on every fuzz simulation
+/// (LaunchConfig::CycleBudget): generously above any legitimate generated
+/// kernel (which finishes in well under a million cycles), so only a hung
+/// or runaway simulation trips it — and does so as a recoverable
+/// watchdog_timeout trap (OMP220, docs/resilience.md) instead of hanging
+/// the campaign.
+inline constexpr uint64_t FuzzSimCycleBudget = 100000000;
 
 /// \name Service-compatible building blocks
 /// The oracle decomposes into emit / compile / judge so the compile

@@ -21,6 +21,7 @@
 #include "gpusim/SimThread.h"
 #include "ir/Module.h"
 #include "profile/Profile.h"
+#include "resilience/FaultInjector.h"
 #include "support/ErrorHandling.h"
 #include "support/STLExtras.h"
 #include "support/raw_ostream.h"
@@ -202,6 +203,11 @@ public:
   /// Per-instruction extra cost (fractional cycles): register spills plus
   /// the legacy toolchain's code-generation overhead.
   double PerInstExtra = 0.0;
+  /// The cycle-budget watchdog fired (Config.CycleBudget exceeded).
+  bool WatchdogHit = false;
+  /// Injected gpusim.hang fault pending: the first thread to run next
+  /// stops making progress (docs/resilience.md).
+  bool InjectHang = false;
 
   Simulation(GPUDevice &Dev, Module &M, const LaunchConfig &Config,
              const NativeRuntimeBinding &RTL, KernelStats &Stats)
@@ -679,6 +685,30 @@ public:
 
   void runThread(ThreadSim &T) {
     while (T.Status == ThreadStatus::Runnable) {
+      // Watchdog: convert hung or runaway execution into a recoverable
+      // timeout trap (OMP220) instead of spinning forever. Checked before
+      // each instruction so even an injected hang that only advances the
+      // clock terminates deterministically.
+      if (Config.CycleBudget && T.Clock > Config.CycleBudget) {
+        WatchdogHit = true;
+        trapThread(T, "watchdog: cycle budget " +
+                          std::to_string(Config.CycleBudget) +
+                          " exceeded at cycle " + std::to_string(T.Clock));
+        return;
+      }
+      if (InjectHang) {
+        InjectHang = false;
+        if (Config.CycleBudget) {
+          // Model a hung thread: the clock races past the budget without
+          // retiring an instruction; the next loop iteration trips the
+          // watchdog.
+          T.Clock = Config.CycleBudget + 1;
+          continue;
+        }
+        // No watchdog armed — never actually hang the process.
+        trapThread(T, "injected hang (no watchdog cycle budget armed)");
+        return;
+      }
       Frame &Fr = T.Stack.back();
       if (Fr.InstIdx >= Fr.CurBB->size()) {
         trapThread(T, "fell off the end of block '" + Fr.CurBB->getName() +
@@ -1337,6 +1367,18 @@ KernelStats GPUDevice::launchKernel(Module &M, Function *Kernel,
   assert(Args.size() == Kernel->arg_size() && "kernel argument mismatch");
 
   Simulation Sim(*this, M, Config, RTL, Stats);
+  Stats.CycleBudget = Config.CycleBudget;
+
+  // Chaos sites (docs/resilience.md): a simulated kernel hang and a
+  // runaway cycle count. Both are recoverable — the hang is converted
+  // into a watchdog timeout (or an immediate trap when no budget is
+  // armed), the runaway either trips the watchdog or merely inflates the
+  // cycle estimate.
+  FaultInjector &Chaos = FaultInjector::instance();
+  if (Chaos.shouldFire(faultsite::GpusimHang))
+    Sim.InjectHang = true;
+  if (Chaos.shouldFire(faultsite::GpusimRunaway))
+    Sim.PerInstExtra += 1e9;
 
   // Resource estimation under the build's register budget; demand beyond
   // the budget spills to local memory.
@@ -1402,6 +1444,7 @@ KernelStats GPUDevice::launchKernel(Module &M, Function *Kernel,
     }
   }
   Stats.SimulatedBlocks = NumSim;
+  Stats.WatchdogTimeout = Sim.WatchdogHit;
   Stats.DynamicSharedBytes = Sim.SharedStackPeak;
   if (Config.Profile)
     Config.Profile->noteKernel(Stats.KernelName, Sim.SharedStackPeak);

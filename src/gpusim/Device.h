@@ -96,6 +96,11 @@ struct LaunchConfig {
   /// 0 simulates every block; otherwise only this many (evenly strided)
   /// blocks run and the kernel time is extrapolated over all waves.
   unsigned MaxSimulatedBlocks = 0;
+  /// Watchdog cycle budget per simulated thread (0 = unlimited): a thread
+  /// whose clock exceeds it traps with a recoverable watchdog timeout
+  /// (KernelStats::WatchdogTimeout, OMP220) instead of spinning forever
+  /// on hung or runaway kernels. See docs/resilience.md.
+  uint64_t CycleBudget = 0;
   /// Profiling mode (docs/pgo.md): when set, the interpreter counts
   /// per-anchor parallel-region dispatches, barrier executions, guard
   /// entries, memory touches of anchored allocations, and the kernel's

@@ -51,6 +51,14 @@ struct KernelStats {
   /// "OoM" bar in Fig. 11b).
   bool OutOfMemory = false;
 
+  /// The launch's LaunchConfig::CycleBudget (0 = unlimited), echoed so
+  /// report consumers can tell a watchdog trap from a plain trap budget.
+  uint64_t CycleBudget = 0;
+  /// The cycle-budget watchdog fired: a thread's clock exceeded
+  /// CycleBudget and the launch was converted into a recoverable timeout
+  /// trap (OMP220, docs/resilience.md) instead of hanging the process.
+  bool WatchdogTimeout = false;
+
   /// Non-empty if a thread trapped (invalid access, cross-thread local
   /// dereference, unknown callee, ...).
   std::string Trap;

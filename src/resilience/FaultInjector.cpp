@@ -1,0 +1,257 @@
+//===- resilience/FaultInjector.cpp - Deterministic fault injection --------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/FaultInjector.h"
+
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <tuple>
+
+using namespace ompgpu;
+
+std::vector<std::string> ompgpu::allFaultSites() {
+  return {faultsite::ServiceEmit,   faultsite::ServiceCompile,
+          faultsite::ServiceEvaluate, faultsite::OracleVerdict,
+          faultsite::CacheCorrupt,  faultsite::FsRead,
+          faultsite::FsWrite,       faultsite::FsEnospc,
+          faultsite::FsExdev,       faultsite::GpusimHang,
+          faultsite::GpusimRunaway};
+}
+
+json::Value FaultPlan::toJSON() const {
+  json::Value SitesV = json::Value::makeArray();
+  for (const std::string &S : Sites)
+    SitesV.push_back(json::Value(S));
+  json::Value V = json::Value::makeObject();
+  V.set("seed", Seed)
+      .set("rate_percent", RatePercent)
+      .set("sites", std::move(SitesV));
+  return V;
+}
+
+Expected<FaultPlan> FaultPlan::fromJSON(const json::Value &V) {
+  if (!V.isObject() || !V.find("seed"))
+    return Error::failure("fault plan JSON: not a plan object");
+  FaultPlan P;
+  P.Seed = (uint64_t)V.at("seed").asInt();
+  if (const json::Value *R = V.find("rate_percent")) {
+    int64_t Rate = R->asInt();
+    if (Rate < 0 || Rate > 100)
+      return Error::failure("fault plan JSON: rate_percent out of [0,100]");
+    P.RatePercent = (unsigned)Rate;
+  }
+  if (const json::Value *S = V.find("sites")) {
+    if (!S->isArray())
+      return Error::failure("fault plan JSON: sites is not an array");
+    std::vector<std::string> Known = allFaultSites();
+    for (const json::Value &E : S->elements()) {
+      std::string Name = E.asString();
+      if (std::find(Known.begin(), Known.end(), Name) == Known.end())
+        return Error::failure("fault plan JSON: unknown site '" + Name + "'");
+      P.Sites.push_back(std::move(Name));
+    }
+  }
+  return P;
+}
+
+json::Value FaultEvent::toJSON() const {
+  json::Value V = json::Value::makeObject();
+  V.set("site", Site)
+      .set("scope", ScopeKey)
+      .set("attempt", Attempt)
+      .set("attributed", Attributed);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultScope (thread-local ambient)
+//===----------------------------------------------------------------------===//
+
+static thread_local FaultScope *CurrentScope = nullptr;
+
+FaultScope::FaultScope(std::string ScopeKey, unsigned Attempt)
+    : Prev(CurrentScope), Key(std::move(ScopeKey)), AttemptNo(Attempt) {
+  CurrentScope = this;
+}
+
+FaultScope::~FaultScope() { CurrentScope = Prev; }
+
+bool FaultScope::active() { return CurrentScope != nullptr; }
+
+const std::string &FaultScope::scopeKey() {
+  static const std::string Empty;
+  return CurrentScope ? CurrentScope->Key : Empty;
+}
+
+unsigned FaultScope::attempt() {
+  return CurrentScope ? CurrentScope->AttemptNo : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+struct FaultInjector::Impl {
+  std::atomic<bool> Armed{false};
+  mutable std::mutex Mu;
+  FaultPlan Plan;
+  std::vector<FaultEvent> Events;
+};
+
+FaultInjector::Impl &FaultInjector::impl() const {
+  static Impl TheImpl;
+  return TheImpl;
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector TheInjector;
+  return TheInjector;
+}
+
+/// The splitmix64 finalizer (same algorithm as fuzz/FuzzRNG.h): fully
+/// specified, so fire decisions are identical on every platform.
+static uint64_t mix64(uint64_t Z) {
+  Z += 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// FileSystem-layer sites, routed through the hook installed by
+/// configure() so support/ needs no dependency on this library.
+static Error fileSystemFaultHook(const char *Op, const std::string &Path) {
+  FaultInjector &FI = FaultInjector::instance();
+  if (std::strcmp(Op, "read") == 0 && FI.shouldFire(faultsite::FsRead))
+    return Error::failure("injected fault: fs.read on '" + Path + "'");
+  if (std::strcmp(Op, "write") == 0) {
+    if (FI.shouldFire(faultsite::FsEnospc))
+      return Error::diskFull("injected fault: fs.enospc (disk full) on '" +
+                             Path + "'");
+    if (FI.shouldFire(faultsite::FsWrite))
+      return Error::failure("injected fault: fs.write on '" + Path + "'");
+  }
+  // A non-success return for "exdev" asks writeTextFile to behave as if
+  // rename failed with EXDEV, exercising the copy+fsync+unlink fallback.
+  if (std::strcmp(Op, "exdev") == 0 && FI.shouldFire(faultsite::FsExdev))
+    return Error::failure("injected fault: fs.exdev on '" + Path + "'");
+  return Error::success();
+}
+
+void FaultInjector::configure(const FaultPlan &Plan) {
+  Impl &I = impl();
+  {
+    std::lock_guard<std::mutex> Lock(I.Mu);
+    I.Plan = Plan;
+    I.Events.clear();
+  }
+  I.Armed.store(Plan.enabled(), std::memory_order_release);
+  setFileSystemFaultHook(Plan.enabled() ? &fileSystemFaultHook : nullptr);
+}
+
+void FaultInjector::disarm() {
+  Impl &I = impl();
+  I.Armed.store(false, std::memory_order_release);
+  setFileSystemFaultHook(nullptr);
+}
+
+bool FaultInjector::armed() const {
+  return impl().Armed.load(std::memory_order_acquire);
+}
+
+FaultPlan FaultInjector::plan() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return I.Plan;
+}
+
+bool FaultInjector::shouldFire(const char *Site) {
+  Impl &I = impl();
+  if (!I.Armed.load(std::memory_order_acquire))
+    return false;
+  if (!FaultScope::active())
+    return false;
+
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  if (!I.Plan.Sites.empty() &&
+      std::find(I.Plan.Sites.begin(), I.Plan.Sites.end(), Site) ==
+          I.Plan.Sites.end())
+    return false;
+
+  // Pure decision: no mutable counters, so the same (plan, site, scope,
+  // attempt) fires identically across worker counts and thread schedules.
+  uint64_t H = mix64(I.Plan.Seed ^ hashBytes(Site));
+  H = mix64(H ^ hashBytes(FaultScope::scopeKey()));
+  H = mix64(H ^ FaultScope::attempt());
+  if (H % 100 >= I.Plan.RatePercent)
+    return false;
+
+  FaultEvent E;
+  E.Site = Site;
+  E.ScopeKey = FaultScope::scopeKey();
+  E.Attempt = FaultScope::attempt();
+  I.Events.push_back(std::move(E));
+  return true;
+}
+
+std::vector<FaultEvent>
+FaultInjector::takeEventsForScope(const std::string &ScopeKey) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::vector<FaultEvent> Out;
+  // Only not-yet-attributed events: a retry loop calls this once per
+  // attempt, and re-returning earlier attempts' events would both
+  // double-count them and make a clean retry look faulted.
+  for (FaultEvent &E : I.Events)
+    if (E.ScopeKey == ScopeKey && !E.Attributed) {
+      E.Attributed = true;
+      Out.push_back(E);
+    }
+  std::sort(Out.begin(), Out.end(),
+            [](const FaultEvent &A, const FaultEvent &B) {
+              return std::tie(A.Attempt, A.Site) < std::tie(B.Attempt, B.Site);
+            });
+  return Out;
+}
+
+std::vector<FaultEvent> FaultInjector::allEvents() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  std::vector<FaultEvent> Out = I.Events;
+  std::sort(Out.begin(), Out.end(),
+            [](const FaultEvent &A, const FaultEvent &B) {
+              return std::tie(A.ScopeKey, A.Attempt, A.Site) <
+                     std::tie(B.ScopeKey, B.Attempt, B.Site);
+            });
+  return Out;
+}
+
+uint64_t FaultInjector::firedCount() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  return I.Events.size();
+}
+
+uint64_t FaultInjector::unattributedCount() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  uint64_t N = 0;
+  for (const FaultEvent &E : I.Events)
+    if (!E.Attributed)
+      ++N;
+  return N;
+}
+
+void FaultInjector::resetEvents() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.Mu);
+  I.Events.clear();
+}

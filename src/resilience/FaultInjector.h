@@ -1,0 +1,149 @@
+//===- resilience/FaultInjector.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic fault injection for chaos testing the compile
+/// service and simulation harness (docs/resilience.md). A FaultPlan names a
+/// splitmix64 seed, a fire rate, and an optional site whitelist; the
+/// process-wide FaultInjector decides, purely as a function of
+/// (seed, site, scope key, attempt), whether a given site fires — so the
+/// same plan produces the same faults regardless of worker count, thread
+/// schedule, or cache state, and a retried attempt (attempt + 1) sees an
+/// independent decision.
+///
+/// Faults fire only inside an active FaultScope (a thread-local RAII
+/// ambient the compile service opens around each request attempt). Code
+/// outside a scope — triage, reduction, report writing — is never
+/// perturbed, and every fired fault is attributable to exactly one
+/// (request, attempt) pair, which is what lets the chaos CI gate assert
+/// that no injected fault went unhandled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_RESILIENCE_FAULTINJECTOR_H
+#define OMPGPU_RESILIENCE_FAULTINJECTOR_H
+
+#include "support/Error.h"
+#include "support/JSON.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// The named fault sites. Keep docs/resilience.md's table in sync.
+namespace faultsite {
+inline constexpr const char *ServiceEmit = "service.emit";
+inline constexpr const char *ServiceCompile = "service.compile";
+inline constexpr const char *ServiceEvaluate = "service.evaluate";
+inline constexpr const char *OracleVerdict = "oracle.verdict";
+inline constexpr const char *CacheCorrupt = "cache.corrupt";
+inline constexpr const char *FsRead = "fs.read";
+inline constexpr const char *FsWrite = "fs.write";
+inline constexpr const char *FsEnospc = "fs.enospc";
+inline constexpr const char *FsExdev = "fs.exdev";
+inline constexpr const char *GpusimHang = "gpusim.hang";
+inline constexpr const char *GpusimRunaway = "gpusim.runaway";
+} // namespace faultsite
+
+/// Every site the injector knows, for validation and documentation.
+std::vector<std::string> allFaultSites();
+
+/// A chaos campaign's configuration, JSON round-trippable like a
+/// FuzzRecipe so a failing chaos run can be replayed exactly.
+struct FaultPlan {
+  /// splitmix64 seed; 0 means the plan is inert (nothing ever fires).
+  uint64_t Seed = 0;
+  /// Fire probability per site query, in percent (0-100).
+  unsigned RatePercent = 5;
+  /// Sites allowed to fire; empty = all sites.
+  std::vector<std::string> Sites;
+
+  bool enabled() const { return Seed != 0 && RatePercent != 0; }
+
+  json::Value toJSON() const;
+  static Expected<FaultPlan> fromJSON(const json::Value &V);
+};
+
+/// One fired fault, as recorded by the injector.
+struct FaultEvent {
+  std::string Site;
+  std::string ScopeKey;
+  unsigned Attempt = 0;
+  /// Set once a resilience policy consumed the event (retry, degradation,
+  /// bypass, quarantine). Unattributed events fail the chaos gate.
+  bool Attributed = false;
+
+  json::Value toJSON() const;
+};
+
+/// Process-wide injector. Disarmed by default: shouldFire is a cheap
+/// atomic load returning false, so production paths pay nothing.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Arms the injector with \p Plan and installs the FileSystem fault hook
+  /// (fs.* sites). Clears previously recorded events.
+  void configure(const FaultPlan &Plan);
+  /// Disarms and uninstalls the FileSystem hook. Recorded events remain
+  /// until resetEvents().
+  void disarm();
+  bool armed() const;
+  FaultPlan plan() const;
+
+  /// Decides whether \p Site fires here: armed, site enabled, an active
+  /// FaultScope on this thread, and the seeded hash of
+  /// (seed, site, scope key, attempt) lands under the rate. A true return
+  /// records a FaultEvent.
+  bool shouldFire(const char *Site);
+
+  /// Returns (copies of) every not-yet-attributed event recorded for
+  /// \p ScopeKey and marks them attributed — so a retry loop calling this
+  /// once per attempt sees each event exactly once. The compile service
+  /// folds the events into the outcome's resilience section.
+  std::vector<FaultEvent> takeEventsForScope(const std::string &ScopeKey);
+
+  /// Every recorded event, sorted by (scope, attempt, site) so chaos
+  /// artifacts are deterministic even though recording order is not.
+  std::vector<FaultEvent> allEvents() const;
+  uint64_t firedCount() const;
+  uint64_t unattributedCount() const;
+  void resetEvents();
+
+private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// Thread-local RAII ambient naming the (request, attempt) on whose behalf
+/// this thread is currently working. Deep layers (cache, file system,
+/// gpusim, oracle) query the injector without signature changes; without an
+/// active scope no fault ever fires.
+class FaultScope {
+public:
+  FaultScope(std::string ScopeKey, unsigned Attempt);
+  ~FaultScope();
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+
+  static bool active();
+  static const std::string &scopeKey();
+  static unsigned attempt();
+
+private:
+  FaultScope *Prev;
+  std::string Key;
+  unsigned AttemptNo;
+  friend class FaultInjector;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_RESILIENCE_FAULTINJECTOR_H

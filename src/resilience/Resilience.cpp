@@ -1,0 +1,85 @@
+//===- resilience/Resilience.cpp - Recovery policies -----------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/Resilience.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace ompgpu;
+
+const char *ompgpu::degradationRungName(DegradationRung R) {
+  switch (R) {
+  case DegradationRung::Requested:
+    return "";
+  case DegradationRung::Reduced:
+    return "reduced";
+  case DegradationRung::Reference:
+    return "reference";
+  }
+  return "";
+}
+
+void ResilienceSummary::addRemark(const std::string &Name) {
+  if (std::find(Remarks.begin(), Remarks.end(), Name) == Remarks.end())
+    Remarks.push_back(Name);
+}
+
+json::Value ResilienceSummary::toJSON() const {
+  json::Value V = json::Value::makeObject();
+  if (!Managed) {
+    V.set("managed", false);
+    return V;
+  }
+  json::Value Faults = json::Value::makeArray();
+  for (const FaultEvent &E : InjectedFaults)
+    Faults.push_back(E.toJSON());
+  json::Value RemarksV = json::Value::makeArray();
+  for (const std::string &R : Remarks)
+    RemarksV.push_back(json::Value(R));
+  json::Value ActionsV = json::Value::makeArray();
+  for (const std::string &A : Actions)
+    ActionsV.push_back(json::Value(A));
+  V.set("managed", true)
+      .set("attempts", Attempts)
+      .set("retries", Retries)
+      .set("degraded_to", degradationRungName(DegradedTo))
+      .set("quarantined", Quarantined)
+      .set("injected_faults", std::move(Faults))
+      .set("remarks", std::move(RemarksV))
+      .set("actions", std::move(ActionsV));
+  return V;
+}
+
+Expected<unsigned> ompgpu::parseWorkerCountFlag(const std::string &Flag,
+                                                int64_t Value, bool WasSet) {
+  if (!WasSet)
+    return 0u; // auto: the service picks hardware concurrency
+  if (Value <= 0)
+    return Error::failure("-" + Flag + " must be a positive worker count " +
+                          "(got " + std::to_string(Value) +
+                          "); omit the flag for hardware concurrency");
+  if (Value > 4096)
+    return Error::failure("-" + Flag + " is implausibly large (got " +
+                          std::to_string(Value) + ", max 4096)");
+  return (unsigned)Value;
+}
+
+Error ompgpu::validateCacheDirFlag(const std::string &Flag,
+                                   const std::string &Dir) {
+  if (Dir.empty())
+    return Error::success();
+  std::filesystem::path P(Dir);
+  std::filesystem::path Parent = P.parent_path();
+  if (Parent.empty())
+    return Error::success(); // relative name in the CWD
+  std::error_code EC;
+  if (!std::filesystem::is_directory(Parent, EC))
+    return Error::failure("-" + Flag + ": parent directory '" +
+                          Parent.string() + "' does not exist");
+  return Error::success();
+}

@@ -1,0 +1,116 @@
+//===- resilience/Resilience.h - Recovery policies ---------------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recovery half of the resilience layer (docs/resilience.md): the
+/// per-request retry/degradation/quarantine policy the compile service
+/// applies (OMP220-OMP223), the serializer of the compile report's
+/// `resilience` section (schema v6, docs/compile-report.md), and the
+/// validated parsing of service worker-count and cache-directory flag
+/// inputs shared by the bench drivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_RESILIENCE_RESILIENCE_H
+#define OMPGPU_RESILIENCE_RESILIENCE_H
+
+#include "resilience/FaultInjector.h"
+#include "support/Error.h"
+#include "support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// How the compile service reacts to failing or transiently-faulty
+/// request attempts. The default policy is inert — one attempt, no
+/// degradation, no quarantine — which reproduces pre-resilience service
+/// behavior exactly.
+struct ResiliencePolicy {
+  /// Attempts at the requested pipeline before degrading or giving up.
+  /// 1 = no retry.
+  unsigned MaxAttempts = 1;
+  /// Deterministic capped exponential backoff between attempts:
+  /// min(Cap, Base << (attempt - 1)) milliseconds.
+  unsigned BackoffBaseMillis = 1;
+  unsigned BackoffCapMillis = 8;
+  /// After the attempt budget is exhausted, retry the request down the
+  /// degradation ladder: requested pipeline -> reduced preset (recovery
+  /// mode quarantines misbehaving passes, OMP221) -> reference pipeline
+  /// (no openmp-opt, no cleanups). Degraded results are never cached.
+  bool DegradePresets = false;
+  /// After the whole ladder fails, quarantine the request id: later
+  /// submissions short-circuit with a quarantined outcome (OMP223)
+  /// instead of burning attempts again.
+  bool QuarantinePoison = false;
+
+  unsigned backoffMillis(unsigned Attempt) const {
+    uint64_t Shift = Attempt > 0 ? Attempt - 1 : 0;
+    uint64_t Ms = Shift >= 32 ? BackoffCapMillis
+                              : ((uint64_t)BackoffBaseMillis << Shift);
+    return (unsigned)(Ms < BackoffCapMillis ? Ms : BackoffCapMillis);
+  }
+
+  bool active() const {
+    return MaxAttempts > 1 || DegradePresets || QuarantinePoison;
+  }
+};
+
+/// The degradation ladder's rungs, in order.
+enum class DegradationRung : unsigned {
+  Requested = 0, ///< the pipeline the caller asked for
+  Reduced = 1,   ///< requested + pass recovery/quarantine (OMP221)
+  Reference = 2, ///< no openmp-opt, no cleanups — always-safe fallback
+};
+
+/// Rung name as reported in `resilience.degraded_to` ("" for Requested).
+const char *degradationRungName(DegradationRung R);
+
+/// Everything one request's resilience handling produced, serialized as
+/// the `resilience` section of the compile report (schema v6) and the
+/// outcome payload.
+struct ResilienceSummary {
+  /// False for direct (non-service) compiles; the section then carries
+  /// only {"managed": false}.
+  bool Managed = true;
+  unsigned Attempts = 1;
+  unsigned Retries = 0;
+  DegradationRung DegradedTo = DegradationRung::Requested;
+  bool Quarantined = false;
+  /// Faults the injector fired on this request's behalf, all attempts.
+  std::vector<FaultEvent> InjectedFaults;
+  /// Remark names that applied (OMP220-OMP223), deduplicated, in order.
+  std::vector<std::string> Remarks;
+  /// One human-readable line per policy action, in order.
+  std::vector<std::string> Actions;
+
+  void addRemark(const std::string &Name);
+
+  json::Value toJSON() const;
+};
+
+/// \name Validated flag inputs (shared by bench/fuzz and bench/pgo)
+/// @{
+
+/// Validates a `-*-jobs` worker-count flag value. An unset flag
+/// (\p WasSet false) means "auto" and yields 0 (the service picks
+/// hardware concurrency); an explicit zero or negative value is a clean
+/// Expected error instead of a silent sequential fallback.
+Expected<unsigned> parseWorkerCountFlag(const std::string &Flag,
+                                        int64_t Value, bool WasSet);
+
+/// Validates a `-*-cache-dir` flag value: empty is fine (in-memory
+/// cache); otherwise the parent directory must already exist, so a typo
+/// fails up front instead of silently writing nowhere mid-campaign.
+Error validateCacheDirFlag(const std::string &Flag, const std::string &Dir);
+
+/// @}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_RESILIENCE_RESILIENCE_H

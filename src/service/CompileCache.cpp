@@ -9,6 +9,7 @@
 
 #include "driver/CompileReport.h"
 #include "profile/Profile.h"
+#include "resilience/FaultInjector.h"
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 
@@ -23,7 +24,10 @@ json::Value CompileCacheStats::toJSON() const {
       .set("misses", Misses)
       .set("stores", Stores)
       .set("evictions", Evictions)
-      .set("corrupt_entries", CorruptEntries);
+      .set("corrupt_entries", CorruptEntries)
+      .set("disk_errors", DiskErrors)
+      .set("disk_bypassed_ops", DiskBypassedOps)
+      .set("disk_reenables", DiskReenables);
   return V;
 }
 
@@ -111,7 +115,26 @@ std::string CompileCache::entryPath(const std::string &Key) const {
   return Opts.Dir + "/" + Key + ".json";
 }
 
-std::optional<json::Value> CompileCache::lookup(const std::string &Key) {
+void CompileCache::noteDiskError(CompileCacheIO *IO) {
+  ++Counters.DiskErrors;
+  DiskBypassLeft = DiskBypassWindow;
+  if (IO)
+    IO->DiskError = true;
+}
+
+bool CompileCache::consumeBypass(CompileCacheIO *IO) {
+  if (DiskBypassLeft == 0)
+    return false;
+  ++Counters.DiskBypassedOps;
+  if (--DiskBypassLeft == 0)
+    ++Counters.DiskReenables;
+  if (IO)
+    IO->DiskBypassed = true;
+  return true;
+}
+
+std::optional<json::Value> CompileCache::lookup(const std::string &Key,
+                                                CompileCacheIO *IO) {
   if (!Opts.Enabled)
     return std::nullopt;
   std::lock_guard<std::mutex> Lock(Mu);
@@ -122,18 +145,27 @@ std::optional<json::Value> CompileCache::lookup(const std::string &Key) {
     return It->second;
   }
 
-  if (!Opts.Dir.empty() && fileExists(entryPath(Key))) {
-    // Disk tier. Any defect — unreadable file, bad JSON, wrong entry
-    // schema, key mismatch, missing payload — deletes the entry and
-    // degrades to a miss; a corrupt cache must never abort a compile.
+  if (!Opts.Dir.empty() && !consumeBypass(IO) && fileExists(entryPath(Key))) {
+    // Disk tier. A content defect — bad JSON, wrong entry schema, key
+    // mismatch, missing payload — deletes the entry and degrades to a
+    // miss; a corrupt cache must never abort a compile. A read *error*
+    // leaves the (possibly fine) file alone and opens the bypass window
+    // instead: the disk is flaky, not the entry.
     auto Corrupt = [&]() -> std::optional<json::Value> {
       ++Counters.CorruptEntries;
       ++Counters.Misses;
+      if (IO)
+        IO->CorruptEntry = true;
       (void)removeFile(entryPath(Key));
       return std::nullopt;
     };
     Expected<std::string> Text = readTextFile(entryPath(Key));
-    if (!Text)
+    if (!Text) {
+      noteDiskError(IO);
+      ++Counters.Misses;
+      return std::nullopt;
+    }
+    if (FaultInjector::instance().shouldFire(faultsite::CacheCorrupt))
       return Corrupt();
     json::Value Entry;
     if (!json::parse(*Text, Entry) || !Entry.isObject())
@@ -155,7 +187,8 @@ std::optional<json::Value> CompileCache::lookup(const std::string &Key) {
   return std::nullopt;
 }
 
-void CompileCache::store(const std::string &Key, const json::Value &Payload) {
+void CompileCache::store(const std::string &Key, const json::Value &Payload,
+                         CompileCacheIO *IO) {
   if (!Opts.Enabled)
     return;
   std::lock_guard<std::mutex> Lock(Mu);
@@ -166,10 +199,12 @@ void CompileCache::store(const std::string &Key, const json::Value &Payload) {
   }
   ++Counters.Stores;
 
-  if (Opts.Dir.empty())
+  if (Opts.Dir.empty() || consumeBypass(IO))
     return;
-  if (ensureDirectory(Opts.Dir)) // Failure: stay in-memory only.
+  if (ensureDirectory(Opts.Dir)) { // Failure: stay in-memory only.
+    noteDiskError(IO);
     return;
+  }
   json::Value Entry = json::Value::makeObject();
   Entry.set("cache_schema", CompileCacheSchemaVersion)
       .set("report_schema", CompileReportSchemaVersion)
@@ -177,8 +212,16 @@ void CompileCache::store(const std::string &Key, const json::Value &Payload) {
       .set("payload", Payload);
   // Atomic (temp + rename): concurrent writers of the same key race
   // benignly (same content), and an interrupted run leaves no torn file.
-  (void)writeTextFile(entryPath(Key), Entry.str() + "\n");
+  if (writeTextFile(entryPath(Key), Entry.str() + "\n")) {
+    noteDiskError(IO);
+    return;
+  }
   evictDiskOverCap();
+}
+
+unsigned CompileCache::diskBypassRemaining() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return DiskBypassLeft;
 }
 
 void CompileCache::evictMemoryOverCap() {

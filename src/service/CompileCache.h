@@ -47,8 +47,19 @@ struct CompileCacheStats {
   uint64_t Stores = 0;         ///< store() accepted a new payload.
   uint64_t Evictions = 0;      ///< Entries dropped to respect MaxEntries.
   uint64_t CorruptEntries = 0; ///< Unreadable disk entries deleted.
+  uint64_t DiskErrors = 0;     ///< Disk read/write failures observed.
+  uint64_t DiskBypassedOps = 0; ///< Disk ops skipped while bypassed (OMP222).
+  uint64_t DiskReenables = 0;  ///< Bypass windows that expired.
 
   json::Value toJSON() const;
+};
+
+/// Per-call feedback from lookup()/store(), so the service can attribute
+/// cache-layer resilience events (OMP222) to the request that hit them.
+struct CompileCacheIO {
+  bool DiskError = false;    ///< This call observed a disk read/write error.
+  bool DiskBypassed = false; ///< The disk tier was skipped (bypass window).
+  bool CorruptEntry = false; ///< This call deleted a corrupt entry.
 };
 
 /// Thread-safe memoization table for compile payloads.
@@ -95,27 +106,46 @@ public:
   /// Returns the payload stored under \p Key, consulting memory first and
   /// then disk (a disk hit is promoted into memory). Counts a hit or a
   /// miss; a corrupt disk entry is deleted, counted, and reported as a
-  /// miss.
-  std::optional<json::Value> lookup(const std::string &Key);
+  /// miss, while a disk *I/O* error (flaky or full disk) leaves the file
+  /// alone, counts a DiskError, and opens the bypass window. \p IO, when
+  /// non-null, reports what this call observed.
+  std::optional<json::Value> lookup(const std::string &Key,
+                                    CompileCacheIO *IO = nullptr);
 
   /// Stores \p Payload under \p Key in memory and (when configured) on
-  /// disk, evicting oldest entries beyond MaxEntries. Failures to write
-  /// the disk tier are swallowed: the cache is an accelerator, never a
-  /// correctness dependency.
-  void store(const std::string &Key, const json::Value &Payload);
+  /// disk, evicting oldest entries beyond MaxEntries. A disk-tier write
+  /// failure never fails the compile — the cache is an accelerator, not a
+  /// correctness dependency — but it is counted, reported via \p IO, and
+  /// opens the bypass window (OMP222).
+  void store(const std::string &Key, const json::Value &Payload,
+             CompileCacheIO *IO = nullptr);
 
   CompileCacheStats stats() const;
+
+  /// Disk ops remaining in the current bypass window (0 = disk tier
+  /// active). After a disk error the next DiskBypassWindow disk-tier
+  /// operations are skipped outright, then the tier re-enables
+  /// automatically — one flaky disk never turns every compile into a
+  /// blocking I/O retry storm.
+  unsigned diskBypassRemaining() const;
+  static constexpr unsigned DiskBypassWindow = 32;
 
 private:
   std::string entryPath(const std::string &Key) const;
   void evictMemoryOverCap(); // Caller holds Mu.
   void evictDiskOverCap();   // Caller holds Mu.
+  /// Notes a disk error and opens the bypass window. Caller holds Mu.
+  void noteDiskError(CompileCacheIO *IO);
+  /// True when the disk tier should be skipped for this op (and decrements
+  /// the window, re-enabling at zero). Caller holds Mu.
+  bool consumeBypass(CompileCacheIO *IO);
 
   Options Opts;
   mutable std::mutex Mu;
   std::map<std::string, json::Value> Memory;
   std::vector<std::string> MemoryInsertionOrder;
   CompileCacheStats Counters;
+  unsigned DiskBypassLeft = 0;
 };
 
 } // namespace ompgpu

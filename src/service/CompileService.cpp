@@ -11,10 +11,13 @@
 #include "ir/AsmWriter.h"
 #include "ir/IRContext.h"
 #include "ir/Module.h"
+#include "resilience/FaultInjector.h"
 #include "support/PassTimer.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <stdexcept>
 #include <thread>
 
 using namespace ompgpu;
@@ -27,7 +30,13 @@ json::Value BatchStats::toJSON() const {
       .set("cache_misses", CacheMisses)
       .set("cache_evictions", CacheEvictions)
       .set("cache_corrupt_entries", CacheCorruptEntries)
+      .set("cache_disk_errors", CacheDiskErrors)
+      .set("cache_disk_bypassed_ops", CacheDiskBypassedOps)
       .set("failed", Failed)
+      .set("retries", Retries)
+      .set("degraded", Degraded)
+      .set("quarantined", Quarantined)
+      .set("faults_injected", FaultsInjected)
       .set("wall_ms", WallMillis)
       .set("job_ms", JobMillis);
   return V;
@@ -83,7 +92,45 @@ static json::Value buildSummary(const CompileRequest &R,
   return S;
 }
 
-CompileOutcome CompileService::runOne(const CompileRequest &R) {
+/// The pipeline one degradation rung actually runs (OMP221). Reduced
+/// reuses the pass-quarantine recovery mechanism: a misbehaving pass is
+/// skipped instead of failing the compile. Reference drops openmp-opt and
+/// the cleanup pipeline entirely — the always-safe baseline the paper's
+/// comparisons are made against.
+static PipelineOptions pipelineForRung(const PipelineOptions &P,
+                                       DegradationRung D) {
+  PipelineOptions Q = P;
+  switch (D) {
+  case DegradationRung::Requested:
+    break;
+  case DegradationRung::Reduced:
+    Q.Instrument.Recover = true;
+    break;
+  case DegradationRung::Reference:
+    Q.RunOpenMPOpt = false;
+    Q.RunCleanups = false;
+    break;
+  }
+  return Q;
+}
+
+/// Builds the minimal well-formed payload of a failed or short-circuited
+/// request.
+static json::Value failurePayload(const CompileRequest &R,
+                                  const std::string &Error) {
+  json::Value Summary = json::Value::makeObject();
+  Summary.set("id", R.Id).set("pipeline", R.Pipeline.Name).set("error", Error);
+  json::Value Payload = json::Value::makeObject();
+  Payload.set("summary", std::move(Summary))
+      .set("evaluation", json::Value())
+      .set("report", json::Value());
+  return Payload;
+}
+
+CompileOutcome CompileService::runAttempt(const CompileRequest &R,
+                                          const PipelineOptions &Pipeline,
+                                          bool AllowCache,
+                                          CompileCacheIO &IO) {
   PassTimer Timer;
   Timer.start();
 
@@ -92,22 +139,28 @@ CompileOutcome CompileService::runOne(const CompileRequest &R) {
 
   bool FingerprintCacheable = true;
   uint64_t FP =
-      CompileCache::pipelineFingerprint(R.Pipeline, &FingerprintCacheable);
+      CompileCache::pipelineFingerprint(Pipeline, &FingerprintCacheable);
 
+  FaultInjector &Chaos = FaultInjector::instance();
   try {
     // Worker-private context and module: type interning is additionally
     // mutex-guarded, but nothing here is shared between jobs to begin
     // with.
     IRContext Ctx;
     Module M(Ctx, R.Id.empty() ? "service-job" : R.Id);
+    if (Chaos.shouldFire(faultsite::ServiceEmit))
+      throw std::runtime_error("injected fault: service.emit worker exception");
     std::string Entry = R.Emit ? R.Emit(M) : std::string();
 
     O.InputIRHash = hashModule(M);
     O.CacheKey = CompileCache::cacheKey(O.InputIRHash, FP, R.Salt);
-    O.Cacheable = FingerprintCacheable && Cache.enabled();
+    // Degraded rungs (AllowCache false) bypass the cache entirely: their
+    // results must not mask the requested pipeline's entry, and a
+    // degraded result is never cached.
+    O.Cacheable = FingerprintCacheable && Cache.enabled() && AllowCache;
 
     if (O.Cacheable) {
-      if (std::optional<json::Value> Hit = Cache.lookup(O.CacheKey)) {
+      if (std::optional<json::Value> Hit = Cache.lookup(O.CacheKey, &IO)) {
         O.CacheHit = true;
         O.Payload = std::move(*Hit);
         Timer.stop();
@@ -116,11 +169,18 @@ CompileOutcome CompileService::runOne(const CompileRequest &R) {
       }
     }
 
-    CompileResult CR = optimizeDeviceModule(M, R.Pipeline);
+    if (Chaos.shouldFire(faultsite::ServiceCompile))
+      throw std::runtime_error(
+          "injected fault: service.compile fatal pipeline error");
+    CompileResult CR = optimizeDeviceModule(M, Pipeline);
 
     json::Value Evaluation; // null when the request has no Evaluate.
-    if (R.Evaluate)
+    if (R.Evaluate) {
+      if (Chaos.shouldFire(faultsite::ServiceEvaluate))
+        throw std::runtime_error(
+            "injected fault: service.evaluate worker exception");
       Evaluation = R.Evaluate(M, CR, Entry);
+    }
 
     json::Value CacheInfo = json::Value::makeObject();
     CacheInfo.set("managed", true)
@@ -128,7 +188,7 @@ CompileOutcome CompileService::runOne(const CompileRequest &R) {
         .set("hit", false)
         .set("key", O.CacheKey);
     json::Value Report =
-        buildCompileReport(R.Pipeline, CR, /*Kernels=*/{}, &CacheInfo);
+        buildCompileReport(Pipeline, CR, /*Kernels=*/{}, &CacheInfo);
 
     json::Value Summary =
         buildSummary(R, Entry, O.InputIRHash, hashModule(M), Report);
@@ -137,9 +197,6 @@ CompileOutcome CompileService::runOne(const CompileRequest &R) {
     O.Payload.set("summary", std::move(Summary))
         .set("evaluation", std::move(Evaluation))
         .set("report", std::move(Report));
-
-    if (O.Cacheable)
-      Cache.store(O.CacheKey, O.Payload);
   } catch (const std::exception &E) {
     O.Error = E.what();
   } catch (...) {
@@ -147,21 +204,198 @@ CompileOutcome CompileService::runOne(const CompileRequest &R) {
   }
 
   if (!O.Error.empty()) {
-    // A failed job yields a minimal, well-formed payload; it is never
-    // cached (the failure may be environmental).
+    // A failed attempt yields a minimal, well-formed payload; it is never
+    // cached (the failure may be environmental or injected).
     O.Cacheable = false;
-    json::Value Summary = json::Value::makeObject();
-    Summary.set("id", R.Id)
-        .set("pipeline", R.Pipeline.Name)
-        .set("error", O.Error);
-    O.Payload = json::Value::makeObject();
-    O.Payload.set("summary", std::move(Summary))
-        .set("evaluation", json::Value())
-        .set("report", json::Value());
+    O.Payload = failurePayload(R, O.Error);
   }
 
   Timer.stop();
   O.WallMillis = Timer.millis();
+  return O;
+}
+
+bool CompileService::isQuarantined(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(QuarantineMu);
+  return Quarantined.count(Id) != 0;
+}
+
+void CompileService::quarantine(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(QuarantineMu);
+  Quarantined.insert(Id);
+}
+
+/// Attaches this run's resilience section to the outcome payload: as a
+/// top-level `resilience` member and as the report's `resilience` section
+/// (replacing the inert default buildCompileReport emits, so cached
+/// entries stay run-independent).
+static void attachResilience(CompileOutcome &O) {
+  json::Value RJ = O.Resilience.toJSON();
+  if (!O.Payload.isObject())
+    return;
+  if (const json::Value *Report = O.Payload.find("report");
+      Report && Report->isObject()) {
+    json::Value Patched = *Report;
+    Patched.set("resilience", RJ);
+    O.Payload.set("report", std::move(Patched));
+  }
+  O.Payload.set("resilience", std::move(RJ));
+}
+
+CompileOutcome CompileService::runOne(const CompileRequest &R) {
+  PassTimer Total;
+  Total.start();
+  const ResiliencePolicy &Pol = Opts.Resilience;
+  FaultInjector &Chaos = FaultInjector::instance();
+
+  CompileOutcome O;
+  O.Id = R.Id;
+  // Accumulated outside O: every runAttempt() below reassigns O whole,
+  // which would wipe remarks and events gathered on earlier attempts.
+  ResilienceSummary RS;
+
+  // Poison short-circuit: a request id that already exhausted its budget
+  // is not worth burning attempts on again (OMP223).
+  if (Pol.QuarantinePoison && isQuarantined(R.Id)) {
+    O.Error = "resilience: request quarantined after exhausting its attempt "
+              "budget (OMP223)";
+    O.Payload = failurePayload(R, O.Error);
+    RS.Quarantined = true;
+    RS.Attempts = 0;
+    RS.addRemark("OMP223");
+    RS.Actions.push_back("short-circuit: id is quarantined");
+    O.Resilience = std::move(RS);
+    attachResilience(O);
+    Total.stop();
+    O.WallMillis = Total.millis();
+    return O;
+  }
+
+  struct RungPlan {
+    DegradationRung D;
+    unsigned Tries;
+  };
+  std::vector<RungPlan> Ladder;
+  Ladder.push_back({DegradationRung::Requested,
+                    Pol.MaxAttempts > 0 ? Pol.MaxAttempts : 1});
+  if (Pol.DegradePresets) {
+    Ladder.push_back({DegradationRung::Reduced, 1});
+    Ladder.push_back({DegradationRung::Reference, 1});
+  }
+
+  unsigned Attempt = 0;
+  bool Accepted = false;
+  for (const RungPlan &Rung : Ladder) {
+    PipelineOptions Pipe = pipelineForRung(R.Pipeline, Rung.D);
+    if (Rung.D != DegradationRung::Requested)
+      RS.Actions.push_back(std::string("degrade: retrying on the '") +
+                           degradationRungName(Rung.D) + "' rung (OMP221)");
+    for (unsigned T = 0; T < Rung.Tries && !Accepted; ++T) {
+      ++Attempt;
+      if (Attempt > 1) {
+        // Deterministic capped backoff — same attempt number, same delay,
+        // regardless of worker count or scheduling.
+        unsigned Ms = Pol.backoffMillis(Attempt - 1);
+        if (Ms)
+          std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+      }
+
+      bool AllowCache = Rung.D == DegradationRung::Requested;
+      CompileCacheIO IO;
+      {
+        FaultScope Scope(R.Id, Attempt);
+        O = runAttempt(R, Pipe, AllowCache, IO);
+      }
+      std::vector<FaultEvent> Fired = Chaos.takeEventsForScope(R.Id);
+      bool FaultsThisAttempt = !Fired.empty();
+      for (FaultEvent &E : Fired)
+        RS.InjectedFaults.push_back(std::move(E));
+      if (IO.DiskError) {
+        RS.addRemark("OMP222");
+        RS.Actions.push_back(
+            "cache: disk error observed, bypassing the disk tier (OMP222)");
+      } else if (IO.DiskBypassed) {
+        RS.addRemark("OMP222");
+        RS.Actions.push_back("cache: disk tier bypassed (OMP222)");
+      }
+
+      bool Failed = !O.Error.empty();
+      bool Transient = false;
+      if (!Failed && !O.CacheHit && R.IsTransient) {
+        try {
+          Transient = R.IsTransient(O.Payload.at("evaluation"));
+        } catch (...) {
+          Transient = false;
+        }
+      }
+      if (Transient) {
+        RS.addRemark("OMP220");
+        RS.Actions.push_back("watchdog: evaluation reported a recoverable "
+                             "timeout (OMP220)");
+      }
+
+      bool LastOverall = &Rung == &Ladder.back() && T + 1 == Rung.Tries;
+      if (!Failed && (!Transient || LastOverall)) {
+        // Accept. A still-transient final attempt is returned as-is (its
+        // payload is well-formed and records the timeout) but is treated
+        // as poison below.
+        Accepted = !Transient;
+        if (Rung.D != DegradationRung::Requested) {
+          RS.DegradedTo = Rung.D;
+          RS.addRemark("OMP221");
+        }
+        // Store only clean requested-rung compiles: no error, no
+        // transient timeout, and no fault fired during the attempt — a
+        // faulted attempt must never poison the cache.
+        if (O.Cacheable && !O.CacheHit && AllowCache && !Transient &&
+            !FaultsThisAttempt) {
+          CompileCacheIO StoreIO;
+          {
+            FaultScope StoreScope(R.Id, Attempt);
+            Cache.store(O.CacheKey, O.Payload, &StoreIO);
+          }
+          std::vector<FaultEvent> StoreFired = Chaos.takeEventsForScope(R.Id);
+          for (FaultEvent &E : StoreFired)
+            RS.InjectedFaults.push_back(std::move(E));
+          if (StoreIO.DiskError) {
+            RS.addRemark("OMP222");
+            RS.Actions.push_back("cache: store hit a disk error, bypassing "
+                                 "the disk tier (OMP222)");
+          } else if (StoreIO.DiskBypassed) {
+            RS.addRemark("OMP222");
+            RS.Actions.push_back("cache: store bypassed the disk tier "
+                                 "(OMP222)");
+          }
+        }
+        if (!Transient)
+          break;
+      }
+      if (!Accepted && !LastOverall)
+        RS.Actions.push_back(std::string("retry: attempt ") +
+                             std::to_string(Attempt) + " " +
+                             (Failed ? "failed" : "timed out") +
+                             ", backing off");
+      if (LastOverall)
+        break;
+    }
+    if (Accepted)
+      break;
+  }
+
+  RS.Attempts = Attempt;
+  RS.Retries = Attempt > 0 ? Attempt - 1 : 0;
+
+  if (!Accepted && Pol.QuarantinePoison) {
+    quarantine(R.Id);
+    RS.Quarantined = true;
+    RS.addRemark("OMP223");
+    RS.Actions.push_back("quarantine: attempt budget exhausted (OMP223)");
+  }
+
+  O.Resilience = std::move(RS);
+  attachResilience(O);
+  Total.stop();
+  O.WallMillis = Total.millis();
   return O;
 }
 
@@ -202,11 +436,19 @@ CompileService::compileBatch(const std::vector<CompileRequest> &Requests) {
   Last.CacheMisses = After.Misses - Before.Misses;
   Last.CacheEvictions = After.Evictions - Before.Evictions;
   Last.CacheCorruptEntries = After.CorruptEntries - Before.CorruptEntries;
+  Last.CacheDiskErrors = After.DiskErrors - Before.DiskErrors;
+  Last.CacheDiskBypassedOps = After.DiskBypassedOps - Before.DiskBypassedOps;
   Last.WallMillis = Batch.millis();
   for (const CompileOutcome &O : Out) {
     Last.JobMillis += O.WallMillis;
     if (!O.Error.empty())
       ++Last.Failed;
+    Last.Retries += O.Resilience.Retries;
+    if (O.Resilience.DegradedTo != DegradationRung::Requested)
+      ++Last.Degraded;
+    if (O.Resilience.Quarantined)
+      ++Last.Quarantined;
+    Last.FaultsInjected += (unsigned)O.Resilience.InjectedFaults.size();
   }
   return Out;
 }

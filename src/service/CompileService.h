@@ -23,9 +23,11 @@
 #ifndef OMPGPU_SERVICE_COMPILESERVICE_H
 #define OMPGPU_SERVICE_COMPILESERVICE_H
 
+#include "resilience/Resilience.h"
 #include "service/CompileCache.h"
 
 #include <functional>
+#include <set>
 
 namespace ompgpu {
 
@@ -55,6 +57,12 @@ struct CompileRequest {
   /// the IR (launch geometry, oracle configuration, ...). Requests whose
   /// evaluations differ must differ in salt, or they will share an entry.
   uint64_t Salt = 0;
+  /// Optional transient classifier: given a successful attempt's
+  /// Evaluate result, returns true when the outcome is recoverable-by-
+  /// retry (e.g. a watchdog cycle-budget timeout, OMP220) rather than a
+  /// verdict. Transient attempts are retried under the service's
+  /// ResiliencePolicy and are never cached.
+  std::function<bool(const json::Value &Evaluation)> IsTransient;
 };
 
 /// Result of one request. `Payload` is identical whether the job was
@@ -77,8 +85,14 @@ struct CompileOutcome {
   /// job still yields a structured outcome (summary.error), never tears
   /// down the batch.
   std::string Error;
-  /// {"summary": ..., "evaluation": ..., "report": ...}.
+  /// {"summary": ..., "evaluation": ..., "report": ..., "resilience": ...}.
+  /// The `resilience` member (and `report.resilience`) always describe
+  /// *this run's* handling, even on a cache hit — cached entries store the
+  /// inert default section.
   json::Value Payload;
+  /// What the resilience policy did for this request: attempts, retries,
+  /// degradation rung, quarantine, injected faults (docs/resilience.md).
+  ResilienceSummary Resilience;
 
   const json::Value &summary() const { return Payload.at("summary"); }
   const json::Value &evaluation() const { return Payload.at("evaluation"); }
@@ -96,7 +110,16 @@ struct BatchStats {
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
   uint64_t CacheCorruptEntries = 0;
+  uint64_t CacheDiskErrors = 0;
+  uint64_t CacheDiskBypassedOps = 0;
   unsigned Failed = 0;
+  /// \name Resilience aggregates (docs/resilience.md)
+  /// @{
+  unsigned Retries = 0;        ///< Attempts beyond the first, all jobs.
+  unsigned Degraded = 0;       ///< Jobs accepted on a degraded rung (OMP221).
+  unsigned Quarantined = 0;    ///< Jobs quarantined or short-circuited (OMP223).
+  unsigned FaultsInjected = 0; ///< Injector events attributed to this batch.
+  /// @}
   /// Batch wall-clock time (what the caller waited).
   double WallMillis = 0.0;
   /// Sum of per-job wall times (what a sequential run would have cost).
@@ -116,6 +139,9 @@ public:
     /// thread, which is what the determinism tests compare against.
     unsigned Workers = 0;
     CompileCache::Options Cache;
+    /// Retry/degradation/quarantine policy (docs/resilience.md). The
+    /// default is inert: one attempt, no ladder, no quarantine.
+    ResiliencePolicy Resilience;
   };
 
   CompileService();
@@ -133,13 +159,28 @@ public:
 
   CompileCache &cache() { return Cache; }
   const BatchStats &lastBatchStats() const { return Last; }
+  const ResiliencePolicy &resiliencePolicy() const { return Opts.Resilience; }
+
+  /// True when \p Id exhausted its attempt budget in an earlier request
+  /// and QuarantinePoison is on: later submissions of the same id
+  /// short-circuit with a quarantined outcome (OMP223).
+  bool isQuarantined(const std::string &Id) const;
 
 private:
   CompileOutcome runOne(const CompileRequest &R);
+  /// One attempt at one rung: emit, cache lookup (requested rung only),
+  /// compile, evaluate. Never stores to the cache — runOne does, and only
+  /// for accepted fault-free requested-rung attempts.
+  CompileOutcome runAttempt(const CompileRequest &R,
+                            const PipelineOptions &Pipeline, bool AllowCache,
+                            CompileCacheIO &IO);
+  void quarantine(const std::string &Id);
 
   Options Opts;
   CompileCache Cache;
   BatchStats Last;
+  mutable std::mutex QuarantineMu;
+  std::set<std::string> Quarantined;
 };
 
 } // namespace ompgpu

@@ -105,6 +105,7 @@ cl::parseCommandLineArgs(int Argc, const char *const *Argv) {
     if (!O->parse(Value))
       return Error::failure("invalid value '" + Value + "' for option -" +
                             Body);
+    O->markOccurred();
   }
   return Rest;
 }

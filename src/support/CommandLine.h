@@ -28,6 +28,7 @@ namespace cl {
 class OptionBase {
   std::string Name;
   std::string Desc;
+  bool Seen = false;
 
 public:
   OptionBase(std::string Name, std::string Desc);
@@ -40,6 +41,12 @@ public:
   virtual bool parse(const std::string &Value) = 0;
   /// True when the option is a flag that may appear without "=value".
   virtual bool isBoolean() const { return false; }
+
+  /// True when the option appeared explicitly on the command line, which
+  /// lets validation distinguish an explicit "-jobs=0" (reject) from the
+  /// unset default 0 (auto).
+  bool occurred() const { return Seen; }
+  void markOccurred() { Seen = true; }
 };
 
 /// A typed command line option with a default value.

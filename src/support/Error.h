@@ -19,11 +19,21 @@
 #define OMPGPU_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace ompgpu {
+
+/// Coarse failure classification, for the few failures callers react to
+/// structurally rather than by message. DiskFull (ENOSPC) lets the
+/// compile cache distinguish "this disk is out of space, bypass it" from
+/// a generic write problem.
+enum class ErrorKind : uint8_t {
+  Generic,
+  DiskFull, ///< ENOSPC / no_space_on_device from the file system.
+};
 
 /// A success-or-message result. Converts to true when it carries an error,
 /// mirroring llvm::Error:
@@ -34,6 +44,7 @@ namespace ompgpu {
 ///   }
 class Error {
   std::string Msg; ///< Empty means success.
+  ErrorKind Kind = ErrorKind::Generic;
 
 public:
   /// Default state is success.
@@ -42,11 +53,18 @@ public:
   static Error success() { return Error(); }
 
   /// Creates a failure carrying \p Message (must be non-empty).
-  static Error failure(std::string Message) {
+  static Error failure(std::string Message,
+                       ErrorKind Kind = ErrorKind::Generic) {
     assert(!Message.empty() && "failure needs a message");
     Error E;
     E.Msg = std::move(Message);
+    E.Kind = Kind;
     return E;
+  }
+
+  /// Creates a typed disk-full (ENOSPC) failure.
+  static Error diskFull(std::string Message) {
+    return failure(std::move(Message), ErrorKind::DiskFull);
   }
 
   /// True when this is an error.
@@ -54,6 +72,10 @@ public:
 
   /// The failure message ("" on success).
   const std::string &message() const { return Msg; }
+
+  /// The failure classification (Generic on success).
+  ErrorKind kind() const { return Kind; }
+  bool isDiskFull() const { return (bool)*this && Kind == ErrorKind::DiskFull; }
 };
 
 /// A value-or-error result, mirroring llvm::Expected<T>:

@@ -9,13 +9,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
+#include <system_error>
 #if !defined(_WIN32)
 #include <unistd.h>
 #endif
 
 using namespace ompgpu;
+
+static std::atomic<FileSystemFaultHook> FaultHook{nullptr};
+
+void ompgpu::setFileSystemFaultHook(FileSystemFaultHook Hook) {
+  FaultHook.store(Hook, std::memory_order_release);
+}
+
+/// Queries the installed fault hook; success when none is installed.
+static Error faultFor(const char *Op, const std::string &Path) {
+  if (FileSystemFaultHook Hook = FaultHook.load(std::memory_order_acquire))
+    return Hook(Op, Path);
+  return Error::success();
+}
 
 /// A temp-file name unique across the processes and threads that may write
 /// next to each other (parallel service workers, concurrent CI jobs).
@@ -31,21 +46,66 @@ static std::string tempSiblingPath(const std::string &Path) {
   return Path + ".tmp." + std::to_string(Pid) + "." + std::to_string(N);
 }
 
+/// Writes \p Text to \p Dst directly (no temp), fsyncing before close so
+/// the bytes are durable. The EXDEV fallback: rename cannot cross file
+/// systems, so the temp file's content is copied to the destination
+/// instead — crash-consistent, though a concurrent reader may observe the
+/// partially-written file.
+static Error copyAndSync(const std::string &Dst, const std::string &Text) {
+  std::FILE *F = std::fopen(Dst.c_str(), "wb");
+  if (!F)
+    return Error::failure("cannot open '" + Dst + "' for writing");
+  errno = 0;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool SyncOK = std::fflush(F) == 0;
+#if !defined(_WIN32)
+  SyncOK = SyncOK && ::fsync(::fileno(F)) == 0;
+#endif
+  bool NoSpace = errno == ENOSPC;
+  bool CloseOK = std::fclose(F) == 0;
+  if (Written != Text.size() || !SyncOK || !CloseOK) {
+    if (NoSpace)
+      return Error::diskFull("disk full writing '" + Dst + "'");
+    return Error::failure("short write to '" + Dst + "'");
+  }
+  return Error::success();
+}
+
 Error ompgpu::writeTextFile(const std::string &Path, const std::string &Text) {
+  if (Error E = faultFor("write", Path))
+    return E;
   const std::string Tmp = tempSiblingPath(Path);
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return Error::failure("cannot open '" + Tmp + "' for writing");
+  errno = 0;
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool NoSpace = Written != Text.size() && errno == ENOSPC;
   bool CloseOK = std::fclose(F) == 0;
   if (Written != Text.size() || !CloseOK) {
     std::remove(Tmp.c_str());
+    if (NoSpace)
+      return Error::diskFull("disk full writing '" + Tmp + "'");
     return Error::failure("short write to '" + Tmp + "'");
   }
   std::error_code EC;
-  std::filesystem::rename(Tmp, Path, EC);
+  if (faultFor("exdev", Path))
+    EC = std::make_error_code(std::errc::cross_device_link);
+  else
+    std::filesystem::rename(Tmp, Path, EC);
+  if (EC == std::errc::cross_device_link) {
+    // EXDEV: temp and destination straddle file systems (overlay/bind
+    // mounts). Fall back to copy + fsync + unlink instead of dropping the
+    // artifact on the floor.
+    Error CopyErr = copyAndSync(Path, Text);
+    std::remove(Tmp.c_str());
+    return CopyErr;
+  }
   if (EC) {
     std::remove(Tmp.c_str());
+    if (EC == std::errc::no_space_on_device)
+      return Error::diskFull("disk full renaming '" + Tmp + "' to '" + Path +
+                             "'");
     return Error::failure("cannot rename '" + Tmp + "' to '" + Path +
                           "': " + EC.message());
   }
@@ -53,6 +113,8 @@ Error ompgpu::writeTextFile(const std::string &Path, const std::string &Text) {
 }
 
 Expected<std::string> ompgpu::readTextFile(const std::string &Path) {
+  if (Error E = faultFor("read", Path))
+    return E;
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
     return Error::failure("cannot open '" + Path + "' for reading");

@@ -28,7 +28,11 @@ namespace ompgpu {
 
 /// Atomically replaces \p Path with \p Text (write temp + rename). Returns
 /// a failure Error (never aborts) on open/write/rename problems; the
-/// destination is left untouched on failure.
+/// destination is left untouched on failure. Disk-full conditions (ENOSPC)
+/// come back as a typed Error (Error::isDiskFull). When the final rename
+/// fails with EXDEV (temp and destination on different file systems, e.g.
+/// under overlay mounts), the write falls back to copy + fsync + unlink —
+/// still crash-consistent, just not atomic against concurrent readers.
 Error writeTextFile(const std::string &Path, const std::string &Text);
 
 /// Reads the whole file into a string.
@@ -46,6 +50,20 @@ bool fileExists(const std::string &Path);
 /// Names (not paths) of the regular files directly inside \p Dir, sorted.
 /// Missing or unreadable directories yield an empty list.
 std::vector<std::string> listDirectoryFiles(const std::string &Dir);
+
+/// \name Fault-injection hook (src/resilience)
+/// The resilience layer's fault injector installs a hook here so chaos
+/// campaigns can simulate disk failures without support/ depending on the
+/// injector. \p Op is "read", "write", or "exdev"; a non-success return
+/// from "read"/"write" is surfaced as that operation's failure, and a
+/// non-success return from "exdev" makes writeTextFile take its
+/// cross-device rename fallback path. Null (the default) disables the
+/// hook entirely.
+/// @{
+using FileSystemFaultHook = Error (*)(const char *Op,
+                                      const std::string &Path);
+void setFileSystemFaultHook(FileSystemFaultHook Hook);
+/// @}
 
 } // namespace ompgpu
 

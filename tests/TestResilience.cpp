@@ -1,0 +1,713 @@
+//===- tests/TestResilience.cpp - Fault injection & recovery tests ---------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the resilience layer (docs/resilience.md): the deterministic
+/// fault injector (scoped, seeded, schedule-independent), the file-system
+/// fault sites (EXDEV fallback, typed ENOSPC), the compile service's
+/// retry / degradation / quarantine policy (OMP220-OMP223), concurrent
+/// cache-corruption recovery under a multi-worker batch, the gpusim
+/// cycle-budget watchdog, and the schema-v6 resilience section of the
+/// compile report.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileReport.h"
+#include "gpusim/Device.h"
+#include "rtl/DeviceRTL.h"
+#include "service/CompileService.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Arms the process-global injector for one test and guarantees it is
+/// disarmed (and its event log cleared) on every exit path, so chaos
+/// state never leaks into neighbouring tests.
+struct InjectorGuard {
+  explicit InjectorGuard(const FaultPlan &P) {
+    FaultInjector::instance().configure(P);
+  }
+  ~InjectorGuard() {
+    FaultInjector::instance().disarm();
+    FaultInjector::instance().resetEvents();
+  }
+  InjectorGuard(const InjectorGuard &) = delete;
+  InjectorGuard &operator=(const InjectorGuard &) = delete;
+};
+
+/// Pure probe of one fire decision (decisions are a pure function of the
+/// plan and the scope, so probing never perturbs a later run).
+bool fireDecision(const FaultPlan &P, const char *Site,
+                  const std::string &Scope, unsigned Attempt) {
+  InjectorGuard G(P);
+  FaultScope Sc(Scope, Attempt);
+  return FaultInjector::instance().shouldFire(Site);
+}
+
+/// Builds a `target teams distribute parallel for` vector-add kernel with a
+/// caller-chosen name (same shape as the TestService.cpp helper).
+Function *buildVecAdd(OMPCodeGen &CG, const std::string &Name, int NumTeams,
+                      int NumThreads) {
+  IRContext &Ctx = CG.getContext();
+  Type *PtrTy = Ctx.getPtrTy();
+  Type *I32 = Ctx.getInt32Ty();
+  TargetRegionBuilder TRB(CG, Name, {PtrTy, PtrTy, PtrTy, I32},
+                          ExecMode::SPMD, NumTeams, NumThreads);
+  Argument *A = TRB.getParam(0);
+  Argument *B = TRB.getParam(1);
+  Argument *C = TRB.getParam(2);
+  Argument *N = TRB.getParam(3);
+
+  std::vector<TargetRegionBuilder::Capture> Caps = {
+      {A, false, "a"}, {B, false, "b"}, {C, false, "c"}};
+  TRB.emitDistributeParallelFor(
+      N, Caps,
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        Type *F64 = LB.getDoubleTy();
+        Value *Ai = LB.createGEP(F64, Map.at(A), {Idx}, "a.i");
+        Value *Bi = LB.createGEP(F64, Map.at(B), {Idx}, "b.i");
+        Value *Ci = LB.createGEP(F64, Map.at(C), {Idx}, "c.i");
+        Value *Av = LB.createLoad(F64, Ai, "a.v");
+        Value *Bv = LB.createLoad(F64, Bi, "b.v");
+        LB.createStore(LB.createFAdd(Av, Bv, "sum"), Ci);
+      });
+  return TRB.finalize();
+}
+
+CompileRequest makeVecAddRequest(const std::string &Id,
+                                 const PipelineOptions &P,
+                                 const std::string &KernelName,
+                                 int NumThreads = 64) {
+  CompileRequest R;
+  R.Id = Id;
+  R.Pipeline = P;
+  CodeGenScheme Scheme = P.Scheme;
+  R.Emit = [Scheme, KernelName, NumThreads](Module &M) {
+    OMPCodeGen CG(M, {Scheme, false});
+    return buildVecAdd(CG, KernelName, 4, NumThreads)->getName();
+  };
+  R.Evaluate = [](Module &, const CompileResult &CR,
+                  const std::string &EntryKernel) {
+    return json::Value::makeObject()
+        .set("kernel", EntryKernel)
+        .set("remark_count", (uint64_t)CR.Remarks.remarks().size())
+        .set("verify_failed", CR.VerifyFailed);
+  };
+  return R;
+}
+
+CompileService makeResilientService(unsigned Workers, ResiliencePolicy Pol,
+                                    bool CacheEnabled = true,
+                                    std::string Dir = "") {
+  CompileService::Options O;
+  O.Workers = Workers;
+  O.Cache.Enabled = CacheEnabled;
+  O.Cache.Dir = std::move(Dir);
+  O.Resilience = Pol;
+  return CompileService(std::move(O));
+}
+
+/// Fresh, empty per-test scratch directory under the gtest temp dir.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "ompgpu-res-" + Name;
+  for (const std::string &F : listDirectoryFiles(Dir))
+    (void)removeFile(Dir + "/" + F);
+  EXPECT_FALSE(ensureDirectory(Dir));
+  return Dir;
+}
+
+/// Timing-free projection of one outcome's resilience handling, used by
+/// the determinism comparisons.
+std::string resilienceProjection(const CompileOutcome &O) {
+  std::string S = O.Id + "|err=" + (O.Error.empty() ? "0" : "1") +
+                  "|attempts=" + std::to_string(O.Resilience.Attempts) +
+                  "|retries=" + std::to_string(O.Resilience.Retries) +
+                  "|rung=" + degradationRungName(O.Resilience.DegradedTo) +
+                  "|quarantined=" +
+                  (O.Resilience.Quarantined ? "1" : "0") + "|faults=";
+  for (const FaultEvent &E : O.Resilience.InjectedFaults)
+    S += E.Site + "@" + std::to_string(E.Attempt) + ",";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Injector and policy units
+//===----------------------------------------------------------------------===//
+
+TEST(ResilienceUnit, BackoffIsCappedExponential) {
+  ResiliencePolicy P;
+  P.BackoffBaseMillis = 1;
+  P.BackoffCapMillis = 8;
+  EXPECT_EQ(P.backoffMillis(1), 1u);
+  EXPECT_EQ(P.backoffMillis(2), 2u);
+  EXPECT_EQ(P.backoffMillis(3), 4u);
+  EXPECT_EQ(P.backoffMillis(4), 8u);
+  EXPECT_EQ(P.backoffMillis(5), 8u);   // capped
+  EXPECT_EQ(P.backoffMillis(100), 8u); // shift overflow guarded
+
+  // The default policy is inert and reproduces pre-resilience behavior.
+  EXPECT_FALSE(ResiliencePolicy().active());
+  ResiliencePolicy Retrying;
+  Retrying.MaxAttempts = 3;
+  EXPECT_TRUE(Retrying.active());
+}
+
+TEST(ResilienceUnit, FaultPlanJSONRoundTrip) {
+  FaultPlan P;
+  P.Seed = 0xdeadbeef;
+  P.RatePercent = 7;
+  P.Sites = {faultsite::CacheCorrupt, faultsite::FsRead};
+
+  Expected<FaultPlan> Back = FaultPlan::fromJSON(P.toJSON());
+  ASSERT_TRUE((bool)Back) << Back.message();
+  EXPECT_EQ(Back->Seed, P.Seed);
+  EXPECT_EQ(Back->RatePercent, P.RatePercent);
+  EXPECT_EQ(Back->Sites, P.Sites);
+  // toJSON(fromJSON(x)) is a fixpoint.
+  EXPECT_EQ(Back->toJSON().str(), P.toJSON().str());
+
+  // Validation: rates outside [0,100] and unknown sites are clean errors.
+  json::Value BadRate = P.toJSON();
+  BadRate.set("rate_percent", (int64_t)101);
+  EXPECT_FALSE((bool)FaultPlan::fromJSON(BadRate));
+  json::Value BadSite = P.toJSON();
+  json::Value Sites = json::Value::makeArray();
+  Sites.push_back(json::Value(std::string("cache.corupt"))); // typo
+  BadSite.set("sites", std::move(Sites));
+  EXPECT_FALSE((bool)FaultPlan::fromJSON(BadSite));
+  EXPECT_FALSE((bool)FaultPlan::fromJSON(json::Value(std::string("nope"))));
+
+  // A zero seed or zero rate is a valid but inert plan.
+  EXPECT_FALSE(FaultPlan().enabled());
+  FaultPlan ZeroRate;
+  ZeroRate.Seed = 1;
+  ZeroRate.RatePercent = 0;
+  EXPECT_FALSE(ZeroRate.enabled());
+}
+
+TEST(ResilienceUnit, InjectorFiresOnlyInScopeAndRecordsEvents) {
+  FaultInjector &FI = FaultInjector::instance();
+  FaultPlan P;
+  P.Seed = 7;
+  P.RatePercent = 100;
+  P.Sites = {faultsite::ServiceEmit};
+
+  {
+    // Disarmed: never fires, even inside a scope.
+    FaultScope Sc("unit-scope", 1);
+    EXPECT_FALSE(FI.shouldFire(faultsite::ServiceEmit));
+  }
+
+  InjectorGuard G(P);
+  EXPECT_TRUE(FI.armed());
+  // No active scope: never fires (triage/reporting code is unperturbed).
+  EXPECT_FALSE(FI.shouldFire(faultsite::ServiceEmit));
+  {
+    FaultScope Sc("unit-scope", 1);
+    // Whitelisted site fires at rate 100; a non-listed site never does.
+    EXPECT_TRUE(FI.shouldFire(faultsite::ServiceEmit));
+    EXPECT_FALSE(FI.shouldFire(faultsite::ServiceCompile));
+  }
+  EXPECT_EQ(FI.firedCount(), 1u);
+  EXPECT_EQ(FI.unattributedCount(), 1u);
+
+  std::vector<FaultEvent> Taken = FI.takeEventsForScope("unit-scope");
+  ASSERT_EQ(Taken.size(), 1u);
+  EXPECT_EQ(Taken[0].Site, faultsite::ServiceEmit);
+  EXPECT_EQ(Taken[0].ScopeKey, "unit-scope");
+  EXPECT_EQ(Taken[0].Attempt, 1u);
+  EXPECT_TRUE(Taken[0].Attributed);
+  // Attribution is what the chaos gate checks: nothing left unclaimed.
+  EXPECT_EQ(FI.unattributedCount(), 0u);
+}
+
+TEST(ResilienceUnit, FireDecisionsAreDeterministicAndAttemptIndependent) {
+  FaultPlan P;
+  P.Seed = 123;
+  P.RatePercent = 37;
+
+  // Same (plan, site, scope, attempt) always decides the same way, and
+  // across 24 attempts a 37% rate both fires and passes at least once —
+  // retries genuinely see independent decisions.
+  std::vector<bool> First, Second;
+  bool AnyTrue = false, AnyFalse = false;
+  for (unsigned A = 1; A <= 24; ++A) {
+    bool D = fireDecision(P, faultsite::ServiceCompile, "det-scope", A);
+    First.push_back(D);
+    AnyTrue |= D;
+    AnyFalse |= !D;
+  }
+  for (unsigned A = 1; A <= 24; ++A)
+    Second.push_back(fireDecision(P, faultsite::ServiceCompile, "det-scope", A));
+  EXPECT_EQ(First, Second);
+  EXPECT_TRUE(AnyTrue);
+  EXPECT_TRUE(AnyFalse);
+
+  // Different scopes decide independently of each other.
+  bool Differs = false;
+  for (unsigned A = 1; A <= 24 && !Differs; ++A)
+    Differs = First[A - 1] !=
+              fireDecision(P, faultsite::ServiceCompile, "other-scope", A);
+  EXPECT_TRUE(Differs);
+}
+
+TEST(ResilienceUnit, WorkerCountAndCacheDirFlagsAreValidated) {
+  // Unset flag = auto (0, the service picks hardware concurrency).
+  Expected<unsigned> Auto = parseWorkerCountFlag("test-jobs", 0, false);
+  ASSERT_TRUE((bool)Auto);
+  EXPECT_EQ(*Auto, 0u);
+
+  Expected<unsigned> Four = parseWorkerCountFlag("test-jobs", 4, true);
+  ASSERT_TRUE((bool)Four);
+  EXPECT_EQ(*Four, 4u);
+
+  // An explicit zero or negative count is a clean error naming the flag,
+  // not a silent sequential fallback.
+  Expected<unsigned> Zero = parseWorkerCountFlag("test-jobs", 0, true);
+  ASSERT_FALSE((bool)Zero);
+  EXPECT_NE(Zero.message().find("-test-jobs"), std::string::npos);
+  EXPECT_FALSE((bool)parseWorkerCountFlag("test-jobs", -3, true));
+  EXPECT_FALSE((bool)parseWorkerCountFlag("test-jobs", 100000, true));
+
+  EXPECT_FALSE(validateCacheDirFlag("test-cache-dir", ""));
+  EXPECT_FALSE(validateCacheDirFlag("test-cache-dir", "relative-name"));
+  EXPECT_FALSE(
+      validateCacheDirFlag("test-cache-dir", freshDir("flags") + "/sub"));
+  Error Missing = validateCacheDirFlag(
+      "test-cache-dir", "/nonexistent-ompgpu-parent/nested/cache");
+  ASSERT_TRUE((bool)Missing);
+  EXPECT_NE(Missing.message().find("-test-cache-dir"), std::string::npos);
+  EXPECT_NE(Missing.message().find("does not exist"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// File-system fault sites
+//===----------------------------------------------------------------------===//
+
+TEST(ResilienceUnit, ExdevFallbackStillWritesTheFile) {
+  std::string Dir = freshDir("exdev");
+  std::string Path = Dir + "/artifact.json";
+
+  FaultPlan P;
+  P.Seed = 5;
+  P.RatePercent = 100;
+  P.Sites = {faultsite::FsExdev};
+  InjectorGuard G(P);
+  FaultScope Sc("unit-exdev", 1);
+
+  // The injected EXDEV forces the copy+fsync+unlink fallback; the write
+  // must still succeed with the exact content.
+  EXPECT_FALSE(writeTextFile(Path, "exdev-payload"));
+  Expected<std::string> Back = readTextFile(Path);
+  ASSERT_TRUE((bool)Back) << Back.message();
+  EXPECT_EQ(*Back, "exdev-payload");
+
+  std::vector<FaultEvent> Ev =
+      FaultInjector::instance().takeEventsForScope("unit-exdev");
+  ASSERT_EQ(Ev.size(), 1u);
+  EXPECT_EQ(Ev[0].Site, faultsite::FsExdev);
+}
+
+TEST(ResilienceUnit, EnospcAndReadFaultsSurfaceAsTypedErrors) {
+  std::string Dir = freshDir("enospc");
+  std::string Path = Dir + "/full.json";
+
+  {
+    FaultPlan P;
+    P.Seed = 5;
+    P.RatePercent = 100;
+    P.Sites = {faultsite::FsEnospc};
+    InjectorGuard G(P);
+    FaultScope Sc("unit-enospc", 1);
+    Error E = writeTextFile(Path, "never lands");
+    ASSERT_TRUE((bool)E);
+    EXPECT_TRUE(E.isDiskFull()); // typed, so the cache can bypass on it
+    EXPECT_FALSE(fileExists(Path));
+  }
+
+  ASSERT_FALSE(writeTextFile(Path, "now present"));
+  {
+    FaultPlan P;
+    P.Seed = 5;
+    P.RatePercent = 100;
+    P.Sites = {faultsite::FsRead};
+    InjectorGuard G(P);
+    FaultScope Sc("unit-fsread", 1);
+    Expected<std::string> R = readTextFile(Path);
+    ASSERT_FALSE((bool)R);
+    EXPECT_NE(R.message().find("fs.read"), std::string::npos);
+  }
+  // Outside the scope the file is intact.
+  Expected<std::string> R = readTextFile(Path);
+  ASSERT_TRUE((bool)R);
+  EXPECT_EQ(*R, "now present");
+}
+
+//===----------------------------------------------------------------------===//
+// Compile-service policy: retry, degrade, quarantine, transient
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceResilience, RetryRecoversInjectedWorkerFault) {
+  // Pick a seed whose decisions are "fire on attempt 1, pass on attempt 2"
+  // for this request — decisions are pure, so probing is exact.
+  FaultPlan P;
+  P.RatePercent = 50;
+  P.Sites = {faultsite::ServiceEmit};
+  const std::string Id = "retry-one";
+  uint64_t Seed = 0;
+  for (uint64_t S = 1; S < 256 && !Seed; ++S) {
+    P.Seed = S;
+    if (fireDecision(P, faultsite::ServiceEmit, Id, 1) &&
+        !fireDecision(P, faultsite::ServiceEmit, Id, 2))
+      Seed = S;
+  }
+  ASSERT_NE(Seed, 0u);
+  P.Seed = Seed;
+
+  InjectorGuard G(P);
+  ResiliencePolicy Pol;
+  Pol.MaxAttempts = 3;
+  CompileService Svc = makeResilientService(1, Pol);
+  std::vector<CompileOutcome> Out =
+      Svc.compileBatch({makeVecAddRequest(Id, makeDevPipeline(), "retryone")});
+  ASSERT_EQ(Out.size(), 1u);
+
+  EXPECT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+  EXPECT_EQ(Out[0].Resilience.Attempts, 2u);
+  EXPECT_EQ(Out[0].Resilience.Retries, 1u);
+  EXPECT_FALSE(Out[0].Resilience.Quarantined);
+  ASSERT_EQ(Out[0].Resilience.InjectedFaults.size(), 1u);
+  EXPECT_EQ(Out[0].Resilience.InjectedFaults[0].Site, faultsite::ServiceEmit);
+  EXPECT_EQ(Out[0].Resilience.InjectedFaults[0].Attempt, 1u);
+  EXPECT_TRUE(Out[0].Resilience.InjectedFaults[0].Attributed);
+  EXPECT_EQ(FaultInjector::instance().unattributedCount(), 0u);
+  EXPECT_EQ(Svc.lastBatchStats().Retries, 1u);
+  EXPECT_EQ(Svc.lastBatchStats().FaultsInjected, 1u);
+  EXPECT_EQ(Svc.lastBatchStats().Failed, 0u);
+
+  // A faulted attempt never stores; the clean retry does.
+  EXPECT_EQ(Svc.cache().stats().Stores, 1u);
+}
+
+TEST(CompileServiceResilience, DegradationLadderAcceptsReducedRung) {
+  // An evaluation that only succeeds when the pipeline ran in recovery
+  // mode — exactly what the Reduced rung (OMP221) turns on.
+  CompileRequest R = makeVecAddRequest("degrade", makeDevPipeline(),
+                                       "degraderung");
+  R.Evaluate = [](Module &, const CompileResult &CR,
+                  const std::string &EntryKernel) {
+    if (!CR.RecoveryEnabled)
+      throw std::runtime_error("synthetic: needs recovery mode");
+    return json::Value::makeObject().set("kernel", EntryKernel);
+  };
+
+  ResiliencePolicy Pol;
+  Pol.MaxAttempts = 2;
+  Pol.DegradePresets = true;
+  Pol.QuarantinePoison = true;
+  CompileService Svc = makeResilientService(1, Pol);
+  std::vector<CompileOutcome> Out = Svc.compileBatch({R});
+  ASSERT_EQ(Out.size(), 1u);
+
+  EXPECT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+  // 2 requested attempts failed, the single Reduced try succeeded.
+  EXPECT_EQ(Out[0].Resilience.Attempts, 3u);
+  EXPECT_EQ(Out[0].Resilience.Retries, 2u);
+  EXPECT_EQ(Out[0].Resilience.DegradedTo, DegradationRung::Reduced);
+  EXPECT_FALSE(Out[0].Resilience.Quarantined);
+  const std::vector<std::string> &Remarks = Out[0].Resilience.Remarks;
+  EXPECT_NE(std::find(Remarks.begin(), Remarks.end(), "OMP221"),
+            Remarks.end());
+  const json::Value &RSec = Out[0].report().at("resilience");
+  EXPECT_EQ(RSec.at("degraded_to").asString(), "reduced");
+  EXPECT_EQ(Svc.lastBatchStats().Degraded, 1u);
+  EXPECT_FALSE(Svc.isQuarantined("degrade"));
+  // Degraded results are never cached.
+  EXPECT_EQ(Svc.cache().stats().Stores, 0u);
+}
+
+TEST(CompileServiceResilience, QuarantineShortCircuitsPoisonRequests) {
+  FaultPlan P;
+  P.Seed = 9;
+  P.RatePercent = 100; // every attempt on every rung faults
+  P.Sites = {faultsite::ServiceEmit};
+  InjectorGuard G(P);
+
+  ResiliencePolicy Pol;
+  Pol.MaxAttempts = 2;
+  Pol.DegradePresets = true;
+  Pol.QuarantinePoison = true;
+  CompileService Svc = makeResilientService(1, Pol);
+  CompileRequest R = makeVecAddRequest("poison", makeDevPipeline(), "poisoned");
+
+  std::vector<CompileOutcome> First = Svc.compileBatch({R});
+  ASSERT_EQ(First.size(), 1u);
+  EXPECT_FALSE(First[0].Error.empty());
+  // The whole ladder: 2 requested + 1 reduced + 1 reference.
+  EXPECT_EQ(First[0].Resilience.Attempts, 4u);
+  EXPECT_TRUE(First[0].Resilience.Quarantined);
+  EXPECT_EQ(First[0].Resilience.InjectedFaults.size(), 4u);
+  EXPECT_TRUE(Svc.isQuarantined("poison"));
+  EXPECT_EQ(Svc.lastBatchStats().Quarantined, 1u);
+  EXPECT_EQ(Svc.lastBatchStats().Failed, 1u);
+
+  // Resubmission short-circuits without burning attempts (OMP223).
+  std::vector<CompileOutcome> Again = Svc.compileBatch({R});
+  ASSERT_EQ(Again.size(), 1u);
+  EXPECT_NE(Again[0].Error.find("OMP223"), std::string::npos)
+      << Again[0].Error;
+  EXPECT_EQ(Again[0].Resilience.Attempts, 0u);
+  EXPECT_TRUE(Again[0].Resilience.Quarantined);
+  EXPECT_TRUE(Again[0].Resilience.InjectedFaults.empty());
+  // The failure payload is still structured: summary + resilience.
+  EXPECT_TRUE(Again[0].Payload.at("resilience").at("quarantined").asBool());
+  EXPECT_EQ(FaultInjector::instance().unattributedCount(), 0u);
+}
+
+TEST(CompileServiceResilience, TransientWatchdogTimeoutIsRetriedNotCached) {
+  // First evaluation reports a watchdog timeout (transient, OMP220), the
+  // retry comes back clean — mirroring a hung simulation that recovers.
+  auto Calls = std::make_shared<std::atomic<int>>(0);
+  CompileRequest R = makeVecAddRequest("transient", makeDevPipeline(),
+                                       "transientwd");
+  R.Evaluate = [Calls](Module &, const CompileResult &,
+                       const std::string &EntryKernel) {
+    bool FirstCall = Calls->fetch_add(1) == 0;
+    return json::Value::makeObject()
+        .set("kernel", EntryKernel)
+        .set("watchdog_timeout", FirstCall);
+  };
+  R.IsTransient = [](const json::Value &Evaluation) {
+    return Evaluation.at("watchdog_timeout").asBool();
+  };
+
+  ResiliencePolicy Pol;
+  Pol.MaxAttempts = 3;
+  CompileService Svc = makeResilientService(1, Pol);
+  std::vector<CompileOutcome> Out = Svc.compileBatch({R});
+  ASSERT_EQ(Out.size(), 1u);
+
+  EXPECT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+  EXPECT_EQ(Out[0].Resilience.Attempts, 2u);
+  EXPECT_EQ(Out[0].Resilience.Retries, 1u);
+  EXPECT_FALSE(Out[0].evaluation().at("watchdog_timeout").asBool());
+  const std::vector<std::string> &Remarks = Out[0].Resilience.Remarks;
+  EXPECT_NE(std::find(Remarks.begin(), Remarks.end(), "OMP220"),
+            Remarks.end());
+  // Only the clean retry was stored; the transient attempt never is.
+  EXPECT_EQ(Svc.cache().stats().Stores, 1u);
+  std::vector<CompileOutcome> Warm = Svc.compileBatch({R});
+  ASSERT_EQ(Warm.size(), 1u);
+  EXPECT_TRUE(Warm[0].CacheHit);
+  EXPECT_FALSE(Warm[0].evaluation().at("watchdog_timeout").asBool());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency and determinism (TSan targets)
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceResilience, ConcurrentCacheCorruptionRecoversUnderBatch) {
+  std::string Dir = freshDir("chaos-corrupt");
+  std::vector<CompileRequest> Reqs;
+  for (int I = 0; I < 8; ++I)
+    Reqs.push_back(makeVecAddRequest("chaos-" + std::to_string(I),
+                                     makeDevPipeline(),
+                                     "chaoscorr" + std::to_string(I)));
+
+  // Cold 4-worker batch fills the disk tier.
+  CompileService Cold = makeResilientService(4, ResiliencePolicy(), true, Dir);
+  std::vector<CompileOutcome> ColdOut = Cold.compileBatch(Reqs);
+  ASSERT_EQ(ColdOut.size(), Reqs.size());
+  for (const CompileOutcome &O : ColdOut)
+    ASSERT_TRUE(O.Error.empty()) << O.Error;
+
+  // Every disk lookup in the warm batch is corrupted, concurrently, on 4
+  // workers: each request must delete its entry, recompile, and converge
+  // on the cold result — no aborts, no garbage served, no races.
+  FaultPlan P;
+  P.Seed = 99;
+  P.RatePercent = 100;
+  P.Sites = {faultsite::CacheCorrupt};
+  InjectorGuard G(P);
+  CompileService Warm = makeResilientService(4, ResiliencePolicy(), true, Dir);
+  std::vector<CompileOutcome> Out = Warm.compileBatch(Reqs);
+  ASSERT_EQ(Out.size(), Reqs.size());
+  for (size_t I = 0; I < Out.size(); ++I) {
+    EXPECT_TRUE(Out[I].Error.empty()) << Out[I].Error;
+    EXPECT_FALSE(Out[I].CacheHit);
+    EXPECT_EQ(Out[I].resultKey(), ColdOut[I].resultKey()) << "job " << I;
+    ASSERT_EQ(Out[I].Resilience.InjectedFaults.size(), 1u) << "job " << I;
+    EXPECT_EQ(Out[I].Resilience.InjectedFaults[0].Site,
+              faultsite::CacheCorrupt);
+  }
+  EXPECT_EQ(Warm.cache().stats().CorruptEntries, Reqs.size());
+  EXPECT_EQ(Warm.lastBatchStats().FaultsInjected, Reqs.size());
+  EXPECT_EQ(FaultInjector::instance().unattributedCount(), 0u);
+}
+
+TEST(CompileServiceResilience, ChaosOutcomesAreWorkerCountIndependent) {
+  // The injector's pure fire decision is the determinism claim: the same
+  // plan over the same requests must produce identical resilience
+  // handling on 1 worker and on 4, schedule notwithstanding.
+  FaultPlan P;
+  P.Seed = 2026;
+  P.RatePercent = 30;
+  P.Sites = {faultsite::ServiceEmit, faultsite::ServiceCompile};
+
+  std::vector<CompileRequest> Reqs;
+  for (int I = 0; I < 6; ++I)
+    Reqs.push_back(makeVecAddRequest("det-" + std::to_string(I),
+                                     makeDevPipeline(),
+                                     "determ" + std::to_string(I)));
+
+  ResiliencePolicy Pol;
+  Pol.MaxAttempts = 3;
+  Pol.DegradePresets = true;
+  Pol.QuarantinePoison = true;
+
+  FaultInjector::instance().configure(P);
+  CompileService Seq = makeResilientService(1, Pol);
+  std::vector<CompileOutcome> A = Seq.compileBatch(Reqs);
+  EXPECT_EQ(FaultInjector::instance().unattributedCount(), 0u);
+  unsigned SeqFaults = Seq.lastBatchStats().FaultsInjected;
+
+  FaultInjector::instance().configure(P); // fresh event log, same plan
+  CompileService Par = makeResilientService(4, Pol);
+  std::vector<CompileOutcome> B = Par.compileBatch(Reqs);
+  EXPECT_EQ(FaultInjector::instance().unattributedCount(), 0u);
+  FaultInjector::instance().disarm();
+  FaultInjector::instance().resetEvents();
+
+  ASSERT_EQ(A.size(), Reqs.size());
+  ASSERT_EQ(B.size(), Reqs.size());
+  // The plan actually perturbed the batch (30% over 6 jobs x 2 sites).
+  EXPECT_GT(SeqFaults, 0u);
+  EXPECT_EQ(SeqFaults, Par.lastBatchStats().FaultsInjected);
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    EXPECT_EQ(resilienceProjection(A[I]), resilienceProjection(B[I]))
+        << "job " << I;
+    if (A[I].Error.empty() && B[I].Error.empty()) {
+      EXPECT_EQ(A[I].resultKey(), B[I].resultKey()) << "job " << I;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// gpusim cycle-budget watchdog
+//===----------------------------------------------------------------------===//
+
+/// Compiles a vecadd kernel and launches it under \p CycleBudget.
+KernelStats launchVecAddWithBudget(uint64_t CycleBudget) {
+  IRContext Ctx;
+  Module M(Ctx, "watchdog");
+  PipelineOptions P = makeDevPipeline();
+  OMPCodeGen CG(M, {P.Scheme, false});
+  Function *Kernel = buildVecAdd(CG, "watchdog_kernel", 4, 32);
+  CompileResult CR = optimizeDeviceModule(M, P);
+  EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+
+  const int N = 1000;
+  GPUDevice Dev;
+  std::vector<double> Host(N, 1.0);
+  uint64_t DevA = Dev.allocateArray(Host);
+  uint64_t DevB = Dev.allocateArray(Host);
+  uint64_t DevC = Dev.allocate(N * sizeof(double));
+
+  LaunchConfig LC;
+  LC.GridDim = 4;
+  LC.BlockDim = 32;
+  LC.Flavor = P.Flavor;
+  LC.CycleBudget = CycleBudget;
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
+  return Dev.launchKernel(M, Kernel, LC, {DevA, DevB, DevC, (uint64_t)N},
+                          RTL);
+}
+
+TEST(CompileServiceResilience, WatchdogConvertsHangIntoDeterministicTimeout) {
+  // A budget far below the kernel's real cost trips the watchdog: a
+  // recoverable trap, never a hang — and the same budget traps at the
+  // same cycle with the same message on every run.
+  KernelStats S1 = launchVecAddWithBudget(64);
+  EXPECT_TRUE(S1.WatchdogTimeout);
+  EXPECT_EQ(S1.CycleBudget, 64u);
+  EXPECT_NE(S1.Trap.find("watchdog: cycle budget 64 exceeded"),
+            std::string::npos)
+      << S1.Trap;
+
+  KernelStats S2 = launchVecAddWithBudget(64);
+  EXPECT_EQ(S1.Trap, S2.Trap);
+  EXPECT_EQ(S1.WatchdogTimeout, S2.WatchdogTimeout);
+
+  // A generous budget (FuzzSimCycleBudget, the fuzz campaign default, is
+  // far above any real kernel) never fires and is still echoed for
+  // report consumers.
+  const uint64_t Generous = 100000000;
+  KernelStats S3 = launchVecAddWithBudget(Generous);
+  EXPECT_TRUE(S3.ok()) << S3.Trap;
+  EXPECT_FALSE(S3.WatchdogTimeout);
+  EXPECT_EQ(S3.CycleBudget, Generous);
+}
+
+//===----------------------------------------------------------------------===//
+// Compile-report schema v6
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceResilience, ReportV6ResilienceSectionRoundTrips) {
+  CompileService Svc = makeResilientService(1, ResiliencePolicy());
+  std::vector<CompileOutcome> Out = Svc.compileBatch(
+      {makeVecAddRequest("v6", makeDevPipeline(), "reportvsix")});
+  ASSERT_EQ(Out.size(), 1u);
+  ASSERT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+
+  const json::Value &Report = Out[0].report();
+  EXPECT_EQ(Report.at("schema_version").asInt(),
+            (int64_t)CompileReportSchemaVersion);
+
+  // The service overwrites the inert default with this run's handling,
+  // both in the report and as the payload's top-level member.
+  const json::Value &RSec = Report.at("resilience");
+  ASSERT_TRUE(RSec.isObject());
+  EXPECT_TRUE(RSec.at("managed").asBool());
+  EXPECT_EQ(RSec.at("attempts").asInt(), 1);
+  EXPECT_EQ(RSec.at("retries").asInt(), 0);
+  EXPECT_EQ(RSec.at("degraded_to").asString(), "");
+  EXPECT_FALSE(RSec.at("quarantined").asBool());
+  EXPECT_TRUE(RSec.at("injected_faults").isArray());
+  EXPECT_EQ(Out[0].Payload.at("resilience").str(), RSec.str());
+
+  // The *stored* entry keeps the run-independent default, so a warm hit
+  // reports its own (fresh) handling, not the storing run's.
+  std::optional<json::Value> Entry = Svc.cache().lookup(Out[0].CacheKey);
+  ASSERT_TRUE(Entry.has_value());
+  EXPECT_FALSE(Entry->at("resilience").at("managed").asBool());
+
+  std::vector<CompileOutcome> Warm = Svc.compileBatch(
+      {makeVecAddRequest("v6", makeDevPipeline(), "reportvsix")});
+  ASSERT_EQ(Warm.size(), 1u);
+  EXPECT_TRUE(Warm[0].CacheHit);
+  EXPECT_TRUE(Warm[0].report().at("resilience").at("managed").asBool());
+
+  // Golden round-trip: the payload survives print -> parse -> print.
+  std::string Err;
+  json::Value Parsed;
+  ASSERT_TRUE(json::parse(Out[0].Payload.str(), Parsed, &Err)) << Err;
+  EXPECT_EQ(Parsed.str(), Out[0].Payload.str());
+  EXPECT_EQ(Parsed.at("report").at("resilience").str(), RSec.str());
+}
+
+} // namespace

@@ -14,11 +14,12 @@ Three checks, all offline and dependency-free:
 
 3. **Report-schema fields** — every field documented in a
    `docs/compile-report.md` table (rows of the form ``| `field` | ...``)
-   must appear as a string literal in `src/driver/CompileReport.cpp` or
+   must appear as a string literal in `src/driver/CompileReport.cpp`,
    `src/service/CompileService.cpp` (which fills the report's `cache`
-   section). Docs can lag behind the code (new undocumented fields are a
-   warning at most), but they can never describe fields the serializer
-   does not emit.
+   section), or `src/resilience/{Resilience,FaultInjector}.cpp` (which
+   fill the `resilience` section). Docs can lag behind the code (new
+   undocumented fields are a warning at most), but they can never
+   describe fields the serializer does not emit.
 
 Usage: `tools/check_docs.py [repo-root]` (defaults to the parent of the
 directory containing this script). Exits non-zero with one line per
@@ -99,7 +100,9 @@ def check_report_fields(root: Path, errors: list):
     report_md = root / "docs" / "compile-report.md"
     emitted = set()
     for src in (root / "src" / "driver" / "CompileReport.cpp",
-                root / "src" / "service" / "CompileService.cpp"):
+                root / "src" / "service" / "CompileService.cpp",
+                root / "src" / "resilience" / "Resilience.cpp",
+                root / "src" / "resilience" / "FaultInjector.cpp"):
         emitted |= set(STRING_LIT_RE.findall(src.read_text(encoding="utf-8")))
     for lineno, line in enumerate(report_md.read_text(encoding="utf-8")
                                   .splitlines(), 1):
