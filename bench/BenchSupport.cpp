@@ -54,6 +54,11 @@ static cl::opt<std::string> BenchSummaryPath(
     "bench-summary",
     "Write the schema-versioned JSON bench-summary (one row per measured "
     "result) to the given path", std::string());
+static cl::opt<std::string> MArch(
+    "march",
+    "Simulated architecture: a registry name (v100, a100, mi100) or a "
+    "path to an ArchSpec *.json file (docs/architectures.md)",
+    std::string("v100"));
 
 /// Compile-reports of every measured configuration, in measurement order.
 static json::Value &collectedReports() {
@@ -94,6 +99,25 @@ static ConfigSpec ladderConfig(size_t Index) {
 namespace ompgpu {
 namespace bench {
 
+static ArchSpec &activeArchStorage() {
+  static ArchSpec A; // registry v100 == MachineModel defaults
+  return A;
+}
+
+bool initActiveArch() {
+  Expected<ArchSpec> A = resolveArch(MArch.getValue());
+  if (!A) {
+    errs() << "error: -march: " << A.message() << '\n';
+    return false;
+  }
+  activeArchStorage() = std::move(*A);
+  return true;
+}
+
+const ArchSpec &activeArch() { return activeArchStorage(); }
+
+bool archFlagIsDefault() { return MArch.getValue() == "v100"; }
+
 ConfigSpec configLLVM12() { return ladderConfig(0); }
 ConfigSpec configDevNoOpt() { return ladderConfig(1); }
 ConfigSpec configH2S() { return ladderConfig(2); }
@@ -120,6 +144,11 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
 
   bool WantReport = !CompileReportPath.getValue().empty();
   PipelineOptions P = Spec.Pipeline;
+  // A non-default -march retargets the compile and the simulated device.
+  // The "v100" default leaves the ladder presets untouched (unlimited
+  // SharedMemoryLimit) so historical results stay bit-identical.
+  if (!archFlagIsDefault())
+    applyArch(P, activeArch());
   if (TimePasses || WantReport) {
     P.Instrument.TimePasses = true;
     P.Instrument.TrackChanges = true;
@@ -150,6 +179,7 @@ json::Value benchSummaryRow(const WorkloadRunResult &R) {
   json::Value Row = json::Value::makeObject();
   Row.set("workload", R.WorkloadName)
       .set("config", R.ConfigName)
+      .set("arch", activeArch().Name)
       .set("sim_kernel_ms", R.Stats.Milliseconds)
       .set("sim_cycles", R.Stats.Cycles)
       .set("regs_per_thread", R.Stats.RegsPerThread)
@@ -261,6 +291,8 @@ int runBenchmarkMain(int Argc, char **Argv,
            << "run with -help-ompgpu for the list of options\n";
     return 1;
   }
+  if (!initActiveArch())
+    return 2; // usage error, like a malformed flag value
   std::vector<std::string> Rest = std::move(*Parsed);
   std::vector<char *> RestArgv;
   for (std::string &S : Rest)

@@ -1,0 +1,163 @@
+//===- bench/autotune.cpp - Arch-aware preset autotuning driver ------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end of the preset autotuner (docs/architectures.md):
+/// walks preset x architecture x SharedMemoryLimit over the Fig. 11 proxy
+/// workloads through the compile service, prints the per-cell winners, and
+/// persists the schema-versioned tuned.json. Deterministic end to end: the
+/// same flags produce a byte-identical artifact at any -autotune-jobs
+/// value, which is what lets CI diff nightly runs. Exit codes: 2 for bad
+/// flag values, 1 for search failures, regressions under
+/// -autotune-require-no-regression, or artifact write errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "resilience/Resilience.h"
+#include "service/Autotune.h"
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+
+#include <sstream>
+
+using namespace ompgpu;
+
+static cl::opt<std::string> Archs(
+    "autotune-archs",
+    "Comma-separated architectures to tune for: registry names (v100, "
+    "a100, mi100) and/or paths to ArchSpec *.json files (empty: every "
+    "registry architecture)",
+    "");
+static cl::opt<std::string>
+    OnlyWorkload("autotune-workload",
+                 "Tune only the named workload (XSBench, RSBench, SU3Bench, "
+                 "miniQMC)",
+                 "");
+static cl::opt<std::string> SharedLimits(
+    "autotune-shared-limits",
+    "Comma-separated HeapToShared budgets in bytes to walk; 0 stands for "
+    "the architecture's default capacity (empty: 0,4096,256)",
+    "");
+static cl::opt<std::string>
+    OutPath("autotune-out", "Where to write tuned.json", "tuned.json");
+static cl::opt<int64_t> Seed("autotune-seed",
+                             "Provenance seed recorded in tuned.json and "
+                             "folded into the compile salt",
+                             1);
+static cl::opt<int64_t>
+    Jobs("autotune-jobs",
+         "Compile-service worker threads (0 = hardware concurrency, 1 = "
+         "sequential)",
+         0);
+static cl::opt<std::string>
+    CacheDir("autotune-cache-dir",
+             "On-disk compile-cache directory shared across runs (empty: "
+             "in-memory cache only)",
+             "");
+static cl::opt<bool> RequireNoRegression(
+    "autotune-require-no-regression",
+    "Exit non-zero when any tuned configuration simulates more cycles "
+    "than the default preset (the nightly CI gate)",
+    false);
+
+static std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::stringstream SS(S);
+  for (std::string Item; std::getline(SS, Item, ',');)
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+int main(int argc, char **argv) {
+  cl::parseCommandLine(argc, argv);
+
+  AutotuneOptions O;
+  for (const std::string &Name : splitList(Archs.getValue())) {
+    Expected<ArchSpec> A = resolveArch(Name);
+    if (!A) {
+      errs() << "error: -autotune-archs: " << A.message() << "\n";
+      return 2;
+    }
+    O.Archs.push_back(std::move(*A));
+  }
+  if (!OnlyWorkload.getValue().empty())
+    O.Workloads.push_back(OnlyWorkload.getValue());
+  for (const std::string &Limit : splitList(SharedLimits.getValue())) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Limit.c_str(), &End, 10);
+    if (!End || *End != '\0') {
+      errs() << "error: -autotune-shared-limits: '" << Limit
+             << "' is not a byte count\n";
+      return 2;
+    }
+    O.SharedLimits.push_back((uint64_t)V);
+  }
+  if ((int64_t)Seed < 0) {
+    errs() << "error: -autotune-seed must be non-negative\n";
+    return 2;
+  }
+  O.Seed = (uint64_t)(int64_t)Seed;
+  Expected<unsigned> Workers = parseWorkerCountFlag(
+      "autotune-jobs", (int64_t)Jobs, Jobs.occurred());
+  if (!Workers) {
+    errs() << Workers.message() << "\n";
+    return 2;
+  }
+  if (Error E =
+          validateCacheDirFlag("autotune-cache-dir", CacheDir.getValue())) {
+    errs() << E.message() << "\n";
+    return 2;
+  }
+  O.Service.Workers = *Workers;
+  O.Service.Cache.Dir = CacheDir.getValue();
+
+  AutotuneResult R = runAutotune(O);
+
+  outs() << "\nAutotune: preset x arch x shared-memory grid "
+         << "(docs/architectures.md)\n";
+  outs() << "-----------------------------------------------------------\n";
+  outs() << formatBuf("  %-10s %-7s %-42s %10s %14s %14s\n", "workload",
+                      "arch", "preset", "smem", "cycles", "default");
+  for (const AutotuneEntry &E : R.Entries)
+    outs() << formatBuf("  %-10s %-7s %-42s %10llu %14llu %13llu%s\n",
+                        E.Workload.c_str(), E.Arch.c_str(), E.Preset.c_str(),
+                        (unsigned long long)E.SharedMemoryLimit,
+                        (unsigned long long)E.Cycles,
+                        (unsigned long long)E.DefaultCycles,
+                        E.Improved ? "*" : " ");
+  outs() << "  " << R.Entries.size() << " cell(s) tuned, " << R.Failures
+         << " failure(s); * = beats the default preset (OMP231)\n";
+  outs() << "  compile service: " << R.Batch.Jobs << " jobs, "
+         << R.Batch.CacheHits << " cache hit"
+         << (R.Batch.CacheHits == 1 ? "" : "s") << ", " << R.Batch.CacheMisses
+         << " miss" << (R.Batch.CacheMisses == 1 ? "" : "es") << "\n";
+  R.Remarks.print(outs());
+  outs().flush();
+
+  if (!OutPath.getValue().empty()) {
+    if (Error E = writeTunedFile(OutPath.getValue(), R)) {
+      errs() << "autotune: " << E.message() << "\n";
+      return 1;
+    }
+    outs() << "wrote " << OutPath.getValue() << "\n";
+    outs().flush();
+  }
+
+  if (R.Failures)
+    return 1;
+  if (RequireNoRegression) {
+    for (const AutotuneEntry &E : R.Entries)
+      if (E.DefaultCorrect && E.Cycles > E.DefaultCycles) {
+        errs() << "autotune: " << E.Workload << " on " << E.Arch
+               << " regressed: tuned " << E.Cycles << " > default "
+               << E.DefaultCycles << " cycles\n";
+        return 1;
+      }
+  }
+  return 0;
+}

@@ -96,6 +96,25 @@ static cl::opt<std::string>
                 "Chaos mode: write the fault-injection audit (every event, "
                 "attribution verdict) as JSON to this path",
                 "");
+static cl::opt<std::string> MArch(
+    "march",
+    "Simulated architecture: a registry name (v100, a100, mi100) or a "
+    "path to an ArchSpec *.json file (docs/architectures.md)",
+    std::string("v100"));
+
+/// The resolved -march architecture; presets stay untouched at the "v100"
+/// default so historical campaign artifacts remain byte-identical.
+static ArchSpec ActiveArch;
+static bool ArchActive = false;
+
+/// The campaign's preset matrix, retargeted to -march when one was given.
+static std::vector<PipelineOptions> fuzzPresets() {
+  std::vector<PipelineOptions> Presets = defaultFuzzPresets();
+  if (ArchActive)
+    for (PipelineOptions &P : Presets)
+      applyArch(P, ActiveArch);
+  return Presets;
+}
 
 /// Parses -fault-* into a FaultPlan, or an error for out-of-range rates
 /// and unknown site names.
@@ -143,7 +162,7 @@ static std::string generatedModuleText(const KernelRecipe &R,
 /// directory was given.
 static void reduceAndAttribute(const KernelRecipe &R,
                                const std::string &PresetName) {
-  const std::vector<PipelineOptions> Presets = defaultFuzzPresets();
+  const std::vector<PipelineOptions> Presets = fuzzPresets();
   const PipelineOptions *P = nullptr;
   for (const PipelineOptions &Candidate : Presets)
     if (Candidate.Name == PresetName)
@@ -198,7 +217,9 @@ static void reduceAndAttribute(const KernelRecipe &R,
 static CorpusEntry runCase(const KernelRecipe &R) {
   CorpusEntry E;
   E.Seed = R.Seed;
-  FuzzVerdict V = runFuzzOracle(R);
+  FuzzOracleOptions O;
+  O.Presets = fuzzPresets();
+  FuzzVerdict V = runFuzzOracle(R, O);
   E.OK = V.OK;
   if (V.OK)
     return E;
@@ -458,6 +479,15 @@ int main(int argc, char **argv) {
 
   if (!validateServiceFlags())
     return 2;
+  {
+    Expected<ArchSpec> A = resolveArch(MArch.getValue());
+    if (!A) {
+      errs() << "error: -march: " << A.message() << "\n";
+      return 2;
+    }
+    ActiveArch = std::move(*A);
+    ArchActive = MArch.getValue() != "v100";
+  }
   Expected<FaultPlan> Plan = faultPlanFromFlags();
   if (!Plan) {
     errs() << Plan.message() << "\n";
@@ -500,7 +530,7 @@ int main(int argc, char **argv) {
   Recipes.reserve((size_t)N);
   for (uint64_t S = First; S < First + N; ++S)
     Recipes.push_back(KernelRecipe::sample(S));
-  const std::vector<PipelineOptions> Presets = defaultFuzzPresets();
+  const std::vector<PipelineOptions> Presets = fuzzPresets();
 
   if (!CompileBench.getValue().empty())
     return runCompileBench(Recipes, Presets);

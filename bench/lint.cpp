@@ -69,11 +69,16 @@ json::Value findingToJSON(const LintFinding &F) {
 int main(int argc, char **argv) {
   cl::parseCommandLine(argc, argv);
 
+  if (!initActiveArch())
+    return 2;
   const NamedFactory Factories[] = {{"XSBench", createXSBench},
                                     {"RSBench", createRSBench},
                                     {"SU3Bench", createSU3Bench},
                                     {"miniQMC", createMiniQMC}};
-  const std::vector<ConfigSpec> Configs = evaluationConfigs();
+  std::vector<ConfigSpec> Configs = evaluationConfigs();
+  if (!archFlagIsDefault())
+    for (ConfigSpec &Spec : Configs)
+      applyArch(Spec.Pipeline, activeArch());
 
   json::Value Report = json::Value::makeObject();
   Report.set("schema_version", 1);

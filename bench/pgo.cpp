@@ -186,6 +186,8 @@ static bool anyRequestFailed(const char *Batch,
 int main(int argc, char **argv) {
   cl::parseCommandLine(argc, argv);
 
+  if (!initActiveArch())
+    return 2;
   Expected<unsigned> Workers =
       parseWorkerCountFlag("pgo-jobs", (int64_t)Jobs, Jobs.occurred());
   if (!Workers) {
@@ -204,6 +206,10 @@ int main(int argc, char **argv) {
 
   PipelineOptions Base = configDevFull().Pipeline;
   Base.OptConfig.SharedMemoryLimit = (uint64_t)SharedLimit.getValue();
+  // The explicit -pgo-shared-limit budget survives applyArch (only an
+  // unlimited budget is defaulted to the arch's capacity).
+  if (!archFlagIsDefault())
+    applyArch(Base, activeArch());
 
   outs() << "\nPGO A/B: LLVM Dev 0 with a " << SharedLimit.getValue()
          << "-byte shared-memory budget (docs/pgo.md)\n";

@@ -58,6 +58,10 @@ enum class RemarkId : unsigned {
                 ///< I/O error (auto re-enables).
   OMP223 = 223, ///< Resilience: poison request quarantined after exhausting
                 ///< its attempt budget.
+  OMP230 = 230, ///< Autotune: best configuration selected for a
+                ///< workload x architecture (docs/architectures.md).
+  OMP231 = 231, ///< Autotune: tuned configuration beats the default preset
+                ///< (budget moved or preset switched).
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

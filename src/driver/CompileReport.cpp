@@ -235,6 +235,24 @@ static json::Value resilienceSection() {
   return R;
 }
 
+/// Schema v7: the architecture the compile targeted (docs/architectures.md).
+/// Provenance plus the machine parameters consumers most often pivot on;
+/// the full spec (including the cost table) is reproducible from the name
+/// via the registry or the JSON file passed to -march.
+static json::Value archSection(const ArchSpec &A) {
+  json::Value V = json::Value::makeObject();
+  V.set("name", A.Name)
+      .set("warp_size", A.Machine.WarpSize)
+      .set("num_sms", A.Machine.NumSMs)
+      .set("max_threads_per_sm", A.Machine.MaxThreadsPerSM)
+      .set("registers_per_sm", A.Machine.RegistersPerSM)
+      .set("shared_mem_per_sm_bytes", A.Machine.SharedMemPerSMBytes)
+      .set("shared_mem_per_block_bytes", A.Machine.SharedMemPerBlockBytes)
+      .set("clock_ghz", A.Machine.ClockGHz)
+      .set("fingerprint", archFingerprint(A));
+  return V;
+}
+
 static json::Value kernelSection(const KernelStats &S) {
   json::Value K = json::Value::makeObject();
   K.set("kernel_name", S.KernelName)
@@ -271,6 +289,7 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
   json::Value Doc = json::Value::makeObject();
   Doc.set("schema_version", CompileReportSchemaVersion)
       .set("generator", "ompgpu")
+      .set("arch", archSection(Opts.Arch))
       .set("pipeline", pipelineSection(Opts))
       .set("verify", std::move(Verify))
       .set("passes", passesSection(Result))

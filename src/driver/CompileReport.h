@@ -38,8 +38,9 @@ namespace ompgpu {
 /// per-compile deltas in CompileResult::Statistics
 /// (docs/compile-service.md); v6 added the `resilience` section and the
 /// per-kernel `cycle_budget`/`watchdog_timeout` watchdog fields
-/// (docs/resilience.md).
-inline constexpr unsigned CompileReportSchemaVersion = 6;
+/// (docs/resilience.md); v7 added the `arch` section naming the target
+/// architecture and its key machine parameters (docs/architectures.md).
+inline constexpr unsigned CompileReportSchemaVersion = 7;
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).

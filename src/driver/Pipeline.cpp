@@ -222,3 +222,10 @@ PipelineOptions ompgpu::makeCUDAPipeline() {
   P.RunOpenMPOpt = false;
   return P;
 }
+
+void ompgpu::applyArch(PipelineOptions &Opts, const ArchSpec &Arch) {
+  Opts.Arch = Arch;
+  Opts.OptConfig.WarpSize = Arch.Machine.WarpSize;
+  if (Opts.OptConfig.SharedMemoryLimit == UINT64_MAX)
+    Opts.OptConfig.SharedMemoryLimit = Arch.Machine.SharedMemPerBlockBytes;
+}

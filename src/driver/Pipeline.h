@@ -20,6 +20,7 @@
 #include "analysis/OMPLint.h"
 #include "core/OpenMPOpt.h"
 #include "frontend/OMPCodeGen.h"
+#include "gpusim/ArchSpec.h"
 #include "gpusim/MachineModel.h"
 #include "support/PassInstrumentation.h"
 
@@ -49,6 +50,12 @@ struct PipelineOptions {
 
   /// Name shown in benchmark tables, e.g. "LLVM 12" or "h2s2 + RTCspec".
   std::string Name;
+  /// The architecture this compile targets and the simulator executes on
+  /// (docs/architectures.md). Defaults to the registry "v100" (identical
+  /// to MachineModel's defaults). Set it via applyArch so the dependent
+  /// OptConfig defaults (warp size, shared-memory budget) stay in sync;
+  /// the compile-service cache key includes archFingerprint(Arch).
+  ArchSpec Arch;
   /// Front-end lowering scheme the workload must be generated with.
   CodeGenScheme Scheme = CodeGenScheme::Simplified13;
   /// Device runtime generation (cost profile).
@@ -171,6 +178,16 @@ PipelineOptions makeDevPipeline(bool HeapToStack = true,
 /// Plain CUDA-style compilation (no OpenMP runtime involved).
 PipelineOptions makeCUDAPipeline();
 /// @}
+
+/// Retargets \p Opts to \p Arch: stores the spec, folds the arch's
+/// warp/wavefront size into OptConfig.WarpSize (what
+/// __kmpc_get_warp_size folds to), and — when the caller has not set an
+/// explicit budget — defaults OptConfig.SharedMemoryLimit to the arch's
+/// per-block shared-memory capacity so HeapToShared ranks against the
+/// real machine instead of the unlimited sentinel. Call it after preset
+/// construction and after any explicit OptConfig overrides you want to
+/// keep (an explicit SharedMemoryLimit is preserved).
+void applyArch(PipelineOptions &Opts, const ArchSpec &Arch);
 
 } // namespace ompgpu
 

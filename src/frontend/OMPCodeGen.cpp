@@ -80,12 +80,28 @@ Value *OMPCodeGen::emitNumThreads(IRBuilder &B) {
         return emitSelectViaCFG(
             EB, InPar, Ctx.getInt32Ty(), "omp_nthreads.gen",
             [&](IRBuilder &TB2) -> Value * {
-              // Generic mode reserves the main thread's warp.
+              // Generic mode reserves the main thread's warp. Clamp to one
+              // worker when the block is no wider than a warp (a 64-wide
+              // wavefront can swallow a whole 64-thread block) — the
+              // runtime's worker accounting clamps identically, and an
+              // unclamped zero here becomes a zero-stride worksharing
+              // loop.
               Value *HW = TB2.createCall(getRTFn(RTFn::HardwareNumThreads),
                                          {}, "hw_nthreads");
               Value *WS =
                   TB2.createCall(getRTFn(RTFn::WarpSize), {}, "warpsize");
-              return TB2.createSub(HW, WS, "par_nthreads");
+              Value *Raw = TB2.createSub(HW, WS, "par_nthreads.raw");
+              Value *HasWorkers = TB2.createICmp(
+                  ICmpPred::SGT, Raw, TB2.getInt32(0), "has_workers");
+              return emitSelectViaCFG(
+                  TB2, HasWorkers, Ctx.getInt32Ty(), "par_nthreads",
+                  [&](IRBuilder &TB3) -> Value * {
+                    (void)TB3;
+                    return Raw;
+                  },
+                  [&](IRBuilder &EB3) -> Value * {
+                    return EB3.getInt32(1);
+                  });
             },
             [&](IRBuilder &EB2) -> Value * {
               (void)EB2;

@@ -32,7 +32,7 @@ FuzzRunOutcome ompgpu::runGeneratedKernel(Module &M,
     return O;
   }
 
-  GPUDevice Dev;
+  GPUDevice Dev(P.Arch.Machine);
   std::vector<double> In = makeInputs(R);
   std::vector<double> Zero((size_t)R.TripCount, 0.0);
   uint64_t DevIn = Dev.allocateArray(In);

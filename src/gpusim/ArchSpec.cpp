@@ -1,0 +1,402 @@
+//===- gpusim/ArchSpec.cpp - Named GPU architecture specs ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/ArchSpec.h"
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <type_traits>
+
+using namespace ompgpu;
+
+namespace {
+
+/// One field table each for MachineModel and CostParams, shared by the
+/// serializer, the strict parser, and the fingerprint so the three can
+/// never drift. \p M may be const (serialize/fingerprint) or mutable
+/// (parse).
+template <typename MM, typename Fn> void forEachMachineField(MM &M, Fn &&F) {
+  F("num_sms", M.NumSMs);
+  F("warp_size", M.WarpSize);
+  F("max_threads_per_sm", M.MaxThreadsPerSM);
+  F("max_blocks_per_sm", M.MaxBlocksPerSM);
+  F("registers_per_sm", M.RegistersPerSM);
+  F("max_regs_per_thread", M.MaxRegsPerThread);
+  F("shared_mem_per_sm_bytes", M.SharedMemPerSMBytes);
+  F("cache_lines", M.CacheLines);
+  F("cache_line_bytes", M.CacheLineBytes);
+  F("shared_mem_per_block_bytes", M.SharedMemPerBlockBytes);
+  F("data_sharing_slab_bytes", M.DataSharingSlabBytes);
+  F("device_heap_bytes", M.DeviceHeapBytes);
+  F("clock_ghz", M.ClockGHz);
+}
+
+template <typename CP, typename Fn> void forEachCostField(CP &C, Fn &&F) {
+  F("alu_cycles", C.AluCycles);
+  F("alu64_cycles", C.Alu64Cycles);
+  F("math_cycles", C.MathCycles);
+  F("branch_cycles", C.BranchCycles);
+  F("select_cycles", C.SelectCycles);
+  F("alloca_cycles", C.AllocaCycles);
+  F("call_cycles", C.CallCycles);
+  F("indirect_call_cycles", C.IndirectCallCycles);
+  F("ret_cycles", C.RetCycles);
+  F("local_mem_cycles", C.LocalMemCycles);
+  F("shared_mem_cycles", C.SharedMemCycles);
+  F("global_uniform_cycles", C.GlobalUniformCycles);
+  F("global_coalesced_cycles", C.GlobalCoalescedCycles);
+  F("global_uncoalesced_cycles", C.GlobalUncoalescedCycles);
+  F("global_cached_cycles", C.GlobalCachedCycles);
+  F("atomic_cycles", C.AtomicCycles);
+  F("barrier_cycles", C.BarrierCycles);
+  F("rt_query_cycles", C.RTQueryCycles);
+  F("alloc_shared_cycles", C.AllocSharedCycles);
+  F("alloc_shared_heap_fallback_cycles", C.AllocSharedHeapFallbackCycles);
+  F("free_shared_cycles", C.FreeSharedCycles);
+  F("coalesced_push_cycles", C.CoalescedPushCycles);
+  F("pop_stack_cycles", C.PopStackCycles);
+  F("set_work_cycles", C.SetWorkCycles);
+  F("kernel_parallel_cycles", C.KernelParallelCycles);
+  F("target_init_cycles", C.TargetInitCycles);
+  F("legacy_rt_query_extra_cycles", C.LegacyRTQueryExtraCycles);
+  F("legacy_target_init_cycles", C.LegacyTargetInitCycles);
+  F("legacy_parallel_extra_cycles", C.LegacyParallelExtraCycles);
+  F("latency_hiding_target_warps", C.LatencyHidingTargetWarps);
+  F("occupancy_reg_cap", C.OccupancyRegCap);
+  F("legacy_latency_factor", C.LegacyLatencyFactor);
+  F("generic_handoff_cycles", C.GenericHandoffCycles);
+  F("legacy_per_inst_overhead_cycles", C.LegacyPerInstOverheadCycles);
+  F("openmp_abi_registers", C.OpenMPABIRegisters);
+  F("register_budget", C.RegisterBudget);
+  F("legacy_register_budget", C.LegacyRegisterBudget);
+  F("spill_cost_cycles", C.SpillCostCycles);
+}
+
+json::Value serializeFields(const std::function<
+    void(const std::function<void(const char *, const json::Value &)> &)>
+                                &Walk) {
+  json::Value Obj = json::Value::makeObject();
+  Walk([&Obj](const char *Name, const json::Value &V) { Obj.set(Name, V); });
+  return Obj;
+}
+
+/// Assigns one numeric JSON value into a typed field, rejecting the wrong
+/// kind, negatives for unsigned fields, and 32-bit overflow.
+template <typename T>
+Error assignField(const std::string &Where, const json::Value &V, T &Out) {
+  if constexpr (std::is_same_v<T, double>) {
+    if (!V.isNumber())
+      return Error::failure("arch spec: " + Where + ": expected a number");
+    Out = V.asDouble();
+    if (!std::isfinite(Out))
+      return Error::failure("arch spec: " + Where + ": not finite");
+    return Error::success();
+  } else {
+    if (V.kind() != json::Value::Kind::Integer)
+      return Error::failure("arch spec: " + Where + ": expected an integer");
+    int64_t I = V.asInt();
+    if (I < 0)
+      return Error::failure("arch spec: " + Where + ": negative value " +
+                            std::to_string(I));
+    if constexpr (std::is_same_v<T, unsigned>)
+      if ((uint64_t)I > std::numeric_limits<unsigned>::max())
+        return Error::failure("arch spec: " + Where + ": value " +
+                              std::to_string(I) + " overflows 32 bits");
+    Out = (T)I;
+    return Error::success();
+  }
+}
+
+/// Strictly parses one section object: every table field required, every
+/// document member known.
+Error parseSection(
+    const json::Value &Doc, const char *Section,
+    const std::function<
+        void(const std::function<void(const char *,
+                                      std::function<Error(const json::Value &)>)>
+                 &)> &Walk) {
+  const json::Value *Obj = Doc.find(Section);
+  if (!Obj || !Obj->isObject())
+    return Error::failure(std::string("arch spec: missing object section '") +
+                          Section + "'");
+
+  std::map<std::string, std::function<Error(const json::Value &)>> Setters;
+  Walk([&](const char *Name, std::function<Error(const json::Value &)> Set) {
+    Setters.emplace(Name, std::move(Set));
+  });
+
+  std::map<std::string, bool> Seen;
+  for (const auto &[Key, Val] : Obj->members()) {
+    auto It = Setters.find(Key);
+    if (It == Setters.end())
+      return Error::failure(std::string("arch spec: unknown field '") +
+                            Section + "." + Key + "'");
+    if (Seen[Key])
+      return Error::failure(std::string("arch spec: duplicate field '") +
+                            Section + "." + Key + "'");
+    Seen[Key] = true;
+    if (Error E = It->second(Val))
+      return E;
+  }
+  for (const auto &[Name, Setter] : Setters) {
+    (void)Setter;
+    if (!Seen.count(Name))
+      return Error::failure(std::string("arch spec: missing field '") +
+                            Section + "." + Name + "'");
+  }
+  return Error::success();
+}
+
+/// \name Built-in architectures (docs/architectures.md)
+/// @{
+
+/// The paper's evaluation machine; MachineModel's defaults.
+ArchSpec makeV100() {
+  ArchSpec A;
+  A.Name = "v100";
+  return A;
+}
+
+/// NVIDIA A100 (SXM4)-like: more SMs, a larger shared-memory carveout and
+/// L2, slightly cheaper HBM2e access.
+ArchSpec makeA100() {
+  ArchSpec A;
+  A.Name = "a100";
+  A.Machine.NumSMs = 108;
+  A.Machine.SharedMemPerSMBytes = 164 * 1024;
+  A.Machine.SharedMemPerBlockBytes = 160 * 1024;
+  A.Machine.CacheLines = 16384;
+  A.Machine.DeviceHeapBytes = 16ull * 1024 * 1024;
+  A.Machine.ClockGHz = 1.41;
+  A.Machine.Costs.GlobalCoalescedCycles = 40;
+  A.Machine.Costs.GlobalUncoalescedCycles = 288;
+  A.Machine.Costs.GlobalCachedCycles = 20;
+  A.Machine.Costs.AtomicCycles = 48;
+  return A;
+}
+
+/// AMD MI100 (CDNA1)-like: 64-wide wavefronts, 120 CUs, 64 KiB LDS per
+/// CU, a large VGPR file, 64-byte cache lines, and a memory system whose
+/// uncoalesced penalty is worse (a 64-lane wavefront scatters across more
+/// lines) while LDS and barriers are slightly cheaper.
+ArchSpec makeMI100() {
+  ArchSpec A;
+  A.Name = "mi100";
+  A.Machine.NumSMs = 120;
+  A.Machine.WarpSize = 64;
+  A.Machine.MaxThreadsPerSM = 2560;
+  A.Machine.MaxBlocksPerSM = 16;
+  A.Machine.RegistersPerSM = 131072;
+  A.Machine.SharedMemPerSMBytes = 64 * 1024;
+  A.Machine.SharedMemPerBlockBytes = 64 * 1024;
+  A.Machine.CacheLines = 4096;
+  A.Machine.CacheLineBytes = 64;
+  A.Machine.ClockGHz = 1.50;
+  A.Machine.Costs.SharedMemCycles = 10;
+  A.Machine.Costs.BarrierCycles = 24;
+  A.Machine.Costs.GlobalCoalescedCycles = 48;
+  A.Machine.Costs.GlobalUncoalescedCycles = 400;
+  A.Machine.Costs.LatencyHidingTargetWarps = 16;
+  return A;
+}
+
+/// @}
+
+} // namespace
+
+Error ArchSpec::validate() const {
+  const MachineModel &M = Machine;
+  auto Fail = [](const std::string &Msg) {
+    return Error::failure("arch spec: " + Msg);
+  };
+  if (Name.empty())
+    return Fail("name must be non-empty");
+  if (M.WarpSize != 32 && M.WarpSize != 64)
+    return Fail("warp_size must be 32 or 64, got " +
+                std::to_string(M.WarpSize));
+  if (M.NumSMs == 0)
+    return Fail("num_sms must be non-zero");
+  if (M.MaxThreadsPerSM == 0)
+    return Fail("max_threads_per_sm must be non-zero");
+  if (M.MaxThreadsPerSM % M.WarpSize != 0)
+    return Fail("max_threads_per_sm (" + std::to_string(M.MaxThreadsPerSM) +
+                ") must be a multiple of warp_size (" +
+                std::to_string(M.WarpSize) + ")");
+  if (M.MaxBlocksPerSM == 0)
+    return Fail("max_blocks_per_sm must be non-zero");
+  if (M.RegistersPerSM == 0)
+    return Fail("registers_per_sm must be non-zero");
+  if (M.MaxRegsPerThread == 0)
+    return Fail("max_regs_per_thread must be non-zero");
+  // Warps-per-SM x warp size (= resident threads) must be feasible for
+  // the register file: every resident thread needs at least one register.
+  if ((uint64_t)M.MaxThreadsPerSM > M.RegistersPerSM)
+    return Fail("max_threads_per_sm (" + std::to_string(M.MaxThreadsPerSM) +
+                ") exceeds the register-file bound registers_per_sm (" +
+                std::to_string(M.RegistersPerSM) + ")");
+  if (M.SharedMemPerSMBytes == 0)
+    return Fail("shared_mem_per_sm_bytes must be non-zero");
+  if (M.SharedMemPerBlockBytes == 0 ||
+      M.SharedMemPerBlockBytes > M.SharedMemPerSMBytes)
+    return Fail("shared_mem_per_block_bytes must be in [1, "
+                "shared_mem_per_sm_bytes]");
+  if (M.DataSharingSlabBytes > M.SharedMemPerBlockBytes)
+    return Fail("data_sharing_slab_bytes (" +
+                std::to_string(M.DataSharingSlabBytes) +
+                ") exceeds shared_mem_per_block_bytes (" +
+                std::to_string(M.SharedMemPerBlockBytes) + ")");
+  if (M.CacheLines == 0 || M.CacheLineBytes == 0)
+    return Fail("cache_lines and cache_line_bytes must be non-zero");
+  if (M.DeviceHeapBytes == 0)
+    return Fail("device_heap_bytes must be non-zero");
+  if (!(M.ClockGHz > 0.0))
+    return Fail("clock_ghz must be positive");
+  const CostParams &C = M.Costs;
+  if (C.AluCycles == 0 || C.BarrierCycles == 0 || C.SharedMemCycles == 0 ||
+      C.GlobalCoalescedCycles == 0)
+    return Fail("core cost-table entries (alu/barrier/shared/global "
+                "coalesced cycles) must be non-zero");
+  if (C.LatencyHidingTargetWarps == 0 || C.OccupancyRegCap == 0)
+    return Fail("latency_hiding_target_warps and occupancy_reg_cap must be "
+                "non-zero");
+  if (C.RegisterBudget == 0 || C.LegacyRegisterBudget == 0)
+    return Fail("register budgets must be non-zero");
+  if (!(C.LegacyLatencyFactor > 0.0) ||
+      !(C.LegacyPerInstOverheadCycles >= 0.0))
+    return Fail("legacy latency/overhead factors must be positive");
+  return Error::success();
+}
+
+json::Value ompgpu::archSpecToJSON(const ArchSpec &A) {
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", ArchSpecSchemaVersion).set("name", A.Name);
+  Doc.set("machine", serializeFields([&A](const auto &F) {
+            forEachMachineField(A.Machine, [&F](const char *N, const auto &V) {
+              F(N, json::Value(V));
+            });
+          }));
+  Doc.set("costs", serializeFields([&A](const auto &F) {
+            forEachCostField(A.Machine.Costs,
+                             [&F](const char *N, const auto &V) {
+                               F(N, json::Value(V));
+                             });
+          }));
+  return Doc;
+}
+
+Expected<ArchSpec> ompgpu::parseArchSpec(const json::Value &Doc) {
+  if (!Doc.isObject())
+    return Error::failure("arch spec: document is not an object");
+  for (const auto &[Key, Val] : Doc.members()) {
+    (void)Val;
+    if (Key != "schema_version" && Key != "name" && Key != "machine" &&
+        Key != "costs")
+      return Error::failure("arch spec: unknown field '" + Key + "'");
+  }
+
+  const json::Value *SV = Doc.find("schema_version");
+  if (!SV || SV->kind() != json::Value::Kind::Integer)
+    return Error::failure("arch spec: missing integer 'schema_version'");
+  if (SV->asInt() != (int64_t)ArchSpecSchemaVersion)
+    return Error::failure("arch spec: unsupported schema_version " +
+                          std::to_string(SV->asInt()) + " (expected " +
+                          std::to_string(ArchSpecSchemaVersion) + ")");
+  const json::Value *Name = Doc.find("name");
+  if (!Name || !Name->isString() || Name->asString().empty())
+    return Error::failure("arch spec: missing non-empty string 'name'");
+
+  ArchSpec A;
+  A.Name = Name->asString();
+  if (Error E = parseSection(Doc, "machine", [&A](const auto &Reg) {
+        forEachMachineField(A.Machine, [&Reg](const char *N, auto &Field) {
+          Reg(N, [N, &Field](const json::Value &V) {
+            return assignField(std::string("machine.") + N, V, Field);
+          });
+        });
+      }))
+    return E;
+  if (Error E = parseSection(Doc, "costs", [&A](const auto &Reg) {
+        forEachCostField(A.Machine.Costs, [&Reg](const char *N, auto &Field) {
+          Reg(N, [N, &Field](const json::Value &V) {
+            return assignField(std::string("costs.") + N, V, Field);
+          });
+        });
+      }))
+    return E;
+  if (Error E = A.validate())
+    return E;
+  return A;
+}
+
+Expected<ArchSpec> ompgpu::parseArchSpecText(const std::string &Text) {
+  json::Value Doc;
+  std::string ParseError;
+  if (!json::parse(Text, Doc, &ParseError))
+    return Error::failure("arch spec: malformed JSON: " + ParseError);
+  return parseArchSpec(Doc);
+}
+
+std::vector<std::string> ompgpu::archRegistryNames() {
+  return {"v100", "a100", "mi100"};
+}
+
+Expected<ArchSpec> ompgpu::lookupArch(const std::string &Name) {
+  ArchSpec A;
+  if (Name == "v100")
+    A = makeV100();
+  else if (Name == "a100")
+    A = makeA100();
+  else if (Name == "mi100")
+    A = makeMI100();
+  else {
+    std::string Known;
+    for (const std::string &N : archRegistryNames())
+      Known += (Known.empty() ? "" : ", ") + N;
+    return Error::failure("unknown architecture '" + Name + "' (known: " +
+                          Known + ", or a path to a *.json spec)");
+  }
+  if (Error E = A.validate())
+    return E; // a registry entry violating its own schema is a bug
+  return A;
+}
+
+Expected<ArchSpec> ompgpu::resolveArch(const std::string &NameOrPath) {
+  if (NameOrPath.size() > 5 &&
+      NameOrPath.rfind(".json") == NameOrPath.size() - 5) {
+    Expected<std::string> Text = readTextFile(NameOrPath);
+    if (!Text)
+      return Error::failure("arch spec '" + NameOrPath +
+                            "': " + Text.message());
+    return parseArchSpecText(*Text);
+  }
+  return lookupArch(NameOrPath);
+}
+
+uint64_t ompgpu::archFingerprint(const ArchSpec &A) {
+  uint64_t H = hashBytes("ompgpu-arch-spec");
+  H = hashCombine(H, ArchSpecSchemaVersion);
+  H = hashCombine(H, hashBytes(A.Name));
+  auto Mix = [&H](const char *Name, const auto &V) {
+    H = hashCombine(H, hashBytes(Name));
+    if constexpr (std::is_same_v<std::decay_t<decltype(V)>, double>) {
+      double D = V;
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(D));
+      __builtin_memcpy(&Bits, &D, sizeof(Bits));
+      H = hashCombine(H, Bits);
+    } else {
+      H = hashCombine(H, (uint64_t)V);
+    }
+  };
+  forEachMachineField(A.Machine, Mix);
+  forEachCostField(A.Machine.Costs, Mix);
+  return H;
+}

@@ -1,0 +1,84 @@
+//===- gpusim/ArchSpec.h - Named GPU architecture specs ---------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named, validated, JSON-round-trippable GPU architecture descriptions
+/// (docs/architectures.md). An ArchSpec wraps a MachineModel under a
+/// stable name ("v100", "a100", "mi100") so the simulator, the optimizer
+/// defaults (warp size, shared-memory budget), the compile-cache key, and
+/// the autotuner all agree on which device they are talking about. The
+/// registry provides the built-in architectures; resolveArch additionally
+/// accepts a path to a JSON spec so custom machines need no rebuild.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_ARCHSPEC_H
+#define OMPGPU_GPUSIM_ARCHSPEC_H
+
+#include "gpusim/MachineModel.h"
+#include "support/Error.h"
+#include "support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Version of the ArchSpec JSON schema (docs/architectures.md). Bump on
+/// any field rename/removal; the strict parser rejects mismatches.
+inline constexpr unsigned ArchSpecSchemaVersion = 1;
+
+/// One named simulated-GPU architecture.
+struct ArchSpec {
+  /// Stable identifier: registry key, -march= value, compile-report and
+  /// tuned.json provenance, cache-key material.
+  std::string Name = "v100";
+  MachineModel Machine;
+
+  /// Checks the spec's internal consistency: warp/wavefront size is 32 or
+  /// 64, counts and capacities are non-zero, per-block shared memory fits
+  /// the SM, the data-sharing slab fits a block, and the resident-thread
+  /// bound is register-file-feasible (MaxThreadsPerSM, i.e. warps-per-SM x
+  /// warp size, must not exceed RegistersPerSM — every resident thread
+  /// needs at least one register). Returns the first violation as a typed
+  /// Error naming the offending field.
+  Error validate() const;
+};
+
+/// Serializes \p A into the schema-versioned JSON document. Deterministic
+/// member order, so serialize(parse(serialize(x))) is byte-identical.
+json::Value archSpecToJSON(const ArchSpec &A);
+
+/// Strictly parses an ArchSpec document: every schema field must be
+/// present with the right type, unknown fields are rejected by name, and
+/// the result must pass validate().
+Expected<ArchSpec> parseArchSpec(const json::Value &Doc);
+
+/// parseArchSpec over raw JSON text.
+Expected<ArchSpec> parseArchSpecText(const std::string &Text);
+
+/// Names of the built-in architectures, in registry order
+/// (docs/architectures.md): "v100" (32-wide, 80 SMs, 96 KiB shared/SM),
+/// "a100" (32-wide, 108 SMs, 164 KiB), "mi100" (64-wide wavefronts,
+/// 120 CUs, 64 KiB LDS).
+std::vector<std::string> archRegistryNames();
+
+/// Returns the built-in spec registered under \p Name.
+Expected<ArchSpec> lookupArch(const std::string &Name);
+
+/// Resolves a -march= value: a registry name, or (when the value ends in
+/// ".json") a path to a JSON spec file, parsed strictly and validated.
+Expected<ArchSpec> resolveArch(const std::string &NameOrPath);
+
+/// Hashes every field of \p A (name, machine geometry, full cost table).
+/// Folded into the compile-service pipeline fingerprint so warm-cache
+/// entries can never cross architectures (docs/compile-service.md).
+uint64_t archFingerprint(const ArchSpec &A);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_ARCHSPEC_H

@@ -1,0 +1,297 @@
+//===- service/Autotune.cpp - Arch-aware preset autotuner ------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Autotune.h"
+#include "driver/Presets.h"
+#include "ir/Module.h"
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+#include "workloads/Harness.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace ompgpu;
+
+namespace {
+
+struct NamedFactory {
+  const char *Name;
+  std::unique_ptr<Workload> (*Create)(ProblemSize);
+};
+
+const NamedFactory Fig11Factories[] = {{"XSBench", createXSBench},
+                                       {"RSBench", createRSBench},
+                                       {"SU3Bench", createSU3Bench},
+                                       {"miniQMC", createMiniQMC}};
+
+const NamedFactory *findFactory(const std::string &Name) {
+  for (const NamedFactory &F : Fig11Factories)
+    if (Name == F.Name)
+      return &F;
+  return nullptr;
+}
+
+/// One grid point, in tie-break order.
+struct Candidate {
+  std::string Workload;
+  std::string Arch;
+  PipelineOptions Pipeline; ///< arch applied, budget resolved
+  uint64_t SharedLimit = 0; ///< resolved bytes
+  bool IsDefault = false;   ///< preset 0 at the default budget
+};
+
+/// Scratch shared between one candidate's Emit and Evaluate callbacks
+/// (both run on the same service worker, in order) — the bench/pgo
+/// request pattern.
+struct CandidateState {
+  std::unique_ptr<Workload> W;
+};
+
+CompileRequest makeCandidateRequest(const Candidate &C,
+                                    const NamedFactory &Factory,
+                                    ProblemSize Size, uint64_t Seed) {
+  auto St = std::make_shared<CandidateState>();
+  const PipelineOptions P = C.Pipeline;
+  CompileRequest Q;
+  Q.Id = C.Workload + "/" + C.Arch + "/" + P.Name + "/smem-" +
+         std::to_string(C.SharedLimit);
+  Q.Pipeline = P;
+  // The pipeline fingerprint already covers the arch and the budget; the
+  // salt covers what it cannot see: the problem size the evaluation
+  // simulates at, and the run's seed (distinct seeds must not share
+  // cached evaluations, or reruns could not be compared).
+  Q.Salt = hashCombine(hashCombine(hashBytes("ompgpu-autotune"), Seed),
+                       (uint64_t)Size);
+  Q.Emit = [St, &Factory, Size, P](Module &M) {
+    St->W = Factory.Create(Size);
+    Function *K = emitWorkloadModule(*St->W, M, P);
+    return K ? std::string(K->getName()) : std::string();
+  };
+  Q.Evaluate = [St, P](Module &M, const CompileResult &CR,
+                       const std::string &Kernel) {
+    json::Value V = json::Value::makeObject();
+    if (CR.VerifyFailed) {
+      V.set("ok", false)
+          .set("trap", "IR verification failed: " + CR.VerifyError)
+          .set("cycles", (uint64_t)0);
+      return V;
+    }
+    Function *K = M.getFunction(Kernel);
+    if (!K) {
+      V.set("ok", false)
+          .set("trap", "kernel '" + Kernel + "' lost during optimization")
+          .set("cycles", (uint64_t)0);
+      return V;
+    }
+    HarnessOptions HO;
+    HO.MaxSimulatedBlocks = 0; // whole grid: outputs are checked
+    LaunchCheckResult L = launchAndCheckWorkload(*St->W, M, K, P, HO);
+    bool OK = L.Stats.ok() && L.Checked && L.Correct;
+    V.set("ok", OK)
+        .set("checked", L.Checked)
+        .set("correct", L.Correct)
+        .set("cycles", L.Stats.Cycles)
+        .set("trap", L.Stats.ok()
+                         ? std::string(L.Stats.Trap)
+                         : (L.Stats.Trap.empty() ? "out of memory"
+                                                 : L.Stats.Trap));
+    return V;
+  };
+  return Q;
+}
+
+/// One candidate's digested outcome.
+struct Score {
+  bool OK = false;
+  uint64_t Cycles = 0;
+};
+
+Score scoreOutcome(const CompileOutcome &O) {
+  Score S;
+  if (!O.Error.empty())
+    return S;
+  const json::Value &E = O.evaluation();
+  if (!E.isObject() || !E.find("ok"))
+    return S;
+  S.OK = E.at("ok").asBool();
+  if (const json::Value *C = E.find("cycles"))
+    S.Cycles = (uint64_t)C->asInt();
+  return S;
+}
+
+} // namespace
+
+AutotuneResult ompgpu::runAutotune(const AutotuneOptions &O) {
+  AutotuneResult R;
+  R.Seed = O.Seed;
+
+  // Resolve the grid's defaults.
+  std::vector<ArchSpec> Archs = O.Archs;
+  if (Archs.empty())
+    for (const std::string &Name : archRegistryNames())
+      Archs.push_back(*lookupArch(Name));
+  for (const ArchSpec &A : Archs)
+    R.ArchNames.push_back(A.Name);
+
+  std::vector<std::string> Workloads = O.Workloads;
+  if (Workloads.empty())
+    for (const NamedFactory &F : Fig11Factories)
+      Workloads.push_back(F.Name);
+
+  std::vector<PipelineOptions> Presets = O.Presets;
+  if (Presets.empty()) {
+    Presets.push_back(makeDevPipeline()); // the default preset (LLVM Dev 0)
+    Presets.push_back(makeDevPipeline(true, true, true, true,
+                                      /*SPMDzation=*/false));
+  }
+
+  std::vector<uint64_t> Limits = O.SharedLimits;
+  if (Limits.empty())
+    Limits = {0, 4096, 256};
+
+  // Lay out the grid workload-major in tie-break order and batch every
+  // candidate through one compile service.
+  std::vector<Candidate> Grid;
+  std::vector<CompileRequest> Requests;
+  for (const std::string &WName : Workloads) {
+    const NamedFactory *Factory = findFactory(WName);
+    if (!Factory) {
+      R.Remarks.emit(RemarkId::OMP230, /*Missed=*/true, WName,
+                     "autotune: unknown workload '" + WName + "'");
+      ++R.Failures;
+      continue;
+    }
+    for (const ArchSpec &Arch : Archs) {
+      for (size_t PI = 0; PI < Presets.size(); ++PI) {
+        for (size_t LI = 0; LI < Limits.size(); ++LI) {
+          Candidate C;
+          C.Workload = WName;
+          C.Arch = Arch.Name;
+          C.Pipeline = Presets[PI];
+          applyArch(C.Pipeline, Arch);
+          if (Limits[LI] != 0)
+            C.Pipeline.OptConfig.SharedMemoryLimit = Limits[LI];
+          C.SharedLimit = C.Pipeline.OptConfig.SharedMemoryLimit;
+          C.IsDefault = PI == 0 && LI == 0;
+          Requests.push_back(
+              makeCandidateRequest(C, *Factory, O.Size, O.Seed));
+          Grid.push_back(std::move(C));
+        }
+      }
+    }
+  }
+
+  CompileService Svc(O.Service);
+  std::vector<CompileOutcome> Out = Svc.compileBatch(Requests);
+  R.Batch = Svc.lastBatchStats();
+
+  // Reduce each workload x arch cell: minimum cycles among correct
+  // candidates, earliest candidate on ties.
+  size_t CellSize = Presets.size() * Limits.size();
+  for (size_t Base = 0; Base + CellSize <= Grid.size(); Base += CellSize) {
+    const Candidate &First = Grid[Base];
+    AutotuneEntry E;
+    E.Workload = First.Workload;
+    E.Arch = First.Arch;
+    E.CandidatesTried = (unsigned)CellSize;
+
+    const Candidate *Best = nullptr;
+    Score BestScore;
+    for (size_t I = Base; I < Base + CellSize; ++I) {
+      Score S = scoreOutcome(Out[I]);
+      const Candidate &C = Grid[I];
+      if (C.IsDefault) {
+        E.DefaultPreset = C.Pipeline.Name;
+        E.DefaultSharedMemoryLimit = C.SharedLimit;
+        E.DefaultCycles = S.Cycles;
+        E.DefaultCorrect = S.OK;
+      }
+      if (!S.OK) {
+        ++E.CandidatesFailed;
+        continue;
+      }
+      if (!Best || S.Cycles < BestScore.Cycles) {
+        Best = &C;
+        BestScore = S;
+      }
+    }
+    if (!Best) {
+      R.Remarks.emit(RemarkId::OMP230, /*Missed=*/true, E.Workload,
+                     "autotune: no correct candidate for " + E.Workload +
+                         " on " + E.Arch);
+      ++R.Failures;
+      continue;
+    }
+
+    E.Preset = Best->Pipeline.Name;
+    E.SharedMemoryLimit = Best->SharedLimit;
+    E.Cycles = BestScore.Cycles;
+    E.Improved =
+        !E.DefaultCorrect || (E.DefaultCycles > 0 && E.Cycles < E.DefaultCycles);
+    R.Remarks.emit(RemarkId::OMP230, /*Missed=*/false, E.Workload,
+                   "autotune: selected '" + E.Preset + "' with a " +
+                       std::to_string(E.SharedMemoryLimit) +
+                       "-byte shared-memory budget on " + E.Arch + " (" +
+                       std::to_string(E.Cycles) + " cycles)");
+    if (E.Improved)
+      R.Remarks.emit(
+          RemarkId::OMP231, /*Missed=*/false, E.Workload,
+          "autotune: tuned configuration beats the default preset '" +
+              E.DefaultPreset + "' on " + E.Arch +
+              (E.DefaultCorrect
+                   ? " (" + std::to_string(E.DefaultCycles) + " -> " +
+                         std::to_string(E.Cycles) + " cycles)"
+                   : " (default preset failed)"));
+    R.Entries.push_back(std::move(E));
+  }
+
+  std::sort(R.Entries.begin(), R.Entries.end(),
+            [](const AutotuneEntry &A, const AutotuneEntry &B) {
+              if (A.Workload != B.Workload)
+                return A.Workload < B.Workload;
+              return A.Arch < B.Arch;
+            });
+  return R;
+}
+
+json::Value AutotuneResult::toJSON() const {
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", TunedSchemaVersion)
+      .set("generator", "ompgpu")
+      .set("tool", "autotune")
+      .set("seed", Seed);
+  json::Value ArchArr = json::Value::makeArray();
+  for (const std::string &Name : ArchNames)
+    ArchArr.push_back(json::Value(Name));
+  Doc.set("archs", std::move(ArchArr));
+  json::Value Arr = json::Value::makeArray();
+  for (const AutotuneEntry &E : Entries) {
+    json::Value V = json::Value::makeObject();
+    V.set("workload", E.Workload)
+        .set("arch", E.Arch)
+        .set("preset", E.Preset)
+        .set("shared_memory_limit", E.SharedMemoryLimit)
+        .set("sim_cycles", E.Cycles)
+        .set("default_preset", E.DefaultPreset)
+        .set("default_shared_memory_limit", E.DefaultSharedMemoryLimit)
+        .set("default_sim_cycles", E.DefaultCycles)
+        .set("default_correct", E.DefaultCorrect)
+        .set("improved", E.Improved)
+        .set("candidates_tried", E.CandidatesTried)
+        .set("candidates_failed", E.CandidatesFailed);
+    Arr.push_back(std::move(V));
+  }
+  Doc.set("entries", std::move(Arr));
+  Doc.set("failures", Failures);
+  return Doc;
+}
+
+Error ompgpu::writeTunedFile(const std::string &Path,
+                             const AutotuneResult &R) {
+  return writeTextFile(Path, R.toJSON().str() + "\n");
+}

@@ -1,0 +1,116 @@
+//===- service/Autotune.h - Arch-aware preset autotuner ---------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preset autotuner (docs/architectures.md): walks a deterministic
+/// preset x architecture x SharedMemoryLimit grid over the Fig. 11 proxy
+/// workloads, compiling every candidate through the compile service
+/// (batched across workers, memoized in the compile cache — the arch is
+/// part of the cache key) and scoring it by full-grid simulated cycles
+/// with outputs checked. The best-known configuration per workload x
+/// architecture is persisted to a schema-versioned tuned.json; each
+/// selection emits an OMP230 remark and each win over the default preset
+/// an OMP231. The whole search is a pure function of its options: no
+/// timestamps, no randomness, ties broken towards the earlier candidate —
+/// two runs with the same options produce byte-identical artifacts at any
+/// worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_SERVICE_AUTOTUNE_H
+#define OMPGPU_SERVICE_AUTOTUNE_H
+
+#include "gpusim/ArchSpec.h"
+#include "service/CompileService.h"
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Version of the tuned.json schema. Bump on any field rename/removal;
+/// additions are backwards compatible.
+inline constexpr unsigned TunedSchemaVersion = 1;
+
+/// Grid and execution options of one autotuning run.
+struct AutotuneOptions {
+  /// Architectures to tune for. Empty = every registry architecture.
+  std::vector<ArchSpec> Archs;
+  /// Workloads to tune, by name. Empty = the four Fig. 11 proxies
+  /// (XSBench, RSBench, SU3Bench, miniQMC).
+  std::vector<std::string> Workloads;
+  /// Candidate pipelines. Index 0 is the *default preset* every tuned
+  /// configuration is scored against (and is itself always a candidate,
+  /// so the tuned score can never regress below it while the default
+  /// compiles correctly). Empty = {LLVM Dev 0, h2s2 + RTCspec + CSM}.
+  std::vector<PipelineOptions> Presets;
+  /// Candidate HeapToShared budgets in bytes; the value 0 stands for the
+  /// architecture's default (its per-block shared-memory capacity).
+  /// Empty = {0, 4096, 256}. The first entry is the default preset's
+  /// budget.
+  std::vector<uint64_t> SharedLimits;
+  /// Problem size the candidates are simulated at.
+  ProblemSize Size = ProblemSize::Small;
+  /// Recorded in tuned.json for provenance and folded into the compile
+  /// salt, so distinct seeds occupy distinct cache entries.
+  uint64_t Seed = 1;
+  /// Worker pool and compile cache of the underlying service.
+  CompileService::Options Service;
+};
+
+/// Best-known configuration of one workload on one architecture.
+struct AutotuneEntry {
+  std::string Workload;
+  std::string Arch;
+  /// Winning candidate.
+  std::string Preset;
+  uint64_t SharedMemoryLimit = 0; ///< Resolved bytes (never the 0 alias).
+  uint64_t Cycles = 0;
+  /// The baseline it beat (or matched): preset 0 at the default budget.
+  std::string DefaultPreset;
+  uint64_t DefaultSharedMemoryLimit = 0;
+  uint64_t DefaultCycles = 0;
+  bool DefaultCorrect = false;
+  /// Strictly fewer cycles than the default (or the default failed).
+  bool Improved = false;
+  unsigned CandidatesTried = 0;
+  unsigned CandidatesFailed = 0;
+};
+
+/// Outcome of one autotuning run.
+struct AutotuneResult {
+  /// One entry per workload x architecture that produced at least one
+  /// correct candidate, sorted by (workload, arch).
+  std::vector<AutotuneEntry> Entries;
+  /// OMP230 per selection, OMP231 per win over the default preset.
+  RemarkCollector Remarks;
+  /// Workload x architecture cells with no correct candidate at all.
+  unsigned Failures = 0;
+  /// Aggregates of the candidate batch (cache hits prove warm reruns).
+  BatchStats Batch;
+  /// The seed and architecture names the run was configured with
+  /// (serialized for provenance).
+  uint64_t Seed = 0;
+  std::vector<std::string> ArchNames;
+
+  /// The tuned.json document: deterministic member order, no timestamps.
+  json::Value toJSON() const;
+};
+
+/// Runs the grid search. Candidate order — workload-major, then arch,
+/// then preset, then budget — is the tie-break order: the earliest
+/// candidate with the minimal cycle count wins, so results are
+/// reproducible bit for bit across runs and worker counts.
+AutotuneResult runAutotune(const AutotuneOptions &O);
+
+/// Writes \p R.toJSON() to \p Path atomically (trailing newline).
+Error writeTunedFile(const std::string &Path, const AutotuneResult &R);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_SERVICE_AUTOTUNE_H

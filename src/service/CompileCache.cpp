@@ -59,6 +59,12 @@ uint64_t CompileCache::pipelineFingerprint(const PipelineOptions &P,
   H = hashCombine(H, P.RunCleanups);
   H = hashCombine(H, P.RunLint);
   H = hashCombine(H, (uint64_t)P.Profile);
+  // The target architecture is key material: the simulator, the warp-size
+  // folds, and the occupancy math all depend on it, so a warm cache shared
+  // across -march values would silently serve one architecture's results
+  // for another. archFingerprint covers the name, the machine geometry,
+  // and the full cost table.
+  H = hashCombine(H, archFingerprint(P.Arch));
 
   const OpenMPOptConfig &C = P.OptConfig;
   H = hashCombine(H, C.DisableDeglobalization);

@@ -27,7 +27,9 @@ LaunchCheckResult ompgpu::launchAndCheckWorkload(Workload &W, Module &M,
                                                  const PipelineOptions &P,
                                                  const HarnessOptions &Opts) {
   LaunchCheckResult R;
-  GPUDevice Dev(Opts.Machine);
+  // The simulated machine comes from the pipeline's architecture, so a
+  // -march'd compile is always launched on the device it targeted.
+  GPUDevice Dev(P.Arch.Machine);
   std::vector<uint64_t> Args = W.setupInputs(Dev);
 
   LaunchConfig LC;

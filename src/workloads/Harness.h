@@ -40,7 +40,6 @@ struct HarnessOptions {
   unsigned MaxSimulatedBlocks = 0;
   /// Use the CUDA-style kernel instead of the OpenMP one.
   bool UseCUDAKernel = false;
-  MachineModel Machine;
   /// When set, the launch runs in gpusim's profiling mode and accumulates
   /// execution counters into this collector (-profile-gen, docs/pgo.md).
   ProfileCollector *Profile = nullptr;

@@ -1,0 +1,14 @@
+# Runs the autotune driver with an unknown -autotune-archs value and
+# asserts the documented usage-error exit status 2 (tests/CMakeLists.txt).
+execute_process(
+  COMMAND ${DRIVER} -autotune-archs=voodoo2 -autotune-out=
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 2)
+  message(FATAL_ERROR
+    "expected exit 2 for an unknown architecture, got '${RC}'\n${OUT}${ERR}")
+endif()
+if(NOT ERR MATCHES "voodoo2")
+  message(FATAL_ERROR "error message does not name the bad arch:\n${ERR}")
+endif()

@@ -1,0 +1,430 @@
+//===- tests/TestArch.cpp - Multi-architecture gpusim tests ----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the named-architecture layer (docs/architectures.md): the
+/// ArchSpec JSON schema round-trips byte-identically and rejects a hostile
+/// corpus with typed errors, the registry specs validate, applyArch only
+/// defaults an untouched shared-memory budget, the compile cache keys on
+/// the architecture (a -march switch over a warm cache is a miss with
+/// distinct v7 `arch` provenance), the cross-architecture differential
+/// matrix is bit-exact across worker counts per arch while cycle counts
+/// differ across archs, and the autotuner is byte-deterministic, never
+/// worse than the default preset, and reacts to a sabotaged cost table
+/// with an OMP231.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Autotune.h"
+#include "support/FileSystem.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+/// Fresh, empty per-test scratch directory under the gtest temp dir.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "ompgpu-arch-" + Name;
+  for (const std::string &F : listDirectoryFiles(Dir))
+    (void)removeFile(Dir + "/" + F);
+  EXPECT_FALSE(ensureDirectory(Dir));
+  return Dir;
+}
+
+std::unique_ptr<Workload> makeWorkload(const std::string &Name,
+                                       ProblemSize Size) {
+  if (Name == "XSBench")
+    return createXSBench(Size);
+  if (Name == "RSBench")
+    return createRSBench(Size);
+  if (Name == "SU3Bench")
+    return createSU3Bench(Size);
+  return createMiniQMC(Size);
+}
+
+/// A compile-service request that emits \p WName under \p P and evaluates
+/// it by simulating the whole grid with outputs checked — the same shape
+/// the autotuner batches, rebuilt here so the differential matrix
+/// exercises the public service API.
+CompileRequest makeWorkloadRequest(const std::string &WName,
+                                   const PipelineOptions &P) {
+  auto W = std::make_shared<std::unique_ptr<Workload>>();
+  CompileRequest R;
+  R.Id = WName + "/" + P.Arch.Name;
+  R.Pipeline = P;
+  R.Emit = [W, WName, P](Module &M) {
+    *W = makeWorkload(WName, ProblemSize::Small);
+    Function *K = emitWorkloadModule(**W, M, P);
+    return K ? std::string(K->getName()) : std::string();
+  };
+  R.Evaluate = [W, P](Module &M, const CompileResult &,
+                      const std::string &Kernel) {
+    Function *K = M.getFunction(Kernel);
+    json::Value V = json::Value::makeObject();
+    if (!K)
+      return V.set("correct", false).set("cycles", (uint64_t)0);
+    LaunchCheckResult L = launchAndCheckWorkload(**W, M, K, P, {});
+    return V.set("correct", L.Stats.ok() && L.Checked && L.Correct)
+        .set("cycles", L.Stats.Cycles);
+  };
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(ArchRegistry, NamesLookupAndValidate) {
+  std::vector<std::string> Names = archRegistryNames();
+  ASSERT_EQ(Names, (std::vector<std::string>{"v100", "a100", "mi100"}));
+  for (const std::string &N : Names) {
+    Expected<ArchSpec> A = lookupArch(N);
+    ASSERT_TRUE((bool)A) << A.message();
+    EXPECT_EQ(A->Name, N);
+    EXPECT_FALSE((bool)A->validate());
+  }
+  Expected<ArchSpec> Bad = lookupArch("p100");
+  ASSERT_FALSE((bool)Bad);
+  EXPECT_NE(Bad.message().find("p100"), std::string::npos);
+  // Every registry name is offered in the error message.
+  EXPECT_NE(Bad.message().find("mi100"), std::string::npos);
+}
+
+TEST(ArchRegistry, SpecsDiffer) {
+  ArchSpec V100 = *lookupArch("v100");
+  ArchSpec A100 = *lookupArch("a100");
+  ArchSpec MI100 = *lookupArch("mi100");
+  EXPECT_EQ(V100.Machine.WarpSize, 32u);
+  EXPECT_EQ(A100.Machine.WarpSize, 32u);
+  EXPECT_EQ(MI100.Machine.WarpSize, 64u); // CDNA wavefronts
+  EXPECT_LT(V100.Machine.NumSMs, A100.Machine.NumSMs);
+  EXPECT_LT(V100.Machine.SharedMemPerSMBytes, A100.Machine.SharedMemPerSMBytes);
+  // Three genuinely distinct machines: pairwise-distinct fingerprints.
+  EXPECT_NE(archFingerprint(V100), archFingerprint(A100));
+  EXPECT_NE(archFingerprint(V100), archFingerprint(MI100));
+  EXPECT_NE(archFingerprint(A100), archFingerprint(MI100));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON schema
+//===----------------------------------------------------------------------===//
+
+TEST(ArchSpecJSON, RoundTripIsByteIdentical) {
+  for (const std::string &N : archRegistryNames()) {
+    ArchSpec A = *lookupArch(N);
+    std::string Doc = archSpecToJSON(A).str();
+    Expected<ArchSpec> B = parseArchSpecText(Doc);
+    ASSERT_TRUE((bool)B) << N << ": " << B.message();
+    EXPECT_EQ(archSpecToJSON(*B).str(), Doc) << N;
+    EXPECT_EQ(archFingerprint(*B), archFingerprint(A)) << N;
+  }
+}
+
+TEST(ArchSpecJSON, HostileCorpusYieldsTypedErrors) {
+  json::Value Good = archSpecToJSON(*lookupArch("v100"));
+
+  // json::Value::at() is const, so nested mutations rewrite the section.
+  auto SetMachineField = [](json::Value &D, const char *Key, json::Value V) {
+    json::Value M = D.at("machine");
+    M.set(Key, std::move(V));
+    D.set("machine", std::move(M));
+  };
+  struct Case {
+    const char *Label;
+    std::function<void(json::Value &)> Mutate;
+    const char *ExpectInError;
+  };
+  const Case Corpus[] = {
+      {"unknown machine field",
+       [&](json::Value &D) {
+         SetMachineField(D, "tensor_cores", json::Value((uint64_t)640));
+       },
+       "tensor_cores"},
+      {"unknown top-level field",
+       [](json::Value &D) { D.set("vendor", "nvidia"); }, "vendor"},
+      {"48-wide warp",
+       [&](json::Value &D) {
+         SetMachineField(D, "warp_size", json::Value((uint64_t)48));
+       },
+       "warp_size"},
+      {"zero SMs",
+       [&](json::Value &D) {
+         SetMachineField(D, "num_sms", json::Value((uint64_t)0));
+       },
+       "num_sms"},
+      {"string where integer expected",
+       [&](json::Value &D) {
+         SetMachineField(D, "num_sms", json::Value("eighty"));
+       },
+       "num_sms"},
+      {"future schema version",
+       [](json::Value &D) { D.set("schema_version", (uint64_t)99); },
+       "schema_version"},
+      {"empty name", [](json::Value &D) { D.set("name", ""); }, "name"},
+  };
+  for (const Case &C : Corpus) {
+    json::Value Doc = Good; // deep copy
+    C.Mutate(Doc);
+    Expected<ArchSpec> A = parseArchSpecText(Doc.str());
+    ASSERT_FALSE((bool)A) << C.Label;
+    EXPECT_NE(A.message().find(C.ExpectInError), std::string::npos)
+        << C.Label << ": " << A.message();
+  }
+
+  // Structural rejects that cannot be built by mutating a json::Value.
+  EXPECT_FALSE((bool)parseArchSpecText("[]"));
+  EXPECT_FALSE((bool)parseArchSpecText("not json at all"));
+  // A missing field is named in the error.
+  json::Value NoClock = Good;
+  json::Value M = json::Value::makeObject();
+  for (const auto &[Key, V] : Good.at("machine").members())
+    if (Key != "clock_ghz")
+      M.set(Key, V);
+  NoClock.set("machine", std::move(M));
+  Expected<ArchSpec> Missing = parseArchSpecText(NoClock.str());
+  ASSERT_FALSE((bool)Missing);
+  EXPECT_NE(Missing.message().find("clock_ghz"), std::string::npos)
+      << Missing.message();
+}
+
+TEST(ArchSpecJSON, ValidateRules) {
+  auto Expect = [](std::function<void(ArchSpec &)> Mutate,
+                   const std::string &Needle) {
+    ArchSpec A = *lookupArch("v100");
+    Mutate(A);
+    Error E = A.validate();
+    ASSERT_TRUE((bool)E) << Needle;
+    EXPECT_NE(E.message().find(Needle), std::string::npos) << E.message();
+  };
+  Expect([](ArchSpec &A) { A.Machine.MaxThreadsPerSM = 2050; },
+         "warp_size");
+  Expect(
+      [](ArchSpec &A) {
+        A.Machine.SharedMemPerBlockBytes = A.Machine.SharedMemPerSMBytes + 1;
+      },
+      "shared_mem_per_block_bytes");
+  Expect(
+      [](ArchSpec &A) {
+        A.Machine.DataSharingSlabBytes = A.Machine.SharedMemPerBlockBytes + 1;
+      },
+      "data_sharing_slab_bytes");
+  Expect([](ArchSpec &A) { A.Machine.RegistersPerSM = 64; },
+         "registers_per_sm");
+  Expect([](ArchSpec &A) { A.Machine.ClockGHz = 0.0; }, "clock_ghz");
+  Expect([](ArchSpec &A) { A.Machine.Costs.BarrierCycles = 0; }, "cost");
+}
+
+//===----------------------------------------------------------------------===//
+// resolveArch (-march= semantics)
+//===----------------------------------------------------------------------===//
+
+TEST(ArchResolve, RegistryNameAndJSONPath) {
+  Expected<ArchSpec> A = resolveArch("a100");
+  ASSERT_TRUE((bool)A);
+  EXPECT_EQ(A->Machine.NumSMs, 108u);
+
+  // A *.json value is a spec file: a custom machine needs no rebuild.
+  std::string Dir = freshDir("resolve");
+  ArchSpec Custom = *lookupArch("mi100");
+  Custom.Name = "mi100-liquid";
+  Custom.Machine.ClockGHz = 1.8;
+  std::string Path = Dir + "/custom.json";
+  ASSERT_FALSE((bool)writeTextFile(Path, archSpecToJSON(Custom).str()));
+  Expected<ArchSpec> B = resolveArch(Path);
+  ASSERT_TRUE((bool)B) << B.message();
+  EXPECT_EQ(B->Name, "mi100-liquid");
+  EXPECT_EQ(B->Machine.WarpSize, 64u);
+
+  EXPECT_FALSE((bool)resolveArch("voodoo2"));
+  EXPECT_FALSE((bool)resolveArch(Dir + "/absent.json"));
+  ASSERT_FALSE((bool)writeTextFile(Dir + "/broken.json", "{"));
+  EXPECT_FALSE((bool)resolveArch(Dir + "/broken.json"));
+}
+
+TEST(ApplyArch, OnlyDefaultsAnUntouchedBudget) {
+  ArchSpec MI100 = *lookupArch("mi100");
+
+  PipelineOptions P = makeDevPipeline();
+  ASSERT_EQ(P.OptConfig.SharedMemoryLimit, UINT64_MAX);
+  applyArch(P, MI100);
+  EXPECT_EQ(P.Arch.Name, "mi100");
+  EXPECT_EQ(P.OptConfig.WarpSize, 64u);
+  EXPECT_EQ(P.OptConfig.SharedMemoryLimit,
+            MI100.Machine.SharedMemPerBlockBytes);
+
+  // An explicit budget (e.g. bench/pgo's 160-byte squeeze) survives.
+  PipelineOptions Q = makeDevPipeline();
+  Q.OptConfig.SharedMemoryLimit = 160;
+  applyArch(Q, MI100);
+  EXPECT_EQ(Q.OptConfig.SharedMemoryLimit, 160u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compile-cache keying and v7 report provenance
+//===----------------------------------------------------------------------===//
+
+TEST(ArchCache, MarchSwitchOverWarmCacheMisses) {
+  std::string Dir = freshDir("march-switch");
+  PipelineOptions V100 = makeDevPipeline();
+  applyArch(V100, *lookupArch("v100"));
+  PipelineOptions MI100 = makeDevPipeline();
+  applyArch(MI100, *lookupArch("mi100"));
+
+  CompileService::Options SO;
+  SO.Workers = 1;
+  SO.Cache.Dir = Dir;
+  {
+    CompileService Svc(SO);
+    std::vector<CompileOutcome> Out =
+        Svc.compileBatch({makeWorkloadRequest("SU3Bench", V100)});
+    ASSERT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+    EXPECT_FALSE(Out[0].CacheHit);
+    EXPECT_EQ(Out[0].report().at("arch").at("name").asString(), "v100");
+  }
+  // Same cache dir, same workload: the v100 compile is warm...
+  CompileService Svc(SO);
+  std::vector<CompileOutcome> Out = Svc.compileBatch(
+      {makeWorkloadRequest("SU3Bench", V100),
+       makeWorkloadRequest("SU3Bench", MI100)});
+  ASSERT_TRUE(Out[0].Error.empty()) << Out[0].Error;
+  ASSERT_TRUE(Out[1].Error.empty()) << Out[1].Error;
+  EXPECT_TRUE(Out[0].CacheHit);
+  // ...but switching -march is a miss with its own provenance: the arch
+  // is cache-key material, so a warm v100 entry can never satisfy it.
+  EXPECT_FALSE(Out[1].CacheHit);
+  EXPECT_NE(Out[0].CacheKey, Out[1].CacheKey);
+  const json::Value &Arch = Out[1].report().at("arch");
+  EXPECT_EQ(Arch.at("name").asString(), "mi100");
+  EXPECT_EQ(Arch.at("warp_size").asInt(), 64);
+  EXPECT_NE(Arch.at("fingerprint").asInt(),
+            Out[0].report().at("arch").at("fingerprint").asInt());
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-architecture differential matrix
+//===----------------------------------------------------------------------===//
+
+TEST(ArchDifferential, BitExactPerArchDistinctAcrossArchs) {
+  const char *Workloads[] = {"XSBench", "RSBench", "SU3Bench", "miniQMC"};
+  std::vector<std::string> ArchNames = archRegistryNames();
+
+  std::vector<CompileRequest> Reqs;
+  for (const char *W : Workloads)
+    for (const std::string &AN : ArchNames) {
+      PipelineOptions P = makeDevPipeline();
+      applyArch(P, *lookupArch(AN));
+      Reqs.push_back(makeWorkloadRequest(W, P));
+    }
+
+  CompileService::Options Par, Seq;
+  Par.Workers = 4;
+  Seq.Workers = 1;
+  Par.Cache.Enabled = Seq.Cache.Enabled = false;
+  std::vector<CompileOutcome> A = CompileService(Par).compileBatch(Reqs);
+  std::vector<CompileOutcome> B = CompileService(Seq).compileBatch(Reqs);
+  ASSERT_EQ(A.size(), Reqs.size());
+
+  for (size_t I = 0; I < Reqs.size(); ++I) {
+    ASSERT_TRUE(A[I].Error.empty()) << Reqs[I].Id << ": " << A[I].Error;
+    // Per arch, the matrix is bit-exact across worker counts.
+    EXPECT_EQ(A[I].resultKey(), B[I].resultKey()) << Reqs[I].Id;
+    EXPECT_TRUE(A[I].evaluation().at("correct").asBool()) << Reqs[I].Id;
+  }
+  // Across archs, the same workload simulates a different cycle count:
+  // the machines are genuinely different, not relabeled.
+  size_t NArch = ArchNames.size();
+  for (size_t W = 0; W < std::size(Workloads); ++W)
+    for (size_t I = 0; I < NArch; ++I)
+      for (size_t J = I + 1; J < NArch; ++J)
+        EXPECT_NE(
+            A[W * NArch + I].evaluation().at("cycles").asInt(),
+            A[W * NArch + J].evaluation().at("cycles").asInt())
+            << Workloads[W] << ": " << ArchNames[I] << " vs " << ArchNames[J];
+}
+
+//===----------------------------------------------------------------------===//
+// Autotuner
+//===----------------------------------------------------------------------===//
+
+TEST(Autotune, ByteDeterministicAndNeverWorseThanDefault) {
+  AutotuneOptions O;
+  O.Archs = {*lookupArch("v100"), *lookupArch("mi100")};
+  O.Workloads = {"SU3Bench", "XSBench"};
+  O.Service.Workers = 4;
+
+  AutotuneResult R1 = runAutotune(O);
+  EXPECT_EQ(R1.Failures, 0u);
+  ASSERT_EQ(R1.Entries.size(), 4u);
+  for (const AutotuneEntry &E : R1.Entries) {
+    EXPECT_TRUE(E.DefaultCorrect) << E.Workload << "/" << E.Arch;
+    // The default preset is itself a candidate, so tuned can never lose.
+    EXPECT_LE(E.Cycles, E.DefaultCycles) << E.Workload << "/" << E.Arch;
+    EXPECT_EQ(E.CandidatesTried, 6u); // 2 presets x 3 budgets
+  }
+
+  // Same options, different worker count: byte-identical tuned.json.
+  O.Service.Workers = 1;
+  AutotuneResult R2 = runAutotune(O);
+  EXPECT_EQ(R1.toJSON().str(), R2.toJSON().str());
+
+  // The artifact round-trips through the writer with a trailing newline.
+  std::string Path = freshDir("tuned") + "/tuned.json";
+  ASSERT_FALSE((bool)writeTunedFile(Path, R1));
+  Expected<std::string> Text = readTextFile(Path);
+  ASSERT_TRUE((bool)Text);
+  EXPECT_EQ(*Text, R1.toJSON().str() + "\n");
+}
+
+TEST(Autotune, UnknownWorkloadIsAMissedOMP230) {
+  AutotuneOptions O;
+  O.Archs = {*lookupArch("v100")};
+  O.Workloads = {"LINPACK"};
+  AutotuneResult R = runAutotune(O);
+  EXPECT_EQ(R.Entries.size(), 0u);
+  EXPECT_EQ(R.Failures, 1u);
+  ASSERT_EQ(R.Remarks.size(), 1u);
+  EXPECT_EQ(R.Remarks.remarks()[0].Id, RemarkId::OMP230);
+  EXPECT_TRUE(R.Remarks.remarks()[0].Missed);
+}
+
+TEST(Autotune, SabotagedCostTableMovesSelectionAndEmitsOMP231) {
+  // On the stock v100, the default preset wins miniQMC outright.
+  AutotuneOptions Stock;
+  Stock.Archs = {*lookupArch("v100")};
+  Stock.Workloads = {"miniQMC"};
+  Stock.SharedLimits = {0};
+  AutotuneResult Before = runAutotune(Stock);
+  ASSERT_EQ(Before.Entries.size(), 1u);
+  EXPECT_FALSE(Before.Entries[0].Improved);
+  for (const Remark &R : Before.Remarks.remarks())
+    EXPECT_NE(R.Id, RemarkId::OMP231);
+
+  // Sabotage the cost table: shared memory 100x more expensive. The
+  // SPMDzation default leans on runtime shared allocations, so the
+  // tuned selection must move off it — and say so via OMP231.
+  ArchSpec Sab = *lookupArch("v100");
+  Sab.Name = "v100-sabotaged";
+  Sab.Machine.Costs.SharedMemCycles = 400;
+  ASSERT_FALSE((bool)Sab.validate());
+  AutotuneOptions O = Stock;
+  O.Archs = {Sab};
+  AutotuneResult R = runAutotune(O);
+  ASSERT_EQ(R.Entries.size(), 1u);
+  const AutotuneEntry &E = R.Entries[0];
+  EXPECT_TRUE(E.Improved);
+  EXPECT_NE(E.Preset, E.DefaultPreset);
+  EXPECT_LT(E.Cycles, E.DefaultCycles);
+  bool Saw231 = false;
+  for (const Remark &Rem : R.Remarks.remarks())
+    Saw231 |= Rem.Id == RemarkId::OMP231 && !Rem.Missed;
+  EXPECT_TRUE(Saw231);
+}
+
+} // namespace

@@ -148,15 +148,26 @@ omp_nthreads.join:
 omp_nthreads.gen.then:
   %hw_nthreads = call i32 @__kmpc_get_hardware_num_threads_in_block()
   %warpsize = call i32 @__kmpc_get_warp_size()
-  %par_nthreads = sub i32 %hw_nthreads, %warpsize
-  br label %omp_nthreads.gen.join
+  %par_nthreads.raw = sub i32 %hw_nthreads, %warpsize
+  %has_workers = icmp sgt i32 %par_nthreads.raw, 0
+  br i1 %has_workers, label %par_nthreads.then, label %par_nthreads.else
 
 omp_nthreads.gen.else:
   br label %omp_nthreads.gen.join
 
 omp_nthreads.gen.join:
-  %omp_nthreads.gen.phi = phi i32 [%par_nthreads, label %omp_nthreads.gen.then], [1, label %omp_nthreads.gen.else]
+  %omp_nthreads.gen.phi = phi i32 [%par_nthreads.phi, label %par_nthreads.join], [1, label %omp_nthreads.gen.else]
   br label %omp_nthreads.join
+
+par_nthreads.then:
+  br label %par_nthreads.join
+
+par_nthreads.else:
+  br label %par_nthreads.join
+
+par_nthreads.join:
+  %par_nthreads.phi = phi i32 [%par_nthreads.raw, label %par_nthreads.then], [1, label %par_nthreads.else]
+  br label %omp_nthreads.gen.join
 
 parallel_for.header:
   %parallel_for.iv = phi i32 [%omp_tid.phi, label %omp_nthreads.join], [%parallel_for.next, label %guarded.join]

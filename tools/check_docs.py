@@ -21,6 +21,14 @@ Three checks, all offline and dependency-free:
    undocumented fields are a warning at most), but they can never
    describe fields the serializer does not emit.
 
+4. **Arch-spec fields** — the ArchSpec JSON schema documented in
+   `docs/architectures.md` must match the serializer field tables in
+   `src/gpusim/ArchSpec.cpp`, both ways: every ``"field":`` key in the
+   doc's JSON examples must be a field the tables emit, and every
+   machine-geometry field the tables emit must appear in the doc (the
+   cost table is large and documented collectively, so it is checked
+   doc→code only).
+
 Usage: `tools/check_docs.py [repo-root]` (defaults to the parent of the
 directory containing this script). Exits non-zero with one line per
 problem.
@@ -117,6 +125,49 @@ def check_report_fields(root: Path, errors: list):
             )
 
 
+JSON_KEY_RE = re.compile(r'"([a-z][a-z0-9_]*)"\s*:')
+FIELD_TABLE_ENTRY_RE = re.compile(r'F\("([a-z][a-z0-9_]*)"')
+
+
+def check_arch_fields(root: Path, errors: list):
+    arch_md = root / "docs" / "architectures.md"
+    arch_cpp = root / "src" / "gpusim" / "ArchSpec.cpp"
+    cpp_text = arch_cpp.read_text(encoding="utf-8")
+    emitted = set(FIELD_TABLE_ENTRY_RE.findall(cpp_text))
+    # Envelope keys live outside the shared field tables, and the doc's
+    # tuned.json example documents the autotuner's serializer.
+    emitted |= set(STRING_LIT_RE.findall(cpp_text))
+    autotune_cpp = root / "src" / "service" / "Autotune.cpp"
+    emitted |= set(STRING_LIT_RE.findall(
+        autotune_cpp.read_text(encoding="utf-8")))
+    if not FIELD_TABLE_ENTRY_RE.findall(cpp_text):
+        errors.append(f"{arch_cpp.relative_to(root)}: no serializer field "
+                      "tables found — checker out of date?")
+        return
+
+    md_text = arch_md.read_text(encoding="utf-8")
+    documented = set(JSON_KEY_RE.findall(md_text))
+    for field in sorted(documented - emitted):
+        errors.append(
+            f"docs/architectures.md: documented spec field '{field}' is "
+            f"not emitted by src/gpusim/ArchSpec.cpp"
+        )
+
+    # Machine-geometry fields (the forEachMachineField table) must all be
+    # documented; the cost table is documented collectively.
+    m = re.search(r"forEachMachineField\(MM &M,.*?\n}", cpp_text, re.S)
+    if not m:
+        errors.append(f"{arch_cpp.relative_to(root)}: forEachMachineField "
+                      "table not found — checker out of date?")
+        return
+    for field in sorted(set(FIELD_TABLE_ENTRY_RE.findall(m.group(0)))):
+        if field not in documented:
+            errors.append(
+                f"src/gpusim/ArchSpec.cpp: machine field '{field}' is not "
+                f"documented in docs/architectures.md"
+            )
+
+
 def main(argv):
     root = Path(argv[1]).resolve() if len(argv) > 1 else \
         Path(__file__).resolve().parent.parent
@@ -124,6 +175,7 @@ def main(argv):
     check_links(root, errors)
     check_remark_codes(root, errors)
     check_report_fields(root, errors)
+    check_arch_fields(root, errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     n_md = len(list(markdown_files(root)))
