@@ -1,0 +1,69 @@
+//===- bench/BenchFlags.cpp - Shared driver command-line flags -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchFlags.h"
+#include "support/CommandLine.h"
+#include "support/raw_ostream.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static cl::opt<std::string> MArch(
+    "march",
+    "Simulated architecture: a registry name (v100, a100, mi100) or a "
+    "path to an ArchSpec *.json file (docs/architectures.md)",
+    std::string("v100"));
+static cl::opt<std::string> CompileReportPath(
+    "compile-report",
+    "Write a JSON array with one compile-report per measured "
+    "configuration to the given path", std::string());
+static cl::opt<std::string> BenchSummaryPath(
+    "bench-summary",
+    "Write the schema-versioned JSON bench-summary (one row per measured "
+    "result) to the given path", std::string());
+static cl::opt<std::string> MappingReportPath(
+    "mapping-report",
+    "Write the data-mapping inference report (per-kernel parameter "
+    "classifications and inferred map kinds, docs/data-mapping.md) to the "
+    "given path", std::string());
+
+namespace ompgpu {
+namespace bench {
+
+static ArchSpec &activeArchStorage() {
+  static ArchSpec A; // registry v100 == MachineModel defaults
+  return A;
+}
+
+bool initActiveArch() {
+  Expected<ArchSpec> A = resolveArch(MArch.getValue());
+  if (!A) {
+    errs() << "error: -march: " << A.message() << '\n';
+    return false;
+  }
+  activeArchStorage() = std::move(*A);
+  return true;
+}
+
+const ArchSpec &activeArch() { return activeArchStorage(); }
+
+bool archFlagIsDefault() { return MArch.getValue() == "v100"; }
+
+const std::string &compileReportFlagPath() {
+  return CompileReportPath.getValue();
+}
+
+const std::string &benchSummaryFlagPath() {
+  return BenchSummaryPath.getValue();
+}
+
+const std::string &mappingReportFlagPath() {
+  return MappingReportPath.getValue();
+}
+
+} // namespace bench
+} // namespace ompgpu

@@ -1,0 +1,64 @@
+//===- bench/BenchFlags.h - Shared driver command-line flags ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line flags every bench/ driver shares: -march and the
+/// report-artifact destinations (-compile-report, -bench-summary,
+/// -mapping-report). Registered exactly once, in one library
+/// (ompgpu_benchflags) that does NOT depend on google-benchmark, so plain
+/// drivers (bench/fuzz, bench/autotune) and google-benchmark drivers
+/// (everything linking ompgpu_benchsupport) share one flag spelling, one
+/// default, and one exit-code convention (a bad -march value is a usage
+/// error: exit 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_BENCH_BENCHFLAGS_H
+#define OMPGPU_BENCH_BENCHFLAGS_H
+
+#include "gpusim/ArchSpec.h"
+
+#include <string>
+
+namespace ompgpu {
+namespace bench {
+
+/// \name Shared -march flag (docs/architectures.md)
+/// Every bench binary accepts -march=<name|path.json> selecting the
+/// simulated architecture. Drivers call initActiveArch() right after flag
+/// parsing and exit 2 when it returns false (a bad -march value is a usage
+/// error); pipelines are then retargeted via applyArch unless the flag is
+/// at its "v100" default, which preserves the historical preset behavior
+/// (unlimited SharedMemoryLimit) bit for bit.
+/// @{
+/// Resolves and caches the -march value. Prints the failure and returns
+/// false on an unknown name or a bad JSON spec.
+bool initActiveArch();
+/// The architecture selected by -march (the registry "v100" until
+/// initActiveArch succeeds).
+const ArchSpec &activeArch();
+/// True when -march is at its "v100" default.
+bool archFlagIsDefault();
+/// @}
+
+/// \name Shared report-artifact destinations
+/// Empty string when the flag is unset.
+/// @{
+/// -compile-report=<path>: JSON array of per-configuration compile
+/// reports (docs/compile-report.md).
+const std::string &compileReportFlagPath();
+/// -bench-summary=<path>: the schema-versioned bench-summary document.
+const std::string &benchSummaryFlagPath();
+/// -mapping-report=<path>: the data-mapping inference report
+/// (docs/data-mapping.md); consumed by bench/lint, uploaded by CI.
+const std::string &mappingReportFlagPath();
+/// @}
+
+} // namespace bench
+} // namespace ompgpu
+
+#endif // OMPGPU_BENCH_BENCHFLAGS_H

@@ -37,10 +37,6 @@ static cl::opt<bool> TimePasses(
     "time-passes",
     "Print a per-pass wall-clock timing table after each measurement",
     false);
-static cl::opt<std::string> CompileReportPath(
-    "compile-report",
-    "Write a JSON array with one compile-report per measured "
-    "configuration to the given path", std::string());
 static cl::opt<bool> RecoverPasses(
     "recover-passes",
     "Roll back and quarantine passes that corrupt the module instead of "
@@ -50,16 +46,6 @@ static cl::opt<int64_t> OptBisectLimit(
     "opt-bisect-limit",
     "Run only the first N skippable pass executions (-1: no limit); "
     "use to localize a miscompiling pass execution", -1);
-static cl::opt<std::string> BenchSummaryPath(
-    "bench-summary",
-    "Write the schema-versioned JSON bench-summary (one row per measured "
-    "result) to the given path", std::string());
-static cl::opt<std::string> MArch(
-    "march",
-    "Simulated architecture: a registry name (v100, a100, mi100) or a "
-    "path to an ArchSpec *.json file (docs/architectures.md)",
-    std::string("v100"));
-
 /// Compile-reports of every measured configuration, in measurement order.
 static json::Value &collectedReports() {
   static json::Value Reports = json::Value::makeArray();
@@ -99,25 +85,6 @@ static ConfigSpec ladderConfig(size_t Index) {
 namespace ompgpu {
 namespace bench {
 
-static ArchSpec &activeArchStorage() {
-  static ArchSpec A; // registry v100 == MachineModel defaults
-  return A;
-}
-
-bool initActiveArch() {
-  Expected<ArchSpec> A = resolveArch(MArch.getValue());
-  if (!A) {
-    errs() << "error: -march: " << A.message() << '\n';
-    return false;
-  }
-  activeArchStorage() = std::move(*A);
-  return true;
-}
-
-const ArchSpec &activeArch() { return activeArchStorage(); }
-
-bool archFlagIsDefault() { return MArch.getValue() == "v100"; }
-
 ConfigSpec configLLVM12() { return ladderConfig(0); }
 ConfigSpec configDevNoOpt() { return ladderConfig(1); }
 ConfigSpec configH2S() { return ladderConfig(2); }
@@ -142,7 +109,7 @@ measure(const std::function<std::unique_ptr<Workload>(ProblemSize)> &Factory,
   HO.MaxSimulatedBlocks = SampleBlocks;
   HO.UseCUDAKernel = Spec.UseCUDA;
 
-  bool WantReport = !CompileReportPath.getValue().empty();
+  bool WantReport = !compileReportFlagPath().empty();
   PipelineOptions P = Spec.Pipeline;
   // A non-default -march retargets the compile and the simulated device.
   // The "v100" default leaves the ladder presets untouched (unlimited
@@ -198,32 +165,32 @@ void recordBenchSummaryRow(json::Value Row) {
 }
 
 bool writeBenchSummary(const std::string &Tool) {
-  if (BenchSummaryPath.getValue().empty() || summaryRows().empty())
+  if (benchSummaryFlagPath().empty() || summaryRows().empty())
     return true;
   json::Value Doc = json::Value::makeObject();
   Doc.set("schema_version", BenchSummarySchemaVersion)
       .set("generator", "ompgpu")
       .set("tool", Tool)
       .set("rows", summaryRows());
-  if (Error E = writeCompileReportFile(BenchSummaryPath.getValue(), Doc)) {
+  if (Error E = writeCompileReportFile(benchSummaryFlagPath(), Doc)) {
     errs() << "bench-summary: " << E.message() << '\n';
     return false;
   }
   outs() << "wrote bench-summary (" << summaryRows().size() << " row(s)) to "
-         << BenchSummaryPath.getValue() << '\n';
+         << benchSummaryFlagPath() << '\n';
   return true;
 }
 
 bool writeCollectedCompileReports() {
-  if (CompileReportPath.getValue().empty() || collectedReports().empty())
+  if (compileReportFlagPath().empty() || collectedReports().empty())
     return true;
-  if (Error E = writeCompileReportFile(CompileReportPath.getValue(),
+  if (Error E = writeCompileReportFile(compileReportFlagPath(),
                                        collectedReports())) {
     errs() << "compile-report: " << E.message() << '\n';
     return false;
   }
   outs() << "wrote " << collectedReports().size()
-         << " compile-report(s) to " << CompileReportPath.getValue() << '\n';
+         << " compile-report(s) to " << compileReportFlagPath() << '\n';
   return true;
 }
 

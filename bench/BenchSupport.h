@@ -16,6 +16,7 @@
 #ifndef OMPGPU_BENCH_BENCHSUPPORT_H
 #define OMPGPU_BENCH_BENCHSUPPORT_H
 
+#include "BenchFlags.h"
 #include "support/JSON.h"
 #include "workloads/Harness.h"
 
@@ -53,24 +54,6 @@ ConfigSpec configCUDA();
 /// All ladder configurations in evaluation order (bench/lint iterates the
 /// whole ladder).
 std::vector<ConfigSpec> evaluationConfigs();
-
-/// \name Shared -march flag (docs/architectures.md)
-/// Every bench binary accepts -march=<name|path.json> selecting the
-/// simulated architecture. Drivers call initActiveArch() right after flag
-/// parsing and exit 2 when it returns false (a bad -march value is a usage
-/// error); measure() then retargets each pipeline via applyArch unless the
-/// flag is at its "v100" default, which preserves the historical ladder
-/// behavior (unlimited SharedMemoryLimit) bit for bit.
-/// @{
-/// Resolves and caches the -march value. Prints the failure and returns
-/// false on an unknown name or a bad JSON spec.
-bool initActiveArch();
-/// The architecture selected by -march (the registry "v100" until
-/// initActiveArch succeeds).
-const ArchSpec &activeArch();
-/// True when -march is at its "v100" default.
-bool archFlagIsDefault();
-/// @}
 
 /// Runs \p Factory's workload under \p Spec with sampled blocks (timing
 /// runs; outputs unchecked). When the shared -time-passes /

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
+#include "support/raw_ostream.h"
 
 using namespace ompgpu;
 using namespace ompgpu::bench;
@@ -20,6 +21,64 @@ using namespace ompgpu::bench;
 static std::vector<ConfigSpec> configs() {
   return {configLLVM12(), configDevNoOpt(), configH2S(), configH2S2RTC(),
           configCUDA()};
+}
+
+/// XSBenchTransfer A/B study (docs/data-mapping.md): the same compiled
+/// kernel launched with the conservative copy-everything-tofrom mappings
+/// and with the MapInference-derived minimal ones. On the
+/// transfer-dominated variant the inferred map(to:) tables / map(from:)
+/// output roughly halve the moved bytes, which shows up directly in the
+/// modeled total cycles.
+static void printTransferStudy() {
+  ConfigSpec Spec = configH2S2RTC();
+  PipelineOptions P = Spec.Pipeline;
+  if (!archFlagIsDefault())
+    applyArch(P, activeArch());
+
+  HarnessOptions HO;
+  HO.MaxSimulatedBlocks = 4;
+
+  auto RunArm = [&](bool Conservative) {
+    std::unique_ptr<Workload> W = createXSBenchTransfer(ProblemSize::Large);
+    HO.ConservativeMappings = Conservative;
+    WorkloadRunResult R = runWorkload(*W, P, HO);
+    json::Value Row = benchSummaryRow(R);
+    Row.set("config",
+            Spec.Label +
+                (Conservative ? " (conservative map)" : " (inferred map)"))
+        .set("bytes_to_device", R.Stats.BytesToDevice)
+        .set("bytes_from_device", R.Stats.BytesFromDevice)
+        .set("transfer_cycles", R.Stats.TransferCycles)
+        .set("total_cycles", R.Stats.totalCycles());
+    recordBenchSummaryRow(std::move(Row));
+    return R;
+  };
+  WorkloadRunResult Cons = RunArm(/*Conservative=*/true);
+  WorkloadRunResult Inf = RunArm(/*Conservative=*/false);
+
+  outs() << "\nXSBenchTransfer: inferred vs conservative data mappings ("
+         << Spec.Label << ")\n";
+  auto PrintArm = [](const char *Name, const WorkloadRunResult &R) {
+    outs() << formatBuf(
+        "  %-24s %14llu to-dev B %14llu from-dev B %14llu xfer cy "
+        "%16llu total cy\n",
+        Name, (unsigned long long)R.Stats.BytesToDevice,
+        (unsigned long long)R.Stats.BytesFromDevice,
+        (unsigned long long)R.Stats.TransferCycles,
+        (unsigned long long)R.Stats.totalCycles());
+  };
+  PrintArm("conservative (tofrom)", Cons);
+  PrintArm("inferred (minimal)", Inf);
+  uint64_t ConsBytes = Cons.Stats.BytesToDevice + Cons.Stats.BytesFromDevice;
+  uint64_t InfBytes = Inf.Stats.BytesToDevice + Inf.Stats.BytesFromDevice;
+  if (ConsBytes > 0 && Cons.Stats.totalCycles() > 0)
+    outs() << formatBuf(
+        "  inferred mappings move %.1f%% of the bytes and %.1f%% of the "
+        "total cycles\n",
+        100.0 * (double)InfBytes / (double)ConsBytes,
+        100.0 * (double)Inf.Stats.totalCycles() /
+            (double)Cons.Stats.totalCycles());
+  outs().flush();
 }
 
 int main(int Argc, char **Argv) {
@@ -30,5 +89,6 @@ int main(int Argc, char **Argv) {
       Results.push_back(measure(createXSBench, Spec));
     printRelativeSeries(
         "Fig. 11a: XSBench (event-based) relative to LLVM 12", Results);
+    printTransferStudy();
   });
 }

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchFlags.h"
 #include "fuzz/Corpus.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Reduce.h"
@@ -96,23 +97,14 @@ static cl::opt<std::string>
                 "Chaos mode: write the fault-injection audit (every event, "
                 "attribution verdict) as JSON to this path",
                 "");
-static cl::opt<std::string> MArch(
-    "march",
-    "Simulated architecture: a registry name (v100, a100, mi100) or a "
-    "path to an ArchSpec *.json file (docs/architectures.md)",
-    std::string("v100"));
-
-/// The resolved -march architecture; presets stay untouched at the "v100"
-/// default so historical campaign artifacts remain byte-identical.
-static ArchSpec ActiveArch;
-static bool ArchActive = false;
-
-/// The campaign's preset matrix, retargeted to -march when one was given.
+/// The campaign's preset matrix, retargeted to the shared -march flag
+/// (bench/BenchFlags) when one was given; presets stay untouched at the
+/// "v100" default so historical campaign artifacts remain byte-identical.
 static std::vector<PipelineOptions> fuzzPresets() {
   std::vector<PipelineOptions> Presets = defaultFuzzPresets();
-  if (ArchActive)
+  if (!ompgpu::bench::archFlagIsDefault())
     for (PipelineOptions &P : Presets)
-      applyArch(P, ActiveArch);
+      applyArch(P, ompgpu::bench::activeArch());
   return Presets;
 }
 
@@ -479,15 +471,8 @@ int main(int argc, char **argv) {
 
   if (!validateServiceFlags())
     return 2;
-  {
-    Expected<ArchSpec> A = resolveArch(MArch.getValue());
-    if (!A) {
-      errs() << "error: -march: " << A.message() << "\n";
-      return 2;
-    }
-    ActiveArch = std::move(*A);
-    ArchActive = MArch.getValue() != "v100";
-  }
+  if (!ompgpu::bench::initActiveArch())
+    return 2; // usage error, same convention as every bench driver
   Expected<FaultPlan> Plan = faultPlanFromFlags();
   if (!Plan) {
     errs() << Plan.message() << "\n";

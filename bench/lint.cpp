@@ -16,9 +16,11 @@
 
 #include "BenchSupport.h"
 #include "analysis/OMPLint.h"
+#include "driver/CompileReport.h"
 #include "ir/IRContext.h"
 #include "ir/Module.h"
 #include "support/CommandLine.h"
+#include "support/FileSystem.h"
 #include "support/JSON.h"
 #include "support/raw_ostream.h"
 #include "workloads/Harness.h"
@@ -72,6 +74,7 @@ int main(int argc, char **argv) {
   if (!initActiveArch())
     return 2;
   const NamedFactory Factories[] = {{"XSBench", createXSBench},
+                                    {"XSBenchTransfer", createXSBenchTransfer},
                                     {"RSBench", createRSBench},
                                     {"SU3Bench", createSU3Bench},
                                     {"miniQMC", createMiniQMC}};
@@ -83,6 +86,10 @@ int main(int argc, char **argv) {
   json::Value Report = json::Value::makeObject();
   Report.set("schema_version", 1);
   json::Value Results = json::Value::makeArray();
+  // The -mapping-report artifact: one entry per compiled module with the
+  // MapInference stage's per-parameter decisions (docs/data-mapping.md);
+  // CI uploads it alongside the lint report.
+  json::Value MappingResults = json::Value::makeArray();
 
   unsigned TotalFindings = 0, Compiled = 0, CompileFailures = 0;
   for (const NamedFactory &Factory : Factories) {
@@ -121,6 +128,13 @@ int main(int argc, char **argv) {
         continue;
       }
 
+      json::Value MapEntry = json::Value::makeObject();
+      MapEntry.set("workload", Factory.Name)
+          .set("config", Spec.Label)
+          .set("mapping",
+               mapInferenceToJSON(CR.MapInferenceRan, CR.Mapping));
+      MappingResults.push_back(std::move(MapEntry));
+
       LintResult LR = runOMPLint(M);
       json::Value Findings = json::Value::makeArray();
       for (const LintFinding &F : LR.Findings)
@@ -148,6 +162,20 @@ int main(int argc, char **argv) {
     raw_fd_ostream OS(ReportPath.getValue());
     Report.write(OS);
     OS << "\n";
+  }
+
+  if (!mappingReportFlagPath().empty()) {
+    json::Value MappingReport = json::Value::makeObject();
+    MappingReport.set("schema_version", 1)
+        .set("generator", "ompgpu")
+        .set("tool", "lint")
+        .set("results", std::move(MappingResults));
+    if (Error E = writeTextFile(mappingReportFlagPath(),
+                                MappingReport.str() + "\n")) {
+      errs() << "mapping-report: " << E.message() << "\n";
+      return 1;
+    }
+    outs() << "wrote mapping-report to " << mappingReportFlagPath() << "\n";
   }
 
   if (Compiled == 0) {

@@ -1,0 +1,70 @@
+//===- analysis/MapInference.cpp - Minimal data-mapping inference ---------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MapInference.h"
+
+#include "core/Remarks.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+using namespace ompgpu;
+
+MapInferenceResult ompgpu::runMapInference(Module &M,
+                                           RemarkCollector &Remarks) {
+  MapInferenceResult Result;
+  MemoryAccessSummaryAnalysis Summaries(M);
+
+  for (Function *K : M.functions()) {
+    if (!K->isKernel() || K->isDeclaration())
+      continue;
+    KernelEnvironment &Env = K->getKernelEnvironment();
+    for (unsigned I = 0; I < K->arg_size(); ++I) {
+      ParamMappingInfo Info;
+      Info.Kernel = K->getName();
+      Info.Index = I;
+      Info.ParamName = K->getArg(I)->getName();
+      Info.IsPointer = K->getArg(I)->getType()->isPointerTy();
+      if (!Info.IsPointer) {
+        Result.Params.push_back(Info);
+        continue;
+      }
+
+      PointerAccessSummary S = Summaries.argSummary(K, I);
+      Info.Class = S.classify();
+      Info.Inferred = minimalMapKind(Info.Class);
+
+      ParamMapping &PM = kernelParamMappingRef(Env, I);
+      PM.Inferred = Info.Inferred;
+      PM.InferenceRan = true;
+      Info.Declared = PM.Declared;
+      Info.DeclaredExplicit = PM.DeclaredExplicit;
+      Info.Effective = PM.effective();
+
+      std::string Desc = "parameter '" + Info.ParamName + "' (#" +
+                         std::to_string(I) + ") of kernel '" + Info.Kernel +
+                         "'";
+      if (Info.DeclaredExplicit) {
+        // Explicit map clauses are honored verbatim; the OMP242-244 lint
+        // checkers diagnose them if they disagree with the summary.
+      } else if (Info.Class == PointerAccessClass::Unknown) {
+        ++Result.FallbackCount;
+        Remarks.emit(RemarkId::OMP241, /*Missed=*/true, K->getName(),
+                     "conservative map(tofrom: " + Info.ParamName + ") for " +
+                         Desc + ": access pattern escapes the summary walk");
+      } else if (Info.Inferred != MapKind::ToFrom) {
+        ++Result.MinimalCount;
+        Remarks.emit(RemarkId::OMP240, /*Missed=*/false, K->getName(),
+                     "inferred minimal map(" +
+                         std::string(mapKindName(Info.Inferred)) + ": " +
+                         Info.ParamName + ") for " + Desc + " (" +
+                         pointerAccessClassName(Info.Class) + ")");
+      }
+      Result.Params.push_back(Info);
+    }
+  }
+  return Result;
+}

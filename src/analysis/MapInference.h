@@ -1,0 +1,83 @@
+//===- analysis/MapInference.h - Minimal data-mapping inference -*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MapInference pipeline stage (docs/data-mapping.md): turns the
+/// MemoryAccessSummary classification of each kernel parameter into the
+/// minimal map clause — read-only becomes `to`, write-first `from`, dead
+/// `alloc` — and records it in the kernel's KernelEnvironment for the
+/// launch harness. Explicit front-end map clauses are a user contract and
+/// are never overridden. Each narrowed mapping emits OMP240; each pointer
+/// the analysis could not classify falls back to `tofrom` with an OMP241
+/// missed-optimization remark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_MAPINFERENCE_H
+#define OMPGPU_ANALYSIS_MAPINFERENCE_H
+
+#include "analysis/MemoryAccessSummary.h"
+#include "ir/MapKind.h"
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+class Module;
+class RemarkCollector;
+
+/// The cheapest mapping that preserves semantics for an access class:
+/// host data the kernel may consume must be copied in, data the kernel may
+/// produce must be copied out, and everything else stays on the device.
+inline MapKind minimalMapKind(PointerAccessClass C) {
+  switch (C) {
+  case PointerAccessClass::Dead:
+    return MapKind::Alloc;
+  case PointerAccessClass::ReadOnly:
+    return MapKind::To;
+  case PointerAccessClass::WriteFirst:
+    return MapKind::From;
+  case PointerAccessClass::ReadWrite:
+  case PointerAccessClass::Unknown:
+    return MapKind::ToFrom;
+  }
+  return MapKind::ToFrom;
+}
+
+/// One kernel parameter's mapping decision, as recorded in the compile
+/// report's `mapping` section (docs/compile-report.md).
+struct ParamMappingInfo {
+  std::string Kernel;
+  unsigned Index = 0;
+  std::string ParamName;
+  bool IsPointer = false;
+  PointerAccessClass Class = PointerAccessClass::Unknown;
+  MapKind Declared = MapKind::ToFrom;
+  bool DeclaredExplicit = false;
+  MapKind Inferred = MapKind::ToFrom;
+  MapKind Effective = MapKind::ToFrom;
+};
+
+struct MapInferenceResult {
+  std::vector<ParamMappingInfo> Params;
+  /// Pointer parameters narrowed below the tofrom default (OMP240).
+  unsigned MinimalCount = 0;
+  /// Pointer parameters left at the conservative fallback (OMP241).
+  unsigned FallbackCount = 0;
+};
+
+/// Stage name in pass timelines and the compile report.
+inline constexpr const char *MapInferencePassName = "map-inference";
+
+/// Runs the inference over every kernel of \p M, records the inferred kinds
+/// in each kernel's KernelEnvironment, and emits OMP240/OMP241 remarks.
+MapInferenceResult runMapInference(Module &M, RemarkCollector &Remarks);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_MAPINFERENCE_H

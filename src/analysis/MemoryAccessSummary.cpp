@@ -1,0 +1,405 @@
+//===- analysis/MemoryAccessSummary.cpp - Per-pointer access class --------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemoryAccessSummary.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "ir/Function.h"
+#include "ir/Instruction.h"
+#include "ir/Module.h"
+
+#include <set>
+
+using namespace ompgpu;
+
+const char *ompgpu::pointerAccessClassName(PointerAccessClass C) {
+  switch (C) {
+  case PointerAccessClass::Dead:
+    return "dead";
+  case PointerAccessClass::ReadOnly:
+    return "read-only";
+  case PointerAccessClass::WriteFirst:
+    return "write-first";
+  case PointerAccessClass::ReadWrite:
+    return "read-write";
+  case PointerAccessClass::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+PointerAccessClass PointerAccessSummary::classify() const {
+  if (Unknown)
+    return PointerAccessClass::Unknown;
+  if (!MayRead && !MayWrite)
+    return PointerAccessClass::Dead;
+  if (!MayWrite)
+    return PointerAccessClass::ReadOnly;
+  if (!MayReadBeforeWrite)
+    return PointerAccessClass::WriteFirst;
+  return PointerAccessClass::ReadWrite;
+}
+
+namespace {
+
+bool isRuntimeName(const std::string &N) {
+  return N.rfind("__kmpc_", 0) == 0 || N.rfind("omp_", 0) == 0 ||
+         N.rfind("llvm.", 0) == 0;
+}
+
+/// Runtime callees that only release the frame object itself and never
+/// inspect its fields.
+bool isFrameReleaseName(const std::string &N) {
+  return N == "__kmpc_free_shared" || N == "__kmpc_data_sharing_pop_stack";
+}
+
+/// Calls whose result can serve as a captured-argument frame object.
+bool isFrameAllocCall(const CallInst *CI) {
+  const Function *Callee = CI->getCalledFunction();
+  if (!Callee)
+    return false;
+  return Callee->getName() == "__kmpc_alloc_shared" ||
+         Callee->getName() == "__kmpc_data_sharing_coalesced_push_stack";
+}
+
+/// If \p G is a frame-field address — constant indices {0, I} as emitted by
+/// TargetRegionBuilder's capture protocol — returns I, else -1.
+int gepFrameField(const GEPInst *G) {
+  if (G->getNumIndices() != 2)
+    return -1;
+  const auto *I0 = dyn_cast<ConstantInt>(G->getIndex(0));
+  const auto *I1 = dyn_cast<ConstantInt>(G->getIndex(1));
+  if (!I0 || !I1 || !I0->isZero() || I1->getValue() < 0)
+    return -1;
+  return static_cast<int>(I1->getValue());
+}
+
+} // namespace
+
+MemoryAccessSummaryAnalysis::~MemoryAccessSummaryAnalysis() = default;
+
+const DominatorTree &MemoryAccessSummaryAnalysis::domTree(const Function *F) {
+  std::unique_ptr<DominatorTree> &DT = DomTrees[F];
+  if (!DT)
+    DT.reset(new DominatorTree(*F));
+  return *DT;
+}
+
+MemoryAccessSummaryAnalysis::MemoryAccessSummaryAnalysis(const Module &M) {
+  // Seed every pointer-typed argument of every defined user function,
+  // callees first (bottom-up SCC order), so most summaries are final on
+  // the first sweep and only recursive SCCs need extra iterations.
+  CallGraph CG(M);
+  for (const std::vector<Function *> &SCC : CG.sccsBottomUp())
+    for (const Function *F : SCC) {
+      if (F->isDeclaration() || isRuntimeName(F->getName()))
+        continue;
+      for (unsigned I = 0; I < F->arg_size(); ++I)
+        if (F->getArg(I)->getType()->isPointerTy())
+          demand(Key(F, I, -1));
+    }
+
+  // Fixpoint: the lattice per key is four monotone may-bits, so repeated
+  // sweeps converge. `Order` may grow mid-sweep as frame-field slots of
+  // outlined wrappers are discovered.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      Key K = Order[I];
+      PointerAccessSummary New = compute(K);
+      PointerAccessSummary &Cur = Memo[K];
+      if (New != Cur) {
+        Cur = New;
+        Changed = true;
+      }
+    }
+  }
+}
+
+PointerAccessSummary
+MemoryAccessSummaryAnalysis::argSummary(const Function *F,
+                                        unsigned ArgIdx) const {
+  auto It = Memo.find(Key(F, ArgIdx, -1));
+  if (It != Memo.end())
+    return It->second;
+  PointerAccessSummary S;
+  S.Unknown = true;
+  return S;
+}
+
+PointerAccessSummary MemoryAccessSummaryAnalysis::demand(const Key &K) {
+  auto It = Memo.find(K);
+  if (It != Memo.end())
+    return It->second;
+  Order.push_back(K);
+  return Memo[K]; // default-constructed optimistic bottom
+}
+
+PointerAccessSummary MemoryAccessSummaryAnalysis::compute(const Key &K) {
+  const Function *F = std::get<0>(K);
+  unsigned ArgNo = std::get<1>(K);
+  int Field = std::get<2>(K);
+
+  PointerAccessSummary S;
+  auto Escape = [&S] { S.Unknown = true; };
+  if (F->isDeclaration() || ArgNo >= F->arg_size()) {
+    Escape();
+    return S;
+  }
+  const Argument *Arg = F->getArg(ArgNo);
+
+  // Roots of the derived-pointer walk.
+  std::set<const Value *> Derived;
+  if (Field < 0) {
+    if (!Arg->getType()->isPointerTy()) {
+      Escape();
+      return S;
+    }
+    Derived.insert(Arg);
+  } else {
+    // Frame-field slot: the roots are loads of constant field `Field` of
+    // the frame argument. Every use of the frame must be pattern-matched
+    // (field address, whole-frame load after GEP folding) or the frame —
+    // and with it the captured pointer — escapes the analysis.
+    for (const User *U : Arg->users()) {
+      if (const auto *G = dyn_cast<GEPInst>(U)) {
+        if (G->getPointerOperand() != Arg || gepFrameField(G) < 0)
+          return Escape(), S;
+        if (gepFrameField(G) != Field)
+          continue;
+        for (const User *GU : G->users()) {
+          const auto *L = dyn_cast<LoadInst>(GU);
+          if (!L || L->getPointerOperand() != G)
+            return Escape(), S;
+          Derived.insert(L);
+        }
+        continue;
+      }
+      if (const auto *L = dyn_cast<LoadInst>(U)) {
+        // A zero-offset field access folded to a plain load of the frame.
+        if (L->getPointerOperand() != Arg)
+          return Escape(), S;
+        if (Field == 0)
+          Derived.insert(L);
+        continue;
+      }
+      return Escape(), S;
+    }
+  }
+
+  // Passes 1+2, to a joint fixpoint.
+  //
+  // Pass 1 closes the derived set over GEP/addrspacecast/select/phi.
+  //
+  // Pass 2 handles captured-frame stores: a store *of* a derived pointer
+  // is only analyzable when it follows the outlining protocol — the
+  // target is a constant field of a local frame object that is itself
+  // not derived. FrameStores maps each frame object to the fields
+  // holding our pointer. A load back out of such a slot yields (an alias
+  // of) the tracked pointer, so it re-enters the derived set: the
+  // inlined distribute-parallel-for protocol stores each capture and
+  // reloads it in the same function without any call in between, and the
+  // reloads feed pass 1 again.
+  std::map<const Value *, std::set<int>> FrameStores;
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB) {
+        if (Derived.count(I))
+          continue;
+        bool Add = false;
+        if (const auto *G = dyn_cast<GEPInst>(I))
+          Add = Derived.count(G->getPointerOperand());
+        else if (const auto *C = dyn_cast<CastInst>(I))
+          Add = C->getCastOp() == CastOp::AddrSpaceCast &&
+                Derived.count(C->getSrc());
+        else if (const auto *Sel = dyn_cast<SelectInst>(I))
+          Add = Derived.count(Sel->getTrueValue()) ||
+                Derived.count(Sel->getFalseValue());
+        else if (const auto *Phi = dyn_cast<PhiInst>(I)) {
+          for (unsigned J = 0; J < Phi->getNumIncoming() && !Add; ++J)
+            Add = Derived.count(Phi->getIncomingValue(J));
+        }
+        if (Add) {
+          Derived.insert(I);
+          Grew = true;
+        }
+      }
+
+    FrameStores.clear();
+    for (const BasicBlock *BB : *F)
+      for (const Instruction *I : *BB) {
+        const auto *St = dyn_cast<StoreInst>(I);
+        if (!St || !Derived.count(St->getValueOperand()))
+          continue;
+        const auto *G = dyn_cast<GEPInst>(St->getPointerOperand());
+        int FieldIdx = G ? gepFrameField(G) : -1;
+        const Value *FrameObj = G ? G->getPointerOperand() : nullptr;
+        bool FrameOK = FrameObj && FieldIdx >= 0 &&
+                       !Derived.count(FrameObj) &&
+                       (isa<AllocaInst>(FrameObj) ||
+                        (isa<CallInst>(FrameObj) &&
+                         isFrameAllocCall(cast<CallInst>(FrameObj))));
+        if (FrameOK)
+          FrameStores[FrameObj].insert(FieldIdx);
+        else
+          Escape();
+      }
+
+    // Same-function reloads of frame slots that hold the tracked pointer.
+    for (const auto &[FrameObj, Fields] : FrameStores)
+      for (const User *U : FrameObj->users()) {
+        const LoadInst *Reload = nullptr;
+        if (const auto *G = dyn_cast<GEPInst>(U)) {
+          int FI = gepFrameField(G);
+          if (FI < 0 || !Fields.count(FI))
+            continue;
+          for (const User *GU : G->users())
+            if (const auto *L = dyn_cast<LoadInst>(GU))
+              if (L->getPointerOperand() == G && !Derived.count(L)) {
+                Derived.insert(L);
+                Grew = true;
+              }
+        } else if (const auto *L = dyn_cast<LoadInst>(U)) {
+          // Zero-offset field access folded to a plain load of the frame.
+          if (L->getPointerOperand() == FrameObj && Fields.count(0))
+            Reload = L;
+        }
+        if (Reload && !Derived.count(Reload)) {
+          Derived.insert(Reload);
+          Grew = true;
+        }
+      }
+  }
+
+  // Covering writers for the read-before-write check: a load is covered iff
+  // a store/atomic through the *same SSA address* dominates it (same SSA
+  // value => same runtime address; dominance => executes first on every
+  // path). Pointer-granularity coverage (any store to the base) would be
+  // unsound for element-wise buffers.
+  std::vector<const Instruction *> Writers;
+  for (const BasicBlock *BB : *F)
+    for (const Instruction *I : *BB) {
+      if (const auto *St = dyn_cast<StoreInst>(I)) {
+        if (Derived.count(St->getPointerOperand()))
+          Writers.push_back(St);
+      } else if (const auto *A = dyn_cast<AtomicRMWInst>(I)) {
+        if (Derived.count(A->getPointerOperand()))
+          Writers.push_back(A);
+      }
+    }
+  auto WriterAddr = [](const Instruction *W) -> const Value * {
+    if (const auto *St = dyn_cast<StoreInst>(W))
+      return St->getPointerOperand();
+    return cast<AtomicRMWInst>(W)->getPointerOperand();
+  };
+  auto Covered = [&](const Instruction *Read, const Value *Addr) {
+    const DominatorTree &DT = domTree(F);
+    for (const Instruction *W : Writers)
+      if (W != Read && WriterAddr(W) == Addr && DT.dominates(W, Read))
+        return true;
+    return false;
+  };
+
+  // Merges a callee-side summary at a call site. Callee reads are never
+  // covered by caller-side stores: the callee may touch different elements
+  // of the buffer than any address the caller wrote.
+  auto MergeCallee = [&S](const PointerAccessSummary &Sub) {
+    S.MayRead |= Sub.MayRead;
+    S.MayWrite |= Sub.MayWrite;
+    S.MayReadBeforeWrite |= Sub.MayReadBeforeWrite;
+    S.Unknown |= Sub.Unknown;
+  };
+
+  // Pass 3: access events and call propagation.
+  for (const BasicBlock *BB : *F)
+    for (const Instruction *I : *BB) {
+      if (const auto *L = dyn_cast<LoadInst>(I)) {
+        if (!Derived.count(L->getPointerOperand()))
+          continue;
+        S.MayRead = true;
+        if (!Covered(L, L->getPointerOperand()))
+          S.MayReadBeforeWrite = true;
+      } else if (const auto *St = dyn_cast<StoreInst>(I)) {
+        if (Derived.count(St->getPointerOperand()))
+          S.MayWrite = true;
+        // Stores of a derived value were handled in pass 2.
+      } else if (const auto *A = dyn_cast<AtomicRMWInst>(I)) {
+        if (Derived.count(A->getValOperand()))
+          Escape();
+        if (!Derived.count(A->getPointerOperand()))
+          continue;
+        S.MayRead = true;
+        S.MayWrite = true;
+        if (!Covered(A, A->getPointerOperand()))
+          S.MayReadBeforeWrite = true;
+      } else if (const auto *C = dyn_cast<CastInst>(I)) {
+        if (C->getCastOp() != CastOp::AddrSpaceCast &&
+            Derived.count(C->getSrc()))
+          Escape(); // ptrtoint and friends defeat the walk
+      } else if (const auto *G = dyn_cast<GEPInst>(I)) {
+        for (unsigned J = 0; J < G->getNumIndices(); ++J)
+          if (Derived.count(G->getIndex(J)))
+            Escape();
+      } else if (const auto *R = dyn_cast<RetInst>(I)) {
+        if (R->getReturnValue() && Derived.count(R->getReturnValue()))
+          Escape(); // flows back to an arbitrary caller
+      } else if (const auto *CI = dyn_cast<CallInst>(I)) {
+        const Function *Callee = CI->getCalledFunction();
+        if (Derived.count(CI->getCalledOperand()))
+          Escape(); // calling through the tracked pointer
+        for (unsigned J = 0; J < CI->arg_size(); ++J) {
+          const Value *A = CI->getArgOperand(J);
+          bool IsFrame = FrameStores.count(A) != 0;
+          if (Derived.count(A)) {
+            // The tracked pointer itself is passed.
+            if (!Callee) {
+              Escape();
+            } else if (Callee->isDeclaration()) {
+              if (Callee->hasFnAttr(FnAttr::ReadNone))
+                ; // no memory access
+              else if (Callee->hasFnAttr(FnAttr::ReadOnly)) {
+                S.MayRead = true;
+                S.MayReadBeforeWrite = true;
+              } else
+                Escape();
+            } else if (isRuntimeName(Callee->getName())) {
+              Escape(); // defined runtime body; not modeled
+            } else {
+              MergeCallee(demand(Key(Callee, J, -1)));
+            }
+          } else if (IsFrame) {
+            // A frame holding the tracked pointer is passed: continue the
+            // walk inside the parallel wrapper's matching frame slots.
+            if (Callee && Callee->getName() == "__kmpc_parallel_51" &&
+                J == 1) {
+              const auto *W = dyn_cast<Function>(CI->getArgOperand(0));
+              if (W && !W->isDeclaration())
+                for (int FS : FrameStores.find(A)->second)
+                  MergeCallee(demand(Key(W, 0, FS)));
+              else
+                Escape();
+            } else if (Callee && isFrameReleaseName(Callee->getName())) {
+              ; // frees the frame without reading its fields
+            } else if (Callee && !Callee->isDeclaration() &&
+                       !isRuntimeName(Callee->getName())) {
+              // Direct wrapper invocation (the nested-parallel fallback).
+              for (int FS : FrameStores.find(A)->second)
+                MergeCallee(demand(Key(Callee, J, FS)));
+            } else {
+              Escape();
+            }
+          }
+        }
+      }
+    }
+
+  return S;
+}

@@ -1,0 +1,107 @@
+//===- analysis/MemoryAccessSummary.h - Per-pointer access class -*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inter-procedural memory-access summaries for kernel-captured pointers,
+/// after Marzen et al., "Static Generation of Efficient OpenMP Offload Data
+/// Mappings": classify every pointer argument as read-only, write-first,
+/// read-write, or dead so the MapInference stage can shrink the implicit
+/// `tofrom` mapping to the minimal transfer set (docs/data-mapping.md).
+///
+/// The walk is SCC-aware and bottom-up over the CallGraph: summaries of a
+/// callee's formal arguments are merged into the caller at each call site,
+/// and mutually-recursive cycles are iterated to a fixpoint (the summary
+/// lattice is four monotone bits, so the iteration converges). The
+/// captured-frame protocol of TargetRegionBuilder — store the pointer into
+/// a frame struct, hand the frame to __kmpc_parallel_51 with an outlined
+/// wrapper — is recognized explicitly, so summaries see *through* the
+/// outlining that codegen performs. Anything unrecognized (ptrtoint,
+/// indirect calls with the pointer, escaping stores) degrades to Unknown,
+/// which downstream consumers treat as "keep the conservative tofrom".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_ANALYSIS_MEMORYACCESSSUMMARY_H
+#define OMPGPU_ANALYSIS_MEMORYACCESSSUMMARY_H
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+namespace ompgpu {
+
+class DominatorTree;
+class Function;
+class Module;
+
+/// The classification MapInference consumes, derived from the may-bits of a
+/// PointerAccessSummary.
+enum class PointerAccessClass : uint8_t {
+  Dead,       ///< Never loaded or stored through — device scratch at most.
+  ReadOnly,   ///< Loaded but never stored through.
+  WriteFirst, ///< Stored through; every load is covered by an earlier store.
+  ReadWrite,  ///< May read pre-existing data and write new data.
+  Unknown,    ///< Escapes analysis; assume ReadWrite.
+};
+
+/// Stable lower-case spelling used in remarks and the compile report.
+const char *pointerAccessClassName(PointerAccessClass C);
+
+/// May-facts about all accesses through one pointer (and every pointer
+/// derived from it) across the whole call tree below its function.
+struct PointerAccessSummary {
+  bool MayRead = false;
+  bool MayWrite = false;
+  /// A load may observe memory not previously stored through this pointer
+  /// (i.e. not dominated by a store through the same derived address).
+  bool MayReadBeforeWrite = false;
+  /// The pointer escaped the analysis (ptrtoint, indirect call, unmatched
+  /// store, ...). All other bits are meaningless when set.
+  bool Unknown = false;
+
+  PointerAccessClass classify() const;
+
+  bool operator==(const PointerAccessSummary &O) const {
+    return MayRead == O.MayRead && MayWrite == O.MayWrite &&
+           MayReadBeforeWrite == O.MayReadBeforeWrite && Unknown == O.Unknown;
+  }
+  bool operator!=(const PointerAccessSummary &O) const {
+    return !(*this == O);
+  }
+};
+
+/// Whole-module access summaries for every pointer-typed argument of every
+/// defined (non-runtime) function. Construction runs the bottom-up fixpoint;
+/// queries are lookups.
+class MemoryAccessSummaryAnalysis {
+public:
+  explicit MemoryAccessSummaryAnalysis(const Module &M);
+  ~MemoryAccessSummaryAnalysis();
+
+  /// Summary of formal argument \p ArgIdx of \p F. Non-pointer arguments
+  /// and unanalyzed functions report Unknown.
+  PointerAccessSummary argSummary(const Function *F, unsigned ArgIdx) const;
+
+private:
+  /// A summarized entity: a formal argument (FrameField == -1), or the
+  /// pointer loaded from constant field FrameField of the frame struct
+  /// passed as formal argument ArgNo (the outlined-wrapper protocol).
+  using Key = std::tuple<const Function *, unsigned, int>;
+
+  std::map<Key, PointerAccessSummary> Memo;
+  std::vector<Key> Order;
+  std::map<const Function *, std::unique_ptr<DominatorTree>> DomTrees;
+
+  const DominatorTree &domTree(const Function *F);
+  PointerAccessSummary demand(const Key &K);
+  PointerAccessSummary compute(const Key &K);
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_ANALYSIS_MEMORYACCESSSUMMARY_H

@@ -10,6 +10,8 @@
 #include "analysis/BarrierSync.h"
 #include "analysis/CFG.h"
 #include "analysis/Dominators.h"
+#include "analysis/MapInference.h"
+#include "analysis/MemoryAccessSummary.h"
 #include "analysis/PointerEscape.h"
 #include "analysis/ThreadValueAnalysis.h"
 #include "ir/BasicBlock.h"
@@ -38,6 +40,12 @@ unsigned ompgpu::lintRemarkNumber(LintKind K) {
     return 203;
   case LintKind::GuardProtocol:
     return 204;
+  case LintKind::StaleHostRead:
+    return 242;
+  case LintKind::StaleDeviceRead:
+    return 243;
+  case LintKind::RedundantRoundTrip:
+    return 244;
   }
   return 0;
 }
@@ -54,6 +62,12 @@ const char *ompgpu::lintKindName(LintKind K) {
     return "use-after-free";
   case LintKind::GuardProtocol:
     return "guard-protocol";
+  case LintKind::StaleHostRead:
+    return "stale-host-read";
+  case LintKind::StaleDeviceRead:
+    return "stale-device-read";
+  case LintKind::RedundantRoundTrip:
+    return "redundant-round-trip";
   }
   return "unknown";
 }
@@ -869,6 +883,74 @@ void checkGuardProtocol(LintContext &Ctx, FunctionLint &FL) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Data-mapping staleness (OMP242-244)
+//===----------------------------------------------------------------------===//
+
+/// Checks each kernel parameter's declared-or-inferred mapping against its
+/// MemoryAccessSummary (docs/data-mapping.md). Kernels whose parameters all
+/// carry the implicit tofrom default are skipped outright: the default is
+/// transfer-correct by construction, so existing modules produce no
+/// findings and the summary analysis is only built when metadata exists.
+void checkDataMapping(LintContext &Ctx) {
+  bool AnyMapped = false;
+  for (Function *F : Ctx.Checked)
+    if (F->isKernel() && !F->getKernelEnvironment().ParamMappings.empty())
+      AnyMapped = true;
+  if (!AnyMapped)
+    return;
+
+  MemoryAccessSummaryAnalysis Summaries(Ctx.M);
+  for (Function *K : Ctx.Checked) {
+    if (!K->isKernel() || K->getKernelEnvironment().ParamMappings.empty())
+      continue;
+    const KernelEnvironment &Env = K->getKernelEnvironment();
+    for (unsigned I = 0; I < K->arg_size(); ++I) {
+      if (!K->getArg(I)->getType()->isPointerTy())
+        continue;
+      ParamMapping PM = kernelParamMapping(Env, I);
+      if (!PM.DeclaredExplicit && !PM.InferenceRan)
+        continue; // Implicit tofrom default: always transfer-correct.
+      MapKind Eff = PM.effective();
+      PointerAccessSummary S = Summaries.argSummary(K, I);
+      std::string Name = K->getArg(I)->getName();
+      if (Name.empty())
+        Name = "arg" + std::to_string(I);
+      std::string Where =
+          "parameter '" + Name + "' (#" + std::to_string(I) + ")";
+
+      // MayRead/MayWrite/MayReadBeforeWrite are evidence of real accesses
+      // even when the walk also hit something Unknown, so the staleness
+      // checks may fire alongside Unknown; the redundancy check needs a
+      // *never accesses* proof and therefore requires a complete walk.
+      if (S.MayReadBeforeWrite && !mapCopiesToDevice(Eff))
+        Ctx.report(LintKind::StaleHostRead, K, nullptr, Name,
+                   "stale-host read: " + Where + " is mapped map(" +
+                       mapKindName(Eff) + ": " + Name +
+                       ") but the kernel may read it before any write; "
+                       "host data never reaches the device");
+      if (S.MayWrite && !mapCopiesFromDevice(Eff))
+        Ctx.report(LintKind::StaleDeviceRead, K, nullptr, Name,
+                   "stale-device read: " + Where + " is mapped map(" +
+                       mapKindName(Eff) + ": " + Name +
+                       ") but the kernel may write it; the host never "
+                       "observes the device results");
+      if (PM.DeclaredExplicit && !S.Unknown) {
+        bool RedundantIn = mapCopiesToDevice(Eff) && !S.MayReadBeforeWrite;
+        bool RedundantOut = mapCopiesFromDevice(Eff) && !S.MayWrite;
+        if (RedundantIn || RedundantOut)
+          Ctx.report(
+              LintKind::RedundantRoundTrip, K, nullptr, Name,
+              "redundant round-trip: declared map(" +
+                  std::string(mapKindName(Eff)) + ": " + Name + ") but " +
+                  Where + " is " + pointerAccessClassName(S.classify()) +
+                  "; map(" + mapKindName(minimalMapKind(S.classify())) +
+                  ": " + Name + ") suffices");
+      }
+    }
+  }
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -888,6 +970,8 @@ LintResult ompgpu::runOMPLint(const Module &M, const LintOptions &Opts) {
     checkSharedRaces(Ctx);
   if (Opts.CheckAllocFreePairing)
     checkAllocFreePairing(Ctx);
+  if (Opts.CheckDataMapping)
+    checkDataMapping(Ctx);
   LintResult R;
   R.Findings = std::move(Ctx.Findings);
   return R;

@@ -27,6 +27,11 @@
 ///    region must follow Fig. 7 (barrier before the `tid == 0` branch,
 ///    join block that starts with a barrier and post-dominates the guard),
 ///    and no uniform side effect may sit outside a guard.
+///  - **Data-mapping staleness** (OMP242/OMP243/OMP244): each kernel
+///    parameter's declared-or-inferred map clause is checked against its
+///    MemoryAccessSummary — a read of host data the mapping never copies
+///    in, a write the mapping never copies back, or a declared transfer
+///    direction the kernel provably never needs (docs/data-mapping.md).
 ///
 /// The lint runs on the optimizer's *output* (post-openmp-opt pipeline
 /// stage, fuzz oracle, bench/lint driver), so it is written to be
@@ -49,16 +54,19 @@ class Module;
 /// compile-report).
 inline constexpr const char *OMPLintPassName = "omp-lint";
 
-/// The four checker categories.
+/// The checker categories.
 enum class LintKind : uint8_t {
-  BarrierDivergence, ///< OMP200
-  SharedRace,        ///< OMP201
-  AllocFreePairing,  ///< OMP202
-  UseAfterFree,      ///< OMP203
-  GuardProtocol,     ///< OMP204
+  BarrierDivergence,  ///< OMP200
+  SharedRace,         ///< OMP201
+  AllocFreePairing,   ///< OMP202
+  UseAfterFree,       ///< OMP203
+  GuardProtocol,      ///< OMP204
+  StaleHostRead,      ///< OMP242
+  StaleDeviceRead,    ///< OMP243
+  RedundantRoundTrip, ///< OMP244
 };
 
-/// Returns the remark number (200..204) for \p K.
+/// Returns the remark number (200..204, 242..244) for \p K.
 unsigned lintRemarkNumber(LintKind K);
 
 /// Returns the kind's stable identifier, e.g. "barrier-divergence"
@@ -89,6 +97,10 @@ struct LintOptions {
   bool CheckSharedRaces = true;
   bool CheckAllocFreePairing = true;
   bool CheckGuardProtocol = true;
+  /// OMP242-244: kernel parameter mappings vs. their access summaries
+  /// (docs/data-mapping.md). Kernels without declared or inferred
+  /// mappings (the implicit tofrom default) never produce findings.
+  bool CheckDataMapping = true;
 };
 
 /// A lint run over one module.

@@ -62,6 +62,16 @@ enum class RemarkId : unsigned {
                 ///< workload x architecture (docs/architectures.md).
   OMP231 = 231, ///< Autotune: tuned configuration beats the default preset
                 ///< (budget moved or preset switched).
+  OMP240 = 240, ///< Mapping: inferred a minimal map clause for a kernel
+                ///< parameter (docs/data-mapping.md).
+  OMP241 = 241, ///< Mapping: conservative tofrom fallback, the access
+                ///< pattern escaped the summary walk (missed).
+  OMP242 = 242, ///< Lint: stale-host read — kernel reads host data its
+                ///< mapping never copies to the device.
+  OMP243 = 243, ///< Lint: stale-device read — kernel writes are never
+                ///< copied back for the host to observe.
+  OMP244 = 244, ///< Lint: redundant round-trip — a declared mapping copies
+                ///< in a direction the kernel provably never needs.
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

@@ -56,6 +56,7 @@ static json::Value pipelineSection(const PipelineOptions &Opts) {
       .set("run_openmp_opt", Opts.RunOpenMPOpt)
       .set("run_cleanups", Opts.RunCleanups)
       .set("run_lint", Opts.RunLint)
+      .set("run_map_inference", Opts.RunMapInference)
       .set("openmp_opt_config", std::move(Cfg))
       .set("instrumentation", std::move(Instr));
   return P;
@@ -138,6 +139,31 @@ static json::Value lintSection(const CompileResult &Result) {
       .set("first_lint_fail_pass", Result.FirstLintFailPass)
       .set("first_lint_error", Result.FirstLintError);
   return L;
+}
+
+json::Value ompgpu::mapInferenceToJSON(bool Ran,
+                                       const MapInferenceResult &Mapping) {
+  json::Value Params = json::Value::makeArray();
+  for (const ParamMappingInfo &P : Mapping.Params) {
+    json::Value E = json::Value::makeObject();
+    E.set("kernel", P.Kernel)
+        .set("index", P.Index)
+        .set("param", P.ParamName)
+        .set("is_pointer", P.IsPointer);
+    if (P.IsPointer)
+      E.set("class", pointerAccessClassName(P.Class))
+          .set("declared", mapKindName(P.Declared))
+          .set("declared_explicit", P.DeclaredExplicit)
+          .set("inferred", mapKindName(P.Inferred))
+          .set("effective", mapKindName(P.Effective));
+    Params.push_back(std::move(E));
+  }
+  json::Value M = json::Value::makeObject();
+  M.set("ran", Ran)
+      .set("minimal_count", Mapping.MinimalCount)
+      .set("fallback_count", Mapping.FallbackCount)
+      .set("params", std::move(Params));
+  return M;
 }
 
 static const char *profileModeName(PipelineOptions::ProfileMode M) {
@@ -295,6 +321,8 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("passes", passesSection(Result))
       .set("recovery", recoverySection(Result))
       .set("lint", lintSection(Result))
+      .set("mapping",
+           mapInferenceToJSON(Result.MapInferenceRan, Result.Mapping))
       .set("profile", profileSection(Result))
       .set("openmp_opt_stats", openMPOptStatsSection(Result.Stats))
       .set("remarks", remarksSection(Result.Remarks))

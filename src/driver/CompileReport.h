@@ -39,8 +39,16 @@ namespace ompgpu {
 /// (docs/compile-service.md); v6 added the `resilience` section and the
 /// per-kernel `cycle_budget`/`watchdog_timeout` watchdog fields
 /// (docs/resilience.md); v7 added the `arch` section naming the target
-/// architecture and its key machine parameters (docs/architectures.md).
-inline constexpr unsigned CompileReportSchemaVersion = 7;
+/// architecture and its key machine parameters (docs/architectures.md);
+/// v8 added the `mapping` section (MapInference's per-parameter access
+/// classes and map kinds), `run_map_inference` in `pipeline`, and the
+/// per-kernel modeled-transfer counters (docs/data-mapping.md).
+inline constexpr unsigned CompileReportSchemaVersion = 8;
+
+/// Serializes one MapInferenceResult as the report's `mapping` section:
+/// {ran, minimal_count, fallback_count, params:[...]}. Shared with the
+/// bench/lint mapping-report so the two artifacts cannot drift.
+json::Value mapInferenceToJSON(bool Ran, const MapInferenceResult &Mapping);
 
 /// Builds the report document for one compilation. \p Kernels optionally
 /// attaches simulated launches of the compiled module (Fig. 10 data).

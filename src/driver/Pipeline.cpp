@@ -146,7 +146,23 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
 
   if (verifyModule(M, &Result.VerifyError)) {
     Result.VerifyFailed = true;
-  } else if (Opts.RunLint) {
+  } else {
+    if (Opts.RunMapInference) {
+      // Map inference runs on the optimizer's output (post-cleanup, so
+      // frames are inlined/forwarded where the preset allows) and before
+      // the lint stage, which cross-checks the recorded mappings. It only
+      // mutates KernelEnvironment metadata, never the printed IR, and is
+      // required: an analysis cannot be quarantined or bisected away.
+      PI.runPass(
+          MapInferencePassName,
+          [&] {
+            Result.Mapping = runMapInference(M, Result.Remarks);
+            Result.MapInferenceRan = true;
+            return false;
+          },
+          /*Required=*/true);
+    }
+    if (Opts.RunLint) {
     // The lint stage is a required pipeline step (an analysis can't be
     // quarantined or bisected away); its findings become OMP200-OMP204
     // remarks and the compile-report's lint section.
@@ -163,6 +179,7 @@ CompileResult ompgpu::optimizeDeviceModule(Module &M,
           return false;
         },
         /*Required=*/true);
+    }
   }
   return Finish();
 }

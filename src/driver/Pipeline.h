@@ -17,6 +17,7 @@
 #ifndef OMPGPU_DRIVER_PIPELINE_H
 #define OMPGPU_DRIVER_PIPELINE_H
 
+#include "analysis/MapInference.h"
 #include "analysis/OMPLint.h"
 #include "core/OpenMPOpt.h"
 #include "frontend/OMPCodeGen.h"
@@ -84,6 +85,14 @@ struct PipelineOptions {
   bool RunLint = true;
   /// Per-checker switches for the lint runs.
   LintOptions Lint;
+  /// Run the MapInference stage over the optimized module, before the lint
+  /// stage: classify every kernel pointer parameter via
+  /// MemoryAccessSummary and record the minimal map clause in its
+  /// KernelEnvironment (OMP240/OMP241, docs/data-mapping.md). On by
+  /// default: the stage is metadata-only (the printed IR is unchanged),
+  /// and the launch harness turns the inferred kinds into modeled
+  /// host<->device transfers.
+  bool RunMapInference = true;
   /// Extra passes spliced into the pipeline (after openmp-opt, before
   /// cleanups), in order.
   std::vector<ExtraPass> ExtraPasses;
@@ -158,6 +167,15 @@ struct CompileResult {
   /// numbers are exact even when other compiles run concurrently; the
   /// compile-report's "statistics" section is built from this.
   std::vector<CapturedStatistic> Statistics;
+  /// @}
+  /// \name Data-mapping inference (schema v8, docs/data-mapping.md)
+  /// @{
+  /// Whether the MapInference stage ran (RunMapInference set and the
+  /// module verified).
+  bool MapInferenceRan = false;
+  /// Per-kernel-parameter mapping decisions; the compile-report's
+  /// `mapping` section is built from this.
+  MapInferenceResult Mapping;
   /// @}
 };
 

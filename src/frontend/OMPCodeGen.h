@@ -162,6 +162,17 @@ public:
   IRContext &getContext() const { return CG.getContext(); }
   OMPCodeGen &getCodeGen() const { return CG; }
 
+  /// Declares an explicit `map` clause for kernel parameter \p Idx — the
+  /// analogue of writing `map(to: ...)` on the target construct. Explicit
+  /// declarations are honored verbatim by the harness and are never
+  /// overridden by the MapInference stage (docs/data-mapping.md).
+  void setParamMapKind(unsigned Idx, MapKind K) {
+    ParamMapping &PM =
+        kernelParamMappingRef(Kernel->getKernelEnvironment(), Idx);
+    PM.Declared = K;
+    PM.DeclaredExplicit = true;
+  }
+
   /// Emits a local variable in the target region (team scope). If
   /// \p AddressTaken, the variable is globalized per the active scheme
   /// (Sec. IV-A); cleanup is emitted automatically by finalize().

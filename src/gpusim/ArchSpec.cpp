@@ -13,6 +13,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <set>
 #include <type_traits>
 
 using namespace ompgpu;
@@ -37,6 +38,10 @@ template <typename MM, typename Fn> void forEachMachineField(MM &M, Fn &&F) {
   F("data_sharing_slab_bytes", M.DataSharingSlabBytes);
   F("device_heap_bytes", M.DeviceHeapBytes);
   F("clock_ghz", M.ClockGHz);
+  // Schema v2: host<->device link (docs/data-mapping.md). Optional when
+  // parsing a v1 document (defaults retained), required from v2 on.
+  F("host_link_bytes_per_cycle", M.HostLinkBytesPerCycle);
+  F("host_link_latency_cycles", M.HostLinkLatencyCycles);
 }
 
 template <typename CP, typename Fn> void forEachCostField(CP &C, Fn &&F) {
@@ -115,14 +120,15 @@ Error assignField(const std::string &Where, const json::Value &V, T &Out) {
   }
 }
 
-/// Strictly parses one section object: every table field required, every
-/// document member known.
+/// Strictly parses one section object: every table field required unless
+/// listed in \p Optional (schema back-compat), every document member known.
 Error parseSection(
     const json::Value &Doc, const char *Section,
     const std::function<
         void(const std::function<void(const char *,
                                       std::function<Error(const json::Value &)>)>
-                 &)> &Walk) {
+                 &)> &Walk,
+    const std::set<std::string> &Optional = {}) {
   const json::Value *Obj = Doc.find(Section);
   if (!Obj || !Obj->isObject())
     return Error::failure(std::string("arch spec: missing object section '") +
@@ -148,7 +154,7 @@ Error parseSection(
   }
   for (const auto &[Name, Setter] : Setters) {
     (void)Setter;
-    if (!Seen.count(Name))
+    if (!Seen.count(Name) && !Optional.count(Name))
       return Error::failure(std::string("arch spec: missing field '") +
                             Section + "." + Name + "'");
   }
@@ -180,6 +186,9 @@ ArchSpec makeA100() {
   A.Machine.Costs.GlobalUncoalescedCycles = 288;
   A.Machine.Costs.GlobalCachedCycles = 20;
   A.Machine.Costs.AtomicCycles = 48;
+  // NVLink3/PCIe4 host link: ~32 GB/s effective at 1.41 GHz.
+  A.Machine.HostLinkBytesPerCycle = 22.7;
+  A.Machine.HostLinkLatencyCycles = 7000;
   return A;
 }
 
@@ -205,6 +214,9 @@ ArchSpec makeMI100() {
   A.Machine.Costs.GlobalCoalescedCycles = 48;
   A.Machine.Costs.GlobalUncoalescedCycles = 400;
   A.Machine.Costs.LatencyHidingTargetWarps = 16;
+  // PCIe4 x16 host link: ~32 GB/s effective at 1.50 GHz.
+  A.Machine.HostLinkBytesPerCycle = 21.3;
+  A.Machine.HostLinkLatencyCycles = 7500;
   return A;
 }
 
@@ -259,6 +271,8 @@ Error ArchSpec::validate() const {
     return Fail("device_heap_bytes must be non-zero");
   if (!(M.ClockGHz > 0.0))
     return Fail("clock_ghz must be positive");
+  if (!(M.HostLinkBytesPerCycle > 0.0))
+    return Fail("host_link_bytes_per_cycle must be positive");
   const CostParams &C = M.Costs;
   if (C.AluCycles == 0 || C.BarrierCycles == 0 || C.SharedMemCycles == 0 ||
       C.GlobalCoalescedCycles == 0)
@@ -305,23 +319,36 @@ Expected<ArchSpec> ompgpu::parseArchSpec(const json::Value &Doc) {
   const json::Value *SV = Doc.find("schema_version");
   if (!SV || SV->kind() != json::Value::Kind::Integer)
     return Error::failure("arch spec: missing integer 'schema_version'");
-  if (SV->asInt() != (int64_t)ArchSpecSchemaVersion)
+  int64_t Version = SV->asInt();
+  if (Version < 1 || Version > (int64_t)ArchSpecSchemaVersion)
     return Error::failure("arch spec: unsupported schema_version " +
-                          std::to_string(SV->asInt()) + " (expected " +
+                          std::to_string(Version) + " (expected 1.." +
                           std::to_string(ArchSpecSchemaVersion) + ")");
   const json::Value *Name = Doc.find("name");
   if (!Name || !Name->isString() || Name->asString().empty())
     return Error::failure("arch spec: missing non-empty string 'name'");
 
+  // Fields introduced after the document's schema version stay optional so
+  // old specs keep parsing (with the built-in defaults); a current-version
+  // document must spell out the full machine table.
+  std::set<std::string> OptionalMachine;
+  if (Version < 2) {
+    OptionalMachine.insert("host_link_bytes_per_cycle");
+    OptionalMachine.insert("host_link_latency_cycles");
+  }
+
   ArchSpec A;
   A.Name = Name->asString();
-  if (Error E = parseSection(Doc, "machine", [&A](const auto &Reg) {
-        forEachMachineField(A.Machine, [&Reg](const char *N, auto &Field) {
-          Reg(N, [N, &Field](const json::Value &V) {
-            return assignField(std::string("machine.") + N, V, Field);
-          });
-        });
-      }))
+  if (Error E = parseSection(
+          Doc, "machine",
+          [&A](const auto &Reg) {
+            forEachMachineField(A.Machine, [&Reg](const char *N, auto &Field) {
+              Reg(N, [N, &Field](const json::Value &V) {
+                return assignField(std::string("machine.") + N, V, Field);
+              });
+            });
+          },
+          OptionalMachine))
     return E;
   if (Error E = parseSection(Doc, "costs", [&A](const auto &Reg) {
         forEachCostField(A.Machine.Costs, [&Reg](const char *N, auto &Field) {

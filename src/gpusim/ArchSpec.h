@@ -29,8 +29,10 @@
 namespace ompgpu {
 
 /// Version of the ArchSpec JSON schema (docs/architectures.md). Bump on
-/// any field rename/removal; the strict parser rejects mismatches.
-inline constexpr unsigned ArchSpecSchemaVersion = 1;
+/// any field rename/removal; the strict parser rejects versions above the
+/// current one and parses older documents with fields added since then
+/// staying optional (v2 added the host-link transfer fields).
+inline constexpr unsigned ArchSpecSchemaVersion = 2;
 
 /// One named simulated-GPU architecture.
 struct ArchSpec {

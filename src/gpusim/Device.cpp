@@ -50,7 +50,9 @@ uint64_t GPUDevice::allocate(uint64_t Bytes) {
   if (GlobalBrk > GlobalArena.size())
     GlobalArena.resize(std::max<uint64_t>(GlobalBrk, GlobalArena.size() * 2),
                        0);
-  return makeSimAddr(Seg::Global, Offset);
+  uint64_t Addr = makeSimAddr(Seg::Global, Offset);
+  Allocations[Addr] = Bytes;
+  return Addr;
 }
 
 void GPUDevice::memcpyToDevice(uint64_t Addr, const void *Src,
@@ -1457,6 +1459,22 @@ KernelStats GPUDevice::launchKernel(Module &M, Function *Kernel,
 
   double MeanBlockCycles = NumSim ? (double)TotalCycles / NumSim : 0.0;
   Stats.Cycles = (uint64_t)(MeanBlockCycles * Stats.Waves);
+
+  // Modeled host<->device traffic (docs/data-mapping.md): each mapped
+  // buffer pays the link latency plus its bandwidth term once per copied
+  // direction. Cycles and Milliseconds stay kernel-execution-only (the
+  // Fig. 11 metric); the transfers surface via totalCycles().
+  for (const MappedBuffer &B : Config.Mappings) {
+    Stats.ConservativeTransferBytes += 2 * B.Bytes;
+    if (mapCopiesToDevice(B.Kind)) {
+      Stats.BytesToDevice += B.Bytes;
+      Stats.TransferCycles += hostTransferCycles(Machine, B.Bytes);
+    }
+    if (mapCopiesFromDevice(B.Kind)) {
+      Stats.BytesFromDevice += B.Bytes;
+      Stats.TransferCycles += hostTransferCycles(Machine, B.Bytes);
+    }
+  }
   Stats.Milliseconds = Stats.Cycles / (Machine.ClockGHz * 1e6);
 
   // Out-of-memory model: globalization heap demand of all concurrently

@@ -20,6 +20,7 @@
 #include "gpusim/KernelStats.h"
 #include "gpusim/MachineModel.h"
 #include "gpusim/SimAddress.h"
+#include "ir/MapKind.h"
 
 #include <cstring>
 #include <functional>
@@ -88,6 +89,15 @@ struct NativeRuntimeBinding {
   std::function<std::unique_ptr<RTLBlockStateBase>()> MakeBlockState;
 };
 
+/// One mapped buffer of a launch: which direction(s) its map clause
+/// copies and how many bytes move per direction. The harness builds these
+/// from the kernel's effective ParamMappings (docs/data-mapping.md).
+struct MappedBuffer {
+  std::string Name;
+  MapKind Kind = MapKind::ToFrom;
+  uint64_t Bytes = 0;
+};
+
 /// Kernel launch configuration.
 struct LaunchConfig {
   unsigned GridDim = 1;
@@ -107,6 +117,11 @@ struct LaunchConfig {
   /// shared-stack high-water mark into this collector. The simulation is
   /// deterministic, so repeated identical runs produce identical profiles.
   ProfileCollector *Profile = nullptr;
+  /// Buffers this launch maps across the host link. Each contributes its
+  /// per-direction bytes and a hostTransferCycles() term to the launch's
+  /// KernelStats (BytesToDevice/BytesFromDevice/TransferCycles); an empty
+  /// list models device-resident data, i.e. no transfer cost.
+  std::vector<MappedBuffer> Mappings;
 };
 
 /// A simulated GPU with persistent global memory across launches.
@@ -122,6 +137,13 @@ public:
   /// @{
   /// Allocates device global memory; returns its simulated address.
   uint64_t allocate(uint64_t Bytes);
+  /// Size of the allocation that starts at \p Addr, or 0 when \p Addr is
+  /// not an allocation base. Lets the launch harness recover buffer sizes
+  /// for transfer modeling from pointer kernel arguments.
+  uint64_t allocationBytes(uint64_t Addr) const {
+    auto It = Allocations.find(Addr);
+    return It == Allocations.end() ? 0 : It->second;
+  }
   void memcpyToDevice(uint64_t Addr, const void *Src, uint64_t Bytes);
   void memcpyFromDevice(void *Dst, uint64_t Addr, uint64_t Bytes) const;
 
@@ -158,6 +180,8 @@ private:
   MachineModel Machine;
   std::vector<uint8_t> GlobalArena;
   uint64_t GlobalBrk = 64; // keep low addresses invalid
+  /// Allocation base address -> size, for allocationBytes().
+  std::map<uint64_t, uint64_t> Allocations;
 };
 
 } // namespace ompgpu

@@ -24,9 +24,29 @@ namespace ompgpu {
 struct KernelStats {
   std::string KernelName;
 
-  /// Simulated kernel time.
+  /// Simulated kernel time. Cycles is kernel-execution-only (the Fig. 11
+  /// quantity the autotuner and the arch-differential compare); the modeled
+  /// host<->device traffic is accounted separately below and combined by
+  /// totalCycles().
   double Milliseconds = 0.0;
   uint64_t Cycles = 0;
+
+  /// \name Modeled host<->device transfers (docs/data-mapping.md).
+  /// Derived from LaunchConfig::Mappings: bytes copied to the device
+  /// before launch (map kinds to/tofrom) and back after (from/tofrom),
+  /// costed per buffer per direction via hostTransferCycles().
+  /// @{
+  uint64_t BytesToDevice = 0;
+  uint64_t BytesFromDevice = 0;
+  uint64_t TransferCycles = 0;
+  /// What a conservative copy-everything-both-ways mapping would have
+  /// moved for the same buffers; reported so the inferred mapping's win
+  /// is visible without a second launch.
+  uint64_t ConservativeTransferBytes = 0;
+  /// @}
+
+  /// Kernel execution plus modeled transfer cycles.
+  uint64_t totalCycles() const { return Cycles + TransferCycles; }
 
   /// Resource usage (Fig. 10 columns).
   unsigned RegsPerThread = 0;
@@ -75,6 +95,10 @@ struct KernelStats {
     F("indirect_calls", IndirectCalls);
     F("runtime_calls", RuntimeCalls);
     F("heap_fallback_bytes", HeapFallbackBytes);
+    F("bytes_to_device", BytesToDevice);
+    F("bytes_from_device", BytesFromDevice);
+    F("transfer_cycles", TransferCycles);
+    F("conservative_transfer_bytes", ConservativeTransferBytes);
   }
 };
 

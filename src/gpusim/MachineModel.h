@@ -121,8 +121,26 @@ struct MachineModel {
   /// (cf. LIBOMPTARGET_HEAP_SIZE in the paper's RSBench discussion).
   uint64_t DeviceHeapBytes = 8ull * 1024 * 1024;
   double ClockGHz = 1.38;
+  /// Host<->device link (PCIe/NVLink) used for mapped-buffer transfers
+  /// (docs/data-mapping.md). V100 default: PCIe 3.0 x16 at ~16 GB/s
+  /// effective, expressed in device cycles at 1.38 GHz.
+  double HostLinkBytesPerCycle = 11.6;
+  /// Fixed per-transfer setup cost (driver launch + DMA ramp), ~5 us.
+  unsigned HostLinkLatencyCycles = 6900;
   CostParams Costs;
 };
+
+/// Cycles to move \p Bytes across the host link in one direction: zero for
+/// an empty transfer, else the fixed setup latency plus the bandwidth term
+/// (rounded up).
+inline uint64_t hostTransferCycles(const MachineModel &M, uint64_t Bytes) {
+  if (Bytes == 0)
+    return 0;
+  double Bandwidth = M.HostLinkBytesPerCycle > 0 ? M.HostLinkBytesPerCycle
+                                                 : 1.0;
+  return M.HostLinkLatencyCycles +
+         static_cast<uint64_t>((Bytes + Bandwidth - 1) / Bandwidth);
+}
 
 } // namespace ompgpu
 

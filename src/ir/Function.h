@@ -18,6 +18,7 @@
 
 #include "ir/BasicBlock.h"
 #include "ir/Constant.h"
+#include "ir/MapKind.h"
 
 #include <memory>
 #include <set>
@@ -46,6 +47,27 @@ enum class ExecMode : uint8_t {
   SPMD,    ///< All threads execute from kernel launch.
 };
 
+/// Host<->device mapping of one kernel parameter (docs/data-mapping.md).
+/// `Declared` is the front-end map clause (explicit only when the workload
+/// author wrote one via TargetRegionBuilder::setParamMapKind); `Inferred` is
+/// filled in by the MapInference pipeline stage from the parameter's
+/// MemoryAccessSummary classification. An explicit declaration is a user
+/// contract and is never overridden by inference.
+struct ParamMapping {
+  MapKind Declared = MapKind::ToFrom;
+  bool DeclaredExplicit = false;
+  MapKind Inferred = MapKind::ToFrom;
+  bool InferenceRan = false;
+
+  /// The mapping the harness should honor: an explicit clause wins, then
+  /// the inferred minimal kind, then the conservative tofrom default.
+  MapKind effective() const {
+    if (DeclaredExplicit)
+      return Declared;
+    return InferenceRan ? Inferred : Declared;
+  }
+};
+
 /// Per-kernel configuration, mirroring the device runtime's kernel
 /// environment. OpenMPOpt's SPMDzation flips Mode; the custom state machine
 /// rewrite clears UseGenericStateMachine; launch bounds feed runtime call
@@ -58,7 +80,30 @@ struct KernelEnvironment {
   int MaxThreads = -1;
   /// Teams in the league from a num_teams clause; -1 unknown.
   int NumTeams = -1;
+  /// Data mapping of each kernel parameter, indexed by argument number.
+  /// Empty (or short) until a clause is declared or MapInference runs;
+  /// missing entries mean the conservative tofrom default. Copied wholesale
+  /// by cloning, so mappings survive recovery snapshots.
+  std::vector<ParamMapping> ParamMappings;
 };
+
+/// Returns kernel \p K's mapping of parameter \p Idx, defaulting to an
+/// implicit tofrom when none was declared or inferred.
+inline ParamMapping kernelParamMapping(const KernelEnvironment &Env,
+                                       unsigned Idx) {
+  if (Idx < Env.ParamMappings.size())
+    return Env.ParamMappings[Idx];
+  return ParamMapping();
+}
+
+/// Mutable access to kernel parameter \p Idx's mapping, growing the table
+/// (with implicit tofrom defaults) as needed.
+inline ParamMapping &kernelParamMappingRef(KernelEnvironment &Env,
+                                           unsigned Idx) {
+  if (Idx >= Env.ParamMappings.size())
+    Env.ParamMappings.resize(Idx + 1);
+  return Env.ParamMappings[Idx];
+}
 
 /// A function definition (with blocks) or declaration (without).
 class Function : public GlobalValue {

@@ -1,0 +1,63 @@
+//===- ir/MapKind.h - Host<->device data-mapping kinds ----------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpenMP `map` clause kinds for kernel parameters. Declared mappings come
+/// from the front end (TargetRegionBuilder::setParamMapKind, the analogue of
+/// an explicit `map(to: ...)` clause); inferred mappings are produced by the
+/// MapInference pipeline stage (docs/data-mapping.md) from the
+/// MemoryAccessSummary classification of each kernel-captured pointer. The
+/// harness turns the effective kind into simulated host<->device transfers
+/// (gpusim LaunchConfig::Mappings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_IR_MAPKIND_H
+#define OMPGPU_IR_MAPKIND_H
+
+#include <cstdint>
+
+namespace ompgpu {
+
+/// The four directions a mapped buffer can take across the host<->device
+/// link, mirroring the OpenMP map-type modifiers.
+enum class MapKind : uint8_t {
+  Alloc,  ///< Device allocation only; no copy either way.
+  To,     ///< Copy host -> device at kernel entry.
+  From,   ///< Copy device -> host at kernel exit.
+  ToFrom, ///< Both directions (the conservative default).
+};
+
+/// Stable lower-case spelling ("alloc"/"to"/"from"/"tofrom") used in
+/// remarks, reports, and serialized mappings.
+inline const char *mapKindName(MapKind K) {
+  switch (K) {
+  case MapKind::Alloc:
+    return "alloc";
+  case MapKind::To:
+    return "to";
+  case MapKind::From:
+    return "from";
+  case MapKind::ToFrom:
+    return "tofrom";
+  }
+  return "tofrom";
+}
+
+/// True if \p K copies host memory to the device at kernel entry.
+inline bool mapCopiesToDevice(MapKind K) {
+  return K == MapKind::To || K == MapKind::ToFrom;
+}
+
+/// True if \p K copies device memory back to the host at kernel exit.
+inline bool mapCopiesFromDevice(MapKind K) {
+  return K == MapKind::From || K == MapKind::ToFrom;
+}
+
+} // namespace ompgpu
+
+#endif // OMPGPU_IR_MAPKIND_H

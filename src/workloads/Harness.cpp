@@ -39,6 +39,31 @@ LaunchCheckResult ompgpu::launchAndCheckWorkload(Workload &W, Module &M,
   LC.MaxSimulatedBlocks = Opts.MaxSimulatedBlocks;
   LC.Profile = Opts.Profile;
 
+  // Model the host<->device traffic of the kernel's mapped buffers: every
+  // pointer argument that names a device allocation moves its bytes per
+  // the parameter's effective map kind (declared, or inferred by the
+  // pipeline's MapInference stage; implicit default is tofrom). The
+  // ConservativeMappings toggle forces the copy-everything baseline so
+  // callers can measure the inferred mapping's win (docs/data-mapping.md).
+  if (Kernel) {
+    const KernelEnvironment &Env = Kernel->getKernelEnvironment();
+    for (unsigned I = 0, E = Kernel->arg_size(); I != E && I < Args.size();
+         ++I) {
+      Argument *A = Kernel->getArg(I);
+      if (!A->getType()->isPointerTy())
+        continue;
+      uint64_t Bytes = Dev.allocationBytes(Args[I]);
+      if (!Bytes)
+        continue; // scalar smuggled as pointer, or non-base address
+      MappedBuffer B;
+      B.Name = A->getName();
+      B.Kind = Opts.ConservativeMappings ? MapKind::ToFrom
+                                         : kernelParamMapping(Env, I).effective();
+      B.Bytes = Bytes;
+      LC.Mappings.push_back(std::move(B));
+    }
+  }
+
   NativeRuntimeBinding RTL =
       makeOpenMPRuntimeBinding(P.Flavor, Dev.getMachine());
   R.Stats = Dev.launchKernel(M, Kernel, LC, Args, RTL);

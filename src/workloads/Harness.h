@@ -43,6 +43,11 @@ struct HarnessOptions {
   /// When set, the launch runs in gpusim's profiling mode and accumulates
   /// execution counters into this collector (-profile-gen, docs/pgo.md).
   ProfileCollector *Profile = nullptr;
+  /// Ignore the kernel's declared/inferred ParamMappings and map every
+  /// pointer argument tofrom (the copy-everything baseline). Used to
+  /// measure the modeled-transfer win of MapInference
+  /// (docs/data-mapping.md).
+  bool ConservativeMappings = false;
 };
 
 /// Result of one simulated launch + reference check of a compiled kernel.

@@ -63,6 +63,10 @@ public:
 
 /// Factory functions for the four proxies.
 std::unique_ptr<Workload> createXSBench(ProblemSize Size);
+/// XSBench with inflated cross-section tables and few lookups, so the
+/// modeled host<->device transfers dominate the kernel time: the testbed
+/// for MapInference's minimal map clauses (docs/data-mapping.md).
+std::unique_ptr<Workload> createXSBenchTransfer(ProblemSize Size);
 std::unique_ptr<Workload> createRSBench(ProblemSize Size);
 std::unique_ptr<Workload> createSU3Bench(ProblemSize Size);
 std::unique_ptr<Workload> createMiniQMC(ProblemSize Size);

@@ -52,8 +52,20 @@ XSParams getParams(ProblemSize Size) {
   return {64, 256, 32768, 4, 16, 128, 128};
 }
 
+/// Sizes for the transfer-dominated variant: the per-nuclide energy grids
+/// are inflated while the lookup count shrinks, so the host link (not the
+/// lookups) dominates the modeled time and the inferred map(to:) for the
+/// read-only tables / map(from:) for the output is a measurable win over
+/// copy-everything-tofrom (docs/data-mapping.md).
+XSParams getTransferParams(ProblemSize Size) {
+  if (Size == ProblemSize::Small)
+    return {64, 256, 128, 4, 6, 2, 64};
+  return {256, 1024, 2048, 4, 16, 16, 128};
+}
+
 class XSBenchWorkload final : public Workload {
   XSParams P;
+  bool TransferDominated;
   // Host copies of the inputs.
   std::vector<double> Grid; ///< [iso][gridpoint][6]: energy + 5 xs values
   std::vector<int32_t> MatNumNucs;
@@ -64,11 +76,15 @@ class XSBenchWorkload final : public Workload {
            DevOut = 0;
 
 public:
-  explicit XSBenchWorkload(ProblemSize Size) : P(getParams(Size)) {
+  explicit XSBenchWorkload(ProblemSize Size, bool TransferDominated = false)
+      : P(TransferDominated ? getTransferParams(Size) : getParams(Size)),
+        TransferDominated(TransferDominated) {
     buildInputs();
   }
 
-  std::string getName() const override { return "XSBench"; }
+  std::string getName() const override {
+    return TransferDominated ? "XSBenchTransfer" : "XSBench";
+  }
   unsigned getGridDim() const override { return P.GridDim; }
   unsigned getBlockDim() const override { return P.BlockDim; }
 
@@ -479,4 +495,8 @@ public:
 
 std::unique_ptr<Workload> ompgpu::createXSBench(ProblemSize Size) {
   return std::make_unique<XSBenchWorkload>(Size);
+}
+
+std::unique_ptr<Workload> ompgpu::createXSBenchTransfer(ProblemSize Size) {
+  return std::make_unique<XSBenchWorkload>(Size, /*TransferDominated=*/true);
 }

@@ -218,6 +218,127 @@ TEST_F(AnalysisTest, CallGraphAddressTakenReachability) {
   EXPECT_TRUE(R.count(Target)); // via the indirect call
 }
 
+TEST_F(AnalysisTest, CallGraphMutuallyRecursiveSCC) {
+  // even -> odd -> even: a two-node cycle entered from main. The SCC
+  // decomposition must put {even, odd} in one component ordered before
+  // {main}, and must not merge main into the cycle.
+  FunctionType *VTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {});
+  Function *Even = M.createFunction("even", VTy);
+  Function *Odd = M.createFunction("odd", VTy);
+  Function *Main = M.createFunction("main", VTy);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(Even->createBlock("entry"));
+  B.createCall(Odd, {});
+  B.createRetVoid();
+  B.setInsertPoint(Odd->createBlock("entry"));
+  B.createCall(Even, {});
+  B.createRetVoid();
+  B.setInsertPoint(Main->createBlock("entry"));
+  B.createCall(Even, {});
+  B.createRetVoid();
+
+  CallGraph CG(M);
+  const auto &SCCs = CG.sccsBottomUp();
+  size_t CycleIdx = SCCs.size(), MainIdx = SCCs.size();
+  for (size_t I = 0; I < SCCs.size(); ++I) {
+    if (SCCs[I].size() == 2) {
+      EXPECT_TRUE((SCCs[I][0] == Even && SCCs[I][1] == Odd) ||
+                  (SCCs[I][0] == Odd && SCCs[I][1] == Even));
+      CycleIdx = I;
+    }
+    if (SCCs[I].size() == 1 && SCCs[I][0] == Main)
+      MainIdx = I;
+  }
+  ASSERT_LT(CycleIdx, SCCs.size()) << "cycle not recognized as one SCC";
+  ASSERT_LT(MainIdx, SCCs.size()) << "main merged into the cycle";
+  EXPECT_LT(CycleIdx, MainIdx) << "bottom-up order violated";
+  // Reachability crosses the cycle in both directions of the edge set.
+  EXPECT_EQ(3u, CG.reachableFrom(Main).size());
+  EXPECT_TRUE(CG.reachableFrom(Even).count(Odd));
+  EXPECT_TRUE(CG.reachableFrom(Odd).count(Even));
+  // But not upward: the cycle cannot reach its caller.
+  EXPECT_FALSE(CG.reachableFrom(Even).count(Main));
+}
+
+TEST_F(AnalysisTest, EscapeAcrossMutuallyRecursiveSCC) {
+  FunctionType *PTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()});
+  FunctionType *VTy = Ctx.getFunctionTy(Ctx.getVoidTy(), {});
+  IRBuilder B(Ctx);
+
+  // Negative case: ping(p) writes through p and calls pong() WITHOUT
+  // forwarding the pointer; pong() re-enters ping with its own local.
+  // The {ping, pong} SCC exists in the call graph, but the tracked
+  // pointer never travels around the cycle, so it must not escape.
+  Function *Ping = M.createFunction("ping", PTy);
+  Function *Pong = M.createFunction("pong", VTy);
+  B.setInsertPoint(Ping->createBlock("entry"));
+  B.createStore(B.getDouble(0.0), Ping->getArg(0));
+  B.createCall(Pong, {});
+  B.createRetVoid();
+  B.setInsertPoint(Pong->createBlock("entry"));
+  Value *Local = B.createAlloca(Ctx.getDoubleTy(), "local");
+  B.createCall(Ping, {Local});
+  B.createRetVoid();
+
+  Function *Root =
+      M.createFunction("root", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(Root->createBlock("entry"));
+  Value *A = B.createAlloca(Ctx.getDoubleTy(), "x");
+  B.createCall(Ping, {A});
+  B.createRetVoid();
+
+  EscapeConfig EC;
+  EC.ClassifyCallArg = [](const CallInst &, unsigned) {
+    return ArgCaptureKind::InspectCallee;
+  };
+  EXPECT_FALSE(analyzePointerEscape(A, EC).Escapes);
+
+  // Positive case: the pointer IS forwarded around the cycle, and one arm
+  // leaks it to memory. The visited-set memoization must terminate the
+  // cyclic walk (each formal argument is entered once) while still
+  // reaching — and reporting — the leak inside the recursion.
+  Function *FwdA = M.createFunction("fwd_a", PTy);
+  Function *FwdB = M.createFunction("fwd_b", PTy);
+  B.setInsertPoint(FwdA->createBlock("entry"));
+  B.createCall(FwdB, {FwdA->getArg(0)});
+  B.createRetVoid();
+  B.setInsertPoint(FwdB->createBlock("entry"));
+  Value *Slot = B.createAlloca(Ctx.getPtrTy(), "slot");
+  B.createStore(FwdB->getArg(0), Slot);
+  B.createCall(FwdA, {FwdB->getArg(0)});
+  B.createRetVoid();
+
+  Function *Root2 =
+      M.createFunction("root2", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(Root2->createBlock("entry"));
+  Value *A2 = B.createAlloca(Ctx.getDoubleTy(), "y");
+  B.createCall(FwdA, {A2});
+  B.createRetVoid();
+
+  EscapeResult R = analyzePointerEscape(A2, EC);
+  EXPECT_TRUE(R.Escapes);
+  EXPECT_NE(std::string::npos, R.Reason.find("stored to memory")) << R.Reason;
+
+  // ...and the pure forwarding cycle alone (no leak) terminates cleanly
+  // as a non-escape instead of tripping the depth bound.
+  Function *LoopA = M.createFunction("loop_a", PTy);
+  Function *LoopB = M.createFunction("loop_b", PTy);
+  B.setInsertPoint(LoopA->createBlock("entry"));
+  B.createCall(LoopB, {LoopA->getArg(0)});
+  B.createRetVoid();
+  B.setInsertPoint(LoopB->createBlock("entry"));
+  B.createCall(LoopA, {LoopB->getArg(0)});
+  B.createRetVoid();
+
+  Function *Root3 =
+      M.createFunction("root3", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  B.setInsertPoint(Root3->createBlock("entry"));
+  Value *A3 = B.createAlloca(Ctx.getDoubleTy(), "z");
+  B.createCall(LoopA, {A3});
+  B.createRetVoid();
+  EXPECT_FALSE(analyzePointerEscape(A3, EC).Escapes);
+}
+
 //===----------------------------------------------------------------------===//
 // Register pressure
 //===----------------------------------------------------------------------===//

@@ -408,6 +408,56 @@ TEST(FuzzOracle, LintCatchesRaceTheDifferentialRunMisses) {
   }
 }
 
+/// The data-mapping sabotage pass (OMP242 satellite): declares an explicit
+/// map(alloc:) on each kernel's first pointer parameter — the recipe's
+/// read-only input buffer. With that clause, host data would never reach
+/// the device. The simulator's unified memory only *models* transfers (it
+/// never performs them), so all presets still read the real host buffers
+/// and the differential comparisons stay bit-identical; only the
+/// stale-host-read lint checker, whose access summary runs after the
+/// cleanup pipeline has dissolved the parallel-region frames, can see the
+/// bug. (The summary cannot pick the victim here: at extra-pass time the
+/// input pointer still escapes into its frame and classifies Unknown.)
+static bool declareAllocOnInputParam(Module &M) {
+  bool Changed = false;
+  for (Function *K : M.kernels()) {
+    for (unsigned I = 0; I < K->arg_size(); ++I) {
+      if (!K->getArg(I)->getType()->isPointerTy())
+        continue;
+      ParamMapping &PM =
+          kernelParamMappingRef(K->getKernelEnvironment(), I);
+      PM.Declared = MapKind::Alloc;
+      PM.DeclaredExplicit = true;
+      Changed = true;
+      break;
+    }
+  }
+  return Changed;
+}
+
+TEST(FuzzOracle, LintCatchesStaleMappingTheDifferentialRunMisses) {
+  FuzzOracleOptions O;
+  O.ExtraPasses.push_back({"sabotage-mapping", declareAllocOnInputParam});
+
+  // Blind to the lint, the sabotage is invisible: mappings change modeled
+  // transfer accounting, not simulated memory contents.
+  O.Lint = false;
+  FuzzVerdict Blind = runFuzzOracle(testRecipe(), O);
+  EXPECT_TRUE(Blind.OK) << "preset '" << Blind.FailingPreset
+                        << "': " << Blind.Reason;
+
+  O.Lint = true;
+  FuzzVerdict V = runFuzzOracle(testRecipe(), O);
+  ASSERT_FALSE(V.OK) << "lint missed the stale-host-read mapping";
+  EXPECT_NE(V.Reason.find("lint:"), std::string::npos) << V.Reason;
+  EXPECT_NE(V.Reason.find("OMP242"), std::string::npos) << V.Reason;
+  for (const FuzzPresetOutcome &P : V.Presets) {
+    EXPECT_FALSE(P.VerifyFailed)
+        << P.Preset << ": a metadata-only sabotage must be verifier-clean";
+    EXPECT_FALSE(P.ReferenceBroken) << P.Preset;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Reduction and attribution
 //===----------------------------------------------------------------------===//

@@ -67,6 +67,28 @@ protected:
     return K;
   }
 
+  /// SPMD kernel with one pointer parameter 'buf' carrying an explicit
+  /// map clause of kind \p Declared; the body reads and/or writes through
+  /// it as requested (for the OMP242-244 checkers).
+  Function *makeMappedKernel(const std::string &Name, MapKind Declared,
+                             bool Read, bool Write) {
+    Function *K = M.createFunction(
+        Name, Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+    K->setKernel();
+    K->getKernelEnvironment().Mode = ExecMode::SPMD;
+    K->getArg(0)->setName("buf");
+    ParamMapping &PM = kernelParamMappingRef(K->getKernelEnvironment(), 0);
+    PM.Declared = Declared;
+    PM.DeclaredExplicit = true;
+    B.setInsertPoint(K->createBlock("entry"));
+    if (Read)
+      B.createLoad(Ctx.getDoubleTy(), K->getArg(0), "v");
+    if (Write)
+      B.createStore(B.getDouble(1.0), K->getArg(0));
+    B.createRetVoid();
+    return K;
+  }
+
   static std::vector<LintFinding> ofKind(const LintResult &R, LintKind K) {
     std::vector<LintFinding> Out;
     for (const LintFinding &F : R.Findings)
@@ -352,6 +374,71 @@ TEST_F(LintTest, WellFormedGuardClean) {
 }
 
 //===----------------------------------------------------------------------===//
+// OMP242-244: data-mapping staleness and redundancy
+//===----------------------------------------------------------------------===//
+
+TEST_F(LintTest, StaleHostReadFlagged) {
+  // map(from: in) on a parameter the kernel reads first: host data never
+  // reaches the device (OMP242). The wrong direction also makes the copy
+  // back redundant in spirit, but only the staleness is certain.
+  Function *K = makeMappedKernel("k", MapKind::From, /*Read=*/true,
+                                 /*Write=*/false);
+  LintResult R = runOMPLint(M);
+  std::vector<LintFinding> F = ofKind(R, LintKind::StaleHostRead);
+  ASSERT_EQ(1u, F.size()) << R.summary();
+  EXPECT_EQ(K->getName(), F[0].FunctionName);
+  EXPECT_NE(std::string::npos, F[0].Message.find("map(from: buf)"));
+}
+
+TEST_F(LintTest, StaleDeviceReadFlagged) {
+  // map(to: out) on a parameter the kernel writes: the host never sees the
+  // device results (OMP243).
+  makeMappedKernel("k", MapKind::To, /*Read=*/false, /*Write=*/true);
+  LintResult R = runOMPLint(M);
+  ASSERT_EQ(1u, ofKind(R, LintKind::StaleDeviceRead).size()) << R.summary();
+}
+
+TEST_F(LintTest, RedundantRoundTripFlagged) {
+  // map(tofrom:) on a read-only parameter: the copy back is wasted
+  // bandwidth (OMP244), but both directions are transfer-correct, so the
+  // staleness checkers must stay silent.
+  makeMappedKernel("k", MapKind::ToFrom, /*Read=*/true, /*Write=*/false);
+  LintResult R = runOMPLint(M);
+  ASSERT_EQ(1u, ofKind(R, LintKind::RedundantRoundTrip).size())
+      << R.summary();
+  EXPECT_TRUE(ofKind(R, LintKind::StaleHostRead).empty());
+  EXPECT_TRUE(ofKind(R, LintKind::StaleDeviceRead).empty());
+}
+
+TEST_F(LintTest, MatchingExplicitMappingClean) {
+  makeMappedKernel("k", MapKind::To, /*Read=*/true, /*Write=*/false);
+  LintResult R = runOMPLint(M);
+  EXPECT_TRUE(R.clean()) << R.summary();
+}
+
+TEST_F(LintTest, ImplicitDefaultMappingIsNotChecked) {
+  // Without an explicit clause or an inference run there is nothing to
+  // second-guess: the implicit tofrom default is always transfer-correct,
+  // and flagging it would drown users in false positives.
+  Function *K = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel();
+  K->getKernelEnvironment().Mode = ExecMode::SPMD;
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createLoad(Ctx.getDoubleTy(), K->getArg(0), "v");
+  B.createRetVoid();
+  LintResult R = runOMPLint(M);
+  EXPECT_TRUE(R.clean()) << R.summary();
+}
+
+TEST_F(LintTest, DataMappingCheckCanBeDisabled) {
+  makeMappedKernel("k", MapKind::From, /*Read=*/true, /*Write=*/false);
+  LintOptions O;
+  O.CheckDataMapping = false;
+  EXPECT_TRUE(runOMPLint(M, O).clean());
+}
+
+//===----------------------------------------------------------------------===//
 // Finding metadata
 //===----------------------------------------------------------------------===//
 
@@ -361,6 +448,9 @@ TEST_F(LintTest, KindNamesAndRemarkNumbers) {
   EXPECT_EQ(202u, lintRemarkNumber(LintKind::AllocFreePairing));
   EXPECT_EQ(203u, lintRemarkNumber(LintKind::UseAfterFree));
   EXPECT_EQ(204u, lintRemarkNumber(LintKind::GuardProtocol));
+  EXPECT_EQ(242u, lintRemarkNumber(LintKind::StaleHostRead));
+  EXPECT_EQ(243u, lintRemarkNumber(LintKind::StaleDeviceRead));
+  EXPECT_EQ(244u, lintRemarkNumber(LintKind::RedundantRoundTrip));
   EXPECT_STREQ("barrier-divergence",
                lintKindName(LintKind::BarrierDivergence));
   EXPECT_STREQ("shared-race", lintKindName(LintKind::SharedRace));
@@ -368,6 +458,11 @@ TEST_F(LintTest, KindNamesAndRemarkNumbers) {
                lintKindName(LintKind::AllocFreePairing));
   EXPECT_STREQ("use-after-free", lintKindName(LintKind::UseAfterFree));
   EXPECT_STREQ("guard-protocol", lintKindName(LintKind::GuardProtocol));
+  EXPECT_STREQ("stale-host-read", lintKindName(LintKind::StaleHostRead));
+  EXPECT_STREQ("stale-device-read",
+               lintKindName(LintKind::StaleDeviceRead));
+  EXPECT_STREQ("redundant-round-trip",
+               lintKindName(LintKind::RedundantRoundTrip));
 }
 
 TEST_F(LintTest, SummaryJoinsFindings) {

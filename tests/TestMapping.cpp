@@ -1,0 +1,500 @@
+//===- tests/TestMapping.cpp - Data-mapping inference tests -----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the data-mapping subsystem (docs/data-mapping.md): the
+/// inter-procedural MemoryAccessSummary classification, the MapInference
+/// stage's inferred map kinds and OMP240/OMP241 remarks, the ArchSpec v2
+/// host-link fields with v1 back-compat, gpusim's modeled host<->device
+/// transfer accounting, and the end-to-end acceptance check that inferred
+/// mappings beat the conservative copy-everything baseline on the
+/// transfer-dominated XSBench variant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MapInference.h"
+#include "analysis/MemoryAccessSummary.h"
+#include "core/Remarks.h"
+#include "driver/Pipeline.h"
+#include "frontend/OMPCodeGen.h"
+#include "gpusim/ArchSpec.h"
+#include "gpusim/Device.h"
+#include "ir/IRBuilder.h"
+#include "ir/Module.h"
+#include "rtl/DeviceRTL.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+using namespace ompgpu;
+
+namespace {
+
+class MappingTest : public ::testing::Test {
+protected:
+  IRContext Ctx;
+  Module M{Ctx, "mapping"};
+  IRBuilder B{Ctx};
+
+  /// Creates a void function taking \p NumPtrs pointer parameters with an
+  /// open entry block (the builder is left positioned inside it).
+  Function *makeFn(const std::string &Name, unsigned NumPtrs) {
+    std::vector<Type *> Params(NumPtrs, Ctx.getPtrTy());
+    Function *F =
+        M.createFunction(Name, Ctx.getFunctionTy(Ctx.getVoidTy(), Params));
+    B.setInsertPoint(F->createBlock("entry"));
+    return F;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// MemoryAccessSummary: direct access patterns
+//===----------------------------------------------------------------------===//
+
+TEST_F(MappingTest, ClassifyDirectAccessPatterns) {
+  // f(dead, ro, wf, rw): one argument per class.
+  Function *F = makeFn("f", 4);
+  Type *F64 = Ctx.getDoubleTy();
+  B.createLoad(F64, F->getArg(1), "r");        // ro: load only
+  B.createStore(B.getDouble(1.0), F->getArg(2)); // wf: store...
+  B.createLoad(F64, F->getArg(2), "after");      // ...dominates this load
+  B.createLoad(F64, F->getArg(3), "pre");        // rw: load...
+  B.createStore(B.getDouble(2.0), F->getArg(3)); // ...then store
+  B.createRetVoid();
+
+  MemoryAccessSummaryAnalysis A(M);
+  EXPECT_EQ(PointerAccessClass::Dead, A.argSummary(F, 0).classify());
+  EXPECT_EQ(PointerAccessClass::ReadOnly, A.argSummary(F, 1).classify());
+  EXPECT_EQ(PointerAccessClass::WriteFirst, A.argSummary(F, 2).classify());
+  EXPECT_EQ(PointerAccessClass::ReadWrite, A.argSummary(F, 3).classify());
+}
+
+TEST_F(MappingTest, StoreOnNotEveryPathIsNotWriteFirst) {
+  // Storing only in one branch arm does not cover the post-join load: the
+  // load may observe host data, so the class must degrade to ReadWrite.
+  Function *F = M.createFunction(
+      "g", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy(), Ctx.getInt1Ty()}));
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("then");
+  BasicBlock *J = F->createBlock("join");
+  B.setInsertPoint(E);
+  B.createCondBr(F->getArg(1), T, J);
+  B.setInsertPoint(T);
+  B.createStore(B.getDouble(0.0), F->getArg(0));
+  B.createBr(J);
+  B.setInsertPoint(J);
+  B.createLoad(Ctx.getDoubleTy(), F->getArg(0), "v");
+  B.createRetVoid();
+
+  MemoryAccessSummaryAnalysis A(M);
+  PointerAccessSummary S = A.argSummary(F, 0);
+  EXPECT_TRUE(S.MayReadBeforeWrite);
+  EXPECT_EQ(PointerAccessClass::ReadWrite, S.classify());
+}
+
+TEST_F(MappingTest, EscapingPointerIsUnknown) {
+  // Storing the pointer itself into memory defeats the walk.
+  Function *F = makeFn("esc", 2);
+  B.createStore(F->getArg(0), F->getArg(1));
+  B.createRetVoid();
+
+  MemoryAccessSummaryAnalysis A(M);
+  EXPECT_TRUE(A.argSummary(F, 0).Unknown);
+  EXPECT_EQ(PointerAccessClass::Unknown, A.argSummary(F, 0).classify());
+  // The sink argument itself is only stored through: write-first.
+  EXPECT_EQ(PointerAccessClass::WriteFirst, A.argSummary(F, 1).classify());
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryAccessSummary: inter-procedural propagation
+//===----------------------------------------------------------------------===//
+
+TEST_F(MappingTest, SummaryPropagatesThroughCalls) {
+  Function *Reader = makeFn("reader", 1);
+  B.createLoad(Ctx.getDoubleTy(), Reader->getArg(0), "v");
+  B.createRetVoid();
+  Function *Writer = makeFn("writer", 1);
+  B.createStore(B.getDouble(3.0), Writer->getArg(0));
+  B.createRetVoid();
+
+  // caller(ro, wf) forwards each argument to the matching helper.
+  Function *Caller = makeFn("caller", 2);
+  B.createCall(Reader, {Caller->getArg(0)});
+  B.createCall(Writer, {Caller->getArg(1)});
+  B.createRetVoid();
+
+  MemoryAccessSummaryAnalysis A(M);
+  EXPECT_EQ(PointerAccessClass::ReadOnly, A.argSummary(Caller, 0).classify());
+  EXPECT_EQ(PointerAccessClass::WriteFirst,
+            A.argSummary(Caller, 1).classify());
+}
+
+TEST_F(MappingTest, MutuallyRecursiveSCCReachesFixpoint) {
+  // even(p) and odd(p) call each other; only odd() writes through the
+  // pointer and only even() reads it. The SCC fixpoint must merge both
+  // functions' effects into each argument summary — and terminate.
+  Function *Even = makeFn("even", 1);
+  Function *Odd = makeFn("odd", 1);
+  B.setInsertPoint(Even->getBlocks().front());
+  B.createLoad(Ctx.getDoubleTy(), Even->getArg(0), "v");
+  B.createCall(Odd, {Even->getArg(0)});
+  B.createRetVoid();
+  B.setInsertPoint(Odd->getBlocks().front());
+  B.createStore(B.getDouble(1.0), Odd->getArg(0));
+  B.createCall(Even, {Odd->getArg(0)});
+  B.createRetVoid();
+
+  MemoryAccessSummaryAnalysis A(M);
+  PointerAccessSummary SE = A.argSummary(Even, 0);
+  EXPECT_TRUE(SE.MayRead);
+  EXPECT_TRUE(SE.MayWrite);
+  EXPECT_TRUE(SE.MayReadBeforeWrite); // the load precedes odd's store
+  EXPECT_EQ(PointerAccessClass::ReadWrite, SE.classify());
+  // In odd() the store dominates the recursive call, but even() reads the
+  // pointer afterwards: reads-before-write still reach it via the cycle.
+  PointerAccessSummary SO = A.argSummary(Odd, 0);
+  EXPECT_TRUE(SO.MayRead);
+  EXPECT_TRUE(SO.MayWrite);
+  EXPECT_EQ(PointerAccessClass::ReadWrite, SO.classify());
+}
+
+TEST_F(MappingTest, PureReadRecursionStaysReadOnly) {
+  // A self-recursive pure reader must not degrade below ReadOnly.
+  Function *F = makeFn("walk", 1);
+  B.createLoad(Ctx.getDoubleTy(), F->getArg(0), "v");
+  B.createCall(F, {F->getArg(0)});
+  B.createRetVoid();
+
+  MemoryAccessSummaryAnalysis A(M);
+  EXPECT_EQ(PointerAccessClass::ReadOnly, A.argSummary(F, 0).classify());
+}
+
+//===----------------------------------------------------------------------===//
+// MapInference
+//===----------------------------------------------------------------------===//
+
+TEST(MapKindTest, MinimalMapKindTable) {
+  EXPECT_EQ(MapKind::Alloc, minimalMapKind(PointerAccessClass::Dead));
+  EXPECT_EQ(MapKind::To, minimalMapKind(PointerAccessClass::ReadOnly));
+  EXPECT_EQ(MapKind::From, minimalMapKind(PointerAccessClass::WriteFirst));
+  EXPECT_EQ(MapKind::ToFrom, minimalMapKind(PointerAccessClass::ReadWrite));
+  EXPECT_EQ(MapKind::ToFrom, minimalMapKind(PointerAccessClass::Unknown));
+  EXPECT_TRUE(mapCopiesToDevice(MapKind::To));
+  EXPECT_TRUE(mapCopiesToDevice(MapKind::ToFrom));
+  EXPECT_FALSE(mapCopiesToDevice(MapKind::From));
+  EXPECT_FALSE(mapCopiesToDevice(MapKind::Alloc));
+  EXPECT_TRUE(mapCopiesFromDevice(MapKind::From));
+  EXPECT_TRUE(mapCopiesFromDevice(MapKind::ToFrom));
+  EXPECT_FALSE(mapCopiesFromDevice(MapKind::To));
+  EXPECT_FALSE(mapCopiesFromDevice(MapKind::Alloc));
+}
+
+TEST_F(MappingTest, InferenceRecordsKindsAndEmitsRemarks) {
+  // k(in, out, esc, n): read-only, write-first, escaping, scalar.
+  Function *K = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(),
+                             {Ctx.getPtrTy(), Ctx.getPtrTy(), Ctx.getPtrTy(),
+                              Ctx.getInt32Ty()}));
+  K->setKernel(true);
+  K->getArg(0)->setName("in");
+  K->getArg(1)->setName("out");
+  K->getArg(2)->setName("esc");
+  K->getArg(3)->setName("n");
+  B.setInsertPoint(K->createBlock("entry"));
+  Value *V = B.createLoad(Ctx.getDoubleTy(), K->getArg(0), "v");
+  B.createStore(V, K->getArg(1));
+  // Storing 'in' itself into memory defeats its walk (Unknown fallback);
+  // 'esc' is only ever stored through, which stays write-first.
+  B.createStore(K->getArg(0), K->getArg(2));
+  B.createRetVoid();
+
+  RemarkCollector RC;
+  MapInferenceResult R = runMapInference(M, RC);
+
+  ASSERT_EQ(4u, R.Params.size());
+  EXPECT_EQ("in", R.Params[0].ParamName);
+  EXPECT_TRUE(R.Params[0].IsPointer);
+  // 'in' was stored into memory: its walk is defeated -> tofrom fallback.
+  EXPECT_EQ(PointerAccessClass::Unknown, R.Params[0].Class);
+  EXPECT_EQ(MapKind::ToFrom, R.Params[0].Effective);
+  // 'out' is write-first -> map(from:).
+  EXPECT_EQ(PointerAccessClass::WriteFirst, R.Params[1].Class);
+  EXPECT_EQ(MapKind::From, R.Params[1].Effective);
+  // The scalar contributes no mapping decision.
+  EXPECT_FALSE(R.Params[3].IsPointer);
+
+  EXPECT_GE(R.MinimalCount, 1u); // at least 'out'
+  EXPECT_GE(R.FallbackCount, 1u); // at least 'in'
+  unsigned N240 = 0, N241 = 0;
+  for (const Remark &Rm : RC.remarks()) {
+    N240 += Rm.Id == RemarkId::OMP240;
+    N241 += Rm.Id == RemarkId::OMP241;
+  }
+  EXPECT_EQ(R.MinimalCount, N240);
+  EXPECT_EQ(R.FallbackCount, N241);
+
+  // The kernel environment now carries the inferred kinds for the harness.
+  const KernelEnvironment &Env = K->getKernelEnvironment();
+  EXPECT_TRUE(kernelParamMapping(Env, 1).InferenceRan);
+  EXPECT_EQ(MapKind::From, kernelParamMapping(Env, 1).effective());
+}
+
+TEST_F(MappingTest, ExplicitDeclarationIsNeverOverridden) {
+  Function *K = M.createFunction(
+      "k", Ctx.getFunctionTy(Ctx.getVoidTy(), {Ctx.getPtrTy()}));
+  K->setKernel(true);
+  K->getArg(0)->setName("buf");
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createLoad(Ctx.getDoubleTy(), K->getArg(0), "v"); // read-only
+  B.createRetVoid();
+
+  // The user wrote map(tofrom: buf): a contract inference must honor.
+  ParamMapping &PM = kernelParamMappingRef(K->getKernelEnvironment(), 0);
+  PM.Declared = MapKind::ToFrom;
+  PM.DeclaredExplicit = true;
+
+  RemarkCollector RC;
+  MapInferenceResult R = runMapInference(M, RC);
+  ASSERT_EQ(1u, R.Params.size());
+  EXPECT_EQ(MapKind::To, R.Params[0].Inferred);
+  EXPECT_EQ(MapKind::ToFrom, R.Params[0].Effective);
+  EXPECT_EQ(0u, R.MinimalCount); // explicit params emit no OMP240
+  EXPECT_EQ(MapKind::ToFrom,
+            kernelParamMapping(K->getKernelEnvironment(), 0).effective());
+}
+
+TEST(MappingPipeline, MapInferenceRunsInDevicePipeline) {
+  // The full pipeline must see through TargetRegionBuilder's outlining:
+  // vecadd's inputs become map(to:), the output map(from:).
+  IRContext Ctx;
+  Module M(Ctx, "vecadd");
+  PipelineOptions P = makeDevPipeline();
+  OMPCodeGen CG(M, {P.Scheme, false});
+  Type *PtrTy = Ctx.getPtrTy();
+  TargetRegionBuilder TRB(CG, "vecadd",
+                          {PtrTy, PtrTy, PtrTy, Ctx.getInt32Ty()},
+                          ExecMode::SPMD, 2, 32);
+  Argument *A = TRB.getParam(0);
+  Argument *Bp = TRB.getParam(1);
+  Argument *C = TRB.getParam(2);
+  A->setName("a");
+  Bp->setName("b");
+  C->setName("c");
+  std::vector<TargetRegionBuilder::Capture> Caps = {
+      {A, false, "a"}, {Bp, false, "b"}, {C, false, "c"}};
+  TRB.emitDistributeParallelFor(
+      TRB.getParam(3), Caps,
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        Type *F64 = LB.getDoubleTy();
+        Value *Av = LB.createLoad(F64, LB.createGEP(F64, Map.at(A), {Idx}));
+        Value *Bv = LB.createLoad(F64, LB.createGEP(F64, Map.at(Bp), {Idx}));
+        LB.createStore(LB.createFAdd(Av, Bv),
+                       LB.createGEP(F64, Map.at(C), {Idx}));
+      });
+  Function *K = TRB.finalize();
+
+  CompileResult CR = optimizeDeviceModule(M, P);
+  ASSERT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+  ASSERT_TRUE(CR.MapInferenceRan);
+  ASSERT_EQ(4u, CR.Mapping.Params.size());
+  EXPECT_EQ(MapKind::To, CR.Mapping.Params[0].Effective) << "input a";
+  EXPECT_EQ(MapKind::To, CR.Mapping.Params[1].Effective) << "input b";
+  EXPECT_EQ(MapKind::From, CR.Mapping.Params[2].Effective) << "output c";
+  EXPECT_GE(CR.Mapping.MinimalCount, 3u);
+
+  const KernelEnvironment &Env = K->getKernelEnvironment();
+  EXPECT_EQ(MapKind::To, kernelParamMapping(Env, 0).effective());
+  EXPECT_EQ(MapKind::From, kernelParamMapping(Env, 2).effective());
+
+  // Disabling the stage leaves the environment untouched.
+  IRContext Ctx2;
+  Module M2(Ctx2, "vecadd2");
+  PipelineOptions P2 = makeDevPipeline();
+  P2.RunMapInference = false;
+  OMPCodeGen CG2(M2, {P2.Scheme, false});
+  TargetRegionBuilder TRB2(CG2, "vecadd", {Ctx2.getPtrTy()}, ExecMode::SPMD,
+                           2, 32);
+  TRB2.emitDistributeParallelFor(
+      TRB2.getBuilder().getInt32(8), {{TRB2.getParam(0), false, "a"}},
+      [&](IRBuilder &LB, Value *Idx,
+          const TargetRegionBuilder::CaptureMap &Map) {
+        LB.createStore(LB.getDouble(1.0),
+                       LB.createGEP(LB.getDoubleTy(),
+                                    Map.at(TRB2.getParam(0)), {Idx}));
+      });
+  Function *K2 = TRB2.finalize();
+  CompileResult CR2 = optimizeDeviceModule(M2, P2);
+  ASSERT_FALSE(CR2.VerifyFailed) << CR2.VerifyError;
+  EXPECT_FALSE(CR2.MapInferenceRan);
+  EXPECT_FALSE(
+      kernelParamMapping(K2->getKernelEnvironment(), 0).InferenceRan);
+}
+
+//===----------------------------------------------------------------------===//
+// ArchSpec v2: host-link fields
+//===----------------------------------------------------------------------===//
+
+TEST(ArchSpecV2, RegistryArchesDifferInHostLink) {
+  const MachineModel V100 = lookupArch("v100")->Machine;
+  const MachineModel A100 = lookupArch("a100")->Machine;
+  const MachineModel MI100 = lookupArch("mi100")->Machine;
+  EXPECT_GT(V100.HostLinkBytesPerCycle, 0.0);
+  EXPECT_GT(A100.HostLinkBytesPerCycle, V100.HostLinkBytesPerCycle)
+      << "A100's NVLink/PCIe4 must outrun V100's PCIe3";
+  EXPECT_GT(MI100.HostLinkBytesPerCycle, V100.HostLinkBytesPerCycle);
+  EXPECT_GT(V100.HostLinkLatencyCycles, 0u);
+}
+
+TEST(ArchSpecV2, V1DocumentParsesWithDefaultHostLink) {
+  // A pre-v2 document has no host-link fields; the parser must accept it
+  // and fall back to the MachineModel defaults.
+  json::Value Doc = archSpecToJSON(*lookupArch("v100"));
+  json::Value Machine = json::Value::makeObject();
+  for (const auto &[Key, V] : Doc.at("machine").members())
+    if (Key != "host_link_bytes_per_cycle" &&
+        Key != "host_link_latency_cycles")
+      Machine.set(Key, V);
+  Doc.set("machine", std::move(Machine));
+  Doc.set("schema_version", (uint64_t)1);
+
+  Expected<ArchSpec> A = parseArchSpecText(Doc.str());
+  ASSERT_TRUE((bool)A) << A.message();
+  MachineModel Default;
+  EXPECT_DOUBLE_EQ(Default.HostLinkBytesPerCycle,
+                   A->Machine.HostLinkBytesPerCycle);
+  EXPECT_EQ(Default.HostLinkLatencyCycles,
+            A->Machine.HostLinkLatencyCycles);
+}
+
+TEST(ArchSpecV2, V2DocumentRequiresHostLinkFields) {
+  json::Value Doc = archSpecToJSON(*lookupArch("v100"));
+  ASSERT_EQ((int64_t)ArchSpecSchemaVersion,
+            Doc.at("schema_version").asInt());
+  json::Value Machine = json::Value::makeObject();
+  for (const auto &[Key, V] : Doc.at("machine").members())
+    if (Key != "host_link_bytes_per_cycle")
+      Machine.set(Key, V);
+  Doc.set("machine", std::move(Machine));
+
+  Expected<ArchSpec> A = parseArchSpecText(Doc.str());
+  ASSERT_FALSE((bool)A);
+  EXPECT_NE(A.message().find("host_link_bytes_per_cycle"),
+            std::string::npos)
+      << A.message();
+}
+
+TEST(ArchSpecV2, ValidateRejectsNonPositiveHostLink) {
+  ArchSpec A = *lookupArch("v100");
+  A.Machine.HostLinkBytesPerCycle = 0.0;
+  Error E = A.validate();
+  ASSERT_TRUE((bool)E);
+  EXPECT_NE(E.message().find("host_link_bytes_per_cycle"),
+            std::string::npos)
+      << E.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Modeled transfers in gpusim
+//===----------------------------------------------------------------------===//
+
+TEST(TransferModel, HostTransferCycleArithmetic) {
+  MachineModel MM;
+  MM.HostLinkBytesPerCycle = 10.0;
+  MM.HostLinkLatencyCycles = 100;
+  EXPECT_EQ(0u, hostTransferCycles(MM, 0)); // nothing mapped, no latency
+  EXPECT_EQ(100u + 1u, hostTransferCycles(MM, 1));
+  EXPECT_EQ(100u + 10u, hostTransferCycles(MM, 100));
+  EXPECT_EQ(100u + 11u, hostTransferCycles(MM, 101)); // ceil division
+}
+
+TEST(TransferModel, DeviceRecordsAllocationBytes) {
+  GPUDevice Dev;
+  uint64_t A = Dev.allocate(1024);
+  uint64_t B = Dev.allocate(64);
+  EXPECT_EQ(1024u, Dev.allocationBytes(A));
+  EXPECT_EQ(64u, Dev.allocationBytes(B));
+  EXPECT_EQ(0u, Dev.allocationBytes(A + 8)); // derived, not a base
+}
+
+TEST(TransferModel, LaunchAccountsMappedBuffers) {
+  IRContext Ctx;
+  Module M(Ctx, "xfer");
+  IRBuilder B(Ctx);
+  Function *K =
+      M.createFunction("k", Ctx.getFunctionTy(Ctx.getVoidTy(), {}));
+  K->setKernel(true);
+  B.setInsertPoint(K->createBlock("entry"));
+  B.createRetVoid();
+
+  GPUDevice Dev;
+  const MachineModel &MM = Dev.getMachine();
+  LaunchConfig LC;
+  LC.GridDim = 1;
+  LC.BlockDim = 32;
+  LC.Mappings = {{"in", MapKind::To, 4096},
+                 {"out", MapKind::From, 512},
+                 {"both", MapKind::ToFrom, 100},
+                 {"scratch", MapKind::Alloc, 999999}};
+  NativeRuntimeBinding RTL =
+      makeOpenMPRuntimeBinding(RuntimeFlavor::Modern, MM);
+  KernelStats S = Dev.launchKernel(M, K, LC, {}, RTL);
+  ASSERT_TRUE(S.ok()) << S.Trap;
+
+  EXPECT_EQ(4096u + 100u, S.BytesToDevice);
+  EXPECT_EQ(512u + 100u, S.BytesFromDevice);
+  uint64_t Want = hostTransferCycles(MM, 4096) + hostTransferCycles(MM, 512) +
+                  hostTransferCycles(MM, 100) * 2;
+  EXPECT_EQ(Want, S.TransferCycles);
+  // The copy-everything baseline counts 2x bytes for every buffer,
+  // including the alloc-only scratch.
+  EXPECT_EQ(2 * (4096u + 512u + 100u + 999999u),
+            S.ConservativeTransferBytes);
+  EXPECT_EQ(S.Cycles + S.TransferCycles, S.totalCycles());
+  EXPECT_GT(S.totalCycles(), S.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Acceptance: inferred mappings beat copy-everything on XSBenchTransfer
+//===----------------------------------------------------------------------===//
+
+TEST(TransferModel, InferredMappingsBeatConservativeOnXSBenchTransfer) {
+  PipelineOptions P = makeDevPipeline();
+  HarnessOptions HO; // simulate every block: outputs are checked
+
+  HO.ConservativeMappings = true;
+  std::unique_ptr<Workload> WC = createXSBenchTransfer(ProblemSize::Small);
+  WorkloadRunResult Cons = runWorkload(*WC, P, HO);
+  ASSERT_TRUE(Cons.Stats.ok()) << Cons.Stats.Trap;
+  ASSERT_TRUE(Cons.Checked);
+  EXPECT_TRUE(Cons.Correct);
+
+  HO.ConservativeMappings = false;
+  std::unique_ptr<Workload> WI = createXSBenchTransfer(ProblemSize::Small);
+  WorkloadRunResult Inf = runWorkload(*WI, P, HO);
+  ASSERT_TRUE(Inf.Stats.ok()) << Inf.Stats.Trap;
+  ASSERT_TRUE(Inf.Checked);
+  EXPECT_TRUE(Inf.Correct);
+
+  // Mapping is a transfer-accounting concern only: kernel cycles and
+  // results are identical across the two arms.
+  EXPECT_EQ(Cons.Stats.Cycles, Inf.Stats.Cycles);
+
+  uint64_t ConsBytes = Cons.Stats.BytesToDevice + Cons.Stats.BytesFromDevice;
+  uint64_t InfBytes = Inf.Stats.BytesToDevice + Inf.Stats.BytesFromDevice;
+  ASSERT_GT(ConsBytes, 0u) << "harness attached no mappings";
+  EXPECT_LT(InfBytes, ConsBytes)
+      << "inferred mappings must shrink moved bytes";
+  EXPECT_LT(Inf.Stats.TransferCycles, Cons.Stats.TransferCycles);
+  EXPECT_LT(Inf.Stats.totalCycles(), Cons.Stats.totalCycles())
+      << "the transfer win must be visible in total simulated time";
+  // On the transfer-dominated sizing the win is substantial (roughly the
+  // from-direction copy of the big tables), not a rounding artifact.
+  EXPECT_LT(InfBytes, ConsBytes * 3 / 4);
+}
+
+} // namespace

@@ -11,6 +11,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "driver/Pipeline.h"
+#include "frontend/OMPCodeGen.h"
 #include "frontend/OMPRuntime.h"
 #include "gpusim/Device.h"
 #include "ir/IRBuilder.h"
@@ -138,6 +140,43 @@ TEST_F(RTLTest, GenericModeQueriesAtTeamScope) {
   EXPECT_EQ(0, H[0]); // omp_get_thread_num at team scope
   EXPECT_EQ(1, H[1]); // omp_get_num_threads outside parallel
   EXPECT_EQ(0, H[2]); // parallel level 0
+}
+
+TEST_F(RTLTest, GenericModeNumThreadsClampAtOneWavefront) {
+  // In generic mode the main thread's wavefront is reserved for the state
+  // machine: a block of exactly one wavefront leaves zero workers, which
+  // the runtime clamps to one so parallel regions still make progress.
+  // omp_get_num_threads inside the region must observe that clamp
+  // directly (not just through golden files of the folded IR).
+  PipelineOptions P = makeDevNoOptPipeline();
+  OMPCodeGen CG(M, {P.Scheme, false});
+  TargetRegionBuilder TRB(CG, "clamp", {Ctx.getPtrTy()},
+                          ExecMode::Generic);
+  Argument *Out = TRB.getParam(0);
+  Out->setName("out");
+  Function *NumThreads = getOrCreateRTFn(M, RTFn::GetNumThreads);
+  TRB.emitParallel(
+      {{Out, false, "out"}},
+      [&](IRBuilder &LB, const TargetRegionBuilder::CaptureMap &Map) {
+        Value *NT = LB.createCall(NumThreads, {}, "nt");
+        LB.createStore(NT, Map.at(Out));
+      });
+  Function *K = TRB.finalize();
+  CompileResult CR = optimizeDeviceModule(M, P);
+  ASSERT_FALSE(CR.VerifyFailed) << CR.VerifyError;
+
+  const unsigned Warp = Dev.getMachine().WarpSize;
+  uint64_t OutBuf = Dev.allocate(4);
+
+  // Block exactly one wavefront wide: clamped to a single worker.
+  KernelStats S1 = launch(K, 1, Warp, {OutBuf});
+  ASSERT_TRUE(S1.ok()) << S1.Trap;
+  EXPECT_EQ(1, Dev.downloadArray<int32_t>(OutBuf, 1)[0]);
+
+  // Two wavefronts: one full wavefront of workers remains.
+  KernelStats S2 = launch(K, 1, 2 * Warp, {OutBuf});
+  ASSERT_TRUE(S2.ok()) << S2.Trap;
+  EXPECT_EQ((int32_t)Warp, Dev.downloadArray<int32_t>(OutBuf, 1)[0]);
 }
 
 TEST_F(RTLTest, AllocSharedLogicalDemandDrivesHeapAccounting) {

@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/MapInference.h"
 #include "analysis/OMPLint.h"
 #include "driver/Bisect.h"
 #include "driver/CompileReport.h"
@@ -424,9 +425,10 @@ TEST(OptBisect, LimitZeroSkipsEverySkippableExecution) {
   EXPECT_FALSE(CR.VerifyFailed) << CR.VerifyError;
   ASSERT_FALSE(CR.Passes.empty());
   for (const PassExecution &E : CR.Passes) {
-    if (E.Name == LinkDeviceRTLPassName || E.Name == OMPLintPassName) {
-      // Required stages (lowering, final lint) always run and consume no
-      // bisect index.
+    if (E.Name == LinkDeviceRTLPassName || E.Name == MapInferencePassName ||
+        E.Name == OMPLintPassName) {
+      // Required stages (lowering, map inference, final lint) always run
+      // and consume no bisect index.
       EXPECT_FALSE(E.Skipped);
       EXPECT_EQ(E.BisectIndex, 0u);
     } else {
@@ -452,7 +454,8 @@ TEST(OptBisect, IndicesAreContiguousAndDeterministic) {
   // 1-based, contiguous over the non-required executions, in pre-order.
   unsigned Next = 1;
   for (const PassExecution &E : A.Passes) {
-    if (E.Name == LinkDeviceRTLPassName || E.Name == OMPLintPassName) {
+    if (E.Name == LinkDeviceRTLPassName || E.Name == MapInferencePassName ||
+        E.Name == OMPLintPassName) {
       EXPECT_EQ(E.BisectIndex, 0u);
       continue;
     }

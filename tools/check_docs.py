@@ -29,6 +29,16 @@ Three checks, all offline and dependency-free:
    cost table is large and documented collectively, so it is checked
    doc→code only).
 
+5. **Remark coverage** — the reverse of check 2: every `RemarkId`
+   enumerator defined in `src/core/Remarks.h` must have a section in
+   `docs/remarks.md`. A remark the compiler can emit but the catalog
+   does not explain fails the job.
+
+6. **Report sections** — every top-level section key `buildCompileReport`
+   sets on the report document (the single `Doc.set("...")` chain in
+   `src/driver/CompileReport.cpp`) must be mentioned in
+   `docs/compile-report.md`. New sections cannot land undocumented.
+
 Usage: `tools/check_docs.py [repo-root]` (defaults to the parent of the
 directory containing this script). Exits non-zero with one line per
 problem.
@@ -125,6 +135,46 @@ def check_report_fields(root: Path, errors: list):
             )
 
 
+def check_remarks_documented(root: Path, errors: list):
+    """Reverse direction of check_remark_codes: every enumerator in
+    Remarks.h must be explained in the docs/remarks.md catalog."""
+    remarks_h = root / "src" / "core" / "Remarks.h"
+    remarks_md = root / "docs" / "remarks.md"
+    defined = set(REMARK_DEF_RE.findall(remarks_h.read_text(encoding="utf-8")))
+    documented = set(REMARK_RE.findall(remarks_md.read_text(encoding="utf-8")))
+    for code in sorted(defined - documented):
+        errors.append(
+            f"src/core/Remarks.h: remark OMP{code} is not documented in "
+            f"docs/remarks.md"
+        )
+
+
+SET_KEY_RE = re.compile(r'\.set\("([a-z][a-z0-9_]*)"')
+
+
+def check_report_sections(root: Path, errors: list):
+    """Every top-level section buildCompileReport emits must be named in
+    docs/compile-report.md. Scoped to the Doc.set(...) chain so nested
+    object keys (checked field-by-field by check_report_fields) do not
+    dilute the section list."""
+    report_cpp = root / "src" / "driver" / "CompileReport.cpp"
+    report_md = root / "docs" / "compile-report.md"
+    cpp_text = report_cpp.read_text(encoding="utf-8")
+    m = re.search(r"json::Value Doc = json::Value::makeObject\(\);"
+                  r".*?return Doc;", cpp_text, re.S)
+    if not m:
+        errors.append(f"{report_cpp.relative_to(root)}: buildCompileReport "
+                      "Doc.set chain not found — checker out of date?")
+        return
+    md_text = report_md.read_text(encoding="utf-8")
+    for section in sorted(set(SET_KEY_RE.findall(m.group(0)))):
+        if f"`{section}`" not in md_text:
+            errors.append(
+                f"src/driver/CompileReport.cpp: report section '{section}' "
+                f"is not documented in docs/compile-report.md"
+            )
+
+
 JSON_KEY_RE = re.compile(r'"([a-z][a-z0-9_]*)"\s*:')
 FIELD_TABLE_ENTRY_RE = re.compile(r'F\("([a-z][a-z0-9_]*)"')
 
@@ -176,6 +226,8 @@ def main(argv):
     check_remark_codes(root, errors)
     check_report_fields(root, errors)
     check_arch_fields(root, errors)
+    check_remarks_documented(root, errors)
+    check_report_sections(root, errors)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     n_md = len(list(markdown_files(root)))
