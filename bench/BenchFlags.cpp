@@ -30,6 +30,16 @@ static cl::opt<std::string> MappingReportPath(
     "Write the data-mapping inference report (per-kernel parameter "
     "classifications and inferred map kinds, docs/data-mapping.md) to the "
     "given path", std::string());
+static cl::opt<int64_t> DevicesFlag(
+    "devices",
+    "Simulated devices in the group, 1..64 homogeneous copies of -march "
+    "(docs/multi-device.md); mutually exclusive with -group-spec",
+    (int64_t)1);
+static cl::opt<std::string> GroupSpecFlag(
+    "group-spec",
+    "Path to a device-group *.json spec naming per-device architectures "
+    "and an optional peer link (docs/multi-device.md); mutually exclusive "
+    "with -devices", std::string());
 
 namespace ompgpu {
 namespace bench {
@@ -63,6 +73,40 @@ const std::string &benchSummaryFlagPath() {
 
 const std::string &mappingReportFlagPath() {
   return MappingReportPath.getValue();
+}
+
+Expected<unsigned> parseDeviceCountFlag(const std::string &Flag,
+                                        int64_t Value, bool WasSet) {
+  if (!WasSet)
+    return 1u;
+  if (Value <= 0)
+    return Error::failure("-" + Flag + " must be a positive device count "
+                          "(got " + std::to_string(Value) + ")");
+  if (Value > (int64_t)MaxGroupDevices)
+    return Error::failure("-" + Flag + " is implausibly large (got " +
+                          std::to_string(Value) + ", max " +
+                          std::to_string(MaxGroupDevices) + ")");
+  return (unsigned)Value;
+}
+
+bool groupSpecFlagIsSet() { return !GroupSpecFlag.getValue().empty(); }
+
+Expected<DeviceGroupSpec> resolveGroupSpecFlag() {
+  if (groupSpecFlagIsSet()) {
+    if (DevicesFlag.occurred())
+      return Error::failure("-group-spec: cannot combine with -devices "
+                            "(the spec names the group's devices)");
+    Expected<DeviceGroupSpec> S =
+        resolveDeviceGroupSpec(GroupSpecFlag.getValue());
+    if (!S)
+      return Error::failure("-group-spec: " + S.message());
+    return S;
+  }
+  Expected<unsigned> N = parseDeviceCountFlag(
+      "devices", DevicesFlag.getValue(), DevicesFlag.occurred());
+  if (!N)
+    return N.takeError();
+  return homogeneousGroupSpec(activeArch(), *N);
 }
 
 } // namespace bench

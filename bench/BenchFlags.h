@@ -20,7 +20,7 @@
 #ifndef OMPGPU_BENCH_BENCHFLAGS_H
 #define OMPGPU_BENCH_BENCHFLAGS_H
 
-#include "gpusim/ArchSpec.h"
+#include "gpusim/DeviceGroup.h"
 
 #include <string>
 
@@ -56,6 +56,26 @@ const std::string &benchSummaryFlagPath();
 /// -mapping-report=<path>: the data-mapping inference report
 /// (docs/data-mapping.md); consumed by bench/lint, uploaded by CI.
 const std::string &mappingReportFlagPath();
+/// @}
+
+/// \name Shared multi-device flags (docs/multi-device.md)
+/// -devices=N and -group-spec=<path.json> select the simulated device
+/// group of multi-device drivers (bench/cg). Both are usage-validated: a
+/// zero, negative, or implausibly large count and an unreadable or
+/// invalid spec file are usage errors (exit 2), with the offending flag
+/// named in the message.
+/// @{
+/// Validates a -devices count: an unset flag (\p WasSet false) yields 1;
+/// explicit values must be in [1, MaxGroupDevices].
+Expected<unsigned> parseDeviceCountFlag(const std::string &Flag,
+                                        int64_t Value, bool WasSet);
+/// Builds the effective device group: the -group-spec file when set
+/// (mutually exclusive with an explicit -devices — the spec names the
+/// group's devices), otherwise -devices homogeneous copies of the active
+/// -march architecture. Call after initActiveArch().
+Expected<DeviceGroupSpec> resolveGroupSpecFlag();
+/// True when -group-spec was given.
+bool groupSpecFlagIsSet();
 /// @}
 
 } // namespace bench

@@ -1,0 +1,314 @@
+//===- bench/cg.cpp - Multi-device CG/SpMV bench driver --------------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the partitioned CG workload family over a simulated device
+/// group (docs/multi-device.md). Two modes:
+///
+///   * Default: one solve on the group selected by -devices/-group-spec
+///     and -march. Groups larger than one device are verified bit-exact
+///     against the 1-device reference (exit 1 on mismatch).
+///   * -multidevice-bench=<path>: the CI trajectory — both matrix shapes
+///     (compute, transfer) across 1/2/4 homogeneous -march devices,
+///     written as BENCH_multidevice.json with makespan speedups and
+///     communication fractions; -cg-require-speedup / -cg-require-comm
+///     gate the compute-shape speedup and the transfer-shape
+///     communication fraction.
+///
+/// Artifacts: -bench-summary rows per solve (shared BenchSupport schema),
+/// -compile-report with one per-architecture report carrying the schema
+/// v9 `multi_device` section. Exit codes: 2 for bad flag values, 1 for
+/// traps, bit-exactness mismatches, failed gates, or write errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "driver/CompileReport.h"
+#include "support/CommandLine.h"
+#include "support/FileSystem.h"
+#include "support/raw_ostream.h"
+#include "workloads/CGSolver.h"
+
+using namespace ompgpu;
+using namespace ompgpu::bench;
+
+static cl::opt<std::string> MatrixShape(
+    "matrix-shape",
+    "Named CG operator shape: compute (kernel-cycle dominated) or "
+    "transfer (link-latency dominated)",
+    std::string("compute"));
+static cl::opt<std::string> CGFormatFlag(
+    "cg-format", "Sparse matrix format: crs or ell", std::string("crs"));
+static cl::opt<std::string> MultiDeviceBenchPath(
+    "multidevice-bench",
+    "Run the 1/2/4-device trajectory over both matrix shapes and write "
+    "BENCH_multidevice.json to the given path", std::string());
+static cl::opt<double> RequireSpeedup(
+    "cg-require-speedup",
+    "With -multidevice-bench: fail unless the compute shape's 4-device "
+    "makespan speedup reaches this factor (0 = no gate)", 0.0);
+static cl::opt<double> RequireComm(
+    "cg-require-comm",
+    "With -multidevice-bench: fail unless the transfer shape's 4-device "
+    "communication fraction reaches this value (0 = no gate)", 0.0);
+static cl::opt<int64_t> PerturbSeed(
+    "cg-perturb",
+    "Completion-order perturbation seed (determinism probes; 0 = off)",
+    (int64_t)0);
+
+namespace {
+
+/// One solved configuration of the trajectory.
+struct SolveRow {
+  unsigned Devices = 0;
+  CGResult R;
+};
+
+CGOptions makeOptions(const CGOptions &Shape, CGFormat Fmt,
+                      DeviceGroupSpec Group) {
+  CGOptions O = Shape;
+  O.Fmt = Fmt;
+  O.Group = std::move(Group);
+  // runCG re-applies each device's architecture via applyArch, so the
+  // preset needs no -march retargeting here.
+  O.Pipeline = makeDevPipeline();
+  O.PerturbSeed = (uint64_t)(int64_t)PerturbSeed;
+  return O;
+}
+
+json::Value cgSummaryRow(const std::string &Shape, CGFormat Fmt,
+                         unsigned Devices, const CGResult &R,
+                         double Speedup) {
+  const DeviceGroupStats &St = R.Stats;
+  return json::Value::makeObject()
+      .set("workload", std::string("cg-") + cgFormatName(Fmt))
+      .set("config", Shape)
+      .set("devices", (int64_t)Devices)
+      .set("iterations", (int64_t)R.Iterations)
+      .set("converged", R.Converged)
+      .set("makespan_cycles", (int64_t)St.MakespanCycles)
+      .set("sum_device_cycles", (int64_t)St.SumDeviceCycles)
+      .set("speedup", Speedup)
+      .set("communication_fraction", St.communicationFraction())
+      .set("load_imbalance", St.loadImbalance())
+      .set("host_link_bytes", (int64_t)St.HostLinkBytes)
+      .set("peer_bytes", (int64_t)St.PeerBytes);
+}
+
+/// Writes the -compile-report artifact: one report per compiled
+/// architecture, each carrying the `multi_device` section with the group
+/// shape and the solve's DeviceGroupStats.
+bool writeCGCompileReports(const CGResult &R, const DeviceGroupSpec &Spec) {
+  const std::string &Path = compileReportFlagPath();
+  if (Path.empty())
+    return true;
+  json::Value Docs = json::Value::makeArray();
+  for (const CGResult::ArchCompile &AC : R.Compiles) {
+    json::Value MD = json::Value::makeObject()
+                         .set("managed", true)
+                         .set("group", Spec.Name)
+                         .set("devices", (int64_t)Spec.Devices.size())
+                         .set("peer_link", Spec.HasPeerLink)
+                         .set("stats", R.Stats.toJSON());
+    Docs.push_back(buildCompileReport(AC.Opts, AC.Compile, {}, nullptr,
+                                      &MD));
+  }
+  if (Error E = writeCompileReportFile(Path, Docs)) {
+    errs() << "cg: " << E.message() << "\n";
+    return false;
+  }
+  return true;
+}
+
+/// Solves one configuration, printing a one-line summary.
+bool solve(const CGOptions &O, const std::string &Label, CGResult &Out) {
+  Out = runCG(O);
+  if (!Out.Trap.empty()) {
+    errs() << "cg: " << Label << ": " << Out.Trap << "\n";
+    return false;
+  }
+  const DeviceGroupStats &St = Out.Stats;
+  outs() << formatBuf(
+      "  %-22s %2u dev %4u iter  makespan %12llu  comm %5.1f%%  imb %.2f\n",
+      Label.c_str(), (unsigned)St.Devices.size(), Out.Iterations,
+      (unsigned long long)St.MakespanCycles,
+      100.0 * St.communicationFraction(), St.loadImbalance());
+  return true;
+}
+
+/// The -multidevice-bench trajectory: both shapes x 1/2/4 devices on the
+/// active -march architecture.
+int runTrajectory(CGFormat Fmt) {
+  json::Value Doc = json::Value::makeObject()
+                        .set("schema_version", (int64_t)1)
+                        .set("generator", "ompgpu")
+                        .set("tool", "cg")
+                        .set("format", cgFormatName(Fmt))
+                        .set("arch", activeArch().Name);
+  json::Value Shapes = json::Value::makeArray();
+  bool GatePassed = true;
+  std::string GateMessage;
+
+  for (const char *ShapeName : {"compute", "transfer"}) {
+    Expected<CGOptions> Shape = cgMatrixShape(ShapeName);
+    if (!Shape) {
+      errs() << "cg: " << Shape.message() << "\n";
+      return 1;
+    }
+    outs() << "shape " << ShapeName << " (rows " << Shape->Rows << ", band "
+           << Shape->Band << "):\n";
+
+    std::vector<SolveRow> Rows;
+    for (unsigned D : {1u, 2u, 4u}) {
+      SolveRow S;
+      S.Devices = D;
+      CGOptions O = makeOptions(*Shape, Fmt,
+                                homogeneousGroupSpec(activeArch(), D));
+      if (!solve(O, std::string(ShapeName) + " x" + std::to_string(D), S.R))
+        return 1;
+      Rows.push_back(std::move(S));
+    }
+
+    const SolveRow &Ref = Rows.front();
+    json::Value RowsJSON = json::Value::makeArray();
+    for (const SolveRow &S : Rows) {
+      bool BitExact = S.R.resultHash() == Ref.R.resultHash();
+      double Speedup = S.R.Stats.MakespanCycles
+                           ? (double)Ref.R.Stats.MakespanCycles /
+                                 (double)S.R.Stats.MakespanCycles
+                           : 0.0;
+      if (!BitExact) {
+        errs() << "cg: " << ShapeName << " x" << S.Devices
+               << " is not bit-exact with the 1-device reference\n";
+        return 1;
+      }
+      json::Value Row = cgSummaryRow(ShapeName, Fmt, S.Devices, S.R, Speedup);
+      Row.set("bit_exact", BitExact);
+      recordBenchSummaryRow(Row);
+      RowsJSON.push_back(std::move(Row));
+
+      if (S.Devices == 4) {
+        if (std::string(ShapeName) == "compute" &&
+            RequireSpeedup.getValue() > 0.0 &&
+            Speedup < RequireSpeedup.getValue()) {
+          GatePassed = false;
+          GateMessage = formatBuf(
+              "compute-shape 4-device speedup %.2fx below the required "
+              "%.2fx", Speedup, RequireSpeedup.getValue());
+        }
+        if (std::string(ShapeName) == "transfer" &&
+            RequireComm.getValue() > 0.0 &&
+            S.R.Stats.communicationFraction() < RequireComm.getValue()) {
+          GatePassed = false;
+          GateMessage = formatBuf(
+              "transfer-shape 4-device communication fraction %.2f below "
+              "the required %.2f",
+              S.R.Stats.communicationFraction(), RequireComm.getValue());
+        }
+      }
+    }
+    Shapes.push_back(json::Value::makeObject()
+                         .set("shape", ShapeName)
+                         .set("rows", (int64_t)Shape->Rows)
+                         .set("band", (int64_t)Shape->Band)
+                         .set("results", std::move(RowsJSON)));
+  }
+
+  Doc.set("shapes", std::move(Shapes));
+  if (Error E = writeTextFile(MultiDeviceBenchPath.getValue(),
+                              Doc.str() + "\n")) {
+    errs() << "cg: " << E.message() << "\n";
+    return 1;
+  }
+  outs() << "wrote " << MultiDeviceBenchPath.getValue() << "\n";
+  if (!GatePassed) {
+    errs() << "cg: " << GateMessage << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  cl::parseCommandLine(argc, argv);
+  if (!initActiveArch())
+    return 2;
+
+  CGFormat Fmt;
+  if (CGFormatFlag.getValue() == "crs") {
+    Fmt = CGFormat::CRS;
+  } else if (CGFormatFlag.getValue() == "ell") {
+    Fmt = CGFormat::ELL;
+  } else {
+    errs() << "error: -cg-format: unknown format '" << CGFormatFlag.getValue()
+           << "' (expected crs or ell)\n";
+    return 2;
+  }
+  Expected<CGOptions> Shape = cgMatrixShape(MatrixShape.getValue());
+  if (!Shape) {
+    errs() << "error: -matrix-shape: " << Shape.message() << "\n";
+    return 2;
+  }
+  Expected<DeviceGroupSpec> Group = resolveGroupSpecFlag();
+  if (!Group) {
+    errs() << "error: " << Group.message() << "\n";
+    return 2;
+  }
+  if (PerturbSeed.getValue() < 0) {
+    errs() << "error: -cg-perturb must be non-negative\n";
+    return 2;
+  }
+
+  int Exit = 0;
+  if (!MultiDeviceBenchPath.getValue().empty()) {
+    Exit = runTrajectory(Fmt);
+  } else {
+    outs() << "CG (" << cgFormatName(Fmt) << ", " << MatrixShape.getValue()
+           << " shape) on group '" << Group->Name << "' ("
+           << Group->Devices.size() << " device(s))\n";
+    CGResult R;
+    if (!solve(makeOptions(*Shape, Fmt, *Group), Group->Name, R)) {
+      Exit = 1;
+    } else {
+      if (Group->Devices.size() > 1) {
+        // Bit-exactness gate: the group must reproduce the 1-device
+        // reference exactly (same arch as device 0 of the group).
+        CGOptions RefO = makeOptions(*Shape, Fmt,
+                                     homogeneousGroupSpec(
+                                         Group->Devices.front(), 1));
+        CGResult Ref;
+        if (!solve(RefO, "1-device reference", Ref)) {
+          Exit = 1;
+        } else if (Ref.resultHash() != R.resultHash()) {
+          errs() << "cg: group '" << Group->Name
+                 << "' is not bit-exact with the 1-device reference\n";
+          Exit = 1;
+        } else {
+          outs() << "  bit-exact with the 1-device reference (hash "
+                 << formatBuf("%016llx",
+                              (unsigned long long)R.resultHash())
+                 << ")\n";
+        }
+      }
+      recordBenchSummaryRow(cgSummaryRow(MatrixShape.getValue(), Fmt,
+                                         (unsigned)Group->Devices.size(), R,
+                                         /*Speedup=*/0.0));
+      RemarkCollector RC;
+      for (const Remark &RM : R.Remarks)
+        RC.emit(RM.Id, RM.Missed, RM.FunctionName, RM.Message);
+      RC.print(outs());
+      if (!writeCGCompileReports(R, *Group))
+        Exit = 1;
+    }
+  }
+
+  if (!writeBenchSummary("cg"))
+    Exit = Exit ? Exit : 1;
+  outs().flush();
+  return Exit;
+}

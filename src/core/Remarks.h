@@ -72,6 +72,12 @@ enum class RemarkId : unsigned {
                 ///< copied back for the host to observe.
   OMP244 = 244, ///< Lint: redundant round-trip — a declared mapping copies
                 ///< in a direction the kernel provably never needs.
+  OMP250 = 250, ///< Multi-device: work partitioned across a device group
+                ///< (row chunks per device; docs/multi-device.md).
+  OMP251 = 251, ///< Multi-device: cross-device reduction strategy selected
+                ///< (deterministic fixed-order cell combine).
+  OMP252 = 252, ///< Multi-device: load-imbalance warning — the slowest
+                ///< device dominates the group makespan (missed).
 };
 
 /// Returns the upstream identifier string of \p Id, e.g. "OMP110"

@@ -251,6 +251,17 @@ static json::Value cacheSection(const json::Value *CacheInfo) {
   return C;
 }
 
+/// Schema v9: compiles launched onto a DeviceGroup embed the group shape
+/// and DeviceGroupStats here (bench/cg passes the payload); a plain
+/// single-device compile gets the inert default (docs/multi-device.md).
+static json::Value multiDeviceSection(const json::Value *MultiDevice) {
+  if (MultiDevice)
+    return *MultiDevice;
+  json::Value M = json::Value::makeObject();
+  M.set("managed", false);
+  return M;
+}
+
 /// Schema v6: every report carries a `resilience` section. A direct
 /// compile (and a cached payload) gets this inert default; the compile
 /// service overwrites it per run with the request's ResilienceSummary
@@ -302,7 +313,8 @@ json::Value
 ompgpu::buildCompileReport(const PipelineOptions &Opts,
                            const CompileResult &Result,
                            const std::vector<KernelStats> &Kernels,
-                           const json::Value *CacheInfo) {
+                           const json::Value *CacheInfo,
+                           const json::Value *MultiDevice) {
   json::Value Verify = json::Value::makeObject();
   Verify.set("failed", Result.VerifyFailed)
       .set("error", Result.VerifyError)
@@ -329,6 +341,7 @@ ompgpu::buildCompileReport(const PipelineOptions &Opts,
       .set("statistics", statisticsSection(Result))
       .set("cache", cacheSection(CacheInfo))
       .set("resilience", resilienceSection())
+      .set("multi_device", multiDeviceSection(MultiDevice))
       .set("kernels", std::move(KernelArray));
   return Doc;
 }

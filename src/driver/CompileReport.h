@@ -42,8 +42,10 @@ namespace ompgpu {
 /// architecture and its key machine parameters (docs/architectures.md);
 /// v8 added the `mapping` section (MapInference's per-parameter access
 /// classes and map kinds), `run_map_inference` in `pipeline`, and the
-/// per-kernel modeled-transfer counters (docs/data-mapping.md).
-inline constexpr unsigned CompileReportSchemaVersion = 8;
+/// per-kernel modeled-transfer counters (docs/data-mapping.md); v9 added
+/// the `multi_device` section (device-group shape and DeviceGroupStats
+/// for compiles launched onto a DeviceGroup, docs/multi-device.md).
+inline constexpr unsigned CompileReportSchemaVersion = 9;
 
 /// Serializes one MapInferenceResult as the report's `mapping` section:
 /// {ran, minimal_count, fallback_count, params:[...]}. Shared with the
@@ -55,10 +57,15 @@ json::Value mapInferenceToJSON(bool Ran, const MapInferenceResult &Mapping);
 /// \p CacheInfo, when non-null, is embedded verbatim as the `cache`
 /// section (the compile service passes key/hit/cacheable); otherwise the
 /// section is `{"managed": false}` — an uncached, direct compile.
+/// \p MultiDevice, when non-null, is embedded verbatim as the
+/// `multi_device` section (bench/cg passes the device-group shape and
+/// DeviceGroupStats, docs/multi-device.md); otherwise that section is
+/// `{"managed": false}` — a single-device compile.
 json::Value buildCompileReport(const PipelineOptions &Opts,
                                const CompileResult &Result,
                                const std::vector<KernelStats> &Kernels = {},
-                               const json::Value *CacheInfo = nullptr);
+                               const json::Value *CacheInfo = nullptr,
+                               const json::Value *MultiDevice = nullptr);
 
 /// Writes \p Report pretty-printed, with a trailing newline.
 void writeCompileReport(raw_ostream &OS, const json::Value &Report);

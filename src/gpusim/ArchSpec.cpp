@@ -271,8 +271,14 @@ Error ArchSpec::validate() const {
     return Fail("device_heap_bytes must be non-zero");
   if (!(M.ClockGHz > 0.0))
     return Fail("clock_ghz must be positive");
+  // The host-link transfer model divides by the bandwidth and always pays
+  // the setup latency; zero or negative values would produce divide-by-zero
+  // or free transfers instead of a diagnosable spec error.
   if (!(M.HostLinkBytesPerCycle > 0.0))
-    return Fail("host_link_bytes_per_cycle must be positive");
+    return Fail("host_link_bytes_per_cycle must be positive, got " +
+                std::to_string(M.HostLinkBytesPerCycle));
+  if (M.HostLinkLatencyCycles == 0)
+    return Fail("host_link_latency_cycles must be non-zero");
   const CostParams &C = M.Costs;
   if (C.AluCycles == 0 || C.BarrierCycles == 0 || C.SharedMemCycles == 0 ||
       C.GlobalCoalescedCycles == 0)

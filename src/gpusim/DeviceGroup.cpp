@@ -1,0 +1,341 @@
+//===- gpusim/DeviceGroup.cpp - Multi-device simulation group --------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gpusim/DeviceGroup.h"
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ompgpu;
+
+//===----------------------------------------------------------------------===//
+// DeviceGroupSpec
+//===----------------------------------------------------------------------===//
+
+bool DeviceGroupSpec::isHomogeneous() const {
+  if (Devices.size() < 2)
+    return true;
+  uint64_t First = archFingerprint(Devices.front());
+  for (size_t I = 1; I < Devices.size(); ++I)
+    if (archFingerprint(Devices[I]) != First)
+      return false;
+  return true;
+}
+
+Error DeviceGroupSpec::validate() const {
+  auto Fail = [](const std::string &Msg) {
+    return Error::failure("group spec: " + Msg);
+  };
+  if (Name.empty())
+    return Fail("name must be non-empty");
+  if (Devices.empty())
+    return Fail("devices must name at least one device");
+  if (Devices.size() > MaxGroupDevices)
+    return Fail("devices lists " + std::to_string(Devices.size()) +
+                " entries, more than the supported maximum of " +
+                std::to_string(MaxGroupDevices));
+  for (size_t I = 0; I < Devices.size(); ++I)
+    if (Error E = Devices[I].validate())
+      return Fail("devices[" + std::to_string(I) + "]: " + E.message());
+  if (HasPeerLink) {
+    if (!(PeerBytesPerCycle > 0.0) || !std::isfinite(PeerBytesPerCycle))
+      return Fail("peer_link.bytes_per_cycle must be positive");
+    if (PeerLatencyCycles == 0)
+      return Fail("peer_link.latency_cycles must be non-zero");
+  }
+  return Error::success();
+}
+
+DeviceGroupSpec ompgpu::homogeneousGroupSpec(const ArchSpec &Arch,
+                                             unsigned N) {
+  DeviceGroupSpec Spec;
+  Spec.Name = Arch.Name + "x" + std::to_string(N);
+  Spec.Devices.assign(N, Arch);
+  return Spec;
+}
+
+json::Value ompgpu::deviceGroupSpecToJSON(const DeviceGroupSpec &Spec) {
+  json::Value Doc = json::Value::makeObject();
+  Doc.set("schema_version", DeviceGroupSchemaVersion).set("name", Spec.Name);
+  json::Value Devs = json::Value::makeArray();
+  for (const ArchSpec &A : Spec.Devices)
+    Devs.push_back(archSpecToJSON(A));
+  Doc.set("devices", std::move(Devs));
+  if (Spec.HasPeerLink) {
+    json::Value Peer = json::Value::makeObject();
+    Peer.set("bytes_per_cycle", Spec.PeerBytesPerCycle)
+        .set("latency_cycles", Spec.PeerLatencyCycles);
+    Doc.set("peer_link", std::move(Peer));
+  }
+  return Doc;
+}
+
+Expected<DeviceGroupSpec>
+ompgpu::parseDeviceGroupSpec(const json::Value &Doc) {
+  if (!Doc.isObject())
+    return Error::failure("group spec: document is not an object");
+  for (const auto &[Key, Val] : Doc.members()) {
+    (void)Val;
+    if (Key != "schema_version" && Key != "name" && Key != "devices" &&
+        Key != "peer_link")
+      return Error::failure("group spec: unknown field '" + Key + "'");
+  }
+
+  const json::Value *SV = Doc.find("schema_version");
+  if (!SV || SV->kind() != json::Value::Kind::Integer)
+    return Error::failure("group spec: missing integer 'schema_version'");
+  int64_t Version = SV->asInt();
+  if (Version < 1 || Version > (int64_t)DeviceGroupSchemaVersion)
+    return Error::failure("group spec: unsupported schema_version " +
+                          std::to_string(Version) + " (expected 1.." +
+                          std::to_string(DeviceGroupSchemaVersion) + ")");
+  const json::Value *Name = Doc.find("name");
+  if (!Name || !Name->isString() || Name->asString().empty())
+    return Error::failure("group spec: missing non-empty string 'name'");
+
+  const json::Value *Devs = Doc.find("devices");
+  if (!Devs || !Devs->isArray() || Devs->empty())
+    return Error::failure(
+        "group spec: 'devices' must be a non-empty array of architecture "
+        "names, *.json paths, or embedded arch-spec objects");
+
+  DeviceGroupSpec Spec;
+  Spec.Name = Name->asString();
+  for (size_t I = 0; I < Devs->size(); ++I) {
+    const json::Value &D = (*Devs)[I];
+    if (D.isString()) {
+      Expected<ArchSpec> A = resolveArch(D.asString());
+      if (!A)
+        return Error::failure("group spec: devices[" + std::to_string(I) +
+                              "]: " + A.message());
+      Spec.Devices.push_back(std::move(*A));
+    } else if (D.isObject()) {
+      Expected<ArchSpec> A = parseArchSpec(D);
+      if (!A)
+        return Error::failure("group spec: devices[" + std::to_string(I) +
+                              "]: " + A.message());
+      Spec.Devices.push_back(std::move(*A));
+    } else {
+      return Error::failure("group spec: devices[" + std::to_string(I) +
+                            "] must be a string or an arch-spec object");
+    }
+  }
+
+  if (const json::Value *Peer = Doc.find("peer_link")) {
+    if (!Peer->isObject())
+      return Error::failure("group spec: 'peer_link' must be an object");
+    for (const auto &[Key, Val] : Peer->members()) {
+      (void)Val;
+      if (Key != "bytes_per_cycle" && Key != "latency_cycles")
+        return Error::failure("group spec: unknown field 'peer_link." + Key +
+                              "'");
+    }
+    const json::Value *BPC = Peer->find("bytes_per_cycle");
+    if (!BPC || !BPC->isNumber())
+      return Error::failure(
+          "group spec: missing number 'peer_link.bytes_per_cycle'");
+    const json::Value *Lat = Peer->find("latency_cycles");
+    if (!Lat || Lat->kind() != json::Value::Kind::Integer ||
+        Lat->asInt() < 0)
+      return Error::failure("group spec: missing non-negative integer "
+                            "'peer_link.latency_cycles'");
+    Spec.HasPeerLink = true;
+    Spec.PeerBytesPerCycle = BPC->asDouble();
+    Spec.PeerLatencyCycles = (unsigned)Lat->asInt();
+  }
+
+  if (Error E = Spec.validate())
+    return E;
+  return Spec;
+}
+
+Expected<DeviceGroupSpec>
+ompgpu::parseDeviceGroupSpecText(const std::string &Text) {
+  json::Value Doc;
+  std::string ParseError;
+  if (!json::parse(Text, Doc, &ParseError))
+    return Error::failure("group spec: malformed JSON: " + ParseError);
+  return parseDeviceGroupSpec(Doc);
+}
+
+Expected<DeviceGroupSpec>
+ompgpu::resolveDeviceGroupSpec(const std::string &Path) {
+  Expected<std::string> Text = readTextFile(Path);
+  if (!Text)
+    return Error::failure("group spec '" + Path + "': " + Text.message());
+  return parseDeviceGroupSpecText(*Text);
+}
+
+//===----------------------------------------------------------------------===//
+// DeviceGroupStats
+//===----------------------------------------------------------------------===//
+
+double DeviceGroupStats::loadImbalance() const {
+  uint64_t Max = 0, Sum = 0;
+  for (const PerDevice &D : Devices) {
+    Max = std::max(Max, D.BusyCycles);
+    Sum += D.BusyCycles;
+  }
+  if (Sum == 0 || Devices.empty())
+    return 1.0;
+  double Mean = (double)Sum / (double)Devices.size();
+  return (double)Max / Mean;
+}
+
+double DeviceGroupStats::communicationFraction() const {
+  if (MakespanCycles == 0)
+    return 0.0;
+  double F = (double)CommCriticalCycles / (double)MakespanCycles;
+  return F > 1.0 ? 1.0 : F;
+}
+
+json::Value DeviceGroupStats::toJSON() const {
+  json::Value Doc = json::Value::makeObject();
+  json::Value Devs = json::Value::makeArray();
+  for (size_t I = 0; I < Devices.size(); ++I) {
+    const PerDevice &D = Devices[I];
+    json::Value Row = json::Value::makeObject();
+    Row.set("index", (uint64_t)I)
+        .set("arch", D.Arch)
+        .set("launches", D.Launches)
+        .set("kernel_cycles", D.KernelCycles)
+        .set("comm_cycles", D.CommCycles)
+        .set("busy_cycles", D.BusyCycles)
+        .set("bytes_to_device", D.BytesToDevice)
+        .set("bytes_from_device", D.BytesFromDevice);
+    Devs.push_back(std::move(Row));
+  }
+  Doc.set("devices", std::move(Devs))
+      .set("host_link_bytes", HostLinkBytes)
+      .set("host_link_cycles", HostLinkCycles)
+      .set("peer_bytes", PeerBytes)
+      .set("peer_cycles", PeerCycles)
+      .set("makespan_cycles", MakespanCycles)
+      .set("sum_device_cycles", SumDeviceCycles)
+      .set("comm_critical_cycles", CommCriticalCycles)
+      .set("sync_points", SyncPoints)
+      .set("load_imbalance", loadImbalance())
+      .set("communication_fraction", communicationFraction());
+  return Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// DeviceGroup
+//===----------------------------------------------------------------------===//
+
+DeviceGroup::DeviceGroup(DeviceGroupSpec S) : Spec(std::move(S)) {
+  for (const ArchSpec &A : Spec.Devices) {
+    Dev.push_back(std::make_unique<GPUDevice>(A.Machine));
+    DeviceGroupStats::PerDevice PD;
+    PD.Arch = A.Name;
+    Stats.Devices.push_back(std::move(PD));
+  }
+  PhaseCycles.assign(Dev.size(), 0);
+  PhaseCommCycles.assign(Dev.size(), 0);
+}
+
+DeviceGroup::~DeviceGroup() = default;
+
+KernelStats DeviceGroup::launch(unsigned I, Module &M, Function *Kernel,
+                                const LaunchConfig &Config,
+                                const std::vector<uint64_t> &Args,
+                                const NativeRuntimeBinding &RTL) {
+  KernelStats S = Dev[I]->launchKernel(M, Kernel, Config, Args, RTL);
+
+  DeviceGroupStats::PerDevice &PD = Stats.Devices[I];
+  PD.Launches += 1;
+  PD.KernelCycles += S.Cycles;
+  PD.CommCycles += S.TransferCycles;
+  PD.BytesToDevice += S.BytesToDevice;
+  PD.BytesFromDevice += S.BytesFromDevice;
+  Stats.HostLinkBytes += S.BytesToDevice + S.BytesFromDevice;
+  Stats.HostLinkCycles += S.TransferCycles;
+
+  uint64_t Cost = S.totalCycles();
+  // Deterministic completion jitter: a seed/device/launch hash, bounded
+  // well below any real kernel. Changes queue timing, never memory.
+  if (PerturbSeed) {
+    uint64_t H = hashCombine(hashCombine(PerturbSeed, I), PD.Launches);
+    Cost += H % 1000;
+  }
+  PhaseCycles[I] += Cost;
+  PhaseCommCycles[I] += S.TransferCycles;
+  return S;
+}
+
+void DeviceGroup::syncAll() {
+  uint64_t Adv = 0, AdvComm = 0;
+  for (size_t I = 0; I < Dev.size(); ++I) {
+    if (PhaseCycles[I] > Adv) {
+      Adv = PhaseCycles[I];
+      AdvComm = PhaseCommCycles[I];
+    }
+    Stats.Devices[I].BusyCycles += PhaseCycles[I];
+    Stats.SumDeviceCycles += PhaseCycles[I];
+    PhaseCycles[I] = 0;
+    PhaseCommCycles[I] = 0;
+  }
+  if (Adv == 0)
+    return; // idle barrier: no frontier advance, no sync point recorded
+  Stats.MakespanCycles += Adv;
+  Stats.CommCriticalCycles += AdvComm;
+  Stats.SyncPoints += 1;
+}
+
+void DeviceGroup::chargeHostTransfer(unsigned I, uint64_t Bytes,
+                                     bool ToDevice) {
+  if (Bytes == 0)
+    return;
+  syncAll(); // the host link is one shared, serializing resource
+  uint64_t Cycles = hostTransferCycles(Dev[I]->getMachine(), Bytes);
+  Stats.MakespanCycles += Cycles;
+  Stats.SumDeviceCycles += Cycles;
+  Stats.CommCriticalCycles += Cycles;
+  Stats.HostLinkBytes += Bytes;
+  Stats.HostLinkCycles += Cycles;
+  DeviceGroupStats::PerDevice &PD = Stats.Devices[I];
+  PD.CommCycles += Cycles;
+  PD.BusyCycles += Cycles;
+  if (ToDevice)
+    PD.BytesToDevice += Bytes;
+  else
+    PD.BytesFromDevice += Bytes;
+}
+
+void DeviceGroup::chargePeerTransfer(unsigned Src, unsigned Dst,
+                                     uint64_t Bytes) {
+  if (Bytes == 0 || Src == Dst)
+    return;
+  if (!Spec.HasPeerLink) {
+    // Host-staged path: download from the source, upload to the
+    // destination — two serialized host-link hops. A direct-link spec
+    // replaces both with one peer hop, the observable win.
+    chargeHostTransfer(Src, Bytes, /*ToDevice=*/false);
+    chargeHostTransfer(Dst, Bytes, /*ToDevice=*/true);
+    return;
+  }
+  syncAll();
+  uint64_t Cycles =
+      Spec.PeerLatencyCycles +
+      (uint64_t)std::ceil((double)Bytes / Spec.PeerBytesPerCycle);
+  Stats.MakespanCycles += Cycles;
+  Stats.SumDeviceCycles += Cycles;
+  Stats.CommCriticalCycles += Cycles;
+  Stats.PeerBytes += Bytes;
+  Stats.PeerCycles += Cycles;
+  Stats.Devices[Src].CommCycles += Cycles;
+  Stats.Devices[Src].BusyCycles += Cycles;
+  Stats.Devices[Src].BytesFromDevice += Bytes;
+  Stats.Devices[Dst].BytesToDevice += Bytes;
+}
+
+const DeviceGroupStats &DeviceGroup::stats() {
+  syncAll();
+  return Stats;
+}

@@ -1,0 +1,210 @@
+//===- gpusim/DeviceGroup.h - Multi-device simulation group -----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-device scale-out for gpusim (docs/multi-device.md): a DeviceGroup
+/// owns N GPUDevice instances — homogeneous (one ArchSpec replicated) or
+/// heterogeneous (a JSON group spec naming per-device architectures from
+/// the registry) — with per-device in-order launch queues and a
+/// deterministic bulk-synchronous completion model. Device<->host traffic
+/// reuses the MachineModel host-link math; device<->device traffic defaults
+/// to the host-staged double hop and upgrades to a direct peer link when
+/// the group spec declares one, so a peer-link spec is an observable win.
+/// DeviceGroupStats tracks per-device busy cycles, link bytes/cycles, the
+/// critical-path makespan vs. the sum of device cycles, and the
+/// load-imbalance ratio the OMP252 remark warns about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_GPUSIM_DEVICEGROUP_H
+#define OMPGPU_GPUSIM_DEVICEGROUP_H
+
+#include "gpusim/ArchSpec.h"
+#include "gpusim/Device.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Version of the device-group JSON schema (docs/multi-device.md). Bump on
+/// any field rename/removal; the strict parser rejects newer versions.
+inline constexpr unsigned DeviceGroupSchemaVersion = 1;
+
+/// Upper bound on the devices a group may declare. Far above any real
+/// node (DGX-2 tops out at 16); a -devices value beyond it is a usage
+/// error, not a simulation request.
+inline constexpr unsigned MaxGroupDevices = 64;
+
+/// One simulated multi-GPU node: the per-device architectures plus the
+/// optional direct device<->device link.
+struct DeviceGroupSpec {
+  /// Stable identifier, stamped into reports and bench artifacts.
+  std::string Name = "v100x1";
+  /// Per-device architectures, in device-index order.
+  std::vector<ArchSpec> Devices;
+  /// Direct peer link (NVLink-style). When absent, device<->device
+  /// exchanges are staged through the host: one host-link hop out of the
+  /// source plus one into the destination.
+  bool HasPeerLink = false;
+  /// Peer-link bandwidth in bytes per source-device cycle (> 0 when
+  /// HasPeerLink).
+  double PeerBytesPerCycle = 0.0;
+  /// Fixed per-peer-transfer setup cost in cycles (> 0 when HasPeerLink).
+  unsigned PeerLatencyCycles = 0;
+
+  unsigned size() const { return (unsigned)Devices.size(); }
+
+  /// True when every device shares one architecture fingerprint (one
+  /// compiled module serves the whole group).
+  bool isHomogeneous() const;
+
+  /// Checks internal consistency: non-empty name, 1..MaxGroupDevices
+  /// devices each passing ArchSpec::validate(), and positive peer-link
+  /// parameters when a peer link is declared. Returns the first violation
+  /// as a typed Error naming the offending field.
+  Error validate() const;
+};
+
+/// Builds the homogeneous group "<arch>xN": \p N devices of \p Arch, no
+/// peer link (the -devices=N path of the bench drivers).
+DeviceGroupSpec homogeneousGroupSpec(const ArchSpec &Arch, unsigned N);
+
+/// Serializes \p Spec into the schema-versioned JSON document. Devices are
+/// embedded as full ArchSpec documents so a written group spec is
+/// self-contained; parse accepts registry names, spec paths, or embedded
+/// objects. Deterministic member order.
+json::Value deviceGroupSpecToJSON(const DeviceGroupSpec &Spec);
+
+/// Strictly parses a device-group document: every member known by name,
+/// `devices` a non-empty array of registry names / *.json paths / embedded
+/// ArchSpec objects, the optional `peer_link` object complete and
+/// positive. The result passes validate().
+Expected<DeviceGroupSpec> parseDeviceGroupSpec(const json::Value &Doc);
+
+/// parseDeviceGroupSpec over raw JSON text.
+Expected<DeviceGroupSpec> parseDeviceGroupSpecText(const std::string &Text);
+
+/// Reads and parses the group-spec file at \p Path (-group-spec= flag).
+Expected<DeviceGroupSpec> resolveDeviceGroupSpec(const std::string &Path);
+
+/// Execution statistics of one DeviceGroup lifetime (docs/multi-device.md).
+/// All cycle counts are simulated device cycles.
+struct DeviceGroupStats {
+  struct PerDevice {
+    std::string Arch;            ///< architecture name of this device
+    uint64_t Launches = 0;       ///< kernels enqueued on this device
+    uint64_t KernelCycles = 0;   ///< pure kernel execution cycles
+    uint64_t CommCycles = 0;     ///< per-launch mapped-transfer cycles
+    uint64_t BusyCycles = 0;     ///< total queue occupancy (kernel + comm)
+    uint64_t BytesToDevice = 0;  ///< host-link bytes into this device
+    uint64_t BytesFromDevice = 0; ///< host-link bytes out of this device
+  };
+  std::vector<PerDevice> Devices;
+
+  /// \name Link totals
+  /// @{
+  uint64_t HostLinkBytes = 0;  ///< bytes moved across the host link
+  uint64_t HostLinkCycles = 0; ///< serialized host-link cycles
+  uint64_t PeerBytes = 0;      ///< bytes moved across the direct peer link
+  uint64_t PeerCycles = 0;     ///< peer-link cycles
+  /// @}
+
+  /// Critical-path length: the group frontier after the last sync —
+  /// per-phase maxima over the device queues plus the serialized
+  /// communication phases.
+  uint64_t MakespanCycles = 0;
+  /// Sum of all per-device busy cycles plus serialized communication: the
+  /// single-queue equivalent. MakespanCycles approaches
+  /// SumDeviceCycles / N under perfect balance.
+  uint64_t SumDeviceCycles = 0;
+  /// Communication cycles on the critical path (group-frontier link
+  /// phases plus the slowest device's mapped-transfer cycles).
+  uint64_t CommCriticalCycles = 0;
+  /// Number of syncAll() barriers.
+  uint64_t SyncPoints = 0;
+
+  /// Max over mean of per-device busy cycles (1.0 = perfectly balanced;
+  /// OMP252 warns above 1.25). Returns 1.0 for an idle group.
+  double loadImbalance() const;
+  /// Fraction of the makespan spent communicating, in [0, 1].
+  double communicationFraction() const;
+
+  /// Serializes the stats as the report's `multi_device` payload
+  /// (docs/compile-report.md, schema v9).
+  json::Value toJSON() const;
+};
+
+/// N simulated devices with per-device in-order launch queues and a
+/// deterministic bulk-synchronous completion model. Launches enqueue onto
+/// one device's clock; syncAll() advances the shared group frontier by the
+/// slowest queue; link transfers run on the synced frontier (the host link
+/// is one shared, serializing resource). Everything is deterministic: the
+/// same launches and transfers produce the same makespan, and the
+/// completion-order perturbation knob changes queue timing only — never
+/// simulated memory contents.
+class DeviceGroup {
+public:
+  explicit DeviceGroup(DeviceGroupSpec Spec);
+  ~DeviceGroup();
+
+  const DeviceGroupSpec &spec() const { return Spec; }
+  unsigned size() const { return (unsigned)Dev.size(); }
+  GPUDevice &device(unsigned I) { return *Dev[I]; }
+  const GPUDevice &device(unsigned I) const { return *Dev[I]; }
+
+  /// Deterministic completion-order perturbation (tests): when \p Seed is
+  /// non-zero every launch completion is delayed by a seed/device/launch
+  /// hashed jitter of up to ~1000 cycles. Perturbs makespan and sync
+  /// ordering, never kernel results — the determinism tests demand
+  /// bit-identical residuals under any seed.
+  void setCompletionPerturbation(uint64_t Seed) { PerturbSeed = Seed; }
+
+  /// Enqueues one kernel launch on device \p I: runs the kernel on that
+  /// device and advances its queue clock by the launch's totalCycles()
+  /// (mapped-buffer transfer cycles count as communication and host-link
+  /// traffic). Returns the launch's KernelStats.
+  KernelStats launch(unsigned I, Module &M, Function *Kernel,
+                     const LaunchConfig &Config,
+                     const std::vector<uint64_t> &Args,
+                     const NativeRuntimeBinding &RTL);
+
+  /// Barrier across all queues: the group frontier advances by the
+  /// slowest device's pending cycles and every queue aligns to it.
+  void syncAll();
+
+  /// One host-link hop of \p Bytes to or from device \p I, on the synced
+  /// frontier (the host link serializes). Costed with device \p I's own
+  /// hostTransferCycles. Accounting only — callers move the actual bytes
+  /// via GPUDevice::memcpy{To,From}Device.
+  void chargeHostTransfer(unsigned I, uint64_t Bytes, bool ToDevice);
+
+  /// One device-to-device transfer of \p Bytes from \p Src to \p Dst:
+  /// the direct peer link when the spec declares one, otherwise the
+  /// host-staged double hop (source download + destination upload).
+  /// Accounting only, like chargeHostTransfer.
+  void chargePeerTransfer(unsigned Src, unsigned Dst, uint64_t Bytes);
+
+  /// Stats snapshot: syncs all queues so the makespan includes every
+  /// pending launch, then returns the accumulated statistics.
+  const DeviceGroupStats &stats();
+
+private:
+  DeviceGroupSpec Spec;
+  std::vector<std::unique_ptr<GPUDevice>> Dev;
+  /// Pending per-device cycles since the last syncAll().
+  std::vector<uint64_t> PhaseCycles;
+  /// Portion of PhaseCycles that is mapped-transfer communication.
+  std::vector<uint64_t> PhaseCommCycles;
+  DeviceGroupStats Stats;
+  uint64_t PerturbSeed = 0;
+};
+
+} // namespace ompgpu
+
+#endif // OMPGPU_GPUSIM_DEVICEGROUP_H

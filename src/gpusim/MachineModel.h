@@ -17,6 +17,8 @@
 #ifndef OMPGPU_GPUSIM_MACHINEMODEL_H
 #define OMPGPU_GPUSIM_MACHINEMODEL_H
 
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 
 namespace ompgpu {
@@ -132,14 +134,18 @@ struct MachineModel {
 
 /// Cycles to move \p Bytes across the host link in one direction: zero for
 /// an empty transfer, else the fixed setup latency plus the bandwidth term
-/// (rounded up).
+/// (rounded up). ArchSpec::validate() rejects non-positive bandwidth and
+/// zero latency, so a validated machine can never divide by zero here; the
+/// assert catches hand-built MachineModels that skipped validation.
 inline uint64_t hostTransferCycles(const MachineModel &M, uint64_t Bytes) {
   if (Bytes == 0)
     return 0;
+  assert(M.HostLinkBytesPerCycle > 0.0 &&
+         "host_link_bytes_per_cycle must be positive (ArchSpec::validate)");
   double Bandwidth = M.HostLinkBytesPerCycle > 0 ? M.HostLinkBytesPerCycle
                                                  : 1.0;
   return M.HostLinkLatencyCycles +
-         static_cast<uint64_t>((Bytes + Bandwidth - 1) / Bandwidth);
+         static_cast<uint64_t>(std::ceil((double)Bytes / Bandwidth));
 }
 
 } // namespace ompgpu

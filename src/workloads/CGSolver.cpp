@@ -1,0 +1,750 @@
+//===- workloads/CGSolver.cpp - Partitioned CG/SpMV family -----------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/CGSolver.h"
+#include "frontend/CGHelpers.h"
+#include "frontend/OMPCodeGen.h"
+#include "ir/Module.h"
+#include "rtl/DeviceRTL.h"
+#include "support/Hashing.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace ompgpu;
+
+const char *ompgpu::cgFormatName(CGFormat F) {
+  return F == CGFormat::CRS ? "crs" : "ell";
+}
+
+Expected<CGOptions> ompgpu::cgMatrixShape(const std::string &Shape) {
+  CGOptions O;
+  if (Shape == "compute") {
+    // Wide band, many rows: per-chunk SpMV cycles dwarf the per-iteration
+    // exchange, so the group makespan scales with the device count.
+    O.Rows = 16384;
+    O.Band = 64;
+    O.Cells = 64;
+    O.MaxIters = 3;
+    O.RelTol = 1e-12;
+    return O;
+  }
+  if (Shape == "transfer") {
+    // Tiny operator: the fixed host-link latency of the gather and the
+    // reductions dominates the makespan (communication fraction > 1/2).
+    O.Rows = 256;
+    O.Band = 2;
+    O.Cells = 16;
+    O.MaxIters = 10;
+    O.RelTol = 1e-12;
+    return O;
+  }
+  return Error::failure("unknown matrix shape '" + Shape +
+                        "' (expected compute or transfer)");
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Banded SPD operator
+//===----------------------------------------------------------------------===//
+
+// The test operator is defined pointwise by pure functions of the global
+// (row, col) pair, so chunk assembly on any device produces bitwise the
+// same entries as a 1-device assembly — the foundation of the
+// bit-exactness guarantee.
+
+/// Symmetric off-diagonal entry at global (R, C), R != C.
+double offDiagValue(uint32_t R, uint32_t C, uint64_t Seed) {
+  uint32_t Lo = std::min(R, C), Hi = std::max(R, C);
+  uint64_t H = hashCombine(hashCombine(Seed, Lo), Hi);
+  // In [-1, -1/8]; exact binary fractions keep the operator reproducible
+  // across compilers.
+  return -1.0 / (double)(1 + (unsigned)(H % 8));
+}
+
+/// Diagonal entry at global row \p R: strict diagonal dominance (sum of
+/// off-diagonal magnitudes plus a positive, row-varying slack) makes the
+/// operator SPD, so CG converges monotonically.
+double diagValue(uint32_t R, uint32_t N, uint32_t Band, uint64_t Seed) {
+  uint32_t CLo = R >= Band ? R - Band : 0;
+  uint32_t CHi = std::min<uint64_t>((uint64_t)R + Band, N - 1);
+  double Sum = 0.0;
+  for (uint32_t C = CLo; C <= CHi; ++C)
+    if (C != R)
+      Sum += -offDiagValue(R, C, Seed);
+  return Sum + 1.5 + 0.0625 * (double)(hashCombine(Seed ^ 0x9e37, R) % 16);
+}
+
+/// Right-hand side at global row \p R (exact binary fractions).
+double rhsValue(uint32_t R, uint64_t Seed) {
+  return 1.0 + 0.0625 * (double)(hashCombine(Seed ^ 0x51ed, R) % 32);
+}
+
+/// One device's assembled share of the operator.
+struct ChunkData {
+  // CRS (rowptr rebased to the chunk, col indices global).
+  std::vector<int32_t> RowPtr, Col;
+  std::vector<double> Val;
+  // ELL (row-major, global width, zero padding).
+  std::vector<int32_t> EllCol;
+  std::vector<double> EllVal;
+  std::vector<double> InvDiag, Rhs;
+};
+
+ChunkData assembleChunk(const CGOptions &O, const DeviceChunk &C,
+                        uint32_t EllWidth) {
+  ChunkData CD;
+  uint32_t Rows = C.rows();
+  CD.RowPtr.reserve(Rows + 1);
+  CD.RowPtr.push_back(0);
+  CD.InvDiag.reserve(Rows);
+  CD.Rhs.reserve(Rows);
+  if (O.Fmt == CGFormat::ELL) {
+    CD.EllCol.assign((size_t)Rows * EllWidth, 0);
+    CD.EllVal.assign((size_t)Rows * EllWidth, 0.0);
+  }
+  for (uint32_t RL = 0; RL != Rows; ++RL) {
+    uint32_t R = C.RowLo + RL;
+    uint32_t CLo = R >= O.Band ? R - O.Band : 0;
+    uint32_t CHi = std::min<uint64_t>((uint64_t)R + O.Band, O.Rows - 1);
+    uint32_t J = 0;
+    for (uint32_t Col = CLo; Col <= CHi; ++Col, ++J) {
+      double V = Col == R ? diagValue(R, O.Rows, O.Band, O.Seed)
+                          : offDiagValue(R, Col, O.Seed);
+      if (O.Fmt == CGFormat::CRS) {
+        CD.Col.push_back((int32_t)Col);
+        CD.Val.push_back(V);
+      } else {
+        CD.EllCol[(size_t)RL * EllWidth + J] = (int32_t)Col;
+        CD.EllVal[(size_t)RL * EllWidth + J] = V;
+      }
+    }
+    CD.RowPtr.push_back(CD.RowPtr.back() + (int32_t)(CHi - CLo + 1));
+    CD.InvDiag.push_back(1.0 / diagValue(R, O.Rows, O.Band, O.Seed));
+    CD.Rhs.push_back(rhsValue(R, O.Seed));
+  }
+  return CD;
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel emission
+//===----------------------------------------------------------------------===//
+
+struct CGKernelNames {
+  static constexpr const char *SpmvCrs = "cg_spmv_crs";
+  static constexpr const char *SpmvEll = "cg_spmv_ell";
+  static constexpr const char *Axpy = "cg_axpy";
+  static constexpr const char *Xpay = "cg_xpay";
+  static constexpr const char *Jacobi = "cg_jacobi";
+  static constexpr const char *Dot = "cg_dot";
+};
+
+using Capture = TargetRegionBuilder::Capture;
+using CaptureMap = TargetRegionBuilder::CaptureMap;
+
+/// y[r] = sum over the row's nonzeros of val[k] * x[col[k]] — CRS layout,
+/// one sequential row per league thread (rows are the parallel dimension,
+/// exactly like the reference CG implementations' row loop).
+void buildSpmvCrs(OMPCodeGen &CG, unsigned BlockDim) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = M.getContext();
+  Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+  PointerType *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, CGKernelNames::SpmvCrs,
+                          {Ptr, Ptr, Ptr, Ptr, Ptr, I32}, ExecMode::SPMD,
+                          /*NumTeams=*/-1, (int)BlockDim);
+  Argument *RowPtr = TRB.getParam(0), *Col = TRB.getParam(1),
+           *Val = TRB.getParam(2), *X = TRB.getParam(3),
+           *Y = TRB.getParam(4), *NRows = TRB.getParam(5);
+  RowPtr->setName("rowptr");
+  Col->setName("col");
+  Val->setName("val");
+  X->setName("x");
+  Y->setName("y");
+  Y->setNoEscapeAttr();
+  NRows->setName("nrows");
+  TRB.setParamMapKind(0, MapKind::To);
+  TRB.setParamMapKind(1, MapKind::To);
+  TRB.setParamMapKind(2, MapKind::To);
+  TRB.setParamMapKind(3, MapKind::To);
+  TRB.setParamMapKind(4, MapKind::From);
+
+  Value *SumP = nullptr;
+  TRB.emitDistributeParallelFor(
+      NRows, {{RowPtr, false, "rowptr"}, {Col, false, "col"},
+              {Val, false, "val"}, {X, false, "x"}, {Y, false, "y"}},
+      [&](IRBuilder &B, Value *R, const CaptureMap &Map) {
+        Value *RpLo = B.createLoad(
+            I32, B.createGEP(I32, Map.at(RowPtr), {R}, "rp.lo.addr"),
+            "rp.lo");
+        Value *R1 = B.createAdd(R, B.getInt32(1), "r1");
+        Value *RpHi = B.createLoad(
+            I32, B.createGEP(I32, Map.at(RowPtr), {R1}, "rp.hi.addr"),
+            "rp.hi");
+        B.createStore(B.getDouble(0.0), SumP);
+        emitCountedLoop(
+            B, RpLo, RpHi, B.getInt32(1), "nz",
+            [&](IRBuilder &LB, Value *K) {
+              Value *Cv = LB.createLoad(
+                  I32, LB.createGEP(I32, Map.at(Col), {K}, "c.addr"), "c");
+              Value *Vv = LB.createLoad(
+                  F64, LB.createGEP(F64, Map.at(Val), {K}, "v.addr"), "v");
+              Value *Xv = LB.createLoad(
+                  F64, LB.createGEP(F64, Map.at(X), {Cv}, "x.addr"), "xv");
+              Value *S = LB.createLoad(F64, SumP, "s");
+              LB.createStore(
+                  LB.createFAdd(S, LB.createFMul(Vv, Xv, "vx"), "s.next"),
+                  SumP);
+            });
+        Value *S = B.createLoad(F64, SumP, "row.sum");
+        B.createStore(S, B.createGEP(F64, Map.at(Y), {R}, "y.addr"));
+      },
+      (int)BlockDim,
+      [&](IRBuilder &PB, const CaptureMap &) {
+        SumP = TRB.emitParallelLocalVariable(PB, F64, "sum", false);
+      });
+  TRB.finalize();
+}
+
+/// ELL SpMV: fixed global width, row-major, zero padding. The width is
+/// computed over ALL rows (not just the chunk), so the padded arithmetic
+/// per row is identical under any chunking.
+void buildSpmvEll(OMPCodeGen &CG, unsigned BlockDim) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = M.getContext();
+  Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+  PointerType *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, CGKernelNames::SpmvEll,
+                          {Ptr, Ptr, Ptr, Ptr, I32, I32}, ExecMode::SPMD,
+                          /*NumTeams=*/-1, (int)BlockDim);
+  Argument *Col = TRB.getParam(0), *Val = TRB.getParam(1),
+           *X = TRB.getParam(2), *Y = TRB.getParam(3),
+           *NRows = TRB.getParam(4), *Width = TRB.getParam(5);
+  Col->setName("col");
+  Val->setName("val");
+  X->setName("x");
+  Y->setName("y");
+  Y->setNoEscapeAttr();
+  NRows->setName("nrows");
+  Width->setName("ell_width");
+  TRB.setParamMapKind(0, MapKind::To);
+  TRB.setParamMapKind(1, MapKind::To);
+  TRB.setParamMapKind(2, MapKind::To);
+  TRB.setParamMapKind(3, MapKind::From);
+
+  Value *SumP = nullptr;
+  TRB.emitDistributeParallelFor(
+      NRows, {{Col, false, "col"}, {Val, false, "val"}, {X, false, "x"},
+              {Y, false, "y"}, {Width, false, "width"}},
+      [&](IRBuilder &B, Value *R, const CaptureMap &Map) {
+        Value *W = Map.at(Width);
+        Value *Base = B.createMul(R, W, "row.base");
+        B.createStore(B.getDouble(0.0), SumP);
+        emitCountedLoop(
+            B, B.getInt32(0), W, B.getInt32(1), "ell",
+            [&](IRBuilder &LB, Value *J) {
+              Value *K = LB.createAdd(Base, J, "k");
+              Value *Cv = LB.createLoad(
+                  I32, LB.createGEP(I32, Map.at(Col), {K}, "c.addr"), "c");
+              Value *Vv = LB.createLoad(
+                  F64, LB.createGEP(F64, Map.at(Val), {K}, "v.addr"), "v");
+              Value *Xv = LB.createLoad(
+                  F64, LB.createGEP(F64, Map.at(X), {Cv}, "x.addr"), "xv");
+              Value *S = LB.createLoad(F64, SumP, "s");
+              LB.createStore(
+                  LB.createFAdd(S, LB.createFMul(Vv, Xv, "vx"), "s.next"),
+                  SumP);
+            });
+        Value *S = B.createLoad(F64, SumP, "row.sum");
+        B.createStore(S, B.createGEP(F64, Map.at(Y), {R}, "y.addr"));
+      },
+      (int)BlockDim,
+      [&](IRBuilder &PB, const CaptureMap &) {
+        SumP = TRB.emitParallelLocalVariable(PB, F64, "sum", false);
+      });
+  TRB.finalize();
+}
+
+/// y[i] += a * x[i].
+void buildAxpy(OMPCodeGen &CG, unsigned BlockDim) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = M.getContext();
+  Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+  PointerType *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, CGKernelNames::Axpy, {Ptr, Ptr, F64, I32},
+                          ExecMode::SPMD, /*NumTeams=*/-1, (int)BlockDim);
+  Argument *Y = TRB.getParam(0), *X = TRB.getParam(1),
+           *A = TRB.getParam(2), *N = TRB.getParam(3);
+  Y->setName("y");
+  Y->setNoEscapeAttr();
+  X->setName("x");
+  A->setName("a");
+  N->setName("n");
+  TRB.setParamMapKind(0, MapKind::ToFrom);
+  TRB.setParamMapKind(1, MapKind::To);
+
+  TRB.emitDistributeParallelFor(
+      N, {{Y, false, "y"}, {X, false, "x"}, {A, false, "a"}},
+      [&](IRBuilder &B, Value *I, const CaptureMap &Map) {
+        Value *Yp = B.createGEP(F64, Map.at(Y), {I}, "y.addr");
+        Value *Xv = B.createLoad(
+            F64, B.createGEP(F64, Map.at(X), {I}, "x.addr"), "xv");
+        Value *Yv = B.createLoad(F64, Yp, "yv");
+        B.createStore(
+            B.createFAdd(Yv, B.createFMul(Map.at(A), Xv, "ax"), "sum"), Yp);
+      },
+      (int)BlockDim);
+  TRB.finalize();
+}
+
+/// y[i] = x[i] + a * y[i] (the CG search-direction update).
+void buildXpay(OMPCodeGen &CG, unsigned BlockDim) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = M.getContext();
+  Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+  PointerType *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, CGKernelNames::Xpay, {Ptr, Ptr, F64, I32},
+                          ExecMode::SPMD, /*NumTeams=*/-1, (int)BlockDim);
+  Argument *Y = TRB.getParam(0), *X = TRB.getParam(1),
+           *A = TRB.getParam(2), *N = TRB.getParam(3);
+  Y->setName("y");
+  Y->setNoEscapeAttr();
+  X->setName("x");
+  A->setName("a");
+  N->setName("n");
+  TRB.setParamMapKind(0, MapKind::ToFrom);
+  TRB.setParamMapKind(1, MapKind::To);
+
+  TRB.emitDistributeParallelFor(
+      N, {{Y, false, "y"}, {X, false, "x"}, {A, false, "a"}},
+      [&](IRBuilder &B, Value *I, const CaptureMap &Map) {
+        Value *Yp = B.createGEP(F64, Map.at(Y), {I}, "y.addr");
+        Value *Xv = B.createLoad(
+            F64, B.createGEP(F64, Map.at(X), {I}, "x.addr"), "xv");
+        Value *Yv = B.createLoad(F64, Yp, "yv");
+        B.createStore(
+            B.createFAdd(Xv, B.createFMul(Map.at(A), Yv, "ay"), "sum"), Yp);
+      },
+      (int)BlockDim);
+  TRB.finalize();
+}
+
+/// z[i] = invdiag[i] * r[i] (Jacobi preconditioner application).
+void buildJacobi(OMPCodeGen &CG, unsigned BlockDim) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = M.getContext();
+  Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+  PointerType *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, CGKernelNames::Jacobi, {Ptr, Ptr, Ptr, I32},
+                          ExecMode::SPMD, /*NumTeams=*/-1, (int)BlockDim);
+  Argument *Z = TRB.getParam(0), *R = TRB.getParam(1),
+           *InvDiag = TRB.getParam(2), *N = TRB.getParam(3);
+  Z->setName("z");
+  Z->setNoEscapeAttr();
+  R->setName("r");
+  InvDiag->setName("invdiag");
+  N->setName("n");
+  TRB.setParamMapKind(0, MapKind::From);
+  TRB.setParamMapKind(1, MapKind::To);
+  TRB.setParamMapKind(2, MapKind::To);
+
+  TRB.emitDistributeParallelFor(
+      N, {{Z, false, "z"}, {R, false, "r"}, {InvDiag, false, "invdiag"}},
+      [&](IRBuilder &B, Value *I, const CaptureMap &Map) {
+        Value *Rv = B.createLoad(
+            F64, B.createGEP(F64, Map.at(R), {I}, "r.addr"), "rv");
+        Value *Dv = B.createLoad(
+            F64, B.createGEP(F64, Map.at(InvDiag), {I}, "d.addr"), "dv");
+        B.createStore(B.createFMul(Dv, Rv, "dr"),
+                      B.createGEP(F64, Map.at(Z), {I}, "z.addr"));
+      },
+      (int)BlockDim);
+  TRB.finalize();
+}
+
+/// partials[c] = sum over cell c's rows of a[i] * b[i]. Cells are the
+/// parallel dimension; each cell is summed sequentially in ascending row
+/// order so the per-cell partial is a pure function of the cell contents
+/// — the host then combines cells in global order (OMP251).
+void buildDot(OMPCodeGen &CG, unsigned BlockDim) {
+  Module &M = CG.getModule();
+  IRContext &Ctx = M.getContext();
+  Type *F64 = Ctx.getDoubleTy(), *I32 = Ctx.getInt32Ty();
+  PointerType *Ptr = Ctx.getPtrTy();
+
+  TargetRegionBuilder TRB(CG, CGKernelNames::Dot,
+                          {Ptr, Ptr, Ptr, I32, I32, I32}, ExecMode::SPMD,
+                          /*NumTeams=*/-1, (int)BlockDim);
+  Argument *A = TRB.getParam(0), *B_ = TRB.getParam(1),
+           *Partials = TRB.getParam(2), *NCells = TRB.getParam(3),
+           *CellSize = TRB.getParam(4), *NLocal = TRB.getParam(5);
+  A->setName("a");
+  B_->setName("b");
+  Partials->setName("partials");
+  Partials->setNoEscapeAttr();
+  NCells->setName("ncells");
+  CellSize->setName("cell_size");
+  NLocal->setName("nlocal");
+  TRB.setParamMapKind(0, MapKind::To);
+  TRB.setParamMapKind(1, MapKind::To);
+  TRB.setParamMapKind(2, MapKind::From);
+
+  Value *SumP = nullptr;
+  TRB.emitDistributeParallelFor(
+      NCells,
+      {{A, false, "a"}, {B_, false, "b"}, {Partials, false, "partials"},
+       {CellSize, false, "cell_size"}, {NLocal, false, "nlocal"}},
+      [&](IRBuilder &B, Value *C, const CaptureMap &Map) {
+        Value *Lo = B.createMul(C, Map.at(CellSize), "lo");
+        Value *HiRaw = B.createAdd(Lo, Map.at(CellSize), "hi.raw");
+        Value *Clamp = B.createICmpSLT(HiRaw, Map.at(NLocal), "clamp");
+        Value *Hi = B.createSelect(Clamp, HiRaw, Map.at(NLocal), "hi");
+        B.createStore(B.getDouble(0.0), SumP);
+        emitCountedLoop(
+            B, Lo, Hi, B.getInt32(1), "dot",
+            [&](IRBuilder &LB, Value *I) {
+              Value *Av = LB.createLoad(
+                  F64, LB.createGEP(F64, Map.at(A), {I}, "a.addr"), "av");
+              Value *Bv = LB.createLoad(
+                  F64, LB.createGEP(F64, Map.at(B_), {I}, "b.addr"), "bv");
+              Value *S = LB.createLoad(F64, SumP, "s");
+              LB.createStore(
+                  LB.createFAdd(S, LB.createFMul(Av, Bv, "ab"), "s.next"),
+                  SumP);
+            });
+        Value *S = B.createLoad(F64, SumP, "cell.sum");
+        B.createStore(S, B.createGEP(F64, Map.at(Partials), {C}, "p.addr"));
+      },
+      (int)BlockDim,
+      [&](IRBuilder &PB, const CaptureMap &) {
+        SumP = TRB.emitParallelLocalVariable(PB, F64, "sum", false);
+      });
+  TRB.finalize();
+}
+
+/// One compiled module serving every device of a given architecture
+/// fingerprint. The context owns all IR; kernels are re-resolved by name
+/// after the pipeline runs (recovery-mode rollback may swap the bodies).
+struct CompiledModule {
+  std::unique_ptr<IRContext> Ctx;
+  std::unique_ptr<Module> M;
+  Function *Spmv = nullptr;
+  Function *Axpy = nullptr;
+  Function *Xpay = nullptr;
+  Function *Jacobi = nullptr;
+  Function *Dot = nullptr;
+};
+
+/// Per-device launch state.
+struct DeviceState {
+  DeviceChunk Chunk;
+  CompiledModule *Mod = nullptr;
+  NativeRuntimeBinding RTL;
+  // Device addresses (0 when the chunk is empty).
+  uint64_t RowPtrA = 0, ColA = 0, ValA = 0;
+  uint64_t InvDiagA = 0, XA = 0, RA = 0, ZA = 0, QA = 0;
+  uint64_t PA = 0;       ///< full-length search direction
+  uint64_t PartialsA = 0; ///< full Cells-length partial sums
+  uint64_t InputBytes = 0; ///< operator + rhs upload volume
+  bool FirstLaunch = true;
+};
+
+} // namespace
+
+uint64_t CGResult::resultHash() const {
+  uint64_t H = hashCombine(0x9e3779b97f4a7c15ull, Iterations);
+  H = hashCombine(H, Converged ? 1 : 0);
+  for (double R : Residuals)
+    H = hashCombine(H, std::bit_cast<uint64_t>(R));
+  for (double V : X)
+    H = hashCombine(H, std::bit_cast<uint64_t>(V));
+  return H;
+}
+
+CGResult ompgpu::runCG(const CGOptions &O) {
+  CGResult Res;
+  DeviceGroupSpec Spec = O.Group;
+  if (Spec.Devices.empty())
+    Spec = homogeneousGroupSpec(O.Pipeline.Arch, 1);
+  if (Error E = Spec.validate()) {
+    Res.Trap = E.message();
+    return Res;
+  }
+  if (O.Rows == 0 || O.Cells == 0 || O.GridDim == 0 || O.BlockDim == 0) {
+    Res.Trap = "cg: rows, cells, and launch shape must be positive";
+    return Res;
+  }
+
+  DeviceGroup G(Spec);
+  if (O.PerturbSeed)
+    G.setCompletionPerturbation(O.PerturbSeed);
+  unsigned D = G.size();
+  RowPartition Part = makeRowPartition(O.Rows, D, O.Cells);
+  uint32_t EllWidth = (uint32_t)std::min<uint64_t>(2ull * O.Band + 1, O.Rows);
+
+  // Compile one module per distinct architecture fingerprint; every
+  // device of that architecture launches from the shared module.
+  std::map<uint64_t, size_t> FingerprintMod;
+  std::vector<std::unique_ptr<CompiledModule>> Modules;
+  std::vector<DeviceState> Dev(D);
+  for (unsigned I = 0; I != D; ++I) {
+    const ArchSpec &A = Spec.Devices[I];
+    uint64_t FP = archFingerprint(A);
+    auto It = FingerprintMod.find(FP);
+    if (It == FingerprintMod.end()) {
+      auto CM = std::make_unique<CompiledModule>();
+      CM->Ctx = std::make_unique<IRContext>();
+      CM->M = std::make_unique<Module>(
+          *CM->Ctx, std::string("cg_") + cgFormatName(O.Fmt) + "_" + A.Name);
+
+      PipelineOptions PO = O.Pipeline;
+      applyArch(PO, A);
+      {
+        OMPCodeGen CG(*CM->M, CodeGenOptions{PO.Scheme, /*CudaMode=*/false});
+        if (O.Fmt == CGFormat::CRS)
+          buildSpmvCrs(CG, O.BlockDim);
+        else
+          buildSpmvEll(CG, O.BlockDim);
+        buildAxpy(CG, O.BlockDim);
+        buildXpay(CG, O.BlockDim);
+        buildJacobi(CG, O.BlockDim);
+        buildDot(CG, O.BlockDim);
+      }
+
+      CompileResult CR = optimizeDeviceModule(*CM->M, PO);
+      bool Verified = !CR.VerifyFailed;
+      std::string VerifyError = CR.VerifyError;
+      Res.Compiles.push_back({A.Name, PO, std::move(CR)});
+      if (!Verified) {
+        Res.Trap = "cg: IR verification failed on " + A.Name + ": " +
+                   VerifyError;
+        return Res;
+      }
+      const char *SpmvName = O.Fmt == CGFormat::CRS ? CGKernelNames::SpmvCrs
+                                                    : CGKernelNames::SpmvEll;
+      CM->Spmv = CM->M->getFunction(SpmvName);
+      CM->Axpy = CM->M->getFunction(CGKernelNames::Axpy);
+      CM->Xpay = CM->M->getFunction(CGKernelNames::Xpay);
+      CM->Jacobi = CM->M->getFunction(CGKernelNames::Jacobi);
+      CM->Dot = CM->M->getFunction(CGKernelNames::Dot);
+      if (!CM->Spmv || !CM->Axpy || !CM->Xpay || !CM->Jacobi || !CM->Dot) {
+        Res.Trap = "cg: kernel lost during optimization on " + A.Name;
+        return Res;
+      }
+      It = FingerprintMod.emplace(FP, Modules.size()).first;
+      Modules.push_back(std::move(CM));
+    }
+    Dev[I].Mod = Modules[It->second].get();
+    Dev[I].Chunk = Part.Chunks[I];
+    Dev[I].RTL =
+        makeOpenMPRuntimeBinding(O.Pipeline.Flavor, G.device(I).getMachine());
+  }
+
+  // Upload every device's chunk: operator, inverse diagonal, rhs (the
+  // initial residual, since x0 = 0), zeroed x/q/z, the full-length search
+  // direction, and the full-length cell partials.
+  for (unsigned I = 0; I != D; ++I) {
+    DeviceState &S = Dev[I];
+    uint32_t Rows = S.Chunk.rows();
+    if (!Rows)
+      continue;
+    GPUDevice &GD = G.device(I);
+    ChunkData CD = assembleChunk(O, S.Chunk, EllWidth);
+    if (O.Fmt == CGFormat::CRS) {
+      S.RowPtrA = GD.allocateArray(CD.RowPtr);
+      S.ColA = GD.allocateArray(CD.Col);
+      S.ValA = GD.allocateArray(CD.Val);
+      S.InputBytes = CD.RowPtr.size() * 4 + CD.Col.size() * 4 +
+                     CD.Val.size() * 8;
+    } else {
+      S.ColA = GD.allocateArray(CD.EllCol);
+      S.ValA = GD.allocateArray(CD.EllVal);
+      S.InputBytes = CD.EllCol.size() * 4 + CD.EllVal.size() * 8;
+    }
+    S.InvDiagA = GD.allocateArray(CD.InvDiag);
+    S.RA = GD.allocateArray(CD.Rhs);
+    S.InputBytes += CD.InvDiag.size() * 8 + CD.Rhs.size() * 8;
+    std::vector<double> Zero(Rows, 0.0);
+    S.XA = GD.allocateArray(Zero);
+    S.QA = GD.allocateArray(Zero);
+    S.ZA = GD.allocateArray(Zero);
+    std::vector<double> FullZero(O.Rows, 0.0);
+    S.PA = GD.allocateArray(FullZero);
+    std::vector<double> CellZero(Part.Cells, 0.0);
+    S.PartialsA = GD.allocateArray(CellZero);
+  }
+
+  // Launch helper: every kernel runs the same per-device grid, so chunk
+  // cycles shrink as the group grows. The first launch on each device
+  // carries the input-upload mapping (MapKind::To), charging the chunk
+  // transfer through the launch's communication cycles.
+  auto Launch = [&](unsigned I, Function *K,
+                    const std::vector<uint64_t> &Args) -> bool {
+    DeviceState &S = Dev[I];
+    LaunchConfig LC;
+    LC.GridDim = O.GridDim;
+    LC.BlockDim = O.BlockDim;
+    LC.Flavor = O.Pipeline.Flavor;
+    if (S.FirstLaunch) {
+      S.FirstLaunch = false;
+      LC.Mappings.push_back({"cg_inputs", MapKind::To, S.InputBytes});
+    }
+    KernelStats KS = G.launch(I, *S.Mod->M, K, LC, Args, S.RTL);
+    if (!KS.Trap.empty()) {
+      Res.Trap = "cg: device " + std::to_string(I) + ": " + KS.Trap;
+      return false;
+    }
+    return true;
+  };
+  auto Bits = [](double V) { return std::bit_cast<uint64_t>(V); };
+
+  std::vector<uint64_t> PAddrs(D), PartialAddrs(D);
+  for (unsigned I = 0; I != D; ++I) {
+    PAddrs[I] = Dev[I].PA;
+    PartialAddrs[I] = Dev[I].PartialsA;
+  }
+  std::vector<double> Scratch;
+
+  // z = M^-1 r ; p = z ; rho = r . z
+  for (unsigned I = 0; I != D; ++I) {
+    DeviceState &S = Dev[I];
+    if (!S.Chunk.rows())
+      continue;
+    if (!Launch(I, S.Mod->Jacobi,
+                {S.ZA, S.RA, S.InvDiagA, S.Chunk.rows()}))
+      return Res;
+    if (!Launch(I, S.Mod->Xpay,
+                {S.PA + (uint64_t)S.Chunk.RowLo * 8, S.ZA, Bits(0.0),
+                 S.Chunk.rows()}))
+      return Res;
+    if (!Launch(I, S.Mod->Dot,
+                {S.RA, S.ZA, S.PartialsA + (uint64_t)S.Chunk.CellLo * 8,
+                 S.Chunk.cells(), Part.CellSize, S.Chunk.rows()}))
+      return Res;
+  }
+  double Rho = groupReduceSum(G, Part, PartialAddrs);
+  Res.InitialResidual = std::sqrt(Rho);
+
+  double RelStop = O.RelTol * Res.InitialResidual;
+  for (unsigned Iter = 0; Iter != O.MaxIters && Rho > 0.0; ++Iter) {
+    // Rebuild the full search direction on every device (halo exchange),
+    // then q = A p on each chunk.
+    gatherFullVector(G, Part, PAddrs, Scratch);
+    for (unsigned I = 0; I != D; ++I) {
+      DeviceState &S = Dev[I];
+      if (!S.Chunk.rows())
+        continue;
+      bool Ok =
+          O.Fmt == CGFormat::CRS
+              ? Launch(I, S.Mod->Spmv,
+                       {S.RowPtrA, S.ColA, S.ValA, S.PA, S.QA,
+                        S.Chunk.rows()})
+              : Launch(I, S.Mod->Spmv,
+                       {S.ColA, S.ValA, S.PA, S.QA, S.Chunk.rows(),
+                        EllWidth});
+      if (!Ok)
+        return Res;
+      if (!Launch(I, S.Mod->Dot,
+                  {S.PA + (uint64_t)S.Chunk.RowLo * 8, S.QA,
+                   S.PartialsA + (uint64_t)S.Chunk.CellLo * 8,
+                   S.Chunk.cells(), Part.CellSize, S.Chunk.rows()}))
+        return Res;
+    }
+    double PQ = groupReduceSum(G, Part, PartialAddrs);
+    if (PQ == 0.0) {
+      Res.Trap = "cg: breakdown, p.Ap == 0";
+      return Res;
+    }
+    double Alpha = Rho / PQ;
+
+    // x += alpha p ; r -= alpha q ; z = M^-1 r ; rho' = r . z
+    for (unsigned I = 0; I != D; ++I) {
+      DeviceState &S = Dev[I];
+      if (!S.Chunk.rows())
+        continue;
+      if (!Launch(I, S.Mod->Axpy,
+                  {S.XA, S.PA + (uint64_t)S.Chunk.RowLo * 8, Bits(Alpha),
+                   S.Chunk.rows()}))
+        return Res;
+      if (!Launch(I, S.Mod->Axpy,
+                  {S.RA, S.QA, Bits(-Alpha), S.Chunk.rows()}))
+        return Res;
+      if (!Launch(I, S.Mod->Jacobi,
+                  {S.ZA, S.RA, S.InvDiagA, S.Chunk.rows()}))
+        return Res;
+      if (!Launch(I, S.Mod->Dot,
+                  {S.RA, S.ZA, S.PartialsA + (uint64_t)S.Chunk.CellLo * 8,
+                   S.Chunk.cells(), Part.CellSize, S.Chunk.rows()}))
+        return Res;
+    }
+    double RhoNext = groupReduceSum(G, Part, PartialAddrs);
+    double Resid = std::sqrt(RhoNext);
+    Res.Residuals.push_back(Resid);
+    Res.Iterations = Iter + 1;
+    if (Resid <= RelStop) {
+      Res.Converged = true;
+      Rho = RhoNext;
+      break;
+    }
+
+    // p = z + beta p (own chunk only; the next gather completes it).
+    double Beta = RhoNext / Rho;
+    Rho = RhoNext;
+    for (unsigned I = 0; I != D; ++I) {
+      DeviceState &S = Dev[I];
+      if (!S.Chunk.rows())
+        continue;
+      if (!Launch(I, S.Mod->Xpay,
+                  {S.PA + (uint64_t)S.Chunk.RowLo * 8, S.ZA, Bits(Beta),
+                   S.Chunk.rows()}))
+        return Res;
+    }
+  }
+  Res.FinalResidual =
+      Res.Residuals.empty() ? Res.InitialResidual : Res.Residuals.back();
+
+  // Assemble the solution on the host (charged like any other download).
+  Res.X.assign(O.Rows, 0.0);
+  for (unsigned I = 0; I != D; ++I) {
+    DeviceState &S = Dev[I];
+    if (!S.Chunk.rows())
+      continue;
+    G.device(I).memcpyFromDevice(Res.X.data() + S.Chunk.RowLo, S.XA,
+                                 (uint64_t)S.Chunk.rows() * 8);
+    G.chargeHostTransfer(I, (uint64_t)S.Chunk.rows() * 8,
+                         /*ToDevice=*/false);
+  }
+  Res.Stats = G.stats();
+
+  Res.Remarks.push_back(
+      {RemarkId::OMP250, /*Missed=*/false, "cg",
+       "partitioned " + std::to_string(O.Rows) + " rows across " +
+           std::to_string(D) + " device(s) of group '" + Spec.Name + "' (" +
+           std::to_string(Part.Cells) + " reduction cells)"});
+  Res.Remarks.push_back(
+      {RemarkId::OMP251, /*Missed=*/false, "cg",
+       "cross-device reduction: deterministic fixed-order combine over " +
+           std::to_string(Part.Cells) + " cells (device-count invariant)"});
+  double Imbalance = Res.Stats.loadImbalance();
+  if (D > 1 && Imbalance > 1.25) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2f", Imbalance);
+    Res.Remarks.push_back(
+        {RemarkId::OMP252, /*Missed=*/true, "cg",
+         std::string("load imbalance ") + Buf +
+             "x: the slowest device dominates the group makespan"});
+  }
+  return Res;
+}

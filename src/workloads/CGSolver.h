@@ -1,0 +1,125 @@
+//===- workloads/CGSolver.h - Partitioned CG/SpMV family --------*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conjugate-gradient workload family partitioned across a DeviceGroup
+/// (docs/multi-device.md): CRS and ELL SpMV, axpy/xpay vector updates, a
+/// Jacobi (inverse-diagonal) preconditioner, and cell-partitioned dot
+/// products, all emitted as SPMD target regions and driven through a
+/// bulk-synchronous host loop. The matrix is a banded SPD operator rows
+/// are chunked over the group (Partition.h); the search direction is
+/// rebuilt each iteration with gatherFullVector and every reduction runs
+/// through groupReduceSum, so residual trajectories are bit-identical for
+/// 1, 2, or 4 devices — the property tests/TestMultiDevice.cpp pins down
+/// and bench/cg gates CI on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_WORKLOADS_CGSOLVER_H
+#define OMPGPU_WORKLOADS_CGSOLVER_H
+
+#include "core/Remarks.h"
+#include "driver/Pipeline.h"
+#include "workloads/Partition.h"
+
+#include <string>
+#include <vector>
+
+namespace ompgpu {
+
+/// Sparse-matrix storage format of the SpMV kernel.
+enum class CGFormat : uint8_t {
+  CRS, ///< compressed row storage: rowptr/col/val
+  ELL, ///< ELLPACK: fixed width, padded col/val, row-major
+};
+
+/// Returns "crs" or "ell".
+const char *cgFormatName(CGFormat F);
+
+/// One CG configuration: the device group, the compile pipeline, and the
+/// matrix/solver shape. Rows and Band pick the banded SPD test operator
+/// (half-bandwidth Band: every row couples to its Band neighbors on each
+/// side), which moves the workload between compute-dominated and
+/// transfer-dominated regimes for the bench trajectories.
+struct CGOptions {
+  /// Device group to partition across. An empty Devices list means one
+  /// device of Pipeline.Arch.
+  DeviceGroupSpec Group;
+  /// Compile configuration. runCG re-applies each distinct group
+  /// architecture via applyArch, compiling one module per fingerprint.
+  PipelineOptions Pipeline;
+  CGFormat Fmt = CGFormat::CRS;
+  uint32_t Rows = 1024;
+  uint32_t Band = 8;
+  /// Reduction cells: fixed independent of the device count so dot
+  /// products combine in one global order (bit-exactness).
+  unsigned Cells = 64;
+  unsigned MaxIters = 25;
+  double RelTol = 1e-8;
+  /// Launch shape per device (identical on every device so chunk cycles
+  /// shrink as the group grows).
+  unsigned GridDim = 8;
+  unsigned BlockDim = 64;
+  /// Seeds the right-hand side / diagonal variation of the operator.
+  uint64_t Seed = 1;
+  /// Completion-order perturbation for the determinism tests
+  /// (DeviceGroup::setCompletionPerturbation); 0 disables.
+  uint64_t PerturbSeed = 0;
+};
+
+/// Result of one partitioned CG solve.
+struct CGResult {
+  bool Converged = false;
+  unsigned Iterations = 0;
+  double InitialResidual = 0.0;
+  double FinalResidual = 0.0;
+  /// Residual L2 norm after every iteration — the bit-exactness witness.
+  std::vector<double> Residuals;
+  /// The assembled solution vector, gathered from all devices.
+  std::vector<double> X;
+  /// Group execution statistics (makespan, link traffic, imbalance).
+  DeviceGroupStats Stats;
+  /// Multi-device remarks: OMP250 (partition), OMP251 (reduction
+  /// strategy), OMP252 (load-imbalance warning, missed).
+  std::vector<Remark> Remarks;
+
+  /// One compiled module per distinct architecture fingerprint.
+  struct ArchCompile {
+    std::string ArchName;
+    PipelineOptions Opts;
+    CompileResult Compile;
+  };
+  std::vector<ArchCompile> Compiles;
+
+  /// Non-empty when the solve aborted (verifier failure, kernel trap).
+  std::string Trap;
+
+  /// Order-sensitive hash over iteration count and every residual and
+  /// solution bit pattern: two runs agree bitwise iff the hashes agree.
+  uint64_t resultHash() const;
+};
+
+/// Named bench matrix shapes (-matrix-shape=, docs/multi-device.md):
+/// "compute" is a large banded operator whose per-chunk kernel cycles
+/// dwarf the exchange cost (the multi-device speedup showcase), and
+/// "transfer" is a small operator whose per-iteration link latency
+/// dominates the makespan (the communication-fraction showcase). Returns
+/// Rows/Band/Cells/MaxIters/RelTol only; callers fill Group/Pipeline/Fmt.
+Expected<CGOptions> cgMatrixShape(const std::string &Shape);
+
+/// Runs preconditioned CG on the banded SPD operator partitioned across
+/// \p O.Group: compiles the kernel module once per distinct architecture,
+/// uploads row chunks, then iterates gather -> SpMV -> dot -> axpy ->
+/// preconditioner under the group's bulk-synchronous completion model.
+/// Deterministic: the same options produce the same CGResult, and the
+/// residual trajectory is independent of the device count and of any
+/// completion-order perturbation.
+CGResult runCG(const CGOptions &O);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_WORKLOADS_CGSOLVER_H

@@ -1,0 +1,132 @@
+//===- workloads/Partition.cpp - Multi-device row partitioning -------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ompgpu;
+
+RowPartition ompgpu::makeRowPartition(uint32_t N, unsigned Devices,
+                                      unsigned Cells) {
+  assert(Devices > 0 && Cells > 0 && "partition needs devices and cells");
+  RowPartition P;
+  P.N = N;
+  P.Cells = Cells;
+  P.CellSize = Cells ? (N + Cells - 1) / Cells : 0;
+  if (P.CellSize == 0)
+    P.CellSize = 1; // N == 0: keep row math well-defined
+
+  unsigned Base = Cells / Devices, Rem = Cells % Devices;
+  unsigned Cell = 0;
+  for (unsigned I = 0; I != Devices; ++I) {
+    DeviceChunk C;
+    C.CellLo = Cell;
+    Cell += Base + (I < Rem ? 1 : 0);
+    C.CellHi = Cell;
+    C.RowLo = std::min<uint64_t>((uint64_t)C.CellLo * P.CellSize, N);
+    C.RowHi = std::min<uint64_t>((uint64_t)C.CellHi * P.CellSize, N);
+    P.Chunks.push_back(C);
+  }
+  return P;
+}
+
+void ompgpu::gatherFullVector(DeviceGroup &G, const RowPartition &P,
+                              const std::vector<uint64_t> &FullVecAddrs,
+                              std::vector<double> &Scratch) {
+  unsigned D = G.size();
+  assert(FullVecAddrs.size() == D && P.Chunks.size() == D &&
+         "one full-vector address per device");
+  if (D <= 1)
+    return;
+  Scratch.resize(P.N);
+
+  // Collect every owned chunk into the host scratch vector.
+  for (unsigned S = 0; S != D; ++S) {
+    const DeviceChunk &C = P.Chunks[S];
+    if (!C.rows())
+      continue;
+    G.device(S).memcpyFromDevice(Scratch.data() + C.RowLo,
+                                 FullVecAddrs[S] + (uint64_t)C.RowLo * 8,
+                                 (uint64_t)C.rows() * 8);
+  }
+
+  // Scatter the missing ranges into every destination. A device with no
+  // rows launches no kernels and never reads the vector, so it is not a
+  // gather destination.
+  for (unsigned Dst = 0; Dst != D; ++Dst) {
+    if (!P.Chunks[Dst].rows())
+      continue;
+    for (unsigned S = 0; S != D; ++S) {
+      if (S == Dst)
+        continue;
+      const DeviceChunk &C = P.Chunks[S];
+      if (!C.rows())
+        continue;
+      G.device(Dst).memcpyToDevice(FullVecAddrs[Dst] + (uint64_t)C.RowLo * 8,
+                                   Scratch.data() + C.RowLo,
+                                   (uint64_t)C.rows() * 8);
+    }
+  }
+
+  // Charge the exchange. With a direct peer link every (src, dst) pair is
+  // one transfer on the peer fabric; host-staged pays one download per
+  // source chunk plus one upload per missing range per destination — the
+  // double hop that makes a peer-link spec an observable win.
+  if (G.spec().HasPeerLink) {
+    for (unsigned S = 0; S != D; ++S) {
+      uint64_t Bytes = (uint64_t)P.Chunks[S].rows() * 8;
+      if (!Bytes)
+        continue;
+      for (unsigned Dst = 0; Dst != D; ++Dst)
+        if (Dst != S && P.Chunks[Dst].rows())
+          G.chargePeerTransfer(S, Dst, Bytes);
+    }
+  } else {
+    for (unsigned S = 0; S != D; ++S) {
+      uint64_t Bytes = (uint64_t)P.Chunks[S].rows() * 8;
+      if (Bytes)
+        G.chargeHostTransfer(S, Bytes, /*ToDevice=*/false);
+    }
+    for (unsigned Dst = 0; Dst != D; ++Dst) {
+      if (!P.Chunks[Dst].rows())
+        continue;
+      for (unsigned S = 0; S != D; ++S) {
+        uint64_t Bytes = (uint64_t)P.Chunks[S].rows() * 8;
+        if (S != Dst && Bytes)
+          G.chargeHostTransfer(Dst, Bytes, /*ToDevice=*/true);
+      }
+    }
+  }
+}
+
+double ompgpu::groupReduceSum(DeviceGroup &G, const RowPartition &P,
+                              const std::vector<uint64_t> &PartialAddrs) {
+  unsigned D = G.size();
+  assert(PartialAddrs.size() == D && P.Chunks.size() == D &&
+         "one partials address per device");
+
+  // Download each device's owned cells. The host combine below walks the
+  // cells in ascending global order, so the sum is bitwise identical for
+  // any device count over the same cell partials.
+  std::vector<double> Partials(P.Cells, 0.0);
+  for (unsigned I = 0; I != D; ++I) {
+    const DeviceChunk &C = P.Chunks[I];
+    if (!C.cells())
+      continue;
+    G.device(I).memcpyFromDevice(Partials.data() + C.CellLo,
+                                 PartialAddrs[I] + (uint64_t)C.CellLo * 8,
+                                 (uint64_t)C.cells() * 8);
+    G.chargeHostTransfer(I, (uint64_t)C.cells() * 8, /*ToDevice=*/false);
+  }
+
+  double Sum = 0.0;
+  for (unsigned C = 0; C != P.Cells; ++C)
+    Sum += Partials[C];
+  return Sum;
+}

@@ -1,0 +1,80 @@
+//===- workloads/Partition.h - Multi-device row partitioning ----*- C++ -*-===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Row-chunked work distribution across a DeviceGroup plus the two
+/// cross-device primitives the CG family is built from: a halo/gather
+/// exchange that rebuilds a full vector on every device (host-staged or
+/// peer-link, docs/multi-device.md) and a deterministic fixed-order
+/// reduction over per-cell partial sums. Chunks are aligned to reduction
+/// cells so the dot-product combine order — and therefore every residual
+/// bit — is independent of the device count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMPGPU_WORKLOADS_PARTITION_H
+#define OMPGPU_WORKLOADS_PARTITION_H
+
+#include "gpusim/DeviceGroup.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ompgpu {
+
+/// One device's contiguous share of the rows and of the reduction cells.
+/// Empty chunks (RowLo == RowHi) are legal: a group larger than the cell
+/// count leaves trailing devices idle rather than failing.
+struct DeviceChunk {
+  uint32_t RowLo = 0; ///< first owned row (inclusive)
+  uint32_t RowHi = 0; ///< one past the last owned row
+  unsigned CellLo = 0; ///< first owned reduction cell (inclusive)
+  unsigned CellHi = 0; ///< one past the last owned reduction cell
+
+  uint32_t rows() const { return RowHi - RowLo; }
+  unsigned cells() const { return CellHi - CellLo; }
+};
+
+/// A cell-aligned 1-D row partition of [0, N) across a device group.
+struct RowPartition {
+  uint32_t N = 0;        ///< total rows
+  unsigned Cells = 0;    ///< reduction cells (fixed, device-count free)
+  uint32_t CellSize = 0; ///< rows per cell, ceil(N / Cells)
+  std::vector<DeviceChunk> Chunks; ///< one entry per device
+};
+
+/// Splits [0, N) into \p Cells fixed reduction cells and deals the cells
+/// contiguously across \p Devices (remainder cells go to the leading
+/// devices). Row bounds are the cell bounds clamped to N, so every chunk
+/// starts and ends on a cell boundary and per-cell partial sums are
+/// bitwise independent of how many devices share the work.
+RowPartition makeRowPartition(uint32_t N, unsigned Devices, unsigned Cells);
+
+/// Halo/gather exchange (the matvecGatherXViaHost pattern): every device
+/// holds a full length-N vector at FullVecAddrs[i] but has only written
+/// its own chunk; afterwards every device holds the complete vector.
+/// Data always moves through \p Scratch (resized to N); the *charge* is
+/// the group's link model — host-staged (one download per source chunk,
+/// one upload per missing range per destination) or, when the spec
+/// declares a peer link, one direct transfer per (src, dst) pair.
+/// A 1-device group is a no-op.
+void gatherFullVector(DeviceGroup &G, const RowPartition &P,
+                      const std::vector<uint64_t> &FullVecAddrs,
+                      std::vector<double> &Scratch);
+
+/// Deterministic fixed-order cross-device reduction: device i holds the
+/// per-cell partial sums of its own cells inside a full Cells-length
+/// array at PartialAddrs[i]; downloads each device's owned cells (charged
+/// on the host link) and combines them in ascending global cell order.
+/// The combine order never depends on the device count or completion
+/// timing, which is what makes multi-device CG bit-exact (OMP251).
+double groupReduceSum(DeviceGroup &G, const RowPartition &P,
+                      const std::vector<uint64_t> &PartialAddrs);
+
+} // namespace ompgpu
+
+#endif // OMPGPU_WORKLOADS_PARTITION_H

@@ -219,6 +219,16 @@ TEST(ArchSpecJSON, ValidateRules) {
          "registers_per_sm");
   Expect([](ArchSpec &A) { A.Machine.ClockGHz = 0.0; }, "clock_ghz");
   Expect([](ArchSpec &A) { A.Machine.Costs.BarrierCycles = 0; }, "cost");
+  // Hostile host-link parameters: hostTransferCycles divides by the
+  // bandwidth and adds the latency on every mapped transfer, so a zero or
+  // negative bandwidth and a zero latency must be rejected up front
+  // rather than yielding infinite or free transfers.
+  Expect([](ArchSpec &A) { A.Machine.HostLinkBytesPerCycle = 0.0; },
+         "host_link_bytes_per_cycle");
+  Expect([](ArchSpec &A) { A.Machine.HostLinkBytesPerCycle = -11.6; },
+         "host_link_bytes_per_cycle");
+  Expect([](ArchSpec &A) { A.Machine.HostLinkLatencyCycles = 0; },
+         "host_link_latency_cycles");
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,369 @@
+//===- tests/TestMultiDevice.cpp - DeviceGroup + partitioned CG ------------===//
+//
+// Part of the ompgpu project, reproducing "Efficient Execution of OpenMP on
+// GPUs" (CGO 2022). Distributed under the Apache-2.0 license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the multi-device subsystem (docs/multi-device.md): the group
+/// spec round-trips and rejects a hostile corpus with typed errors, the
+/// host-staged double hop makes a peer-link spec an observable win, the
+/// bulk-synchronous makespan model is deterministic, and — the headline
+/// property — partitioned CG produces bit-identical residual trajectories
+/// and solutions for 1, 2, and 4 devices, for both matrix formats, for a
+/// heterogeneous group, and under any completion-order perturbation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileSystem.h"
+#include "workloads/CGSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+using namespace ompgpu;
+
+namespace {
+
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "ompgpu-mdev-" + Name;
+  for (const std::string &F : listDirectoryFiles(Dir))
+    (void)removeFile(Dir + "/" + F);
+  EXPECT_FALSE(ensureDirectory(Dir));
+  return Dir;
+}
+
+DeviceGroupSpec v100Group(unsigned N) {
+  return homogeneousGroupSpec(*lookupArch("v100"), N);
+}
+
+CGOptions smallCG(unsigned Devices) {
+  CGOptions O;
+  O.Group = v100Group(Devices);
+  O.Pipeline = makeDevPipeline();
+  O.Rows = 512;
+  O.Band = 4;
+  O.Cells = 16;
+  O.MaxIters = 6;
+  O.RelTol = 1e-10;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Group spec: schema, validation, hostile corpus
+//===----------------------------------------------------------------------===//
+
+TEST(DeviceGroupSpecJSON, RoundTripIsByteIdentical) {
+  DeviceGroupSpec S = v100Group(2);
+  S.HasPeerLink = true;
+  S.PeerBytesPerCycle = 40.0;
+  S.PeerLatencyCycles = 900;
+  std::string Text = deviceGroupSpecToJSON(S).str();
+  Expected<DeviceGroupSpec> P = parseDeviceGroupSpecText(Text);
+  ASSERT_TRUE((bool)P) << P.message();
+  EXPECT_EQ(deviceGroupSpecToJSON(*P).str(), Text);
+  EXPECT_EQ(P->size(), 2u);
+  EXPECT_TRUE(P->isHomogeneous());
+  EXPECT_TRUE(P->HasPeerLink);
+}
+
+TEST(DeviceGroupSpecJSON, RegistryNamesAndHeterogeneous) {
+  Expected<DeviceGroupSpec> P = parseDeviceGroupSpecText(
+      R"({"schema_version": 1, "name": "mixed",
+          "devices": ["v100", "mi100"]})");
+  ASSERT_TRUE((bool)P) << P.message();
+  EXPECT_EQ(P->size(), 2u);
+  EXPECT_FALSE(P->isHomogeneous());
+  EXPECT_EQ(P->Devices[0].Name, "v100");
+  EXPECT_EQ(P->Devices[1].Name, "mi100");
+  EXPECT_FALSE(P->HasPeerLink);
+}
+
+TEST(DeviceGroupSpecJSON, HostileCorpusYieldsTypedErrors) {
+  auto Reject = [](const std::string &Text, const std::string &Needle) {
+    Expected<DeviceGroupSpec> P = parseDeviceGroupSpecText(Text);
+    ASSERT_FALSE((bool)P) << Text;
+    EXPECT_NE(P.message().find(Needle), std::string::npos) << P.message();
+  };
+  Reject("{", "group spec");
+  Reject(R"({"schema_version": 99, "name": "x", "devices": ["v100"]})",
+         "schema_version");
+  Reject(R"({"name": "x", "devices": ["v100"]})", "schema_version");
+  Reject(R"({"schema_version": 1, "name": "x", "devices": []})", "devices");
+  Reject(R"({"schema_version": 1, "name": "x", "devices": ["voodoo2"]})",
+         "voodoo2");
+  Reject(R"({"schema_version": 1, "name": "x", "devices": ["v100"],
+             "bogus": 1})",
+         "bogus");
+  Reject(R"({"schema_version": 1, "name": "x", "devices": ["v100"],
+             "peer_link": {"bytes_per_cycle": 40.0}})",
+         "latency_cycles");
+  Reject(R"({"schema_version": 1, "name": "x", "devices": ["v100"],
+             "peer_link": {"bytes_per_cycle": 0.0,
+                           "latency_cycles": 10}})",
+         "bytes_per_cycle");
+}
+
+TEST(DeviceGroupSpecJSON, ValidateRules) {
+  DeviceGroupSpec S = v100Group(2);
+  S.Name.clear();
+  EXPECT_TRUE((bool)S.validate());
+
+  S = v100Group(1);
+  S.Devices.clear();
+  EXPECT_TRUE((bool)S.validate());
+
+  S = v100Group(1);
+  S.Devices.resize(MaxGroupDevices + 1, S.Devices[0]);
+  EXPECT_TRUE((bool)S.validate());
+
+  S = v100Group(2);
+  S.Devices[1].Machine.HostLinkBytesPerCycle = 0.0;
+  Error E = S.validate();
+  ASSERT_TRUE((bool)E);
+  EXPECT_NE(E.message().find("devices[1]"), std::string::npos)
+      << E.message();
+
+  S = v100Group(2);
+  S.HasPeerLink = true;
+  S.PeerBytesPerCycle = -1.0;
+  S.PeerLatencyCycles = 10;
+  EXPECT_TRUE((bool)S.validate());
+}
+
+TEST(DeviceGroupSpecJSON, ResolveFromDisk) {
+  std::string Dir = freshDir("resolve");
+  std::string Path = Dir + "/group.json";
+  ASSERT_FALSE((bool)writeTextFile(Path,
+                                   deviceGroupSpecToJSON(v100Group(2)).str()));
+  Expected<DeviceGroupSpec> P = resolveDeviceGroupSpec(Path);
+  ASSERT_TRUE((bool)P) << P.message();
+  EXPECT_EQ(P->size(), 2u);
+  EXPECT_FALSE((bool)resolveDeviceGroupSpec(Dir + "/absent.json"));
+  ASSERT_FALSE((bool)writeTextFile(Dir + "/broken.json", "{nope"));
+  EXPECT_FALSE((bool)resolveDeviceGroupSpec(Dir + "/broken.json"));
+}
+
+//===----------------------------------------------------------------------===//
+// Link model: host-staged double hop vs direct peer link
+//===----------------------------------------------------------------------===//
+
+TEST(DeviceGroupLinks, PeerLinkBeatsHostStaging) {
+  const uint64_t Bytes = 1 << 20;
+
+  DeviceGroup Staged(v100Group(2));
+  Staged.chargePeerTransfer(0, 1, Bytes);
+  uint64_t StagedCycles = Staged.stats().MakespanCycles;
+  EXPECT_EQ(Staged.stats().HostLinkBytes, 2 * Bytes); // out + in
+  EXPECT_EQ(Staged.stats().PeerBytes, 0u);
+
+  DeviceGroupSpec WithPeer = v100Group(2);
+  WithPeer.HasPeerLink = true;
+  WithPeer.PeerBytesPerCycle = 40.0; // NVLink-ish: ~3.5x the host link
+  WithPeer.PeerLatencyCycles = 1000;
+  DeviceGroup Peer(WithPeer);
+  Peer.chargePeerTransfer(0, 1, Bytes);
+  uint64_t PeerCycles = Peer.stats().MakespanCycles;
+  EXPECT_EQ(Peer.stats().PeerBytes, Bytes);
+  EXPECT_EQ(Peer.stats().HostLinkBytes, 0u);
+
+  EXPECT_LT(PeerCycles, StagedCycles);
+}
+
+TEST(DeviceGroupLinks, MakespanIsSlowestQueuePerPhase) {
+  DeviceGroup G(v100Group(2));
+  G.chargeHostTransfer(0, 1000, /*ToDevice=*/true);
+  G.chargeHostTransfer(1, 1000, /*ToDevice=*/true);
+  const DeviceGroupStats &S = G.stats();
+  // Host-link transfers serialize on the shared link: each hop is its own
+  // frontier phase, so the makespan is the sum of both hops.
+  EXPECT_EQ(S.MakespanCycles, S.HostLinkCycles);
+  EXPECT_EQ(S.SumDeviceCycles, S.MakespanCycles);
+  EXPECT_EQ(S.Devices[0].BytesToDevice, 1000u);
+  EXPECT_EQ(S.Devices[1].BytesToDevice, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Partitioning
+//===----------------------------------------------------------------------===//
+
+TEST(RowPartitionTest, CellAlignedAndExhaustive) {
+  RowPartition P = makeRowPartition(1000, 3, 16);
+  EXPECT_EQ(P.CellSize, 63u); // ceil(1000 / 16)
+  uint32_t Rows = 0;
+  unsigned Cells = 0;
+  for (const DeviceChunk &C : P.Chunks) {
+    EXPECT_EQ(C.RowLo, std::min<uint64_t>((uint64_t)C.CellLo * P.CellSize,
+                                          P.N));
+    Rows += C.rows();
+    Cells += C.cells();
+  }
+  EXPECT_EQ(Rows, 1000u);
+  EXPECT_EQ(Cells, 16u);
+  EXPECT_EQ(P.Chunks.front().RowLo, 0u);
+  EXPECT_EQ(P.Chunks.back().RowHi, 1000u);
+
+  // More devices than cells: trailing devices hold empty chunks.
+  RowPartition Q = makeRowPartition(64, 8, 4);
+  EXPECT_EQ(Q.Chunks[7].rows(), 0u);
+  EXPECT_EQ(Q.Chunks[0].rows() + Q.Chunks[1].rows() + Q.Chunks[2].rows() +
+                Q.Chunks[3].rows(),
+            64u);
+}
+
+//===----------------------------------------------------------------------===//
+// Partitioned CG: the bit-exactness contract
+//===----------------------------------------------------------------------===//
+
+TEST(MultiDeviceCG, DeviceCountInvariantResidualsCRS) {
+  CGResult Ref = runCG(smallCG(1));
+  ASSERT_TRUE(Ref.Trap.empty()) << Ref.Trap;
+  ASSERT_GT(Ref.Iterations, 0u);
+
+  for (unsigned D : {2u, 4u}) {
+    CGResult R = runCG(smallCG(D));
+    ASSERT_TRUE(R.Trap.empty()) << R.Trap;
+    EXPECT_EQ(R.Iterations, Ref.Iterations) << D << " devices";
+    ASSERT_EQ(R.Residuals.size(), Ref.Residuals.size());
+    for (size_t I = 0; I != Ref.Residuals.size(); ++I)
+      EXPECT_EQ(std::bit_cast<uint64_t>(R.Residuals[I]),
+                std::bit_cast<uint64_t>(Ref.Residuals[I]))
+          << D << " devices, iteration " << I;
+    ASSERT_EQ(R.X.size(), Ref.X.size());
+    EXPECT_EQ(R.resultHash(), Ref.resultHash()) << D << " devices";
+  }
+}
+
+TEST(MultiDeviceCG, DeviceCountInvariantResidualsELL) {
+  CGOptions O = smallCG(1);
+  O.Fmt = CGFormat::ELL;
+  CGResult Ref = runCG(O);
+  ASSERT_TRUE(Ref.Trap.empty()) << Ref.Trap;
+
+  O.Group = v100Group(2);
+  CGResult R = runCG(O);
+  ASSERT_TRUE(R.Trap.empty()) << R.Trap;
+  EXPECT_EQ(R.resultHash(), Ref.resultHash());
+}
+
+TEST(MultiDeviceCG, HeterogeneousGroupIsBitExactToo) {
+  CGResult Ref = runCG(smallCG(1));
+  ASSERT_TRUE(Ref.Trap.empty()) << Ref.Trap;
+
+  CGOptions O = smallCG(2);
+  O.Group.Name = "v100-mi100";
+  O.Group.Devices[1] = *lookupArch("mi100");
+  CGResult R = runCG(O);
+  ASSERT_TRUE(R.Trap.empty()) << R.Trap;
+  EXPECT_EQ(R.resultHash(), Ref.resultHash());
+  // Two architectures, two compiled modules.
+  EXPECT_EQ(R.Compiles.size(), 2u);
+  EXPECT_NE(R.Compiles[0].ArchName, R.Compiles[1].ArchName);
+}
+
+TEST(MultiDeviceCG, CompletionPerturbationNeverChangesResults) {
+  CGResult Ref = runCG(smallCG(2));
+  ASSERT_TRUE(Ref.Trap.empty()) << Ref.Trap;
+  for (uint64_t Seed : {7ull, 1234567ull}) {
+    CGOptions O = smallCG(2);
+    O.PerturbSeed = Seed;
+    CGResult R = runCG(O);
+    ASSERT_TRUE(R.Trap.empty()) << R.Trap;
+    // The perturbation may move the makespan but never a result bit.
+    EXPECT_EQ(R.resultHash(), Ref.resultHash()) << "seed " << Seed;
+    EXPECT_GE(R.Stats.MakespanCycles, Ref.Stats.MakespanCycles);
+  }
+}
+
+TEST(MultiDeviceCG, MoreDevicesThanCellsLeavesIdleDevicesCorrect) {
+  CGOptions O = smallCG(1);
+  O.Cells = 2;
+  CGResult Ref = runCG(O);
+  ASSERT_TRUE(Ref.Trap.empty()) << Ref.Trap;
+
+  O.Group = v100Group(4); // devices 2 and 3 own no cells
+  CGResult R = runCG(O);
+  ASSERT_TRUE(R.Trap.empty()) << R.Trap;
+  EXPECT_EQ(R.resultHash(), Ref.resultHash());
+  EXPECT_EQ(R.Stats.Devices[3].Launches, 0u);
+}
+
+TEST(MultiDeviceCG, RunIsDeterministic) {
+  CGResult A = runCG(smallCG(2));
+  CGResult B = runCG(smallCG(2));
+  ASSERT_TRUE(A.Trap.empty()) << A.Trap;
+  EXPECT_EQ(A.resultHash(), B.resultHash());
+  EXPECT_EQ(A.Stats.MakespanCycles, B.Stats.MakespanCycles);
+  EXPECT_EQ(A.Stats.HostLinkBytes, B.Stats.HostLinkBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Group statistics and remarks
+//===----------------------------------------------------------------------===//
+
+TEST(MultiDeviceCG, StatsAndRemarksAreCoherent) {
+  CGOptions O = smallCG(4);
+  O.Rows = 2048;
+  O.Band = 8;
+  CGResult R = runCG(O);
+  ASSERT_TRUE(R.Trap.empty()) << R.Trap;
+
+  const DeviceGroupStats &S = R.Stats;
+  ASSERT_EQ(S.Devices.size(), 4u);
+  EXPECT_GT(S.MakespanCycles, 0u);
+  // Four queues drained in parallel: the critical path is shorter than
+  // the single-queue equivalent, but never shorter than 1/4 of it.
+  EXPECT_LT(S.MakespanCycles, S.SumDeviceCycles);
+  EXPECT_GE(S.MakespanCycles * 4, S.SumDeviceCycles);
+  EXPECT_GT(S.SyncPoints, 0u);
+  EXPECT_GT(S.HostLinkBytes, 0u);
+  EXPECT_GE(S.loadImbalance(), 1.0);
+  EXPECT_GT(S.communicationFraction(), 0.0);
+  EXPECT_LT(S.communicationFraction(), 1.0);
+  for (const DeviceGroupStats::PerDevice &PD : S.Devices) {
+    EXPECT_EQ(PD.Arch, "v100");
+    EXPECT_GT(PD.Launches, 0u);
+    EXPECT_GE(PD.BusyCycles, PD.KernelCycles);
+  }
+
+  bool Saw250 = false, Saw251 = false;
+  for (const Remark &RM : R.Remarks) {
+    Saw250 |= RM.Id == RemarkId::OMP250;
+    Saw251 |= RM.Id == RemarkId::OMP251;
+  }
+  EXPECT_TRUE(Saw250);
+  EXPECT_TRUE(Saw251);
+
+  json::Value J = S.toJSON();
+  ASSERT_TRUE(J.isObject());
+  EXPECT_EQ(J.find("devices")->size(), 4u);
+  EXPECT_TRUE(J.find("makespan_cycles")->isNumber());
+}
+
+TEST(MultiDeviceCG, MultiDeviceScalesAComputeShape) {
+  // The canonical compute-dominated bench shape (cgMatrixShape), capped
+  // at one iteration to keep the tier-1 runtime small: per-chunk kernel
+  // cycles shrink 4x while the exchange cost stays fixed, so four
+  // devices must halve the makespan — the bench/cg CI gate's property.
+  Expected<CGOptions> Shape = cgMatrixShape("compute");
+  ASSERT_TRUE((bool)Shape) << Shape.message();
+  CGOptions O = *Shape;
+  O.Group = v100Group(1);
+  O.Pipeline = makeDevPipeline();
+  O.MaxIters = 1;
+  CGResult One = runCG(O);
+  ASSERT_TRUE(One.Trap.empty()) << One.Trap;
+
+  O.Group = v100Group(4);
+  CGResult Four = runCG(O);
+  ASSERT_TRUE(Four.Trap.empty()) << Four.Trap;
+  EXPECT_EQ(Four.resultHash(), One.resultHash());
+  EXPECT_GT((double)One.Stats.MakespanCycles,
+            2.0 * (double)Four.Stats.MakespanCycles);
+
+  EXPECT_FALSE((bool)cgMatrixShape("voodoo"));
+}
+
+} // namespace

@@ -16,8 +16,10 @@ Three checks, all offline and dependency-free:
    `docs/compile-report.md` table (rows of the form ``| `field` | ...``)
    must appear as a string literal in `src/driver/CompileReport.cpp`,
    `src/service/CompileService.cpp` (which fills the report's `cache`
-   section), or `src/resilience/{Resilience,FaultInjector}.cpp` (which
-   fill the `resilience` section). Docs can lag behind the code (new
+   section), `src/resilience/{Resilience,FaultInjector}.cpp` (which
+   fill the `resilience` section), or
+   `src/gpusim/DeviceGroup.cpp` / `bench/cg.cpp` (which fill the
+   `multi_device` section). Docs can lag behind the code (new
    undocumented fields are a warning at most), but they can never
    describe fields the serializer does not emit.
 
@@ -120,7 +122,9 @@ def check_report_fields(root: Path, errors: list):
     for src in (root / "src" / "driver" / "CompileReport.cpp",
                 root / "src" / "service" / "CompileService.cpp",
                 root / "src" / "resilience" / "Resilience.cpp",
-                root / "src" / "resilience" / "FaultInjector.cpp"):
+                root / "src" / "resilience" / "FaultInjector.cpp",
+                root / "src" / "gpusim" / "DeviceGroup.cpp",
+                root / "bench" / "cg.cpp"):
         emitted |= set(STRING_LIT_RE.findall(src.read_text(encoding="utf-8")))
     for lineno, line in enumerate(report_md.read_text(encoding="utf-8")
                                   .splitlines(), 1):
